@@ -1,0 +1,136 @@
+// Command tardis-bench reproduces the paper's evaluation figures at a
+// configurable scale, printing paper-style tables.
+//
+// Usage:
+//
+//	tardis-bench -fig all -n 20000
+//	tardis-bench -fig 15 -n 50000 -queries 20 -k 200
+//	tardis-bench -fig 17 -n 20000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"github.com/tardisdb/tardis/internal/dataset"
+	"github.com/tardisdb/tardis/internal/eval"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tardis-bench: ")
+
+	var (
+		fig       = flag.String("fig", "all", "figure to reproduce: 9|10|11|12|13|14|15|16|17|all")
+		n         = flag.Int64("n", 20_000, "dataset size (series per dataset)")
+		seriesLen = flag.Int("len", 64, "series length (paper lengths differ per dataset; one length keeps runs comparable)")
+		seed      = flag.Int64("seed", 11, "generation seed")
+		queries   = flag.Int("queries", 10, "queries per experiment")
+		k         = flag.Int("k", 100, "k for kNN experiments")
+		workers   = flag.Int("workers", 8, "cluster workers")
+		workDir   = flag.String("work", "", "working directory for datasets and indexes (default: temp)")
+	)
+	flag.Parse()
+
+	dir := *workDir
+	if dir == "" {
+		dir = filepath.Join(os.TempDir(), "tardis-bench-cli")
+	}
+	e, err := eval.NewEnv(*workers, dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	block := *n / 10
+	if block < 100 {
+		block = 100
+	}
+	var specs []eval.DatasetSpec
+	for _, kd := range dataset.Kinds() {
+		specs = append(specs, eval.DatasetSpec{
+			Kind: kd, SeriesLen: *seriesLen, N: *n, Seed: *seed, BlockRecs: block,
+		})
+	}
+	rwSpec := specs[0]
+
+	known := map[string]bool{"9": true, "10": true, "11": true, "12": true,
+		"13": true, "14": true, "15": true, "16": true, "17": true, "all": true}
+	if !known[*fig] {
+		log.Fatalf("unknown figure %q (want 9-17 or all)", *fig)
+	}
+	want := func(id string) bool { return *fig == "all" || *fig == id }
+	out := os.Stdout
+
+	if want("9") {
+		rows, err := eval.Fig9(e, specs, 8, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		eval.ReportFig9(out, rows)
+	}
+	if want("10") {
+		rows, err := eval.Fig10(e, specs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		eval.ReportFig10(out, rows)
+	}
+	if want("11") {
+		rows, err := eval.Fig11(e, specs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		eval.ReportFig11(out, rows)
+	}
+	if want("12") {
+		rows, err := eval.Fig12(e, []int64{*n / 4, *n / 2, *n}, int64(*seriesLen), *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		eval.ReportFig12(out, rows)
+	}
+	if want("13") {
+		rows, err := eval.Fig13(e, specs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		eval.ReportFig13(out, rows)
+	}
+	if want("14") {
+		rows, err := eval.Fig14(e, specs, *queries)
+		if err != nil {
+			log.Fatal(err)
+		}
+		eval.ReportFig14(out, rows)
+	}
+	if want("15") {
+		rows, err := eval.Fig15(e, specs, *queries, *k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		eval.ReportKNN(out, fmt.Sprintf("Fig 15: kNN-approximate performance (k=%d)", *k), rows)
+	}
+	if want("16") {
+		sizes := []int64{*n / 4, *n / 2, *n}
+		rows, err := eval.Fig16Size(e, string(rwSpec.Kind), *seriesLen, sizes, *seed, *queries, *k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		eval.ReportKNN(out, fmt.Sprintf("Fig 16 (left): kNN vs dataset size (k=%d)", *k), rows)
+		ks := []int{*k / 10, *k / 2, *k, *k * 5}
+		rowsK, err := eval.Fig16K(e, rwSpec, *queries, ks)
+		if err != nil {
+			log.Fatal(err)
+		}
+		eval.ReportKNN(out, fmt.Sprintf("Fig 16 (right): kNN vs k (%s)", rwSpec.Kind), rowsK)
+	}
+	if want("17") {
+		rows, err := eval.Fig17(e, rwSpec, []float64{0.01, 0.05, 0.1, 0.2, 0.4, 1.0}, *queries, *k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		eval.ReportFig17(out, rows)
+	}
+}

@@ -1,0 +1,162 @@
+// Command tardis-build constructs a TARDIS (or DPiSAX baseline) index over a
+// generated dataset store and saves it for tardis-query.
+//
+// Usage:
+//
+//	tardis-build -src data/rw1m -dst data/rw1m-idx
+//	tardis-build -src data/rw1m -dst data/rw1m-base -system dpisax
+//	tardis-build -src data/rw1m -dst data/rw1m-idx -rpc 127.0.0.1:7701,127.0.0.1:7702
+//
+// The -rpc form distributes the build across running tardis-worker processes
+// that share the filesystem with this coordinator.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/tardisdb/tardis/internal/cluster"
+	clusterrpc "github.com/tardisdb/tardis/internal/cluster/rpc"
+	"github.com/tardisdb/tardis/internal/core"
+	"github.com/tardisdb/tardis/internal/dpisax"
+	"github.com/tardisdb/tardis/internal/storage"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tardis-build: ")
+
+	var (
+		src       = flag.String("src", "", "source dataset store directory (required)")
+		dst       = flag.String("dst", "", "output clustered store directory (required)")
+		system    = flag.String("system", "tardis", "index system: tardis | dpisax")
+		workers   = flag.Int("workers", 8, "simulated workers for the in-process build")
+		gmax      = flag.Int64("gmax", 0, "partition capacity G-MaxSize in records (0 = n/30)")
+		lmax      = flag.Int64("lmax", 1000, "local leaf split threshold L-MaxSize")
+		samplePct = flag.Float64("sample", 0.10, "block-level sampling percentage")
+		seed      = flag.Int64("seed", 1, "sampling seed")
+		noBloom   = flag.Bool("no-bloom", false, "skip Bloom filter construction (TARDIS only)")
+		compress  = flag.Bool("compress", false, "flate-compress the clustered partitions (TARDIS only)")
+		rpcAddrs  = flag.String("rpc", "", "comma-separated tardis-worker addresses for the distributed build")
+		workDir   = flag.String("work", "", "spill directory for -rpc builds (default <dst>-spill)")
+		verbose   = flag.Bool("v", false, "print per-stage cluster metrics after the build")
+	)
+	flag.Parse()
+	if *src == "" || *dst == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	st, err := storage.Open(*src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	total, err := st.TotalRecords()
+	if err != nil {
+		log.Fatal(err)
+	}
+	capacity := *gmax
+	if capacity == 0 {
+		capacity = total / 30
+		if capacity < 200 {
+			capacity = 200
+		}
+	}
+
+	switch *system {
+	case "tardis":
+		cfg := core.DefaultConfig()
+		cfg.GMaxSize = capacity
+		cfg.LMaxSize = *lmax
+		cfg.SamplePct = *samplePct
+		cfg.SampleSeed = *seed
+		cfg.BuildBloom = !*noBloom
+		if *compress {
+			cfg.Compression = storage.Flate
+		}
+		if *rpcAddrs != "" {
+			buildRPC(*src, *dst, *workDir, *rpcAddrs, cfg)
+			return
+		}
+		cl, err := cluster.New(cluster.Config{Workers: *workers})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ix, err := core.Build(cl, st, *dst, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := ix.Save(); err != nil {
+			log.Fatal(err)
+		}
+		bs := ix.BuildStats()
+		fmt.Printf("TARDIS index: %d records, %d partitions\n", bs.Records, bs.Partitions)
+		fmt.Printf("  global: %s (sample %s, stats %s, skeleton %s, assign %s)\n",
+			rd(bs.GlobalTotal), rd(bs.SampleConvert), rd(bs.NodeStatistics), rd(bs.SkeletonBuild), rd(bs.PartitionAssign))
+		fmt.Printf("  local:  %s (shuffle %s, build %s, bloom %s)\n",
+			rd(bs.LocalTotal), rd(bs.ShuffleReadConvert), rd(bs.LocalConstruct), rd(bs.BloomConstruct))
+		fmt.Printf("  total:  %s; index sizes: global %d B, local %d B, bloom %d B\n",
+			rd(bs.Total), bs.GlobalIndexBytes, bs.LocalIndexBytes, bs.BloomBytes)
+		if *verbose {
+			fmt.Println("\ncluster stages:")
+			for _, st := range cl.Stages() {
+				fmt.Printf("  %-18s tasks=%-4d in=%-8d out=%-8d shuffled=%-8d %s\n",
+					st.Name, st.Tasks, st.RecordsIn, st.RecordsOut, st.ShuffledRecords, rd(st.Duration))
+			}
+		}
+	case "dpisax":
+		cfg := dpisax.DefaultConfig()
+		cfg.GMaxSize = capacity
+		cfg.LMaxSize = *lmax
+		cfg.SamplePct = *samplePct
+		cfg.SampleSeed = *seed
+		cl, err := cluster.New(cluster.Config{Workers: *workers})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ix, err := dpisax.Build(cl, st, *dst, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bs := ix.BuildStats()
+		fmt.Printf("DPiSAX index: %d records, %d partitions\n", bs.Records, bs.Partitions)
+		fmt.Printf("  global: %s, local: %s, total: %s, char conversions: %d\n",
+			rd(bs.GlobalTotal), rd(bs.LocalTotal), rd(bs.Total), bs.Conversions)
+		fmt.Println("note: the DPiSAX baseline index is not persisted; it exists for comparison runs")
+	default:
+		log.Fatalf("unknown system %q (want tardis or dpisax)", *system)
+	}
+}
+
+func buildRPC(src, dst, workDir, addrs string, cfg core.Config) {
+	if workDir == "" {
+		workDir = dst + "-spill"
+	}
+	pool, err := clusterrpc.Dial(strings.Split(addrs, ","))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer pool.Close()
+	replies, err := pool.Ping()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range replies {
+		fmt.Printf("worker %s on %s (pid %d)\n", r.ID, r.Hostname, r.PID)
+	}
+	stats, err := clusterrpc.BuildDistributed(pool, src, dst, workDir, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("distributed TARDIS index: %d records, %d partitions in %s\n",
+		stats.Records, stats.Partitions, rd(stats.Total))
+	fmt.Printf("  sample %s, shuffle %s, local build %s\n",
+		rd(stats.SampleConvert), rd(stats.Shuffle), rd(stats.LocalBuild))
+	fmt.Printf("load it with tardis-query -index %s\n", dst)
+}
+
+func rd(d time.Duration) time.Duration { return d.Round(time.Millisecond) }

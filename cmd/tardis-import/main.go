@@ -1,0 +1,83 @@
+// Command tardis-import loads user-supplied time series from CSV into a
+// block store ready for tardis-build, or exports an existing store to CSV.
+//
+// Usage:
+//
+//	tardis-import -csv data.csv -len 128 -out data/mine -normalize
+//	tardis-import -csv data.csv -len 128 -rid -out data/mine   # first column is the id
+//	tardis-import -export data/mine -csv dump.csv              # store -> CSV
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/tardisdb/tardis/internal/storage"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tardis-import: ")
+
+	var (
+		csvPath   = flag.String("csv", "", "CSV file: input for import, output for -export (required)")
+		out       = flag.String("out", "", "store directory to create (import mode)")
+		exportDir = flag.String("export", "", "existing store directory to export")
+		seriesLen = flag.Int("len", 0, "series length (import mode, required)")
+		hasRID    = flag.Bool("rid", false, "first CSV column is the record id")
+		normalize = flag.Bool("normalize", false, "z-normalize each imported series")
+		block     = flag.Int64("block", 10_000, "records per block file")
+		sep       = flag.String("sep", ",", "field separator")
+	)
+	flag.Parse()
+	if *csvPath == "" || (*out == "" && *exportDir == "") {
+		flag.Usage()
+		os.Exit(2)
+	}
+	comma := ','
+	if *sep != "" {
+		comma = rune((*sep)[0])
+	}
+
+	if *exportDir != "" {
+		st, err := storage.Open(*exportDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := st.ExportCSV(f, storage.CSVOptions{Comma: comma}); err != nil {
+			log.Fatal(err)
+		}
+		total, _ := st.TotalRecords()
+		fmt.Printf("exported %d records to %s\n", total, *csvPath)
+		return
+	}
+
+	if *seriesLen < 1 {
+		log.Fatal("-len is required for import")
+	}
+	f, err := os.Open(*csvPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	st, err := storage.Create(*out, *seriesLen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n, err := st.ImportCSV(f, storage.CSVOptions{
+		HasRID: *hasRID, Normalize: *normalize, BlockRecords: *block, Comma: comma,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pids, _ := st.Partitions()
+	fmt.Printf("imported %d records of length %d into %d blocks at %s\n",
+		n, *seriesLen, len(pids), *out)
+}

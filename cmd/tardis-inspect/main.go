@@ -1,0 +1,141 @@
+// Command tardis-inspect prints the structure and statistics of a saved
+// TARDIS index: global tree shape, partition size distribution, local index
+// shapes, and Bloom filter fill.
+//
+// Usage:
+//
+//	tardis-inspect -index data/idx
+//	tardis-inspect -index data/idx -tree        # dump the global tree
+//	tardis-inspect -index data/idx -partitions  # per-partition detail
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strings"
+
+	"github.com/tardisdb/tardis/internal/cluster"
+	"github.com/tardisdb/tardis/internal/core"
+	"github.com/tardisdb/tardis/internal/sigtree"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tardis-inspect: ")
+
+	var (
+		indexDir   = flag.String("index", "", "saved index directory (required)")
+		dumpTree   = flag.Bool("tree", false, "dump the global sigTree")
+		partitions = flag.Bool("partitions", false, "per-partition detail")
+	)
+	flag.Parse()
+	if *indexDir == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	cl, err := cluster.New(cluster.Config{Workers: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ix, err := core.Load(cl, *indexDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := ix.Config()
+	bs := ix.BuildStats()
+
+	fmt.Printf("TARDIS index at %s\n", *indexDir)
+	fmt.Printf("  series length      %d\n", ix.SeriesLen())
+	fmt.Printf("  word length        %d\n", cfg.WordLen)
+	fmt.Printf("  initial cardinality %d (2^%d)\n", 1<<cfg.InitialBits, cfg.InitialBits)
+	fmt.Printf("  records            %d\n", bs.Records)
+	fmt.Printf("  partitions         %d (capacity %d)\n", ix.NumPartitions(), cfg.GMaxSize)
+	fmt.Printf("  pending delta      %d records\n", ix.DeltaCount())
+
+	gs := ix.Global.ComputeStats()
+	fmt.Printf("\nTardis-G (global sigTree)\n")
+	fmt.Printf("  nodes %d (internal %d, leaves %d)\n", gs.Nodes, gs.Internal, gs.Leaves)
+	fmt.Printf("  leaf depth: max %d, avg %.2f\n", gs.MaxLeafDepth, gs.AvgLeafDepth)
+	fmt.Printf("  serialized size %d bytes\n", ix.Global.SerializedSize())
+
+	// Partition size distribution.
+	pids, err := ix.Store.Partitions()
+	if err != nil {
+		log.Fatal(err)
+	}
+	var sizes []int64
+	var total int64
+	for _, pid := range pids {
+		n, err := ix.Store.PartitionCount(pid)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sizes = append(sizes, n)
+		total += n
+	}
+	sort.Slice(sizes, func(i, j int) bool { return sizes[i] < sizes[j] })
+	fmt.Printf("\nPartition sizes (records)\n")
+	if len(sizes) > 0 {
+		fmt.Printf("  min %d, median %d, max %d, mean %.1f\n",
+			sizes[0], sizes[len(sizes)/2], sizes[len(sizes)-1], float64(total)/float64(len(sizes)))
+		fmt.Printf("  utilization vs capacity: %.1f%%\n",
+			float64(total)/float64(int64(len(sizes))*cfg.GMaxSize)*100)
+	}
+
+	// Local index shapes and Bloom fill, aggregated.
+	var localNodes, localLeaves int
+	var bloomBits, bloomMembers int64
+	withBloom := 0
+	for _, l := range ix.Locals {
+		if l == nil {
+			continue
+		}
+		s := l.Tree.ComputeStats()
+		localNodes += s.Nodes
+		localLeaves += s.Leaves
+		if l.Bloom != nil {
+			withBloom++
+			bloomBits += int64(l.Bloom.BitCount())
+			bloomMembers += int64(l.Bloom.Count())
+		}
+	}
+	fmt.Printf("\nTardis-L (local sigTrees, aggregated)\n")
+	fmt.Printf("  nodes %d, leaves %d across %d partitions\n", localNodes, localLeaves, ix.NumPartitions())
+	if withBloom > 0 {
+		fmt.Printf("  bloom filters: %d, %d total bits, %d members\n", withBloom, bloomBits, bloomMembers)
+	}
+
+	if *partitions {
+		fmt.Printf("\nPer-partition detail\n")
+		for _, pid := range pids {
+			n, _ := ix.Store.PartitionCount(pid)
+			l := ix.Locals[pid]
+			if l == nil {
+				fmt.Printf("  p%04d  %7d records  (no local index)\n", pid, n)
+				continue
+			}
+			s := l.Tree.ComputeStats()
+			fmt.Printf("  p%04d  %7d records  %4d leaves  depth max %d avg %.1f\n",
+				pid, n, s.Leaves, s.MaxLeafDepth, s.AvgLeafDepth)
+		}
+	}
+
+	if *dumpTree {
+		fmt.Printf("\nGlobal tree\n")
+		ix.Global.Walk(func(n *sigtree.Node) {
+			indent := strings.Repeat("  ", n.Layer)
+			kind := "internal"
+			if n.IsLeaf() {
+				kind = "leaf"
+			}
+			sig := string(n.Sig)
+			if sig == "" {
+				sig = "<root>"
+			}
+			fmt.Printf("  %s%-16s %-8s count=%-8d pids=%v\n", indent, sig, kind, n.Count, n.PIDs)
+		})
+	}
+}

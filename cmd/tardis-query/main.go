@@ -1,0 +1,185 @@
+// Command tardis-query runs similarity queries against a saved TARDIS index.
+//
+// Usage:
+//
+//	tardis-query -index data/idx -mode exact -rid 12345 -kind randomwalk -seed 1
+//	tardis-query -index data/idx -mode knn -k 100 -strategy mpa -rid 7
+//	tardis-query -index data/idx -mode knn -k 10 -strategy all -count 20
+//
+// Queries are drawn from the generator identified by -kind/-seed: -rid picks
+// a stored record (an "existing" query); -absent draws from a disjoint seed
+// instead. -count repeats with consecutive rids and reports averages.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"github.com/tardisdb/tardis/internal/cluster"
+	"github.com/tardisdb/tardis/internal/core"
+	"github.com/tardisdb/tardis/internal/dataset"
+	"github.com/tardisdb/tardis/internal/knn"
+	"github.com/tardisdb/tardis/internal/ts"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tardis-query: ")
+
+	var (
+		indexDir = flag.String("index", "", "saved index directory (required)")
+		mode     = flag.String("mode", "knn", "query mode: exact | knn | range")
+		kind     = flag.String("kind", "randomwalk", "dataset kind that generated the data")
+		seed     = flag.Int64("seed", 1, "dataset generation seed")
+		rid      = flag.Int64("rid", 0, "record id for the first query")
+		count    = flag.Int("count", 1, "number of queries (consecutive rids)")
+		absent   = flag.Bool("absent", false, "query series guaranteed absent from the dataset")
+		k        = flag.Int("k", 10, "k for kNN queries")
+		strategy = flag.String("strategy", "mpa", "kNN strategy: tna | opa | mpa | exact | dtw | auto | all")
+		eps      = flag.Float64("eps", 0, "range query radius (mode=range)")
+		band     = flag.Int("band", 5, "Sakoe-Chiba band for the dtw strategy")
+		noBloom  = flag.Bool("no-bloom", false, "exact match without the Bloom filter")
+		truth    = flag.Bool("truth", false, "also compute exact ground truth and report recall/error ratio")
+		workers  = flag.Int("workers", 8, "cluster workers for ground truth scans")
+	)
+	flag.Parse()
+	if *indexDir == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cl, err := cluster.New(cluster.Config{Workers: *workers})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ix, err := core.Load(cl, *indexDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gen, err := dataset.New(dataset.Kind(*kind), ix.SeriesLen())
+	if err != nil {
+		log.Fatal(err)
+	}
+	genSeed := *seed
+	if *absent {
+		genSeed += 1_000_003
+	}
+
+	makeQuery := func(i int) ts.Series {
+		rec := dataset.Record(gen, genSeed, *rid+int64(i))
+		return rec.Values.ZNormalize()
+	}
+
+	switch *mode {
+	case "exact":
+		var total time.Duration
+		found := 0
+		for i := 0; i < *count; i++ {
+			q := makeQuery(i)
+			rids, st, err := ix.ExactMatch(q, !*noBloom)
+			if err != nil {
+				log.Fatal(err)
+			}
+			total += st.Duration
+			if len(rids) > 0 {
+				found++
+			}
+			if *count == 1 {
+				fmt.Printf("matches: %v (partitions loaded %d, bloom rejected %v, %s)\n",
+					rids, st.PartitionsLoaded, st.BloomRejected, st.Duration.Round(time.Microsecond))
+			}
+		}
+		if *count > 1 {
+			fmt.Printf("%d exact-match queries: %d found, avg %s\n",
+				*count, found, (total / time.Duration(*count)).Round(time.Microsecond))
+		}
+	case "knn":
+		strategies := map[string]func(ts.Series, int) ([]core.Neighbor, core.QueryStats, error){
+			"tna":   ix.KNNTargetNode,
+			"opa":   ix.KNNOnePartition,
+			"mpa":   ix.KNNMultiPartition,
+			"exact": ix.KNNExact,
+			"dtw": func(q ts.Series, k int) ([]core.Neighbor, core.QueryStats, error) {
+				return ix.KNNDTW(q, k, *band)
+			},
+			"auto": func(q ts.Series, k int) ([]core.Neighbor, core.QueryStats, error) {
+				res, chosen, st, err := ix.KNNAuto(q, k)
+				if err == nil {
+					fmt.Printf("auto chose %s\n", chosen)
+				}
+				return res, st, err
+			},
+		}
+		names := []string{*strategy}
+		if *strategy == "all" {
+			names = []string{"tna", "opa", "mpa", "exact"}
+		}
+		for _, name := range names {
+			run, ok := strategies[name]
+			if !ok {
+				log.Fatalf("unknown strategy %q", name)
+			}
+			var total time.Duration
+			var recall, errRatio float64
+			evaluated := 0
+			for i := 0; i < *count; i++ {
+				q := makeQuery(i)
+				res, st, err := run(q, *k)
+				if err != nil {
+					log.Fatal(err)
+				}
+				total += st.Duration
+				if *truth {
+					gt, err := ix.GroundTruthKNN(q, *k)
+					if err != nil {
+						log.Fatal(err)
+					}
+					recall += knn.Recall(gt, res)
+					errRatio += knn.ErrorRatio(gt, res)
+					evaluated++
+				}
+				if *count == 1 {
+					show := len(res)
+					if show > 10 {
+						show = 10
+					}
+					fmt.Printf("%s: top %d of %d results (partitions %d, candidates %d, %s)\n",
+						name, show, len(res), st.PartitionsLoaded, st.Candidates, st.Duration.Round(time.Microsecond))
+					for j := 0; j < show; j++ {
+						fmt.Printf("  #%d rid=%d dist=%.4f\n", j+1, res[j].RID, res[j].Dist)
+					}
+				}
+			}
+			if *count > 1 {
+				fmt.Printf("%s: %d queries, avg %s", name, *count, (total / time.Duration(*count)).Round(time.Microsecond))
+				if evaluated > 0 {
+					fmt.Printf(", recall %.1f%%, error ratio %.3f",
+						recall/float64(evaluated)*100, errRatio/float64(evaluated))
+				}
+				fmt.Println()
+			} else if *truth {
+				fmt.Printf("%s: recall %.1f%%, error ratio %.3f\n", name, recall*100, errRatio)
+			}
+		}
+	case "range":
+		q := makeQuery(0)
+		res, st, err := ix.RangeQuery(q, *eps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("range query eps=%.3f: %d records (partitions %d, candidates %d, %s)\n",
+			*eps, len(res), st.PartitionsLoaded, st.Candidates, st.Duration.Round(time.Microsecond))
+		show := len(res)
+		if show > 20 {
+			show = 20
+		}
+		for j := 0; j < show; j++ {
+			fmt.Printf("  rid=%d dist=%.4f\n", res[j].RID, res[j].Dist)
+		}
+	default:
+		log.Fatalf("unknown mode %q (want exact, knn, or range)", *mode)
+	}
+}

@@ -1,0 +1,71 @@
+// Command tardis-serve exposes a saved TARDIS index as a JSON-over-HTTP
+// query service.
+//
+// Usage:
+//
+//	tardis-serve -index data/idx -listen 127.0.0.1:8080
+//
+// Endpoints:
+//
+//	GET  /healthz        liveness
+//	GET  /stats          index overview
+//	POST /query/knn      {"series":[...],"k":10,"strategy":"mpa|tna|opa|exact|dtw|auto","band":5}
+//	POST /query/exact    {"series":[...],"bloom":true}
+//	POST /query/range    {"series":[...],"eps":2.5}
+//	POST /insert         {"records":[{"RID":1,"Values":[...]}]}
+//	POST /delete         {"rids":[1,2]}
+//	POST /compact        {}
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"github.com/tardisdb/tardis/internal/cluster"
+	"github.com/tardisdb/tardis/internal/core"
+	"github.com/tardisdb/tardis/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tardis-serve: ")
+
+	var (
+		indexDir = flag.String("index", "", "saved index directory (required)")
+		listen   = flag.String("listen", "127.0.0.1:8080", "listen address")
+		workers  = flag.Int("workers", 8, "cluster workers for parallel operations")
+		repair   = flag.Bool("repair", true, "verify and repair damaged index files on load")
+	)
+	flag.Parse()
+	if *indexDir == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	cl, err := cluster.New(cluster.Config{Workers: *workers})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var ix *core.Index
+	if *repair {
+		var repaired int
+		ix, repaired, err = core.LoadWithRepair(cl, *indexDir)
+		if err == nil && repaired > 0 {
+			fmt.Printf("repaired %d partitions on load\n", repaired)
+		}
+	} else {
+		ix, err = core.Load(cl, *indexDir)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	total, err := ix.Store.TotalRecords()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("serving %d records (%d partitions, series length %d) on http://%s\n",
+		total, ix.NumPartitions(), ix.SeriesLen(), *listen)
+	log.Fatal(http.ListenAndServe(*listen, server.New(ix).Handler()))
+}

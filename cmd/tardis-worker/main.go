@@ -1,0 +1,44 @@
+// Command tardis-worker runs one RPC worker process for distributed TARDIS
+// index construction. Workers must share a filesystem with the coordinator
+// (tardis-build -rpc).
+//
+// Usage:
+//
+//	tardis-worker -listen 127.0.0.1:7701 -id w1 &
+//	tardis-worker -listen 127.0.0.1:7702 -id w2 &
+//	tardis-build -src data/rw1m -dst data/idx -rpc 127.0.0.1:7701,127.0.0.1:7702
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+
+	clusterrpc "github.com/tardisdb/tardis/internal/cluster/rpc"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tardis-worker: ")
+
+	var (
+		listen = flag.String("listen", "127.0.0.1:7701", "address to listen on")
+		id     = flag.String("id", "", "worker id (default derived from pid)")
+	)
+	flag.Parse()
+
+	workerID := *id
+	if workerID == "" {
+		workerID = fmt.Sprintf("worker-%d", os.Getpid())
+	}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("worker %s listening on %s\n", workerID, ln.Addr())
+	if err := clusterrpc.Serve(ln, workerID); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,128 @@
+package tardis_test
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/tardisdb/tardis"
+)
+
+// Example demonstrates the core flow: generate, build, query, evaluate.
+func Example() {
+	work, err := os.MkdirTemp("", "tardis-example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(work)
+
+	cl, _ := tardis.NewCluster(tardis.ClusterConfig{Workers: 4})
+	gen, _ := tardis.NewGenerator(tardis.RandomWalk, 64)
+	src, _ := tardis.GenerateStore(gen, 1, 5000, filepath.Join(work, "data"), 500, true)
+
+	cfg := tardis.DefaultConfig()
+	cfg.GMaxSize = 500
+	ix, err := tardis.Build(cl, src, filepath.Join(work, "idx"), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Query with a stored series: it must come back first at distance 0.
+	q := tardis.ZNormalize(tardis.GenerateRecord(gen, 1, 77).Values)
+	res, _, err := ix.KNNMultiPartition(q, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("nearest rid=%d dist=%.1f\n", res[0].RID, res[0].Dist)
+	// Output: nearest rid=77 dist=0.0
+}
+
+// ExampleIndex_ExactMatch shows Bloom-filtered exact matching.
+func ExampleIndex_ExactMatch() {
+	work, err := os.MkdirTemp("", "tardis-example-em")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(work)
+
+	cl, _ := tardis.NewCluster(tardis.ClusterConfig{Workers: 4})
+	gen, _ := tardis.NewGenerator(tardis.NOAA, 64)
+	src, _ := tardis.GenerateStore(gen, 2, 3000, filepath.Join(work, "data"), 500, true)
+	cfg := tardis.DefaultConfig()
+	cfg.GMaxSize = 400
+	ix, err := tardis.Build(cl, src, filepath.Join(work, "idx"), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	stored := tardis.ZNormalize(tardis.GenerateRecord(gen, 2, 42).Values)
+	rids, _, _ := ix.ExactMatch(stored, true)
+	found := false
+	for _, rid := range rids {
+		if rid == 42 {
+			found = true
+		}
+	}
+	fmt.Println("stored series found:", found)
+
+	absent := tardis.ZNormalize(tardis.GenerateRecord(gen, 999, 0).Values)
+	rids, _, _ = ix.ExactMatch(absent, true)
+	fmt.Println("absent series found:", len(rids) > 0)
+	// Output:
+	// stored series found: true
+	// absent series found: false
+}
+
+// ExampleStore_ImportCSV shows indexing user-supplied CSV data.
+func ExampleStore_ImportCSV() {
+	work, err := os.MkdirTemp("", "tardis-example-csv")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(work)
+
+	csvData := strings.NewReader(
+		"10,0.1,0.9,0.4,0.7\n" +
+			"20,2.5,2.1,2.8,2.2\n" +
+			"30,5.0,4.0,3.0,2.0\n")
+	st, _ := tardis.CreateStore(filepath.Join(work, "data"), 4)
+	n, err := st.ImportCSV(csvData, tardis.CSVOptions{HasRID: true, Normalize: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("imported:", n)
+	// Output: imported: 3
+}
+
+// ExampleIndex_KNNBatch runs a query batch across the cluster.
+func ExampleIndex_KNNBatch() {
+	work, err := os.MkdirTemp("", "tardis-example-batch")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(work)
+
+	cl, _ := tardis.NewCluster(tardis.ClusterConfig{Workers: 4})
+	gen, _ := tardis.NewGenerator(tardis.DNA, 64)
+	src, _ := tardis.GenerateStore(gen, 3, 4000, filepath.Join(work, "data"), 500, true)
+	cfg := tardis.DefaultConfig()
+	cfg.GMaxSize = 400
+	ix, err := tardis.Build(cl, src, filepath.Join(work, "idx"), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	queries := []tardis.Series{
+		tardis.ZNormalize(tardis.GenerateRecord(gen, 3, 5).Values),
+		tardis.ZNormalize(tardis.GenerateRecord(gen, 3, 6).Values),
+	}
+	results, _, err := ix.KNNBatch(queries, 2, tardis.MultiPartitionsAccess)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("q0 first rid=%d, q1 first rid=%d\n",
+		results[0].Neighbors[0].RID, results[1].Neighbors[0].RID)
+	// Output: q0 first rid=5, q1 first rid=6
+}

@@ -1,0 +1,105 @@
+// Exact-match with Bloom filters: the paper's §V-A scenario. A monitoring
+// pipeline stores sensor traces (NOAA-like temperature series) and answers
+// "has this exact trace been recorded?" — the Bloom filter spares the
+// high-latency partition load whenever the answer is no.
+//
+//	go run ./examples/exactmatch
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"github.com/tardisdb/tardis"
+)
+
+func main() {
+	log.SetFlags(0)
+	work, err := os.MkdirTemp("", "tardis-exactmatch")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(work)
+
+	cl, err := tardis.NewCluster(tardis.ClusterConfig{Workers: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	gen, err := tardis.NewGenerator(tardis.NOAA, tardis.DefaultSeriesLen(tardis.NOAA))
+	if err != nil {
+		log.Fatal(err)
+	}
+	src, err := tardis.GenerateStore(gen, 7, 30_000, filepath.Join(work, "data"), 3_000, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := tardis.DefaultConfig()
+	cfg.GMaxSize = 1_500
+	ix, err := tardis.Build(cl, src, filepath.Join(work, "index"), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("indexed 30k NOAA-like traces into %d partitions\n", ix.NumPartitions())
+
+	// Persist and reload: production flows never keep the build process
+	// alive for queries.
+	if err := ix.Save(); err != nil {
+		log.Fatal(err)
+	}
+	ix, err = tardis.Load(cl, ix.Store.Dir())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Queries: half stored traces, half never-recorded ones.
+	type probe struct {
+		name  string
+		query tardis.Series
+		want  bool
+	}
+	var probes []probe
+	for i := 0; i < 5; i++ {
+		rec := tardis.GenerateRecord(gen, 7, int64(i*1000))
+		probes = append(probes, probe{
+			name:  fmt.Sprintf("stored trace %d", rec.RID),
+			query: tardis.ZNormalize(rec.Values),
+			want:  true,
+		})
+		absent := tardis.GenerateRecord(gen, 99, int64(i))
+		probes = append(probes, probe{
+			name:  fmt.Sprintf("unknown trace %d", i),
+			query: tardis.ZNormalize(absent.Values),
+			want:  false,
+		})
+	}
+
+	var loadsBF, loadsNoBF int
+	for _, p := range probes {
+		withBF, stBF, err := ix.ExactMatch(p.query, true)
+		if err != nil {
+			log.Fatal(err)
+		}
+		withoutBF, stNoBF, err := ix.ExactMatch(p.query, false)
+		if err != nil {
+			log.Fatal(err)
+		}
+		loadsBF += stBF.PartitionsLoaded
+		loadsNoBF += stNoBF.PartitionsLoaded
+		if (len(withBF) > 0) != p.want || (len(withoutBF) > 0) != p.want {
+			log.Fatalf("%s: got %v/%v, want found=%v", p.name, withBF, withoutBF, p.want)
+		}
+		verdict := "absent"
+		if len(withBF) > 0 {
+			verdict = fmt.Sprintf("found rid(s) %v", withBF)
+		}
+		note := ""
+		if stBF.BloomRejected {
+			note = " [bloom filter: skipped partition load]"
+		}
+		fmt.Printf("  %-18s -> %s%s\n", p.name, verdict, note)
+	}
+	fmt.Printf("partition loads: %d with Bloom filter vs %d without (the Fig. 14 effect)\n",
+		loadsBF, loadsNoBF)
+}

@@ -1,0 +1,111 @@
+// kNN accuracy: the paper's headline result (Figs. 15-16). Builds TARDIS and
+// the DPiSAX baseline over the same SIFT-like dataset and compares the
+// recall and error ratio of the baseline against TARDIS's three query
+// strategies — Target-Node, One-Partition, and Multi-Partitions access.
+//
+//	go run ./examples/knn_accuracy
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/tardisdb/tardis"
+)
+
+func main() {
+	log.SetFlags(0)
+	work, err := os.MkdirTemp("", "tardis-knn")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(work)
+
+	cl, err := tardis.NewCluster(tardis.ClusterConfig{Workers: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	gen, err := tardis.NewGenerator(tardis.Texmex, tardis.DefaultSeriesLen(tardis.Texmex))
+	if err != nil {
+		log.Fatal(err)
+	}
+	const n = 20_000
+	src, err := tardis.GenerateStore(gen, 3, n, filepath.Join(work, "data"), 2_000, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tcfg := tardis.DefaultConfig()
+	tcfg.GMaxSize = 1_000
+	tix, err := tardis.Build(cl, src, filepath.Join(work, "tardis"), tcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bcfg := tardis.DefaultBaselineConfig()
+	bcfg.GMaxSize = 1_000
+	bix, err := tardis.BuildBaseline(cl, src, filepath.Join(work, "baseline"), bcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("built TARDIS (%d partitions) and DPiSAX baseline (%d partitions) over %d SIFT-like vectors\n",
+		tix.NumPartitions(), bix.NumPartitions(), n)
+
+	const (
+		queries = 10
+		k       = 100
+	)
+	type result struct {
+		recall, errRatio float64
+		latency          time.Duration
+	}
+	agg := map[string]*result{}
+	names := []string{"Baseline (DPiSAX)", "Target-Node", "One-Partition", "Multi-Partitions"}
+	for _, s := range names {
+		agg[s] = &result{}
+	}
+	for qi := 0; qi < queries; qi++ {
+		// Fresh descriptors drawn from the same distribution, not stored.
+		q := tardis.ZNormalize(tardis.GenerateRecord(gen, 555, int64(qi)).Values)
+		truth, err := tardis.GroundTruthKNN(cl, tix.Store, q, k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		add := func(name string, res []tardis.Neighbor, d time.Duration) {
+			agg[name].recall += tardis.Recall(truth, res)
+			agg[name].errRatio += tardis.ErrorRatio(truth, res)
+			agg[name].latency += d
+		}
+		if res, st, err := bix.KNNApprox(q, k); err == nil {
+			add("Baseline (DPiSAX)", res, st.Duration)
+		} else {
+			log.Fatal(err)
+		}
+		if res, st, err := tix.KNNTargetNode(q, k); err == nil {
+			add("Target-Node", res, st.Duration)
+		} else {
+			log.Fatal(err)
+		}
+		if res, st, err := tix.KNNOnePartition(q, k); err == nil {
+			add("One-Partition", res, st.Duration)
+		} else {
+			log.Fatal(err)
+		}
+		if res, st, err := tix.KNNMultiPartition(q, k); err == nil {
+			add("Multi-Partitions", res, st.Duration)
+		} else {
+			log.Fatal(err)
+		}
+	}
+
+	fmt.Printf("\n%-20s %8s %12s %12s\n", "strategy", "recall", "error-ratio", "avg latency")
+	for _, name := range names {
+		r := agg[name]
+		fmt.Printf("%-20s %7.1f%% %12.3f %12s\n", name,
+			r.recall/queries*100, r.errRatio/queries, (r.latency / queries).Round(time.Microsecond))
+	}
+	fmt.Println("\nexpected shape (paper Fig. 15): recall Baseline < Target-Node < One-Partition < Multi-Partitions,")
+	fmt.Println("error ratio decreasing in the same order, Multi-Partitions latency comparable to the baseline.")
+}

@@ -1,0 +1,74 @@
+// Quickstart: generate a RandomWalk dataset, build a TARDIS index, and run a
+// kNN-approximate query — the minimal end-to-end use of the public API.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"github.com/tardisdb/tardis"
+)
+
+func main() {
+	log.SetFlags(0)
+	work, err := os.MkdirTemp("", "tardis-quickstart")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(work)
+
+	// 1. The execution substrate: a Spark-like cluster of 8 workers.
+	cl, err := tardis.NewCluster(tardis.ClusterConfig{Workers: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. A dataset: 20k random-walk series of length 128, z-normalized and
+	// written as HDFS-like blocks of 2k records.
+	gen, err := tardis.NewGenerator(tardis.RandomWalk, 128)
+	if err != nil {
+		log.Fatal(err)
+	}
+	src, err := tardis.GenerateStore(gen, 1, 20_000, filepath.Join(work, "data"), 2_000, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("generated 20k series")
+
+	// 3. Build the index: sampled global sigTree, clustered partitions,
+	// local sigTrees and Bloom filters.
+	cfg := tardis.DefaultConfig()
+	cfg.GMaxSize = 1_000 // partition capacity, scaled for the small dataset
+	ix, err := tardis.Build(cl, src, filepath.Join(work, "index"), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bs := ix.BuildStats()
+	fmt.Printf("built index: %d partitions in %s (global %s, local %s)\n",
+		bs.Partitions, bs.Total.Round(1e6), bs.GlobalTotal.Round(1e6), bs.LocalTotal.Round(1e6))
+
+	// 4. Query: 10 approximate nearest neighbors of a series similar to a
+	// stored one (the Multi-Partitions strategy is the most accurate).
+	query := tardis.ZNormalize(tardis.GenerateRecord(gen, 1, 4242).Values)
+	neighbors, qs, err := ix.KNNMultiPartition(query, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("kNN query touched %d partitions, %d candidates, in %s:\n",
+		qs.PartitionsLoaded, qs.Candidates, qs.Duration.Round(1e3))
+	for i, n := range neighbors {
+		fmt.Printf("  #%-2d rid=%-6d dist=%.4f\n", i+1, n.RID, n.Dist)
+	}
+
+	// 5. Check against exact ground truth.
+	truth, err := tardis.GroundTruthKNN(cl, ix.Store, query, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recall vs exact scan: %.0f%%, error ratio %.3f\n",
+		tardis.Recall(truth, neighbors)*100, tardis.ErrorRatio(truth, neighbors))
+}

@@ -1,0 +1,119 @@
+// Streaming ingest: the incremental-maintenance extension beyond the paper's
+// batch-only design. A monitoring system keeps indexing new sensor traces
+// (inserts land in an in-memory delta, immediately queryable), retires stale
+// ones (tombstones), and periodically compacts the delta into the clustered
+// partitions.
+//
+//	go run ./examples/streaming_ingest
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"github.com/tardisdb/tardis"
+)
+
+func main() {
+	log.SetFlags(0)
+	work, err := os.MkdirTemp("", "tardis-ingest")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(work)
+
+	cl, err := tardis.NewCluster(tardis.ClusterConfig{Workers: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	gen, err := tardis.NewGenerator(tardis.RandomWalk, 96)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Bootstrap: index the first day of data in batch.
+	const bootstrap = 10_000
+	src, err := tardis.GenerateStore(gen, 1, bootstrap, filepath.Join(work, "day0"), 1_000, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := tardis.DefaultConfig()
+	cfg.GMaxSize = 800
+	ix, err := tardis.Build(cl, src, filepath.Join(work, "index"), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bootstrap: %d traces in %d partitions\n", bootstrap, ix.NumPartitions())
+
+	// Streaming phase: three mini-batches of new traces arrive.
+	nextRID := int64(bootstrap)
+	for batch := 1; batch <= 3; batch++ {
+		var recs []tardis.Record
+		for i := 0; i < 500; i++ {
+			rec := tardis.GenerateRecord(gen, int64(100+batch), int64(i))
+			rec.RID = nextRID
+			nextRID++
+			rec.Values = tardis.ZNormalize(rec.Values)
+			recs = append(recs, rec)
+		}
+		if err := ix.InsertBatch(recs); err != nil {
+			log.Fatal(err)
+		}
+		// The newest trace is findable immediately, pre-compaction.
+		last := recs[len(recs)-1]
+		got, _, err := ix.ExactMatch(last.Values, true)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("batch %d: inserted 500, delta now %d; newest trace findable: %v\n",
+			batch, ix.DeltaCount(), contains(got, last.RID))
+	}
+
+	// Retire some of the oldest traces.
+	for rid := int64(0); rid < 200; rid++ {
+		if err := ix.Delete(rid); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("retired 200 old traces (tombstones: %d)\n", ix.TombstoneCount())
+	gone := tardis.ZNormalize(tardis.GenerateRecord(gen, 1, 7).Values)
+	if got, _, _ := ix.ExactMatch(gone, true); contains(got, 7) {
+		log.Fatal("retired trace still visible")
+	}
+	fmt.Println("retired traces invisible to queries before compaction")
+
+	// Compact: fold the delta into the partitions, reclaim deleted bytes.
+	before, _ := ix.Store.TotalRecords()
+	nParts, err := ix.Compact()
+	if err != nil {
+		log.Fatal(err)
+	}
+	after, _ := ix.Store.TotalRecords()
+	fmt.Printf("compaction rewrote %d partitions: %d -> %d on-disk records (delta %d, tombstones %d)\n",
+		nParts, before, after, ix.DeltaCount(), ix.TombstoneCount())
+
+	// Everything consistent afterwards: kNN over a fresh trace.
+	q := tardis.ZNormalize(tardis.GenerateRecord(gen, 101, 499).Values) // batch-1 record
+	res, _, err := ix.KNNMultiPartition(q, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(res) > 0 && res[0].Dist == 0 {
+		fmt.Printf("post-compaction query found the streamed trace (rid %d) at distance 0\n", res[0].RID)
+	}
+	if err := ix.Save(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("index saved with the merged state")
+}
+
+func contains(rids []int64, rid int64) bool {
+	for _, r := range rids {
+		if r == rid {
+			return true
+		}
+	}
+	return false
+}

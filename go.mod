@@ -1,0 +1,3 @@
+module github.com/tardisdb/tardis
+
+go 1.22

@@ -1,0 +1,175 @@
+// Package bloom implements the space-efficient probabilistic membership
+// filter (Bloom, CACM 1970) that TARDIS attaches to every partition's local
+// index (paper §IV-C). Exact-match queries probe the filter with the query's
+// iSAX-T signature before paying the high-latency partition load; a negative
+// answer proves absence, a positive one may be a false positive.
+//
+// The implementation uses the standard double-hashing scheme (Kirsch &
+// Mitzenmacher): k indexes derived from two 64-bit FNV-1a halves, which
+// preserves the asymptotic false-positive behaviour of k independent hashes.
+package bloom
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+)
+
+// Filter is a Bloom filter over byte strings. The zero value is unusable;
+// construct with New or NewWithEstimate.
+type Filter struct {
+	bits []uint64
+	m    uint64 // number of bits
+	k    uint64 // number of hash functions
+	n    uint64 // number of inserted elements
+}
+
+// New creates a filter with m bits and k hash functions. m is rounded up to
+// a multiple of 64.
+func New(m, k uint64) (*Filter, error) {
+	if m == 0 || k == 0 {
+		return nil, fmt.Errorf("bloom: m and k must be positive, got m=%d k=%d", m, k)
+	}
+	words := (m + 63) / 64
+	return &Filter{bits: make([]uint64, words), m: words * 64, k: k}, nil
+}
+
+// NewWithEstimate creates a filter sized for n expected elements at the
+// target false-positive rate fp, using the optimal parameters
+// m = -n·ln(fp)/ln(2)² and k = m/n·ln(2).
+func NewWithEstimate(n uint64, fp float64) (*Filter, error) {
+	if n == 0 {
+		return nil, errors.New("bloom: expected element count must be positive")
+	}
+	if fp <= 0 || fp >= 1 {
+		return nil, fmt.Errorf("bloom: false-positive rate must be in (0,1), got %v", fp)
+	}
+	m := uint64(math.Ceil(-float64(n) * math.Log(fp) / (math.Ln2 * math.Ln2)))
+	k := uint64(math.Round(float64(m) / float64(n) * math.Ln2))
+	if k == 0 {
+		k = 1
+	}
+	return New(m, k)
+}
+
+// hash2 returns the two independent 64-bit hash halves of data.
+func hash2(data []byte) (uint64, uint64) {
+	h1 := fnv.New64a()
+	h1.Write(data)
+	a := h1.Sum64()
+	// Second hash: FNV-1a over data with a one-byte domain separator, which
+	// decorrelates it from the first.
+	h2 := fnv.New64a()
+	h2.Write([]byte{0x5c})
+	h2.Write(data)
+	b := h2.Sum64()
+	if b == 0 {
+		b = 0x9e3779b97f4a7c15 // avoid a degenerate stride of zero
+	}
+	return a, b
+}
+
+// Add inserts data into the filter.
+func (f *Filter) Add(data []byte) {
+	a, b := hash2(data)
+	for i := uint64(0); i < f.k; i++ {
+		idx := (a + i*b) % f.m
+		f.bits[idx/64] |= 1 << (idx % 64)
+	}
+	f.n++
+}
+
+// AddString inserts a string into the filter.
+func (f *Filter) AddString(s string) { f.Add([]byte(s)) }
+
+// Contains reports whether data may be in the set. False means definitely
+// absent; true means present with probability 1-fp.
+func (f *Filter) Contains(data []byte) bool {
+	a, b := hash2(data)
+	for i := uint64(0); i < f.k; i++ {
+		idx := (a + i*b) % f.m
+		if f.bits[idx/64]&(1<<(idx%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ContainsString reports whether a string may be in the set.
+func (f *Filter) ContainsString(s string) bool { return f.Contains([]byte(s)) }
+
+// Count returns the number of Add calls so far.
+func (f *Filter) Count() uint64 { return f.n }
+
+// BitCount returns the filter size in bits.
+func (f *Filter) BitCount() uint64 { return f.m }
+
+// HashCount returns the number of hash functions k.
+func (f *Filter) HashCount() uint64 { return f.k }
+
+// SizeBytes returns the in-memory size of the bit array in bytes.
+func (f *Filter) SizeBytes() int { return len(f.bits) * 8 }
+
+// EstimatedFPRate returns the expected false-positive probability given the
+// current fill: (1 - e^{-kn/m})^k.
+func (f *Filter) EstimatedFPRate() float64 {
+	if f.n == 0 {
+		return 0
+	}
+	return math.Pow(1-math.Exp(-float64(f.k)*float64(f.n)/float64(f.m)), float64(f.k))
+}
+
+// Union merges other into f. Both filters must have identical m and k.
+func (f *Filter) Union(other *Filter) error {
+	if f.m != other.m || f.k != other.k {
+		return fmt.Errorf("bloom: union of incompatible filters (m=%d/%d k=%d/%d)", f.m, other.m, f.k, other.k)
+	}
+	for i := range f.bits {
+		f.bits[i] |= other.bits[i]
+	}
+	f.n += other.n
+	return nil
+}
+
+const marshalMagic = 0x54424c4d // "TBLM"
+
+// MarshalBinary serializes the filter: magic, m, k, n, then the bit words.
+func (f *Filter) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, 4+8*3+len(f.bits)*8)
+	binary.LittleEndian.PutUint32(buf[0:], marshalMagic)
+	binary.LittleEndian.PutUint64(buf[4:], f.m)
+	binary.LittleEndian.PutUint64(buf[12:], f.k)
+	binary.LittleEndian.PutUint64(buf[20:], f.n)
+	for i, w := range f.bits {
+		binary.LittleEndian.PutUint64(buf[28+i*8:], w)
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary restores a filter serialized by MarshalBinary.
+func (f *Filter) UnmarshalBinary(data []byte) error {
+	if len(data) < 28 {
+		return errors.New("bloom: truncated filter data")
+	}
+	if binary.LittleEndian.Uint32(data[0:]) != marshalMagic {
+		return errors.New("bloom: bad magic")
+	}
+	m := binary.LittleEndian.Uint64(data[4:])
+	k := binary.LittleEndian.Uint64(data[12:])
+	n := binary.LittleEndian.Uint64(data[20:])
+	words := int(m / 64)
+	if m == 0 || m%64 != 0 || k == 0 {
+		return fmt.Errorf("bloom: corrupt header m=%d k=%d", m, k)
+	}
+	if len(data) != 28+words*8 {
+		return fmt.Errorf("bloom: data length %d does not match m=%d", len(data), m)
+	}
+	bits := make([]uint64, words)
+	for i := range bits {
+		bits[i] = binary.LittleEndian.Uint64(data[28+i*8:])
+	}
+	f.bits, f.m, f.k, f.n = bits, m, k, n
+	return nil
+}

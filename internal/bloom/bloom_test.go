@@ -1,0 +1,205 @@
+package bloom
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 3); err == nil {
+		t.Error("m=0 should fail")
+	}
+	if _, err := New(64, 0); err == nil {
+		t.Error("k=0 should fail")
+	}
+	f, err := New(100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.BitCount() != 128 {
+		t.Errorf("m should round up to 128, got %d", f.BitCount())
+	}
+}
+
+func TestNewWithEstimateValidation(t *testing.T) {
+	if _, err := NewWithEstimate(0, 0.01); err == nil {
+		t.Error("n=0 should fail")
+	}
+	if _, err := NewWithEstimate(100, 0); err == nil {
+		t.Error("fp=0 should fail")
+	}
+	if _, err := NewWithEstimate(100, 1); err == nil {
+		t.Error("fp=1 should fail")
+	}
+}
+
+// No false negatives, ever: everything added must be found.
+func TestNoFalseNegatives(t *testing.T) {
+	f, err := NewWithEstimate(1000, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		f.AddString(fmt.Sprintf("sig-%d", i))
+	}
+	for i := 0; i < 1000; i++ {
+		if !f.ContainsString(fmt.Sprintf("sig-%d", i)) {
+			t.Fatalf("false negative for sig-%d", i)
+		}
+	}
+	if f.Count() != 1000 {
+		t.Errorf("Count = %d, want 1000", f.Count())
+	}
+}
+
+// Observed false-positive rate should be near the configured target.
+func TestFalsePositiveRate(t *testing.T) {
+	const n = 10000
+	target := 0.01
+	f, err := NewWithEstimate(n, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		f.AddString(fmt.Sprintf("member-%d", i))
+	}
+	falsePos := 0
+	const probes = 20000
+	for i := 0; i < probes; i++ {
+		if f.ContainsString(fmt.Sprintf("absent-%d", i)) {
+			falsePos++
+		}
+	}
+	rate := float64(falsePos) / probes
+	if rate > target*3 {
+		t.Errorf("observed fp rate %.4f is more than 3x the target %.4f", rate, target)
+	}
+	est := f.EstimatedFPRate()
+	if est <= 0 || est > target*2 {
+		t.Errorf("estimated fp rate %.4f out of expected band (target %.4f)", est, target)
+	}
+}
+
+func TestEstimatedFPRateEmpty(t *testing.T) {
+	f, _ := New(1024, 3)
+	if f.EstimatedFPRate() != 0 {
+		t.Error("empty filter should estimate zero fp rate")
+	}
+}
+
+func TestUnion(t *testing.T) {
+	a, _ := New(1024, 3)
+	b, _ := New(1024, 3)
+	a.AddString("x")
+	b.AddString("y")
+	if err := a.Union(b); err != nil {
+		t.Fatal(err)
+	}
+	if !a.ContainsString("x") || !a.ContainsString("y") {
+		t.Error("union should contain members of both")
+	}
+	if a.Count() != 2 {
+		t.Errorf("union count = %d, want 2", a.Count())
+	}
+	c, _ := New(2048, 3)
+	if err := a.Union(c); err == nil {
+		t.Error("union of incompatible sizes should fail")
+	}
+	d, _ := New(1024, 4)
+	if err := a.Union(d); err == nil {
+		t.Error("union of incompatible k should fail")
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	f, _ := NewWithEstimate(500, 0.02)
+	for i := 0; i < 500; i++ {
+		f.AddString(fmt.Sprintf("k%d", i))
+	}
+	data, err := f.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var g Filter
+	if err := g.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if g.BitCount() != f.BitCount() || g.HashCount() != f.HashCount() || g.Count() != f.Count() {
+		t.Error("round trip changed parameters")
+	}
+	for i := 0; i < 500; i++ {
+		if !g.ContainsString(fmt.Sprintf("k%d", i)) {
+			t.Fatalf("round trip lost member k%d", i)
+		}
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	var f Filter
+	if err := f.UnmarshalBinary(nil); err == nil {
+		t.Error("nil data should fail")
+	}
+	if err := f.UnmarshalBinary(make([]byte, 28)); err == nil {
+		t.Error("bad magic should fail")
+	}
+	g, _ := New(64, 2)
+	data, _ := g.MarshalBinary()
+	if err := f.UnmarshalBinary(data[:len(data)-1]); err == nil {
+		t.Error("truncated data should fail")
+	}
+	data[4] = 1 // corrupt m to a non-multiple of 64
+	if err := f.UnmarshalBinary(data); err == nil {
+		t.Error("corrupt m should fail")
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	f, _ := New(1024, 3)
+	if f.SizeBytes() != 128 {
+		t.Errorf("SizeBytes = %d, want 128", f.SizeBytes())
+	}
+}
+
+// Property: membership after insertion holds for arbitrary byte strings.
+func TestMembershipProperty(t *testing.T) {
+	f, _ := NewWithEstimate(10000, 0.01)
+	check := func(data []byte) bool {
+		f.Add(data)
+		return f.Contains(data)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: serialization round trip preserves membership for random sets.
+func TestMarshalRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		fl, _ := NewWithEstimate(100, 0.05)
+		keys := make([]string, 50)
+		for i := range keys {
+			keys[i] = fmt.Sprintf("%x", rng.Uint64())
+			fl.AddString(keys[i])
+		}
+		data, err := fl.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		var g Filter
+		if err := g.UnmarshalBinary(data); err != nil {
+			return false
+		}
+		for _, k := range keys {
+			if !g.ContainsString(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

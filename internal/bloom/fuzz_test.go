@@ -1,0 +1,36 @@
+package bloom
+
+import "testing"
+
+// FuzzUnmarshal ensures arbitrary bytes never panic the filter deserializer
+// and that accepted filters marshal back to identical bytes.
+func FuzzUnmarshal(f *testing.F) {
+	valid, _ := New(128, 3)
+	valid.AddString("seed")
+	data, _ := valid.MarshalBinary()
+	f.Add(data)
+	f.Add(data[:10])
+	f.Add([]byte{})
+	mutated := append([]byte(nil), data...)
+	mutated[5] ^= 0xFF
+	f.Add(mutated)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var fl Filter
+		if err := fl.UnmarshalBinary(data); err != nil {
+			return
+		}
+		out, err := fl.MarshalBinary()
+		if err != nil {
+			t.Fatalf("accepted filter failed to marshal: %v", err)
+		}
+		if len(out) != len(data) {
+			t.Fatalf("round trip changed length %d -> %d", len(data), len(out))
+		}
+		for i := range out {
+			if out[i] != data[i] {
+				t.Fatalf("round trip changed byte %d", i)
+			}
+		}
+	})
+}

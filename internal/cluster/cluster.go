@@ -1,0 +1,423 @@
+// Package cluster is the distributed-execution substrate TARDIS runs on — a
+// Spark-like engine in pure Go. The paper's prototype deliberately uses only
+// public Spark primitives ("not to touch the internals of the core spark
+// engine", §VI-A): map, reduce-by-key, mapPartitions, repartition-by-
+// partitioner, and broadcast. This package provides exactly those
+// primitives over in-memory partitioned datasets, executed by a pool of
+// simulated workers, with per-stage instrumentation (task counts, records
+// processed, shuffle volume, wall time) so the benchmarks can report the
+// relative costs the paper argues about.
+//
+// Determinism: stage results never depend on worker scheduling — partition
+// boundaries and shuffle routing are pure functions of the data — so every
+// run of a seeded workload yields identical indexes and query answers.
+package cluster
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Config configures a Cluster.
+type Config struct {
+	// Workers is the simulated worker count; it is the default number of
+	// partitions for Parallelize and the upper bound on task concurrency.
+	Workers int
+	// Parallelism caps the goroutines executing tasks; 0 means
+	// min(Workers, GOMAXPROCS).
+	Parallelism int
+}
+
+// Cluster is a simulated cluster: a driver plus Workers task slots.
+type Cluster struct {
+	workers     int
+	parallelism int
+
+	mu     sync.Mutex
+	stages []StageMetrics
+}
+
+// StageMetrics records the execution profile of one stage.
+type StageMetrics struct {
+	Name            string
+	Tasks           int
+	RecordsIn       int64
+	RecordsOut      int64
+	ShuffledRecords int64
+	Duration        time.Duration
+}
+
+// New creates a Cluster.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Workers < 1 {
+		return nil, fmt.Errorf("cluster: worker count must be positive, got %d", cfg.Workers)
+	}
+	p := cfg.Parallelism
+	if p <= 0 {
+		p = cfg.Workers
+		if mp := runtime.GOMAXPROCS(0); p > mp {
+			p = mp
+		}
+	}
+	return &Cluster{workers: cfg.Workers, parallelism: p}, nil
+}
+
+// Workers returns the simulated worker count.
+func (c *Cluster) Workers() int { return c.workers }
+
+// Stages returns a copy of the per-stage metrics recorded so far.
+func (c *Cluster) Stages() []StageMetrics {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]StageMetrics, len(c.stages))
+	copy(out, c.stages)
+	return out
+}
+
+// ResetMetrics clears recorded stage metrics.
+func (c *Cluster) ResetMetrics() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stages = nil
+}
+
+func (c *Cluster) record(m StageMetrics) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stages = append(c.stages, m)
+}
+
+// runTasks executes fn(i) for i in [0, n) on the worker pool, collecting the
+// first error.
+func (c *Cluster) runTasks(n int, fn func(i int) error) error {
+	if n == 0 {
+		return nil
+	}
+	p := c.parallelism
+	if p > n {
+		p = n
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	next := make(chan int, n)
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Add(p)
+	for g := 0; g < p; g++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// Dataset is a partitioned in-memory collection — the RDD stand-in.
+type Dataset[T any] struct {
+	c     *Cluster
+	parts [][]T
+}
+
+// Parallelize distributes data across numPartitions (0 = cluster workers).
+func Parallelize[T any](c *Cluster, data []T, numPartitions int) *Dataset[T] {
+	if numPartitions <= 0 {
+		numPartitions = c.workers
+	}
+	if numPartitions > len(data) && len(data) > 0 {
+		numPartitions = len(data)
+	}
+	parts := make([][]T, numPartitions)
+	if len(data) == 0 {
+		return &Dataset[T]{c: c, parts: parts}
+	}
+	per := (len(data) + numPartitions - 1) / numPartitions
+	for i := range parts {
+		lo := i * per
+		hi := lo + per
+		if lo > len(data) {
+			lo = len(data)
+		}
+		if hi > len(data) {
+			hi = len(data)
+		}
+		parts[i] = data[lo:hi]
+	}
+	return &Dataset[T]{c: c, parts: parts}
+}
+
+// FromPartitions wraps pre-partitioned data.
+func FromPartitions[T any](c *Cluster, parts [][]T) *Dataset[T] {
+	return &Dataset[T]{c: c, parts: parts}
+}
+
+// NumPartitions returns the partition count.
+func (d *Dataset[T]) NumPartitions() int { return len(d.parts) }
+
+// Partition returns partition i (shared slice; do not mutate).
+func (d *Dataset[T]) Partition(i int) []T { return d.parts[i] }
+
+// Count returns the total element count.
+func (d *Dataset[T]) Count() int64 {
+	var n int64
+	for _, p := range d.parts {
+		n += int64(len(p))
+	}
+	return n
+}
+
+// Collect gathers all elements in partition order.
+func (d *Dataset[T]) Collect() []T {
+	var out []T
+	for _, p := range d.parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// Map applies f to every element (one task per partition).
+func Map[T, U any](name string, d *Dataset[T], f func(T) U) *Dataset[U] {
+	out, _ := MapErr(name, d, func(t T) (U, error) { return f(t), nil })
+	return out
+}
+
+// MapErr is Map with error propagation.
+func MapErr[T, U any](name string, d *Dataset[T], f func(T) (U, error)) (*Dataset[U], error) {
+	start := time.Now()
+	parts := make([][]U, len(d.parts))
+	var in, outN int64
+	var cmu sync.Mutex
+	err := d.c.runTasks(len(d.parts), func(i int) error {
+		res := make([]U, len(d.parts[i]))
+		for j, t := range d.parts[i] {
+			u, err := f(t)
+			if err != nil {
+				return fmt.Errorf("cluster: stage %s partition %d: %w", name, i, err)
+			}
+			res[j] = u
+		}
+		parts[i] = res
+		cmu.Lock()
+		in += int64(len(d.parts[i]))
+		outN += int64(len(res))
+		cmu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	d.c.record(StageMetrics{Name: name, Tasks: len(d.parts), RecordsIn: in, RecordsOut: outN, Duration: time.Since(start)})
+	return &Dataset[U]{c: d.c, parts: parts}, nil
+}
+
+// MapPartitions applies f to whole partitions — Spark's mapPartitions, the
+// operation TARDIS uses to build each local index in one pass (§IV-C).
+func MapPartitions[T, U any](name string, d *Dataset[T], f func(pid int, items []T) ([]U, error)) (*Dataset[U], error) {
+	start := time.Now()
+	parts := make([][]U, len(d.parts))
+	var in, outN int64
+	var cmu sync.Mutex
+	err := d.c.runTasks(len(d.parts), func(i int) error {
+		res, err := f(i, d.parts[i])
+		if err != nil {
+			return fmt.Errorf("cluster: stage %s partition %d: %w", name, i, err)
+		}
+		parts[i] = res
+		cmu.Lock()
+		in += int64(len(d.parts[i]))
+		outN += int64(len(res))
+		cmu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	d.c.record(StageMetrics{Name: name, Tasks: len(d.parts), RecordsIn: in, RecordsOut: outN, Duration: time.Since(start)})
+	return &Dataset[U]{c: d.c, parts: parts}, nil
+}
+
+// Pair is a key-value pair for the byKey operations.
+type Pair[K comparable, V any] struct {
+	Key   K
+	Value V
+}
+
+// ReduceByKey merges values per key with a map-side combine followed by a
+// hash shuffle — the map/reduce job shape used by the paper's statistics
+// collection. The result has one pair per key, partitioned by key hash, with
+// deterministic ordering within partitions.
+func ReduceByKey[K comparable, V any](name string, d *Dataset[Pair[K, V]], numPartitions int, hash func(K) uint64, reduce func(V, V) V) (*Dataset[Pair[K, V]], error) {
+	if numPartitions <= 0 {
+		numPartitions = d.c.workers
+	}
+	start := time.Now()
+	// Map-side combine per input partition.
+	combined := make([]map[K]V, len(d.parts))
+	err := d.c.runTasks(len(d.parts), func(i int) error {
+		m := make(map[K]V)
+		for _, p := range d.parts[i] {
+			if v, ok := m[p.Key]; ok {
+				m[p.Key] = reduce(v, p.Value)
+			} else {
+				m[p.Key] = p.Value
+			}
+		}
+		combined[i] = m
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Shuffle: route each combined pair to its reducer partition.
+	shuffled := make([]map[K]V, numPartitions)
+	for i := range shuffled {
+		shuffled[i] = make(map[K]V)
+	}
+	var shuffledRecords int64
+	var smu sync.Mutex
+	err = d.c.runTasks(numPartitions, func(r int) error {
+		m := shuffled[r]
+		var cnt int64
+		for _, cm := range combined {
+			for k, v := range cm {
+				if int(hash(k)%uint64(numPartitions)) != r {
+					continue
+				}
+				cnt++
+				if old, ok := m[k]; ok {
+					m[k] = reduce(old, v)
+				} else {
+					m[k] = v
+				}
+			}
+		}
+		smu.Lock()
+		shuffledRecords += cnt
+		smu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Materialize with deterministic order.
+	parts := make([][]Pair[K, V], numPartitions)
+	var outN int64
+	err = d.c.runTasks(numPartitions, func(r int) error {
+		m := shuffled[r]
+		res := make([]Pair[K, V], 0, len(m))
+		for k, v := range m {
+			res = append(res, Pair[K, V]{Key: k, Value: v})
+		}
+		sort.Slice(res, func(a, b int) bool { return less(res[a].Key, res[b].Key) })
+		parts[r] = res
+		smu.Lock()
+		outN += int64(len(res))
+		smu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	d.c.record(StageMetrics{Name: name, Tasks: len(d.parts) + numPartitions,
+		RecordsIn: d.Count(), RecordsOut: outN, ShuffledRecords: shuffledRecords,
+		Duration: time.Since(start)})
+	return &Dataset[Pair[K, V]]{c: d.c, parts: parts}, nil
+}
+
+// less provides a deterministic order for the comparable key types we use
+// (strings and integers); other types fall back to their formatted form.
+func less[K comparable](a, b K) bool {
+	switch av := any(a).(type) {
+	case string:
+		return av < any(b).(string)
+	case int:
+		return av < any(b).(int)
+	case int64:
+		return av < any(b).(int64)
+	case uint64:
+		return av < any(b).(uint64)
+	default:
+		return fmt.Sprint(a) < fmt.Sprint(b)
+	}
+}
+
+// RepartitionBy routes every element to the partition chosen by part — the
+// data-shuffle step of Tardis-L construction, where the broadcast global
+// index acts as the partitioner. Output partition order is input order
+// within each target (stable), so results are deterministic.
+func RepartitionBy[T any](name string, d *Dataset[T], numPartitions int, part func(T) (int, error)) (*Dataset[T], error) {
+	if numPartitions <= 0 {
+		return nil, fmt.Errorf("cluster: stage %s: target partition count must be positive", name)
+	}
+	start := time.Now()
+	// Each source partition routes its elements, then targets concatenate
+	// source buckets in source order for determinism.
+	buckets := make([][][]T, len(d.parts)) // [source][target][]T
+	err := d.c.runTasks(len(d.parts), func(i int) error {
+		b := make([][]T, numPartitions)
+		for _, t := range d.parts[i] {
+			p, err := part(t)
+			if err != nil {
+				return fmt.Errorf("cluster: stage %s partition %d: %w", name, i, err)
+			}
+			if p < 0 || p >= numPartitions {
+				return fmt.Errorf("cluster: stage %s: partitioner returned %d outside [0,%d)", name, p, numPartitions)
+			}
+			b[p] = append(b[p], t)
+		}
+		buckets[i] = b
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	parts := make([][]T, numPartitions)
+	var shuffledRecords int64
+	var smu sync.Mutex
+	err = d.c.runTasks(numPartitions, func(p int) error {
+		var res []T
+		for src := range buckets {
+			res = append(res, buckets[src][p]...)
+		}
+		parts[p] = res
+		smu.Lock()
+		shuffledRecords += int64(len(res))
+		smu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	d.c.record(StageMetrics{Name: name, Tasks: len(d.parts) + numPartitions,
+		RecordsIn: d.Count(), RecordsOut: shuffledRecords, ShuffledRecords: shuffledRecords,
+		Duration: time.Since(start)})
+	return &Dataset[T]{c: d.c, parts: parts}, nil
+}
+
+// Broadcast models the driver shipping a read-only value to every worker
+// (Tardis-G is broadcast as the shuffle partitioner, §IV-C). The value is
+// shared by pointer; sizeBytes is recorded for reporting.
+type Broadcast[T any] struct {
+	Value T
+	Size  int64
+}
+
+// NewBroadcast wraps a value for worker-side use.
+func NewBroadcast[T any](c *Cluster, name string, v T, sizeBytes int64) *Broadcast[T] {
+	c.record(StageMetrics{Name: name, Tasks: c.workers, RecordsOut: int64(c.workers), ShuffledRecords: sizeBytes})
+	return &Broadcast[T]{Value: v, Size: sizeBytes}
+}

@@ -1,0 +1,310 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func newCluster(t *testing.T, workers int) *Cluster {
+	t.Helper()
+	c, err := New(Config{Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func strHash(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Workers: 0}); err == nil {
+		t.Error("workers=0 should fail")
+	}
+	c, err := New(Config{Workers: 4, Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Workers() != 4 {
+		t.Errorf("Workers = %d", c.Workers())
+	}
+}
+
+func TestParallelize(t *testing.T) {
+	c := newCluster(t, 4)
+	data := make([]int, 10)
+	for i := range data {
+		data[i] = i
+	}
+	d := Parallelize(c, data, 0)
+	if d.NumPartitions() != 4 {
+		t.Errorf("partitions = %d, want 4", d.NumPartitions())
+	}
+	if d.Count() != 10 {
+		t.Errorf("count = %d", d.Count())
+	}
+	got := d.Collect()
+	for i, v := range got {
+		if v != i {
+			t.Errorf("collect[%d] = %d", i, v)
+		}
+	}
+	// More partitions than elements collapses.
+	d2 := Parallelize(c, []int{1, 2}, 10)
+	if d2.NumPartitions() != 2 {
+		t.Errorf("partitions = %d, want 2", d2.NumPartitions())
+	}
+	// Empty data.
+	d3 := Parallelize[int](c, nil, 0)
+	if d3.Count() != 0 || d3.NumPartitions() != 4 {
+		t.Errorf("empty: count=%d parts=%d", d3.Count(), d3.NumPartitions())
+	}
+}
+
+func TestMap(t *testing.T) {
+	c := newCluster(t, 3)
+	d := Parallelize(c, []int{1, 2, 3, 4, 5}, 0)
+	m := Map("double", d, func(v int) int { return v * 2 })
+	got := m.Collect()
+	want := []int{2, 4, 6, 8, 10}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("got[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	stages := c.Stages()
+	if len(stages) != 1 || stages[0].Name != "double" || stages[0].RecordsIn != 5 {
+		t.Errorf("stage metrics wrong: %+v", stages)
+	}
+}
+
+func TestMapErr(t *testing.T) {
+	c := newCluster(t, 2)
+	d := Parallelize(c, []int{1, 2, 3}, 0)
+	boom := errors.New("boom")
+	_, err := MapErr("failing", d, func(v int) (int, error) {
+		if v == 2 {
+			return 0, boom
+		}
+		return v, nil
+	})
+	if err == nil || !errors.Is(err, boom) {
+		t.Errorf("error not propagated: %v", err)
+	}
+}
+
+func TestMapPartitions(t *testing.T) {
+	c := newCluster(t, 3)
+	d := Parallelize(c, []int{1, 2, 3, 4, 5, 6}, 3)
+	sums, err := MapPartitions("sum", d, func(pid int, items []int) ([]int, error) {
+		s := 0
+		for _, v := range items {
+			s += v
+		}
+		return []int{s}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, s := range sums.Collect() {
+		total += s
+	}
+	if total != 21 {
+		t.Errorf("partition sums total %d, want 21", total)
+	}
+	if sums.NumPartitions() != 3 {
+		t.Errorf("partitions = %d", sums.NumPartitions())
+	}
+	_, err = MapPartitions("fail", d, func(pid int, items []int) ([]int, error) {
+		return nil, errors.New("nope")
+	})
+	if err == nil {
+		t.Error("error not propagated")
+	}
+}
+
+func TestReduceByKey(t *testing.T) {
+	c := newCluster(t, 4)
+	var pairs []Pair[string, int64]
+	for i := 0; i < 100; i++ {
+		pairs = append(pairs, Pair[string, int64]{Key: fmt.Sprintf("k%d", i%7), Value: 1})
+	}
+	d := Parallelize(c, pairs, 0)
+	red, err := ReduceByKey("count", d, 3, strHash, func(a, b int64) int64 { return a + b })
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]int64{}
+	for _, p := range red.Collect() {
+		got[p.Key] = p.Value
+	}
+	if len(got) != 7 {
+		t.Fatalf("keys = %d, want 7", len(got))
+	}
+	var total int64
+	for _, v := range got {
+		total += v
+	}
+	if total != 100 {
+		t.Errorf("total = %d, want 100", total)
+	}
+	// k0 and k1 appear 15 times (i=0,7,...,98 → 15 for k0..k1; 14 for rest).
+	if got["k0"] != 15 || got["k6"] != 14 {
+		t.Errorf("k0=%d k6=%d", got["k0"], got["k6"])
+	}
+	// Shuffle volume recorded.
+	stages := c.Stages()
+	last := stages[len(stages)-1]
+	if last.ShuffledRecords == 0 {
+		t.Error("shuffle not recorded")
+	}
+}
+
+func TestReduceByKeyDeterministicOrder(t *testing.T) {
+	c := newCluster(t, 4)
+	run := func() []Pair[string, int64] {
+		var pairs []Pair[string, int64]
+		for i := 0; i < 50; i++ {
+			pairs = append(pairs, Pair[string, int64]{Key: fmt.Sprintf("key-%02d", i%13), Value: int64(i)})
+		}
+		d := Parallelize(c, pairs, 0)
+		r, err := ReduceByKey("det", d, 5, strHash, func(a, b int64) int64 { return a + b })
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Collect()
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic length")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic order at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRepartitionBy(t *testing.T) {
+	c := newCluster(t, 4)
+	data := make([]int, 20)
+	for i := range data {
+		data[i] = i
+	}
+	d := Parallelize(c, data, 4)
+	r, err := RepartitionBy("route", d, 2, func(v int) (int, error) { return v % 2, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumPartitions() != 2 {
+		t.Fatalf("partitions = %d", r.NumPartitions())
+	}
+	for _, v := range r.Partition(0) {
+		if v%2 != 0 {
+			t.Errorf("odd value %d in even partition", v)
+		}
+	}
+	if r.Count() != 20 {
+		t.Errorf("count = %d", r.Count())
+	}
+	// Stability: within a target partition, source order preserved.
+	evens := r.Partition(0)
+	if !sort.IntsAreSorted(evens) {
+		t.Errorf("repartition not stable: %v", evens)
+	}
+	// Errors.
+	if _, err := RepartitionBy("bad", d, 0, nil); err == nil {
+		t.Error("zero target partitions should fail")
+	}
+	if _, err := RepartitionBy("oob", d, 2, func(v int) (int, error) { return 5, nil }); err == nil {
+		t.Error("out-of-range route should fail")
+	}
+	boom := errors.New("boom")
+	if _, err := RepartitionBy("err", d, 2, func(v int) (int, error) { return 0, boom }); !errors.Is(err, boom) {
+		t.Error("partitioner error not propagated")
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	c := newCluster(t, 3)
+	b := NewBroadcast(c, "bcast", map[string]int{"a": 1}, 1024)
+	if b.Value["a"] != 1 || b.Size != 1024 {
+		t.Error("broadcast value wrong")
+	}
+	stages := c.Stages()
+	if len(stages) != 1 || stages[0].ShuffledRecords != 1024 {
+		t.Errorf("broadcast metrics wrong: %+v", stages)
+	}
+}
+
+func TestResetMetrics(t *testing.T) {
+	c := newCluster(t, 2)
+	Map("m", Parallelize(c, []int{1}, 0), func(v int) int { return v })
+	if len(c.Stages()) == 0 {
+		t.Fatal("no stages recorded")
+	}
+	c.ResetMetrics()
+	if len(c.Stages()) != 0 {
+		t.Error("reset did not clear stages")
+	}
+}
+
+// Property: Map then Collect preserves order and length for any input.
+func TestMapOrderProperty(t *testing.T) {
+	c := newCluster(t, 5)
+	f := func(data []int32) bool {
+		in := make([]int, len(data))
+		for i, v := range data {
+			in[i] = int(v)
+		}
+		d := Parallelize(c, in, 0)
+		m := Map("id", d, func(v int) int { return v })
+		got := m.Collect()
+		if len(got) != len(in) {
+			return false
+		}
+		for i := range in {
+			if got[i] != in[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ReduceByKey conserves the total for addition.
+func TestReduceConservesProperty(t *testing.T) {
+	c := newCluster(t, 4)
+	f := func(keys []uint8) bool {
+		var pairs []Pair[string, int64]
+		var want int64
+		for _, k := range keys {
+			pairs = append(pairs, Pair[string, int64]{Key: fmt.Sprintf("k%d", k%16), Value: int64(k)})
+			want += int64(k)
+		}
+		d := Parallelize(c, pairs, 0)
+		r, err := ReduceByKey("sum", d, 3, strHash, func(a, b int64) int64 { return a + b })
+		if err != nil {
+			return false
+		}
+		var got int64
+		for _, p := range r.Collect() {
+			got += p.Value
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

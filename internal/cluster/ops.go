@@ -1,0 +1,154 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+)
+
+// Additional RDD-style operators rounding out the substrate's Spark surface.
+// TARDIS's build pipeline only needs map / reduceByKey / mapPartitions /
+// repartitionBy / broadcast, but downstream analytics on the same substrate
+// (and the evaluation harness) also use filtering, flattening, unions, and
+// sampling.
+
+// Filter keeps the elements for which pred returns true, preserving order.
+func Filter[T any](name string, d *Dataset[T], pred func(T) bool) *Dataset[T] {
+	start := time.Now()
+	parts := make([][]T, len(d.parts))
+	var in, out int64
+	_ = d.c.runTasks(len(d.parts), func(i int) error {
+		var res []T
+		for _, t := range d.parts[i] {
+			if pred(t) {
+				res = append(res, t)
+			}
+		}
+		parts[i] = res
+		return nil
+	})
+	for i := range parts {
+		in += int64(len(d.parts[i]))
+		out += int64(len(parts[i]))
+	}
+	d.c.record(StageMetrics{Name: name, Tasks: len(d.parts), RecordsIn: in, RecordsOut: out, Duration: time.Since(start)})
+	return &Dataset[T]{c: d.c, parts: parts}
+}
+
+// FlatMap applies f to every element and concatenates the results, one task
+// per partition.
+func FlatMap[T, U any](name string, d *Dataset[T], f func(T) []U) *Dataset[U] {
+	out, _ := FlatMapErr(name, d, func(t T) ([]U, error) { return f(t), nil })
+	return out
+}
+
+// FlatMapErr is FlatMap with error propagation.
+func FlatMapErr[T, U any](name string, d *Dataset[T], f func(T) ([]U, error)) (*Dataset[U], error) {
+	start := time.Now()
+	parts := make([][]U, len(d.parts))
+	err := d.c.runTasks(len(d.parts), func(i int) error {
+		var res []U
+		for _, t := range d.parts[i] {
+			us, err := f(t)
+			if err != nil {
+				return fmt.Errorf("cluster: stage %s partition %d: %w", name, i, err)
+			}
+			res = append(res, us...)
+		}
+		parts[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var in, out int64
+	for i := range parts {
+		in += int64(len(d.parts[i]))
+		out += int64(len(parts[i]))
+	}
+	d.c.record(StageMetrics{Name: name, Tasks: len(d.parts), RecordsIn: in, RecordsOut: out, Duration: time.Since(start)})
+	return &Dataset[U]{c: d.c, parts: parts}, nil
+}
+
+// Union concatenates datasets partition-wise (a's partitions followed by
+// b's). Both must belong to the same cluster.
+func Union[T any](a, b *Dataset[T]) (*Dataset[T], error) {
+	if a.c != b.c {
+		return nil, fmt.Errorf("cluster: union of datasets from different clusters")
+	}
+	parts := make([][]T, 0, len(a.parts)+len(b.parts))
+	parts = append(parts, a.parts...)
+	parts = append(parts, b.parts...)
+	return &Dataset[T]{c: a.c, parts: parts}, nil
+}
+
+// Sample deterministically keeps approximately fraction of the elements,
+// chosen by a seeded per-element hash of the element's position — stable
+// across runs and independent of partitioning.
+func Sample[T any](name string, d *Dataset[T], fraction float64, seed int64) (*Dataset[T], error) {
+	if fraction < 0 || fraction > 1 {
+		return nil, fmt.Errorf("cluster: sample fraction must be in [0,1], got %v", fraction)
+	}
+	threshold := uint64(fraction * float64(^uint64(0)>>1))
+	start := time.Now()
+	parts := make([][]T, len(d.parts))
+	offsets := make([]int64, len(d.parts))
+	var off int64
+	for i := range d.parts {
+		offsets[i] = off
+		off += int64(len(d.parts[i]))
+	}
+	_ = d.c.runTasks(len(d.parts), func(i int) error {
+		var res []T
+		for j, t := range d.parts[i] {
+			h := uint64(seed)*0x9e3779b97f4a7c15 ^ uint64(offsets[i]+int64(j))*0xbf58476d1ce4e5b9
+			h ^= h >> 31
+			h *= 0x94d049bb133111eb
+			h ^= h >> 29
+			if (h >> 1) < threshold {
+				res = append(res, t)
+			}
+		}
+		parts[i] = res
+		return nil
+	})
+	var in, out int64
+	for i := range parts {
+		in += int64(len(d.parts[i]))
+		out += int64(len(parts[i]))
+	}
+	d.c.record(StageMetrics{Name: name, Tasks: len(d.parts), RecordsIn: in, RecordsOut: out, Duration: time.Since(start)})
+	return &Dataset[T]{c: d.c, parts: parts}, nil
+}
+
+// Reduce folds all elements into one value with a commutative, associative
+// combiner, computing per-partition partials in parallel. It returns the
+// zero value and false for an empty dataset.
+func Reduce[T any](name string, d *Dataset[T], combine func(T, T) T) (T, bool) {
+	start := time.Now()
+	partials := make([]*T, len(d.parts))
+	_ = d.c.runTasks(len(d.parts), func(i int) error {
+		if len(d.parts[i]) == 0 {
+			return nil
+		}
+		acc := d.parts[i][0]
+		for _, t := range d.parts[i][1:] {
+			acc = combine(acc, t)
+		}
+		partials[i] = &acc
+		return nil
+	})
+	var result T
+	found := false
+	for _, p := range partials {
+		if p == nil {
+			continue
+		}
+		if !found {
+			result, found = *p, true
+		} else {
+			result = combine(result, *p)
+		}
+	}
+	d.c.record(StageMetrics{Name: name, Tasks: len(d.parts), RecordsIn: d.Count(), RecordsOut: 1, Duration: time.Since(start)})
+	return result, found
+}

@@ -1,0 +1,187 @@
+package cluster
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFilter(t *testing.T) {
+	c := newCluster(t, 3)
+	d := Parallelize(c, []int{1, 2, 3, 4, 5, 6, 7, 8}, 3)
+	even := Filter("even", d, func(v int) bool { return v%2 == 0 })
+	got := even.Collect()
+	want := []int{2, 4, 6, 8}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("got[%d] = %d", i, got[i])
+		}
+	}
+	stages := c.Stages()
+	last := stages[len(stages)-1]
+	if last.RecordsIn != 8 || last.RecordsOut != 4 {
+		t.Errorf("metrics wrong: %+v", last)
+	}
+}
+
+func TestFlatMap(t *testing.T) {
+	c := newCluster(t, 2)
+	d := Parallelize(c, []int{1, 2, 3}, 0)
+	fm := FlatMap("repeat", d, func(v int) []int {
+		out := make([]int, v)
+		for i := range out {
+			out[i] = v
+		}
+		return out
+	})
+	if fm.Count() != 6 {
+		t.Errorf("count = %d, want 6", fm.Count())
+	}
+	got := fm.Collect()
+	want := []int{1, 2, 2, 3, 3, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v", got)
+		}
+	}
+}
+
+func TestFlatMapErr(t *testing.T) {
+	c := newCluster(t, 2)
+	d := Parallelize(c, []int{1, 2}, 0)
+	boom := errors.New("boom")
+	_, err := FlatMapErr("fail", d, func(v int) ([]int, error) {
+		if v == 2 {
+			return nil, boom
+		}
+		return []int{v}, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Errorf("error not propagated: %v", err)
+	}
+}
+
+func TestUnion(t *testing.T) {
+	c := newCluster(t, 2)
+	a := Parallelize(c, []int{1, 2}, 0)
+	b := Parallelize(c, []int{3, 4}, 0)
+	u, err := Union(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Count() != 4 {
+		t.Errorf("count = %d", u.Count())
+	}
+	other := newCluster(t, 2)
+	o := Parallelize(other, []int{5}, 0)
+	if _, err := Union(a, o); err == nil {
+		t.Error("cross-cluster union should fail")
+	}
+}
+
+func TestSample(t *testing.T) {
+	c := newCluster(t, 4)
+	data := make([]int, 10000)
+	for i := range data {
+		data[i] = i
+	}
+	d := Parallelize(c, data, 0)
+	s, err := Sample("s", d, 0.3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := float64(s.Count()) / float64(len(data))
+	if math.Abs(frac-0.3) > 0.05 {
+		t.Errorf("sampled fraction %.3f, want ~0.3", frac)
+	}
+	// Deterministic.
+	s2, _ := Sample("s", d, 0.3, 7)
+	if s.Count() != s2.Count() {
+		t.Error("sampling not deterministic")
+	}
+	// Edge fractions.
+	empty, _ := Sample("s0", d, 0, 1)
+	if empty.Count() != 0 {
+		t.Errorf("fraction 0 kept %d", empty.Count())
+	}
+	all, _ := Sample("s1", d, 1, 1)
+	if float64(all.Count()) < 0.99*float64(len(data)) {
+		t.Errorf("fraction 1 kept %d of %d", all.Count(), len(data))
+	}
+	if _, err := Sample("bad", d, -0.1, 1); err == nil {
+		t.Error("negative fraction should fail")
+	}
+	if _, err := Sample("bad", d, 1.1, 1); err == nil {
+		t.Error("fraction > 1 should fail")
+	}
+}
+
+func TestReduce(t *testing.T) {
+	c := newCluster(t, 3)
+	d := Parallelize(c, []int{1, 2, 3, 4, 5}, 3)
+	sum, ok := Reduce("sum", d, func(a, b int) int { return a + b })
+	if !ok || sum != 15 {
+		t.Errorf("sum = %d, %v", sum, ok)
+	}
+	empty := Parallelize[int](c, nil, 0)
+	if _, ok := Reduce("none", empty, func(a, b int) int { return a + b }); ok {
+		t.Error("empty reduce should report !ok")
+	}
+}
+
+// Property: Filter+Collect equals sequential filtering for any input.
+func TestFilterProperty(t *testing.T) {
+	c := newCluster(t, 5)
+	f := func(data []int16) bool {
+		in := make([]int, len(data))
+		for i, v := range data {
+			in[i] = int(v)
+		}
+		d := Parallelize(c, in, 0)
+		got := Filter("pos", d, func(v int) bool { return v > 0 }).Collect()
+		var want []int
+		for _, v := range in {
+			if v > 0 {
+				want = append(want, v)
+			}
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Reduce with + equals the sequential sum.
+func TestReduceProperty(t *testing.T) {
+	c := newCluster(t, 4)
+	f := func(data []int8) bool {
+		in := make([]int, len(data))
+		want := 0
+		for i, v := range data {
+			in[i] = int(v)
+			want += int(v)
+		}
+		d := Parallelize(c, in, 0)
+		got, ok := Reduce("sum", d, func(a, b int) int { return a + b })
+		if len(in) == 0 {
+			return !ok
+		}
+		return ok && got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

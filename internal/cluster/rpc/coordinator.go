@@ -1,0 +1,275 @@
+package rpc
+
+import (
+	"fmt"
+	"net"
+	"net/rpc"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"github.com/tardisdb/tardis/internal/core"
+	"github.com/tardisdb/tardis/internal/isaxt"
+	"github.com/tardisdb/tardis/internal/storage"
+)
+
+// Serve registers a Worker service on the listener and serves connections
+// until the listener is closed. Each worker process calls this once.
+func Serve(ln net.Listener, workerID string) error {
+	srv := rpc.NewServer()
+	if err := srv.Register(&Worker{ID: workerID}); err != nil {
+		return err
+	}
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go srv.ServeConn(conn)
+	}
+}
+
+// Pool is a set of connected workers driven by the coordinator.
+type Pool struct {
+	addrs   []string
+	clients []*rpc.Client
+}
+
+// Dial connects to the given worker addresses (host:port).
+func Dial(addrs []string) (*Pool, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("rpc: no worker addresses")
+	}
+	p := &Pool{addrs: addrs}
+	for _, addr := range addrs {
+		c, err := rpc.Dial("tcp", addr)
+		if err != nil {
+			p.Close()
+			return nil, fmt.Errorf("rpc: dialing worker %s: %w", addr, err)
+		}
+		p.clients = append(p.clients, c)
+	}
+	return p, nil
+}
+
+// Close closes all worker connections.
+func (p *Pool) Close() {
+	for _, c := range p.clients {
+		if c != nil {
+			c.Close()
+		}
+	}
+}
+
+// Size returns the worker count.
+func (p *Pool) Size() int { return len(p.clients) }
+
+// Ping verifies every worker responds and returns their identities.
+func (p *Pool) Ping() ([]PingReply, error) {
+	replies := make([]PingReply, len(p.clients))
+	for i, c := range p.clients {
+		if err := c.Call("Worker.Ping", PingArgs{}, &replies[i]); err != nil {
+			return nil, fmt.Errorf("rpc: worker %s: %w", p.addrs[i], err)
+		}
+	}
+	return replies, nil
+}
+
+// scatter runs fn(worker index) concurrently across the pool, returning the
+// first error.
+func (p *Pool) scatter(fn func(i int) error) error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(p.clients))
+	for i := range p.clients {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("rpc: worker %s: %w", p.addrs[i], err)
+		}
+	}
+	return nil
+}
+
+// chunk splits items round-robin across n buckets.
+func chunk(items []int, n int) [][]int {
+	out := make([][]int, n)
+	for i, it := range items {
+		out[i%n] = append(out[i%n], it)
+	}
+	return out
+}
+
+// BuildStats summarizes a distributed build.
+type BuildStats struct {
+	SampledRecords int64
+	Records        int64
+	Partitions     int
+	SampleConvert  time.Duration
+	GlobalStages   core.GlobalBreakdown
+	Shuffle        time.Duration
+	LocalBuild     time.Duration
+	Total          time.Duration
+}
+
+// BuildDistributed runs the full TARDIS build across the worker pool:
+// sampling and conversion on workers, global-index construction on the
+// coordinator, broadcast of the serialized global tree, spill-based shuffle,
+// and local-index construction — then writes the descriptor so the result
+// loads with core.Load. workDir holds the spill stores; dstDir receives the
+// clustered store. It returns dstDir's path and build statistics.
+func BuildDistributed(pool *Pool, srcDir, dstDir, workDir string, cfg core.Config) (BuildStats, error) {
+	var bs BuildStats
+	if err := cfg.Validate(); err != nil {
+		return bs, err
+	}
+	start := time.Now()
+	src, err := storage.Open(srcDir)
+	if err != nil {
+		return bs, err
+	}
+
+	// Stage 1: sample + convert on workers.
+	stage := time.Now()
+	sampled, err := src.SampledPartitions(cfg.SamplePct, cfg.SampleSeed)
+	if err != nil {
+		return bs, err
+	}
+	sampleChunks := chunk(sampled, pool.Size())
+	sampleReplies := make([]SampleConvertReply, pool.Size())
+	err = pool.scatter(func(i int) error {
+		if len(sampleChunks[i]) == 0 {
+			return nil
+		}
+		return pool.clients[i].Call("Worker.SampleConvert", SampleConvertArgs{
+			StoreDir: srcDir, PIDs: sampleChunks[i],
+			WordLen: cfg.WordLen, Bits: cfg.InitialBits,
+		}, &sampleReplies[i])
+	})
+	if err != nil {
+		return bs, err
+	}
+	base := map[isaxt.Signature]int64{}
+	for _, r := range sampleReplies {
+		for sig, n := range r.Freq {
+			base[isaxt.Signature(sig)] += n
+		}
+		bs.SampledRecords += r.Records
+	}
+	bs.SampleConvert = time.Since(stage)
+
+	// Stages 2-4 on the coordinator.
+	codec, err := isaxt.NewCodec(cfg.WordLen)
+	if err != nil {
+		return bs, err
+	}
+	tree, partitions, breakdown, err := core.BuildGlobalFromSample(codec, cfg, base)
+	if err != nil {
+		return bs, err
+	}
+	bs.GlobalStages = breakdown
+	bs.Partitions = partitions
+
+	// Broadcast: serialize the global tree once.
+	var treeBytes bytesBuffer
+	if _, err := tree.WriteTo(&treeBytes); err != nil {
+		return bs, err
+	}
+
+	// Stage 5: spill shuffle on workers.
+	stage = time.Now()
+	allPIDs, err := src.Partitions()
+	if err != nil {
+		return bs, err
+	}
+	srcChunks := chunk(allPIDs, pool.Size())
+	spillDirs := make([]string, pool.Size())
+	for i := range spillDirs {
+		spillDirs[i] = filepath.Join(workDir, fmt.Sprintf("spill-w%d", i))
+	}
+	spillReplies := make([]SpillReply, pool.Size())
+	err = pool.scatter(func(i int) error {
+		return pool.clients[i].Call("Worker.Spill", SpillArgs{
+			SrcDir: srcDir, SrcPIDs: srcChunks[i], GlobalTree: treeBytes.buf,
+			WordLen: cfg.WordLen, Bits: cfg.InitialBits, SpillDir: spillDirs[i],
+		}, &spillReplies[i])
+	})
+	if err != nil {
+		return bs, err
+	}
+	bs.Shuffle = time.Since(stage)
+
+	// Stage 6: local index construction on workers.
+	stage = time.Now()
+	if _, err := storage.CreateCompressed(dstDir, src.SeriesLen(), cfg.Compression); err != nil {
+		return bs, err
+	}
+	targets := make([]int, partitions)
+	for i := range targets {
+		targets[i] = i
+	}
+	targetChunks := chunk(targets, pool.Size())
+	buildReplies := make([]BuildLocalsReply, pool.Size())
+	err = pool.scatter(func(i int) error {
+		return pool.clients[i].Call("Worker.BuildLocals", BuildLocalsArgs{
+			SpillDirs: spillDirs, DstDir: dstDir, PIDs: targetChunks[i],
+			WordLen: cfg.WordLen, Bits: cfg.InitialBits, LMaxSize: cfg.LMaxSize,
+			BuildBloom: cfg.BuildBloom, BloomFP: cfg.BloomFP,
+		}, &buildReplies[i])
+	})
+	if err != nil {
+		return bs, err
+	}
+	for _, r := range buildReplies {
+		for _, n := range r.Counts {
+			bs.Records += n
+		}
+	}
+	bs.LocalBuild = time.Since(stage)
+
+	// Finalize: manifest, global tree, descriptor.
+	dst, err := storage.Open(dstDir)
+	if err != nil {
+		return bs, err
+	}
+	if err := dst.Sync(); err != nil {
+		return bs, err
+	}
+	if err := core.WriteGlobalTree(dstDir, tree); err != nil {
+		return bs, err
+	}
+	bs.Total = time.Since(start)
+	coreStats := core.BuildStats{
+		SampleConvert:      bs.SampleConvert,
+		NodeStatistics:     breakdown.NodeStatistics,
+		SkeletonBuild:      breakdown.SkeletonBuild,
+		PartitionAssign:    breakdown.PartitionAssign,
+		GlobalTotal:        bs.SampleConvert + breakdown.NodeStatistics + breakdown.SkeletonBuild + breakdown.PartitionAssign,
+		ShuffleReadConvert: bs.Shuffle,
+		LocalConstruct:     bs.LocalBuild,
+		LocalTotal:         bs.Shuffle + bs.LocalBuild,
+		Total:              bs.Total,
+		SampledBlocks:      len(sampled),
+		SampledRecords:     bs.SampledRecords,
+		Records:            bs.Records,
+		Partitions:         partitions,
+	}
+	if err := core.WriteDescriptor(dstDir, cfg, src.SeriesLen(), partitions, coreStats); err != nil {
+		return bs, err
+	}
+	return bs, nil
+}
+
+// bytesBuffer is a minimal growable write buffer (avoids importing bytes for
+// one use alongside the worker file's import).
+type bytesBuffer struct{ buf []byte }
+
+func (b *bytesBuffer) Write(p []byte) (int, error) {
+	b.buf = append(b.buf, p...)
+	return len(p), nil
+}

@@ -1,0 +1,201 @@
+package rpc
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"github.com/tardisdb/tardis/internal/core"
+	"github.com/tardisdb/tardis/internal/isaxt"
+	"github.com/tardisdb/tardis/internal/knn"
+	"github.com/tardisdb/tardis/internal/sigtree"
+	"github.com/tardisdb/tardis/internal/storage"
+	"github.com/tardisdb/tardis/internal/ts"
+)
+
+// Distributed query processing: the coordinator holds only the global tree;
+// workers own partition scans — they read the partition's local sigTree and
+// data from the shared filesystem, prune with the lower bound, and return
+// their local top-k for the coordinator to merge. This mirrors the paper's
+// deployment, where Algorithm 1's partition scans run as Spark tasks on the
+// workers holding the blocks.
+
+// KNNPartitionArgs asks a worker to prune-scan one partition.
+type KNNPartitionArgs struct {
+	StoreDir  string
+	PID       int
+	Query     ts.Series
+	K         int
+	Threshold float64 // prune bound; +Inf scans everything surviving k-bounds
+	WordLen   int
+}
+
+// KNNPartitionReply returns the partition's local top-k.
+type KNNPartitionReply struct {
+	Neighbors  []knn.Neighbor
+	Candidates int
+}
+
+// workerTreeCache caches deserialized local trees per (store, pid) so
+// repeated queries skip the parse. Entries are small (ids only).
+var workerTreeCache sync.Map // map[string]*sigtree.Tree
+
+func loadLocalTree(storeDir string, pid int) (*sigtree.Tree, error) {
+	key := fmt.Sprintf("%s/%06d", storeDir, pid)
+	if v, ok := workerTreeCache.Load(key); ok {
+		return v.(*sigtree.Tree), nil
+	}
+	path := filepath.Join(storeDir, "_index", fmt.Sprintf("local-%06d.sigtree", pid))
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("rpc: opening local index for partition %d: %w", pid, err)
+	}
+	defer f.Close()
+	tree, err := sigtree.ReadTree(f)
+	if err != nil {
+		return nil, fmt.Errorf("rpc: parsing local index for partition %d: %w", pid, err)
+	}
+	workerTreeCache.Store(key, tree)
+	return tree, nil
+}
+
+// KNNPartition prune-scans one partition against the query and returns the
+// local top-k within the threshold.
+func (w *Worker) KNNPartition(args KNNPartitionArgs, reply *KNNPartitionReply) error {
+	if args.K < 1 {
+		return fmt.Errorf("rpc: k must be positive, got %d", args.K)
+	}
+	st, err := storage.Open(args.StoreDir)
+	if err != nil {
+		return err
+	}
+	tree, err := loadLocalTree(args.StoreDir, args.PID)
+	if err != nil {
+		return err
+	}
+	paa, err := ts.PAA(args.Query, args.WordLen)
+	if err != nil {
+		return err
+	}
+	entries, _, err := tree.PruneCollect(paa, len(args.Query), args.Threshold)
+	if err != nil {
+		return err
+	}
+	if len(entries) == 0 {
+		reply.Neighbors = []knn.Neighbor{}
+		return nil
+	}
+	recs, err := st.ReadPartition(args.PID)
+	if err != nil {
+		return err
+	}
+	data := make(map[int64]ts.Series, len(recs))
+	for _, r := range recs {
+		data[r.RID] = r.Values
+	}
+	h := knn.NewHeap(args.K)
+	for _, e := range entries {
+		s, ok := data[e.RID]
+		if !ok {
+			return fmt.Errorf("rpc: partition %d missing record %d", args.PID, e.RID)
+		}
+		reply.Candidates++
+		bound := h.Bound()
+		if bound > args.Threshold {
+			bound = args.Threshold
+		}
+		if d2, ok2 := ts.SquaredDistanceEarlyAbandon(args.Query, s, bound*bound); ok2 {
+			h.Offer(knn.Neighbor{RID: e.RID, Dist: sqrtf(d2)})
+		}
+	}
+	reply.Neighbors = h.Sorted()
+	return nil
+}
+
+// DistKNN runs the Multi-Partitions Access strategy with the partition scans
+// distributed over the worker pool: the coordinator routes the query through
+// the global tree (read from the store's index directory), obtains the
+// threshold from the query's primary partition, then scatters the sibling
+// scans. Results match the single-process KNNMultiPartition except that the
+// threshold is taken as the primary partition's full top-k bound (a
+// one-partition scan rather than a target-node probe), which can only
+// tighten it.
+func DistKNN(pool *Pool, storeDir string, cfg core.Config, q ts.Series, k int) ([]knn.Neighbor, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("rpc: k must be positive, got %d", k)
+	}
+	global, err := core.ReadGlobalTree(storeDir)
+	if err != nil {
+		return nil, err
+	}
+	router := core.NewRouter(global)
+	codec, err := isaxt.NewCodec(cfg.WordLen)
+	if err != nil {
+		return nil, err
+	}
+	sig, err := codec.FromSeries(q, cfg.InitialBits)
+	if err != nil {
+		return nil, err
+	}
+	pids := router.CandidatePIDs(sig)
+	if len(pids) == 0 {
+		return nil, fmt.Errorf("rpc: no partition for query signature")
+	}
+	primary := pids[0]
+
+	// Threshold from the primary partition (worker-side scan).
+	var seed KNNPartitionReply
+	err = pool.clients[0].Call("Worker.KNNPartition", KNNPartitionArgs{
+		StoreDir: storeDir, PID: primary, Query: q, K: k,
+		Threshold: inf(), WordLen: cfg.WordLen,
+	}, &seed)
+	if err != nil {
+		return nil, err
+	}
+	h := knn.NewHeap(k)
+	for _, n := range seed.Neighbors {
+		h.Offer(n)
+	}
+	threshold := h.Bound()
+
+	// Sibling partitions, capped at pth, scattered across workers.
+	siblings := router.SiblingPIDs(sig)
+	var targets []int
+	for _, pid := range siblings {
+		if pid != primary {
+			targets = append(targets, pid)
+		}
+	}
+	if len(targets) > cfg.PartitionThreshold {
+		targets = targets[:cfg.PartitionThreshold]
+	}
+	sort.Ints(targets)
+	chunks := chunk(targets, pool.Size())
+	replies := make([][]KNNPartitionReply, pool.Size())
+	err = pool.scatter(func(i int) error {
+		replies[i] = make([]KNNPartitionReply, len(chunks[i]))
+		for j, pid := range chunks[i] {
+			err := pool.clients[i].Call("Worker.KNNPartition", KNNPartitionArgs{
+				StoreDir: storeDir, PID: pid, Query: q, K: k,
+				Threshold: threshold, WordLen: cfg.WordLen,
+			}, &replies[i][j])
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, rs := range replies {
+		for _, r := range rs {
+			for _, n := range r.Neighbors {
+				h.Offer(n)
+			}
+		}
+	}
+	return h.Sorted(), nil
+}

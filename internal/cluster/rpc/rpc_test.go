@@ -1,0 +1,269 @@
+package rpc
+
+import (
+	"fmt"
+	"net"
+	"path/filepath"
+	"testing"
+
+	"github.com/tardisdb/tardis/internal/cluster"
+	"github.com/tardisdb/tardis/internal/core"
+	"github.com/tardisdb/tardis/internal/dataset"
+)
+
+// startWorkers launches n in-process RPC workers on loopback ports and
+// returns their addresses. The servers stop when the test ends.
+func startWorkers(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { ln.Close() })
+		addrs[i] = ln.Addr().String()
+		go Serve(ln, fmt.Sprintf("w%d", i))
+	}
+	return addrs
+}
+
+func TestDialErrors(t *testing.T) {
+	if _, err := Dial(nil); err == nil {
+		t.Error("empty address list should fail")
+	}
+	if _, err := Dial([]string{"127.0.0.1:1"}); err == nil {
+		t.Error("unreachable worker should fail")
+	}
+}
+
+func TestPing(t *testing.T) {
+	addrs := startWorkers(t, 3)
+	pool, err := Dial(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	replies, err := pool.Ping()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replies) != 3 {
+		t.Fatalf("replies = %d", len(replies))
+	}
+	seen := map[string]bool{}
+	for _, r := range replies {
+		if r.ID == "" || r.PID == 0 {
+			t.Errorf("bad reply %+v", r)
+		}
+		seen[r.ID] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("worker ids not distinct: %v", seen)
+	}
+}
+
+// The end-to-end distributed build: generate a dataset, build over RPC
+// workers, load with core.Load, and verify queries against an in-process
+// build of the same dataset and configuration.
+func TestBuildDistributedEndToEnd(t *testing.T) {
+	const (
+		seriesLen = 32
+		n         = 3000
+	)
+	g, err := dataset.New(dataset.RandomWalk, seriesLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcDir := filepath.Join(t.TempDir(), "src")
+	src, err := dataset.WriteStore(g, 5, n, srcDir, 500, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.GMaxSize = 400
+	cfg.LMaxSize = 50
+	cfg.SamplePct = 0.25
+
+	addrs := startWorkers(t, 3)
+	pool, err := Dial(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	dstDir := filepath.Join(t.TempDir(), "dst")
+	workDir := t.TempDir()
+	stats, err := BuildDistributed(pool, srcDir, dstDir, workDir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Records != n {
+		t.Errorf("distributed build routed %d records, want %d", stats.Records, n)
+	}
+	if stats.Partitions < 2 {
+		t.Errorf("partitions = %d", stats.Partitions)
+	}
+	if stats.SampledRecords == 0 {
+		t.Error("no sampled records")
+	}
+
+	cl, err := cluster.New(cluster.Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := core.Load(cl, dstDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, err := ix.Store.TotalRecords()
+	if err != nil || total != n {
+		t.Fatalf("clustered store holds %d records (%v)", total, err)
+	}
+
+	// Every probed record is findable through the loaded distributed index.
+	recs, err := src.ReadPartition(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 25; i++ {
+		rec := recs[i*19%len(recs)]
+		rids, _, err := ix.ExactMatch(rec.Values, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, rid := range rids {
+			if rid == rec.RID {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("record %d missing from distributed index", rec.RID)
+		}
+	}
+
+	// The distributed build must agree with the in-process build: same
+	// partition count and identical kNN answers (both are deterministic
+	// functions of the data and config).
+	localIx, err := core.Build(cl, src, filepath.Join(t.TempDir(), "local"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if localIx.NumPartitions() != ix.NumPartitions() {
+		t.Errorf("partition count differs: rpc=%d local=%d", ix.NumPartitions(), localIx.NumPartitions())
+	}
+	q := dataset.Record(g, 5, 1234).Values.ZNormalize()
+	a, _, err := ix.KNNMultiPartition(q, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := localIx.KNNMultiPartition(q, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("result sizes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].RID != b[i].RID || a[i].Dist != b[i].Dist {
+			t.Fatalf("result %d differs: rpc=%+v local=%+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestBuildDistributedValidation(t *testing.T) {
+	addrs := startWorkers(t, 1)
+	pool, err := Dial(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	bad := core.DefaultConfig()
+	bad.WordLen = 5
+	if _, err := BuildDistributed(pool, t.TempDir(), t.TempDir(), t.TempDir(), bad); err == nil {
+		t.Error("invalid config should fail")
+	}
+	if _, err := BuildDistributed(pool, t.TempDir(), t.TempDir(), t.TempDir(), core.DefaultConfig()); err == nil {
+		t.Error("missing source store should fail")
+	}
+}
+
+// Distributed kNN over RPC workers agrees with the in-process index on the
+// same data (distances identical; the distributed threshold seeding is at
+// least as tight, so the result sets match exactly).
+func TestDistKNN(t *testing.T) {
+	const (
+		seriesLen = 32
+		n         = 3000
+	)
+	g, err := dataset.New(dataset.RandomWalk, seriesLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcDir := filepath.Join(t.TempDir(), "src")
+	if _, err := dataset.WriteStore(g, 5, n, srcDir, 500, true); err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.GMaxSize = 400
+	cfg.LMaxSize = 40
+	cfg.SamplePct = 0.25
+
+	addrs := startWorkers(t, 3)
+	pool, err := Dial(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	dstDir := filepath.Join(t.TempDir(), "dst")
+	if _, err := BuildDistributed(pool, srcDir, dstDir, t.TempDir(), cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	cl, err := cluster.New(cluster.Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	localIx, err := core.Load(cl, dstDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 5; i++ {
+		q := dataset.Record(g, 5, 100+i).Values.ZNormalize()
+		const k = 8
+		dist, err := DistKNN(pool, dstDir, cfg, q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		local, _, err := localIx.KNNMultiPartition(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(dist) != len(local) {
+			t.Fatalf("query %d: %d vs %d results", i, len(dist), len(local))
+		}
+		for j := range local {
+			if dist[j].RID != local[j].RID || dist[j].Dist != local[j].Dist {
+				t.Fatalf("query %d result %d: rpc %+v vs local %+v", i, j, dist[j], local[j])
+			}
+		}
+	}
+	// Self query across the wire.
+	q := dataset.Record(g, 5, 7).Values.ZNormalize()
+	res, err := DistKNN(pool, dstDir, cfg, q, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].RID != 7 || res[0].Dist != 0 {
+		t.Fatalf("distributed self query wrong: %+v", res[0])
+	}
+	// Validation.
+	if _, err := DistKNN(pool, dstDir, cfg, q, 0); err == nil {
+		t.Error("k=0 should fail")
+	}
+	if _, err := DistKNN(pool, t.TempDir(), cfg, q, 3); err == nil {
+		t.Error("missing index dir should fail")
+	}
+}

@@ -1,0 +1,290 @@
+// Package rpc provides the multi-process execution mode: TARDIS index
+// construction distributed over TCP with Go's net/rpc, the stand-in for the
+// paper's Spark cluster when the workers are real separate processes rather
+// than goroutines. A coordinator (cmd/tardis-build -rpc, or BuildDistributed
+// here) drives worker processes (cmd/tardis-worker) through the same four
+// stages as the in-process build: sample+convert on workers, node statistics
+// and skeleton building on the coordinator, a spill-based shuffle across the
+// shared filesystem, and per-partition local index construction on workers.
+//
+// Workers and coordinator share a filesystem (the HDFS stand-in): dataset
+// stores, spill stores, and the output clustered store are directories of
+// block files, so the only bytes on the wire are control messages, sampled
+// signature statistics, and the broadcast global tree — mirroring Spark's
+// separation of control plane and HDFS data plane.
+package rpc
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io/fs"
+	"math"
+	"os"
+
+	"github.com/tardisdb/tardis/internal/bloom"
+	"github.com/tardisdb/tardis/internal/core"
+	"github.com/tardisdb/tardis/internal/isaxt"
+	"github.com/tardisdb/tardis/internal/sigtree"
+	"github.com/tardisdb/tardis/internal/storage"
+	"github.com/tardisdb/tardis/internal/ts"
+)
+
+// Worker is the net/rpc service exposed by a worker process.
+type Worker struct {
+	// ID names the worker for spill directories and logs.
+	ID string
+}
+
+// PingArgs is empty; Ping verifies liveness.
+type PingArgs struct{}
+
+// PingReply reports worker identity.
+type PingReply struct {
+	ID       string
+	Hostname string
+	PID      int
+}
+
+// Ping answers a liveness probe.
+func (w *Worker) Ping(_ PingArgs, reply *PingReply) error {
+	host, _ := os.Hostname()
+	reply.ID = w.ID
+	reply.Hostname = host
+	reply.PID = os.Getpid()
+	return nil
+}
+
+// SampleConvertArgs asks the worker to scan dataset blocks and return iSAX-T
+// signature frequencies (the map side of the sampling stage).
+type SampleConvertArgs struct {
+	StoreDir string
+	PIDs     []int
+	WordLen  int
+	Bits     int
+}
+
+// SampleConvertReply carries the combined signature frequencies.
+type SampleConvertReply struct {
+	Freq    map[string]int64
+	Records int64
+}
+
+// SampleConvert scans the given blocks of the dataset store, converts each
+// record to its iSAX-T signature, and returns per-signature counts.
+func (w *Worker) SampleConvert(args SampleConvertArgs, reply *SampleConvertReply) error {
+	codec, err := isaxt.NewCodec(args.WordLen)
+	if err != nil {
+		return err
+	}
+	st, err := storage.Open(args.StoreDir)
+	if err != nil {
+		return err
+	}
+	freq := map[string]int64{}
+	var records int64
+	for _, pid := range args.PIDs {
+		err := st.ScanPartition(pid, func(r ts.Record) error {
+			sig, err := codec.FromSeries(r.Values, args.Bits)
+			if err != nil {
+				return err
+			}
+			freq[string(sig)]++
+			records++
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	reply.Freq = freq
+	reply.Records = records
+	return nil
+}
+
+// SpillArgs asks the worker to route its share of the dataset through the
+// broadcast global tree, spilling records into per-target-partition files
+// under its own spill store.
+type SpillArgs struct {
+	SrcDir     string
+	SrcPIDs    []int
+	GlobalTree []byte // serialized global sigTree (the broadcast)
+	WordLen    int
+	Bits       int
+	SpillDir   string // this worker's spill store directory
+}
+
+// SpillReply reports how many records were routed to each target partition.
+type SpillReply struct {
+	Counts map[int]int64
+}
+
+// Spill implements the worker half of the shuffle: read source blocks,
+// convert, route, and append to spill partitions keyed by target pid.
+func (w *Worker) Spill(args SpillArgs, reply *SpillReply) error {
+	codec, err := isaxt.NewCodec(args.WordLen)
+	if err != nil {
+		return err
+	}
+	tree, err := sigtree.ReadTree(bytes.NewReader(args.GlobalTree))
+	if err != nil {
+		return fmt.Errorf("rpc: decoding broadcast global tree: %w", err)
+	}
+	router := core.NewRouter(tree)
+	src, err := storage.Open(args.SrcDir)
+	if err != nil {
+		return err
+	}
+	spill, err := storage.Create(args.SpillDir, src.SeriesLen())
+	if err != nil {
+		return err
+	}
+	writers := map[int]*storage.Writer{}
+	defer func() {
+		for _, wr := range writers {
+			wr.Close()
+		}
+	}()
+	counts := map[int]int64{}
+	for _, pid := range args.SrcPIDs {
+		err := src.ScanPartition(pid, func(r ts.Record) error {
+			sig, err := codec.FromSeries(r.Values, args.Bits)
+			if err != nil {
+				return err
+			}
+			target, err := router.Route(sig, r.RID)
+			if err != nil {
+				return err
+			}
+			wr := writers[target]
+			if wr == nil {
+				wr, err = spill.NewWriter(target)
+				if err != nil {
+					return err
+				}
+				writers[target] = wr
+			}
+			if err := wr.Write(r); err != nil {
+				return err
+			}
+			counts[target]++
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	for target, wr := range writers {
+		if err := wr.Close(); err != nil {
+			return err
+		}
+		delete(writers, target)
+		_ = target
+	}
+	if err := spill.Sync(); err != nil {
+		return err
+	}
+	reply.Counts = counts
+	return nil
+}
+
+// BuildLocalsArgs asks the worker to merge spill partitions into final
+// clustered partitions it owns, building the local sigTree and Bloom filter
+// for each and writing them into the store's index directory.
+type BuildLocalsArgs struct {
+	SpillDirs  []string // one spill store per source worker
+	DstDir     string   // the clustered store (already created)
+	PIDs       []int    // target partitions owned by this worker
+	WordLen    int
+	Bits       int
+	LMaxSize   int64
+	BuildBloom bool
+	BloomFP    float64
+}
+
+// BuildLocalsReply reports per-partition record counts.
+type BuildLocalsReply struct {
+	Counts map[int]int64
+}
+
+// BuildLocals merges the spills for each owned partition, writes the final
+// partition file, and constructs Tardis-L and the Bloom filter.
+func (w *Worker) BuildLocals(args BuildLocalsArgs, reply *BuildLocalsReply) error {
+	codec, err := isaxt.NewCodec(args.WordLen)
+	if err != nil {
+		return err
+	}
+	dst, err := storage.Open(args.DstDir)
+	if err != nil {
+		return err
+	}
+	spills := make([]*storage.Store, 0, len(args.SpillDirs))
+	for _, dir := range args.SpillDirs {
+		st, err := storage.Open(dir)
+		if err != nil {
+			return err
+		}
+		spills = append(spills, st)
+	}
+	counts := map[int]int64{}
+	for _, pid := range args.PIDs {
+		var recs []ts.Record
+		for _, sp := range spills {
+			part, err := sp.ReadPartition(pid)
+			if err != nil {
+				if errors.Is(err, fs.ErrNotExist) {
+					continue // this source worker routed nothing here
+				}
+				return err
+			}
+			recs = append(recs, part...)
+		}
+		wtr, err := dst.NewWriter(pid)
+		if err != nil {
+			return err
+		}
+		tree, err := sigtree.New(codec, args.Bits, args.LMaxSize)
+		if err != nil {
+			return err
+		}
+		var bf *bloom.Filter
+		if args.BuildBloom {
+			n := uint64(len(recs))
+			if n == 0 {
+				n = 1
+			}
+			bf, err = bloom.NewWithEstimate(n, args.BloomFP)
+			if err != nil {
+				return err
+			}
+		}
+		for _, r := range recs {
+			if err := wtr.Write(r); err != nil {
+				return err
+			}
+			sig, err := codec.FromSeries(r.Values, args.Bits)
+			if err != nil {
+				return err
+			}
+			if err := tree.Insert(sigtree.Entry{Sig: sig, RID: r.RID}); err != nil {
+				return err
+			}
+			if bf != nil {
+				bf.AddString(string(sig))
+			}
+		}
+		if err := wtr.Close(); err != nil {
+			return err
+		}
+		if err := core.WriteLocal(args.DstDir, pid, tree, bf); err != nil {
+			return err
+		}
+		counts[pid] = int64(len(recs))
+	}
+	reply.Counts = counts
+	return nil
+}
+
+func sqrtf(v float64) float64 { return math.Sqrt(v) }
+
+func inf() float64 { return math.Inf(1) }

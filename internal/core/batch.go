@@ -1,0 +1,186 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/tardisdb/tardis/internal/cluster"
+	"github.com/tardisdb/tardis/internal/ts"
+)
+
+// Batch query processing. The paper's workloads are batches of 100 queries
+// (§VI-C); running them one at a time leaves the cluster idle. KNNBatch and
+// ExactMatchBatch fan a query batch out across the substrate's workers —
+// queries are independent, so this is embarrassingly parallel and preserves
+// per-query results exactly.
+
+// Strategy selects a kNN-approximate query algorithm for batch runs.
+type Strategy int
+
+const (
+	// TargetNodeAccess is the paper's basic strategy (§V-B).
+	TargetNodeAccess Strategy = iota
+	// OnePartitionAccess extends the scope to the whole primary partition.
+	OnePartitionAccess
+	// MultiPartitionsAccess extends the scope to sibling partitions
+	// (Algorithm 1); the most accurate.
+	MultiPartitionsAccess
+	// ExactKNN is the exact search extension (not in the paper).
+	ExactKNN
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case TargetNodeAccess:
+		return "target-node"
+	case OnePartitionAccess:
+		return "one-partition"
+	case MultiPartitionsAccess:
+		return "multi-partitions"
+	case ExactKNN:
+		return "exact"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+func (ix *Index) strategyFunc(s Strategy) (func(ts.Series, int) ([]Neighbor, QueryStats, error), error) {
+	switch s {
+	case TargetNodeAccess:
+		return ix.KNNTargetNode, nil
+	case OnePartitionAccess:
+		return ix.KNNOnePartition, nil
+	case MultiPartitionsAccess:
+		return ix.KNNMultiPartition, nil
+	case ExactKNN:
+		return ix.KNNExact, nil
+	default:
+		return nil, fmt.Errorf("core: unknown strategy %d", int(s))
+	}
+}
+
+// BatchResult is one query's outcome within a batch.
+type BatchResult struct {
+	Neighbors []Neighbor
+	Stats     QueryStats
+}
+
+// KNNBatch answers a batch of kNN queries concurrently across the cluster's
+// workers. Results are positionally aligned with the queries; aggregate
+// stats (total partition loads, wall time) come back in the summary.
+func (ix *Index) KNNBatch(queries []ts.Series, k int, strategy Strategy) ([]BatchResult, QueryStats, error) {
+	start := time.Now()
+	var agg QueryStats
+	run, err := ix.strategyFunc(strategy)
+	if err != nil {
+		return nil, agg, err
+	}
+	if k < 1 {
+		return nil, agg, fmt.Errorf("core: k must be positive, got %d", k)
+	}
+	type indexed struct {
+		i   int
+		res BatchResult
+	}
+	idxs := make([]int, len(queries))
+	for i := range idxs {
+		idxs[i] = i
+	}
+	ds := cluster.Parallelize(ix.cl, idxs, 0)
+	out, err := cluster.MapErr("knn-batch", ds, func(i int) (indexed, error) {
+		nb, st, err := run(queries[i], k)
+		if err != nil {
+			return indexed{}, fmt.Errorf("query %d: %w", i, err)
+		}
+		return indexed{i: i, res: BatchResult{Neighbors: nb, Stats: st}}, nil
+	})
+	if err != nil {
+		return nil, agg, err
+	}
+	results := make([]BatchResult, len(queries))
+	for _, r := range out.Collect() {
+		results[r.i] = r.res
+		agg.PartitionsLoaded += r.res.Stats.PartitionsLoaded
+		agg.Candidates += r.res.Stats.Candidates
+		agg.PrunedLeaves += r.res.Stats.PrunedLeaves
+	}
+	agg.Duration = time.Since(start)
+	return results, agg, nil
+}
+
+// ExactMatchBatch answers a batch of exact-match queries concurrently.
+// Matches are positionally aligned with the queries.
+func (ix *Index) ExactMatchBatch(queries []ts.Series, useBloom bool) ([][]int64, QueryStats, error) {
+	start := time.Now()
+	var agg QueryStats
+	type indexed struct {
+		i    int
+		rids []int64
+		st   QueryStats
+	}
+	idxs := make([]int, len(queries))
+	for i := range idxs {
+		idxs[i] = i
+	}
+	ds := cluster.Parallelize(ix.cl, idxs, 0)
+	out, err := cluster.MapErr("exact-batch", ds, func(i int) (indexed, error) {
+		rids, st, err := ix.ExactMatch(queries[i], useBloom)
+		if err != nil {
+			return indexed{}, fmt.Errorf("query %d: %w", i, err)
+		}
+		return indexed{i: i, rids: rids, st: st}, nil
+	})
+	if err != nil {
+		return nil, agg, err
+	}
+	results := make([][]int64, len(queries))
+	for _, r := range out.Collect() {
+		results[r.i] = r.rids
+		agg.PartitionsLoaded += r.st.PartitionsLoaded
+		agg.Candidates += r.st.Candidates
+		if r.st.BloomRejected {
+			agg.BloomRejected = true
+		}
+	}
+	agg.Duration = time.Since(start)
+	return results, agg, nil
+}
+
+// KNNAuto picks a query strategy from the index's shape and runs it: when k
+// is large relative to the primary partition's population, the single-
+// partition strategies cannot reach past their candidate scope (the paper's
+// Fig. 16 analysis — TNA and OPA converge and recall collapses as k grows),
+// so Multi-Partitions access is chosen; otherwise One-Partition access gives
+// the best accuracy per partition load. It returns the strategy used.
+func (ix *Index) KNNAuto(q ts.Series, k int) ([]Neighbor, Strategy, QueryStats, error) {
+	var st QueryStats
+	if k < 1 {
+		return nil, 0, st, fmt.Errorf("core: k must be positive, got %d", k)
+	}
+	sig, _, err := ix.querySig(q)
+	if err != nil {
+		return nil, 0, st, err
+	}
+	strategy := OnePartitionAccess
+	pid, err := ix.primaryPID(sig)
+	if err == nil {
+		var primaryCount int64
+		if local := ix.Locals[pid]; local != nil {
+			primaryCount = local.Tree.Count()
+		}
+		// The single-partition scope caps the answer set at primaryCount;
+		// demand a healthy margin before trusting it.
+		if int64(k)*4 > primaryCount {
+			strategy = MultiPartitionsAccess
+		}
+	} else {
+		strategy = MultiPartitionsAccess
+	}
+	run, err := ix.strategyFunc(strategy)
+	if err != nil {
+		return nil, 0, st, err
+	}
+	res, st, err := run(q, k)
+	return res, strategy, st, err
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/tardisdb/tardis/internal/dataset"
+	"github.com/tardisdb/tardis/internal/ts"
+)
+
+func TestStrategyString(t *testing.T) {
+	want := map[Strategy]string{
+		TargetNodeAccess:      "target-node",
+		OnePartitionAccess:    "one-partition",
+		MultiPartitionsAccess: "multi-partitions",
+		ExactKNN:              "exact",
+		Strategy(9):           "Strategy(9)",
+	}
+	for s, name := range want {
+		if s.String() != name {
+			t.Errorf("%d.String() = %q, want %q", int(s), s.String(), name)
+		}
+	}
+}
+
+func TestKNNBatchMatchesSequential(t *testing.T) {
+	ix, src, _ := buildTestIndex(t, dataset.RandomWalk, testConfig())
+	recs, err := src.ReadPartition(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := make([]ts.Series, 12)
+	for i := range queries {
+		queries[i] = recs[i*9%len(recs)].Values
+	}
+	for _, strat := range []Strategy{TargetNodeAccess, OnePartitionAccess, MultiPartitionsAccess, ExactKNN} {
+		results, agg, err := ix.KNNBatch(queries, 5, strat)
+		if err != nil {
+			t.Fatalf("%v: %v", strat, err)
+		}
+		if len(results) != len(queries) {
+			t.Fatalf("%v: %d results", strat, len(results))
+		}
+		if agg.PartitionsLoaded == 0 || agg.Duration <= 0 {
+			t.Errorf("%v: aggregate stats empty", strat)
+		}
+		run, _ := ix.strategyFunc(strat)
+		for i, q := range queries {
+			seq, _, err := run(q, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(seq) != len(results[i].Neighbors) {
+				t.Fatalf("%v query %d: batch %d vs sequential %d results",
+					strat, i, len(results[i].Neighbors), len(seq))
+			}
+			for j := range seq {
+				if seq[j] != results[i].Neighbors[j] {
+					t.Fatalf("%v query %d result %d: batch %+v vs sequential %+v",
+						strat, i, j, results[i].Neighbors[j], seq[j])
+				}
+			}
+		}
+	}
+	// Validation.
+	if _, _, err := ix.KNNBatch(queries, 0, MultiPartitionsAccess); err == nil {
+		t.Error("k=0 should fail")
+	}
+	if _, _, err := ix.KNNBatch(queries, 5, Strategy(42)); err == nil {
+		t.Error("bad strategy should fail")
+	}
+	if _, _, err := ix.KNNBatch([]ts.Series{make(ts.Series, 2)}, 5, TargetNodeAccess); err == nil {
+		t.Error("bad query length should fail")
+	}
+}
+
+func TestExactMatchBatch(t *testing.T) {
+	ix, src, _ := buildTestIndex(t, dataset.DNA, testConfig())
+	recs, err := src.ReadPartition(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []ts.Series{recs[0].Values, recs[5].Values, recs[10].Values}
+	results, agg, err := ix.ExactMatchBatch(queries, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("results = %d", len(results))
+	}
+	for i, want := range []int64{recs[0].RID, recs[5].RID, recs[10].RID} {
+		found := false
+		for _, rid := range results[i] {
+			if rid == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("query %d missed record %d: %v", i, want, results[i])
+		}
+	}
+	if agg.Duration <= 0 {
+		t.Error("aggregate duration missing")
+	}
+	if _, _, err := ix.ExactMatchBatch([]ts.Series{make(ts.Series, 1)}, true); err == nil {
+		t.Error("bad query length should fail")
+	}
+}
+
+func TestKNNAuto(t *testing.T) {
+	ix, src, _ := buildTestIndex(t, dataset.RandomWalk, testConfig())
+	recs, err := src.ReadPartition(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := recs[0].Values
+	// Small k on a populated partition: single-partition strategy suffices.
+	res, strat, _, err := ix.KNNAuto(q, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 || res[0].RID != recs[0].RID {
+		t.Fatalf("auto small-k result wrong: %+v", res)
+	}
+	if strat != OnePartitionAccess {
+		t.Errorf("small k chose %v, want one-partition", strat)
+	}
+	// k far beyond any partition: must widen to multi-partitions.
+	resBig, stratBig, _, err := ix.KNNAuto(q, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stratBig != MultiPartitionsAccess {
+		t.Errorf("large k chose %v, want multi-partitions", stratBig)
+	}
+	if len(resBig) < 400 {
+		t.Errorf("large-k result too small: %d", len(resBig))
+	}
+	if _, _, _, err := ix.KNNAuto(q, 0); err == nil {
+		t.Error("k=0 should fail")
+	}
+}

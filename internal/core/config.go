@@ -1,0 +1,92 @@
+// Package core implements the TARDIS distributed indexing framework (paper
+// §IV-V): the centralized global index (Tardis-G) built from sampled
+// signature statistics, the per-partition local indices (Tardis-L) with
+// their Bloom filters, and the query algorithms — Exact-Match (with and
+// without Bloom filter) and the three kNN-approximate strategies
+// (Target-Node, One-Partition, Multi-Partitions access).
+package core
+
+import (
+	"fmt"
+
+	"github.com/tardisdb/tardis/internal/storage"
+	"github.com/tardisdb/tardis/internal/ts"
+)
+
+// Config carries the paper's experimental configuration (Table II) plus the
+// knobs of this implementation.
+type Config struct {
+	// WordLen is the iSAX word length w (Table II: 8). Must be a positive
+	// multiple of 4 (iSAX-T hex planes).
+	WordLen int
+	// InitialBits is TARDIS's initial cardinality exponent (Table II:
+	// cardinality 64, i.e. 6 bits). It bounds sigTree depth.
+	InitialBits int
+	// GMaxSize is the Tardis-G leaf split threshold and partition capacity
+	// in records — the stand-in for the HDFS block capacity.
+	GMaxSize int64
+	// LMaxSize is the Tardis-L leaf split threshold (Table II: 1000).
+	LMaxSize int64
+	// SamplePct is the block-level sampling percentage for global-index
+	// statistics (Table II: 10%).
+	SamplePct float64
+	// SampleSeed seeds block sampling, making builds reproducible.
+	SampleSeed int64
+	// PartitionThreshold is pth, the cap on partitions loaded by the
+	// Multi-Partitions Access strategy (Table II: 40).
+	PartitionThreshold int
+	// BloomFP is the per-partition Bloom filter false-positive target.
+	BloomFP float64
+	// BuildBloom controls whether Bloom filter indices are constructed
+	// alongside the local indices (paper Fig. 12 compares both).
+	BuildBloom bool
+	// Compression selects the clustered partitions' payload encoding
+	// (storage.NoCompression or storage.Flate). Compressed partitions trade
+	// slower loads for smaller files, like compressed HDFS blocks.
+	Compression storage.Compression
+}
+
+// DefaultConfig returns the paper's Table II configuration, scaled: the
+// partition capacity defaults to 10k records rather than an HDFS block.
+func DefaultConfig() Config {
+	return Config{
+		WordLen:            8,
+		InitialBits:        6, // cardinality 64
+		GMaxSize:           10_000,
+		LMaxSize:           1_000,
+		SamplePct:          0.10,
+		SampleSeed:         1,
+		PartitionThreshold: 40,
+		BloomFP:            0.01,
+		BuildBloom:         true,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.WordLen <= 0 || c.WordLen%4 != 0 {
+		return fmt.Errorf("core: word length must be a positive multiple of 4, got %d", c.WordLen)
+	}
+	if c.InitialBits < 1 || c.InitialBits > ts.MaxCardinalityBits {
+		return fmt.Errorf("core: initial cardinality bits %d out of range [1, %d]", c.InitialBits, ts.MaxCardinalityBits)
+	}
+	if c.GMaxSize < 1 {
+		return fmt.Errorf("core: G-MaxSize must be positive, got %d", c.GMaxSize)
+	}
+	if c.LMaxSize < 1 {
+		return fmt.Errorf("core: L-MaxSize must be positive, got %d", c.LMaxSize)
+	}
+	if c.SamplePct <= 0 || c.SamplePct > 1 {
+		return fmt.Errorf("core: sampling percentage must be in (0,1], got %v", c.SamplePct)
+	}
+	if c.PartitionThreshold < 1 {
+		return fmt.Errorf("core: partition threshold pth must be positive, got %d", c.PartitionThreshold)
+	}
+	if c.BuildBloom && (c.BloomFP <= 0 || c.BloomFP >= 1) {
+		return fmt.Errorf("core: bloom false-positive rate must be in (0,1), got %v", c.BloomFP)
+	}
+	if c.Compression != storage.NoCompression && c.Compression != storage.Flate {
+		return fmt.Errorf("core: unknown compression %d", c.Compression)
+	}
+	return nil
+}

@@ -1,0 +1,616 @@
+package core
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"github.com/tardisdb/tardis/internal/cluster"
+	"github.com/tardisdb/tardis/internal/dataset"
+	"github.com/tardisdb/tardis/internal/storage"
+	"github.com/tardisdb/tardis/internal/ts"
+)
+
+const (
+	testSeriesLen = 64
+	testRecords   = 4000
+	testBlockRecs = 500
+)
+
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.GMaxSize = 600
+	cfg.LMaxSize = 50
+	cfg.SamplePct = 0.25
+	cfg.PartitionThreshold = 8
+	return cfg
+}
+
+func buildTestIndex(t *testing.T, kind dataset.Kind, cfg Config) (*Index, *storage.Store, *cluster.Cluster) {
+	t.Helper()
+	g, err := dataset.New(kind, testSeriesLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := dataset.WriteStore(g, 42, testRecords, filepath.Join(t.TempDir(), "src"), testBlockRecs, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := cluster.New(cluster.Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := Build(cl, src, filepath.Join(t.TempDir(), "dst"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix, src, cl
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := DefaultConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []func(*Config){
+		func(c *Config) { c.WordLen = 6 },
+		func(c *Config) { c.WordLen = 0 },
+		func(c *Config) { c.InitialBits = 0 },
+		func(c *Config) { c.InitialBits = 99 },
+		func(c *Config) { c.GMaxSize = 0 },
+		func(c *Config) { c.LMaxSize = 0 },
+		func(c *Config) { c.SamplePct = 0 },
+		func(c *Config) { c.SamplePct = 1.2 },
+		func(c *Config) { c.PartitionThreshold = 0 },
+		func(c *Config) { c.BloomFP = 0 },
+		func(c *Config) { c.BloomFP = 1 },
+	}
+	for i, mutate := range cases {
+		c := DefaultConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d should fail validation", i)
+		}
+	}
+}
+
+func TestBuildBasics(t *testing.T) {
+	ix, src, _ := buildTestIndex(t, dataset.RandomWalk, testConfig())
+	st := ix.BuildStats()
+	if st.Records != testRecords {
+		t.Errorf("records = %d, want %d", st.Records, testRecords)
+	}
+	if st.Partitions < 2 {
+		t.Errorf("partitions = %d, want several", st.Partitions)
+	}
+	if st.SampledBlocks != 2 { // 25% of 8 blocks
+		t.Errorf("sampled blocks = %d, want 2", st.SampledBlocks)
+	}
+	if st.GlobalIndexBytes <= 0 || st.LocalIndexBytes <= 0 || st.BloomBytes <= 0 {
+		t.Errorf("sizes not recorded: %+v", st)
+	}
+	if st.GlobalTotal <= 0 || st.LocalTotal <= 0 || st.Total < st.GlobalTotal {
+		t.Errorf("timings not recorded: %+v", st)
+	}
+	// All records accounted for in the clustered store.
+	total, err := ix.Store.TotalRecords()
+	if err != nil || total != testRecords {
+		t.Errorf("clustered store holds %d records, want %d (%v)", total, testRecords, err)
+	}
+	// Partition count matches locals.
+	if ix.NumPartitions() != st.Partitions {
+		t.Errorf("NumPartitions=%d stats=%d", ix.NumPartitions(), st.Partitions)
+	}
+	srcTotal, _ := src.TotalRecords()
+	if srcTotal != testRecords {
+		t.Errorf("source store mutated: %d", srcTotal)
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	cl, _ := cluster.New(cluster.Config{Workers: 2})
+	g, _ := dataset.New(dataset.RandomWalk, testSeriesLen)
+	src, err := dataset.WriteStore(g, 1, 100, filepath.Join(t.TempDir(), "s"), 50, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := testConfig()
+	bad.WordLen = 6
+	if _, err := Build(cl, src, t.TempDir(), bad); err == nil {
+		t.Error("invalid config should fail")
+	}
+	// Series shorter than word length.
+	g4, _ := dataset.New(dataset.RandomWalk, 4)
+	src4, err := dataset.WriteStore(g4, 1, 50, filepath.Join(t.TempDir(), "s4"), 50, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(cl, src4, t.TempDir(), testConfig()); err == nil {
+		t.Error("series shorter than word length should fail")
+	}
+}
+
+// Every record routed to a partition must be findable by exact match — the
+// clustered-index correctness invariant.
+func TestExactMatchFindsAllStored(t *testing.T) {
+	ix, src, _ := buildTestIndex(t, dataset.RandomWalk, testConfig())
+	// Probe a sample of stored records.
+	recs, err := src.ReadPartition(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		rec := recs[i*7%len(recs)]
+		got, st, err := ix.ExactMatch(rec.Values, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, rid := range got {
+			if rid == rec.RID {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("record %d not found by exact match (stats %+v)", rec.RID, st)
+		}
+	}
+}
+
+func TestExactMatchAbsent(t *testing.T) {
+	ix, _, _ := buildTestIndex(t, dataset.RandomWalk, testConfig())
+	rng := rand.New(rand.NewSource(7777))
+	bloomSaves := 0
+	for i := 0; i < 30; i++ {
+		q := make(ts.Series, testSeriesLen)
+		for j := range q {
+			q[j] = rng.NormFloat64()
+		}
+		q = q.ZNormalize()
+		got, st, err := ix.ExactMatch(q, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 0 {
+			t.Fatalf("random query matched records %v", got)
+		}
+		if st.BloomRejected || st.PartitionsLoaded == 0 {
+			bloomSaves++
+		}
+	}
+	if bloomSaves == 0 {
+		t.Error("bloom filter (or local traversal) never saved a partition load for absent queries")
+	}
+	// Non-bloom variant agrees on the answer.
+	q := make(ts.Series, testSeriesLen)
+	for j := range q {
+		q[j] = rng.NormFloat64()
+	}
+	q = q.ZNormalize()
+	withBF, _, err := ix.ExactMatch(q, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withoutBF, _, err := ix.ExactMatch(q, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(withBF) != len(withoutBF) {
+		t.Error("bloom and non-bloom variants disagree")
+	}
+}
+
+func TestExactMatchQueryValidation(t *testing.T) {
+	ix, _, _ := buildTestIndex(t, dataset.RandomWalk, testConfig())
+	if _, _, err := ix.ExactMatch(make(ts.Series, 3), true); err == nil {
+		t.Error("wrong query length should fail")
+	}
+	cfg := testConfig()
+	cfg.BuildBloom = false
+	ix2, _, _ := buildTestIndex(t, dataset.RandomWalk, cfg)
+	if _, _, err := ix2.ExactMatch(make(ts.Series, testSeriesLen), true); err == nil {
+		t.Error("bloom query against bloom-less index should fail")
+	}
+	if _, _, err := ix2.ExactMatch(make(ts.Series, testSeriesLen), false); err != nil {
+		t.Errorf("non-bloom query should work: %v", err)
+	}
+}
+
+func knnStrategies(ix *Index) map[string]func(ts.Series, int) ([]Neighbor, QueryStats, error) {
+	return map[string]func(ts.Series, int) ([]Neighbor, QueryStats, error){
+		"TNA": ix.KNNTargetNode,
+		"OPA": ix.KNNOnePartition,
+		"MPA": ix.KNNMultiPartition,
+	}
+}
+
+func TestKNNStrategiesReturnK(t *testing.T) {
+	ix, _, _ := buildTestIndex(t, dataset.RandomWalk, testConfig())
+	rng := rand.New(rand.NewSource(5))
+	q := make(ts.Series, testSeriesLen)
+	for j := range q {
+		q[j] = rng.NormFloat64()
+	}
+	q = q.ZNormalize()
+	for name, knn := range knnStrategies(ix) {
+		res, st, err := knn(q, 10)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(res) != 10 {
+			t.Fatalf("%s: returned %d results, want 10", name, len(res))
+		}
+		for i := 1; i < len(res); i++ {
+			if res[i].Dist < res[i-1].Dist {
+				t.Fatalf("%s: results not sorted", name)
+			}
+		}
+		if st.PartitionsLoaded == 0 {
+			t.Errorf("%s: no partition loads counted", name)
+		}
+		if st.Duration <= 0 {
+			t.Errorf("%s: duration not recorded", name)
+		}
+		// k validation.
+		if _, _, err := knn(q, 0); err == nil {
+			t.Errorf("%s: k=0 should fail", name)
+		}
+	}
+}
+
+// Widening the candidate scope can only improve (not worsen) the kth
+// distance: OPA's kth distance <= TNA's, and MPA's <= OPA's.
+func TestKNNScopeMonotone(t *testing.T) {
+	ix, _, _ := buildTestIndex(t, dataset.RandomWalk, testConfig())
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 10; i++ {
+		q := make(ts.Series, testSeriesLen)
+		for j := range q {
+			q[j] = rng.NormFloat64()
+		}
+		q = q.ZNormalize()
+		const k = 10
+		tna, _, err := ix.KNNTargetNode(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opa, _, err := ix.KNNOnePartition(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mpa, _, err := ix.KNNMultiPartition(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tna) < k || len(opa) < k || len(mpa) < k {
+			continue // tiny target scope; nothing to compare
+		}
+		if opa[k-1].Dist > tna[k-1].Dist+1e-9 {
+			t.Fatalf("OPA kth dist %v worse than TNA %v", opa[k-1].Dist, tna[k-1].Dist)
+		}
+		if mpa[k-1].Dist > opa[k-1].Dist+1e-9 {
+			t.Fatalf("MPA kth dist %v worse than OPA %v", mpa[k-1].Dist, opa[k-1].Dist)
+		}
+	}
+}
+
+// The soundness anchor: ground truth via full scan, and OPA/MPA results must
+// all be true dataset members with correct distances.
+func TestGroundTruthAndDistances(t *testing.T) {
+	ix, _, _ := buildTestIndex(t, dataset.RandomWalk, testConfig())
+	rng := rand.New(rand.NewSource(8))
+	q := make(ts.Series, testSeriesLen)
+	for j := range q {
+		q[j] = rng.NormFloat64()
+	}
+	q = q.ZNormalize()
+	const k = 20
+	gt, err := ix.GroundTruthKNN(q, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gt) != k {
+		t.Fatalf("ground truth returned %d", len(gt))
+	}
+	for i := 1; i < k; i++ {
+		if gt[i].Dist < gt[i-1].Dist {
+			t.Fatal("ground truth not sorted")
+		}
+	}
+	// Every strategy's answers have distance >= the true kth NN distance
+	// position-wise is not guaranteed, but each reported distance must be
+	// >= the true nearest distance and correctly computed. Verify against
+	// loaded data by recomputation through another full scan membership.
+	res, _, err := ix.KNNMultiPartition(q, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range res {
+		if n.Dist < gt[0].Dist-1e-9 {
+			t.Fatalf("result %d closer than true NN: %v < %v", i, n.Dist, gt[0].Dist)
+		}
+	}
+	// MPA's first result is usually the true NN on clustered random walks;
+	// require at least that its distance is within 2x of the truth.
+	if res[0].Dist > gt[0].Dist*2+1e-9 {
+		t.Logf("warning: MPA first distance %v vs truth %v", res[0].Dist, gt[0].Dist)
+	}
+}
+
+func TestGroundTruthPruned(t *testing.T) {
+	ix, _, _ := buildTestIndex(t, dataset.RandomWalk, testConfig())
+	rng := rand.New(rand.NewSource(9))
+	q := make(ts.Series, testSeriesLen)
+	for j := range q {
+		q[j] = rng.NormFloat64()
+	}
+	q = q.ZNormalize()
+	const k = 10
+	exact, err := ix.GroundTruthKNN(q, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned, _, err := ix.GroundTruthPruned(q, k, 7.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pruned) != k {
+		t.Fatalf("pruned ground truth returned %d", len(pruned))
+	}
+	// The pruned oracle with the lower-bound property must agree with the
+	// exact scan (thresholds only cut candidates farther than themselves).
+	for i := range exact {
+		if pruned[i].RID != exact[i].RID && pruned[i].Dist != exact[i].Dist {
+			t.Fatalf("pruned oracle diverges at %d: (%d,%v) vs (%d,%v)",
+				i, pruned[i].RID, pruned[i].Dist, exact[i].RID, exact[i].Dist)
+		}
+	}
+	if _, _, err := ix.GroundTruthPruned(q, 0, 7.5); err == nil {
+		t.Error("k=0 should fail")
+	}
+	if _, _, err := ix.GroundTruthPruned(q, 5, 0); err == nil {
+		t.Error("threshold=0 should fail")
+	}
+}
+
+// kNN queries with a stored series as the query must return that series
+// first at distance 0.
+func TestKNNSelfQuery(t *testing.T) {
+	ix, src, _ := buildTestIndex(t, dataset.RandomWalk, testConfig())
+	recs, err := src.ReadPartition(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := recs[3]
+	for name, knn := range knnStrategies(ix) {
+		res, _, err := knn(rec.Values, 5)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(res) == 0 || res[0].Dist != 0 || res[0].RID != rec.RID {
+			t.Fatalf("%s: self query should return itself first, got %+v", name, res[:min(1, len(res))])
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Skewed datasets (NOAA-like) still build and answer queries: the oversized
+// leaf path (count beyond G-MaxSize at max depth) is exercised.
+func TestSkewedDatasetBuild(t *testing.T) {
+	ix, src, _ := buildTestIndex(t, dataset.NOAA, testConfig())
+	total, err := ix.Store.TotalRecords()
+	if err != nil || total != testRecords {
+		t.Fatalf("clustered store holds %d records (%v)", total, err)
+	}
+	recs, err := src.ReadPartition(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		rec := recs[i*13%len(recs)]
+		got, _, err := ix.ExactMatch(rec.Values, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, rid := range got {
+			if rid == rec.RID {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("skewed record %d not found", rec.RID)
+		}
+	}
+	res, _, err := ix.KNNMultiPartition(recs[0].Values, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 10 {
+		t.Fatalf("kNN on skewed data returned %d", len(res))
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	cfg := testConfig()
+	a, _, _ := buildTestIndex(t, dataset.DNA, cfg)
+	b, _, _ := buildTestIndex(t, dataset.DNA, cfg)
+	if a.NumPartitions() != b.NumPartitions() {
+		t.Fatalf("nondeterministic partitions: %d vs %d", a.NumPartitions(), b.NumPartitions())
+	}
+	as, bs := a.BuildStats(), b.BuildStats()
+	if as.GlobalIndexBytes != bs.GlobalIndexBytes {
+		t.Errorf("nondeterministic global index size: %d vs %d", as.GlobalIndexBytes, bs.GlobalIndexBytes)
+	}
+	if as.LocalIndexBytes != bs.LocalIndexBytes {
+		t.Errorf("nondeterministic local index size: %d vs %d", as.LocalIndexBytes, bs.LocalIndexBytes)
+	}
+}
+
+// A compressed index builds, saves, loads, and answers identically.
+func TestCompressedIndex(t *testing.T) {
+	cfg := testConfig()
+	cfg.Compression = storage.Flate
+	ix, src, cl := buildTestIndex(t, dataset.RandomWalk, cfg)
+	plain, _, _ := buildTestIndex(t, dataset.RandomWalk, testConfig())
+
+	cSize, err := ix.Store.SizeBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pSize, err := plain.Store.SizeBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cSize >= pSize {
+		t.Errorf("compressed store %d not smaller than plain %d", cSize, pSize)
+	}
+	recs, err := src.ReadPartition(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := recs[9].Values
+	a, _, err := ix.KNNMultiPartition(q, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := plain.KNNMultiPartition(q, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("compressed and plain indexes disagree at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	if err := ix.Save(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Load(cl, ix.Store.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _, err := re.KNNMultiPartition(q, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != c[i] {
+			t.Fatalf("reloaded compressed index disagrees at %d", i)
+		}
+	}
+	bad := testConfig()
+	bad.Compression = storage.Compression(7)
+	if err := bad.Validate(); err == nil {
+		t.Error("unknown compression should fail validation")
+	}
+}
+
+// Heavily skewed data with a small partition capacity forces global leaves
+// whose estimated count exceeds the capacity even at max depth: those leaves
+// receive multiple partition ids, records spread across them by rid hash,
+// and queries must check the whole id list.
+func TestOversizedLeafMultiplePartitions(t *testing.T) {
+	// A store where one exact shape dominates: 600 near-identical copies
+	// (identical signature at full cardinality) plus 400 random walks.
+	g, err := dataset.New(dataset.RandomWalk, testSeriesLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := dataset.Record(g, 4242, 0).Values.ZNormalize()
+	dir := filepath.Join(t.TempDir(), "src")
+	src, err := storage.Create(dir, testSeriesLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var block []ts.Record
+	pid := 0
+	flush := func() {
+		if len(block) == 0 {
+			return
+		}
+		if err := src.WritePartition(pid, block); err != nil {
+			t.Fatal(err)
+		}
+		pid++
+		block = nil
+	}
+	for rid := int64(0); rid < 600; rid++ {
+		block = append(block, ts.Record{RID: rid, Values: base.Clone()})
+		if len(block) == 200 {
+			flush()
+		}
+	}
+	rng := rand.New(rand.NewSource(4242))
+	for rid := int64(600); rid < 1000; rid++ {
+		v := make(ts.Series, testSeriesLen)
+		for j := range v {
+			v[j] = rng.NormFloat64()
+		}
+		block = append(block, ts.Record{RID: rid, Values: v.ZNormalize()})
+		if len(block) == 200 {
+			flush()
+		}
+	}
+	flush()
+	if err := src.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig()
+	cfg.GMaxSize = 120 // far below the duplicate mass
+	cfg.SamplePct = 0.6
+	cl, err := cluster.New(cluster.Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := Build(cl, src, filepath.Join(t.TempDir(), "dst"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	multiPID := 0
+	for _, leaf := range ix.Global.Leaves() {
+		if len(leaf.PIDs) > 1 {
+			multiPID++
+		}
+	}
+	if multiPID == 0 {
+		t.Fatal("expected at least one oversized leaf with multiple partitions")
+	}
+	// Exact match still finds every probed record (query checks all pids of
+	// the leaf).
+	recs, err := src.ReadPartition(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		rec := recs[i*29%len(recs)]
+		got, _, err := ix.ExactMatch(rec.Values, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, rid := range got {
+			if rid == rec.RID {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("record %d lost in multi-partition leaf routing", rec.RID)
+		}
+	}
+	// kNN across the spread partitions still self-matches.
+	res, _, err := ix.KNNMultiPartition(recs[3].Values, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 0 || res[0].Dist != 0 {
+		t.Fatalf("kNN self query wrong: %+v", res)
+	}
+}

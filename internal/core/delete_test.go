@@ -1,0 +1,219 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/tardisdb/tardis/internal/dataset"
+)
+
+func TestDeleteHidesStoredRecord(t *testing.T) {
+	ix, src, _ := buildTestIndex(t, dataset.RandomWalk, testConfig())
+	recs, err := src.ReadPartition(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := recs[5]
+
+	// Visible before deletion.
+	got, _, err := ix.ExactMatch(victim.Values, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Fatal("victim not indexed")
+	}
+	if err := ix.Delete(victim.RID); err != nil {
+		t.Fatal(err)
+	}
+	if ix.TombstoneCount() != 1 {
+		t.Errorf("tombstones = %d", ix.TombstoneCount())
+	}
+
+	// Hidden from every query path before compaction.
+	got, _, err = ix.ExactMatch(victim.Values, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rid := range got {
+		if rid == victim.RID {
+			t.Fatal("deleted record visible via exact match")
+		}
+	}
+	for name, knnFn := range knnStrategies(ix) {
+		res, _, err := knnFn(victim.Values, 5)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, n := range res {
+			if n.RID == victim.RID {
+				t.Fatalf("%s: deleted record in results", name)
+			}
+		}
+	}
+	res, _, err := ix.KNNExact(victim.Values, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range res {
+		if n.RID == victim.RID {
+			t.Fatal("KNNExact returned deleted record")
+		}
+	}
+	rr, _, err := ix.RangeQuery(victim.Values, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range rr {
+		if n.RID == victim.RID {
+			t.Fatal("RangeQuery returned deleted record")
+		}
+	}
+	gt, err := ix.GroundTruthKNN(victim.Values, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gt) != 5 {
+		t.Fatalf("ground truth short: %d", len(gt))
+	}
+	for _, n := range gt {
+		if n.RID == victim.RID {
+			t.Fatal("oracle returned deleted record")
+		}
+	}
+
+	// Compaction reclaims the bytes.
+	before, _ := ix.Store.TotalRecords()
+	nParts, err := ix.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nParts < 1 {
+		t.Fatal("compaction should rewrite the victim's partition")
+	}
+	after, _ := ix.Store.TotalRecords()
+	if after != before-1 {
+		t.Fatalf("store went %d -> %d, want one fewer", before, after)
+	}
+	got, _, err = ix.ExactMatch(victim.Values, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rid := range got {
+		if rid == victim.RID {
+			t.Fatal("deleted record resurfaced after compaction")
+		}
+	}
+}
+
+func TestDeleteDeltaOnlyRecord(t *testing.T) {
+	ix, _, _ := buildTestIndex(t, dataset.RandomWalk, testConfig())
+	rec := freshRecords(t, 1, 50)[0]
+	if err := ix.Insert(rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Delete(rec.RID); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := ix.ExactMatch(rec.Values, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rid := range got {
+		if rid == rec.RID {
+			t.Fatal("insert-then-delete record still visible")
+		}
+	}
+	before, _ := ix.Store.TotalRecords()
+	if _, err := ix.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := ix.Store.TotalRecords()
+	if after != before {
+		t.Fatalf("insert-then-delete changed the store: %d -> %d", before, after)
+	}
+}
+
+func TestDeleteAllTopK(t *testing.T) {
+	ix, src, _ := buildTestIndex(t, dataset.RandomWalk, testConfig())
+	recs, err := src.ReadPartition(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := recs[0].Values
+	top, err := ix.GroundTruthKNN(q, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range top {
+		if err := ix.Delete(n.RID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The oracle must still return 3 live records, none of the deleted.
+	gt, err := ix.GroundTruthKNN(q, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gt) != 3 {
+		t.Fatalf("oracle returned %d after deleting top-3", len(gt))
+	}
+	deleted := map[int64]bool{}
+	for _, n := range top {
+		deleted[n.RID] = true
+	}
+	for _, n := range gt {
+		if deleted[n.RID] {
+			t.Fatal("oracle returned a deleted record")
+		}
+	}
+	// Exact kNN agrees with the oracle.
+	res, _, err := ix.KNNExact(q, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range gt {
+		if res[i].Dist != gt[i].Dist {
+			t.Fatalf("exact kNN diverges at %d: %v vs %v", i, res[i].Dist, gt[i].Dist)
+		}
+	}
+}
+
+// Queries are safe to run concurrently on an immutable index (the paper's
+// deployment: many analysts, one index).
+func TestConcurrentQueries(t *testing.T) {
+	ix, src, _ := buildTestIndex(t, dataset.RandomWalk, testConfig())
+	recs, err := src.ReadPartition(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				rec := recs[(g*13+i*7)%len(recs)]
+				if _, _, err := ix.ExactMatch(rec.Values, true); err != nil {
+					errCh <- err
+					return
+				}
+				if res, _, err := ix.KNNMultiPartition(rec.Values, 5); err != nil {
+					errCh <- err
+					return
+				} else if len(res) == 0 || res[0].RID != rec.RID {
+					errCh <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}

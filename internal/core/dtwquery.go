@@ -1,0 +1,165 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/tardisdb/tardis/internal/dtw"
+	"github.com/tardisdb/tardis/internal/knn"
+	"github.com/tardisdb/tardis/internal/sigtree"
+	"github.com/tardisdb/tardis/internal/ts"
+)
+
+// DTW queries — an extension beyond the paper (which evaluates Euclidean
+// distance only), following the standard iSAX recipe for exact DTW search:
+// the query's Keogh envelope is reduced to PAA and compared against SAX
+// regions to prune index nodes (LB_PAA), surviving candidates are gated by
+// LB_Keogh with early abandoning, and only the remainder pays the full
+// banded dynamic program. All three bounds are proper lower bounds of the
+// banded DTW, so KNNDTW is exact for the given band.
+
+// dtwBounder caches the per-query envelope machinery.
+type dtwBounder struct {
+	env  *dtw.Envelope
+	penv *dtw.PAAEnvelope
+	ix   *Index
+}
+
+func (ix *Index) newDTWBounder(q ts.Series, band int) (*dtwBounder, error) {
+	env, err := dtw.NewEnvelope(q, band)
+	if err != nil {
+		return nil, err
+	}
+	penv, err := env.PAA(ix.cfg.WordLen)
+	if err != nil {
+		return nil, err
+	}
+	return &dtwBounder{env: env, penv: penv, ix: ix}, nil
+}
+
+// nodeBound lower-bounds DTW(q, c) for every series c under a sigTree node.
+func (b *dtwBounder) nodeBound(n *sigtree.Node) (float64, error) {
+	if n.Sig == "" {
+		return 0, nil // root covers everything
+	}
+	word, bits, err := b.ix.codec.Decode(n.Sig)
+	if err != nil {
+		return 0, err
+	}
+	return b.penv.MinDistRegions(word, bits)
+}
+
+// KNNDTW answers the exact k-nearest-neighbor query under banded DTW
+// (Sakoe-Chiba half-width `band`). Partitions are visited in ascending
+// envelope-bound order and search stops when the next bound exceeds the kth
+// DTW distance; within partitions, nodes are pruned with the region bound
+// and candidates gated with LB_Keogh before the full dynamic program runs.
+func (ix *Index) KNNDTW(q ts.Series, k, band int) ([]Neighbor, QueryStats, error) {
+	start := time.Now()
+	var st QueryStats
+	if k < 1 {
+		return nil, st, fmt.Errorf("core: k must be positive, got %d", k)
+	}
+	if band < 0 {
+		return nil, st, fmt.Errorf("core: band must be non-negative, got %d", band)
+	}
+	if len(q) != ix.seriesLen {
+		return nil, st, fmt.Errorf("core: query length %d != indexed length %d", len(q), ix.seriesLen)
+	}
+	b, err := ix.newDTWBounder(q, band)
+	if err != nil {
+		return nil, st, err
+	}
+
+	// Order partitions by the tightest envelope bound over their global
+	// leaves.
+	best := map[int]float64{}
+	for _, leaf := range ix.Global.Leaves() {
+		d, err := b.nodeBound(leaf)
+		if err != nil {
+			return nil, st, err
+		}
+		for _, pid := range leaf.PIDs {
+			if cur, ok := best[pid]; !ok || d < cur {
+				best[pid] = d
+			}
+		}
+	}
+	order := make([]partitionBound, 0, len(best))
+	for pid, d := range best {
+		order = append(order, partitionBound{pid: pid, bound: d})
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].bound != order[j].bound {
+			return order[i].bound < order[j].bound
+		}
+		return order[i].pid < order[j].pid
+	})
+
+	h := knn.NewHeap(k)
+	// Seed with the in-memory delta.
+	if ix.delta != nil {
+		for rid, s := range ix.delta.data {
+			if ix.delta.deleted(rid) {
+				continue
+			}
+			st.Candidates++
+			if err := b.refineDTW(h, q, rid, s, band, &st); err != nil {
+				return nil, st, err
+			}
+		}
+	}
+	for _, pb := range order {
+		if pb.bound > h.Bound() {
+			break
+		}
+		local := ix.Locals[pb.pid]
+		if local == nil {
+			return nil, st, fmt.Errorf("core: partition %d has no local index", pb.pid)
+		}
+		entries, pruned, err := local.Tree.PruneCollectFunc(b.nodeBound, h.Bound())
+		if err != nil {
+			return nil, st, err
+		}
+		st.PrunedLeaves += pruned
+		if len(entries) == 0 {
+			continue
+		}
+		data, err := ix.LoadPartition(pb.pid)
+		if err != nil {
+			return nil, st, err
+		}
+		st.PartitionsLoaded++
+		for _, e := range entries {
+			if h.Contains(e.RID) || ix.delta.deleted(e.RID) {
+				continue
+			}
+			s, ok := data[e.RID]
+			if !ok {
+				return nil, st, fmt.Errorf("core: partition %d missing record %d", pb.pid, e.RID)
+			}
+			st.Candidates++
+			if err := b.refineDTW(h, q, e.RID, s, band, &st); err != nil {
+				return nil, st, err
+			}
+		}
+	}
+	st.Duration = time.Since(start)
+	return h.Sorted(), st, nil
+}
+
+// refineDTW gates a candidate with LB_Keogh and, when it survives, computes
+// the full banded DTW and offers it to the heap.
+func (b *dtwBounder) refineDTW(h *knn.Heap, q ts.Series, rid int64, s ts.Series, band int, st *QueryStats) error {
+	bound := h.Bound()
+	if _, ok := b.env.LBKeoghEarlyAbandon(s, bound); !ok {
+		return nil // LB_Keogh already exceeds the kth distance
+	}
+	d, err := dtw.Distance(q, s, band)
+	if err != nil {
+		return err
+	}
+	h.Offer(Neighbor{RID: rid, Dist: d})
+	return nil
+}

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/tardisdb/tardis/internal/dataset"
+	"github.com/tardisdb/tardis/internal/dtw"
+	"github.com/tardisdb/tardis/internal/ts"
+)
+
+// bruteForceDTW computes the exact DTW k nearest neighbors by scanning the
+// source store.
+func bruteForceDTW(t *testing.T, ix *Index, q ts.Series, k, band int) []Neighbor {
+	t.Helper()
+	pids, err := ix.Store.Partitions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	type dr struct {
+		rid int64
+		d   float64
+	}
+	var all []dr
+	for _, pid := range pids {
+		err := ix.Store.ScanPartition(pid, func(r ts.Record) error {
+			d, err := dtw.Distance(q, r.Values, band)
+			if err != nil {
+				return err
+			}
+			all = append(all, dr{rid: r.RID, d: d})
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < k && i < len(all); i++ {
+		min := i
+		for j := i + 1; j < len(all); j++ {
+			if all[j].d < all[min].d || (all[j].d == all[min].d && all[j].rid < all[min].rid) {
+				min = j
+			}
+		}
+		all[i], all[min] = all[min], all[i]
+	}
+	out := make([]Neighbor, 0, k)
+	for i := 0; i < k && i < len(all); i++ {
+		out = append(out, Neighbor{RID: all[i].rid, Dist: all[i].d})
+	}
+	return out
+}
+
+// KNNDTW must agree with the brute-force DTW scan — the exactness guarantee
+// of the lower-bound chain.
+func TestKNNDTWMatchesBruteForce(t *testing.T) {
+	ix, _, _ := buildTestIndex(t, dataset.RandomWalk, testConfig())
+	for i := int64(0); i < 5; i++ {
+		q := randomQuery(300 + i)
+		for _, band := range []int{0, 3, 8} {
+			const k = 8
+			got, st, err := ix.KNNDTW(q, k, band)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := bruteForceDTW(t, ix, q, k, band)
+			if len(got) != len(want) {
+				t.Fatalf("band %d query %d: %d results, want %d", band, i, len(got), len(want))
+			}
+			for j := range want {
+				if math.Abs(got[j].Dist-want[j].Dist) > 1e-9 {
+					t.Fatalf("band %d query %d result %d: dist %v, want %v",
+						band, i, j, got[j].Dist, want[j].Dist)
+				}
+			}
+			if st.Duration <= 0 {
+				t.Error("duration missing")
+			}
+		}
+	}
+}
+
+// With band 0, DTW kNN equals Euclidean exact kNN.
+func TestKNNDTWBandZeroEqualsEuclidean(t *testing.T) {
+	ix, _, _ := buildTestIndex(t, dataset.DNA, testConfig())
+	q := randomQuery(77)
+	const k = 10
+	dtwRes, _, err := ix.KNNDTW(q, k, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edRes, _, err := ix.KNNExact(q, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range edRes {
+		if math.Abs(dtwRes[j].Dist-edRes[j].Dist) > 1e-9 {
+			t.Fatalf("result %d: DTW(0) %v != ED %v", j, dtwRes[j].Dist, edRes[j].Dist)
+		}
+	}
+}
+
+func TestKNNDTWSelfQuery(t *testing.T) {
+	ix, src, _ := buildTestIndex(t, dataset.NOAA, testConfig())
+	recs, err := src.ReadPartition(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := ix.KNNDTW(recs[2].Values, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 0 || res[0].Dist != 0 {
+		t.Fatalf("self DTW query should return distance 0 first: %+v", res)
+	}
+}
+
+func TestKNNDTWWithDelta(t *testing.T) {
+	ix, _, _ := buildTestIndex(t, dataset.RandomWalk, testConfig())
+	recs := freshRecords(t, 5, 700)
+	if err := ix.InsertBatch(recs); err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := ix.KNNDTW(recs[1].Values, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 0 || res[0].RID != recs[1].RID || res[0].Dist != 0 {
+		t.Fatalf("delta record not found by DTW query: %+v", res)
+	}
+	// Deleted records stay hidden.
+	if err := ix.Delete(recs[1].RID); err != nil {
+		t.Fatal(err)
+	}
+	res, _, err = ix.KNNDTW(recs[1].Values, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range res {
+		if n.RID == recs[1].RID {
+			t.Fatal("deleted record returned by DTW query")
+		}
+	}
+}
+
+func TestKNNDTWValidation(t *testing.T) {
+	ix, _, _ := buildTestIndex(t, dataset.RandomWalk, testConfig())
+	q := randomQuery(1)
+	if _, _, err := ix.KNNDTW(q, 0, 3); err == nil {
+		t.Error("k=0 should fail")
+	}
+	if _, _, err := ix.KNNDTW(q, 5, -1); err == nil {
+		t.Error("negative band should fail")
+	}
+	if _, _, err := ix.KNNDTW(make(ts.Series, 2), 5, 3); err == nil {
+		t.Error("bad query length should fail")
+	}
+}
+
+// Pruning does real work: with a tight band the query must not load every
+// partition.
+func TestKNNDTWPrunes(t *testing.T) {
+	ix, src, _ := buildTestIndex(t, dataset.RandomWalk, testConfig())
+	recs, err := src.ReadPartition(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st, err := ix.KNNDTW(recs[0].Values, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PartitionsLoaded >= ix.NumPartitions() {
+		t.Logf("no partitions pruned (%d loaded of %d) — acceptable on diffuse data, but log it",
+			st.PartitionsLoaded, ix.NumPartitions())
+	}
+	if st.PrunedLeaves == 0 && st.PartitionsLoaded == ix.NumPartitions() {
+		t.Error("neither partitions nor leaves pruned; bounds are doing nothing")
+	}
+}

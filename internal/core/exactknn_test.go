@@ -1,0 +1,196 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/tardisdb/tardis/internal/dataset"
+	"github.com/tardisdb/tardis/internal/ts"
+)
+
+func randomQuery(seed int64) ts.Series {
+	rng := rand.New(rand.NewSource(seed))
+	q := make(ts.Series, testSeriesLen)
+	for j := range q {
+		q[j] = rng.NormFloat64()
+	}
+	return q.ZNormalize()
+}
+
+// KNNExact must agree with the brute-force ground truth on every query —
+// identical distance sequences (record ids may differ only on exact ties).
+func TestKNNExactMatchesGroundTruth(t *testing.T) {
+	ix, _, _ := buildTestIndex(t, dataset.RandomWalk, testConfig())
+	for i := int64(0); i < 10; i++ {
+		q := randomQuery(100 + i)
+		const k = 15
+		exact, st, err := ix.KNNExact(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth, err := ix.GroundTruthKNN(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(exact) != len(truth) {
+			t.Fatalf("query %d: %d results, want %d", i, len(exact), len(truth))
+		}
+		for j := range truth {
+			if math.Abs(exact[j].Dist-truth[j].Dist) > 1e-9 {
+				t.Fatalf("query %d result %d: dist %v, truth %v", i, j, exact[j].Dist, truth[j].Dist)
+			}
+		}
+		// Pruning must actually happen: fewer partitions than the total.
+		if st.PartitionsLoaded >= ix.NumPartitions() {
+			t.Logf("query %d: loaded all %d partitions (no pruning possible)", i, st.PartitionsLoaded)
+		}
+	}
+}
+
+func TestKNNExactSelfQuery(t *testing.T) {
+	ix, src, _ := buildTestIndex(t, dataset.DNA, testConfig())
+	recs, err := src.ReadPartition(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := ix.KNNExact(recs[11].Values, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 || res[0].RID != recs[11].RID || res[0].Dist != 0 {
+		t.Fatalf("self query wrong: %+v", res)
+	}
+}
+
+func TestKNNExactValidation(t *testing.T) {
+	ix, _, _ := buildTestIndex(t, dataset.RandomWalk, testConfig())
+	if _, _, err := ix.KNNExact(randomQuery(1), 0); err == nil {
+		t.Error("k=0 should fail")
+	}
+	if _, _, err := ix.KNNExact(make(ts.Series, 3), 5); err == nil {
+		t.Error("bad query length should fail")
+	}
+}
+
+// RangeQuery must return exactly the records within eps: verified against a
+// brute-force scan.
+func TestRangeQueryExact(t *testing.T) {
+	ix, src, _ := buildTestIndex(t, dataset.RandomWalk, testConfig())
+	q := randomQuery(7)
+
+	// Brute force over the source store.
+	pids, err := src.Partitions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int64]float64{}
+	var maxSeen float64
+	for _, pid := range pids {
+		err := src.ScanPartition(pid, func(r ts.Record) error {
+			d, err := ts.EuclideanDistance(q, r.Values)
+			if err != nil {
+				return err
+			}
+			if d > maxSeen {
+				maxSeen = d
+			}
+			want[r.RID] = d
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Choose eps so that a modest but nonempty subset qualifies.
+	var dists []float64
+	for _, d := range want {
+		dists = append(dists, d)
+	}
+	eps := percentile(dists, 0.02)
+
+	got, st, err := ix.RangeQuery(q, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCount := 0
+	for _, d := range want {
+		if d <= eps {
+			wantCount++
+		}
+	}
+	if len(got) != wantCount {
+		t.Fatalf("range query returned %d records, brute force says %d", len(got), wantCount)
+	}
+	for _, n := range got {
+		d, ok := want[n.RID]
+		if !ok || math.Abs(d-n.Dist) > 1e-9 || d > eps+1e-12 {
+			t.Fatalf("bad result %+v (true dist %v)", n, d)
+		}
+	}
+	// Sorted ascending.
+	for i := 1; i < len(got); i++ {
+		if got[i].Dist < got[i-1].Dist {
+			t.Fatal("results not sorted")
+		}
+	}
+	if st.PartitionsLoaded == 0 && wantCount > 0 {
+		t.Error("no partition loads counted")
+	}
+	// Empty range.
+	none, _, err := ix.RangeQuery(q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(none) != 0 {
+		t.Errorf("eps=0 returned %d results", len(none))
+	}
+	// Validation.
+	if _, _, err := ix.RangeQuery(q, -1); err == nil {
+		t.Error("negative eps should fail")
+	}
+	if _, _, err := ix.RangeQuery(q, math.NaN()); err == nil {
+		t.Error("NaN eps should fail")
+	}
+}
+
+func percentile(v []float64, p float64) float64 {
+	cp := make([]float64, len(v))
+	copy(cp, v)
+	// insertion-free selection: simple sort
+	for i := 1; i < len(cp); i++ {
+		for j := i; j > 0 && cp[j] < cp[j-1]; j-- {
+			cp[j], cp[j-1] = cp[j-1], cp[j]
+		}
+	}
+	idx := int(float64(len(cp)) * p)
+	if idx >= len(cp) {
+		idx = len(cp) - 1
+	}
+	return cp[idx]
+}
+
+// Self range query at eps=0 returns exactly the identical record(s).
+func TestRangeQuerySelf(t *testing.T) {
+	ix, src, _ := buildTestIndex(t, dataset.NOAA, testConfig())
+	recs, err := src.ReadPartition(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := ix.RangeQuery(recs[4].Values, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, n := range got {
+		if n.RID == recs[4].RID {
+			found = true
+		}
+		if n.Dist != 0 {
+			t.Fatalf("eps=0 returned nonzero distance %v", n.Dist)
+		}
+	}
+	if !found {
+		t.Error("self record not in eps=0 range result")
+	}
+}

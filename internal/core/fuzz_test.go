@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"github.com/tardisdb/tardis/internal/cluster"
+	"github.com/tardisdb/tardis/internal/dataset"
+)
+
+// Config-space fuzz: random (word length, cardinality, thresholds, sampling,
+// dataset kind) combinations must all yield a correct index — every probed
+// stored record findable by exact match and returned first by kNN self
+// queries. This is the end-to-end invariant that holds regardless of tuning.
+func TestBuildConfigFuzz(t *testing.T) {
+	kinds := dataset.Kinds()
+	for trial := 0; trial < 8; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial-%d", trial), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(trial) * 7919))
+			cfg := DefaultConfig()
+			cfg.WordLen = []int{4, 8, 12}[rng.Intn(3)]
+			cfg.InitialBits = 3 + rng.Intn(5) // 3..7
+			cfg.GMaxSize = int64(100 + rng.Intn(500))
+			cfg.LMaxSize = int64(5 + rng.Intn(100))
+			cfg.SamplePct = 0.1 + rng.Float64()*0.9
+			cfg.PartitionThreshold = 1 + rng.Intn(10)
+			cfg.BuildBloom = rng.Intn(2) == 0
+			kind := kinds[rng.Intn(len(kinds))]
+			seriesLen := cfg.WordLen * (1 + rng.Intn(6))
+
+			g, err := dataset.New(kind, seriesLen)
+			if err != nil {
+				t.Fatal(err)
+			}
+			src, err := dataset.WriteStore(g, int64(trial), 1200, filepath.Join(t.TempDir(), "src"), 200, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cl, err := cluster.New(cluster.Config{Workers: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ix, err := Build(cl, src, filepath.Join(t.TempDir(), "dst"), cfg)
+			if err != nil {
+				t.Fatalf("cfg %+v kind %s len %d: %v", cfg, kind, seriesLen, err)
+			}
+			total, err := ix.Store.TotalRecords()
+			if err != nil || total != 1200 {
+				t.Fatalf("store holds %d (%v)", total, err)
+			}
+			recs, err := src.ReadPartition(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 8; i++ {
+				rec := recs[rng.Intn(len(recs))]
+				rids, _, err := ix.ExactMatch(rec.Values, cfg.BuildBloom)
+				if err != nil {
+					t.Fatal(err)
+				}
+				found := false
+				for _, rid := range rids {
+					if rid == rec.RID {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("record %d not found under cfg %+v", rec.RID, cfg)
+				}
+				res, _, err := ix.KNNMultiPartition(rec.Values, 3)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Short series can have exact duplicates, so require only a
+				// zero-distance first result (the query itself or its twin).
+				if len(res) == 0 || res[0].Dist != 0 {
+					t.Fatalf("self kNN wrong under cfg %+v: %+v", cfg, res)
+				}
+			}
+			// Exact kNN agrees with the oracle under any config.
+			q := recs[0].Values
+			exact, _, err := ix.KNNExact(q, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			truth, err := ix.GroundTruthKNN(q, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := range truth {
+				if exact[j].Dist != truth[j].Dist {
+					t.Fatalf("exact kNN diverges at %d under cfg %+v", j, cfg)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/tardisdb/tardis/internal/cluster"
+	"github.com/tardisdb/tardis/internal/knn"
+	"github.com/tardisdb/tardis/internal/storage"
+	"github.com/tardisdb/tardis/internal/ts"
+)
+
+func sqrt(v float64) float64 { return math.Sqrt(v) }
+
+// GroundTruthKNN computes the exact k nearest neighbors of q by a full
+// parallel scan over the clustered store — the evaluation oracle for recall
+// and error ratio. Unlike the paper (which uses a pruned approximation with
+// a fixed threshold because a full scan over a billion series is
+// impractical), our scaled datasets allow the exact answer. Pending delta
+// inserts are included and tombstoned records excluded, so the oracle always
+// reflects the index's logical contents.
+func (ix *Index) GroundTruthKNN(q ts.Series, k int) ([]Neighbor, error) {
+	// Over-fetch by the tombstone count: if the true top-k were all
+	// deleted, the filtered answer must still reach depth k.
+	fetch := k
+	if ix.delta != nil {
+		fetch += len(ix.delta.tombstones)
+	}
+	base, err := GroundTruthKNN(ix.cl, ix.Store, q, fetch)
+	if err != nil {
+		return nil, err
+	}
+	if ix.delta == nil {
+		return base, nil
+	}
+	h := knn.NewHeap(k)
+	for _, n := range base {
+		if !ix.delta.deleted(n.RID) {
+			h.Offer(n)
+		}
+	}
+	for rid, s := range ix.delta.data {
+		if ix.delta.deleted(rid) {
+			continue
+		}
+		bound := h.Bound()
+		if d2, ok := ts.SquaredDistanceEarlyAbandon(q, s, bound*bound); ok {
+			h.Offer(Neighbor{RID: rid, Dist: sqrt(d2)})
+		}
+	}
+	return h.Sorted(), nil
+}
+
+// GroundTruthKNN computes the exact k nearest neighbors of q over any
+// store by a full parallel scan.
+func GroundTruthKNN(cl *cluster.Cluster, st *storage.Store, q ts.Series, k int) ([]Neighbor, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("core: k must be positive, got %d", k)
+	}
+	if len(q) != st.SeriesLen() {
+		return nil, fmt.Errorf("core: query length %d != stored length %d", len(q), st.SeriesLen())
+	}
+	pids, err := st.Partitions()
+	if err != nil {
+		return nil, err
+	}
+	blocks := cluster.Parallelize(cl, pids, 0)
+	partials, err := cluster.MapPartitions("ground-truth-scan", blocks,
+		func(_ int, ps []int) ([]Neighbor, error) {
+			h := knn.NewHeap(k)
+			for _, pid := range ps {
+				err := st.ScanPartition(pid, func(r ts.Record) error {
+					bound := h.Bound()
+					if d2, ok := ts.SquaredDistanceEarlyAbandon(q, r.Values, bound*bound); ok {
+						h.Offer(Neighbor{RID: r.RID, Dist: sqrt(d2)})
+					}
+					return nil
+				})
+				if err != nil {
+					return nil, err
+				}
+			}
+			return h.Sorted(), nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	merged := knn.NewHeap(k)
+	for _, n := range partials.Collect() {
+		merged.Offer(n)
+	}
+	return merged.Sorted(), nil
+}
+
+// GroundTruthPruned reproduces the paper's ground-truth procedure (§VI-C2):
+// use the Tardis-G lower bound to filter partitions, then each surviving
+// partition's Tardis-L lower bound to filter nodes, with a fixed distance
+// threshold (7.5 in the paper); refine the survivors. When fewer than k
+// candidates survive, the threshold is doubled and the scan retried, so the
+// procedure always returns k results when the dataset holds at least k.
+func (ix *Index) GroundTruthPruned(q ts.Series, k int, threshold float64) ([]Neighbor, QueryStats, error) {
+	start := time.Now()
+	var st QueryStats
+	if k < 1 {
+		return nil, st, fmt.Errorf("core: k must be positive, got %d", k)
+	}
+	if threshold <= 0 {
+		return nil, st, fmt.Errorf("core: threshold must be positive, got %v", threshold)
+	}
+	sig, paa, err := ix.querySig(q)
+	if err != nil {
+		return nil, st, err
+	}
+	_ = sig
+	for {
+		h := knn.NewHeap(k)
+		var candidates int
+		// Filter partitions by the global lower bound: a partition may hold
+		// answers only if some global leaf pointing at it survives.
+		alive := map[int]bool{}
+		var walkErr error
+		for _, leaf := range ix.Global.Leaves() {
+			d, err := ix.Global.MinDist(leaf, paa, ix.seriesLen)
+			if err != nil {
+				walkErr = err
+				break
+			}
+			if d <= threshold {
+				for _, pid := range leaf.PIDs {
+					alive[pid] = true
+				}
+			}
+		}
+		if walkErr != nil {
+			return nil, st, walkErr
+		}
+		for pid := range alive {
+			preSt := QueryStats{}
+			if err := ix.scanPartitionInto(h, q, paa, pid, threshold, nil, &preSt); err != nil {
+				return nil, st, err
+			}
+			st.PartitionsLoaded += preSt.PartitionsLoaded
+			st.PrunedLeaves += preSt.PrunedLeaves
+			candidates += preSt.Candidates
+		}
+		st.Candidates += candidates
+		if res := h.Sorted(); len(res) >= k || threshold > 1e6 {
+			st.Duration = time.Since(start)
+			return res, st, nil
+		}
+		threshold *= 2
+	}
+}

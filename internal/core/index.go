@@ -1,0 +1,319 @@
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+	"time"
+
+	"github.com/tardisdb/tardis/internal/bloom"
+	"github.com/tardisdb/tardis/internal/cluster"
+	"github.com/tardisdb/tardis/internal/isaxt"
+	"github.com/tardisdb/tardis/internal/sigtree"
+	"github.com/tardisdb/tardis/internal/storage"
+	"github.com/tardisdb/tardis/internal/ts"
+)
+
+// Index is a built TARDIS index: the global sigTree on the driver, the
+// clustered data partitions on disk, and per-partition local indices with
+// optional Bloom filters.
+//
+// Local indices hold signatures and record ids only; the raw series stay in
+// the partition files, so every query that needs actual values pays the
+// partition-load cost the paper's latency analysis is built on (§V-A).
+type Index struct {
+	cfg       Config
+	codec     *isaxt.Codec
+	cl        *cluster.Cluster
+	seriesLen int
+
+	// Global is Tardis-G. Its leaves carry partition ids; internal nodes
+	// carry the union of their descendants' ids.
+	Global *sigtree.Tree
+	// Store holds the clustered (re-partitioned) data.
+	Store *storage.Store
+	// Locals holds one Tardis-L per partition, indexed by pid.
+	Locals []*Local
+
+	routerCache *Router
+	delta       *deltaStore
+	stats       BuildStats
+}
+
+// Local is one partition's Tardis-L plus its Bloom filter (nil when Bloom
+// construction is disabled).
+type Local struct {
+	Tree  *sigtree.Tree
+	Bloom *bloom.Filter
+}
+
+// BuildStats records the construction-time breakdown matching the paper's
+// Figures 10-12 (global stages, local stages, Bloom overhead) and the
+// index-size figures of Fig. 13.
+type BuildStats struct {
+	// Global index stages (Fig. 11).
+	SampleConvert   time.Duration
+	NodeStatistics  time.Duration
+	SkeletonBuild   time.Duration
+	PartitionAssign time.Duration
+	GlobalTotal     time.Duration
+	// Local index stages (Fig. 10).
+	ShuffleReadConvert time.Duration
+	LocalConstruct     time.Duration
+	BloomConstruct     time.Duration
+	LocalTotal         time.Duration
+	Total              time.Duration
+	// Volumes.
+	SampledBlocks  int
+	SampledRecords int64
+	Records        int64
+	Partitions     int
+	// Sizes (Fig. 13).
+	GlobalIndexBytes int64
+	LocalIndexBytes  int64
+	BloomBytes       int64
+}
+
+// Config returns the index configuration.
+func (ix *Index) Config() Config { return ix.cfg }
+
+// Codec returns the iSAX-T codec.
+func (ix *Index) Codec() *isaxt.Codec { return ix.codec }
+
+// SeriesLen returns the indexed series length.
+func (ix *Index) SeriesLen() int { return ix.seriesLen }
+
+// BuildStats returns the construction profile.
+func (ix *Index) BuildStats() BuildStats { return ix.stats }
+
+// NumPartitions returns the partition count.
+func (ix *Index) NumPartitions() int { return len(ix.Locals) }
+
+func hashString(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+func hashInt64(v int64) uint64 {
+	h := uint64(v) * 0x9e3779b97f4a7c15
+	h ^= h >> 32
+	return h
+}
+
+// shuffleRec is the record shape flowing through the shuffle: the converted
+// signature plus the original record (paper §IV-C: (isaxt(b), ts, rid)).
+type shuffleRec struct {
+	pid int
+	sig isaxt.Signature
+	rec ts.Record
+}
+
+// Build constructs a TARDIS index over the z-normalized dataset in src,
+// writing the clustered partitions into a new store at dstDir. The cluster
+// provides the execution substrate; cfg carries Table II parameters.
+func Build(cl *cluster.Cluster, src *storage.Store, dstDir string, cfg Config) (*Index, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	codec, err := isaxt.NewCodec(cfg.WordLen)
+	if err != nil {
+		return nil, err
+	}
+	if src.SeriesLen() < cfg.WordLen {
+		return nil, fmt.Errorf("core: series length %d shorter than word length %d", src.SeriesLen(), cfg.WordLen)
+	}
+	ix := &Index{cfg: cfg, codec: codec, cl: cl, seriesLen: src.SeriesLen()}
+	buildStart := time.Now()
+
+	if err := ix.buildGlobal(src); err != nil {
+		return nil, fmt.Errorf("core: building global index: %w", err)
+	}
+	if err := ix.buildLocal(src, dstDir); err != nil {
+		return nil, fmt.Errorf("core: building local indices: %w", err)
+	}
+
+	ix.stats.Total = time.Since(buildStart)
+	ix.stats.GlobalIndexBytes = ix.Global.SerializedSize()
+	for _, l := range ix.Locals {
+		if l == nil {
+			continue
+		}
+		ix.stats.LocalIndexBytes += l.Tree.SerializedSize()
+		if l.Bloom != nil {
+			ix.stats.BloomBytes += int64(l.Bloom.SizeBytes())
+		}
+	}
+	return ix, nil
+}
+
+// buildGlobal runs the four Tardis-G stages: data preprocessing (sample and
+// convert), node statistics, skeleton building, partition assignment
+// (paper §IV-B).
+func (ix *Index) buildGlobal(src *storage.Store) error {
+	globalStart := time.Now()
+	cfg, codec := ix.cfg, ix.codec
+
+	// --- Stage 1: block-level sampling + conversion (map-reduce). ---
+	stageStart := time.Now()
+	sampled, err := src.SampledPartitions(cfg.SamplePct, cfg.SampleSeed)
+	if err != nil {
+		return err
+	}
+	ix.stats.SampledBlocks = len(sampled)
+	blocks := cluster.Parallelize(ix.cl, sampled, 0)
+	pairs, err := cluster.MapPartitions("sample-convert", blocks,
+		func(_ int, pids []int) ([]cluster.Pair[string, int64], error) {
+			local := map[string]int64{}
+			for _, pid := range pids {
+				err := src.ScanPartition(pid, func(r ts.Record) error {
+					sig, err := codec.FromSeries(r.Values, cfg.InitialBits)
+					if err != nil {
+						return err
+					}
+					local[string(sig)]++
+					return nil
+				})
+				if err != nil {
+					return nil, err
+				}
+			}
+			out := make([]cluster.Pair[string, int64], 0, len(local))
+			for k, v := range local {
+				out = append(out, cluster.Pair[string, int64]{Key: k, Value: v})
+			}
+			return out, nil
+		})
+	if err != nil {
+		return err
+	}
+	reduced, err := cluster.ReduceByKey("sample-reduce", pairs, 0, hashString,
+		func(a, b int64) int64 { return a + b })
+	if err != nil {
+		return err
+	}
+	base := map[isaxt.Signature]int64{}
+	for _, p := range reduced.Collect() {
+		base[isaxt.Signature(p.Key)] += p.Value
+		ix.stats.SampledRecords += p.Value
+	}
+	ix.stats.SampleConvert = time.Since(stageStart)
+
+	// --- Stages 2-4: node statistics, skeleton building, partition
+	// assignment (shared with the RPC build mode). ---
+	tree, partitions, bd, err := BuildGlobalFromSample(codec, cfg, base)
+	if err != nil {
+		return err
+	}
+	ix.Global = tree
+	ix.routerCache = NewRouter(tree)
+	ix.stats.Partitions = partitions
+	ix.stats.NodeStatistics = bd.NodeStatistics
+	ix.stats.SkeletonBuild = bd.SkeletonBuild
+	ix.stats.PartitionAssign = bd.PartitionAssign
+	ix.stats.GlobalTotal = time.Since(globalStart)
+	return nil
+}
+
+// layerStat is one node-statistics entry: a node signature at some layer and
+// its (scaled) series count.
+type layerStat struct {
+	sig   isaxt.Signature
+	count int64
+}
+
+// GlobalBreakdown times the driver-side stages of the global-index build.
+type GlobalBreakdown struct {
+	NodeStatistics  time.Duration
+	SkeletonBuild   time.Duration
+	PartitionAssign time.Duration
+}
+
+// BuildGlobalFromSample runs the driver-side Tardis-G stages over sampled
+// signature frequencies (paper §IV-B): the layer-by-layer node statistics
+// with the G-MaxSize judge, skeleton building via tree insertion, and the
+// FFD partition assignment. Sampled frequencies are scaled by
+// 1/cfg.SamplePct before comparison with G-MaxSize. It returns the global
+// tree with partition ids assigned, the partition count, and stage timings.
+// The RPC build mode calls this directly with frequencies gathered from
+// remote workers.
+func BuildGlobalFromSample(codec *isaxt.Codec, cfg Config, base map[isaxt.Signature]int64) (*sigtree.Tree, int, GlobalBreakdown, error) {
+	var bd GlobalBreakdown
+
+	// Node statistics, layer by layer (map/reduce/judge loop).
+	stageStart := time.Now()
+	scale := 1.0 / cfg.SamplePct
+	layers := make([][]layerStat, 0, cfg.InitialBits)
+	remaining := base
+	for layer := 1; layer <= cfg.InitialBits && len(remaining) > 0; layer++ {
+		agg := map[isaxt.Signature]int64{}
+		for sig, freq := range remaining {
+			agg[codec.Prefix(sig, layer)] += freq
+		}
+		stats := make([]layerStat, 0, len(agg))
+		maxScaled := int64(0)
+		scaledOf := func(freq int64) int64 {
+			v := int64(float64(freq)*scale + 0.5)
+			if v < 1 {
+				v = 1
+			}
+			return v
+		}
+		for sig, freq := range agg {
+			sc := scaledOf(freq)
+			stats = append(stats, layerStat{sig: sig, count: sc})
+			if sc > maxScaled {
+				maxScaled = sc
+			}
+		}
+		layers = append(layers, stats)
+		// Judge: stop when every node fits in a partition, or depth is out.
+		if maxScaled <= cfg.GMaxSize || layer == cfg.InitialBits {
+			break
+		}
+		// Filter: signatures under still-oversized nodes continue deeper.
+		next := map[isaxt.Signature]int64{}
+		for sig, freq := range remaining {
+			if scaledOf(agg[codec.Prefix(sig, layer)]) > cfg.GMaxSize {
+				next[sig] = freq
+			}
+		}
+		remaining = next
+	}
+	bd.NodeStatistics = time.Since(stageStart)
+
+	// Skeleton building (tree insertion, ascending layers).
+	stageStart = time.Now()
+	tree, err := sigtree.New(codec, cfg.InitialBits, cfg.GMaxSize)
+	if err != nil {
+		return nil, 0, bd, err
+	}
+	for _, layer := range layers {
+		sortLayerStats(layer)
+		for _, st := range layer {
+			if err := tree.InsertNodeStat(st.sig, st.count); err != nil {
+				return nil, 0, bd, err
+			}
+		}
+	}
+	bd.SkeletonBuild = time.Since(stageStart)
+
+	// Partition assignment (FFD packing of sibling leaves).
+	stageStart = time.Now()
+	partitions, err := assignPartitions(tree, cfg.GMaxSize)
+	if err != nil {
+		return nil, 0, bd, err
+	}
+	bd.PartitionAssign = time.Since(stageStart)
+	return tree, partitions, bd, nil
+}
+
+// SetPartitionThreshold adjusts pth — the Multi-Partitions Access cap on
+// loaded partitions — at query time. The paper fixes pth = 40 (Table II);
+// exposing it lets the ablation bench sweep the accuracy/latency trade.
+func (ix *Index) SetPartitionThreshold(pth int) error {
+	if pth < 1 {
+		return fmt.Errorf("core: partition threshold must be positive, got %d", pth)
+	}
+	ix.cfg.PartitionThreshold = pth
+	return nil
+}

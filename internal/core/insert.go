@@ -1,0 +1,340 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/tardisdb/tardis/internal/bloom"
+	"github.com/tardisdb/tardis/internal/isaxt"
+	"github.com/tardisdb/tardis/internal/sigtree"
+	"github.com/tardisdb/tardis/internal/ts"
+)
+
+// Incremental maintenance — an extension beyond the paper's batch-only
+// design. New records accumulate in an in-memory delta (a sigTree over the
+// new entries plus their raw series); every query transparently consults the
+// delta alongside the on-disk partitions. Compact folds the delta into the
+// clustered partitions: each affected partition file is rewritten with its
+// new records and its local sigTree and Bloom filter are rebuilt, after
+// which the delta is empty.
+//
+// The Index is not safe for concurrent mutation; interleave Insert/Compact
+// with queries from a single goroutine, or add external synchronization.
+
+// deltaStore is the in-memory memtable of inserted-but-not-compacted
+// records.
+type deltaStore struct {
+	tree *sigtree.Tree
+	data map[int64]ts.Series
+	// tombstones marks deleted record ids; queries filter them out and
+	// Compact drops them from the rewritten partitions.
+	tombstones map[int64]struct{}
+}
+
+// deleted reports whether rid carries a tombstone.
+func (d *deltaStore) deleted(rid int64) bool {
+	if d == nil {
+		return false
+	}
+	_, ok := d.tombstones[rid]
+	return ok
+}
+
+func (ix *Index) ensureDelta() error {
+	if ix.delta != nil {
+		return nil
+	}
+	tree, err := sigtree.New(ix.codec, ix.cfg.InitialBits, ix.cfg.LMaxSize)
+	if err != nil {
+		return err
+	}
+	ix.delta = &deltaStore{tree: tree, data: map[int64]ts.Series{}, tombstones: map[int64]struct{}{}}
+	return nil
+}
+
+// DeltaCount returns the number of inserted records awaiting compaction.
+func (ix *Index) DeltaCount() int64 {
+	if ix.delta == nil {
+		return 0
+	}
+	return ix.delta.tree.Count()
+}
+
+// Insert adds one record to the index. The record must be z-normalized like
+// the indexed data, have the indexed length, and carry a record id unused by
+// both the dataset and the delta.
+func (ix *Index) Insert(rec ts.Record) error {
+	if len(rec.Values) != ix.seriesLen {
+		return fmt.Errorf("core: insert length %d != indexed length %d", len(rec.Values), ix.seriesLen)
+	}
+	if err := ix.ensureDelta(); err != nil {
+		return err
+	}
+	if _, dup := ix.delta.data[rec.RID]; dup {
+		return fmt.Errorf("core: record id %d already in delta", rec.RID)
+	}
+	sig, err := ix.codec.FromSeries(rec.Values, ix.cfg.InitialBits)
+	if err != nil {
+		return err
+	}
+	if err := ix.delta.tree.Insert(sigtree.Entry{Sig: sig, RID: rec.RID}); err != nil {
+		return err
+	}
+	ix.delta.data[rec.RID] = rec.Values.Clone()
+	return nil
+}
+
+// Delete marks a record id as deleted. The record disappears from query
+// results immediately; the bytes are reclaimed at the next Compact. Deleting
+// an id that only lives in the delta removes it outright.
+func (ix *Index) Delete(rid int64) error {
+	if err := ix.ensureDelta(); err != nil {
+		return err
+	}
+	if _, inDelta := ix.delta.data[rid]; inDelta {
+		delete(ix.delta.data, rid)
+		// The sigTree entry stays (harmless: refinement checks data first),
+		// but mark the tombstone so the entry is skipped.
+	}
+	ix.delta.tombstones[rid] = struct{}{}
+	return nil
+}
+
+// TombstoneCount returns the number of pending deletions.
+func (ix *Index) TombstoneCount() int {
+	if ix.delta == nil {
+		return 0
+	}
+	return len(ix.delta.tombstones)
+}
+
+// InsertBatch adds a batch of records; it stops at the first error.
+func (ix *Index) InsertBatch(recs []ts.Record) error {
+	for _, r := range recs {
+		if err := ix.Insert(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// deltaExactMatch returns the delta record ids exactly equal to q.
+func (ix *Index) deltaExactMatch(q ts.Series, sig isaxt.Signature) []int64 {
+	if ix.delta == nil {
+		return nil
+	}
+	leaf := ix.delta.tree.FindLeaf(sig)
+	if leaf == nil {
+		return nil
+	}
+	var out []int64
+	for _, e := range leaf.Entries {
+		if e.Sig != sig || ix.delta.deleted(e.RID) {
+			continue
+		}
+		if s, ok := ix.delta.data[e.RID]; ok && ts.Equal(s, q) {
+			out = append(out, e.RID)
+		}
+	}
+	return out
+}
+
+// deltaRefine feeds delta candidates within threshold into the heap.
+func (ix *Index) deltaRefine(h heapLike, q, paa ts.Series, threshold float64, st *QueryStats) error {
+	if ix.delta == nil {
+		return nil
+	}
+	entries, pruned, err := ix.delta.tree.PruneCollect(paa, ix.seriesLen, threshold)
+	if err != nil {
+		return err
+	}
+	st.PrunedLeaves += pruned
+	for _, e := range entries {
+		if ix.delta.deleted(e.RID) {
+			continue
+		}
+		s, ok := ix.delta.data[e.RID]
+		if !ok {
+			// Deleted delta-only record: its tree entry is a husk.
+			continue
+		}
+		st.Candidates++
+		bound := h.Bound()
+		if d2, ok2 := ts.SquaredDistanceEarlyAbandon(q, s, bound*bound); ok2 {
+			h.Offer(Neighbor{RID: e.RID, Dist: sqrt(d2)})
+		}
+	}
+	return nil
+}
+
+// heapLike abstracts the knn heap for delta refinement.
+type heapLike interface {
+	Offer(Neighbor)
+	Bound() float64
+}
+
+// Compact folds the delta into the on-disk partitions: every affected
+// partition is rewritten with its new records appended and its local
+// sigTree and Bloom filter rebuilt; the global tree's counts are updated
+// along each routed path. If the index was saved, call Save again afterwards
+// to persist the merged state. It returns the number of partitions
+// rewritten.
+func (ix *Index) Compact() (int, error) {
+	if ix.delta == nil || (ix.delta.tree.Count() == 0 && len(ix.delta.tombstones) == 0) {
+		return 0, nil
+	}
+	// Group live delta entries by target partition.
+	byPID := map[int][]sigtree.Entry{}
+	for _, leaf := range ix.delta.tree.Leaves() {
+		for _, e := range leaf.Entries {
+			if ix.delta.deleted(e.RID) {
+				continue
+			}
+			if _, ok := ix.delta.data[e.RID]; !ok {
+				continue
+			}
+			pid, err := ix.Route(e.Sig, e.RID)
+			if err != nil {
+				return 0, err
+			}
+			byPID[pid] = append(byPID[pid], e)
+		}
+	}
+	// Tombstones for on-disk records force a rewrite of every partition
+	// that may hold them; without a rid→pid map, find them via the Bloom
+	// filter-free path: scan partitions whose local tree holds the rid. A
+	// linear check over local trees is cheap (ids only).
+	if len(ix.delta.tombstones) > 0 {
+		for pid, l := range ix.Locals {
+			if l == nil {
+				continue
+			}
+			if _, scheduled := byPID[pid]; scheduled {
+				continue
+			}
+			if localHoldsAny(l, ix.delta.tombstones) {
+				byPID[pid] = nil // rewrite with no additions
+			}
+		}
+	}
+	pids := make([]int, 0, len(byPID))
+	for pid := range byPID {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+	for _, pid := range pids {
+		if err := ix.compactPartition(pid, byPID[pid]); err != nil {
+			return 0, err
+		}
+	}
+	ix.delta = nil
+	return len(pids), nil
+}
+
+// localHoldsAny reports whether the local tree indexes any of the given ids.
+func localHoldsAny(l *Local, ids map[int64]struct{}) bool {
+	found := false
+	l.Tree.Walk(func(n *sigtree.Node) {
+		if found || !n.IsLeaf() {
+			return
+		}
+		for _, e := range n.Entries {
+			if _, ok := ids[e.RID]; ok {
+				found = true
+				return
+			}
+		}
+	})
+	return found
+}
+
+// compactPartition rewrites one partition with the new entries appended and
+// rebuilds its local structures.
+func (ix *Index) compactPartition(pid int, added []sigtree.Entry) error {
+	all, err := ix.Store.ReadPartition(pid)
+	if err != nil {
+		return err
+	}
+	recs := all[:0]
+	for _, r := range all {
+		if !ix.delta.deleted(r.RID) {
+			recs = append(recs, r)
+		}
+	}
+	for _, e := range added {
+		s, ok := ix.delta.data[e.RID]
+		if !ok {
+			return fmt.Errorf("core: delta missing record %d", e.RID)
+		}
+		recs = append(recs, ts.Record{RID: e.RID, Values: s})
+	}
+	// Rewrite the partition file atomically enough for a single-writer
+	// store: delete then recreate (the write-once Writer refuses an
+	// existing file).
+	if err := ix.Store.DeletePartition(pid); err != nil {
+		return err
+	}
+	w, err := ix.Store.NewWriter(pid)
+	if err != nil {
+		return err
+	}
+	tree, err := sigtree.New(ix.codec, ix.cfg.InitialBits, ix.cfg.LMaxSize)
+	if err != nil {
+		return err
+	}
+	var bf *bloom.Filter
+	if ix.cfg.BuildBloom {
+		n := uint64(len(recs))
+		if n == 0 {
+			n = 1
+		}
+		bf, err = bloom.NewWithEstimate(n, ix.cfg.BloomFP)
+		if err != nil {
+			return err
+		}
+	}
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			return err
+		}
+		sig, err := ix.codec.FromSeries(r.Values, ix.cfg.InitialBits)
+		if err != nil {
+			return err
+		}
+		if err := tree.Insert(sigtree.Entry{Sig: sig, RID: r.RID}); err != nil {
+			return err
+		}
+		if bf != nil {
+			bf.AddString(string(sig))
+		}
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	if err := ix.Store.Sync(); err != nil {
+		return err
+	}
+	ix.Locals[pid] = &Local{Tree: tree, Bloom: bf}
+	// Update global counts along each added entry's path.
+	for _, e := range added {
+		bumpGlobalCounts(ix.Global, e.Sig)
+	}
+	return nil
+}
+
+// bumpGlobalCounts increments the subtree counts along the deepest matching
+// path for sig, keeping Tardis-G's statistics roughly current as the dataset
+// grows.
+func bumpGlobalCounts(tree *sigtree.Tree, sig isaxt.Signature) {
+	codec := tree.Codec()
+	node := tree.Root()
+	node.Count++
+	for !node.IsLeaf() && node.Layer < tree.MaxBits() {
+		child := node.Children[codec.Plane(sig, node.Layer+1)]
+		if child == nil {
+			return
+		}
+		child.Count++
+		node = child
+	}
+}

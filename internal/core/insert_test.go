@@ -1,0 +1,189 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/tardisdb/tardis/internal/dataset"
+	"github.com/tardisdb/tardis/internal/ts"
+)
+
+func freshRecords(t *testing.T, n int, base int64) []ts.Record {
+	t.Helper()
+	g, err := dataset.New(dataset.RandomWalk, testSeriesLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]ts.Record, n)
+	for i := range out {
+		// A generation seed disjoint from the build's 42 keeps these
+		// records out of the original dataset.
+		rec := dataset.Record(g, 777, base+int64(i))
+		rec.RID = 1_000_000 + base + int64(i)
+		rec.Values.ZNormalizeInPlace()
+		out[i] = rec
+	}
+	return out
+}
+
+func TestInsertVisibleBeforeCompact(t *testing.T) {
+	ix, _, _ := buildTestIndex(t, dataset.RandomWalk, testConfig())
+	recs := freshRecords(t, 20, 0)
+	if err := ix.InsertBatch(recs); err != nil {
+		t.Fatal(err)
+	}
+	if ix.DeltaCount() != 20 {
+		t.Fatalf("delta count = %d", ix.DeltaCount())
+	}
+	for _, rec := range recs[:5] {
+		// Exact match sees the delta.
+		got, _, err := ix.ExactMatch(rec.Values, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) == 0 || got[len(got)-1] != rec.RID {
+			t.Fatalf("inserted record %d not found before compaction: %v", rec.RID, got)
+		}
+		// kNN strategies see it at distance 0.
+		for name, knnFn := range knnStrategies(ix) {
+			res, _, err := knnFn(rec.Values, 3)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if len(res) == 0 || res[0].RID != rec.RID || res[0].Dist != 0 {
+				t.Fatalf("%s: inserted record not first result: %+v", name, res)
+			}
+		}
+		// Exact kNN and range too.
+		res, _, err := ix.KNNExact(rec.Values, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res[0].RID != rec.RID {
+			t.Fatalf("KNNExact missed inserted record: %+v", res[0])
+		}
+		rr, _, err := ix.RangeQuery(rec.Values, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, n := range rr {
+			if n.RID == rec.RID {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatal("RangeQuery missed inserted record")
+		}
+	}
+}
+
+func TestCompactFoldsDelta(t *testing.T) {
+	ix, _, _ := buildTestIndex(t, dataset.RandomWalk, testConfig())
+	before, err := ix.Store.TotalRecords()
+	if err != nil {
+		t.Fatal(err)
+	}
+	globalBefore := ix.Global.Count()
+	recs := freshRecords(t, 30, 100)
+	if err := ix.InsertBatch(recs); err != nil {
+		t.Fatal(err)
+	}
+	nParts, err := ix.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nParts < 1 {
+		t.Fatalf("compaction touched %d partitions", nParts)
+	}
+	if ix.DeltaCount() != 0 {
+		t.Errorf("delta not emptied: %d", ix.DeltaCount())
+	}
+	after, err := ix.Store.TotalRecords()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after != before+30 {
+		t.Fatalf("store holds %d records, want %d", after, before+30)
+	}
+	if ix.Global.Count() != globalBefore+30 {
+		t.Errorf("global count %d, want %d", ix.Global.Count(), globalBefore+30)
+	}
+	// Everything still findable from disk.
+	for _, rec := range recs {
+		got, _, err := ix.ExactMatch(rec.Values, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, rid := range got {
+			if rid == rec.RID {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("record %d lost after compaction", rec.RID)
+		}
+	}
+	// Compacting an empty delta is a no-op.
+	n, err := ix.Compact()
+	if err != nil || n != 0 {
+		t.Errorf("empty compact: %d, %v", n, err)
+	}
+	// Local-tree invariant: counts still consistent in rewritten partitions.
+	for pid, l := range ix.Locals {
+		if l == nil {
+			continue
+		}
+		cnt, err := ix.Store.PartitionCount(pid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l.Tree.Count() != cnt {
+			t.Fatalf("partition %d: local tree %d entries, file %d", pid, l.Tree.Count(), cnt)
+		}
+	}
+}
+
+func TestInsertValidation(t *testing.T) {
+	ix, _, _ := buildTestIndex(t, dataset.RandomWalk, testConfig())
+	if err := ix.Insert(ts.Record{RID: 1, Values: make(ts.Series, 3)}); err == nil {
+		t.Error("wrong length should fail")
+	}
+	rec := freshRecords(t, 1, 500)[0]
+	if err := ix.Insert(rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Insert(rec); err == nil {
+		t.Error("duplicate rid in delta should fail")
+	}
+}
+
+// kNN answers agree before and after compaction for queries near the
+// inserted records.
+func TestQueriesConsistentAcrossCompaction(t *testing.T) {
+	ix, _, _ := buildTestIndex(t, dataset.RandomWalk, testConfig())
+	recs := freshRecords(t, 10, 900)
+	if err := ix.InsertBatch(recs); err != nil {
+		t.Fatal(err)
+	}
+	q := recs[3].Values
+	pre, _, err := ix.KNNExact(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	post, _, err := ix.KNNExact(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pre) != len(post) {
+		t.Fatalf("result sizes differ: %d vs %d", len(pre), len(post))
+	}
+	for i := range pre {
+		if pre[i].RID != post[i].RID || pre[i].Dist != post[i].Dist {
+			t.Fatalf("result %d differs across compaction: %+v vs %+v", i, pre[i], post[i])
+		}
+	}
+}

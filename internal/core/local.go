@@ -1,0 +1,146 @@
+package core
+
+import (
+	"sync/atomic"
+	"time"
+
+	"github.com/tardisdb/tardis/internal/bloom"
+	"github.com/tardisdb/tardis/internal/cluster"
+	"github.com/tardisdb/tardis/internal/sigtree"
+	"github.com/tardisdb/tardis/internal/storage"
+	"github.com/tardisdb/tardis/internal/ts"
+)
+
+// buildLocal runs the Tardis-L pipeline (paper §IV-C, Fig. 8): broadcast the
+// global index as the shuffle partitioner, read and convert every record,
+// shuffle it to its target partition, then — per partition, in one
+// mapPartitions pass — write the clustered data file, build the local
+// sigTree, and encode the Bloom filter.
+func (ix *Index) buildLocal(src *storage.Store, dstDir string) error {
+	localStart := time.Now()
+	cfg, codec := ix.cfg, ix.codec
+
+	// The driver broadcasts Tardis-G to all workers as the partitioner.
+	cluster.NewBroadcast(ix.cl, "broadcast-global", ix.Global, ix.Global.SerializedSize())
+
+	// --- Read + convert + shuffle. ---
+	stageStart := time.Now()
+	srcPids, err := src.Partitions()
+	if err != nil {
+		return err
+	}
+	blocks := cluster.Parallelize(ix.cl, srcPids, 0)
+	recs, err := cluster.MapPartitions("read-convert", blocks,
+		func(_ int, pids []int) ([]shuffleRec, error) {
+			var out []shuffleRec
+			for _, pid := range pids {
+				err := src.ScanPartition(pid, func(r ts.Record) error {
+					sig, err := codec.FromSeries(r.Values, cfg.InitialBits)
+					if err != nil {
+						return err
+					}
+					target, err := ix.Route(sig, r.RID)
+					if err != nil {
+						return err
+					}
+					out = append(out, shuffleRec{pid: target, sig: sig, rec: r})
+					return nil
+				})
+				if err != nil {
+					return nil, err
+				}
+			}
+			return out, nil
+		})
+	if err != nil {
+		return err
+	}
+	shuffled, err := cluster.RepartitionBy("shuffle", recs, ix.stats.Partitions,
+		func(r shuffleRec) (int, error) { return r.pid, nil })
+	if err != nil {
+		return err
+	}
+	ix.stats.Records = shuffled.Count()
+	ix.stats.ShuffleReadConvert = time.Since(stageStart)
+
+	// --- Per-partition: write data file, build Tardis-L, encode Bloom. ---
+	stageStart = time.Now()
+	dst, err := storage.CreateCompressed(dstDir, src.SeriesLen(), cfg.Compression)
+	if err != nil {
+		return err
+	}
+	var bloomNanos atomic.Int64
+	localsDS, err := cluster.MapPartitions("local-build", shuffled,
+		func(pid int, items []shuffleRec) ([]*Local, error) {
+			w, err := dst.NewWriter(pid)
+			if err != nil {
+				return nil, err
+			}
+			tree, err := sigtree.New(codec, cfg.InitialBits, cfg.LMaxSize)
+			if err != nil {
+				return nil, err
+			}
+			for _, r := range items {
+				if err := w.Write(r.rec); err != nil {
+					return nil, err
+				}
+				if err := tree.Insert(sigtree.Entry{Sig: r.sig, RID: r.rec.RID}); err != nil {
+					return nil, err
+				}
+			}
+			if err := w.Close(); err != nil {
+				return nil, err
+			}
+			var bf *bloom.Filter
+			if cfg.BuildBloom {
+				t0 := time.Now()
+				n := uint64(len(items))
+				if n == 0 {
+					n = 1
+				}
+				bf, err = bloom.NewWithEstimate(n, cfg.BloomFP)
+				if err != nil {
+					return nil, err
+				}
+				for _, r := range items {
+					bf.AddString(string(r.sig))
+				}
+				bloomNanos.Add(int64(time.Since(t0)))
+			}
+			return []*Local{{Tree: tree, Bloom: bf}}, nil
+		})
+	if err != nil {
+		return err
+	}
+	if err := dst.Sync(); err != nil {
+		return err
+	}
+	ix.Store = dst
+	ix.Locals = make([]*Local, ix.stats.Partitions)
+	for pid := 0; pid < ix.stats.Partitions; pid++ {
+		part := localsDS.Partition(pid)
+		if len(part) == 1 {
+			ix.Locals[pid] = part[0]
+		}
+	}
+	ix.stats.BloomConstruct = time.Duration(bloomNanos.Load())
+	ix.stats.LocalConstruct = time.Since(stageStart) - ix.stats.BloomConstruct
+	ix.stats.LocalTotal = time.Since(localStart)
+	return nil
+}
+
+// LoadPartition reads one clustered partition from disk and returns its
+// records keyed by record id. This is the high-latency operation the
+// paper's query analysis counts; callers must treat it as the unit of query
+// I/O cost.
+func (ix *Index) LoadPartition(pid int) (map[int64]ts.Series, error) {
+	recs, err := ix.Store.ReadPartition(pid)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[int64]ts.Series, len(recs))
+	for _, r := range recs {
+		out[r.RID] = r.Values
+	}
+	return out, nil
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"errors"
+	"sort"
+
+	"github.com/tardisdb/tardis/internal/isaxt"
+	"github.com/tardisdb/tardis/internal/pack"
+	"github.com/tardisdb/tardis/internal/sigtree"
+)
+
+func sortLayerStats(layer []layerStat) {
+	sort.Slice(layer, func(i, j int) bool { return layer[i].sig < layer[j].sig })
+}
+
+// assignPartitions implements the paper's partition-assignment stage
+// (Definition 5): under every internal (or root) node, the under-utilized
+// sibling leaves are FFD-packed into as few capacity-C partitions as
+// possible; leaves whose estimated count exceeds the capacity get a
+// dedicated set of ceil(count/C) partitions. Afterwards the partition ids
+// are synchronized upward: every ancestor carries the sorted union of its
+// descendants' ids (the paper's "id list"). It returns the total number of
+// partitions created.
+func assignPartitions(tree *sigtree.Tree, capacity int64) (int, error) {
+	nextPID := 0
+	var assign func(n *sigtree.Node) error
+	assign = func(n *sigtree.Node) error {
+		if n.IsLeaf() {
+			return nil
+		}
+		// Recurse first so internal children have their own ids; then pack
+		// this node's leaf children together.
+		var leaves []*sigtree.Node
+		keys := make([]string, 0, len(n.Children))
+		for k := range n.Children {
+			keys = append(keys, string(k))
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			c := n.Children[isaxt.Signature(k)]
+			if c.IsLeaf() {
+				leaves = append(leaves, c)
+			} else if err := assign(c); err != nil {
+				return err
+			}
+		}
+		if len(leaves) == 0 {
+			return nil
+		}
+		items := make([]pack.Item, len(leaves))
+		for i, l := range leaves {
+			items[i] = pack.Item{ID: i, Size: l.Count}
+		}
+		res, err := pack.Pack(items, capacity, pack.FirstFitDecreasing)
+		if err != nil {
+			return err
+		}
+		for _, bin := range res.Bins {
+			pid := nextPID
+			nextPID++
+			for _, id := range bin.Items {
+				leaves[id].PIDs = []int{pid}
+			}
+		}
+		for _, it := range res.Oversize {
+			parts := int((it.Size + capacity - 1) / capacity)
+			pids := make([]int, parts)
+			for i := range pids {
+				pids[i] = nextPID
+				nextPID++
+			}
+			leaves[it.ID].PIDs = pids
+		}
+		return nil
+	}
+	if err := assign(tree.Root()); err != nil {
+		return 0, err
+	}
+	if nextPID == 0 {
+		return 0, errors.New("core: partition assignment produced no partitions (empty global index)")
+	}
+	// Synchronize descendant ids into ancestors.
+	var sync func(n *sigtree.Node) []int
+	sync = func(n *sigtree.Node) []int {
+		if n.IsLeaf() {
+			return n.PIDs
+		}
+		set := map[int]struct{}{}
+		for _, c := range n.Children {
+			for _, pid := range sync(c) {
+				set[pid] = struct{}{}
+			}
+		}
+		ids := make([]int, 0, len(set))
+		for pid := range set {
+			ids = append(ids, pid)
+		}
+		sort.Ints(ids)
+		n.PIDs = ids
+		return ids
+	}
+	sync(tree.Root())
+	return nextPID, nil
+}
+
+// Route returns the target partition for a full-cardinality signature and
+// record id (see Router.Route).
+func (ix *Index) Route(sig isaxt.Signature, rid int64) (int, error) {
+	return ix.router().Route(sig, rid)
+}
+
+// CandidatePIDs returns every partition that could hold series with the
+// given signature (see Router.CandidatePIDs).
+func (ix *Index) CandidatePIDs(sig isaxt.Signature) []int {
+	return ix.router().CandidatePIDs(sig)
+}
+
+// SiblingPIDs returns the partition id list of the parent of the node
+// covering sig (see Router.SiblingPIDs).
+func (ix *Index) SiblingPIDs(sig isaxt.Signature) []int {
+	return ix.router().SiblingPIDs(sig)
+}
+
+func (ix *Index) router() *Router {
+	if ix.routerCache == nil {
+		ix.routerCache = NewRouter(ix.Global)
+	}
+	return ix.routerCache
+}

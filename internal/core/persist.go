@@ -1,0 +1,216 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/tardisdb/tardis/internal/bloom"
+	"github.com/tardisdb/tardis/internal/cluster"
+	"github.com/tardisdb/tardis/internal/isaxt"
+	"github.com/tardisdb/tardis/internal/sigtree"
+	"github.com/tardisdb/tardis/internal/storage"
+)
+
+// Index persistence: the built index is stored inside the clustered store's
+// directory under _index/ — the global sigTree, one local sigTree and Bloom
+// filter per partition, and a JSON descriptor. Loading restores a fully
+// queryable Index without rebuilding.
+//
+// Local sigTrees serialize leaf record ids but not entry signatures (the
+// signature of an entry is implied by its leaf prefix only up to the leaf's
+// cardinality). Exact-match verification compares raw series from the
+// partition file, so queries remain correct; only the per-entry
+// full-cardinality signature check becomes a leaf-level check after a
+// reload, which can add a few extra candidate comparisons but never misses.
+
+const indexSubdir = "_index"
+
+type indexDescriptor struct {
+	Config     Config     `json:"config"`
+	SeriesLen  int        `json:"series_len"`
+	Partitions int        `json:"partitions"`
+	Stats      BuildStats `json:"stats"`
+}
+
+// Save persists the index structures into the clustered store's directory.
+func (ix *Index) Save() error {
+	dir := filepath.Join(ix.Store.Dir(), indexSubdir)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("core: creating index dir: %w", err)
+	}
+	desc := indexDescriptor{
+		Config:     ix.cfg,
+		SeriesLen:  ix.seriesLen,
+		Partitions: len(ix.Locals),
+		Stats:      ix.stats,
+	}
+	data, err := json.MarshalIndent(desc, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "index.json"), data, 0o644); err != nil {
+		return err
+	}
+	if err := writeTreeFile(filepath.Join(dir, "global.sigtree"), ix.Global); err != nil {
+		return err
+	}
+	for pid, l := range ix.Locals {
+		if l == nil {
+			continue
+		}
+		if err := writeTreeFile(filepath.Join(dir, fmt.Sprintf("local-%06d.sigtree", pid)), l.Tree); err != nil {
+			return err
+		}
+		if l.Bloom != nil {
+			bf, err := l.Bloom.MarshalBinary()
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(filepath.Join(dir, fmt.Sprintf("bloom-%06d.bin", pid)), bf, 0o644); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeTreeFile(path string, t *sigtree.Tree) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := t.WriteTo(f); err != nil {
+		f.Close()
+		os.Remove(path)
+		return err
+	}
+	return f.Close()
+}
+
+func readTreeFile(path string) (*sigtree.Tree, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return sigtree.ReadTree(f)
+}
+
+// Load restores a saved index from a clustered store directory. The cluster
+// is used for subsequent parallel operations (ground truth, rebuilds).
+func Load(cl *cluster.Cluster, storeDir string) (*Index, error) {
+	dir := filepath.Join(storeDir, indexSubdir)
+	data, err := os.ReadFile(filepath.Join(dir, "index.json"))
+	if err != nil {
+		return nil, fmt.Errorf("core: reading index descriptor: %w", err)
+	}
+	var desc indexDescriptor
+	if err := json.Unmarshal(data, &desc); err != nil {
+		return nil, fmt.Errorf("core: parsing index descriptor: %w", err)
+	}
+	if err := desc.Config.Validate(); err != nil {
+		return nil, fmt.Errorf("core: saved config invalid: %w", err)
+	}
+	codec, err := isaxt.NewCodec(desc.Config.WordLen)
+	if err != nil {
+		return nil, err
+	}
+	st, err := storage.Open(storeDir)
+	if err != nil {
+		return nil, fmt.Errorf("core: opening clustered store: %w", err)
+	}
+	global, err := readTreeFile(filepath.Join(dir, "global.sigtree"))
+	if err != nil {
+		return nil, fmt.Errorf("core: loading global index: %w", err)
+	}
+	ix := &Index{
+		cfg:         desc.Config,
+		codec:       codec,
+		cl:          cl,
+		seriesLen:   desc.SeriesLen,
+		Global:      global,
+		Store:       st,
+		Locals:      make([]*Local, desc.Partitions),
+		routerCache: NewRouter(global),
+		stats:       desc.Stats,
+	}
+	for pid := 0; pid < desc.Partitions; pid++ {
+		tree, err := readTreeFile(filepath.Join(dir, fmt.Sprintf("local-%06d.sigtree", pid)))
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue
+			}
+			return nil, fmt.Errorf("core: loading local index %d: %w", pid, err)
+		}
+		l := &Local{Tree: tree}
+		bfPath := filepath.Join(dir, fmt.Sprintf("bloom-%06d.bin", pid))
+		if bf, err := os.ReadFile(bfPath); err == nil {
+			var filter bloom.Filter
+			if err := filter.UnmarshalBinary(bf); err != nil {
+				return nil, fmt.Errorf("core: loading bloom %d: %w", pid, err)
+			}
+			l.Bloom = &filter
+		} else if !os.IsNotExist(err) {
+			return nil, err
+		}
+		ix.Locals[pid] = l
+	}
+	return ix, nil
+}
+
+// The exported writers below let a distributed builder (the net/rpc build
+// mode) produce the same on-disk index layout that Save writes and Load
+// reads: workers write their local trees and Bloom filters directly, the
+// coordinator writes the global tree and descriptor, and core.Load restores
+// the complete index.
+
+// WriteDescriptor writes the index descriptor into a clustered store dir.
+func WriteDescriptor(storeDir string, cfg Config, seriesLen, partitions int, stats BuildStats) error {
+	dir := filepath.Join(storeDir, indexSubdir)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	desc := indexDescriptor{Config: cfg, SeriesLen: seriesLen, Partitions: partitions, Stats: stats}
+	data, err := json.MarshalIndent(desc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "index.json"), data, 0o644)
+}
+
+// WriteGlobalTree writes the global sigTree into a clustered store dir.
+func WriteGlobalTree(storeDir string, t *sigtree.Tree) error {
+	dir := filepath.Join(storeDir, indexSubdir)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	return writeTreeFile(filepath.Join(dir, "global.sigtree"), t)
+}
+
+// ReadGlobalTree reads back a global sigTree written by WriteGlobalTree or
+// Save.
+func ReadGlobalTree(storeDir string) (*sigtree.Tree, error) {
+	return readTreeFile(filepath.Join(storeDir, indexSubdir, "global.sigtree"))
+}
+
+// WriteLocal writes one partition's local sigTree and optional Bloom filter
+// into a clustered store dir.
+func WriteLocal(storeDir string, pid int, tree *sigtree.Tree, bf *bloom.Filter) error {
+	dir := filepath.Join(storeDir, indexSubdir)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if err := writeTreeFile(filepath.Join(dir, fmt.Sprintf("local-%06d.sigtree", pid)), tree); err != nil {
+		return err
+	}
+	if bf != nil {
+		data, err := bf.MarshalBinary()
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(filepath.Join(dir, fmt.Sprintf("bloom-%06d.bin", pid)), data, 0o644)
+	}
+	return nil
+}

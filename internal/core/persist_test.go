@@ -1,0 +1,125 @@
+package core
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/tardisdb/tardis/internal/cluster"
+	"github.com/tardisdb/tardis/internal/dataset"
+	"github.com/tardisdb/tardis/internal/ts"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	ix, src, cl := buildTestIndex(t, dataset.RandomWalk, testConfig())
+	if err := ix.Save(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Load(cl, ix.Store.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.NumPartitions() != ix.NumPartitions() {
+		t.Fatalf("partitions %d != %d", re.NumPartitions(), ix.NumPartitions())
+	}
+	if re.SeriesLen() != ix.SeriesLen() {
+		t.Errorf("series length changed")
+	}
+	if re.Config() != ix.Config() {
+		t.Errorf("config changed")
+	}
+	if re.BuildStats().Records != ix.BuildStats().Records {
+		t.Errorf("stats lost")
+	}
+
+	// Exact-match still finds stored records after reload.
+	recs, err := src.ReadPartition(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		rec := recs[i*17%len(recs)]
+		got, _, err := re.ExactMatch(rec.Values, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, rid := range got {
+			if rid == rec.RID {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("record %d lost after reload", rec.RID)
+		}
+	}
+
+	// Absent queries still return empty.
+	rng := rand.New(rand.NewSource(3))
+	q := make(ts.Series, testSeriesLen)
+	for j := range q {
+		q[j] = rng.NormFloat64()
+	}
+	q = q.ZNormalize()
+	if got, _, err := re.ExactMatch(q, true); err != nil || len(got) != 0 {
+		t.Errorf("absent query after reload: %v, %v", got, err)
+	}
+
+	// kNN agrees with the pre-save index.
+	before, _, err := ix.KNNMultiPartition(q, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, _, err := re.KNNMultiPartition(q, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(before) != len(after) {
+		t.Fatalf("result size changed: %d vs %d", len(before), len(after))
+	}
+	for i := range before {
+		if before[i].RID != after[i].RID || before[i].Dist != after[i].Dist {
+			t.Fatalf("kNN result %d changed after reload: %+v vs %+v", i, before[i], after[i])
+		}
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	cl, _ := cluster.New(cluster.Config{Workers: 2})
+	if _, err := Load(cl, t.TempDir()); err == nil {
+		t.Error("missing descriptor should fail")
+	}
+	// Corrupt descriptor.
+	dir := t.TempDir()
+	idir := filepath.Join(dir, indexSubdir)
+	os.MkdirAll(idir, 0o755)
+	os.WriteFile(filepath.Join(idir, "index.json"), []byte("{bad"), 0o644)
+	if _, err := Load(cl, dir); err == nil {
+		t.Error("corrupt descriptor should fail")
+	}
+	os.WriteFile(filepath.Join(idir, "index.json"), []byte(`{"config":{},"series_len":0}`), 0o644)
+	if _, err := Load(cl, dir); err == nil {
+		t.Error("invalid saved config should fail")
+	}
+}
+
+func TestSaveLoadBloomPreserved(t *testing.T) {
+	ix, _, cl := buildTestIndex(t, dataset.DNA, testConfig())
+	if err := ix.Save(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Load(cl, ix.Store.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	haveBloom := 0
+	for _, l := range re.Locals {
+		if l != nil && l.Bloom != nil {
+			haveBloom++
+		}
+	}
+	if haveBloom == 0 {
+		t.Error("no bloom filters restored")
+	}
+}

@@ -1,0 +1,375 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"github.com/tardisdb/tardis/internal/cluster"
+	"github.com/tardisdb/tardis/internal/isaxt"
+	"github.com/tardisdb/tardis/internal/knn"
+	"github.com/tardisdb/tardis/internal/sigtree"
+	"github.com/tardisdb/tardis/internal/ts"
+)
+
+// Neighbor is one kNN answer: a record id and its Euclidean distance to the
+// query. It is the shared knn.Neighbor type.
+type Neighbor = knn.Neighbor
+
+// QueryStats profiles one query with the quantities the paper's latency
+// analysis is built on.
+type QueryStats struct {
+	// PartitionsLoaded counts high-latency partition reads.
+	PartitionsLoaded int
+	// BloomRejected reports an exact-match query short-circuited by the
+	// Bloom filter (no partition load needed).
+	BloomRejected bool
+	// Candidates counts series whose true distance was computed.
+	Candidates int
+	// PrunedLeaves counts local-index leaves skipped via the lower bound.
+	PrunedLeaves int
+	// Duration is the wall time of the query.
+	Duration time.Duration
+}
+
+// querySig converts a query series to its full-cardinality signature and
+// PAA. The query must live in the same value space as the indexed data
+// (z-normalized when the dataset was).
+func (ix *Index) querySig(q ts.Series) (isaxt.Signature, ts.Series, error) {
+	if len(q) != ix.seriesLen {
+		return "", nil, fmt.Errorf("core: query length %d != indexed length %d", len(q), ix.seriesLen)
+	}
+	paa, err := ts.PAA(q, ix.cfg.WordLen)
+	if err != nil {
+		return "", nil, err
+	}
+	sig, err := ix.codec.FromPAA(paa, ix.cfg.InitialBits)
+	if err != nil {
+		return "", nil, err
+	}
+	return sig, paa, nil
+}
+
+// ExactMatch runs the paper's Exact-Match algorithm (§V-A): traverse
+// Tardis-G to the partition, probe its Bloom filter, and only on a positive
+// probe load the partition and walk Tardis-L to the leaf for verification.
+// With useBloom=false it runs the Non-Bloom-Filter variant, which always
+// loads the identified partition. It returns the record ids whose series
+// are exactly equal to q.
+func (ix *Index) ExactMatch(q ts.Series, useBloom bool) ([]int64, QueryStats, error) {
+	start := time.Now()
+	var st QueryStats
+	sig, _, err := ix.querySig(q)
+	if err != nil {
+		return nil, st, err
+	}
+	if useBloom && !ix.cfg.BuildBloom {
+		return nil, st, fmt.Errorf("core: bloom filters were not built for this index")
+	}
+	var matches []int64
+	for _, pid := range ix.CandidatePIDs(sig) {
+		local := ix.Locals[pid]
+		if local == nil {
+			continue
+		}
+		if useBloom && local.Bloom != nil && !local.Bloom.ContainsString(string(sig)) {
+			st.BloomRejected = true
+			continue
+		}
+		leaf := local.Tree.FindLeaf(sig)
+		if leaf == nil {
+			// Local traversal failure proves non-existence (§V-A).
+			continue
+		}
+		data, err := ix.LoadPartition(pid)
+		if err != nil {
+			return nil, st, err
+		}
+		st.PartitionsLoaded++
+		for _, e := range leaf.Entries {
+			// Entries reloaded from disk carry no per-entry signature (only
+			// the leaf prefix); they fall through to the raw comparison.
+			if e.Sig != "" && e.Sig != sig {
+				continue
+			}
+			if ix.delta.deleted(e.RID) {
+				continue
+			}
+			s, ok := data[e.RID]
+			if !ok {
+				return nil, st, fmt.Errorf("core: partition %d missing record %d", pid, e.RID)
+			}
+			st.Candidates++
+			if ts.Equal(s, q) {
+				matches = append(matches, e.RID)
+			}
+		}
+	}
+	matches = append(matches, ix.deltaExactMatch(q, sig)...)
+	sort.Slice(matches, func(i, j int) bool { return matches[i] < matches[j] })
+	st.Duration = time.Since(start)
+	return matches, st, nil
+}
+
+// primaryPID picks the deterministic primary partition for a query
+// signature: the first candidate.
+func (ix *Index) primaryPID(sig isaxt.Signature) (int, error) {
+	pids := ix.CandidatePIDs(sig)
+	if len(pids) == 0 {
+		return 0, fmt.Errorf("core: no partition for signature %q", sig)
+	}
+	return pids[0], nil
+}
+
+// refine computes true distances for candidate record ids against the
+// query, feeding the heap. data maps rid to series. Tombstoned records are
+// skipped.
+func (ix *Index) refine(h *knn.Heap, q ts.Series, rids []int64, data map[int64]ts.Series, st *QueryStats) error {
+	for _, rid := range rids {
+		if h.Contains(rid) {
+			continue // already refined by an earlier step
+		}
+		if ix.delta.deleted(rid) {
+			continue
+		}
+		s, ok := data[rid]
+		if !ok {
+			return fmt.Errorf("core: candidate record %d missing from loaded partition", rid)
+		}
+		st.Candidates++
+		bound := h.Bound()
+		bsq := bound * bound
+		if d2, ok2 := ts.SquaredDistanceEarlyAbandon(q, s, bsq); ok2 {
+			h.Offer(Neighbor{RID: rid, Dist: sqrt(d2)})
+		}
+	}
+	return nil
+}
+
+// KNNTargetNode runs the Target Node Access strategy (§V-B): descend
+// Tardis-G to the partition, descend its Tardis-L to the target node (the
+// lowest node on the path holding at least k entries), and refine its
+// candidates.
+func (ix *Index) KNNTargetNode(q ts.Series, k int) ([]Neighbor, QueryStats, error) {
+	start := time.Now()
+	var st QueryStats
+	if k < 1 {
+		return nil, st, fmt.Errorf("core: k must be positive, got %d", k)
+	}
+	sig, paa, err := ix.querySig(q)
+	if err != nil {
+		return nil, st, err
+	}
+	pid, err := ix.primaryPID(sig)
+	if err != nil {
+		return nil, st, err
+	}
+	h := knn.NewHeap(k)
+	if _, _, err := ix.targetNodeInto(h, q, sig, pid, k, &st); err != nil {
+		return nil, st, err
+	}
+	if err := ix.deltaRefine(h, q, paa, h.Bound(), &st); err != nil {
+		return nil, st, err
+	}
+	st.Duration = time.Since(start)
+	return h.Sorted(), st, nil
+}
+
+// targetNodeInto performs the target-node refinement inside one partition.
+// It returns the kth distance found (the threshold seed for the optimized
+// strategies) and the loaded partition data for reuse. The heap accumulates
+// results.
+func (ix *Index) targetNodeInto(h *knn.Heap, q ts.Series, sig isaxt.Signature, pid, k int, st *QueryStats) (float64, map[int64]ts.Series, error) {
+	local := ix.Locals[pid]
+	if local == nil {
+		return math.Inf(1), nil, fmt.Errorf("core: partition %d has no local index", pid)
+	}
+	data, err := ix.LoadPartition(pid)
+	if err != nil {
+		return math.Inf(1), nil, err
+	}
+	st.PartitionsLoaded++
+	node, _ := local.Tree.TargetNode(sig, int64(k))
+	entries := sigtree.CollectEntries(node, nil)
+	rids := make([]int64, len(entries))
+	for i, e := range entries {
+		rids[i] = e.RID
+	}
+	if err := ix.refine(h, q, rids, data, st); err != nil {
+		return math.Inf(1), nil, err
+	}
+	return h.Bound(), data, nil
+}
+
+// KNNOnePartition runs the One Partition Access strategy (§V-B): take the
+// kth distance from the target node as a pruning threshold, then scan the
+// whole Tardis-L of the loaded partition top-down with the lower bound,
+// refining every surviving leaf.
+func (ix *Index) KNNOnePartition(q ts.Series, k int) ([]Neighbor, QueryStats, error) {
+	start := time.Now()
+	var st QueryStats
+	if k < 1 {
+		return nil, st, fmt.Errorf("core: k must be positive, got %d", k)
+	}
+	sig, paa, err := ix.querySig(q)
+	if err != nil {
+		return nil, st, err
+	}
+	pid, err := ix.primaryPID(sig)
+	if err != nil {
+		return nil, st, err
+	}
+	h := knn.NewHeap(k)
+	th, data, err := ix.targetNodeInto(h, q, sig, pid, k, &st)
+	if err != nil {
+		return nil, st, err
+	}
+	// The partition is already resident from the target-node step; scanning
+	// it costs no further I/O (the paper's "only single disk access").
+	if err := ix.scanPartitionInto(h, q, paa, pid, th, data, &st); err != nil {
+		return nil, st, err
+	}
+	if err := ix.deltaRefine(h, q, paa, h.Bound(), &st); err != nil {
+		return nil, st, err
+	}
+	st.Duration = time.Since(start)
+	return h.Sorted(), st, nil
+}
+
+// scanPartitionInto prune-scans one partition's local tree with the given
+// threshold and refines the survivors. Pass the partition's records in data
+// when it is already resident; nil loads (and counts) the partition.
+func (ix *Index) scanPartitionInto(h *knn.Heap, q, paa ts.Series, pid int, threshold float64, data map[int64]ts.Series, st *QueryStats) error {
+	local := ix.Locals[pid]
+	if local == nil {
+		return fmt.Errorf("core: partition %d has no local index", pid)
+	}
+	entries, pruned, err := local.Tree.PruneCollect(paa, ix.seriesLen, threshold)
+	if err != nil {
+		return err
+	}
+	st.PrunedLeaves += pruned
+	if len(entries) == 0 {
+		return nil
+	}
+	if data == nil {
+		data, err = ix.LoadPartition(pid)
+		if err != nil {
+			return err
+		}
+		st.PartitionsLoaded++
+	}
+	rids := make([]int64, len(entries))
+	for i, e := range entries {
+		rids[i] = e.RID
+	}
+	return ix.refine(h, q, rids, data, st)
+}
+
+// KNNMultiPartition runs the Multi-Partitions Access strategy (Algorithm 1):
+// fetch the sibling partition list from the parent node in Tardis-G (capped
+// at pth partitions, chosen deterministically), obtain the threshold from
+// the query's own partition, then prune-scan all selected partitions.
+func (ix *Index) KNNMultiPartition(q ts.Series, k int) ([]Neighbor, QueryStats, error) {
+	start := time.Now()
+	var st QueryStats
+	if k < 1 {
+		return nil, st, fmt.Errorf("core: k must be positive, got %d", k)
+	}
+	sig, paa, err := ix.querySig(q)
+	if err != nil {
+		return nil, st, err
+	}
+	pid, err := ix.primaryPID(sig)
+	if err != nil {
+		return nil, st, err
+	}
+	pidList := ix.SiblingPIDs(sig)
+	pth := ix.cfg.PartitionThreshold
+	if len(pidList) > pth {
+		pidList = selectPIDs(pidList, pth, pid, hashString(string(sig)))
+	}
+	// Threshold from the query's own partition (Algorithm 1 lines 10-14).
+	h := knn.NewHeap(k)
+	th, primaryData, err := ix.targetNodeInto(h, q, sig, pid, k, &st)
+	if err != nil {
+		return nil, st, err
+	}
+	// Scan all selected partitions with the threshold (lines 15-16),
+	// concurrently across the worker pool: each task prune-scans one
+	// partition into its own candidate list with the fixed threshold, then
+	// the driver merges — the shape of Algorithm 1's parallel scan. The
+	// merged answer is identical to a sequential scan because partitions
+	// are disjoint and the threshold is fixed.
+	type scanOut struct {
+		neighbors []Neighbor
+		stats     QueryStats
+	}
+	pidDS := cluster.Parallelize(ix.cl, pidList, len(pidList))
+	results, err := cluster.MapPartitions("mpa-scan", pidDS,
+		func(_ int, pids []int) ([]scanOut, error) {
+			var out []scanOut
+			for _, p := range pids {
+				data := map[int64]ts.Series(nil)
+				if p == pid {
+					data = primaryData
+				}
+				local := knn.NewHeap(k)
+				var lst QueryStats
+				if err := ix.scanPartitionInto(local, q, paa, p, th, data, &lst); err != nil {
+					return nil, err
+				}
+				out = append(out, scanOut{neighbors: local.Sorted(), stats: lst})
+			}
+			return out, nil
+		})
+	if err != nil {
+		return nil, st, err
+	}
+	for _, r := range results.Collect() {
+		for _, n := range r.neighbors {
+			h.Offer(n)
+		}
+		st.PartitionsLoaded += r.stats.PartitionsLoaded
+		st.Candidates += r.stats.Candidates
+		st.PrunedLeaves += r.stats.PrunedLeaves
+	}
+	if err := ix.deltaRefine(h, q, paa, h.Bound(), &st); err != nil {
+		return nil, st, err
+	}
+	st.Duration = time.Since(start)
+	return h.Sorted(), st, nil
+}
+
+// selectPIDs deterministically picks pth elements of pids, always including
+// the primary pid (Algorithm 1's randomSelect, seeded for reproducibility).
+func selectPIDs(pids []int, pth, primary int, seed uint64) []int {
+	cp := make([]int, len(pids))
+	copy(cp, pids)
+	state := seed*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+	next := func() uint64 {
+		state ^= state >> 12
+		state ^= state << 25
+		state ^= state >> 27
+		return state * 0x2545f4914f6cdd1d
+	}
+	for i := 0; i < pth && i < len(cp); i++ {
+		j := i + int(next()%uint64(len(cp)-i))
+		cp[i], cp[j] = cp[j], cp[i]
+	}
+	out := cp[:pth]
+	// Force-include the primary partition.
+	found := false
+	for _, p := range out {
+		if p == primary {
+			found = true
+			break
+		}
+	}
+	if !found {
+		out[0] = primary
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/tardisdb/tardis/internal/bloom"
+	"github.com/tardisdb/tardis/internal/cluster"
+	"github.com/tardisdb/tardis/internal/sigtree"
+	"github.com/tardisdb/tardis/internal/ts"
+)
+
+// Repair: the clustered partition files are the source of truth — local
+// sigTrees and Bloom filters are derived data. When index files go missing
+// or corrupt (partial copies, disk faults), Verify detects it and Repair
+// rebuilds the damaged partitions' local structures from the data, in
+// parallel across the cluster.
+
+// VerifyReport lists what Verify found.
+type VerifyReport struct {
+	// MissingLocal lists partitions with data but no loaded local index.
+	MissingLocal []int
+	// CountMismatch lists partitions whose local tree count differs from
+	// the partition file's record count.
+	CountMismatch []int
+	// MissingBloom lists partitions lacking a Bloom filter although the
+	// configuration builds them.
+	MissingBloom []int
+}
+
+// OK reports whether nothing needs repair.
+func (r VerifyReport) OK() bool {
+	return len(r.MissingLocal) == 0 && len(r.CountMismatch) == 0 && len(r.MissingBloom) == 0
+}
+
+// Verify cross-checks the loaded local structures against the partition
+// files' headers (cheap: header reads only).
+func (ix *Index) Verify() (VerifyReport, error) {
+	var rep VerifyReport
+	pids, err := ix.Store.Partitions()
+	if err != nil {
+		return rep, err
+	}
+	for _, pid := range pids {
+		n, err := ix.Store.PartitionCount(pid)
+		if err != nil {
+			return rep, err
+		}
+		if pid >= len(ix.Locals) || ix.Locals[pid] == nil {
+			if n > 0 {
+				rep.MissingLocal = append(rep.MissingLocal, pid)
+			}
+			continue
+		}
+		l := ix.Locals[pid]
+		if l.Tree.Count() != n {
+			rep.CountMismatch = append(rep.CountMismatch, pid)
+		}
+		if ix.cfg.BuildBloom && l.Bloom == nil {
+			rep.MissingBloom = append(rep.MissingBloom, pid)
+		}
+	}
+	return rep, nil
+}
+
+// Repair rebuilds the local sigTree and Bloom filter of every partition the
+// given report flags, reading the partition data and persisting the rebuilt
+// structures. It returns the number of partitions rebuilt.
+func (ix *Index) Repair(rep VerifyReport) (int, error) {
+	need := map[int]struct{}{}
+	for _, pid := range rep.MissingLocal {
+		need[pid] = struct{}{}
+	}
+	for _, pid := range rep.CountMismatch {
+		need[pid] = struct{}{}
+	}
+	for _, pid := range rep.MissingBloom {
+		need[pid] = struct{}{}
+	}
+	if len(need) == 0 {
+		return 0, nil
+	}
+	pids := make([]int, 0, len(need))
+	for pid := range need {
+		if pid >= len(ix.Locals) {
+			return 0, fmt.Errorf("core: partition %d beyond index partition count %d", pid, len(ix.Locals))
+		}
+		pids = append(pids, pid)
+	}
+	ds := cluster.Parallelize(ix.cl, pids, 0)
+	rebuilt, err := cluster.MapErr("repair", ds, func(pid int) (*Local, error) {
+		l, err := ix.rebuildLocal(pid)
+		if err != nil {
+			return nil, fmt.Errorf("partition %d: %w", pid, err)
+		}
+		return l, nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	locals := rebuilt.Collect()
+	for i, pid := range pids {
+		ix.Locals[pid] = locals[i]
+		if err := WriteLocal(ix.Store.Dir(), pid, locals[i].Tree, locals[i].Bloom); err != nil {
+			return 0, err
+		}
+	}
+	return len(pids), nil
+}
+
+// rebuildLocal reconstructs one partition's Tardis-L and Bloom filter from
+// its data file.
+func (ix *Index) rebuildLocal(pid int) (*Local, error) {
+	tree, err := sigtree.New(ix.codec, ix.cfg.InitialBits, ix.cfg.LMaxSize)
+	if err != nil {
+		return nil, err
+	}
+	n, err := ix.Store.PartitionCount(pid)
+	if err != nil {
+		return nil, err
+	}
+	var bf *bloom.Filter
+	if ix.cfg.BuildBloom {
+		cnt := uint64(n)
+		if cnt == 0 {
+			cnt = 1
+		}
+		bf, err = bloom.NewWithEstimate(cnt, ix.cfg.BloomFP)
+		if err != nil {
+			return nil, err
+		}
+	}
+	err = ix.Store.ScanPartition(pid, func(r ts.Record) error {
+		sig, err := ix.codec.FromSeries(r.Values, ix.cfg.InitialBits)
+		if err != nil {
+			return err
+		}
+		if err := tree.Insert(sigtree.Entry{Sig: sig, RID: r.RID}); err != nil {
+			return err
+		}
+		if bf != nil {
+			bf.AddString(string(sig))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Local{Tree: tree, Bloom: bf}, nil
+}
+
+// LoadWithRepair is Load followed by Verify and Repair: the standard way to
+// open an index whose derived files may be incomplete. WriteLocal persists
+// whatever was rebuilt, so subsequent plain Loads succeed.
+func LoadWithRepair(cl *cluster.Cluster, storeDir string) (*Index, int, error) {
+	ix, err := Load(cl, storeDir)
+	if err != nil {
+		return nil, 0, err
+	}
+	rep, err := ix.Verify()
+	if err != nil {
+		return nil, 0, err
+	}
+	n, err := ix.Repair(rep)
+	if err != nil {
+		return nil, 0, err
+	}
+	return ix, n, nil
+}

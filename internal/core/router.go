@@ -1,0 +1,71 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/tardisdb/tardis/internal/isaxt"
+	"github.com/tardisdb/tardis/internal/sigtree"
+)
+
+// Router is the shuffle partitioner derived from Tardis-G: given a record's
+// full-cardinality iSAX-T signature it decides the target partition. The
+// driver broadcasts the global tree to workers and each worker routes
+// records through a Router (paper §IV-C); queries use the same Router so
+// lookup and placement always agree. Index embeds a Router, and the RPC
+// build mode constructs standalone Routers from serialized global trees.
+type Router struct {
+	Tree *sigtree.Tree
+}
+
+// NewRouter wraps a global sigTree (leaves must carry partition ids, i.e.
+// partition assignment has run) as a shuffle partitioner.
+func NewRouter(tree *sigtree.Tree) *Router { return &Router{Tree: tree} }
+
+// Route returns the target partition for a full-cardinality signature and
+// record id. Signatures unseen during sampling dead-end at an internal node;
+// they are routed deterministically by signature hash within that node's id
+// list, so queries recompute the same choice.
+func (r *Router) Route(sig isaxt.Signature, rid int64) (int, error) {
+	node := r.Tree.FindDeepest(sig)
+	pids := node.PIDs
+	if len(pids) == 0 {
+		return 0, fmt.Errorf("core: node %q carries no partition ids", node.Sig)
+	}
+	if node.IsLeaf() {
+		if len(pids) == 1 {
+			return pids[0], nil
+		}
+		// Oversized leaf split across several partitions: spread by rid.
+		return pids[hashInt64(rid)%uint64(len(pids))], nil
+	}
+	// Unseen path: deterministic by signature only.
+	return pids[hashString(string(sig))%uint64(len(pids))], nil
+}
+
+// CandidatePIDs returns every partition that could hold series with the
+// given signature — the query-side counterpart of Route. A leaf returns its
+// full id list (an oversized leaf spreads records by rid, which queries
+// cannot recompute); an internal dead-end returns the single hash-chosen id
+// Route would have used.
+func (r *Router) CandidatePIDs(sig isaxt.Signature) []int {
+	node := r.Tree.FindDeepest(sig)
+	pids := node.PIDs
+	if len(pids) == 0 {
+		return nil
+	}
+	if node.IsLeaf() {
+		return pids
+	}
+	return []int{pids[hashString(string(sig))%uint64(len(pids))]}
+}
+
+// SiblingPIDs returns the partition id list of the parent of the node
+// covering sig — the candidate pool of the Multi-Partitions Access strategy
+// (Algorithm 1, fetchFromParent).
+func (r *Router) SiblingPIDs(sig isaxt.Signature) []int {
+	node := r.Tree.FindDeepest(sig)
+	if node.Parent != nil {
+		return node.Parent.PIDs
+	}
+	return node.PIDs // node is the root
+}

@@ -1,0 +1,206 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"github.com/tardisdb/tardis/internal/isaxt"
+	"github.com/tardisdb/tardis/internal/ts"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(RandomWalk, 2); err == nil {
+		t.Error("too-short length should fail")
+	}
+	if _, err := New(Kind("bogus"), 64); err == nil {
+		t.Error("unknown kind should fail")
+	}
+}
+
+func TestDefaultLens(t *testing.T) {
+	want := map[Kind]int{RandomWalk: 256, Texmex: 128, DNA: 192, NOAA: 64}
+	for k, n := range want {
+		if got := DefaultLen(k); got != n {
+			t.Errorf("DefaultLen(%s) = %d, want %d", k, got, n)
+		}
+	}
+	if DefaultLen(Kind("bogus")) != 0 {
+		t.Error("unknown kind should default to 0")
+	}
+	if len(Kinds()) != 4 {
+		t.Error("Kinds should list 4 datasets")
+	}
+}
+
+func TestGeneratorsBasic(t *testing.T) {
+	for _, k := range Kinds() {
+		g, err := New(k, DefaultLen(k))
+		if err != nil {
+			t.Fatalf("%s: %v", k, err)
+		}
+		if g.Kind() != k {
+			t.Errorf("%s: Kind() = %s", k, g.Kind())
+		}
+		if g.SeriesLen() != DefaultLen(k) {
+			t.Errorf("%s: SeriesLen() = %d", k, g.SeriesLen())
+		}
+		rec := Record(g, 1, 0)
+		if len(rec.Values) != g.SeriesLen() {
+			t.Errorf("%s: generated length %d", k, len(rec.Values))
+		}
+		for i, v := range rec.Values {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("%s: non-finite value at %d", k, i)
+			}
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	for _, k := range Kinds() {
+		g, _ := New(k, 64)
+		a := Record(g, 7, 123)
+		b := Record(g, 7, 123)
+		if !ts.Equal(a.Values, b.Values) {
+			t.Errorf("%s: record not deterministic", k)
+		}
+		c := Record(g, 8, 123)
+		if ts.Equal(a.Values, c.Values) {
+			t.Errorf("%s: different seeds should differ", k)
+		}
+		d := Record(g, 7, 124)
+		if ts.Equal(a.Values, d.Values) {
+			t.Errorf("%s: different rids should differ", k)
+		}
+	}
+}
+
+func TestRecordIndependenceOfOrder(t *testing.T) {
+	// Record(rid) must not depend on generating earlier records — the
+	// property that makes block-parallel generation correct.
+	g, _ := New(RandomWalk, 32)
+	direct := Record(g, 1, 500)
+	var viaStream ts.Record
+	err := Stream(g, 1, 501, func(r ts.Record) error {
+		if r.RID == 500 {
+			viaStream = r
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ts.Equal(direct.Values, viaStream.Values) {
+		t.Error("record content depends on generation order")
+	}
+}
+
+func TestTexmexNonNegative(t *testing.T) {
+	g, _ := New(Texmex, 128)
+	for rid := int64(0); rid < 50; rid++ {
+		for _, v := range Record(g, 3, rid).Values {
+			if v < 0 {
+				t.Fatal("SIFT-like values must be non-negative")
+			}
+			if v > 180 {
+				t.Fatal("SIFT-like values must saturate at 180")
+			}
+		}
+	}
+}
+
+func TestDNAIntegerSteps(t *testing.T) {
+	g, _ := New(DNA, 192)
+	rec := Record(g, 4, 0)
+	prev := 0.0
+	for _, v := range rec.Values {
+		step := math.Abs(v - prev)
+		if step != 1 && step != 2 {
+			t.Fatalf("DNA step %v not in {1,2}", step)
+		}
+		prev = v
+	}
+}
+
+// The skew spectrum of the paper's Fig. 9: NOAA's signature distribution is
+// far more concentrated than RandomWalk's. We measure the fraction of mass
+// in the single most frequent 1-byte-cardinality signature.
+func TestSkewSpectrum(t *testing.T) {
+	codec := isaxt.MustNewCodec(8)
+	topShare := func(k Kind) float64 {
+		g, _ := New(k, 64)
+		freq := map[isaxt.Signature]int{}
+		const n = 2000
+		for rid := int64(0); rid < n; rid++ {
+			rec := Record(g, 5, rid)
+			sig, err := codec.FromSeries(rec.Values.ZNormalize(), 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			freq[sig]++
+		}
+		max := 0
+		for _, c := range freq {
+			if c > max {
+				max = c
+			}
+		}
+		return float64(max) / n
+	}
+	rw := topShare(RandomWalk)
+	noaa := topShare(NOAA)
+	if noaa < rw {
+		t.Errorf("NOAA top-signature share %.3f should exceed RandomWalk %.3f", noaa, rw)
+	}
+	if noaa < 0.3 {
+		t.Errorf("NOAA should be highly clustered, top share %.3f", noaa)
+	}
+}
+
+func TestWriteStore(t *testing.T) {
+	g, _ := New(RandomWalk, 32)
+	dir := t.TempDir()
+	st, err := WriteStore(g, 1, 95, dir, 20, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pids, err := st.Partitions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pids) != 5 { // 95 records in blocks of 20 => 5 blocks
+		t.Errorf("blocks = %d, want 5", len(pids))
+	}
+	total, err := st.TotalRecords()
+	if err != nil || total != 95 {
+		t.Errorf("total = %d, %v", total, err)
+	}
+	// Normalized content: mean ~0.
+	recs, err := st.ReadPartition(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := recs[0].Values.Mean(); math.Abs(m) > 1e-9 {
+		t.Errorf("normalized record mean = %v", m)
+	}
+	// Invalid block size.
+	if _, err := WriteStore(g, 1, 10, t.TempDir(), 0, true); err == nil {
+		t.Error("block size 0 should fail")
+	}
+}
+
+func TestWriteStoreRaw(t *testing.T) {
+	g, _ := New(NOAA, 32)
+	st, err := WriteStore(g, 2, 10, t.TempDir(), 10, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := st.ReadPartition(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Record(g, 2, 0)
+	if !ts.Equal(recs[0].Values, want.Values) {
+		t.Error("raw store should hold unnormalized values")
+	}
+}

@@ -1,0 +1,388 @@
+// Package dpisax implements the baseline system of the paper's evaluation:
+// DPiSAX (Yagoubi et al., ICDM'17), the distributed partitioned iSAX index,
+// extended — as the paper's authors did — to support a clustered layout,
+// Exact-Match queries, and kNN-Approximate queries (§VI-A).
+//
+// DPiSAX samples the dataset, builds an iSAX binary tree on the master, and
+// flattens its leaves into a global *partition table* of character-level
+// variable-cardinality signatures. Every record is then converted at a large
+// initial cardinality (512 by default) and routed by matching against the
+// table — the per-character cardinality conversions and the repetitive
+// table scan are the "high matching overhead" TARDIS eliminates. Each
+// partition is locally indexed with an iBT.
+package dpisax
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"github.com/tardisdb/tardis/internal/cluster"
+	"github.com/tardisdb/tardis/internal/ibt"
+	"github.com/tardisdb/tardis/internal/isax"
+	"github.com/tardisdb/tardis/internal/storage"
+	"github.com/tardisdb/tardis/internal/ts"
+)
+
+// Config carries the baseline's parameters (paper Table II: initial
+// cardinality 512, i.e. 9 bits).
+type Config struct {
+	// WordLen is the iSAX word length.
+	WordLen int
+	// InitialBits is the per-character cardinality budget; the baseline
+	// needs it large to guarantee split headroom (Table II: 9 → 512).
+	InitialBits int
+	// GMaxSize is the partition capacity in records.
+	GMaxSize int64
+	// LMaxSize is the local iBT leaf split threshold.
+	LMaxSize int64
+	// SamplePct is the block-level sampling percentage.
+	SamplePct float64
+	// SampleSeed seeds the block sample.
+	SampleSeed int64
+	// Policy selects the iBT split policy (iSAX 2.0 statistics by default).
+	Policy ibt.SplitPolicy
+}
+
+// DefaultConfig returns the paper's baseline configuration.
+func DefaultConfig() Config {
+	return Config{
+		WordLen:     8,
+		InitialBits: 9, // cardinality 512
+		GMaxSize:    10_000,
+		LMaxSize:    1_000,
+		SamplePct:   0.10,
+		SampleSeed:  1,
+		Policy:      ibt.StatisticsBased,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.WordLen < 1 {
+		return fmt.Errorf("dpisax: word length must be positive, got %d", c.WordLen)
+	}
+	if c.InitialBits < 1 || c.InitialBits > ts.MaxCardinalityBits {
+		return fmt.Errorf("dpisax: initial bits %d out of range [1, %d]", c.InitialBits, ts.MaxCardinalityBits)
+	}
+	if c.GMaxSize < 1 || c.LMaxSize < 1 {
+		return fmt.Errorf("dpisax: split thresholds must be positive (G=%d, L=%d)", c.GMaxSize, c.LMaxSize)
+	}
+	if c.SamplePct <= 0 || c.SamplePct > 1 {
+		return fmt.Errorf("dpisax: sampling percentage must be in (0,1], got %v", c.SamplePct)
+	}
+	return nil
+}
+
+// TableEntry is one partition-table row: a leaf signature and its partition.
+type TableEntry struct {
+	Word isax.Word
+	PID  int
+}
+
+// PartitionTable is the flattened global index: the leaf signatures of the
+// sampled iBT, each owning one partition. Lookups scan the table and match
+// per character — the cost the paper identifies as the baseline bottleneck.
+type PartitionTable struct {
+	Entries []TableEntry
+	// Conversions counts the character demotions performed by lookups.
+	Conversions atomic.Int64
+}
+
+// Lookup finds the partition whose signature covers the full-cardinality
+// word. It reports the partition id and whether any entry matched.
+func (t *PartitionTable) Lookup(w isax.Word) (int, bool) {
+	var conv int64
+	for i := range t.Entries {
+		ok, c := t.Entries[i].Word.Covers(w)
+		conv += int64(c)
+		if ok {
+			t.Conversions.Add(conv)
+			return t.Entries[i].PID, true
+		}
+	}
+	t.Conversions.Add(conv)
+	return 0, false
+}
+
+// SizeBytes estimates the serialized table size the way the paper counts the
+// baseline's global index (Fig. 13): per entry, symbol and bit width per
+// segment plus the partition id.
+func (t *PartitionTable) SizeBytes() int64 {
+	if len(t.Entries) == 0 {
+		return 0
+	}
+	perEntry := int64(4*len(t.Entries[0].Word.Symbols) + 4)
+	return int64(len(t.Entries))*perEntry + 16
+}
+
+// BuildStats mirrors core.BuildStats for the baseline.
+type BuildStats struct {
+	SampleConvert      time.Duration
+	BuildTree          time.Duration
+	PartitionAssign    time.Duration
+	GlobalTotal        time.Duration
+	ShuffleReadConvert time.Duration
+	LocalConstruct     time.Duration
+	LocalTotal         time.Duration
+	Total              time.Duration
+	SampledBlocks      int
+	SampledRecords     int64
+	Records            int64
+	Partitions         int
+	GlobalIndexBytes   int64
+	LocalIndexBytes    int64
+	// Conversions is the total number of per-character cardinality
+	// demotions paid during construction (global + shuffle routing).
+	Conversions int64
+}
+
+// Index is a built DPiSAX index (clustered variant).
+type Index struct {
+	cfg       Config
+	cl        *cluster.Cluster
+	seriesLen int
+
+	// Table is the global partition table.
+	Table *PartitionTable
+	// Store holds the clustered data partitions.
+	Store *storage.Store
+	// Locals holds one iBT per partition.
+	Locals []*ibt.Tree
+
+	stats BuildStats
+}
+
+// Config returns the index configuration.
+func (ix *Index) Config() Config { return ix.cfg }
+
+// SeriesLen returns the indexed series length.
+func (ix *Index) SeriesLen() int { return ix.seriesLen }
+
+// BuildStats returns the construction profile.
+func (ix *Index) BuildStats() BuildStats { return ix.stats }
+
+// NumPartitions returns the partition count.
+func (ix *Index) NumPartitions() int { return len(ix.Locals) }
+
+type shuffleRec struct {
+	pid  int
+	word isax.Word
+	rec  ts.Record
+}
+
+// Build constructs the baseline index over the z-normalized dataset in src,
+// writing clustered partitions into a new store at dstDir.
+func Build(cl *cluster.Cluster, src *storage.Store, dstDir string, cfg Config) (*Index, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if src.SeriesLen() < cfg.WordLen {
+		return nil, fmt.Errorf("dpisax: series length %d shorter than word length %d", src.SeriesLen(), cfg.WordLen)
+	}
+	ix := &Index{cfg: cfg, cl: cl, seriesLen: src.SeriesLen()}
+	start := time.Now()
+	if err := ix.buildGlobal(src); err != nil {
+		return nil, fmt.Errorf("dpisax: building global index: %w", err)
+	}
+	if err := ix.buildLocal(src, dstDir); err != nil {
+		return nil, fmt.Errorf("dpisax: building local indices: %w", err)
+	}
+	ix.stats.Total = time.Since(start)
+	ix.stats.GlobalIndexBytes = ix.Table.SizeBytes()
+	for _, l := range ix.Locals {
+		if l != nil {
+			ix.stats.LocalIndexBytes += l.SerializedSize()
+			ix.stats.Conversions += l.Conversions
+		}
+	}
+	ix.stats.Conversions += ix.Table.Conversions.Load()
+	return ix, nil
+}
+
+// buildGlobal samples the dataset, builds the master iBT over the sampled
+// words, and flattens its leaves into the partition table.
+func (ix *Index) buildGlobal(src *storage.Store) error {
+	globalStart := time.Now()
+	cfg := ix.cfg
+
+	// Sample and convert (workers).
+	stageStart := time.Now()
+	sampled, err := src.SampledPartitions(cfg.SamplePct, cfg.SampleSeed)
+	if err != nil {
+		return err
+	}
+	ix.stats.SampledBlocks = len(sampled)
+	blocks := cluster.Parallelize(ix.cl, sampled, 0)
+	wordsDS, err := cluster.MapPartitions("dpisax-sample-convert", blocks,
+		func(_ int, pids []int) ([]isax.Word, error) {
+			var out []isax.Word
+			for _, pid := range pids {
+				err := src.ScanPartition(pid, func(r ts.Record) error {
+					w, err := isax.FromSeries(r.Values, cfg.WordLen, cfg.InitialBits)
+					if err != nil {
+						return err
+					}
+					out = append(out, w)
+					return nil
+				})
+				if err != nil {
+					return nil, err
+				}
+			}
+			return out, nil
+		})
+	if err != nil {
+		return err
+	}
+	words := wordsDS.Collect()
+	ix.stats.SampledRecords = int64(len(words))
+	ix.stats.SampleConvert = time.Since(stageStart)
+
+	// Build the master iBT over the sample. Its split threshold is the
+	// partition capacity scaled down to the sample size, so leaves estimate
+	// capacity-sized partitions.
+	stageStart = time.Now()
+	threshold := int64(float64(cfg.GMaxSize) * cfg.SamplePct)
+	if threshold < 1 {
+		threshold = 1
+	}
+	tree, err := ibt.New(cfg.WordLen, cfg.InitialBits, threshold, cfg.Policy)
+	if err != nil {
+		return err
+	}
+	for i, w := range words {
+		if err := tree.Insert(ibt.Entry{Word: w, RID: int64(i)}); err != nil {
+			return err
+		}
+	}
+	ix.stats.Conversions += tree.Conversions
+	ix.stats.BuildTree = time.Since(stageStart)
+
+	// Flatten leaves into the partition table: one partition per leaf
+	// (DPiSAX does not pack sibling leaves — TARDIS's advantage).
+	stageStart = time.Now()
+	table := &PartitionTable{}
+	pid := 0
+	for _, leaf := range tree.Leaves() {
+		table.Entries = append(table.Entries, TableEntry{Word: leaf.Word, PID: pid})
+		pid++
+	}
+	if pid == 0 {
+		return fmt.Errorf("dpisax: empty sample produced no partitions")
+	}
+	ix.Table = table
+	ix.stats.Partitions = pid
+	ix.stats.PartitionAssign = time.Since(stageStart)
+	ix.stats.GlobalTotal = time.Since(globalStart)
+	return nil
+}
+
+// Route returns the partition for a full-cardinality word: the partition
+// table match, or a deterministic hash fallback for words outside every
+// table entry (possible because the table only reflects the sample).
+func (ix *Index) Route(w isax.Word) int {
+	if pid, ok := ix.Table.Lookup(w); ok {
+		return pid
+	}
+	// Deterministic fallback on the 1-bit projection.
+	ones := make([]int, len(w.Symbols))
+	for i := range ones {
+		ones[i] = 1
+	}
+	demoted, _ := w.DemoteTo(ones)
+	h := uint64(14695981039346656037)
+	for _, s := range demoted.Symbols {
+		h = (h ^ uint64(s)) * 1099511628211
+	}
+	return int(h % uint64(ix.stats.Partitions))
+}
+
+// buildLocal converts every record at the large initial cardinality, routes
+// it through the partition table (paying the matching overhead), shuffles,
+// and builds one local iBT per partition while writing the clustered data.
+func (ix *Index) buildLocal(src *storage.Store, dstDir string) error {
+	localStart := time.Now()
+	cfg := ix.cfg
+
+	stageStart := time.Now()
+	srcPids, err := src.Partitions()
+	if err != nil {
+		return err
+	}
+	blocks := cluster.Parallelize(ix.cl, srcPids, 0)
+	recs, err := cluster.MapPartitions("dpisax-read-convert", blocks,
+		func(_ int, pids []int) ([]shuffleRec, error) {
+			var out []shuffleRec
+			for _, pid := range pids {
+				err := src.ScanPartition(pid, func(r ts.Record) error {
+					w, err := isax.FromSeries(r.Values, cfg.WordLen, cfg.InitialBits)
+					if err != nil {
+						return err
+					}
+					out = append(out, shuffleRec{pid: ix.Route(w), word: w, rec: r})
+					return nil
+				})
+				if err != nil {
+					return nil, err
+				}
+			}
+			return out, nil
+		})
+	if err != nil {
+		return err
+	}
+	shuffled, err := cluster.RepartitionBy("dpisax-shuffle", recs, ix.stats.Partitions,
+		func(r shuffleRec) (int, error) { return r.pid, nil })
+	if err != nil {
+		return err
+	}
+	ix.stats.Records = shuffled.Count()
+	ix.stats.ShuffleReadConvert = time.Since(stageStart)
+
+	stageStart = time.Now()
+	dst, err := storage.Create(dstDir, src.SeriesLen())
+	if err != nil {
+		return err
+	}
+	localsDS, err := cluster.MapPartitions("dpisax-local-build", shuffled,
+		func(pid int, items []shuffleRec) ([]*ibt.Tree, error) {
+			w, err := dst.NewWriter(pid)
+			if err != nil {
+				return nil, err
+			}
+			tree, err := ibt.New(cfg.WordLen, cfg.InitialBits, cfg.LMaxSize, cfg.Policy)
+			if err != nil {
+				return nil, err
+			}
+			for _, r := range items {
+				if err := w.Write(r.rec); err != nil {
+					return nil, err
+				}
+				if err := tree.Insert(ibt.Entry{Word: r.word, RID: r.rec.RID}); err != nil {
+					return nil, err
+				}
+			}
+			if err := w.Close(); err != nil {
+				return nil, err
+			}
+			return []*ibt.Tree{tree}, nil
+		})
+	if err != nil {
+		return err
+	}
+	if err := dst.Sync(); err != nil {
+		return err
+	}
+	ix.Store = dst
+	ix.Locals = make([]*ibt.Tree, ix.stats.Partitions)
+	for pid := 0; pid < ix.stats.Partitions; pid++ {
+		part := localsDS.Partition(pid)
+		if len(part) == 1 {
+			ix.Locals[pid] = part[0]
+		}
+	}
+	ix.stats.LocalConstruct = time.Since(stageStart)
+	ix.stats.LocalTotal = time.Since(localStart)
+	return nil
+}

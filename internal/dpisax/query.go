@@ -1,0 +1,154 @@
+package dpisax
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"github.com/tardisdb/tardis/internal/ibt"
+	"github.com/tardisdb/tardis/internal/isax"
+	"github.com/tardisdb/tardis/internal/knn"
+	"github.com/tardisdb/tardis/internal/ts"
+)
+
+// Neighbor is re-exported from the shared knn package.
+type Neighbor = knn.Neighbor
+
+// QueryStats profiles one baseline query.
+type QueryStats struct {
+	// PartitionsLoaded counts high-latency partition reads.
+	PartitionsLoaded int
+	// Candidates counts series whose true distance was computed.
+	Candidates int
+	// Conversions counts character-level cardinality demotions paid during
+	// the query (table lookup + tree descent) — the cost TARDIS's iSAX-T
+	// removes.
+	Conversions int64
+	// Duration is the query wall time.
+	Duration time.Duration
+}
+
+// queryWord converts a query to its full-cardinality iSAX word.
+func (ix *Index) queryWord(q ts.Series) (isax.Word, ts.Series, error) {
+	if len(q) != ix.seriesLen {
+		return isax.Word{}, nil, fmt.Errorf("dpisax: query length %d != indexed length %d", len(q), ix.seriesLen)
+	}
+	paa, err := ts.PAA(q, ix.cfg.WordLen)
+	if err != nil {
+		return isax.Word{}, nil, err
+	}
+	return isax.FromPAA(paa, ix.cfg.InitialBits), paa, nil
+}
+
+// loadPartition reads one clustered partition from disk, keyed by rid.
+func (ix *Index) loadPartition(pid int) (map[int64]ts.Series, error) {
+	recs, err := ix.Store.ReadPartition(pid)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[int64]ts.Series, len(recs))
+	for _, r := range recs {
+		out[r.RID] = r.Values
+	}
+	return out, nil
+}
+
+// ExactMatch answers an exact-match query: partition-table lookup, partition
+// load, local iBT descent, verification. The baseline has no Bloom filter,
+// so the identified partition is always loaded (the cost Fig. 14 shows).
+func (ix *Index) ExactMatch(q ts.Series) ([]int64, QueryStats, error) {
+	start := time.Now()
+	var st QueryStats
+	w, _, err := ix.queryWord(q)
+	if err != nil {
+		return nil, st, err
+	}
+	convBefore := ix.Table.Conversions.Load()
+	pid := ix.Route(w)
+	st.Conversions += ix.Table.Conversions.Load() - convBefore
+	local := ix.Locals[pid]
+	if local == nil {
+		st.Duration = time.Since(start)
+		return nil, st, nil
+	}
+	treeConvBefore := local.Conversions
+	leaf := local.FindLeaf(w)
+	st.Conversions += local.Conversions - treeConvBefore
+	if leaf == nil {
+		st.Duration = time.Since(start)
+		return nil, st, nil
+	}
+	data, err := ix.loadPartition(pid)
+	if err != nil {
+		return nil, st, err
+	}
+	st.PartitionsLoaded++
+	var matches []int64
+	for _, e := range leaf.Entries {
+		if !e.Word.Equal(w) {
+			continue
+		}
+		s, ok := data[e.RID]
+		if !ok {
+			return nil, st, fmt.Errorf("dpisax: partition %d missing record %d", pid, e.RID)
+		}
+		st.Candidates++
+		if ts.Equal(s, q) {
+			matches = append(matches, e.RID)
+		}
+	}
+	sort.Slice(matches, func(i, j int) bool { return matches[i] < matches[j] })
+	st.Duration = time.Since(start)
+	return matches, st, nil
+}
+
+// KNNApprox answers a kNN-approximate query the DPiSAX way: route to the
+// single matching partition, descend the local iBT to the target node, and
+// refine its candidates. The narrow character-level candidate scope is what
+// drives the baseline's low recall in the paper's Figs. 15-16.
+func (ix *Index) KNNApprox(q ts.Series, k int) ([]Neighbor, QueryStats, error) {
+	start := time.Now()
+	var st QueryStats
+	if k < 1 {
+		return nil, st, fmt.Errorf("dpisax: k must be positive, got %d", k)
+	}
+	w, _, err := ix.queryWord(q)
+	if err != nil {
+		return nil, st, err
+	}
+	convBefore := ix.Table.Conversions.Load()
+	pid := ix.Route(w)
+	st.Conversions += ix.Table.Conversions.Load() - convBefore
+	local := ix.Locals[pid]
+	if local == nil {
+		st.Duration = time.Since(start)
+		return nil, st, nil
+	}
+	treeConvBefore := local.Conversions
+	node, _ := local.TargetNode(w, int64(k))
+	st.Conversions += local.Conversions - treeConvBefore
+	if node == nil {
+		st.Duration = time.Since(start)
+		return nil, st, nil
+	}
+	data, err := ix.loadPartition(pid)
+	if err != nil {
+		return nil, st, err
+	}
+	st.PartitionsLoaded++
+	h := knn.NewHeap(k)
+	for _, e := range ibt.CollectEntries(node, nil) {
+		s, ok := data[e.RID]
+		if !ok {
+			return nil, st, fmt.Errorf("dpisax: partition %d missing record %d", pid, e.RID)
+		}
+		st.Candidates++
+		bound := h.Bound()
+		if d2, ok2 := ts.SquaredDistanceEarlyAbandon(q, s, bound*bound); ok2 {
+			h.Offer(Neighbor{RID: e.RID, Dist: math.Sqrt(d2)})
+		}
+	}
+	st.Duration = time.Since(start)
+	return h.Sorted(), st, nil
+}

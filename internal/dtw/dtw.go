@@ -1,0 +1,240 @@
+// Package dtw implements Dynamic Time Warping support for the index: the
+// Sakoe-Chiba banded DTW distance, the Keogh query envelope, and the
+// LB_Keogh / LB_PAA lower bounds that make exact DTW k-nearest-neighbor
+// search through an iSAX index possible (Keogh & Ratanamahatana, "Exact
+// indexing of dynamic time warping", KAIS 2005). The TARDIS paper evaluates
+// Euclidean distance only; DTW is the standard extension for the iSAX
+// family and slots into the same lower-bound pruning machinery.
+package dtw
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/tardisdb/tardis/internal/ts"
+)
+
+// Distance computes the banded DTW distance between two equal-length series
+// under a Sakoe-Chiba band of half-width r (r >= 0; r >= len-1 degenerates
+// to unconstrained DTW). The local cost is the squared difference and the
+// returned distance is the square root of the optimal path cost, so for
+// r = 0 it equals the Euclidean distance.
+func Distance(a, b ts.Series, r int) (float64, error) {
+	n := len(a)
+	if n != len(b) {
+		return 0, fmt.Errorf("dtw: length mismatch %d vs %d", n, len(b))
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("dtw: empty series")
+	}
+	if r < 0 {
+		return 0, fmt.Errorf("dtw: band radius must be non-negative, got %d", r)
+	}
+	if r > n-1 {
+		r = n - 1
+	}
+	// Two-row dynamic program over the banded matrix.
+	const inf = math.MaxFloat64
+	prev := make([]float64, n)
+	cur := make([]float64, n)
+	for j := range prev {
+		prev[j] = inf
+	}
+	for i := 0; i < n; i++ {
+		lo, hi := i-r, i+r
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > n-1 {
+			hi = n - 1
+		}
+		for j := range cur {
+			cur[j] = inf
+		}
+		for j := lo; j <= hi; j++ {
+			d := a[i] - b[j]
+			cost := d * d
+			best := inf
+			if i > 0 && prev[j] < best {
+				best = prev[j] // insertion
+			}
+			if j > lo && cur[j-1] < best {
+				best = cur[j-1] // deletion
+			}
+			if i > 0 && j > 0 && prev[j-1] < best {
+				best = prev[j-1] // match
+			}
+			if i == 0 && j == 0 {
+				best = 0
+			}
+			if best == inf {
+				continue // unreachable cell inside the band edge
+			}
+			cur[j] = cost + best
+		}
+		prev, cur = cur, prev
+	}
+	total := prev[n-1]
+	if total == inf {
+		return 0, fmt.Errorf("dtw: no path within band %d", r)
+	}
+	return math.Sqrt(total), nil
+}
+
+// Envelope is the Keogh warping envelope of a query: U[i] and L[i] bound
+// every value the query can align against position i under the band.
+type Envelope struct {
+	U, L ts.Series
+	// R is the band half-width the envelope was built with.
+	R int
+}
+
+// NewEnvelope computes the envelope of q for band half-width r using the
+// straightforward O(n·r) sliding window (n and r are small here; the
+// Lemire O(n) algorithm is unnecessary).
+func NewEnvelope(q ts.Series, r int) (*Envelope, error) {
+	n := len(q)
+	if n == 0 {
+		return nil, fmt.Errorf("dtw: empty query")
+	}
+	if r < 0 {
+		return nil, fmt.Errorf("dtw: band radius must be non-negative, got %d", r)
+	}
+	if r > n-1 {
+		r = n - 1
+	}
+	e := &Envelope{U: make(ts.Series, n), L: make(ts.Series, n), R: r}
+	for i := 0; i < n; i++ {
+		lo, hi := i-r, i+r
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > n-1 {
+			hi = n - 1
+		}
+		maxV, minV := q[lo], q[lo]
+		for j := lo + 1; j <= hi; j++ {
+			if q[j] > maxV {
+				maxV = q[j]
+			}
+			if q[j] < minV {
+				minV = q[j]
+			}
+		}
+		e.U[i], e.L[i] = maxV, minV
+	}
+	return e, nil
+}
+
+// LBKeogh computes the LB_Keogh lower bound on DTW(q, c) where e is q's
+// envelope: points of c above U or below L contribute their squared
+// excursion. LB_Keogh(q,c) <= DTW(q,c) for any band-r alignment.
+func (e *Envelope) LBKeogh(c ts.Series) (float64, error) {
+	if len(c) != len(e.U) {
+		return 0, fmt.Errorf("dtw: candidate length %d != envelope length %d", len(c), len(e.U))
+	}
+	var sum float64
+	for i, v := range c {
+		switch {
+		case v > e.U[i]:
+			d := v - e.U[i]
+			sum += d * d
+		case v < e.L[i]:
+			d := e.L[i] - v
+			sum += d * d
+		}
+	}
+	return math.Sqrt(sum), nil
+}
+
+// LBKeoghEarlyAbandon is LBKeogh that abandons once the partial sum exceeds
+// bound²; it returns (partial, false) on abandon.
+func (e *Envelope) LBKeoghEarlyAbandon(c ts.Series, bound float64) (float64, bool) {
+	bsq := bound * bound
+	var sum float64
+	for i, v := range c {
+		switch {
+		case v > e.U[i]:
+			d := v - e.U[i]
+			sum += d * d
+		case v < e.L[i]:
+			d := e.L[i] - v
+			sum += d * d
+		}
+		if sum > bsq {
+			return math.Sqrt(sum), false
+		}
+	}
+	return math.Sqrt(sum), true
+}
+
+// PAAEnvelope is the segment-level envelope used to lower-bound DTW against
+// SAX regions: the PAA (per-segment mean) of U and L. This is Keogh's
+// LB_PAA construction ("Exact indexing of dynamic time warping", KAIS
+// 2005): LB_PAA(q,c) computed from the envelope means and the candidate's
+// PAA lower-bounds LB_Keogh(q,c), which lower-bounds DTW(q,c). A SAX region
+// bounds the candidate's PAA coefficient, so minimizing the per-segment
+// contribution over the region keeps the chain of inequalities intact.
+type PAAEnvelope struct {
+	UMean, LMean ts.Series // PAA of the envelope, one entry per segment
+	SeriesLen    int
+}
+
+// PAA reduces the envelope to w segments by averaging U and L per frame
+// (fractional frames handled exactly, matching ts.PAA).
+func (e *Envelope) PAA(w int) (*PAAEnvelope, error) {
+	u, err := ts.PAA(e.U, w)
+	if err != nil {
+		return nil, err
+	}
+	l, err := ts.PAA(e.L, w)
+	if err != nil {
+		return nil, err
+	}
+	return &PAAEnvelope{UMean: u, LMean: l, SeriesLen: len(e.U)}, nil
+}
+
+// MinDistRegions lower-bounds DTW(q, c) for any series c whose SAX word (at
+// cardinality 2^bits) is `word`: per segment, the gap between the envelope
+// means [LMean, UMean] and the region box covering the candidate's PAA
+// coefficient, scaled by sqrt(n/w) — the region-relaxed LB_PAA.
+func (pe *PAAEnvelope) MinDistRegions(word []int, bits int) (float64, error) {
+	w := len(pe.UMean)
+	if len(word) != w {
+		return 0, fmt.Errorf("dtw: word length %d != envelope segments %d", len(word), w)
+	}
+	var sum float64
+	for j, sym := range word {
+		lo, hi := ts.SymbolBounds(sym, bits)
+		switch {
+		case lo > pe.UMean[j]:
+			d := lo - pe.UMean[j]
+			sum += d * d
+		case hi < pe.LMean[j]:
+			d := pe.LMean[j] - hi
+			sum += d * d
+		}
+	}
+	return math.Sqrt(float64(pe.SeriesLen)/float64(w)) * math.Sqrt(sum), nil
+}
+
+// MinDistPAA lower-bounds DTW(q, c) given the candidate's exact PAA — the
+// classic LB_PAA, tighter than the region relaxation.
+func (pe *PAAEnvelope) MinDistPAA(paa ts.Series) (float64, error) {
+	w := len(pe.UMean)
+	if len(paa) != w {
+		return 0, fmt.Errorf("dtw: PAA length %d != envelope segments %d", len(paa), w)
+	}
+	var sum float64
+	for j, v := range paa {
+		switch {
+		case v > pe.UMean[j]:
+			d := v - pe.UMean[j]
+			sum += d * d
+		case v < pe.LMean[j]:
+			d := pe.LMean[j] - v
+			sum += d * d
+		}
+	}
+	return math.Sqrt(float64(pe.SeriesLen)/float64(w)) * math.Sqrt(sum), nil
+}

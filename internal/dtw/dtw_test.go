@@ -1,0 +1,264 @@
+package dtw
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/tardisdb/tardis/internal/ts"
+)
+
+func TestDistanceValidation(t *testing.T) {
+	if _, err := Distance(ts.Series{1}, ts.Series{1, 2}, 1); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := Distance(nil, nil, 1); err == nil {
+		t.Error("empty series should fail")
+	}
+	if _, err := Distance(ts.Series{1}, ts.Series{1}, -1); err == nil {
+		t.Error("negative band should fail")
+	}
+}
+
+func TestDistanceBandZeroIsEuclidean(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := make(ts.Series, 32)
+	b := make(ts.Series, 32)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		b[i] = rng.NormFloat64()
+	}
+	d, err := Distance(a, b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ed, _ := ts.EuclideanDistance(a, b)
+	if math.Abs(d-ed) > 1e-12 {
+		t.Errorf("band-0 DTW %v != ED %v", d, ed)
+	}
+}
+
+func TestDistanceKnownCase(t *testing.T) {
+	// A shifted pattern: ED is large, DTW with a wide band is small.
+	a := ts.Series{0, 0, 1, 2, 1, 0, 0, 0}
+	b := ts.Series{0, 0, 0, 1, 2, 1, 0, 0}
+	ed, _ := ts.EuclideanDistance(a, b)
+	d, err := Distance(a, b, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d >= ed {
+		t.Errorf("warped distance %v should beat ED %v for shifted patterns", d, ed)
+	}
+	if d != 0 {
+		t.Errorf("one-step shift within band should align exactly, got %v", d)
+	}
+	// Identical series at any band.
+	for _, r := range []int{0, 1, 5, 100} {
+		if d, _ := Distance(a, a, r); d != 0 {
+			t.Errorf("self distance at band %d = %v", r, d)
+		}
+	}
+}
+
+func TestDistanceMonotoneInBand(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := make(ts.Series, 24)
+	b := make(ts.Series, 24)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		b[i] = rng.NormFloat64()
+	}
+	prev := math.Inf(1)
+	for r := 0; r < 24; r++ {
+		d, err := Distance(a, b, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d > prev+1e-9 {
+			t.Fatalf("widening the band increased DTW: r=%d %v > %v", r, d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestDistanceSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := make(ts.Series, 20)
+	b := make(ts.Series, 20)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		b[i] = rng.NormFloat64()
+	}
+	for _, r := range []int{0, 2, 5, 19} {
+		ab, _ := Distance(a, b, r)
+		ba, _ := Distance(b, a, r)
+		if math.Abs(ab-ba) > 1e-9 {
+			t.Errorf("band %d: DTW not symmetric: %v vs %v", r, ab, ba)
+		}
+	}
+}
+
+func TestEnvelopeBasics(t *testing.T) {
+	q := ts.Series{0, 1, 2, 1, 0}
+	e, err := NewEnvelope(q, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantU := ts.Series{1, 2, 2, 2, 1}
+	wantL := ts.Series{0, 0, 1, 0, 0}
+	for i := range q {
+		if e.U[i] != wantU[i] || e.L[i] != wantL[i] {
+			t.Errorf("envelope[%d] = (%v,%v), want (%v,%v)", i, e.L[i], e.U[i], wantL[i], wantU[i])
+		}
+	}
+	if _, err := NewEnvelope(nil, 1); err == nil {
+		t.Error("empty query should fail")
+	}
+	if _, err := NewEnvelope(q, -1); err == nil {
+		t.Error("negative band should fail")
+	}
+	// r=0 envelope is the query itself.
+	e0, _ := NewEnvelope(q, 0)
+	for i := range q {
+		if e0.U[i] != q[i] || e0.L[i] != q[i] {
+			t.Error("r=0 envelope should equal the query")
+		}
+	}
+}
+
+func TestLBKeoghValidation(t *testing.T) {
+	e, _ := NewEnvelope(ts.Series{1, 2, 3}, 1)
+	if _, err := e.LBKeogh(ts.Series{1}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+}
+
+// The full lower-bound chain on random data:
+// MinDistRegions <= MinDistPAA <= LB_Keogh <= DTW.
+func TestLowerBoundChainProperty(t *testing.T) {
+	const n, w, bits = 64, 8, 4
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := make(ts.Series, n)
+		c := make(ts.Series, n)
+		for i := 0; i < n; i++ {
+			q[i] = rng.NormFloat64()
+			c[i] = rng.NormFloat64()
+		}
+		q = q.ZNormalize()
+		c = c.ZNormalize()
+		r := rng.Intn(10)
+		e, err := NewEnvelope(q, r)
+		if err != nil {
+			return false
+		}
+		d, err := Distance(q, c, r)
+		if err != nil {
+			return false
+		}
+		lbk, err := e.LBKeogh(c)
+		if err != nil {
+			return false
+		}
+		if lbk > d+1e-9 {
+			t.Logf("seed %d r %d: LB_Keogh %v > DTW %v", seed, r, lbk, d)
+			return false
+		}
+		pe, err := e.PAA(w)
+		if err != nil {
+			return false
+		}
+		cpaa := ts.MustPAA(c, w)
+		lbp, err := pe.MinDistPAA(cpaa)
+		if err != nil {
+			return false
+		}
+		if lbp > lbk+1e-9 {
+			t.Logf("seed %d r %d: LB_PAA %v > LB_Keogh %v", seed, r, lbp, lbk)
+			return false
+		}
+		word := ts.SAXWord(cpaa, bits)
+		lbr, err := pe.MinDistRegions(word, bits)
+		if err != nil {
+			return false
+		}
+		if lbr > lbp+1e-9 {
+			t.Logf("seed %d r %d: region bound %v > LB_PAA %v", seed, r, lbr, lbp)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The chain also holds for non-divisible lengths (fractional PAA frames).
+func TestLowerBoundChainFractionalFrames(t *testing.T) {
+	const n, w, bits = 50, 8, 3
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := make(ts.Series, n)
+		c := make(ts.Series, n)
+		for i := 0; i < n; i++ {
+			q[i] = rng.NormFloat64() * 2
+			c[i] = rng.NormFloat64() * 2
+		}
+		r := rng.Intn(6)
+		e, _ := NewEnvelope(q, r)
+		d, err := Distance(q, c, r)
+		if err != nil {
+			return false
+		}
+		pe, err := e.PAA(w)
+		if err != nil {
+			return false
+		}
+		lbp, err := pe.MinDistPAA(ts.MustPAA(c, w))
+		if err != nil {
+			return false
+		}
+		return lbp <= d+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLBKeoghEarlyAbandon(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	q := make(ts.Series, 32)
+	c := make(ts.Series, 32)
+	for i := range q {
+		q[i] = rng.NormFloat64()
+		c[i] = rng.NormFloat64() * 5
+	}
+	e, _ := NewEnvelope(q, 2)
+	full, _ := e.LBKeogh(c)
+	got, ok := e.LBKeoghEarlyAbandon(c, full+1)
+	if !ok || math.Abs(got-full) > 1e-12 {
+		t.Errorf("no-abandon case: (%v,%v), want (%v,true)", got, ok, full)
+	}
+	if _, ok := e.LBKeoghEarlyAbandon(c, full/10); ok {
+		t.Error("tight bound should abandon")
+	}
+}
+
+func TestPAAEnvelopeValidation(t *testing.T) {
+	e, _ := NewEnvelope(make(ts.Series, 8), 1)
+	if _, err := e.PAA(0); err == nil {
+		t.Error("w=0 should fail")
+	}
+	if _, err := e.PAA(16); err == nil {
+		t.Error("w>n should fail")
+	}
+	pe, _ := e.PAA(4)
+	if _, err := pe.MinDistRegions([]int{1}, 2); err == nil {
+		t.Error("word length mismatch should fail")
+	}
+	if _, err := pe.MinDistPAA(ts.Series{1}); err == nil {
+		t.Error("PAA length mismatch should fail")
+	}
+}

@@ -1,0 +1,186 @@
+// Package eval contains the experiment harness reproducing every figure of
+// the TARDIS paper's evaluation (§VI): dataset preparation, query workload
+// generation, index builds for both systems, and one runner per figure
+// returning typed result rows. The root bench_test.go and cmd/tardis-bench
+// are thin wrappers over these runners.
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"github.com/tardisdb/tardis/internal/cluster"
+	"github.com/tardisdb/tardis/internal/core"
+	"github.com/tardisdb/tardis/internal/dataset"
+	"github.com/tardisdb/tardis/internal/dpisax"
+	"github.com/tardisdb/tardis/internal/storage"
+	"github.com/tardisdb/tardis/internal/ts"
+)
+
+// DatasetSpec identifies one generated dataset instance.
+type DatasetSpec struct {
+	Kind      dataset.Kind
+	SeriesLen int
+	N         int64
+	Seed      int64
+	BlockRecs int64
+}
+
+// String names the spec for directory keys and reports.
+func (s DatasetSpec) String() string {
+	return fmt.Sprintf("%s-l%d-n%d-s%d-b%d", s.Kind, s.SeriesLen, s.N, s.Seed, s.BlockRecs)
+}
+
+// Env carries the shared experiment environment: the execution substrate and
+// a working directory caching generated stores and built indexes so sweeps
+// do not regenerate identical datasets.
+type Env struct {
+	Cluster *cluster.Cluster
+	WorkDir string
+}
+
+// NewEnv creates an experiment environment rooted at workDir.
+func NewEnv(workers int, workDir string) (*Env, error) {
+	cl, err := cluster.New(cluster.Config{Workers: workers})
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(workDir, 0o755); err != nil {
+		return nil, fmt.Errorf("eval: creating work dir: %w", err)
+	}
+	return &Env{Cluster: cl, WorkDir: workDir}, nil
+}
+
+// Dataset returns the store for a spec, generating it on first use.
+func (e *Env) Dataset(spec DatasetSpec) (*storage.Store, error) {
+	dir := filepath.Join(e.WorkDir, "datasets", spec.String())
+	if st, err := storage.Open(dir); err == nil {
+		return st, nil
+	}
+	g, err := dataset.New(spec.Kind, spec.SeriesLen)
+	if err != nil {
+		return nil, err
+	}
+	return dataset.WriteStore(g, spec.Seed, spec.N, dir, spec.BlockRecs, true)
+}
+
+// BuildTardis builds a fresh TARDIS index for the spec into a unique
+// directory under the work dir.
+func (e *Env) BuildTardis(spec DatasetSpec, cfg core.Config, tag string) (*core.Index, error) {
+	src, err := e.Dataset(spec)
+	if err != nil {
+		return nil, err
+	}
+	dir := filepath.Join(e.WorkDir, "tardis", spec.String()+"-"+tag)
+	if err := os.RemoveAll(dir); err != nil {
+		return nil, err
+	}
+	return core.Build(e.Cluster, src, dir, cfg)
+}
+
+// BuildBaseline builds a fresh DPiSAX index for the spec.
+func (e *Env) BuildBaseline(spec DatasetSpec, cfg dpisax.Config, tag string) (*dpisax.Index, error) {
+	src, err := e.Dataset(spec)
+	if err != nil {
+		return nil, err
+	}
+	dir := filepath.Join(e.WorkDir, "dpisax", spec.String()+"-"+tag)
+	if err := os.RemoveAll(dir); err != nil {
+		return nil, err
+	}
+	return dpisax.Build(e.Cluster, src, dir, cfg)
+}
+
+// ScaledTardisConfig returns the paper's Table II configuration with the
+// partition capacity scaled to the dataset size so builds produce a sensible
+// partition count at any scale (the paper sizes partitions to HDFS blocks).
+// L-MaxSize scales with the capacity, preserving the paper's ratio of
+// partition size to local leaf size so local trees have real depth.
+func ScaledTardisConfig(spec DatasetSpec) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.GMaxSize = scaledCapacity(spec.N)
+	cfg.LMaxSize = scaledLeaf(cfg.GMaxSize)
+	return cfg
+}
+
+// ScaledBaselineConfig is the baseline analogue of ScaledTardisConfig.
+func ScaledBaselineConfig(spec DatasetSpec) dpisax.Config {
+	cfg := dpisax.DefaultConfig()
+	cfg.GMaxSize = scaledCapacity(spec.N)
+	cfg.LMaxSize = scaledLeaf(cfg.GMaxSize)
+	return cfg
+}
+
+// scaledLeaf keeps the paper's partition:leaf ratio (110k:1000 ≈ 100:1),
+// floored so leaves still batch a handful of records.
+func scaledLeaf(capacity int64) int64 {
+	l := capacity / 20
+	if l < 8 {
+		l = 8
+	}
+	return l
+}
+
+// scaledCapacity targets roughly 20-40 partitions per dataset, mirroring the
+// paper's ratio of dataset size to HDFS-block partitions.
+func scaledCapacity(n int64) int64 {
+	c := n / 30
+	if c < 200 {
+		c = 200
+	}
+	return c
+}
+
+// QuerySet is a labeled query workload: half drawn from the dataset (the
+// paper's "existing" queries) and half guaranteed absent.
+type QuerySet struct {
+	Existing []ts.Series
+	Absent   []ts.Series
+}
+
+// Queries builds the paper's exact-match workload for a dataset spec: count
+// queries, 50% randomly selected from the dataset and 50% that do not exist
+// in it (fresh draws from the same generator under a disjoint seed,
+// perturbed) (§VI-C1).
+func Queries(spec DatasetSpec, count int, seed int64) (QuerySet, error) {
+	g, err := dataset.New(spec.Kind, spec.SeriesLen)
+	if err != nil {
+		return QuerySet{}, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var qs QuerySet
+	half := count / 2
+	for i := 0; i < half; i++ {
+		rid := rng.Int63n(spec.N)
+		rec := dataset.Record(g, spec.Seed, rid)
+		qs.Existing = append(qs.Existing, rec.Values.ZNormalize())
+	}
+	for i := count - half; i > 0; i-- {
+		// A different generation seed yields series not in the dataset; a
+		// small perturbation makes collisions impossible in practice.
+		rec := dataset.Record(g, spec.Seed+1_000_003, int64(i))
+		v := rec.Values
+		v[rng.Intn(len(v))] += 0.5 + rng.Float64()
+		qs.Absent = append(qs.Absent, v.ZNormalize())
+	}
+	return qs, nil
+}
+
+// KNNQueries builds the kNN workload: count query series drawn from the same
+// distribution but not present in the dataset (the paper queries with series
+// of the same length; using off-dataset queries avoids trivial self matches
+// dominating recall).
+func KNNQueries(spec DatasetSpec, count int, seed int64) ([]ts.Series, error) {
+	g, err := dataset.New(spec.Kind, spec.SeriesLen)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ts.Series, count)
+	for i := range out {
+		rec := dataset.Record(g, seed+2_000_003, int64(i))
+		out[i] = rec.Values.ZNormalize()
+	}
+	return out, nil
+}

@@ -1,0 +1,359 @@
+package eval
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/tardisdb/tardis/internal/dataset"
+)
+
+func smallSpecs() []DatasetSpec {
+	var specs []DatasetSpec
+	for _, k := range dataset.Kinds() {
+		specs = append(specs, DatasetSpec{Kind: k, SeriesLen: 32, N: 1500, Seed: 3, BlockRecs: 300})
+	}
+	return specs
+}
+
+func newEnv(t *testing.T) *Env {
+	t.Helper()
+	e, err := NewEnv(4, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestDatasetCaching(t *testing.T) {
+	e := newEnv(t)
+	spec := smallSpecs()[0]
+	a, err := e.Dataset(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.Dataset(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Dir() != b.Dir() {
+		t.Error("same spec should return the cached store")
+	}
+	na, _ := a.TotalRecords()
+	if na != spec.N {
+		t.Errorf("store holds %d records", na)
+	}
+}
+
+func TestQueriesWorkload(t *testing.T) {
+	spec := smallSpecs()[0]
+	qs, err := Queries(spec, 20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs.Existing) != 10 || len(qs.Absent) != 10 {
+		t.Fatalf("workload split %d/%d", len(qs.Existing), len(qs.Absent))
+	}
+	for _, q := range append(qs.Existing, qs.Absent...) {
+		if len(q) != spec.SeriesLen {
+			t.Fatal("query length wrong")
+		}
+	}
+	kq, err := KNNQueries(spec, 5, 1)
+	if err != nil || len(kq) != 5 {
+		t.Fatalf("knn queries: %d, %v", len(kq), err)
+	}
+}
+
+func TestFig9SkewOrdering(t *testing.T) {
+	e := newEnv(t)
+	rows, err := Fig9(e, smallSpecs(), 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	shares := map[string]float64{}
+	for _, r := range rows {
+		shares[r.Dataset] = r.TopShare
+		if r.Distinct < 1 || r.TopShare <= 0 {
+			t.Errorf("%s: degenerate row %+v", r.Dataset, r)
+		}
+	}
+	// The paper's skew spectrum: NOAA most skewed, RandomWalk least.
+	if shares["noaa"] < shares["randomwalk"] {
+		t.Errorf("noaa (%.3f) should be more skewed than randomwalk (%.3f)",
+			shares["noaa"], shares["randomwalk"])
+	}
+	var buf bytes.Buffer
+	ReportFig9(&buf, rows)
+	if !strings.Contains(buf.String(), "noaa") {
+		t.Error("report missing dataset")
+	}
+}
+
+func TestFig10And11(t *testing.T) {
+	e := newEnv(t)
+	specs := smallSpecs()[:1]
+	rows, err := Fig10(e, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("fig10 rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Total <= 0 || r.Partitions < 1 {
+			t.Errorf("degenerate row %+v", r)
+		}
+	}
+	rows11, err := Fig11(e, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows11) != 2 {
+		t.Fatalf("fig11 rows = %d", len(rows11))
+	}
+	var buf bytes.Buffer
+	ReportFig10(&buf, rows)
+	ReportFig11(&buf, rows11)
+	if !strings.Contains(buf.String(), "TARDIS") || !strings.Contains(buf.String(), "Baseline") {
+		t.Error("reports missing systems")
+	}
+}
+
+func TestFig12(t *testing.T) {
+	e := newEnv(t)
+	rows, err := Fig12(e, []int64{800, 1600}, 32, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.WithBloom <= 0 || r.NoBloom <= 0 || r.BloomBytes <= 0 {
+			t.Errorf("degenerate row %+v", r)
+		}
+	}
+	var buf bytes.Buffer
+	ReportFig12(&buf, rows)
+	if !strings.Contains(buf.String(), "bloom") {
+		t.Error("report missing content")
+	}
+}
+
+func TestFig13(t *testing.T) {
+	e := newEnv(t)
+	rows, err := Fig13(e, smallSpecs()[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	var tardisGlobal, baselineGlobal int64
+	for _, r := range rows {
+		if r.GlobalBytes <= 0 || r.LocalBytes <= 0 {
+			t.Errorf("degenerate row %+v", r)
+		}
+		if r.System == "TARDIS" {
+			tardisGlobal = r.GlobalBytes
+		} else {
+			baselineGlobal = r.GlobalBytes
+		}
+	}
+	// The paper's Fig 13(a): TARDIS's global index (whole sigTree) is larger
+	// than the baseline's flat partition table.
+	if tardisGlobal <= baselineGlobal {
+		t.Logf("note: tardis global %d <= baseline %d at this scale", tardisGlobal, baselineGlobal)
+	}
+	var buf bytes.Buffer
+	ReportFig13(&buf, rows)
+}
+
+func TestFig14(t *testing.T) {
+	e := newEnv(t)
+	rows, err := Fig14(e, smallSpecs()[:1], 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Recall != 1.0 {
+			t.Errorf("%s: exact-match recall %.2f, want 100%%", r.Variant, r.Recall)
+		}
+		if r.AvgLatency <= 0 {
+			t.Errorf("%s: no latency", r.Variant)
+		}
+	}
+	// Bloom variant loads fewer partitions on average than non-bloom.
+	var bf, nobf float64
+	for _, r := range rows {
+		switch r.Variant {
+		case "Tardis-BF":
+			bf = r.AvgPartitionLoad
+		case "Tardis-NoBF":
+			nobf = r.AvgPartitionLoad
+		}
+	}
+	if bf > nobf+1e-9 {
+		t.Errorf("bloom variant loads more partitions (%.2f) than non-bloom (%.2f)", bf, nobf)
+	}
+	var buf bytes.Buffer
+	ReportFig14(&buf, rows)
+}
+
+func TestFig15KNNAccuracyOrdering(t *testing.T) {
+	e := newEnv(t)
+	spec := DatasetSpec{Kind: dataset.RandomWalk, SeriesLen: 32, N: 3000, Seed: 3, BlockRecs: 500}
+	rows, err := Fig15(e, []DatasetSpec{spec}, 6, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byStrat := map[string]KNNRow{}
+	for _, r := range rows {
+		byStrat[r.Strategy] = r
+		if r.ErrorRatio < 1-1e-9 {
+			t.Errorf("%s: error ratio %.3f below 1", r.Strategy, r.ErrorRatio)
+		}
+		if r.Recall < 0 || r.Recall > 1 {
+			t.Errorf("%s: recall %.3f out of range", r.Strategy, r.Recall)
+		}
+	}
+	// The paper's headline ordering: MPA >= OPA >= TNA on recall.
+	if byStrat[StratMPA].Recall < byStrat[StratOPA].Recall-1e-9 {
+		t.Errorf("MPA recall %.3f < OPA %.3f", byStrat[StratMPA].Recall, byStrat[StratOPA].Recall)
+	}
+	if byStrat[StratOPA].Recall < byStrat[StratTNA].Recall-1e-9 {
+		t.Errorf("OPA recall %.3f < TNA %.3f", byStrat[StratOPA].Recall, byStrat[StratTNA].Recall)
+	}
+	// And TARDIS's best strategy beats the baseline.
+	if byStrat[StratMPA].Recall < byStrat[StratBaseline].Recall-1e-9 {
+		t.Errorf("MPA recall %.3f below baseline %.3f",
+			byStrat[StratMPA].Recall, byStrat[StratBaseline].Recall)
+	}
+	var buf bytes.Buffer
+	ReportKNN(&buf, "Fig 15", rows)
+}
+
+func TestFig16Sweeps(t *testing.T) {
+	e := newEnv(t)
+	rows, err := Fig16Size(e, "randomwalk", 32, []int64{1000, 2000}, 3, 3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("size sweep rows = %d", len(rows))
+	}
+	spec := DatasetSpec{Kind: dataset.RandomWalk, SeriesLen: 32, N: 2000, Seed: 3, BlockRecs: 400}
+	rowsK, err := Fig16K(e, spec, 3, []int{5, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rowsK) != 8 {
+		t.Fatalf("k sweep rows = %d", len(rowsK))
+	}
+}
+
+func TestFig17(t *testing.T) {
+	e := newEnv(t)
+	spec := DatasetSpec{Kind: dataset.RandomWalk, SeriesLen: 32, N: 2000, Seed: 3, BlockRecs: 200}
+	rows, err := Fig17(e, spec, []float64{0.2, 1.0}, 3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// The 100% build has zero MSE against itself.
+	for _, r := range rows {
+		if r.SamplePct == 1.0 && r.PartitionMSE != 0 {
+			t.Errorf("100%% sampling should have zero MSE, got %v", r.PartitionMSE)
+		}
+		if r.ErrorRatioMPA < 1-1e-9 {
+			t.Errorf("error ratio %v below 1", r.ErrorRatioMPA)
+		}
+	}
+	var buf bytes.Buffer
+	ReportFig17(&buf, rows)
+}
+
+func TestFormatHelpers(t *testing.T) {
+	if Bytes(512) != "512B" || !strings.Contains(Bytes(2048), "KiB") ||
+		!strings.Contains(Bytes(5<<20), "MiB") || !strings.Contains(Bytes(3<<30), "GiB") {
+		t.Error("byte formatting wrong")
+	}
+	if Pct(0.5) != "50.0%" {
+		t.Error("pct formatting wrong")
+	}
+	var buf bytes.Buffer
+	PrintTable(&buf, "T", []string{"a", "bb"}, [][]string{{"1", "2"}})
+	out := buf.String()
+	if !strings.Contains(out, "T\n=") || !strings.Contains(out, "a ") {
+		t.Errorf("table output: %q", out)
+	}
+}
+
+func TestFig14SimulatedHDFS(t *testing.T) {
+	e := newEnv(t)
+	rows, err := Fig14SimulatedHDFS(e, smallSpecs()[:1], 8, 2*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	var bf, base Fig14Row
+	for _, r := range rows {
+		if r.Recall != 1.0 {
+			t.Errorf("%s recall %.2f", r.Variant, r.Recall)
+		}
+		switch r.Variant {
+		case "Tardis-BF":
+			bf = r
+		case "Baseline":
+			base = r
+		}
+	}
+	// With per-load latency dominating, fewer loads must mean lower latency.
+	if bf.AvgPartitionLoad >= base.AvgPartitionLoad {
+		t.Errorf("bloom loads %.2f not below baseline %.2f", bf.AvgPartitionLoad, base.AvgPartitionLoad)
+	}
+	if bf.AvgLatency >= base.AvgLatency {
+		t.Errorf("bloom latency %v not below baseline %v under simulated HDFS", bf.AvgLatency, base.AvgLatency)
+	}
+}
+
+func TestAblationPth(t *testing.T) {
+	e := newEnv(t)
+	spec := DatasetSpec{Kind: dataset.RandomWalk, SeriesLen: 32, N: 2000, Seed: 3, BlockRecs: 400}
+	rows, err := AblationPth(e, spec, 4, 10, []int{1, 4, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Recall must be non-decreasing in pth; loads non-decreasing.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Recall < rows[i-1].Recall-1e-9 {
+			t.Errorf("recall fell from %.3f to %.3f as pth grew", rows[i-1].Recall, rows[i].Recall)
+		}
+		if rows[i].AvgLoads < rows[i-1].AvgLoads-1e-9 {
+			t.Errorf("loads fell as pth grew")
+		}
+	}
+	var buf bytes.Buffer
+	ReportPth(&buf, rows)
+	if !strings.Contains(buf.String(), "pth") {
+		t.Error("report missing header")
+	}
+}

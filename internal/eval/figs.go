@@ -1,0 +1,353 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/tardisdb/tardis/internal/isaxt"
+	"github.com/tardisdb/tardis/internal/storage"
+	"github.com/tardisdb/tardis/internal/ts"
+)
+
+// ---- Figure 9: dataset signature distribution (skew spectrum) ----
+
+// Fig9Row summarizes one dataset's iSAX-T signature frequency distribution
+// at the initial cardinality, the property Fig. 9 plots.
+type Fig9Row struct {
+	Dataset   string
+	N         int64
+	Distinct  int     // distinct signatures
+	TopShare  float64 // mass of the most frequent signature
+	Top10     float64 // mass of the 10 most frequent signatures
+	GiniLike  float64 // 1 - sum(p_i^2): 0 = all mass on one signature
+	SeriesLen int
+}
+
+// Fig9 measures the signature distribution of each dataset spec.
+func Fig9(e *Env, specs []DatasetSpec, wordLen, bits int) ([]Fig9Row, error) {
+	codec, err := isaxt.NewCodec(wordLen)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig9Row
+	for _, spec := range specs {
+		st, err := e.Dataset(spec)
+		if err != nil {
+			return nil, err
+		}
+		freq := map[isaxt.Signature]int64{}
+		pids, err := st.Partitions()
+		if err != nil {
+			return nil, err
+		}
+		var total int64
+		for _, pid := range pids {
+			err := st.ScanPartition(pid, func(r ts.Record) error {
+				sig, err := codec.FromSeries(r.Values, bits)
+				if err != nil {
+					return err
+				}
+				freq[sig]++
+				total++
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+		}
+		counts := make([]int64, 0, len(freq))
+		for _, c := range freq {
+			counts = append(counts, c)
+		}
+		sort.Slice(counts, func(i, j int) bool { return counts[i] > counts[j] })
+		row := Fig9Row{Dataset: string(spec.Kind), N: total, Distinct: len(freq), SeriesLen: spec.SeriesLen}
+		if total > 0 && len(counts) > 0 {
+			row.TopShare = float64(counts[0]) / float64(total)
+			var top10 int64
+			for i := 0; i < len(counts) && i < 10; i++ {
+				top10 += counts[i]
+			}
+			row.Top10 = float64(top10) / float64(total)
+			var sq float64
+			for _, c := range counts {
+				p := float64(c) / float64(total)
+				sq += p * p
+			}
+			row.GiniLike = 1 - sq
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// ---- Figure 10: clustered index construction time ----
+
+// Fig10Row is one (system, dataset, size) construction measurement.
+type Fig10Row struct {
+	System     string
+	Dataset    string
+	N          int64
+	GlobalTime time.Duration
+	LocalTime  time.Duration
+	Total      time.Duration
+	Partitions int
+}
+
+// Fig10 builds both systems over each spec and reports the construction
+// breakdown (global vs local) the paper's Fig. 10 plots.
+func Fig10(e *Env, specs []DatasetSpec) ([]Fig10Row, error) {
+	var rows []Fig10Row
+	for _, spec := range specs {
+		tix, err := e.BuildTardis(spec, ScaledTardisConfig(spec), "fig10")
+		if err != nil {
+			return nil, fmt.Errorf("fig10 tardis %s: %w", spec, err)
+		}
+		tstats := tix.BuildStats()
+		rows = append(rows, Fig10Row{
+			System: "TARDIS", Dataset: string(spec.Kind), N: spec.N,
+			GlobalTime: tstats.GlobalTotal, LocalTime: tstats.LocalTotal,
+			Total: tstats.Total, Partitions: tstats.Partitions,
+		})
+		bix, err := e.BuildBaseline(spec, ScaledBaselineConfig(spec), "fig10")
+		if err != nil {
+			return nil, fmt.Errorf("fig10 baseline %s: %w", spec, err)
+		}
+		bstats := bix.BuildStats()
+		rows = append(rows, Fig10Row{
+			System: "Baseline", Dataset: string(spec.Kind), N: spec.N,
+			GlobalTime: bstats.GlobalTotal, LocalTime: bstats.LocalTotal,
+			Total: bstats.Total, Partitions: bstats.Partitions,
+		})
+	}
+	return rows, nil
+}
+
+// ---- Figure 11: global index construction breakdown ----
+
+// Fig11Row is the per-stage global construction breakdown for one system and
+// dataset.
+type Fig11Row struct {
+	System        string
+	Dataset       string
+	N             int64
+	SampleConvert time.Duration
+	NodeStats     time.Duration // TARDIS only; zero for the baseline
+	BuildTree     time.Duration
+	PartitionAsgn time.Duration
+	GlobalTotal   time.Duration
+}
+
+// Fig11 reports the paper's global-index stage breakdown.
+func Fig11(e *Env, specs []DatasetSpec) ([]Fig11Row, error) {
+	var rows []Fig11Row
+	for _, spec := range specs {
+		tix, err := e.BuildTardis(spec, ScaledTardisConfig(spec), "fig11")
+		if err != nil {
+			return nil, err
+		}
+		tst := tix.BuildStats()
+		rows = append(rows, Fig11Row{
+			System: "TARDIS", Dataset: string(spec.Kind), N: spec.N,
+			SampleConvert: tst.SampleConvert, NodeStats: tst.NodeStatistics,
+			BuildTree: tst.SkeletonBuild, PartitionAsgn: tst.PartitionAssign,
+			GlobalTotal: tst.GlobalTotal,
+		})
+		bix, err := e.BuildBaseline(spec, ScaledBaselineConfig(spec), "fig11")
+		if err != nil {
+			return nil, err
+		}
+		bst := bix.BuildStats()
+		rows = append(rows, Fig11Row{
+			System: "Baseline", Dataset: string(spec.Kind), N: spec.N,
+			SampleConvert: bst.SampleConvert, BuildTree: bst.BuildTree,
+			PartitionAsgn: bst.PartitionAssign, GlobalTotal: bst.GlobalTotal,
+		})
+	}
+	return rows, nil
+}
+
+// ---- Figure 12: Bloom filter construction overhead ----
+
+// Fig12Row compares TARDIS construction with and without the Bloom filter
+// index at one dataset size.
+type Fig12Row struct {
+	N          int64
+	WithBloom  time.Duration
+	NoBloom    time.Duration
+	BloomStage time.Duration
+	BloomBytes int64
+}
+
+// Fig12 sweeps dataset sizes on RandomWalk and measures the Bloom overhead.
+func Fig12(e *Env, sizes []int64, seriesLen int64, seed int64) ([]Fig12Row, error) {
+	var rows []Fig12Row
+	for _, n := range sizes {
+		spec := DatasetSpec{Kind: "randomwalk", SeriesLen: int(seriesLen), N: n, Seed: seed, BlockRecs: blockFor(n)}
+		cfgOn := ScaledTardisConfig(spec)
+		withIx, err := e.BuildTardis(spec, cfgOn, "fig12-on")
+		if err != nil {
+			return nil, err
+		}
+		cfgOff := cfgOn
+		cfgOff.BuildBloom = false
+		withoutIx, err := e.BuildTardis(spec, cfgOff, "fig12-off")
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig12Row{
+			N:          n,
+			WithBloom:  withIx.BuildStats().Total,
+			NoBloom:    withoutIx.BuildStats().Total,
+			BloomStage: withIx.BuildStats().BloomConstruct,
+			BloomBytes: withIx.BuildStats().BloomBytes,
+		})
+	}
+	return rows, nil
+}
+
+func blockFor(n int64) int64 {
+	b := n / 10
+	if b < 100 {
+		b = 100
+	}
+	return b
+}
+
+// ---- Figure 13: index sizes ----
+
+// Fig13Row reports global and local index sizes for both systems.
+type Fig13Row struct {
+	System      string
+	Dataset     string
+	N           int64
+	GlobalBytes int64
+	LocalBytes  int64
+}
+
+// Fig13 builds both systems and reports serialized index sizes.
+func Fig13(e *Env, specs []DatasetSpec) ([]Fig13Row, error) {
+	var rows []Fig13Row
+	for _, spec := range specs {
+		tix, err := e.BuildTardis(spec, ScaledTardisConfig(spec), "fig13")
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig13Row{
+			System: "TARDIS", Dataset: string(spec.Kind), N: spec.N,
+			GlobalBytes: tix.BuildStats().GlobalIndexBytes,
+			LocalBytes:  tix.BuildStats().LocalIndexBytes,
+		})
+		bix, err := e.BuildBaseline(spec, ScaledBaselineConfig(spec), "fig13")
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig13Row{
+			System: "Baseline", Dataset: string(spec.Kind), N: spec.N,
+			GlobalBytes: bix.BuildStats().GlobalIndexBytes,
+			LocalBytes:  bix.BuildStats().LocalIndexBytes,
+		})
+	}
+	return rows, nil
+}
+
+// ---- Figure 14: exact-match average query time ----
+
+// Fig14Row reports the average exact-match latency of one variant over the
+// 50/50 existing/absent workload, with the paper's cost drivers.
+type Fig14Row struct {
+	Variant          string // Tardis-BF, Tardis-NoBF, Baseline
+	Dataset          string
+	N                int64
+	AvgLatency       time.Duration
+	AvgPartitionLoad float64
+	Recall           float64 // fraction of existing queries found (must be 1)
+}
+
+// Fig14 runs the exact-match workload (queryCount queries, half existing,
+// half absent) against Tardis-BF, Tardis-NoBF, and the baseline.
+func Fig14(e *Env, specs []DatasetSpec, queryCount int) ([]Fig14Row, error) {
+	return fig14(e, specs, queryCount, storage.LatencyModel{})
+}
+
+// Fig14SimulatedHDFS is Fig14 with a synthetic per-partition-load latency
+// injected into both systems' stores, emulating the HDFS block-fetch cost
+// that dominates the paper's query latency. Under it, the Bloom filter's
+// skipped loads translate directly into the paper's ~50% latency cut.
+func Fig14SimulatedHDFS(e *Env, specs []DatasetSpec, queryCount int, perLoad time.Duration) ([]Fig14Row, error) {
+	return fig14(e, specs, queryCount, storage.LatencyModel{PerLoad: perLoad})
+}
+
+func fig14(e *Env, specs []DatasetSpec, queryCount int, lat storage.LatencyModel) ([]Fig14Row, error) {
+	var rows []Fig14Row
+	for _, spec := range specs {
+		qs, err := Queries(spec, queryCount, spec.Seed+7)
+		if err != nil {
+			return nil, err
+		}
+		tix, err := e.BuildTardis(spec, ScaledTardisConfig(spec), "fig14")
+		if err != nil {
+			return nil, err
+		}
+		bix, err := e.BuildBaseline(spec, ScaledBaselineConfig(spec), "fig14")
+		if err != nil {
+			return nil, err
+		}
+		tix.Store.SetLatency(lat)
+		bix.Store.SetLatency(lat)
+		for _, variant := range []string{"Tardis-BF", "Tardis-NoBF", "Baseline"} {
+			var total time.Duration
+			var loads int
+			found, queries := 0, 0
+			run := func(q ts.Series, mustFind bool) error {
+				queries++
+				var rids []int64
+				switch variant {
+				case "Tardis-BF":
+					r, st, err := tix.ExactMatch(q, true)
+					if err != nil {
+						return err
+					}
+					rids, total, loads = r, total+st.Duration, loads+st.PartitionsLoaded
+				case "Tardis-NoBF":
+					r, st, err := tix.ExactMatch(q, false)
+					if err != nil {
+						return err
+					}
+					rids, total, loads = r, total+st.Duration, loads+st.PartitionsLoaded
+				case "Baseline":
+					r, st, err := bix.ExactMatch(q)
+					if err != nil {
+						return err
+					}
+					rids, total, loads = r, total+st.Duration, loads+st.PartitionsLoaded
+				}
+				if mustFind && len(rids) > 0 {
+					found++
+				}
+				return nil
+			}
+			for _, q := range qs.Existing {
+				if err := run(q, true); err != nil {
+					return nil, err
+				}
+			}
+			for _, q := range qs.Absent {
+				if err := run(q, false); err != nil {
+					return nil, err
+				}
+			}
+			recall := 0.0
+			if len(qs.Existing) > 0 {
+				recall = float64(found) / float64(len(qs.Existing))
+			}
+			rows = append(rows, Fig14Row{
+				Variant: variant, Dataset: string(spec.Kind), N: spec.N,
+				AvgLatency:       total / time.Duration(queries),
+				AvgPartitionLoad: float64(loads) / float64(queries),
+				Recall:           recall,
+			})
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,373 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/tardisdb/tardis/internal/core"
+	"github.com/tardisdb/tardis/internal/dataset"
+	"github.com/tardisdb/tardis/internal/dpisax"
+	"github.com/tardisdb/tardis/internal/knn"
+	"github.com/tardisdb/tardis/internal/ts"
+)
+
+// Strategy names used across the kNN figures, in the paper's order.
+const (
+	StratBaseline = "Baseline"
+	StratTNA      = "Target-Node"
+	StratOPA      = "One-Partition"
+	StratMPA      = "Multi-Partitions"
+)
+
+// KNNStrategies lists the four compared query processes.
+func KNNStrategies() []string {
+	return []string{StratBaseline, StratTNA, StratOPA, StratMPA}
+}
+
+// KNNRow is one (strategy, dataset, k, n) measurement: the three metrics the
+// paper's Figs. 15-16 report.
+type KNNRow struct {
+	Strategy   string
+	Dataset    string
+	N          int64
+	K          int
+	Recall     float64
+	ErrorRatio float64
+	AvgLatency time.Duration
+}
+
+// runKNN evaluates all four strategies for one built pair of indexes over
+// the query set, against exact ground truth.
+func runKNN(e *Env, tix *core.Index, bix *dpisax.Index, dsName string, n int64, queries []ts.Series, k int) ([]KNNRow, error) {
+	type agg struct {
+		recall, errRatio float64
+		total            time.Duration
+		count            int
+	}
+	aggs := map[string]*agg{}
+	for _, s := range KNNStrategies() {
+		aggs[s] = &agg{}
+	}
+	for _, q := range queries {
+		truth, err := tix.GroundTruthKNN(q, k)
+		if err != nil {
+			return nil, err
+		}
+		if len(truth) == 0 {
+			continue
+		}
+		eval := func(name string, res []knn.Neighbor, d time.Duration) {
+			a := aggs[name]
+			a.recall += knn.Recall(truth, res)
+			a.errRatio += knn.ErrorRatio(truth, res)
+			a.total += d
+			a.count++
+		}
+		if res, st, err := bix.KNNApprox(q, k); err == nil {
+			eval(StratBaseline, res, st.Duration)
+		} else {
+			return nil, fmt.Errorf("baseline knn: %w", err)
+		}
+		if res, st, err := tix.KNNTargetNode(q, k); err == nil {
+			eval(StratTNA, res, st.Duration)
+		} else {
+			return nil, fmt.Errorf("tna: %w", err)
+		}
+		if res, st, err := tix.KNNOnePartition(q, k); err == nil {
+			eval(StratOPA, res, st.Duration)
+		} else {
+			return nil, fmt.Errorf("opa: %w", err)
+		}
+		if res, st, err := tix.KNNMultiPartition(q, k); err == nil {
+			eval(StratMPA, res, st.Duration)
+		} else {
+			return nil, fmt.Errorf("mpa: %w", err)
+		}
+	}
+	var rows []KNNRow
+	for _, name := range KNNStrategies() {
+		a := aggs[name]
+		if a.count == 0 {
+			continue
+		}
+		rows = append(rows, KNNRow{
+			Strategy: name, Dataset: dsName, N: n, K: k,
+			Recall:     a.recall / float64(a.count),
+			ErrorRatio: a.errRatio / float64(a.count),
+			AvgLatency: a.total / time.Duration(a.count),
+		})
+	}
+	return rows, nil
+}
+
+// Fig15 compares the four strategies across datasets at a fixed k (the
+// paper uses k=500 on 400M series; scale k to the dataset size).
+func Fig15(e *Env, specs []DatasetSpec, queryCount, k int) ([]KNNRow, error) {
+	var rows []KNNRow
+	for _, spec := range specs {
+		queries, err := KNNQueries(spec, queryCount, spec.Seed)
+		if err != nil {
+			return nil, err
+		}
+		tix, err := e.BuildTardis(spec, ScaledTardisConfig(spec), "fig15")
+		if err != nil {
+			return nil, err
+		}
+		bix, err := e.BuildBaseline(spec, ScaledBaselineConfig(spec), "fig15")
+		if err != nil {
+			return nil, err
+		}
+		r, err := runKNN(e, tix, bix, string(spec.Kind), spec.N, queries, k)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, r...)
+	}
+	return rows, nil
+}
+
+// Fig16Size sweeps the dataset size at fixed k (paper Fig. 16 left).
+func Fig16Size(e *Env, kind string, seriesLen int, sizes []int64, seed int64, queryCount, k int) ([]KNNRow, error) {
+	var rows []KNNRow
+	for _, n := range sizes {
+		spec := DatasetSpec{Kind: datasetKind(kind), SeriesLen: seriesLen, N: n, Seed: seed, BlockRecs: blockFor(n)}
+		r, err := Fig15(e, []DatasetSpec{spec}, queryCount, k)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, r...)
+	}
+	return rows, nil
+}
+
+// Fig16K sweeps k at a fixed dataset size (paper Fig. 16 right).
+func Fig16K(e *Env, spec DatasetSpec, queryCount int, ks []int) ([]KNNRow, error) {
+	queries, err := KNNQueries(spec, queryCount, spec.Seed)
+	if err != nil {
+		return nil, err
+	}
+	tix, err := e.BuildTardis(spec, ScaledTardisConfig(spec), "fig16k")
+	if err != nil {
+		return nil, err
+	}
+	bix, err := e.BuildBaseline(spec, ScaledBaselineConfig(spec), "fig16k")
+	if err != nil {
+		return nil, err
+	}
+	var rows []KNNRow
+	for _, k := range ks {
+		r, err := runKNN(e, tix, bix, string(spec.Kind), spec.N, queries, k)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, r...)
+	}
+	return rows, nil
+}
+
+// ---- Figure 17: impact of sampling percentage ----
+
+// Fig17Row reports the four sampling-quality metrics of the paper's Fig. 17
+// for one sampling percentage.
+type Fig17Row struct {
+	Dataset       string
+	SamplePct     float64
+	GlobalBuild   time.Duration // construction time (global index)
+	GlobalBytes   int64         // global index size
+	PartitionMSE  float64       // MSE of partition-size distribution vs 100%
+	ErrorRatioMPA float64       // error ratio of top-k MPA queries
+}
+
+// Fig17 sweeps sampling percentages, comparing against the 100% build.
+func Fig17(e *Env, spec DatasetSpec, pcts []float64, queryCount, k int) ([]Fig17Row, error) {
+	queries, err := KNNQueries(spec, queryCount, spec.Seed)
+	if err != nil {
+		return nil, err
+	}
+	// Reference build at 100% sampling for the partition-size distribution.
+	refCfg := ScaledTardisConfig(spec)
+	refCfg.SamplePct = 1.0
+	ref, err := e.BuildTardis(spec, refCfg, "fig17-ref")
+	if err != nil {
+		return nil, err
+	}
+	refDist, err := partitionSizeHistogram(ref)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig17Row
+	for _, pct := range pcts {
+		cfg := ScaledTardisConfig(spec)
+		cfg.SamplePct = pct
+		ix := ref
+		if pct != 1.0 {
+			ix, err = e.BuildTardis(spec, cfg, fmt.Sprintf("fig17-%g", pct))
+			if err != nil {
+				return nil, err
+			}
+		}
+		dist, err := partitionSizeHistogram(ix)
+		if err != nil {
+			return nil, err
+		}
+		var errRatio float64
+		var count int
+		for _, q := range queries {
+			truth, err := ix.GroundTruthKNN(q, k)
+			if err != nil {
+				return nil, err
+			}
+			if len(truth) == 0 {
+				continue
+			}
+			res, _, err := ix.KNNMultiPartition(q, k)
+			if err != nil {
+				return nil, err
+			}
+			errRatio += knn.ErrorRatio(truth, res)
+			count++
+		}
+		if count > 0 {
+			errRatio /= float64(count)
+		}
+		rows = append(rows, Fig17Row{
+			Dataset:       string(spec.Kind),
+			SamplePct:     pct,
+			GlobalBuild:   ix.BuildStats().GlobalTotal,
+			GlobalBytes:   ix.BuildStats().GlobalIndexBytes,
+			PartitionMSE:  histogramMSE(refDist, dist),
+			ErrorRatioMPA: errRatio,
+		})
+	}
+	return rows, nil
+}
+
+// partitionSizeHistogram returns the probability distribution of partition
+// sizes, bucketed (the paper buckets by 15 MB; we bucket by a tenth of the
+// capacity in records).
+func partitionSizeHistogram(ix *core.Index) ([]float64, error) {
+	pids, err := ix.Store.Partitions()
+	if err != nil {
+		return nil, err
+	}
+	bucket := ix.Config().GMaxSize / 10
+	if bucket < 1 {
+		bucket = 1
+	}
+	counts := map[int]int{}
+	maxBucket := 0
+	for _, pid := range pids {
+		n, err := ix.Store.PartitionCount(pid)
+		if err != nil {
+			return nil, err
+		}
+		b := int(n / bucket)
+		counts[b]++
+		if b > maxBucket {
+			maxBucket = b
+		}
+	}
+	hist := make([]float64, maxBucket+1)
+	for b, c := range counts {
+		hist[b] = float64(c) / float64(len(pids))
+	}
+	return hist, nil
+}
+
+// histogramMSE computes the mean squared error between two probability
+// histograms, padding the shorter with zeros.
+func histogramMSE(a, b []float64) float64 {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	if n == 0 {
+		return 0
+	}
+	var sum float64
+	for i := 0; i < n; i++ {
+		var av, bv float64
+		if i < len(a) {
+			av = a[i]
+		}
+		if i < len(b) {
+			bv = b[i]
+		}
+		d := av - bv
+		sum += d * d
+	}
+	return sum / float64(n)
+}
+
+func datasetKind(name string) dataset.Kind { return dataset.Kind(name) }
+
+// PthRow is one Multi-Partitions pth setting's accuracy/latency measurement
+// (an ablation beyond the paper, which fixes pth = 40).
+type PthRow struct {
+	Pth        int
+	Recall     float64
+	ErrorRatio float64
+	AvgLatency time.Duration
+	AvgLoads   float64
+}
+
+// AblationPth sweeps the Multi-Partitions partition cap.
+func AblationPth(e *Env, spec DatasetSpec, queryCount, k int, pths []int) ([]PthRow, error) {
+	queries, err := KNNQueries(spec, queryCount, spec.Seed)
+	if err != nil {
+		return nil, err
+	}
+	tix, err := e.BuildTardis(spec, ScaledTardisConfig(spec), "ablation-pth")
+	if err != nil {
+		return nil, err
+	}
+	var rows []PthRow
+	for _, pth := range pths {
+		if err := tix.SetPartitionThreshold(pth); err != nil {
+			return nil, err
+		}
+		var row PthRow
+		row.Pth = pth
+		count := 0
+		for _, q := range queries {
+			truth, err := tix.GroundTruthKNN(q, k)
+			if err != nil {
+				return nil, err
+			}
+			if len(truth) == 0 {
+				continue
+			}
+			res, st, err := tix.KNNMultiPartition(q, k)
+			if err != nil {
+				return nil, err
+			}
+			row.Recall += knn.Recall(truth, res)
+			row.ErrorRatio += knn.ErrorRatio(truth, res)
+			row.AvgLatency += st.Duration
+			row.AvgLoads += float64(st.PartitionsLoaded)
+			count++
+		}
+		if count > 0 {
+			row.Recall /= float64(count)
+			row.ErrorRatio /= float64(count)
+			row.AvgLatency /= time.Duration(count)
+			row.AvgLoads /= float64(count)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// ReportPth renders the pth ablation rows.
+func ReportPth(w io.Writer, rows []PthRow) {
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			fmt.Sprint(r.Pth), Pct(r.Recall), fmt.Sprintf("%.3f", r.ErrorRatio),
+			Dur(r.AvgLatency), fmt.Sprintf("%.1f", r.AvgLoads),
+		})
+	}
+	PrintTable(w, "Ablation: Multi-Partitions pth (partitions loaded cap)",
+		[]string{"pth", "recall", "error-ratio", "avg latency", "avg loads"}, out)
+}

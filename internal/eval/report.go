@@ -1,0 +1,172 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// PrintTable renders rows as an aligned plain-text table, the output format
+// of cmd/tardis-bench and the bench logs.
+func PrintTable(w io.Writer, title string, headers []string, rows [][]string) {
+	if title != "" {
+		fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+	}
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.Join(parts, "  "))
+	}
+	line(headers)
+	seps := make([]string, len(headers))
+	for i := range seps {
+		seps[i] = strings.Repeat("-", widths[i])
+	}
+	line(seps)
+	for _, r := range rows {
+		line(r)
+	}
+	fmt.Fprintln(w)
+}
+
+// Dur formats a duration for report tables, keeping three significant
+// digits: microsecond precision below 10ms, millisecond precision above.
+func Dur(d time.Duration) string {
+	if d < 10*time.Millisecond {
+		return d.Round(time.Microsecond).String()
+	}
+	return d.Round(time.Millisecond).String()
+}
+
+// Pct formats a ratio as a percentage.
+func Pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }
+
+// Bytes formats a byte count with a binary unit.
+func Bytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.2fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+// ReportFig9 renders Fig. 9 rows.
+func ReportFig9(w io.Writer, rows []Fig9Row) {
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Dataset, fmt.Sprint(r.N), fmt.Sprint(r.SeriesLen), fmt.Sprint(r.Distinct),
+			Pct(r.TopShare), Pct(r.Top10), fmt.Sprintf("%.4f", r.GiniLike),
+		})
+	}
+	PrintTable(w, "Fig 9: dataset signature distribution (skew spectrum)",
+		[]string{"dataset", "n", "len", "distinct-sigs", "top-1 share", "top-10 share", "1-sum(p^2)"}, out)
+}
+
+// ReportFig10 renders Fig. 10 rows.
+func ReportFig10(w io.Writer, rows []Fig10Row) {
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.System, r.Dataset, fmt.Sprint(r.N), Dur(r.GlobalTime), Dur(r.LocalTime),
+			Dur(r.Total), fmt.Sprint(r.Partitions),
+		})
+	}
+	PrintTable(w, "Fig 10: clustered index construction time",
+		[]string{"system", "dataset", "n", "global", "local", "total", "partitions"}, out)
+}
+
+// ReportFig11 renders Fig. 11 rows.
+func ReportFig11(w io.Writer, rows []Fig11Row) {
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.System, r.Dataset, fmt.Sprint(r.N), Dur(r.SampleConvert), Dur(r.NodeStats),
+			Dur(r.BuildTree), Dur(r.PartitionAsgn), Dur(r.GlobalTotal),
+		})
+	}
+	PrintTable(w, "Fig 11: global index construction breakdown",
+		[]string{"system", "dataset", "n", "sample+convert", "node-stats", "build-tree", "partition-assign", "total"}, out)
+}
+
+// ReportFig12 renders Fig. 12 rows.
+func ReportFig12(w io.Writer, rows []Fig12Row) {
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			fmt.Sprint(r.N), Dur(r.WithBloom), Dur(r.NoBloom), Dur(r.BloomStage), Bytes(r.BloomBytes),
+		})
+	}
+	PrintTable(w, "Fig 12: Bloom filter index construction overhead (RandomWalk)",
+		[]string{"n", "with-bloom total", "no-bloom total", "bloom stage", "bloom size"}, out)
+}
+
+// ReportFig13 renders Fig. 13 rows.
+func ReportFig13(w io.Writer, rows []Fig13Row) {
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.System, r.Dataset, fmt.Sprint(r.N), Bytes(r.GlobalBytes), Bytes(r.LocalBytes),
+		})
+	}
+	PrintTable(w, "Fig 13: index sizes",
+		[]string{"system", "dataset", "n", "global index", "local index"}, out)
+}
+
+// ReportFig14 renders Fig. 14 rows.
+func ReportFig14(w io.Writer, rows []Fig14Row) {
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Variant, r.Dataset, fmt.Sprint(r.N), Dur(r.AvgLatency),
+			fmt.Sprintf("%.2f", r.AvgPartitionLoad), Pct(r.Recall),
+		})
+	}
+	PrintTable(w, "Fig 14: exact-match average query time (50% existing / 50% absent)",
+		[]string{"variant", "dataset", "n", "avg latency", "avg partition loads", "recall"}, out)
+}
+
+// ReportKNN renders Fig. 15/16 rows.
+func ReportKNN(w io.Writer, title string, rows []KNNRow) {
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Strategy, r.Dataset, fmt.Sprint(r.N), fmt.Sprint(r.K),
+			Pct(r.Recall), fmt.Sprintf("%.3f", r.ErrorRatio), Dur(r.AvgLatency),
+		})
+	}
+	PrintTable(w, title,
+		[]string{"strategy", "dataset", "n", "k", "recall", "error-ratio", "avg latency"}, out)
+}
+
+// ReportFig17 renders Fig. 17 rows.
+func ReportFig17(w io.Writer, rows []Fig17Row) {
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Dataset, Pct(r.SamplePct), Dur(r.GlobalBuild), Bytes(r.GlobalBytes),
+			fmt.Sprintf("%.6f", r.PartitionMSE), fmt.Sprintf("%.3f", r.ErrorRatioMPA),
+		})
+	}
+	PrintTable(w, "Fig 17: impact of sampling percentage",
+		[]string{"dataset", "sample", "global build", "global size", "partition MSE", "error-ratio (MPA)"}, out)
+}

@@ -1,0 +1,454 @@
+// Package ibt implements the baseline iSAX Binary Tree index (Shieh & Keogh
+// KDD'08, bulk-loading and statistics-based splitting from iSAX 2.0,
+// ICDM'10). The iBT is the building block of the DPiSAX baseline system the
+// TARDIS paper compares against; it exhibits the limitations the paper
+// analyzes — binary fan-out (deep leaves, many internal nodes),
+// character-level variable cardinality (expensive conversions, weak
+// proximity preservation), and a large initial cardinality requirement.
+package ibt
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/tardisdb/tardis/internal/isax"
+	"github.com/tardisdb/tardis/internal/ts"
+)
+
+// Entry is one indexed element: the full-cardinality iSAX word, record id,
+// and (for clustered indices) the raw series.
+type Entry struct {
+	Word   isax.Word
+	RID    int64
+	Series ts.Series
+}
+
+// SplitPolicy selects which segment (character) gains a bit when a leaf
+// splits.
+type SplitPolicy int
+
+const (
+	// RoundRobin cycles through the segments in order — the original KDD'08
+	// policy, known to over-subdivide.
+	RoundRobin SplitPolicy = iota
+	// StatisticsBased picks the segment whose one-bit refinement divides the
+	// leaf's entries most evenly (iSAX 2.0), producing shallower trees.
+	StatisticsBased
+)
+
+// String names the split policy.
+func (p SplitPolicy) String() string {
+	switch p {
+	case RoundRobin:
+		return "round-robin"
+	case StatisticsBased:
+		return "statistics"
+	default:
+		return fmt.Sprintf("SplitPolicy(%d)", int(p))
+	}
+}
+
+// Node is one iBT node. The tree is binary below the first level: each
+// internal node has split one character by one bit, producing at most two
+// children.
+type Node struct {
+	Word     isax.Word
+	Parent   *Node
+	Children [2]*Node // indexed by the appended bit
+	SplitSeg int      // segment split at this node; -1 for leaves
+	Count    int64
+	Entries  []Entry
+	leaf     bool
+	rrNext   int // round-robin cursor
+}
+
+// IsLeaf reports whether the node is a leaf.
+func (n *Node) IsLeaf() bool { return n.leaf }
+
+// Tree is an iSAX binary tree with a 2^w-wide first level (one node per
+// 1-bit word) and binary splits below it.
+type Tree struct {
+	w         int // word length
+	maxBits   int // initial cardinality bits: the split budget per segment
+	threshold int64
+	policy    SplitPolicy
+
+	firstLevel map[string]*Node
+	count      int64
+	nodeCount  int
+	leafCount  int
+
+	// Conversions counts single-character cardinality demotions performed
+	// during inserts and lookups — the cost iSAX-T eliminates. The paper's
+	// construction-time gap is driven by this quantity.
+	Conversions int64
+}
+
+// New creates an empty iBT. maxBits is the initial cardinality exponent
+// (DPiSAX defaults to 9, i.e. cardinality 512); threshold is the leaf split
+// threshold.
+func New(w, maxBits int, threshold int64, policy SplitPolicy) (*Tree, error) {
+	if w < 1 {
+		return nil, fmt.Errorf("ibt: word length must be positive, got %d", w)
+	}
+	if maxBits < 1 || maxBits > ts.MaxCardinalityBits {
+		return nil, fmt.Errorf("ibt: maxBits %d out of range [1, %d]", maxBits, ts.MaxCardinalityBits)
+	}
+	if threshold < 1 {
+		return nil, fmt.Errorf("ibt: split threshold must be positive, got %d", threshold)
+	}
+	if policy != RoundRobin && policy != StatisticsBased {
+		return nil, fmt.Errorf("ibt: unknown split policy %d", int(policy))
+	}
+	return &Tree{
+		w: w, maxBits: maxBits, threshold: threshold, policy: policy,
+		firstLevel: map[string]*Node{},
+	}, nil
+}
+
+// WordLength returns the tree's word length.
+func (t *Tree) WordLength() int { return t.w }
+
+// MaxBits returns the per-segment cardinality budget in bits.
+func (t *Tree) MaxBits() int { return t.maxBits }
+
+// Count returns the number of inserted entries.
+func (t *Tree) Count() int64 { return t.count }
+
+// NodeCount returns the number of nodes (first level included).
+func (t *Tree) NodeCount() int { return t.nodeCount }
+
+// LeafCount returns the number of leaves.
+func (t *Tree) LeafCount() int { return t.leafCount }
+
+// firstLevelKey demotes a full word to 1 bit per segment and renders the
+// first-level key, counting the per-character conversions honestly.
+func (t *Tree) firstLevelKey(w isax.Word) string {
+	ones := make([]int, t.w)
+	for i := range ones {
+		ones[i] = 1
+	}
+	demoted, conv := w.DemoteTo(ones)
+	t.Conversions += int64(conv)
+	return demoted.Key()
+}
+
+// Insert adds an entry, splitting leaves that exceed the threshold. The
+// entry's word must be uniform at the tree's full cardinality.
+func (t *Tree) Insert(e Entry) error {
+	if e.Word.Len() != t.w {
+		return fmt.Errorf("ibt: word length %d != tree word length %d", e.Word.Len(), t.w)
+	}
+	for i, b := range e.Word.Bits {
+		if b != t.maxBits {
+			return fmt.Errorf("ibt: segment %d has %d bits, want full cardinality %d", i, b, t.maxBits)
+		}
+	}
+	key := t.firstLevelKey(e.Word)
+	node := t.firstLevel[key]
+	if node == nil {
+		ones := make([]int, t.w)
+		for i := range ones {
+			ones[i] = 1
+		}
+		sig, _ := e.Word.DemoteTo(ones)
+		node = &Node{Word: sig, SplitSeg: -1, leaf: true}
+		t.firstLevel[key] = node
+		t.nodeCount++
+		t.leafCount++
+	}
+	node.Count++
+	t.count++
+	for !node.leaf {
+		bit := isax.ChildBit(e.Word, node.SplitSeg, node.Word.Bits[node.SplitSeg])
+		t.Conversions++ // extracting the routing bit is a character demotion
+		child := node.Children[bit]
+		if child == nil {
+			lo, hi := node.Word.SplitChar(node.SplitSeg)
+			cw := lo
+			if bit == 1 {
+				cw = hi
+			}
+			child = &Node{Word: cw, Parent: node, SplitSeg: -1, leaf: true}
+			node.Children[bit] = child
+			t.nodeCount++
+			t.leafCount++
+		}
+		node = child
+		node.Count++
+	}
+	node.Entries = append(node.Entries, e)
+	if int64(len(node.Entries)) > t.threshold {
+		t.split(node)
+	}
+	return nil
+}
+
+// split promotes a leaf to an internal node, choosing the split segment by
+// the tree's policy. If no segment has cardinality budget left the leaf
+// stays oversized.
+func (t *Tree) split(n *Node) {
+	seg := t.chooseSplitSegment(n)
+	if seg < 0 {
+		return // cardinality exhausted on all segments
+	}
+	entries := n.Entries
+	n.Entries = nil
+	n.leaf = false
+	n.SplitSeg = seg
+	t.leafCount--
+	lo, hi := n.Word.SplitChar(seg)
+	words := [2]isax.Word{lo, hi}
+	for _, e := range entries {
+		bit := isax.ChildBit(e.Word, seg, n.Word.Bits[seg])
+		t.Conversions++
+		child := n.Children[bit]
+		if child == nil {
+			child = &Node{Word: words[bit], Parent: n, SplitSeg: -1, leaf: true}
+			n.Children[bit] = child
+			t.nodeCount++
+			t.leafCount++
+		}
+		child.Count++
+		child.Entries = append(child.Entries, e)
+	}
+	for _, child := range n.Children {
+		if child != nil && int64(len(child.Entries)) > t.threshold {
+			t.split(child)
+		}
+	}
+}
+
+func (t *Tree) chooseSplitSegment(n *Node) int {
+	switch t.policy {
+	case RoundRobin:
+		for tries := 0; tries < t.w; tries++ {
+			seg := (n.rrNext + tries) % t.w
+			if n.Word.Bits[seg] < t.maxBits {
+				n.rrNext = (seg + 1) % t.w
+				return seg
+			}
+		}
+		return -1
+	case StatisticsBased:
+		best, bestBalance := -1, -1.0
+		for seg := 0; seg < t.w; seg++ {
+			if n.Word.Bits[seg] >= t.maxBits {
+				continue
+			}
+			var ones int
+			for _, e := range n.Entries {
+				if isax.ChildBit(e.Word, seg, n.Word.Bits[seg]) == 1 {
+					ones++
+				}
+			}
+			t.Conversions += int64(len(n.Entries))
+			p := float64(ones) / float64(len(n.Entries))
+			balance := p * (1 - p) // maximized at an even split
+			if balance > bestBalance {
+				best, bestBalance = seg, balance
+			}
+		}
+		return best
+	}
+	return -1
+}
+
+// FindLeaf descends to the leaf covering the given full-cardinality word,
+// or nil when the path dead-ends (word never seen during construction).
+func (t *Tree) FindLeaf(w isax.Word) *Node {
+	key := t.firstLevelKey(w)
+	node := t.firstLevel[key]
+	for node != nil && !node.leaf {
+		bit := isax.ChildBit(w, node.SplitSeg, node.Word.Bits[node.SplitSeg])
+		t.Conversions++
+		node = node.Children[bit]
+	}
+	return node
+}
+
+// TargetNode returns the lowest node on the word's path holding at least k
+// entries, mirroring sigtree.Tree.TargetNode for the baseline's kNN
+// approximate query. When even the matched first-level subtree holds fewer
+// than k entries it returns that subtree with ok=false — the best available
+// scope; the caller decides whether to widen the search. It returns
+// (nil, false) only when the word's first-level node does not exist.
+func (t *Tree) TargetNode(w isax.Word, k int64) (*Node, bool) {
+	key := t.firstLevelKey(w)
+	node := t.firstLevel[key]
+	if node == nil {
+		return nil, false
+	}
+	if node.Count < k {
+		return node, false
+	}
+	for !node.leaf {
+		bit := isax.ChildBit(w, node.SplitSeg, node.Word.Bits[node.SplitSeg])
+		t.Conversions++
+		child := node.Children[bit]
+		if child == nil || child.Count < k {
+			return node, true
+		}
+		node = child
+	}
+	return node, true
+}
+
+// Walk visits all nodes in deterministic order (first level sorted by key,
+// then children 0 before 1), parents before children.
+func (t *Tree) Walk(visit func(*Node)) {
+	keys := make([]string, 0, len(t.firstLevel))
+	for k := range t.firstLevel {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var rec func(*Node)
+	rec = func(n *Node) {
+		visit(n)
+		for _, c := range n.Children {
+			if c != nil {
+				rec(c)
+			}
+		}
+	}
+	for _, k := range keys {
+		rec(t.firstLevel[k])
+	}
+}
+
+// Leaves returns all leaves in deterministic order.
+func (t *Tree) Leaves() []*Node {
+	var out []*Node
+	t.Walk(func(n *Node) {
+		if n.leaf {
+			out = append(out, n)
+		}
+	})
+	return out
+}
+
+// CollectEntries appends every entry under n to out.
+func CollectEntries(n *Node, out []Entry) []Entry {
+	if n.leaf {
+		return append(out, n.Entries...)
+	}
+	for _, c := range n.Children {
+		if c != nil {
+			out = CollectEntries(c, out)
+		}
+	}
+	return out
+}
+
+// MinDist lower-bounds the distance from a query (PAA and original length)
+// to anything under the node, using the node's per-character cardinalities.
+func (n *Node) MinDist(paa ts.Series, seriesLen int) float64 {
+	return n.Word.MinDistPAA(paa, seriesLen)
+}
+
+// PruneCollect gathers entries of leaves whose lower bound does not exceed
+// threshold, for the baseline's refine phases.
+func (t *Tree) PruneCollect(paa ts.Series, seriesLen int, threshold float64) ([]Entry, int) {
+	var out []Entry
+	pruned := 0
+	var rec func(n *Node)
+	rec = func(n *Node) {
+		if n.MinDist(paa, seriesLen) > threshold {
+			pruned += leafCountUnder(n)
+			return
+		}
+		if n.leaf {
+			out = append(out, n.Entries...)
+			return
+		}
+		for _, c := range n.Children {
+			if c != nil {
+				rec(c)
+			}
+		}
+	}
+	keys := make([]string, 0, len(t.firstLevel))
+	for k := range t.firstLevel {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		rec(t.firstLevel[k])
+	}
+	return out, pruned
+}
+
+func leafCountUnder(n *Node) int {
+	if n.leaf {
+		return 1
+	}
+	total := 0
+	for _, c := range n.Children {
+		if c != nil {
+			total += leafCountUnder(c)
+		}
+	}
+	return total
+}
+
+// Stats summarizes the tree shape for the ablation comparisons against the
+// sigTree.
+type Stats struct {
+	Nodes        int
+	Internal     int
+	Leaves       int
+	MaxLeafDepth int     // depth in split steps below the first level + 1
+	AvgLeafDepth float64 // mean leaf depth
+	AvgLeafSize  float64
+	TotalEntries int64
+}
+
+// ComputeStats walks the tree and returns shape statistics. Depth is
+// measured in tree levels: first-level nodes are at depth 1, each binary
+// split adds 1.
+func (t *Tree) ComputeStats() Stats {
+	s := Stats{TotalEntries: t.count}
+	var depthSum, sizeSum int64
+	var rec func(n *Node, depth int)
+	rec = func(n *Node, depth int) {
+		s.Nodes++
+		if n.leaf {
+			s.Leaves++
+			depthSum += int64(depth)
+			sizeSum += int64(len(n.Entries))
+			if depth > s.MaxLeafDepth {
+				s.MaxLeafDepth = depth
+			}
+			return
+		}
+		s.Internal++
+		for _, c := range n.Children {
+			if c != nil {
+				rec(c, depth+1)
+			}
+		}
+	}
+	for _, n := range t.firstLevel {
+		rec(n, 1)
+	}
+	if s.Leaves > 0 {
+		s.AvgLeafDepth = float64(depthSum) / float64(s.Leaves)
+		s.AvgLeafSize = float64(sizeSum) / float64(s.Leaves)
+	}
+	return s
+}
+
+// SerializedSize estimates the index size in bytes the way the paper counts
+// it for the baseline (Fig. 13): per node, the variable-cardinality word
+// (symbol and bit width per segment), counters, and child pointers; leaf
+// entries contribute their record ids.
+func (t *Tree) SerializedSize() int64 {
+	var size int64
+	size += 16 // header
+	t.Walk(func(n *Node) {
+		size += int64(4 * t.w) // symbols (u16) + bits (u16) per segment
+		size += 8 + 1 + 4      // count, leaf flag, split segment
+		size += int64(8 * len(n.Entries))
+	})
+	return size
+}

@@ -1,0 +1,246 @@
+// Package isax implements the classic character-level variable-cardinality
+// iSAX representation (Shieh & Keogh, KDD'08) used by the baseline systems
+// (iSAX binary trees and DPiSAX). Each segment of a word carries its own
+// cardinality, so comparing two words requires demoting the
+// higher-cardinality characters segment by segment — the "expensive
+// cardinality conversion" the TARDIS paper contrasts with iSAX-T's
+// word-level dropRight.
+package isax
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/tardisdb/tardis/internal/ts"
+)
+
+// Word is a character-level variable-cardinality iSAX word. Symbols[i] is
+// the SAX region index of segment i at cardinality 2^Bits[i]. Labels are
+// assigned bottom-up so demotion by one bit is a right shift of the symbol.
+type Word struct {
+	Symbols []int
+	Bits    []int
+}
+
+// FromPAA builds a uniform-cardinality iSAX word (every segment at 2^bits)
+// from a PAA vector.
+func FromPAA(paa ts.Series, bits int) Word {
+	syms := make([]int, len(paa))
+	bs := make([]int, len(paa))
+	for i, v := range paa {
+		syms[i] = ts.SAXSymbol(v, bits)
+		bs[i] = bits
+	}
+	return Word{Symbols: syms, Bits: bs}
+}
+
+// FromSeries z-independently converts a raw series to a uniform iSAX word:
+// PAA at word length w, then SAX at cardinality 2^bits. The caller is
+// responsible for z-normalizing first if required.
+func FromSeries(s ts.Series, w, bits int) (Word, error) {
+	paa, err := ts.PAA(s, w)
+	if err != nil {
+		return Word{}, err
+	}
+	return FromPAA(paa, bits), nil
+}
+
+// Len returns the word length (number of segments).
+func (w Word) Len() int { return len(w.Symbols) }
+
+// Clone returns a deep copy of the word.
+func (w Word) Clone() Word {
+	s := make([]int, len(w.Symbols))
+	b := make([]int, len(w.Bits))
+	copy(s, w.Symbols)
+	copy(b, w.Bits)
+	return Word{Symbols: s, Bits: b}
+}
+
+// DemoteChar returns a copy of the word with segment i demoted to `bits`
+// bits of cardinality. It panics if bits exceeds the segment's current
+// cardinality — demotion only loses precision, never invents it.
+func (w Word) DemoteChar(i, bits int) Word {
+	if bits > w.Bits[i] {
+		panic(fmt.Sprintf("isax: cannot promote segment %d from %d to %d bits", i, w.Bits[i], bits))
+	}
+	out := w.Clone()
+	out.Symbols[i] >>= uint(w.Bits[i] - bits)
+	out.Bits[i] = bits
+	return out
+}
+
+// DemoteTo demotes every segment of the word to the per-segment cardinality
+// bits given in target, returning the demoted word and the number of
+// single-character conversion operations performed. The conversion count is
+// the cost the baseline pays on every comparison; TARDIS's iSAX-T replaces
+// it with a single string truncation.
+func (w Word) DemoteTo(target []int) (Word, int) {
+	if len(target) != len(w.Bits) {
+		panic(fmt.Sprintf("isax: demote target length %d != word length %d", len(target), len(w.Bits)))
+	}
+	out := w.Clone()
+	conversions := 0
+	for i, tb := range target {
+		if tb > w.Bits[i] {
+			panic(fmt.Sprintf("isax: cannot promote segment %d from %d to %d bits", i, w.Bits[i], tb))
+		}
+		if tb < w.Bits[i] {
+			out.Symbols[i] >>= uint(w.Bits[i] - tb)
+			out.Bits[i] = tb
+			conversions++
+		}
+	}
+	return out, conversions
+}
+
+// Covers reports whether this (typically lower-cardinality) word covers the
+// given full-precision word: every segment of other, demoted to this word's
+// per-segment cardinality, equals this word's symbol. It also returns the
+// number of character conversions performed, mirroring the real matching
+// cost of the baseline's partition-table lookup.
+func (w Word) Covers(other Word) (bool, int) {
+	if len(other.Symbols) != len(w.Symbols) {
+		return false, 0
+	}
+	conversions := 0
+	for i := range w.Symbols {
+		ob, wb := other.Bits[i], w.Bits[i]
+		if ob < wb {
+			return false, conversions // other is coarser; cannot be covered
+		}
+		sym := other.Symbols[i]
+		if ob > wb {
+			sym >>= uint(ob - wb)
+			conversions++
+		}
+		if sym != w.Symbols[i] {
+			return false, conversions
+		}
+	}
+	return true, conversions
+}
+
+// Equal reports whether two words have identical symbols and cardinalities.
+func (w Word) Equal(other Word) bool {
+	if len(w.Symbols) != len(other.Symbols) {
+		return false
+	}
+	for i := range w.Symbols {
+		if w.Symbols[i] != other.Symbols[i] || w.Bits[i] != other.Bits[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SplitChar returns the two children produced by promoting segment i with
+// one extra bit, in symbol order (appended bit 0, then 1). The receiver must
+// hold a strictly lower cardinality on segment i than the data words do.
+func (w Word) SplitChar(i int) (Word, Word) {
+	lo := w.Clone()
+	lo.Symbols[i] = w.Symbols[i] << 1
+	lo.Bits[i] = w.Bits[i] + 1
+	hi := w.Clone()
+	hi.Symbols[i] = w.Symbols[i]<<1 | 1
+	hi.Bits[i] = w.Bits[i] + 1
+	return lo, hi
+}
+
+// ChildBit returns which child (0 or 1) of a split on segment i the given
+// full-precision word belongs to, given the parent's cardinality on that
+// segment.
+func ChildBit(full Word, i, parentBits int) int {
+	shift := full.Bits[i] - (parentBits + 1)
+	if shift < 0 {
+		panic(fmt.Sprintf("isax: word bits %d too coarse for child of %d-bit parent", full.Bits[i], parentBits))
+	}
+	return (full.Symbols[i] >> uint(shift)) & 1
+}
+
+// MinDistPAA lower-bounds the Euclidean distance between the original series
+// (length n) behind the query PAA and any series covered by this word, using
+// each segment's own cardinality.
+func (w Word) MinDistPAA(paa ts.Series, n int) float64 {
+	if len(paa) != len(w.Symbols) {
+		panic(fmt.Sprintf("isax: MinDistPAA length mismatch %d vs %d", len(paa), len(w.Symbols)))
+	}
+	var sum float64
+	for i, v := range paa {
+		d := ts.MinDistPAAToSymbol(v, w.Symbols[i], w.Bits[i])
+		sum += d * d
+	}
+	return sqrtRatio(n, len(paa)) * sqrt(sum)
+}
+
+// Key returns a canonical string form usable as a map key, e.g.
+// "3.2_0.1_7.3" meaning symbol.bits per segment.
+func (w Word) Key() string {
+	var b strings.Builder
+	for i := range w.Symbols {
+		if i > 0 {
+			b.WriteByte('_')
+		}
+		b.WriteString(strconv.Itoa(w.Symbols[i]))
+		b.WriteByte('.')
+		b.WriteString(strconv.Itoa(w.Bits[i]))
+	}
+	return b.String()
+}
+
+// ParseKey parses the canonical Key form back into a Word.
+func ParseKey(key string) (Word, error) {
+	if key == "" {
+		return Word{}, fmt.Errorf("isax: empty key")
+	}
+	parts := strings.Split(key, "_")
+	w := Word{Symbols: make([]int, len(parts)), Bits: make([]int, len(parts))}
+	for i, p := range parts {
+		dot := strings.IndexByte(p, '.')
+		if dot < 0 {
+			return Word{}, fmt.Errorf("isax: malformed key segment %q", p)
+		}
+		sym, err := strconv.Atoi(p[:dot])
+		if err != nil {
+			return Word{}, fmt.Errorf("isax: malformed symbol in %q: %v", p, err)
+		}
+		bits, err := strconv.Atoi(p[dot+1:])
+		if err != nil {
+			return Word{}, fmt.Errorf("isax: malformed bits in %q: %v", p, err)
+		}
+		if bits < 1 || bits > ts.MaxCardinalityBits {
+			return Word{}, fmt.Errorf("isax: bits %d out of range in %q", bits, p)
+		}
+		if sym < 0 || sym >= 1<<bits {
+			return Word{}, fmt.Errorf("isax: symbol %d out of range for %d bits in %q", sym, bits, p)
+		}
+		w.Symbols[i], w.Bits[i] = sym, bits
+	}
+	return w, nil
+}
+
+// String renders the word in the paper's bracketed style, e.g.
+// "[01.2 1.1 110.3]" with binary symbols subscripted by bit width.
+func (w Word) String() string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for i := range w.Symbols {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(formatBinary(w.Symbols[i], w.Bits[i]))
+		b.WriteByte('.')
+		b.WriteString(strconv.Itoa(w.Bits[i]))
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+func formatBinary(v, bits int) string {
+	s := strconv.FormatInt(int64(v), 2)
+	for len(s) < bits {
+		s = "0" + s
+	}
+	return s
+}

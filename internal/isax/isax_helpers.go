@@ -1,0 +1,7 @@
+package isax
+
+import "math"
+
+func sqrt(v float64) float64 { return math.Sqrt(v) }
+
+func sqrtRatio(n, w int) float64 { return math.Sqrt(float64(n) / float64(w)) }

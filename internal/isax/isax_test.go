@@ -1,0 +1,258 @@
+package isax
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/tardisdb/tardis/internal/ts"
+)
+
+func randomWord(rng *rand.Rand, w, bits int) Word {
+	paa := make(ts.Series, w)
+	for i := range paa {
+		paa[i] = rng.NormFloat64()
+	}
+	return FromPAA(paa, bits)
+}
+
+func TestFromPAA(t *testing.T) {
+	paa := ts.Series{-1.5, -0.4, 0.3, 1.5}
+	w := FromPAA(paa, 2)
+	want := []int{0, 1, 2, 3}
+	for i := range want {
+		if w.Symbols[i] != want[i] || w.Bits[i] != 2 {
+			t.Errorf("segment %d: got (%d,%d), want (%d,2)", i, w.Symbols[i], w.Bits[i], want[i])
+		}
+	}
+}
+
+func TestFromSeries(t *testing.T) {
+	s := make(ts.Series, 16)
+	for i := range s {
+		s[i] = float64(i)
+	}
+	w, err := FromSeries(s.ZNormalize(), 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != 4 {
+		t.Fatalf("word length = %d, want 4", w.Len())
+	}
+	// Monotone increasing series => non-decreasing symbols.
+	for i := 1; i < 4; i++ {
+		if w.Symbols[i] < w.Symbols[i-1] {
+			t.Errorf("symbols should be non-decreasing for an increasing series: %v", w.Symbols)
+		}
+	}
+	if _, err := FromSeries(ts.Series{1}, 4, 3); err == nil {
+		t.Error("expected error for series shorter than word length")
+	}
+}
+
+func TestDemoteChar(t *testing.T) {
+	w := Word{Symbols: []int{6, 5}, Bits: []int{3, 3}} // 110, 101
+	d := w.DemoteChar(0, 1)
+	if d.Symbols[0] != 1 || d.Bits[0] != 1 {
+		t.Errorf("demote 110(3b)->1b: got %d.%d, want 1.1", d.Symbols[0], d.Bits[0])
+	}
+	// Original unchanged.
+	if w.Symbols[0] != 6 || w.Bits[0] != 3 {
+		t.Error("DemoteChar mutated receiver")
+	}
+}
+
+func TestDemoteCharPanicsOnPromote(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic when promoting via DemoteChar")
+		}
+	}()
+	w := Word{Symbols: []int{1}, Bits: []int{1}}
+	w.DemoteChar(0, 2)
+}
+
+func TestDemoteTo(t *testing.T) {
+	w := Word{Symbols: []int{6, 5, 3}, Bits: []int{3, 3, 3}}
+	d, conv := w.DemoteTo([]int{1, 3, 2})
+	if conv != 2 {
+		t.Errorf("conversions = %d, want 2", conv)
+	}
+	if d.Symbols[0] != 1 || d.Symbols[1] != 5 || d.Symbols[2] != 1 {
+		t.Errorf("demoted symbols = %v", d.Symbols)
+	}
+}
+
+func TestCovers(t *testing.T) {
+	full := Word{Symbols: []int{6, 5, 3}, Bits: []int{3, 3, 3}}
+	node := Word{Symbols: []int{1, 2, 0}, Bits: []int{1, 2, 1}} // 1, 10, 0
+	ok, conv := node.Covers(full)
+	if !ok {
+		t.Error("node should cover full word")
+	}
+	if conv != 3 {
+		t.Errorf("conversions = %d, want 3", conv)
+	}
+	miss := Word{Symbols: []int{0, 2, 0}, Bits: []int{1, 2, 1}}
+	if ok, _ := miss.Covers(full); ok {
+		t.Error("mismatched first char should not cover")
+	}
+	// Coarser "other" cannot be covered by finer node.
+	coarse := Word{Symbols: []int{1, 1, 0}, Bits: []int{1, 1, 1}}
+	fine := Word{Symbols: []int{2, 2, 0}, Bits: []int{2, 2, 2}}
+	if ok, _ := fine.Covers(coarse); ok {
+		t.Error("finer node cannot cover coarser word")
+	}
+	if ok, _ := node.Covers(Word{Symbols: []int{1}, Bits: []int{1}}); ok {
+		t.Error("length mismatch should not cover")
+	}
+}
+
+func TestSplitCharAndChildBit(t *testing.T) {
+	parent := Word{Symbols: []int{1, 0}, Bits: []int{1, 1}}
+	lo, hi := parent.SplitChar(0)
+	if lo.Symbols[0] != 2 || lo.Bits[0] != 2 {
+		t.Errorf("lo child = %d.%d, want 2.2", lo.Symbols[0], lo.Bits[0])
+	}
+	if hi.Symbols[0] != 3 || hi.Bits[0] != 2 {
+		t.Errorf("hi child = %d.%d, want 3.2", hi.Symbols[0], hi.Bits[0])
+	}
+	// A full word 110(3b) on segment 0 splits from a 1-bit parent into bit 1.
+	full := Word{Symbols: []int{6, 0}, Bits: []int{3, 3}}
+	if b := ChildBit(full, 0, 1); b != 1 {
+		t.Errorf("ChildBit = %d, want 1", b)
+	}
+	full2 := Word{Symbols: []int{4, 0}, Bits: []int{3, 3}} // 100
+	if b := ChildBit(full2, 0, 1); b != 0 {
+		t.Errorf("ChildBit = %d, want 0", b)
+	}
+}
+
+func TestChildBitPanicsWhenTooCoarse(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	ChildBit(Word{Symbols: []int{1}, Bits: []int{1}}, 0, 1)
+}
+
+func TestKeyRoundTrip(t *testing.T) {
+	w := Word{Symbols: []int{6, 5, 0}, Bits: []int{3, 3, 1}}
+	got, err := ParseKey(w.Key())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(w) {
+		t.Errorf("round trip = %v, want %v", got, w)
+	}
+}
+
+func TestParseKeyErrors(t *testing.T) {
+	for _, k := range []string{"", "3", "3.x", "x.2", "9.2", "-1.2", "3.0", "3.99"} {
+		if _, err := ParseKey(k); err == nil {
+			t.Errorf("ParseKey(%q) should fail", k)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	w := Word{Symbols: []int{6, 1}, Bits: []int{3, 1}}
+	if got := w.String(); got != "[110.3 1.1]" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+// Property: key round trip holds for random words.
+func TestKeyRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := randomWord(rng, 8, 1+rng.Intn(8))
+		got, err := ParseKey(w.Key())
+		return err == nil && got.Equal(w)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a word demoted to any coarser per-segment cardinalities covers
+// the original word.
+func TestDemoteCoversProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := randomWord(rng, 8, 6)
+		target := make([]int, 8)
+		for i := range target {
+			target[i] = 1 + rng.Intn(6)
+		}
+		d, _ := w.DemoteTo(target)
+		ok, _ := d.Covers(w)
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the variable-cardinality MINDIST is a valid lower bound on the
+// true Euclidean distance.
+func TestMinDistPAALowerBoundProperty(t *testing.T) {
+	const n, wlen = 64, 8
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := make(ts.Series, n), make(ts.Series, n)
+		for i := 0; i < n; i++ {
+			a[i] = rng.NormFloat64()
+			b[i] = rng.NormFloat64()
+		}
+		ed, _ := ts.EuclideanDistance(a, b)
+		pa := ts.MustPAA(a, wlen)
+		wb := FromPAA(ts.MustPAA(b, wlen), 8)
+		// Randomly demote some segments to a variable-cardinality word.
+		target := make([]int, wlen)
+		for i := range target {
+			target[i] = 1 + rng.Intn(8)
+		}
+		vb, _ := wb.DemoteTo(target)
+		return vb.MinDistPAA(pa, n) <= ed+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: demoting segments can only loosen (reduce) the MINDIST bound.
+func TestMinDistDemoteLoosensProperty(t *testing.T) {
+	const n, wlen = 64, 8
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := make(ts.Series, n)
+		bSeries := make(ts.Series, n)
+		for i := 0; i < n; i++ {
+			q[i] = rng.NormFloat64()
+			bSeries[i] = rng.NormFloat64()
+		}
+		pq := ts.MustPAA(q, wlen)
+		w := FromPAA(ts.MustPAA(bSeries, wlen), 8)
+		fine := w.MinDistPAA(pq, n)
+		target := make([]int, wlen)
+		for i := range target {
+			target[i] = 1 + rng.Intn(8)
+		}
+		coarse, _ := w.DemoteTo(target)
+		return coarse.MinDistPAA(pq, n) <= fine+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinDistPAAZeroForCoveringRegion(t *testing.T) {
+	paa := ts.Series{-1.5, 0.3}
+	w := FromPAA(paa, 3)
+	if d := w.MinDistPAA(paa, 16); math.Abs(d) > 1e-12 {
+		t.Errorf("MINDIST of word to its own PAA = %v, want 0", d)
+	}
+}

@@ -1,0 +1,37 @@
+package isaxt
+
+import "testing"
+
+// FuzzDecode ensures arbitrary signature strings never panic the decoder,
+// and that accepted signatures round-trip through Encode exactly.
+func FuzzDecode(f *testing.F) {
+	f.Add("CE25")
+	f.Add("C")
+	f.Add("")
+	f.Add("ZZZZ")
+	f.Add("abcdef012345")
+	f.Fuzz(func(t *testing.T, sig string) {
+		c := MustNewCodec(4)
+		word, bits, err := c.Decode(Signature(sig))
+		if err != nil {
+			return
+		}
+		re, err := c.Encode(word, bits)
+		if err != nil {
+			t.Fatalf("accepted signature %q failed to re-encode: %v", sig, err)
+		}
+		// Round trip is exact up to hex case.
+		if len(re) != len(sig) {
+			t.Fatalf("round trip changed length: %q -> %q", sig, re)
+		}
+		w2, b2, err := c.Decode(re)
+		if err != nil || b2 != bits {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		for i := range word {
+			if w2[i] != word[i] {
+				t.Fatalf("round trip changed word: %v vs %v", word, w2)
+			}
+		}
+	})
+}

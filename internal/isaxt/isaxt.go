@@ -1,0 +1,273 @@
+// Package isaxt implements the iSAX-Transposition (iSAX-T) signature scheme,
+// the first building block of TARDIS (paper §III-A).
+//
+// A SAX word at word length w and cardinality 2^b is a w×b bit matrix (one
+// row of b bits per segment). iSAX-T transposes that matrix so the rows
+// become bit-planes — plane p holds the p-th most significant bit of every
+// segment — and hex-encodes each plane into w/4 characters. Concatenating
+// planes 1..b yields a string signature with two decisive properties:
+//
+//  1. Word-level variable cardinality: a prefix of the signature is exactly
+//     the same series' signature at a lower cardinality, so reducing the
+//     cardinality from 2^hc to 2^lc is a string truncation dropping
+//     n = (log2 hc − log2 lc) · w/4 characters (paper Eq. 2) — no
+//     per-character bit arithmetic as in classic iSAX.
+//  2. Level == prefix length: all series in the same sigTree node share a
+//     signature prefix, so tree descent is plain string slicing.
+package isaxt
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/tardisdb/tardis/internal/ts"
+)
+
+// Signature is an iSAX-T signature: the transposed, hex-encoded SAX bit
+// matrix. Its length is always a multiple of w/4 where w is the word length.
+// Signatures of the same word length are comparable by prefix: a shorter
+// signature that prefixes a longer one covers it.
+type Signature string
+
+const hexDigits = "0123456789ABCDEF"
+
+// Codec converts between series, SAX words, and iSAX-T signatures for a
+// fixed word length. Word length must be a positive multiple of 4 so that
+// each bit-plane packs into whole hex characters (the paper uses w = 8,
+// giving 2 characters per plane — see its Fig. 7).
+type Codec struct {
+	w          int // word length (number of segments)
+	planeChars int // hex characters per bit-plane: w/4
+}
+
+// NewCodec returns a Codec for word length w. It returns an error unless w
+// is a positive multiple of 4.
+func NewCodec(w int) (*Codec, error) {
+	if w <= 0 || w%4 != 0 {
+		return nil, fmt.Errorf("isaxt: word length must be a positive multiple of 4, got %d", w)
+	}
+	return &Codec{w: w, planeChars: w / 4}, nil
+}
+
+// MustNewCodec is NewCodec that panics on error; for validated configs.
+func MustNewCodec(w int) *Codec {
+	c, err := NewCodec(w)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// WordLength returns the codec's word length w.
+func (c *Codec) WordLength() int { return c.w }
+
+// PlaneChars returns the number of hex characters contributed by one
+// bit-plane (w/4).
+func (c *Codec) PlaneChars() int { return c.planeChars }
+
+// Encode converts a SAX word (region indices at cardinality 2^bits) into its
+// iSAX-T signature of `bits` planes.
+func (c *Codec) Encode(word []int, bits int) (Signature, error) {
+	if len(word) != c.w {
+		return "", fmt.Errorf("isaxt: word length %d != codec word length %d", len(word), c.w)
+	}
+	if bits < 1 || bits > ts.MaxCardinalityBits {
+		return "", fmt.Errorf("isaxt: cardinality bits %d out of range [1, %d]", bits, ts.MaxCardinalityBits)
+	}
+	for i, s := range word {
+		if s < 0 || s >= 1<<bits {
+			return "", fmt.Errorf("isaxt: symbol %d at segment %d out of range for %d bits", s, i, bits)
+		}
+	}
+	buf := make([]byte, bits*c.planeChars)
+	pos := 0
+	for p := 0; p < bits; p++ {
+		// Plane p holds bit (bits-1-p) of every segment: plane 0 is the most
+		// significant bit, so prefixes are low-cardinality signatures.
+		shift := uint(bits - 1 - p)
+		for nib := 0; nib < c.planeChars; nib++ {
+			var v int
+			for k := 0; k < 4; k++ {
+				seg := nib*4 + k
+				bit := (word[seg] >> shift) & 1
+				v = v<<1 | bit
+			}
+			buf[pos] = hexDigits[v]
+			pos++
+		}
+	}
+	return Signature(buf), nil
+}
+
+// Decode converts a signature back into a SAX word. The cardinality is
+// implied by the signature length: bits = len(sig)/(w/4).
+func (c *Codec) Decode(sig Signature) ([]int, int, error) {
+	bits, err := c.Bits(sig)
+	if err != nil {
+		return nil, 0, err
+	}
+	word := make([]int, c.w)
+	for p := 0; p < bits; p++ {
+		plane := string(sig[p*c.planeChars : (p+1)*c.planeChars])
+		for nib := 0; nib < c.planeChars; nib++ {
+			v, ok := hexValue(plane[nib])
+			if !ok {
+				return nil, 0, fmt.Errorf("isaxt: invalid hex character %q in signature %q", plane[nib], sig)
+			}
+			for k := 0; k < 4; k++ {
+				seg := nib*4 + k
+				bit := (v >> uint(3-k)) & 1
+				word[seg] = word[seg]<<1 | bit
+			}
+		}
+	}
+	return word, bits, nil
+}
+
+// Bits returns the cardinality bit count encoded by the signature length,
+// validating that the length is a whole number of planes.
+func (c *Codec) Bits(sig Signature) (int, error) {
+	if len(sig) == 0 || len(sig)%c.planeChars != 0 {
+		return 0, fmt.Errorf("isaxt: signature length %d is not a multiple of plane width %d", len(sig), c.planeChars)
+	}
+	bits := len(sig) / c.planeChars
+	if bits > ts.MaxCardinalityBits {
+		return 0, fmt.Errorf("isaxt: signature encodes %d bits, beyond max %d", bits, ts.MaxCardinalityBits)
+	}
+	return bits, nil
+}
+
+// DropTo truncates a signature from its current cardinality down to 2^lcBits
+// — the paper's Eq. 2: n dropped characters = (hc_bits − lc_bits) · w/4.
+// This single string slice is the operation that replaces the baseline's
+// per-character cardinality conversions.
+func (c *Codec) DropTo(sig Signature, lcBits int) (Signature, error) {
+	hcBits, err := c.Bits(sig)
+	if err != nil {
+		return "", err
+	}
+	if lcBits < 1 || lcBits > hcBits {
+		return "", fmt.Errorf("isaxt: cannot convert %d-bit signature to %d bits", hcBits, lcBits)
+	}
+	return sig[:lcBits*c.planeChars], nil
+}
+
+// Prefix returns the first `bits` planes of the signature without
+// validation; it panics if the signature is too short. This is the hot-path
+// variant of DropTo used during tree descent.
+func (c *Codec) Prefix(sig Signature, bits int) Signature {
+	return sig[:bits*c.planeChars]
+}
+
+// Plane returns the (1-based) p-th bit-plane substring of the signature —
+// the key under which a sigTree node at layer p-1 stores the child covering
+// this signature.
+func (c *Codec) Plane(sig Signature, p int) Signature {
+	return sig[(p-1)*c.planeChars : p*c.planeChars]
+}
+
+// Covers reports whether a (coarser) signature covers another: same word
+// length and prefix match.
+func Covers(node, sig Signature) bool {
+	return len(node) <= len(sig) && string(sig[:len(node)]) == string(node)
+}
+
+// FromPAA converts a PAA vector to its iSAX-T signature at cardinality
+// 2^bits.
+func (c *Codec) FromPAA(paa ts.Series, bits int) (Signature, error) {
+	if len(paa) != c.w {
+		return "", fmt.Errorf("isaxt: PAA length %d != word length %d", len(paa), c.w)
+	}
+	return c.Encode(ts.SAXWord(paa, bits), bits)
+}
+
+// FromSeries converts a raw series to its iSAX-T signature: PAA at the
+// codec's word length, SAX at cardinality 2^bits, then transposition. The
+// caller is responsible for z-normalizing first if required.
+func (c *Codec) FromSeries(s ts.Series, bits int) (Signature, error) {
+	paa, err := ts.PAA(s, c.w)
+	if err != nil {
+		return "", err
+	}
+	return c.FromPAA(paa, bits)
+}
+
+// MinDistPAA lower-bounds the Euclidean distance between the original series
+// (length n) behind the query PAA and any series covered by the signature,
+// at the signature's own (word-level) cardinality. This is the pruning bound
+// used by the kNN query strategies.
+func (c *Codec) MinDistPAA(paa ts.Series, sig Signature, n int) (float64, error) {
+	word, bits, err := c.Decode(sig)
+	if err != nil {
+		return 0, err
+	}
+	if len(paa) != c.w {
+		return 0, fmt.Errorf("isaxt: PAA length %d != word length %d", len(paa), c.w)
+	}
+	return ts.MinDistPAAToWord(paa, word, bits, n), nil
+}
+
+// MinDistSignatures lower-bounds the Euclidean distance between two series
+// of length n given only their signatures. If the signatures have different
+// cardinalities, the finer one is truncated (word-level demotion) first.
+func (c *Codec) MinDistSignatures(a, b Signature, n int) (float64, error) {
+	if len(a) > len(b) {
+		a = a[:len(b)]
+	} else if len(b) > len(a) {
+		b = b[:len(a)]
+	}
+	wa, bits, err := c.Decode(a)
+	if err != nil {
+		return 0, err
+	}
+	wb, _, err := c.Decode(b)
+	if err != nil {
+		return 0, err
+	}
+	return ts.MinDistWords(wa, wb, bits, n), nil
+}
+
+// Valid reports whether sig is a structurally valid signature for this
+// codec: non-empty, whole planes, hex characters only.
+func (c *Codec) Valid(sig Signature) bool {
+	if _, err := c.Bits(sig); err != nil {
+		return false
+	}
+	for i := 0; i < len(sig); i++ {
+		if _, ok := hexValue(sig[i]); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func hexValue(b byte) (int, bool) {
+	switch {
+	case b >= '0' && b <= '9':
+		return int(b - '0'), true
+	case b >= 'A' && b <= 'F':
+		return int(b-'A') + 10, true
+	case b >= 'a' && b <= 'f':
+		return int(b-'a') + 10, true
+	}
+	return 0, false
+}
+
+// FormatTable renders a signature as the per-cardinality table of the
+// paper's Fig. 4(b), mainly for debugging and examples.
+func (c *Codec) FormatTable(sig Signature) string {
+	bits, err := c.Bits(sig)
+	if err != nil {
+		return fmt.Sprintf("<invalid signature %q: %v>", sig, err)
+	}
+	var b strings.Builder
+	for lv := 1; lv <= bits; lv++ {
+		pre := c.Prefix(sig, lv)
+		word, _, err := c.Decode(pre)
+		if err != nil {
+			return fmt.Sprintf("<invalid signature %q: %v>", sig, err)
+		}
+		fmt.Fprintf(&b, "SAX(T,%d,%d) = %v = %s\n", c.w, 1<<lv, word, pre)
+	}
+	return b.String()
+}

@@ -1,0 +1,357 @@
+package isaxt
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/tardisdb/tardis/internal/ts"
+)
+
+// The worked example from the paper's Fig. 4(a): SAX(T,4,16) =
+// [1100, 1101, 0110, 0001] transposes to "CE25".
+func TestEncodePaperExample(t *testing.T) {
+	c := MustNewCodec(4)
+	word := []int{0b1100, 0b1101, 0b0110, 0b0001}
+	sig, err := c.Encode(word, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sig != "CE25" {
+		t.Errorf("signature = %q, want CE25", sig)
+	}
+	// Fig. 4(b): the prefixes are the lower-cardinality signatures.
+	for _, tc := range []struct {
+		bits int
+		want Signature
+	}{{1, "C"}, {2, "CE"}, {3, "CE2"}, {4, "CE25"}} {
+		got, err := c.DropTo(sig, tc.bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tc.want {
+			t.Errorf("DropTo(%d) = %q, want %q", tc.bits, got, tc.want)
+		}
+	}
+}
+
+func TestDropToMatchesEquation2(t *testing.T) {
+	// Eq. 2: dropped chars n = (log2 hc - log2 lc) * w/4.
+	c := MustNewCodec(8)
+	rng := rand.New(rand.NewSource(1))
+	paa := make(ts.Series, 8)
+	for i := range paa {
+		paa[i] = rng.NormFloat64()
+	}
+	sig, err := c.FromPAA(paa, 6) // cardinality 64
+	if err != nil {
+		t.Fatal(err)
+	}
+	for lc := 1; lc <= 6; lc++ {
+		got, err := c.DropTo(sig, lc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dropped := len(sig) - len(got)
+		want := (6 - lc) * 8 / 4
+		if dropped != want {
+			t.Errorf("lc=%d: dropped %d chars, want %d", lc, dropped, want)
+		}
+	}
+}
+
+func TestNewCodecValidation(t *testing.T) {
+	for _, w := range []int{0, -4, 3, 6, 10} {
+		if _, err := NewCodec(w); err == nil {
+			t.Errorf("NewCodec(%d) should fail", w)
+		}
+	}
+	for _, w := range []int{4, 8, 12, 16, 64, 128} {
+		if _, err := NewCodec(w); err != nil {
+			t.Errorf("NewCodec(%d) failed: %v", w, err)
+		}
+	}
+}
+
+func TestMustNewCodecPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	MustNewCodec(5)
+}
+
+func TestEncodeValidation(t *testing.T) {
+	c := MustNewCodec(4)
+	if _, err := c.Encode([]int{1, 1, 1}, 2); err == nil {
+		t.Error("wrong word length should fail")
+	}
+	if _, err := c.Encode([]int{1, 1, 1, 1}, 0); err == nil {
+		t.Error("bits=0 should fail")
+	}
+	if _, err := c.Encode([]int{4, 0, 0, 0}, 2); err == nil {
+		t.Error("out-of-range symbol should fail")
+	}
+	if _, err := c.Encode([]int{-1, 0, 0, 0}, 2); err == nil {
+		t.Error("negative symbol should fail")
+	}
+}
+
+func TestDecodeRoundTrip(t *testing.T) {
+	c := MustNewCodec(8)
+	word := []int{5, 0, 7, 3, 2, 6, 1, 4}
+	sig, err := c.Encode(word, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, bits, err := c.Decode(sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bits != 3 {
+		t.Errorf("bits = %d, want 3", bits)
+	}
+	for i := range word {
+		if got[i] != word[i] {
+			t.Errorf("decoded[%d] = %d, want %d", i, got[i], word[i])
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	c := MustNewCodec(8)
+	if _, _, err := c.Decode("ABC"); err == nil {
+		t.Error("partial plane should fail")
+	}
+	if _, _, err := c.Decode(""); err == nil {
+		t.Error("empty signature should fail")
+	}
+	if _, _, err := c.Decode("ZZ"); err == nil {
+		t.Error("non-hex should fail")
+	}
+	long := Signature(strings.Repeat("AB", ts.MaxCardinalityBits+1))
+	if _, _, err := c.Decode(long); err == nil {
+		t.Error("over-max-bits signature should fail")
+	}
+}
+
+func TestDropToErrors(t *testing.T) {
+	c := MustNewCodec(4)
+	sig := Signature("CE25")
+	if _, err := c.DropTo(sig, 0); err == nil {
+		t.Error("lc=0 should fail")
+	}
+	if _, err := c.DropTo(sig, 5); err == nil {
+		t.Error("promoting should fail")
+	}
+	c8 := MustNewCodec(8)
+	if _, err := c8.DropTo("ABC", 1); err == nil {
+		t.Error("partial-plane length should fail")
+	}
+}
+
+func TestPlane(t *testing.T) {
+	c := MustNewCodec(8)
+	sig := Signature("AB12CD")
+	if p := c.Plane(sig, 1); p != "AB" {
+		t.Errorf("plane 1 = %q", p)
+	}
+	if p := c.Plane(sig, 3); p != "CD" {
+		t.Errorf("plane 3 = %q", p)
+	}
+}
+
+func TestCovers(t *testing.T) {
+	if !Covers("CE", "CE25") {
+		t.Error("prefix should cover")
+	}
+	if Covers("CF", "CE25") {
+		t.Error("non-prefix should not cover")
+	}
+	if Covers("CE25A", "CE25") {
+		t.Error("longer should not cover shorter")
+	}
+	if !Covers("CE25", "CE25") {
+		t.Error("equal should cover")
+	}
+}
+
+func TestValid(t *testing.T) {
+	c := MustNewCodec(8)
+	if !c.Valid("AB12") {
+		t.Error("AB12 should be valid for w=8")
+	}
+	if c.Valid("ABC") || c.Valid("") || c.Valid("G0") {
+		t.Error("invalid signatures accepted")
+	}
+	if !c.Valid("ab") {
+		t.Error("lowercase hex should be accepted on input")
+	}
+}
+
+func TestFromSeries(t *testing.T) {
+	c := MustNewCodec(8)
+	s := make(ts.Series, 64)
+	for i := range s {
+		s[i] = math.Sin(float64(i) / 5)
+	}
+	sig, err := c.FromSeries(s.ZNormalize(), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sig) != 6*2 {
+		t.Errorf("signature length = %d, want 12", len(sig))
+	}
+	if _, err := c.FromSeries(ts.Series{1, 2}, 6); err == nil {
+		t.Error("short series should fail")
+	}
+	if _, err := c.FromPAA(ts.Series{1, 2}, 6); err == nil {
+		t.Error("wrong PAA length should fail")
+	}
+}
+
+// The signature-prefix property is the heart of iSAX-T: encoding at a lower
+// cardinality equals truncating the higher-cardinality signature.
+func TestPrefixProperty(t *testing.T) {
+	c := MustNewCodec(8)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		paa := make(ts.Series, 8)
+		for i := range paa {
+			paa[i] = rng.NormFloat64()
+		}
+		hi, err := c.FromPAA(paa, 8)
+		if err != nil {
+			return false
+		}
+		for bits := 1; bits < 8; bits++ {
+			lo, err := c.FromPAA(paa, bits)
+			if err != nil {
+				return false
+			}
+			if c.Prefix(hi, bits) != lo {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Encode/Decode round-trips for random words at all cardinalities and a few
+// word lengths.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		for _, w := range []int{4, 8, 16} {
+			c := MustNewCodec(w)
+			bits := 1 + rng.Intn(8)
+			word := make([]int, w)
+			for i := range word {
+				word[i] = rng.Intn(1 << bits)
+			}
+			sig, err := c.Encode(word, bits)
+			if err != nil {
+				return false
+			}
+			got, gb, err := c.Decode(sig)
+			if err != nil || gb != bits {
+				return false
+			}
+			for i := range word {
+				if got[i] != word[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// MinDist via signatures is a lower bound on true distance, and word-level
+// demotion only loosens it.
+func TestMinDistLowerBoundProperty(t *testing.T) {
+	const n, w = 64, 8
+	c := MustNewCodec(w)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := make(ts.Series, n), make(ts.Series, n)
+		for i := 0; i < n; i++ {
+			a[i] = rng.NormFloat64()
+			b[i] = rng.NormFloat64()
+		}
+		ed, _ := ts.EuclideanDistance(a, b)
+		pa := ts.MustPAA(a, w)
+		sb, err := c.FromSeries(b, 8)
+		if err != nil {
+			return false
+		}
+		prev := math.Inf(1)
+		for bits := 8; bits >= 1; bits-- {
+			sig := c.Prefix(sb, bits)
+			d, err := c.MinDistPAA(pa, sig, n)
+			if err != nil {
+				return false
+			}
+			if d > ed+1e-9 {
+				return false // not a lower bound
+			}
+			if d > prev+1e-9 {
+				return false // demotion tightened the bound: impossible
+			}
+			prev = d
+		}
+		// Signature-to-signature bound is weaker still.
+		sa, _ := c.FromSeries(a, 8)
+		ds, err := c.MinDistSignatures(sa, sb, n)
+		if err != nil {
+			return false
+		}
+		return ds <= ed+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinDistSignaturesMixedLevels(t *testing.T) {
+	c := MustNewCodec(8)
+	rng := rand.New(rand.NewSource(7))
+	a, b := make(ts.Series, 64), make(ts.Series, 64)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		b[i] = rng.NormFloat64()
+	}
+	sa, _ := c.FromSeries(a, 6)
+	sb, _ := c.FromSeries(b, 3)
+	d1, err := c.MinDistSignatures(sa, sb, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := c.MinDistSignatures(sb, sa, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 {
+		t.Errorf("mixed-level mindist not symmetric: %v vs %v", d1, d2)
+	}
+}
+
+func TestFormatTable(t *testing.T) {
+	c := MustNewCodec(4)
+	out := c.FormatTable("CE25")
+	if !strings.Contains(out, "= CE25") || !strings.Contains(out, "= C\n") {
+		t.Errorf("unexpected table output:\n%s", out)
+	}
+	if !strings.Contains(c.FormatTable("XYZ"), "invalid") {
+		t.Error("invalid signature should render as invalid")
+	}
+}

@@ -1,0 +1,155 @@
+// Package knn provides the shared k-nearest-neighbor machinery used by both
+// TARDIS and the DPiSAX baseline: a bounded result heap and the evaluation
+// metrics of the paper's §VI-C2 — recall (Eq. 5) and error ratio (Eq. 6).
+package knn
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Neighbor is one kNN answer: a record id and its Euclidean distance to the
+// query.
+type Neighbor struct {
+	RID  int64
+	Dist float64
+}
+
+// Heap is a bounded max-heap keeping the k closest neighbors offered. It
+// deduplicates by record id: query strategies that widen their candidate
+// scope (One-Partition, Multi-Partitions access) naturally re-encounter
+// records already refined by the target-node step, and a record must appear
+// at most once in a kNN answer.
+type Heap struct {
+	items  []Neighbor
+	member map[int64]struct{}
+	k      int
+}
+
+// NewHeap creates a heap bounded at k results. k must be positive.
+func NewHeap(k int) *Heap {
+	if k < 1 {
+		panic(fmt.Sprintf("knn: heap size must be positive, got %d", k))
+	}
+	return &Heap{k: k, member: make(map[int64]struct{}, k+1)}
+}
+
+func (h *Heap) Len() int           { return len(h.items) }
+func (h *Heap) Less(i, j int) bool { return h.items[i].Dist > h.items[j].Dist }
+func (h *Heap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+
+// Push implements heap.Interface; use Offer instead.
+func (h *Heap) Push(x any) { h.items = append(h.items, x.(Neighbor)) }
+
+// Pop implements heap.Interface; use Sorted instead.
+func (h *Heap) Pop() any {
+	old := h.items
+	n := len(old)
+	x := old[n-1]
+	h.items = old[:n-1]
+	return x
+}
+
+// Offer adds a candidate, keeping only the k closest. A record id already in
+// the heap is ignored (a record's distance to the query is unique).
+func (h *Heap) Offer(n Neighbor) {
+	if _, ok := h.member[n.RID]; ok {
+		return
+	}
+	if len(h.items) < h.k {
+		heap.Push(h, n)
+		h.member[n.RID] = struct{}{}
+		return
+	}
+	if n.Dist < h.items[0].Dist {
+		delete(h.member, h.items[0].RID)
+		h.items[0] = n
+		h.member[n.RID] = struct{}{}
+		heap.Fix(h, 0)
+	}
+}
+
+// Contains reports whether the record id is currently in the heap.
+func (h *Heap) Contains(rid int64) bool {
+	_, ok := h.member[rid]
+	return ok
+}
+
+// Bound returns the current kth distance, or +Inf while underfull — the
+// early-abandon threshold for refinement.
+func (h *Heap) Bound() float64 {
+	if len(h.items) < h.k {
+		return math.Inf(1)
+	}
+	return h.items[0].Dist
+}
+
+// Sorted returns the neighbors in ascending distance order (ties broken by
+// record id for determinism).
+func (h *Heap) Sorted() []Neighbor {
+	out := make([]Neighbor, len(h.items))
+	copy(out, h.items)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dist != out[j].Dist {
+			return out[i].Dist < out[j].Dist
+		}
+		return out[i].RID < out[j].RID
+	})
+	return out
+}
+
+// Recall computes |G ∩ R| / |G| (paper Eq. 5) between the ground truth and a
+// result set. An empty ground truth yields 0.
+func Recall(truth, result []Neighbor) float64 {
+	if len(truth) == 0 {
+		return 0
+	}
+	in := make(map[int64]struct{}, len(result))
+	for _, r := range result {
+		in[r.RID] = struct{}{}
+	}
+	hits := 0
+	for _, g := range truth {
+		if _, ok := in[g.RID]; ok {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(truth))
+}
+
+// ErrorRatio computes (1/k) Σ d(q, r_j)/d(q, g_j) (paper Eq. 6) over the
+// first min(len(truth), len(result)) pairs. Pairs whose true distance is
+// zero contribute 1 when the result distance is also zero, and are skipped
+// otherwise (the paper's data has no exact duplicates in ground truth). It
+// returns 1 for empty inputs; the ideal value is 1 and larger is worse.
+func ErrorRatio(truth, result []Neighbor) float64 {
+	n := len(truth)
+	if len(result) < n {
+		n = len(result)
+	}
+	if n == 0 {
+		return 1
+	}
+	var sum float64
+	counted := 0
+	for j := 0; j < n; j++ {
+		g, r := truth[j].Dist, result[j].Dist
+		switch {
+		case g == 0 && r == 0:
+			sum++
+			counted++
+		case g == 0:
+			// Undefined ratio; skip as the paper's formulation assumes
+			// nonzero truth distances.
+		default:
+			sum += r / g
+			counted++
+		}
+	}
+	if counted == 0 {
+		return 1
+	}
+	return sum / float64(counted)
+}

@@ -1,0 +1,165 @@
+package knn
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewHeapPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for k=0")
+		}
+	}()
+	NewHeap(0)
+}
+
+func TestHeapKeepsKClosest(t *testing.T) {
+	h := NewHeap(3)
+	for i := 10; i >= 1; i-- {
+		h.Offer(Neighbor{RID: int64(i), Dist: float64(i)})
+	}
+	got := h.Sorted()
+	if len(got) != 3 {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i, want := range []float64{1, 2, 3} {
+		if got[i].Dist != want {
+			t.Errorf("got[%d].Dist = %v, want %v", i, got[i].Dist, want)
+		}
+	}
+}
+
+func TestHeapBound(t *testing.T) {
+	h := NewHeap(2)
+	if !math.IsInf(h.Bound(), 1) {
+		t.Error("underfull heap bound should be +Inf")
+	}
+	h.Offer(Neighbor{RID: 1, Dist: 5})
+	if !math.IsInf(h.Bound(), 1) {
+		t.Error("still underfull")
+	}
+	h.Offer(Neighbor{RID: 2, Dist: 3})
+	if h.Bound() != 5 {
+		t.Errorf("bound = %v, want 5", h.Bound())
+	}
+	h.Offer(Neighbor{RID: 3, Dist: 1})
+	if h.Bound() != 3 {
+		t.Errorf("bound after eviction = %v, want 3", h.Bound())
+	}
+}
+
+func TestSortedTieBreak(t *testing.T) {
+	h := NewHeap(3)
+	h.Offer(Neighbor{RID: 9, Dist: 1})
+	h.Offer(Neighbor{RID: 2, Dist: 1})
+	h.Offer(Neighbor{RID: 5, Dist: 1})
+	got := h.Sorted()
+	if got[0].RID != 2 || got[1].RID != 5 || got[2].RID != 9 {
+		t.Errorf("tie break by rid failed: %+v", got)
+	}
+}
+
+// Property: the heap yields exactly the k smallest distances of any stream.
+func TestHeapSelectsKSmallestProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(200)
+		k := 1 + rng.Intn(20)
+		dists := make([]float64, n)
+		h := NewHeap(k)
+		for i := range dists {
+			dists[i] = rng.Float64() * 100
+			h.Offer(Neighbor{RID: int64(i), Dist: dists[i]})
+		}
+		sort.Float64s(dists)
+		got := h.Sorted()
+		want := k
+		if n < k {
+			want = n
+		}
+		if len(got) != want {
+			return false
+		}
+		for i := range got {
+			if got[i].Dist != dists[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRecall(t *testing.T) {
+	truth := []Neighbor{{RID: 1}, {RID: 2}, {RID: 3}, {RID: 4}}
+	result := []Neighbor{{RID: 2}, {RID: 4}, {RID: 9}, {RID: 10}}
+	if r := Recall(truth, result); r != 0.5 {
+		t.Errorf("recall = %v, want 0.5", r)
+	}
+	if r := Recall(nil, result); r != 0 {
+		t.Errorf("empty truth recall = %v", r)
+	}
+	if r := Recall(truth, nil); r != 0 {
+		t.Errorf("empty result recall = %v", r)
+	}
+	if r := Recall(truth, truth); r != 1 {
+		t.Errorf("perfect recall = %v", r)
+	}
+}
+
+func TestErrorRatio(t *testing.T) {
+	truth := []Neighbor{{RID: 1, Dist: 1}, {RID: 2, Dist: 2}}
+	result := []Neighbor{{RID: 3, Dist: 2}, {RID: 4, Dist: 3}}
+	want := (2.0/1.0 + 3.0/2.0) / 2
+	if er := ErrorRatio(truth, result); math.Abs(er-want) > 1e-12 {
+		t.Errorf("error ratio = %v, want %v", er, want)
+	}
+	if er := ErrorRatio(truth, truth); er != 1 {
+		t.Errorf("perfect error ratio = %v", er)
+	}
+	if er := ErrorRatio(nil, nil); er != 1 {
+		t.Errorf("empty error ratio = %v", er)
+	}
+	// Zero truth distance handling.
+	zt := []Neighbor{{RID: 1, Dist: 0}, {RID: 2, Dist: 1}}
+	zr := []Neighbor{{RID: 1, Dist: 0}, {RID: 2, Dist: 2}}
+	if er := ErrorRatio(zt, zr); math.Abs(er-1.5) > 1e-12 {
+		t.Errorf("zero-dist error ratio = %v, want 1.5", er)
+	}
+	// Zero truth, nonzero result: skipped pair.
+	zr2 := []Neighbor{{RID: 9, Dist: 5}, {RID: 2, Dist: 2}}
+	if er := ErrorRatio(zt, zr2); math.Abs(er-2) > 1e-12 {
+		t.Errorf("skip-pair error ratio = %v, want 2", er)
+	}
+	// All pairs skipped.
+	if er := ErrorRatio([]Neighbor{{RID: 1, Dist: 0}}, []Neighbor{{RID: 2, Dist: 3}}); er != 1 {
+		t.Errorf("all-skipped error ratio = %v, want 1", er)
+	}
+}
+
+// Property: error ratio of a correct algorithm (result distances >= truth,
+// pairwise) is always >= 1.
+func TestErrorRatioAtLeastOneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(20)
+		truth := make([]Neighbor, k)
+		result := make([]Neighbor, k)
+		prev := 0.0
+		for i := 0; i < k; i++ {
+			prev += rng.Float64()
+			truth[i] = Neighbor{RID: int64(i), Dist: prev}
+			result[i] = Neighbor{RID: int64(i + 1000), Dist: prev + rng.Float64()}
+		}
+		return ErrorRatio(truth, result) >= 1-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

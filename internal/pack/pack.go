@@ -1,0 +1,167 @@
+// Package pack solves the Leaf Partitions Packing problem of TARDIS's
+// partition-assignment phase (paper Definition 5): group the under-utilized
+// sibling leaf nodes under one parent into as few fixed-capacity partitions
+// as possible. Bin packing is NP-hard, so TARDIS adopts First-Fit-Decreasing
+// (FFD), the classic O(n log n) approximation with asymptotic worst-case
+// ratio 11/9 (≤ 3/2 absolute). Best-Fit-Decreasing and Next-Fit-Decreasing
+// are provided for the ablation benchmarks.
+package pack
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Item is one leaf node to pack: an opaque id and its size (record count).
+type Item struct {
+	ID   int
+	Size int64
+}
+
+// Bin is one produced partition: the ids of the items placed in it and the
+// total occupied size.
+type Bin struct {
+	Items []int
+	Used  int64
+}
+
+// Result is the outcome of a packing run.
+type Result struct {
+	Bins []Bin
+	// Oversize lists items whose individual size exceeded the capacity;
+	// each is returned alone so callers can split it across dedicated
+	// partitions (TARDIS gives such leaves their own partition set).
+	Oversize []Item
+}
+
+// Algorithm selects the packing heuristic.
+type Algorithm int
+
+const (
+	// FirstFitDecreasing sorts items by size descending and places each in
+	// the first bin with room — the paper's choice.
+	FirstFitDecreasing Algorithm = iota
+	// BestFitDecreasing places each item in the fullest bin that still has
+	// room (ablation).
+	BestFitDecreasing
+	// NextFitDecreasing only ever considers the most recently opened bin
+	// (ablation; cheapest, loosest).
+	NextFitDecreasing
+)
+
+// String names the algorithm for reports.
+func (a Algorithm) String() string {
+	switch a {
+	case FirstFitDecreasing:
+		return "FFD"
+	case BestFitDecreasing:
+		return "BFD"
+	case NextFitDecreasing:
+		return "NFD"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Pack groups items into bins of the given capacity using the selected
+// algorithm. Items larger than the capacity are reported in
+// Result.Oversize instead of being binned. Pack is deterministic: ties are
+// broken by item id.
+func Pack(items []Item, capacity int64, alg Algorithm) (Result, error) {
+	if capacity <= 0 {
+		return Result{}, fmt.Errorf("pack: capacity must be positive, got %d", capacity)
+	}
+	sorted := make([]Item, 0, len(items))
+	var res Result
+	for _, it := range items {
+		if it.Size < 0 {
+			return Result{}, fmt.Errorf("pack: negative size %d for item %d", it.Size, it.ID)
+		}
+		if it.Size > capacity {
+			res.Oversize = append(res.Oversize, it)
+			continue
+		}
+		sorted = append(sorted, it)
+	}
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Size != sorted[j].Size {
+			return sorted[i].Size > sorted[j].Size
+		}
+		return sorted[i].ID < sorted[j].ID
+	})
+	sort.Slice(res.Oversize, func(i, j int) bool { return res.Oversize[i].ID < res.Oversize[j].ID })
+
+	switch alg {
+	case FirstFitDecreasing:
+		for _, it := range sorted {
+			placed := false
+			for b := range res.Bins {
+				if res.Bins[b].Used+it.Size <= capacity {
+					res.Bins[b].Items = append(res.Bins[b].Items, it.ID)
+					res.Bins[b].Used += it.Size
+					placed = true
+					break
+				}
+			}
+			if !placed {
+				res.Bins = append(res.Bins, Bin{Items: []int{it.ID}, Used: it.Size})
+			}
+		}
+	case BestFitDecreasing:
+		for _, it := range sorted {
+			best := -1
+			var bestFree int64
+			for b := range res.Bins {
+				free := capacity - res.Bins[b].Used
+				if it.Size <= free && (best == -1 || free < bestFree) {
+					best, bestFree = b, free
+				}
+			}
+			if best == -1 {
+				res.Bins = append(res.Bins, Bin{Items: []int{it.ID}, Used: it.Size})
+			} else {
+				res.Bins[best].Items = append(res.Bins[best].Items, it.ID)
+				res.Bins[best].Used += it.Size
+			}
+		}
+	case NextFitDecreasing:
+		for _, it := range sorted {
+			last := len(res.Bins) - 1
+			if last >= 0 && res.Bins[last].Used+it.Size <= capacity {
+				res.Bins[last].Items = append(res.Bins[last].Items, it.ID)
+				res.Bins[last].Used += it.Size
+			} else {
+				res.Bins = append(res.Bins, Bin{Items: []int{it.ID}, Used: it.Size})
+			}
+		}
+	default:
+		return Result{}, fmt.Errorf("pack: unknown algorithm %d", int(alg))
+	}
+	return res, nil
+}
+
+// LowerBound returns the trivial capacity lower bound on the number of bins:
+// ceil(total size / capacity). Oversize items count by their ceil share.
+func LowerBound(items []Item, capacity int64) int {
+	if capacity <= 0 {
+		return 0
+	}
+	var total int64
+	for _, it := range items {
+		total += it.Size
+	}
+	return int((total + capacity - 1) / capacity)
+}
+
+// Utilization returns the mean fill fraction of the produced bins, a quality
+// measure reported by the ablation bench. It returns 0 for no bins.
+func Utilization(res Result, capacity int64) float64 {
+	if len(res.Bins) == 0 || capacity <= 0 {
+		return 0
+	}
+	var used int64
+	for _, b := range res.Bins {
+		used += b.Used
+	}
+	return float64(used) / float64(capacity) / float64(len(res.Bins))
+}

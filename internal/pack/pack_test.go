@@ -1,0 +1,211 @@
+package pack
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func items(sizes ...int64) []Item {
+	out := make([]Item, len(sizes))
+	for i, s := range sizes {
+		out[i] = Item{ID: i, Size: s}
+	}
+	return out
+}
+
+func TestPackValidation(t *testing.T) {
+	if _, err := Pack(items(1), 0, FirstFitDecreasing); err == nil {
+		t.Error("capacity 0 should fail")
+	}
+	if _, err := Pack([]Item{{ID: 0, Size: -1}}, 10, FirstFitDecreasing); err == nil {
+		t.Error("negative size should fail")
+	}
+	if _, err := Pack(items(1), 10, Algorithm(99)); err == nil {
+		t.Error("unknown algorithm should fail")
+	}
+}
+
+func TestFFDBasic(t *testing.T) {
+	// Sizes 7,5,4,3,1 with capacity 10: FFD gives [7,3], [5,4,1] = 2 bins.
+	res, err := Pack(items(7, 5, 4, 3, 1), 10, FirstFitDecreasing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Bins) != 2 {
+		t.Fatalf("bins = %d, want 2; %+v", len(res.Bins), res.Bins)
+	}
+	if res.Bins[0].Used != 10 || res.Bins[1].Used != 10 {
+		t.Errorf("bin fills = %d,%d, want 10,10", res.Bins[0].Used, res.Bins[1].Used)
+	}
+}
+
+func TestOversize(t *testing.T) {
+	res, err := Pack(items(15, 5), 10, FirstFitDecreasing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Oversize) != 1 || res.Oversize[0].Size != 15 {
+		t.Errorf("oversize = %+v, want one item of size 15", res.Oversize)
+	}
+	if len(res.Bins) != 1 || res.Bins[0].Used != 5 {
+		t.Errorf("bins = %+v", res.Bins)
+	}
+}
+
+func TestEmptyAndZeroSizes(t *testing.T) {
+	res, err := Pack(nil, 10, FirstFitDecreasing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Bins) != 0 || len(res.Oversize) != 0 {
+		t.Error("empty input should produce nothing")
+	}
+	res, err = Pack(items(0, 0, 0), 10, FirstFitDecreasing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Bins) != 1 {
+		t.Errorf("zero-size items should share one bin, got %d", len(res.Bins))
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	in := items(3, 3, 3, 7, 7, 2)
+	a, _ := Pack(in, 10, FirstFitDecreasing)
+	b, _ := Pack(in, 10, FirstFitDecreasing)
+	if len(a.Bins) != len(b.Bins) {
+		t.Fatal("non-deterministic bin count")
+	}
+	for i := range a.Bins {
+		if len(a.Bins[i].Items) != len(b.Bins[i].Items) {
+			t.Fatal("non-deterministic bin contents")
+		}
+		for j := range a.Bins[i].Items {
+			if a.Bins[i].Items[j] != b.Bins[i].Items[j] {
+				t.Fatal("non-deterministic item order")
+			}
+		}
+	}
+}
+
+func TestAlgorithms(t *testing.T) {
+	in := items(6, 5, 4, 3, 2, 1)
+	for _, alg := range []Algorithm{FirstFitDecreasing, BestFitDecreasing, NextFitDecreasing} {
+		res, err := Pack(in, 7, alg)
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		checkValid(t, in, res, 7, alg)
+	}
+	// NFD can never do better than FFD on this instance.
+	ffd, _ := Pack(in, 7, FirstFitDecreasing)
+	nfd, _ := Pack(in, 7, NextFitDecreasing)
+	if len(nfd.Bins) < len(ffd.Bins) {
+		t.Errorf("NFD (%d bins) beat FFD (%d bins)", len(nfd.Bins), len(ffd.Bins))
+	}
+}
+
+func TestAlgorithmString(t *testing.T) {
+	if FirstFitDecreasing.String() != "FFD" || BestFitDecreasing.String() != "BFD" ||
+		NextFitDecreasing.String() != "NFD" {
+		t.Error("algorithm names wrong")
+	}
+	if Algorithm(42).String() != "Algorithm(42)" {
+		t.Error("unknown algorithm name wrong")
+	}
+}
+
+func TestLowerBound(t *testing.T) {
+	if lb := LowerBound(items(5, 5, 5), 10); lb != 2 {
+		t.Errorf("lower bound = %d, want 2", lb)
+	}
+	if lb := LowerBound(nil, 10); lb != 0 {
+		t.Errorf("lower bound of empty = %d, want 0", lb)
+	}
+	if lb := LowerBound(items(5), 0); lb != 0 {
+		t.Errorf("lower bound with zero capacity = %d, want 0", lb)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	res, _ := Pack(items(10, 10), 10, FirstFitDecreasing)
+	if u := Utilization(res, 10); u != 1 {
+		t.Errorf("utilization = %v, want 1", u)
+	}
+	if u := Utilization(Result{}, 10); u != 0 {
+		t.Errorf("utilization of empty = %v, want 0", u)
+	}
+}
+
+func checkValid(t *testing.T, in []Item, res Result, capacity int64, alg Algorithm) {
+	t.Helper()
+	sizes := map[int]int64{}
+	for _, it := range in {
+		sizes[it.ID] = it.Size
+	}
+	seen := map[int]bool{}
+	for _, b := range res.Bins {
+		var used int64
+		for _, id := range b.Items {
+			if seen[id] {
+				t.Fatalf("%v: item %d packed twice", alg, id)
+			}
+			seen[id] = true
+			used += sizes[id]
+		}
+		if used != b.Used {
+			t.Fatalf("%v: bin Used=%d but items sum to %d", alg, b.Used, used)
+		}
+		if used > capacity {
+			t.Fatalf("%v: bin overflows capacity: %d > %d", alg, used, capacity)
+		}
+	}
+	for _, it := range res.Oversize {
+		if seen[it.ID] {
+			t.Fatalf("%v: oversize item %d also packed", alg, it.ID)
+		}
+		seen[it.ID] = true
+	}
+	if len(seen) != len(in) {
+		t.Fatalf("%v: packed %d items, want %d", alg, len(seen), len(in))
+	}
+}
+
+// Properties for random instances: every item placed exactly once, no bin
+// overflows, FFD stays within 3/2 of the capacity lower bound (its absolute
+// worst-case guarantee), and FFD never uses more bins than NFD.
+func TestPackingProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(60)
+		capacity := int64(50 + rng.Intn(100))
+		in := make([]Item, n)
+		for i := range in {
+			in[i] = Item{ID: i, Size: int64(rng.Intn(int(capacity)) + 1)}
+		}
+		ffd, err := Pack(in, capacity, FirstFitDecreasing)
+		if err != nil {
+			return false
+		}
+		checkValid(t, in, ffd, capacity, FirstFitDecreasing)
+		bfd, err := Pack(in, capacity, BestFitDecreasing)
+		if err != nil {
+			return false
+		}
+		checkValid(t, in, bfd, capacity, BestFitDecreasing)
+		nfd, err := Pack(in, capacity, NextFitDecreasing)
+		if err != nil {
+			return false
+		}
+		checkValid(t, in, nfd, capacity, NextFitDecreasing)
+		lb := LowerBound(in, capacity)
+		if len(ffd.Bins) > lb*3/2+1 {
+			return false
+		}
+		return len(ffd.Bins) <= len(nfd.Bins)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,293 @@
+// Package server exposes a loaded TARDIS index as a JSON-over-HTTP service
+// (cmd/tardis-serve): similarity queries, incremental ingest, and index
+// statistics. Queries run concurrently under a read lock; mutations
+// (insert/delete/compact) serialize under a write lock, providing the
+// synchronization the core Index leaves to its caller.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"github.com/tardisdb/tardis/internal/core"
+	"github.com/tardisdb/tardis/internal/knn"
+	"github.com/tardisdb/tardis/internal/ts"
+)
+
+// Server wraps an index with HTTP handlers.
+type Server struct {
+	mu sync.RWMutex
+	ix *core.Index
+}
+
+// New creates a Server around a loaded index.
+func New(ix *core.Index) *Server { return &Server{ix: ix} }
+
+// Handler returns the HTTP routing for the service.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("POST /query/knn", s.handleKNN)
+	mux.HandleFunc("POST /query/exact", s.handleExact)
+	mux.HandleFunc("POST /query/range", s.handleRange)
+	mux.HandleFunc("POST /insert", s.handleInsert)
+	mux.HandleFunc("POST /delete", s.handleDelete)
+	mux.HandleFunc("POST /compact", s.handleCompact)
+	return mux
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+func decode(r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 64<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	return nil
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// StatsResponse summarizes the served index.
+type StatsResponse struct {
+	SeriesLen  int   `json:"series_len"`
+	Records    int64 `json:"records"`
+	Partitions int   `json:"partitions"`
+	DeltaCount int64 `json:"delta_count"`
+	Tombstones int   `json:"tombstones"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	total, err := s.ix.Store.TotalRecords()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, StatsResponse{
+		SeriesLen:  s.ix.SeriesLen(),
+		Records:    total,
+		Partitions: s.ix.NumPartitions(),
+		DeltaCount: s.ix.DeltaCount(),
+		Tombstones: s.ix.TombstoneCount(),
+	})
+}
+
+// KNNRequest asks for the k nearest neighbors of a series.
+type KNNRequest struct {
+	Series   ts.Series `json:"series"`
+	K        int       `json:"k"`
+	Strategy string    `json:"strategy,omitempty"` // tna|opa|mpa|exact|dtw|auto (default mpa)
+	Band     int       `json:"band,omitempty"`     // dtw only
+}
+
+// KNNResponse carries the neighbors and the query profile.
+type KNNResponse struct {
+	Neighbors  []knn.Neighbor `json:"neighbors"`
+	Strategy   string         `json:"strategy"`
+	Partitions int            `json:"partitions_loaded"`
+	Candidates int            `json:"candidates"`
+	DurationMS float64        `json:"duration_ms"`
+}
+
+func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
+	var req KNNRequest
+	if err := decode(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var (
+		res  []knn.Neighbor
+		st   core.QueryStats
+		err  error
+		name = req.Strategy
+	)
+	switch req.Strategy {
+	case "tna":
+		res, st, err = s.ix.KNNTargetNode(req.Series, req.K)
+	case "opa":
+		res, st, err = s.ix.KNNOnePartition(req.Series, req.K)
+	case "", "mpa":
+		name = "mpa"
+		res, st, err = s.ix.KNNMultiPartition(req.Series, req.K)
+	case "exact":
+		res, st, err = s.ix.KNNExact(req.Series, req.K)
+	case "dtw":
+		res, st, err = s.ix.KNNDTW(req.Series, req.K, req.Band)
+	case "auto":
+		var chosen core.Strategy
+		res, chosen, st, err = s.ix.KNNAuto(req.Series, req.K)
+		name = chosen.String()
+	default:
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown strategy %q", req.Strategy))
+		return
+	}
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, KNNResponse{
+		Neighbors: res, Strategy: name,
+		Partitions: st.PartitionsLoaded, Candidates: st.Candidates,
+		DurationMS: float64(st.Duration) / float64(time.Millisecond),
+	})
+}
+
+// ExactRequest asks which stored records equal the series exactly.
+type ExactRequest struct {
+	Series ts.Series `json:"series"`
+	Bloom  *bool     `json:"bloom,omitempty"` // default true
+}
+
+// ExactResponse lists matching record ids.
+type ExactResponse struct {
+	RIDs          []int64 `json:"rids"`
+	BloomRejected bool    `json:"bloom_rejected"`
+	DurationMS    float64 `json:"duration_ms"`
+}
+
+func (s *Server) handleExact(w http.ResponseWriter, r *http.Request) {
+	var req ExactRequest
+	if err := decode(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	useBloom := req.Bloom == nil || *req.Bloom
+	s.mu.RLock()
+	rids, st, err := s.ix.ExactMatch(req.Series, useBloom)
+	s.mu.RUnlock()
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	if rids == nil {
+		rids = []int64{}
+	}
+	writeJSON(w, http.StatusOK, ExactResponse{
+		RIDs: rids, BloomRejected: st.BloomRejected,
+		DurationMS: float64(st.Duration) / float64(time.Millisecond),
+	})
+}
+
+// RangeRequest asks for all records within eps of the series.
+type RangeRequest struct {
+	Series ts.Series `json:"series"`
+	Eps    float64   `json:"eps"`
+}
+
+func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
+	var req RangeRequest
+	if err := decode(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.RLock()
+	res, st, err := s.ix.RangeQuery(req.Series, req.Eps)
+	s.mu.RUnlock()
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	if res == nil {
+		res = []knn.Neighbor{}
+	}
+	writeJSON(w, http.StatusOK, KNNResponse{
+		Neighbors: res, Strategy: "range",
+		Partitions: st.PartitionsLoaded, Candidates: st.Candidates,
+		DurationMS: float64(st.Duration) / float64(time.Millisecond),
+	})
+}
+
+// InsertRequest carries new records for the delta.
+type InsertRequest struct {
+	Records []ts.Record `json:"records"`
+}
+
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	var req InsertRequest
+	if err := decode(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Records) == 0 {
+		writeErr(w, http.StatusBadRequest, errors.New("no records"))
+		return
+	}
+	s.mu.Lock()
+	err := s.ix.InsertBatch(req.Records)
+	delta := s.ix.DeltaCount()
+	s.mu.Unlock()
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int64{"delta_count": delta})
+}
+
+// DeleteRequest carries record ids to tombstone.
+type DeleteRequest struct {
+	RIDs []int64 `json:"rids"`
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	var req DeleteRequest
+	if err := decode(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.RIDs) == 0 {
+		writeErr(w, http.StatusBadRequest, errors.New("no rids"))
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, rid := range req.RIDs {
+		if err := s.ix.Delete(rid); err != nil {
+			writeErr(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"tombstones": s.ix.TombstoneCount()})
+}
+
+func (s *Server) handleCompact(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	n, err := s.ix.Compact()
+	var saveErr error
+	if err == nil {
+		saveErr = s.ix.Save()
+	}
+	s.mu.Unlock()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	if saveErr != nil {
+		writeErr(w, http.StatusInternalServerError, saveErr)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"partitions_rewritten": n})
+}

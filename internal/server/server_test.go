@@ -1,0 +1,268 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"github.com/tardisdb/tardis/internal/cluster"
+	"github.com/tardisdb/tardis/internal/core"
+	"github.com/tardisdb/tardis/internal/dataset"
+	"github.com/tardisdb/tardis/internal/ts"
+)
+
+const (
+	testSeriesLen = 32
+	testRecords   = 2000
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, dataset.Generator) {
+	t.Helper()
+	g, err := dataset.New(dataset.RandomWalk, testSeriesLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := dataset.WriteStore(g, 21, testRecords, filepath.Join(t.TempDir(), "src"), 400, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := cluster.New(cluster.Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.GMaxSize = 300
+	cfg.LMaxSize = 30
+	cfg.SamplePct = 0.4
+	ix, err := core.Build(cl, src, filepath.Join(t.TempDir(), "dst"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Save(); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(New(ix).Handler())
+	t.Cleanup(srv.Close)
+	return srv, g
+}
+
+func postJSON(t *testing.T, url string, body any, out any) int {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding response: %v", err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func storedQuery(g dataset.Generator, rid int64) ts.Series {
+	return dataset.Record(g, 21, rid).Values.ZNormalize()
+}
+
+func TestHealthAndStats(t *testing.T) {
+	srv, _ := newTestServer(t)
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", resp.StatusCode, err)
+	}
+	resp.Body.Close()
+	var stats StatsResponse
+	r2, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Body.Close()
+	if err := json.NewDecoder(r2.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Records != testRecords || stats.SeriesLen != testSeriesLen || stats.Partitions < 1 {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+func TestKNNEndpointStrategies(t *testing.T) {
+	srv, g := newTestServer(t)
+	q := storedQuery(g, 7)
+	for _, strat := range []string{"", "tna", "opa", "mpa", "exact", "auto"} {
+		var out KNNResponse
+		code := postJSON(t, srv.URL+"/query/knn", KNNRequest{Series: q, K: 5, Strategy: strat}, &out)
+		if code != http.StatusOK {
+			t.Fatalf("strategy %q: status %d", strat, code)
+		}
+		if len(out.Neighbors) != 5 {
+			t.Fatalf("strategy %q: %d neighbors", strat, len(out.Neighbors))
+		}
+		if out.Neighbors[0].RID != 7 || out.Neighbors[0].Dist != 0 {
+			t.Fatalf("strategy %q: self query wrong: %+v", strat, out.Neighbors[0])
+		}
+		if out.Strategy == "" {
+			t.Errorf("strategy %q: response strategy empty", strat)
+		}
+	}
+	// DTW strategy.
+	var out KNNResponse
+	code := postJSON(t, srv.URL+"/query/knn", KNNRequest{Series: q, K: 3, Strategy: "dtw", Band: 4}, &out)
+	if code != http.StatusOK || len(out.Neighbors) != 3 || out.Neighbors[0].Dist != 0 {
+		t.Fatalf("dtw: code %d out %+v", code, out)
+	}
+	// Bad strategy and bad k.
+	if code := postJSON(t, srv.URL+"/query/knn", KNNRequest{Series: q, K: 5, Strategy: "bogus"}, nil); code != http.StatusBadRequest {
+		t.Errorf("bogus strategy: %d", code)
+	}
+	if code := postJSON(t, srv.URL+"/query/knn", KNNRequest{Series: q, K: 0}, nil); code != http.StatusUnprocessableEntity {
+		t.Errorf("k=0: %d", code)
+	}
+	// Malformed body.
+	resp, _ := http.Post(srv.URL+"/query/knn", "application/json", bytes.NewReader([]byte("{bad")))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body: %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+func TestExactAndRangeEndpoints(t *testing.T) {
+	srv, g := newTestServer(t)
+	q := storedQuery(g, 42)
+	var ex ExactResponse
+	if code := postJSON(t, srv.URL+"/query/exact", ExactRequest{Series: q}, &ex); code != http.StatusOK {
+		t.Fatalf("exact: %d", code)
+	}
+	found := false
+	for _, rid := range ex.RIDs {
+		if rid == 42 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("exact missed rid 42: %+v", ex)
+	}
+	// Absent query returns empty list, not null.
+	absent := dataset.Record(g, 999, 0).Values.ZNormalize()
+	var ex2 ExactResponse
+	if code := postJSON(t, srv.URL+"/query/exact", ExactRequest{Series: absent}, &ex2); code != http.StatusOK {
+		t.Fatalf("absent exact: %d", code)
+	}
+	if ex2.RIDs == nil || len(ex2.RIDs) != 0 {
+		t.Errorf("absent rids = %v", ex2.RIDs)
+	}
+	// Range.
+	var rr KNNResponse
+	if code := postJSON(t, srv.URL+"/query/range", RangeRequest{Series: q, Eps: 1.0}, &rr); code != http.StatusOK {
+		t.Fatalf("range: %d", code)
+	}
+	if len(rr.Neighbors) == 0 || rr.Neighbors[0].RID != 42 {
+		t.Fatalf("range result: %+v", rr.Neighbors)
+	}
+	if code := postJSON(t, srv.URL+"/query/range", RangeRequest{Series: q, Eps: -1}, nil); code != http.StatusUnprocessableEntity {
+		t.Errorf("negative eps: %d", code)
+	}
+}
+
+func TestIngestLifecycle(t *testing.T) {
+	srv, g := newTestServer(t)
+	// Insert two new records.
+	newRec := func(rid int64) ts.Record {
+		r := dataset.Record(g, 555, rid)
+		r.RID = 1_000_000 + rid
+		r.Values.ZNormalizeInPlace()
+		return r
+	}
+	var ins map[string]int64
+	code := postJSON(t, srv.URL+"/insert", InsertRequest{Records: []ts.Record{newRec(1), newRec(2)}}, &ins)
+	if code != http.StatusOK || ins["delta_count"] != 2 {
+		t.Fatalf("insert: %d %v", code, ins)
+	}
+	// The new record is queryable.
+	var out KNNResponse
+	q := newRec(1).Values
+	if code := postJSON(t, srv.URL+"/query/knn", KNNRequest{Series: q, K: 1}, &out); code != http.StatusOK {
+		t.Fatalf("post-insert query: %d", code)
+	}
+	if out.Neighbors[0].RID != 1_000_001 || out.Neighbors[0].Dist != 0 {
+		t.Fatalf("inserted record not found: %+v", out.Neighbors[0])
+	}
+	// Delete it.
+	var del map[string]int
+	if code := postJSON(t, srv.URL+"/delete", DeleteRequest{RIDs: []int64{1_000_001}}, &del); code != http.StatusOK {
+		t.Fatalf("delete: %d", code)
+	}
+	if del["tombstones"] != 1 {
+		t.Errorf("tombstones = %d", del["tombstones"])
+	}
+	// Compact.
+	var comp map[string]int
+	if code := postJSON(t, srv.URL+"/compact", struct{}{}, &comp); code != http.StatusOK {
+		t.Fatalf("compact: %d", code)
+	}
+	// The deleted record stays gone; the other insert persists.
+	var ex ExactResponse
+	postJSON(t, srv.URL+"/query/exact", ExactRequest{Series: q}, &ex)
+	if len(ex.RIDs) != 0 {
+		t.Errorf("deleted record visible after compact: %v", ex.RIDs)
+	}
+	postJSON(t, srv.URL+"/query/exact", ExactRequest{Series: newRec(2).Values}, &ex)
+	if len(ex.RIDs) != 1 || ex.RIDs[0] != 1_000_002 {
+		t.Errorf("surviving insert lost: %v", ex.RIDs)
+	}
+	// Validation.
+	if code := postJSON(t, srv.URL+"/insert", InsertRequest{}, nil); code != http.StatusBadRequest {
+		t.Errorf("empty insert: %d", code)
+	}
+	if code := postJSON(t, srv.URL+"/delete", DeleteRequest{}, nil); code != http.StatusBadRequest {
+		t.Errorf("empty delete: %d", code)
+	}
+}
+
+// Queries and mutations interleave safely under the server's lock.
+func TestConcurrentQueriesAndIngest(t *testing.T) {
+	srv, g := newTestServer(t)
+	var wg sync.WaitGroup
+	errCh := make(chan error, 32)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 6; i++ {
+				q := storedQuery(g, int64(w*10+i))
+				var out KNNResponse
+				if code := postJSON(t, srv.URL+"/query/knn", KNNRequest{Series: q, K: 3}, &out); code != 200 {
+					errCh <- fmt.Errorf("query status %d", code)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 6; i++ {
+			rec := dataset.Record(g, 777, int64(i))
+			rec.RID = 2_000_000 + int64(i)
+			rec.Values.ZNormalizeInPlace()
+			if code := postJSON(t, srv.URL+"/insert", InsertRequest{Records: []ts.Record{rec}}, nil); code != 200 {
+				errCh <- fmt.Errorf("insert status %d", code)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,68 @@
+package sigtree
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/tardisdb/tardis/internal/isaxt"
+)
+
+// FuzzReadTree feeds arbitrary bytes to the tree deserializer: it must never
+// panic, and anything it accepts must re-serialize and re-parse to the same
+// shape (a parse/print round trip).
+func FuzzReadTree(f *testing.F) {
+	// Seed with a real serialized tree and some corruptions of it.
+	codec := testCodec()
+	tree, err := New(codec, 4, 5)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, st := range []struct {
+		sig   string
+		count int64
+	}{{"0F", 10}, {"F0", 20}, {"0F11", 7}} {
+		if err := tree.InsertNodeStat(isaxtSig(st.sig), st.count); err != nil {
+			f.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if _, err := tree.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	for _, cut := range []int{1, 4, 10, len(valid) / 2} {
+		if cut < len(valid) {
+			f.Add(valid[:len(valid)-cut])
+		}
+	}
+	mutated := append([]byte(nil), valid...)
+	if len(mutated) > 8 {
+		mutated[8] ^= 0xFF
+	}
+	f.Add(mutated)
+	f.Add([]byte("TSGT"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadTree(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		// Accepted input must survive a write/read round trip.
+		var out bytes.Buffer
+		if _, err := got.WriteTo(&out); err != nil {
+			t.Fatalf("accepted tree failed to serialize: %v", err)
+		}
+		again, err := ReadTree(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if again.NodeCount() != got.NodeCount() || again.Count() != got.Count() {
+			t.Fatalf("round trip changed shape: %d/%d nodes, %d/%d count",
+				again.NodeCount(), got.NodeCount(), again.Count(), got.Count())
+		}
+	})
+}
+
+func isaxtSig(s string) isaxt.Signature { return isaxt.Signature(s) }

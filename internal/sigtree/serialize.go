@@ -1,0 +1,257 @@
+package sigtree
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"github.com/tardisdb/tardis/internal/isaxt"
+)
+
+// Serialization format (little endian):
+//
+//	magic "TSGT", version u16, wordLength u16, maxBits u16,
+//	splitThreshold i64, nodeCount u32, then nodes in depth-first order:
+//	  sigLen u16, sig bytes, count i64, leaf u8, pidCount u32, pids i32...,
+//	  entryCount u32 (leaf payload record ids only; raw series stay in the
+//	  partition files), rids i64...
+//
+// The format captures exactly what the paper counts as "index size": the
+// tree skeleton, node statistics, and partition pointers — not the indexed
+// data itself (§VI-B2).
+
+const (
+	serializeMagic   = "TSGT"
+	serializeVersion = 1
+)
+
+// WriteTo serializes the tree. It returns the number of bytes written.
+func (t *Tree) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: bufio.NewWriter(w)}
+	write := func(v any) error { return binary.Write(cw, binary.LittleEndian, v) }
+
+	if _, err := cw.Write([]byte(serializeMagic)); err != nil {
+		return cw.n, err
+	}
+	header := []any{
+		uint16(serializeVersion),
+		uint16(t.codec.WordLength()),
+		uint16(t.maxBits),
+		int64(t.splitThreshold),
+		uint32(t.nodeCount + 1), // including root
+	}
+	for _, h := range header {
+		if err := write(h); err != nil {
+			return cw.n, err
+		}
+	}
+	var werr error
+	t.Walk(func(n *Node) {
+		if werr != nil {
+			return
+		}
+		werr = writeNode(cw, n)
+	})
+	if werr != nil {
+		return cw.n, werr
+	}
+	return cw.n, cw.w.(*bufio.Writer).Flush()
+}
+
+func writeNode(w io.Writer, n *Node) error {
+	write := func(v any) error { return binary.Write(w, binary.LittleEndian, v) }
+	if err := write(uint16(len(n.Sig))); err != nil {
+		return err
+	}
+	if _, err := w.Write([]byte(n.Sig)); err != nil {
+		return err
+	}
+	if err := write(n.Count); err != nil {
+		return err
+	}
+	leaf := uint8(0)
+	if n.leaf {
+		leaf = 1
+	}
+	if err := write(leaf); err != nil {
+		return err
+	}
+	if err := write(uint32(len(n.PIDs))); err != nil {
+		return err
+	}
+	for _, pid := range n.PIDs {
+		if err := write(int32(pid)); err != nil {
+			return err
+		}
+	}
+	if err := write(uint32(len(n.Entries))); err != nil {
+		return err
+	}
+	for _, e := range n.Entries {
+		if err := write(e.RID); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadTree deserializes a tree written by WriteTo. Leaf entries come back
+// with record ids and signatures only (signatures are reconstructed as the
+// leaf's own prefix is insufficient, so Entry.Sig is left empty; callers
+// that need entry signatures must rebuild from the data, as the paper's
+// un-clustered local indices do).
+func ReadTree(r io.Reader) (*Tree, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("sigtree: reading magic: %w", err)
+	}
+	if string(magic) != serializeMagic {
+		return nil, errors.New("sigtree: bad magic")
+	}
+	read := func(v any) error { return binary.Read(br, binary.LittleEndian, v) }
+	var version, wordLen, maxBits uint16
+	var threshold int64
+	var nodeCount uint32
+	for _, v := range []any{&version, &wordLen, &maxBits, &threshold, &nodeCount} {
+		if err := read(v); err != nil {
+			return nil, fmt.Errorf("sigtree: reading header: %w", err)
+		}
+	}
+	if version != serializeVersion {
+		return nil, fmt.Errorf("sigtree: unsupported version %d", version)
+	}
+	codec, err := isaxt.NewCodec(int(wordLen))
+	if err != nil {
+		return nil, fmt.Errorf("sigtree: header word length: %w", err)
+	}
+	t, err := New(codec, int(maxBits), threshold)
+	if err != nil {
+		return nil, fmt.Errorf("sigtree: header: %w", err)
+	}
+	if nodeCount == 0 {
+		return nil, errors.New("sigtree: node count zero (missing root)")
+	}
+	// Nodes arrive in DFS order; reconstruct using a stack of ancestors.
+	t.nodeCount, t.leafCount = 0, 0
+	var stack []*Node
+	for i := uint32(0); i < nodeCount; i++ {
+		n, err := readNode(br)
+		if err != nil {
+			return nil, fmt.Errorf("sigtree: node %d: %w", i, err)
+		}
+		if i == 0 {
+			if n.Sig != "" {
+				return nil, errors.New("sigtree: first node is not root")
+			}
+			n.leaf = false
+			if n.Children == nil {
+				n.Children = map[isaxt.Signature]*Node{}
+			}
+			t.root = n
+			stack = []*Node{n}
+			continue
+		}
+		n.Layer = len(n.Sig) / codec.PlaneChars()
+		if n.Layer < 1 || n.Layer > int(maxBits) {
+			return nil, fmt.Errorf("sigtree: node %q at invalid layer %d", n.Sig, n.Layer)
+		}
+		// Pop ancestors until the top is this node's parent.
+		for len(stack) > 0 && stack[len(stack)-1].Layer != n.Layer-1 {
+			stack = stack[:len(stack)-1]
+		}
+		if len(stack) == 0 {
+			return nil, fmt.Errorf("sigtree: node %q has no parent in DFS stream", n.Sig)
+		}
+		parent := stack[len(stack)-1]
+		if !isaxt.Covers(parent.Sig, n.Sig) {
+			return nil, fmt.Errorf("sigtree: node %q not under parent %q", n.Sig, parent.Sig)
+		}
+		n.Parent = parent
+		if parent.Children == nil {
+			parent.Children = map[isaxt.Signature]*Node{}
+		}
+		parent.Children[codec.Plane(n.Sig, n.Layer)] = n
+		t.nodeCount++
+		if n.leaf {
+			t.leafCount++
+		} else {
+			n.Children = map[isaxt.Signature]*Node{}
+			stack = append(stack, n)
+		}
+	}
+	return t, nil
+}
+
+func readNode(r io.Reader) (*Node, error) {
+	read := func(v any) error { return binary.Read(r, binary.LittleEndian, v) }
+	var sigLen uint16
+	if err := read(&sigLen); err != nil {
+		return nil, err
+	}
+	sig := make([]byte, sigLen)
+	if _, err := io.ReadFull(r, sig); err != nil {
+		return nil, err
+	}
+	n := &Node{Sig: isaxt.Signature(sig)}
+	if err := read(&n.Count); err != nil {
+		return nil, err
+	}
+	var leaf uint8
+	if err := read(&leaf); err != nil {
+		return nil, err
+	}
+	n.leaf = leaf == 1
+	var pidCount uint32
+	if err := read(&pidCount); err != nil {
+		return nil, err
+	}
+	if pidCount > 1<<24 {
+		return nil, fmt.Errorf("implausible pid count %d", pidCount)
+	}
+	// Grow incrementally rather than trusting the declared count with a
+	// single huge allocation: a forged header must not cost gigabytes
+	// before the truncated stream is detected.
+	for i := uint32(0); i < pidCount; i++ {
+		var pid int32
+		if err := read(&pid); err != nil {
+			return nil, err
+		}
+		n.PIDs = append(n.PIDs, int(pid))
+	}
+	var entryCount uint32
+	if err := read(&entryCount); err != nil {
+		return nil, err
+	}
+	if entryCount > 1<<28 {
+		return nil, fmt.Errorf("implausible entry count %d", entryCount)
+	}
+	for i := uint32(0); i < entryCount; i++ {
+		var rid int64
+		if err := read(&rid); err != nil {
+			return nil, err
+		}
+		n.Entries = append(n.Entries, Entry{RID: rid})
+	}
+	return n, nil
+}
+
+// SerializedSize returns the exact byte size of the serialized tree without
+// materializing it; this is the "index size" metric of the paper's Fig. 13.
+func (t *Tree) SerializedSize() int64 {
+	n, _ := t.WriteTo(io.Discard)
+	return n
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

@@ -1,0 +1,135 @@
+package sigtree
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/tardisdb/tardis/internal/isaxt"
+)
+
+func TestSerializeRoundTrip(t *testing.T) {
+	tree, _ := buildRandomTree(t, 21, 700, 30)
+	var buf bytes.Buffer
+	n, err := tree.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteTo reported %d bytes, buffer holds %d", n, buf.Len())
+	}
+	got, err := ReadTree(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NodeCount() != tree.NodeCount() || got.LeafCount() != tree.LeafCount() {
+		t.Errorf("round trip: nodes %d/%d leaves %d/%d",
+			got.NodeCount(), tree.NodeCount(), got.LeafCount(), tree.LeafCount())
+	}
+	if got.Count() != tree.Count() {
+		t.Errorf("round trip count %d, want %d", got.Count(), tree.Count())
+	}
+	if got.MaxBits() != tree.MaxBits() || got.SplitThreshold() != tree.SplitThreshold() {
+		t.Error("round trip changed parameters")
+	}
+	// Same shape under Walk.
+	var a, b []isaxt.Signature
+	tree.Walk(func(n *Node) { a = append(a, n.Sig) })
+	got.Walk(func(n *Node) { b = append(b, n.Sig) })
+	if len(a) != len(b) {
+		t.Fatalf("walk lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("node %d differs: %q vs %q", i, a[i], b[i])
+		}
+	}
+	// Leaf record ids preserved.
+	la, lb := tree.Leaves(), got.Leaves()
+	for i := range la {
+		if len(la[i].Entries) != len(lb[i].Entries) {
+			t.Fatalf("leaf %q entry count differs", la[i].Sig)
+		}
+		for j := range la[i].Entries {
+			if la[i].Entries[j].RID != lb[i].Entries[j].RID {
+				t.Fatalf("leaf %q rid %d differs", la[i].Sig, j)
+			}
+		}
+	}
+}
+
+func TestSerializeWithPIDs(t *testing.T) {
+	codec := testCodec()
+	tree, err := New(codec, 6, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.InsertNodeStat("0F", 50); err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.InsertNodeStat("F0", 70); err != nil {
+		t.Fatal(err)
+	}
+	leaves := tree.Leaves()
+	leaves[0].PIDs = []int{3, 7}
+	leaves[1].PIDs = []int{1}
+	tree.Root().PIDs = []int{1, 3, 7}
+
+	var buf bytes.Buffer
+	if _, err := tree.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTree(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gl := got.Leaves()
+	if len(gl) != 2 {
+		t.Fatalf("leaves = %d, want 2", len(gl))
+	}
+	if len(gl[0].PIDs) != 2 || gl[0].PIDs[0] != 3 || gl[0].PIDs[1] != 7 {
+		t.Errorf("leaf 0 pids = %v", gl[0].PIDs)
+	}
+	if len(got.Root().PIDs) != 3 {
+		t.Errorf("root pids = %v", got.Root().PIDs)
+	}
+}
+
+func TestSerializedSize(t *testing.T) {
+	tree, _ := buildRandomTree(t, 22, 200, 20)
+	var buf bytes.Buffer
+	n, err := tree.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := tree.SerializedSize(); s != n {
+		t.Errorf("SerializedSize = %d, WriteTo wrote %d", s, n)
+	}
+}
+
+func TestReadTreeErrors(t *testing.T) {
+	if _, err := ReadTree(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input should fail")
+	}
+	if _, err := ReadTree(bytes.NewReader([]byte("XXXX"))); err == nil {
+		t.Error("bad magic should fail")
+	}
+	// Truncated stream.
+	tree, _ := buildRandomTree(t, 23, 100, 20)
+	var buf bytes.Buffer
+	if _, err := tree.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if _, err := ReadTree(bytes.NewReader(data[:len(data)/2])); err == nil {
+		t.Error("truncated stream should fail")
+	}
+}
+
+func TestSigTreeMoreCompactThanEntryCount(t *testing.T) {
+	// Index size must be far below data size (it stores no raw series).
+	tree, _ := buildRandomTree(t, 24, 1000, 50)
+	dataBytes := int64(1000 * testSeriesLen * 8)
+	if s := tree.SerializedSize(); s >= dataBytes {
+		t.Errorf("index size %d not smaller than data size %d", s, dataBytes)
+	}
+}

@@ -1,0 +1,481 @@
+// Package sigtree implements the iSAX-T K-ary index tree of TARDIS (paper
+// §III-B). A node at layer i covers all series whose iSAX-T signature starts
+// with the node's i bit-planes; its children are keyed by the next plane, so
+// the fan-out is at most 2^w. Splitting a leaf promotes it to an internal
+// node and redistributes its entries by one extra bit of cardinality on
+// every segment at once — the word-level split that keeps similar series
+// together (in contrast to the baseline's one-character binary split).
+//
+// The same structure backs both TARDIS indices: the global index (Tardis-G)
+// stores node statistics and partition ids in its leaves, while each local
+// index (Tardis-L) stores the actual data entries.
+package sigtree
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/tardisdb/tardis/internal/isaxt"
+	"github.com/tardisdb/tardis/internal/ts"
+)
+
+// Entry is one indexed element: the full-cardinality iSAX-T signature, the
+// record id, and (for clustered local indices) the raw series.
+type Entry struct {
+	Sig    isaxt.Signature
+	RID    int64
+	Series ts.Series // nil in un-clustered indices
+}
+
+// Node is one sigTree node. Nodes are doubly linked (parent and children) so
+// query processing can reach all siblings from the parent (paper §III-B).
+type Node struct {
+	// Sig is the node's iSAX-T signature prefix; empty for the root.
+	Sig isaxt.Signature
+	// Layer is the tree layer = word-level cardinality bits of Sig.
+	Layer int
+	// Count is the number of series in this subtree. For global indices
+	// built from sampled statistics it is the (scaled) estimate.
+	Count int64
+	// Parent is nil only for the root.
+	Parent *Node
+	// Children maps the next bit-plane to the child covering it. Nil for
+	// leaves.
+	Children map[isaxt.Signature]*Node
+	// Entries holds the leaf payload of a local index.
+	Entries []Entry
+	// PIDs lists the partition ids under this node. For a global-index leaf
+	// it is the assigned partition(s); internal nodes hold the union of
+	// their descendants' ids (synchronized by partition assignment).
+	PIDs []int
+
+	leaf bool
+}
+
+// IsLeaf reports whether the node is a leaf.
+func (n *Node) IsLeaf() bool { return n.leaf }
+
+// Tree is a sigTree: a K-ary prefix tree over iSAX-T signatures.
+type Tree struct {
+	codec *isaxt.Codec
+	// maxBits is the initial cardinality in bits: the deepest possible
+	// layer. A leaf at maxBits can no longer split and may exceed the
+	// threshold.
+	maxBits int
+	// splitThreshold is the leaf occupancy that triggers a split
+	// (G-MaxSize or L-MaxSize in the paper).
+	splitThreshold int64
+
+	root      *Node
+	nodeCount int // excluding root
+	leafCount int
+}
+
+// New creates an empty sigTree. maxBits is the initial cardinality exponent
+// (e.g. 6 for cardinality 64); splitThreshold is the leaf split threshold.
+func New(codec *isaxt.Codec, maxBits int, splitThreshold int64) (*Tree, error) {
+	if codec == nil {
+		return nil, fmt.Errorf("sigtree: nil codec")
+	}
+	if maxBits < 1 || maxBits > ts.MaxCardinalityBits {
+		return nil, fmt.Errorf("sigtree: maxBits %d out of range [1, %d]", maxBits, ts.MaxCardinalityBits)
+	}
+	if splitThreshold < 1 {
+		return nil, fmt.Errorf("sigtree: split threshold must be positive, got %d", splitThreshold)
+	}
+	return &Tree{
+		codec:          codec,
+		maxBits:        maxBits,
+		splitThreshold: splitThreshold,
+		root:           &Node{Children: map[isaxt.Signature]*Node{}},
+	}, nil
+}
+
+// Root returns the root node.
+func (t *Tree) Root() *Node { return t.root }
+
+// Codec returns the tree's signature codec.
+func (t *Tree) Codec() *isaxt.Codec { return t.codec }
+
+// MaxBits returns the deepest layer (initial cardinality exponent).
+func (t *Tree) MaxBits() int { return t.maxBits }
+
+// SplitThreshold returns the leaf split threshold.
+func (t *Tree) SplitThreshold() int64 { return t.splitThreshold }
+
+// NodeCount returns the number of nodes excluding the root.
+func (t *Tree) NodeCount() int { return t.nodeCount }
+
+// LeafCount returns the number of leaf nodes.
+func (t *Tree) LeafCount() int { return t.leafCount }
+
+// Count returns the total number of series in the tree.
+func (t *Tree) Count() int64 { return t.root.Count }
+
+// Insert adds a data entry (local-index mode), descending to the covering
+// leaf and splitting when the leaf exceeds the threshold. The entry's
+// signature must be at the tree's full initial cardinality.
+func (t *Tree) Insert(e Entry) error {
+	if got, err := t.codec.Bits(e.Sig); err != nil || got != t.maxBits {
+		return fmt.Errorf("sigtree: entry signature %q must have %d cardinality bits (err=%v)", e.Sig, t.maxBits, err)
+	}
+	node := t.root
+	node.Count++
+	for {
+		if node.leaf || (node != t.root && node.Children == nil) {
+			break
+		}
+		key := t.codec.Plane(e.Sig, node.Layer+1)
+		child := node.Children[key]
+		if child == nil {
+			child = t.newLeaf(node, t.codec.Prefix(e.Sig, node.Layer+1))
+			node.Children[key] = child
+		}
+		node = child
+		node.Count++
+		if node.leaf {
+			break
+		}
+	}
+	node.Entries = append(node.Entries, e)
+	if int64(len(node.Entries)) > t.splitThreshold && node.Layer < t.maxBits {
+		t.split(node)
+	}
+	return nil
+}
+
+func (t *Tree) newLeaf(parent *Node, sig isaxt.Signature) *Node {
+	leaf := &Node{Sig: sig, Layer: parent.Layer + 1, Parent: parent, leaf: true}
+	t.nodeCount++
+	t.leafCount++
+	return leaf
+}
+
+// split promotes a leaf into an internal node, redistributing its entries to
+// children one plane deeper — the word-level split: every segment gains one
+// cardinality bit simultaneously.
+func (t *Tree) split(n *Node) {
+	entries := n.Entries
+	n.Entries = nil
+	n.leaf = false
+	n.Children = map[isaxt.Signature]*Node{}
+	t.leafCount--
+	for _, e := range entries {
+		key := t.codec.Plane(e.Sig, n.Layer+1)
+		child := n.Children[key]
+		if child == nil {
+			child = t.newLeaf(n, t.codec.Prefix(e.Sig, n.Layer+1))
+			n.Children[key] = child
+		}
+		child.Count++
+		child.Entries = append(child.Entries, e)
+	}
+	// A pathological split can leave one child holding everything (all
+	// entries share the next plane). Recurse while depth remains.
+	for _, child := range n.Children {
+		if int64(len(child.Entries)) > t.splitThreshold && child.Layer < t.maxBits {
+			t.split(child)
+		}
+	}
+}
+
+// InsertNodeStat inserts a node-statistics record (global-index skeleton
+// building, paper §IV-B): the signature of a node at some layer and the
+// number of series it covers. Ancestors must be inserted before descendants
+// (the construction processes layers in ascending order); missing ancestors
+// are an error.
+func (t *Tree) InsertNodeStat(sig isaxt.Signature, count int64) error {
+	bits, err := t.codec.Bits(sig)
+	if err != nil {
+		return fmt.Errorf("sigtree: bad node signature %q: %v", sig, err)
+	}
+	if bits > t.maxBits {
+		return fmt.Errorf("sigtree: node signature %q exceeds max depth %d", sig, t.maxBits)
+	}
+	node := t.root
+	for layer := 1; layer < bits; layer++ {
+		key := t.codec.Plane(sig, layer)
+		child := node.Children[key]
+		if child == nil {
+			return fmt.Errorf("sigtree: missing ancestor at layer %d for %q", layer, sig)
+		}
+		if child.leaf {
+			// The ancestor was a leaf from a previous layer's stats; it is
+			// being expanded, so promote it.
+			child.leaf = false
+			child.Children = map[isaxt.Signature]*Node{}
+			t.leafCount--
+		}
+		node = child
+	}
+	key := t.codec.Plane(sig, bits)
+	if node.Children == nil {
+		node.leaf = false
+		node.Children = map[isaxt.Signature]*Node{}
+		if node != t.root {
+			t.leafCount--
+		}
+	}
+	if node.Children[key] != nil {
+		return fmt.Errorf("sigtree: duplicate node stat for %q", sig)
+	}
+	leaf := t.newLeaf(node, sig)
+	leaf.Count = count
+	node.Children[key] = leaf
+	// Root count is the sum over layer-1 nodes only; deeper stats refine
+	// existing mass, so only add at layer 1.
+	if bits == 1 {
+		t.root.Count += count
+	}
+	return nil
+}
+
+// FindLeaf descends from the root toward the given full-cardinality
+// signature and returns the covering leaf, or nil if the path ends at an
+// internal node with no matching child (a signature never seen during
+// construction).
+func (t *Tree) FindLeaf(sig isaxt.Signature) *Node {
+	node := t.root
+	for !node.leaf {
+		if node.Layer >= t.maxBits {
+			return nil
+		}
+		key := t.codec.Plane(sig, node.Layer+1)
+		child := node.Children[key]
+		if child == nil {
+			return nil
+		}
+		node = child
+	}
+	return node
+}
+
+// FindDeepest descends as far as possible toward sig and returns the deepest
+// matching node (possibly the root). Unlike FindLeaf it never returns nil.
+func (t *Tree) FindDeepest(sig isaxt.Signature) *Node {
+	node := t.root
+	for !node.leaf && node.Layer < t.maxBits {
+		key := t.codec.Plane(sig, node.Layer+1)
+		child := node.Children[key]
+		if child == nil {
+			return node
+		}
+		node = child
+	}
+	return node
+}
+
+// TargetNode returns the paper's kNN "target node": the lowest node on the
+// query's path whose subtree holds at least k entries (§V-B). The boolean is
+// false when even the root holds fewer than k.
+func (t *Tree) TargetNode(sig isaxt.Signature, k int64) (*Node, bool) {
+	if t.root.Count < k {
+		return t.root, false
+	}
+	node := t.root
+	for !node.leaf && node.Layer < t.maxBits {
+		key := t.codec.Plane(sig, node.Layer+1)
+		child := node.Children[key]
+		if child == nil || child.Count < k {
+			return node, true
+		}
+		node = child
+	}
+	return node, true
+}
+
+// Walk visits every node in deterministic depth-first order (children sorted
+// by signature), root first. The visitor may not modify the tree.
+func (t *Tree) Walk(visit func(*Node)) {
+	var rec func(*Node)
+	rec = func(n *Node) {
+		visit(n)
+		keys := make([]string, 0, len(n.Children))
+		for k := range n.Children {
+			keys = append(keys, string(k))
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			rec(n.Children[isaxt.Signature(k)])
+		}
+	}
+	rec(t.root)
+}
+
+// Leaves returns all leaf nodes in deterministic order.
+func (t *Tree) Leaves() []*Node {
+	var out []*Node
+	t.Walk(func(n *Node) {
+		if n.leaf {
+			out = append(out, n)
+		}
+	})
+	return out
+}
+
+// CollectEntries appends all entries stored in the subtree rooted at n.
+func CollectEntries(n *Node, out []Entry) []Entry {
+	if n.leaf {
+		return append(out, n.Entries...)
+	}
+	keys := make([]string, 0, len(n.Children))
+	for k := range n.Children {
+		keys = append(keys, string(k))
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		out = CollectEntries(n.Children[isaxt.Signature(k)], out)
+	}
+	return out
+}
+
+// MinDist lower-bounds the Euclidean distance from the query (given by its
+// PAA and original length n) to any series under the node, using the node's
+// own word-level cardinality. The root covers everything, so its bound is 0.
+func (t *Tree) MinDist(n *Node, paa ts.Series, seriesLen int) (float64, error) {
+	if n == t.root {
+		return 0, nil
+	}
+	return t.codec.MinDistPAA(paa, n.Sig, seriesLen)
+}
+
+// PruneCollect gathers the entries of every leaf whose lower-bound distance
+// to the query does not exceed threshold — the top-down pruning scan used by
+// the One-Partition and Multi-Partitions kNN strategies. It returns the
+// surviving entries and the number of leaves pruned.
+func (t *Tree) PruneCollect(paa ts.Series, seriesLen int, threshold float64) ([]Entry, int, error) {
+	var out []Entry
+	pruned := 0
+	var rec func(n *Node) error
+	rec = func(n *Node) error {
+		d, err := t.MinDist(n, paa, seriesLen)
+		if err != nil {
+			return err
+		}
+		if d > threshold {
+			if n.leaf {
+				pruned++
+			} else {
+				pruned += countLeaves(n)
+			}
+			return nil
+		}
+		if n.leaf {
+			out = append(out, n.Entries...)
+			return nil
+		}
+		keys := make([]string, 0, len(n.Children))
+		for k := range n.Children {
+			keys = append(keys, string(k))
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if err := rec(n.Children[isaxt.Signature(k)]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(t.root); err != nil {
+		return nil, 0, err
+	}
+	return out, pruned, nil
+}
+
+func countLeaves(n *Node) int {
+	if n.leaf {
+		return 1
+	}
+	total := 0
+	for _, c := range n.Children {
+		total += countLeaves(c)
+	}
+	return total
+}
+
+// Stats summarizes the tree shape; the quantities the paper compares against
+// the binary iBT (internal-node superabundance, leaf depth).
+type Stats struct {
+	Nodes         int     // nodes excluding root
+	Internal      int     // internal nodes excluding root
+	Leaves        int     // leaf nodes
+	MaxLeafDepth  int     // deepest leaf layer
+	AvgLeafDepth  float64 // mean leaf layer
+	AvgLeafSize   float64 // mean entries per leaf (local indices)
+	TotalEntries  int64   // total series under the root
+	OversizeLeafs int     // leaves above the split threshold (max depth hit)
+}
+
+// ComputeStats walks the tree and returns its shape statistics.
+func (t *Tree) ComputeStats() Stats {
+	s := Stats{TotalEntries: t.root.Count}
+	var depthSum, sizeSum int64
+	t.Walk(func(n *Node) {
+		if n == t.root {
+			return
+		}
+		s.Nodes++
+		if n.leaf {
+			s.Leaves++
+			depthSum += int64(n.Layer)
+			sizeSum += int64(len(n.Entries))
+			if n.Layer > s.MaxLeafDepth {
+				s.MaxLeafDepth = n.Layer
+			}
+			if int64(len(n.Entries)) > t.splitThreshold {
+				s.OversizeLeafs++
+			}
+		} else {
+			s.Internal++
+		}
+	})
+	if s.Leaves > 0 {
+		s.AvgLeafDepth = float64(depthSum) / float64(s.Leaves)
+		s.AvgLeafSize = float64(sizeSum) / float64(s.Leaves)
+	}
+	return s
+}
+
+// PruneCollectFunc is PruneCollect with a caller-supplied lower-bound
+// function, enabling pruning under distances other than Euclidean (the DTW
+// extension bounds nodes with the envelope-based LB_PAA). bound(root) should
+// return 0. It returns the surviving entries and the number of leaves
+// pruned.
+func (t *Tree) PruneCollectFunc(bound func(n *Node) (float64, error), threshold float64) ([]Entry, int, error) {
+	var out []Entry
+	pruned := 0
+	var rec func(n *Node) error
+	rec = func(n *Node) error {
+		d, err := bound(n)
+		if err != nil {
+			return err
+		}
+		if d > threshold {
+			if n.leaf {
+				pruned++
+			} else {
+				pruned += countLeaves(n)
+			}
+			return nil
+		}
+		if n.leaf {
+			out = append(out, n.Entries...)
+			return nil
+		}
+		keys := make([]string, 0, len(n.Children))
+		for k := range n.Children {
+			keys = append(keys, string(k))
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if err := rec(n.Children[isaxt.Signature(k)]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(t.root); err != nil {
+		return nil, 0, err
+	}
+	return out, pruned, nil
+}

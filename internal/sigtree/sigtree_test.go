@@ -1,0 +1,388 @@
+package sigtree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/tardisdb/tardis/internal/isaxt"
+	"github.com/tardisdb/tardis/internal/ts"
+)
+
+const (
+	testWordLen   = 8
+	testSeriesLen = 64
+	testMaxBits   = 6
+)
+
+func testCodec() *isaxt.Codec { return isaxt.MustNewCodec(testWordLen) }
+
+func randomEntry(t *testing.T, rng *rand.Rand, codec *isaxt.Codec, rid int64) Entry {
+	t.Helper()
+	s := make(ts.Series, testSeriesLen)
+	for i := range s {
+		s[i] = rng.NormFloat64()
+	}
+	s = s.ZNormalize()
+	sig, err := codec.FromSeries(s, testMaxBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Entry{Sig: sig, RID: rid, Series: s}
+}
+
+func buildRandomTree(t *testing.T, seed int64, n int, threshold int64) (*Tree, []Entry) {
+	t.Helper()
+	codec := testCodec()
+	tree, err := New(codec, testMaxBits, threshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	entries := make([]Entry, n)
+	for i := 0; i < n; i++ {
+		entries[i] = randomEntry(t, rng, codec, int64(i))
+		if err := tree.Insert(entries[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tree, entries
+}
+
+func TestNewValidation(t *testing.T) {
+	codec := testCodec()
+	if _, err := New(nil, 6, 10); err == nil {
+		t.Error("nil codec should fail")
+	}
+	if _, err := New(codec, 0, 10); err == nil {
+		t.Error("maxBits 0 should fail")
+	}
+	if _, err := New(codec, ts.MaxCardinalityBits+1, 10); err == nil {
+		t.Error("maxBits beyond limit should fail")
+	}
+	if _, err := New(codec, 6, 0); err == nil {
+		t.Error("threshold 0 should fail")
+	}
+}
+
+func TestInsertRejectsWrongCardinality(t *testing.T) {
+	tree, _ := New(testCodec(), 6, 10)
+	if err := tree.Insert(Entry{Sig: "AB"}); err == nil {
+		t.Error("1-bit signature should be rejected for a 6-bit tree")
+	}
+	if err := tree.Insert(Entry{Sig: "XYZ"}); err == nil {
+		t.Error("invalid signature should be rejected")
+	}
+}
+
+func TestInsertAndFindLeaf(t *testing.T) {
+	tree, entries := buildRandomTree(t, 1, 500, 20)
+	if tree.Count() != 500 {
+		t.Fatalf("Count = %d, want 500", tree.Count())
+	}
+	for _, e := range entries {
+		leaf := tree.FindLeaf(e.Sig)
+		if leaf == nil {
+			t.Fatalf("FindLeaf(%q) = nil", e.Sig)
+		}
+		found := false
+		for _, le := range leaf.Entries {
+			if le.RID == e.RID {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("entry %d not in its leaf %q", e.RID, leaf.Sig)
+		}
+		if !isaxt.Covers(leaf.Sig, e.Sig) {
+			t.Fatalf("leaf %q does not cover entry %q", leaf.Sig, e.Sig)
+		}
+	}
+}
+
+func TestFindLeafMissing(t *testing.T) {
+	tree, _ := buildRandomTree(t, 2, 50, 10)
+	// A signature whose first plane was never inserted is very likely after
+	// only 50 entries; construct one by flipping until absent.
+	codec := tree.Codec()
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 1000; i++ {
+		s := make(ts.Series, testSeriesLen)
+		for j := range s {
+			s[j] = rng.NormFloat64() * 3
+		}
+		sig, err := codec.FromSeries(s, testMaxBits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tree.FindLeaf(sig) == nil {
+			return // found an unseen path: FindLeaf correctly returned nil
+		}
+	}
+	t.Skip("could not construct a missing signature; tree too dense")
+}
+
+func TestSplitRespectsThreshold(t *testing.T) {
+	tree, _ := buildRandomTree(t, 3, 2000, 50)
+	stats := tree.ComputeStats()
+	for _, leaf := range tree.Leaves() {
+		if int64(len(leaf.Entries)) > tree.SplitThreshold() && leaf.Layer < tree.MaxBits() {
+			t.Fatalf("splittable leaf %q holds %d > %d entries", leaf.Sig, len(leaf.Entries), tree.SplitThreshold())
+		}
+	}
+	if stats.Leaves == 0 || stats.TotalEntries != 2000 {
+		t.Fatalf("bad stats: %+v", stats)
+	}
+}
+
+func TestCountsConsistent(t *testing.T) {
+	tree, _ := buildRandomTree(t, 4, 1000, 30)
+	// Every internal node's count must equal the sum of its children's.
+	tree.Walk(func(n *Node) {
+		if n.IsLeaf() {
+			if int64(len(n.Entries)) != n.Count {
+				t.Fatalf("leaf %q count %d != entries %d", n.Sig, n.Count, len(n.Entries))
+			}
+			return
+		}
+		var sum int64
+		for _, c := range n.Children {
+			sum += c.Count
+		}
+		if sum != n.Count {
+			t.Fatalf("internal %q count %d != children sum %d", n.Sig, n.Count, sum)
+		}
+	})
+}
+
+func TestCollectEntries(t *testing.T) {
+	tree, entries := buildRandomTree(t, 5, 300, 25)
+	got := CollectEntries(tree.Root(), nil)
+	if len(got) != len(entries) {
+		t.Fatalf("collected %d entries, want %d", len(got), len(entries))
+	}
+	seen := map[int64]bool{}
+	for _, e := range got {
+		if seen[e.RID] {
+			t.Fatalf("entry %d collected twice", e.RID)
+		}
+		seen[e.RID] = true
+	}
+}
+
+func TestTargetNode(t *testing.T) {
+	tree, entries := buildRandomTree(t, 6, 1000, 30)
+	q := entries[0]
+	node, ok := tree.TargetNode(q.Sig, 10)
+	if !ok {
+		t.Fatal("tree of 1000 should satisfy k=10")
+	}
+	if node.Count < 10 {
+		t.Fatalf("target node count %d < k", node.Count)
+	}
+	// The child on the query path (if any) must hold fewer than k.
+	if !node.IsLeaf() && node.Layer < tree.MaxBits() {
+		key := tree.Codec().Plane(q.Sig, node.Layer+1)
+		if child := node.Children[key]; child != nil && child.Count >= 10 {
+			t.Fatalf("child on path holds %d >= k; target node not lowest", child.Count)
+		}
+	}
+	// k larger than the dataset.
+	if _, ok := tree.TargetNode(q.Sig, 5000); ok {
+		t.Error("k beyond dataset should report !ok")
+	}
+}
+
+func TestInsertNodeStat(t *testing.T) {
+	codec := testCodec()
+	tree, err := New(codec, 6, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Layer-1 nodes.
+	if err := tree.InsertNodeStat("0F", 500); err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.InsertNodeStat("F0", 80); err != nil {
+		t.Fatal(err)
+	}
+	// Layer-2 expansion of "0F".
+	for _, s := range []struct {
+		sig isaxt.Signature
+		n   int64
+	}{{"0F00", 300}, {"0F11", 150}, {"0FFF", 50}} {
+		if err := tree.InsertNodeStat(s.sig, s.n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tree.Count() != 580 {
+		t.Errorf("root count = %d, want 580", tree.Count())
+	}
+	n := tree.FindDeepest("0F11AAAA0000")
+	if n.Sig != "0F11" || !n.IsLeaf() {
+		t.Errorf("FindDeepest landed on %q leaf=%v, want 0F11 leaf", n.Sig, n.IsLeaf())
+	}
+	// "0F" must now be internal.
+	p := n.Parent
+	if p.Sig != "0F" || p.IsLeaf() {
+		t.Errorf("parent %q leaf=%v, want internal 0F", p.Sig, p.IsLeaf())
+	}
+	// Duplicates and orphans rejected.
+	if err := tree.InsertNodeStat("0F00", 1); err == nil {
+		t.Error("duplicate stat should fail")
+	}
+	if err := tree.InsertNodeStat("AB12", 1); err == nil {
+		t.Error("orphan (missing layer-1 ancestor) should fail")
+	}
+	if err := tree.InsertNodeStat("Z", 1); err == nil {
+		t.Error("invalid signature should fail")
+	}
+	long := isaxt.Signature("0F0F0F0F0F0F0F0F")
+	if err := tree.InsertNodeStat(long, 1); err == nil {
+		t.Error("too-deep signature should fail")
+	}
+}
+
+func TestWalkDeterministic(t *testing.T) {
+	tree, _ := buildRandomTree(t, 7, 400, 20)
+	var a, b []isaxt.Signature
+	tree.Walk(func(n *Node) { a = append(a, n.Sig) })
+	tree.Walk(func(n *Node) { b = append(b, n.Sig) })
+	if len(a) != len(b) {
+		t.Fatal("walk lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("walk order not deterministic")
+		}
+	}
+	if a[0] != "" {
+		t.Error("walk should start at root")
+	}
+}
+
+func TestMinDistRootIsZero(t *testing.T) {
+	tree, _ := buildRandomTree(t, 8, 10, 10)
+	paa := make(ts.Series, testWordLen)
+	d, err := tree.MinDist(tree.Root(), paa, testSeriesLen)
+	if err != nil || d != 0 {
+		t.Errorf("root mindist = %v, %v; want 0, nil", d, err)
+	}
+}
+
+// PruneCollect with threshold = true kNN distance must keep every true
+// neighbor: the lower-bound property guarantees no true neighbor is pruned.
+func TestPruneCollectSound(t *testing.T) {
+	tree, entries := buildRandomTree(t, 9, 800, 40)
+	rng := rand.New(rand.NewSource(10))
+	q := make(ts.Series, testSeriesLen)
+	for i := range q {
+		q[i] = rng.NormFloat64()
+	}
+	q = q.ZNormalize()
+	paa := ts.MustPAA(q, testWordLen)
+
+	// Brute-force 10 nearest.
+	type distRID struct {
+		d   float64
+		rid int64
+	}
+	var all []distRID
+	for _, e := range entries {
+		d, _ := ts.EuclideanDistance(q, e.Series)
+		all = append(all, distRID{d, e.RID})
+	}
+	// selection of k smallest
+	k := 10
+	for i := 0; i < k; i++ {
+		min := i
+		for j := i + 1; j < len(all); j++ {
+			if all[j].d < all[min].d {
+				min = j
+			}
+		}
+		all[i], all[min] = all[min], all[i]
+	}
+	threshold := all[k-1].d
+
+	got, pruned, err := tree.PruneCollect(paa, testSeriesLen, threshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned == 0 {
+		t.Log("warning: nothing pruned (dense tree)")
+	}
+	inResult := map[int64]bool{}
+	for _, e := range got {
+		inResult[e.RID] = true
+	}
+	for i := 0; i < k; i++ {
+		if !inResult[all[i].rid] {
+			t.Fatalf("true neighbor %d (dist %.4f) was pruned", all[i].rid, all[i].d)
+		}
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	tree, _ := buildRandomTree(t, 11, 600, 25)
+	s := tree.ComputeStats()
+	if s.Nodes != tree.NodeCount() {
+		t.Errorf("stats nodes %d != tree %d", s.Nodes, tree.NodeCount())
+	}
+	if s.Leaves != tree.LeafCount() {
+		t.Errorf("stats leaves %d != tree %d", s.Leaves, tree.LeafCount())
+	}
+	if s.Internal+s.Leaves != s.Nodes {
+		t.Error("internal + leaves != nodes")
+	}
+	if s.MaxLeafDepth > testMaxBits {
+		t.Errorf("leaf depth %d beyond max bits", s.MaxLeafDepth)
+	}
+	if s.AvgLeafDepth <= 0 || s.AvgLeafDepth > float64(testMaxBits) {
+		t.Errorf("bad avg leaf depth %v", s.AvgLeafDepth)
+	}
+	if s.TotalEntries != 600 {
+		t.Errorf("total entries %d, want 600", s.TotalEntries)
+	}
+}
+
+// Property: every inserted entry is findable, leaves never exceed the
+// threshold unless at max depth, and node counts stay consistent.
+func TestTreeInvariantsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 100 + int(seed%400+400)%400
+		tree, entries := buildRandomTree(t, seed, n, 15)
+		if tree.Count() != int64(len(entries)) {
+			return false
+		}
+		for _, e := range entries {
+			leaf := tree.FindLeaf(e.Sig)
+			if leaf == nil || !isaxt.Covers(leaf.Sig, e.Sig) {
+				return false
+			}
+		}
+		ok := true
+		tree.Walk(func(nd *Node) {
+			if nd.IsLeaf() {
+				if int64(len(nd.Entries)) > tree.SplitThreshold() && nd.Layer < tree.MaxBits() {
+					ok = false
+				}
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The compactness claim (paper §III-B): at word length 8 the sigTree fan-out
+// keeps the average leaf depth well below the number of cardinality bits.
+func TestCompactDepth(t *testing.T) {
+	tree, _ := buildRandomTree(t, 13, 5000, 100)
+	s := tree.ComputeStats()
+	if s.AvgLeafDepth > 3.5 {
+		t.Errorf("avg leaf depth %v unexpectedly deep for 5000 entries", s.AvgLeafDepth)
+	}
+}

@@ -1,0 +1,165 @@
+package sigtree
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"github.com/tardisdb/tardis/internal/isaxt"
+	"github.com/tardisdb/tardis/internal/ts"
+)
+
+// makeEntry builds an entry whose signature is derived from a PAA vector.
+func makeEntry(t *testing.T, codec *isaxt.Codec, paa ts.Series, rid int64) Entry {
+	t.Helper()
+	sig, err := codec.FromPAA(paa, testMaxBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Entry{Sig: sig, RID: rid}
+}
+
+// Concentrated entries (all sharing the same coarse region, differing only
+// at fine cardinality) force leaf splits down the layers.
+func TestSplitRedistributes(t *testing.T) {
+	codec := testCodec()
+	tree, err := New(codec, testMaxBits, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All PAAs in a narrow positive band: identical first planes, so layer-1
+	// and layer-2 leaves overflow and split repeatedly.
+	const n = 64
+	for i := 0; i < n; i++ {
+		paa := make(ts.Series, testWordLen)
+		for j := range paa {
+			paa[j] = 0.05 + 0.012*float64(i) + 0.001*float64(j)
+		}
+		if err := tree.Insert(makeEntry(t, codec, paa, int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats := tree.ComputeStats()
+	if stats.Internal == 0 {
+		t.Fatal("no splits happened; test workload not concentrated enough")
+	}
+	if stats.MaxLeafDepth < 2 {
+		t.Errorf("expected depth >= 2 after splits, got %d", stats.MaxLeafDepth)
+	}
+	// All entries still findable, counts consistent.
+	if tree.Count() != n {
+		t.Fatalf("count = %d", tree.Count())
+	}
+	total := 0
+	for _, leaf := range tree.Leaves() {
+		total += len(leaf.Entries)
+		if int64(len(leaf.Entries)) > tree.SplitThreshold() && leaf.Layer < tree.MaxBits() {
+			t.Fatalf("leaf %q oversized after split: %d", leaf.Sig, len(leaf.Entries))
+		}
+	}
+	if total != n {
+		t.Fatalf("leaves hold %d entries, want %d", total, n)
+	}
+	tree.Walk(func(nd *Node) {
+		if nd.IsLeaf() || nd == tree.Root() {
+			return
+		}
+		var sum int64
+		for _, c := range nd.Children {
+			sum += c.Count
+		}
+		if sum != nd.Count {
+			t.Fatalf("internal %q count %d != children %d", nd.Sig, nd.Count, sum)
+		}
+	})
+}
+
+// Identical signatures cannot be split apart: the leaf at max depth absorbs
+// them all and reports as oversized.
+func TestSplitExhaustsAtMaxDepth(t *testing.T) {
+	codec := testCodec()
+	tree, err := New(codec, testMaxBits, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paa := make(ts.Series, testWordLen)
+	for j := range paa {
+		paa[j] = 0.42
+	}
+	const n = 20
+	for i := 0; i < n; i++ {
+		if err := tree.Insert(makeEntry(t, codec, paa, int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats := tree.ComputeStats()
+	if stats.OversizeLeafs != 1 {
+		t.Fatalf("expected exactly one oversized max-depth leaf, got %d", stats.OversizeLeafs)
+	}
+	if stats.MaxLeafDepth != testMaxBits {
+		t.Errorf("oversized leaf should sit at max depth %d, got %d", testMaxBits, stats.MaxLeafDepth)
+	}
+	sig, _ := codec.FromPAA(paa, testMaxBits)
+	leaf := tree.FindLeaf(sig)
+	if leaf == nil || len(leaf.Entries) != n {
+		t.Fatalf("max-depth leaf should hold all %d duplicates", n)
+	}
+}
+
+func TestPruneCollectFunc(t *testing.T) {
+	tree, entries := buildRandomTree(t, 31, 400, 10)
+	// Custom bound: prune everything not under a chosen layer-1 prefix.
+	target := entries[0].Sig[:tree.Codec().PlaneChars()]
+	bound := func(n *Node) (float64, error) {
+		if n == tree.Root() {
+			return 0, nil
+		}
+		if n.Sig[:tree.Codec().PlaneChars()] == target {
+			return 0, nil
+		}
+		return math.Inf(1), nil
+	}
+	got, pruned, err := tree.PruneCollectFunc(bound, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned == 0 {
+		t.Error("nothing pruned")
+	}
+	want := 0
+	for _, e := range entries {
+		if e.Sig[:tree.Codec().PlaneChars()] == target {
+			want++
+		}
+	}
+	if len(got) != want {
+		t.Fatalf("collected %d entries, want %d", len(got), want)
+	}
+	// Bound errors propagate.
+	boom := fmt.Errorf("boom")
+	_, _, err = tree.PruneCollectFunc(func(n *Node) (float64, error) {
+		if n == tree.Root() {
+			return 0, nil
+		}
+		return 0, boom
+	}, 1)
+	if err != boom {
+		t.Errorf("bound error not propagated: %v", err)
+	}
+	// Equivalence with the Euclidean PruneCollect under the same bound.
+	q := make(ts.Series, testSeriesLen)
+	paa := ts.MustPAA(q, testWordLen)
+	a, prunedA, err := tree.PruneCollect(paa, testSeriesLen, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, prunedB, err := tree.PruneCollectFunc(func(n *Node) (float64, error) {
+		return tree.MinDist(n, paa, testSeriesLen)
+	}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) || prunedA != prunedB {
+		t.Fatalf("PruneCollect (%d,%d) != PruneCollectFunc (%d,%d)", len(a), prunedA, len(b), prunedB)
+	}
+}

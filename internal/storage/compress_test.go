@@ -1,0 +1,155 @@
+package storage
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"os"
+	"testing"
+
+	"github.com/tardisdb/tardis/internal/ts"
+)
+
+func TestCreateCompressedValidation(t *testing.T) {
+	if _, err := CreateCompressed(t.TempDir(), 8, Compression(9)); err == nil {
+		t.Error("unknown compression should fail")
+	}
+	s, err := CreateCompressed(t.TempDir(), 8, Flate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Compression() != Flate {
+		t.Error("compression not recorded")
+	}
+}
+
+func TestCompressedRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := CreateCompressed(dir, 16, Flate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	recs := randomRecords(rng, 200, 16, 0)
+	if err := s.WritePartition(0, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.ReadPartition(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("read %d records", len(got))
+	}
+	for i := range recs {
+		if got[i].RID != recs[i].RID || !ts.Equal(got[i].Values, recs[i].Values) {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+	// Manifest round trip restores the compression setting.
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Compression() != Flate {
+		t.Error("compression lost on reopen")
+	}
+	got2, err := re.ReadPartition(0)
+	if err != nil || len(got2) != 200 {
+		t.Fatalf("reopened read: %d, %v", len(got2), err)
+	}
+	if n, err := re.PartitionCount(0); err != nil || n != 200 {
+		t.Errorf("PartitionCount on compressed = %d, %v", n, err)
+	}
+}
+
+// Compressible data (a repetitive pattern) must actually shrink on disk.
+func TestCompressionShrinksRepetitiveData(t *testing.T) {
+	pattern := make(ts.Series, 64)
+	for i := range pattern {
+		pattern[i] = float64(i % 4)
+	}
+	recs := make([]ts.Record, 500)
+	for i := range recs {
+		recs[i] = ts.Record{RID: int64(i), Values: pattern}
+	}
+	plain, err := Create(t.TempDir(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plain.WritePartition(0, recs); err != nil {
+		t.Fatal(err)
+	}
+	comp, err := CreateCompressed(t.TempDir(), 64, Flate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := comp.WritePartition(0, recs); err != nil {
+		t.Fatal(err)
+	}
+	ps, _ := plain.SizeBytes()
+	cs, _ := comp.SizeBytes()
+	if cs >= ps/10 {
+		t.Errorf("compressed %d bytes vs plain %d; expected >10x shrink on repetitive data", cs, ps)
+	}
+}
+
+func TestCompressedChecksumDetectsCorruption(t *testing.T) {
+	s, err := CreateCompressed(t.TempDir(), 8, Flate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	if err := s.WritePartition(0, randomRecords(rng, 100, 8, 0)); err != nil {
+		t.Fatal(err)
+	}
+	path := s.partitionPath(0)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xFF
+	os.WriteFile(path, data, 0o644)
+	if _, err := s.ReadPartition(0); err == nil {
+		t.Error("corrupted compressed partition should fail")
+	}
+}
+
+// Version-1 files (headerSizeV1, no compression byte) remain readable.
+func TestV1Compatibility(t *testing.T) {
+	s := newStore(t, 2)
+	// Hand-craft a v1 partition: header without compression byte, two
+	// records, CRC.
+	recs := []ts.Record{{RID: 1, Values: ts.Series{1, 2}}, {RID: 2, Values: ts.Series{3, 4}}}
+	var payload []byte
+	for _, r := range recs {
+		buf := make([]byte, 8+16)
+		binary.LittleEndian.PutUint64(buf, uint64(r.RID))
+		for i, v := range r.Values {
+			binary.LittleEndian.PutUint64(buf[8+i*8:], mathFloat64bits(v))
+		}
+		payload = append(payload, buf...)
+	}
+	crc := crcOf(payload)
+	header := make([]byte, headerSizeV1)
+	copy(header, fileMagic)
+	binary.LittleEndian.PutUint16(header[4:], fileVersionV1)
+	binary.LittleEndian.PutUint32(header[6:], 2)
+	binary.LittleEndian.PutUint64(header[10:], 2)
+	file := append(header, payload...)
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], crc)
+	file = append(file, tail[:]...)
+	if err := os.WriteFile(s.partitionPath(0), file, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.ReadPartition(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].RID != 1 || got[1].Values[1] != 4 {
+		t.Fatalf("v1 read wrong: %+v", got)
+	}
+}

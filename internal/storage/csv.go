@@ -1,0 +1,159 @@
+package storage
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"github.com/tardisdb/tardis/internal/ts"
+)
+
+// CSV interchange: downstream users bring their own time series as CSV (one
+// series per row) rather than using the synthetic generators. ImportCSV
+// fills a fresh store in block-sized partitions; ExportCSV dumps a store
+// back out.
+
+// CSVOptions configures CSV import/export.
+type CSVOptions struct {
+	// HasRID marks the first column as the record id; otherwise ids are
+	// assigned sequentially from 0 in row order.
+	HasRID bool
+	// Normalize z-normalizes each imported series (the paper's setup).
+	Normalize bool
+	// BlockRecords is the records-per-partition capacity for import
+	// (default 10 000).
+	BlockRecords int64
+	// Comma is the field separator (default ',').
+	Comma rune
+}
+
+func (o CSVOptions) withDefaults() CSVOptions {
+	if o.BlockRecords <= 0 {
+		o.BlockRecords = 10_000
+	}
+	if o.Comma == 0 {
+		o.Comma = ','
+	}
+	return o
+}
+
+// ImportCSV reads series rows from r into the store, which must be freshly
+// created and empty. Every row must have exactly the store's series length
+// of value columns (plus the id column when HasRID). It returns the number
+// of records imported.
+func (s *Store) ImportCSV(r io.Reader, opts CSVOptions) (int64, error) {
+	opts = opts.withDefaults()
+	pids, err := s.Partitions()
+	if err != nil {
+		return 0, err
+	}
+	if len(pids) != 0 {
+		return 0, fmt.Errorf("storage: ImportCSV requires an empty store, found %d partitions", len(pids))
+	}
+	cr := csv.NewReader(r)
+	cr.Comma = opts.Comma
+	cr.ReuseRecord = true
+	wantCols := s.seriesLen
+	if opts.HasRID {
+		wantCols++
+	}
+	cr.FieldsPerRecord = wantCols
+
+	var (
+		imported int64
+		pid      int
+		w        *Writer
+	)
+	closeW := func() error {
+		if w == nil {
+			return nil
+		}
+		err := w.Close()
+		w = nil
+		return err
+	}
+	for row := int64(1); ; row++ {
+		fields, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			closeW()
+			return imported, fmt.Errorf("storage: csv row %d: %w", row, err)
+		}
+		rec := ts.Record{RID: imported}
+		vals := fields
+		if opts.HasRID {
+			rid, err := strconv.ParseInt(fields[0], 10, 64)
+			if err != nil {
+				closeW()
+				return imported, fmt.Errorf("storage: csv row %d: bad record id %q", row, fields[0])
+			}
+			rec.RID = rid
+			vals = fields[1:]
+		}
+		rec.Values = make(ts.Series, s.seriesLen)
+		for i, f := range vals {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				closeW()
+				return imported, fmt.Errorf("storage: csv row %d column %d: %q is not a number", row, i+1, f)
+			}
+			rec.Values[i] = v
+		}
+		if opts.Normalize {
+			rec.Values.ZNormalizeInPlace()
+		}
+		if w == nil {
+			w, err = s.NewWriter(pid)
+			if err != nil {
+				return imported, err
+			}
+			pid++
+		}
+		if err := w.Write(rec); err != nil {
+			closeW()
+			return imported, err
+		}
+		imported++
+		if int64(w.Count()) >= opts.BlockRecords {
+			if err := closeW(); err != nil {
+				return imported, err
+			}
+		}
+	}
+	if err := closeW(); err != nil {
+		return imported, err
+	}
+	if err := s.Sync(); err != nil {
+		return imported, err
+	}
+	return imported, nil
+}
+
+// ExportCSV writes every record (rid first, then values) in partition order.
+func (s *Store) ExportCSV(w io.Writer, opts CSVOptions) error {
+	opts = opts.withDefaults()
+	cw := csv.NewWriter(w)
+	cw.Comma = opts.Comma
+	pids, err := s.Partitions()
+	if err != nil {
+		return err
+	}
+	row := make([]string, s.seriesLen+1)
+	for _, pid := range pids {
+		err := s.ScanPartition(pid, func(r ts.Record) error {
+			row[0] = strconv.FormatInt(r.RID, 10)
+			for i, v := range r.Values {
+				row[i+1] = strconv.FormatFloat(v, 'g', -1, 64)
+			}
+			return cw.Write(row)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

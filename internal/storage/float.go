@@ -1,0 +1,11 @@
+package storage
+
+import (
+	"hash/crc32"
+	"math"
+)
+
+func mathFloat64bits(v float64) uint64     { return math.Float64bits(v) }
+func mathFloat64frombits(b uint64) float64 { return math.Float64frombits(b) }
+
+func crcOf(data []byte) uint32 { return crc32.Checksum(data, crc32.IEEETable) }

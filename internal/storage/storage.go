@@ -1,0 +1,579 @@
+// Package storage provides the disk substrate TARDIS runs on: fixed-format
+// binary partition files (the stand-in for HDFS blocks), streaming readers
+// and writers, block-level sampling, and I/O accounting.
+//
+// The paper's query cost model is dominated by partition loads ("the
+// distributed infrastructures prefer to store data in large files ... the
+// loading of such file is high latency", §V-A). This package therefore
+// counts every partition load and byte read, so benchmarks can report the
+// same quantities the paper argues about.
+package storage
+
+import (
+	"bufio"
+	"compress/flate"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"github.com/tardisdb/tardis/internal/ts"
+)
+
+// File format (little endian):
+//
+//	magic "TPRT", version u16, seriesLen u32, recordCount u64,
+//	compression u8 (0 = none, 1 = flate),
+//	payload: records (rid i64, values float64 × seriesLen) followed by the
+//	crc32 (IEEE) of the raw record bytes. With compression, the payload
+//	(records + crc) is one flate stream.
+//
+// Version 1 files (no compression byte, raw payload) remain readable.
+
+const (
+	fileMagic     = "TPRT"
+	fileVersionV1 = 1
+	fileVersion   = 2
+)
+
+// Compression selects the partition payload encoding.
+type Compression uint8
+
+const (
+	// NoCompression stores raw records (fastest reads).
+	NoCompression Compression = 0
+	// Flate compresses the record payload with DEFLATE — the trade HDFS
+	// deployments make for cold data: smaller blocks, slower loads.
+	Flate Compression = 1
+)
+
+// IOStats counts the physical work done against a store. All fields are
+// updated atomically; read them with the accessor methods.
+type IOStats struct {
+	partitionsRead atomic.Int64
+	bytesRead      atomic.Int64
+	partitionsWrit atomic.Int64
+	bytesWritten   atomic.Int64
+}
+
+// PartitionsRead returns the number of partition loads so far.
+func (s *IOStats) PartitionsRead() int64 { return s.partitionsRead.Load() }
+
+// BytesRead returns the total bytes read.
+func (s *IOStats) BytesRead() int64 { return s.bytesRead.Load() }
+
+// PartitionsWritten returns the number of partitions written.
+func (s *IOStats) PartitionsWritten() int64 { return s.partitionsWrit.Load() }
+
+// BytesWritten returns the total bytes written.
+func (s *IOStats) BytesWritten() int64 { return s.bytesWritten.Load() }
+
+// Reset zeroes all counters.
+func (s *IOStats) Reset() {
+	s.partitionsRead.Store(0)
+	s.bytesRead.Store(0)
+	s.partitionsWrit.Store(0)
+	s.bytesWritten.Store(0)
+}
+
+// Store is a directory of numbered partition files holding fixed-length
+// time-series records, plus a JSON manifest.
+type Store struct {
+	dir         string
+	seriesLen   int
+	latency     LatencyModel
+	compression Compression
+	Stats       IOStats
+}
+
+// Compression returns the store's payload encoding for new partitions.
+func (s *Store) Compression() Compression { return s.compression }
+
+// LatencyModel injects synthetic I/O latency into partition reads, emulating
+// the cost profile of a distributed filesystem (the paper's HDFS blocks cost
+// seconds to load; a laptop page-cache read costs microseconds). PerLoad is
+// charged once per partition read, PerByte per byte scanned. The zero value
+// injects nothing.
+type LatencyModel struct {
+	PerLoad time.Duration
+	PerByte time.Duration
+}
+
+// SetLatency installs a synthetic latency model for subsequent reads. It is
+// not safe to call concurrently with reads.
+func (s *Store) SetLatency(m LatencyModel) { s.latency = m }
+
+// Latency returns the current latency model.
+func (s *Store) Latency() LatencyModel { return s.latency }
+
+func (s *Store) chargeLatency(bytes int64) {
+	d := s.latency.PerLoad + time.Duration(bytes)*s.latency.PerByte
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// Manifest describes a store on disk.
+type Manifest struct {
+	SeriesLen   int    `json:"series_len"`
+	Name        string `json:"name,omitempty"`
+	Partitions  []int  `json:"partitions"`
+	Records     int64  `json:"records"`
+	Compression uint8  `json:"compression,omitempty"`
+}
+
+const manifestName = "manifest.json"
+
+// Create initializes a new store in dir (created if absent). An existing
+// manifest is an error: stores are write-once by partition.
+func Create(dir string, seriesLen int) (*Store, error) {
+	return CreateCompressed(dir, seriesLen, NoCompression)
+}
+
+// CreateCompressed is Create with an explicit payload encoding for the
+// store's partitions.
+func CreateCompressed(dir string, seriesLen int, c Compression) (*Store, error) {
+	if seriesLen < 1 {
+		return nil, fmt.Errorf("storage: series length must be positive, got %d", seriesLen)
+	}
+	if c != NoCompression && c != Flate {
+		return nil, fmt.Errorf("storage: unknown compression %d", c)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: creating %s: %w", dir, err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, manifestName)); err == nil {
+		return nil, fmt.Errorf("storage: %s already contains a store", dir)
+	}
+	s := &Store{dir: dir, seriesLen: seriesLen, compression: c}
+	if err := s.writeManifest(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Open opens an existing store.
+func Open(dir string) (*Store, error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, fmt.Errorf("storage: opening manifest: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("storage: parsing manifest: %w", err)
+	}
+	if m.SeriesLen < 1 {
+		return nil, fmt.Errorf("storage: manifest has invalid series length %d", m.SeriesLen)
+	}
+	return &Store{dir: dir, seriesLen: m.SeriesLen, compression: Compression(m.Compression)}, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// SeriesLen returns the fixed record length.
+func (s *Store) SeriesLen() int { return s.seriesLen }
+
+func (s *Store) partitionPath(pid int) string {
+	return filepath.Join(s.dir, fmt.Sprintf("part-%06d.bin", pid))
+}
+
+// Partitions lists the partition ids present on disk, sorted.
+func (s *Store) Partitions() ([]int, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("storage: listing %s: %w", s.dir, err)
+	}
+	var pids []int
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "part-") || !strings.HasSuffix(name, ".bin") {
+			continue
+		}
+		id, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, "part-"), ".bin"))
+		if err != nil {
+			continue
+		}
+		pids = append(pids, id)
+	}
+	sort.Ints(pids)
+	return pids, nil
+}
+
+func (s *Store) writeManifest() error {
+	pids, err := s.Partitions()
+	if err != nil {
+		return err
+	}
+	var total int64
+	for _, pid := range pids {
+		n, err := s.PartitionCount(pid)
+		if err != nil {
+			return err
+		}
+		total += n
+	}
+	m := Manifest{SeriesLen: s.seriesLen, Partitions: pids, Records: total, Compression: uint8(s.compression)}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(s.dir, manifestName), data, 0o644)
+}
+
+// Sync rewrites the manifest from the current on-disk partitions. Call after
+// finishing a batch of partition writes.
+func (s *Store) Sync() error { return s.writeManifest() }
+
+// WritePartition writes a full partition in one call.
+func (s *Store) WritePartition(pid int, recs []ts.Record) error {
+	w, err := s.NewWriter(pid)
+	if err != nil {
+		return err
+	}
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			w.abort()
+			return err
+		}
+	}
+	return w.Close()
+}
+
+// Writer streams records into one partition file. Close finalizes the
+// header and checksum.
+type Writer struct {
+	store   *Store
+	pid     int
+	f       *os.File
+	bw      *bufio.Writer
+	payload io.Writer     // bw or the flate compressor on top of it
+	fl      *flate.Writer // non-nil when compressing
+	crc     uint32
+	count   uint64
+	bytes   int64
+}
+
+// NewWriter opens a streaming writer for partition pid. The partition must
+// not already exist.
+func (s *Store) NewWriter(pid int) (*Writer, error) {
+	path := s.partitionPath(pid)
+	if _, err := os.Stat(path); err == nil {
+		return nil, fmt.Errorf("storage: partition %d already exists", pid)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: creating partition %d: %w", pid, err)
+	}
+	w := &Writer{store: s, pid: pid, f: f, bw: bufio.NewWriterSize(f, 1<<16)}
+	// Reserve the header; recordCount is patched on Close.
+	header := make([]byte, headerSize)
+	copy(header, fileMagic)
+	binary.LittleEndian.PutUint16(header[4:], fileVersion)
+	binary.LittleEndian.PutUint32(header[6:], uint32(s.seriesLen))
+	header[headerSize-1] = byte(s.compression)
+	if _, err := w.bw.Write(header); err != nil {
+		f.Close()
+		return nil, err
+	}
+	w.bytes += headerSize
+	if s.compression == Flate {
+		fl, err := flate.NewWriter(w.bw, flate.DefaultCompression)
+		if err != nil {
+			f.Close()
+			os.Remove(path)
+			return nil, err
+		}
+		w.fl = fl
+		w.payload = fl
+	} else {
+		w.payload = w.bw
+	}
+	return w, nil
+}
+
+const (
+	headerSizeV1 = 4 + 2 + 4 + 8
+	headerSize   = headerSizeV1 + 1 // + compression byte
+)
+
+// Write appends one record.
+func (w *Writer) Write(r ts.Record) error {
+	if len(r.Values) != w.store.seriesLen {
+		return fmt.Errorf("storage: record %d length %d != store length %d", r.RID, len(r.Values), w.store.seriesLen)
+	}
+	buf := make([]byte, 8+8*w.store.seriesLen)
+	binary.LittleEndian.PutUint64(buf[0:], uint64(r.RID))
+	for i, v := range r.Values {
+		binary.LittleEndian.PutUint64(buf[8+i*8:], mathFloat64bits(v))
+	}
+	w.crc = crc32.Update(w.crc, crc32.IEEETable, buf)
+	if _, err := w.payload.Write(buf); err != nil {
+		return err
+	}
+	w.count++
+	w.bytes += int64(len(buf))
+	return nil
+}
+
+// Count returns the number of records written so far.
+func (w *Writer) Count() uint64 { return w.count }
+
+// Close writes the checksum, patches the header, and closes the file.
+func (w *Writer) Close() error {
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], w.crc)
+	if _, err := w.payload.Write(tail[:]); err != nil {
+		w.abort()
+		return err
+	}
+	w.bytes += 4
+	if w.fl != nil {
+		if err := w.fl.Close(); err != nil {
+			w.abort()
+			return err
+		}
+	}
+	if err := w.bw.Flush(); err != nil {
+		w.abort()
+		return err
+	}
+	var cnt [8]byte
+	binary.LittleEndian.PutUint64(cnt[:], w.count)
+	if _, err := w.f.WriteAt(cnt[:], 10); err != nil {
+		w.abort()
+		return err
+	}
+	if err := w.f.Close(); err != nil {
+		return err
+	}
+	w.store.Stats.partitionsWrit.Add(1)
+	w.store.Stats.bytesWritten.Add(w.bytes)
+	return nil
+}
+
+func (w *Writer) abort() {
+	w.f.Close()
+	os.Remove(w.store.partitionPath(w.pid))
+}
+
+// ReadPartition loads a whole partition, verifying the checksum, and counts
+// the load in Stats.
+func (s *Store) ReadPartition(pid int) ([]ts.Record, error) {
+	var out []ts.Record
+	err := s.ScanPartition(pid, func(r ts.Record) error {
+		out = append(out, r)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ScanPartition streams a partition's records through fn, verifying the
+// checksum at the end.
+func (s *Store) ScanPartition(pid int, fn func(ts.Record) error) error {
+	path := s.partitionPath(pid)
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("storage: opening partition %d: %w", pid, err)
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<16)
+	header := make([]byte, headerSizeV1)
+	if _, err := io.ReadFull(br, header); err != nil {
+		return fmt.Errorf("storage: partition %d header: %w", pid, err)
+	}
+	if string(header[:4]) != fileMagic {
+		return fmt.Errorf("storage: partition %d: bad magic", pid)
+	}
+	version := binary.LittleEndian.Uint16(header[4:])
+	compression := NoCompression
+	switch version {
+	case fileVersionV1:
+		// no compression byte
+	case fileVersion:
+		var cb [1]byte
+		if _, err := io.ReadFull(br, cb[:]); err != nil {
+			return fmt.Errorf("storage: partition %d header: %w", pid, err)
+		}
+		compression = Compression(cb[0])
+		if compression != NoCompression && compression != Flate {
+			return fmt.Errorf("storage: partition %d: unknown compression %d", pid, cb[0])
+		}
+	default:
+		return fmt.Errorf("storage: partition %d: unsupported version %d", pid, version)
+	}
+	slen := int(binary.LittleEndian.Uint32(header[6:]))
+	if slen != s.seriesLen {
+		return fmt.Errorf("storage: partition %d series length %d != store %d", pid, slen, s.seriesLen)
+	}
+	count := binary.LittleEndian.Uint64(header[10:])
+	var payload io.Reader = br
+	if compression == Flate {
+		fr := flate.NewReader(br)
+		defer fr.Close()
+		payload = fr
+	}
+	recSize := 8 + 8*slen
+	buf := make([]byte, recSize)
+	var crc uint32
+	bytes := int64(headerSize)
+	for i := uint64(0); i < count; i++ {
+		if _, err := io.ReadFull(payload, buf); err != nil {
+			return fmt.Errorf("storage: partition %d record %d: %w", pid, i, err)
+		}
+		crc = crc32.Update(crc, crc32.IEEETable, buf)
+		bytes += int64(recSize)
+		rec := ts.Record{RID: int64(binary.LittleEndian.Uint64(buf[0:]))}
+		rec.Values = make(ts.Series, slen)
+		for j := 0; j < slen; j++ {
+			rec.Values[j] = mathFloat64frombits(binary.LittleEndian.Uint64(buf[8+j*8:]))
+		}
+		if err := fn(rec); err != nil {
+			return err
+		}
+	}
+	var tail [4]byte
+	if _, err := io.ReadFull(payload, tail[:]); err != nil {
+		return fmt.Errorf("storage: partition %d checksum: %w", pid, err)
+	}
+	if binary.LittleEndian.Uint32(tail[:]) != crc {
+		return fmt.Errorf("storage: partition %d checksum mismatch", pid)
+	}
+	bytes += 4
+	s.chargeLatency(bytes)
+	s.Stats.partitionsRead.Add(1)
+	s.Stats.bytesRead.Add(bytes)
+	return nil
+}
+
+// PartitionCount returns the record count of a partition from its header
+// without reading the records.
+func (s *Store) PartitionCount(pid int) (int64, error) {
+	f, err := os.Open(s.partitionPath(pid))
+	if err != nil {
+		return 0, fmt.Errorf("storage: opening partition %d: %w", pid, err)
+	}
+	defer f.Close()
+	header := make([]byte, headerSize)
+	if _, err := io.ReadFull(f, header); err != nil {
+		return 0, fmt.Errorf("storage: partition %d header: %w", pid, err)
+	}
+	if string(header[:4]) != fileMagic {
+		return 0, fmt.Errorf("storage: partition %d: bad magic", pid)
+	}
+	return int64(binary.LittleEndian.Uint64(header[10:])), nil
+}
+
+// SampledPartitions returns the deterministic block-level sample: a fraction
+// pct of the partition ids chosen under the given seed, sorted. At least one
+// block is chosen when any exist.
+func (s *Store) SampledPartitions(pct float64, seed int64) ([]int, error) {
+	if pct <= 0 || pct > 1 {
+		return nil, fmt.Errorf("storage: sampling percentage must be in (0,1], got %v", pct)
+	}
+	pids, err := s.Partitions()
+	if err != nil {
+		return nil, err
+	}
+	if len(pids) == 0 {
+		return nil, errors.New("storage: no partitions to sample")
+	}
+	n := int(float64(len(pids)) * pct)
+	if n < 1 {
+		n = 1
+	}
+	return samplePIDs(pids, n, seed), nil
+}
+
+// SampleBlocks performs the paper's block-level sampling (§IV-B): a fraction
+// pct of the partition files is chosen with the given deterministic seed and
+// every record inside the chosen blocks is streamed through fn. It returns
+// the number of blocks chosen.
+func (s *Store) SampleBlocks(pct float64, seed int64, fn func(ts.Record) error) (int, error) {
+	chosen, err := s.SampledPartitions(pct, seed)
+	if err != nil {
+		return 0, err
+	}
+	for _, pid := range chosen {
+		if err := s.ScanPartition(pid, fn); err != nil {
+			return 0, err
+		}
+	}
+	return len(chosen), nil
+}
+
+// samplePIDs deterministically picks n of the given pids using a seeded
+// Fisher-Yates prefix shuffle.
+func samplePIDs(pids []int, n int, seed int64) []int {
+	cp := make([]int, len(pids))
+	copy(cp, pids)
+	// xorshift64* keeps the package free of math/rand while deterministic.
+	state := uint64(seed)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+	next := func() uint64 {
+		state ^= state >> 12
+		state ^= state << 25
+		state ^= state >> 27
+		return state * 0x2545f4914f6cdd1d
+	}
+	if n > len(cp) {
+		n = len(cp)
+	}
+	for i := 0; i < n; i++ {
+		j := i + int(next()%uint64(len(cp)-i))
+		cp[i], cp[j] = cp[j], cp[i]
+	}
+	out := cp[:n]
+	sort.Ints(out)
+	return out
+}
+
+// DeletePartition removes a partition file (used by tests and rebuilds).
+func (s *Store) DeletePartition(pid int) error {
+	return os.Remove(s.partitionPath(pid))
+}
+
+// TotalRecords sums the record counts of all partitions from their headers.
+func (s *Store) TotalRecords() (int64, error) {
+	pids, err := s.Partitions()
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, pid := range pids {
+		n, err := s.PartitionCount(pid)
+		if err != nil {
+			return 0, err
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// SizeBytes returns the total on-disk size of all partition files.
+func (s *Store) SizeBytes() (int64, error) {
+	pids, err := s.Partitions()
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, pid := range pids {
+		st, err := os.Stat(s.partitionPath(pid))
+		if err != nil {
+			return 0, err
+		}
+		total += st.Size()
+	}
+	return total, nil
+}

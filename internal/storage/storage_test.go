@@ -1,0 +1,356 @@
+package storage
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/tardisdb/tardis/internal/ts"
+)
+
+func newStore(t *testing.T, seriesLen int) *Store {
+	t.Helper()
+	s, err := Create(t.TempDir(), seriesLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func randomRecords(rng *rand.Rand, n, slen int, ridBase int64) []ts.Record {
+	out := make([]ts.Record, n)
+	for i := range out {
+		v := make(ts.Series, slen)
+		for j := range v {
+			v[j] = rng.NormFloat64()
+		}
+		out[i] = ts.Record{RID: ridBase + int64(i), Values: v}
+	}
+	return out
+}
+
+func TestCreateValidation(t *testing.T) {
+	if _, err := Create(t.TempDir(), 0); err == nil {
+		t.Error("series length 0 should fail")
+	}
+	dir := t.TempDir()
+	if _, err := Create(dir, 8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Create(dir, 8); err == nil {
+		t.Error("double create should fail")
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	if _, err := Open(t.TempDir()); err == nil {
+		t.Error("open without manifest should fail")
+	}
+	dir := t.TempDir()
+	os.WriteFile(filepath.Join(dir, manifestName), []byte("{bad json"), 0o644)
+	if _, err := Open(dir); err == nil {
+		t.Error("corrupt manifest should fail")
+	}
+	os.WriteFile(filepath.Join(dir, manifestName), []byte(`{"series_len":0}`), 0o644)
+	if _, err := Open(dir); err == nil {
+		t.Error("invalid series length should fail")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	s := newStore(t, 16)
+	rng := rand.New(rand.NewSource(1))
+	recs := randomRecords(rng, 100, 16, 0)
+	if err := s.WritePartition(0, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.ReadPartition(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("read %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i].RID != recs[i].RID || !ts.Equal(got[i].Values, recs[i].Values) {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+}
+
+func TestWriterValidation(t *testing.T) {
+	s := newStore(t, 8)
+	w, err := s.NewWriter(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(ts.Record{RID: 1, Values: make(ts.Series, 4)}); err == nil {
+		t.Error("wrong record length should fail")
+	}
+	if err := w.Write(ts.Record{RID: 1, Values: make(ts.Series, 8)}); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != 1 {
+		t.Errorf("count = %d", w.Count())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.NewWriter(0); err == nil {
+		t.Error("rewriting existing partition should fail")
+	}
+}
+
+func TestPartitionCountAndTotal(t *testing.T) {
+	s := newStore(t, 8)
+	rng := rand.New(rand.NewSource(2))
+	for pid, n := range []int{10, 20, 30} {
+		if err := s.WritePartition(pid, randomRecords(rng, n, 8, int64(pid*1000))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := s.PartitionCount(1)
+	if err != nil || n != 20 {
+		t.Errorf("PartitionCount = %d, %v; want 20", n, err)
+	}
+	total, err := s.TotalRecords()
+	if err != nil || total != 60 {
+		t.Errorf("TotalRecords = %d, %v; want 60", total, err)
+	}
+	pids, err := s.Partitions()
+	if err != nil || len(pids) != 3 {
+		t.Errorf("Partitions = %v, %v", pids, err)
+	}
+	size, err := s.SizeBytes()
+	if err != nil || size <= 0 {
+		t.Errorf("SizeBytes = %d, %v", size, err)
+	}
+}
+
+func TestManifestSyncAndOpen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Create(dir, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	if err := s.WritePartition(0, randomRecords(rng, 5, 8, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.SeriesLen() != 8 {
+		t.Errorf("reopened series length = %d", re.SeriesLen())
+	}
+	got, err := re.ReadPartition(0)
+	if err != nil || len(got) != 5 {
+		t.Errorf("reopened read: %d records, %v", len(got), err)
+	}
+}
+
+func TestChecksumDetectsCorruption(t *testing.T) {
+	s := newStore(t, 8)
+	rng := rand.New(rand.NewSource(4))
+	if err := s.WritePartition(0, randomRecords(rng, 50, 8, 0)); err != nil {
+		t.Fatal(err)
+	}
+	path := s.partitionPath(0)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[headerSize+100] ^= 0xFF // flip a byte inside record data
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ReadPartition(0); err == nil {
+		t.Error("corrupted partition should fail checksum")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	s := newStore(t, 8)
+	if _, err := s.ReadPartition(42); err == nil {
+		t.Error("missing partition should fail")
+	}
+	// Truncated file.
+	rng := rand.New(rand.NewSource(5))
+	if err := s.WritePartition(0, randomRecords(rng, 10, 8, 0)); err != nil {
+		t.Fatal(err)
+	}
+	path := s.partitionPath(0)
+	data, _ := os.ReadFile(path)
+	os.WriteFile(path, data[:len(data)-10], 0o644)
+	if _, err := s.ReadPartition(0); err == nil {
+		t.Error("truncated partition should fail")
+	}
+	// Bad magic.
+	copy(data, "XXXX")
+	os.WriteFile(path, data, 0o644)
+	if _, err := s.ReadPartition(0); err == nil {
+		t.Error("bad magic should fail")
+	}
+	if _, err := s.PartitionCount(0); err == nil {
+		t.Error("bad magic should fail PartitionCount")
+	}
+}
+
+func TestIOStats(t *testing.T) {
+	s := newStore(t, 8)
+	rng := rand.New(rand.NewSource(6))
+	if err := s.WritePartition(0, randomRecords(rng, 20, 8, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats.PartitionsWritten() != 1 || s.Stats.BytesWritten() == 0 {
+		t.Error("write stats not counted")
+	}
+	if _, err := s.ReadPartition(0); err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats.PartitionsRead() != 1 || s.Stats.BytesRead() == 0 {
+		t.Error("read stats not counted")
+	}
+	s.Stats.Reset()
+	if s.Stats.PartitionsRead() != 0 || s.Stats.BytesRead() != 0 ||
+		s.Stats.PartitionsWritten() != 0 || s.Stats.BytesWritten() != 0 {
+		t.Error("reset did not zero stats")
+	}
+}
+
+func TestSampleBlocks(t *testing.T) {
+	s := newStore(t, 8)
+	rng := rand.New(rand.NewSource(7))
+	const parts = 10
+	for pid := 0; pid < parts; pid++ {
+		if err := s.WritePartition(pid, randomRecords(rng, 10, 8, int64(pid*100))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var count int
+	n, err := s.SampleBlocks(0.3, 42, func(r ts.Record) error {
+		count++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Errorf("sampled %d blocks, want 3", n)
+	}
+	if count != 30 {
+		t.Errorf("visited %d records, want 30", count)
+	}
+	// Determinism: same seed, same blocks.
+	var rids1, rids2 []int64
+	s.SampleBlocks(0.3, 42, func(r ts.Record) error { rids1 = append(rids1, r.RID); return nil })
+	s.SampleBlocks(0.3, 42, func(r ts.Record) error { rids2 = append(rids2, r.RID); return nil })
+	if len(rids1) != len(rids2) {
+		t.Fatal("sampling not deterministic")
+	}
+	for i := range rids1 {
+		if rids1[i] != rids2[i] {
+			t.Fatal("sampling not deterministic")
+		}
+	}
+	// Tiny percentage still samples one block.
+	n, err = s.SampleBlocks(0.001, 1, func(ts.Record) error { return nil })
+	if err != nil || n != 1 {
+		t.Errorf("tiny pct: n=%d err=%v, want 1 block", n, err)
+	}
+	// Full sampling covers everything.
+	count = 0
+	n, err = s.SampleBlocks(1.0, 1, func(ts.Record) error { count++; return nil })
+	if err != nil || n != parts || count != parts*10 {
+		t.Errorf("full sample: n=%d count=%d err=%v", n, count, err)
+	}
+	// Invalid percentages.
+	if _, err := s.SampleBlocks(0, 1, nil); err == nil {
+		t.Error("pct=0 should fail")
+	}
+	if _, err := s.SampleBlocks(1.5, 1, nil); err == nil {
+		t.Error("pct>1 should fail")
+	}
+}
+
+func TestSampleBlocksEmptyStore(t *testing.T) {
+	s := newStore(t, 8)
+	if _, err := s.SampleBlocks(0.5, 1, nil); err == nil {
+		t.Error("sampling empty store should fail")
+	}
+}
+
+func TestDeletePartition(t *testing.T) {
+	s := newStore(t, 8)
+	rng := rand.New(rand.NewSource(8))
+	if err := s.WritePartition(0, randomRecords(rng, 5, 8, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DeletePartition(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ReadPartition(0); err == nil {
+		t.Error("deleted partition should not read")
+	}
+}
+
+func TestScanPartitionCallbackError(t *testing.T) {
+	s := newStore(t, 8)
+	rng := rand.New(rand.NewSource(9))
+	if err := s.WritePartition(0, randomRecords(rng, 10, 8, 0)); err != nil {
+		t.Fatal(err)
+	}
+	wantErr := os.ErrClosed
+	err := s.ScanPartition(0, func(ts.Record) error { return wantErr })
+	if err != wantErr {
+		t.Errorf("callback error not propagated: %v", err)
+	}
+}
+
+func TestEmptyPartition(t *testing.T) {
+	s := newStore(t, 8)
+	if err := s.WritePartition(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.ReadPartition(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("empty partition read %d records", len(got))
+	}
+}
+
+func TestLatencyModel(t *testing.T) {
+	s := newStore(t, 8)
+	rng := rand.New(rand.NewSource(10))
+	if err := s.WritePartition(0, randomRecords(rng, 10, 8, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Latency() != (LatencyModel{}) {
+		t.Error("fresh store should have zero latency model")
+	}
+	start := time.Now()
+	if _, err := s.ReadPartition(0); err != nil {
+		t.Fatal(err)
+	}
+	fast := time.Since(start)
+	s.SetLatency(LatencyModel{PerLoad: 20 * time.Millisecond})
+	start = time.Now()
+	if _, err := s.ReadPartition(0); err != nil {
+		t.Fatal(err)
+	}
+	slow := time.Since(start)
+	if slow < 20*time.Millisecond {
+		t.Errorf("latency model not applied: %v", slow)
+	}
+	if slow < fast {
+		t.Errorf("injected read (%v) not slower than raw read (%v)", slow, fast)
+	}
+}

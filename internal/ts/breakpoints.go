@@ -1,0 +1,191 @@
+package ts
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// MaxCardinalityBits is the largest supported cardinality exponent: SAX
+// symbols may use up to 2^MaxCardinalityBits distinct regions. The baseline
+// system (DPiSAX) uses an initial cardinality of 512 = 2^9, so we support a
+// little beyond that.
+const MaxCardinalityBits = 12
+
+// Breakpoints returns the sorted slice of cardinality-1 breakpoints that
+// divide the standard normal N(0,1) value space into `cardinality` regions
+// of equal probability (paper §II-B; the SAX discretization stripes).
+//
+// The returned slice is shared and must not be modified. Cardinality must be
+// a power of two between 2 and 2^MaxCardinalityBits.
+func Breakpoints(cardinality int) ([]float64, error) {
+	b, ok := cardToBits(cardinality)
+	if !ok {
+		return nil, fmt.Errorf("ts: cardinality must be a power of two in [2, %d], got %d",
+			1<<MaxCardinalityBits, cardinality)
+	}
+	return breakpointsForBits(b), nil
+}
+
+// BreakpointsForBits returns the breakpoints for cardinality 2^bits.
+func BreakpointsForBits(bits int) ([]float64, error) {
+	if bits < 1 || bits > MaxCardinalityBits {
+		return nil, fmt.Errorf("ts: cardinality bits must be in [1, %d], got %d", MaxCardinalityBits, bits)
+	}
+	return breakpointsForBits(bits), nil
+}
+
+var (
+	bpOnce  sync.Once
+	bpTable [MaxCardinalityBits + 1][]float64
+)
+
+func initBreakpoints() {
+	for bits := 1; bits <= MaxCardinalityBits; bits++ {
+		card := 1 << bits
+		bps := make([]float64, card-1)
+		for i := 1; i < card; i++ {
+			bps[i-1] = normalQuantile(float64(i) / float64(card))
+		}
+		bpTable[bits] = bps
+	}
+}
+
+func breakpointsForBits(bits int) []float64 {
+	bpOnce.Do(initBreakpoints)
+	return bpTable[bits]
+}
+
+// normalQuantile returns the p-quantile of the standard normal distribution
+// using the exact relationship to the inverse error function.
+func normalQuantile(p float64) float64 {
+	return math.Sqrt2 * math.Erfinv(2*p-1)
+}
+
+func cardToBits(cardinality int) (int, bool) {
+	if cardinality < 2 || cardinality > 1<<MaxCardinalityBits {
+		return 0, false
+	}
+	if cardinality&(cardinality-1) != 0 {
+		return 0, false
+	}
+	bits := 0
+	for c := cardinality; c > 1; c >>= 1 {
+		bits++
+	}
+	return bits, true
+}
+
+// SAXSymbol returns the SAX region index (0 = lowest-valued stripe) of a
+// single PAA coefficient at cardinality 2^bits. Region labels are assigned
+// bottom-up so that the unsigned binary label increases with the value; this
+// makes cardinality demotion a plain right shift (label at 2^(b-1) equals
+// label at 2^b >> 1), which is the property both iSAX and iSAX-T rely on.
+func SAXSymbol(v float64, bits int) int {
+	bps := breakpointsForBits(bits)
+	// Binary search: number of breakpoints <= v.
+	lo, hi := 0, len(bps)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bps[mid] <= v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// SAXWord discretizes a PAA word into SAX region indices at cardinality
+// 2^bits. The result has one symbol per PAA segment.
+func SAXWord(paa Series, bits int) []int {
+	out := make([]int, len(paa))
+	for i, v := range paa {
+		out[i] = SAXSymbol(v, bits)
+	}
+	return out
+}
+
+// SymbolBounds returns the value interval [lo, hi] covered by SAX region
+// `sym` at cardinality 2^bits. The lowest region extends to -Inf and the
+// highest to +Inf.
+func SymbolBounds(sym, bits int) (lo, hi float64) {
+	bps := breakpointsForBits(bits)
+	if sym <= 0 {
+		lo = math.Inf(-1)
+	} else {
+		lo = bps[sym-1]
+	}
+	if sym >= len(bps) {
+		hi = math.Inf(1)
+	} else {
+		hi = bps[sym]
+	}
+	return lo, hi
+}
+
+// MinDistPAAToSymbol returns the minimum possible |v - x| for any x inside
+// SAX region sym at cardinality 2^bits. Zero when v lies inside the region.
+func MinDistPAAToSymbol(v float64, sym, bits int) float64 {
+	lo, hi := SymbolBounds(sym, bits)
+	switch {
+	case v < lo:
+		return lo - v
+	case v > hi:
+		return v - hi
+	default:
+		return 0
+	}
+}
+
+// MinDistSymbols returns the minimum possible distance between any value in
+// region a and any value in region b at cardinality 2^bits: zero for
+// adjacent or identical regions, otherwise the gap between the inner
+// breakpoints (the classic SAX MINDIST cell).
+func MinDistSymbols(a, b, bits int) float64 {
+	if a == b {
+		return 0
+	}
+	if a > b {
+		a, b = b, a
+	}
+	if b-a <= 1 {
+		return 0
+	}
+	bps := breakpointsForBits(bits)
+	return bps[b-1] - bps[a]
+}
+
+// MinDistPAAToWord lower-bounds the Euclidean distance between the original
+// series of length n behind `paa` and any series whose SAX word (at
+// cardinality 2^bits) is `word`. This is the SAX MINDIST of Lin et al.:
+//
+//	sqrt(n/w) * sqrt(sum_i d(paa_i, word_i)^2)
+//
+// The bound is what makes index pruning sound (paper §II-B, lower-bound
+// property).
+func MinDistPAAToWord(paa Series, word []int, bits, n int) float64 {
+	if len(paa) != len(word) {
+		panic(fmt.Sprintf("ts: MINDIST word length mismatch %d vs %d", len(paa), len(word)))
+	}
+	var sum float64
+	for i, v := range paa {
+		d := MinDistPAAToSymbol(v, word[i], bits)
+		sum += d * d
+	}
+	return math.Sqrt(float64(n)/float64(len(paa))) * math.Sqrt(sum)
+}
+
+// MinDistWords lower-bounds the Euclidean distance between any two series of
+// length n whose SAX words at cardinality 2^bits are a and b.
+func MinDistWords(a, b []int, bits, n int) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("ts: MINDIST word length mismatch %d vs %d", len(a), len(b)))
+	}
+	var sum float64
+	for i := range a {
+		d := MinDistSymbols(a[i], b[i], bits)
+		sum += d * d
+	}
+	return math.Sqrt(float64(n)/float64(len(a))) * math.Sqrt(sum)
+}

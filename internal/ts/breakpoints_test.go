@@ -1,0 +1,262 @@
+package ts
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestBreakpointsCardinality4(t *testing.T) {
+	// Classic SAX table for cardinality 4: {-0.67, 0, 0.67} (approx).
+	bps, err := Breakpoints(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{-0.6745, 0, 0.6745}
+	if len(bps) != 3 {
+		t.Fatalf("len = %d, want 3", len(bps))
+	}
+	for i := range want {
+		if math.Abs(bps[i]-want[i]) > 1e-3 {
+			t.Errorf("bps[%d] = %v, want ~%v", i, bps[i], want[i])
+		}
+	}
+}
+
+func TestBreakpointsCardinality8(t *testing.T) {
+	// Classic SAX table for cardinality 8.
+	bps, err := Breakpoints(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{-1.15, -0.67, -0.32, 0, 0.32, 0.67, 1.15}
+	for i := range want {
+		if math.Abs(bps[i]-want[i]) > 5e-3 {
+			t.Errorf("bps[%d] = %v, want ~%v", i, bps[i], want[i])
+		}
+	}
+}
+
+func TestBreakpointsInvalid(t *testing.T) {
+	for _, c := range []int{0, 1, 3, 6, 1 << 20, -4} {
+		if _, err := Breakpoints(c); err == nil {
+			t.Errorf("cardinality %d should be rejected", c)
+		}
+	}
+	if _, err := BreakpointsForBits(0); err == nil {
+		t.Error("bits=0 should be rejected")
+	}
+	if _, err := BreakpointsForBits(MaxCardinalityBits + 1); err == nil {
+		t.Error("bits beyond max should be rejected")
+	}
+}
+
+func TestBreakpointsSortedAndSymmetric(t *testing.T) {
+	for bits := 1; bits <= MaxCardinalityBits; bits++ {
+		bps, err := BreakpointsForBits(bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(bps) != (1<<bits)-1 {
+			t.Fatalf("bits=%d: len=%d, want %d", bits, len(bps), (1<<bits)-1)
+		}
+		if !sort.Float64sAreSorted(bps) {
+			t.Errorf("bits=%d: breakpoints not sorted", bits)
+		}
+		// Symmetry of the normal distribution: bps[i] == -bps[len-1-i].
+		for i := 0; i < len(bps)/2; i++ {
+			if math.Abs(bps[i]+bps[len(bps)-1-i]) > 1e-9 {
+				t.Errorf("bits=%d: asymmetric breakpoints at %d: %v vs %v",
+					bits, i, bps[i], bps[len(bps)-1-i])
+			}
+		}
+	}
+}
+
+// The nesting property: the breakpoints at cardinality 2^(b-1) are exactly
+// the even-indexed breakpoints at 2^b. This is what makes label demotion a
+// right shift, the foundation of both iSAX and iSAX-T.
+func TestBreakpointsNesting(t *testing.T) {
+	for bits := 2; bits <= MaxCardinalityBits; bits++ {
+		hi, _ := BreakpointsForBits(bits)
+		lo, _ := BreakpointsForBits(bits - 1)
+		for i, v := range lo {
+			if math.Abs(hi[2*i+1]-v) > 1e-12 {
+				t.Fatalf("bits=%d: nesting violated at %d: %v vs %v", bits, i, hi[2*i+1], v)
+			}
+		}
+	}
+}
+
+func TestSAXSymbolBasic(t *testing.T) {
+	// Cardinality 4: regions (-inf,-0.67) (-0.67,0) (0,0.67) (0.67,inf).
+	cases := []struct {
+		v    float64
+		want int
+	}{
+		{-2, 0}, {-0.5, 1}, {0.3, 2}, {1.5, 3}, {0, 2}, // 0 is a breakpoint; <= goes up
+	}
+	for _, c := range cases {
+		if got := SAXSymbol(c.v, 2); got != c.want {
+			t.Errorf("SAXSymbol(%v, bits=2) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+// Property: demoting one bit of cardinality equals a right shift of the label.
+func TestSAXSymbolShiftProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		v := rng.NormFloat64() * 2
+		for bits := 2; bits <= 9; bits++ {
+			if SAXSymbol(v, bits)>>1 != SAXSymbol(v, bits-1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSAXWord(t *testing.T) {
+	paa := Series{-1.5, -0.4, 0.3, 1.5}
+	w := SAXWord(paa, 2)
+	want := []int{0, 1, 2, 3}
+	for i := range want {
+		if w[i] != want[i] {
+			t.Errorf("SAXWord[%d] = %d, want %d", i, w[i], want[i])
+		}
+	}
+}
+
+func TestSymbolBounds(t *testing.T) {
+	lo, hi := SymbolBounds(0, 2)
+	if !math.IsInf(lo, -1) {
+		t.Errorf("lowest region lo = %v, want -Inf", lo)
+	}
+	if math.Abs(hi+0.6745) > 1e-3 {
+		t.Errorf("lowest region hi = %v, want ~-0.6745", hi)
+	}
+	lo, hi = SymbolBounds(3, 2)
+	if !math.IsInf(hi, 1) {
+		t.Errorf("highest region hi = %v, want +Inf", hi)
+	}
+	if math.Abs(lo-0.6745) > 1e-3 {
+		t.Errorf("highest region lo = %v, want ~0.6745", lo)
+	}
+}
+
+func TestMinDistSymbols(t *testing.T) {
+	if d := MinDistSymbols(1, 1, 2); d != 0 {
+		t.Errorf("same region dist = %v, want 0", d)
+	}
+	if d := MinDistSymbols(1, 2, 2); d != 0 {
+		t.Errorf("adjacent region dist = %v, want 0", d)
+	}
+	d := MinDistSymbols(0, 3, 2)
+	want := 2 * 0.6745 // gap from -0.67 to 0.67
+	if math.Abs(d-want) > 1e-3 {
+		t.Errorf("far region dist = %v, want ~%v", d, want)
+	}
+	if MinDistSymbols(3, 0, 2) != d {
+		t.Error("MinDistSymbols should be symmetric")
+	}
+}
+
+// The lower-bound property: MINDIST between a query's PAA and a target's SAX
+// word never exceeds the true Euclidean distance (paper §II-B). This is the
+// invariant the whole index family depends on.
+func TestMinDistLowerBoundProperty(t *testing.T) {
+	const n, w = 64, 8
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := make(Series, n), make(Series, n)
+		for i := 0; i < n; i++ {
+			a[i] = rng.NormFloat64()
+			b[i] = rng.NormFloat64()
+		}
+		a = a.ZNormalize()
+		b = b.ZNormalize()
+		true_, _ := EuclideanDistance(a, b)
+		pa := MustPAA(a, w)
+		pb := MustPAA(b, w)
+		for bits := 1; bits <= 8; bits++ {
+			wb := SAXWord(pb, bits)
+			if MinDistPAAToWord(pa, wb, bits, n) > true_+1e-9 {
+				return false
+			}
+			wa := SAXWord(pa, bits)
+			if MinDistWords(wa, wb, bits, n) > true_+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Word-word MINDIST must never exceed PAA-word MINDIST (it has strictly less
+// information about the query).
+func TestMinDistWordsWeakerProperty(t *testing.T) {
+	const n, w = 64, 8
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := make(Series, n), make(Series, n)
+		for i := 0; i < n; i++ {
+			a[i] = rng.NormFloat64()
+			b[i] = rng.NormFloat64()
+		}
+		pa, pb := MustPAA(a, w), MustPAA(b, w)
+		for bits := 1; bits <= 6; bits++ {
+			wa, wb := SAXWord(pa, bits), SAXWord(pb, bits)
+			if MinDistWords(wa, wb, bits, n) > MinDistPAAToWord(pa, wb, bits, n)+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Higher cardinality gives a tighter (larger or equal) lower bound.
+func TestMinDistMonotoneInCardinality(t *testing.T) {
+	const n, w = 32, 8
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := make(Series, n), make(Series, n)
+		for i := 0; i < n; i++ {
+			a[i] = rng.NormFloat64()
+			b[i] = rng.NormFloat64()
+		}
+		pa, pb := MustPAA(a, w), MustPAA(b, w)
+		prev := 0.0
+		for bits := 1; bits <= 8; bits++ {
+			d := MinDistPAAToWord(pa, SAXWord(pb, bits), bits, n)
+			if d < prev-1e-9 {
+				return false
+			}
+			prev = d
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinDistPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on length mismatch")
+		}
+	}()
+	MinDistPAAToWord(Series{1, 2}, []int{0}, 1, 8)
+}

@@ -1,0 +1,81 @@
+package ts
+
+import "fmt"
+
+// PAA computes the Piecewise Aggregate Approximation of a series: the series
+// is divided into w equal-length segments and each segment is represented by
+// the mean of its values (paper §II-B). The number of segments w is the
+// "word length" and the resulting vector is a "word".
+//
+// When len(s) is not divisible by w, fractional frame boundaries are handled
+// by weighting boundary points proportionally, so PAA remains exact for any
+// length (the scheme used by the original PAA paper).
+func PAA(s Series, w int) (Series, error) {
+	n := len(s)
+	if w <= 0 {
+		return nil, fmt.Errorf("ts: PAA word length must be positive, got %d", w)
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("ts: PAA of empty series")
+	}
+	if n < w {
+		return nil, fmt.Errorf("ts: PAA word length %d exceeds series length %d", w, n)
+	}
+	out := make(Series, w)
+	if n%w == 0 {
+		// Fast path: equal integer-length segments.
+		seg := n / w
+		idx := 0
+		for i := 0; i < w; i++ {
+			var sum float64
+			for j := 0; j < seg; j++ {
+				sum += s[idx]
+				idx++
+			}
+			out[i] = sum / float64(seg)
+		}
+		return out, nil
+	}
+	// General path: fractional frames. Each output frame covers n/w input
+	// points; input points straddling a frame boundary contribute
+	// proportionally to both frames.
+	frame := float64(n) / float64(w)
+	for i := 0; i < w; i++ {
+		start := float64(i) * frame
+		end := start + frame
+		var sum float64
+		j := int(start)
+		for float64(j) < end && j < n {
+			lo := maxF(float64(j), start)
+			hi := minF(float64(j+1), end)
+			sum += s[j] * (hi - lo)
+			j++
+		}
+		out[i] = sum / frame
+	}
+	return out, nil
+}
+
+// MustPAA is PAA that panics on error; used where the configuration has
+// already been validated.
+func MustPAA(s Series, w int) Series {
+	p, err := PAA(s, w)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,173 @@
+// Package ts provides the core time-series primitives used throughout
+// TARDIS: the series type itself, z-normalization, Euclidean distance,
+// Piecewise Aggregate Approximation (PAA), the Gaussian breakpoint tables
+// that drive SAX discretization, and the SAX/PAA lower-bound distances
+// (MINDIST) that make index pruning sound.
+//
+// All functions operate on float64 slices; a time series is an ordered
+// sequence of real values sampled at a fixed granularity, so timestamps are
+// implicit (paper, Definition 1).
+package ts
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Series is a single time series: an ordered sequence of real-valued
+// observations at an implicit fixed time granularity.
+type Series []float64
+
+// Record pairs a time series with its record id. Record ids are assigned by
+// the storage layer and are unique within a dataset.
+type Record struct {
+	RID    int64
+	Values Series
+}
+
+// ErrLengthMismatch is returned by pairwise operations (distance, dot
+// products) when the two series have different lengths.
+var ErrLengthMismatch = errors.New("ts: series length mismatch")
+
+// Clone returns a deep copy of the series.
+func (s Series) Clone() Series {
+	c := make(Series, len(s))
+	copy(c, s)
+	return c
+}
+
+// Mean returns the arithmetic mean of the series. It returns 0 for an empty
+// series.
+func (s Series) Mean() float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range s {
+		sum += v
+	}
+	return sum / float64(len(s))
+}
+
+// Std returns the population standard deviation of the series. It returns 0
+// for an empty series.
+func (s Series) Std() float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	mean := s.Mean()
+	var ss float64
+	for _, v := range s {
+		d := v - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(s)))
+}
+
+// epsStd is the standard-deviation floor below which a series is treated as
+// constant during z-normalization; normalizing by a near-zero deviation
+// would explode numerical noise.
+const epsStd = 1e-10
+
+// ZNormalize returns a z-normalized copy of the series: zero mean and unit
+// standard deviation. Constant series (std below a small epsilon) normalize
+// to all zeros, matching the convention used by the iSAX literature.
+func (s Series) ZNormalize() Series {
+	out := make(Series, len(s))
+	mean := s.Mean()
+	std := s.Std()
+	if std < epsStd {
+		return out // all zeros
+	}
+	inv := 1 / std
+	for i, v := range s {
+		out[i] = (v - mean) * inv
+	}
+	return out
+}
+
+// ZNormalizeInPlace z-normalizes the series in place.
+func (s Series) ZNormalizeInPlace() {
+	mean := s.Mean()
+	std := s.Std()
+	if std < epsStd {
+		for i := range s {
+			s[i] = 0
+		}
+		return
+	}
+	inv := 1 / std
+	for i := range s {
+		s[i] = (s[i] - mean) * inv
+	}
+}
+
+// EuclideanDistance returns the Euclidean distance between two equal-length
+// series (paper, Definition 2).
+func EuclideanDistance(a, b Series) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("%w: %d vs %d", ErrLengthMismatch, len(a), len(b))
+	}
+	return math.Sqrt(SquaredDistance(a, b)), nil
+}
+
+// SquaredDistance returns the squared Euclidean distance between two series.
+// It panics if the lengths differ; use EuclideanDistance for a checked
+// variant. The unchecked form is the hot path of every refine phase.
+func SquaredDistance(a, b Series) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("ts: squared distance on mismatched lengths %d vs %d", len(a), len(b)))
+	}
+	var sum float64
+	for i := range a {
+		d := a[i] - b[i]
+		sum += d * d
+	}
+	return sum
+}
+
+// SquaredDistanceEarlyAbandon computes the squared Euclidean distance but
+// abandons and returns (bound, false) as soon as the partial sum exceeds
+// bound. It returns (distance, true) when the full distance is below bound.
+// Early abandoning is the classic optimization for kNN refine phases.
+func SquaredDistanceEarlyAbandon(a, b Series, bound float64) (float64, bool) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("ts: squared distance on mismatched lengths %d vs %d", len(a), len(b)))
+	}
+	var sum float64
+	for i := range a {
+		d := a[i] - b[i]
+		sum += d * d
+		if sum > bound {
+			return sum, false
+		}
+	}
+	return sum, true
+}
+
+// Equal reports whether two series are identical element-wise.
+func Equal(a, b Series) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// AlmostEqual reports whether two series are element-wise equal within eps.
+func AlmostEqual(a, b Series, eps float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > eps {
+			return false
+		}
+	}
+	return true
+}

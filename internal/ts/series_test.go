@@ -1,0 +1,207 @@
+package ts
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanStd(t *testing.T) {
+	s := Series{1, 2, 3, 4, 5}
+	if got := s.Mean(); got != 3 {
+		t.Errorf("Mean = %v, want 3", got)
+	}
+	want := math.Sqrt(2) // population std of 1..5
+	if got := s.Std(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Std = %v, want %v", got, want)
+	}
+}
+
+func TestMeanStdEmpty(t *testing.T) {
+	var s Series
+	if s.Mean() != 0 || s.Std() != 0 {
+		t.Errorf("empty series should have zero mean/std")
+	}
+}
+
+func TestZNormalize(t *testing.T) {
+	s := Series{10, 20, 30, 40}
+	z := s.ZNormalize()
+	if math.Abs(z.Mean()) > 1e-12 {
+		t.Errorf("normalized mean = %v, want 0", z.Mean())
+	}
+	if math.Abs(z.Std()-1) > 1e-12 {
+		t.Errorf("normalized std = %v, want 1", z.Std())
+	}
+	// Original untouched.
+	if s[0] != 10 {
+		t.Errorf("ZNormalize mutated input")
+	}
+}
+
+func TestZNormalizeConstant(t *testing.T) {
+	s := Series{5, 5, 5, 5}
+	z := s.ZNormalize()
+	for i, v := range z {
+		if v != 0 {
+			t.Errorf("constant series should normalize to zeros, got z[%d]=%v", i, v)
+		}
+	}
+}
+
+func TestZNormalizeInPlace(t *testing.T) {
+	s := Series{1, 2, 3, 4, 5, 6}
+	s.ZNormalizeInPlace()
+	if math.Abs(s.Mean()) > 1e-12 || math.Abs(s.Std()-1) > 1e-12 {
+		t.Errorf("in-place normalize: mean=%v std=%v", s.Mean(), s.Std())
+	}
+}
+
+func TestEuclideanDistance(t *testing.T) {
+	a := Series{0, 0, 0}
+	b := Series{3, 4, 0}
+	d, err := EuclideanDistance(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 5 {
+		t.Errorf("distance = %v, want 5", d)
+	}
+}
+
+func TestEuclideanDistanceMismatch(t *testing.T) {
+	if _, err := EuclideanDistance(Series{1}, Series{1, 2}); err == nil {
+		t.Error("expected length-mismatch error")
+	}
+}
+
+func TestSquaredDistanceEarlyAbandon(t *testing.T) {
+	a := Series{0, 0, 0, 0}
+	b := Series{1, 1, 1, 1}
+	d, ok := SquaredDistanceEarlyAbandon(a, b, 10)
+	if !ok || d != 4 {
+		t.Errorf("got (%v,%v), want (4,true)", d, ok)
+	}
+	d, ok = SquaredDistanceEarlyAbandon(a, b, 2)
+	if ok {
+		t.Errorf("expected abandon, got full distance %v", d)
+	}
+	if d <= 2 {
+		t.Errorf("abandoned partial sum %v should exceed bound", d)
+	}
+}
+
+func TestEqualAlmostEqual(t *testing.T) {
+	a := Series{1, 2, 3}
+	if !Equal(a, a.Clone()) {
+		t.Error("clone should be equal")
+	}
+	if Equal(a, Series{1, 2}) {
+		t.Error("different lengths should not be equal")
+	}
+	b := Series{1 + 1e-9, 2, 3}
+	if Equal(a, b) {
+		t.Error("tiny perturbation should break exact equality")
+	}
+	if !AlmostEqual(a, b, 1e-6) {
+		t.Error("tiny perturbation should pass AlmostEqual")
+	}
+	if AlmostEqual(a, Series{1, 2}, 1) {
+		t.Error("different lengths should fail AlmostEqual")
+	}
+}
+
+func TestPAAExact(t *testing.T) {
+	s := Series{-2, -1, 0, -0.8, 0.2, 0.4, 0.3, 0.3, 1.4, 1.6}
+	p, err := PAA(s, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Series{-1.5, -0.4, 0.3, 0.3, 1.5}
+	if !AlmostEqual(p, want, 1e-12) {
+		t.Errorf("PAA = %v, want %v", p, want)
+	}
+}
+
+func TestPAAWholeSeriesMean(t *testing.T) {
+	s := Series{3, 1, 4, 1, 5, 9}
+	p, err := PAA(s, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p[0]-s.Mean()) > 1e-12 {
+		t.Errorf("PAA w=1 = %v, want mean %v", p[0], s.Mean())
+	}
+}
+
+func TestPAAIdentity(t *testing.T) {
+	s := Series{3, 1, 4, 1}
+	p, err := PAA(s, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(p, s) {
+		t.Errorf("PAA w=n should be identity, got %v", p)
+	}
+}
+
+func TestPAAFractional(t *testing.T) {
+	// n=5, w=2: frames cover 2.5 points each.
+	s := Series{1, 1, 1, 3, 3}
+	p, err := PAA(s, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// frame 0: points 0,1 fully + half of point 2 => (1+1+0.5)/2.5 = 1
+	// frame 1: half of point 2 + points 3,4 => (0.5+3+3)/2.5 = 2.6
+	want := Series{1, 2.6}
+	if !AlmostEqual(p, want, 1e-12) {
+		t.Errorf("fractional PAA = %v, want %v", p, want)
+	}
+}
+
+func TestPAAErrors(t *testing.T) {
+	if _, err := PAA(Series{1, 2}, 0); err == nil {
+		t.Error("expected error for w=0")
+	}
+	if _, err := PAA(Series{1, 2}, 3); err == nil {
+		t.Error("expected error for w>n")
+	}
+	if _, err := PAA(nil, 1); err == nil {
+		t.Error("expected error for empty series")
+	}
+}
+
+// Property: mean of PAA equals mean of series when n % w == 0.
+func TestPAAPreservesMeanProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, w := 64, 8
+		s := make(Series, n)
+		for i := range s {
+			s[i] = rng.NormFloat64()
+		}
+		p := MustPAA(s, w)
+		return math.Abs(p.Mean()-s.Mean()) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: z-normalized random series has ~0 mean and ~1 std.
+func TestZNormalizeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := make(Series, 32)
+		for i := range s {
+			s[i] = rng.Float64()*100 - 50
+		}
+		z := s.ZNormalize()
+		return math.Abs(z.Mean()) < 1e-9 && math.Abs(z.Std()-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

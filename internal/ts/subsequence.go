@@ -1,0 +1,47 @@
+package ts
+
+import "fmt"
+
+// Subsequence extraction: the paper's motivating applications (aircraft
+// sensors, weather stations) produce one long stream per source; similarity
+// search operates on fixed-length subsequences cut from it. Subsequences
+// turns a long series into indexable records with a sliding window, the
+// standard preprocessing for whole-matching indexes (the DNA dataset in the
+// paper is built exactly this way, §VI-A).
+
+// Subsequences cuts the long series into windows of length `window` every
+// `stride` points. Record ids start at ridBase and increase by 1 per window
+// (rid i covers long[i*stride : i*stride+window]), so positions are
+// recoverable from ids. When normalize is true each window is z-normalized
+// independently (the paper's setup; it makes windows comparable regardless
+// of local offset and scale).
+func Subsequences(long Series, window, stride int, ridBase int64, normalize bool) ([]Record, error) {
+	if window < 1 {
+		return nil, fmt.Errorf("ts: window must be positive, got %d", window)
+	}
+	if stride < 1 {
+		return nil, fmt.Errorf("ts: stride must be positive, got %d", stride)
+	}
+	if len(long) < window {
+		return nil, fmt.Errorf("ts: series length %d shorter than window %d", len(long), window)
+	}
+	n := (len(long)-window)/stride + 1
+	out := make([]Record, n)
+	for i := 0; i < n; i++ {
+		start := i * stride
+		w := make(Series, window)
+		copy(w, long[start:start+window])
+		if normalize {
+			w.ZNormalizeInPlace()
+		}
+		out[i] = Record{RID: ridBase + int64(i), Values: w}
+	}
+	return out, nil
+}
+
+// SubsequencePosition inverts Subsequences' rid assignment: the start offset
+// in the original series for a record id produced with the given base and
+// stride.
+func SubsequencePosition(rid, ridBase int64, stride int) int64 {
+	return (rid - ridBase) * int64(stride)
+}

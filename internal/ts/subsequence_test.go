@@ -1,0 +1,79 @@
+package ts
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSubsequencesBasic(t *testing.T) {
+	long := Series{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	recs, err := Subsequences(long, 4, 2, 100, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 { // starts 0,2,4,6
+		t.Fatalf("windows = %d, want 4", len(recs))
+	}
+	if recs[0].RID != 100 || recs[3].RID != 103 {
+		t.Errorf("rids = %d..%d", recs[0].RID, recs[3].RID)
+	}
+	if !Equal(recs[1].Values, Series{2, 3, 4, 5}) {
+		t.Errorf("window 1 = %v", recs[1].Values)
+	}
+	// Windows are copies: mutating one must not affect the source.
+	recs[0].Values[0] = 99
+	if long[0] != 0 {
+		t.Error("window aliases the source series")
+	}
+}
+
+func TestSubsequencesNormalize(t *testing.T) {
+	long := make(Series, 64)
+	for i := range long {
+		long[i] = float64(i) * 3
+	}
+	recs, err := Subsequences(long, 16, 16, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if math.Abs(r.Values.Mean()) > 1e-9 || math.Abs(r.Values.Std()-1) > 1e-9 {
+			t.Fatalf("window %d not normalized", r.RID)
+		}
+	}
+}
+
+func TestSubsequencesExactCover(t *testing.T) {
+	long := make(Series, 20)
+	recs, err := Subsequences(long, 20, 1, 0, false)
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("full-window: %d recs, %v", len(recs), err)
+	}
+	recs, err = Subsequences(long, 5, 5, 0, false)
+	if err != nil || len(recs) != 4 {
+		t.Fatalf("tumbling: %d recs, %v", len(recs), err)
+	}
+}
+
+func TestSubsequencesErrors(t *testing.T) {
+	long := make(Series, 10)
+	if _, err := Subsequences(long, 0, 1, 0, false); err == nil {
+		t.Error("window 0 should fail")
+	}
+	if _, err := Subsequences(long, 4, 0, 0, false); err == nil {
+		t.Error("stride 0 should fail")
+	}
+	if _, err := Subsequences(long, 11, 1, 0, false); err == nil {
+		t.Error("window beyond series should fail")
+	}
+}
+
+func TestSubsequencePosition(t *testing.T) {
+	long := make(Series, 100)
+	recs, _ := Subsequences(long, 10, 3, 50, false)
+	for i, r := range recs {
+		if got := SubsequencePosition(r.RID, 50, 3); got != int64(i*3) {
+			t.Fatalf("position of rid %d = %d, want %d", r.RID, got, i*3)
+		}
+	}
+}

@@ -1,0 +1,265 @@
+// Package tardis is the public API of this repository: a from-scratch Go
+// implementation of TARDIS, the distributed indexing framework for big time
+// series data (Zhang, Alghamdi, Eltabakh, Rundensteiner — ICDE 2019).
+//
+// TARDIS indexes a dataset of equal-length time series for two similarity
+// queries: Exact-Match and approximate k-nearest-neighbors. It converts each
+// series to an iSAX-T signature (a transposed, hex-encoded SAX bit matrix
+// with word-level variable cardinality), organizes the dataset with a
+// centralized global sigTree built from sampled statistics, shuffles the
+// data into similarity-clustered partitions (FFD bin packing of sibling
+// leaves), and indexes each partition with a local sigTree plus a Bloom
+// filter for exact-match short-circuiting.
+//
+// # Quick start
+//
+//	cl, _ := tardis.NewCluster(tardis.ClusterConfig{Workers: 8})
+//	gen, _ := tardis.NewGenerator(tardis.RandomWalk, 256)
+//	src, _ := tardis.GenerateStore(gen, 1, 100_000, "data/src", 10_000, true)
+//	ix, _ := tardis.Build(cl, src, "data/clustered", tardis.DefaultConfig())
+//	neighbors, stats, _ := ix.KNNMultiPartition(query, 100)
+//
+// The packages under internal/ hold the building blocks (iSAX-T codec,
+// sigTree, the DPiSAX/iBT baseline, the Spark-like execution substrate); this
+// package re-exports the surface a downstream application needs.
+package tardis
+
+import (
+	"net"
+
+	"github.com/tardisdb/tardis/internal/cluster"
+	clusterrpc "github.com/tardisdb/tardis/internal/cluster/rpc"
+	"github.com/tardisdb/tardis/internal/core"
+	"github.com/tardisdb/tardis/internal/dataset"
+	"github.com/tardisdb/tardis/internal/dpisax"
+	"github.com/tardisdb/tardis/internal/dtw"
+	"github.com/tardisdb/tardis/internal/knn"
+	"github.com/tardisdb/tardis/internal/storage"
+	"github.com/tardisdb/tardis/internal/ts"
+)
+
+// Series is one time series: an ordered sequence of real values at a fixed
+// time granularity.
+type Series = ts.Series
+
+// Record pairs a series with its record id.
+type Record = ts.Record
+
+// Config carries the TARDIS build parameters (paper Table II).
+type Config = core.Config
+
+// Index is a built TARDIS index supporting Exact-Match and kNN-approximate
+// queries.
+type Index = core.Index
+
+// BuildStats is the construction-time and index-size profile of a build.
+type BuildStats = core.BuildStats
+
+// QueryStats profiles a single query (partition loads, candidates, timing).
+type QueryStats = core.QueryStats
+
+// Neighbor is one kNN result: record id and Euclidean distance.
+type Neighbor = knn.Neighbor
+
+// Cluster is the execution substrate: a Spark-like engine of simulated
+// workers providing map, reduce-by-key, shuffle, and broadcast.
+type Cluster = cluster.Cluster
+
+// ClusterConfig configures the substrate.
+type ClusterConfig = cluster.Config
+
+// Store is a directory of binary partition files — the HDFS-block stand-in.
+type Store = storage.Store
+
+// Generator produces one of the paper's evaluation datasets.
+type Generator = dataset.Generator
+
+// DatasetKind identifies one of the four evaluation datasets.
+type DatasetKind = dataset.Kind
+
+// The four evaluation datasets of the paper's §VI-A.
+const (
+	RandomWalk = dataset.RandomWalk
+	Texmex     = dataset.Texmex
+	DNA        = dataset.DNA
+	NOAA       = dataset.NOAA
+)
+
+// DefaultConfig returns the paper's Table II configuration scaled for a
+// single machine.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// NewCluster creates the execution substrate.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) { return cluster.New(cfg) }
+
+// Build constructs a TARDIS index over the z-normalized dataset in src,
+// writing the clustered partitions into a new store at dstDir.
+func Build(cl *Cluster, src *Store, dstDir string, cfg Config) (*Index, error) {
+	return core.Build(cl, src, dstDir, cfg)
+}
+
+// Load restores a previously saved index from its clustered store directory.
+func Load(cl *Cluster, storeDir string) (*Index, error) { return core.Load(cl, storeDir) }
+
+// OpenStore opens an existing dataset store.
+func OpenStore(dir string) (*Store, error) { return storage.Open(dir) }
+
+// CreateStore initializes an empty dataset store for fixed-length series.
+func CreateStore(dir string, seriesLen int) (*Store, error) {
+	return storage.Create(dir, seriesLen)
+}
+
+// NewGenerator returns a deterministic generator for one of the evaluation
+// datasets at the given series length (the paper uses 256/128/192/64 for
+// RandomWalk/Texmex/DNA/NOAA respectively; see DefaultSeriesLen).
+func NewGenerator(kind DatasetKind, seriesLen int) (Generator, error) {
+	return dataset.New(kind, seriesLen)
+}
+
+// DefaultSeriesLen returns the paper's series length for a dataset kind.
+func DefaultSeriesLen(kind DatasetKind) int { return dataset.DefaultLen(kind) }
+
+// GenerateStore writes n generated records into a new store at dir in
+// blocks of blockRecords each; normalize z-normalizes each series first
+// (the paper's setup).
+func GenerateStore(g Generator, seed, n int64, dir string, blockRecords int64, normalize bool) (*Store, error) {
+	return dataset.WriteStore(g, seed, n, dir, blockRecords, normalize)
+}
+
+// GenerateRecord returns record rid of the dataset identified by (g, seed);
+// generation is order-independent, so any record can be produced directly.
+func GenerateRecord(g Generator, seed, rid int64) Record { return dataset.Record(g, seed, rid) }
+
+// GroundTruthKNN computes the exact k nearest neighbors of q over a store by
+// a full parallel scan — the evaluation oracle for recall and error ratio.
+func GroundTruthKNN(cl *Cluster, st *Store, q Series, k int) ([]Neighbor, error) {
+	return core.GroundTruthKNN(cl, st, q, k)
+}
+
+// Recall computes |truth ∩ result| / |truth| (paper Eq. 5).
+func Recall(truth, result []Neighbor) float64 { return knn.Recall(truth, result) }
+
+// ErrorRatio computes the mean distance ratio against the ground truth
+// (paper Eq. 6); 1.0 is ideal, larger is worse.
+func ErrorRatio(truth, result []Neighbor) float64 { return knn.ErrorRatio(truth, result) }
+
+// ZNormalize returns a zero-mean unit-variance copy of a series; queries
+// against a normalized dataset must be normalized the same way.
+func ZNormalize(s Series) Series { return s.ZNormalize() }
+
+// EuclideanDistance returns the Euclidean distance between two equal-length
+// series.
+func EuclideanDistance(a, b Series) (float64, error) { return ts.EuclideanDistance(a, b) }
+
+// ---- Baseline system (DPiSAX) ----
+//
+// The repository ships the evaluation baseline as a first-class citizen so
+// downstream users can reproduce the paper's comparisons.
+
+// BaselineConfig carries the DPiSAX baseline's parameters (Table II:
+// character-level iSAX with initial cardinality 512, partition table global
+// index, binary-tree local indices).
+type BaselineConfig = dpisax.Config
+
+// BaselineIndex is a built DPiSAX index.
+type BaselineIndex = dpisax.Index
+
+// DefaultBaselineConfig returns the paper's baseline configuration.
+func DefaultBaselineConfig() BaselineConfig { return dpisax.DefaultConfig() }
+
+// BuildBaseline constructs the DPiSAX baseline index over a dataset store.
+func BuildBaseline(cl *Cluster, src *Store, dstDir string, cfg BaselineConfig) (*BaselineIndex, error) {
+	return dpisax.Build(cl, src, dstDir, cfg)
+}
+
+// ---- Distributed (multi-process) build over net/rpc ----
+
+// WorkerPool is a set of connected tardis-worker processes.
+type WorkerPool = clusterrpc.Pool
+
+// DistBuildStats summarizes a distributed build.
+type DistBuildStats = clusterrpc.BuildStats
+
+// ServeWorker runs a worker service on the listener until it is closed;
+// worker processes (cmd/tardis-worker) call this.
+func ServeWorker(ln net.Listener, workerID string) error { return clusterrpc.Serve(ln, workerID) }
+
+// DialWorkers connects a coordinator to worker addresses (host:port).
+func DialWorkers(addrs []string) (*WorkerPool, error) { return clusterrpc.Dial(addrs) }
+
+// BuildDistributed runs the TARDIS build across a worker pool sharing this
+// coordinator's filesystem, then finalizes the on-disk index so Load can
+// restore it.
+func BuildDistributed(pool *WorkerPool, srcDir, dstDir, workDir string, cfg Config) (DistBuildStats, error) {
+	return clusterrpc.BuildDistributed(pool, srcDir, dstDir, workDir, cfg)
+}
+
+// ---- Batch queries, CSV interchange, incremental maintenance ----
+
+// Strategy selects a kNN algorithm for batch query runs.
+type Strategy = core.Strategy
+
+// The four batch strategies: the paper's three approximate accesses plus the
+// exact-search extension.
+const (
+	TargetNodeAccess      = core.TargetNodeAccess
+	OnePartitionAccess    = core.OnePartitionAccess
+	MultiPartitionsAccess = core.MultiPartitionsAccess
+	ExactKNN              = core.ExactKNN
+)
+
+// BatchResult is one query's outcome within a batch run.
+type BatchResult = core.BatchResult
+
+// CSVOptions configures Store.ImportCSV / Store.ExportCSV.
+type CSVOptions = storage.CSVOptions
+
+// IOLatencyModel injects synthetic per-load / per-byte latency into a
+// store's reads, emulating distributed-filesystem costs at laptop scale
+// (see Store.SetLatency).
+type IOLatencyModel = storage.LatencyModel
+
+// LoadWithRepair is Load followed by integrity verification and a parallel
+// rebuild of any missing or damaged per-partition structures from the data
+// files. It returns the loaded index and the number of partitions repaired.
+func LoadWithRepair(cl *Cluster, storeDir string) (*Index, int, error) {
+	return core.LoadWithRepair(cl, storeDir)
+}
+
+// DTWDistance computes the Sakoe-Chiba banded Dynamic Time Warping distance
+// between two equal-length series (band 0 equals the Euclidean distance).
+func DTWDistance(a, b Series, band int) (float64, error) { return dtw.Distance(a, b, band) }
+
+// Partition payload encodings for Config.Compression and CreateStore
+// variants.
+const (
+	NoCompression = storage.NoCompression
+	Flate         = storage.Flate
+)
+
+// CreateStoreCompressed initializes an empty dataset store whose partitions
+// are written with the given payload encoding.
+func CreateStoreCompressed(dir string, seriesLen int, c storage.Compression) (*Store, error) {
+	return storage.CreateCompressed(dir, seriesLen, c)
+}
+
+// Subsequences cuts a long series into fixed-length windows every `stride`
+// points for whole-matching indexing — the preprocessing behind the paper's
+// DNA dataset and the standard way to index a sensor stream. Window i gets
+// record id ridBase+i; SubsequencePosition recovers its start offset.
+func Subsequences(long Series, window, stride int, ridBase int64, normalize bool) ([]Record, error) {
+	return ts.Subsequences(long, window, stride, ridBase, normalize)
+}
+
+// SubsequencePosition returns the start offset in the original series of a
+// record id produced by Subsequences.
+func SubsequencePosition(rid, ridBase int64, stride int) int64 {
+	return ts.SubsequencePosition(rid, ridBase, stride)
+}
+
+// DistKNN runs a Multi-Partitions kNN query with the partition scans
+// distributed across a worker pool sharing the index's filesystem — the
+// paper's deployment shape, where Algorithm 1's scans run as cluster tasks.
+func DistKNN(pool *WorkerPool, storeDir string, cfg Config, q Series, k int) ([]Neighbor, error) {
+	return clusterrpc.DistKNN(pool, storeDir, cfg, q, k)
+}

@@ -1,0 +1,175 @@
+package tardis
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// End-to-end smoke test of the public API: generate, build, save, load,
+// query all three kNN strategies and exact match.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	cl, err := NewCluster(ClusterConfig{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := NewGenerator(RandomWalk, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := GenerateStore(gen, 7, 3000, filepath.Join(t.TempDir(), "src"), 500, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.GMaxSize = 500
+	cfg.LMaxSize = 50
+	cfg.SamplePct = 0.25
+	ix, err := Build(cl, src, filepath.Join(t.TempDir(), "dst"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Query with a stored record.
+	rec := GenerateRecord(gen, 7, 123)
+	q := ZNormalize(rec.Values)
+	rids, _, err := ix.ExactMatch(q, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, rid := range rids {
+		if rid == 123 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("stored record not found via public API")
+	}
+
+	res, _, err := ix.KNNMultiPartition(q, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 10 || res[0].RID != 123 || res[0].Dist != 0 {
+		t.Fatalf("kNN self query wrong: %+v", res[0])
+	}
+	gt, err := GroundTruthKNN(cl, ix.Store, q, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := Recall(gt, res); r <= 0 {
+		t.Errorf("recall = %v", r)
+	}
+	if er := ErrorRatio(gt, res); er < 1-1e-9 {
+		t.Errorf("error ratio = %v", er)
+	}
+
+	// Persistence.
+	if err := ix.Save(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Load(cl, ix.Store.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, _, err := re.KNNMultiPartition(q, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2) != 10 || res2[0].RID != 123 {
+		t.Fatal("reloaded index answers differently")
+	}
+
+	// Distance helper.
+	d, err := EuclideanDistance(q, q)
+	if err != nil || d != 0 {
+		t.Errorf("self distance = %v, %v", d, err)
+	}
+	if DefaultSeriesLen(RandomWalk) != 256 {
+		t.Error("default series length wrong")
+	}
+}
+
+// The extension API surface: DTW, subsequences, batch queries, compression,
+// repair — exercised through the public package to lock the API.
+func TestPublicAPIExtensions(t *testing.T) {
+	cl, err := NewCluster(ClusterConfig{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Subsequence extraction from one long stream.
+	gen, _ := NewGenerator(RandomWalk, 512)
+	long := GenerateRecord(gen, 9, 0).Values
+	recs, err := Subsequences(long, 64, 16, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != (512-64)/16+1 {
+		t.Fatalf("windows = %d", len(recs))
+	}
+	if SubsequencePosition(recs[3].RID, 0, 16) != 48 {
+		t.Error("position inversion wrong")
+	}
+	// Store them compressed and index them.
+	dir := filepath.Join(t.TempDir(), "subseq")
+	st, err := CreateStoreCompressed(dir, 64, Flate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.WritePartition(0, recs[:len(recs)/2]); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.WritePartition(1, recs[len(recs)/2:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.GMaxSize = 200
+	cfg.SamplePct = 1.0
+	cfg.Compression = Flate
+	ix, err := Build(cl, st, filepath.Join(t.TempDir(), "idx"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// DTW distance helper and DTW query.
+	q := recs[5].Values
+	if d, err := DTWDistance(q, q, 4); err != nil || d != 0 {
+		t.Errorf("self DTW = %v, %v", d, err)
+	}
+	res, _, err := ix.KNNDTW(q, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].RID != recs[5].RID || res[0].Dist != 0 {
+		t.Fatalf("DTW self query: %+v", res[0])
+	}
+	// Batch query through the public Strategy constants.
+	batch, _, err := ix.KNNBatch([]Series{q, recs[6].Values}, 2, MultiPartitionsAccess)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != 2 || batch[0].Neighbors[0].RID != recs[5].RID {
+		t.Fatalf("batch results wrong: %+v", batch)
+	}
+	// Save, damage, LoadWithRepair.
+	if err := ix.Save(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(ix.Store.Dir(), "_index", "local-000000.sigtree")); err != nil {
+		t.Fatal(err)
+	}
+	re, repaired, err := LoadWithRepair(cl, ix.Store.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repaired != 1 {
+		t.Errorf("repaired = %d", repaired)
+	}
+	res2, _, err := re.KNNExact(q, 3)
+	if err != nil || res2[0].Dist != 0 {
+		t.Fatalf("post-repair query: %+v, %v", res2, err)
+	}
+}
