@@ -1,0 +1,35 @@
+GO ?= go
+
+.PHONY: build test race vet lint fmt-check fuzz-short check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The concurrency-heavy packages under the race detector: the simulated
+# cluster, the net/rpc execution mode, and the HTTP server.
+race:
+	$(GO) test -race ./internal/cluster/... ./internal/server/...
+
+vet:
+	$(GO) vet ./...
+
+# Project-specific analyzers (tools/tardislint): iSAX-T signature hygiene,
+# mutex guard annotations, write-path close errors, goroutine lifecycle.
+lint:
+	$(GO) run ./tools/tardislint ./...
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# Short fuzz of the three deserializer targets — a smoke pass, not a soak.
+fuzz-short:
+	$(GO) test -run='^$$' -fuzz=FuzzDecode -fuzztime=10s ./internal/isaxt/
+	$(GO) test -run='^$$' -fuzz=FuzzReadTree -fuzztime=10s ./internal/sigtree/
+	$(GO) test -run='^$$' -fuzz=FuzzUnmarshal -fuzztime=10s ./internal/bloom/
+
+# The full gate CI runs.
+check: build test race vet fmt-check lint

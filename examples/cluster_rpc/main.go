@@ -44,7 +44,7 @@ func main() {
 		defer ln.Close()
 		addrs = append(addrs, ln.Addr().String())
 		id := fmt.Sprintf("worker-%d", i+1)
-		go tardis.ServeWorker(ln, id)
+		go tardis.ServeWorker(ln, id) //tardislint:ignore goroleak workers live until process exit
 	}
 	pool, err := tardis.DialWorkers(addrs)
 	if err != nil {

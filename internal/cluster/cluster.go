@@ -37,7 +37,7 @@ type Cluster struct {
 	parallelism int
 
 	mu     sync.Mutex
-	stages []StageMetrics
+	stages []StageMetrics // guarded by mu
 }
 
 // StageMetrics records the execution profile of one stage.

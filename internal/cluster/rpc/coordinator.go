@@ -14,18 +14,25 @@ import (
 )
 
 // Serve registers a Worker service on the listener and serves connections
-// until the listener is closed. Each worker process calls this once.
+// until the listener is closed, then drains in-flight connections before
+// returning. Each worker process calls this once.
 func Serve(ln net.Listener, workerID string) error {
 	srv := rpc.NewServer()
 	if err := srv.Register(&Worker{ID: workerID}); err != nil {
 		return err
 	}
+	var wg sync.WaitGroup
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
+			wg.Wait()
 			return err
 		}
-		go srv.ServeConn(conn)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			srv.ServeConn(conn)
+		}()
 	}
 }
 
@@ -69,6 +76,17 @@ func (p *Pool) Ping() ([]PingReply, error) {
 	replies := make([]PingReply, len(p.clients))
 	for i, c := range p.clients {
 		if err := c.Call("Worker.Ping", PingArgs{}, &replies[i]); err != nil {
+			return nil, fmt.Errorf("rpc: worker %s: %w", p.addrs[i], err)
+		}
+	}
+	return replies, nil
+}
+
+// Stats gathers each worker's accumulated task counters.
+func (p *Pool) Stats() ([]StatsReply, error) {
+	replies := make([]StatsReply, len(p.clients))
+	for i, c := range p.clients {
+		if err := c.Call("Worker.Stats", StatsArgs{}, &replies[i]); err != nil {
 			return nil, fmt.Errorf("rpc: worker %s: %w", p.addrs[i], err)
 		}
 	}

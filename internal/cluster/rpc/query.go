@@ -111,6 +111,7 @@ func (w *Worker) KNNPartition(args KNNPartitionArgs, reply *KNNPartitionReply) e
 		}
 	}
 	reply.Neighbors = h.Sorted()
+	w.track("KNNPartition", int64(len(entries)))
 	return nil
 }
 

@@ -63,6 +63,39 @@ func TestPing(t *testing.T) {
 	}
 }
 
+func TestStats(t *testing.T) {
+	addrs := startWorkers(t, 2)
+	pool, err := Dial(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	if _, err := pool.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pool.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := pool.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 2 {
+		t.Fatalf("stats from %d workers, want 2", len(stats))
+	}
+	for _, s := range stats {
+		if s.ID == "" {
+			t.Errorf("stats reply missing worker ID: %+v", s)
+		}
+		if s.Tasks["Ping"] != 2 {
+			t.Errorf("worker %s Ping count = %d, want 2", s.ID, s.Tasks["Ping"])
+		}
+		if s.Records != 0 {
+			t.Errorf("worker %s records = %d before any data task", s.ID, s.Records)
+		}
+	}
+}
+
 // The end-to-end distributed build: generate a dataset, build over RPC
 // workers, load with core.Load, and verify queries against an in-process
 // build of the same dataset and configuration.

@@ -21,6 +21,7 @@ import (
 	"io/fs"
 	"math"
 	"os"
+	"sync"
 
 	"github.com/tardisdb/tardis/internal/bloom"
 	"github.com/tardisdb/tardis/internal/core"
@@ -34,6 +35,47 @@ import (
 type Worker struct {
 	// ID names the worker for spill directories and logs.
 	ID string
+
+	mu      sync.Mutex
+	tasks   map[string]int64 // guarded by mu
+	records int64            // guarded by mu
+}
+
+// track counts one completed RPC and the records it touched. Unexported
+// methods are invisible to net/rpc, so this never becomes a remote endpoint.
+func (w *Worker) track(method string, records int64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.tasks == nil {
+		w.tasks = map[string]int64{}
+	}
+	w.tasks[method]++
+	w.records += records
+}
+
+// StatsArgs is empty; Stats reports accumulated task counters.
+type StatsArgs struct{}
+
+// StatsReply carries per-method task counts and the total records processed
+// by this worker since it started serving.
+type StatsReply struct {
+	ID      string
+	Tasks   map[string]int64
+	Records int64
+}
+
+// Stats reports how many RPCs of each kind this worker has served and how
+// many records they processed.
+func (w *Worker) Stats(_ StatsArgs, reply *StatsReply) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	reply.ID = w.ID
+	reply.Tasks = make(map[string]int64, len(w.tasks))
+	for method, n := range w.tasks {
+		reply.Tasks[method] = n
+	}
+	reply.Records = w.records
+	return nil
 }
 
 // PingArgs is empty; Ping verifies liveness.
@@ -52,6 +94,7 @@ func (w *Worker) Ping(_ PingArgs, reply *PingReply) error {
 	reply.ID = w.ID
 	reply.Hostname = host
 	reply.PID = os.Getpid()
+	w.track("Ping", 0)
 	return nil
 }
 
@@ -99,6 +142,7 @@ func (w *Worker) SampleConvert(args SampleConvertArgs, reply *SampleConvertReply
 	}
 	reply.Freq = freq
 	reply.Records = records
+	w.track("SampleConvert", records)
 	return nil
 }
 
@@ -141,8 +185,10 @@ func (w *Worker) Spill(args SpillArgs, reply *SpillReply) error {
 	}
 	writers := map[int]*storage.Writer{}
 	defer func() {
+		// Error-path cleanup only: the happy path closes and removes every
+		// writer below, so a failed close here has no caller to report to.
 		for _, wr := range writers {
-			wr.Close()
+			_ = wr.Close()
 		}
 	}()
 	counts := map[int]int64{}
@@ -185,6 +231,11 @@ func (w *Worker) Spill(args SpillArgs, reply *SpillReply) error {
 		return err
 	}
 	reply.Counts = counts
+	var total int64
+	for _, n := range counts {
+		total += n
+	}
+	w.track("Spill", total)
 	return nil
 }
 
@@ -282,6 +333,11 @@ func (w *Worker) BuildLocals(args BuildLocalsArgs, reply *BuildLocalsReply) erro
 		counts[pid] = int64(len(recs))
 	}
 	reply.Counts = counts
+	var total int64
+	for _, n := range counts {
+		total += n
+	}
+	w.track("BuildLocals", total)
 	return nil
 }
 

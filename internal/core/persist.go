@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -82,9 +83,7 @@ func writeTreeFile(path string, t *sigtree.Tree) error {
 		return err
 	}
 	if _, err := t.WriteTo(f); err != nil {
-		f.Close()
-		os.Remove(path)
-		return err
+		return errors.Join(err, f.Close(), os.Remove(path))
 	}
 	return f.Close()
 }

@@ -13,6 +13,7 @@
 package dataset
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -140,8 +141,7 @@ func WriteStore(g Generator, seed int64, n int64, dir string, blockRecords int64
 				rec.Values.ZNormalizeInPlace()
 			}
 			if err := w.Write(rec); err != nil {
-				w.Close()
-				return nil, err
+				return nil, errors.Join(err, w.Close())
 			}
 		}
 		if err := w.Close(); err != nil {

@@ -3,13 +3,17 @@ package isaxt
 import "testing"
 
 // FuzzDecode ensures arbitrary signature strings never panic the decoder,
-// and that accepted signatures round-trip through Encode exactly.
+// that accepted signatures round-trip through Encode exactly, and that
+// DropTo obeys the paper's Eq. 2 at every lower cardinality.
 func FuzzDecode(f *testing.F) {
 	f.Add("CE25")
 	f.Add("C")
 	f.Add("")
 	f.Add("ZZZZ")
 	f.Add("abcdef012345")
+	f.Add("0F0F0F")
+	f.Add("FFFFFFFFFFFF")
+	f.Add("00000000000000000000000000000000000000000000000000")
 	f.Fuzz(func(t *testing.T, sig string) {
 		c := MustNewCodec(4)
 		word, bits, err := c.Decode(Signature(sig))
@@ -31,6 +35,21 @@ func FuzzDecode(f *testing.F) {
 		for i := range word {
 			if w2[i] != word[i] {
 				t.Fatalf("round trip changed word: %v vs %v", word, w2)
+			}
+		}
+		// Eq. 2 on the re-encoded signature: every cardinality reduction is a
+		// word-aligned truncation that still covers the original.
+		for lb := 1; lb <= bits; lb++ {
+			low, err := c.DropTo(re, lb)
+			if err != nil {
+				t.Fatalf("DropTo(%q, %d): %v", re, lb, err)
+			}
+			if len(re)-len(low) != (bits-lb)*c.PlaneChars() {
+				t.Fatalf("DropTo(%q, %d) dropped %d chars, Eq. 2 wants %d",
+					re, lb, len(re)-len(low), (bits-lb)*c.PlaneChars())
+			}
+			if !Covers(low, re) {
+				t.Fatalf("DropTo(%q, %d) = %q does not cover its source", re, lb, low)
 			}
 		}
 	})

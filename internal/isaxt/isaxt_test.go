@@ -355,3 +355,62 @@ func TestFormatTable(t *testing.T) {
 		t.Error("invalid signature should render as invalid")
 	}
 }
+
+// DropTo obeys the paper's Eq. 2 for random words, word lengths, and
+// cardinality pairs: the truncation drops exactly (hc_bits − lc_bits)·w/4
+// characters, lands on the same signature as encoding the demoted word
+// directly, composes through any intermediate cardinality, and yields a
+// prefix that Covers the original.
+func TestDropToEquation2Property(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		for _, w := range []int{4, 8, 12, 16} {
+			c := MustNewCodec(w)
+			hc := 1 + rng.Intn(ts.MaxCardinalityBits)
+			lc := 1 + rng.Intn(hc)
+			mid := lc + rng.Intn(hc-lc+1)
+			word := make([]int, w)
+			for i := range word {
+				word[i] = rng.Intn(1 << hc)
+			}
+			sig, err := c.Encode(word, hc)
+			if err != nil {
+				return false
+			}
+			low, err := c.DropTo(sig, lc)
+			if err != nil {
+				return false
+			}
+			// Eq. 2: n = (log2 hc − log2 lc) · w/4.
+			if len(sig)-len(low) != (hc-lc)*w/4 {
+				return false
+			}
+			// Demoting the word itself (dropping its hc−lc low bits) and
+			// encoding at lc must agree with the string truncation.
+			demoted := make([]int, w)
+			for i, s := range word {
+				demoted[i] = s >> uint(hc-lc)
+			}
+			direct, err := c.Encode(demoted, lc)
+			if err != nil || direct != low {
+				return false
+			}
+			// Composition through any intermediate cardinality is lossless.
+			via, err := c.DropTo(sig, mid)
+			if err != nil {
+				return false
+			}
+			via, err = c.DropTo(via, lc)
+			if err != nil || via != low {
+				return false
+			}
+			if !Covers(low, sig) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

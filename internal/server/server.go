@@ -21,7 +21,7 @@ import (
 // Server wraps an index with HTTP handlers.
 type Server struct {
 	mu sync.RWMutex
-	ix *core.Index
+	ix *core.Index // guarded by mu
 }
 
 // New creates a Server around a loaded index.

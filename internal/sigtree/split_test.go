@@ -109,12 +109,12 @@ func TestSplitExhaustsAtMaxDepth(t *testing.T) {
 func TestPruneCollectFunc(t *testing.T) {
 	tree, entries := buildRandomTree(t, 31, 400, 10)
 	// Custom bound: prune everything not under a chosen layer-1 prefix.
-	target := entries[0].Sig[:tree.Codec().PlaneChars()]
+	target := tree.Codec().Prefix(entries[0].Sig, 1)
 	bound := func(n *Node) (float64, error) {
 		if n == tree.Root() {
 			return 0, nil
 		}
-		if n.Sig[:tree.Codec().PlaneChars()] == target {
+		if tree.Codec().Prefix(n.Sig, 1) == target {
 			return 0, nil
 		}
 		return math.Inf(1), nil
@@ -128,7 +128,7 @@ func TestPruneCollectFunc(t *testing.T) {
 	}
 	want := 0
 	for _, e := range entries {
-		if e.Sig[:tree.Codec().PlaneChars()] == target {
+		if tree.Codec().Prefix(e.Sig, 1) == target {
 			want++
 		}
 	}

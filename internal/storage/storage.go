@@ -282,16 +282,13 @@ func (s *Store) NewWriter(pid int) (*Writer, error) {
 	binary.LittleEndian.PutUint32(header[6:], uint32(s.seriesLen))
 	header[headerSize-1] = byte(s.compression)
 	if _, err := w.bw.Write(header); err != nil {
-		f.Close()
-		return nil, err
+		return nil, errors.Join(err, f.Close(), os.Remove(path))
 	}
 	w.bytes += headerSize
 	if s.compression == Flate {
 		fl, err := flate.NewWriter(w.bw, flate.DefaultCompression)
 		if err != nil {
-			f.Close()
-			os.Remove(path)
-			return nil, err
+			return nil, errors.Join(err, f.Close(), os.Remove(path))
 		}
 		w.fl = fl
 		w.payload = fl
@@ -333,25 +330,21 @@ func (w *Writer) Close() error {
 	var tail [4]byte
 	binary.LittleEndian.PutUint32(tail[:], w.crc)
 	if _, err := w.payload.Write(tail[:]); err != nil {
-		w.abort()
-		return err
+		return errors.Join(err, w.abort())
 	}
 	w.bytes += 4
 	if w.fl != nil {
 		if err := w.fl.Close(); err != nil {
-			w.abort()
-			return err
+			return errors.Join(err, w.abort())
 		}
 	}
 	if err := w.bw.Flush(); err != nil {
-		w.abort()
-		return err
+		return errors.Join(err, w.abort())
 	}
 	var cnt [8]byte
 	binary.LittleEndian.PutUint64(cnt[:], w.count)
 	if _, err := w.f.WriteAt(cnt[:], 10); err != nil {
-		w.abort()
-		return err
+		return errors.Join(err, w.abort())
 	}
 	if err := w.f.Close(); err != nil {
 		return err
@@ -361,9 +354,10 @@ func (w *Writer) Close() error {
 	return nil
 }
 
-func (w *Writer) abort() {
-	w.f.Close()
-	os.Remove(w.store.partitionPath(w.pid))
+// abort tears the half-written partition down; a failed close or remove is
+// joined onto the primary error by the caller.
+func (w *Writer) abort() error {
+	return errors.Join(w.f.Close(), os.Remove(w.store.partitionPath(w.pid)))
 }
 
 // ReadPartition loads a whole partition, verifying the checksum, and counts

@@ -1,0 +1,80 @@
+// Package closecheck flags discarded errors from Close, Flush, and Sync on
+// writable files and encoders.
+//
+// On a buffered or compressed write path the final Close/Flush is where the
+// data actually reaches the disk; dropping its error silently truncates
+// partition files and index snapshots (the exact failure mode TARDIS's
+// storage layer is built to count and surface). A call is flagged when it is
+// a bare expression statement discarding the single error result of a
+// Close/Flush/Sync method on a receiver whose method set contains Write.
+// Deferred closes are exempt (their error has nowhere to go without a
+// named-return dance), as is the explicit acknowledgment `_ = f.Close()`;
+// error paths that still care should join the close error into the primary
+// one with errors.Join.
+package closecheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/tardisdb/tardis/tools/tardislint/internal/lint"
+)
+
+const name = "closecheck"
+
+// Pass is the closecheck analyzer.
+var Pass = lint.Pass{
+	Name: name,
+	Doc:  "flag discarded Close/Flush/Sync errors on writable files and encoders",
+	Run:  run,
+}
+
+var watched = map[string]bool{"Close": true, "Flush": true, "Sync": true}
+
+func run(p *lint.Package) []lint.Finding {
+	var out []lint.Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !watched[sel.Sel.Name] {
+				return true
+			}
+			fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || !returnsOnlyError(fn) {
+				return true
+			}
+			recv := p.TypeOf(sel.X)
+			if recv == nil || !lint.HasMethod(recv, "Write") {
+				return true
+			}
+			out = append(out, p.Findingf(name, stmt.Pos(),
+				"error from %s.%s is discarded on writable %s; propagate it (errors.Join on error paths) or write `_ = x.%s()` to mean it",
+				typeName(recv), sel.Sel.Name, typeName(recv), sel.Sel.Name))
+			return true
+		})
+	}
+	return out
+}
+
+func returnsOnlyError(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Params().Len() != 0 || sig.Results().Len() != 1 {
+		return false
+	}
+	return types.Identical(sig.Results().At(0).Type(), types.Universe.Lookup("error").Type())
+}
+
+func typeName(t types.Type) string {
+	if named, ok := types.Unalias(lint.Deref(t)).(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return t.String()
+}

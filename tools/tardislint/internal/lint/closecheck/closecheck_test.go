@@ -1,0 +1,21 @@
+package closecheck_test
+
+import (
+	"testing"
+
+	"github.com/tardisdb/tardis/tools/tardislint/internal/lint/closecheck"
+	"github.com/tardisdb/tardis/tools/tardislint/internal/lint/linttest"
+)
+
+func TestClosecheck(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		files []string
+	}{
+		{"fixture", []string{"testdata/fixture.go"}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			linttest.Check(t, closecheck.Pass, "fixture", tc.files...)
+		})
+	}
+}

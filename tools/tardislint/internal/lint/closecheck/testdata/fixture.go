@@ -1,0 +1,57 @@
+// Package fixture seeds closecheck violations: write-path Close/Flush/Sync
+// calls whose error vanishes, next to the corrected forms that must stay
+// clean.
+package fixture
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"os"
+)
+
+func badClose(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	f.Close() // WANT
+	return nil
+}
+
+func badFlush(f *os.File) {
+	bw := bufio.NewWriter(f)
+	bw.Flush() // WANT
+}
+
+func badSync(f *os.File) {
+	f.Sync() // WANT
+}
+
+func goodPropagate(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func goodJoin(f *os.File, primary error) error {
+	return errors.Join(primary, f.Close())
+}
+
+func goodBlank(f *os.File) {
+	_ = f.Close() // explicit acknowledgment: clean
+}
+
+func goodDefer(f *os.File) {
+	defer f.Close() // deferred: clean
+}
+
+func goodReadOnly(r io.ReadCloser) {
+	r.Close() // no Write in the method set: clean
+}
+
+func suppressed(f *os.File) {
+	f.Close() //tardislint:ignore closecheck fixture exercises the escape hatch
+}

@@ -1,0 +1,180 @@
+// Package goroleak flags goroutine launches in long-lived server/RPC code
+// that are easy to leak or mis-scope:
+//
+//  1. A `go func(){...}()` whose body captures an iteration variable of an
+//     enclosing loop instead of receiving it as an argument. Go 1.22 made
+//     per-iteration capture safe, but the explicit-argument form keeps the
+//     data flow visible and survives copy-paste into older-module code.
+//  2. A `go` statement inside a loop, in a function that shows no lifecycle
+//     management at all — no sync.WaitGroup call and no context.Context in
+//     scope. An accept- or dispatch-loop that fans out unsupervised
+//     goroutines has no way to drain them on shutdown; the race detector
+//     only catches this when the leak also races.
+//
+// Test files are exempt (tests are not long-lived servers); deliberate
+// process-lifetime goroutines should be suppressed with
+// //tardislint:ignore goroleak and a reason.
+package goroleak
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"github.com/tardisdb/tardis/tools/tardislint/internal/lint"
+)
+
+const name = "goroleak"
+
+// Pass is the goroleak analyzer.
+var Pass = lint.Pass{
+	Name: name,
+	Doc:  "flag goroutines that capture loop variables or fan out of loops without WaitGroup/context",
+	Run:  run,
+}
+
+func run(p *lint.Package) []lint.Finding {
+	var out []lint.Finding
+	for _, f := range p.Files {
+		pos := p.Fset.Position(f.Pos())
+		if strings.HasSuffix(pos.Filename, "_test.go") {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			out = append(out, checkFunc(p, fd)...)
+		}
+	}
+	return out
+}
+
+func checkFunc(p *lint.Package, fd *ast.FuncDecl) []lint.Finding {
+	managed := hasWaitGroupCall(p, fd.Body) || usesContext(p, fd)
+	var out []lint.Finding
+	var stack []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		var loops []ast.Node
+		for _, m := range stack[:len(stack)-1] {
+			switch m.(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				loops = append(loops, m)
+			}
+		}
+		if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+			for _, name := range capturedLoopVars(p, lit, loopVarObjects(p, loops)) {
+				out = append(out, p.Findingf(name, g.Pos(),
+					"goroutine captures loop variable %q; pass it as a call argument so the hand-off is explicit", name))
+			}
+		}
+		if len(loops) > 0 && !managed {
+			out = append(out, p.Findingf(name, g.Pos(),
+				"goroutine started in a loop, but %s has no sync.WaitGroup or context.Context to bound its lifetime", fd.Name.Name))
+		}
+		return true
+	})
+	return out
+}
+
+// loopVarObjects collects the iteration variables declared by the given
+// for/range statements' clauses (not their bodies).
+func loopVarObjects(p *lint.Package, loops []ast.Node) map[types.Object]bool {
+	vars := map[types.Object]bool{}
+	addIdent := func(e ast.Expr) {
+		if id, ok := e.(*ast.Ident); ok {
+			if obj := p.Info.Defs[id]; obj != nil {
+				vars[obj] = true
+			}
+		}
+	}
+	for _, n := range loops {
+		switch s := n.(type) {
+		case *ast.ForStmt:
+			if s.Init != nil {
+				ast.Inspect(s.Init, func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok {
+						addIdent(id)
+					}
+					return true
+				})
+			}
+		case *ast.RangeStmt:
+			addIdent(s.Key)
+			addIdent(s.Value)
+		}
+	}
+	return vars
+}
+
+// capturedLoopVars returns the names of enclosing-loop iteration variables
+// referenced inside the literal's body (call arguments are evaluated in the
+// launching goroutine and do not count).
+func capturedLoopVars(p *lint.Package, lit *ast.FuncLit, loopVars map[types.Object]bool) []string {
+	var names []string
+	seen := map[types.Object]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := p.Info.Uses[id]
+		if obj == nil || seen[obj] || !loopVars[obj] {
+			return true
+		}
+		seen[obj] = true
+		names = append(names, id.Name)
+		return true
+	})
+	return names
+}
+
+// hasWaitGroupCall reports whether the body calls any method on a
+// sync.WaitGroup value.
+func hasWaitGroupCall(p *lint.Package, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if t := p.TypeOf(sel.X); t != nil && lint.IsNamed(lint.Deref(t), "sync", "WaitGroup") {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// usesContext reports whether the function mentions any context.Context
+// value (parameter or local).
+func usesContext(p *lint.Package, fd *ast.FuncDecl) bool {
+	found := false
+	ast.Inspect(fd, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if t := p.TypeOf(id); t != nil && lint.IsNamed(t, "context", "Context") {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

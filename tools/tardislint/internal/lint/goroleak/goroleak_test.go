@@ -1,0 +1,21 @@
+package goroleak_test
+
+import (
+	"testing"
+
+	"github.com/tardisdb/tardis/tools/tardislint/internal/lint/goroleak"
+	"github.com/tardisdb/tardis/tools/tardislint/internal/lint/linttest"
+)
+
+func TestGoroleak(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		files []string
+	}{
+		{"fixture", []string{"testdata/fixture.go"}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			linttest.Check(t, goroleak.Pass, "fixture", tc.files...)
+		})
+	}
+}

@@ -1,0 +1,72 @@
+// Package fixture seeds goroleak violations: loop-variable capture and
+// unsupervised fan-out, next to the managed forms that must stay clean.
+package fixture
+
+import (
+	"context"
+	"sync"
+)
+
+func work(int) {}
+
+// badCapture launches goroutines that capture the loop variable instead of
+// receiving it as an argument.
+func badCapture(items []int) {
+	var wg sync.WaitGroup
+	for _, it := range items {
+		wg.Add(1)
+		go func() { // WANT
+			defer wg.Done()
+			work(it)
+		}()
+	}
+	wg.Wait()
+}
+
+// badUnmanaged fans goroutines out of a loop with nothing to bound their
+// lifetime.
+func badUnmanaged(items []int) {
+	for i := 0; i < len(items); i++ {
+		go work(items[i]) // WANT
+	}
+}
+
+func goodWaitGroup(items []int) {
+	var wg sync.WaitGroup
+	for _, it := range items {
+		wg.Add(1)
+		go func(v int) {
+			defer wg.Done()
+			work(v)
+		}(it)
+	}
+	wg.Wait()
+}
+
+func goodContext(ctx context.Context, items []int) {
+	for _, it := range items {
+		go func(v int) {
+			select {
+			case <-ctx.Done():
+			default:
+				work(v)
+			}
+		}(it)
+	}
+}
+
+// goodSingle launches one goroutine outside any loop and joins it.
+func goodSingle() {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		work(0)
+	}()
+	<-done
+}
+
+func suppressed(items []int) {
+	for i := 0; i < len(items); i++ {
+		go work(items[i]) //tardislint:ignore goroleak fixture exercises the escape hatch
+	}
+}

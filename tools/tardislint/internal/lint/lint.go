@@ -1,0 +1,186 @@
+// Package lint is the analysis framework behind tardislint, the project's
+// static-analysis gate. It loads and type-checks packages with nothing but
+// the standard library (go/parser + go/types + the source importer — the
+// module stays dependency-free) and runs project-specific passes over them.
+//
+// A pass is a function from a type-checked package to findings. Findings can
+// be suppressed at a single site with a trailing or preceding comment of the
+// form
+//
+//	//tardislint:ignore <pass>[,<pass>...] optional reason
+//
+// Suppressions are deliberate, reviewable escape hatches; every one should
+// carry a reason.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Finding is one diagnostic produced by a pass.
+type Finding struct {
+	Pos     token.Position
+	Pass    string
+	Message string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Pass, f.Message)
+}
+
+// Pass is one analyzer: a name for reporting and suppression, a one-line
+// doc string, and the analysis function itself.
+type Pass struct {
+	Name string
+	Doc  string
+	Run  func(p *Package) []Finding
+}
+
+// Package is a parsed, type-checked package ready for analysis.
+type Package struct {
+	// PkgPath is the import path ("github.com/tardisdb/tardis/internal/core",
+	// with a "_test" suffix for external test packages).
+	PkgPath string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// TypeOf returns the type of e, or nil when the checker recorded none.
+func (p *Package) TypeOf(e ast.Expr) types.Type {
+	if tv, ok := p.Info.Types[e]; ok {
+		return tv.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := p.Info.Uses[id]; obj != nil {
+			return obj.Type()
+		}
+		if obj := p.Info.Defs[id]; obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// Findingf constructs a Finding for pass at the given position.
+func (p *Package) Findingf(pass string, pos token.Pos, format string, args ...any) Finding {
+	return Finding{Pos: p.Fset.Position(pos), Pass: pass, Message: fmt.Sprintf(format, args...)}
+}
+
+// IsNamed reports whether t is the named (or aliased) type
+// <...pathSuffix>.<name>, e.g. IsNamed(t, "internal/isaxt", "Signature").
+func IsNamed(t types.Type, pathSuffix, name string) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != name || obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	return path == pathSuffix || strings.HasSuffix(path, "/"+pathSuffix)
+}
+
+// Deref returns the element type of a pointer, or t unchanged.
+func Deref(t types.Type) types.Type {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		return ptr.Elem()
+	}
+	return t
+}
+
+// HasMethod reports whether the method set of t or *t contains a method with
+// the given name (interface or concrete receiver alike).
+func HasMethod(t types.Type, name string) bool {
+	t = Deref(t)
+	for _, probe := range []types.Type{t, types.NewPointer(t)} {
+		ms := types.NewMethodSet(probe)
+		for i := 0; i < ms.Len(); i++ {
+			if ms.At(i).Obj().Name() == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+var ignoreRe = regexp.MustCompile(`^//tardislint:ignore\s+([\w,]+)`)
+
+// ignoreIndex maps filename -> line -> set of suppressed pass names. A
+// directive applies to its own line and the line below it, covering both
+// trailing comments and comments on the preceding line.
+type ignoreIndex map[string]map[int]map[string]bool
+
+func (p *Package) buildIgnoreIndex() ignoreIndex {
+	idx := ignoreIndex{}
+	add := func(file string, line int, passes []string) {
+		if idx[file] == nil {
+			idx[file] = map[int]map[string]bool{}
+		}
+		for _, l := range []int{line, line + 1} {
+			if idx[file][l] == nil {
+				idx[file][l] = map[string]bool{}
+			}
+			for _, name := range passes {
+				idx[file][l][name] = true
+			}
+		}
+	}
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				add(pos.Filename, pos.Line, strings.Split(m[1], ","))
+			}
+		}
+	}
+	return idx
+}
+
+func (idx ignoreIndex) suppressed(pass string, pos token.Position) bool {
+	return idx[pos.Filename][pos.Line][pass]
+}
+
+// Run executes the passes over the packages, applies //tardislint:ignore
+// suppressions, and returns the surviving findings sorted by position.
+func Run(passes []Pass, pkgs []*Package) []Finding {
+	var out []Finding
+	for _, pkg := range pkgs {
+		idx := pkg.buildIgnoreIndex()
+		for _, pass := range passes {
+			for _, f := range pass.Run(pkg) {
+				f.Pass = pass.Name
+				if idx.suppressed(pass.Name, f.Pos) {
+					continue
+				}
+				out = append(out, f)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Pass < b.Pass
+	})
+	return out
+}

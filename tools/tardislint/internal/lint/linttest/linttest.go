@@ -1,0 +1,61 @@
+// Package linttest is the shared harness for analyzer fixture tests. A
+// fixture is a compilable Go file seeded with violations; every line that
+// must be flagged carries a trailing "// WANT" marker. Check runs one pass
+// over the fixture and diffs the reported lines against the markers, so each
+// test proves both directions: seeded violations are flagged and the
+// corrected forms are not.
+package linttest
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"github.com/tardisdb/tardis/tools/tardislint/internal/lint"
+)
+
+const wantMarker = "// WANT"
+
+// Check loads the fixture files as one package named pkgPath, runs the pass,
+// and compares flagged lines against the fixtures' WANT markers.
+func Check(t *testing.T, pass lint.Pass, pkgPath string, files ...string) {
+	t.Helper()
+	ld := lint.NewLoader()
+	pkg, err := ld.LoadFiles(pkgPath, files...)
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	findings := lint.Run([]lint.Pass{pass}, []*lint.Package{pkg})
+
+	type site struct {
+		file string
+		line int
+	}
+	got := map[site][]string{}
+	for _, f := range findings {
+		s := site{f.Pos.Filename, f.Pos.Line}
+		got[s] = append(got[s], f.Message)
+	}
+	want := map[site]bool{}
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatalf("reading fixture: %v", err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			if strings.Contains(line, wantMarker) {
+				want[site{file, i + 1}] = true
+			}
+		}
+	}
+	for s := range want {
+		if len(got[s]) == 0 {
+			t.Errorf("%s:%d: marked WANT but %s reported nothing", s.file, s.line, pass.Name)
+		}
+	}
+	for s, msgs := range got {
+		if !want[s] {
+			t.Errorf("%s:%d: unexpected %s finding: %s", s.file, s.line, pass.Name, strings.Join(msgs, "; "))
+		}
+	}
+}

@@ -1,0 +1,212 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Loader parses and type-checks packages. One Loader shares a FileSet and a
+// source importer across loads, so dependency packages are compiled once.
+type Loader struct {
+	fset *token.FileSet
+	imp  types.Importer
+}
+
+// NewLoader returns a Loader backed by the source importer, which compiles
+// dependencies (stdlib and module-internal alike) from source — no export
+// data or external tooling required.
+func NewLoader() *Loader {
+	fset := token.NewFileSet()
+	return &Loader{fset: fset, imp: importer.ForCompiler(fset, "source", nil)}
+}
+
+// LoadPatterns resolves go-style package patterns ("./...", "./internal/core")
+// relative to the current directory and loads every matched package,
+// including in-package and external test files. Directories named testdata or
+// vendor, and hidden or underscore-prefixed directories, are skipped.
+func (l *Loader) LoadPatterns(patterns []string) ([]*Package, error) {
+	var dirs []string
+	seen := map[string]bool{}
+	addDir := func(d string) {
+		d = filepath.Clean(d)
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, pat := range patterns {
+		root, recursive := strings.CutSuffix(pat, "...")
+		root = filepath.Clean(root)
+		if root == "" {
+			root = "."
+		}
+		if !recursive {
+			addDir(root)
+			continue
+		}
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			if name := d.Name(); path != root &&
+				(strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+					name == "testdata" || name == "vendor") {
+				return fs.SkipDir
+			}
+			addDir(path)
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("lint: walking %s: %w", root, err)
+		}
+	}
+	var pkgs []*Package
+	for _, dir := range dirs {
+		loaded, err := l.LoadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, loaded...)
+	}
+	return pkgs, nil
+}
+
+// LoadDir loads the packages found directly in dir (not recursing): the
+// primary package including its in-package test files, and the external
+// _test package if present. Directories without Go files load nothing.
+func (l *Loader) LoadDir(dir string) ([]*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: reading %s: %w", dir, err)
+	}
+	byName := map[string][]string{}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		name, err := packageClause(l.fset, path)
+		if err != nil {
+			return nil, err
+		}
+		byName[name] = append(byName[name], path)
+	}
+	if len(byName) == 0 {
+		return nil, nil
+	}
+	basePath, err := importPathOf(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(byName))
+	for name := range byName {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var pkgs []*Package
+	for _, name := range names {
+		pkgPath := basePath
+		if strings.HasSuffix(name, "_test") {
+			pkgPath += "_test"
+		}
+		files := byName[name]
+		sort.Strings(files)
+		pkg, err := l.LoadFiles(pkgPath, files...)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// LoadFiles parses and type-checks the given files as a single package under
+// the given import path. Used directly by fixture tests.
+func (l *Loader) LoadFiles(pkgPath string, paths ...string) (*Package, error) {
+	var files []*ast.File
+	for _, path := range paths {
+		f, err := parser.ParseFile(l.fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: l.imp}
+	tpkg, err := conf.Check(pkgPath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", pkgPath, err)
+	}
+	return &Package{PkgPath: pkgPath, Fset: l.fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// packageClause reads just the package name of a file.
+func packageClause(fset *token.FileSet, path string) (string, error) {
+	f, err := parser.ParseFile(fset, path, nil, parser.PackageClauseOnly)
+	if err != nil {
+		return "", fmt.Errorf("lint: %w", err)
+	}
+	return f.Name.Name, nil
+}
+
+// importPathOf derives the import path of dir from the enclosing go.mod.
+func importPathOf(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			// Outside any module (fixture in a temp dir): the directory name
+			// stands in for the import path.
+			return filepath.Base(abs), nil
+		}
+		root = parent
+	}
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	modPath := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			modPath = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if modPath == "" {
+		return "", fmt.Errorf("lint: no module line in %s/go.mod", root)
+	}
+	rel, err := filepath.Rel(root, abs)
+	if err != nil {
+		return "", err
+	}
+	if rel == "." {
+		return modPath, nil
+	}
+	return modPath + "/" + filepath.ToSlash(rel), nil
+}

@@ -1,0 +1,177 @@
+// Package lockguard enforces documented mutex discipline. A struct field
+// annotated with a comment containing "guarded by <mu>" (trailing or in the
+// field's doc comment), where <mu> is a sync.Mutex or sync.RWMutex field of
+// the same struct, may only be used inside functions that lock that mutex:
+// the function body must contain a <expr>.<mu>.Lock() or .RLock() call.
+//
+// The check is flow-insensitive by design — it asks "does this function take
+// the lock at all", not "is the lock held at this statement" — which is
+// cheap, has no false negatives for the unlocked-method mistake, and matches
+// how the annotated fields in internal/server, internal/cluster, and
+// internal/cluster/rpc are actually used. Composite-literal initialization
+// (&T{field: v}) is construction, not access, and is not flagged. Helpers
+// that run with the caller's lock held should be suppressed explicitly with
+// //tardislint:ignore lockguard and a reason.
+package lockguard
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+
+	"github.com/tardisdb/tardis/tools/tardislint/internal/lint"
+)
+
+const name = "lockguard"
+
+// Pass is the lockguard analyzer.
+var Pass = lint.Pass{
+	Name: name,
+	Doc:  "flag uses of '// guarded by <mu>' struct fields in functions that never lock <mu>",
+	Run:  run,
+}
+
+var guardedRe = regexp.MustCompile(`guarded by ([A-Za-z_]\w*)`)
+
+// guard ties an annotated field to the mutex field that protects it.
+type guard struct {
+	field *types.Var
+	mutex *types.Var
+	name  string // mutex field name, for messages
+}
+
+func run(p *lint.Package) []lint.Finding {
+	var out []lint.Finding
+	guards := map[*types.Var]guard{}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			out = append(out, collectGuards(p, st, guards)...)
+			return true
+		})
+	}
+	if len(guards) == 0 {
+		return out
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			out = append(out, checkFunc(p, fd, guards)...)
+		}
+	}
+	return out
+}
+
+// collectGuards records the annotated fields of one struct type, reporting
+// annotations that name a missing or non-mutex field.
+func collectGuards(p *lint.Package, st *ast.StructType, guards map[*types.Var]guard) []lint.Finding {
+	var out []lint.Finding
+	mutexByName := map[string]*types.Var{}
+	for _, field := range st.Fields.List {
+		for _, name := range field.Names {
+			obj, ok := p.Info.Defs[name].(*types.Var)
+			if !ok {
+				continue
+			}
+			t := lint.Deref(obj.Type())
+			if lint.IsNamed(t, "sync", "Mutex") || lint.IsNamed(t, "sync", "RWMutex") {
+				mutexByName[name.Name] = obj
+			}
+		}
+	}
+	for _, field := range st.Fields.List {
+		text := ""
+		if field.Doc != nil {
+			text += field.Doc.Text()
+		}
+		if field.Comment != nil {
+			text += field.Comment.Text()
+		}
+		m := guardedRe.FindStringSubmatch(text)
+		if m == nil {
+			continue
+		}
+		mu := mutexByName[m[1]]
+		if mu == nil {
+			out = append(out, p.Findingf(name, field.Pos(),
+				"'guarded by %s' names no sync.Mutex/RWMutex field of this struct", m[1]))
+			continue
+		}
+		for _, name := range field.Names {
+			if obj, ok := p.Info.Defs[name].(*types.Var); ok {
+				guards[obj] = guard{field: obj, mutex: mu, name: m[1]}
+			}
+		}
+	}
+	return out
+}
+
+// checkFunc flags guarded-field uses in a function that never locks the
+// guarding mutex.
+func checkFunc(p *lint.Package, fd *ast.FuncDecl, guards map[*types.Var]guard) []lint.Finding {
+	locked := map[*types.Var]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		muSel, ok := sel.X.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if mu, ok := p.Info.Uses[muSel.Sel].(*types.Var); ok {
+			locked[mu] = true
+		}
+		return true
+	})
+	var out []lint.Finding
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fieldVar, ok := p.Info.Uses[sel.Sel].(*types.Var)
+		if !ok {
+			return true
+		}
+		g, guarded := guards[fieldVar]
+		if !guarded || locked[g.mutex] {
+			return true
+		}
+		out = append(out, p.Findingf(name, sel.Sel.Pos(),
+			"%s is guarded by %s, but %s never locks it", sel.Sel.Name, g.name, funcName(fd)))
+		return true
+	})
+	return out
+}
+
+func funcName(fd *ast.FuncDecl) string {
+	if fd.Recv != nil && len(fd.Recv.List) > 0 {
+		if t := recvTypeName(fd.Recv.List[0].Type); t != "" {
+			return t + "." + fd.Name.Name
+		}
+	}
+	return fd.Name.Name
+}
+
+func recvTypeName(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.StarExpr:
+		return recvTypeName(t.X)
+	case *ast.IndexExpr: // generic receiver
+		return recvTypeName(t.X)
+	}
+	return ""
+}

@@ -1,0 +1,21 @@
+package lockguard_test
+
+import (
+	"testing"
+
+	"github.com/tardisdb/tardis/tools/tardislint/internal/lint/linttest"
+	"github.com/tardisdb/tardis/tools/tardislint/internal/lint/lockguard"
+)
+
+func TestLockguard(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		files []string
+	}{
+		{"fixture", []string{"testdata/fixture.go"}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			linttest.Check(t, lockguard.Pass, "fixture", tc.files...)
+		})
+	}
+}

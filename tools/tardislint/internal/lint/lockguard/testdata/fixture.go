@@ -1,0 +1,73 @@
+// Package fixture seeds lockguard violations: methods and functions that
+// touch annotated fields without taking the guarding mutex, next to the
+// disciplined forms that must stay clean.
+package fixture
+
+import "sync"
+
+type counter struct {
+	mu   sync.Mutex
+	hits int // guarded by mu
+	free int
+}
+
+func newCounter(n int) *counter {
+	return &counter{hits: n} // construction, not access: clean
+}
+
+func (c *counter) good() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits
+}
+
+func (c *counter) badRead() int {
+	return c.hits // WANT
+}
+
+func (c *counter) badWrite(n int) {
+	c.hits = n // WANT
+}
+
+func (c *counter) freeAccess() int {
+	return c.free // unannotated field: clean
+}
+
+// peek shows the check applies to plain functions, not just methods.
+func peek(c *counter) int {
+	return c.hits // WANT
+}
+
+// underLock is a helper documented to run with the caller's lock held; the
+// suppression is the sanctioned escape hatch.
+func underLock(c *counter) int {
+	return c.hits //tardislint:ignore lockguard caller holds mu
+}
+
+type rwbox struct {
+	mu sync.RWMutex
+	// val is the cached value. // guarded by mu
+	val string
+}
+
+func (b *rwbox) get() string {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.val
+}
+
+func (b *rwbox) set(v string) {
+	b.mu.Lock()
+	b.val = v
+	b.mu.Unlock()
+}
+
+func (b *rwbox) badGet() string {
+	return b.val // WANT
+}
+
+type broken struct {
+	n int // guarded by missing — no such mutex // WANT
+}
+
+func use(b *broken) int { return b.n }

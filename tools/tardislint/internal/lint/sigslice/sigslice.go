@@ -1,0 +1,64 @@
+// Package sigslice flags raw string surgery on isaxt.Signature values
+// outside internal/isaxt.
+//
+// An iSAX-T signature is a sequence of whole bit-planes, w/4 hex characters
+// each; cardinality reduction is defined only as a word-aligned truncation
+// (paper Eq. 2). A raw slice, index, or concatenation can produce a string
+// that is no longer a valid signature — a partial plane silently corrupts
+// tree descent and recall rather than crashing. All cardinality manipulation
+// must go through Codec.DropTo, Codec.Prefix, or Codec.Plane, which preserve
+// plane alignment by construction. Deliberate boundary crossings convert to
+// string first, which this pass does not chase.
+package sigslice
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"github.com/tardisdb/tardis/tools/tardislint/internal/lint"
+)
+
+const name = "sigslice"
+
+// Pass is the sigslice analyzer.
+var Pass = lint.Pass{
+	Name: name,
+	Doc:  "flag raw slicing/indexing/concatenation of isaxt.Signature outside internal/isaxt",
+	Run:  run,
+}
+
+func run(p *lint.Package) []lint.Finding {
+	if strings.HasSuffix(p.PkgPath, "internal/isaxt") {
+		return nil // the codec's home package implements the primitives
+	}
+	var out []lint.Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.SliceExpr:
+				if isSignature(p, e.X) {
+					out = append(out, p.Findingf(name, e.Pos(),
+						"isaxt.Signature sliced with a raw [i:j]; use Codec.DropTo, Prefix, or Plane so truncation stays word-aligned (paper Eq. 2)"))
+				}
+			case *ast.IndexExpr:
+				if isSignature(p, e.X) {
+					out = append(out, p.Findingf(name, e.Pos(),
+						"isaxt.Signature indexed with a raw [i]; extract whole bit-planes with Codec.Plane instead of single hex characters"))
+				}
+			case *ast.BinaryExpr:
+				if e.Op == token.ADD && (isSignature(p, e.X) || isSignature(p, e.Y)) {
+					out = append(out, p.Findingf(name, e.Pos(),
+						"isaxt.Signature built by concatenation; signatures come only from Codec.Encode/FromSeries or plane-aligned truncation"))
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func isSignature(p *lint.Package, e ast.Expr) bool {
+	t := p.TypeOf(e)
+	return t != nil && lint.IsNamed(t, "internal/isaxt", "Signature")
+}

@@ -1,0 +1,21 @@
+package sigslice_test
+
+import (
+	"testing"
+
+	"github.com/tardisdb/tardis/tools/tardislint/internal/lint/linttest"
+	"github.com/tardisdb/tardis/tools/tardislint/internal/lint/sigslice"
+)
+
+func TestSigslice(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		files []string
+	}{
+		{"fixture", []string{"testdata/fixture.go"}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			linttest.Check(t, sigslice.Pass, "fixture", tc.files...)
+		})
+	}
+}

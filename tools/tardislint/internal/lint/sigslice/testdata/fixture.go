@@ -1,0 +1,50 @@
+// Package fixture seeds sigslice violations: raw string surgery on
+// isaxt.Signature values that bypasses the Eq. 2 word-alignment invariant,
+// next to the corrected forms that must stay clean.
+package fixture
+
+import "github.com/tardisdb/tardis/internal/isaxt"
+
+var codec = isaxt.MustNewCodec(8)
+
+func badDrop(sig isaxt.Signature) isaxt.Signature {
+	return sig[:2] // WANT
+}
+
+func badIndex(sig isaxt.Signature) byte {
+	return sig[0] // WANT
+}
+
+func badConcat(a, b isaxt.Signature) isaxt.Signature {
+	return a + b // WANT
+}
+
+func badMixedConcat(a isaxt.Signature) isaxt.Signature {
+	return a + isaxt.Signature("0F") // WANT
+}
+
+func goodDrop(sig isaxt.Signature) (isaxt.Signature, error) {
+	return codec.DropTo(sig, 1)
+}
+
+func goodPrefix(sig isaxt.Signature) isaxt.Signature {
+	return codec.Prefix(sig, 1)
+}
+
+func goodPlane(sig isaxt.Signature) isaxt.Signature {
+	return codec.Plane(sig, 1)
+}
+
+// goodString converts at a deliberate boundary; raw strings are fair game.
+func goodString(sig isaxt.Signature) string {
+	s := string(sig)
+	return s[:1]
+}
+
+func goodCompare(a, b isaxt.Signature) bool {
+	return len(a) == len(b) && isaxt.Covers(a, b)
+}
+
+func suppressed(sig isaxt.Signature) isaxt.Signature {
+	return sig[:1] //tardislint:ignore sigslice fixture exercises the escape hatch
+}
