@@ -17,19 +17,24 @@ vet:
 	$(GO) vet ./...
 
 # Project-specific analyzers (tools/tardislint): iSAX-T signature hygiene,
-# mutex guard annotations, write-path close errors, goroutine lifecycle.
+# path-sensitive mutex guards (lockflow), unchecked errors (errflow),
+# hot-path allocations (hotalloc), write-path close errors, goroutine
+# lifecycle. The patterns are explicit so the gate provably covers the
+# library root, the CLIs, the examples, and the linter itself (self-lint).
 lint:
-	$(GO) run ./tools/tardislint ./...
+	$(GO) run ./tools/tardislint . ./internal/... ./cmd/... ./examples/... ./tools/...
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-# Short fuzz of the three deserializer targets — a smoke pass, not a soak.
+# Short fuzz of the deserializer targets and the lint CFG builder — a smoke
+# pass, not a soak.
 fuzz-short:
 	$(GO) test -run='^$$' -fuzz=FuzzDecode -fuzztime=10s ./internal/isaxt/
 	$(GO) test -run='^$$' -fuzz=FuzzReadTree -fuzztime=10s ./internal/sigtree/
 	$(GO) test -run='^$$' -fuzz=FuzzUnmarshal -fuzztime=10s ./internal/bloom/
+	$(GO) test -run='^$$' -fuzz=FuzzBuild -fuzztime=10s ./tools/tardislint/internal/lint/cfg/
 
 # The full gate CI runs.
 check: build test race vet fmt-check lint

@@ -100,6 +100,8 @@ func (w Word) DemoteTo(target []int) (Word, int) {
 // per-segment cardinality, equals this word's symbol. It also returns the
 // number of character conversions performed, mirroring the real matching
 // cost of the baseline's partition-table lookup.
+//
+//tardis:hotpath
 func (w Word) Covers(other Word) (bool, int) {
 	if len(other.Symbols) != len(w.Symbols) {
 		return false, 0
@@ -162,6 +164,8 @@ func ChildBit(full Word, i, parentBits int) int {
 // MinDistPAA lower-bounds the Euclidean distance between the original series
 // (length n) behind the query PAA and any series covered by this word, using
 // each segment's own cardinality.
+//
+//tardis:hotpath
 func (w Word) MinDistPAA(paa ts.Series, n int) float64 {
 	if len(paa) != len(w.Symbols) {
 		panic(fmt.Sprintf("isax: MinDistPAA length mismatch %d vs %d", len(paa), len(w.Symbols)))

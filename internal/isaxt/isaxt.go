@@ -67,6 +67,8 @@ func (c *Codec) PlaneChars() int { return c.planeChars }
 
 // Encode converts a SAX word (region indices at cardinality 2^bits) into its
 // iSAX-T signature of `bits` planes.
+//
+//tardis:hotpath
 func (c *Codec) Encode(word []int, bits int) (Signature, error) {
 	if len(word) != c.w {
 		return "", fmt.Errorf("isaxt: word length %d != codec word length %d", len(word), c.w)
@@ -141,6 +143,8 @@ func (c *Codec) Bits(sig Signature) (int, error) {
 // — the paper's Eq. 2: n dropped characters = (hc_bits − lc_bits) · w/4.
 // This single string slice is the operation that replaces the baseline's
 // per-character cardinality conversions.
+//
+//tardis:hotpath
 func (c *Codec) DropTo(sig Signature, lcBits int) (Signature, error) {
 	hcBits, err := c.Bits(sig)
 	if err != nil {
@@ -155,6 +159,8 @@ func (c *Codec) DropTo(sig Signature, lcBits int) (Signature, error) {
 // Prefix returns the first `bits` planes of the signature without
 // validation; it panics if the signature is too short. This is the hot-path
 // variant of DropTo used during tree descent.
+//
+//tardis:hotpath
 func (c *Codec) Prefix(sig Signature, bits int) Signature {
 	return sig[:bits*c.planeChars]
 }
@@ -162,12 +168,16 @@ func (c *Codec) Prefix(sig Signature, bits int) Signature {
 // Plane returns the (1-based) p-th bit-plane substring of the signature —
 // the key under which a sigTree node at layer p-1 stores the child covering
 // this signature.
+//
+//tardis:hotpath
 func (c *Codec) Plane(sig Signature, p int) Signature {
 	return sig[(p-1)*c.planeChars : p*c.planeChars]
 }
 
 // Covers reports whether a (coarser) signature covers another: same word
 // length and prefix match.
+//
+//tardis:hotpath
 func Covers(node, sig Signature) bool {
 	return len(node) <= len(sig) && string(sig[:len(node)]) == string(node)
 }

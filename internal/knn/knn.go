@@ -4,7 +4,6 @@
 package knn
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"sort"
@@ -22,6 +21,11 @@ type Neighbor struct {
 // scope (One-Partition, Multi-Partitions access) naturally re-encounter
 // records already refined by the target-node step, and a record must appear
 // at most once in a kNN answer.
+//
+// The heap order is maintained with explicit sift loops rather than
+// container/heap: heap.Interface takes values as any, which boxes a
+// Neighbor on every push — one allocation per candidate on the query hot
+// path.
 type Heap struct {
 	items  []Neighbor
 	member map[int64]struct{}
@@ -36,38 +40,64 @@ func NewHeap(k int) *Heap {
 	return &Heap{k: k, member: make(map[int64]struct{}, k+1)}
 }
 
-func (h *Heap) Len() int           { return len(h.items) }
-func (h *Heap) Less(i, j int) bool { return h.items[i].Dist > h.items[j].Dist }
-func (h *Heap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
-
-// Push implements heap.Interface; use Offer instead.
-func (h *Heap) Push(x any) { h.items = append(h.items, x.(Neighbor)) }
-
-// Pop implements heap.Interface; use Sorted instead.
-func (h *Heap) Pop() any {
-	old := h.items
-	n := len(old)
-	x := old[n-1]
-	h.items = old[:n-1]
-	return x
-}
+// Len returns the number of neighbors currently held.
+func (h *Heap) Len() int { return len(h.items) }
 
 // Offer adds a candidate, keeping only the k closest. A record id already in
 // the heap is ignored (a record's distance to the query is unique).
+//
+//tardis:hotpath
 func (h *Heap) Offer(n Neighbor) {
 	if _, ok := h.member[n.RID]; ok {
 		return
 	}
 	if len(h.items) < h.k {
-		heap.Push(h, n)
+		h.items = append(h.items, n)
 		h.member[n.RID] = struct{}{}
+		h.siftUp(len(h.items) - 1)
 		return
 	}
 	if n.Dist < h.items[0].Dist {
 		delete(h.member, h.items[0].RID)
 		h.items[0] = n
 		h.member[n.RID] = struct{}{}
-		heap.Fix(h, 0)
+		h.siftDown(0)
+	}
+}
+
+// siftUp restores max-heap order after appending at index i.
+//
+//tardis:hotpath
+func (h *Heap) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.items[parent].Dist >= h.items[i].Dist {
+			return
+		}
+		h.items[parent], h.items[i] = h.items[i], h.items[parent]
+		i = parent
+	}
+}
+
+// siftDown restores max-heap order after replacing the root at index i.
+//
+//tardis:hotpath
+func (h *Heap) siftDown(i int) {
+	n := len(h.items)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		big := left
+		if right := left + 1; right < n && h.items[right].Dist > h.items[left].Dist {
+			big = right
+		}
+		if h.items[i].Dist >= h.items[big].Dist {
+			return
+		}
+		h.items[i], h.items[big] = h.items[big], h.items[i]
+		i = big
 	}
 }
 
@@ -79,6 +109,8 @@ func (h *Heap) Contains(rid int64) bool {
 
 // Bound returns the current kth distance, or +Inf while underfull — the
 // early-abandon threshold for refinement.
+//
+//tardis:hotpath
 func (h *Heap) Bound() float64 {
 	if len(h.items) < h.k {
 		return math.Inf(1)

@@ -234,6 +234,8 @@ func (t *Tree) InsertNodeStat(sig isaxt.Signature, count int64) error {
 // signature and returns the covering leaf, or nil if the path ends at an
 // internal node with no matching child (a signature never seen during
 // construction).
+//
+//tardis:hotpath
 func (t *Tree) FindLeaf(sig isaxt.Signature) *Node {
 	node := t.root
 	for !node.leaf {
@@ -252,6 +254,8 @@ func (t *Tree) FindLeaf(sig isaxt.Signature) *Node {
 
 // FindDeepest descends as far as possible toward sig and returns the deepest
 // matching node (possibly the root). Unlike FindLeaf it never returns nil.
+//
+//tardis:hotpath
 func (t *Tree) FindDeepest(sig isaxt.Signature) *Node {
 	node := t.root
 	for !node.leaf && node.Layer < t.maxBits {
@@ -268,6 +272,8 @@ func (t *Tree) FindDeepest(sig isaxt.Signature) *Node {
 // TargetNode returns the paper's kNN "target node": the lowest node on the
 // query's path whose subtree holds at least k entries (§V-B). The boolean is
 // false when even the root holds fewer than k.
+//
+//tardis:hotpath
 func (t *Tree) TargetNode(sig isaxt.Signature, k int64) (*Node, bool) {
 	if t.root.Count < k {
 		return t.root, false

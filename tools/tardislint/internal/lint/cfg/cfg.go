@@ -1,0 +1,486 @@
+// Package cfg builds intraprocedural control-flow graphs over go/ast
+// function bodies — standard library only, like the rest of tardislint —
+// and provides a forward-worklist dataflow solver over them (dataflow.go).
+//
+// A Graph is a set of basic blocks. Each block carries the statements and
+// control expressions it executes, in order: the condition of an if or for
+// lives in the block that evaluates it, a switch tag and its case
+// expressions live in the dispatching block, and a range statement
+// contributes a synthesized assignment (key, value := range-expr) to the
+// loop head so dataflow passes see the per-iteration definitions. Composite
+// statements (if/for/switch/select bodies) never appear inside a block's
+// Nodes — only their leaves do — so passes can ast.Inspect every node of a
+// block without double-visiting nested control flow.
+//
+// Edges cover if/else, for and range loops (with back edges), switch and
+// type switch (including fallthrough), select, goto and labeled
+// break/continue, and early exits: return, panic, os.Exit, and log.Fatal*
+// all jump to the synthetic Exit block. Defer statements stay in their
+// block in syntactic order; passes that care about exit-time effects (e.g.
+// lockflow's deferred-unlock tracking) interpret them there.
+//
+// Code after a terminator still gets blocks — they are simply unreachable
+// from the entry and have Live == false. Build computes liveness so passes
+// can skip dead code (go vet already reports it).
+package cfg
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Block is one basic block.
+type Block struct {
+	// Index is the block's position in Graph.Blocks (creation order,
+	// roughly reverse postorder for structured code).
+	Index int
+	// Nodes holds the simple statements and control expressions executed
+	// by this block, in execution order.
+	Nodes []ast.Node
+	// Succs and Preds are the flow edges.
+	Succs []*Block
+	Preds []*Block
+	// Live reports whether the block is reachable from the entry block.
+	Live bool
+}
+
+// Graph is the control-flow graph of one function body.
+type Graph struct {
+	Entry *Block
+	// Exit is the synthetic sink: every return, panic, and fall-off-the-end
+	// path edges into it. It holds no nodes.
+	Exit   *Block
+	Blocks []*Block
+}
+
+// Build constructs the CFG of a function body. It never mutates the AST it
+// is given; the only synthesized nodes are assignment wrappers for range
+// headers, which reuse the original ident/expr nodes so go/types lookups
+// on them still work.
+func Build(body *ast.BlockStmt) *Graph {
+	g := &Graph{}
+	b := &builder{g: g, labels: map[string]*labelInfo{}}
+	g.Entry = b.newBlock()
+	g.Exit = &Block{} // indexed last, below, so block order reads naturally
+	b.cur = g.Entry
+	b.stmtList(body.List)
+	if b.cur != nil {
+		b.addEdge(b.cur, g.Exit)
+	}
+	g.Exit.Index = len(g.Blocks)
+	g.Blocks = append(g.Blocks, g.Exit)
+	markLive(g.Entry)
+	return g
+}
+
+func markLive(b *Block) {
+	if b.Live {
+		return
+	}
+	b.Live = true
+	for _, s := range b.Succs {
+		markLive(s)
+	}
+}
+
+// labelInfo tracks the blocks associated with one label: the goto/entry
+// target, and the break/continue targets when the label names a loop,
+// switch, or select.
+type labelInfo struct {
+	target *Block
+	brk    *Block
+	cont   *Block
+}
+
+type builder struct {
+	g   *Graph
+	cur *Block // nil after a terminator; next statement starts a dead block
+
+	labels       map[string]*labelInfo
+	pendingLabel *labelInfo // label immediately preceding the next loop/switch
+
+	breakStack    []*Block
+	continueStack []*Block
+	fallthroughTo *Block // next case body, inside a switch clause
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) addEdge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// add appends a node to the current block, starting a fresh (dead) block if
+// the previous statement terminated control flow.
+func (b *builder) add(n ast.Node) {
+	if n == nil {
+		return
+	}
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+// jump ends the current block with an edge to target.
+func (b *builder) jump(target *Block) {
+	if b.cur != nil {
+		b.addEdge(b.cur, target)
+	}
+	b.cur = nil
+}
+
+// linkTo continues flow into target: edge from the current block (if live)
+// and make target current.
+func (b *builder) linkTo(target *Block) {
+	if b.cur != nil {
+		b.addEdge(b.cur, target)
+	}
+	b.cur = target
+}
+
+// takeLabel consumes the pending label (if any) so a loop/switch/select can
+// register its break/continue targets under it.
+func (b *builder) takeLabel() *labelInfo {
+	l := b.pendingLabel
+	b.pendingLabel = nil
+	return l
+}
+
+func (b *builder) labelInfoFor(name string) *labelInfo {
+	l := b.labels[name]
+	if l == nil {
+		l = &labelInfo{target: b.newBlock()}
+		b.labels[name] = l
+	}
+	return l
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	// Any statement other than a labeled loop/switch invalidates a pending
+	// label's break/continue registration; the label target itself stays.
+	switch s.(type) {
+	case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt, *ast.LabeledStmt:
+	default:
+		b.pendingLabel = nil
+	}
+
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		l := b.labelInfoFor(s.Label.Name)
+		b.linkTo(l.target)
+		b.pendingLabel = l
+		b.stmt(s.Stmt)
+
+	case *ast.IfStmt:
+		b.ifStmt(s)
+
+	case *ast.ForStmt:
+		b.forStmt(s)
+
+	case *ast.RangeStmt:
+		b.rangeStmt(s)
+
+	case *ast.SwitchStmt:
+		b.switchStmt(s.Init, s.Tag, nil, s.Body, true)
+
+	case *ast.TypeSwitchStmt:
+		b.switchStmt(s.Init, nil, s.Assign, s.Body, false)
+
+	case *ast.SelectStmt:
+		b.selectStmt(s)
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.jump(b.g.Exit)
+
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if call, ok := s.X.(*ast.CallExpr); ok && isTerminalCall(call) {
+			b.jump(b.g.Exit)
+		}
+
+	default:
+		// Assign, Decl, IncDec, Send, Defer, Go, Empty: straight-line.
+		b.add(s)
+	}
+}
+
+func (b *builder) ifStmt(s *ast.IfStmt) {
+	b.add(s.Init)
+	b.add(s.Cond)
+	if b.cur == nil {
+		b.cur = b.newBlock() // dead if: keep structure anyway
+	}
+	cond := b.cur
+	then := b.newBlock()
+	b.addEdge(cond, then)
+	b.cur = then
+	b.stmt(s.Body)
+	thenEnd := b.cur
+	var elseEnd *Block
+	hasElse := s.Else != nil
+	if hasElse {
+		els := b.newBlock()
+		b.addEdge(cond, els)
+		b.cur = els
+		b.stmt(s.Else)
+		elseEnd = b.cur
+	}
+	join := b.newBlock()
+	if !hasElse {
+		b.addEdge(cond, join)
+	}
+	if thenEnd != nil {
+		b.addEdge(thenEnd, join)
+	}
+	if elseEnd != nil {
+		b.addEdge(elseEnd, join)
+	}
+	b.cur = join
+}
+
+func (b *builder) forStmt(s *ast.ForStmt) {
+	label := b.takeLabel()
+	b.add(s.Init)
+	head := b.newBlock()
+	b.linkTo(head)
+	b.add(s.Cond)
+	head = b.cur // add may not change cur, but keep the invariant explicit
+	body := b.newBlock()
+	exit := b.newBlock()
+	b.addEdge(head, body)
+	if s.Cond != nil {
+		b.addEdge(head, exit)
+	}
+	cont := head
+	var post *Block
+	if s.Post != nil {
+		post = b.newBlock()
+		cont = post
+	}
+	if label != nil {
+		label.brk, label.cont = exit, cont
+	}
+	b.breakStack = append(b.breakStack, exit)
+	b.continueStack = append(b.continueStack, cont)
+	b.cur = body
+	b.stmt(s.Body)
+	if b.cur != nil {
+		b.addEdge(b.cur, cont)
+	}
+	if post != nil {
+		b.cur = post
+		b.add(s.Post)
+		b.addEdge(b.cur, head)
+	}
+	b.breakStack = b.breakStack[:len(b.breakStack)-1]
+	b.continueStack = b.continueStack[:len(b.continueStack)-1]
+	b.cur = exit
+}
+
+func (b *builder) rangeStmt(s *ast.RangeStmt) {
+	label := b.takeLabel()
+	head := b.newBlock()
+	b.linkTo(head)
+	// Synthesize "key, value := x" (reusing the original nodes) so passes
+	// see the per-iteration definitions and the range operand use.
+	if s.Key != nil {
+		lhs := []ast.Expr{s.Key}
+		if s.Value != nil {
+			lhs = append(lhs, s.Value)
+		}
+		b.add(&ast.AssignStmt{Lhs: lhs, TokPos: s.For, Tok: s.Tok, Rhs: []ast.Expr{s.X}})
+	} else {
+		b.add(s.X)
+	}
+	head = b.cur
+	body := b.newBlock()
+	exit := b.newBlock()
+	b.addEdge(head, body)
+	b.addEdge(head, exit)
+	if label != nil {
+		label.brk, label.cont = exit, head
+	}
+	b.breakStack = append(b.breakStack, exit)
+	b.continueStack = append(b.continueStack, head)
+	b.cur = body
+	b.stmt(s.Body)
+	if b.cur != nil {
+		b.addEdge(b.cur, head)
+	}
+	b.breakStack = b.breakStack[:len(b.breakStack)-1]
+	b.continueStack = b.continueStack[:len(b.continueStack)-1]
+	b.cur = exit
+}
+
+// switchStmt covers both expression switches (tag != nil, fallthrough
+// allowed) and type switches (assign != nil).
+func (b *builder) switchStmt(init ast.Stmt, tag ast.Expr, assign ast.Stmt, body *ast.BlockStmt, allowFallthrough bool) {
+	label := b.takeLabel()
+	b.add(init)
+	b.add(tag)
+	b.add(assign)
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	head := b.cur
+	exit := b.newBlock()
+	if label != nil {
+		label.brk = exit
+	}
+	b.breakStack = append(b.breakStack, exit)
+
+	var clauses []*ast.CaseClause
+	hasDefault := false
+	for _, cs := range body.List {
+		cc, ok := cs.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		clauses = append(clauses, cc)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		// Case expressions are evaluated by the dispatching block.
+		for _, e := range cc.List {
+			head.Nodes = append(head.Nodes, e)
+		}
+	}
+	bodies := make([]*Block, len(clauses))
+	for i := range clauses {
+		bodies[i] = b.newBlock()
+		b.addEdge(head, bodies[i])
+	}
+	if !hasDefault {
+		b.addEdge(head, exit)
+	}
+	for i, cc := range clauses {
+		savedFT := b.fallthroughTo
+		b.fallthroughTo = nil
+		if allowFallthrough && i+1 < len(bodies) {
+			b.fallthroughTo = bodies[i+1]
+		}
+		b.cur = bodies[i]
+		b.stmtList(cc.Body)
+		if b.cur != nil {
+			b.addEdge(b.cur, exit)
+		}
+		b.fallthroughTo = savedFT
+	}
+	b.breakStack = b.breakStack[:len(b.breakStack)-1]
+	b.cur = exit
+}
+
+func (b *builder) selectStmt(s *ast.SelectStmt) {
+	label := b.takeLabel()
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	head := b.cur
+	exit := b.newBlock()
+	if label != nil {
+		label.brk = exit
+	}
+	b.breakStack = append(b.breakStack, exit)
+	for _, cs := range s.Body.List {
+		cc, ok := cs.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		body := b.newBlock()
+		b.addEdge(head, body)
+		b.cur = body
+		b.add(cc.Comm)
+		b.stmtList(cc.Body)
+		if b.cur != nil {
+			b.addEdge(b.cur, exit)
+		}
+	}
+	// An empty select{} blocks forever: head keeps no successors and exit
+	// stays unreachable, which is exactly the runtime behavior.
+	b.breakStack = b.breakStack[:len(b.breakStack)-1]
+	b.cur = exit
+}
+
+func (b *builder) branchStmt(s *ast.BranchStmt) {
+	switch s.Tok {
+	case token.BREAK:
+		if s.Label != nil {
+			if l := b.labels[s.Label.Name]; l != nil && l.brk != nil {
+				b.add(s)
+				b.jump(l.brk)
+				return
+			}
+		} else if n := len(b.breakStack); n > 0 {
+			b.add(s)
+			b.jump(b.breakStack[n-1])
+			return
+		}
+	case token.CONTINUE:
+		if s.Label != nil {
+			if l := b.labels[s.Label.Name]; l != nil && l.cont != nil {
+				b.add(s)
+				b.jump(l.cont)
+				return
+			}
+		} else if n := len(b.continueStack); n > 0 {
+			b.add(s)
+			b.jump(b.continueStack[n-1])
+			return
+		}
+	case token.GOTO:
+		if s.Label != nil {
+			b.add(s)
+			b.jump(b.labelInfoFor(s.Label.Name).target)
+			return
+		}
+	case token.FALLTHROUGH:
+		if b.fallthroughTo != nil {
+			b.add(s)
+			b.jump(b.fallthroughTo)
+			return
+		}
+	}
+	// Malformed branch (e.g. break outside a loop in a fuzzed body): treat
+	// as a terminator to the exit rather than panicking.
+	b.add(s)
+	b.jump(b.g.Exit)
+}
+
+// isTerminalCall reports whether a call statement never returns: the panic
+// builtin and, by conventional name, os.Exit / log.Fatal* / runtime.Goexit.
+// Name-based matching is deliberate — the cfg package is type-free.
+func isTerminalCall(call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		pkg, ok := fun.X.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		switch pkg.Name + "." + fun.Sel.Name {
+		case "os.Exit", "log.Fatal", "log.Fatalf", "log.Fatalln", "runtime.Goexit":
+			return true
+		}
+	}
+	return false
+}

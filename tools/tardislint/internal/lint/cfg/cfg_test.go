@@ -1,0 +1,331 @@
+package cfg_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"github.com/tardisdb/tardis/tools/tardislint/internal/lint/cfg"
+)
+
+// build parses a function body and returns its CFG.
+func build(t *testing.T, body string) *cfg.Graph {
+	t.Helper()
+	g, err := tryBuild(body)
+	if err != nil {
+		t.Fatalf("parsing body: %v", err)
+	}
+	return g
+}
+
+func tryBuild(body string) (*cfg.Graph, error) {
+	src := "package p\nfunc f() {\n" + body + "\n}"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "t.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		return nil, err
+	}
+	fd := f.Decls[0].(*ast.FuncDecl)
+	return cfg.Build(fd.Body), nil
+}
+
+// liveBlocks returns the blocks reachable from the entry.
+func liveBlocks(g *cfg.Graph) []*cfg.Block {
+	var out []*cfg.Block
+	for _, b := range g.Blocks {
+		if b.Live {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+func hasBackEdge(g *cfg.Graph) bool {
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			if s.Index <= b.Index {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func TestStraightLine(t *testing.T) {
+	g := build(t, "x := 1\ny := x\n_ = y")
+	if len(g.Entry.Nodes) != 3 {
+		t.Errorf("entry nodes = %d, want 3", len(g.Entry.Nodes))
+	}
+	if len(g.Exit.Preds) == 0 {
+		t.Error("exit has no predecessors; fall-off-the-end edge missing")
+	}
+}
+
+func TestIfElseJoin(t *testing.T) {
+	g := build(t, "x := 1\nif x > 0 {\nx = 2\n} else {\nx = 3\n}\n_ = x")
+	// entry(cond), then, else, join, exit: all live.
+	if got := len(liveBlocks(g)); got < 5 {
+		t.Errorf("live blocks = %d, want >= 5", got)
+	}
+	if hasBackEdge(g) {
+		t.Error("if/else produced a back edge")
+	}
+}
+
+func TestDeadCodeAfterReturn(t *testing.T) {
+	g := build(t, "return\nx := 1\n_ = x")
+	dead := 0
+	for _, b := range g.Blocks {
+		if !b.Live && len(b.Nodes) > 0 {
+			dead++
+		}
+	}
+	if dead == 0 {
+		t.Error("statements after return should land in a dead block")
+	}
+}
+
+func TestForLoopBackEdge(t *testing.T) {
+	g := build(t, "for i := 0; i < 10; i++ {\n_ = i\n}")
+	if !hasBackEdge(g) {
+		t.Error("for loop has no back edge")
+	}
+	if len(g.Exit.Preds) == 0 {
+		t.Error("loop exit does not reach function exit")
+	}
+}
+
+func TestInfiniteLoopExitUnreachable(t *testing.T) {
+	g := build(t, "for {\n}\nx := 1\n_ = x")
+	for _, b := range g.Blocks {
+		if b.Live && len(b.Nodes) > 0 {
+			for _, n := range b.Nodes {
+				if as, ok := n.(*ast.AssignStmt); ok && len(as.Lhs) == 1 {
+					if id, ok := as.Lhs[0].(*ast.Ident); ok && id.Name == "x" {
+						t.Error("code after for{} should be unreachable")
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRangeSynthesizesAssign(t *testing.T) {
+	g := build(t, "s := []int{1}\nfor _, v := range s {\n_ = v\n}")
+	found := false
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if as, ok := n.(*ast.AssignStmt); ok && len(as.Lhs) == 2 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("range header did not synthesize a key,value assignment")
+	}
+	if !hasBackEdge(g) {
+		t.Error("range loop has no back edge")
+	}
+}
+
+func TestSwitchFallthrough(t *testing.T) {
+	g := build(t, "x := 1\nswitch x {\ncase 1:\nx = 2\nfallthrough\ncase 2:\nx = 3\ndefault:\nx = 4\n}\n_ = x")
+	// The fallthrough edge links case 1's body to case 2's body: some live
+	// non-head block must have a live non-exit successor holding x = 3.
+	if got := len(liveBlocks(g)); got < 5 {
+		t.Errorf("live blocks = %d, want >= 5", got)
+	}
+}
+
+func TestSwitchNoDefaultReachesExit(t *testing.T) {
+	g := build(t, "x := 1\nswitch x {\ncase 1:\nreturn\n}\n_ = x")
+	// Without a default, the dispatch block must edge past the cases.
+	if len(g.Exit.Preds) < 2 {
+		t.Errorf("exit preds = %d, want >= 2 (return and fall-through)", len(g.Exit.Preds))
+	}
+}
+
+func TestGotoBackward(t *testing.T) {
+	g := build(t, "i := 0\nloop:\ni++\nif i < 3 {\ngoto loop\n}")
+	if !hasBackEdge(g) {
+		t.Error("backward goto produced no back edge")
+	}
+}
+
+func TestLabeledBreak(t *testing.T) {
+	g := build(t, "outer:\nfor {\nfor {\nbreak outer\n}\n}\nx := 1\n_ = x")
+	// break outer must make the code after the loops reachable.
+	reached := false
+	for _, b := range g.Blocks {
+		if !b.Live {
+			continue
+		}
+		for _, n := range b.Nodes {
+			if as, ok := n.(*ast.AssignStmt); ok {
+				if id, ok := as.Lhs[0].(*ast.Ident); ok && id.Name == "x" {
+					reached = true
+				}
+			}
+		}
+	}
+	if !reached {
+		t.Error("labeled break did not reach the statement after the loop")
+	}
+}
+
+func TestPanicTerminates(t *testing.T) {
+	g := build(t, "x := 1\nif x > 0 {\npanic(\"boom\")\n}\n_ = x")
+	// The panic block's only successor is the exit.
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			es, ok := n.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			call, ok := es.X.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				if len(b.Succs) != 1 || b.Succs[0] != g.Exit {
+					t.Errorf("panic block succs = %d, want exactly the exit", len(b.Succs))
+				}
+			}
+		}
+	}
+}
+
+func TestSelectClauses(t *testing.T) {
+	g := build(t, "ch := make(chan int)\nselect {\ncase v := <-ch:\n_ = v\ncase ch <- 1:\n}")
+	if got := len(liveBlocks(g)); got < 4 {
+		t.Errorf("live blocks = %d, want >= 4", got)
+	}
+}
+
+func TestEmptySelectBlocksForever(t *testing.T) {
+	g := build(t, "select {\n}\nx := 1\n_ = x")
+	for _, p := range g.Exit.Preds {
+		if p.Live {
+			t.Error("empty select should make the exit unreachable from live code")
+		}
+	}
+}
+
+func TestEdgeSymmetry(t *testing.T) {
+	g := build(t, `
+	for i := 0; i < 4; i++ {
+		switch {
+		case i == 1:
+			continue
+		case i == 2:
+			break
+		default:
+			goto done
+		}
+	}
+done:
+	return`)
+	checkInvariants(t, g)
+}
+
+// checkInvariants asserts the structural guarantees Build makes; the fuzz
+// target reuses it.
+func checkInvariants(t *testing.T, g *cfg.Graph) {
+	t.Helper()
+	member := map[*cfg.Block]bool{}
+	for _, b := range g.Blocks {
+		if b == nil {
+			t.Fatal("nil block in Blocks")
+		}
+		member[b] = true
+	}
+	if !member[g.Entry] || !member[g.Exit] {
+		t.Fatal("entry/exit not in Blocks")
+	}
+	if len(g.Exit.Succs) != 0 {
+		t.Error("exit block has successors")
+	}
+	countEdge := func(list []*cfg.Block, target *cfg.Block) int {
+		n := 0
+		for _, b := range list {
+			if b == target {
+				n++
+			}
+		}
+		return n
+	}
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			if !member[s] {
+				t.Fatalf("block %d has successor outside the graph", b.Index)
+			}
+			if countEdge(b.Succs, s) != countEdge(s.Preds, b) {
+				t.Errorf("edge %d->%d not symmetric in preds", b.Index, s.Index)
+			}
+		}
+	}
+	// Liveness must equal reachability from entry.
+	reach := map[*cfg.Block]bool{}
+	stack := []*cfg.Block{g.Entry}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if reach[b] {
+			continue
+		}
+		reach[b] = true
+		stack = append(stack, b.Succs...)
+	}
+	for _, b := range g.Blocks {
+		if b.Live != reach[b] {
+			t.Errorf("block %d Live=%v but reachable=%v", b.Index, b.Live, reach[b])
+		}
+	}
+}
+
+func TestSolveReachingCount(t *testing.T) {
+	// A trivial forward problem: count the maximum number of nodes executed
+	// on any path into each block. On the diamond below the join must take
+	// the max of the two branch lengths and the loop must converge.
+	g := build(t, `
+	x := 0
+	if x == 0 {
+		x = 1
+		x = 2
+	} else {
+		x = 3
+	}
+	for i := 0; i < 3; i++ {
+		x += i
+	}
+	_ = x`)
+	in := cfg.Solve(g, cfg.Problem[int]{
+		Entry: 0,
+		Clone: func(v int) int { return v },
+		Transfer: func(b *cfg.Block, v int) int {
+			n := v + len(b.Nodes)
+			if n > 1000 { // widen so the loop converges
+				n = 1000
+			}
+			return n
+		},
+		Join: func(dst, src int) (int, bool) {
+			if src > dst {
+				return src, true
+			}
+			return dst, false
+		},
+	})
+	if len(in) == 0 {
+		t.Fatal("Solve returned no facts")
+	}
+	if _, ok := in[g.Exit]; !ok {
+		t.Error("exit block got no fact")
+	}
+	for b, v := range in {
+		if b.Live && v < 0 {
+			t.Errorf("block %d has negative fact", b.Index)
+		}
+	}
+}

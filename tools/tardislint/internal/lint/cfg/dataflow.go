@@ -1,0 +1,54 @@
+package cfg
+
+// Problem is a forward dataflow problem over a Graph. F is the fact type
+// (the abstract state at a program point). The framework is deliberately
+// small: passes supply the entry fact, a transfer function over whole
+// blocks, and a join; Solve iterates to a fixpoint with a worklist.
+type Problem[F any] struct {
+	// Entry is the fact at the function entry.
+	Entry F
+	// Clone deep-copies a fact. Transfer receives a clone it may mutate.
+	Clone func(F) F
+	// Transfer computes the fact after executing block b given the fact
+	// before it. It may mutate and return its argument.
+	Transfer func(b *Block, in F) F
+	// Join merges src into dst, returning the merged fact and whether dst
+	// changed. It may mutate dst. Join must be monotone w.r.t. a finite
+	// lattice or Solve will hit its iteration cap.
+	Join func(dst, src F) (F, bool)
+}
+
+// Solve runs forward worklist iteration to a fixpoint and returns the IN
+// fact of every reachable block. Dead blocks get no fact. The iteration
+// count is capped defensively (fuzzed inputs, non-monotone joins); the cap
+// is far above what any real function needs, and on overrun the facts
+// computed so far are returned — they are sound joins, just possibly not
+// yet maximal.
+func Solve[F any](g *Graph, p Problem[F]) map[*Block]F {
+	in := map[*Block]F{g.Entry: p.Entry}
+	work := []*Block{g.Entry}
+	queued := map[*Block]bool{g.Entry: true}
+	budget := (len(g.Blocks) + 1) * 64
+	for len(work) > 0 && budget > 0 {
+		budget--
+		blk := work[0]
+		work = work[1:]
+		queued[blk] = false
+		out := p.Transfer(blk, p.Clone(in[blk]))
+		for _, succ := range blk.Succs {
+			cur, ok := in[succ]
+			var changed bool
+			if !ok {
+				in[succ] = p.Clone(out)
+				changed = true
+			} else {
+				in[succ], changed = p.Join(cur, out)
+			}
+			if changed && !queued[succ] {
+				queued[succ] = true
+				work = append(work, succ)
+			}
+		}
+	}
+	return in
+}

@@ -1,0 +1,88 @@
+package cfg_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"github.com/tardisdb/tardis/tools/tardislint/internal/lint/cfg"
+)
+
+// FuzzBuild parses arbitrary function bodies and asserts the builder never
+// panics and always produces a structurally sound graph: symmetric edges,
+// a successor-free exit, and Live flags that exactly match reachability
+// from the entry (every block is reachable-from-entry or explicitly dead).
+func FuzzBuild(f *testing.F) {
+	seeds := []string{
+		"x := 1\n_ = x",
+		"if a {\nreturn\n}\nreturn",
+		// defer shapes
+		"mu.Lock()\ndefer mu.Unlock()\nreturn",
+		"defer f()\ndefer g()\npanic(\"x\")",
+		"for {\ndefer f()\n}",
+		// goto shapes, forward and backward, into shared tails
+		"goto end\nx := 1\n_ = x\nend:\nreturn",
+		"i := 0\nloop:\ni++\nif i < 3 {\ngoto loop\n}",
+		"if a {\ngoto out\n}\nb()\nout:\nc()",
+		// labeled break/continue through nested loops
+		"outer:\nfor {\nfor {\nbreak outer\n}\n}",
+		"outer:\nfor i := 0; i < 9; i++ {\nfor {\ncontinue outer\n}\n}",
+		"L:\nswitch x {\ncase 1:\nbreak L\ncase 2:\n}",
+		// switch with fallthrough and no default
+		"switch x {\ncase 1:\nfallthrough\ncase 2:\nreturn\n}",
+		"switch y := f(); y.(type) {\ncase int:\ncase string:\nreturn\n}",
+		// select, empty select, send/recv clauses
+		"select {\ncase v := <-ch:\n_ = v\ncase ch <- 1:\ndefault:\n}",
+		"select {\n}",
+		// terminators mid-block
+		"os.Exit(1)\nx := 2\n_ = x",
+		"log.Fatalf(\"%d\", 1)",
+		// range loops
+		"for k, v := range m {\n_ = k\n_ = v\n}",
+		"for range ch {\nbreak\n}",
+		// degenerate branches the builder must not trip over
+		"break",
+		"continue",
+		"fallthrough",
+		"goto nowhere",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, body string) {
+		if len(body) > 64<<10 {
+			return // parser recursion limits dominate beyond this; not our target
+		}
+		src := "package p\nfunc f() {\n" + body + "\n}"
+		fset := token.NewFileSet()
+		parsed, err := parser.ParseFile(fset, "fuzz.go", src, parser.SkipObjectResolution)
+		if err != nil {
+			return // not compilable; nothing to build
+		}
+		fd, ok := parsed.Decls[0].(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			return
+		}
+		g := cfg.Build(fd.Body)
+		checkInvariants(t, g)
+		// The solver must terminate on whatever graph came out, including
+		// irreducible goto webs.
+		cfg.Solve(g, cfg.Problem[int]{
+			Entry: 0,
+			Clone: func(v int) int { return v },
+			Transfer: func(b *cfg.Block, v int) int {
+				if v < 1<<20 {
+					v++
+				}
+				return v
+			},
+			Join: func(dst, src int) (int, bool) {
+				if src > dst {
+					return src, true
+				}
+				return dst, false
+			},
+		})
+	})
+}

@@ -1,0 +1,310 @@
+// Package errflow implements the errflow pass: a path-sensitive dead-store
+// analysis for error-typed locals. A definition of an error variable is
+// flagged when no use of the variable is reachable on ANY path before the
+// variable is overwritten or falls out of scope — the classic shapes being
+//
+//	f, err := os.Open(a)
+//	g, err := os.Open(b) // first err silently overwritten
+//
+// an inner err := ... shadowing an outer error that is then never checked,
+// and an error assigned on the last line of a function that simply falls off
+// the end.
+//
+// The "any path" quantifier is what keeps the pass quiet on correct code:
+// a retry loop that overwrites err on the back edge but checks it after the
+// loop has a use reachable on the loop-exit path, so nothing is reported.
+//
+// The analysis is deliberately conservative about aliasing: variables whose
+// address is taken or that are captured by a function literal are exempt,
+// as are assignments of the nil literal (err = nil resets are idiomatic).
+// Only variables declared inside the function body with type exactly
+// `error` participate; named result parameters are out of scope (a bare
+// return uses them implicitly).
+package errflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/tardisdb/tardis/tools/tardislint/internal/lint"
+	"github.com/tardisdb/tardis/tools/tardislint/internal/lint/cfg"
+)
+
+const passName = "errflow"
+
+// Pass is the errflow analyzer.
+var Pass = lint.Pass{
+	Name: passName,
+	Doc:  "error-typed definition is never checked on any path before being overwritten or dropped",
+	Run:  run,
+}
+
+func run(p *lint.Package) []lint.Finding {
+	var out []lint.Finding
+	errType := types.Universe.Lookup("error").Type()
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			a := &analysis{pkg: p, errType: errType}
+			out = append(out, a.check(fd)...)
+		}
+	}
+	return out
+}
+
+type analysis struct {
+	pkg     *lint.Package
+	errType types.Type
+}
+
+// objOf resolves an identifier to its object, whether the occurrence
+// declares it or uses it.
+func (a *analysis) objOf(id *ast.Ident) types.Object {
+	if o := a.pkg.Info.Uses[id]; o != nil {
+		return o
+	}
+	return a.pkg.Info.Defs[id]
+}
+
+// candidates returns the error-typed variables declared in the body that
+// the analysis can reason about: address never taken, never captured by a
+// function literal.
+func (a *analysis) candidates(body *ast.BlockStmt) map[*types.Var]bool {
+	cand := map[*types.Var]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := a.pkg.Info.Defs[id].(*types.Var)
+		if !ok || v.Name() == "_" {
+			return true
+		}
+		if types.Identical(v.Type(), a.errType) {
+			cand[v] = true
+		}
+		return true
+	})
+	if len(cand) == 0 {
+		return nil
+	}
+	disqualify := func(id *ast.Ident) {
+		if v, ok := a.objOf(id).(*types.Var); ok {
+			delete(cand, v)
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op.String() == "&" {
+				if id, ok := n.X.(*ast.Ident); ok {
+					disqualify(id)
+				}
+			}
+		case *ast.FuncLit:
+			// Captured variables can be read at any time (goroutines,
+			// deferred closures); give up on them entirely.
+			ast.Inspect(n.Body, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					disqualify(id)
+				}
+				return true
+			})
+			return false
+		}
+		return true
+	})
+	return cand
+}
+
+// def is one definition site of a candidate variable.
+type def struct {
+	v    *types.Var
+	id   *ast.Ident
+	blk  *cfg.Block
+	idx  int // index of the defining node in blk.Nodes
+	decl bool
+}
+
+func (a *analysis) check(fd *ast.FuncDecl) []lint.Finding {
+	cand := a.candidates(fd.Body)
+	if len(cand) == 0 {
+		return nil
+	}
+	g := cfg.Build(fd.Body)
+	var defs []def
+	for _, b := range g.Blocks {
+		if !b.Live {
+			continue // go vet already reports unreachable code
+		}
+		for i, n := range b.Nodes {
+			defs = append(defs, a.defsIn(cand, b, i, n)...)
+		}
+	}
+	var out []lint.Finding
+	for _, d := range defs {
+		live, overwritten := a.useReachable(d)
+		if live {
+			continue
+		}
+		what := "goes out of scope"
+		if overwritten {
+			what = "is overwritten"
+		}
+		out = append(out, a.pkg.Findingf(passName, d.id.Pos(),
+			"error assigned to %q %s without being checked on any path", d.v.Name(), what))
+	}
+	return out
+}
+
+// defsIn extracts the candidate-variable definitions made by one block node:
+// assignment statements (including := and the assignments synthesized for
+// range headers) and var declarations with initializers. Assignments of the
+// nil literal are skipped.
+func (a *analysis) defsIn(cand map[*types.Var]bool, b *cfg.Block, idx int, n ast.Node) []def {
+	var out []def
+	addIfCand := func(id *ast.Ident, val ast.Expr) {
+		v, ok := a.objOf(id).(*types.Var)
+		if !ok || !cand[v] {
+			return
+		}
+		if val != nil {
+			if tv, ok := a.pkg.Info.Types[val]; ok && tv.IsNil() {
+				return
+			}
+		}
+		out = append(out, def{v: v, id: id, blk: b, idx: idx})
+	}
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		for i, lhs := range n.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			var val ast.Expr
+			if len(n.Rhs) == len(n.Lhs) {
+				val = n.Rhs[i]
+			}
+			addIfCand(id, val)
+		}
+	case *ast.DeclStmt:
+		gd, ok := n.Decl.(*ast.GenDecl)
+		if !ok {
+			return nil
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok || len(vs.Values) == 0 {
+				continue
+			}
+			for i, name := range vs.Names {
+				var val ast.Expr
+				if len(vs.Values) == len(vs.Names) {
+					val = vs.Values[i]
+				}
+				addIfCand(name, val)
+			}
+		}
+	}
+	return out
+}
+
+// useReachable reports whether any use of d.v is reachable from the
+// definition before the variable is redefined, and whether some path
+// redefines it (for the diagnostic wording). The search walks the remainder
+// of the defining block and then the successor blocks breadth-first; a block
+// whose scan hits a redefinition kills that path.
+func (a *analysis) useReachable(d def) (live, overwritten bool) {
+	used, killed := a.scanBlock(d.blk, d.idx+1, d.v)
+	if used {
+		return true, false
+	}
+	if killed {
+		return false, true
+	}
+	visited := map[*cfg.Block]bool{}
+	queue := append([]*cfg.Block{}, d.blk.Succs...)
+	for len(queue) > 0 {
+		b := queue[0]
+		queue = queue[1:]
+		if visited[b] {
+			continue
+		}
+		visited[b] = true
+		used, killed := a.scanBlock(b, 0, d.v)
+		if used {
+			return true, false
+		}
+		if killed {
+			overwritten = true
+			continue
+		}
+		queue = append(queue, b.Succs...)
+	}
+	return false, overwritten
+}
+
+// scanBlock scans blk.Nodes[from:] in execution order for the first use or
+// redefinition of v.
+func (a *analysis) scanBlock(blk *cfg.Block, from int, v *types.Var) (used, killed bool) {
+	for i := from; i < len(blk.Nodes); i++ {
+		u, k := a.scanNode(blk.Nodes[i], v)
+		if u {
+			return true, false
+		}
+		if k {
+			return false, true
+		}
+	}
+	return false, false
+}
+
+// scanNode classifies one node's effect on v: a read anywhere (including
+// assignment right-hand sides and non-identifier left-hand sides like
+// m[err] = x) is a use; v appearing as a bare left-hand-side identifier of
+// an assignment is a kill. Reads take priority — err = wrap(err) uses the
+// old value before overwriting it.
+func (a *analysis) scanNode(n ast.Node, v *types.Var) (used, killed bool) {
+	as, ok := n.(*ast.AssignStmt)
+	if !ok {
+		return a.exprUses(n, v), false
+	}
+	for _, r := range as.Rhs {
+		if a.exprUses(r, v) {
+			used = true
+		}
+	}
+	for _, l := range as.Lhs {
+		if id, ok := l.(*ast.Ident); ok {
+			if a.objOf(id) == v {
+				killed = true
+			}
+			continue
+		}
+		if a.exprUses(l, v) {
+			used = true
+		}
+	}
+	if used {
+		killed = false
+	}
+	return used, killed
+}
+
+func (a *analysis) exprUses(n ast.Node, v *types.Var) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := m.(*ast.Ident); ok && a.pkg.Info.Uses[id] == v {
+			found = true
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package errflow_test
+
+import (
+	"testing"
+
+	"github.com/tardisdb/tardis/tools/tardislint/internal/lint/errflow"
+	"github.com/tardisdb/tardis/tools/tardislint/internal/lint/linttest"
+)
+
+func TestErrflow(t *testing.T) {
+	linttest.Check(t, errflow.Pass, "fixture", "testdata/fixture.go")
+}

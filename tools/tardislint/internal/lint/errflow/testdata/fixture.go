@@ -1,0 +1,155 @@
+// Package fixture seeds errflow violations — error values overwritten,
+// shadowed, or dropped without ever being checked — next to the correct
+// forms that must stay clean, including the retry loop whose error is only
+// checked after the loop.
+package fixture
+
+import "errors"
+
+func open(string) (int, error)  { return 0, nil }
+func open2(string) (int, error) { return 0, nil }
+func attempt() error            { return nil }
+func wrap(error) error          { return nil }
+func sink(int)                  {}
+func keep(*error)               {}
+
+// goodChecked is the baseline correct form.
+func goodChecked() error {
+	f, err := open("a")
+	if err != nil {
+		return err
+	}
+	sink(f)
+	return nil
+}
+
+// goodCheckedInLoop overwrites err on every back edge but checks it right
+// after each assignment.
+func goodCheckedInLoop() error {
+	var err error
+	for i := 0; i < 3; i++ {
+		err = attempt()
+		if err == nil {
+			break
+		}
+	}
+	return err
+}
+
+// goodCheckedAfterLoop assigns inside the loop and only checks after it:
+// the loop-exit path reaches the use, so the per-iteration definitions are
+// live even though the back edge overwrites them. Only a path-sensitive
+// analysis gets this right.
+func goodCheckedAfterLoop(keys []string) error {
+	var err error
+	for _, k := range keys {
+		if _, e := open(k); e != nil {
+			err = e
+		}
+	}
+	if err != nil {
+		return err
+	}
+	return nil
+}
+
+// goodRewrap reads the old value while overwriting it.
+func goodRewrap() error {
+	err := attempt()
+	err = wrap(err)
+	return err
+}
+
+// goodEscapes takes the address; the analysis must leave it alone.
+func goodEscapes() {
+	err := attempt()
+	keep(&err)
+}
+
+// goodCaptured is read by a deferred closure.
+func goodCaptured() {
+	err := attempt()
+	defer func() { _ = err }()
+}
+
+// goodDiscarded documents intent with a blank assignment.
+func goodDiscarded() {
+	err := attempt()
+	_ = err
+}
+
+// badOverwrite drops the first error on the floor: the classic copy-paste.
+func badOverwrite() error {
+	f, err := open("a") // WANT
+	g, err := open2("b")
+	if err != nil {
+		return err
+	}
+	sink(f + g)
+	return nil
+}
+
+// badShadow writes := where = was meant: the inner err shadows the outer
+// one, so the first error can never reach the final return — every path
+// overwrites the outer variable before reading it.
+func badShadow(retry bool) error {
+	err := attempt() // WANT
+	if retry {
+		err := attempt()
+		if err != nil {
+			return err
+		}
+	}
+	err = nil
+	return err
+}
+
+// badFallsOff checks the first error but lets the second fall off the end
+// of the function.
+func badFallsOff() {
+	err := attempt()
+	if err != nil {
+		return
+	}
+	err = attempt() // WANT
+}
+
+// badBothBranches overwrites the first error on every branch before the
+// check, so no path ever observes it.
+func badBothBranches(fast bool) error {
+	err := attempt() // WANT
+	if fast {
+		err = attempt()
+	} else {
+		err = wrap(errors.New("slow"))
+	}
+	return err
+}
+
+// badLoopClobbered collects an error per iteration, then the final
+// assignment clobbers whatever the loop produced: no path reads the
+// per-iteration value.
+func badLoopClobbered(keys []string) error {
+	var err error
+	for _, k := range keys {
+		_, err = open(k) // WANT
+	}
+	err = attempt()
+	return err
+}
+
+// badDeclInit seeds the violation through a var declaration with an
+// initializer rather than an assignment.
+func badDeclInit() {
+	var err error = attempt() // WANT
+	err = nil
+	_ = err
+}
+
+// underReview is allowed to drop its error while the API settles; the
+// suppression is the sanctioned escape hatch.
+func underReview() error {
+	err := attempt() //tardislint:ignore errflow prototype; retry policy lands later
+	err = attempt()
+	return err
+}

@@ -1,0 +1,347 @@
+// Package hotalloc implements the hotalloc pass: it looks only at functions
+// annotated with a //tardis:hotpath doc-comment directive and flags
+// allocation patterns that do not belong on a per-record code path.
+//
+// Two classes of check run over an annotated function:
+//
+// Whole-body (the function itself is called per element, so one allocation
+// is already one-per-record):
+//   - fmt.Sprint/Sprintf/Sprintln/Errorf calls
+//   - non-constant string concatenation
+//   - interface boxing: passing a concrete value to an interface-typed
+//     parameter (including variadic ...any), which forces a heap allocation
+//     for most values
+//
+// Loop-only (per-iteration allocation inside the annotated function):
+//   - map and slice composite literals
+//   - make calls
+//   - append to a slice declared without capacity
+//   - function literals (closure allocation)
+//
+// Cold sub-paths are exempt: arguments to panic and return statements that
+// carry an error value are skipped entirely, so diagnostic formatting on
+// failure paths stays idiomatic. Function literal bodies are also skipped —
+// the literal itself is flagged when it appears in a loop, but its body is
+// a separate (un-annotated) function.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"github.com/tardisdb/tardis/tools/tardislint/internal/lint"
+)
+
+const passName = "hotalloc"
+
+// Directive marks a function as a hot path for this pass.
+const Directive = "//tardis:hotpath"
+
+// Pass is the hotalloc analyzer.
+var Pass = lint.Pass{
+	Name: passName,
+	Doc:  "allocation on a //tardis:hotpath function: fmt, string concat, interface boxing, per-iteration literals",
+	Run:  run,
+}
+
+func run(p *lint.Package) []lint.Finding {
+	var out []lint.Finding
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotpath(fd.Doc) {
+				continue
+			}
+			c := &checker{pkg: p, errType: types.Universe.Lookup("error").Type()}
+			c.collectSliceDecls(fd.Body)
+			c.walkBody(fd.Body)
+			out = append(out, c.findings...)
+		}
+	}
+	return out
+}
+
+func isHotpath(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.TrimSpace(c.Text) == Directive {
+			return true
+		}
+	}
+	return false
+}
+
+type checker struct {
+	pkg      *lint.Package
+	errType  types.Type
+	findings []lint.Finding
+	// sliceDecl maps a local slice variable to whether its declaration
+	// preallocates capacity; absent means the variable is unknown (not
+	// declared in this function, or initialized from an expression we do
+	// not model) and append to it is not flagged.
+	sliceDecl map[*types.Var]bool
+}
+
+func (c *checker) reportf(pos token.Pos, format string, args ...any) {
+	c.findings = append(c.findings, c.pkg.Findingf(passName, pos, format, args...))
+}
+
+// collectSliceDecls records, for every slice variable declared in the body,
+// whether the declaration provides capacity up front.
+func (c *checker) collectSliceDecls(body *ast.BlockStmt) {
+	c.sliceDecl = map[*types.Var]bool{}
+	record := func(id *ast.Ident, val ast.Expr) {
+		v, ok := c.pkg.Info.Defs[id].(*types.Var)
+		if !ok {
+			return
+		}
+		if _, ok := v.Type().Underlying().(*types.Slice); !ok {
+			return
+		}
+		c.sliceDecl[v] = preallocates(val)
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if len(n.Rhs) == len(n.Lhs) {
+					record(id, n.Rhs[i])
+				}
+			}
+		case *ast.GenDecl:
+			for _, spec := range n.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					var val ast.Expr
+					if len(vs.Values) == len(vs.Names) {
+						val = vs.Values[i]
+					}
+					record(name, val)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// preallocates reports whether a slice initializer reserves capacity:
+// make with an explicit capacity argument, or a literal with elements.
+// Unknown initializer shapes (calls, slicing) count as preallocated so we
+// stay quiet rather than guess.
+func preallocates(val ast.Expr) bool {
+	switch v := val.(type) {
+	case nil:
+		return false // var s []T
+	case *ast.CompositeLit:
+		return len(v.Elts) > 0
+	case *ast.CallExpr:
+		if id, ok := v.Fun.(*ast.Ident); ok && id.Name == "make" {
+			return len(v.Args) >= 3
+		}
+		return true
+	default:
+		return true
+	}
+}
+
+// walkBody runs the whole-body checks and dispatches the loop-only checks
+// when it reaches a loop.
+func (c *checker) walkBody(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if c.pruned(n) {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // separate, un-annotated function
+		case *ast.ForStmt, *ast.RangeStmt:
+			c.walkLoop(n)
+			return false // walkLoop re-runs the whole-body checks inside
+		case *ast.CallExpr:
+			c.checkCall(n, false)
+		case *ast.BinaryExpr:
+			if c.checkConcat(n) {
+				return false // one report per concat chain
+			}
+		}
+		return true
+	})
+}
+
+// walkLoop checks a loop subtree: everything walkBody checks, plus the
+// per-iteration allocation checks. Nested loops stay inside this walk.
+func (c *checker) walkLoop(loop ast.Node) {
+	ast.Inspect(loop, func(n ast.Node) bool {
+		if n == loop {
+			return true
+		}
+		if c.pruned(n) {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			c.reportf(n.Pos(), "closure literal allocates on every iteration of a hot loop; hoist it out")
+			return false
+		case *ast.CallExpr:
+			c.checkCall(n, true)
+		case *ast.BinaryExpr:
+			if c.checkConcat(n) {
+				return false
+			}
+		case *ast.CompositeLit:
+			switch c.typeOf(n).Underlying().(type) {
+			case *types.Map:
+				c.reportf(n.Pos(), "map literal allocates on every iteration of a hot loop; hoist and reuse it")
+			case *types.Slice:
+				c.reportf(n.Pos(), "slice literal allocates on every iteration of a hot loop; hoist or preallocate")
+			}
+		}
+		return true
+	})
+}
+
+// pruned reports whether a subtree is a cold path the checks must skip:
+// panic arguments and returns that carry an error value.
+func (c *checker) pruned(n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.CallExpr:
+		if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "panic" {
+			return true
+		}
+	case *ast.ReturnStmt:
+		for _, res := range n.Results {
+			if t := c.typeOf(res); t != nil && types.Identical(t, c.errType) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (c *checker) typeOf(e ast.Expr) types.Type {
+	if tv, ok := c.pkg.Info.Types[e]; ok && tv.Type != nil {
+		return tv.Type
+	}
+	return types.Typ[types.Invalid]
+}
+
+// checkCall flags fmt formatting calls, interface boxing at call arguments,
+// per-iteration make, and append to an unpreallocated slice.
+func (c *checker) checkCall(call *ast.CallExpr, inLoop bool) {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if pkg, ok := sel.X.(*ast.Ident); ok && pkg.Name == "fmt" {
+			switch sel.Sel.Name {
+			case "Sprint", "Sprintf", "Sprintln", "Errorf":
+				c.reportf(call.Pos(), "fmt.%s allocates on a hot path; format off the hot path or use strconv/append", sel.Sel.Name)
+				return
+			}
+		}
+	}
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		switch id.Name {
+		case "make":
+			if inLoop {
+				c.reportf(call.Pos(), "make allocates on every iteration of a hot loop; hoist and reuse the buffer")
+			}
+			return
+		case "append":
+			if inLoop && len(call.Args) > 0 {
+				if target, ok := call.Args[0].(*ast.Ident); ok {
+					if v, ok := c.pkg.Info.Uses[target].(*types.Var); ok {
+						if prealloc, known := c.sliceDecl[v]; known && !prealloc {
+							c.reportf(call.Pos(), "append to %q grows an unpreallocated slice inside a hot loop; make it with capacity up front", v.Name())
+						}
+					}
+				}
+			}
+			return
+		}
+	}
+	c.checkBoxing(call)
+}
+
+// checkBoxing flags concrete values passed to interface-typed parameters.
+// Conversions, untyped constants, nil, interface-to-interface passes, and
+// spread (...) calls are exempt.
+func (c *checker) checkBoxing(call *ast.CallExpr) {
+	if call.Ellipsis.IsValid() {
+		return
+	}
+	ftv, ok := c.pkg.Info.Types[call.Fun]
+	if !ok || ftv.IsType() { // conversion, not a call
+		return
+	}
+	sig, ok := ftv.Type.(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	if params.Len() == 0 {
+		return
+	}
+	for i, arg := range call.Args {
+		var ptype types.Type
+		if sig.Variadic() && i >= params.Len()-1 {
+			ptype = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		} else if i < params.Len() {
+			ptype = params.At(i).Type()
+		} else {
+			break
+		}
+		if !types.IsInterface(ptype) {
+			continue
+		}
+		atv, ok := c.pkg.Info.Types[arg]
+		if !ok || atv.Type == nil || atv.Value != nil || atv.IsNil() {
+			continue // constants and nil do not box at run time
+		}
+		if types.IsInterface(atv.Type) {
+			continue
+		}
+		c.reportf(arg.Pos(), "passing %s boxes a %s into an interface on a hot path", exprString(arg), atv.Type.String())
+	}
+}
+
+// checkConcat flags non-constant string concatenation; it returns true when
+// it reported so the caller can stop descending into the same chain.
+func (c *checker) checkConcat(be *ast.BinaryExpr) bool {
+	if be.Op != token.ADD {
+		return false
+	}
+	tv, ok := c.pkg.Info.Types[be]
+	if !ok || tv.Type == nil || tv.Value != nil {
+		return false // not typed here, or a compile-time constant
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsString == 0 {
+		return false
+	}
+	c.reportf(be.Pos(), "string concatenation allocates on a hot path; use a preallocated []byte or strings.Builder off the hot path")
+	return true
+}
+
+func exprString(e ast.Expr) string {
+	if id, ok := e.(*ast.Ident); ok {
+		return id.Name
+	}
+	if sel, ok := e.(*ast.SelectorExpr); ok {
+		if x, ok := sel.X.(*ast.Ident); ok {
+			return x.Name + "." + sel.Sel.Name
+		}
+	}
+	return "this argument"
+}

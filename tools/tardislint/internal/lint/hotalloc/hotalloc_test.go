@@ -1,0 +1,12 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"github.com/tardisdb/tardis/tools/tardislint/internal/lint/hotalloc"
+	"github.com/tardisdb/tardis/tools/tardislint/internal/lint/linttest"
+)
+
+func TestHotalloc(t *testing.T) {
+	linttest.Check(t, hotalloc.Pass, "fixture", "testdata/fixture.go")
+}

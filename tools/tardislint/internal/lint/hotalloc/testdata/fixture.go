@@ -1,0 +1,128 @@
+// Package fixture seeds hotalloc violations — fmt formatting, string
+// concatenation, interface boxing, and per-iteration allocations inside
+// //tardis:hotpath functions — next to the exempt forms: the same code
+// without the annotation, panic and error-return cold paths, preallocated
+// slices, and constants.
+package fixture
+
+import "fmt"
+
+type item struct{ k int }
+
+func sinkAny(any)        {}
+func variadic(vs ...any) {}
+
+//tardis:hotpath
+func hotFmt(n int) string {
+	return fmt.Sprintf("%d", n) // WANT
+}
+
+//tardis:hotpath
+func hotConcat(a, b string) string {
+	return a + b // WANT
+}
+
+//tardis:hotpath
+func hotBox(n int) {
+	sinkAny(n) // WANT
+}
+
+//tardis:hotpath
+func hotVariadicBox(n int) {
+	variadic(1, n) // WANT
+}
+
+//tardis:hotpath
+func hotLoopMapLiteral(items []item) int {
+	total := 0
+	for _, it := range items {
+		m := map[int]bool{} // WANT
+		m[it.k] = true
+		total += len(m)
+	}
+	return total
+}
+
+//tardis:hotpath
+func hotLoopMake(items []item) int {
+	total := 0
+	for range items {
+		buf := make([]byte, 8) // WANT
+		total += len(buf)
+	}
+	return total
+}
+
+//tardis:hotpath
+func hotLoopAppend(items []item) []int {
+	var out []int
+	for _, it := range items {
+		out = append(out, it.k) // WANT
+	}
+	return out
+}
+
+//tardis:hotpath
+func hotLoopClosure(items []item) int {
+	total := 0
+	for _, it := range items {
+		f := func() int { return it.k } // WANT
+		total += f()
+	}
+	return total
+}
+
+// coldFmt has no annotation: the same code is fine off the hot path.
+func coldFmt(n int) string {
+	return fmt.Sprintf("%d", n)
+}
+
+//tardis:hotpath
+func hotPanicPath(n int) int {
+	if n < 0 {
+		panic(fmt.Sprintf("negative: %d", n)) // clean: panic argument is cold
+	}
+	return n * 2
+}
+
+//tardis:hotpath
+func hotErrorReturn(n int) (int, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("negative: %d", n) // clean: error return is cold
+	}
+	return n * 2, nil
+}
+
+//tardis:hotpath
+func hotPrealloc(items []item) []int {
+	out := make([]int, 0, len(items))
+	for _, it := range items {
+		out = append(out, it.k) // clean: capacity reserved up front
+	}
+	return out
+}
+
+//tardis:hotpath
+func hotMakeOnce(n int) []byte {
+	buf := make([]byte, n) // clean: one-time allocation outside the loop
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	return buf
+}
+
+//tardis:hotpath
+func hotConstArgs() {
+	sinkAny(42)        // clean: untyped constant does not box at run time
+	variadic("a", "b") // clean: constants again
+}
+
+//tardis:hotpath
+func hotIfaceToIface(s fmt.Stringer) {
+	sinkAny(s) // clean: already an interface, no boxing
+}
+
+//tardis:hotpath
+func hotSuppressed(n int) {
+	sinkAny(n) //tardislint:ignore hotalloc metrics callback boxes deliberately
+}

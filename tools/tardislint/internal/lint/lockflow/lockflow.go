@@ -1,0 +1,477 @@
+// Package lockflow enforces documented mutex discipline path-sensitively.
+// It supersedes the PR 1 lockguard pass: where lockguard asked "does this
+// function ever lock the guarding mutex", lockflow runs a forward dataflow
+// analysis over the function's control-flow graph and asks "is the mutex
+// held at this access, on every path that reaches it".
+//
+// A struct field annotated with a comment containing "guarded by <mu>"
+// (trailing or in the field's doc comment), where <mu> is a sync.Mutex or
+// sync.RWMutex field of the same struct, may only be accessed while <mu>
+// is held. On top of the per-access check, lockflow reports lock-pairing
+// defects on any mutex it can resolve, guarded or not:
+//
+//   - access on a path where the mutex is not (or may not be) held,
+//     including use-after-Unlock;
+//   - a write to a guarded field under RLock only;
+//   - Lock while the mutex is already definitely held (self-deadlock), and
+//     RLock while the write lock is definitely held;
+//   - Unlock/RUnlock of a mutex that is definitely not held, and
+//     kind-mismatched unlocks (Unlock of a read lock, RUnlock of a write
+//     lock);
+//   - a return reached with the mutex held and no deferred unlock
+//     registered on that path (a leaked lock).
+//
+// The lattice per mutex is the powerset of {unlocked, read-held,
+// write-held}; joins at merge points take the union, so "held on one
+// branch only" degrades to may-not-be-held and is reported at the access,
+// not at the merge. Defer statements register exit-time unlocks on the
+// paths that execute them.
+//
+// Scope and granularity: mutexes are identified by their field (or
+// variable) object, so two instances of the same struct share a state —
+// the same granularity lockguard used, which matches how the annotated
+// fields in this tree are locked (always through the receiver). Function
+// literals are not analyzed as part of the enclosing flow: a closure runs
+// under its caller's discipline (worker-pool bodies, deferred cleanups),
+// which flow analysis of the creating function cannot see. Helpers that
+// run with the caller's lock held should carry //tardislint:ignore
+// lockflow with a reason.
+package lockflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+
+	"github.com/tardisdb/tardis/tools/tardislint/internal/lint"
+	"github.com/tardisdb/tardis/tools/tardislint/internal/lint/cfg"
+)
+
+const name = "lockflow"
+
+// Pass is the lockflow analyzer.
+var Pass = lint.Pass{
+	Name: name,
+	Doc:  "path-sensitive mutex discipline: 'guarded by <mu>' fields, double-(un)lock, leaked locks",
+	Run:  run,
+}
+
+var guardedRe = regexp.MustCompile(`guarded by ([A-Za-z_]\w*)`)
+
+// state is the powerset lattice element for one mutex.
+type state uint8
+
+const (
+	mayUnlocked state = 1 << iota
+	mayReadHeld
+	mayWriteHeld
+)
+
+func (s state) definitelyHeld() bool    { return s != 0 && s&mayUnlocked == 0 }
+func (s state) definitelyNotHeld() bool { return s == mayUnlocked }
+
+// guard ties an annotated field to the mutex field that protects it.
+type guard struct {
+	mutex *types.Var
+	name  string // mutex field name, for messages
+}
+
+func run(p *lint.Package) []lint.Finding {
+	var out []lint.Finding
+	guards := map[*types.Var]guard{}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if st, ok := n.(*ast.StructType); ok {
+				out = append(out, collectGuards(p, st, guards)...)
+			}
+			return true
+		})
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn := &funcAnalysis{pkg: p, guards: guards}
+			out = append(out, fn.check(fd)...)
+		}
+	}
+	return out
+}
+
+// collectGuards records the annotated fields of one struct type, reporting
+// annotations that name a missing or non-mutex field.
+func collectGuards(p *lint.Package, st *ast.StructType, guards map[*types.Var]guard) []lint.Finding {
+	var out []lint.Finding
+	mutexByName := map[string]*types.Var{}
+	for _, field := range st.Fields.List {
+		for _, fname := range field.Names {
+			obj, ok := p.Info.Defs[fname].(*types.Var)
+			if !ok {
+				continue
+			}
+			if isMutex(obj.Type()) {
+				mutexByName[fname.Name] = obj
+			}
+		}
+	}
+	for _, field := range st.Fields.List {
+		text := ""
+		if field.Doc != nil {
+			text += field.Doc.Text()
+		}
+		if field.Comment != nil {
+			text += field.Comment.Text()
+		}
+		m := guardedRe.FindStringSubmatch(text)
+		if m == nil {
+			continue
+		}
+		mu := mutexByName[m[1]]
+		if mu == nil {
+			out = append(out, p.Findingf(name, field.Pos(),
+				"'guarded by %s' names no sync.Mutex/RWMutex field of this struct", m[1]))
+			continue
+		}
+		for _, fname := range field.Names {
+			if obj, ok := p.Info.Defs[fname].(*types.Var); ok {
+				guards[obj] = guard{mutex: mu, name: m[1]}
+			}
+		}
+	}
+	return out
+}
+
+func isMutex(t types.Type) bool {
+	t = lint.Deref(t)
+	return lint.IsNamed(t, "sync", "Mutex") || lint.IsNamed(t, "sync", "RWMutex")
+}
+
+func isRWMutex(t types.Type) bool {
+	return lint.IsNamed(lint.Deref(t), "sync", "RWMutex")
+}
+
+// fact is the dataflow fact: the lattice state of every mutex seen so far,
+// plus the set of mutexes with a deferred unlock registered on this path.
+type fact struct {
+	locks    map[*types.Var]state
+	deferred map[*types.Var]bool
+}
+
+func cloneFact(f fact) fact {
+	nf := fact{locks: make(map[*types.Var]state, len(f.locks)), deferred: make(map[*types.Var]bool, len(f.deferred))}
+	for k, v := range f.locks {
+		nf.locks[k] = v
+	}
+	for k, v := range f.deferred {
+		nf.deferred[k] = v
+	}
+	return nf
+}
+
+func joinFact(dst, src fact) (fact, bool) {
+	changed := false
+	for mu, s := range src.locks {
+		d, ok := dst.locks[mu]
+		if !ok {
+			d = mayUnlocked // absent means never touched: not held
+		}
+		if d|s != d {
+			dst.locks[mu] = d | s
+			changed = true
+		}
+	}
+	for mu := range dst.locks {
+		if _, ok := src.locks[mu]; !ok {
+			if dst.locks[mu]|mayUnlocked != dst.locks[mu] {
+				dst.locks[mu] |= mayUnlocked
+				changed = true
+			}
+		}
+	}
+	// A deferred unlock counts only if every path registered it; but for
+	// leak reporting we stay conservative the other way (OR), so a defer on
+	// any incoming path silences the leak finding.
+	for mu, v := range src.deferred {
+		if v && !dst.deferred[mu] {
+			dst.deferred[mu] = true
+			changed = true
+		}
+	}
+	return dst, changed
+}
+
+type funcAnalysis struct {
+	pkg    *lint.Package
+	guards map[*types.Var]guard
+}
+
+// lockOp is a recognized <expr>.<mu>.Lock/Unlock/RLock/RUnlock call.
+type lockOp struct {
+	mu     *types.Var
+	read   bool // RLock/RUnlock
+	unlock bool
+}
+
+func (a *funcAnalysis) check(fd *ast.FuncDecl) []lint.Finding {
+	// Cheap pre-scan: skip functions that touch neither locks nor guarded
+	// fields (the overwhelmingly common case).
+	relevant := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if v, ok := a.pkg.Info.Uses[n.Sel].(*types.Var); ok {
+				if _, g := a.guards[v]; g || isMutex(v.Type()) {
+					relevant = true
+				}
+			}
+		case *ast.Ident:
+			if v, ok := a.pkg.Info.Uses[n].(*types.Var); ok && isMutex(v.Type()) {
+				relevant = true
+			}
+		}
+		return !relevant
+	})
+	if !relevant {
+		return nil
+	}
+
+	g := cfg.Build(fd.Body)
+	var findings []lint.Finding
+	report := func(pos token.Pos, format string, args ...any) {
+		findings = append(findings, a.pkg.Findingf(name, pos, format, args...))
+	}
+	transfer := func(reporting bool) func(b *cfg.Block, in fact) fact {
+		return func(b *cfg.Block, in fact) fact {
+			for _, n := range b.Nodes {
+				in = a.transferNode(fd, n, in, reporting, report, g)
+			}
+			// Implicit return: a block that flows into the exit without an
+			// explicit return/panic still ends the function.
+			if reporting && endsImplicitReturn(b, g) {
+				a.checkLeak(fd.Body.Rbrace, in, report)
+			}
+			return in
+		}
+	}
+	in := cfg.Solve(g, cfg.Problem[fact]{
+		Entry:    fact{locks: map[*types.Var]state{}, deferred: map[*types.Var]bool{}},
+		Clone:    cloneFact,
+		Transfer: transfer(false),
+		Join:     joinFact,
+	})
+	// Second pass over each reachable block with the fixpoint facts, now
+	// reporting. Each block is visited once, so findings are not duplicated.
+	rep := transfer(true)
+	for _, b := range g.Blocks {
+		if f, ok := in[b]; ok && b.Live {
+			rep(b, cloneFact(f))
+		}
+	}
+	return findings
+}
+
+// endsImplicitReturn reports whether block b falls off the end of the
+// function: it edges into the exit and its last node is not an explicit
+// return or terminal call (those are checked at their own statement).
+func endsImplicitReturn(b *cfg.Block, g *cfg.Graph) bool {
+	toExit := false
+	for _, s := range b.Succs {
+		if s == g.Exit {
+			toExit = true
+		}
+	}
+	if !toExit {
+		return false
+	}
+	if len(b.Nodes) == 0 {
+		return len(b.Preds) > 0 || b == g.Entry
+	}
+	switch last := b.Nodes[len(b.Nodes)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return false
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return false
+			}
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+				if id, ok := sel.X.(*ast.Ident); ok {
+					switch id.Name + "." + sel.Sel.Name {
+					case "os.Exit", "log.Fatal", "log.Fatalf", "log.Fatalln", "runtime.Goexit":
+						return false
+					}
+				}
+			}
+		}
+	}
+	return true
+}
+
+func (a *funcAnalysis) transferNode(fd *ast.FuncDecl, n ast.Node, in fact, reporting bool, report func(token.Pos, string, ...any), g *cfg.Graph) fact {
+	switch n := n.(type) {
+	case *ast.DeferStmt:
+		if op, ok := a.lockOpOf(n.Call); ok && op.unlock {
+			in.deferred[op.mu] = true
+		}
+		// Deferred lock-taking and deferred closures are out of scope.
+		return in
+	case *ast.ReturnStmt:
+		if reporting {
+			a.checkLeak(n.Pos(), in, report)
+		}
+		a.scanUses(n, in, reporting, report, false)
+		return in
+	case *ast.AssignStmt:
+		// LHS guarded-field selectors are writes; check them with write
+		// semantics, everything else as reads.
+		for _, rhs := range n.Rhs {
+			a.scanUses(rhs, in, reporting, report, false)
+		}
+		for _, lhs := range n.Lhs {
+			a.scanUses(lhs, in, reporting, report, true)
+		}
+		return in
+	case *ast.IncDecStmt:
+		a.scanUses(n.X, in, reporting, report, true)
+		return in
+	}
+	// Generic statement/expression: find lock operations and guarded
+	// accesses in evaluation order. ast.Inspect is pre-order, which matches
+	// evaluation order closely enough for single-statement granularity.
+	return a.scanUses(n, in, reporting, report, false)
+}
+
+// scanUses walks one node, updating lock states at Lock/Unlock calls and
+// checking guarded-field accesses. write marks the topmost selector as a
+// write access (assignment LHS).
+func (a *funcAnalysis) scanUses(n ast.Node, in fact, reporting bool, report func(token.Pos, string, ...any), write bool) fact {
+	top := true
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // closures run under their caller's discipline
+		case *ast.CallExpr:
+			if op, ok := a.lockOpOf(n); ok {
+				// Arguments (there are none for lock ops) and the receiver
+				// chain don't need separate scanning: sel.X is the mutex
+				// owner, and accessing x.mu is not a guarded access.
+				in = a.applyLockOp(n, op, in, reporting, report)
+				return false
+			}
+		case *ast.SelectorExpr:
+			isWrite := write && top
+			top = false
+			if v, ok := a.pkg.Info.Uses[n.Sel].(*types.Var); ok {
+				if gd, ok := a.guards[v]; ok {
+					a.checkAccess(n, v, gd, in, isWrite, reporting, report)
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(n, walk)
+	return in
+}
+
+func (a *funcAnalysis) checkAccess(sel *ast.SelectorExpr, field *types.Var, gd guard, in fact, write, reporting bool, report func(token.Pos, string, ...any)) {
+	if !reporting {
+		return
+	}
+	s, ok := in.locks[gd.mutex]
+	if !ok {
+		s = mayUnlocked
+	}
+	switch {
+	case s.definitelyNotHeld():
+		report(sel.Sel.Pos(), "%s is guarded by %s, which is not held here", field.Name(), gd.name)
+	case !s.definitelyHeld():
+		report(sel.Sel.Pos(), "%s is guarded by %s, which may not be held on every path reaching this access", field.Name(), gd.name)
+	case write && s&mayWriteHeld == 0:
+		report(sel.Sel.Pos(), "write to %s under %s.RLock(); writes need the write lock", field.Name(), gd.name)
+	}
+}
+
+func (a *funcAnalysis) applyLockOp(call *ast.CallExpr, op lockOp, in fact, reporting bool, report func(token.Pos, string, ...any)) fact {
+	s, ok := in.locks[op.mu]
+	if !ok {
+		s = mayUnlocked
+	}
+	muName := op.mu.Name()
+	if op.unlock {
+		if reporting {
+			switch {
+			case s.definitelyNotHeld():
+				report(call.Pos(), "%s is unlocked here but not held on any path (double unlock?)", muName)
+			case s.definitelyHeld() && op.read && s == mayWriteHeld:
+				report(call.Pos(), "RUnlock of %s, which is write-locked here; use Unlock", muName)
+			case s.definitelyHeld() && !op.read && s == mayReadHeld && isRWMutex(op.mu.Type()):
+				report(call.Pos(), "Unlock of %s, which is read-locked here; use RUnlock", muName)
+			}
+		}
+		in.locks[op.mu] = mayUnlocked
+		return in
+	}
+	if reporting {
+		switch {
+		case !op.read && s.definitelyHeld():
+			report(call.Pos(), "%s.Lock() while %s is already held on every path reaching here (self-deadlock)", muName, muName)
+		case op.read && s == mayWriteHeld:
+			report(call.Pos(), "%s.RLock() while %s is already write-locked here (self-deadlock)", muName, muName)
+		}
+	}
+	if op.read {
+		in.locks[op.mu] = mayReadHeld
+	} else {
+		in.locks[op.mu] = mayWriteHeld
+	}
+	return in
+}
+
+// lockOpOf recognizes <expr>.<mu>.(Lock|RLock|Unlock|RUnlock)() where <mu>
+// resolves to a sync.Mutex or sync.RWMutex variable or field. TryLock is
+// deliberately unrecognized: its result-dependent state is beyond this
+// lattice, and the tree does not use it.
+func (a *funcAnalysis) lockOpOf(call *ast.CallExpr) (lockOp, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || len(call.Args) != 0 {
+		return lockOp{}, false
+	}
+	var op lockOp
+	switch sel.Sel.Name {
+	case "Lock":
+	case "RLock":
+		op.read = true
+	case "Unlock":
+		op.unlock = true
+	case "RUnlock":
+		op.read, op.unlock = true, true
+	default:
+		return lockOp{}, false
+	}
+	var muVar *types.Var
+	switch x := sel.X.(type) {
+	case *ast.SelectorExpr:
+		muVar, _ = a.pkg.Info.Uses[x.Sel].(*types.Var)
+	case *ast.Ident:
+		muVar, _ = a.pkg.Info.Uses[x].(*types.Var)
+	}
+	if muVar == nil || !isMutex(muVar.Type()) {
+		return lockOp{}, false
+	}
+	op.mu = muVar
+	return op, true
+}
+
+// checkLeak reports mutexes still definitely held at a function exit with
+// no deferred unlock registered on the path.
+func (a *funcAnalysis) checkLeak(pos token.Pos, in fact, report func(token.Pos, string, ...any)) {
+	for mu, s := range in.locks {
+		if s.definitelyHeld() && !in.deferred[mu] {
+			report(pos, "return while %s is still locked and no unlock is deferred (leaked lock)", mu.Name())
+		}
+	}
+}

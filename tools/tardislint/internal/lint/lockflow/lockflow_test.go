@@ -1,0 +1,12 @@
+package lockflow_test
+
+import (
+	"testing"
+
+	"github.com/tardisdb/tardis/tools/tardislint/internal/lint/linttest"
+	"github.com/tardisdb/tardis/tools/tardislint/internal/lint/lockflow"
+)
+
+func TestLockflow(t *testing.T) {
+	linttest.Check(t, lockflow.Pass, "fixture", "testdata/fixture.go")
+}

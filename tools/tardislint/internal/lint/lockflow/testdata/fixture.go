@@ -1,0 +1,160 @@
+// Package fixture seeds lockflow violations: accesses on paths where the
+// guarding mutex is not held, broken lock pairing, and leaked locks — next
+// to the path-sensitive correct forms that must stay clean (access under a
+// branch that does hold the lock, lock held across a loop).
+package fixture
+
+import "sync"
+
+type counter struct {
+	mu   sync.Mutex
+	hits int // guarded by mu
+	free int
+}
+
+func newCounter(n int) *counter {
+	return &counter{hits: n} // construction, not access: clean
+}
+
+func (c *counter) good() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits
+}
+
+// goodBranch accesses the field only inside the branch that holds the lock:
+// the old method-granular check and this one both accept it, but only a
+// path-sensitive analysis can also accept goodBranchElse below.
+func (c *counter) goodBranch(really bool) int {
+	if really {
+		c.mu.Lock()
+		n := c.hits
+		c.mu.Unlock()
+		return n
+	}
+	return -1
+}
+
+// goodBranchElse holds the lock on both arms with different shapes.
+func (c *counter) goodBranchElse(fast bool) int {
+	var n int
+	if fast {
+		c.mu.Lock()
+		n = c.hits
+		c.mu.Unlock()
+	} else {
+		c.mu.Lock()
+		n = c.hits + c.free
+		c.mu.Unlock()
+	}
+	return n
+}
+
+// goodLoop keeps the lock across a loop: the back-edge join must keep the
+// held state.
+func (c *counter) goodLoop(k int) int {
+	total := 0
+	c.mu.Lock()
+	for i := 0; i < k; i++ {
+		total += c.hits
+	}
+	c.mu.Unlock()
+	return total
+}
+
+// badNeverLocks never takes the lock at all.
+func (c *counter) badNeverLocks() int {
+	return c.hits // WANT
+}
+
+// badAfterUnlock locks correctly but touches the field after releasing —
+// invisible to a method-granular check.
+func (c *counter) badAfterUnlock() int {
+	c.mu.Lock()
+	n := c.hits
+	c.mu.Unlock()
+	return n + c.hits // WANT
+}
+
+// badOneBranch locks on one path only; the merge point may reach the access
+// unlocked.
+func (c *counter) badOneBranch(really bool) int {
+	if really {
+		c.mu.Lock()
+	}
+	n := c.hits // WANT
+	if really {
+		c.mu.Unlock()
+	}
+	return n
+}
+
+// badDoubleLock self-deadlocks.
+func (c *counter) badDoubleLock() {
+	c.mu.Lock()
+	c.mu.Lock() // WANT
+	c.hits++
+	c.mu.Unlock()
+}
+
+// badDoubleUnlock releases twice.
+func (c *counter) badDoubleUnlock() {
+	c.mu.Lock()
+	c.hits++
+	c.mu.Unlock()
+	c.mu.Unlock() // WANT
+}
+
+// badLeak returns early with the lock still held and no defer registered.
+func (c *counter) badLeak(n int) bool {
+	c.mu.Lock()
+	if n > c.hits {
+		return true // WANT
+	}
+	c.mu.Unlock()
+	return false
+}
+
+// underLock is a helper documented to run with the caller's lock held; the
+// suppression is the sanctioned escape hatch.
+func underLock(c *counter) int {
+	return c.hits //tardislint:ignore lockflow caller holds mu
+}
+
+type rwbox struct {
+	mu sync.RWMutex
+	// val is the cached value. // guarded by mu
+	val string
+}
+
+func (b *rwbox) get() string {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.val
+}
+
+func (b *rwbox) set(v string) {
+	b.mu.Lock()
+	b.val = v
+	b.mu.Unlock()
+}
+
+// badWriteUnderRLock mutates under a read lock.
+func (b *rwbox) badWriteUnderRLock(v string) {
+	b.mu.RLock()
+	b.val = v // WANT
+	b.mu.RUnlock()
+}
+
+// badMismatchedUnlock releases a write lock with RUnlock.
+func (b *rwbox) badMismatchedUnlock(v string) {
+	b.mu.Lock()
+	b.val = v
+	b.mu.RUnlock() // WANT
+}
+
+type broken struct {
+	n int // guarded by missing — no such mutex // WANT
+}
+
+func use(b *broken) int { return b.n }

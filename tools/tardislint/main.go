@@ -1,11 +1,19 @@
 // Command tardislint is the project's static-analysis gate. It loads
 // packages with the standard library's source importer (no external
-// dependencies) and runs four project-specific passes:
+// dependencies) and runs six project-specific passes:
 //
 //	sigslice   raw slicing/indexing/concatenation of isaxt.Signature
-//	lockguard  unlocked access to fields annotated "guarded by <mu>"
+//	lockflow   path-sensitive misuse of mutexes guarding annotated fields
+//	errflow    error values never checked on any path
+//	hotalloc   allocation patterns in //tardis:hotpath functions
 //	closecheck discarded Close/Flush/Sync errors on writable sinks
 //	goroleak   loop-variable capture and unsupervised goroutine fan-out
+//
+// lockflow, errflow, and hotalloc run on a control-flow graph with a
+// forward dataflow solver (internal/lint/cfg), so they reason per path:
+// an access under the branch that holds the lock is clean, an error that
+// is only checked after a retry loop is clean, and the diagnostics name
+// the path that breaks.
 //
 // Run it from inside the module (the source importer resolves imports
 // relative to the working directory):
@@ -19,35 +27,48 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"github.com/tardisdb/tardis/tools/tardislint/internal/lint"
 	"github.com/tardisdb/tardis/tools/tardislint/internal/lint/closecheck"
+	"github.com/tardisdb/tardis/tools/tardislint/internal/lint/errflow"
 	"github.com/tardisdb/tardis/tools/tardislint/internal/lint/goroleak"
-	"github.com/tardisdb/tardis/tools/tardislint/internal/lint/lockguard"
+	"github.com/tardisdb/tardis/tools/tardislint/internal/lint/hotalloc"
+	"github.com/tardisdb/tardis/tools/tardislint/internal/lint/lockflow"
 	"github.com/tardisdb/tardis/tools/tardislint/internal/lint/sigslice"
 )
 
-var allPasses = []lint.Pass{sigslice.Pass, lockguard.Pass, closecheck.Pass, goroleak.Pass}
-
-func main() {
-	os.Exit(run(os.Args[1:]))
+var allPasses = []lint.Pass{
+	sigslice.Pass,
+	lockflow.Pass,
+	errflow.Pass,
+	hotalloc.Pass,
+	closecheck.Pass,
+	goroleak.Pass,
 }
 
-func run(args []string) int {
-	fs := flag.NewFlagSet("tardislint", flag.ExitOnError)
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tardislint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list available passes and exit")
 	passNames := fs.String("passes", "", "comma-separated subset of passes to run (default: all)")
 	fs.Usage = func() {
 		fmt.Fprintln(fs.Output(), "usage: tardislint [-list] [-passes p1,p2] [packages]")
 		fs.PrintDefaults()
 	}
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, p := range allPasses {
-			fmt.Printf("%-10s %s\n", p.Name, p.Doc)
+			fmt.Fprintf(stdout, "%-10s %s\n", p.Name, p.Doc)
 		}
 		return 0
 	}
@@ -62,7 +83,7 @@ func run(args []string) int {
 		for _, name := range strings.Split(*passNames, ",") {
 			p, ok := byName[strings.TrimSpace(name)]
 			if !ok {
-				fmt.Fprintf(os.Stderr, "tardislint: unknown pass %q (use -list)\n", name)
+				fmt.Fprintf(stderr, "tardislint: unknown pass %q (use -list)\n", name)
 				return 2
 			}
 			passes = append(passes, p)
@@ -76,15 +97,15 @@ func run(args []string) int {
 
 	pkgs, err := lint.NewLoader().LoadPatterns(patterns)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "tardislint:", err)
+		fmt.Fprintln(stderr, "tardislint:", err)
 		return 2
 	}
 	findings := lint.Run(passes, pkgs)
 	for _, f := range findings {
-		fmt.Println(f)
+		fmt.Fprintln(stdout, f)
 	}
 	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "tardislint: %d finding(s)\n", len(findings))
+		fmt.Fprintf(stderr, "tardislint: %d finding(s)\n", len(findings))
 		return 1
 	}
 	return 0

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestGoldenFindings locks the CLI contract: diagnostic format and order on
+// stdout, the summary line on stderr, exit code 1, and //tardislint:ignore
+// suppression (the demo package seeds a fourth, suppressed violation that
+// must not appear).
+func TestGoldenFindings(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"./testdata/src/demo"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, &stdout, &stderr)
+	}
+	golden, err := os.ReadFile(filepath.Join("testdata", "demo.golden"))
+	if err != nil {
+		t.Fatalf("reading golden file: %v", err)
+	}
+	if stdout.String() != string(golden) {
+		t.Errorf("stdout does not match testdata/demo.golden\ngot:\n%s\nwant:\n%s", &stdout, golden)
+	}
+	if got, want := stderr.String(), "tardislint: 3 finding(s)\n"; got != want {
+		t.Errorf("stderr = %q, want %q", got, want)
+	}
+}
+
+func TestCleanPackageExitsZero(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-passes", "sigslice", "./testdata/src/demo"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, &stdout, &stderr)
+	}
+	if stdout.Len() != 0 || stderr.Len() != 0 {
+		t.Errorf("clean run produced output\nstdout:\n%s\nstderr:\n%s", &stdout, &stderr)
+	}
+}
+
+func TestListPasses(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code = %d, want 0", code)
+	}
+	lines := strings.Split(strings.TrimRight(stdout.String(), "\n"), "\n")
+	want := []string{"sigslice", "lockflow", "errflow", "hotalloc", "closecheck", "goroleak"}
+	if len(lines) != len(want) {
+		t.Fatalf("-list printed %d lines, want %d:\n%s", len(lines), len(want), &stdout)
+	}
+	for i, name := range want {
+		if !strings.HasPrefix(lines[i], name) {
+			t.Errorf("-list line %d = %q, want prefix %q", i, lines[i], name)
+		}
+	}
+}
+
+func TestUnknownPass(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-passes", "nosuch"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), `unknown pass "nosuch"`) {
+		t.Errorf("stderr = %q, want mention of the unknown pass", stderr.String())
+	}
+}
+
+func TestPassSubset(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-passes", "errflow", "./testdata/src/demo"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstderr:\n%s", code, &stderr)
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "errflow:") || strings.Contains(out, "lockflow:") {
+		t.Errorf("-passes errflow ran the wrong passes:\n%s", out)
+	}
+}

@@ -1,0 +1,38 @@
+// Package demo seeds one violation per flow-sensitive pass, plus a
+// suppressed one, so the golden test locks the CLI's output format,
+// finding order, and suppression handling.
+package demo
+
+import (
+	"fmt"
+	"sync"
+)
+
+type counter struct {
+	mu   sync.Mutex
+	hits int // guarded by mu
+}
+
+// Read touches the guarded field without the lock: lockflow.
+func (c *counter) Read() int {
+	return c.hits
+}
+
+// Swallow overwrites an error before any path checks it: errflow.
+func Swallow() error {
+	err := fmt.Errorf("first")
+	err = fmt.Errorf("second")
+	return err
+}
+
+// Hot formats on an annotated hot path: hotalloc.
+//
+//tardis:hotpath
+func Hot(n int) string {
+	return fmt.Sprintf("%d", n)
+}
+
+// Quiet is the same access as Read, silenced the sanctioned way.
+func Quiet(c *counter) int {
+	return c.hits //tardislint:ignore lockflow demo of suppression handling
+}
