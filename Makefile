@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint fmt-check fuzz-short check
+.PHONY: build test race vet lint fmt-check fuzz-short bench-smoke check
 
 build:
 	$(GO) build ./...
@@ -9,9 +9,15 @@ test:
 	$(GO) test ./...
 
 # The concurrency-heavy packages under the race detector: the simulated
-# cluster, the net/rpc execution mode, and the HTTP server.
+# cluster, the net/rpc execution mode, the HTTP server, the partition cache,
+# and the query fan-out in core.
 race:
-	$(GO) test -race ./internal/cluster/... ./internal/server/...
+	$(GO) test -race ./internal/cluster/... ./internal/server/... ./internal/pcache/ ./internal/core/
+
+# One iteration of every benchmark — catches bit-rot in the bench harness
+# without paying for real measurements.
+bench-smoke:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x .
 
 vet:
 	$(GO) vet ./...
@@ -37,4 +43,4 @@ fuzz-short:
 	$(GO) test -run='^$$' -fuzz=FuzzBuild -fuzztime=10s ./tools/tardislint/internal/lint/cfg/
 
 # The full gate CI runs.
-check: build test race vet fmt-check lint
+check: build test race vet fmt-check lint bench-smoke

@@ -610,6 +610,70 @@ func BenchmarkAblationCompression(b *testing.B) {
 	}
 }
 
+// BenchmarkWarmQueryCache measures the resident partition cache: the same
+// kNN query stream against one prebuilt index, cold (cache disabled — every
+// load re-decodes the partition into per-record allocations) versus warm
+// (cache enabled and primed — loads are arena-backed cache hits). Run with
+// -benchmem to see the allocs/op collapse.
+func BenchmarkWarmQueryCache(b *testing.B) {
+	e := benchEnv(b)
+	spec := eval.DatasetSpec{Kind: dataset.RandomWalk, SeriesLen: benchSeriesLen, N: benchN, Seed: benchSeed, BlockRecs: benchBlock}
+	// Compressed partitions, like the paper's HDFS blocks: the cold path pays
+	// the inflate+decode on every load, the warm path skips it entirely.
+	// Block-sized partitions (1000 records) keep the load cost dominant, as
+	// in the paper's testbed where a partition is a full HDFS block.
+	cfg := eval.ScaledTardisConfig(spec)
+	cfg.Compression = storage.Flate
+	cfg.GMaxSize = 1000
+	cfg.LMaxSize = 50
+	ix, err := e.BuildTardis(spec, cfg, "bench-warm")
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries, err := eval.KNNQueries(spec, 4, benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const k = 50
+
+	b.Run("cold", func(b *testing.B) {
+		if err := ix.SetCacheBudget(-1); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := ix.KNNMultiPartition(queries[i%len(queries)], k); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		if err := ix.SetCacheBudget(0); err != nil {
+			b.Fatal(err)
+		}
+		for _, q := range queries { // prime
+			if _, _, err := ix.KNNMultiPartition(q, k); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		var hits, misses int
+		for i := 0; i < b.N; i++ {
+			_, st, err := ix.KNNMultiPartition(queries[i%len(queries)], k)
+			if err != nil {
+				b.Fatal(err)
+			}
+			hits += st.CacheHits
+			misses += st.CacheMisses
+		}
+		if hits+misses > 0 {
+			b.ReportMetric(float64(hits)/float64(hits+misses), "cache-hit-rate")
+		}
+	})
+}
+
 // BenchmarkAblationPth sweeps the Multi-Partitions Access partition cap
 // (paper Table II fixes pth = 40 without studying it): more loaded
 // partitions buy recall at linear latency cost, saturating once the sibling

@@ -56,9 +56,10 @@ func main() {
 	rwSpec := specs[0]
 
 	known := map[string]bool{"9": true, "10": true, "11": true, "12": true,
-		"13": true, "14": true, "15": true, "16": true, "17": true, "all": true}
+		"13": true, "14": true, "15": true, "16": true, "17": true,
+		"warm": true, "all": true}
 	if !known[*fig] {
-		log.Fatalf("unknown figure %q (want 9-17 or all)", *fig)
+		log.Fatalf("unknown figure %q (want 9-17, warm, or all)", *fig)
 	}
 	want := func(id string) bool { return *fig == "all" || *fig == id }
 	out := os.Stdout
@@ -132,5 +133,12 @@ func main() {
 			log.Fatal(err)
 		}
 		eval.ReportFig17(out, rows)
+	}
+	if want("warm") {
+		rows, err := eval.WarmCache(e, rwSpec, *queries, *k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		eval.ReportWarm(out, rows)
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -91,7 +92,9 @@ func (c *Cluster) record(m StageMetrics) {
 }
 
 // runTasks executes fn(i) for i in [0, n) on the worker pool, collecting the
-// first error.
+// first error. After a task fails, workers stop dequeuing: a failed stage
+// aborts instead of running every remaining task to completion (in-flight
+// tasks still finish — there is no cancellation signal inside fn).
 func (c *Cluster) runTasks(n int, fn func(i int) error) error {
 	if n == 0 {
 		return nil
@@ -103,6 +106,7 @@ func (c *Cluster) runTasks(n int, fn func(i int) error) error {
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	var firstErr error
+	var failed atomic.Bool
 	next := make(chan int, n)
 	for i := 0; i < n; i++ {
 		next <- i
@@ -113,12 +117,17 @@ func (c *Cluster) runTasks(n int, fn func(i int) error) error {
 		go func() {
 			defer wg.Done()
 			for i := range next {
+				if failed.Load() {
+					return
+				}
 				if err := fn(i); err != nil {
 					mu.Lock()
 					if firstErr == nil {
 						firstErr = err
 					}
 					mu.Unlock()
+					failed.Store(true)
+					return
 				}
 			}
 		}()
@@ -265,8 +274,10 @@ func ReduceByKey[K comparable, V any](name string, d *Dataset[Pair[K, V]], numPa
 		numPartitions = d.c.workers
 	}
 	start := time.Now()
-	// Map-side combine per input partition.
-	combined := make([]map[K]V, len(d.parts))
+	// Map-side combine per input partition, bucketed by target reducer so
+	// the shuffle touches each combined pair exactly once instead of every
+	// reducer scanning every combined map (O(keys × reducers)).
+	combined := make([][]map[K]V, len(d.parts)) // [source][reducer]
 	err := d.c.runTasks(len(d.parts), func(i int) error {
 		m := make(map[K]V)
 		for _, p := range d.parts[i] {
@@ -276,27 +287,31 @@ func ReduceByKey[K comparable, V any](name string, d *Dataset[Pair[K, V]], numPa
 				m[p.Key] = p.Value
 			}
 		}
-		combined[i] = m
+		b := make([]map[K]V, numPartitions)
+		for k, v := range m {
+			r := int(hash(k) % uint64(numPartitions))
+			if b[r] == nil {
+				b[r] = make(map[K]V)
+			}
+			b[r][k] = v
+		}
+		combined[i] = b
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	// Shuffle: route each combined pair to its reducer partition.
+	// Shuffle: each reducer merges only its own buckets, in source order
+	// (a key appears at most once per source, so reduce call order per key
+	// is source order — deterministic).
 	shuffled := make([]map[K]V, numPartitions)
-	for i := range shuffled {
-		shuffled[i] = make(map[K]V)
-	}
 	var shuffledRecords int64
 	var smu sync.Mutex
 	err = d.c.runTasks(numPartitions, func(r int) error {
-		m := shuffled[r]
+		m := make(map[K]V)
 		var cnt int64
-		for _, cm := range combined {
-			for k, v := range cm {
-				if int(hash(k)%uint64(numPartitions)) != r {
-					continue
-				}
+		for _, b := range combined {
+			for k, v := range b[r] {
 				cnt++
 				if old, ok := m[k]; ok {
 					m[k] = reduce(old, v)
@@ -305,6 +320,7 @@ func ReduceByKey[K comparable, V any](name string, d *Dataset[Pair[K, V]], numPa
 				}
 			}
 		}
+		shuffled[r] = m
 		smu.Lock()
 		shuffledRecords += cnt
 		smu.Unlock()

@@ -308,3 +308,70 @@ func TestReduceConservesProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestRunTasksStopsAfterError(t *testing.T) {
+	c, err := New(Config{Workers: 4, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("task failed")
+	ran := 0
+	err = c.runTasks(100, func(i int) error {
+		ran++
+		if i == 2 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	// With parallelism 1 the single worker stops right after the failure.
+	if ran != 3 {
+		t.Fatalf("ran %d tasks after failure at task 2, want 3", ran)
+	}
+}
+
+func TestRunTasksNoError(t *testing.T) {
+	c := newCluster(t, 4)
+	var ran [20]bool
+	if err := c.runTasks(20, func(i int) error { ran[i] = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	for i, ok := range ran {
+		if !ok {
+			t.Fatalf("task %d never ran", i)
+		}
+	}
+}
+
+func TestReduceByKeyShuffleVolume(t *testing.T) {
+	c := newCluster(t, 4)
+	// 4 source partitions × 5 distinct keys each: the bucketed shuffle must
+	// route exactly one combined pair per (source, key), independent of the
+	// reducer count.
+	var pairs []Pair[string, int64]
+	for i := 0; i < 200; i++ {
+		pairs = append(pairs, Pair[string, int64]{Key: fmt.Sprintf("k%d", i%5), Value: 1})
+	}
+	d := Parallelize(c, pairs, 4)
+	for _, reducers := range []int{1, 3, 8} {
+		c.ResetMetrics()
+		r, err := ReduceByKey("vol", d, reducers, strHash, func(a, b int64) int64 { return a + b })
+		if err != nil {
+			t.Fatal(err)
+		}
+		var total int64
+		for _, p := range r.Collect() {
+			total += p.Value
+		}
+		if total != 200 {
+			t.Fatalf("reducers=%d: total = %d, want 200", reducers, total)
+		}
+		stages := c.Stages()
+		last := stages[len(stages)-1]
+		if last.ShuffledRecords != 20 {
+			t.Fatalf("reducers=%d: shuffled = %d, want 20 (4 sources × 5 keys)", reducers, last.ShuffledRecords)
+		}
+	}
+}

@@ -1,7 +1,9 @@
 package rpc
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"os"
 	"path/filepath"
 	"sort"
@@ -10,6 +12,7 @@ import (
 	"github.com/tardisdb/tardis/internal/core"
 	"github.com/tardisdb/tardis/internal/isaxt"
 	"github.com/tardisdb/tardis/internal/knn"
+	"github.com/tardisdb/tardis/internal/pcache"
 	"github.com/tardisdb/tardis/internal/sigtree"
 	"github.com/tardisdb/tardis/internal/storage"
 	"github.com/tardisdb/tardis/internal/ts"
@@ -36,11 +39,44 @@ type KNNPartitionArgs struct {
 type KNNPartitionReply struct {
 	Neighbors  []knn.Neighbor
 	Candidates int
+	// CacheHit reports whether the partition data was served from the
+	// worker's resident cache rather than decoded from disk.
+	CacheHit bool
 }
 
 // workerTreeCache caches deserialized local trees per (store, pid) so
 // repeated queries skip the parse. Entries are small (ids only).
 var workerTreeCache sync.Map // map[string]*sigtree.Tree
+
+// partKey identifies one partition of one store; a worker process can serve
+// queries against several stores at once.
+type partKey struct {
+	dir string
+	pid int
+}
+
+func hashPartKey(k partKey) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(k.dir))
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(k.pid))
+	h.Write(b[:])
+	return h.Sum64()
+}
+
+// workerDataCacheBytes bounds the worker's decoded-partition cache (matches
+// the core default).
+const workerDataCacheBytes int64 = 256 << 20
+
+// workerDataCache keeps hot decoded partitions resident across KNNPartition
+// RPCs, so repeated queries against the same store skip the disk decode.
+var workerDataCache = func() *pcache.Cache[partKey] {
+	c, err := pcache.New(workerDataCacheBytes, 0, hashPartKey)
+	if err != nil {
+		panic(err) // static budget and hash; cannot fail
+	}
+	return c
+}()
 
 func loadLocalTree(storeDir string, pid int) (*sigtree.Tree, error) {
 	key := fmt.Sprintf("%s/%06d", storeDir, pid)
@@ -87,17 +123,23 @@ func (w *Worker) KNNPartition(args KNNPartitionArgs, reply *KNNPartitionReply) e
 		reply.Neighbors = []knn.Neighbor{}
 		return nil
 	}
-	recs, err := st.ReadPartition(args.PID)
+	data, hit, err := workerDataCache.Get(partKey{dir: args.StoreDir, pid: args.PID},
+		func() (*pcache.Partition, error) {
+			rids, values, err := st.ReadPartitionArena(args.PID)
+			if err != nil {
+				return nil, err
+			}
+			return pcache.NewPartition(rids, values, st.SeriesLen())
+		})
 	if err != nil {
 		return err
 	}
-	data := make(map[int64]ts.Series, len(recs))
-	for _, r := range recs {
-		data[r.RID] = r.Values
+	if hit {
+		reply.CacheHit = true
 	}
 	h := knn.NewHeap(args.K)
 	for _, e := range entries {
-		s, ok := data[e.RID]
+		s, ok := data.Series(e.RID)
 		if !ok {
 			return fmt.Errorf("rpc: partition %d missing record %d", args.PID, e.RID)
 		}

@@ -56,16 +56,24 @@ func (w *Worker) track(method string, records int64) {
 // StatsArgs is empty; Stats reports accumulated task counters.
 type StatsArgs struct{}
 
-// StatsReply carries per-method task counts and the total records processed
-// by this worker since it started serving.
+// StatsReply carries per-method task counts, the total records processed by
+// this worker since it started serving, and the decoded-partition cache
+// gauges.
 type StatsReply struct {
 	ID      string
 	Tasks   map[string]int64
 	Records int64
+	// Partition-cache counters (see pcache.Stats).
+	CacheHits        int64
+	CacheMisses      int64
+	CacheEvictions   int64
+	CacheBytes       int64
+	CacheEntries     int64
+	CacheBudgetBytes int64
 }
 
-// Stats reports how many RPCs of each kind this worker has served and how
-// many records they processed.
+// Stats reports how many RPCs of each kind this worker has served, how many
+// records they processed, and the state of its partition cache.
 func (w *Worker) Stats(_ StatsArgs, reply *StatsReply) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -75,6 +83,13 @@ func (w *Worker) Stats(_ StatsArgs, reply *StatsReply) error {
 		reply.Tasks[method] = n
 	}
 	reply.Records = w.records
+	cs := workerDataCache.Stats()
+	reply.CacheHits = cs.Hits
+	reply.CacheMisses = cs.Misses
+	reply.CacheEvictions = cs.Evictions
+	reply.CacheBytes = cs.Bytes
+	reply.CacheEntries = cs.Entries
+	reply.CacheBudgetBytes = cs.Budget
 	return nil
 }
 

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"github.com/tardisdb/tardis/internal/dataset"
+	"github.com/tardisdb/tardis/internal/ts"
+)
+
+// Concurrent loads of the same partition must collapse into one disk read:
+// the singleflight leader decodes, everyone else joins the flight.
+func TestCacheSingleflightDedup(t *testing.T) {
+	ix, _, _ := buildTestIndex(t, dataset.RandomWalk, testConfig())
+	ix.Store.Stats.Reset()
+
+	const goroutines = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			data, err := ix.loadPartition(0, nil)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if data.Len() == 0 {
+				errs <- fmt.Errorf("empty partition data")
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	if reads := ix.Store.Stats.PartitionsRead(); reads != 1 {
+		t.Errorf("disk reads = %d, want 1 (singleflight dedup)", reads)
+	}
+	cs := ix.CacheStats()
+	if cs.Misses != 1 {
+		t.Errorf("cache misses = %d, want 1", cs.Misses)
+	}
+	if cs.Hits != goroutines-1 {
+		t.Errorf("cache hits = %d, want %d", cs.Hits, goroutines-1)
+	}
+}
+
+// A fully warm query must not touch disk, and its stats must say so:
+// CacheMisses == 0 and CacheHits == PartitionsLoaded.
+func TestCacheWarmQueryStats(t *testing.T) {
+	ix, _, _ := buildTestIndex(t, dataset.RandomWalk, testConfig())
+	q := randomQuery(7)
+
+	if _, _, err := ix.KNNExact(q, 10); err != nil {
+		t.Fatal(err)
+	}
+	ix.Store.Stats.Reset()
+
+	_, st, err := ix.KNNExact(q, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PartitionsLoaded == 0 {
+		t.Fatal("warm query loaded no partitions; test is vacuous")
+	}
+	if st.CacheMisses != 0 {
+		t.Errorf("warm query cache misses = %d, want 0", st.CacheMisses)
+	}
+	if st.CacheHits != st.PartitionsLoaded {
+		t.Errorf("cache hits = %d, want %d (every access served from cache)", st.CacheHits, st.PartitionsLoaded)
+	}
+	if reads := ix.Store.Stats.PartitionsRead(); reads != 0 {
+		t.Errorf("warm query read %d partitions from disk, want 0", reads)
+	}
+}
+
+// Compacting a partition rewrites its file; the cache must drop the stale
+// decode so queries see the merged data.
+func TestCacheInvalidationAfterCompact(t *testing.T) {
+	ix, _, _ := buildTestIndex(t, dataset.RandomWalk, testConfig())
+
+	// Warm the cache over every partition.
+	q := randomQuery(11)
+	if _, _, err := ix.KNNExact(q, 25); err != nil {
+		t.Fatal(err)
+	}
+
+	// Insert a synthetic record and fold it into the partitions.
+	rec := ts.Record{RID: 1 << 40, Values: randomQuery(12)}
+	if err := ix.Insert(rec); err != nil {
+		t.Fatal(err)
+	}
+	rewritten, err := ix.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rewritten != 1 {
+		t.Fatalf("compacted %d partitions, want 1", rewritten)
+	}
+	inv := ix.CacheStats().Invalidations
+	if inv == 0 {
+		t.Error("compaction recorded no cache invalidations")
+	}
+
+	// The record must now be served from the rewritten partition (the delta
+	// is gone), through the cache path.
+	ids, st, err := ix.ExactMatch(rec.Values, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, id := range ids {
+		if id == rec.RID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("ExactMatch after compact = %v, want record %d", ids, rec.RID)
+	}
+	if st.PartitionsLoaded == 0 {
+		t.Error("post-compact exact match bypassed partition load")
+	}
+}
+
+// Every query strategy must return byte-identical results with the cache on
+// and off — caching is a pure performance lever.
+func TestCacheEquivalenceAllStrategies(t *testing.T) {
+	ix, _, _ := buildTestIndex(t, dataset.RandomWalk, testConfig())
+
+	type result struct {
+		name string
+		val  interface{}
+	}
+	run := func() []result {
+		var out []result
+		for i := int64(0); i < 5; i++ {
+			q := randomQuery(900 + i)
+			em, _, err := ix.ExactMatch(q, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, result{fmt.Sprintf("exactmatch-%d", i), em})
+			strategies := []struct {
+				name string
+				f    func(ts.Series, int) ([]Neighbor, QueryStats, error)
+			}{
+				{"tna", ix.KNNTargetNode},
+				{"opa", ix.KNNOnePartition},
+				{"mpa", ix.KNNMultiPartition},
+				{"exact", ix.KNNExact},
+			}
+			for _, s := range strategies {
+				name, f := s.name, s.f
+				ns, _, err := f(q, 10)
+				if err != nil {
+					t.Fatal(err)
+				}
+				out = append(out, result{fmt.Sprintf("%s-%d", name, i), ns})
+			}
+			rq, _, err := ix.RangeQuery(q, 6.5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, result{fmt.Sprintf("range-%d", i), rq})
+			dn, _, err := ix.KNNDTW(q, 5, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, result{fmt.Sprintf("dtw-%d", i), dn})
+			gt, _, err := ix.GroundTruthPruned(q, 10, 1e12)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, result{fmt.Sprintf("gtpruned-%d", i), gt})
+		}
+		return out
+	}
+
+	warm := run()
+	if ix.CacheStats().Hits == 0 {
+		t.Fatal("cached run recorded no hits; equivalence test is vacuous")
+	}
+	if err := ix.SetCacheBudget(-1); err != nil {
+		t.Fatal(err)
+	}
+	if ix.CacheStats().Hits != 0 || ix.CacheStats().Entries != 0 {
+		t.Fatal("disabled cache must report zero stats")
+	}
+	cold := run()
+
+	if len(warm) != len(cold) {
+		t.Fatalf("result count mismatch: %d vs %d", len(warm), len(cold))
+	}
+	for i := range warm {
+		if warm[i].name != cold[i].name {
+			t.Fatalf("result order mismatch at %d: %s vs %s", i, warm[i].name, cold[i].name)
+		}
+		if !reflect.DeepEqual(warm[i].val, cold[i].val) {
+			t.Errorf("%s: cache on/off results differ:\n  on:  %v\n  off: %v",
+				warm[i].name, warm[i].val, cold[i].val)
+		}
+	}
+}

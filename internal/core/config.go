@@ -44,6 +44,13 @@ type Config struct {
 	// (storage.NoCompression or storage.Flate). Compressed partitions trade
 	// slower loads for smaller files, like compressed HDFS blocks.
 	Compression storage.Compression
+	// CacheBytes bounds the decoded-partition cache in bytes. Zero picks
+	// DefaultCacheBytes; a negative value disables caching entirely (every
+	// query load decodes from disk, the pre-cache behavior).
+	CacheBytes int64
+	// CacheShards is the partition-cache shard count (0 picks the pcache
+	// default).
+	CacheShards int
 }
 
 // DefaultConfig returns the paper's Table II configuration, scaled: the
@@ -87,6 +94,9 @@ func (c Config) Validate() error {
 	}
 	if c.Compression != storage.NoCompression && c.Compression != storage.Flate {
 		return fmt.Errorf("core: unknown compression %d", c.Compression)
+	}
+	if c.CacheShards < 0 {
+		return fmt.Errorf("core: cache shard count must be non-negative, got %d", c.CacheShards)
 	}
 	return nil
 }

@@ -110,43 +110,69 @@ func (ix *Index) KNNDTW(q ts.Series, k, band int) ([]Neighbor, QueryStats, error
 			}
 		}
 	}
-	for _, pb := range order {
-		if pb.bound > h.Bound() {
+	// Round-based parallel fan-out, mirroring KNNExact: the bounder's
+	// envelope state is immutable after construction and dtw.Distance keeps
+	// its dynamic-program rows local, so one bounder serves all concurrent
+	// partition scans.
+	fan := ix.cl.Workers()
+	for i := 0; i < len(order); {
+		th := h.Bound()
+		n := 0
+		for i+n < len(order) && n < fan && order[i+n].bound <= th {
+			n++
+		}
+		if n == 0 {
 			break
 		}
-		local := ix.Locals[pb.pid]
-		if local == nil {
-			return nil, st, fmt.Errorf("core: partition %d has no local index", pb.pid)
-		}
-		entries, pruned, err := local.Tree.PruneCollectFunc(b.nodeBound, h.Bound())
+		batch := order[i : i+n]
+		i += n
+		err := ix.scanRound("dtw-scan", batch, k, h, &st,
+			func(pid int, lh *knn.Heap, lst *QueryStats) error {
+				return ix.scanDTWPartitionInto(b, lh, q, pid, th, band, lst)
+			})
 		if err != nil {
 			return nil, st, err
-		}
-		st.PrunedLeaves += pruned
-		if len(entries) == 0 {
-			continue
-		}
-		data, err := ix.LoadPartition(pb.pid)
-		if err != nil {
-			return nil, st, err
-		}
-		st.PartitionsLoaded++
-		for _, e := range entries {
-			if h.Contains(e.RID) || ix.delta.deleted(e.RID) {
-				continue
-			}
-			s, ok := data[e.RID]
-			if !ok {
-				return nil, st, fmt.Errorf("core: partition %d missing record %d", pb.pid, e.RID)
-			}
-			st.Candidates++
-			if err := b.refineDTW(h, q, e.RID, s, band, &st); err != nil {
-				return nil, st, err
-			}
 		}
 	}
 	st.Duration = time.Since(start)
 	return h.Sorted(), st, nil
+}
+
+// scanDTWPartitionInto prune-scans one partition under the DTW bounds,
+// refining surviving candidates into h with threshold-capped pruning.
+//
+//tardis:hotpath
+func (ix *Index) scanDTWPartitionInto(b *dtwBounder, h *knn.Heap, q ts.Series, pid int, threshold float64, band int, st *QueryStats) error {
+	local := ix.Locals[pid]
+	if local == nil {
+		return fmt.Errorf("core: partition %d has no local index", pid)
+	}
+	entries, pruned, err := local.Tree.PruneCollectFunc(b.nodeBound, threshold)
+	if err != nil {
+		return err
+	}
+	st.PrunedLeaves += pruned
+	if len(entries) == 0 {
+		return nil
+	}
+	data, err := ix.loadPartition(pid, st)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if h.Contains(e.RID) || ix.delta.deleted(e.RID) {
+			continue
+		}
+		s, ok := data.Series(e.RID)
+		if !ok {
+			return fmt.Errorf("core: partition %d missing record %d", pid, e.RID)
+		}
+		st.Candidates++
+		if err := b.refineDTW(h, q, e.RID, s, band, st); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // refineDTW gates a candidate with LB_Keogh and, when it survives, computes

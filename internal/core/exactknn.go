@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"github.com/tardisdb/tardis/internal/cluster"
 	"github.com/tardisdb/tardis/internal/knn"
 	"github.com/tardisdb/tardis/internal/ts"
 )
@@ -79,16 +80,80 @@ func (ix *Index) KNNExact(q ts.Series, k int) ([]Neighbor, QueryStats, error) {
 	if err := ix.deltaRefine(h, q, paa, math.Inf(1), &st); err != nil {
 		return nil, st, err
 	}
-	for _, pb := range bounds {
-		if pb.bound > h.Bound() {
+	// Round-based parallel fan-out: each round takes the next batch of
+	// bound-ordered partitions admissible under the round-start threshold
+	// and scans them concurrently over the cluster pool. The answer matches
+	// the serial best-first scan exactly — partitions are disjoint and a
+	// threshold from earlier in the search is only looser, so a batch can
+	// never miss a candidate the serial order would have refined — and the
+	// batch size is capped at the worker count so the threshold re-tightens
+	// between rounds.
+	fan := ix.cl.Workers()
+	for i := 0; i < len(bounds); {
+		th := h.Bound()
+		n := 0
+		for i+n < len(bounds) && n < fan && bounds[i+n].bound <= th {
+			n++
+		}
+		if n == 0 {
 			break // no remaining partition can hold a closer series
 		}
-		if err := ix.scanPartitionInto(h, q, paa, pb.pid, h.Bound(), nil, &st); err != nil {
+		batch := bounds[i : i+n]
+		i += n
+		err := ix.scanRound("exact-scan", batch, k, h, &st,
+			func(pid int, lh *knn.Heap, lst *QueryStats) error {
+				return ix.scanPartitionInto(lh, q, paa, pid, th, nil, lst)
+			})
+		if err != nil {
 			return nil, st, err
 		}
 	}
 	st.Duration = time.Since(start)
 	return h.Sorted(), st, nil
+}
+
+// scanRound executes one fan-out round: every partition in batch is scanned
+// concurrently into a private heap by scan, and the per-partition results
+// are merged into h in partition order. Merge order is a pure function of
+// the batch (never of worker scheduling), so rounds are deterministic. A
+// single-partition batch runs inline on the driver.
+func (ix *Index) scanRound(stage string, batch []partitionBound, k int, h *knn.Heap, st *QueryStats,
+	scan func(pid int, lh *knn.Heap, lst *QueryStats) error) error {
+	if len(batch) == 1 {
+		return scan(batch[0].pid, h, st)
+	}
+	type scanOut struct {
+		neighbors []Neighbor
+		stats     QueryStats
+	}
+	pids := make([]int, len(batch))
+	for i, pb := range batch {
+		pids[i] = pb.pid
+	}
+	ds := cluster.Parallelize(ix.cl, pids, len(pids))
+	results, err := cluster.MapPartitions(stage, ds,
+		func(_ int, ps []int) ([]scanOut, error) {
+			out := make([]scanOut, 0, len(ps))
+			for _, p := range ps {
+				lh := knn.NewHeap(k)
+				var lst QueryStats
+				if err := scan(p, lh, &lst); err != nil {
+					return nil, err
+				}
+				out = append(out, scanOut{neighbors: lh.Sorted(), stats: lst})
+			}
+			return out, nil
+		})
+	if err != nil {
+		return err
+	}
+	for _, r := range results.Collect() {
+		for _, n := range r.neighbors {
+			h.Offer(n)
+		}
+		st.merge(r.stats)
+	}
+	return nil
 }
 
 // RangeQuery returns every record whose Euclidean distance to q is at most
@@ -113,41 +178,48 @@ func (ix *Index) RangeQuery(q ts.Series, eps float64) ([]Neighbor, QueryStats, e
 	// squared distance of a record lying exactly on the radius. Membership
 	// is verified on the rooted distance, so the slack admits no extras.
 	epsSq := eps*eps + 1e-9
+	// The threshold eps is fixed, so every in-range partition is known up
+	// front and a single fan-out scans them all concurrently. Per-partition
+	// hit lists are concatenated in partition order, and the final sort makes
+	// the answer independent of scan order anyway.
+	inRange := make([]int, 0, len(bounds))
 	for _, pb := range bounds {
 		if pb.bound > eps {
 			break // bounds are sorted; everything beyond is out of range
 		}
-		local := ix.Locals[pb.pid]
-		if local == nil {
-			return nil, st, fmt.Errorf("core: partition %d has no local index", pb.pid)
-		}
-		entries, pruned, err := local.Tree.PruneCollect(paa, ix.seriesLen, eps)
+		inRange = append(inRange, pb.pid)
+	}
+	if len(inRange) == 1 {
+		hits, err := ix.rangeScanPartition(q, paa, inRange[0], eps, epsSq, &st)
 		if err != nil {
 			return nil, st, err
 		}
-		st.PrunedLeaves += pruned
-		if len(entries) == 0 {
-			continue
+		out = append(out, hits...)
+	} else if len(inRange) > 1 {
+		type rangeOut struct {
+			hits  []Neighbor
+			stats QueryStats
 		}
-		data, err := ix.LoadPartition(pb.pid)
-		if err != nil {
-			return nil, st, err
-		}
-		st.PartitionsLoaded++
-		for _, e := range entries {
-			if ix.delta.deleted(e.RID) {
-				continue
-			}
-			s, ok := data[e.RID]
-			if !ok {
-				return nil, st, fmt.Errorf("core: partition %d missing record %d", pb.pid, e.RID)
-			}
-			st.Candidates++
-			if d2, ok2 := ts.SquaredDistanceEarlyAbandon(q, s, epsSq); ok2 {
-				if d := sqrt(d2); d <= eps {
-					out = append(out, Neighbor{RID: e.RID, Dist: d})
+		ds := cluster.Parallelize(ix.cl, inRange, len(inRange))
+		results, err := cluster.MapPartitions("range-scan", ds,
+			func(_ int, pids []int) ([]rangeOut, error) {
+				ro := make([]rangeOut, 0, len(pids))
+				for _, pid := range pids {
+					var lst QueryStats
+					hits, err := ix.rangeScanPartition(q, paa, pid, eps, epsSq, &lst)
+					if err != nil {
+						return nil, err
+					}
+					ro = append(ro, rangeOut{hits: hits, stats: lst})
 				}
-			}
+				return ro, nil
+			})
+		if err != nil {
+			return nil, st, err
+		}
+		for _, r := range results.Collect() {
+			out = append(out, r.hits...)
+			st.merge(r.stats)
 		}
 	}
 	// Delta records within range.
@@ -178,4 +250,44 @@ func (ix *Index) RangeQuery(q ts.Series, eps float64) ([]Neighbor, QueryStats, e
 	})
 	st.Duration = time.Since(start)
 	return out, st, nil
+}
+
+// rangeScanPartition verifies one partition's surviving candidates against
+// the raw series, returning every record within eps of q.
+//
+//tardis:hotpath
+func (ix *Index) rangeScanPartition(q, paa ts.Series, pid int, eps, epsSq float64, st *QueryStats) ([]Neighbor, error) {
+	local := ix.Locals[pid]
+	if local == nil {
+		return nil, fmt.Errorf("core: partition %d has no local index", pid)
+	}
+	entries, pruned, err := local.Tree.PruneCollect(paa, ix.seriesLen, eps)
+	if err != nil {
+		return nil, err
+	}
+	st.PrunedLeaves += pruned
+	if len(entries) == 0 {
+		return nil, nil
+	}
+	data, err := ix.loadPartition(pid, st)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Neighbor, 0, len(entries))
+	for _, e := range entries {
+		if ix.delta.deleted(e.RID) {
+			continue
+		}
+		s, ok := data.Series(e.RID)
+		if !ok {
+			return nil, fmt.Errorf("core: partition %d missing record %d", pid, e.RID)
+		}
+		st.Candidates++
+		if d2, ok2 := ts.SquaredDistanceEarlyAbandon(q, s, epsSq); ok2 {
+			if d := sqrt(d2); d <= eps {
+				out = append(out, Neighbor{RID: e.RID, Dist: d})
+			}
+		}
+	}
+	return out, nil
 }

@@ -8,6 +8,7 @@ import (
 	"github.com/tardisdb/tardis/internal/bloom"
 	"github.com/tardisdb/tardis/internal/cluster"
 	"github.com/tardisdb/tardis/internal/isaxt"
+	"github.com/tardisdb/tardis/internal/pcache"
 	"github.com/tardisdb/tardis/internal/sigtree"
 	"github.com/tardisdb/tardis/internal/storage"
 	"github.com/tardisdb/tardis/internal/ts"
@@ -37,6 +38,9 @@ type Index struct {
 	routerCache *Router
 	delta       *deltaStore
 	stats       BuildStats
+	// cache keeps hot decoded partitions resident between queries; nil when
+	// caching is disabled (Config.CacheBytes < 0).
+	cache *pcache.Cache[int]
 }
 
 // Local is one partition's Tardis-L plus its Bloom filter (nil when Bloom
@@ -122,7 +126,11 @@ func Build(cl *cluster.Cluster, src *storage.Store, dstDir string, cfg Config) (
 	if src.SeriesLen() < cfg.WordLen {
 		return nil, fmt.Errorf("core: series length %d shorter than word length %d", src.SeriesLen(), cfg.WordLen)
 	}
-	ix := &Index{cfg: cfg, codec: codec, cl: cl, seriesLen: src.SeriesLen()}
+	cache, err := newPartitionCache(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ix := &Index{cfg: cfg, codec: codec, cl: cl, seriesLen: src.SeriesLen(), cache: cache}
 	buildStart := time.Now()
 
 	if err := ix.buildGlobal(src); err != nil {

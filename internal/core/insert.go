@@ -314,6 +314,12 @@ func (ix *Index) compactPartition(pid int, added []sigtree.Entry) error {
 	if err := ix.Store.Sync(); err != nil {
 		return err
 	}
+	// The on-disk bytes changed; a cached decode of the old file must not
+	// serve another query. (Tombstone-only deletes need no invalidation —
+	// queries filter them at refine time via the delta.)
+	if ix.cache != nil {
+		ix.cache.Invalidate(pid)
+	}
 	ix.Locals[pid] = &Local{Tree: tree, Bloom: bf}
 	// Update global counts along each added entry's path.
 	for _, e := range added {

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"github.com/tardisdb/tardis/internal/pcache"
+	"github.com/tardisdb/tardis/internal/ts"
+)
+
+// DefaultCacheBytes is the partition-cache budget used when
+// Config.CacheBytes is zero: large enough to keep a realistic hot set of
+// decoded 10k-record partitions resident, small enough for a laptop.
+const DefaultCacheBytes int64 = 256 << 20
+
+// PartitionData is the decoded view of one clustered partition that query
+// refinement reads: record-id lookup over the partition's series. It is
+// satisfied by the cache's arena-backed *pcache.Partition and by the legacy
+// mapPartition used when caching is disabled.
+type PartitionData interface {
+	// Series returns the series stored under rid.
+	Series(rid int64) (ts.Series, bool)
+	// Len returns the record count.
+	Len() int
+}
+
+// mapPartition is the legacy one-allocation-per-record decoded
+// representation, kept for the cache-disabled configuration.
+type mapPartition map[int64]ts.Series
+
+func (m mapPartition) Series(rid int64) (ts.Series, bool) {
+	s, ok := m[rid]
+	return s, ok
+}
+
+func (m mapPartition) Len() int { return len(m) }
+
+// newPartitionCache builds the index's partition cache from the config:
+// nil (caching disabled) when CacheBytes is negative, the default budget
+// when zero.
+func newPartitionCache(cfg Config) (*pcache.Cache[int], error) {
+	if cfg.CacheBytes < 0 {
+		return nil, nil
+	}
+	budget := cfg.CacheBytes
+	if budget == 0 {
+		budget = DefaultCacheBytes
+	}
+	return pcache.New(budget, cfg.CacheShards, pcache.HashInt)
+}
+
+// loadPartition returns the decoded partition for pid: through the cache
+// (arena-backed, deduplicated loads) when caching is enabled, else via the
+// legacy per-record LoadPartition decode. All PartitionsLoaded /
+// CacheHits / CacheMisses accounting happens here; st may be nil.
+func (ix *Index) loadPartition(pid int, st *QueryStats) (PartitionData, error) {
+	if st != nil {
+		st.PartitionsLoaded++
+	}
+	if ix.cache == nil {
+		data, err := ix.LoadPartition(pid)
+		if err != nil {
+			return nil, err
+		}
+		return mapPartition(data), nil
+	}
+	p, hit, err := ix.cache.Get(pid, func() (*pcache.Partition, error) {
+		rids, values, err := ix.Store.ReadPartitionArena(pid)
+		if err != nil {
+			return nil, err
+		}
+		return pcache.NewPartition(rids, values, ix.seriesLen)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if st != nil {
+		if hit {
+			st.CacheHits++
+		} else {
+			st.CacheMisses++
+		}
+	}
+	return p, nil
+}
+
+// CacheStats snapshots the partition-cache counters (the zero value when
+// caching is disabled).
+func (ix *Index) CacheStats() pcache.Stats {
+	if ix.cache == nil {
+		return pcache.Stats{}
+	}
+	return ix.cache.Stats()
+}
+
+// SetCacheBudget replaces the partition cache with one of the given byte
+// budget: negative disables caching (dropping every resident partition),
+// zero restores the default budget. Resident entries do not carry over. Not
+// safe to call concurrently with queries.
+func (ix *Index) SetCacheBudget(budgetBytes int64) error {
+	cfg := ix.cfg
+	cfg.CacheBytes = budgetBytes
+	c, err := newPartitionCache(cfg)
+	if err != nil {
+		return err
+	}
+	ix.cfg.CacheBytes = budgetBytes
+	ix.cache = c
+	return nil
+}

@@ -124,6 +124,10 @@ func Load(cl *cluster.Cluster, storeDir string) (*Index, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: loading global index: %w", err)
 	}
+	cache, err := newPartitionCache(desc.Config)
+	if err != nil {
+		return nil, err
+	}
 	ix := &Index{
 		cfg:         desc.Config,
 		codec:       codec,
@@ -134,6 +138,7 @@ func Load(cl *cluster.Cluster, storeDir string) (*Index, error) {
 		Locals:      make([]*Local, desc.Partitions),
 		routerCache: NewRouter(global),
 		stats:       desc.Stats,
+		cache:       cache,
 	}
 	for pid := 0; pid < desc.Partitions; pid++ {
 		tree, err := readTreeFile(filepath.Join(dir, fmt.Sprintf("local-%06d.sigtree", pid)))

@@ -20,8 +20,15 @@ type Neighbor = knn.Neighbor
 // QueryStats profiles one query with the quantities the paper's latency
 // analysis is built on.
 type QueryStats struct {
-	// PartitionsLoaded counts high-latency partition reads.
+	// PartitionsLoaded counts partition data accesses. With the partition
+	// cache enabled it splits into CacheHits (served from resident decoded
+	// partitions, no I/O) and CacheMisses (actual high-latency disk reads);
+	// with caching disabled every access is a disk read.
 	PartitionsLoaded int
+	// CacheHits counts partition accesses served by the cache.
+	CacheHits int
+	// CacheMisses counts partition accesses that had to read disk.
+	CacheMisses int
 	// BloomRejected reports an exact-match query short-circuited by the
 	// Bloom filter (no partition load needed).
 	BloomRejected bool
@@ -31,6 +38,16 @@ type QueryStats struct {
 	PrunedLeaves int
 	// Duration is the wall time of the query.
 	Duration time.Duration
+}
+
+// merge folds a per-task stats fragment into the query's totals (Duration
+// stays the driver's wall time).
+func (st *QueryStats) merge(o QueryStats) {
+	st.PartitionsLoaded += o.PartitionsLoaded
+	st.CacheHits += o.CacheHits
+	st.CacheMisses += o.CacheMisses
+	st.Candidates += o.Candidates
+	st.PrunedLeaves += o.PrunedLeaves
 }
 
 // querySig converts a query series to its full-cardinality signature and
@@ -82,11 +99,10 @@ func (ix *Index) ExactMatch(q ts.Series, useBloom bool) ([]int64, QueryStats, er
 			// Local traversal failure proves non-existence (§V-A).
 			continue
 		}
-		data, err := ix.LoadPartition(pid)
+		data, err := ix.loadPartition(pid, &st)
 		if err != nil {
 			return nil, st, err
 		}
-		st.PartitionsLoaded++
 		for _, e := range leaf.Entries {
 			// Entries reloaded from disk carry no per-entry signature (only
 			// the leaf prefix); they fall through to the raw comparison.
@@ -96,7 +112,7 @@ func (ix *Index) ExactMatch(q ts.Series, useBloom bool) ([]int64, QueryStats, er
 			if ix.delta.deleted(e.RID) {
 				continue
 			}
-			s, ok := data[e.RID]
+			s, ok := data.Series(e.RID)
 			if !ok {
 				return nil, st, fmt.Errorf("core: partition %d missing record %d", pid, e.RID)
 			}
@@ -123,9 +139,11 @@ func (ix *Index) primaryPID(sig isaxt.Signature) (int, error) {
 }
 
 // refine computes true distances for candidate record ids against the
-// query, feeding the heap. data maps rid to series. Tombstoned records are
-// skipped.
-func (ix *Index) refine(h *knn.Heap, q ts.Series, rids []int64, data map[int64]ts.Series, st *QueryStats) error {
+// query, feeding the heap. data resolves rid to series. Tombstoned records
+// are skipped.
+//
+//tardis:hotpath
+func (ix *Index) refine(h *knn.Heap, q ts.Series, rids []int64, data PartitionData, st *QueryStats) error {
 	for _, rid := range rids {
 		if h.Contains(rid) {
 			continue // already refined by an earlier step
@@ -133,7 +151,7 @@ func (ix *Index) refine(h *knn.Heap, q ts.Series, rids []int64, data map[int64]t
 		if ix.delta.deleted(rid) {
 			continue
 		}
-		s, ok := data[rid]
+		s, ok := data.Series(rid)
 		if !ok {
 			return fmt.Errorf("core: candidate record %d missing from loaded partition", rid)
 		}
@@ -180,16 +198,15 @@ func (ix *Index) KNNTargetNode(q ts.Series, k int) ([]Neighbor, QueryStats, erro
 // It returns the kth distance found (the threshold seed for the optimized
 // strategies) and the loaded partition data for reuse. The heap accumulates
 // results.
-func (ix *Index) targetNodeInto(h *knn.Heap, q ts.Series, sig isaxt.Signature, pid, k int, st *QueryStats) (float64, map[int64]ts.Series, error) {
+func (ix *Index) targetNodeInto(h *knn.Heap, q ts.Series, sig isaxt.Signature, pid, k int, st *QueryStats) (float64, PartitionData, error) {
 	local := ix.Locals[pid]
 	if local == nil {
 		return math.Inf(1), nil, fmt.Errorf("core: partition %d has no local index", pid)
 	}
-	data, err := ix.LoadPartition(pid)
+	data, err := ix.loadPartition(pid, st)
 	if err != nil {
 		return math.Inf(1), nil, err
 	}
-	st.PartitionsLoaded++
 	node, _ := local.Tree.TargetNode(sig, int64(k))
 	entries := sigtree.CollectEntries(node, nil)
 	rids := make([]int64, len(entries))
@@ -240,7 +257,9 @@ func (ix *Index) KNNOnePartition(q ts.Series, k int) ([]Neighbor, QueryStats, er
 // scanPartitionInto prune-scans one partition's local tree with the given
 // threshold and refines the survivors. Pass the partition's records in data
 // when it is already resident; nil loads (and counts) the partition.
-func (ix *Index) scanPartitionInto(h *knn.Heap, q, paa ts.Series, pid int, threshold float64, data map[int64]ts.Series, st *QueryStats) error {
+//
+//tardis:hotpath
+func (ix *Index) scanPartitionInto(h *knn.Heap, q, paa ts.Series, pid int, threshold float64, data PartitionData, st *QueryStats) error {
 	local := ix.Locals[pid]
 	if local == nil {
 		return fmt.Errorf("core: partition %d has no local index", pid)
@@ -254,11 +273,10 @@ func (ix *Index) scanPartitionInto(h *knn.Heap, q, paa ts.Series, pid int, thres
 		return nil
 	}
 	if data == nil {
-		data, err = ix.LoadPartition(pid)
+		data, err = ix.loadPartition(pid, st)
 		if err != nil {
 			return err
 		}
-		st.PartitionsLoaded++
 	}
 	rids := make([]int64, len(entries))
 	for i, e := range entries {
@@ -311,7 +329,7 @@ func (ix *Index) KNNMultiPartition(q ts.Series, k int) ([]Neighbor, QueryStats, 
 		func(_ int, pids []int) ([]scanOut, error) {
 			var out []scanOut
 			for _, p := range pids {
-				data := map[int64]ts.Series(nil)
+				var data PartitionData
 				if p == pid {
 					data = primaryData
 				}
@@ -331,9 +349,7 @@ func (ix *Index) KNNMultiPartition(q ts.Series, k int) ([]Neighbor, QueryStats, 
 		for _, n := range r.neighbors {
 			h.Offer(n)
 		}
-		st.PartitionsLoaded += r.stats.PartitionsLoaded
-		st.Candidates += r.stats.Candidates
-		st.PrunedLeaves += r.stats.PrunedLeaves
+		st.merge(r.stats)
 	}
 	if err := ix.deltaRefine(h, q, paa, h.Bound(), &st); err != nil {
 		return nil, st, err

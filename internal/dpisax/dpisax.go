@@ -20,6 +20,7 @@ import (
 	"github.com/tardisdb/tardis/internal/cluster"
 	"github.com/tardisdb/tardis/internal/ibt"
 	"github.com/tardisdb/tardis/internal/isax"
+	"github.com/tardisdb/tardis/internal/pcache"
 	"github.com/tardisdb/tardis/internal/storage"
 	"github.com/tardisdb/tardis/internal/ts"
 )
@@ -151,6 +152,22 @@ type Index struct {
 	Locals []*ibt.Tree
 
 	stats BuildStats
+	// cache keeps hot decoded partitions resident between queries, matching
+	// the caching TARDIS queries get — the comparison stays about index
+	// structure, not about who re-decodes partitions.
+	cache *pcache.Cache[int]
+}
+
+// defaultCacheBytes bounds the baseline's partition cache (matches the
+// TARDIS core default).
+const defaultCacheBytes int64 = 256 << 20
+
+// CacheStats returns the partition-cache counters.
+func (ix *Index) CacheStats() pcache.Stats {
+	if ix.cache == nil {
+		return pcache.Stats{}
+	}
+	return ix.cache.Stats()
 }
 
 // Config returns the index configuration.
@@ -180,7 +197,11 @@ func Build(cl *cluster.Cluster, src *storage.Store, dstDir string, cfg Config) (
 	if src.SeriesLen() < cfg.WordLen {
 		return nil, fmt.Errorf("dpisax: series length %d shorter than word length %d", src.SeriesLen(), cfg.WordLen)
 	}
-	ix := &Index{cfg: cfg, cl: cl, seriesLen: src.SeriesLen()}
+	cache, err := pcache.New(defaultCacheBytes, 0, pcache.HashInt)
+	if err != nil {
+		return nil, err
+	}
+	ix := &Index{cfg: cfg, cl: cl, seriesLen: src.SeriesLen(), cache: cache}
 	start := time.Now()
 	if err := ix.buildGlobal(src); err != nil {
 		return nil, fmt.Errorf("dpisax: building global index: %w", err)

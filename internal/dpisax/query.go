@@ -9,6 +9,7 @@ import (
 	"github.com/tardisdb/tardis/internal/ibt"
 	"github.com/tardisdb/tardis/internal/isax"
 	"github.com/tardisdb/tardis/internal/knn"
+	"github.com/tardisdb/tardis/internal/pcache"
 	"github.com/tardisdb/tardis/internal/ts"
 )
 
@@ -17,8 +18,13 @@ type Neighbor = knn.Neighbor
 
 // QueryStats profiles one baseline query.
 type QueryStats struct {
-	// PartitionsLoaded counts high-latency partition reads.
+	// PartitionsLoaded counts partition data accesses; CacheHits and
+	// CacheMisses split them into cache-served and disk-decoded.
 	PartitionsLoaded int
+	// CacheHits counts accesses served from the resident partition cache.
+	CacheHits int
+	// CacheMisses counts accesses that decoded the partition from disk.
+	CacheMisses int
 	// Candidates counts series whose true distance was computed.
 	Candidates int
 	// Conversions counts character-level cardinality demotions paid during
@@ -41,17 +47,26 @@ func (ix *Index) queryWord(q ts.Series) (isax.Word, ts.Series, error) {
 	return isax.FromPAA(paa, ix.cfg.InitialBits), paa, nil
 }
 
-// loadPartition reads one clustered partition from disk, keyed by rid.
-func (ix *Index) loadPartition(pid int) (map[int64]ts.Series, error) {
-	recs, err := ix.Store.ReadPartition(pid)
+// loadPartition returns one clustered partition's decoded data, serving from
+// the resident cache when possible.
+func (ix *Index) loadPartition(pid int, st *QueryStats) (*pcache.Partition, error) {
+	st.PartitionsLoaded++
+	p, hit, err := ix.cache.Get(pid, func() (*pcache.Partition, error) {
+		rids, values, err := ix.Store.ReadPartitionArena(pid)
+		if err != nil {
+			return nil, err
+		}
+		return pcache.NewPartition(rids, values, ix.seriesLen)
+	})
 	if err != nil {
 		return nil, err
 	}
-	out := make(map[int64]ts.Series, len(recs))
-	for _, r := range recs {
-		out[r.RID] = r.Values
+	if hit {
+		st.CacheHits++
+	} else {
+		st.CacheMisses++
 	}
-	return out, nil
+	return p, nil
 }
 
 // ExactMatch answers an exact-match query: partition-table lookup, partition
@@ -79,17 +94,16 @@ func (ix *Index) ExactMatch(q ts.Series) ([]int64, QueryStats, error) {
 		st.Duration = time.Since(start)
 		return nil, st, nil
 	}
-	data, err := ix.loadPartition(pid)
+	data, err := ix.loadPartition(pid, &st)
 	if err != nil {
 		return nil, st, err
 	}
-	st.PartitionsLoaded++
 	var matches []int64
 	for _, e := range leaf.Entries {
 		if !e.Word.Equal(w) {
 			continue
 		}
-		s, ok := data[e.RID]
+		s, ok := data.Series(e.RID)
 		if !ok {
 			return nil, st, fmt.Errorf("dpisax: partition %d missing record %d", pid, e.RID)
 		}
@@ -132,14 +146,13 @@ func (ix *Index) KNNApprox(q ts.Series, k int) ([]Neighbor, QueryStats, error) {
 		st.Duration = time.Since(start)
 		return nil, st, nil
 	}
-	data, err := ix.loadPartition(pid)
+	data, err := ix.loadPartition(pid, &st)
 	if err != nil {
 		return nil, st, err
 	}
-	st.PartitionsLoaded++
 	h := knn.NewHeap(k)
 	for _, e := range ibt.CollectEntries(node, nil) {
-		s, ok := data[e.RID]
+		s, ok := data.Series(e.RID)
 		if !ok {
 			return nil, st, fmt.Errorf("dpisax: partition %d missing record %d", pid, e.RID)
 		}

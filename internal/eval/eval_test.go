@@ -357,3 +357,33 @@ func TestAblationPth(t *testing.T) {
 		t.Error("report missing header")
 	}
 }
+
+func TestWarmCache(t *testing.T) {
+	e := newEnv(t)
+	spec := smallSpecs()[0]
+	rows, err := WarmCache(e, spec, 4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].Mode != "cold" || rows[1].Mode != "warm" {
+		t.Fatalf("rows = %+v, want [cold warm]", rows)
+	}
+	cold, warm := rows[0], rows[1]
+	if cold.CacheHits != 0 || cold.CacheMisses != 0 {
+		t.Errorf("cold run touched the cache: %+v", cold)
+	}
+	if cold.DiskReads == 0 {
+		t.Error("cold run read nothing from disk; experiment is vacuous")
+	}
+	if warm.DiskReads != 0 {
+		t.Errorf("warm run read %d partitions from disk, want 0", warm.DiskReads)
+	}
+	if warm.CacheMisses != 0 || warm.CacheHits == 0 {
+		t.Errorf("warm run not fully cache-served: %+v", warm)
+	}
+	var buf bytes.Buffer
+	ReportWarm(&buf, rows)
+	if !strings.Contains(buf.String(), "warm speedup") {
+		t.Error("report missing speedup line")
+	}
+}

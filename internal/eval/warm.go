@@ -1,0 +1,102 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// The warm-query experiment: the paper's latency analysis (§V-A) charges
+// every query the partition-load cost, because Spark executors hold no state
+// between queries. A resident partition cache changes that economics for
+// repeated workloads — this figure quantifies it by running the same query
+// stream against one index cold (cache disabled, per-record decode) and warm
+// (cache enabled and primed), and attributing the gap to cache hits.
+
+// WarmRow is one row of the warm-vs-cold cache comparison.
+type WarmRow struct {
+	Dataset     string
+	Strategy    string
+	Mode        string // "cold" or "warm"
+	Queries     int
+	AvgLatency  time.Duration
+	CacheHits   int
+	CacheMisses int
+	DiskReads   int64
+}
+
+// WarmCache runs the warm-vs-cold experiment for one dataset spec: a fixed
+// kNN query stream, first with caching disabled, then with the cache enabled
+// and primed by one priming pass.
+func WarmCache(e *Env, spec DatasetSpec, queries, k int) ([]WarmRow, error) {
+	ix, err := e.BuildTardis(spec, ScaledTardisConfig(spec), "warm")
+	if err != nil {
+		return nil, err
+	}
+	qs, err := KNNQueries(spec, queries, spec.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	run := func(mode string) (WarmRow, error) {
+		row := WarmRow{Dataset: string(spec.Kind), Strategy: "mpa", Mode: mode, Queries: len(qs)}
+		ix.Store.Stats.Reset()
+		var total time.Duration
+		for _, q := range qs {
+			_, st, err := ix.KNNMultiPartition(q, k)
+			if err != nil {
+				return row, err
+			}
+			total += st.Duration
+			row.CacheHits += st.CacheHits
+			row.CacheMisses += st.CacheMisses
+		}
+		row.AvgLatency = total / time.Duration(len(qs))
+		row.DiskReads = ix.Store.Stats.PartitionsRead()
+		return row, nil
+	}
+
+	// Cold: caching disabled, every load decodes from disk.
+	if err := ix.SetCacheBudget(-1); err != nil {
+		return nil, err
+	}
+	cold, err := run("cold")
+	if err != nil {
+		return nil, err
+	}
+	// Warm: cache on, primed by one full pass over the stream.
+	if err := ix.SetCacheBudget(0); err != nil {
+		return nil, err
+	}
+	for _, q := range qs {
+		if _, _, err := ix.KNNMultiPartition(q, k); err != nil {
+			return nil, err
+		}
+	}
+	warm, err := run("warm")
+	if err != nil {
+		return nil, err
+	}
+	return []WarmRow{cold, warm}, nil
+}
+
+// ReportWarm prints the warm-vs-cold table plus the headline speedup.
+func ReportWarm(w io.Writer, rows []WarmRow) {
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Dataset, r.Strategy, r.Mode, fmt.Sprint(r.Queries), Dur(r.AvgLatency),
+			fmt.Sprint(r.CacheHits), fmt.Sprint(r.CacheMisses), fmt.Sprint(r.DiskReads),
+		})
+	}
+	PrintTable(w, "Warm queries: resident partition cache vs per-query decode",
+		[]string{"dataset", "strategy", "mode", "queries", "avg latency", "cache hits", "cache misses", "disk reads"}, cells)
+	for i := 0; i+1 < len(rows); i += 2 {
+		cold, warm := rows[i], rows[i+1]
+		if warm.AvgLatency > 0 {
+			fmt.Fprintf(w, "%s: warm speedup %.1fx (disk reads %d -> %d)\n",
+				cold.Dataset, float64(cold.AvgLatency)/float64(warm.AvgLatency),
+				cold.DiskReads, warm.DiskReads)
+		}
+	}
+}

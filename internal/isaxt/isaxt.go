@@ -19,6 +19,7 @@ package isaxt
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"github.com/tardisdb/tardis/internal/ts"
 )
@@ -38,6 +39,11 @@ const hexDigits = "0123456789ABCDEF"
 type Codec struct {
 	w          int // word length (number of segments)
 	planeChars int // hex characters per bit-plane: w/4
+
+	// wordPool recycles decode buffers for MinDistPAA, which tree pruning
+	// calls once per visited node — without reuse that decode dominates
+	// query-path allocations.
+	wordPool sync.Pool
 }
 
 // NewCodec returns a Codec for word length w. It returns an error unless w
@@ -104,17 +110,32 @@ func (c *Codec) Encode(word []int, bits int) (Signature, error) {
 // Decode converts a signature back into a SAX word. The cardinality is
 // implied by the signature length: bits = len(sig)/(w/4).
 func (c *Codec) Decode(sig Signature) ([]int, int, error) {
-	bits, err := c.Bits(sig)
+	word := make([]int, c.w)
+	bits, err := c.decodeInto(sig, word)
 	if err != nil {
 		return nil, 0, err
 	}
-	word := make([]int, c.w)
+	return word, bits, nil
+}
+
+// decodeInto decodes sig into word, a caller-owned buffer of length c.w that
+// is fully overwritten. It returns the cardinality bit count.
+//
+//tardis:hotpath
+func (c *Codec) decodeInto(sig Signature, word []int) (int, error) {
+	bits, err := c.Bits(sig)
+	if err != nil {
+		return 0, err
+	}
+	for i := range word {
+		word[i] = 0
+	}
 	for p := 0; p < bits; p++ {
-		plane := string(sig[p*c.planeChars : (p+1)*c.planeChars])
+		plane := sig[p*c.planeChars : (p+1)*c.planeChars]
 		for nib := 0; nib < c.planeChars; nib++ {
 			v, ok := hexValue(plane[nib])
 			if !ok {
-				return nil, 0, fmt.Errorf("isaxt: invalid hex character %q in signature %q", plane[nib], sig)
+				return 0, fmt.Errorf("isaxt: invalid hex character %q in signature %q", plane[nib], sig)
 			}
 			for k := 0; k < 4; k++ {
 				seg := nib*4 + k
@@ -123,8 +144,19 @@ func (c *Codec) Decode(sig Signature) ([]int, int, error) {
 			}
 		}
 	}
-	return word, bits, nil
+	return bits, nil
 }
+
+// getWord borrows a decode buffer from the pool; putWord returns it.
+func (c *Codec) getWord() *[]int {
+	if v := c.wordPool.Get(); v != nil {
+		return v.(*[]int)
+	}
+	w := make([]int, c.w)
+	return &w
+}
+
+func (c *Codec) putWord(w *[]int) { c.wordPool.Put(w) }
 
 // Bits returns the cardinality bit count encoded by the signature length,
 // validating that the length is a whole number of planes.
@@ -207,14 +239,16 @@ func (c *Codec) FromSeries(s ts.Series, bits int) (Signature, error) {
 // at the signature's own (word-level) cardinality. This is the pruning bound
 // used by the kNN query strategies.
 func (c *Codec) MinDistPAA(paa ts.Series, sig Signature, n int) (float64, error) {
-	word, bits, err := c.Decode(sig)
-	if err != nil {
-		return 0, err
-	}
 	if len(paa) != c.w {
 		return 0, fmt.Errorf("isaxt: PAA length %d != word length %d", len(paa), c.w)
 	}
-	return ts.MinDistPAAToWord(paa, word, bits, n), nil
+	wp := c.getWord()
+	defer c.putWord(wp)
+	bits, err := c.decodeInto(sig, *wp)
+	if err != nil {
+		return 0, err
+	}
+	return ts.MinDistPAAToWord(paa, *wp, bits, n), nil
 }
 
 // MinDistSignatures lower-bounds the Euclidean distance between two series

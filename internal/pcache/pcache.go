@@ -1,0 +1,362 @@
+// Package pcache provides the memory-bounded partition cache that keeps hot
+// decoded partitions resident between queries. The paper's latency analysis
+// (§V-A) treats the partition load — open, decompress, checksum, decode — as
+// the dominant query cost; without a cache every warm query pays that cold
+// cost again. The cache is:
+//
+//   - sharded: keys hash to independent shards, so concurrent queries on
+//     different partitions never contend on one mutex;
+//   - byte-bounded: the budget is expressed in bytes of decoded partition
+//     data, not entry counts, and least-recently-used partitions are evicted
+//     until the resident set fits (Odyssey-style hot-partition residency);
+//   - load-deduplicated: concurrent misses on the same key share one load
+//     (singleflight), so N queries racing on a cold partition trigger
+//     exactly one disk read.
+//
+// The cached value is a Partition: an arena-backed decoded partition holding
+// every series in one contiguous []float64 plus a rid→offset index — one
+// allocation per partition instead of one per record (the Coconut argument:
+// contiguous buffer layouts are what make series indexes scale).
+package pcache
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/tardisdb/tardis/internal/ts"
+)
+
+// Partition is an immutable decoded partition: record ids in file order and
+// their values packed into one contiguous arena. Series returns slices into
+// the arena; callers must not mutate them.
+type Partition struct {
+	seriesLen int
+	rids      []int64
+	values    []float64     // len(rids) * seriesLen, record-major
+	offsets   map[int64]int // rid → record index
+}
+
+// NewPartition wraps an arena-decoded partition. values must hold
+// len(rids)*seriesLen floats in record order.
+func NewPartition(rids []int64, values []float64, seriesLen int) (*Partition, error) {
+	if seriesLen < 1 {
+		return nil, fmt.Errorf("pcache: series length must be positive, got %d", seriesLen)
+	}
+	if len(values) != len(rids)*seriesLen {
+		return nil, fmt.Errorf("pcache: arena length %d != %d records × length %d", len(values), len(rids), seriesLen)
+	}
+	offsets := make(map[int64]int, len(rids))
+	for i, rid := range rids {
+		offsets[rid] = i
+	}
+	return &Partition{seriesLen: seriesLen, rids: rids, values: values, offsets: offsets}, nil
+}
+
+// Len returns the record count.
+func (p *Partition) Len() int { return len(p.rids) }
+
+// SeriesLen returns the fixed series length.
+func (p *Partition) SeriesLen() int { return p.seriesLen }
+
+// RIDs returns the record ids in file order (shared slice; do not mutate).
+func (p *Partition) RIDs() []int64 { return p.rids }
+
+// Series returns the series for a record id as a slice into the arena.
+func (p *Partition) Series(rid int64) (ts.Series, bool) {
+	i, ok := p.offsets[rid]
+	if !ok {
+		return nil, false
+	}
+	return p.at(i), true
+}
+
+// At returns record i in file order.
+func (p *Partition) At(i int) (int64, ts.Series) {
+	return p.rids[i], p.at(i)
+}
+
+func (p *Partition) at(i int) ts.Series {
+	return ts.Series(p.values[i*p.seriesLen : (i+1)*p.seriesLen : (i+1)*p.seriesLen])
+}
+
+// SizeBytes approximates the resident memory of the decoded partition: the
+// arena, the rid slice, and the offset index (~3 words per map entry).
+func (p *Partition) SizeBytes() int64 {
+	return int64(len(p.values))*8 + int64(len(p.rids))*8 + int64(len(p.offsets))*24
+}
+
+// Stats is a point-in-time snapshot of cache counters.
+type Stats struct {
+	// Hits counts Gets served from resident entries, including waiters that
+	// joined an in-flight load (they paid no disk read of their own).
+	Hits int64
+	// Misses counts loads actually performed; when every partition read goes
+	// through the cache, Misses equals the store's PartitionsRead.
+	Misses int64
+	// Evictions counts entries dropped to respect the byte budget.
+	Evictions int64
+	// Invalidations counts entries dropped by explicit Invalidate/Clear.
+	Invalidations int64
+	// Bytes is the current resident size; Entries the resident entry count.
+	Bytes   int64
+	Entries int64
+	// Budget is the configured byte budget.
+	Budget int64
+}
+
+// Cache is a sharded, byte-bounded LRU of decoded partitions with
+// singleflight load deduplication. K identifies a partition (an int pid for
+// a single store, a composite key when one cache fronts many stores).
+type Cache[K comparable] struct {
+	shards []*shard[K]
+	hash   func(K) uint64
+	budget int64
+
+	hits          atomic.Int64
+	misses        atomic.Int64
+	evictions     atomic.Int64
+	invalidations atomic.Int64
+}
+
+// entry is one resident partition on a shard's LRU list.
+type entry[K comparable] struct {
+	key        K
+	p          *Partition
+	bytes      int64
+	prev, next *entry[K] // intrusive LRU list; mutated only with the shard's mu held
+}
+
+// flight is one in-progress load; waiters block on done.
+type flight struct {
+	done chan struct{}
+	p    *Partition
+	err  error
+}
+
+type shard[K comparable] struct {
+	budget int64
+
+	mu      sync.Mutex
+	entries map[K]*entry[K] // guarded by mu
+	loading map[K]*flight   // guarded by mu
+	bytes   int64           // guarded by mu
+	head    *entry[K]       // guarded by mu; most recently used
+	tail    *entry[K]       // guarded by mu; least recently used
+}
+
+// DefaultShards is the shard count used when New is given zero.
+const DefaultShards = 8
+
+// New creates a cache with the given byte budget, split evenly across
+// nShards shards (0 picks DefaultShards). hash spreads keys over shards.
+// budgetBytes must be positive; a caller that wants no caching should not
+// construct a Cache at all.
+func New[K comparable](budgetBytes int64, nShards int, hash func(K) uint64) (*Cache[K], error) {
+	if budgetBytes < 1 {
+		return nil, fmt.Errorf("pcache: byte budget must be positive, got %d", budgetBytes)
+	}
+	if nShards <= 0 {
+		nShards = DefaultShards
+	}
+	if hash == nil {
+		return nil, fmt.Errorf("pcache: hash function is required")
+	}
+	c := &Cache[K]{shards: make([]*shard[K], nShards), hash: hash, budget: budgetBytes}
+	per := budgetBytes / int64(nShards)
+	if per < 1 {
+		per = 1
+	}
+	for i := range c.shards {
+		c.shards[i] = &shard[K]{
+			budget:  per,
+			entries: make(map[K]*entry[K]),
+			loading: make(map[K]*flight),
+		}
+	}
+	return c, nil
+}
+
+func (c *Cache[K]) shardFor(key K) *shard[K] {
+	return c.shards[c.hash(key)%uint64(len(c.shards))]
+}
+
+// Get returns the partition for key, loading it with load on a miss. It
+// reports whether the call was served without performing a load itself (a
+// resident hit or a joined in-flight load). Concurrent Gets for the same key
+// run load exactly once; every waiter receives the same partition or error.
+// A failed load is not cached.
+func (c *Cache[K]) Get(key K, load func() (*Partition, error)) (*Partition, bool, error) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	if e, ok := s.entries[key]; ok {
+		s.moveToFront(e)
+		s.mu.Unlock()
+		c.hits.Add(1)
+		return e.p, true, nil
+	}
+	if fl, ok := s.loading[key]; ok {
+		s.mu.Unlock()
+		<-fl.done
+		if fl.err != nil {
+			return nil, false, fl.err
+		}
+		c.hits.Add(1)
+		return fl.p, true, nil
+	}
+	// This goroutine becomes the loader.
+	fl := &flight{done: make(chan struct{})}
+	s.loading[key] = fl
+	s.mu.Unlock()
+
+	p, err := load()
+	fl.p, fl.err = p, err
+
+	s.mu.Lock()
+	delete(s.loading, key)
+	if err == nil {
+		c.misses.Add(1)
+		c.insertLocked(s, key, p)
+	}
+	s.mu.Unlock()
+	close(fl.done)
+	if err != nil {
+		return nil, false, err
+	}
+	return p, false, nil
+}
+
+// insertLocked admits a freshly loaded partition and evicts from the LRU
+// tail until the shard fits its budget. An entry larger than the whole shard
+// budget is not admitted at all — it would only evict everything else and
+// then be evicted by the next insert anyway.
+func (c *Cache[K]) insertLocked(s *shard[K], key K, p *Partition) {
+	b := p.SizeBytes()
+	if b > s.budget {
+		return
+	}
+	if old, ok := s.entries[key]; ok {
+		// Lost a race with another loader of the same key (cannot happen with
+		// singleflight, but Invalidate+reload interleavings keep this cheap
+		// to defend): replace the resident entry.
+		c.removeLocked(s, old, &c.invalidations)
+	}
+	e := &entry[K]{key: key, p: p, bytes: b}
+	s.entries[key] = e
+	s.bytes += b //tardislint:ignore lockflow caller holds mu
+	s.pushFront(e)
+	for s.bytes > s.budget && s.tail != nil && s.tail != e { //tardislint:ignore lockflow caller holds mu
+		c.removeLocked(s, s.tail, &c.evictions)
+	}
+}
+
+// removeLocked unlinks an entry and charges the given counter.
+func (c *Cache[K]) removeLocked(s *shard[K], e *entry[K], counter *atomic.Int64) {
+	delete(s.entries, e.key)
+	s.bytes -= e.bytes //tardislint:ignore lockflow caller holds mu
+	s.unlink(e)
+	counter.Add(1)
+}
+
+// Invalidate drops the entry for key, if resident. An in-flight load is not
+// interrupted: invalidation during a load only matters to callers that
+// mutate the underlying partition, and those must invalidate after the
+// rewrite completes (by which time the flight has landed).
+func (c *Cache[K]) Invalidate(key K) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	if e, ok := s.entries[key]; ok {
+		c.removeLocked(s, e, &c.invalidations)
+	}
+	s.mu.Unlock()
+}
+
+// Clear drops every resident entry.
+func (c *Cache[K]) Clear() {
+	for _, s := range c.shards {
+		s.mu.Lock()
+		for _, e := range s.entries {
+			c.removeLocked(s, e, &c.invalidations)
+		}
+		s.mu.Unlock()
+	}
+}
+
+// ResetCounters zeroes the hit/miss/eviction/invalidation counters without
+// touching resident entries.
+func (c *Cache[K]) ResetCounters() {
+	c.hits.Store(0)
+	c.misses.Store(0)
+	c.evictions.Store(0)
+	c.invalidations.Store(0)
+}
+
+// Stats snapshots the cache counters and resident size.
+func (c *Cache[K]) Stats() Stats {
+	st := Stats{
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Evictions:     c.evictions.Load(),
+		Invalidations: c.invalidations.Load(),
+		Budget:        c.budget,
+	}
+	for _, s := range c.shards {
+		s.mu.Lock()
+		st.Bytes += s.bytes
+		st.Entries += int64(len(s.entries))
+		s.mu.Unlock()
+	}
+	return st
+}
+
+// Contains reports whether key is resident (without touching LRU order).
+func (c *Cache[K]) Contains(key K) bool {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	_, ok := s.entries[key]
+	s.mu.Unlock()
+	return ok
+}
+
+// ---- intrusive LRU list (guarded by the shard mutex) ----
+
+func (s *shard[K]) pushFront(e *entry[K]) {
+	e.prev = nil
+	e.next = s.head
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
+	}
+}
+
+func (s *shard[K]) unlink(e *entry[K]) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		s.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (s *shard[K]) moveToFront(e *entry[K]) {
+	if s.head == e {
+		return
+	}
+	s.unlink(e)
+	s.pushFront(e)
+}
+
+// HashInt mixes an int key for shard selection (SplitMix64 finalizer-style).
+func HashInt(v int) uint64 {
+	h := uint64(v) * 0x9e3779b97f4a7c15
+	h ^= h >> 32
+	return h
+}

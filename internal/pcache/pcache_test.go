@@ -1,0 +1,453 @@
+package pcache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// testPartition builds a partition with n records of the given series length
+// whose rids are base, base+1, ...
+func testPartition(t *testing.T, base int64, n, slen int) *Partition {
+	t.Helper()
+	rids := make([]int64, n)
+	values := make([]float64, n*slen)
+	for i := range rids {
+		rids[i] = base + int64(i)
+		for j := 0; j < slen; j++ {
+			values[i*slen+j] = float64(i*slen + j)
+		}
+	}
+	p, err := NewPartition(rids, values, slen)
+	if err != nil {
+		t.Fatalf("NewPartition: %v", err)
+	}
+	return p
+}
+
+func TestPartitionAccessors(t *testing.T) {
+	p := testPartition(t, 100, 3, 4)
+	if p.Len() != 3 || p.SeriesLen() != 4 {
+		t.Fatalf("Len=%d SeriesLen=%d, want 3/4", p.Len(), p.SeriesLen())
+	}
+	s, ok := p.Series(101)
+	if !ok || len(s) != 4 || s[0] != 4 {
+		t.Fatalf("Series(101) = %v, %v", s, ok)
+	}
+	if _, ok := p.Series(999); ok {
+		t.Fatal("Series(999) should miss")
+	}
+	rid, s2 := p.At(2)
+	if rid != 102 || s2[0] != 8 {
+		t.Fatalf("At(2) = %d, %v", rid, s2)
+	}
+	// Arena slices are capped: appending must not clobber the next record.
+	grown := append(s, 42)
+	if got, _ := p.Series(102); got[0] != 8 {
+		t.Fatalf("append to arena slice leaked into next record: %v (grown=%v)", got, grown)
+	}
+}
+
+func TestPartitionValidation(t *testing.T) {
+	if _, err := NewPartition([]int64{1}, []float64{1, 2, 3}, 2); err == nil {
+		t.Fatal("mismatched arena length should error")
+	}
+	if _, err := NewPartition(nil, nil, 0); err == nil {
+		t.Fatal("zero series length should error")
+	}
+}
+
+func TestCacheHitMiss(t *testing.T) {
+	c, err := New[int](1<<20, 2, HashInt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads := 0
+	load := func() (*Partition, error) {
+		loads++
+		return testPartition(t, 0, 2, 4), nil
+	}
+	p1, hit, err := c.Get(7, load)
+	if err != nil || hit {
+		t.Fatalf("first Get: hit=%v err=%v", hit, err)
+	}
+	p2, hit, err := c.Get(7, load)
+	if err != nil || !hit {
+		t.Fatalf("second Get: hit=%v err=%v", hit, err)
+	}
+	if p1 != p2 {
+		t.Fatal("hit returned a different partition")
+	}
+	if loads != 1 {
+		t.Fatalf("loads = %d, want 1", loads)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Bytes != p1.SizeBytes() {
+		t.Fatalf("bytes = %d, want %d", st.Bytes, p1.SizeBytes())
+	}
+}
+
+// TestSingleflight is the dedup-under-race satellite: many goroutines miss
+// the same key concurrently and exactly one load must run.
+func TestSingleflight(t *testing.T) {
+	c, err := New[int](1<<20, 4, HashInt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loads atomic.Int64
+	ready := make(chan struct{})
+	const goroutines = 32
+	var wg sync.WaitGroup
+	ps := make([]*Partition, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-ready
+			p, _, err := c.Get(42, func() (*Partition, error) {
+				loads.Add(1)
+				return testPartition(t, 0, 8, 16), nil
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			ps[g] = p
+		}(g)
+	}
+	close(ready)
+	wg.Wait()
+	if n := loads.Load(); n != 1 {
+		t.Fatalf("loader ran %d times, want 1", n)
+	}
+	for g := 1; g < goroutines; g++ {
+		if ps[g] != ps[0] {
+			t.Fatalf("goroutine %d got a different partition", g)
+		}
+	}
+	st := c.Stats()
+	if st.Misses != 1 {
+		t.Fatalf("misses = %d, want 1", st.Misses)
+	}
+	if st.Hits != goroutines-1 {
+		t.Fatalf("hits = %d, want %d", st.Hits, goroutines-1)
+	}
+}
+
+func TestSingleflightErrorPropagation(t *testing.T) {
+	c, err := New[int](1<<20, 1, HashInt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("disk gone")
+	var loads atomic.Int64
+	ready := make(chan struct{})
+	started := make(chan struct{})
+	errs := make(chan error, 2)
+	go func() {
+		_, _, err := c.Get(1, func() (*Partition, error) {
+			close(started)
+			<-ready
+			loads.Add(1)
+			return nil, boom
+		})
+		errs <- err
+	}()
+	<-started
+	go func() {
+		_, _, err := c.Get(1, func() (*Partition, error) {
+			loads.Add(1)
+			return nil, boom
+		})
+		errs <- err
+	}()
+	close(ready)
+	for i := 0; i < 2; i++ {
+		if err := <-errs; !errors.Is(err, boom) {
+			t.Fatalf("err = %v, want %v", err, boom)
+		}
+	}
+	// The failed load must not be cached; the next Get loads again.
+	_, _, err = c.Get(1, func() (*Partition, error) {
+		loads.Add(1)
+		return testPartition(t, 0, 1, 2), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 (leader) + 0..1 (follower joined flight or re-loaded) + 1 (retry).
+	if n := loads.Load(); n < 2 || n > 3 {
+		t.Fatalf("loads = %d, want 2 or 3", n)
+	}
+	if st := c.Stats(); st.Misses != 1 {
+		t.Fatalf("misses = %d, want 1 (failed loads are not misses)", st.Misses)
+	}
+}
+
+// TestEvictionOrder pins the byte-budget LRU policy: with a budget of three
+// partitions, inserting a fourth evicts the least recently used, and a
+// Get refreshes recency.
+func TestEvictionOrder(t *testing.T) {
+	one := testPartition(t, 0, 2, 4)
+	per := one.SizeBytes()
+	// Single shard so the LRU order is global and deterministic.
+	c, err := New[int](per*3, 1, HashInt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(k int) func() (*Partition, error) {
+		return func() (*Partition, error) { return testPartition(t, int64(k*100), 2, 4), nil }
+	}
+	for k := 1; k <= 3; k++ {
+		if _, _, err := c.Get(k, mk(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch 1 so 2 becomes LRU.
+	if _, hit, _ := c.Get(1, mk(1)); !hit {
+		t.Fatal("key 1 should be resident")
+	}
+	// Insert 4 → evicts 2, keeps 1, 3, 4.
+	if _, _, err := c.Get(4, mk(4)); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Entries != 3 || st.Bytes != per*3 {
+		t.Fatalf("stats = %+v, want 1 eviction, 3 entries, %d bytes", st, per*3)
+	}
+	for k, want := range map[int]bool{1: true, 2: false, 3: true, 4: true} {
+		if got := c.Contains(k); got != want {
+			t.Fatalf("Contains(%d) = %v, want %v", k, got, want)
+		}
+	}
+}
+
+func TestOversizeEntryNotCached(t *testing.T) {
+	small := testPartition(t, 0, 1, 2)
+	c, err := New[int](small.SizeBytes(), 1, HashInt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := testPartition(t, 0, 64, 64)
+	loads := 0
+	load := func() (*Partition, error) { loads++; return big, nil }
+	p, _, err := c.Get(1, load)
+	if err != nil || p != big {
+		t.Fatalf("oversize load: %v, %v", p, err)
+	}
+	if c.Contains(1) {
+		t.Fatal("oversize entry must not be admitted")
+	}
+	if _, _, err := c.Get(1, load); err != nil {
+		t.Fatal(err)
+	}
+	if loads != 2 {
+		t.Fatalf("loads = %d, want 2 (oversize entries reload every time)", loads)
+	}
+	if st := c.Stats(); st.Bytes != 0 || st.Entries != 0 {
+		t.Fatalf("stats = %+v, want empty cache", st)
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c, err := New[int](1<<20, 2, HashInt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := 0
+	load := func() (*Partition, error) {
+		gen++
+		return testPartition(t, int64(gen*1000), 1, 2), nil
+	}
+	p1, _, _ := c.Get(5, load)
+	c.Invalidate(5)
+	if c.Contains(5) {
+		t.Fatal("key 5 still resident after Invalidate")
+	}
+	p2, hit, _ := c.Get(5, load)
+	if hit || p2 == p1 {
+		t.Fatal("Get after Invalidate must reload")
+	}
+	if p2.RIDs()[0] != 2000 {
+		t.Fatalf("stale data after invalidate: rid %d", p2.RIDs()[0])
+	}
+	st := c.Stats()
+	if st.Invalidations != 1 {
+		t.Fatalf("invalidations = %d, want 1", st.Invalidations)
+	}
+	// Invalidating an absent key is a no-op.
+	c.Invalidate(99)
+	if st := c.Stats(); st.Invalidations != 1 {
+		t.Fatalf("invalidations = %d after no-op, want 1", st.Invalidations)
+	}
+}
+
+func TestClearAndResetCounters(t *testing.T) {
+	c, err := New[int](1<<20, 4, HashInt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 10; k++ {
+		k := k
+		if _, _, err := c.Get(k, func() (*Partition, error) {
+			return testPartition(t, int64(k), 1, 2), nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Clear()
+	st := c.Stats()
+	if st.Entries != 0 || st.Bytes != 0 || st.Invalidations != 10 {
+		t.Fatalf("after Clear: %+v", st)
+	}
+	c.ResetCounters()
+	st = c.Stats()
+	if st.Hits != 0 || st.Misses != 0 || st.Invalidations != 0 {
+		t.Fatalf("after ResetCounters: %+v", st)
+	}
+}
+
+// TestConcurrentMixedKeys hammers the cache across shards under -race:
+// concurrent Gets, Invalidates, and Stats must be data-race free and every
+// Get must observe the partition its loader produced for that key.
+func TestConcurrentMixedKeys(t *testing.T) {
+	small := testPartition(t, 0, 2, 8)
+	c, err := New[int](small.SizeBytes()*8, 4, HashInt) // small budget → constant eviction
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys = 16
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := (g + i) % keys
+				p, _, err := c.Get(k, func() (*Partition, error) {
+					return testPartition(t, int64(k*1000), 2, 8), nil
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if p.RIDs()[0] != int64(k*1000) {
+					t.Errorf("key %d returned partition for rid base %d", k, p.RIDs()[0])
+					return
+				}
+				if i%17 == 0 {
+					c.Invalidate(k)
+				}
+				if i%31 == 0 {
+					_ = c.Stats()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Bytes < 0 || st.Bytes > st.Budget {
+		t.Fatalf("resident bytes %d outside [0, %d]", st.Bytes, st.Budget)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New[int](0, 1, HashInt); err == nil {
+		t.Fatal("zero budget should error")
+	}
+	if _, err := New[int](-5, 1, HashInt); err == nil {
+		t.Fatal("negative budget should error")
+	}
+	if _, err := New[int](1<<20, 1, nil); err == nil {
+		t.Fatal("nil hash should error")
+	}
+	c, err := New[int](1<<20, 0, HashInt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.shards) != DefaultShards {
+		t.Fatalf("shards = %d, want %d", len(c.shards), DefaultShards)
+	}
+}
+
+func TestCompositeKey(t *testing.T) {
+	type key struct {
+		dir string
+		pid int
+	}
+	hash := func(k key) uint64 {
+		h := uint64(14695981039346656037)
+		for _, b := range []byte(k.dir) {
+			h = (h ^ uint64(b)) * 1099511628211
+		}
+		return h ^ HashInt(k.pid)
+	}
+	c, err := New[key](1<<20, 4, hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads := 0
+	for i := 0; i < 2; i++ {
+		if _, _, err := c.Get(key{"a", 1}, func() (*Partition, error) {
+			loads++
+			return testPartition(t, 0, 1, 2), nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := c.Get(key{"b", 1}, func() (*Partition, error) {
+		loads++
+		return testPartition(t, 0, 1, 2), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if loads != 2 {
+		t.Fatalf("loads = %d, want 2 (distinct dirs are distinct keys)", loads)
+	}
+}
+
+func BenchmarkCacheHit(b *testing.B) {
+	c, err := New[int](1<<24, 8, HashInt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rids := make([]int64, 100)
+	values := make([]float64, 100*64)
+	for i := range rids {
+		rids[i] = int64(i)
+	}
+	p, err := NewPartition(rids, values, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	load := func() (*Partition, error) { return p, nil }
+	if _, _, err := c.Get(1, load); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, hit, _ := c.Get(1, load); !hit {
+			b.Fatal("expected hit")
+		}
+	}
+}
+
+func ExampleCache() {
+	c, _ := New[int](1<<20, 4, HashInt)
+	load := func() (*Partition, error) {
+		return NewPartition([]int64{10, 11}, make([]float64, 2*4), 4)
+	}
+	p, hit, _ := c.Get(3, load)
+	fmt.Println(p.Len(), hit)
+	p, hit, _ = c.Get(3, load) // resident: loader not invoked again
+	fmt.Println(p.Len(), hit)
+	// Output:
+	// 2 false
+	// 2 true
+}

@@ -75,6 +75,13 @@ type StatsResponse struct {
 	Partitions int   `json:"partitions"`
 	DeltaCount int64 `json:"delta_count"`
 	Tombstones int   `json:"tombstones"`
+	// Partition-cache gauges (zero when caching is disabled).
+	CacheHits        int64 `json:"cache_hits"`
+	CacheMisses      int64 `json:"cache_misses"`
+	CacheEvictions   int64 `json:"cache_evictions"`
+	CacheBytes       int64 `json:"cache_bytes"`
+	CacheEntries     int64 `json:"cache_entries"`
+	CacheBudgetBytes int64 `json:"cache_budget_bytes"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -85,12 +92,19 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		writeErr(w, http.StatusInternalServerError, err)
 		return
 	}
+	cs := s.ix.CacheStats()
 	writeJSON(w, http.StatusOK, StatsResponse{
-		SeriesLen:  s.ix.SeriesLen(),
-		Records:    total,
-		Partitions: s.ix.NumPartitions(),
-		DeltaCount: s.ix.DeltaCount(),
-		Tombstones: s.ix.TombstoneCount(),
+		SeriesLen:        s.ix.SeriesLen(),
+		Records:          total,
+		Partitions:       s.ix.NumPartitions(),
+		DeltaCount:       s.ix.DeltaCount(),
+		Tombstones:       s.ix.TombstoneCount(),
+		CacheHits:        cs.Hits,
+		CacheMisses:      cs.Misses,
+		CacheEvictions:   cs.Evictions,
+		CacheBytes:       cs.Bytes,
+		CacheEntries:     cs.Entries,
+		CacheBudgetBytes: cs.Budget,
 	})
 }
 
@@ -104,11 +118,13 @@ type KNNRequest struct {
 
 // KNNResponse carries the neighbors and the query profile.
 type KNNResponse struct {
-	Neighbors  []knn.Neighbor `json:"neighbors"`
-	Strategy   string         `json:"strategy"`
-	Partitions int            `json:"partitions_loaded"`
-	Candidates int            `json:"candidates"`
-	DurationMS float64        `json:"duration_ms"`
+	Neighbors   []knn.Neighbor `json:"neighbors"`
+	Strategy    string         `json:"strategy"`
+	Partitions  int            `json:"partitions_loaded"`
+	CacheHits   int            `json:"cache_hits"`
+	CacheMisses int            `json:"cache_misses"`
+	Candidates  int            `json:"candidates"`
+	DurationMS  float64        `json:"duration_ms"`
 }
 
 func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
@@ -152,6 +168,7 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, KNNResponse{
 		Neighbors: res, Strategy: name,
 		Partitions: st.PartitionsLoaded, Candidates: st.Candidates,
+		CacheHits: st.CacheHits, CacheMisses: st.CacheMisses,
 		DurationMS: float64(st.Duration) / float64(time.Millisecond),
 	})
 }
@@ -217,6 +234,7 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, KNNResponse{
 		Neighbors: res, Strategy: "range",
 		Partitions: st.PartitionsLoaded, Candidates: st.Candidates,
+		CacheHits: st.CacheHits, CacheMisses: st.CacheMisses,
 		DurationMS: float64(st.Duration) / float64(time.Millisecond),
 	})
 }

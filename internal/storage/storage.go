@@ -360,36 +360,38 @@ func (w *Writer) abort() error {
 	return errors.Join(w.f.Close(), os.Remove(w.store.partitionPath(w.pid)))
 }
 
-// ReadPartition loads a whole partition, verifying the checksum, and counts
-// the load in Stats.
-func (s *Store) ReadPartition(pid int) ([]ts.Record, error) {
-	var out []ts.Record
-	err := s.ScanPartition(pid, func(r ts.Record) error {
-		out = append(out, r)
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
+// partitionReader is the streaming decode state shared by ScanPartition,
+// ReadPartition, and ReadPartitionArena: header parsing, record framing,
+// checksum verification, and I/O accounting live here once.
+type partitionReader struct {
+	store   *Store
+	pid     int
+	f       *os.File
+	fl      io.ReadCloser // flate reader when compressed
+	payload io.Reader
+	slen    int
+	count   uint64
+	buf     []byte // one record frame, reused across next() calls
+	crc     uint32
+	bytes   int64
 }
 
-// ScanPartition streams a partition's records through fn, verifying the
-// checksum at the end.
-func (s *Store) ScanPartition(pid int, fn func(ts.Record) error) error {
+// openPartition opens a partition file and parses its header. The caller
+// must close the reader, and call finish after consuming count records to
+// verify the checksum and charge the load to Stats.
+func (s *Store) openPartition(pid int) (*partitionReader, error) {
 	path := s.partitionPath(pid)
 	f, err := os.Open(path)
 	if err != nil {
-		return fmt.Errorf("storage: opening partition %d: %w", pid, err)
+		return nil, fmt.Errorf("storage: opening partition %d: %w", pid, err)
 	}
-	defer f.Close()
 	br := bufio.NewReaderSize(f, 1<<16)
 	header := make([]byte, headerSizeV1)
 	if _, err := io.ReadFull(br, header); err != nil {
-		return fmt.Errorf("storage: partition %d header: %w", pid, err)
+		return nil, errors.Join(fmt.Errorf("storage: partition %d header: %w", pid, err), f.Close())
 	}
 	if string(header[:4]) != fileMagic {
-		return fmt.Errorf("storage: partition %d: bad magic", pid)
+		return nil, errors.Join(fmt.Errorf("storage: partition %d: bad magic", pid), f.Close())
 	}
 	version := binary.LittleEndian.Uint16(header[4:])
 	compression := NoCompression
@@ -399,57 +401,158 @@ func (s *Store) ScanPartition(pid int, fn func(ts.Record) error) error {
 	case fileVersion:
 		var cb [1]byte
 		if _, err := io.ReadFull(br, cb[:]); err != nil {
-			return fmt.Errorf("storage: partition %d header: %w", pid, err)
+			return nil, errors.Join(fmt.Errorf("storage: partition %d header: %w", pid, err), f.Close())
 		}
 		compression = Compression(cb[0])
 		if compression != NoCompression && compression != Flate {
-			return fmt.Errorf("storage: partition %d: unknown compression %d", pid, cb[0])
+			return nil, errors.Join(fmt.Errorf("storage: partition %d: unknown compression %d", pid, cb[0]), f.Close())
 		}
 	default:
-		return fmt.Errorf("storage: partition %d: unsupported version %d", pid, version)
+		return nil, errors.Join(fmt.Errorf("storage: partition %d: unsupported version %d", pid, version), f.Close())
 	}
 	slen := int(binary.LittleEndian.Uint32(header[6:]))
 	if slen != s.seriesLen {
-		return fmt.Errorf("storage: partition %d series length %d != store %d", pid, slen, s.seriesLen)
+		return nil, errors.Join(fmt.Errorf("storage: partition %d series length %d != store %d", pid, slen, s.seriesLen), f.Close())
 	}
-	count := binary.LittleEndian.Uint64(header[10:])
-	var payload io.Reader = br
+	r := &partitionReader{
+		store: s,
+		pid:   pid,
+		f:     f,
+		slen:  slen,
+		count: binary.LittleEndian.Uint64(header[10:]),
+		buf:   make([]byte, 8+8*slen),
+		bytes: headerSize,
+	}
 	if compression == Flate {
-		fr := flate.NewReader(br)
-		defer fr.Close()
-		payload = fr
+		r.fl = flate.NewReader(br)
+		r.payload = r.fl
+	} else {
+		r.payload = br
 	}
-	recSize := 8 + 8*slen
-	buf := make([]byte, recSize)
-	var crc uint32
-	bytes := int64(headerSize)
-	for i := uint64(0); i < count; i++ {
-		if _, err := io.ReadFull(payload, buf); err != nil {
-			return fmt.Errorf("storage: partition %d record %d: %w", pid, i, err)
+	return r, nil
+}
+
+// next reads the next record frame into the shared buffer and returns the
+// record id. The values remain encoded in r.buf[8:]; decode them with
+// valueAt before the following next call.
+func (r *partitionReader) next(i uint64) (int64, error) {
+	if _, err := io.ReadFull(r.payload, r.buf); err != nil {
+		return 0, fmt.Errorf("storage: partition %d record %d: %w", r.pid, i, err)
+	}
+	r.crc = crc32.Update(r.crc, crc32.IEEETable, r.buf)
+	r.bytes += int64(len(r.buf))
+	return int64(binary.LittleEndian.Uint64(r.buf[0:])), nil
+}
+
+// valueAt decodes value j of the record currently framed in buf.
+func (r *partitionReader) valueAt(j int) float64 {
+	return mathFloat64frombits(binary.LittleEndian.Uint64(r.buf[8+j*8:]))
+}
+
+// finish verifies the trailing checksum and charges the completed load to
+// the store's latency model and Stats.
+func (r *partitionReader) finish() error {
+	var tail [4]byte
+	if _, err := io.ReadFull(r.payload, tail[:]); err != nil {
+		return fmt.Errorf("storage: partition %d checksum: %w", r.pid, err)
+	}
+	if binary.LittleEndian.Uint32(tail[:]) != r.crc {
+		return fmt.Errorf("storage: partition %d checksum mismatch", r.pid)
+	}
+	r.bytes += 4
+	r.store.chargeLatency(r.bytes)
+	r.store.Stats.partitionsRead.Add(1)
+	r.store.Stats.bytesRead.Add(r.bytes)
+	return nil
+}
+
+func (r *partitionReader) close() error {
+	var flErr error
+	if r.fl != nil {
+		flErr = r.fl.Close()
+	}
+	return errors.Join(flErr, r.f.Close())
+}
+
+// ReadPartition loads a whole partition, verifying the checksum, and counts
+// the load in Stats. The output slice is presized from the header record
+// count.
+func (s *Store) ReadPartition(pid int) ([]ts.Record, error) {
+	r, err := s.openPartition(pid)
+	if err != nil {
+		return nil, err
+	}
+	defer r.close()
+	out := make([]ts.Record, 0, r.count)
+	for i := uint64(0); i < r.count; i++ {
+		rid, err := r.next(i)
+		if err != nil {
+			return nil, err
 		}
-		crc = crc32.Update(crc, crc32.IEEETable, buf)
-		bytes += int64(recSize)
-		rec := ts.Record{RID: int64(binary.LittleEndian.Uint64(buf[0:]))}
-		rec.Values = make(ts.Series, slen)
-		for j := 0; j < slen; j++ {
-			rec.Values[j] = mathFloat64frombits(binary.LittleEndian.Uint64(buf[8+j*8:]))
+		rec := ts.Record{RID: rid, Values: make(ts.Series, r.slen)}
+		for j := 0; j < r.slen; j++ {
+			rec.Values[j] = r.valueAt(j)
+		}
+		out = append(out, rec)
+	}
+	if err := r.finish(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ReadPartitionArena loads a whole partition into one contiguous arena:
+// record ids in file order and their values packed record-major into a
+// single []float64 of len(rids)*SeriesLen(). Two allocations replace the
+// one-Series-per-record layout of ReadPartition, and slices into the arena
+// stay cache-friendly for sequential refinement scans.
+func (s *Store) ReadPartitionArena(pid int) (rids []int64, values []float64, err error) {
+	r, err := s.openPartition(pid)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer r.close()
+	rids = make([]int64, r.count)
+	values = make([]float64, int(r.count)*r.slen)
+	for i := uint64(0); i < r.count; i++ {
+		rid, err := r.next(i)
+		if err != nil {
+			return nil, nil, err
+		}
+		rids[i] = rid
+		off := int(i) * r.slen
+		for j := 0; j < r.slen; j++ {
+			values[off+j] = r.valueAt(j)
+		}
+	}
+	if err := r.finish(); err != nil {
+		return nil, nil, err
+	}
+	return rids, values, nil
+}
+
+// ScanPartition streams a partition's records through fn, verifying the
+// checksum at the end.
+func (s *Store) ScanPartition(pid int, fn func(ts.Record) error) error {
+	r, err := s.openPartition(pid)
+	if err != nil {
+		return err
+	}
+	defer r.close()
+	for i := uint64(0); i < r.count; i++ {
+		rid, err := r.next(i)
+		if err != nil {
+			return err
+		}
+		rec := ts.Record{RID: rid, Values: make(ts.Series, r.slen)}
+		for j := 0; j < r.slen; j++ {
+			rec.Values[j] = r.valueAt(j)
 		}
 		if err := fn(rec); err != nil {
 			return err
 		}
 	}
-	var tail [4]byte
-	if _, err := io.ReadFull(payload, tail[:]); err != nil {
-		return fmt.Errorf("storage: partition %d checksum: %w", pid, err)
-	}
-	if binary.LittleEndian.Uint32(tail[:]) != crc {
-		return fmt.Errorf("storage: partition %d checksum mismatch", pid)
-	}
-	bytes += 4
-	s.chargeLatency(bytes)
-	s.Stats.partitionsRead.Add(1)
-	s.Stats.bytesRead.Add(bytes)
-	return nil
+	return r.finish()
 }
 
 // PartitionCount returns the record count of a partition from its header

@@ -354,3 +354,75 @@ func TestLatencyModel(t *testing.T) {
 		t.Errorf("injected read (%v) not slower than raw read (%v)", slow, fast)
 	}
 }
+
+func TestReadPartitionArena(t *testing.T) {
+	for _, comp := range []Compression{NoCompression, Flate} {
+		s, err := CreateCompressed(t.TempDir(), 6, comp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(3))
+		recs := randomRecords(rng, 40, 6, 100)
+		if err := s.WritePartition(0, recs); err != nil {
+			t.Fatal(err)
+		}
+		rids, values, err := s.ReadPartitionArena(0)
+		if err != nil {
+			t.Fatalf("compression %d: %v", comp, err)
+		}
+		if len(rids) != len(recs) || len(values) != len(recs)*6 {
+			t.Fatalf("arena shapes: %d rids, %d values", len(rids), len(values))
+		}
+		for i, rec := range recs {
+			if rids[i] != rec.RID {
+				t.Fatalf("rid[%d] = %d, want %d", i, rids[i], rec.RID)
+			}
+			for j, v := range rec.Values {
+				if values[i*6+j] != v {
+					t.Fatalf("value[%d][%d] = %v, want %v", i, j, values[i*6+j], v)
+				}
+			}
+		}
+		if got := s.Stats.PartitionsRead(); got != 1 {
+			t.Fatalf("partitions read = %d, want 1", got)
+		}
+	}
+}
+
+func TestReadPartitionArenaErrors(t *testing.T) {
+	s := newStore(t, 4)
+	if _, _, err := s.ReadPartitionArena(7); err == nil {
+		t.Error("missing partition should fail")
+	}
+	rng := rand.New(rand.NewSource(4))
+	if err := s.WritePartition(0, randomRecords(rng, 5, 4, 0)); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte: the arena read must detect the checksum mismatch.
+	path := s.partitionPath(0)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[headerSize+3] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.ReadPartitionArena(0); err == nil {
+		t.Error("corrupted partition should fail checksum")
+	}
+}
+
+func TestReadPartitionArenaEmpty(t *testing.T) {
+	s := newStore(t, 4)
+	if err := s.WritePartition(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	rids, values, err := s.ReadPartitionArena(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rids) != 0 || len(values) != 0 {
+		t.Fatalf("empty partition arena: %d rids, %d values", len(rids), len(values))
+	}
+}
