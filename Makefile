@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint fmt-check fuzz-short bench-smoke check
+.PHONY: build test race vet lint fmt-check fuzz-short bench-smoke faultinj check
 
 build:
 	$(GO) build ./...
@@ -19,13 +19,20 @@ race:
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x .
 
+# Deterministic fault-injection suite under the race detector: worker killed
+# mid-Spill, hung worker during exact kNN, partition loss during approximate
+# queries, and a seeded matrix of random transport faults (internal/faultinj
+# schedules are seeded, so every run sees the same fault sequence).
+faultinj:
+	$(GO) test -race -run TestFaultInjection ./internal/...
+
 vet:
 	$(GO) vet ./...
 
 # Project-specific analyzers (tools/tardislint): iSAX-T signature hygiene,
 # path-sensitive mutex guards (lockflow), unchecked errors (errflow),
 # hot-path allocations (hotalloc), write-path close errors, goroutine
-# lifecycle. The patterns are explicit so the gate provably covers the
+# lifecycle, and context-first RPC signatures (ctxfirst). The patterns are explicit so the gate provably covers the
 # library root, the CLIs, the examples, and the linter itself (self-lint).
 lint:
 	$(GO) run ./tools/tardislint . ./internal/... ./cmd/... ./examples/... ./tools/...
@@ -43,4 +50,4 @@ fuzz-short:
 	$(GO) test -run='^$$' -fuzz=FuzzBuild -fuzztime=10s ./tools/tardislint/internal/lint/cfg/
 
 # The full gate CI runs.
-check: build test race vet fmt-check lint bench-smoke
+check: build test race faultinj vet fmt-check lint bench-smoke

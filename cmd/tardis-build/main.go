@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -31,19 +32,21 @@ func main() {
 	log.SetPrefix("tardis-build: ")
 
 	var (
-		src       = flag.String("src", "", "source dataset store directory (required)")
-		dst       = flag.String("dst", "", "output clustered store directory (required)")
-		system    = flag.String("system", "tardis", "index system: tardis | dpisax")
-		workers   = flag.Int("workers", 8, "simulated workers for the in-process build")
-		gmax      = flag.Int64("gmax", 0, "partition capacity G-MaxSize in records (0 = n/30)")
-		lmax      = flag.Int64("lmax", 1000, "local leaf split threshold L-MaxSize")
-		samplePct = flag.Float64("sample", 0.10, "block-level sampling percentage")
-		seed      = flag.Int64("seed", 1, "sampling seed")
-		noBloom   = flag.Bool("no-bloom", false, "skip Bloom filter construction (TARDIS only)")
-		compress  = flag.Bool("compress", false, "flate-compress the clustered partitions (TARDIS only)")
-		rpcAddrs  = flag.String("rpc", "", "comma-separated tardis-worker addresses for the distributed build")
-		workDir   = flag.String("work", "", "spill directory for -rpc builds (default <dst>-spill)")
-		verbose   = flag.Bool("v", false, "print per-stage cluster metrics after the build")
+		src        = flag.String("src", "", "source dataset store directory (required)")
+		dst        = flag.String("dst", "", "output clustered store directory (required)")
+		system     = flag.String("system", "tardis", "index system: tardis | dpisax")
+		workers    = flag.Int("workers", 8, "simulated workers for the in-process build")
+		gmax       = flag.Int64("gmax", 0, "partition capacity G-MaxSize in records (0 = n/30)")
+		lmax       = flag.Int64("lmax", 1000, "local leaf split threshold L-MaxSize")
+		samplePct  = flag.Float64("sample", 0.10, "block-level sampling percentage")
+		seed       = flag.Int64("seed", 1, "sampling seed")
+		noBloom    = flag.Bool("no-bloom", false, "skip Bloom filter construction (TARDIS only)")
+		compress   = flag.Bool("compress", false, "flate-compress the clustered partitions (TARDIS only)")
+		rpcAddrs   = flag.String("rpc", "", "comma-separated tardis-worker addresses for the distributed build")
+		workDir    = flag.String("work", "", "spill directory for -rpc builds (default <dst>-spill)")
+		rpcTimeout = flag.Duration("rpc-timeout", 0, "per-RPC deadline for -rpc builds (0 = policy default)")
+		retries    = flag.Int("retries", 0, "attempts per RPC for -rpc builds (0 = policy default)")
+		verbose    = flag.Bool("v", false, "print per-stage cluster metrics after the build")
 	)
 	flag.Parse()
 	if *src == "" || *dst == "" {
@@ -79,7 +82,7 @@ func main() {
 			cfg.Compression = storage.Flate
 		}
 		if *rpcAddrs != "" {
-			buildRPC(*src, *dst, *workDir, *rpcAddrs, cfg)
+			buildRPC(*src, *dst, *workDir, *rpcAddrs, cfg, *rpcTimeout, *retries)
 			return
 		}
 		cl, err := cluster.New(cluster.Config{Workers: *workers})
@@ -132,23 +135,35 @@ func main() {
 	}
 }
 
-func buildRPC(src, dst, workDir, addrs string, cfg core.Config) {
+func buildRPC(src, dst, workDir, addrs string, cfg core.Config, rpcTimeout time.Duration, retries int) {
 	if workDir == "" {
 		workDir = dst + "-spill"
 	}
-	pool, err := clusterrpc.Dial(strings.Split(addrs, ","))
+	pol := clusterrpc.DefaultPolicy()
+	if rpcTimeout > 0 {
+		pol.CallTimeout = rpcTimeout
+	}
+	if retries > 0 {
+		pol.MaxAttempts = retries
+	}
+	ctx := context.Background()
+	pool, err := clusterrpc.DialContext(ctx, strings.Split(addrs, ","), pol)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer pool.Close()
-	replies, err := pool.Ping()
+	statuses, err := pool.Ping(ctx)
 	if err != nil {
-		log.Fatal(err)
+		log.Printf("warning: degraded pool: %v", err)
 	}
-	for _, r := range replies {
-		fmt.Printf("worker %s on %s (pid %d)\n", r.ID, r.Hostname, r.PID)
+	for _, s := range statuses {
+		if s.Err != nil {
+			fmt.Printf("worker %s unreachable: %v\n", s.Addr, s.Err)
+			continue
+		}
+		fmt.Printf("worker %s on %s (pid %d)\n", s.Reply.ID, s.Reply.Hostname, s.Reply.PID)
 	}
-	stats, err := clusterrpc.BuildDistributed(pool, src, dst, workDir, cfg)
+	stats, err := clusterrpc.BuildDistributed(ctx, pool, src, dst, workDir, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -156,6 +171,9 @@ func buildRPC(src, dst, workDir, addrs string, cfg core.Config) {
 		stats.Records, stats.Partitions, rd(stats.Total))
 	fmt.Printf("  sample %s, shuffle %s, local build %s\n",
 		rd(stats.SampleConvert), rd(stats.Shuffle), rd(stats.LocalBuild))
+	if stats.Reassigned > 0 {
+		fmt.Printf("  %d task chunks reassigned after worker failures\n", stats.Reassigned)
+	}
 	fmt.Printf("load it with tardis-query -index %s\n", dst)
 }
 

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	tardis-serve -index data/idx -listen 127.0.0.1:8080
+//	tardis-serve -index data/idx -rpc 127.0.0.1:7701,127.0.0.1:7702 -rpc-timeout 30s -retries 3
 //
 // Endpoints:
 //
@@ -18,13 +19,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"strings"
+	"time"
 
 	"github.com/tardisdb/tardis/internal/cluster"
+	clusterrpc "github.com/tardisdb/tardis/internal/cluster/rpc"
 	"github.com/tardisdb/tardis/internal/core"
 	"github.com/tardisdb/tardis/internal/server"
 )
@@ -34,10 +39,13 @@ func main() {
 	log.SetPrefix("tardis-serve: ")
 
 	var (
-		indexDir = flag.String("index", "", "saved index directory (required)")
-		listen   = flag.String("listen", "127.0.0.1:8080", "listen address")
-		workers  = flag.Int("workers", 8, "cluster workers for parallel operations")
-		repair   = flag.Bool("repair", true, "verify and repair damaged index files on load")
+		indexDir   = flag.String("index", "", "saved index directory (required)")
+		listen     = flag.String("listen", "127.0.0.1:8080", "listen address")
+		workers    = flag.Int("workers", 8, "cluster workers for parallel operations")
+		repair     = flag.Bool("repair", true, "verify and repair damaged index files on load")
+		rpcAddrs   = flag.String("rpc", "", "comma-separated tardis-worker addresses enabling the dist/dist-exact strategies")
+		rpcTimeout = flag.Duration("rpc-timeout", 0, "per-RPC deadline for worker calls (0 = policy default)")
+		retries    = flag.Int("retries", 0, "attempts per worker RPC before failover (0 = policy default)")
 	)
 	flag.Parse()
 	if *indexDir == "" {
@@ -65,7 +73,37 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	srv := server.New(ix)
+	if *rpcAddrs != "" {
+		pol := clusterrpc.DefaultPolicy()
+		if *rpcTimeout > 0 {
+			pol.CallTimeout = *rpcTimeout
+		}
+		if *retries > 0 {
+			pol.MaxAttempts = *retries
+		}
+		pool, err := clusterrpc.DialContext(context.Background(), strings.Split(*rpcAddrs, ","), pol)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer pool.Close()
+		srv.AttachPool(pool)
+		fmt.Printf("worker pool: %d of %d workers reachable\n", reachable(pool), pool.Size())
+	}
 	fmt.Printf("serving %d records (%d partitions, series length %d) on http://%s\n",
 		total, ix.NumPartitions(), ix.SeriesLen(), *listen)
-	log.Fatal(http.ListenAndServe(*listen, server.New(ix).Handler()))
+	log.Fatal(http.ListenAndServe(*listen, srv.Handler()))
+}
+
+func reachable(pool *clusterrpc.Pool) int {
+	n := 0
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	statuses, _ := pool.Ping(ctx)
+	for _, s := range statuses {
+		if s.Err == nil {
+			n++
+		}
+	}
+	return n
 }

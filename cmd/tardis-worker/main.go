@@ -1,6 +1,6 @@
 // Command tardis-worker runs one RPC worker process for distributed TARDIS
-// index construction. Workers must share a filesystem with the coordinator
-// (tardis-build -rpc).
+// index construction and querying. Workers must share a filesystem with the
+// coordinator (tardis-build -rpc, tardis-serve -rpc).
 //
 // Usage:
 //
@@ -15,6 +15,7 @@ import (
 	"log"
 	"net"
 	"os"
+	"time"
 
 	clusterrpc "github.com/tardisdb/tardis/internal/cluster/rpc"
 )
@@ -24,8 +25,9 @@ func main() {
 	log.SetPrefix("tardis-worker: ")
 
 	var (
-		listen = flag.String("listen", "127.0.0.1:7701", "address to listen on")
-		id     = flag.String("id", "", "worker id (default derived from pid)")
+		listen     = flag.String("listen", "127.0.0.1:7701", "address to listen on")
+		id         = flag.String("id", "", "worker id (default derived from pid)")
+		rpcTimeout = flag.Duration("rpc-timeout", 0, "idle deadline per coordinator connection; reads that stall longer drop the connection (0 = never)")
 	)
 	flag.Parse()
 
@@ -37,8 +39,40 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if *rpcTimeout > 0 {
+		ln = idleListener{Listener: ln, d: *rpcTimeout}
+	}
 	fmt.Printf("worker %s listening on %s\n", workerID, ln.Addr())
 	if err := clusterrpc.Serve(ln, workerID); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// idleListener drops coordinator connections whose reads stall longer than d,
+// so a dead or wedged coordinator cannot pin worker connections forever. The
+// deadline is re-armed on every read; an idle-but-healthy coordinator simply
+// reconnects (the pool redials dropped clients on the next call).
+type idleListener struct {
+	net.Listener
+	d time.Duration
+}
+
+func (l idleListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return idleConn{Conn: c, d: l.d}, nil
+}
+
+type idleConn struct {
+	net.Conn
+	d time.Duration
+}
+
+func (c idleConn) Read(p []byte) (int, error) {
+	if err := c.Conn.SetReadDeadline(time.Now().Add(c.d)); err != nil {
+		return 0, err
+	}
+	return c.Conn.Read(p)
 }

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
@@ -51,12 +52,13 @@ func main() {
 		log.Fatal(err)
 	}
 	defer pool.Close()
-	replies, err := pool.Ping()
+	ctx := context.Background()
+	statuses, err := pool.Ping(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
-	for _, r := range replies {
-		fmt.Printf("connected to %s (%s, pid %d)\n", r.ID, r.Hostname, r.PID)
+	for _, s := range statuses {
+		fmt.Printf("connected to %s (%s, pid %d)\n", s.Reply.ID, s.Reply.Hostname, s.Reply.PID)
 	}
 
 	// Distributed build: sampling and shuffling run on the workers, the
@@ -64,7 +66,7 @@ func main() {
 	cfg := tardis.DefaultConfig()
 	cfg.GMaxSize = 1_000
 	dstDir := filepath.Join(work, "index")
-	stats, err := tardis.BuildDistributed(pool, srcDir, dstDir, filepath.Join(work, "spill"), cfg)
+	stats, err := tardis.BuildDistributed(ctx, pool, srcDir, dstDir, filepath.Join(work, "spill"), cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

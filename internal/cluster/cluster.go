@@ -43,8 +43,13 @@ type Cluster struct {
 
 // StageMetrics records the execution profile of one stage.
 type StageMetrics struct {
-	Name            string
-	Tasks           int
+	Name  string
+	Tasks int
+	// TasksSkipped counts queued tasks that never ran because an earlier
+	// task in the same stage failed. A non-zero value means the stage
+	// aborted early and its Records* counters cover only the completed
+	// tasks.
+	TasksSkipped    int
 	RecordsIn       int64
 	RecordsOut      int64
 	ShuffledRecords int64
@@ -92,12 +97,14 @@ func (c *Cluster) record(m StageMetrics) {
 }
 
 // runTasks executes fn(i) for i in [0, n) on the worker pool, collecting the
-// first error. After a task fails, workers stop dequeuing: a failed stage
-// aborts instead of running every remaining task to completion (in-flight
-// tasks still finish — there is no cancellation signal inside fn).
-func (c *Cluster) runTasks(n int, fn func(i int) error) error {
+// first error. After a task fails, workers stop executing and drain the
+// remaining queue, counting each never-run task as skipped (in-flight tasks
+// still finish — there is no cancellation signal inside fn). Callers surface
+// the skipped count through StageMetrics.TasksSkipped so an aborted stage is
+// visible in metrics rather than silently truncated.
+func (c *Cluster) runTasks(n int, fn func(i int) error) (skipped int, err error) {
 	if n == 0 {
-		return nil
+		return 0, nil
 	}
 	p := c.parallelism
 	if p > n {
@@ -106,6 +113,7 @@ func (c *Cluster) runTasks(n int, fn func(i int) error) error {
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	var firstErr error
+	var nskipped atomic.Int64
 	var failed atomic.Bool
 	next := make(chan int, n)
 	for i := 0; i < n; i++ {
@@ -118,7 +126,8 @@ func (c *Cluster) runTasks(n int, fn func(i int) error) error {
 			defer wg.Done()
 			for i := range next {
 				if failed.Load() {
-					return
+					nskipped.Add(1)
+					continue
 				}
 				if err := fn(i); err != nil {
 					mu.Lock()
@@ -127,13 +136,12 @@ func (c *Cluster) runTasks(n int, fn func(i int) error) error {
 					}
 					mu.Unlock()
 					failed.Store(true)
-					return
 				}
 			}
 		}()
 	}
 	wg.Wait()
-	return firstErr
+	return int(nskipped.Load()), firstErr
 }
 
 // Dataset is a partitioned in-memory collection — the RDD stand-in.
@@ -210,7 +218,7 @@ func MapErr[T, U any](name string, d *Dataset[T], f func(T) (U, error)) (*Datase
 	parts := make([][]U, len(d.parts))
 	var in, outN int64
 	var cmu sync.Mutex
-	err := d.c.runTasks(len(d.parts), func(i int) error {
+	skipped, err := d.c.runTasks(len(d.parts), func(i int) error {
 		res := make([]U, len(d.parts[i]))
 		for j, t := range d.parts[i] {
 			u, err := f(t)
@@ -226,10 +234,10 @@ func MapErr[T, U any](name string, d *Dataset[T], f func(T) (U, error)) (*Datase
 		cmu.Unlock()
 		return nil
 	})
+	d.c.record(StageMetrics{Name: name, Tasks: len(d.parts), TasksSkipped: skipped, RecordsIn: in, RecordsOut: outN, Duration: time.Since(start)})
 	if err != nil {
 		return nil, err
 	}
-	d.c.record(StageMetrics{Name: name, Tasks: len(d.parts), RecordsIn: in, RecordsOut: outN, Duration: time.Since(start)})
 	return &Dataset[U]{c: d.c, parts: parts}, nil
 }
 
@@ -240,7 +248,7 @@ func MapPartitions[T, U any](name string, d *Dataset[T], f func(pid int, items [
 	parts := make([][]U, len(d.parts))
 	var in, outN int64
 	var cmu sync.Mutex
-	err := d.c.runTasks(len(d.parts), func(i int) error {
+	skipped, err := d.c.runTasks(len(d.parts), func(i int) error {
 		res, err := f(i, d.parts[i])
 		if err != nil {
 			return fmt.Errorf("cluster: stage %s partition %d: %w", name, i, err)
@@ -252,10 +260,10 @@ func MapPartitions[T, U any](name string, d *Dataset[T], f func(pid int, items [
 		cmu.Unlock()
 		return nil
 	})
+	d.c.record(StageMetrics{Name: name, Tasks: len(d.parts), TasksSkipped: skipped, RecordsIn: in, RecordsOut: outN, Duration: time.Since(start)})
 	if err != nil {
 		return nil, err
 	}
-	d.c.record(StageMetrics{Name: name, Tasks: len(d.parts), RecordsIn: in, RecordsOut: outN, Duration: time.Since(start)})
 	return &Dataset[U]{c: d.c, parts: parts}, nil
 }
 
@@ -278,7 +286,8 @@ func ReduceByKey[K comparable, V any](name string, d *Dataset[Pair[K, V]], numPa
 	// the shuffle touches each combined pair exactly once instead of every
 	// reducer scanning every combined map (O(keys × reducers)).
 	combined := make([][]map[K]V, len(d.parts)) // [source][reducer]
-	err := d.c.runTasks(len(d.parts), func(i int) error {
+	totalSkipped := 0
+	skipped, err := d.c.runTasks(len(d.parts), func(i int) error {
 		m := make(map[K]V)
 		for _, p := range d.parts[i] {
 			if v, ok := m[p.Key]; ok {
@@ -298,7 +307,9 @@ func ReduceByKey[K comparable, V any](name string, d *Dataset[Pair[K, V]], numPa
 		combined[i] = b
 		return nil
 	})
+	totalSkipped += skipped
 	if err != nil {
+		d.c.record(StageMetrics{Name: name, Tasks: len(d.parts) + numPartitions, TasksSkipped: totalSkipped, Duration: time.Since(start)})
 		return nil, err
 	}
 	// Shuffle: each reducer merges only its own buckets, in source order
@@ -307,7 +318,7 @@ func ReduceByKey[K comparable, V any](name string, d *Dataset[Pair[K, V]], numPa
 	shuffled := make([]map[K]V, numPartitions)
 	var shuffledRecords int64
 	var smu sync.Mutex
-	err = d.c.runTasks(numPartitions, func(r int) error {
+	skipped, err = d.c.runTasks(numPartitions, func(r int) error {
 		m := make(map[K]V)
 		var cnt int64
 		for _, b := range combined {
@@ -326,13 +337,15 @@ func ReduceByKey[K comparable, V any](name string, d *Dataset[Pair[K, V]], numPa
 		smu.Unlock()
 		return nil
 	})
+	totalSkipped += skipped
 	if err != nil {
+		d.c.record(StageMetrics{Name: name, Tasks: len(d.parts) + numPartitions, TasksSkipped: totalSkipped, Duration: time.Since(start)})
 		return nil, err
 	}
 	// Materialize with deterministic order.
 	parts := make([][]Pair[K, V], numPartitions)
 	var outN int64
-	err = d.c.runTasks(numPartitions, func(r int) error {
+	skipped, err = d.c.runTasks(numPartitions, func(r int) error {
 		m := shuffled[r]
 		res := make([]Pair[K, V], 0, len(m))
 		for k, v := range m {
@@ -345,12 +358,14 @@ func ReduceByKey[K comparable, V any](name string, d *Dataset[Pair[K, V]], numPa
 		smu.Unlock()
 		return nil
 	})
+	totalSkipped += skipped
+	d.c.record(StageMetrics{Name: name, Tasks: len(d.parts) + numPartitions,
+		TasksSkipped: totalSkipped,
+		RecordsIn:    d.Count(), RecordsOut: outN, ShuffledRecords: shuffledRecords,
+		Duration: time.Since(start)})
 	if err != nil {
 		return nil, err
 	}
-	d.c.record(StageMetrics{Name: name, Tasks: len(d.parts) + numPartitions,
-		RecordsIn: d.Count(), RecordsOut: outN, ShuffledRecords: shuffledRecords,
-		Duration: time.Since(start)})
 	return &Dataset[Pair[K, V]]{c: d.c, parts: parts}, nil
 }
 
@@ -383,7 +398,8 @@ func RepartitionBy[T any](name string, d *Dataset[T], numPartitions int, part fu
 	// Each source partition routes its elements, then targets concatenate
 	// source buckets in source order for determinism.
 	buckets := make([][][]T, len(d.parts)) // [source][target][]T
-	err := d.c.runTasks(len(d.parts), func(i int) error {
+	totalSkipped := 0
+	skipped, err := d.c.runTasks(len(d.parts), func(i int) error {
 		b := make([][]T, numPartitions)
 		for _, t := range d.parts[i] {
 			p, err := part(t)
@@ -398,13 +414,15 @@ func RepartitionBy[T any](name string, d *Dataset[T], numPartitions int, part fu
 		buckets[i] = b
 		return nil
 	})
+	totalSkipped += skipped
 	if err != nil {
+		d.c.record(StageMetrics{Name: name, Tasks: len(d.parts) + numPartitions, TasksSkipped: totalSkipped, Duration: time.Since(start)})
 		return nil, err
 	}
 	parts := make([][]T, numPartitions)
 	var shuffledRecords int64
 	var smu sync.Mutex
-	err = d.c.runTasks(numPartitions, func(p int) error {
+	skipped, err = d.c.runTasks(numPartitions, func(p int) error {
 		var res []T
 		for src := range buckets {
 			res = append(res, buckets[src][p]...)
@@ -415,12 +433,14 @@ func RepartitionBy[T any](name string, d *Dataset[T], numPartitions int, part fu
 		smu.Unlock()
 		return nil
 	})
+	totalSkipped += skipped
+	d.c.record(StageMetrics{Name: name, Tasks: len(d.parts) + numPartitions,
+		TasksSkipped: totalSkipped,
+		RecordsIn:    d.Count(), RecordsOut: shuffledRecords, ShuffledRecords: shuffledRecords,
+		Duration: time.Since(start)})
 	if err != nil {
 		return nil, err
 	}
-	d.c.record(StageMetrics{Name: name, Tasks: len(d.parts) + numPartitions,
-		RecordsIn: d.Count(), RecordsOut: shuffledRecords, ShuffledRecords: shuffledRecords,
-		Duration: time.Since(start)})
 	return &Dataset[T]{c: d.c, parts: parts}, nil
 }
 

@@ -316,7 +316,7 @@ func TestRunTasksStopsAfterError(t *testing.T) {
 	}
 	boom := errors.New("task failed")
 	ran := 0
-	err = c.runTasks(100, func(i int) error {
+	skipped, err := c.runTasks(100, func(i int) error {
 		ran++
 		if i == 2 {
 			return boom
@@ -330,12 +330,48 @@ func TestRunTasksStopsAfterError(t *testing.T) {
 	if ran != 3 {
 		t.Fatalf("ran %d tasks after failure at task 2, want 3", ran)
 	}
+	// The remaining queue is drained, not abandoned: every never-run task is
+	// accounted for.
+	if skipped != 97 {
+		t.Fatalf("skipped = %d, want 97", skipped)
+	}
+}
+
+func TestRunTasksSkippedInStageMetrics(t *testing.T) {
+	c, err := New(Config{Workers: 4, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Parallelize(c, []int{1, 2, 3, 4, 5, 6, 7, 8}, 8)
+	boom := errors.New("partition failed")
+	_, err = MapErr("abort", d, func(v int) (int, error) {
+		if v == 2 {
+			return 0, boom
+		}
+		return v, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	stages := c.Stages()
+	if len(stages) == 0 {
+		t.Fatal("failed stage recorded no metrics")
+	}
+	last := stages[len(stages)-1]
+	if last.Name != "abort" {
+		t.Fatalf("last stage = %q, want abort", last.Name)
+	}
+	// Partition 1 fails (parallelism 1 ⇒ partitions run in order), so the
+	// remaining 6 queued tasks are skipped.
+	if last.TasksSkipped != 6 {
+		t.Fatalf("TasksSkipped = %d, want 6", last.TasksSkipped)
+	}
 }
 
 func TestRunTasksNoError(t *testing.T) {
 	c := newCluster(t, 4)
 	var ran [20]bool
-	if err := c.runTasks(20, func(i int) error { ran[i] = true; return nil }); err != nil {
+	if _, err := c.runTasks(20, func(i int) error { ran[i] = true; return nil }); err != nil {
 		t.Fatal(err)
 	}
 	for i, ok := range ran {

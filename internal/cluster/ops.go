@@ -16,7 +16,7 @@ func Filter[T any](name string, d *Dataset[T], pred func(T) bool) *Dataset[T] {
 	start := time.Now()
 	parts := make([][]T, len(d.parts))
 	var in, out int64
-	_ = d.c.runTasks(len(d.parts), func(i int) error {
+	_, _ = d.c.runTasks(len(d.parts), func(i int) error {
 		var res []T
 		for _, t := range d.parts[i] {
 			if pred(t) {
@@ -45,7 +45,7 @@ func FlatMap[T, U any](name string, d *Dataset[T], f func(T) []U) *Dataset[U] {
 func FlatMapErr[T, U any](name string, d *Dataset[T], f func(T) ([]U, error)) (*Dataset[U], error) {
 	start := time.Now()
 	parts := make([][]U, len(d.parts))
-	err := d.c.runTasks(len(d.parts), func(i int) error {
+	skipped, err := d.c.runTasks(len(d.parts), func(i int) error {
 		var res []U
 		for _, t := range d.parts[i] {
 			us, err := f(t)
@@ -57,15 +57,15 @@ func FlatMapErr[T, U any](name string, d *Dataset[T], f func(T) ([]U, error)) (*
 		parts[i] = res
 		return nil
 	})
-	if err != nil {
-		return nil, err
-	}
 	var in, out int64
 	for i := range parts {
 		in += int64(len(d.parts[i]))
 		out += int64(len(parts[i]))
 	}
-	d.c.record(StageMetrics{Name: name, Tasks: len(d.parts), RecordsIn: in, RecordsOut: out, Duration: time.Since(start)})
+	d.c.record(StageMetrics{Name: name, Tasks: len(d.parts), TasksSkipped: skipped, RecordsIn: in, RecordsOut: out, Duration: time.Since(start)})
+	if err != nil {
+		return nil, err
+	}
 	return &Dataset[U]{c: d.c, parts: parts}, nil
 }
 
@@ -97,7 +97,7 @@ func Sample[T any](name string, d *Dataset[T], fraction float64, seed int64) (*D
 		offsets[i] = off
 		off += int64(len(d.parts[i]))
 	}
-	_ = d.c.runTasks(len(d.parts), func(i int) error {
+	_, _ = d.c.runTasks(len(d.parts), func(i int) error {
 		var res []T
 		for j, t := range d.parts[i] {
 			h := uint64(seed)*0x9e3779b97f4a7c15 ^ uint64(offsets[i]+int64(j))*0xbf58476d1ce4e5b9
@@ -126,7 +126,7 @@ func Sample[T any](name string, d *Dataset[T], fraction float64, seed int64) (*D
 func Reduce[T any](name string, d *Dataset[T], combine func(T, T) T) (T, bool) {
 	start := time.Now()
 	partials := make([]*T, len(d.parts))
-	_ = d.c.runTasks(len(d.parts), func(i int) error {
+	_, _ = d.c.runTasks(len(d.parts), func(i int) error {
 		if len(d.parts[i]) == 0 {
 			return nil
 		}

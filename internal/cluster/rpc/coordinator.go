@@ -1,6 +1,8 @@
 package rpc
 
 import (
+	"bytes"
+	"context"
 	"fmt"
 	"net"
 	"net/rpc"
@@ -36,84 +38,6 @@ func Serve(ln net.Listener, workerID string) error {
 	}
 }
 
-// Pool is a set of connected workers driven by the coordinator.
-type Pool struct {
-	addrs   []string
-	clients []*rpc.Client
-}
-
-// Dial connects to the given worker addresses (host:port).
-func Dial(addrs []string) (*Pool, error) {
-	if len(addrs) == 0 {
-		return nil, fmt.Errorf("rpc: no worker addresses")
-	}
-	p := &Pool{addrs: addrs}
-	for _, addr := range addrs {
-		c, err := rpc.Dial("tcp", addr)
-		if err != nil {
-			p.Close()
-			return nil, fmt.Errorf("rpc: dialing worker %s: %w", addr, err)
-		}
-		p.clients = append(p.clients, c)
-	}
-	return p, nil
-}
-
-// Close closes all worker connections.
-func (p *Pool) Close() {
-	for _, c := range p.clients {
-		if c != nil {
-			c.Close()
-		}
-	}
-}
-
-// Size returns the worker count.
-func (p *Pool) Size() int { return len(p.clients) }
-
-// Ping verifies every worker responds and returns their identities.
-func (p *Pool) Ping() ([]PingReply, error) {
-	replies := make([]PingReply, len(p.clients))
-	for i, c := range p.clients {
-		if err := c.Call("Worker.Ping", PingArgs{}, &replies[i]); err != nil {
-			return nil, fmt.Errorf("rpc: worker %s: %w", p.addrs[i], err)
-		}
-	}
-	return replies, nil
-}
-
-// Stats gathers each worker's accumulated task counters.
-func (p *Pool) Stats() ([]StatsReply, error) {
-	replies := make([]StatsReply, len(p.clients))
-	for i, c := range p.clients {
-		if err := c.Call("Worker.Stats", StatsArgs{}, &replies[i]); err != nil {
-			return nil, fmt.Errorf("rpc: worker %s: %w", p.addrs[i], err)
-		}
-	}
-	return replies, nil
-}
-
-// scatter runs fn(worker index) concurrently across the pool, returning the
-// first error.
-func (p *Pool) scatter(fn func(i int) error) error {
-	var wg sync.WaitGroup
-	errs := make([]error, len(p.clients))
-	for i := range p.clients {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			errs[i] = fn(i)
-		}(i)
-	}
-	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return fmt.Errorf("rpc: worker %s: %w", p.addrs[i], err)
-		}
-	}
-	return nil
-}
-
 // chunk splits items round-robin across n buckets.
 func chunk(items []int, n int) [][]int {
 	out := make([][]int, n)
@@ -133,6 +57,9 @@ type BuildStats struct {
 	Shuffle        time.Duration
 	LocalBuild     time.Duration
 	Total          time.Duration
+	// Reassigned counts task chunks rerouted to a surviving worker after a
+	// worker failure (all stages combined). Zero on a fault-free build.
+	Reassigned int
 }
 
 // BuildDistributed runs the full TARDIS build across the worker pool:
@@ -140,8 +67,16 @@ type BuildStats struct {
 // coordinator, broadcast of the serialized global tree, spill-based shuffle,
 // and local-index construction — then writes the descriptor so the result
 // loads with core.Load. workDir holds the spill stores; dstDir receives the
-// clustered store. It returns dstDir's path and build statistics.
-func BuildDistributed(pool *Pool, srcDir, dstDir, workDir string, cfg core.Config) (BuildStats, error) {
+// clustered store.
+//
+// Fault tolerance: task chunks are keyed by chunk index — not by worker — so
+// when a worker dies mid-stage its chunks are re-executed on survivors
+// (worker RPCs rewrite their outputs idempotently) and the result is
+// byte-identical to a fault-free build. Each stage runs under the pool
+// policy's stage deadline; a failed stage cancels its sibling in-flight
+// calls. The build never silently drops records: a chunk no live worker can
+// run fails the build.
+func BuildDistributed(ctx context.Context, pool *Pool, srcDir, dstDir, workDir string, cfg core.Config) (BuildStats, error) {
 	var bs BuildStats
 	if err := cfg.Validate(); err != nil {
 		return bs, err
@@ -159,18 +94,21 @@ func BuildDistributed(pool *Pool, srcDir, dstDir, workDir string, cfg core.Confi
 		return bs, err
 	}
 	sampleChunks := chunk(sampled, pool.Size())
-	sampleReplies := make([]SampleConvertReply, pool.Size())
-	err = pool.scatter(func(i int) error {
-		if len(sampleChunks[i]) == 0 {
+	sampleReplies := make([]SampleConvertReply, len(sampleChunks))
+	sctx, cancel := pool.stageCtx(ctx)
+	es, err := pool.each(sctx, len(sampleChunks), false, func(ctx context.Context, wi, task int) error {
+		if len(sampleChunks[task]) == 0 {
 			return nil
 		}
-		return pool.clients[i].Call("Worker.SampleConvert", SampleConvertArgs{
-			StoreDir: srcDir, PIDs: sampleChunks[i],
+		return pool.call(ctx, wi, "Worker.SampleConvert", SampleConvertArgs{
+			StoreDir: srcDir, PIDs: sampleChunks[task],
 			WordLen: cfg.WordLen, Bits: cfg.InitialBits,
-		}, &sampleReplies[i])
+		}, &sampleReplies[task])
 	})
+	cancel()
+	bs.Reassigned += es.reassigned
 	if err != nil {
-		return bs, err
+		return bs, fmt.Errorf("rpc: sample/convert stage: %w", err)
 	}
 	base := map[isaxt.Signature]int64{}
 	for _, r := range sampleReplies {
@@ -193,32 +131,38 @@ func BuildDistributed(pool *Pool, srcDir, dstDir, workDir string, cfg core.Confi
 	bs.GlobalStages = breakdown
 	bs.Partitions = partitions
 
-	// Broadcast: serialize the global tree once.
-	var treeBytes bytesBuffer
-	if _, err := tree.WriteTo(&treeBytes); err != nil {
+	// Broadcast: serialize the global tree once, presized from its
+	// serialized-size estimate.
+	treeBytes := bytes.NewBuffer(make([]byte, 0, tree.SerializedSize()))
+	if _, err := tree.WriteTo(treeBytes); err != nil {
 		return bs, err
 	}
 
-	// Stage 5: spill shuffle on workers.
+	// Stage 5: spill shuffle on workers. Spill stores are keyed by chunk
+	// index, so a reassigned chunk lands in the same directory no matter
+	// which worker runs it.
 	stage = time.Now()
 	allPIDs, err := src.Partitions()
 	if err != nil {
 		return bs, err
 	}
 	srcChunks := chunk(allPIDs, pool.Size())
-	spillDirs := make([]string, pool.Size())
+	spillDirs := make([]string, len(srcChunks))
 	for i := range spillDirs {
-		spillDirs[i] = filepath.Join(workDir, fmt.Sprintf("spill-w%d", i))
+		spillDirs[i] = filepath.Join(workDir, fmt.Sprintf("spill-c%03d", i))
 	}
-	spillReplies := make([]SpillReply, pool.Size())
-	err = pool.scatter(func(i int) error {
-		return pool.clients[i].Call("Worker.Spill", SpillArgs{
-			SrcDir: srcDir, SrcPIDs: srcChunks[i], GlobalTree: treeBytes.buf,
-			WordLen: cfg.WordLen, Bits: cfg.InitialBits, SpillDir: spillDirs[i],
-		}, &spillReplies[i])
+	spillReplies := make([]SpillReply, len(srcChunks))
+	sctx, cancel = pool.stageCtx(ctx)
+	es, err = pool.each(sctx, len(srcChunks), false, func(ctx context.Context, wi, task int) error {
+		return pool.call(ctx, wi, "Worker.Spill", SpillArgs{
+			SrcDir: srcDir, SrcPIDs: srcChunks[task], GlobalTree: treeBytes.Bytes(),
+			WordLen: cfg.WordLen, Bits: cfg.InitialBits, SpillDir: spillDirs[task],
+		}, &spillReplies[task])
 	})
+	cancel()
+	bs.Reassigned += es.reassigned
 	if err != nil {
-		return bs, err
+		return bs, fmt.Errorf("rpc: spill stage: %w", err)
 	}
 	bs.Shuffle = time.Since(stage)
 
@@ -232,16 +176,22 @@ func BuildDistributed(pool *Pool, srcDir, dstDir, workDir string, cfg core.Confi
 		targets[i] = i
 	}
 	targetChunks := chunk(targets, pool.Size())
-	buildReplies := make([]BuildLocalsReply, pool.Size())
-	err = pool.scatter(func(i int) error {
-		return pool.clients[i].Call("Worker.BuildLocals", BuildLocalsArgs{
-			SpillDirs: spillDirs, DstDir: dstDir, PIDs: targetChunks[i],
+	buildReplies := make([]BuildLocalsReply, len(targetChunks))
+	sctx, cancel = pool.stageCtx(ctx)
+	es, err = pool.each(sctx, len(targetChunks), false, func(ctx context.Context, wi, task int) error {
+		if len(targetChunks[task]) == 0 {
+			return nil
+		}
+		return pool.call(ctx, wi, "Worker.BuildLocals", BuildLocalsArgs{
+			SpillDirs: spillDirs, DstDir: dstDir, PIDs: targetChunks[task],
 			WordLen: cfg.WordLen, Bits: cfg.InitialBits, LMaxSize: cfg.LMaxSize,
 			BuildBloom: cfg.BuildBloom, BloomFP: cfg.BloomFP,
-		}, &buildReplies[i])
+		}, &buildReplies[task])
 	})
+	cancel()
+	bs.Reassigned += es.reassigned
 	if err != nil {
-		return bs, err
+		return bs, fmt.Errorf("rpc: local build stage: %w", err)
 	}
 	for _, r := range buildReplies {
 		for _, n := range r.Counts {
@@ -281,13 +231,4 @@ func BuildDistributed(pool *Pool, srcDir, dstDir, workDir string, cfg core.Confi
 		return bs, err
 	}
 	return bs, nil
-}
-
-// bytesBuffer is a minimal growable write buffer (avoids importing bytes for
-// one use alongside the worker file's import).
-type bytesBuffer struct{ buf []byte }
-
-func (b *bytesBuffer) Write(p []byte) (int, error) {
-	b.buf = append(b.buf, p...)
-	return len(p), nil
 }

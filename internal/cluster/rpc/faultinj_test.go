@@ -1,0 +1,455 @@
+package rpc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	netrpc "net/rpc"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/tardisdb/tardis/internal/cluster"
+	"github.com/tardisdb/tardis/internal/core"
+	"github.com/tardisdb/tardis/internal/dataset"
+	"github.com/tardisdb/tardis/internal/faultinj"
+	"github.com/tardisdb/tardis/internal/isaxt"
+	"github.com/tardisdb/tardis/internal/storage"
+	"github.com/tardisdb/tardis/internal/ts"
+)
+
+// The deterministic fault-injection suite behind ISSUE 4's acceptance
+// criteria. Every test arms a seeded faultinj schedule, so a failure
+// reproduces exactly: go test -race -run TestFaultInjection ./internal/...
+
+// startFaultWorkers launches n in-process workers whose listeners route all
+// connection I/O through the armed faultinj schedule. Worker i serves as id
+// "w<i>" and its conns are labeled "w<i>".
+func startFaultWorkers(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { ln.Close() })
+		addrs[i] = ln.Addr().String()
+		go Serve(faultinj.WrapListener(ln, fmt.Sprintf("w%d", i)), fmt.Sprintf("w%d", i))
+	}
+	return addrs
+}
+
+// faultPolicy is a retry policy tuned for tests: short timeouts so hung calls
+// abandon quickly, deterministic backoff jitter, and a breaker that retires a
+// dead worker after two consecutive failures.
+func faultPolicy() Policy {
+	pol := DefaultPolicy()
+	pol.CallTimeout = time.Second
+	pol.MaxAttempts = 2
+	pol.BaseDelay = 5 * time.Millisecond
+	pol.BreakerThreshold = 2
+	pol.BreakerCooldown = 30 * time.Second
+	pol.Seed = 1
+	return pol
+}
+
+// writeTestStore generates a small random-walk dataset store.
+func writeTestStore(t *testing.T, n int64) (string, dataset.Generator) {
+	t.Helper()
+	g, err := dataset.New(dataset.RandomWalk, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcDir := filepath.Join(t.TempDir(), "src")
+	if _, err := dataset.WriteStore(g, 5, n, srcDir, 500, true); err != nil {
+		t.Fatal(err)
+	}
+	return srcDir, g
+}
+
+func testConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.GMaxSize = 400
+	cfg.LMaxSize = 40
+	cfg.SamplePct = 0.25
+	return cfg
+}
+
+// A worker hung forever in Spill must not sink the build: after retries time
+// out, its chunk is reassigned to the survivors, and because spill
+// directories are keyed by chunk (not worker) and workers clear partial
+// output before writing, the finished index is byte-for-byte equivalent to a
+// fault-free build — same record counts, same partitions, same query answers.
+func TestFaultInjectionBuildSpillHang(t *testing.T) {
+	const n = 3000
+	srcDir, g := writeTestStore(t, n)
+	cfg := testConfig()
+
+	addrs := startWorkers(t, 3)
+	ctx := context.Background()
+	pool, err := DialContext(ctx, addrs, faultPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	sched := faultinj.NewSchedule(faultinj.Rule{
+		Point: PointWorkerSpill, Label: "w1", Kind: faultinj.KindHang,
+	})
+	faultinj.Enable(sched)
+	t.Cleanup(faultinj.Disable)
+
+	dstDir := filepath.Join(t.TempDir(), "dst")
+	stats, err := BuildDistributed(ctx, pool, srcDir, dstDir, t.TempDir(), cfg)
+	if err != nil {
+		t.Fatalf("build with hung worker failed instead of failing over: %v", err)
+	}
+	faultinj.Disable()
+	if stats.Reassigned == 0 {
+		t.Error("no chunks reassigned despite a permanently hung worker")
+	}
+	if stats.Records != n {
+		t.Errorf("build routed %d records, want %d", stats.Records, n)
+	}
+	if len(sched.Events()) == 0 {
+		t.Fatal("schedule never fired; test exercised nothing")
+	}
+
+	// The degraded-path build must equal the in-process build exactly.
+	cl, err := cluster.New(cluster.Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := core.Load(cl, dstDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, err := ix.Store.TotalRecords()
+	if err != nil || total != n {
+		t.Fatalf("store holds %d records (%v), want %d", total, err, n)
+	}
+	src, err := storage.Open(srcDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	localIx, err := core.Build(cl, src, filepath.Join(t.TempDir(), "local"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.NumPartitions() != localIx.NumPartitions() {
+		t.Errorf("partition count differs: failover=%d local=%d", ix.NumPartitions(), localIx.NumPartitions())
+	}
+	for i := int64(0); i < 3; i++ {
+		q := dataset.Record(g, 5, 500+i).Values.ZNormalize()
+		a, _, err := ix.KNNMultiPartition(q, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _, err := localIx.KNNMultiPartition(q, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("query %d: %d vs %d results", i, len(a), len(b))
+		}
+		for j := range a {
+			if a[j].RID != b[j].RID || a[j].Dist != b[j].Dist {
+				t.Fatalf("query %d result %d differs: failover=%+v local=%+v", i, j, a[j], b[j])
+			}
+		}
+	}
+}
+
+// An exact query with one worker hung in KNNPartition must fail over to the
+// survivors and return the exact answer — never a silently truncated one.
+func TestFaultInjectionExactKNNHungWorker(t *testing.T) {
+	const n = 2000
+	srcDir, g := writeTestStore(t, n)
+	cfg := testConfig()
+
+	addrs := startWorkers(t, 3)
+	ctx := context.Background()
+	pool, err := DialContext(ctx, addrs, faultPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	dstDir := filepath.Join(t.TempDir(), "dst")
+	if _, err := BuildDistributed(ctx, pool, srcDir, dstDir, t.TempDir(), cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	cl, err := cluster.New(cluster.Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	localIx, err := core.Load(cl, dstDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := dataset.Record(g, 5, 42).Values.ZNormalize()
+	const k = 5
+	want, _, err := localIx.KNNExact(q, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sched := faultinj.NewSchedule(faultinj.Rule{
+		Point: PointWorkerKNN, Label: "w1", Kind: faultinj.KindHang,
+	})
+	faultinj.Enable(sched)
+	t.Cleanup(faultinj.Disable)
+
+	got, st, err := DistKNNExact(ctx, pool, dstDir, cfg, q, k)
+	faultinj.Disable()
+	if err != nil {
+		// Failing loudly is within contract, but with two healthy workers
+		// failover must succeed here.
+		t.Fatalf("exact query failed despite live survivors: %v", err)
+	}
+	if st.Degraded || st.PartitionsSkipped != 0 {
+		t.Fatalf("exact query reported degradation: %+v", st)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d vs %d exact results", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].RID != want[i].RID || got[i].Dist != want[i].Dist {
+			t.Fatalf("exact result %d differs: failover=%+v local=%+v", i, got[i], want[i])
+		}
+	}
+}
+
+// When a partition is unreadable on every worker, the approximate query
+// degrades — partial answer plus Degraded/PartitionsSkipped — while the exact
+// forms (kNN and range) fail loudly.
+func TestFaultInjectionDegradedApprox(t *testing.T) {
+	const n = 2000
+	srcDir, g := writeTestStore(t, n)
+	cfg := testConfig()
+
+	addrs := startWorkers(t, 3)
+	ctx := context.Background()
+	pool, err := DialContext(ctx, addrs, faultPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	dstDir := filepath.Join(t.TempDir(), "dst")
+	if _, err := BuildDistributed(ctx, pool, srcDir, dstDir, t.TempDir(), cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	// Poison the query's primary partition and the globally nearest partition
+	// (usually the same pid) at the storage layer: every worker fails the
+	// read, so failover cannot save the scan.
+	q := dataset.Record(g, 5, 99).Values.ZNormalize()
+	global, err := core.ReadGlobalTree(dstDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	codec, err := isaxt.NewCodec(cfg.WordLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig, err := codec.FromSeries(q, cfg.InitialBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pids := core.NewRouter(global).CandidatePIDs(sig)
+	if len(pids) == 0 {
+		t.Fatal("no candidate partition")
+	}
+	primary := pids[0]
+	paa, err := ts.PAA(q, cfg.WordLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds, err := core.GlobalPartitionBounds(global, paa, len(q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nearest := bounds[0].PID
+	sched := faultinj.NewSchedule(
+		faultinj.Rule{Point: "storage.read", Label: fmt.Sprintf("part-%06d.bin", primary), Kind: faultinj.KindErr},
+		faultinj.Rule{Point: "storage.read", Label: fmt.Sprintf("part-%06d.bin", nearest), Kind: faultinj.KindErr},
+	)
+	faultinj.Enable(sched)
+	t.Cleanup(faultinj.Disable)
+
+	const k = 5
+	res, st, err := DistKNN(ctx, pool, dstDir, cfg, q, k)
+	if err != nil {
+		t.Fatalf("approximate query must degrade, not fail: %v", err)
+	}
+	if !st.Degraded || st.PartitionsSkipped == 0 {
+		t.Fatalf("partition loss not reported: %+v", st)
+	}
+	if len(res) == 0 {
+		t.Error("degraded query returned no results at all")
+	}
+
+	// Exact forms must refuse to return a partial answer.
+	if _, _, err := DistKNNExact(ctx, pool, dstDir, cfg, q, k); err == nil {
+		t.Error("exact kNN returned a result over an unreadable partition")
+	}
+	if _, _, err := DistRange(ctx, pool, dstDir, cfg, q, 100); err == nil {
+		t.Error("range query returned a result over an unreadable partition")
+	}
+	if len(sched.Events()) == 0 {
+		t.Fatal("schedule never fired; test exercised nothing")
+	}
+
+	// With the fault cleared the same pool recovers full fidelity.
+	faultinj.Disable()
+	res2, st2, err := DistKNN(ctx, pool, dstDir, cfg, q, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Degraded || st2.PartitionsSkipped != 0 {
+		t.Fatalf("recovered query still degraded: %+v", st2)
+	}
+	if len(res2) != k {
+		t.Fatalf("recovered query returned %d results, want %d", len(res2), k)
+	}
+}
+
+// Seeded random transport faults (connection resets and delays on the worker
+// wire) must never change query answers: the pool reconnects and retries, and
+// the same seed produces the same fault sequence run after run.
+func TestFaultInjectionSeedMatrix(t *testing.T) {
+	const n = 2000
+	srcDir, g := writeTestStore(t, n)
+	cfg := testConfig()
+
+	addrs := startFaultWorkers(t, 3)
+	ctx := context.Background()
+	// Retries strictly exceed the fault budget per worker (3 single-shot
+	// rules), so transport faults alone can never exhaust a call, and the
+	// breaker threshold exceeds it too — the outcome is deterministically a
+	// full-fidelity answer for every seed.
+	pol := faultPolicy()
+	pol.MaxAttempts = 5
+	pol.BreakerThreshold = 10
+	pool, err := DialContext(ctx, addrs, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	dstDir := filepath.Join(t.TempDir(), "dst")
+	if _, err := BuildDistributed(ctx, pool, srcDir, dstDir, t.TempDir(), cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	const k = 8
+	queries := make([]ts.Series, 3)
+	for i := range queries {
+		queries[i] = dataset.Record(g, 5, 200+int64(i)).Values.ZNormalize()
+	}
+	baseline := make([][]int64, len(queries))
+	for i, q := range queries {
+		res, _, err := DistKNN(ctx, pool, dstDir, cfg, q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, nb := range res {
+			baseline[i] = append(baseline[i], nb.RID)
+		}
+	}
+
+	points := []string{faultinj.PointConnRead, faultinj.PointConnWrite}
+	for seed := int64(1); seed <= 3; seed++ {
+		for run := 0; run < 2; run++ {
+			sched := faultinj.RandomSchedule(seed, points, 3, 6)
+			faultinj.Enable(sched)
+			fired := 0
+			for i, q := range queries {
+				res, st, err := DistKNN(ctx, pool, dstDir, cfg, q, k)
+				if err != nil {
+					t.Fatalf("seed %d run %d query %d: %v", seed, run, i, err)
+				}
+				if st.Degraded {
+					t.Fatalf("seed %d run %d query %d degraded under transport faults", seed, run, i)
+				}
+				if len(res) != len(baseline[i]) {
+					t.Fatalf("seed %d run %d query %d: %d results, want %d", seed, run, i, len(res), len(baseline[i]))
+				}
+				for j, nb := range res {
+					if nb.RID != baseline[i][j] {
+						t.Fatalf("seed %d run %d query %d result %d: rid %d, want %d",
+							seed, run, i, j, nb.RID, baseline[i][j])
+					}
+				}
+			}
+			fired = len(sched.Events())
+			faultinj.Disable()
+			if fired == 0 {
+				t.Errorf("seed %d run %d: schedule never fired", seed, run)
+			}
+		}
+	}
+}
+
+// Serve drains on listener close: calls already in flight complete with a
+// real response, and once clients hang up no server goroutines remain.
+func TestServeDrain(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan error, 1)
+	go func() { served <- Serve(ln, "drain") }()
+
+	client, err := netrpc.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Delay SampleConvert server-side so the calls are mid-flight when the
+	// listener closes. The call then proceeds and fails store validation —
+	// an application error, which still proves a full request/response cycle.
+	sched := faultinj.NewSchedule(faultinj.Rule{
+		Point: PointWorkerSampleConvert, Kind: faultinj.KindDelay, Sleep: 300 * time.Millisecond,
+	})
+	faultinj.Enable(sched)
+	t.Cleanup(faultinj.Disable)
+
+	const calls = 3
+	done := make([]*netrpc.Call, calls)
+	for i := 0; i < calls; i++ {
+		var reply SampleConvertReply
+		done[i] = client.Go("Worker.SampleConvert",
+			SampleConvertArgs{StoreDir: t.TempDir(), WordLen: 8, Bits: 2}, &reply, nil)
+	}
+	time.Sleep(50 * time.Millisecond) // let the calls reach the worker
+	ln.Close()
+
+	for i, c := range done {
+		<-c.Done
+		var se netrpc.ServerError
+		if c.Error == nil || !errors.As(c.Error, &se) {
+			t.Fatalf("in-flight call %d did not complete with a server reply: %v", i, c.Error)
+		}
+	}
+	client.Close()
+	if err := <-served; err == nil {
+		t.Error("Serve returned nil after listener close")
+	}
+
+	// All per-connection goroutines must exit once the client hangs up.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before+1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after drain", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,0 +1,620 @@
+package rpc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/rpc"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Fault-tolerant coordinator side of the RPC layer. Every remote call runs
+// under a context with a per-call timeout, retries transport failures with
+// capped exponential backoff and seeded jitter, reconnects dropped net/rpc
+// clients, and trips a per-worker circuit breaker after consecutive
+// failures. Stage fan-outs route through each(), which reassigns a failed
+// worker's tasks to survivors (worker RPCs are idempotent) and — in
+// best-effort mode — skips tasks no surviving worker can run instead of
+// failing the whole stage.
+
+// Policy configures retries, timeouts, and the per-worker circuit breaker.
+// The zero value of any field falls back to the DefaultPolicy value.
+type Policy struct {
+	// MaxAttempts bounds tries per call (first attempt included).
+	MaxAttempts int
+	// BaseDelay is the backoff before the second attempt; it doubles per
+	// retry up to MaxDelay. Jitter in [delay/2, 3*delay/2) is drawn from a
+	// generator seeded with Seed, so tests are reproducible.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// DialTimeout bounds each (re)connect to a worker.
+	DialTimeout time.Duration
+	// CallTimeout bounds each RPC attempt. A timed-out attempt drops the
+	// connection so the abandoned response cannot race a later attempt.
+	CallTimeout time.Duration
+	// StageTimeout, when positive, bounds each build stage or query fan-out.
+	StageTimeout time.Duration
+	// BreakerThreshold opens a worker's breaker after that many consecutive
+	// transport failures; while open (for BreakerCooldown) calls to the
+	// worker fail fast, then a single probe is allowed through.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// Seed makes the retry jitter deterministic. Zero falls back to the
+	// default seed, keeping tests reproducible by default.
+	Seed int64
+}
+
+// DefaultPolicy returns the production defaults.
+func DefaultPolicy() Policy {
+	return Policy{
+		MaxAttempts:      3,
+		BaseDelay:        25 * time.Millisecond,
+		MaxDelay:         2 * time.Second,
+		DialTimeout:      5 * time.Second,
+		CallTimeout:      2 * time.Minute,
+		BreakerThreshold: 3,
+		BreakerCooldown:  5 * time.Second,
+		Seed:             1,
+	}
+}
+
+func (pol Policy) withDefaults() Policy {
+	def := DefaultPolicy()
+	if pol.MaxAttempts <= 0 {
+		pol.MaxAttempts = def.MaxAttempts
+	}
+	if pol.BaseDelay <= 0 {
+		pol.BaseDelay = def.BaseDelay
+	}
+	if pol.MaxDelay <= 0 {
+		pol.MaxDelay = def.MaxDelay
+	}
+	if pol.DialTimeout <= 0 {
+		pol.DialTimeout = def.DialTimeout
+	}
+	if pol.CallTimeout <= 0 {
+		pol.CallTimeout = def.CallTimeout
+	}
+	if pol.BreakerThreshold <= 0 {
+		pol.BreakerThreshold = def.BreakerThreshold
+	}
+	if pol.BreakerCooldown <= 0 {
+		pol.BreakerCooldown = def.BreakerCooldown
+	}
+	if pol.Seed == 0 {
+		pol.Seed = def.Seed
+	}
+	return pol
+}
+
+// ErrBreakerOpen reports a call rejected because the worker's circuit
+// breaker is open.
+var ErrBreakerOpen = errors.New("rpc: circuit breaker open")
+
+// WorkerDownError reports that a worker could not complete a call after all
+// retries: unreachable, hung past the call timeout, breaker open, or
+// repeatedly failing with a retryable (machine-local) error. The failover
+// executor treats it as "reassign this task"; anything else is an
+// application error that aborts the stage.
+type WorkerDownError struct {
+	Addr string
+	Err  error
+}
+
+func (e *WorkerDownError) Error() string {
+	return fmt.Sprintf("rpc: worker %s unavailable: %v", e.Addr, e.Err)
+}
+
+func (e *WorkerDownError) Unwrap() error { return e.Err }
+
+// retryableMark prefixes worker-side errors that are safe to retry on
+// another worker. net/rpc flattens errors to strings on the wire, so the
+// classification has to ride inside the message.
+const retryableMark = "tardis-retryable: "
+
+// MarkRetryable marks a worker-side error as machine-local (I/O on the
+// worker's disk, a torn spill read, an injected storage fault): the
+// coordinator may re-run the idempotent call on another worker. Unmarked
+// worker errors are treated as deterministic application failures and abort
+// the stage.
+func MarkRetryable(err error) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("%s%w", retryableMark, err)
+}
+
+// isRemoteAppError reports whether err came back from the worker's method
+// (as opposed to dying on the wire).
+func isRemoteAppError(err error) bool {
+	var se rpc.ServerError
+	return errors.As(err, &se)
+}
+
+// isRetryableRemote reports whether a remote application error carries the
+// MarkRetryable prefix.
+func isRetryableRemote(err error) bool {
+	var se rpc.ServerError
+	return errors.As(err, &se) && strings.Contains(string(se), retryableMark)
+}
+
+// workerState is the per-worker connection plus breaker bookkeeping.
+type workerState struct {
+	addr string
+
+	mu        sync.Mutex
+	client    *rpc.Client // guarded by mu; nil when disconnected
+	fails     int         // guarded by mu; consecutive transport failures
+	openUntil time.Time   // guarded by mu; breaker open until this instant
+}
+
+// acquire returns a connected client, dialing if needed. It fails fast while
+// the breaker is open; after the cooldown it lets a probe through.
+func (w *workerState) acquire(ctx context.Context, pol Policy) (*rpc.Client, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.fails >= pol.BreakerThreshold && time.Now().Before(w.openUntil) {
+		return nil, fmt.Errorf("worker %s: %w", w.addr, ErrBreakerOpen)
+	}
+	if w.client != nil {
+		return w.client, nil
+	}
+	d := net.Dialer{Timeout: pol.DialTimeout}
+	conn, err := d.DialContext(ctx, "tcp", w.addr)
+	if err != nil {
+		return nil, err
+	}
+	w.client = rpc.NewClient(conn)
+	return w.client, nil
+}
+
+// dropConn closes c and forgets it if it is still the live client, so the
+// next attempt redials. Closing also terminates any abandoned in-flight call
+// on c, which would otherwise decode a late response into a stale reply.
+func (w *workerState) dropConn(c *rpc.Client) {
+	w.mu.Lock()
+	if w.client == c {
+		w.client = nil
+	}
+	w.mu.Unlock()
+	if c != nil {
+		_ = c.Close()
+	}
+}
+
+func (w *workerState) recordFailure(pol Policy) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.fails++
+	if w.fails >= pol.BreakerThreshold {
+		w.openUntil = time.Now().Add(pol.BreakerCooldown)
+	}
+}
+
+func (w *workerState) recordSuccess() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.fails = 0
+	w.openUntil = time.Time{}
+}
+
+// tripped reports whether the worker has burned through its breaker
+// threshold. The failover executor uses it to stop assigning new tasks to a
+// worker for the rest of the stage (cooldown expiry is irrelevant there).
+func (w *workerState) tripped(pol Policy) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.fails >= pol.BreakerThreshold
+}
+
+// Pool is a set of workers driven by the coordinator.
+type Pool struct {
+	policy  Policy
+	workers []*workerState
+
+	rngMu sync.Mutex
+	rng   *rand.Rand // guarded by rngMu; seeded retry jitter
+}
+
+// Dial connects with the default policy and no deadline.
+func Dial(addrs []string) (*Pool, error) {
+	return DialContext(context.Background(), addrs, DefaultPolicy())
+}
+
+// DialContext connects to the given worker addresses (host:port). It runs in
+// degraded mode: the pool starts as long as at least one worker is
+// reachable, and unreachable workers are redialed (with backoff and breaker)
+// when calls route to them. Only a fully unreachable pool is an error.
+func DialContext(ctx context.Context, addrs []string, pol Policy) (*Pool, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("rpc: no worker addresses")
+	}
+	pol = pol.withDefaults()
+	p := &Pool{policy: pol, rng: rand.New(rand.NewSource(pol.Seed))}
+	for _, addr := range addrs {
+		p.workers = append(p.workers, &workerState{addr: addr})
+	}
+	reachable := 0
+	errs := make([]error, len(p.workers))
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for wi, w := range p.workers {
+		wg.Add(1)
+		go func(wi int, w *workerState) {
+			defer wg.Done()
+			if _, err := w.acquire(ctx, pol); err != nil {
+				errs[wi] = fmt.Errorf("rpc: dialing worker %s: %w", w.addr, err)
+				return
+			}
+			mu.Lock()
+			reachable++
+			mu.Unlock()
+		}(wi, w)
+	}
+	wg.Wait()
+	if reachable == 0 {
+		p.Close()
+		return nil, errors.Join(errs...)
+	}
+	return p, nil
+}
+
+// Close closes all worker connections.
+func (p *Pool) Close() {
+	for _, w := range p.workers {
+		w.mu.Lock()
+		if w.client != nil {
+			_ = w.client.Close()
+			w.client = nil
+		}
+		w.mu.Unlock()
+	}
+}
+
+// Size returns the worker count.
+func (p *Pool) Size() int { return len(p.workers) }
+
+// Addrs returns the worker addresses in pool order.
+func (p *Pool) Addrs() []string {
+	out := make([]string, len(p.workers))
+	for i, w := range p.workers {
+		out[i] = w.addr
+	}
+	return out
+}
+
+// Policy returns the pool's effective (default-filled) policy.
+func (p *Pool) Policy() Policy { return p.policy }
+
+// WorkerHealth is a snapshot of one worker's breaker state.
+type WorkerHealth struct {
+	Addr      string `json:"addr"`
+	Connected bool   `json:"connected"`
+	// Fails counts consecutive transport failures since the last success.
+	Fails       int  `json:"fails"`
+	BreakerOpen bool `json:"breaker_open"`
+}
+
+// Health snapshots every worker's breaker state without touching the wire.
+func (p *Pool) Health() []WorkerHealth {
+	out := make([]WorkerHealth, len(p.workers))
+	for i, w := range p.workers {
+		w.mu.Lock()
+		out[i] = WorkerHealth{
+			Addr:        w.addr,
+			Connected:   w.client != nil,
+			Fails:       w.fails,
+			BreakerOpen: w.fails >= p.policy.BreakerThreshold && time.Now().Before(w.openUntil),
+		}
+		w.mu.Unlock()
+	}
+	return out
+}
+
+// backoff returns the jittered delay before the given retry (1-based).
+func (p *Pool) backoff(retry int) time.Duration {
+	d := p.policy.BaseDelay << uint(retry-1)
+	if d > p.policy.MaxDelay || d <= 0 {
+		d = p.policy.MaxDelay
+	}
+	p.rngMu.Lock()
+	j := time.Duration(p.rng.Int63n(int64(d)))
+	p.rngMu.Unlock()
+	return d/2 + j
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// invoke runs one attempt of method against w under the per-call timeout.
+// Each attempt decodes into a fresh reply value: an abandoned attempt's
+// client goroutine may still write its reply after we give up, so sharing
+// one reply across attempts (or with the caller) would race.
+func (p *Pool) invoke(ctx context.Context, w *workerState, c *rpc.Client, method string, args, reply any) error {
+	if p.policy.CallTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, p.policy.CallTimeout)
+		defer cancel()
+	}
+	fresh := reflect.New(reflect.TypeOf(reply).Elem())
+	call := c.Go(method, args, fresh.Interface(), make(chan *rpc.Call, 1))
+	select {
+	case <-call.Done:
+		if call.Error != nil {
+			return call.Error
+		}
+		reflect.ValueOf(reply).Elem().Set(fresh.Elem())
+		return nil
+	case <-ctx.Done():
+		// Abandon the in-flight call: drop the conn so net/rpc fails it
+		// instead of decoding a late response into the abandoned reply.
+		w.dropConn(c)
+		return fmt.Errorf("%s to %s: %w", method, w.addr, ctx.Err())
+	}
+}
+
+// call runs method against worker wi with retries, reconnects, and the
+// breaker. It returns nil, a (possibly retryable-marked) application error,
+// the parent context's error, or *WorkerDownError once transport attempts
+// are exhausted.
+func (p *Pool) call(ctx context.Context, wi int, method string, args, reply any) error {
+	w := p.workers[wi]
+	var errs []error
+	for attempt := 1; attempt <= p.policy.MaxAttempts; attempt++ {
+		if attempt > 1 {
+			if err := sleepCtx(ctx, p.backoff(attempt-1)); err != nil {
+				return err
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		c, err := w.acquire(ctx, p.policy)
+		if err != nil {
+			if errors.Is(err, ErrBreakerOpen) {
+				// No point burning the remaining attempts against an open
+				// breaker: fail over now.
+				errs = append(errs, err)
+				return &WorkerDownError{Addr: w.addr, Err: errors.Join(errs...)}
+			}
+			w.recordFailure(p.policy)
+			errs = append(errs, fmt.Errorf("attempt %d: %w", attempt, err))
+			continue
+		}
+		err = p.invoke(ctx, w, c, method, args, reply)
+		switch {
+		case err == nil:
+			w.recordSuccess()
+			return nil
+		case isRemoteAppError(err):
+			// The worker answered: transport is healthy. Marked errors are
+			// machine-local and eligible for failover; the rest are
+			// deterministic application failures the caller must see.
+			w.recordSuccess()
+			if isRetryableRemote(err) {
+				return &WorkerDownError{Addr: w.addr, Err: err}
+			}
+			return err
+		case ctx.Err() != nil:
+			// The caller's deadline or cancellation, not the worker's fault.
+			return ctx.Err()
+		default:
+			w.dropConn(c)
+			w.recordFailure(p.policy)
+			errs = append(errs, fmt.Errorf("attempt %d: %w", attempt, err))
+		}
+	}
+	return &WorkerDownError{Addr: w.addr, Err: errors.Join(errs...)}
+}
+
+// scatter runs fn once per worker concurrently and returns every failure —
+// each wrapped with its worker address — joined with errors.Join.
+func (p *Pool) scatter(ctx context.Context, fn func(ctx context.Context, wi int) error) error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(p.workers))
+	for wi := range p.workers {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			if err := fn(ctx, wi); err != nil {
+				errs[wi] = fmt.Errorf("rpc: worker %s: %w", p.workers[wi].addr, err)
+			}
+		}(wi)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// eachStats reports how a fan-out went.
+type eachStats struct {
+	// reassigned counts task attempts rerouted to another worker after a
+	// WorkerDownError.
+	reassigned int
+	// skipped lists tasks abandoned because no surviving worker could run
+	// them (best-effort mode only), in ascending order.
+	skipped []int
+	// errs collects the per-task failures behind reassignments and skips.
+	errs []error
+}
+
+// each runs tasks 0..n-1 across the pool with failover: each idle worker is
+// handed a task it has not yet tried; when a task fails with
+// *WorkerDownError it is re-queued for a different worker, and a worker
+// whose breaker trips is retired for the rest of the stage. In strict mode
+// any application error — or a task every live worker has failed — cancels
+// the sibling calls and fails the stage. In bestEffort mode such tasks are
+// skipped and reported in eachStats so the caller can degrade explicitly.
+func (p *Pool) each(ctx context.Context, n int, bestEffort bool, fn func(ctx context.Context, wi, task int) error) (eachStats, error) {
+	var es eachStats
+	if n == 0 {
+		return es, nil
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type result struct {
+		wi, task int
+		err      error
+	}
+	// Buffered so a finishing worker goroutine never blocks on a departed
+	// dispatcher: at most one result per worker is in flight.
+	results := make(chan result, len(p.workers))
+	tried := make([]map[int]bool, n)
+	queue := make([]int, n)
+	for i := range queue {
+		tried[i] = map[int]bool{}
+		queue[i] = i
+	}
+	idle := make([]int, 0, len(p.workers))
+	for wi := range p.workers {
+		idle = append(idle, wi)
+	}
+	inflight := 0
+	pending := n
+
+	// dispatch pairs queued tasks with idle workers that have not yet tried
+	// them, launching one goroutine per pairing.
+	dispatch := func() {
+		for {
+			launched := false
+			for qi := 0; qi < len(queue) && !launched; qi++ {
+				task := queue[qi]
+				for ii := 0; ii < len(idle); ii++ {
+					wi := idle[ii]
+					if tried[task][wi] {
+						continue
+					}
+					queue = append(queue[:qi], queue[qi+1:]...)
+					idle = append(idle[:ii], idle[ii+1:]...)
+					inflight++
+					go func(wi, task int) {
+						results <- result{wi: wi, task: task, err: fn(ctx, wi, task)}
+					}(wi, task)
+					launched = true
+					break
+				}
+			}
+			if !launched {
+				return
+			}
+		}
+	}
+
+	var abortErr error
+	for pending > 0 && abortErr == nil {
+		dispatch()
+		if inflight == 0 {
+			// Every remaining task has been tried on every eligible worker.
+			if bestEffort {
+				es.skipped = append(es.skipped, queue...)
+				pending -= len(queue)
+				queue = nil
+				continue
+			}
+			abortErr = errors.Join(append(es.errs,
+				fmt.Errorf("rpc: %d tasks have no eligible worker left", len(queue)))...)
+			break
+		}
+		r := <-results
+		inflight--
+		var down *WorkerDownError
+		switch {
+		case r.err == nil:
+			pending--
+			idle = append(idle, r.wi)
+		case errors.As(r.err, &down):
+			es.errs = append(es.errs, fmt.Errorf("task %d: %w", r.task, r.err))
+			es.reassigned++
+			tried[r.task][r.wi] = true
+			queue = append(queue, r.task)
+			if !p.workers[r.wi].tripped(p.policy) {
+				// A machine-local fault, not a dead worker: it stays
+				// eligible for other tasks.
+				idle = append(idle, r.wi)
+			}
+		case bestEffort && ctx.Err() == nil:
+			es.errs = append(es.errs, fmt.Errorf("task %d: %w", r.task, r.err))
+			es.skipped = append(es.skipped, r.task)
+			pending--
+			idle = append(idle, r.wi)
+		default:
+			abortErr = fmt.Errorf("rpc: task %d on worker %s: %w", r.task, p.workers[r.wi].addr, r.err)
+		}
+	}
+	// Cancel siblings and drain before returning so no task goroutine
+	// outlives the stage.
+	cancel()
+	for inflight > 0 {
+		<-results
+		inflight--
+	}
+	if abortErr != nil {
+		return es, abortErr
+	}
+	sort.Ints(es.skipped)
+	return es, nil
+}
+
+// stageCtx applies the policy's per-stage deadline, if any.
+func (p *Pool) stageCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if p.policy.StageTimeout > 0 {
+		return context.WithTimeout(ctx, p.policy.StageTimeout)
+	}
+	return context.WithCancel(ctx)
+}
+
+// PingStatus is one worker's answer to Ping.
+type PingStatus struct {
+	Addr  string
+	Reply PingReply
+	Err   error
+}
+
+// Ping probes every worker and reports per-worker status. The error joins
+// every failed worker's error; statuses are returned even when some workers
+// fail, so callers can render partial health.
+func (p *Pool) Ping(ctx context.Context) ([]PingStatus, error) {
+	statuses := make([]PingStatus, len(p.workers))
+	err := p.scatter(ctx, func(ctx context.Context, wi int) error {
+		statuses[wi].Addr = p.workers[wi].addr
+		statuses[wi].Err = p.call(ctx, wi, "Worker.Ping", PingArgs{}, &statuses[wi].Reply)
+		return statuses[wi].Err
+	})
+	return statuses, err
+}
+
+// StatsStatus is one worker's answer to Stats.
+type StatsStatus struct {
+	Addr  string
+	Reply StatsReply
+	Err   error
+}
+
+// Stats gathers each worker's task counters, reporting per-worker status
+// like Ping.
+func (p *Pool) Stats(ctx context.Context) ([]StatsStatus, error) {
+	statuses := make([]StatsStatus, len(p.workers))
+	err := p.scatter(ctx, func(ctx context.Context, wi int) error {
+		statuses[wi].Addr = p.workers[wi].addr
+		statuses[wi].Err = p.call(ctx, wi, "Worker.Stats", StatsArgs{}, &statuses[wi].Reply)
+		return statuses[wi].Err
+	})
+	return statuses, err
+}

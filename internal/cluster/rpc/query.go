@@ -1,15 +1,19 @@
 package rpc
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"hash/fnv"
+	"math"
 	"os"
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 
 	"github.com/tardisdb/tardis/internal/core"
+	"github.com/tardisdb/tardis/internal/faultinj"
 	"github.com/tardisdb/tardis/internal/isaxt"
 	"github.com/tardisdb/tardis/internal/knn"
 	"github.com/tardisdb/tardis/internal/pcache"
@@ -24,6 +28,13 @@ import (
 // their local top-k for the coordinator to merge. This mirrors the paper's
 // deployment, where Algorithm 1's partition scans run as Spark tasks on the
 // workers holding the blocks.
+//
+// Degradation contract: approximate kNN (DistKNN) survives partition loss —
+// a partition no worker can scan is skipped and reported via
+// QueryStats.Degraded/PartitionsSkipped, since the approximate answer stays
+// valid (just potentially less tight). Exact queries (DistKNNExact,
+// DistRange) fail loudly instead: a lost partition could hide a true
+// neighbor, so a silently partial exact answer is never returned.
 
 // KNNPartitionArgs asks a worker to prune-scan one partition.
 type KNNPartitionArgs struct {
@@ -39,9 +50,29 @@ type KNNPartitionArgs struct {
 type KNNPartitionReply struct {
 	Neighbors  []knn.Neighbor
 	Candidates int
+	// PrunedLeaves counts local-index leaves skipped via the lower bound.
+	PrunedLeaves int
 	// CacheHit reports whether the partition data was served from the
 	// worker's resident cache rather than decoded from disk.
 	CacheHit bool
+}
+
+// RangePartitionArgs asks a worker to verify one partition against a range
+// query.
+type RangePartitionArgs struct {
+	StoreDir string
+	PID      int
+	Query    ts.Series
+	Eps      float64
+	WordLen  int
+}
+
+// RangePartitionReply returns every in-range record of the partition.
+type RangePartitionReply struct {
+	Hits         []knn.Neighbor
+	Candidates   int
+	PrunedLeaves int
+	CacheHit     bool
 }
 
 // workerTreeCache caches deserialized local trees per (store, pid) so
@@ -97,42 +128,52 @@ func loadLocalTree(storeDir string, pid int) (*sigtree.Tree, error) {
 	return tree, nil
 }
 
-// KNNPartition prune-scans one partition against the query and returns the
-// local top-k within the threshold.
-func (w *Worker) KNNPartition(args KNNPartitionArgs, reply *KNNPartitionReply) error {
-	if args.K < 1 {
-		return fmt.Errorf("rpc: k must be positive, got %d", args.K)
-	}
-	st, err := storage.Open(args.StoreDir)
-	if err != nil {
-		return err
-	}
-	tree, err := loadLocalTree(args.StoreDir, args.PID)
-	if err != nil {
-		return err
-	}
-	paa, err := ts.PAA(args.Query, args.WordLen)
-	if err != nil {
-		return err
-	}
-	entries, _, err := tree.PruneCollect(paa, len(args.Query), args.Threshold)
-	if err != nil {
-		return err
-	}
-	if len(entries) == 0 {
-		reply.Neighbors = []knn.Neighbor{}
-		return nil
-	}
-	data, hit, err := workerDataCache.Get(partKey{dir: args.StoreDir, pid: args.PID},
+// loadPartitionData fetches one partition through the worker's resident
+// cache.
+func loadPartitionData(st *storage.Store, storeDir string, pid int) (*pcache.Partition, bool, error) {
+	return workerDataCache.Get(partKey{dir: storeDir, pid: pid},
 		func() (*pcache.Partition, error) {
-			rids, values, err := st.ReadPartitionArena(args.PID)
+			rids, values, err := st.ReadPartitionArena(pid)
 			if err != nil {
 				return nil, err
 			}
 			return pcache.NewPartition(rids, values, st.SeriesLen())
 		})
+}
+
+// KNNPartition prune-scans one partition against the query and returns the
+// local top-k within the threshold. Read-only, hence idempotent.
+func (w *Worker) KNNPartition(args KNNPartitionArgs, reply *KNNPartitionReply) error {
+	if err := faultinj.InjectAs(PointWorkerKNN, w.ID); err != nil {
+		return MarkRetryable(err)
+	}
+	if args.K < 1 {
+		return fmt.Errorf("rpc: k must be positive, got %d", args.K)
+	}
+	st, err := storage.Open(args.StoreDir)
+	if err != nil {
+		return MarkRetryable(err)
+	}
+	tree, err := loadLocalTree(args.StoreDir, args.PID)
+	if err != nil {
+		return MarkRetryable(err)
+	}
+	paa, err := ts.PAA(args.Query, args.WordLen)
 	if err != nil {
 		return err
+	}
+	entries, pruned, err := tree.PruneCollect(paa, len(args.Query), args.Threshold)
+	if err != nil {
+		return err
+	}
+	reply.PrunedLeaves = pruned
+	if len(entries) == 0 {
+		reply.Neighbors = []knn.Neighbor{}
+		return nil
+	}
+	data, hit, err := loadPartitionData(st, args.StoreDir, args.PID)
+	if err != nil {
+		return MarkRetryable(err)
 	}
 	if hit {
 		reply.CacheHit = true
@@ -157,53 +198,143 @@ func (w *Worker) KNNPartition(args KNNPartitionArgs, reply *KNNPartitionReply) e
 	return nil
 }
 
+// RangePartition verifies one partition's surviving candidates against the
+// raw series, returning every record within Eps. Read-only, hence
+// idempotent.
+func (w *Worker) RangePartition(args RangePartitionArgs, reply *RangePartitionReply) error {
+	if err := faultinj.InjectAs(PointWorkerRange, w.ID); err != nil {
+		return MarkRetryable(err)
+	}
+	if args.Eps < 0 || math.IsNaN(args.Eps) {
+		return fmt.Errorf("rpc: range radius must be non-negative, got %v", args.Eps)
+	}
+	st, err := storage.Open(args.StoreDir)
+	if err != nil {
+		return MarkRetryable(err)
+	}
+	tree, err := loadLocalTree(args.StoreDir, args.PID)
+	if err != nil {
+		return MarkRetryable(err)
+	}
+	paa, err := ts.PAA(args.Query, args.WordLen)
+	if err != nil {
+		return err
+	}
+	entries, pruned, err := tree.PruneCollect(paa, len(args.Query), args.Eps)
+	if err != nil {
+		return err
+	}
+	reply.PrunedLeaves = pruned
+	reply.Hits = []knn.Neighbor{}
+	if len(entries) == 0 {
+		return nil
+	}
+	data, hit, err := loadPartitionData(st, args.StoreDir, args.PID)
+	if err != nil {
+		return MarkRetryable(err)
+	}
+	if hit {
+		reply.CacheHit = true
+	}
+	// Same slack as core.RangeQuery: eps² can round below the true squared
+	// distance of a record exactly on the radius; membership is verified on
+	// the rooted distance, so no extras are admitted.
+	epsSq := args.Eps*args.Eps + 1e-9
+	for _, e := range entries {
+		s, ok := data.Series(e.RID)
+		if !ok {
+			return fmt.Errorf("rpc: partition %d missing record %d", args.PID, e.RID)
+		}
+		reply.Candidates++
+		if d2, ok2 := ts.SquaredDistanceEarlyAbandon(args.Query, s, epsSq); ok2 {
+			if d := sqrtf(d2); d <= args.Eps {
+				reply.Hits = append(reply.Hits, knn.Neighbor{RID: e.RID, Dist: d})
+			}
+		}
+	}
+	w.track("RangePartition", int64(len(entries)))
+	return nil
+}
+
+// mergeKNNReply folds one worker scan into the coordinator's stats.
+func mergeKNNReply(st *core.QueryStats, candidates, pruned int, cacheHit bool) {
+	st.PartitionsLoaded++
+	if cacheHit {
+		st.CacheHits++
+	} else {
+		st.CacheMisses++
+	}
+	st.Candidates += candidates
+	st.PrunedLeaves += pruned
+}
+
 // DistKNN runs the Multi-Partitions Access strategy with the partition scans
 // distributed over the worker pool: the coordinator routes the query through
 // the global tree (read from the store's index directory), obtains the
-// threshold from the query's primary partition, then scatters the sibling
-// scans. Results match the single-process KNNMultiPartition except that the
-// threshold is taken as the primary partition's full top-k bound (a
-// one-partition scan rather than a target-node probe), which can only
-// tighten it.
-func DistKNN(pool *Pool, storeDir string, cfg core.Config, q ts.Series, k int) ([]knn.Neighbor, error) {
+// threshold from the query's primary partition, then fans the sibling scans
+// out with one task per partition. Results match the single-process
+// KNNMultiPartition except that the threshold is taken as the primary
+// partition's full top-k bound (a one-partition scan rather than a
+// target-node probe), which can only tighten it.
+//
+// DistKNN degrades gracefully: a partition that no worker can scan after
+// retries and failover is skipped and reported in the returned QueryStats
+// (Degraded, PartitionsSkipped) — the answer remains a valid approximate
+// result over the partitions that were reached.
+func DistKNN(ctx context.Context, pool *Pool, storeDir string, cfg core.Config, q ts.Series, k int) ([]knn.Neighbor, core.QueryStats, error) {
+	start := time.Now()
+	var st core.QueryStats
 	if k < 1 {
-		return nil, fmt.Errorf("rpc: k must be positive, got %d", k)
+		return nil, st, fmt.Errorf("rpc: k must be positive, got %d", k)
 	}
 	global, err := core.ReadGlobalTree(storeDir)
 	if err != nil {
-		return nil, err
+		return nil, st, err
 	}
 	router := core.NewRouter(global)
 	codec, err := isaxt.NewCodec(cfg.WordLen)
 	if err != nil {
-		return nil, err
+		return nil, st, err
 	}
 	sig, err := codec.FromSeries(q, cfg.InitialBits)
 	if err != nil {
-		return nil, err
+		return nil, st, err
 	}
 	pids := router.CandidatePIDs(sig)
 	if len(pids) == 0 {
-		return nil, fmt.Errorf("rpc: no partition for query signature")
+		return nil, st, fmt.Errorf("rpc: no partition for query signature")
 	}
 	primary := pids[0]
 
-	// Threshold from the primary partition (worker-side scan).
-	var seed KNNPartitionReply
-	err = pool.clients[0].Call("Worker.KNNPartition", KNNPartitionArgs{
-		StoreDir: storeDir, PID: primary, Query: q, K: k,
-		Threshold: inf(), WordLen: cfg.WordLen,
-	}, &seed)
-	if err != nil {
-		return nil, err
-	}
+	sctx, cancel := pool.stageCtx(ctx)
+	defer cancel()
+
+	// Threshold from the primary partition (worker-side scan, with
+	// failover). Losing the primary only loosens the threshold to +Inf; the
+	// query proceeds degraded.
 	h := knn.NewHeap(k)
-	for _, n := range seed.Neighbors {
-		h.Offer(n)
+	var seed KNNPartitionReply
+	es, err := pool.each(sctx, 1, true, func(ctx context.Context, wi, _ int) error {
+		return pool.call(ctx, wi, "Worker.KNNPartition", KNNPartitionArgs{
+			StoreDir: storeDir, PID: primary, Query: q, K: k,
+			Threshold: inf(), WordLen: cfg.WordLen,
+		}, &seed)
+	})
+	if err != nil {
+		return nil, st, err
+	}
+	if len(es.skipped) > 0 {
+		st.Degraded = true
+		st.PartitionsSkipped++
+	} else {
+		mergeKNNReply(&st, seed.Candidates, seed.PrunedLeaves, seed.CacheHit)
+		for _, n := range seed.Neighbors {
+			h.Offer(n)
+		}
 	}
 	threshold := h.Bound()
 
-	// Sibling partitions, capped at pth, scattered across workers.
+	// Sibling partitions, capped at pth, one failover task per partition.
 	siblings := router.SiblingPIDs(sig)
 	var targets []int
 	for _, pid := range siblings {
@@ -215,30 +346,148 @@ func DistKNN(pool *Pool, storeDir string, cfg core.Config, q ts.Series, k int) (
 		targets = targets[:cfg.PartitionThreshold]
 	}
 	sort.Ints(targets)
-	chunks := chunk(targets, pool.Size())
-	replies := make([][]KNNPartitionReply, pool.Size())
-	err = pool.scatter(func(i int) error {
-		replies[i] = make([]KNNPartitionReply, len(chunks[i]))
-		for j, pid := range chunks[i] {
-			err := pool.clients[i].Call("Worker.KNNPartition", KNNPartitionArgs{
-				StoreDir: storeDir, PID: pid, Query: q, K: k,
-				Threshold: threshold, WordLen: cfg.WordLen,
-			}, &replies[i][j])
-			if err != nil {
-				return err
-			}
-		}
-		return nil
+	replies := make([]KNNPartitionReply, len(targets))
+	es, err = pool.each(sctx, len(targets), true, func(ctx context.Context, wi, task int) error {
+		return pool.call(ctx, wi, "Worker.KNNPartition", KNNPartitionArgs{
+			StoreDir: storeDir, PID: targets[task], Query: q, K: k,
+			Threshold: threshold, WordLen: cfg.WordLen,
+		}, &replies[task])
 	})
 	if err != nil {
-		return nil, err
+		return nil, st, err
 	}
-	for _, rs := range replies {
-		for _, r := range rs {
-			for _, n := range r.Neighbors {
-				h.Offer(n)
+	skipped := map[int]bool{}
+	for _, task := range es.skipped {
+		skipped[task] = true
+		st.Degraded = true
+		st.PartitionsSkipped++
+	}
+	for task, r := range replies {
+		if skipped[task] {
+			continue
+		}
+		mergeKNNReply(&st, r.Candidates, r.PrunedLeaves, r.CacheHit)
+		for _, n := range r.Neighbors {
+			h.Offer(n)
+		}
+	}
+	st.Duration = time.Since(start)
+	return h.Sorted(), st, nil
+}
+
+// DistKNNExact answers the exact k-nearest-neighbor query over the worker
+// pool with the same round-based best-first search as core.KNNExact:
+// partitions are visited in ascending global lower-bound order, each round
+// fans out up to pool.Size() admissible partitions, and the search stops
+// when the next bound exceeds the kth distance. Worker failures fail over to
+// survivors; a partition no live worker can scan fails the query — an exact
+// answer is never silently incomplete.
+func DistKNNExact(ctx context.Context, pool *Pool, storeDir string, cfg core.Config, q ts.Series, k int) ([]knn.Neighbor, core.QueryStats, error) {
+	start := time.Now()
+	var st core.QueryStats
+	if k < 1 {
+		return nil, st, fmt.Errorf("rpc: k must be positive, got %d", k)
+	}
+	global, err := core.ReadGlobalTree(storeDir)
+	if err != nil {
+		return nil, st, err
+	}
+	paa, err := ts.PAA(q, cfg.WordLen)
+	if err != nil {
+		return nil, st, err
+	}
+	bounds, err := core.GlobalPartitionBounds(global, paa, len(q))
+	if err != nil {
+		return nil, st, err
+	}
+	sctx, cancel := pool.stageCtx(ctx)
+	defer cancel()
+	h := knn.NewHeap(k)
+	fan := pool.Size()
+	for i := 0; i < len(bounds); {
+		th := h.Bound()
+		n := 0
+		for i+n < len(bounds) && n < fan && bounds[i+n].Bound <= th {
+			n++
+		}
+		if n == 0 {
+			break // no remaining partition can hold a closer series
+		}
+		batch := bounds[i : i+n]
+		i += n
+		replies := make([]KNNPartitionReply, len(batch))
+		_, err := pool.each(sctx, len(batch), false, func(ctx context.Context, wi, task int) error {
+			return pool.call(ctx, wi, "Worker.KNNPartition", KNNPartitionArgs{
+				StoreDir: storeDir, PID: batch[task].PID, Query: q, K: k,
+				Threshold: th, WordLen: cfg.WordLen,
+			}, &replies[task])
+		})
+		if err != nil {
+			return nil, st, fmt.Errorf("rpc: exact knn round: %w", err)
+		}
+		// Merge in batch order: deterministic regardless of scheduling.
+		for _, r := range replies {
+			mergeKNNReply(&st, r.Candidates, r.PrunedLeaves, r.CacheHit)
+			for _, nb := range r.Neighbors {
+				h.Offer(nb)
 			}
 		}
 	}
-	return h.Sorted(), nil
+	st.Duration = time.Since(start)
+	return h.Sorted(), st, nil
+}
+
+// DistRange answers the exact range query over the worker pool: every
+// partition whose global lower bound is within eps is verified by a worker,
+// with failover. Like DistKNNExact it fails loudly on an unscannable
+// partition rather than dropping in-range records.
+func DistRange(ctx context.Context, pool *Pool, storeDir string, cfg core.Config, q ts.Series, eps float64) ([]knn.Neighbor, core.QueryStats, error) {
+	start := time.Now()
+	var st core.QueryStats
+	if eps < 0 || math.IsNaN(eps) {
+		return nil, st, fmt.Errorf("rpc: range radius must be non-negative, got %v", eps)
+	}
+	global, err := core.ReadGlobalTree(storeDir)
+	if err != nil {
+		return nil, st, err
+	}
+	paa, err := ts.PAA(q, cfg.WordLen)
+	if err != nil {
+		return nil, st, err
+	}
+	bounds, err := core.GlobalPartitionBounds(global, paa, len(q))
+	if err != nil {
+		return nil, st, err
+	}
+	inRange := make([]int, 0, len(bounds))
+	for _, pb := range bounds {
+		if pb.Bound > eps {
+			break // bounds are sorted; everything beyond is out of range
+		}
+		inRange = append(inRange, pb.PID)
+	}
+	sctx, cancel := pool.stageCtx(ctx)
+	defer cancel()
+	replies := make([]RangePartitionReply, len(inRange))
+	_, err = pool.each(sctx, len(inRange), false, func(ctx context.Context, wi, task int) error {
+		return pool.call(ctx, wi, "Worker.RangePartition", RangePartitionArgs{
+			StoreDir: storeDir, PID: inRange[task], Query: q, Eps: eps, WordLen: cfg.WordLen,
+		}, &replies[task])
+	})
+	if err != nil {
+		return nil, st, fmt.Errorf("rpc: range query: %w", err)
+	}
+	var out []knn.Neighbor
+	for _, r := range replies {
+		mergeKNNReply(&st, r.Candidates, r.PrunedLeaves, r.CacheHit)
+		out = append(out, r.Hits...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dist != out[j].Dist {
+			return out[i].Dist < out[j].Dist
+		}
+		return out[i].RID < out[j].RID
+	})
+	st.Duration = time.Since(start)
+	return out, st, nil
 }

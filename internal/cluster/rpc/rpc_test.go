@@ -1,6 +1,7 @@
 package rpc
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"path/filepath"
@@ -44,19 +45,22 @@ func TestPing(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer pool.Close()
-	replies, err := pool.Ping()
+	statuses, err := pool.Ping(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(replies) != 3 {
-		t.Fatalf("replies = %d", len(replies))
+	if len(statuses) != 3 {
+		t.Fatalf("statuses = %d", len(statuses))
 	}
 	seen := map[string]bool{}
-	for _, r := range replies {
-		if r.ID == "" || r.PID == 0 {
+	for _, r := range statuses {
+		if r.Err != nil {
+			t.Errorf("worker %s: %v", r.Addr, r.Err)
+		}
+		if r.Reply.ID == "" || r.Reply.PID == 0 {
 			t.Errorf("bad reply %+v", r)
 		}
-		seen[r.ID] = true
+		seen[r.Reply.ID] = true
 	}
 	if len(seen) != 3 {
 		t.Errorf("worker ids not distinct: %v", seen)
@@ -70,13 +74,14 @@ func TestStats(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer pool.Close()
-	if _, err := pool.Ping(); err != nil {
+	ctx := context.Background()
+	if _, err := pool.Ping(ctx); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := pool.Ping(); err != nil {
+	if _, err := pool.Ping(ctx); err != nil {
 		t.Fatal(err)
 	}
-	stats, err := pool.Stats()
+	stats, err := pool.Stats(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,14 +89,17 @@ func TestStats(t *testing.T) {
 		t.Fatalf("stats from %d workers, want 2", len(stats))
 	}
 	for _, s := range stats {
-		if s.ID == "" {
+		if s.Err != nil {
+			t.Errorf("worker %s: %v", s.Addr, s.Err)
+		}
+		if s.Reply.ID == "" {
 			t.Errorf("stats reply missing worker ID: %+v", s)
 		}
-		if s.Tasks["Ping"] != 2 {
-			t.Errorf("worker %s Ping count = %d, want 2", s.ID, s.Tasks["Ping"])
+		if s.Reply.Tasks["Ping"] != 2 {
+			t.Errorf("worker %s Ping count = %d, want 2", s.Reply.ID, s.Reply.Tasks["Ping"])
 		}
-		if s.Records != 0 {
-			t.Errorf("worker %s records = %d before any data task", s.ID, s.Records)
+		if s.Reply.Records != 0 {
+			t.Errorf("worker %s records = %d before any data task", s.Reply.ID, s.Reply.Records)
 		}
 	}
 }
@@ -128,7 +136,7 @@ func TestBuildDistributedEndToEnd(t *testing.T) {
 
 	dstDir := filepath.Join(t.TempDir(), "dst")
 	workDir := t.TempDir()
-	stats, err := BuildDistributed(pool, srcDir, dstDir, workDir, cfg)
+	stats, err := BuildDistributed(context.Background(), pool, srcDir, dstDir, workDir, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,10 +223,10 @@ func TestBuildDistributedValidation(t *testing.T) {
 	defer pool.Close()
 	bad := core.DefaultConfig()
 	bad.WordLen = 5
-	if _, err := BuildDistributed(pool, t.TempDir(), t.TempDir(), t.TempDir(), bad); err == nil {
+	if _, err := BuildDistributed(context.Background(), pool, t.TempDir(), t.TempDir(), t.TempDir(), bad); err == nil {
 		t.Error("invalid config should fail")
 	}
-	if _, err := BuildDistributed(pool, t.TempDir(), t.TempDir(), t.TempDir(), core.DefaultConfig()); err == nil {
+	if _, err := BuildDistributed(context.Background(), pool, t.TempDir(), t.TempDir(), t.TempDir(), core.DefaultConfig()); err == nil {
 		t.Error("missing source store should fail")
 	}
 }
@@ -251,7 +259,7 @@ func TestDistKNN(t *testing.T) {
 	}
 	defer pool.Close()
 	dstDir := filepath.Join(t.TempDir(), "dst")
-	if _, err := BuildDistributed(pool, srcDir, dstDir, t.TempDir(), cfg); err != nil {
+	if _, err := BuildDistributed(context.Background(), pool, srcDir, dstDir, t.TempDir(), cfg); err != nil {
 		t.Fatal(err)
 	}
 
@@ -263,12 +271,16 @@ func TestDistKNN(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	ctx := context.Background()
 	for i := int64(0); i < 5; i++ {
 		q := dataset.Record(g, 5, 100+i).Values.ZNormalize()
 		const k = 8
-		dist, err := DistKNN(pool, dstDir, cfg, q, k)
+		dist, st, err := DistKNN(ctx, pool, dstDir, cfg, q, k)
 		if err != nil {
 			t.Fatal(err)
+		}
+		if st.Degraded || st.PartitionsSkipped != 0 {
+			t.Fatalf("query %d degraded with healthy workers: %+v", i, st)
 		}
 		local, _, err := localIx.KNNMultiPartition(q, k)
 		if err != nil {
@@ -285,7 +297,7 @@ func TestDistKNN(t *testing.T) {
 	}
 	// Self query across the wire.
 	q := dataset.Record(g, 5, 7).Values.ZNormalize()
-	res, err := DistKNN(pool, dstDir, cfg, q, 3)
+	res, _, err := DistKNN(ctx, pool, dstDir, cfg, q, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -293,10 +305,104 @@ func TestDistKNN(t *testing.T) {
 		t.Fatalf("distributed self query wrong: %+v", res[0])
 	}
 	// Validation.
-	if _, err := DistKNN(pool, dstDir, cfg, q, 0); err == nil {
+	if _, _, err := DistKNN(ctx, pool, dstDir, cfg, q, 0); err == nil {
 		t.Error("k=0 should fail")
 	}
-	if _, err := DistKNN(pool, t.TempDir(), cfg, q, 3); err == nil {
+	if _, _, err := DistKNN(ctx, pool, t.TempDir(), cfg, q, 3); err == nil {
 		t.Error("missing index dir should fail")
+	}
+}
+
+// Distributed exact kNN and range queries agree with the in-process exact
+// implementations — both are guaranteed-correct, so the answers must be
+// identical, not merely equivalent.
+func TestDistExactAndRange(t *testing.T) {
+	const (
+		seriesLen = 32
+		n         = 2000
+	)
+	g, err := dataset.New(dataset.RandomWalk, seriesLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcDir := filepath.Join(t.TempDir(), "src")
+	if _, err := dataset.WriteStore(g, 5, n, srcDir, 500, true); err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.GMaxSize = 300
+	cfg.LMaxSize = 40
+	cfg.SamplePct = 0.25
+
+	addrs := startWorkers(t, 3)
+	pool, err := Dial(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	dstDir := filepath.Join(t.TempDir(), "dst")
+	ctx := context.Background()
+	if _, err := BuildDistributed(ctx, pool, srcDir, dstDir, t.TempDir(), cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	cl, err := cluster.New(cluster.Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	localIx, err := core.Load(cl, dstDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 4; i++ {
+		q := dataset.Record(g, 5, 300+i).Values.ZNormalize()
+		const k = 6
+		dist, st, err := DistKNNExact(ctx, pool, dstDir, cfg, q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Degraded {
+			t.Fatal("exact query must never report Degraded")
+		}
+		local, _, err := localIx.KNNExact(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(dist) != len(local) {
+			t.Fatalf("query %d: %d vs %d results", i, len(dist), len(local))
+		}
+		for j := range local {
+			if dist[j].RID != local[j].RID || dist[j].Dist != local[j].Dist {
+				t.Fatalf("query %d result %d: rpc %+v vs local %+v", i, j, dist[j], local[j])
+			}
+		}
+
+		// Range with the exact 3rd-neighbor distance as radius: the answer
+		// must include at least those 3 records and match the local result.
+		eps := local[2].Dist
+		rHits, _, err := DistRange(ctx, pool, dstDir, cfg, q, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lHits, _, err := localIx.RangeQuery(q, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rHits) != len(lHits) {
+			t.Fatalf("query %d range: %d vs %d hits", i, len(rHits), len(lHits))
+		}
+		for j := range lHits {
+			if rHits[j].RID != lHits[j].RID || rHits[j].Dist != lHits[j].Dist {
+				t.Fatalf("query %d range hit %d: rpc %+v vs local %+v", i, j, rHits[j], lHits[j])
+			}
+		}
+	}
+	// Validation.
+	q := dataset.Record(g, 5, 1).Values.ZNormalize()
+	if _, _, err := DistKNNExact(ctx, pool, dstDir, cfg, q, 0); err == nil {
+		t.Error("k=0 should fail")
+	}
+	if _, _, err := DistRange(ctx, pool, dstDir, cfg, q, -1); err == nil {
+		t.Error("negative radius should fail")
 	}
 }

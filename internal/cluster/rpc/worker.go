@@ -25,10 +25,21 @@ import (
 
 	"github.com/tardisdb/tardis/internal/bloom"
 	"github.com/tardisdb/tardis/internal/core"
+	"github.com/tardisdb/tardis/internal/faultinj"
 	"github.com/tardisdb/tardis/internal/isaxt"
 	"github.com/tardisdb/tardis/internal/sigtree"
 	"github.com/tardisdb/tardis/internal/storage"
 	"github.com/tardisdb/tardis/internal/ts"
+)
+
+// Worker-side failpoints, labeled with the worker ID so a fault schedule can
+// target one worker of an in-process test cluster.
+const (
+	PointWorkerSampleConvert = "worker.SampleConvert"
+	PointWorkerSpill         = "worker.Spill"
+	PointWorkerBuildLocals   = "worker.BuildLocals"
+	PointWorkerKNN           = "worker.KNNPartition"
+	PointWorkerRange         = "worker.RangePartition"
 )
 
 // Worker is the net/rpc service exposed by a worker process.
@@ -131,13 +142,16 @@ type SampleConvertReply struct {
 // SampleConvert scans the given blocks of the dataset store, converts each
 // record to its iSAX-T signature, and returns per-signature counts.
 func (w *Worker) SampleConvert(args SampleConvertArgs, reply *SampleConvertReply) error {
+	if err := faultinj.InjectAs(PointWorkerSampleConvert, w.ID); err != nil {
+		return MarkRetryable(err)
+	}
 	codec, err := isaxt.NewCodec(args.WordLen)
 	if err != nil {
 		return err
 	}
 	st, err := storage.Open(args.StoreDir)
 	if err != nil {
-		return err
+		return MarkRetryable(err)
 	}
 	freq := map[string]int64{}
 	var records int64
@@ -152,7 +166,7 @@ func (w *Worker) SampleConvert(args SampleConvertArgs, reply *SampleConvertReply
 			return nil
 		})
 		if err != nil {
-			return err
+			return MarkRetryable(err)
 		}
 	}
 	reply.Freq = freq
@@ -179,8 +193,13 @@ type SpillReply struct {
 }
 
 // Spill implements the worker half of the shuffle: read source blocks,
-// convert, route, and append to spill partitions keyed by target pid.
+// convert, route, and append to spill partitions keyed by target pid. It is
+// idempotent: the spill store is recreated from scratch, so re-executing a
+// chunk on another worker after a failure yields the same bytes.
 func (w *Worker) Spill(args SpillArgs, reply *SpillReply) error {
+	if err := faultinj.InjectAs(PointWorkerSpill, w.ID); err != nil {
+		return MarkRetryable(err)
+	}
 	codec, err := isaxt.NewCodec(args.WordLen)
 	if err != nil {
 		return err
@@ -192,11 +211,16 @@ func (w *Worker) Spill(args SpillArgs, reply *SpillReply) error {
 	router := core.NewRouter(tree)
 	src, err := storage.Open(args.SrcDir)
 	if err != nil {
-		return err
+		return MarkRetryable(err)
+	}
+	// Clear any partial output from an earlier attempt on a failed worker:
+	// stores are write-once, so the retried chunk starts from an empty dir.
+	if err := os.RemoveAll(args.SpillDir); err != nil {
+		return MarkRetryable(err)
 	}
 	spill, err := storage.Create(args.SpillDir, src.SeriesLen())
 	if err != nil {
-		return err
+		return MarkRetryable(err)
 	}
 	writers := map[int]*storage.Writer{}
 	defer func() {
@@ -232,18 +256,18 @@ func (w *Worker) Spill(args SpillArgs, reply *SpillReply) error {
 			return nil
 		})
 		if err != nil {
-			return err
+			return MarkRetryable(err)
 		}
 	}
 	for target, wr := range writers {
 		if err := wr.Close(); err != nil {
-			return err
+			return MarkRetryable(err)
 		}
 		delete(writers, target)
 		_ = target
 	}
 	if err := spill.Sync(); err != nil {
-		return err
+		return MarkRetryable(err)
 	}
 	reply.Counts = counts
 	var total int64
@@ -274,21 +298,26 @@ type BuildLocalsReply struct {
 }
 
 // BuildLocals merges the spills for each owned partition, writes the final
-// partition file, and constructs Tardis-L and the Bloom filter.
+// partition file, and constructs Tardis-L and the Bloom filter. It is
+// idempotent: each owned partition file is deleted before being rewritten,
+// so a chunk re-executed after a failure yields the same partitions.
 func (w *Worker) BuildLocals(args BuildLocalsArgs, reply *BuildLocalsReply) error {
+	if err := faultinj.InjectAs(PointWorkerBuildLocals, w.ID); err != nil {
+		return MarkRetryable(err)
+	}
 	codec, err := isaxt.NewCodec(args.WordLen)
 	if err != nil {
 		return err
 	}
 	dst, err := storage.Open(args.DstDir)
 	if err != nil {
-		return err
+		return MarkRetryable(err)
 	}
 	spills := make([]*storage.Store, 0, len(args.SpillDirs))
 	for _, dir := range args.SpillDirs {
 		st, err := storage.Open(dir)
 		if err != nil {
-			return err
+			return MarkRetryable(err)
 		}
 		spills = append(spills, st)
 	}
@@ -301,13 +330,17 @@ func (w *Worker) BuildLocals(args BuildLocalsArgs, reply *BuildLocalsReply) erro
 				if errors.Is(err, fs.ErrNotExist) {
 					continue // this source worker routed nothing here
 				}
-				return err
+				return MarkRetryable(err)
 			}
 			recs = append(recs, part...)
 		}
+		// Clear a partial write from an earlier attempt (write-once files).
+		if err := dst.DeletePartition(pid); err != nil && !errors.Is(err, fs.ErrNotExist) {
+			return MarkRetryable(err)
+		}
 		wtr, err := dst.NewWriter(pid)
 		if err != nil {
-			return err
+			return MarkRetryable(err)
 		}
 		tree, err := sigtree.New(codec, args.Bits, args.LMaxSize)
 		if err != nil {
@@ -326,7 +359,7 @@ func (w *Worker) BuildLocals(args BuildLocalsArgs, reply *BuildLocalsReply) erro
 		}
 		for _, r := range recs {
 			if err := wtr.Write(r); err != nil {
-				return err
+				return MarkRetryable(err)
 			}
 			sig, err := codec.FromSeries(r.Values, args.Bits)
 			if err != nil {
@@ -340,10 +373,10 @@ func (w *Worker) BuildLocals(args BuildLocalsArgs, reply *BuildLocalsReply) erro
 			}
 		}
 		if err := wtr.Close(); err != nil {
-			return err
+			return MarkRetryable(err)
 		}
 		if err := core.WriteLocal(args.DstDir, pid, tree, bf); err != nil {
-			return err
+			return MarkRetryable(err)
 		}
 		counts[pid] = int64(len(recs))
 	}

@@ -8,6 +8,7 @@ import (
 
 	"github.com/tardisdb/tardis/internal/cluster"
 	"github.com/tardisdb/tardis/internal/knn"
+	"github.com/tardisdb/tardis/internal/sigtree"
 	"github.com/tardisdb/tardis/internal/ts"
 )
 
@@ -25,13 +26,22 @@ type partitionBound struct {
 	bound float64
 }
 
-// partitionBounds computes, for every partition, the minimum lower-bound
-// distance between the query and any global leaf assigned to it. Partitions
-// are returned in ascending bound order.
-func (ix *Index) partitionBounds(paa ts.Series) ([]partitionBound, error) {
+// PartitionBound is the exported shape of a partition's lower bound, used by
+// the distributed query layer (internal/cluster/rpc), whose coordinator
+// holds the global tree but no loaded Index.
+type PartitionBound struct {
+	PID   int
+	Bound float64
+}
+
+// GlobalPartitionBounds computes, for every partition of the global tree,
+// the minimum lower-bound distance between the query's PAA and any global
+// leaf assigned to it. Partitions are returned in ascending bound order
+// (ties by pid), the visit order for exact best-first search.
+func GlobalPartitionBounds(global *sigtree.Tree, paa ts.Series, seriesLen int) ([]PartitionBound, error) {
 	best := make(map[int]float64)
-	for _, leaf := range ix.Global.Leaves() {
-		d, err := ix.Global.MinDist(leaf, paa, ix.seriesLen)
+	for _, leaf := range global.Leaves() {
+		d, err := global.MinDist(leaf, paa, seriesLen)
 		if err != nil {
 			return nil, err
 		}
@@ -41,16 +51,29 @@ func (ix *Index) partitionBounds(paa ts.Series) ([]partitionBound, error) {
 			}
 		}
 	}
-	out := make([]partitionBound, 0, len(best))
+	out := make([]PartitionBound, 0, len(best))
 	for pid, d := range best {
-		out = append(out, partitionBound{pid: pid, bound: d})
+		out = append(out, PartitionBound{PID: pid, Bound: d})
 	}
 	sort.Slice(out, func(i, j int) bool {
-		if out[i].bound != out[j].bound {
-			return out[i].bound < out[j].bound
+		if out[i].Bound != out[j].Bound {
+			return out[i].Bound < out[j].Bound
 		}
-		return out[i].pid < out[j].pid
+		return out[i].PID < out[j].PID
 	})
+	return out, nil
+}
+
+// partitionBounds is GlobalPartitionBounds against the loaded index.
+func (ix *Index) partitionBounds(paa ts.Series) ([]partitionBound, error) {
+	bs, err := GlobalPartitionBounds(ix.Global, paa, ix.seriesLen)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]partitionBound, len(bs))
+	for i, b := range bs {
+		out[i] = partitionBound{pid: b.PID, bound: b.Bound}
+	}
 	return out, nil
 }
 

@@ -92,6 +92,10 @@ func (ix *Index) BuildStats() BuildStats { return ix.stats }
 // NumPartitions returns the partition count.
 func (ix *Index) NumPartitions() int { return len(ix.Locals) }
 
+// Cluster returns the execution substrate the index runs on, exposing its
+// per-stage metrics (including skipped tasks from aborted stages).
+func (ix *Index) Cluster() *cluster.Cluster { return ix.cl }
+
 func hashString(s string) uint64 {
 	h := fnv.New64a()
 	h.Write([]byte(s))

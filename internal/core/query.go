@@ -36,6 +36,13 @@ type QueryStats struct {
 	Candidates int
 	// PrunedLeaves counts local-index leaves skipped via the lower bound.
 	PrunedLeaves int
+	// Degraded reports that an approximate query lost partitions to worker
+	// or storage failures and returned a partial (but still valid) answer.
+	// Exact queries never set it — they fail loudly instead.
+	Degraded bool
+	// PartitionsSkipped counts partitions abandoned after retries and
+	// failover were exhausted. Non-zero only when Degraded is set.
+	PartitionsSkipped int
 	// Duration is the wall time of the query.
 	Duration time.Duration
 }
@@ -48,6 +55,8 @@ func (st *QueryStats) merge(o QueryStats) {
 	st.CacheMisses += o.CacheMisses
 	st.Candidates += o.Candidates
 	st.PrunedLeaves += o.PrunedLeaves
+	st.Degraded = st.Degraded || o.Degraded
+	st.PartitionsSkipped += o.PartitionsSkipped
 }
 
 // querySig converts a query series to its full-cardinality signature and

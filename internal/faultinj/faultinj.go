@@ -1,0 +1,249 @@
+// Package faultinj is the deterministic fault-injection harness behind the
+// cluster layer's robustness tests. Production code is instrumented with
+// named failpoints (Inject/InjectAs) and tests arm a Schedule that decides —
+// as a pure function of the failpoint name, an optional label, and the
+// occurrence counter — whether a given hit returns an injected error, sleeps,
+// hangs until released, or (for the net wrappers in listener.go) drops the
+// connection mid-body. Nothing in a Schedule consults wall-clock time or a
+// shared random stream at decision point, so a failure scenario reproduces
+// exactly across runs and under -race in CI.
+//
+// When no schedule is armed the failpoints cost one atomic load, so the
+// instrumentation stays in production builds.
+package faultinj
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is the default error returned by an Err or Drop rule. Callers
+// can test for it with errors.Is.
+var ErrInjected = errors.New("faultinj: injected fault")
+
+// Kind selects what a matched rule does to the hit.
+type Kind uint8
+
+const (
+	// KindErr makes the failpoint return an error (rule.Err or ErrInjected).
+	KindErr Kind = iota + 1
+	// KindDelay sleeps rule.Sleep, then lets the operation proceed.
+	KindDelay
+	// KindHang blocks until the schedule is released or disabled, then
+	// returns an error. It models a stuck worker: the operation never
+	// completes on its own, but the test can unstick it for cleanup.
+	KindHang
+	// KindDrop closes the connection (net wrappers) or returns an error
+	// (plain failpoints), modeling an abrupt peer disappearance.
+	KindDrop
+	// KindCloseMidBody writes roughly half the buffer and then closes the
+	// connection — a response truncated on the wire. Only meaningful on the
+	// conn wrapper's write path; elsewhere it behaves like KindDrop.
+	KindCloseMidBody
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindErr:
+		return "err"
+	case KindDelay:
+		return "delay"
+	case KindHang:
+		return "hang"
+	case KindDrop:
+		return "drop"
+	case KindCloseMidBody:
+		return "close-mid-body"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Rule arms one failpoint. A rule matches a hit when the point names are
+// equal, the label contains Label (empty matches everything), and the
+// per-(point,label) occurrence counter is in Hits (nil matches every hit).
+type Rule struct {
+	// Point is the failpoint name, e.g. "worker.Spill" or "conn.read".
+	Point string
+	// Label filters by the hit's label (substring match). Net wrappers label
+	// hits with the worker address; storage labels with the file path, so a
+	// rule can target one worker or one partition file.
+	Label string
+	// Hits lists 1-based occurrence numbers the rule fires on; nil fires on
+	// every occurrence.
+	Hits []int
+	// Kind selects the fault.
+	Kind Kind
+	// Sleep is the KindDelay duration.
+	Sleep time.Duration
+	// Err overrides ErrInjected for KindErr.
+	Err error
+}
+
+func (r Rule) matches(point, label string, hit int) bool {
+	if r.Point != point {
+		return false
+	}
+	if r.Label != "" && !strings.Contains(label, r.Label) {
+		return false
+	}
+	if r.Hits == nil {
+		return true
+	}
+	for _, h := range r.Hits {
+		if h == hit {
+			return true
+		}
+	}
+	return false
+}
+
+// Event records one fired fault for test assertions.
+type Event struct {
+	Point string
+	Label string
+	Hit   int
+	Kind  Kind
+}
+
+// Schedule is an armed set of rules plus the occurrence counters that make
+// firing deterministic. A Schedule is safe for concurrent use.
+type Schedule struct {
+	mu      sync.Mutex
+	rules   []Rule
+	counts  map[string]int // guarded by mu
+	events  []Event        // guarded by mu
+	release chan struct{}
+	done    bool // guarded by mu; set once release is closed
+}
+
+// NewSchedule builds a schedule from the given rules.
+func NewSchedule(rules ...Rule) *Schedule {
+	return &Schedule{
+		rules:   rules,
+		counts:  map[string]int{},
+		release: make(chan struct{}),
+	}
+}
+
+// eval counts one hit of (point, label) and returns the first matching rule
+// (by rule order) along with the hit number, or nil.
+func (s *Schedule) eval(point, label string) (*Rule, int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := point + "|" + label
+	s.counts[key]++
+	hit := s.counts[key]
+	for i := range s.rules {
+		if s.rules[i].matches(point, label, hit) {
+			s.events = append(s.events, Event{Point: point, Label: label, Hit: hit, Kind: s.rules[i].Kind})
+			return &s.rules[i], hit
+		}
+	}
+	return nil, hit
+}
+
+// Events returns a copy of the faults fired so far.
+func (s *Schedule) Events() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Event, len(s.events))
+	copy(out, s.events)
+	return out
+}
+
+// Release unblocks every KindHang currently (and subsequently) blocked on
+// this schedule. It is idempotent.
+func (s *Schedule) Release() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.done {
+		s.done = true
+		close(s.release)
+	}
+}
+
+// hang blocks until the schedule is released.
+func (s *Schedule) hang() {
+	<-s.release
+}
+
+// active is the armed schedule; nil means every failpoint is a no-op.
+var active atomic.Pointer[Schedule]
+
+// Enable arms s globally. Tests must pair it with Disable (t.Cleanup).
+func Enable(s *Schedule) { active.Store(s) }
+
+// Disable releases any hung failpoints of the armed schedule and disarms it.
+func Disable() {
+	if s := active.Load(); s != nil {
+		s.Release()
+	}
+	active.Store(nil)
+}
+
+// Enabled reports whether a schedule is armed.
+func Enabled() bool { return active.Load() != nil }
+
+// Inject is InjectAs with an empty label.
+func Inject(point string) error { return InjectAs(point, "") }
+
+// InjectAs consults the armed schedule at a named failpoint. It returns nil
+// when nothing is armed or no rule fires; otherwise it applies the rule:
+// delay sleeps and returns nil, err/drop return an injected error, hang
+// blocks until release and then returns an injected error.
+func InjectAs(point, label string) error {
+	s := active.Load()
+	if s == nil {
+		return nil
+	}
+	rule, hit := s.eval(point, label)
+	if rule == nil {
+		return nil
+	}
+	switch rule.Kind {
+	case KindDelay:
+		time.Sleep(rule.Sleep)
+		return nil
+	case KindHang:
+		s.hang()
+		return fmt.Errorf("%s hit %d (%s %s): %w", point, hit, "hang", label, ErrInjected)
+	case KindErr:
+		if rule.Err != nil {
+			return fmt.Errorf("%s hit %d (%s): %w", point, hit, label, rule.Err)
+		}
+		return fmt.Errorf("%s hit %d (%s): %w", point, hit, label, ErrInjected)
+	default: // KindDrop, KindCloseMidBody degrade to an error at a plain failpoint
+		return fmt.Errorf("%s hit %d (%s %s): %w", point, hit, rule.Kind, label, ErrInjected)
+	}
+}
+
+// RandomSchedule derives a reproducible schedule from a seed: n rules spread
+// over the given failpoints with kinds drawn from {err, drop, delay} and
+// occurrence numbers in [1, maxHit]. Hang is excluded — random schedules are
+// for soak-style matrix tests that must terminate on their own. The same
+// (seed, points, n, maxHit) always yields the same schedule.
+func RandomSchedule(seed int64, points []string, n, maxHit int) *Schedule {
+	state := uint64(seed)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+	next := func() uint64 {
+		state ^= state >> 12
+		state ^= state << 25
+		state ^= state >> 27
+		return state * 0x2545f4914f6cdd1d
+	}
+	kinds := []Kind{KindErr, KindDrop, KindDelay}
+	rules := make([]Rule, 0, n)
+	for i := 0; i < n && len(points) > 0; i++ {
+		r := Rule{
+			Point: points[next()%uint64(len(points))],
+			Hits:  []int{1 + int(next()%uint64(maxHit))},
+			Kind:  kinds[next()%uint64(len(kinds))],
+			Sleep: time.Duration(1+next()%10) * time.Millisecond,
+		}
+		rules = append(rules, r)
+	}
+	return NewSchedule(rules...)
+}

@@ -1,0 +1,190 @@
+package faultinj
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDisarmedIsNoop(t *testing.T) {
+	if Enabled() {
+		t.Fatal("no schedule should be armed at start")
+	}
+	if err := Inject("anything"); err != nil {
+		t.Fatalf("disarmed failpoint returned %v", err)
+	}
+}
+
+func TestRuleMatching(t *testing.T) {
+	s := NewSchedule(
+		Rule{Point: "op", Hits: []int{2}, Kind: KindErr},
+		Rule{Point: "labeled", Label: "w2", Kind: KindErr},
+	)
+	Enable(s)
+	t.Cleanup(Disable)
+
+	if err := Inject("op"); err != nil {
+		t.Fatalf("hit 1 should pass: %v", err)
+	}
+	if err := Inject("op"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("hit 2 should fail with ErrInjected, got %v", err)
+	}
+	if err := Inject("op"); err != nil {
+		t.Fatalf("hit 3 should pass: %v", err)
+	}
+	if err := InjectAs("labeled", "worker-w1"); err != nil {
+		t.Fatalf("label w1 should pass: %v", err)
+	}
+	if err := InjectAs("labeled", "worker-w2"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("label w2 should fail, got %v", err)
+	}
+	ev := s.Events()
+	if len(ev) != 2 {
+		t.Fatalf("events = %+v, want 2", ev)
+	}
+	if ev[0].Point != "op" || ev[0].Hit != 2 || ev[1].Label != "worker-w2" {
+		t.Fatalf("unexpected events %+v", ev)
+	}
+}
+
+func TestCustomError(t *testing.T) {
+	sentinel := errors.New("disk on fire")
+	Enable(NewSchedule(Rule{Point: "io", Kind: KindErr, Err: sentinel}))
+	t.Cleanup(Disable)
+	if err := Inject("io"); !errors.Is(err, sentinel) {
+		t.Fatalf("want wrapped sentinel, got %v", err)
+	}
+}
+
+func TestHangReleases(t *testing.T) {
+	s := NewSchedule(Rule{Point: "stuck", Kind: KindHang})
+	Enable(s)
+	t.Cleanup(Disable)
+
+	done := make(chan error, 1)
+	go func() { done <- Inject("stuck") }()
+	select {
+	case err := <-done:
+		t.Fatalf("hang returned early: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	s.Release()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrInjected) {
+			t.Fatalf("released hang should return ErrInjected, got %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("hang did not release")
+	}
+	s.Release() // idempotent
+}
+
+func TestDeterministicCounters(t *testing.T) {
+	run := func() []Event {
+		s := NewSchedule(Rule{Point: "op", Hits: []int{2, 4}, Kind: KindErr})
+		Enable(s)
+		defer Disable()
+		for i := 0; i < 5; i++ {
+			_ = Inject("op")
+		}
+		return s.Events()
+	}
+	a, b := run(), run()
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("same schedule diverged:\n%v\n%v", a, b)
+	}
+	if len(a) != 2 || a[0].Hit != 2 || a[1].Hit != 4 {
+		t.Fatalf("unexpected events %v", a)
+	}
+}
+
+func TestRandomScheduleReproducible(t *testing.T) {
+	points := []string{"a", "b", "c"}
+	s1 := RandomSchedule(7, points, 5, 10)
+	s2 := RandomSchedule(7, points, 5, 10)
+	if fmt.Sprint(s1.rules) != fmt.Sprint(s2.rules) {
+		t.Fatalf("same seed produced different rules:\n%v\n%v", s1.rules, s2.rules)
+	}
+	s3 := RandomSchedule(8, points, 5, 10)
+	if fmt.Sprint(s1.rules) == fmt.Sprint(s3.rules) {
+		t.Fatal("different seeds produced identical rules")
+	}
+	for _, r := range s1.rules {
+		if r.Kind == KindHang {
+			t.Fatal("random schedules must not hang")
+		}
+	}
+}
+
+// echoServer accepts connections on ln and echoes bytes until EOF.
+func echoServer(t *testing.T, ln net.Listener) {
+	t.Helper()
+	var wg sync.WaitGroup
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				wg.Wait()
+				return
+			}
+			wg.Add(1)
+			go func(c net.Conn) {
+				defer wg.Done()
+				defer c.Close()
+				_, _ = io.Copy(c, c)
+			}(c)
+		}
+	}()
+}
+
+func TestConnWrapperDrop(t *testing.T) {
+	base, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { base.Close() })
+	ln := WrapListener(base, "w1")
+	echoServer(t, ln)
+
+	// Healthy round-trip with no schedule armed.
+	c, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(c, buf); err != nil || string(buf) != "ping" {
+		t.Fatalf("echo failed: %q %v", buf, err)
+	}
+	_ = c.Close()
+
+	// Drop the server's second read on this worker: the client sees the
+	// connection reset instead of an echo.
+	Enable(NewSchedule(Rule{Point: PointConnRead, Label: "w1", Hits: []int{2}, Kind: KindDrop}))
+	t.Cleanup(Disable)
+	c2, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if _, err := c2.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadFull(c2, buf); err != nil || string(buf) != "ping" {
+		t.Fatalf("first echo should survive: %q %v", buf, err)
+	}
+	if _, err := c2.Write([]byte("pong")); err != nil {
+		t.Fatal(err)
+	}
+	c2.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := io.ReadFull(c2, buf); err == nil {
+		t.Fatal("second echo should have died with the dropped connection")
+	}
+}

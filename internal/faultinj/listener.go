@@ -1,0 +1,101 @@
+package faultinj
+
+import (
+	"net"
+	"time"
+)
+
+// Net failpoints consulted by the wrappers below. Labels carry the wrapped
+// listener's label (typically the worker address), so a schedule can break
+// one worker's wire while the rest stay healthy.
+const (
+	PointAccept    = "conn.accept"
+	PointConnRead  = "conn.read"
+	PointConnWrite = "conn.write"
+)
+
+// Listener wraps a net.Listener so every accepted connection routes its
+// reads and writes through the armed schedule.
+type Listener struct {
+	net.Listener
+	label string
+}
+
+// WrapListener labels ln for fault injection. With no schedule armed the
+// wrapper adds one atomic load per I/O call.
+func WrapListener(ln net.Listener, label string) *Listener {
+	return &Listener{Listener: ln, label: label}
+}
+
+// Accept accepts the next connection and wraps it. A KindDrop or KindErr
+// rule on conn.accept closes the fresh connection and keeps listening —
+// from the peer's side the server accepted and immediately hung up.
+func (l *Listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	if ierr := InjectAs(PointAccept, l.label); ierr != nil {
+		_ = c.Close()
+		// Hand the (closed) conn to the caller anyway: an rpc server will
+		// fail its first read and drop it, which is the failure mode we are
+		// modeling; returning an error would stop the whole accept loop.
+	}
+	return &conn{Conn: c, label: l.label}, nil
+}
+
+// conn routes Read/Write through the schedule.
+type conn struct {
+	net.Conn
+	label string
+}
+
+func (c *conn) Read(p []byte) (int, error) {
+	s := active.Load()
+	if s == nil {
+		return c.Conn.Read(p)
+	}
+	rule, _ := s.eval(PointConnRead, c.label)
+	if rule == nil {
+		return c.Conn.Read(p)
+	}
+	switch rule.Kind {
+	case KindDelay:
+		time.Sleep(rule.Sleep)
+		return c.Conn.Read(p)
+	case KindHang:
+		s.hang()
+		_ = c.Conn.Close()
+		return 0, ErrInjected
+	default: // err, drop, close-mid-body: tear the wire down
+		_ = c.Conn.Close()
+		return 0, ErrInjected
+	}
+}
+
+func (c *conn) Write(p []byte) (int, error) {
+	s := active.Load()
+	if s == nil {
+		return c.Conn.Write(p)
+	}
+	rule, _ := s.eval(PointConnWrite, c.label)
+	if rule == nil {
+		return c.Conn.Write(p)
+	}
+	switch rule.Kind {
+	case KindDelay:
+		time.Sleep(rule.Sleep)
+		return c.Conn.Write(p)
+	case KindHang:
+		s.hang()
+		_ = c.Conn.Close()
+		return 0, ErrInjected
+	case KindCloseMidBody:
+		n, _ := c.Conn.Write(p[:len(p)/2])
+		_ = c.Conn.Close()
+		return n, ErrInjected
+	default: // err, drop
+		_ = c.Conn.Close()
+		return 0, ErrInjected
+	}
+}

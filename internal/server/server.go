@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	clusterrpc "github.com/tardisdb/tardis/internal/cluster/rpc"
 	"github.com/tardisdb/tardis/internal/core"
 	"github.com/tardisdb/tardis/internal/knn"
 	"github.com/tardisdb/tardis/internal/ts"
@@ -20,12 +21,21 @@ import (
 
 // Server wraps an index with HTTP handlers.
 type Server struct {
-	mu sync.RWMutex
-	ix *core.Index // guarded by mu
+	mu   sync.RWMutex
+	ix   *core.Index // guarded by mu
+	pool *clusterrpc.Pool
 }
 
 // New creates a Server around a loaded index.
 func New(ix *core.Index) *Server { return &Server{ix: ix} }
+
+// AttachPool wires a tardis-worker pool into the server, enabling the "dist"
+// and "dist-exact" kNN strategies (partition scans fanned out over RPC to
+// workers sharing the index directory) and per-worker health in /stats. Call
+// before Handler; the server does not close the pool. Distributed strategies
+// answer from the persisted index only — in-memory delta records are not
+// consulted.
+func (s *Server) AttachPool(p *clusterrpc.Pool) { s.pool = p }
 
 // Handler returns the HTTP routing for the service.
 func (s *Server) Handler() http.Handler {
@@ -82,6 +92,13 @@ type StatsResponse struct {
 	CacheBytes       int64 `json:"cache_bytes"`
 	CacheEntries     int64 `json:"cache_entries"`
 	CacheBudgetBytes int64 `json:"cache_budget_bytes"`
+	// StageTasksSkipped sums TasksSkipped over every recorded cluster stage:
+	// non-zero means some stage aborted early and drained its queue, so the
+	// served index may have been produced by a degraded build.
+	StageTasksSkipped int `json:"stage_tasks_skipped"`
+	// Workers reports per-worker circuit-breaker state when a pool is
+	// attached (tardis-serve -rpc); absent otherwise.
+	Workers []clusterrpc.WorkerHealth `json:"workers,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -93,18 +110,28 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		return
 	}
 	cs := s.ix.CacheStats()
+	skipped := 0
+	for _, sm := range s.ix.Cluster().Stages() {
+		skipped += sm.TasksSkipped
+	}
+	var workers []clusterrpc.WorkerHealth
+	if s.pool != nil {
+		workers = s.pool.Health()
+	}
 	writeJSON(w, http.StatusOK, StatsResponse{
-		SeriesLen:        s.ix.SeriesLen(),
-		Records:          total,
-		Partitions:       s.ix.NumPartitions(),
-		DeltaCount:       s.ix.DeltaCount(),
-		Tombstones:       s.ix.TombstoneCount(),
-		CacheHits:        cs.Hits,
-		CacheMisses:      cs.Misses,
-		CacheEvictions:   cs.Evictions,
-		CacheBytes:       cs.Bytes,
-		CacheEntries:     cs.Entries,
-		CacheBudgetBytes: cs.Budget,
+		SeriesLen:         s.ix.SeriesLen(),
+		Records:           total,
+		Partitions:        s.ix.NumPartitions(),
+		DeltaCount:        s.ix.DeltaCount(),
+		Tombstones:        s.ix.TombstoneCount(),
+		CacheHits:         cs.Hits,
+		CacheMisses:       cs.Misses,
+		CacheEvictions:    cs.Evictions,
+		CacheBytes:        cs.Bytes,
+		CacheEntries:      cs.Entries,
+		CacheBudgetBytes:  cs.Budget,
+		StageTasksSkipped: skipped,
+		Workers:           workers,
 	})
 }
 
@@ -112,19 +139,24 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 type KNNRequest struct {
 	Series   ts.Series `json:"series"`
 	K        int       `json:"k"`
-	Strategy string    `json:"strategy,omitempty"` // tna|opa|mpa|exact|dtw|auto (default mpa)
+	Strategy string    `json:"strategy,omitempty"` // tna|opa|mpa|exact|dtw|auto|dist|dist-exact (default mpa)
 	Band     int       `json:"band,omitempty"`     // dtw only
 }
 
-// KNNResponse carries the neighbors and the query profile.
+// KNNResponse carries the neighbors and the query profile. Degraded is only
+// ever true for approximate strategies: it reports that some partitions were
+// skipped after worker or storage failures and the answer may be partial.
+// Exact strategies fail loudly instead of degrading.
 type KNNResponse struct {
-	Neighbors   []knn.Neighbor `json:"neighbors"`
-	Strategy    string         `json:"strategy"`
-	Partitions  int            `json:"partitions_loaded"`
-	CacheHits   int            `json:"cache_hits"`
-	CacheMisses int            `json:"cache_misses"`
-	Candidates  int            `json:"candidates"`
-	DurationMS  float64        `json:"duration_ms"`
+	Neighbors         []knn.Neighbor `json:"neighbors"`
+	Strategy          string         `json:"strategy"`
+	Partitions        int            `json:"partitions_loaded"`
+	CacheHits         int            `json:"cache_hits"`
+	CacheMisses       int            `json:"cache_misses"`
+	Candidates        int            `json:"candidates"`
+	Degraded          bool           `json:"degraded,omitempty"`
+	PartitionsSkipped int            `json:"partitions_skipped,omitempty"`
+	DurationMS        float64        `json:"duration_ms"`
 }
 
 func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
@@ -157,6 +189,16 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 		var chosen core.Strategy
 		res, chosen, st, err = s.ix.KNNAuto(req.Series, req.K)
 		name = chosen.String()
+	case "dist", "dist-exact":
+		if s.pool == nil {
+			writeErr(w, http.StatusBadRequest, errors.New("no worker pool attached (start tardis-serve with -rpc)"))
+			return
+		}
+		if req.Strategy == "dist" {
+			res, st, err = clusterrpc.DistKNN(r.Context(), s.pool, s.ix.Store.Dir(), s.ix.Config(), req.Series, req.K)
+		} else {
+			res, st, err = clusterrpc.DistKNNExact(r.Context(), s.pool, s.ix.Store.Dir(), s.ix.Config(), req.Series, req.K)
+		}
 	default:
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown strategy %q", req.Strategy))
 		return
@@ -169,6 +211,7 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 		Neighbors: res, Strategy: name,
 		Partitions: st.PartitionsLoaded, Candidates: st.Candidates,
 		CacheHits: st.CacheHits, CacheMisses: st.CacheMisses,
+		Degraded: st.Degraded, PartitionsSkipped: st.PartitionsSkipped,
 		DurationMS: float64(st.Duration) / float64(time.Millisecond),
 	})
 }
@@ -235,6 +278,7 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 		Neighbors: res, Strategy: "range",
 		Partitions: st.PartitionsLoaded, Candidates: st.Candidates,
 		CacheHits: st.CacheHits, CacheMisses: st.CacheMisses,
+		Degraded: st.Degraded, PartitionsSkipped: st.PartitionsSkipped,
 		DurationMS: float64(st.Duration) / float64(time.Millisecond),
 	})
 }

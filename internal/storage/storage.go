@@ -26,6 +26,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/tardisdb/tardis/internal/faultinj"
 	"github.com/tardisdb/tardis/internal/ts"
 )
 
@@ -267,6 +268,9 @@ type Writer struct {
 // not already exist.
 func (s *Store) NewWriter(pid int) (*Writer, error) {
 	path := s.partitionPath(pid)
+	if err := faultinj.InjectAs("storage.write", path); err != nil {
+		return nil, fmt.Errorf("storage: partition %d: %w", pid, err)
+	}
 	if _, err := os.Stat(path); err == nil {
 		return nil, fmt.Errorf("storage: partition %d already exists", pid)
 	}
@@ -381,6 +385,9 @@ type partitionReader struct {
 // verify the checksum and charge the load to Stats.
 func (s *Store) openPartition(pid int) (*partitionReader, error) {
 	path := s.partitionPath(pid)
+	if err := faultinj.InjectAs("storage.read", path); err != nil {
+		return nil, fmt.Errorf("storage: partition %d: %w", pid, err)
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("storage: opening partition %d: %w", pid, err)

@@ -25,6 +25,7 @@
 package tardis
 
 import (
+	"context"
 	"net"
 
 	"github.com/tardisdb/tardis/internal/cluster"
@@ -177,6 +178,10 @@ func BuildBaseline(cl *Cluster, src *Store, dstDir string, cfg BaselineConfig) (
 // WorkerPool is a set of connected tardis-worker processes.
 type WorkerPool = clusterrpc.Pool
 
+// RPCPolicy configures the worker pool's retries, per-call/per-stage
+// deadlines, and circuit breaker (see clusterrpc.DefaultPolicy).
+type RPCPolicy = clusterrpc.Policy
+
 // DistBuildStats summarizes a distributed build.
 type DistBuildStats = clusterrpc.BuildStats
 
@@ -184,14 +189,21 @@ type DistBuildStats = clusterrpc.BuildStats
 // worker processes (cmd/tardis-worker) call this.
 func ServeWorker(ln net.Listener, workerID string) error { return clusterrpc.Serve(ln, workerID) }
 
-// DialWorkers connects a coordinator to worker addresses (host:port).
+// DialWorkers connects a coordinator to worker addresses (host:port) with
+// the default fault-tolerance policy. The pool starts degraded as long as at
+// least one worker is reachable; use DialWorkersContext for a custom policy.
 func DialWorkers(addrs []string) (*WorkerPool, error) { return clusterrpc.Dial(addrs) }
+
+// DialWorkersContext is DialWorkers with an explicit context and policy.
+func DialWorkersContext(ctx context.Context, addrs []string, pol RPCPolicy) (*WorkerPool, error) {
+	return clusterrpc.DialContext(ctx, addrs, pol)
+}
 
 // BuildDistributed runs the TARDIS build across a worker pool sharing this
 // coordinator's filesystem, then finalizes the on-disk index so Load can
-// restore it.
-func BuildDistributed(pool *WorkerPool, srcDir, dstDir, workDir string, cfg Config) (DistBuildStats, error) {
-	return clusterrpc.BuildDistributed(pool, srcDir, dstDir, workDir, cfg)
+// restore it. Worker failures mid-build fail over to surviving workers.
+func BuildDistributed(ctx context.Context, pool *WorkerPool, srcDir, dstDir, workDir string, cfg Config) (DistBuildStats, error) {
+	return clusterrpc.BuildDistributed(ctx, pool, srcDir, dstDir, workDir, cfg)
 }
 
 // ---- Batch queries, CSV interchange, incremental maintenance ----
@@ -260,6 +272,21 @@ func SubsequencePosition(rid, ridBase int64, stride int) int64 {
 // DistKNN runs a Multi-Partitions kNN query with the partition scans
 // distributed across a worker pool sharing the index's filesystem — the
 // paper's deployment shape, where Algorithm 1's scans run as cluster tasks.
-func DistKNN(pool *WorkerPool, storeDir string, cfg Config, q Series, k int) ([]Neighbor, error) {
-	return clusterrpc.DistKNN(pool, storeDir, cfg, q, k)
+// It degrades gracefully: partitions lost to worker failures are skipped and
+// reported on the returned QueryStats (Degraded, PartitionsSkipped).
+func DistKNN(ctx context.Context, pool *WorkerPool, storeDir string, cfg Config, q Series, k int) ([]Neighbor, QueryStats, error) {
+	return clusterrpc.DistKNN(ctx, pool, storeDir, cfg, q, k)
+}
+
+// DistKNNExact answers an exact kNN query over the worker pool. Worker
+// failures fail over to survivors; an unscannable partition fails the query
+// — an exact answer is never silently incomplete.
+func DistKNNExact(ctx context.Context, pool *WorkerPool, storeDir string, cfg Config, q Series, k int) ([]Neighbor, QueryStats, error) {
+	return clusterrpc.DistKNNExact(ctx, pool, storeDir, cfg, q, k)
+}
+
+// DistRange answers an exact range query over the worker pool, failing
+// loudly like DistKNNExact.
+func DistRange(ctx context.Context, pool *WorkerPool, storeDir string, cfg Config, q Series, eps float64) ([]Neighbor, QueryStats, error) {
+	return clusterrpc.DistRange(ctx, pool, storeDir, cfg, q, eps)
 }

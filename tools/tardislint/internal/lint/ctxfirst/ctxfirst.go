@@ -1,0 +1,97 @@
+// Package ctxfirst enforces context plumbing on the cluster RPC surface.
+//
+// Every remote operation in internal/cluster/rpc must be cancellable: the
+// fault-tolerance layer (deadlines, retries, failover) hangs off the
+// context.Context threaded through each call, so an exported entry point
+// without one is a hole where a hung worker pins the caller forever. The
+// pass flags, in packages whose import path ends in internal/cluster/rpc,
+//
+//   - exported methods on Pool that take parameters, and
+//   - exported package-level functions that take a Pool (or *Pool) parameter,
+//
+// whose first parameter is not a context.Context. Zero-parameter accessors
+// (Close, Size, Health, ...) are exempt — they only read pool state and have
+// nothing to cancel. Constructors that merely return a *Pool are out of
+// scope; Dial is the documented legacy shim over DialContext.
+package ctxfirst
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"github.com/tardisdb/tardis/tools/tardislint/internal/lint"
+)
+
+const name = "ctxfirst"
+
+// Pass is the ctxfirst analyzer.
+var Pass = lint.Pass{
+	Name: name,
+	Doc:  "require context.Context as the first parameter of exported Pool methods and Pool-taking functions in internal/cluster/rpc",
+	Run:  run,
+}
+
+const pkgSuffix = "internal/cluster/rpc"
+
+func run(p *lint.Package) []lint.Finding {
+	path := strings.TrimSuffix(p.PkgPath, "_test")
+	if path != pkgSuffix && !strings.HasSuffix(path, "/"+pkgSuffix) {
+		return nil
+	}
+	var out []lint.Finding
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || !fd.Name.IsExported() {
+				continue
+			}
+			fn, ok := p.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Params().Len() == 0 {
+				continue
+			}
+			switch {
+			case sig.Recv() != nil:
+				if !isPool(sig.Recv().Type()) {
+					continue
+				}
+			default:
+				if !takesPool(sig) {
+					continue
+				}
+			}
+			if isContext(sig.Params().At(0).Type()) {
+				continue
+			}
+			kind := "function"
+			if sig.Recv() != nil {
+				kind = "method"
+			}
+			out = append(out, p.Findingf(name, fd.Name.Pos(),
+				"exported Pool %s %s must take context.Context as its first parameter so deadlines, retries, and failover can cancel it",
+				kind, fd.Name.Name))
+		}
+	}
+	return out
+}
+
+func isPool(t types.Type) bool {
+	return lint.IsNamed(lint.Deref(t), pkgSuffix, "Pool")
+}
+
+func isContext(t types.Type) bool {
+	return lint.IsNamed(t, "context", "Context")
+}
+
+func takesPool(sig *types.Signature) bool {
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isPool(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}

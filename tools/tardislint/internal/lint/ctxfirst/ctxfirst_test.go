@@ -1,0 +1,23 @@
+package ctxfirst_test
+
+import (
+	"testing"
+
+	"github.com/tardisdb/tardis/tools/tardislint/internal/lint/ctxfirst"
+	"github.com/tardisdb/tardis/tools/tardislint/internal/lint/linttest"
+)
+
+func TestCtxfirst(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		pkgPath string
+		files   []string
+	}{
+		{"fixture", "internal/cluster/rpc", []string{"testdata/fixture.go"}},
+		{"outofscope", "fixture", []string{"testdata/outofscope.go"}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			linttest.Check(t, ctxfirst.Pass, tc.pkgPath, tc.files...)
+		})
+	}
+}

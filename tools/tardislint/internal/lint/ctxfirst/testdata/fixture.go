@@ -1,0 +1,47 @@
+// Package rpc seeds ctxfirst violations: exported Pool methods and
+// Pool-taking functions without a leading context.Context, next to the
+// conforming forms that must stay clean. The fixture is type-checked under
+// the import path "internal/cluster/rpc" so the pass's scope check applies.
+package rpc
+
+import "context"
+
+// Pool stands in for the real worker pool.
+type Pool struct {
+	addrs []string
+}
+
+// Stats is a value carrier, not the pool itself; methods on it are exempt.
+type Stats struct {
+	Calls int
+}
+
+func (p *Pool) Close()          {}           // zero params: clean
+func (p *Pool) Size() int       { return 0 } // zero params: clean
+func (p *Pool) Addrs() []string { return p.addrs }
+
+func (p *Pool) Ping(ctx context.Context) error { return ctx.Err() } // ctx first: clean
+
+func (p *Pool) Call(method string) error { return nil } // WANT
+
+func (p *Pool) Broadcast(msg string, ctx context.Context) {} // WANT
+
+func (p Pool) Describe(verbose bool) string { return "" } // WANT
+
+func (p *Pool) call(method string) error { return nil } // unexported: clean
+
+func (s *Stats) Add(n int) { s.Calls += n } // not a Pool method: clean
+
+func Dial(addrs []string) (*Pool, error) { return &Pool{addrs: addrs}, nil } // no Pool param: clean
+
+func BuildDistributed(ctx context.Context, pool *Pool, dir string) error { return nil } // clean
+
+func DistKNN(pool *Pool, k int) error { return nil } // WANT
+
+func DistRange(pool Pool, eps float64) error { return nil } // WANT
+
+func helperScan(pool *Pool, k int) error { return nil } // unexported: clean
+
+func Hostname(name string) string { return name } // no Pool anywhere: clean
+
+func Legacy(pool *Pool, k int) error { return nil } //tardislint:ignore ctxfirst fixture exercises the escape hatch

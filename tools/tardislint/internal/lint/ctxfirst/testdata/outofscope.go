@@ -1,0 +1,11 @@
+// Package fixture mirrors the violations from fixture.go but is loaded under
+// a package path that does not end in internal/cluster/rpc, so the pass must
+// report nothing: ctxfirst is scoped to the cluster RPC surface only.
+package fixture
+
+// Pool shadows the RPC pool's name in an unrelated package.
+type Pool struct{}
+
+func (p *Pool) Call(method string) error { return nil } // out of scope: clean
+
+func DistKNN(pool *Pool, k int) error { return nil } // out of scope: clean

@@ -1,6 +1,6 @@
 // Command tardislint is the project's static-analysis gate. It loads
 // packages with the standard library's source importer (no external
-// dependencies) and runs six project-specific passes:
+// dependencies) and runs seven project-specific passes:
 //
 //	sigslice   raw slicing/indexing/concatenation of isaxt.Signature
 //	lockflow   path-sensitive misuse of mutexes guarding annotated fields
@@ -8,6 +8,7 @@
 //	hotalloc   allocation patterns in //tardis:hotpath functions
 //	closecheck discarded Close/Flush/Sync errors on writable sinks
 //	goroleak   loop-variable capture and unsupervised goroutine fan-out
+//	ctxfirst   cluster RPC entry points missing a leading context.Context
 //
 // lockflow, errflow, and hotalloc run on a control-flow graph with a
 // forward dataflow solver (internal/lint/cfg), so they reason per path:
@@ -33,6 +34,7 @@ import (
 
 	"github.com/tardisdb/tardis/tools/tardislint/internal/lint"
 	"github.com/tardisdb/tardis/tools/tardislint/internal/lint/closecheck"
+	"github.com/tardisdb/tardis/tools/tardislint/internal/lint/ctxfirst"
 	"github.com/tardisdb/tardis/tools/tardislint/internal/lint/errflow"
 	"github.com/tardisdb/tardis/tools/tardislint/internal/lint/goroleak"
 	"github.com/tardisdb/tardis/tools/tardislint/internal/lint/hotalloc"
@@ -47,6 +49,7 @@ var allPasses = []lint.Pass{
 	hotalloc.Pass,
 	closecheck.Pass,
 	goroleak.Pass,
+	ctxfirst.Pass,
 }
 
 func main() {
