@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint fmt-check fuzz-short bench-smoke faultinj check
+.PHONY: build test race vet lint fmt-check fuzz-short bench-smoke faultinj obs-smoke check
 
 build:
 	$(GO) build ./...
@@ -32,10 +32,18 @@ vet:
 # Project-specific analyzers (tools/tardislint): iSAX-T signature hygiene,
 # path-sensitive mutex guards (lockflow), unchecked errors (errflow),
 # hot-path allocations (hotalloc), write-path close errors, goroutine
-# lifecycle, and context-first RPC signatures (ctxfirst). The patterns are explicit so the gate provably covers the
-# library root, the CLIs, the examples, and the linter itself (self-lint).
+# lifecycle, context-first RPC signatures (ctxfirst), and telemetry naming /
+# label-cardinality discipline (metricname). The patterns are explicit so the
+# gate provably covers the library root, the CLIs, the examples, and the
+# linter itself (self-lint).
 lint:
 	$(GO) run ./tools/tardislint . ./internal/... ./cmd/... ./examples/... ./tools/...
+
+# Observability end-to-end gate: builds tardis-serve, boots it over a tiny
+# fresh index, runs a query, and validates the /metrics exposition (strict
+# parse + required families per subsystem) and /debug/traces JSON.
+obs-smoke:
+	$(GO) run ./tools/obssmoke
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -50,4 +58,4 @@ fuzz-short:
 	$(GO) test -run='^$$' -fuzz=FuzzBuild -fuzztime=10s ./tools/tardislint/internal/lint/cfg/
 
 # The full gate CI runs.
-check: build test race faultinj vet fmt-check lint bench-smoke
+check: build test race faultinj vet fmt-check lint bench-smoke obs-smoke

@@ -11,18 +11,16 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"path/filepath"
 
 	"github.com/tardisdb/tardis/internal/dataset"
 	"github.com/tardisdb/tardis/internal/eval"
+	"github.com/tardisdb/tardis/internal/obs"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("tardis-bench: ")
-
 	var (
 		fig       = flag.String("fig", "all", "figure to reproduce: 9|10|11|12|13|14|15|16|17|all")
 		n         = flag.Int64("n", 20_000, "dataset size (series per dataset)")
@@ -32,8 +30,16 @@ func main() {
 		k         = flag.Int("k", 100, "k for kNN experiments")
 		workers   = flag.Int("workers", 8, "cluster workers")
 		workDir   = flag.String("work", "", "working directory for datasets and indexes (default: temp)")
+		traceOut  = flag.String("trace", "", "collect trace spans and write the trace trees as JSON to this file (\"-\" = stderr)")
 	)
+	applyLog := obs.LogFlags(flag.CommandLine)
 	flag.Parse()
+	applyLog()
+	logger := obs.Logger("tardis-bench")
+	if *traceOut != "" {
+		obs.SetTracing(true)
+		defer dumpTraces(logger, *traceOut)
+	}
 
 	dir := *workDir
 	if dir == "" {
@@ -41,7 +47,7 @@ func main() {
 	}
 	e, err := eval.NewEnv(*workers, dir)
 	if err != nil {
-		log.Fatal(err)
+		obs.Fatal(logger, "eval env init failed", "dir", dir, "err", err)
 	}
 	block := *n / 10
 	if block < 100 {
@@ -59,7 +65,7 @@ func main() {
 		"13": true, "14": true, "15": true, "16": true, "17": true,
 		"warm": true, "all": true}
 	if !known[*fig] {
-		log.Fatalf("unknown figure %q (want 9-17, warm, or all)", *fig)
+		obs.Fatal(logger, "unknown figure (want 9-17, warm, or all)", "fig", *fig)
 	}
 	want := func(id string) bool { return *fig == "all" || *fig == id }
 	out := os.Stdout
@@ -67,49 +73,49 @@ func main() {
 	if want("9") {
 		rows, err := eval.Fig9(e, specs, 8, 1)
 		if err != nil {
-			log.Fatal(err)
+			obs.Fatal(logger, "experiment failed", "fig", *fig, "err", err)
 		}
 		eval.ReportFig9(out, rows)
 	}
 	if want("10") {
 		rows, err := eval.Fig10(e, specs)
 		if err != nil {
-			log.Fatal(err)
+			obs.Fatal(logger, "experiment failed", "fig", *fig, "err", err)
 		}
 		eval.ReportFig10(out, rows)
 	}
 	if want("11") {
 		rows, err := eval.Fig11(e, specs)
 		if err != nil {
-			log.Fatal(err)
+			obs.Fatal(logger, "experiment failed", "fig", *fig, "err", err)
 		}
 		eval.ReportFig11(out, rows)
 	}
 	if want("12") {
 		rows, err := eval.Fig12(e, []int64{*n / 4, *n / 2, *n}, int64(*seriesLen), *seed)
 		if err != nil {
-			log.Fatal(err)
+			obs.Fatal(logger, "experiment failed", "fig", *fig, "err", err)
 		}
 		eval.ReportFig12(out, rows)
 	}
 	if want("13") {
 		rows, err := eval.Fig13(e, specs)
 		if err != nil {
-			log.Fatal(err)
+			obs.Fatal(logger, "experiment failed", "fig", *fig, "err", err)
 		}
 		eval.ReportFig13(out, rows)
 	}
 	if want("14") {
 		rows, err := eval.Fig14(e, specs, *queries)
 		if err != nil {
-			log.Fatal(err)
+			obs.Fatal(logger, "experiment failed", "fig", *fig, "err", err)
 		}
 		eval.ReportFig14(out, rows)
 	}
 	if want("15") {
 		rows, err := eval.Fig15(e, specs, *queries, *k)
 		if err != nil {
-			log.Fatal(err)
+			obs.Fatal(logger, "experiment failed", "fig", *fig, "err", err)
 		}
 		eval.ReportKNN(out, fmt.Sprintf("Fig 15: kNN-approximate performance (k=%d)", *k), rows)
 	}
@@ -117,28 +123,45 @@ func main() {
 		sizes := []int64{*n / 4, *n / 2, *n}
 		rows, err := eval.Fig16Size(e, string(rwSpec.Kind), *seriesLen, sizes, *seed, *queries, *k)
 		if err != nil {
-			log.Fatal(err)
+			obs.Fatal(logger, "experiment failed", "fig", *fig, "err", err)
 		}
 		eval.ReportKNN(out, fmt.Sprintf("Fig 16 (left): kNN vs dataset size (k=%d)", *k), rows)
 		ks := []int{*k / 10, *k / 2, *k, *k * 5}
 		rowsK, err := eval.Fig16K(e, rwSpec, *queries, ks)
 		if err != nil {
-			log.Fatal(err)
+			obs.Fatal(logger, "experiment failed", "fig", *fig, "err", err)
 		}
 		eval.ReportKNN(out, fmt.Sprintf("Fig 16 (right): kNN vs k (%s)", rwSpec.Kind), rowsK)
 	}
 	if want("17") {
 		rows, err := eval.Fig17(e, rwSpec, []float64{0.01, 0.05, 0.1, 0.2, 0.4, 1.0}, *queries, *k)
 		if err != nil {
-			log.Fatal(err)
+			obs.Fatal(logger, "experiment failed", "fig", *fig, "err", err)
 		}
 		eval.ReportFig17(out, rows)
 	}
 	if want("warm") {
 		rows, err := eval.WarmCache(e, rwSpec, *queries, *k)
 		if err != nil {
-			log.Fatal(err)
+			obs.Fatal(logger, "experiment failed", "fig", *fig, "err", err)
 		}
 		eval.ReportWarm(out, rows)
+	}
+}
+
+// dumpTraces writes the collected trace trees to path ("-" = stderr).
+func dumpTraces(logger *slog.Logger, path string) {
+	w := os.Stderr
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			logger.Error("trace output failed", "path", path, "err", err)
+			return
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := obs.WriteTracesJSON(w); err != nil {
+		logger.Error("trace encode failed", "err", err)
 	}
 }

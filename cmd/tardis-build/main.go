@@ -15,7 +15,6 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"strings"
 	"time"
@@ -24,13 +23,14 @@ import (
 	clusterrpc "github.com/tardisdb/tardis/internal/cluster/rpc"
 	"github.com/tardisdb/tardis/internal/core"
 	"github.com/tardisdb/tardis/internal/dpisax"
+	"github.com/tardisdb/tardis/internal/obs"
 	"github.com/tardisdb/tardis/internal/storage"
 )
 
-func main() {
-	log.SetFlags(0)
-	log.SetPrefix("tardis-build: ")
+// logger is the structured log stream for this command.
+var logger = obs.Logger("tardis-build")
 
+func main() {
 	var (
 		src        = flag.String("src", "", "source dataset store directory (required)")
 		dst        = flag.String("dst", "", "output clustered store directory (required)")
@@ -48,7 +48,9 @@ func main() {
 		retries    = flag.Int("retries", 0, "attempts per RPC for -rpc builds (0 = policy default)")
 		verbose    = flag.Bool("v", false, "print per-stage cluster metrics after the build")
 	)
+	applyLog := obs.LogFlags(flag.CommandLine)
 	flag.Parse()
+	applyLog()
 	if *src == "" || *dst == "" {
 		flag.Usage()
 		os.Exit(2)
@@ -56,11 +58,11 @@ func main() {
 
 	st, err := storage.Open(*src)
 	if err != nil {
-		log.Fatal(err)
+		obs.Fatal(logger, "source store open failed", "src", *src, "err", err)
 	}
 	total, err := st.TotalRecords()
 	if err != nil {
-		log.Fatal(err)
+		obs.Fatal(logger, "record count failed", "err", err)
 	}
 	capacity := *gmax
 	if capacity == 0 {
@@ -87,14 +89,14 @@ func main() {
 		}
 		cl, err := cluster.New(cluster.Config{Workers: *workers})
 		if err != nil {
-			log.Fatal(err)
+			obs.Fatal(logger, "cluster init failed", "err", err)
 		}
 		ix, err := core.Build(cl, st, *dst, cfg)
 		if err != nil {
-			log.Fatal(err)
+			obs.Fatal(logger, "index build failed", "err", err)
 		}
 		if err := ix.Save(); err != nil {
-			log.Fatal(err)
+			obs.Fatal(logger, "index save failed", "dst", *dst, "err", err)
 		}
 		bs := ix.BuildStats()
 		fmt.Printf("TARDIS index: %d records, %d partitions\n", bs.Records, bs.Partitions)
@@ -119,11 +121,11 @@ func main() {
 		cfg.SampleSeed = *seed
 		cl, err := cluster.New(cluster.Config{Workers: *workers})
 		if err != nil {
-			log.Fatal(err)
+			obs.Fatal(logger, "cluster init failed", "err", err)
 		}
 		ix, err := dpisax.Build(cl, st, *dst, cfg)
 		if err != nil {
-			log.Fatal(err)
+			obs.Fatal(logger, "baseline build failed", "err", err)
 		}
 		bs := ix.BuildStats()
 		fmt.Printf("DPiSAX index: %d records, %d partitions\n", bs.Records, bs.Partitions)
@@ -131,7 +133,7 @@ func main() {
 			rd(bs.GlobalTotal), rd(bs.LocalTotal), rd(bs.Total), bs.Conversions)
 		fmt.Println("note: the DPiSAX baseline index is not persisted; it exists for comparison runs")
 	default:
-		log.Fatalf("unknown system %q (want tardis or dpisax)", *system)
+		obs.Fatal(logger, "unknown system (want tardis or dpisax)", "system", *system)
 	}
 }
 
@@ -149,12 +151,12 @@ func buildRPC(src, dst, workDir, addrs string, cfg core.Config, rpcTimeout time.
 	ctx := context.Background()
 	pool, err := clusterrpc.DialContext(ctx, strings.Split(addrs, ","), pol)
 	if err != nil {
-		log.Fatal(err)
+		obs.Fatal(logger, "worker pool dial failed", "err", err)
 	}
 	defer pool.Close()
 	statuses, err := pool.Ping(ctx)
 	if err != nil {
-		log.Printf("warning: degraded pool: %v", err)
+		logger.Warn("degraded pool", "err", err)
 	}
 	for _, s := range statuses {
 		if s.Err != nil {
@@ -165,7 +167,7 @@ func buildRPC(src, dst, workDir, addrs string, cfg core.Config, rpcTimeout time.
 	}
 	stats, err := clusterrpc.BuildDistributed(ctx, pool, src, dst, workDir, cfg)
 	if err != nil {
-		log.Fatal(err)
+		obs.Fatal(logger, "distributed build failed", "err", err)
 	}
 	fmt.Printf("distributed TARDIS index: %d records, %d partitions in %s\n",
 		stats.Records, stats.Partitions, rd(stats.Total))

@@ -10,17 +10,14 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"time"
 
 	"github.com/tardisdb/tardis/internal/dataset"
+	"github.com/tardisdb/tardis/internal/obs"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("tardis-gen: ")
-
 	var (
 		kind      = flag.String("kind", "randomwalk", "dataset kind: randomwalk | texmex | dna | noaa")
 		n         = flag.Int64("n", 100_000, "number of time series to generate")
@@ -30,7 +27,10 @@ func main() {
 		blockRecs = flag.Int64("block", 10_000, "records per block file (the HDFS block stand-in)")
 		raw       = flag.Bool("raw", false, "skip z-normalization (paper normalizes before indexing)")
 	)
+	applyLog := obs.LogFlags(flag.CommandLine)
 	flag.Parse()
+	applyLog()
+	logger := obs.Logger("tardis-gen")
 
 	if *out == "" {
 		flag.Usage()
@@ -41,25 +41,25 @@ func main() {
 	if length == 0 {
 		length = dataset.DefaultLen(k)
 		if length == 0 {
-			log.Fatalf("unknown dataset kind %q", *kind)
+			obs.Fatal(logger, "unknown dataset kind", "kind", *kind)
 		}
 	}
 	g, err := dataset.New(k, length)
 	if err != nil {
-		log.Fatal(err)
+		obs.Fatal(logger, "generator init failed", "kind", *kind, "err", err)
 	}
 	start := time.Now()
 	st, err := dataset.WriteStore(g, *seed, *n, *out, *blockRecs, !*raw)
 	if err != nil {
-		log.Fatal(err)
+		obs.Fatal(logger, "store write failed", "out", *out, "err", err)
 	}
 	pids, err := st.Partitions()
 	if err != nil {
-		log.Fatal(err)
+		obs.Fatal(logger, "partition list failed", "err", err)
 	}
 	size, err := st.SizeBytes()
 	if err != nil {
-		log.Fatal(err)
+		obs.Fatal(logger, "store size failed", "err", err)
 	}
 	fmt.Printf("generated %s: %d series of length %d in %d blocks (%.1f MiB) in %s\n",
 		*kind, *n, length, len(pids), float64(size)/(1<<20), time.Since(start).Round(time.Millisecond))

@@ -11,16 +11,13 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
 	"os"
 
+	"github.com/tardisdb/tardis/internal/obs"
 	"github.com/tardisdb/tardis/internal/storage"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("tardis-import: ")
-
 	var (
 		csvPath   = flag.String("csv", "", "CSV file: input for import, output for -export (required)")
 		out       = flag.String("out", "", "store directory to create (import mode)")
@@ -31,7 +28,10 @@ func main() {
 		block     = flag.Int64("block", 10_000, "records per block file")
 		sep       = flag.String("sep", ",", "field separator")
 	)
+	applyLog := obs.LogFlags(flag.CommandLine)
 	flag.Parse()
+	applyLog()
+	logger := obs.Logger("tardis-import")
 	if *csvPath == "" || (*out == "" && *exportDir == "") {
 		flag.Usage()
 		os.Exit(2)
@@ -44,15 +44,15 @@ func main() {
 	if *exportDir != "" {
 		st, err := storage.Open(*exportDir)
 		if err != nil {
-			log.Fatal(err)
+			obs.Fatal(logger, "store open failed", "store", *exportDir, "err", err)
 		}
 		f, err := os.Create(*csvPath)
 		if err != nil {
-			log.Fatal(err)
+			obs.Fatal(logger, "csv create failed", "path", *csvPath, "err", err)
 		}
 		defer f.Close()
 		if err := st.ExportCSV(f, storage.CSVOptions{Comma: comma}); err != nil {
-			log.Fatal(err)
+			obs.Fatal(logger, "csv export failed", "err", err)
 		}
 		total, _ := st.TotalRecords()
 		fmt.Printf("exported %d records to %s\n", total, *csvPath)
@@ -60,22 +60,22 @@ func main() {
 	}
 
 	if *seriesLen < 1 {
-		log.Fatal("-len is required for import")
+		obs.Fatal(logger, "-len is required for import")
 	}
 	f, err := os.Open(*csvPath)
 	if err != nil {
-		log.Fatal(err)
+		obs.Fatal(logger, "csv open failed", "path", *csvPath, "err", err)
 	}
 	defer f.Close()
 	st, err := storage.Create(*out, *seriesLen)
 	if err != nil {
-		log.Fatal(err)
+		obs.Fatal(logger, "store create failed", "out", *out, "err", err)
 	}
 	n, err := st.ImportCSV(f, storage.CSVOptions{
 		HasRID: *hasRID, Normalize: *normalize, BlockRecords: *block, Comma: comma,
 	})
 	if err != nil {
-		log.Fatal(err)
+		obs.Fatal(logger, "csv import failed", "err", err)
 	}
 	pids, _ := st.Partitions()
 	fmt.Printf("imported %d records of length %d into %d blocks at %s\n",

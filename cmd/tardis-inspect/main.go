@@ -12,37 +12,37 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"sort"
 	"strings"
 
 	"github.com/tardisdb/tardis/internal/cluster"
 	"github.com/tardisdb/tardis/internal/core"
+	"github.com/tardisdb/tardis/internal/obs"
 	"github.com/tardisdb/tardis/internal/sigtree"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("tardis-inspect: ")
-
 	var (
 		indexDir   = flag.String("index", "", "saved index directory (required)")
 		dumpTree   = flag.Bool("tree", false, "dump the global sigTree")
 		partitions = flag.Bool("partitions", false, "per-partition detail")
 	)
+	applyLog := obs.LogFlags(flag.CommandLine)
 	flag.Parse()
+	applyLog()
+	logger := obs.Logger("tardis-inspect")
 	if *indexDir == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
 	cl, err := cluster.New(cluster.Config{Workers: 4})
 	if err != nil {
-		log.Fatal(err)
+		obs.Fatal(logger, "cluster init failed", "err", err)
 	}
 	ix, err := core.Load(cl, *indexDir)
 	if err != nil {
-		log.Fatal(err)
+		obs.Fatal(logger, "index load failed", "index", *indexDir, "err", err)
 	}
 	cfg := ix.Config()
 	bs := ix.BuildStats()
@@ -64,14 +64,14 @@ func main() {
 	// Partition size distribution.
 	pids, err := ix.Store.Partitions()
 	if err != nil {
-		log.Fatal(err)
+		obs.Fatal(logger, "partition list failed", "err", err)
 	}
 	var sizes []int64
 	var total int64
 	for _, pid := range pids {
 		n, err := ix.Store.PartitionCount(pid)
 		if err != nil {
-			log.Fatal(err)
+			obs.Fatal(logger, "partition count failed", "pid", pid, "err", err)
 		}
 		sizes = append(sizes, n)
 		total += n

@@ -14,7 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"time"
 
@@ -22,13 +22,11 @@ import (
 	"github.com/tardisdb/tardis/internal/core"
 	"github.com/tardisdb/tardis/internal/dataset"
 	"github.com/tardisdb/tardis/internal/knn"
+	"github.com/tardisdb/tardis/internal/obs"
 	"github.com/tardisdb/tardis/internal/ts"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("tardis-query: ")
-
 	var (
 		indexDir = flag.String("index", "", "saved index directory (required)")
 		mode     = flag.String("mode", "knn", "query mode: exact | knn | range")
@@ -44,8 +42,16 @@ func main() {
 		noBloom  = flag.Bool("no-bloom", false, "exact match without the Bloom filter")
 		truth    = flag.Bool("truth", false, "also compute exact ground truth and report recall/error ratio")
 		workers  = flag.Int("workers", 8, "cluster workers for ground truth scans")
+		traceOut = flag.String("trace", "", "collect trace spans and write the trace trees as JSON to this file (\"-\" = stderr)")
 	)
+	applyLog := obs.LogFlags(flag.CommandLine)
 	flag.Parse()
+	applyLog()
+	logger := obs.Logger("tardis-query")
+	if *traceOut != "" {
+		obs.SetTracing(true)
+		defer dumpTraces(logger, *traceOut)
+	}
 	if *indexDir == "" {
 		flag.Usage()
 		os.Exit(2)
@@ -53,15 +59,15 @@ func main() {
 
 	cl, err := cluster.New(cluster.Config{Workers: *workers})
 	if err != nil {
-		log.Fatal(err)
+		obs.Fatal(logger, "cluster init failed", "err", err)
 	}
 	ix, err := core.Load(cl, *indexDir)
 	if err != nil {
-		log.Fatal(err)
+		obs.Fatal(logger, "index load failed", "index", *indexDir, "err", err)
 	}
 	gen, err := dataset.New(dataset.Kind(*kind), ix.SeriesLen())
 	if err != nil {
-		log.Fatal(err)
+		obs.Fatal(logger, "dataset generator init failed", "kind", *kind, "err", err)
 	}
 	genSeed := *seed
 	if *absent {
@@ -81,7 +87,7 @@ func main() {
 			q := makeQuery(i)
 			rids, st, err := ix.ExactMatch(q, !*noBloom)
 			if err != nil {
-				log.Fatal(err)
+				obs.Fatal(logger, "exact-match query failed", "err", err)
 			}
 			total += st.Duration
 			if len(rids) > 0 {
@@ -120,7 +126,7 @@ func main() {
 		for _, name := range names {
 			run, ok := strategies[name]
 			if !ok {
-				log.Fatalf("unknown strategy %q", name)
+				obs.Fatal(logger, "unknown strategy", "strategy", name)
 			}
 			var total time.Duration
 			var recall, errRatio float64
@@ -129,13 +135,13 @@ func main() {
 				q := makeQuery(i)
 				res, st, err := run(q, *k)
 				if err != nil {
-					log.Fatal(err)
+					obs.Fatal(logger, "knn query failed", "strategy", name, "err", err)
 				}
 				total += st.Duration
 				if *truth {
 					gt, err := ix.GroundTruthKNN(q, *k)
 					if err != nil {
-						log.Fatal(err)
+						obs.Fatal(logger, "ground truth scan failed", "err", err)
 					}
 					recall += knn.Recall(gt, res)
 					errRatio += knn.ErrorRatio(gt, res)
@@ -168,7 +174,7 @@ func main() {
 		q := makeQuery(0)
 		res, st, err := ix.RangeQuery(q, *eps)
 		if err != nil {
-			log.Fatal(err)
+			obs.Fatal(logger, "range query failed", "err", err)
 		}
 		fmt.Printf("range query eps=%.3f: %d records (partitions %d, candidates %d, %s)\n",
 			*eps, len(res), st.PartitionsLoaded, st.Candidates, st.Duration.Round(time.Microsecond))
@@ -180,6 +186,23 @@ func main() {
 			fmt.Printf("  rid=%d dist=%.4f\n", res[j].RID, res[j].Dist)
 		}
 	default:
-		log.Fatalf("unknown mode %q (want exact, knn, or range)", *mode)
+		obs.Fatal(logger, "unknown mode (want exact, knn, or range)", "mode", *mode)
+	}
+}
+
+// dumpTraces writes the collected trace trees to path ("-" = stderr).
+func dumpTraces(logger *slog.Logger, path string) {
+	w := os.Stderr
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			logger.Error("trace output failed", "path", path, "err", err)
+			return
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := obs.WriteTracesJSON(w); err != nil {
+		logger.Error("trace encode failed", "err", err)
 	}
 }

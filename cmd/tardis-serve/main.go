@@ -22,7 +22,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"net"
 	"net/http"
 	"os"
 	"strings"
@@ -31,13 +31,11 @@ import (
 	"github.com/tardisdb/tardis/internal/cluster"
 	clusterrpc "github.com/tardisdb/tardis/internal/cluster/rpc"
 	"github.com/tardisdb/tardis/internal/core"
+	"github.com/tardisdb/tardis/internal/obs"
 	"github.com/tardisdb/tardis/internal/server"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("tardis-serve: ")
-
 	var (
 		indexDir   = flag.String("index", "", "saved index directory (required)")
 		listen     = flag.String("listen", "127.0.0.1:8080", "listen address")
@@ -46,32 +44,38 @@ func main() {
 		rpcAddrs   = flag.String("rpc", "", "comma-separated tardis-worker addresses enabling the dist/dist-exact strategies")
 		rpcTimeout = flag.Duration("rpc-timeout", 0, "per-RPC deadline for worker calls (0 = policy default)")
 		retries    = flag.Int("retries", 0, "attempts per worker RPC before failover (0 = policy default)")
+		debugAddr  = flag.String("debug-addr", "", "optional address for the debug server (/metrics, /debug/traces, /debug/pprof)")
+		trace      = flag.Bool("trace", false, "collect query trace spans (exported at /debug/traces)")
 	)
+	applyLog := obs.LogFlags(flag.CommandLine)
 	flag.Parse()
+	applyLog()
+	logger := obs.Logger("tardis-serve")
+	obs.SetTracing(*trace)
 	if *indexDir == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
 	cl, err := cluster.New(cluster.Config{Workers: *workers})
 	if err != nil {
-		log.Fatal(err)
+		obs.Fatal(logger, "cluster init failed", "err", err)
 	}
 	var ix *core.Index
 	if *repair {
 		var repaired int
 		ix, repaired, err = core.LoadWithRepair(cl, *indexDir)
 		if err == nil && repaired > 0 {
-			fmt.Printf("repaired %d partitions on load\n", repaired)
+			logger.Info("repaired partitions on load", "partitions", repaired)
 		}
 	} else {
 		ix, err = core.Load(cl, *indexDir)
 	}
 	if err != nil {
-		log.Fatal(err)
+		obs.Fatal(logger, "index load failed", "index", *indexDir, "err", err)
 	}
 	total, err := ix.Store.TotalRecords()
 	if err != nil {
-		log.Fatal(err)
+		obs.Fatal(logger, "record count failed", "err", err)
 	}
 	srv := server.New(ix)
 	if *rpcAddrs != "" {
@@ -84,15 +88,30 @@ func main() {
 		}
 		pool, err := clusterrpc.DialContext(context.Background(), strings.Split(*rpcAddrs, ","), pol)
 		if err != nil {
-			log.Fatal(err)
+			obs.Fatal(logger, "worker pool dial failed", "err", err)
 		}
 		defer pool.Close()
 		srv.AttachPool(pool)
-		fmt.Printf("worker pool: %d of %d workers reachable\n", reachable(pool), pool.Size())
+		logger.Info("worker pool attached", "reachable", reachable(pool), "size", pool.Size())
+	}
+	if *debugAddr != "" {
+		addr, err := obs.StartDebugServer(*debugAddr)
+		if err != nil {
+			obs.Fatal(logger, "debug server failed", "addr", *debugAddr, "err", err)
+		}
+		logger.Info("debug server listening", "addr", addr)
+	}
+	// Listen explicitly so ":0" resolves to a real port before the
+	// announcement line; scripts (tools/obssmoke) parse it.
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		obs.Fatal(logger, "listen failed", "addr", *listen, "err", err)
 	}
 	fmt.Printf("serving %d records (%d partitions, series length %d) on http://%s\n",
-		total, ix.NumPartitions(), ix.SeriesLen(), *listen)
-	log.Fatal(http.ListenAndServe(*listen, srv.Handler()))
+		total, ix.NumPartitions(), ix.SeriesLen(), ln.Addr())
+	logger.Info("serving", "records", total, "partitions", ix.NumPartitions(),
+		"series_len", ix.SeriesLen(), "addr", ln.Addr().String())
+	obs.Fatal(logger, "http server stopped", "err", http.Serve(ln, srv.Handler()))
 }
 
 func reachable(pool *clusterrpc.Pool) int {

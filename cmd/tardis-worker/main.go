@@ -12,39 +12,48 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
 	"net"
 	"os"
 	"time"
 
 	clusterrpc "github.com/tardisdb/tardis/internal/cluster/rpc"
+	"github.com/tardisdb/tardis/internal/obs"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("tardis-worker: ")
-
 	var (
 		listen     = flag.String("listen", "127.0.0.1:7701", "address to listen on")
 		id         = flag.String("id", "", "worker id (default derived from pid)")
 		rpcTimeout = flag.Duration("rpc-timeout", 0, "idle deadline per coordinator connection; reads that stall longer drop the connection (0 = never)")
+		debugAddr  = flag.String("debug-addr", "", "optional address for the debug server (/metrics, /debug/traces, /debug/pprof)")
 	)
+	applyLog := obs.LogFlags(flag.CommandLine)
 	flag.Parse()
+	applyLog()
+	logger := obs.Logger("tardis-worker")
 
 	workerID := *id
 	if workerID == "" {
 		workerID = fmt.Sprintf("worker-%d", os.Getpid())
 	}
+	if *debugAddr != "" {
+		addr, err := obs.StartDebugServer(*debugAddr)
+		if err != nil {
+			obs.Fatal(logger, "debug server failed", "addr", *debugAddr, "err", err)
+		}
+		logger.Info("debug server listening", "addr", addr)
+	}
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
-		log.Fatal(err)
+		obs.Fatal(logger, "listen failed", "addr", *listen, "err", err)
 	}
 	if *rpcTimeout > 0 {
 		ln = idleListener{Listener: ln, d: *rpcTimeout}
 	}
 	fmt.Printf("worker %s listening on %s\n", workerID, ln.Addr())
+	logger.Info("worker listening", "worker", workerID, "addr", ln.Addr().String())
 	if err := clusterrpc.Serve(ln, workerID); err != nil {
-		log.Fatal(err)
+		obs.Fatal(logger, "worker serve stopped", "err", err)
 	}
 }
 

@@ -91,6 +91,10 @@ func (c *Cluster) ResetMetrics() {
 }
 
 func (c *Cluster) record(m StageMetrics) {
+	mStageDuration.With(m.Name).Observe(m.Duration.Seconds())
+	mStageTasks.With(m.Name).Add(int64(m.Tasks))
+	mStageSkipped.With(m.Name).Add(int64(m.TasksSkipped))
+	mShuffledRecords.With(m.Name).Add(m.ShuffledRecords)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.stages = append(c.stages, m)

@@ -1,0 +1,18 @@
+package cluster
+
+import "github.com/tardisdb/tardis/internal/obs"
+
+// Stage telemetry, fed from the same record() choke point that builds the
+// per-run StageMetrics slice, so Metrics() and /metrics always agree. Stage
+// names form a bounded set (they are string literals at the Map/Reduce call
+// sites), so they are safe as a label.
+var (
+	mStageDuration = obs.NewHistogramVec("tardis_cluster_stage_duration_seconds",
+		"Wall time of each simulated-cluster stage run.", nil, "stage")
+	mStageTasks = obs.NewCounterVec("tardis_cluster_stage_tasks_total",
+		"Tasks executed per stage.", "stage")
+	mStageSkipped = obs.NewCounterVec("tardis_cluster_stage_tasks_skipped_total",
+		"Tasks skipped because an earlier task in the stage failed.", "stage")
+	mShuffledRecords = obs.NewCounterVec("tardis_cluster_shuffle_records_total",
+		"Records (or bytes, for broadcasts) moved between partitions per stage.", "stage")
+)

@@ -118,6 +118,7 @@ func BuildDistributed(ctx context.Context, pool *Pool, srcDir, dstDir, workDir s
 		bs.SampledRecords += r.Records
 	}
 	bs.SampleConvert = time.Since(stage)
+	mBuildStageDuration.With("sample-convert").Observe(bs.SampleConvert.Seconds())
 
 	// Stages 2-4 on the coordinator.
 	codec, err := isaxt.NewCodec(cfg.WordLen)
@@ -165,6 +166,7 @@ func BuildDistributed(ctx context.Context, pool *Pool, srcDir, dstDir, workDir s
 		return bs, fmt.Errorf("rpc: spill stage: %w", err)
 	}
 	bs.Shuffle = time.Since(stage)
+	mBuildStageDuration.With("spill-shuffle").Observe(bs.Shuffle.Seconds())
 
 	// Stage 6: local index construction on workers.
 	stage = time.Now()
@@ -199,6 +201,7 @@ func BuildDistributed(ctx context.Context, pool *Pool, srcDir, dstDir, workDir s
 		}
 	}
 	bs.LocalBuild = time.Since(stage)
+	mBuildStageDuration.With("local-build").Observe(bs.LocalBuild.Seconds())
 
 	// Finalize: manifest, global tree, descriptor.
 	dst, err := storage.Open(dstDir)

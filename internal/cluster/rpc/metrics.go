@@ -1,0 +1,35 @@
+package rpc
+
+import "github.com/tardisdb/tardis/internal/obs"
+
+// Coordinator-side RPC telemetry. Method names are the fixed set of
+// Worker.* RPC methods and outcomes/states are code-defined enums, so every
+// label here has bounded cardinality.
+var (
+	mRPCCalls = obs.NewCounterVec("tardis_rpc_calls_total",
+		"Completed pool calls by method and outcome (ok, app_error, worker_down, canceled).",
+		"method", "outcome")
+	mRPCDuration = obs.NewHistogramVec("tardis_rpc_call_duration_seconds",
+		"Wall time of pool calls including retries and backoff.", nil, "method")
+	mRPCRetries = obs.NewCounterVec("tardis_rpc_retries_total",
+		"Retry attempts (second and later tries) per method.", "method")
+	mBreakerTransitions = obs.NewCounterVec("tardis_rpc_breaker_transitions_total",
+		"Per-worker circuit breaker state transitions (to open, half_open, closed).", "state")
+	mTasksReassigned = obs.NewCounter("tardis_rpc_tasks_reassigned_total",
+		"Fan-out task attempts rerouted to another worker after a worker-down failure.")
+	mTasksSkipped = obs.NewCounter("tardis_rpc_tasks_skipped_total",
+		"Fan-out tasks abandoned in best-effort mode because no surviving worker could run them.")
+	mBuildStageDuration = obs.NewHistogramVec("tardis_rpc_build_stage_duration_seconds",
+		"Wall time of distributed build stages on the coordinator.", nil, "stage")
+)
+
+const (
+	outcomeOK         = "ok"
+	outcomeAppError   = "app_error"
+	outcomeWorkerDown = "worker_down"
+	outcomeCanceled   = "canceled"
+
+	breakerOpen     = "open"
+	breakerHalfOpen = "half_open"
+	breakerClosed   = "closed"
+)

@@ -12,6 +12,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"github.com/tardisdb/tardis/internal/obs"
 )
 
 // Fault-tolerant coordinator side of the RPC layer. Every remote call runs
@@ -144,6 +146,13 @@ func isRetryableRemote(err error) bool {
 	return errors.As(err, &se) && strings.Contains(string(se), retryableMark)
 }
 
+// Breaker states, tracked so each transition can be counted exactly once.
+const (
+	stateClosed = iota
+	stateOpen
+	stateHalfOpen
+)
+
 // workerState is the per-worker connection plus breaker bookkeeping.
 type workerState struct {
 	addr string
@@ -152,6 +161,7 @@ type workerState struct {
 	client    *rpc.Client // guarded by mu; nil when disconnected
 	fails     int         // guarded by mu; consecutive transport failures
 	openUntil time.Time   // guarded by mu; breaker open until this instant
+	state     int         // guarded by mu; stateClosed/Open/HalfOpen
 }
 
 // acquire returns a connected client, dialing if needed. It fails fast while
@@ -159,8 +169,15 @@ type workerState struct {
 func (w *workerState) acquire(ctx context.Context, pol Policy) (*rpc.Client, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	if w.fails >= pol.BreakerThreshold && time.Now().Before(w.openUntil) {
-		return nil, fmt.Errorf("worker %s: %w", w.addr, ErrBreakerOpen)
+	if w.fails >= pol.BreakerThreshold {
+		if time.Now().Before(w.openUntil) {
+			return nil, fmt.Errorf("worker %s: %w", w.addr, ErrBreakerOpen)
+		}
+		if w.state == stateOpen {
+			// Cooldown expired: this caller is the probe.
+			w.state = stateHalfOpen
+			mBreakerTransitions.With(breakerHalfOpen).Inc()
+		}
 	}
 	if w.client != nil {
 		return w.client, nil
@@ -194,6 +211,11 @@ func (w *workerState) recordFailure(pol Policy) {
 	w.fails++
 	if w.fails >= pol.BreakerThreshold {
 		w.openUntil = time.Now().Add(pol.BreakerCooldown)
+		if w.state != stateOpen {
+			// First trip, or a half-open probe that failed: (re)open.
+			w.state = stateOpen
+			mBreakerTransitions.With(breakerOpen).Inc()
+		}
 	}
 }
 
@@ -202,6 +224,10 @@ func (w *workerState) recordSuccess() {
 	defer w.mu.Unlock()
 	w.fails = 0
 	w.openUntil = time.Time{}
+	if w.state != stateClosed {
+		w.state = stateClosed
+		mBreakerTransitions.With(breakerClosed).Inc()
+	}
 }
 
 // tripped reports whether the worker has burned through its breaker
@@ -370,15 +396,67 @@ func (p *Pool) invoke(ctx context.Context, w *workerState, c *rpc.Client, method
 	}
 }
 
+// injectTrace embeds the active span's identity into an args struct that
+// declares a `Trace obs.SpanContext` field, returning a pointer to a copy so
+// the caller's value stays untouched. net/rpc has no metadata channel, so
+// this field is how a trace crosses the wire; with no active span args pass
+// through unchanged and no reflection copy is made.
+func injectTrace(ctx context.Context, args any) any {
+	sc := obs.SpanContextOf(ctx)
+	if !sc.Valid() {
+		return args
+	}
+	v := reflect.ValueOf(args)
+	if v.Kind() == reflect.Pointer {
+		v = v.Elem()
+	}
+	if v.Kind() != reflect.Struct {
+		return args
+	}
+	f := v.FieldByName("Trace")
+	if !f.IsValid() || f.Type() != reflect.TypeOf(obs.SpanContext{}) {
+		return args
+	}
+	cp := reflect.New(v.Type())
+	cp.Elem().Set(v)
+	cp.Elem().FieldByName("Trace").Set(reflect.ValueOf(sc))
+	return cp.Interface()
+}
+
 // call runs method against worker wi with retries, reconnects, and the
 // breaker. It returns nil, a (possibly retryable-marked) application error,
 // the parent context's error, or *WorkerDownError once transport attempts
 // are exhausted.
 func (p *Pool) call(ctx context.Context, wi int, method string, args, reply any) error {
+	start := time.Now()
+	ctx, span := obs.StartSpan(ctx, "rpc.call")
+	span.Annotate("method", method)
+	span.Annotate("worker", p.workers[wi].addr)
+	args = injectTrace(ctx, args)
+	err := p.callAttempts(ctx, wi, method, args, reply)
+	span.SetError(err)
+	span.Finish()
+	mRPCDuration.With(method).Observe(time.Since(start).Seconds())
+	var down *WorkerDownError
+	switch {
+	case err == nil:
+		mRPCCalls.With(method, outcomeOK).Inc()
+	case errors.As(err, &down):
+		mRPCCalls.With(method, outcomeWorkerDown).Inc()
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		mRPCCalls.With(method, outcomeCanceled).Inc()
+	default:
+		mRPCCalls.With(method, outcomeAppError).Inc()
+	}
+	return err
+}
+
+func (p *Pool) callAttempts(ctx context.Context, wi int, method string, args, reply any) error {
 	w := p.workers[wi]
 	var errs []error
 	for attempt := 1; attempt <= p.policy.MaxAttempts; attempt++ {
 		if attempt > 1 {
+			mRPCRetries.With(method).Inc()
 			if err := sleepCtx(ctx, p.backoff(attempt-1)); err != nil {
 				return err
 			}
@@ -542,6 +620,7 @@ func (p *Pool) each(ctx context.Context, n int, bestEffort bool, fn func(ctx con
 		case errors.As(r.err, &down):
 			es.errs = append(es.errs, fmt.Errorf("task %d: %w", r.task, r.err))
 			es.reassigned++
+			mTasksReassigned.Inc()
 			tried[r.task][r.wi] = true
 			queue = append(queue, r.task)
 			if !p.workers[r.wi].tripped(p.policy) {
@@ -568,6 +647,7 @@ func (p *Pool) each(ctx context.Context, n int, bestEffort bool, fn func(ctx con
 	if abortErr != nil {
 		return es, abortErr
 	}
+	mTasksSkipped.Add(int64(len(es.skipped)))
 	sort.Ints(es.skipped)
 	return es, nil
 }

@@ -9,6 +9,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -16,6 +17,7 @@ import (
 	"github.com/tardisdb/tardis/internal/faultinj"
 	"github.com/tardisdb/tardis/internal/isaxt"
 	"github.com/tardisdb/tardis/internal/knn"
+	"github.com/tardisdb/tardis/internal/obs"
 	"github.com/tardisdb/tardis/internal/pcache"
 	"github.com/tardisdb/tardis/internal/sigtree"
 	"github.com/tardisdb/tardis/internal/storage"
@@ -44,6 +46,9 @@ type KNNPartitionArgs struct {
 	K         int
 	Threshold float64 // prune bound; +Inf scans everything surviving k-bounds
 	WordLen   int
+	// Trace carries the coordinator's span identity across the wire; the
+	// zero value means "not traced".
+	Trace obs.SpanContext
 }
 
 // KNNPartitionReply returns the partition's local top-k.
@@ -65,6 +70,7 @@ type RangePartitionArgs struct {
 	Query    ts.Series
 	Eps      float64
 	WordLen  int
+	Trace    obs.SpanContext
 }
 
 // RangePartitionReply returns every in-range record of the partition.
@@ -129,9 +135,15 @@ func loadLocalTree(storeDir string, pid int) (*sigtree.Tree, error) {
 }
 
 // loadPartitionData fetches one partition through the worker's resident
-// cache.
-func loadPartitionData(st *storage.Store, storeDir string, pid int) (*pcache.Partition, bool, error) {
-	return workerDataCache.Get(partKey{dir: storeDir, pid: pid},
+// cache, recording a child span under the RPC's span when the call is
+// traced (a cache hit shows up as a near-zero-duration load).
+func loadPartitionData(parent *obs.Span, st *storage.Store, storeDir string, pid int) (*pcache.Partition, bool, error) {
+	var span *obs.Span
+	if parent != nil {
+		_, span = obs.StartRemoteSpan(context.Background(), parent.Context(), "worker.partition_load")
+		span.Annotate("pid", strconv.Itoa(pid))
+	}
+	p, hit, err := workerDataCache.Get(partKey{dir: storeDir, pid: pid},
 		func() (*pcache.Partition, error) {
 			rids, values, err := st.ReadPartitionArena(pid)
 			if err != nil {
@@ -139,11 +151,24 @@ func loadPartitionData(st *storage.Store, storeDir string, pid int) (*pcache.Par
 			}
 			return pcache.NewPartition(rids, values, st.SeriesLen())
 		})
+	if span != nil {
+		if hit {
+			span.Annotate("cache", "hit")
+		} else {
+			span.Annotate("cache", "miss")
+		}
+		span.SetError(err)
+		span.Finish()
+	}
+	return p, hit, err
 }
 
 // KNNPartition prune-scans one partition against the query and returns the
 // local top-k within the threshold. Read-only, hence idempotent.
-func (w *Worker) KNNPartition(args KNNPartitionArgs, reply *KNNPartitionReply) error {
+func (w *Worker) KNNPartition(args KNNPartitionArgs, reply *KNNPartitionReply) (err error) {
+	span := w.startSpan(args.Trace, "worker.knn_partition")
+	span.Annotate("pid", strconv.Itoa(args.PID))
+	defer func() { span.SetError(err); span.Finish() }()
 	if err := faultinj.InjectAs(PointWorkerKNN, w.ID); err != nil {
 		return MarkRetryable(err)
 	}
@@ -171,7 +196,7 @@ func (w *Worker) KNNPartition(args KNNPartitionArgs, reply *KNNPartitionReply) e
 		reply.Neighbors = []knn.Neighbor{}
 		return nil
 	}
-	data, hit, err := loadPartitionData(st, args.StoreDir, args.PID)
+	data, hit, err := loadPartitionData(span, st, args.StoreDir, args.PID)
 	if err != nil {
 		return MarkRetryable(err)
 	}
@@ -201,7 +226,10 @@ func (w *Worker) KNNPartition(args KNNPartitionArgs, reply *KNNPartitionReply) e
 // RangePartition verifies one partition's surviving candidates against the
 // raw series, returning every record within Eps. Read-only, hence
 // idempotent.
-func (w *Worker) RangePartition(args RangePartitionArgs, reply *RangePartitionReply) error {
+func (w *Worker) RangePartition(args RangePartitionArgs, reply *RangePartitionReply) (err error) {
+	span := w.startSpan(args.Trace, "worker.range_partition")
+	span.Annotate("pid", strconv.Itoa(args.PID))
+	defer func() { span.SetError(err); span.Finish() }()
 	if err := faultinj.InjectAs(PointWorkerRange, w.ID); err != nil {
 		return MarkRetryable(err)
 	}
@@ -229,7 +257,7 @@ func (w *Worker) RangePartition(args RangePartitionArgs, reply *RangePartitionRe
 	if len(entries) == 0 {
 		return nil
 	}
-	data, hit, err := loadPartitionData(st, args.StoreDir, args.PID)
+	data, hit, err := loadPartitionData(span, st, args.StoreDir, args.PID)
 	if err != nil {
 		return MarkRetryable(err)
 	}
@@ -281,8 +309,10 @@ func mergeKNNReply(st *core.QueryStats, candidates, pruned int, cacheHit bool) {
 // retries and failover is skipped and reported in the returned QueryStats
 // (Degraded, PartitionsSkipped) — the answer remains a valid approximate
 // result over the partitions that were reached.
-func DistKNN(ctx context.Context, pool *Pool, storeDir string, cfg core.Config, q ts.Series, k int) ([]knn.Neighbor, core.QueryStats, error) {
+func DistKNN(ctx context.Context, pool *Pool, storeDir string, cfg core.Config, q ts.Series, k int) (_ []knn.Neighbor, _ core.QueryStats, err error) {
 	start := time.Now()
+	ctx, span := obs.StartSpan(ctx, "query.dist_knn")
+	defer func() { span.SetError(err); span.Finish() }()
 	var st core.QueryStats
 	if k < 1 {
 		return nil, st, fmt.Errorf("rpc: k must be positive, got %d", k)
@@ -382,8 +412,10 @@ func DistKNN(ctx context.Context, pool *Pool, storeDir string, cfg core.Config, 
 // when the next bound exceeds the kth distance. Worker failures fail over to
 // survivors; a partition no live worker can scan fails the query — an exact
 // answer is never silently incomplete.
-func DistKNNExact(ctx context.Context, pool *Pool, storeDir string, cfg core.Config, q ts.Series, k int) ([]knn.Neighbor, core.QueryStats, error) {
+func DistKNNExact(ctx context.Context, pool *Pool, storeDir string, cfg core.Config, q ts.Series, k int) (_ []knn.Neighbor, _ core.QueryStats, err error) {
 	start := time.Now()
+	ctx, span := obs.StartSpan(ctx, "query.dist_knn_exact")
+	defer func() { span.SetError(err); span.Finish() }()
 	var st core.QueryStats
 	if k < 1 {
 		return nil, st, fmt.Errorf("rpc: k must be positive, got %d", k)
@@ -441,8 +473,10 @@ func DistKNNExact(ctx context.Context, pool *Pool, storeDir string, cfg core.Con
 // partition whose global lower bound is within eps is verified by a worker,
 // with failover. Like DistKNNExact it fails loudly on an unscannable
 // partition rather than dropping in-range records.
-func DistRange(ctx context.Context, pool *Pool, storeDir string, cfg core.Config, q ts.Series, eps float64) ([]knn.Neighbor, core.QueryStats, error) {
+func DistRange(ctx context.Context, pool *Pool, storeDir string, cfg core.Config, q ts.Series, eps float64) (_ []knn.Neighbor, _ core.QueryStats, err error) {
 	start := time.Now()
+	ctx, span := obs.StartSpan(ctx, "query.dist_range")
+	defer func() { span.SetError(err); span.Finish() }()
 	var st core.QueryStats
 	if eps < 0 || math.IsNaN(eps) {
 		return nil, st, fmt.Errorf("rpc: range radius must be non-negative, got %v", eps)

@@ -1,0 +1,164 @@
+package rpc
+
+import (
+	"context"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/tardisdb/tardis/internal/dataset"
+	"github.com/tardisdb/tardis/internal/faultinj"
+	"github.com/tardisdb/tardis/internal/obs"
+)
+
+// TestTracePropagationAcrossRPC proves the span identity injected into RPC
+// args survives the wire: a distributed kNN under fault injection yields one
+// connected trace tree — coordinator root, rpc.call children, worker-side
+// partition scans and cache loads — all sharing the coordinator's trace ID,
+// including the span for the injected (and then retried) failing attempt.
+func TestTracePropagationAcrossRPC(t *testing.T) {
+	const n = 2000
+	srcDir, g := writeTestStore(t, n)
+	cfg := testConfig()
+
+	addrs := startFaultWorkers(t, 3)
+	ctx := context.Background()
+	pool, err := DialContext(ctx, addrs, faultPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	dstDir := filepath.Join(t.TempDir(), "dst")
+	if _, err := BuildDistributed(ctx, pool, srcDir, dstDir, t.TempDir(), cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	// The first KNNPartition call landing on w1 fails with a retryable
+	// error; the retry succeeds, so the trace must show both attempts.
+	sched := faultinj.NewSchedule(faultinj.Rule{
+		Point: PointWorkerKNN, Label: "w1", Kind: faultinj.KindErr, Hits: []int{1},
+	})
+	faultinj.Enable(sched)
+	t.Cleanup(faultinj.Disable)
+
+	obs.SetTracing(true)
+	t.Cleanup(func() { obs.SetTracing(false) })
+	obs.ResetSpans()
+
+	q := dataset.Record(g, 5, 42).Values.ZNormalize()
+	res, st, err := DistKNN(ctx, pool, dstDir, cfg, q, 5)
+	faultinj.Disable()
+	obs.SetTracing(false)
+	if err != nil {
+		t.Fatalf("traced query failed: %v", err)
+	}
+	if len(res) == 0 || st.Degraded {
+		t.Fatalf("query degraded or empty under a retryable fault: %d results, %+v", len(res), st)
+	}
+	if len(sched.Events()) == 0 {
+		t.Fatal("failpoint never fired; test exercised nothing")
+	}
+
+	spans := obs.Spans()
+	if len(spans) == 0 {
+		t.Fatal("no spans collected")
+	}
+	byID := make(map[uint64]*obs.Span, len(spans))
+	for _, s := range spans {
+		byID[s.SpanID] = s
+	}
+
+	var root *obs.Span
+	names := make(map[string]int)
+	for _, s := range spans {
+		names[s.Name]++
+		if s.ParentID == 0 {
+			if root != nil {
+				t.Fatalf("two roots: %q and %q", root.Name, s.Name)
+			}
+			root = s
+		}
+	}
+	if root == nil || root.Name != "query.dist_knn" {
+		t.Fatalf("missing query.dist_knn root; spans: %v", names)
+	}
+
+	// One connected tree: every span shares the root's trace ID and every
+	// non-root span's parent was itself collected. In-process workers share
+	// the collector, so worker spans only satisfy this if the SpanContext
+	// embedded in the RPC args round-tripped intact.
+	for _, s := range spans {
+		if s.TraceID != root.TraceID {
+			t.Errorf("span %q has trace %x, want %x", s.Name, s.TraceID, root.TraceID)
+		}
+		if s.ParentID != 0 {
+			if _, ok := byID[s.ParentID]; !ok {
+				t.Errorf("span %q parent %x not in collected set", s.Name, s.ParentID)
+			}
+		}
+	}
+
+	for _, want := range []string{"rpc.call", "worker.knn_partition", "worker.partition_load"} {
+		if names[want] == 0 {
+			t.Errorf("no %q spans; got %v", want, names)
+		}
+	}
+
+	// The injected failure's worker span is part of the same tree, carrying
+	// the fault, and a sibling retry for the same partition succeeded.
+	var failed, retried bool
+	for _, s := range spans {
+		if s.Name != "worker.knn_partition" || s.Err() == "" {
+			continue
+		}
+		if !strings.Contains(s.Err(), "injected") {
+			t.Errorf("worker span failed with unexpected error %q", s.Err())
+		}
+		failed = true
+		pid := attrValue(s, "pid")
+		for _, o := range spans {
+			if o.Name == "worker.knn_partition" && o.Err() == "" && attrValue(o, "pid") == pid {
+				retried = true
+			}
+		}
+	}
+	if !failed {
+		t.Error("no worker span recorded the injected failure")
+	}
+	if !retried {
+		t.Error("no successful retry span for the failed partition")
+	}
+
+	// Worker scans hang off rpc.call spans, which hang off the root: the
+	// tree has the coordinator → transport → worker shape end to end.
+	for _, s := range spans {
+		if s.Name != "worker.knn_partition" {
+			continue
+		}
+		parent, ok := byID[s.ParentID]
+		if !ok || parent.Name != "rpc.call" {
+			t.Errorf("worker.knn_partition parent is %v, want rpc.call", parent)
+			continue
+		}
+		if parent.ParentID != root.SpanID {
+			t.Errorf("rpc.call parent %x is not the query root %x", parent.ParentID, root.SpanID)
+		}
+	}
+	for _, s := range spans {
+		if s.Name != "worker.partition_load" {
+			continue
+		}
+		if parent, ok := byID[s.ParentID]; !ok || parent.Name != "worker.knn_partition" {
+			t.Errorf("worker.partition_load parent is %v, want worker.knn_partition", parent)
+		}
+	}
+}
+
+func attrValue(s *obs.Span, key string) string {
+	for _, a := range s.Attrs() {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return ""
+}

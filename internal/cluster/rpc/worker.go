@@ -16,6 +16,7 @@ package rpc
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"io/fs"
@@ -27,6 +28,7 @@ import (
 	"github.com/tardisdb/tardis/internal/core"
 	"github.com/tardisdb/tardis/internal/faultinj"
 	"github.com/tardisdb/tardis/internal/isaxt"
+	"github.com/tardisdb/tardis/internal/obs"
 	"github.com/tardisdb/tardis/internal/sigtree"
 	"github.com/tardisdb/tardis/internal/storage"
 	"github.com/tardisdb/tardis/internal/ts"
@@ -50,6 +52,16 @@ type Worker struct {
 	mu      sync.Mutex
 	tasks   map[string]int64 // guarded by mu
 	records int64            // guarded by mu
+}
+
+// startSpan opens the worker-side span for one RPC, parented to the
+// coordinator's rpc.call span when the args carried a trace context. The
+// span starts before the method's fault-injection point so failed and
+// retried attempts appear in the trace too.
+func (w *Worker) startSpan(sc obs.SpanContext, name string) *obs.Span {
+	_, span := obs.StartRemoteSpan(context.Background(), sc, name)
+	span.Annotate("worker", w.ID)
+	return span
 }
 
 // track counts one completed RPC and the records it touched. Unexported
@@ -131,6 +143,9 @@ type SampleConvertArgs struct {
 	PIDs     []int
 	WordLen  int
 	Bits     int
+	// Trace carries the coordinator's span identity across the wire (net/rpc
+	// has no metadata channel); the zero value means "not traced".
+	Trace obs.SpanContext
 }
 
 // SampleConvertReply carries the combined signature frequencies.
@@ -141,7 +156,9 @@ type SampleConvertReply struct {
 
 // SampleConvert scans the given blocks of the dataset store, converts each
 // record to its iSAX-T signature, and returns per-signature counts.
-func (w *Worker) SampleConvert(args SampleConvertArgs, reply *SampleConvertReply) error {
+func (w *Worker) SampleConvert(args SampleConvertArgs, reply *SampleConvertReply) (err error) {
+	span := w.startSpan(args.Trace, "worker.sample_convert")
+	defer func() { span.SetError(err); span.Finish() }()
 	if err := faultinj.InjectAs(PointWorkerSampleConvert, w.ID); err != nil {
 		return MarkRetryable(err)
 	}
@@ -185,6 +202,7 @@ type SpillArgs struct {
 	WordLen    int
 	Bits       int
 	SpillDir   string // this worker's spill store directory
+	Trace      obs.SpanContext
 }
 
 // SpillReply reports how many records were routed to each target partition.
@@ -196,7 +214,9 @@ type SpillReply struct {
 // convert, route, and append to spill partitions keyed by target pid. It is
 // idempotent: the spill store is recreated from scratch, so re-executing a
 // chunk on another worker after a failure yields the same bytes.
-func (w *Worker) Spill(args SpillArgs, reply *SpillReply) error {
+func (w *Worker) Spill(args SpillArgs, reply *SpillReply) (err error) {
+	span := w.startSpan(args.Trace, "worker.spill")
+	defer func() { span.SetError(err); span.Finish() }()
 	if err := faultinj.InjectAs(PointWorkerSpill, w.ID); err != nil {
 		return MarkRetryable(err)
 	}
@@ -290,6 +310,7 @@ type BuildLocalsArgs struct {
 	LMaxSize   int64
 	BuildBloom bool
 	BloomFP    float64
+	Trace      obs.SpanContext
 }
 
 // BuildLocalsReply reports per-partition record counts.
@@ -301,7 +322,9 @@ type BuildLocalsReply struct {
 // partition file, and constructs Tardis-L and the Bloom filter. It is
 // idempotent: each owned partition file is deleted before being rewritten,
 // so a chunk re-executed after a failure yields the same partitions.
-func (w *Worker) BuildLocals(args BuildLocalsArgs, reply *BuildLocalsReply) error {
+func (w *Worker) BuildLocals(args BuildLocalsArgs, reply *BuildLocalsReply) (err error) {
+	span := w.startSpan(args.Trace, "worker.build_locals")
+	defer func() { span.SetError(err); span.Finish() }()
 	if err := faultinj.InjectAs(PointWorkerBuildLocals, w.ID); err != nil {
 		return MarkRetryable(err)
 	}

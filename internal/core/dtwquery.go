@@ -135,6 +135,7 @@ func (ix *Index) KNNDTW(q ts.Series, k, band int) ([]Neighbor, QueryStats, error
 		}
 	}
 	st.Duration = time.Since(start)
+	recordQueryMetrics("dtw", &st)
 	return h.Sorted(), st, nil
 }
 

@@ -132,6 +132,7 @@ func (ix *Index) KNNExact(q ts.Series, k int) ([]Neighbor, QueryStats, error) {
 		}
 	}
 	st.Duration = time.Since(start)
+	recordQueryMetrics("exact", &st)
 	return h.Sorted(), st, nil
 }
 
@@ -272,6 +273,7 @@ func (ix *Index) RangeQuery(q ts.Series, eps float64) ([]Neighbor, QueryStats, e
 		return out[i].RID < out[j].RID
 	})
 	st.Duration = time.Since(start)
+	recordQueryMetrics("range", &st)
 	return out, st, nil
 }
 

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"strconv"
+	"time"
+
+	"github.com/tardisdb/tardis/internal/obs"
+)
+
+// Query telemetry, fed from the same QueryStats each entry point already
+// returns — the /metrics counters and the per-call JSON views aggregate the
+// identical numbers, so they can never disagree. Recording happens once per
+// query, after the stats are final; the refine/scan hot loops are untouched.
+var (
+	mQueryDuration = obs.NewHistogramVec("tardis_core_query_duration_seconds",
+		"End-to-end query latency by strategy.", nil, "strategy")
+	mQueries = obs.NewCounterVec("tardis_core_queries_total",
+		"Queries completed by strategy.", "strategy")
+	mQueryPartitions = obs.NewCounterVec("tardis_core_query_partitions_total",
+		"Partitions loaded to answer queries, by strategy.", "strategy")
+	mQueryCandidates = obs.NewCounterVec("tardis_core_query_candidates_total",
+		"Candidate series refined against raw data, by strategy.", "strategy")
+	mQueryPrunedLeaves = obs.NewCounterVec("tardis_core_query_pruned_leaves_total",
+		"Index leaves skipped via lower-bound pruning, by strategy.", "strategy")
+	mQueryBloomRejected = obs.NewCounterVec("tardis_core_query_bloom_rejected_total",
+		"Partition probes rejected by the Bloom filter, by strategy.", "strategy")
+	mQueryDegraded = obs.NewCounterVec("tardis_core_query_degraded_total",
+		"Queries answered with one or more partitions skipped, by strategy.", "strategy")
+)
+
+// recordQueryMetrics publishes one finished query's stats. strategy is a
+// code-defined constant at every call site (bounded label cardinality).
+func recordQueryMetrics(strategy string, st *QueryStats) {
+	mQueries.With(strategy).Inc()
+	mQueryDuration.With(strategy).Observe(st.Duration.Seconds())
+	mQueryPartitions.With(strategy).Add(int64(st.PartitionsLoaded))
+	mQueryCandidates.With(strategy).Add(int64(st.Candidates))
+	mQueryPrunedLeaves.With(strategy).Add(int64(st.PrunedLeaves))
+	if st.BloomRejected {
+		mQueryBloomRejected.With(strategy).Inc()
+	}
+	if st.Degraded {
+		mQueryDegraded.With(strategy).Inc()
+	}
+	if obs.TracingEnabled() {
+		end := time.Now()
+		obs.RecordSpan("core.query", end.Add(-st.Duration), end,
+			obs.Attr{Key: "strategy", Value: strategy},
+			obs.Attr{Key: "partitions", Value: strconv.Itoa(st.PartitionsLoaded)},
+			obs.Attr{Key: "candidates", Value: strconv.Itoa(st.Candidates)})
+	}
+}

@@ -134,6 +134,7 @@ func (ix *Index) ExactMatch(q ts.Series, useBloom bool) ([]int64, QueryStats, er
 	matches = append(matches, ix.deltaExactMatch(q, sig)...)
 	sort.Slice(matches, func(i, j int) bool { return matches[i] < matches[j] })
 	st.Duration = time.Since(start)
+	recordQueryMetrics("exact-match", &st)
 	return matches, st, nil
 }
 
@@ -200,6 +201,7 @@ func (ix *Index) KNNTargetNode(q ts.Series, k int) ([]Neighbor, QueryStats, erro
 		return nil, st, err
 	}
 	st.Duration = time.Since(start)
+	recordQueryMetrics("tna", &st)
 	return h.Sorted(), st, nil
 }
 
@@ -260,6 +262,7 @@ func (ix *Index) KNNOnePartition(q ts.Series, k int) ([]Neighbor, QueryStats, er
 		return nil, st, err
 	}
 	st.Duration = time.Since(start)
+	recordQueryMetrics("opa", &st)
 	return h.Sorted(), st, nil
 }
 
@@ -364,6 +367,7 @@ func (ix *Index) KNNMultiPartition(q ts.Series, k int) ([]Neighbor, QueryStats, 
 		return nil, st, err
 	}
 	st.Duration = time.Since(start)
+	recordQueryMetrics("mpa", &st)
 	return h.Sorted(), st, nil
 }
 

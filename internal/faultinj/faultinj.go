@@ -19,7 +19,14 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/tardisdb/tardis/internal/obs"
 )
+
+// mFaultEvents counts every fault actually fired. Points and kinds are
+// code-defined constants, so both labels are bounded.
+var mFaultEvents = obs.NewCounterVec("tardis_faultinj_events_total",
+	"Injected faults fired, by failpoint and fault kind.", "point", "kind")
 
 // ErrInjected is the default error returned by an Err or Drop rule. Callers
 // can test for it with errors.Is.
@@ -140,6 +147,10 @@ func (s *Schedule) eval(point, label string) (*Rule, int) {
 	for i := range s.rules {
 		if s.rules[i].matches(point, label, hit) {
 			s.events = append(s.events, Event{Point: point, Label: label, Hit: hit, Kind: s.rules[i].Kind})
+			// Both labels are bounded: points are code-defined constants and
+			// kind names the small Kind enum.
+			kind := s.rules[i].Kind.String()
+			mFaultEvents.With(point, kind).Inc()
 			return &s.rules[i], hit
 		}
 	}

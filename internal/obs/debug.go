@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// MetricsHandler serves the default registry in Prometheus text format.
+func MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = Default().WritePrometheus(w)
+	})
+}
+
+// TracesHandler serves the retained trace trees as JSON.
+func TracesHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = WriteTracesJSON(w)
+	})
+}
+
+// DebugHandler returns the full debug surface: /metrics, /debug/traces, and
+// the net/http/pprof endpoints. Mounted behind -debug-addr on every daemon
+// cmd; never exposed on the public service listener except /metrics and
+// /debug/traces, which tardis-serve also mounts on its API mux.
+func DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", MetricsHandler())
+	mux.Handle("/debug/traces", TracesHandler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// StartDebugServer binds addr and serves DebugHandler on it in a background
+// goroutine, returning the bound address (useful with ":0"). An empty addr
+// is a no-op returning "".
+func StartDebugServer(addr string) (string, error) {
+	if addr == "" {
+		return "", nil
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: DebugHandler()}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}

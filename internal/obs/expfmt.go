@@ -1,0 +1,327 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed exposition line.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Family is one parsed metric family: its metadata plus samples in file
+// order. Histogram families collect their _bucket/_sum/_count series.
+type Family struct {
+	Name    string
+	Help    string
+	Type    string
+	Samples []Sample
+}
+
+// Exposition is a parsed /metrics payload.
+type Exposition struct {
+	Families map[string]*Family
+	Order    []string
+}
+
+// ParseExposition parses Prometheus text format (version 0.0.4) and
+// validates the invariants the golden test and the obs-smoke CI gate rely
+// on: every sample is preceded by HELP/TYPE for its family, families appear
+// at most once, values parse as floats, histogram bucket counts are
+// cumulative and non-decreasing with a +Inf bucket equal to _count.
+func ParseExposition(r io.Reader) (*Exposition, error) {
+	exp := &Exposition{Families: map[string]*Family{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	var cur *Family
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, help, _ := strings.Cut(rest, " ")
+			if name == "" {
+				return nil, fmt.Errorf("line %d: HELP with no metric name", lineNo)
+			}
+			if _, dup := exp.Families[name]; dup {
+				return nil, fmt.Errorf("line %d: duplicate family %s", lineNo, name)
+			}
+			cur = &Family{Name: name, Help: help}
+			exp.Families[name] = cur
+			exp.Order = append(exp.Order, name)
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			rest := strings.TrimPrefix(line, "# TYPE ")
+			name, typ, ok := strings.Cut(rest, " ")
+			if !ok {
+				return nil, fmt.Errorf("line %d: TYPE with no type", lineNo)
+			}
+			if cur == nil || cur.Name != name {
+				return nil, fmt.Errorf("line %d: TYPE %s not preceded by its HELP line", lineNo, name)
+			}
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return nil, fmt.Errorf("line %d: unknown metric type %q", lineNo, typ)
+			}
+			cur.Type = typ
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // other comments are legal
+		}
+		s, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		base, fam := resolveFamily(exp, s.Name)
+		if fam == nil || fam.Type == "" {
+			return nil, fmt.Errorf("line %d: sample %s before its HELP/TYPE", lineNo, s.Name)
+		}
+		if fam.Type == "histogram" {
+			switch {
+			case s.Name == base+"_bucket", s.Name == base+"_sum", s.Name == base+"_count":
+			default:
+				return nil, fmt.Errorf("line %d: histogram %s has unexpected series %s", lineNo, base, s.Name)
+			}
+		} else if s.Name != base {
+			return nil, fmt.Errorf("line %d: sample %s does not match family %s", lineNo, s.Name, base)
+		}
+		fam.Samples = append(fam.Samples, s)
+		cur = fam
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for _, name := range exp.Order {
+		if f := exp.Families[name]; f.Type == "histogram" {
+			if err := f.checkHistogram(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return exp, nil
+}
+
+// resolveFamily maps a sample name to its declared family. An exact match
+// wins (a gauge may legitimately end in _count); otherwise histogram series
+// suffixes are stripped to find the declaring histogram family.
+func resolveFamily(exp *Exposition, sample string) (string, *Family) {
+	if f, ok := exp.Families[sample]; ok {
+		return sample, f
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(sample, suf)
+		if base == sample {
+			continue
+		}
+		if f, ok := exp.Families[base]; ok && f.Type == "histogram" {
+			return base, f
+		}
+	}
+	return sample, nil
+}
+
+func parseSampleLine(line string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	i := strings.IndexAny(line, "{ ")
+	if i < 0 {
+		return s, fmt.Errorf("malformed sample line %q", line)
+	}
+	s.Name = line[:i]
+	if !nameRe(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	rest := line[i:]
+	if rest[0] == '{' {
+		end := strings.LastIndex(rest, "}")
+		if end < 0 {
+			return s, fmt.Errorf("unterminated label set in %q", line)
+		}
+		if err := parseLabels(rest[1:end], s.Labels); err != nil {
+			return s, err
+		}
+		rest = rest[end+1:]
+	}
+	valStr := strings.TrimSpace(rest)
+	if valStr == "" {
+		return s, fmt.Errorf("missing value in %q", line)
+	}
+	// A trailing timestamp is legal; take the first field as the value.
+	if sp := strings.IndexByte(valStr, ' '); sp >= 0 {
+		valStr = valStr[:sp]
+	}
+	v, err := parseValue(valStr)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q: %w", valStr, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func parseLabels(s string, out map[string]string) error {
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return fmt.Errorf("malformed labels %q", s)
+		}
+		name := s[:eq]
+		if !nameRe(name) {
+			return fmt.Errorf("invalid label name %q", name)
+		}
+		s = s[eq+1:]
+		if len(s) == 0 || s[0] != '"' {
+			return fmt.Errorf("label %s: unquoted value", name)
+		}
+		s = s[1:]
+		var b strings.Builder
+		for {
+			if len(s) == 0 {
+				return fmt.Errorf("label %s: unterminated value", name)
+			}
+			c := s[0]
+			s = s[1:]
+			if c == '"' {
+				break
+			}
+			if c == '\\' {
+				if len(s) == 0 {
+					return fmt.Errorf("label %s: dangling escape", name)
+				}
+				switch s[0] {
+				case '\\':
+					b.WriteByte('\\')
+				case '"':
+					b.WriteByte('"')
+				case 'n':
+					b.WriteByte('\n')
+				default:
+					return fmt.Errorf("label %s: bad escape \\%c", name, s[0])
+				}
+				s = s[1:]
+				continue
+			}
+			b.WriteByte(c)
+		}
+		if _, dup := out[name]; dup {
+			return fmt.Errorf("duplicate label %s", name)
+		}
+		out[name] = b.String()
+		s = strings.TrimPrefix(s, ",")
+	}
+	return nil
+}
+
+// checkHistogram validates _bucket/_sum/_count invariants for every label
+// combination of a histogram family.
+func (f *Family) checkHistogram() error {
+	type series struct {
+		buckets map[float64]float64
+		sum     *float64
+		count   *float64
+	}
+	bySig := map[string]*series{}
+	sig := func(labels map[string]string) string {
+		keys := make([]string, 0, len(labels))
+		for k := range labels {
+			if k == "le" {
+				continue
+			}
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var b strings.Builder
+		for _, k := range keys {
+			b.WriteString(k)
+			b.WriteByte('=')
+			b.WriteString(labels[k])
+			b.WriteByte(';')
+		}
+		return b.String()
+	}
+	get := func(labels map[string]string) *series {
+		k := sig(labels)
+		s, ok := bySig[k]
+		if !ok {
+			s = &series{buckets: map[float64]float64{}}
+			bySig[k] = s
+		}
+		return s
+	}
+	for i := range f.Samples {
+		smp := &f.Samples[i]
+		s := get(smp.Labels)
+		switch smp.Name {
+		case f.Name + "_bucket":
+			leStr, ok := smp.Labels["le"]
+			if !ok {
+				return fmt.Errorf("histogram %s: bucket without le label", f.Name)
+			}
+			le, err := parseValue(leStr)
+			if err != nil {
+				return fmt.Errorf("histogram %s: bad le %q", f.Name, leStr)
+			}
+			s.buckets[le] = smp.Value
+		case f.Name + "_sum":
+			v := smp.Value
+			s.sum = &v
+		case f.Name + "_count":
+			v := smp.Value
+			s.count = &v
+		}
+	}
+	for _, s := range bySig {
+		if len(s.buckets) == 0 || s.sum == nil || s.count == nil {
+			return fmt.Errorf("histogram %s: incomplete _bucket/_sum/_count series", f.Name)
+		}
+		inf, ok := s.buckets[math.Inf(1)]
+		if !ok {
+			return fmt.Errorf("histogram %s: missing +Inf bucket", f.Name)
+		}
+		if inf != *s.count {
+			return fmt.Errorf("histogram %s: +Inf bucket %v != count %v", f.Name, inf, *s.count)
+		}
+		bounds := make([]float64, 0, len(s.buckets))
+		for le := range s.buckets {
+			bounds = append(bounds, le)
+		}
+		sort.Float64s(bounds)
+		prev := math.Inf(-1)
+		prevCount := 0.0
+		for _, le := range bounds {
+			if le == prev {
+				return fmt.Errorf("histogram %s: duplicate bucket bound %v", f.Name, le)
+			}
+			if s.buckets[le] < prevCount {
+				return fmt.Errorf("histogram %s: bucket counts not cumulative at le=%v", f.Name, le)
+			}
+			prev, prevCount = le, s.buckets[le]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"context"
+	"flag"
+	"io"
+	"log/slog"
+	"os"
+	"sync/atomic"
+)
+
+// logLevel is the process-wide minimum level; swapping it retunes every
+// logger returned by Logger, past and future.
+var logLevel = func() *slog.LevelVar {
+	v := &slog.LevelVar{}
+	v.Set(slog.LevelInfo)
+	return v
+}()
+
+// logSink holds the active slog.Handler behind an atomic pointer so
+// SetLogOutput can redirect existing loggers (tests, -log json, etc.).
+var logSink atomic.Pointer[slog.Handler]
+
+func init() {
+	h := slog.Handler(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: logLevel}))
+	logSink.Store(&h)
+}
+
+// SetLogOutput replaces the destination for all obs loggers. Format is
+// "text" or "json"; anything else defaults to text.
+func SetLogOutput(w io.Writer, format string) {
+	var h slog.Handler
+	if format == "json" {
+		h = slog.NewJSONHandler(w, &slog.HandlerOptions{Level: logLevel})
+	} else {
+		h = slog.NewTextHandler(w, &slog.HandlerOptions{Level: logLevel})
+	}
+	logSink.Store(&h)
+}
+
+// SetLogLevel sets the process-wide minimum level ("debug", "info", "warn",
+// "error"; unknown strings keep info).
+func SetLogLevel(level string) {
+	switch level {
+	case "debug":
+		logLevel.Set(slog.LevelDebug)
+	case "warn":
+		logLevel.Set(slog.LevelWarn)
+	case "error":
+		logLevel.Set(slog.LevelError)
+	default:
+		logLevel.Set(slog.LevelInfo)
+	}
+}
+
+// dynHandler forwards to the current logSink so handler swaps reach loggers
+// created earlier. Per-logger attrs/groups are layered outside the swap.
+type dynHandler struct {
+	attrs  []slog.Attr
+	groups []string
+}
+
+func (d dynHandler) resolve() slog.Handler {
+	h := *logSink.Load()
+	for _, g := range d.groups {
+		h = h.WithGroup(g)
+	}
+	if len(d.attrs) > 0 {
+		h = h.WithAttrs(d.attrs)
+	}
+	return h
+}
+
+func (d dynHandler) Enabled(ctx context.Context, level slog.Level) bool {
+	return d.resolve().Enabled(ctx, level)
+}
+
+func (d dynHandler) Handle(ctx context.Context, r slog.Record) error {
+	return d.resolve().Handle(ctx, r)
+}
+
+func (d dynHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	nd := dynHandler{attrs: append(append([]slog.Attr{}, d.attrs...), attrs...), groups: d.groups}
+	return nd
+}
+
+func (d dynHandler) WithGroup(name string) slog.Handler {
+	nd := dynHandler{attrs: d.attrs, groups: append(append([]string{}, d.groups...), name)}
+	return nd
+}
+
+// Logger returns a structured logger tagged with its component (e.g. "core",
+// "rpc", "server"). Components are the stable per-subsystem log streams
+// documented in DESIGN.md; grep `component=rpc` to follow one layer.
+func Logger(component string) *slog.Logger {
+	return slog.New(dynHandler{attrs: []slog.Attr{slog.String("component", component)}})
+}
+
+// Fatal logs at error level and exits. It replaces log.Fatal call sites in
+// the cmds so even startup failures are structured.
+func Fatal(l *slog.Logger, msg string, args ...any) {
+	l.Error(msg, args...)
+	osExit(1)
+}
+
+// osExit is swappable for tests.
+var osExit = os.Exit
+
+// LogFlags registers -log-level and -log-format on fs and returns an apply
+// function for the cmds to call after flag.Parse.
+func LogFlags(fs *flag.FlagSet) (apply func()) {
+	level := fs.String("log-level", "info", "log level: debug | info | warn | error")
+	format := fs.String("log-format", "text", "log format: text | json")
+	return func() {
+		SetLogLevel(*level)
+		SetLogOutput(os.Stderr, *format)
+	}
+}

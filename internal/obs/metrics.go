@@ -1,0 +1,541 @@
+// Package obs is the unified telemetry layer: a concurrent metrics registry
+// with Prometheus text exposition, lightweight trace spans that propagate
+// across net/rpc boundaries, per-component structured loggers (log/slog), and
+// the debug HTTP surface (/metrics, /debug/traces, /debug/pprof). It is
+// stdlib-only, like the rest of the module.
+//
+// Metric naming follows tardis_<subsystem>_<name>_<unit>; the metricname
+// tardislint pass enforces the convention (and rejects unbounded-cardinality
+// label values) at every obs call site.
+//
+// All instruments are safe for concurrent use. Counters, gauges, and
+// histograms update with atomics only; the registry mutex is touched at
+// registration and exposition time, never on the hot path. Resolving a vec
+// child with With allocates a lookup key — hot call sites should resolve
+// their children once and reuse them.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// MetricKind discriminates the registered instrument families.
+type MetricKind string
+
+// The exposition TYPE of each family.
+const (
+	KindCounter   MetricKind = "counter"
+	KindGauge     MetricKind = "gauge"
+	KindHistogram MetricKind = "histogram"
+)
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n; negative deltas are ignored (counters are monotone).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an integer metric that can go up and down (bytes resident,
+// entries, open breakers).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds a (possibly negative) delta.
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket histogram of float64 observations. Buckets are
+// cumulative in exposition (Prometheus "le" semantics); counts[i] holds
+// observations <= bounds[i], with one overflow bucket for +Inf.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// DefSecondsBuckets is the default latency bucket layout, spanning 100µs to
+// 10s — the range between a cache-hit target-node probe and a cold
+// distributed scan.
+var DefSecondsBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	if len(buckets) == 0 {
+		buckets = DefSecondsBuckets
+	}
+	bounds := make([]float64, len(buckets))
+	copy(bounds, buckets)
+	sort.Float64s(bounds)
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] == bounds[i-1] {
+			panic(fmt.Sprintf("obs: duplicate histogram bucket bound %v", bounds[i]))
+		}
+	}
+	return &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	// First bucket whose upper bound admits v; sort.SearchFloat64s returns
+	// the first i with bounds[i] >= v, matching le (<=) semantics.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// snapshot returns per-bucket non-cumulative counts.
+func (h *Histogram) snapshot() []int64 {
+	out := make([]int64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) by linear interpolation
+// inside the bucket that crosses the target rank, mirroring Prometheus's
+// histogram_quantile. It returns NaN with no observations; the lowest bucket
+// interpolates from zero, and ranks landing in the +Inf bucket report the
+// highest finite bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	counts := h.snapshot()
+	var cum int64
+	for i, c := range counts {
+		cum += c
+		if float64(cum) >= rank {
+			if i >= len(h.bounds) { // +Inf bucket
+				return h.bounds[len(h.bounds)-1]
+			}
+			lower := 0.0
+			if i > 0 {
+				lower = h.bounds[i-1]
+			}
+			if c == 0 {
+				return h.bounds[i]
+			}
+			inBucket := rank - float64(cum-c)
+			return lower + (h.bounds[i]-lower)*(inBucket/float64(c))
+		}
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// family is one registered metric family: metadata plus its children keyed by
+// label values ("" for the unlabeled singleton).
+type family struct {
+	name   string
+	help   string
+	kind   MetricKind
+	labels []string
+
+	buckets []float64 // histograms only
+
+	mu       sync.Mutex
+	children map[string]any      // guarded by mu; *Counter | *Gauge | *Histogram
+	order    []string            // guarded by mu; insertion order of keys (sorted at exposition)
+	gaugeFn  func() float64      // callback gauges; nil otherwise
+	keyVals  map[string][]string // guarded by mu; key -> label values
+}
+
+const labelSep = "\x1f"
+
+func (f *family) child(values []string) any {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %s expects %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	key := strings.Join(values, labelSep)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.children[key]; ok {
+		return c
+	}
+	var c any
+	switch f.kind {
+	case KindCounter:
+		c = &Counter{}
+	case KindGauge:
+		c = &Gauge{}
+	case KindHistogram:
+		c = newHistogram(f.buckets)
+	}
+	f.children[key] = c
+	f.order = append(f.order, key)
+	vals := make([]string, len(values))
+	copy(vals, values)
+	f.keyVals[key] = vals
+	return c
+}
+
+// Registry holds metric families and renders them in Prometheus text format.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family // guarded by mu
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// defaultRegistry backs the package-level constructors; every process-wide
+// metric family in the module lands here.
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry served at /metrics.
+func Default() *Registry { return defaultRegistry }
+
+var nameRe = mustNameRe()
+
+func mustNameRe() func(string) bool {
+	// Prometheus metric and label names: [a-zA-Z_:][a-zA-Z0-9_:]*. The
+	// project convention is stricter (checked by the metricname lint pass);
+	// the registry only enforces wire validity.
+	return func(s string) bool {
+		if s == "" {
+			return false
+		}
+		for i, r := range s {
+			switch {
+			case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			case r >= '0' && r <= '9':
+				if i == 0 {
+					return false
+				}
+			default:
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// register creates or returns the named family. Re-registering with the same
+// shape is idempotent (families are package-level; tests share the process);
+// a shape mismatch panics — it is always a programming error.
+func (r *Registry) register(name, help string, kind MetricKind, buckets []float64, labels []string) *family {
+	if !nameRe(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !nameRe(l) || strings.HasPrefix(l, "__") {
+			panic(fmt.Sprintf("obs: invalid label name %q on metric %s", l, name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.kind != kind || len(f.labels) != len(labels) {
+			panic(fmt.Sprintf("obs: metric %s re-registered with a different shape", name))
+		}
+		for i := range labels {
+			if f.labels[i] != labels[i] {
+				panic(fmt.Sprintf("obs: metric %s re-registered with different labels", name))
+			}
+		}
+		return f
+	}
+	f := &family{
+		name: name, help: help, kind: kind, labels: append([]string(nil), labels...),
+		buckets:  append([]float64(nil), buckets...),
+		children: map[string]any{}, keyVals: map[string][]string{},
+	}
+	r.families[name] = f
+	return f
+}
+
+// NewCounter registers (or finds) an unlabeled counter on the registry.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	f := r.register(name, help, KindCounter, nil, nil)
+	return f.child(nil).(*Counter)
+}
+
+// NewCounterVec registers a counter family with the given label names.
+func (r *Registry) NewCounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{f: r.register(name, help, KindCounter, nil, labels)}
+}
+
+// NewGauge registers an unlabeled gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	f := r.register(name, help, KindGauge, nil, nil)
+	return f.child(nil).(*Gauge)
+}
+
+// NewGaugeVec registers a gauge family with the given label names.
+func (r *Registry) NewGaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{f: r.register(name, help, KindGauge, nil, labels)}
+}
+
+// NewGaugeFunc registers a gauge whose value is computed at scrape time.
+func (r *Registry) NewGaugeFunc(name, help string, fn func() float64) {
+	f := r.register(name, help, KindGauge, nil, nil)
+	f.mu.Lock()
+	f.gaugeFn = fn
+	f.mu.Unlock()
+}
+
+// NewHistogram registers an unlabeled histogram; nil buckets use
+// DefSecondsBuckets.
+func (r *Registry) NewHistogram(name, help string, buckets []float64) *Histogram {
+	f := r.register(name, help, KindHistogram, buckets, nil)
+	return f.child(nil).(*Histogram)
+}
+
+// NewHistogramVec registers a histogram family with the given label names.
+func (r *Registry) NewHistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	return &HistogramVec{f: r.register(name, help, KindHistogram, buckets, labels)}
+}
+
+// Package-level constructors on the default registry.
+
+// NewCounter registers an unlabeled counter on the default registry.
+func NewCounter(name, help string) *Counter { return defaultRegistry.NewCounter(name, help) }
+
+// NewCounterVec registers a labeled counter family on the default registry.
+func NewCounterVec(name, help string, labels ...string) *CounterVec {
+	return defaultRegistry.NewCounterVec(name, help, labels...)
+}
+
+// NewGauge registers an unlabeled gauge on the default registry.
+func NewGauge(name, help string) *Gauge { return defaultRegistry.NewGauge(name, help) }
+
+// NewGaugeVec registers a labeled gauge family on the default registry.
+func NewGaugeVec(name, help string, labels ...string) *GaugeVec {
+	return defaultRegistry.NewGaugeVec(name, help, labels...)
+}
+
+// NewGaugeFunc registers a scrape-time gauge on the default registry.
+func NewGaugeFunc(name, help string, fn func() float64) {
+	defaultRegistry.NewGaugeFunc(name, help, fn)
+}
+
+// NewHistogram registers an unlabeled histogram on the default registry.
+func NewHistogram(name, help string, buckets []float64) *Histogram {
+	return defaultRegistry.NewHistogram(name, help, buckets)
+}
+
+// NewHistogramVec registers a labeled histogram family on the default
+// registry.
+func NewHistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	return defaultRegistry.NewHistogramVec(name, help, buckets, labels...)
+}
+
+// CounterVec is a counter family addressed by label values.
+type CounterVec struct{ f *family }
+
+// With returns the counter child for the given label values, creating it on
+// first use. Label values must come from a bounded set (enforced statically
+// by the metricname lint pass).
+func (v *CounterVec) With(values ...string) *Counter { return v.f.child(values).(*Counter) }
+
+// GaugeVec is a gauge family addressed by label values.
+type GaugeVec struct{ f *family }
+
+// With returns the gauge child for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge { return v.f.child(values).(*Gauge) }
+
+// HistogramVec is a histogram family addressed by label values.
+type HistogramVec struct{ f *family }
+
+// With returns the histogram child for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram { return v.f.child(values).(*Histogram) }
+
+// ---- exposition ----
+
+func escapeLabelValue(v string) string {
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// labelString renders {k="v",...} for the given names/values, with extra
+// appended pairs (used for the histogram le label).
+func labelString(names, values []string, extraName, extraVal string) string {
+	if len(names) == 0 && extraName == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(names[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(values[i]))
+		b.WriteByte('"')
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraName)
+		b.WriteString(`="`)
+		b.WriteString(extraVal)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): families sorted by name, each with its HELP and
+// TYPE line followed by its samples sorted by label values. A registered
+// family with no children still emits HELP/TYPE, so scrapers (and the
+// obs-smoke gate) can assert that every expected family exists before
+// traffic arrives.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	fams := make(map[string]*family, len(names))
+	for _, n := range names {
+		fams[n] = r.families[n]
+	}
+	r.mu.Unlock()
+	sort.Strings(names)
+	for _, name := range names {
+		if err := fams[name].write(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *family) write(w io.Writer) error {
+	f.mu.Lock()
+	keys := append([]string(nil), f.order...)
+	sort.Strings(keys)
+	gaugeFn := f.gaugeFn
+	children := make([]any, len(keys))
+	values := make([][]string, len(keys))
+	for i, k := range keys {
+		children[i] = f.children[k]
+		values[i] = f.keyVals[k]
+	}
+	f.mu.Unlock()
+
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, escapeHelp(f.help), f.name, f.kind); err != nil {
+		return err
+	}
+	if gaugeFn != nil {
+		_, err := fmt.Fprintf(w, "%s %s\n", f.name, formatFloat(gaugeFn()))
+		return err
+	}
+	for i, c := range children {
+		ls := labelString(f.labels, values[i], "", "")
+		switch m := c.(type) {
+		case *Counter:
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", f.name, ls, m.Value()); err != nil {
+				return err
+			}
+		case *Gauge:
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", f.name, ls, m.Value()); err != nil {
+				return err
+			}
+		case *Histogram:
+			counts := m.snapshot()
+			var cum int64
+			for bi, bound := range m.bounds {
+				cum += counts[bi]
+				bl := labelString(f.labels, values[i], "le", formatFloat(bound))
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, bl, cum); err != nil {
+					return err
+				}
+			}
+			cum += counts[len(m.bounds)]
+			bl := labelString(f.labels, values[i], "le", "+Inf")
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, bl, cum); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, ls, formatFloat(m.Sum())); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, ls, m.Count()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,262 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// buildTestRegistry populates a registry with one instrument of every shape,
+// with fixed observations, so the exposition output is fully deterministic.
+func buildTestRegistry() *Registry {
+	r := NewRegistry()
+	c := r.NewCounter("tardis_test_plain_total", "An unlabeled counter.")
+	c.Add(3)
+	cv := r.NewCounterVec("tardis_test_labeled_total", "A labeled counter.", "strategy", "outcome")
+	cv.With("tna", "ok").Add(5)
+	cv.With("opa", "error").Inc()
+	cv.With("mpa", "ok").Add(2)
+	g := r.NewGauge("tardis_test_resident_bytes", "An unlabeled gauge.")
+	g.Set(4096)
+	gv := r.NewGaugeVec("tardis_test_workers_count", "A labeled gauge.", "state")
+	gv.With("alive").Set(3)
+	gv.With("tripped").Set(1)
+	h := r.NewHistogram("tardis_test_latency_seconds", "A histogram with custom buckets.",
+		[]float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.02, 0.02, 0.5, 2, 3} {
+		h.Observe(v)
+	}
+	hv := r.NewHistogramVec("tardis_test_stage_seconds", "A labeled histogram.",
+		[]float64{0.5, 1.5}, "stage")
+	hv.With("shuffle").Observe(1)
+	hv.With("shuffle").Observe(2)
+	hv.With("spill").Observe(0.25)
+	r.NewCounter("tardis_test_empty_total", "A family with no samples yet — HELP/TYPE must still appear.")
+	// The empty-family behaviour matters for vecs too: register, never With.
+	r.NewCounterVec("tardis_test_unused_total", "A labeled family never observed.", "kind")
+	return r
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildTestRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "metrics.golden")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition mismatch\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+	// The golden output must round-trip through our own validator.
+	exp, err := ParseExposition(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("golden output does not parse: %v", err)
+	}
+	for _, name := range []string{
+		"tardis_test_plain_total", "tardis_test_labeled_total", "tardis_test_resident_bytes",
+		"tardis_test_workers_count", "tardis_test_latency_seconds", "tardis_test_stage_seconds",
+		"tardis_test_empty_total", "tardis_test_unused_total",
+	} {
+		if _, ok := exp.Families[name]; !ok {
+			t.Errorf("family %s missing from parsed exposition", name)
+		}
+	}
+}
+
+func TestExpositionSortedAndTyped(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildTestRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	exp, err := ParseExposition(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(exp.Order); i++ {
+		if exp.Order[i-1] >= exp.Order[i] {
+			t.Errorf("families not sorted: %s before %s", exp.Order[i-1], exp.Order[i])
+		}
+	}
+	for name, f := range exp.Families {
+		if f.Type == "" {
+			t.Errorf("family %s has no TYPE line", name)
+		}
+	}
+	hist := exp.Families["tardis_test_latency_seconds"]
+	var bucketLines, sumLines, countLines int
+	for _, s := range hist.Samples {
+		switch s.Name {
+		case "tardis_test_latency_seconds_bucket":
+			bucketLines++
+		case "tardis_test_latency_seconds_sum":
+			sumLines++
+		case "tardis_test_latency_seconds_count":
+			countLines++
+		}
+	}
+	if bucketLines != 4 || sumLines != 1 || countLines != 1 {
+		t.Errorf("histogram series counts: buckets=%d sum=%d count=%d, want 4/1/1",
+			bucketLines, sumLines, countLines)
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	// Exactly-on-boundary observations land in the bucket whose le equals
+	// the value (le is <=, not <).
+	h.Observe(1)
+	h.Observe(2)
+	h.Observe(4)
+	h.Observe(0.5)
+	h.Observe(8) // overflow
+	counts := h.snapshot()
+	want := []int64{2, 1, 1, 1} // le=1 gets {0.5, 1}, le=2 gets {2}, le=4 gets {4}, +Inf gets {8}
+	for i, w := range want {
+		if counts[i] != w {
+			t.Errorf("bucket %d: got %d want %d (counts %v)", i, counts[i], w, counts)
+		}
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+	if got := h.Sum(); math.Abs(got-15.5) > 1e-9 {
+		t.Errorf("sum = %v, want 15.5", got)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := newHistogram([]float64{10, 20, 30})
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Error("quantile of empty histogram should be NaN")
+	}
+	// 100 observations uniform over (0, 30]: ~33 per bucket.
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) * 0.3)
+	}
+	for _, tc := range []struct{ q, lo, hi float64 }{
+		{0.5, 14, 16},  // true median 15
+		{0.9, 26, 28},  // true p90 27
+		{0.25, 6, 9},   // true p25 7.5
+		{1.0, 29, 30},  // max clamps to highest bound
+		{0.0, 0, 0.31}, // min interpolates from zero
+	} {
+		got := h.Quantile(tc.q)
+		if got < tc.lo || got > tc.hi {
+			t.Errorf("Quantile(%v) = %v, want in [%v, %v]", tc.q, got, tc.lo, tc.hi)
+		}
+	}
+	// Ranks past the last finite bound report that bound.
+	h2 := newHistogram([]float64{1})
+	h2.Observe(100)
+	if got := h2.Quantile(0.99); got != 1 {
+		t.Errorf("overflow quantile = %v, want 1 (highest finite bound)", got)
+	}
+}
+
+func TestParseExpositionRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"sample before HELP":  "tardis_x_y_total 1\n",
+		"duplicate family":    "# HELP a_b_c x\n# TYPE a_b_c counter\n# HELP a_b_c x\n# TYPE a_b_c counter\n",
+		"bad value":           "# HELP a_b_c x\n# TYPE a_b_c counter\na_b_c banana\n",
+		"unterminated labels": "# HELP a_b_c x\n# TYPE a_b_c counter\na_b_c{l=\"v\" 1\n",
+		"unknown type":        "# HELP a_b_c x\n# TYPE a_b_c widget\na_b_c 1\n",
+		"missing inf bucket": "# HELP h_x_seconds x\n# TYPE h_x_seconds histogram\n" +
+			"h_x_seconds_bucket{le=\"1\"} 1\nh_x_seconds_sum 1\nh_x_seconds_count 1\n",
+		"non-cumulative buckets": "# HELP h_x_seconds x\n# TYPE h_x_seconds histogram\n" +
+			"h_x_seconds_bucket{le=\"1\"} 5\nh_x_seconds_bucket{le=\"2\"} 3\n" +
+			"h_x_seconds_bucket{le=\"+Inf\"} 5\nh_x_seconds_sum 1\nh_x_seconds_count 5\n",
+		"inf bucket != count": "# HELP h_x_seconds x\n# TYPE h_x_seconds histogram\n" +
+			"h_x_seconds_bucket{le=\"+Inf\"} 4\nh_x_seconds_sum 1\nh_x_seconds_count 5\n",
+	}
+	for name, in := range cases {
+		if _, err := ParseExposition(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected parse error, got none", name)
+		}
+	}
+}
+
+func TestParseExpositionLabelEscapes(t *testing.T) {
+	in := "# HELP a_b_c x\n# TYPE a_b_c counter\n" +
+		"a_b_c{path=\"C:\\\\dir\\\\f\",msg=\"say \\\"hi\\\"\\nbye\"} 7\n"
+	exp, err := ParseExposition(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := exp.Families["a_b_c"].Samples[0]
+	if s.Labels["path"] != `C:\dir\f` || s.Labels["msg"] != "say \"hi\"\nbye" {
+		t.Errorf("unescaped labels wrong: %#v", s.Labels)
+	}
+	if s.Value != 7 {
+		t.Errorf("value = %v, want 7", s.Value)
+	}
+}
+
+func TestRegistryIdempotentAndMismatch(t *testing.T) {
+	r := NewRegistry()
+	a := r.NewCounter("tardis_test_idem_total", "x")
+	b := r.NewCounter("tardis_test_idem_total", "x")
+	if a != b {
+		t.Error("re-registration returned a different counter")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic on kind mismatch")
+			}
+		}()
+		r.NewGauge("tardis_test_idem_total", "x")
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic on label mismatch")
+			}
+		}()
+		r.NewCounterVec("tardis_test_idem_total", "x", "l")
+	}()
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("tardis_test_conc_total", "x")
+	h := r.NewHistogram("tardis_test_conc_seconds", "x", []float64{1})
+	gv := r.NewGaugeVec("tardis_test_conc_bytes", "x", "shard")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			shard := []string{"a", "b"}[n%2]
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(0.5)
+				gv.With(shard).Add(1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Errorf("counter = %d, want 8000", c.Value())
+	}
+	if h.Count() != 8000 || math.Abs(h.Sum()-4000) > 1e-6 {
+		t.Errorf("histogram count=%d sum=%v, want 8000/4000", h.Count(), h.Sum())
+	}
+	if got := gv.With("a").Value() + gv.With("b").Value(); got != 8000 {
+		t.Errorf("gauge total = %d, want 8000", got)
+	}
+}

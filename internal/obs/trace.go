@@ -1,0 +1,384 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SpanContext identifies a span's position in a trace. It is a plain struct
+// of integers so it can ride inside net/rpc (gob) argument structs — net/rpc
+// has no metadata channel, so propagation happens by embedding a SpanContext
+// field in call args.
+type SpanContext struct {
+	TraceID uint64
+	SpanID  uint64
+}
+
+// Valid reports whether the context carries a real trace.
+func (sc SpanContext) Valid() bool { return sc.TraceID != 0 }
+
+// tracingOn gates span creation. When off, StartSpan returns a nil *Span and
+// the context unchanged — zero allocations on the disabled path (guarded by
+// a test and benchmark).
+var tracingOn atomic.Bool
+
+// SetTracing turns span collection on or off process-wide.
+func SetTracing(on bool) { tracingOn.Store(on) }
+
+// TracingEnabled reports whether spans are being collected.
+func TracingEnabled() bool { return tracingOn.Load() }
+
+// idState seeds span/trace ID generation. splitmix64 over an atomic counter:
+// deterministic enough for tests that reseed, unique within a process, no
+// crypto dependency.
+var idState atomic.Uint64
+
+func init() { idState.Store(uint64(time.Now().UnixNano()) | 1) }
+
+func nextID() uint64 {
+	for {
+		x := idState.Add(0x9e3779b97f4a7c15)
+		x ^= x >> 30
+		x *= 0xbf58476d1ce4e5b9
+		x ^= x >> 27
+		x *= 0x94d049bb133111eb
+		x ^= x >> 31
+		if x != 0 {
+			return x
+		}
+	}
+}
+
+// Span is one timed operation in a trace. All methods are safe on a nil
+// receiver, so disabled-tracing call sites pay nothing and need no guards.
+type Span struct {
+	Name     string
+	TraceID  uint64
+	SpanID   uint64
+	ParentID uint64
+	Start    time.Time
+	End      time.Time
+
+	mu    sync.Mutex
+	attrs []Attr // guarded by mu
+	err   string // guarded by mu
+	done  bool   // guarded by mu
+}
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+type spanCtxKey struct{}
+
+// StartSpan begins a span as a child of the span in ctx (if any), returning
+// a derived context carrying the new span. With tracing disabled it returns
+// ctx unchanged and a nil span.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	if !tracingOn.Load() {
+		return ctx, nil
+	}
+	var traceID, parentID uint64
+	if parent, ok := ctx.Value(spanCtxKey{}).(*Span); ok && parent != nil {
+		traceID = parent.TraceID
+		parentID = parent.SpanID
+	} else {
+		traceID = nextID()
+	}
+	s := &Span{Name: name, TraceID: traceID, SpanID: nextID(), ParentID: parentID, Start: time.Now()}
+	return context.WithValue(ctx, spanCtxKey{}, s), s
+}
+
+// StartRemoteSpan begins a span parented to a SpanContext received over RPC.
+// It creates a span whenever the remote context is valid — propagation
+// implies the coordinator sampled the trace — even if this process has not
+// enabled tracing locally; with an invalid context it behaves like
+// StartSpan.
+func StartRemoteSpan(ctx context.Context, sc SpanContext, name string) (context.Context, *Span) {
+	if !sc.Valid() {
+		return StartSpan(ctx, name)
+	}
+	s := &Span{Name: name, TraceID: sc.TraceID, SpanID: nextID(), ParentID: sc.SpanID, Start: time.Now()}
+	return context.WithValue(ctx, spanCtxKey{}, s), s
+}
+
+// RecordSpan adds an already-completed span to the collector — for call
+// sites that measured an operation themselves (e.g. QueryStats.Duration)
+// and want it visible in /debug/traces without restructuring around
+// StartSpan. No-op when tracing is off.
+func RecordSpan(name string, start, end time.Time, attrs ...Attr) {
+	if !tracingOn.Load() {
+		return
+	}
+	s := &Span{Name: name, TraceID: nextID(), SpanID: nextID(), Start: start, End: end, attrs: attrs, done: true}
+	collector.add(s)
+}
+
+// SpanFromContext returns the active span in ctx, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return s
+}
+
+// SpanContextOf returns the propagatable identity of the active span in ctx.
+// The zero SpanContext means "no trace" and is what disabled-tracing callers
+// embed in RPC args.
+func SpanContextOf(ctx context.Context) SpanContext {
+	if s, ok := ctx.Value(spanCtxKey{}).(*Span); ok && s != nil {
+		return SpanContext{TraceID: s.TraceID, SpanID: s.SpanID}
+	}
+	return SpanContext{}
+}
+
+// Context returns the span's propagatable identity; nil-safe.
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return SpanContext{TraceID: s.TraceID, SpanID: s.SpanID}
+}
+
+// Annotate attaches a key/value pair; nil-safe.
+func (s *Span) Annotate(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	s.mu.Unlock()
+}
+
+// SetError records an error string on the span; nil-safe, nil err ignored.
+func (s *Span) SetError(err error) {
+	if s == nil || err == nil {
+		return
+	}
+	s.mu.Lock()
+	s.err = err.Error()
+	s.mu.Unlock()
+}
+
+// Attrs returns a copy of the span's annotations; nil-safe.
+func (s *Span) Attrs() []Attr {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Attr(nil), s.attrs...)
+}
+
+// Err returns the recorded error message, or "" if none; nil-safe.
+func (s *Span) Err() string {
+	if s == nil {
+		return ""
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Finish ends the span and hands it to the collector. Finishing twice is a
+// no-op; nil-safe.
+func (s *Span) Finish() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.done {
+		s.mu.Unlock()
+		return
+	}
+	s.done = true
+	s.mu.Unlock()
+	s.End = time.Now()
+	collector.add(s)
+}
+
+// ---- collector ----
+
+// spanRingSize bounds memory: completed spans land in a ring; once full the
+// oldest are overwritten and tardis_obs_spans_dropped_total counts the loss.
+const spanRingSize = 8192
+
+type spanRing struct {
+	mu    sync.Mutex
+	buf   []*Span // guarded by mu
+	next  int     // guarded by mu
+	total int     // guarded by mu; spans ever added
+}
+
+var collector = &spanRing{buf: make([]*Span, spanRingSize)}
+
+var spansDropped = NewCounter("tardis_obs_spans_dropped_total",
+	"Completed trace spans overwritten in the bounded span ring before export.")
+
+func (r *spanRing) add(s *Span) {
+	r.mu.Lock()
+	if r.buf[r.next] != nil {
+		spansDropped.Inc()
+	}
+	r.buf[r.next] = s
+	r.next = (r.next + 1) % len(r.buf)
+	r.total++
+	r.mu.Unlock()
+}
+
+func (r *spanRing) snapshot() []*Span {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Span, 0, len(r.buf))
+	for i := 0; i < len(r.buf); i++ {
+		if s := r.buf[(r.next+i)%len(r.buf)]; s != nil {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func (r *spanRing) reset() {
+	r.mu.Lock()
+	for i := range r.buf {
+		r.buf[i] = nil
+	}
+	r.next, r.total = 0, 0
+	r.mu.Unlock()
+}
+
+// Spans returns all completed spans currently retained, oldest first.
+func Spans() []*Span { return collector.snapshot() }
+
+// ResetSpans clears the collector (tests).
+func ResetSpans() { collector.reset() }
+
+// ---- JSON export ----
+
+// SpanJSON is the wire form of one span in /debug/traces output.
+type SpanJSON struct {
+	Name     string     `json:"name"`
+	TraceID  string     `json:"trace_id"`
+	SpanID   string     `json:"span_id"`
+	ParentID string     `json:"parent_id,omitempty"`
+	StartUS  int64      `json:"start_us"`
+	DurUS    int64      `json:"dur_us"`
+	Error    string     `json:"error,omitempty"`
+	Attrs    []Attr     `json:"attrs,omitempty"`
+	Children []SpanJSON `json:"children,omitempty"`
+}
+
+// TraceJSON is one reconstructed trace tree.
+type TraceJSON struct {
+	TraceID string     `json:"trace_id"`
+	Roots   []SpanJSON `json:"roots"`
+}
+
+func hexID(v uint64) string {
+	const digits = "0123456789abcdef"
+	var b [16]byte
+	for i := 15; i >= 0; i-- {
+		b[i] = digits[v&0xf]
+		v >>= 4
+	}
+	return string(b[:])
+}
+
+func (s *Span) toJSON() SpanJSON {
+	s.mu.Lock()
+	attrs := append([]Attr(nil), s.attrs...)
+	errStr := s.err
+	s.mu.Unlock()
+	j := SpanJSON{
+		Name:    s.Name,
+		TraceID: hexID(s.TraceID),
+		SpanID:  hexID(s.SpanID),
+		StartUS: s.Start.UnixMicro(),
+		DurUS:   s.End.Sub(s.Start).Microseconds(),
+		Error:   errStr,
+		Attrs:   attrs,
+	}
+	if s.ParentID != 0 {
+		j.ParentID = hexID(s.ParentID)
+	}
+	return j
+}
+
+// BuildTraces groups spans into per-trace trees. Spans whose parent was
+// dropped from the ring (or finished elsewhere) become roots, so partial
+// traces still render.
+func BuildTraces(spans []*Span) []TraceJSON {
+	byTrace := map[uint64][]*Span{}
+	for _, s := range spans {
+		byTrace[s.TraceID] = append(byTrace[s.TraceID], s)
+	}
+	traceIDs := make([]uint64, 0, len(byTrace))
+	for id := range byTrace {
+		traceIDs = append(traceIDs, id)
+	}
+	sort.Slice(traceIDs, func(i, j int) bool {
+		return earliest(byTrace[traceIDs[i]]).Before(earliest(byTrace[traceIDs[j]]))
+	})
+	out := make([]TraceJSON, 0, len(traceIDs))
+	for _, tid := range traceIDs {
+		group := byTrace[tid]
+		present := map[uint64]bool{}
+		for _, s := range group {
+			present[s.SpanID] = true
+		}
+		nodes := map[uint64]*SpanJSON{}
+		order := make([]uint64, 0, len(group))
+		sort.Slice(group, func(i, j int) bool { return group[i].Start.Before(group[j].Start) })
+		for _, s := range group {
+			j := s.toJSON()
+			nodes[s.SpanID] = &j
+			order = append(order, s.SpanID)
+		}
+		var roots []uint64
+		for _, s := range group {
+			if s.ParentID != 0 && present[s.ParentID] {
+				continue
+			}
+			roots = append(roots, s.SpanID)
+		}
+		// Attach children bottom-up: later spans first so earlier parents
+		// collect fully-built subtrees.
+		for i := len(order) - 1; i >= 0; i-- {
+			id := order[i]
+			s := group[i]
+			if s.ParentID == 0 || !present[s.ParentID] {
+				continue
+			}
+			parent := nodes[s.ParentID]
+			parent.Children = append([]SpanJSON{*nodes[id]}, parent.Children...)
+		}
+		t := TraceJSON{TraceID: hexID(tid)}
+		for _, id := range roots {
+			t.Roots = append(t.Roots, *nodes[id])
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+func earliest(spans []*Span) time.Time {
+	e := spans[0].Start
+	for _, s := range spans[1:] {
+		if s.Start.Before(e) {
+			e = s.Start
+		}
+	}
+	return e
+}
+
+// WriteTracesJSON renders every retained trace as indented JSON.
+func WriteTracesJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(BuildTraces(Spans()))
+}

@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+)
+
+func TestSpanTreeLocal(t *testing.T) {
+	SetTracing(true)
+	defer SetTracing(false)
+	ResetSpans()
+
+	ctx, root := StartSpan(context.Background(), "query.knn")
+	ctx2, child := StartSpan(ctx, "partition.load")
+	_, grand := StartSpan(ctx2, "disk.read")
+	grand.Annotate("pid", "7")
+	grand.Finish()
+	child.Finish()
+	child.Finish() // double-finish is a no-op
+	root.SetError(errors.New("boom"))
+	root.Finish()
+
+	spans := Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	for _, s := range spans {
+		if s.TraceID != root.TraceID {
+			t.Errorf("span %s has trace %x, want %x", s.Name, s.TraceID, root.TraceID)
+		}
+	}
+	traces := BuildTraces(spans)
+	if len(traces) != 1 {
+		t.Fatalf("got %d traces, want 1", len(traces))
+	}
+	roots := traces[0].Roots
+	if len(roots) != 1 || roots[0].Name != "query.knn" {
+		t.Fatalf("bad roots: %+v", roots)
+	}
+	if roots[0].Error != "boom" {
+		t.Errorf("root error = %q, want boom", roots[0].Error)
+	}
+	if len(roots[0].Children) != 1 || roots[0].Children[0].Name != "partition.load" {
+		t.Fatalf("bad children: %+v", roots[0].Children)
+	}
+	gc := roots[0].Children[0].Children
+	if len(gc) != 1 || gc[0].Name != "disk.read" {
+		t.Fatalf("bad grandchildren: %+v", gc)
+	}
+	if len(gc[0].Attrs) != 1 || gc[0].Attrs[0].Key != "pid" || gc[0].Attrs[0].Value != "7" {
+		t.Errorf("bad attrs: %+v", gc[0].Attrs)
+	}
+}
+
+func TestRemoteSpanParenting(t *testing.T) {
+	SetTracing(true)
+	defer SetTracing(false)
+	ResetSpans()
+
+	ctx, coord := StartSpan(context.Background(), "rpc.client")
+	sc := SpanContextOf(ctx)
+	if !sc.Valid() || sc.SpanID != coord.SpanID {
+		t.Fatalf("SpanContextOf = %+v, want span %x", sc, coord.SpanID)
+	}
+
+	// Simulate the worker side of the RPC: fresh context, remote parent.
+	_, remote := StartRemoteSpan(context.Background(), sc, "worker.knn")
+	remote.Finish()
+	coord.Finish()
+
+	if remote.TraceID != coord.TraceID {
+		t.Errorf("remote trace %x, want coordinator's %x", remote.TraceID, coord.TraceID)
+	}
+	if remote.ParentID != coord.SpanID {
+		t.Errorf("remote parent %x, want %x", remote.ParentID, coord.SpanID)
+	}
+	traces := BuildTraces(Spans())
+	if len(traces) != 1 || len(traces[0].Roots) != 1 {
+		t.Fatalf("want one trace with one root, got %+v", traces)
+	}
+}
+
+func TestRemoteSpanWithoutLocalTracing(t *testing.T) {
+	// A worker that never called SetTracing(true) must still record spans
+	// for propagated contexts — the coordinator made the sampling decision.
+	SetTracing(false)
+	ResetSpans()
+	sc := SpanContext{TraceID: 42, SpanID: 7}
+	_, s := StartRemoteSpan(context.Background(), sc, "worker.knn")
+	if s == nil {
+		t.Fatal("remote span dropped despite valid propagated context")
+	}
+	s.Finish()
+	if got := len(Spans()); got != 1 {
+		t.Fatalf("collector has %d spans, want 1", got)
+	}
+	// An invalid context with tracing off stays a no-op.
+	_, s2 := StartRemoteSpan(context.Background(), SpanContext{}, "worker.knn")
+	if s2 != nil {
+		t.Error("invalid remote context produced a span with tracing off")
+	}
+}
+
+func TestDisabledTracingZeroAlloc(t *testing.T) {
+	SetTracing(false)
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(1000, func() {
+		c2, s := StartSpan(ctx, "hot")
+		s.Annotate("k", "v")
+		s.SetError(nil)
+		s.Finish()
+		_ = SpanContextOf(c2)
+	})
+	if allocs != 0 {
+		t.Errorf("disabled tracing allocates %v per op, want 0", allocs)
+	}
+}
+
+func BenchmarkStartSpanDisabled(b *testing.B) {
+	SetTracing(false)
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, s := StartSpan(ctx, "hot")
+		s.Finish()
+	}
+}
+
+func TestOrphanSpansBecomeRoots(t *testing.T) {
+	SetTracing(true)
+	defer SetTracing(false)
+	ResetSpans()
+	ctx, root := StartSpan(context.Background(), "root")
+	_, child := StartSpan(ctx, "child")
+	child.Finish()
+	_ = root // never finished: simulates a parent evicted from the ring
+	traces := BuildTraces(Spans())
+	if len(traces) != 1 || len(traces[0].Roots) != 1 || traces[0].Roots[0].Name != "child" {
+		t.Fatalf("orphan should surface as root, got %+v", traces)
+	}
+}
+
+func TestRingOverflowCountsDrops(t *testing.T) {
+	SetTracing(true)
+	defer SetTracing(false)
+	ResetSpans()
+	before := spansDropped.Value()
+	for i := 0; i < spanRingSize+10; i++ {
+		_, s := StartSpan(context.Background(), "fill")
+		s.Finish()
+	}
+	if got := len(Spans()); got != spanRingSize {
+		t.Errorf("ring holds %d spans, want %d", got, spanRingSize)
+	}
+	if d := spansDropped.Value() - before; d != 10 {
+		t.Errorf("dropped counter advanced by %d, want 10", d)
+	}
+	ResetSpans()
+}
+
+func TestWriteTracesJSON(t *testing.T) {
+	SetTracing(true)
+	defer SetTracing(false)
+	ResetSpans()
+	ctx, root := StartSpan(context.Background(), "q")
+	_, c := StartSpan(ctx, "c")
+	c.Finish()
+	root.Finish()
+	var buf bytes.Buffer
+	if err := WriteTracesJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var traces []TraceJSON
+	if err := json.Unmarshal(buf.Bytes(), &traces); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(traces) != 1 || len(traces[0].Roots) != 1 {
+		t.Fatalf("bad traces: %+v", traces)
+	}
+	if traces[0].Roots[0].SpanID == "" || len(traces[0].Roots[0].SpanID) != 16 {
+		t.Errorf("span id not 16 hex chars: %q", traces[0].Roots[0].SpanID)
+	}
+	ResetSpans()
+}

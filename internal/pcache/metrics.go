@@ -1,0 +1,26 @@
+package pcache
+
+import "github.com/tardisdb/tardis/internal/obs"
+
+// Process-wide cache telemetry. A process may hold several Cache instances
+// (the coordinator's index cache, a worker's data cache); the metrics sum
+// across them — delta updates at the insert/remove choke points keep the
+// resident gauges exact without per-instance registration. Per-instance
+// figures remain available through Stats, which reads the same counters the
+// metrics are fed from, so /stats and /metrics can never disagree.
+var (
+	mHits = obs.NewCounter("tardis_pcache_hits_total",
+		"Partition cache gets served without a load (resident hit or joined in-flight load).")
+	mMisses = obs.NewCounter("tardis_pcache_misses_total",
+		"Partition cache loads actually performed.")
+	mEvictions = obs.NewCounter("tardis_pcache_evictions_total",
+		"Partitions evicted to respect the byte budget.")
+	mInvalidations = obs.NewCounter("tardis_pcache_invalidations_total",
+		"Partitions dropped by explicit Invalidate/Clear.")
+	mResidentBytes = obs.NewGauge("tardis_pcache_resident_bytes",
+		"Decoded partition bytes currently resident, summed across caches.")
+	mResidentEntries = obs.NewGauge("tardis_pcache_resident_entries",
+		"Partitions currently resident, summed across caches.")
+	mBudgetBytes = obs.NewGauge("tardis_pcache_budget_bytes",
+		"Configured byte budgets, summed across caches.")
+)

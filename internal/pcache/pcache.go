@@ -24,6 +24,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"github.com/tardisdb/tardis/internal/obs"
 	"github.com/tardisdb/tardis/internal/ts"
 )
 
@@ -163,6 +164,7 @@ func New[K comparable](budgetBytes int64, nShards int, hash func(K) uint64) (*Ca
 		return nil, fmt.Errorf("pcache: hash function is required")
 	}
 	c := &Cache[K]{shards: make([]*shard[K], nShards), hash: hash, budget: budgetBytes}
+	mBudgetBytes.Add(budgetBytes)
 	per := budgetBytes / int64(nShards)
 	if per < 1 {
 		per = 1
@@ -193,6 +195,7 @@ func (c *Cache[K]) Get(key K, load func() (*Partition, error)) (*Partition, bool
 		s.moveToFront(e)
 		s.mu.Unlock()
 		c.hits.Add(1)
+		mHits.Inc()
 		return e.p, true, nil
 	}
 	if fl, ok := s.loading[key]; ok {
@@ -202,6 +205,7 @@ func (c *Cache[K]) Get(key K, load func() (*Partition, error)) (*Partition, bool
 			return nil, false, fl.err
 		}
 		c.hits.Add(1)
+		mHits.Inc()
 		return fl.p, true, nil
 	}
 	// This goroutine becomes the loader.
@@ -216,6 +220,7 @@ func (c *Cache[K]) Get(key K, load func() (*Partition, error)) (*Partition, bool
 	delete(s.loading, key)
 	if err == nil {
 		c.misses.Add(1)
+		mMisses.Inc()
 		c.insertLocked(s, key, p)
 	}
 	s.mu.Unlock()
@@ -239,23 +244,29 @@ func (c *Cache[K]) insertLocked(s *shard[K], key K, p *Partition) {
 		// Lost a race with another loader of the same key (cannot happen with
 		// singleflight, but Invalidate+reload interleavings keep this cheap
 		// to defend): replace the resident entry.
-		c.removeLocked(s, old, &c.invalidations)
+		c.removeLocked(s, old, &c.invalidations, mInvalidations)
 	}
 	e := &entry[K]{key: key, p: p, bytes: b}
 	s.entries[key] = e
 	s.bytes += b //tardislint:ignore lockflow caller holds mu
+	mResidentBytes.Add(b)
+	mResidentEntries.Add(1)
 	s.pushFront(e)
 	for s.bytes > s.budget && s.tail != nil && s.tail != e { //tardislint:ignore lockflow caller holds mu
-		c.removeLocked(s, s.tail, &c.evictions)
+		c.removeLocked(s, s.tail, &c.evictions, mEvictions)
 	}
 }
 
-// removeLocked unlinks an entry and charges the given counter.
-func (c *Cache[K]) removeLocked(s *shard[K], e *entry[K], counter *atomic.Int64) {
+// removeLocked unlinks an entry and charges the given counters (the
+// per-instance atomic read by Stats and the process-wide exported one).
+func (c *Cache[K]) removeLocked(s *shard[K], e *entry[K], counter *atomic.Int64, metric *obs.Counter) {
 	delete(s.entries, e.key)
 	s.bytes -= e.bytes //tardislint:ignore lockflow caller holds mu
+	mResidentBytes.Add(-e.bytes)
+	mResidentEntries.Add(-1)
 	s.unlink(e)
 	counter.Add(1)
+	metric.Inc()
 }
 
 // Invalidate drops the entry for key, if resident. An in-flight load is not
@@ -266,7 +277,7 @@ func (c *Cache[K]) Invalidate(key K) {
 	s := c.shardFor(key)
 	s.mu.Lock()
 	if e, ok := s.entries[key]; ok {
-		c.removeLocked(s, e, &c.invalidations)
+		c.removeLocked(s, e, &c.invalidations, mInvalidations)
 	}
 	s.mu.Unlock()
 }
@@ -276,7 +287,7 @@ func (c *Cache[K]) Clear() {
 	for _, s := range c.shards {
 		s.mu.Lock()
 		for _, e := range s.entries {
-			c.removeLocked(s, e, &c.invalidations)
+			c.removeLocked(s, e, &c.invalidations, mInvalidations)
 		}
 		s.mu.Unlock()
 	}

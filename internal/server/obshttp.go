@@ -1,0 +1,68 @@
+package server
+
+import (
+	"net/http"
+	"time"
+
+	"github.com/tardisdb/tardis/internal/obs"
+)
+
+// HTTP telemetry. Routes are the fixed set of registered patterns and codes
+// are collapsed to status classes, so both labels stay bounded.
+var (
+	mHTTPRequests = obs.NewCounterVec("tardis_server_requests_total",
+		"HTTP requests served, by route and status class.", "route", "code")
+	mHTTPDuration = obs.NewHistogramVec("tardis_server_request_duration_seconds",
+		"HTTP request latency by route.", nil, "route")
+)
+
+// statusWriter captures the response code for the request counter.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// codeClass buckets a status code into a bounded label value.
+func codeClass(code int) string {
+	switch {
+	case code < 300:
+		return "2xx"
+	case code < 400:
+		return "3xx"
+	case code < 500:
+		return "4xx"
+	default:
+		return "5xx"
+	}
+}
+
+// instrument wraps one route with request counting and latency recording.
+// The route name is a literal at every call site.
+func instrument(route string, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r)
+		code := sw.code
+		if code == 0 {
+			code = http.StatusOK
+		}
+		class := codeClass(code)
+		mHTTPRequests.With(route, class).Inc()
+		mHTTPDuration.With(route).Observe(time.Since(start).Seconds())
+	})
+}

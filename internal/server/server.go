@@ -16,6 +16,7 @@ import (
 	clusterrpc "github.com/tardisdb/tardis/internal/cluster/rpc"
 	"github.com/tardisdb/tardis/internal/core"
 	"github.com/tardisdb/tardis/internal/knn"
+	"github.com/tardisdb/tardis/internal/obs"
 	"github.com/tardisdb/tardis/internal/ts"
 )
 
@@ -37,17 +38,25 @@ func New(ix *core.Index) *Server { return &Server{ix: ix} }
 // consulted.
 func (s *Server) AttachPool(p *clusterrpc.Pool) { s.pool = p }
 
-// Handler returns the HTTP routing for the service.
+// Handler returns the HTTP routing for the service. Every API route is
+// wrapped with request/latency metrics; the telemetry surface (/metrics in
+// Prometheus text format, /debug/traces as JSON) is mounted on the same mux
+// so a bare tardis-serve is scrapable without -debug-addr.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleHealth)
-	mux.HandleFunc("GET /stats", s.handleStats)
-	mux.HandleFunc("POST /query/knn", s.handleKNN)
-	mux.HandleFunc("POST /query/exact", s.handleExact)
-	mux.HandleFunc("POST /query/range", s.handleRange)
-	mux.HandleFunc("POST /insert", s.handleInsert)
-	mux.HandleFunc("POST /delete", s.handleDelete)
-	mux.HandleFunc("POST /compact", s.handleCompact)
+	handle := func(pattern, route string, h http.HandlerFunc) {
+		mux.Handle(pattern, instrument(route, h))
+	}
+	handle("GET /healthz", "healthz", s.handleHealth)
+	handle("GET /stats", "stats", s.handleStats)
+	handle("POST /query/knn", "query_knn", s.handleKNN)
+	handle("POST /query/exact", "query_exact", s.handleExact)
+	handle("POST /query/range", "query_range", s.handleRange)
+	handle("POST /insert", "insert", s.handleInsert)
+	handle("POST /delete", "delete", s.handleDelete)
+	handle("POST /compact", "compact", s.handleCompact)
+	mux.Handle("GET /metrics", obs.MetricsHandler())
+	mux.Handle("GET /debug/traces", obs.TracesHandler())
 	return mux
 }
 
@@ -102,10 +111,15 @@ type StatsResponse struct {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	// Snapshot every field under ONE read of the index state, then release
+	// the lock before serializing. Reading fields lazily while writing the
+	// response would let a concurrent Compact (write lock) slip between two
+	// reads and produce a torn response — record counts from before the
+	// rewrite next to cache stats from after it.
 	s.mu.RLock()
-	defer s.mu.RUnlock()
 	total, err := s.ix.Store.TotalRecords()
 	if err != nil {
+		s.mu.RUnlock()
 		writeErr(w, http.StatusInternalServerError, err)
 		return
 	}
@@ -114,11 +128,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	for _, sm := range s.ix.Cluster().Stages() {
 		skipped += sm.TasksSkipped
 	}
-	var workers []clusterrpc.WorkerHealth
-	if s.pool != nil {
-		workers = s.pool.Health()
-	}
-	writeJSON(w, http.StatusOK, StatsResponse{
+	resp := StatsResponse{
 		SeriesLen:         s.ix.SeriesLen(),
 		Records:           total,
 		Partitions:        s.ix.NumPartitions(),
@@ -131,8 +141,13 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		CacheEntries:      cs.Entries,
 		CacheBudgetBytes:  cs.Budget,
 		StageTasksSkipped: skipped,
-		Workers:           workers,
-	})
+	}
+	s.mu.RUnlock()
+	// Pool health has its own internal locking and is not index state.
+	if s.pool != nil {
+		resp.Workers = s.pool.Health()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // KNNRequest asks for the k nearest neighbors of a series.

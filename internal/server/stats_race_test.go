@@ -1,0 +1,110 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"testing"
+
+	"github.com/tardisdb/tardis/internal/dataset"
+	"github.com/tardisdb/tardis/internal/ts"
+)
+
+// TestStatsDuringCompact hammers /stats while compactions churn the index.
+// Run under -race (the Makefile race target covers this package) it proves
+// the stats handler takes one consistent snapshot of index state: a torn
+// read — some fields from before a Compact's partition rewrite, some from
+// after — would trip the race detector on the index internals or return an
+// inconsistent record count.
+func TestStatsDuringCompact(t *testing.T) {
+	srv, g := newTestServer(t)
+
+	// Seed the delta so each compaction has real work: it rewrites affected
+	// partitions and rebuilds their local trees.
+	var insert struct {
+		Records []ts.Record `json:"records"`
+	}
+	for i := 0; i < 64; i++ {
+		insert.Records = append(insert.Records, dataset.Record(g, 4242, int64(testRecords+i)))
+	}
+	if code := postJSON(t, srv.URL+"/insert", insert, nil); code != http.StatusOK {
+		t.Fatalf("insert: status %d", code)
+	}
+
+	const (
+		compactors = 2
+		readers    = 4
+		iterations = 25
+	)
+	var wg sync.WaitGroup
+	errCh := make(chan error, compactors+readers)
+
+	for c := 0; c < compactors; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iterations; i++ {
+				resp, err := http.Post(srv.URL+"/compact", "application/json", nil)
+				if err != nil {
+					errCh <- fmt.Errorf("compact: %w", err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errCh <- fmt.Errorf("compact: status %d", resp.StatusCode)
+					return
+				}
+			}
+		}()
+	}
+
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iterations*4; i++ {
+				resp, err := http.Get(srv.URL + "/stats")
+				if err != nil {
+					errCh <- fmt.Errorf("stats: %w", err)
+					return
+				}
+				var st StatsResponse
+				err = json.NewDecoder(resp.Body).Decode(&st)
+				resp.Body.Close()
+				if err != nil {
+					errCh <- fmt.Errorf("stats decode: %w", err)
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					errCh <- fmt.Errorf("stats: status %d", resp.StatusCode)
+					return
+				}
+				// Invariants that hold before, during, and after compaction;
+				// a torn snapshot can violate them (e.g. records counted
+				// after the delta merged but delta_count from before).
+				if st.Records < testRecords {
+					errCh <- fmt.Errorf("stats: records %d < base %d", st.Records, testRecords)
+					return
+				}
+				if st.Records+st.DeltaCount < testRecords+64 {
+					errCh <- fmt.Errorf("stats: records %d + delta %d < %d",
+						st.Records, st.DeltaCount, testRecords+64)
+					return
+				}
+				if st.SeriesLen != testSeriesLen || st.Partitions < 1 {
+					errCh <- fmt.Errorf("stats: implausible snapshot %+v", st)
+					return
+				}
+			}
+		}()
+	}
+
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+}

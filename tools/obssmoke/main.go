@@ -1,0 +1,244 @@
+// Command obssmoke is the observability end-to-end gate: it builds the real
+// tardis-serve binary, boots it over a freshly built miniature index, runs a
+// query through the HTTP API, then scrapes /metrics and fails unless the
+// exposition parses cleanly (internal/obs/expfmt's strict parser, histogram
+// invariants included) and every subsystem the telemetry layer instruments —
+// server, core, pcache, cluster, rpc — is present with the query actually
+// counted. /debug/traces must serve valid JSON too.
+//
+// Run it from the module root (CI and `make obs-smoke` do):
+//
+//	go run ./tools/obssmoke
+//
+// It exits non-zero with a diagnostic on any failure.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"time"
+
+	"github.com/tardisdb/tardis/internal/cluster"
+	"github.com/tardisdb/tardis/internal/core"
+	"github.com/tardisdb/tardis/internal/dataset"
+	"github.com/tardisdb/tardis/internal/obs"
+	"github.com/tardisdb/tardis/internal/storage"
+)
+
+// requiredFamilies is the cross-subsystem coverage contract: one family per
+// instrumented layer that must appear in a booted server's exposition.
+var requiredFamilies = []string{
+	"tardis_server_requests_total",
+	"tardis_server_request_duration_seconds",
+	"tardis_core_queries_total",
+	"tardis_core_query_duration_seconds",
+	"tardis_pcache_hits_total",
+	"tardis_pcache_budget_bytes",
+	"tardis_cluster_stage_duration_seconds",
+	"tardis_rpc_calls_total",
+	"tardis_obs_spans_dropped_total",
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "obssmoke: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("obssmoke: ok")
+}
+
+func run() error {
+	work, err := os.MkdirTemp("", "tardis-obssmoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(work)
+
+	// A miniature but real index: enough records for several partitions.
+	const (
+		n         = 4000
+		seriesLen = 32
+		seed      = 7
+	)
+	g, err := dataset.New(dataset.RandomWalk, seriesLen)
+	if err != nil {
+		return err
+	}
+	srcDir := filepath.Join(work, "src")
+	if _, err := dataset.WriteStore(g, seed, n, srcDir, 500, true); err != nil {
+		return fmt.Errorf("dataset: %w", err)
+	}
+	cl, err := cluster.New(cluster.Config{Workers: 4})
+	if err != nil {
+		return err
+	}
+	src, err := storage.Open(srcDir)
+	if err != nil {
+		return err
+	}
+	cfg := core.DefaultConfig()
+	cfg.GMaxSize = 500
+	cfg.LMaxSize = 50
+	cfg.SamplePct = 0.25
+	idxDir := filepath.Join(work, "idx")
+	ix, err := core.Build(cl, src, idxDir, cfg)
+	if err != nil {
+		return fmt.Errorf("index build: %w", err)
+	}
+	if err := ix.Save(); err != nil {
+		return fmt.Errorf("index save: %w", err)
+	}
+
+	// Build and boot the real binary on an ephemeral port.
+	bin := filepath.Join(work, "tardis-serve")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/tardis-serve")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		return fmt.Errorf("building tardis-serve: %w", err)
+	}
+	serve := exec.Command(bin, "-index", idxDir, "-listen", "127.0.0.1:0")
+	serve.Stderr = os.Stderr
+	stdout, err := serve.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	if err := serve.Start(); err != nil {
+		return fmt.Errorf("starting tardis-serve: %w", err)
+	}
+	defer func() {
+		serve.Process.Kill()
+		serve.Wait()
+	}()
+
+	addr, err := awaitListenAddr(stdout, 30*time.Second)
+	if err != nil {
+		return err
+	}
+	base := "http://" + addr
+	if err := awaitHealthy(base, 10*time.Second); err != nil {
+		return err
+	}
+
+	// Drive one query so the per-query counters move.
+	q := dataset.Record(g, seed, 42).Values.ZNormalize()
+	body, _ := json.Marshal(map[string]any{"series": q, "k": 5, "strategy": "mpa"})
+	resp, err := http.Post(base+"/query/knn", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("query: %w", err)
+	}
+	qb, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("query: status %d: %s", resp.StatusCode, qb)
+	}
+
+	// Scrape and strictly validate the exposition.
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		return fmt.Errorf("metrics scrape: %w", err)
+	}
+	text, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		return fmt.Errorf("metrics: content-type %q", ct)
+	}
+	exp, err := obs.ParseExposition(bytes.NewReader(text))
+	if err != nil {
+		return fmt.Errorf("exposition invalid: %w", err)
+	}
+	for _, fam := range requiredFamilies {
+		if _, ok := exp.Families[fam]; !ok {
+			return fmt.Errorf("exposition missing family %s", fam)
+		}
+	}
+	if got := sumFamily(exp, "tardis_core_queries_total"); got < 1 {
+		return fmt.Errorf("tardis_core_queries_total = %v after a query, want >= 1", got)
+	}
+	if got := sumFamily(exp, "tardis_server_requests_total"); got < 1 {
+		return fmt.Errorf("tardis_server_requests_total = %v after a request, want >= 1", got)
+	}
+
+	// The trace endpoint must serve valid JSON even with tracing off.
+	resp, err = http.Get(base + "/debug/traces")
+	if err != nil {
+		return fmt.Errorf("traces: %w", err)
+	}
+	tb, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("traces: status %d", resp.StatusCode)
+	}
+	var traces any
+	if err := json.Unmarshal(tb, &traces); err != nil {
+		return fmt.Errorf("traces: invalid JSON: %w", err)
+	}
+	return nil
+}
+
+// awaitListenAddr scans the child's stdout for the announcement line and
+// returns the host:port it resolved (the child listens on :0).
+func awaitListenAddr(r io.Reader, timeout time.Duration) (string, error) {
+	re := regexp.MustCompile(`on http://([^\s]+)`)
+	type result struct {
+		addr string
+		err  error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		sc := bufio.NewScanner(r)
+		for sc.Scan() {
+			if m := re.FindStringSubmatch(sc.Text()); m != nil {
+				ch <- result{addr: m[1]}
+				// Keep draining so the child never blocks on a full pipe.
+				for sc.Scan() {
+				}
+				return
+			}
+		}
+		ch <- result{err: fmt.Errorf("tardis-serve exited before announcing its address")}
+	}()
+	select {
+	case res := <-ch:
+		return res.addr, res.err
+	case <-time.After(timeout):
+		return "", fmt.Errorf("timed out waiting for tardis-serve to announce its address")
+	}
+}
+
+func awaitHealthy(base string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server at %s never became healthy: %v", base, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// sumFamily adds all sample values of one family.
+func sumFamily(exp *obs.Exposition, fam string) float64 {
+	total := 0.0
+	for _, s := range exp.Families[fam].Samples {
+		total += s.Value
+	}
+	return total
+}

@@ -1,0 +1,199 @@
+// Package metricname enforces the telemetry naming and cardinality
+// discipline on every internal/obs registration and label-value site.
+//
+// Metric names are a public, grep-able contract: dashboards, alerts, and the
+// obs-smoke gate all key on them, so the pass requires each name passed to
+// an obs New* constructor to be a compile-time string constant matching
+//
+//	tardis_<subsystem>_<name>_<unit>
+//
+// with <unit> one of total, seconds, bytes, entries, records, ratio, count,
+// or info, and every segment lowercase [a-z0-9]. Label names must be
+// constants for the same reason.
+//
+// Label values are where cardinality explodes: a value interpolated from an
+// error string, an ID, or a file path turns one family into millions of
+// series. The pass rejects inline call and concatenation expressions as
+// With(...) arguments — a dynamic value must first be bound to a named
+// variable (e.g. class := codeClass(code)), making the boundedness of the
+// value a reviewable property of that binding rather than an invisible
+// side effect of the expression.
+//
+// The obs package's own package-level constructors forward their `name`
+// parameter to the default registry's method of the same name; those
+// forwarding frames are recognized (caller and callee share a name) and
+// exempt.
+package metricname
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"github.com/tardisdb/tardis/tools/tardislint/internal/lint"
+)
+
+const name = "metricname"
+
+// Pass is the metricname analyzer.
+var Pass = lint.Pass{
+	Name: name,
+	Doc:  "require tardis_<subsystem>_<name>_<unit> metric names and bounded (non-inline-dynamic) label values at internal/obs call sites",
+	Run:  run,
+}
+
+const obsSuffix = "internal/obs"
+
+// nameRe encodes tardis_<subsystem>_<name>_<unit>: at least four segments,
+// the last being a recognized unit.
+var nameRe = regexp.MustCompile(`^tardis(_[a-z][a-z0-9]*){2,}_(total|seconds|bytes|entries|records|ratio|count|info)$`)
+
+// constructors maps obs constructor names to the argument index where label
+// names begin (-1: the constructor takes no labels).
+var constructors = map[string]int{
+	"NewCounter":      -1,
+	"NewCounterVec":   2,
+	"NewGauge":        -1,
+	"NewGaugeVec":     2,
+	"NewGaugeFunc":    -1,
+	"NewHistogram":    -1,
+	"NewHistogramVec": 3,
+}
+
+func run(p *lint.Package) []lint.Finding {
+	var out []lint.Finding
+	for _, f := range p.Files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := callee(p, call)
+			if fn == nil || fn.Pkg() == nil || !pathIsObs(fn.Pkg().Path()) {
+				return true
+			}
+			if labelStart, ok := constructors[fn.Name()]; ok && len(call.Args) > 0 {
+				if enclosingFuncName(stack) == fn.Name() {
+					return true // obs's own forwarding wrapper
+				}
+				out = append(out, checkName(p, call.Args[0])...)
+				if labelStart >= 0 && len(call.Args) > labelStart {
+					for _, arg := range call.Args[labelStart:] {
+						out = append(out, checkLabelName(p, arg)...)
+					}
+				}
+				return true
+			}
+			if fn.Name() == "With" {
+				for _, arg := range call.Args {
+					out = append(out, checkLabelValue(p, arg)...)
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// checkName validates the metric-name argument of a constructor.
+func checkName(p *lint.Package, arg ast.Expr) []lint.Finding {
+	val, ok := constString(p, arg)
+	if !ok {
+		return []lint.Finding{p.Findingf(name, arg.Pos(),
+			"metric name must be a compile-time string constant so the naming convention is statically checkable")}
+	}
+	if !nameRe.MatchString(val) {
+		return []lint.Finding{p.Findingf(name, arg.Pos(),
+			"metric name %q does not match tardis_<subsystem>_<name>_<unit> (unit: total|seconds|bytes|entries|records|ratio|count|info)", val)}
+	}
+	return nil
+}
+
+// checkLabelName validates one label-name argument of a Vec constructor.
+func checkLabelName(p *lint.Package, arg ast.Expr) []lint.Finding {
+	val, ok := constString(p, arg)
+	if !ok {
+		return []lint.Finding{p.Findingf(name, arg.Pos(),
+			"label name must be a compile-time string constant")}
+	}
+	if !labelRe.MatchString(val) {
+		return []lint.Finding{p.Findingf(name, arg.Pos(),
+			"label name %q must be lowercase [a-z0-9_] starting with a letter", val)}
+	}
+	return nil
+}
+
+var labelRe = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+// checkLabelValue rejects inline dynamic expressions as With arguments.
+func checkLabelValue(p *lint.Package, arg ast.Expr) []lint.Finding {
+	switch e := unparen(arg).(type) {
+	case *ast.CallExpr:
+		return []lint.Finding{p.Findingf(name, arg.Pos(),
+			"label value must not be an inline call — bind it to a named variable so its bounded cardinality is reviewable")}
+	case *ast.BinaryExpr:
+		if _, isConst := constString(p, e); !isConst {
+			return []lint.Finding{p.Findingf(name, arg.Pos(),
+				"label value must not be built by inline concatenation — bind it to a named variable so its bounded cardinality is reviewable")}
+		}
+	}
+	return nil
+}
+
+// callee resolves the *types.Func a call invokes, or nil.
+func callee(p *lint.Package, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := p.Info.Uses[id].(*types.Func)
+	return fn
+}
+
+// constString reports the compile-time string value of e, if it has one.
+func constString(p *lint.Package, e ast.Expr) (string, bool) {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// enclosingFuncName returns the name of the innermost FuncDecl on the
+// inspection stack, or "".
+func enclosingFuncName(stack []ast.Node) string {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if fd, ok := stack[i].(*ast.FuncDecl); ok {
+			return fd.Name.Name
+		}
+	}
+	return ""
+}
+
+func pathIsObs(path string) bool {
+	path = strings.TrimSuffix(path, "_test")
+	return path == obsSuffix || strings.HasSuffix(path, "/"+obsSuffix)
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		pe, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = pe.X
+	}
+}

@@ -1,0 +1,23 @@
+package metricname_test
+
+import (
+	"testing"
+
+	"github.com/tardisdb/tardis/tools/tardislint/internal/lint/linttest"
+	"github.com/tardisdb/tardis/tools/tardislint/internal/lint/metricname"
+)
+
+func TestMetricname(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		pkgPath string
+		files   []string
+	}{
+		{"fixture", "internal/obs", []string{"testdata/obs.go", "testdata/fixture.go"}},
+		{"outofscope", "fixture", []string{"testdata/outofscope.go"}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			linttest.Check(t, metricname.Pass, tc.pkgPath, tc.files...)
+		})
+	}
+}

@@ -1,0 +1,46 @@
+package obs
+
+// Constants fold at compile time, so they are as checkable as literals.
+const goodName = "tardis_pcache_hits_total"
+
+func dynamicName() string { return "tardis_x_y_total" }
+func statusClass() string { return "2xx" }
+
+var sink any
+
+func registrations() {
+	sink = NewCounter(goodName, "constant names are fine")
+	sink = NewCounter("tardis_core_queries_total", "literal conforming name")
+	sink = NewGauge("tardis_pcache_resident_bytes", "gauge with bytes unit")
+	sink = NewHistogram("tardis_rpc_call_duration_seconds", "histogram", nil)
+	NewGaugeFunc("tardis_obs_spans_ratio", "func gauge", func() float64 { return 0 })
+
+	sink = NewCounter("pcache_hits_total", "missing tardis prefix")                          // WANT
+	sink = NewCounter("tardis_hits_total", "missing subsystem segment")                      // WANT
+	sink = NewCounter("tardis_core_queries", "missing unit suffix")                          // WANT
+	sink = NewCounter("tardis_Core_queries_total", "uppercase segment")                      // WANT
+	sink = NewCounter("tardis_core_query_duration_millis", "unrecognized unit")              // WANT
+	sink = NewCounter(dynamicName(), "name must be a compile-time constant")                 // WANT
+	sink = NewHistogram("tardis_core_latency", "histogram missing unit", nil)                // WANT
+	NewGaugeFunc(dynamicName(), "func gauge with dynamic name", func() float64 { return 0 }) // WANT
+}
+
+func labelNames() {
+	sink = NewCounterVec("tardis_rpc_calls_total", "ok", "method", "outcome")
+	sink = NewHistogramVec("tardis_cluster_stage_duration_seconds", "ok", nil, "stage")
+
+	sink = NewCounterVec("tardis_rpc_calls_total", "uppercase label", "method", "Outcome") // WANT
+	lbl := "outcome"
+	sink = NewCounterVec("tardis_rpc_errors_total", "non-constant label", lbl) // WANT
+}
+
+func labelValues(code int, vec *CounterVec) {
+	vec.With("ok").Inc()
+	vec.With("a" + "b").Inc() // constant concatenation folds: clean
+	class := statusClass()
+	vec.With(class).Inc() // bound to a named variable: clean
+
+	vec.With(statusClass()).Inc()           // WANT
+	vec.With("class_" + class).Inc()        // WANT
+	vec.With(("ok"), (statusClass())).Inc() // WANT
+}

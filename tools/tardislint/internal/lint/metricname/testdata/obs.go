@@ -1,0 +1,79 @@
+// Mini registry API mirroring internal/obs. The fixture package is loaded
+// under the import path "internal/obs" so the pass's callee-package check
+// applies; the package-level constructors forward to Registry methods of the
+// same name, exactly like the real package, exercising the forwarding
+// exemption (the forwarded `name` parameter is not a constant, yet these
+// frames must stay clean).
+package obs
+
+// Registry holds metric families.
+type Registry struct{}
+
+var defaultRegistry = &Registry{}
+
+// Counter is a monotone counter.
+type Counter struct{}
+
+func (*Counter) Inc()            {}
+func (*Counter) Add(delta int64) {}
+
+// CounterVec is a labeled counter family.
+type CounterVec struct{}
+
+func (*CounterVec) With(values ...string) *Counter { return &Counter{} }
+
+// Gauge is a settable value.
+type Gauge struct{}
+
+func (*Gauge) Set(v float64) {}
+
+// GaugeVec is a labeled gauge family.
+type GaugeVec struct{}
+
+func (*GaugeVec) With(values ...string) *Gauge { return &Gauge{} }
+
+// Histogram records observations into fixed buckets.
+type Histogram struct{}
+
+func (*Histogram) Observe(v float64) {}
+
+// HistogramVec is a labeled histogram family.
+type HistogramVec struct{}
+
+func (*HistogramVec) With(values ...string) *Histogram { return &Histogram{} }
+
+func (r *Registry) NewCounter(name, help string) *Counter { return &Counter{} }
+func (r *Registry) NewCounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{}
+}
+func (r *Registry) NewGauge(name, help string) *Gauge { return &Gauge{} }
+func (r *Registry) NewGaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{}
+}
+func (r *Registry) NewGaugeFunc(name, help string, fn func() float64) {}
+func (r *Registry) NewHistogram(name, help string, buckets []float64) *Histogram {
+	return &Histogram{}
+}
+func (r *Registry) NewHistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	return &HistogramVec{}
+}
+
+// Package-level constructors forward to the default registry — same-name
+// frames the pass must exempt.
+func NewCounter(name, help string) *Counter { return defaultRegistry.NewCounter(name, help) }
+func NewCounterVec(name, help string, labels ...string) *CounterVec {
+	return defaultRegistry.NewCounterVec(name, help, labels...)
+}
+func NewGauge(name, help string) *Gauge { return defaultRegistry.NewGauge(name, help) }
+func NewGaugeVec(name, help string, labels ...string) *GaugeVec {
+	return defaultRegistry.NewGaugeVec(name, help, labels...)
+}
+func NewGaugeFunc(name, help string, fn func() float64) {
+	defaultRegistry.NewGaugeFunc(name, help, fn)
+}
+func NewHistogram(name, help string, buckets []float64) *Histogram {
+	return defaultRegistry.NewHistogram(name, help, buckets)
+}
+func NewHistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	return defaultRegistry.NewHistogramVec(name, help, buckets, labels...)
+}

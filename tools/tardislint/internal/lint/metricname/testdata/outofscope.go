@@ -1,0 +1,24 @@
+// Package fixture proves scope: constructors and With methods with the same
+// names defined outside an internal/obs package are not the telemetry API,
+// so nothing here is flagged no matter how wrong the names look.
+package fixture
+
+type Counter struct{}
+
+func (*Counter) Inc() {}
+
+type CounterVec struct{}
+
+func (*CounterVec) With(values ...string) *Counter { return &Counter{} }
+
+func NewCounter(name, help string) *Counter { return &Counter{} }
+
+func dyn() string { return "whatever" }
+
+var sink any
+
+func use() {
+	sink = NewCounter("totally wrong name", "but not the obs API")
+	sink = NewCounter(dyn(), "dynamic, still not the obs API")
+	(&CounterVec{}).With(dyn()).Inc()
+}

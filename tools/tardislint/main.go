@@ -1,6 +1,6 @@
 // Command tardislint is the project's static-analysis gate. It loads
 // packages with the standard library's source importer (no external
-// dependencies) and runs seven project-specific passes:
+// dependencies) and runs eight project-specific passes:
 //
 //	sigslice   raw slicing/indexing/concatenation of isaxt.Signature
 //	lockflow   path-sensitive misuse of mutexes guarding annotated fields
@@ -9,6 +9,7 @@
 //	closecheck discarded Close/Flush/Sync errors on writable sinks
 //	goroleak   loop-variable capture and unsupervised goroutine fan-out
 //	ctxfirst   cluster RPC entry points missing a leading context.Context
+//	metricname telemetry metric naming and label-cardinality discipline
 //
 // lockflow, errflow, and hotalloc run on a control-flow graph with a
 // forward dataflow solver (internal/lint/cfg), so they reason per path:
@@ -39,6 +40,7 @@ import (
 	"github.com/tardisdb/tardis/tools/tardislint/internal/lint/goroleak"
 	"github.com/tardisdb/tardis/tools/tardislint/internal/lint/hotalloc"
 	"github.com/tardisdb/tardis/tools/tardislint/internal/lint/lockflow"
+	"github.com/tardisdb/tardis/tools/tardislint/internal/lint/metricname"
 	"github.com/tardisdb/tardis/tools/tardislint/internal/lint/sigslice"
 )
 
@@ -50,6 +52,7 @@ var allPasses = []lint.Pass{
 	closecheck.Pass,
 	goroleak.Pass,
 	ctxfirst.Pass,
+	metricname.Pass,
 }
 
 func main() {

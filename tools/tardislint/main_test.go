@@ -47,7 +47,7 @@ func TestListPasses(t *testing.T) {
 		t.Fatalf("exit code = %d, want 0", code)
 	}
 	lines := strings.Split(strings.TrimRight(stdout.String(), "\n"), "\n")
-	want := []string{"sigslice", "lockflow", "errflow", "hotalloc", "closecheck", "goroleak", "ctxfirst"}
+	want := []string{"sigslice", "lockflow", "errflow", "hotalloc", "closecheck", "goroleak", "ctxfirst", "metricname"}
 	if len(lines) != len(want) {
 		t.Fatalf("-list printed %d lines, want %d:\n%s", len(lines), len(want), &stdout)
 	}
