@@ -32,12 +32,16 @@ vet:
 # Project-specific analyzers (tools/tardislint): iSAX-T signature hygiene,
 # path-sensitive mutex guards (lockflow), unchecked errors (errflow),
 # hot-path allocations (hotalloc), write-path close errors, goroutine
-# lifecycle, context-first RPC signatures (ctxfirst), and telemetry naming /
-# label-cardinality discipline (metricname). The patterns are explicit so the
-# gate provably covers the library root, the CLIs, the examples, and the
-# linter itself (self-lint).
-lint:
-	$(GO) run ./tools/tardislint . ./internal/... ./cmd/... ./examples/... ./tools/...
+# lifecycle, context-first RPC signatures (ctxfirst), telemetry naming /
+# label-cardinality discipline (metricname), and the interprocedural pair —
+# lock-order deadlock cycles (lockorder) and dropped-context blocking
+# (ctxflow) — plus the stale-suppression audit (suppresscheck). The patterns
+# are explicit so the gate provably covers the library root, the CLIs, the
+# examples, and the linter itself (self-lint). -timing surfaces per-pass
+# wall time so analyzer-cost regressions show up in CI logs. Runs after vet
+# so cheap universal checks fail first.
+lint: vet
+	$(GO) run ./tools/tardislint -timing . ./internal/... ./cmd/... ./examples/... ./tools/...
 
 # Observability end-to-end gate: builds tardis-serve, boots it over a tiny
 # fresh index, runs a query, and validates the /metrics exposition (strict
@@ -49,13 +53,14 @@ fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-# Short fuzz of the deserializer targets and the lint CFG builder — a smoke
-# pass, not a soak.
+# Short fuzz of the deserializer targets, the lint CFG builder, and the
+# interprocedural call-graph engine — a smoke pass, not a soak.
 fuzz-short:
 	$(GO) test -run='^$$' -fuzz=FuzzDecode -fuzztime=10s ./internal/isaxt/
 	$(GO) test -run='^$$' -fuzz=FuzzReadTree -fuzztime=10s ./internal/sigtree/
 	$(GO) test -run='^$$' -fuzz=FuzzUnmarshal -fuzztime=10s ./internal/bloom/
 	$(GO) test -run='^$$' -fuzz=FuzzBuild -fuzztime=10s ./tools/tardislint/internal/lint/cfg/
+	$(GO) test -run='^$$' -fuzz=FuzzSummaries -fuzztime=10s ./tools/tardislint/internal/lint/callgraph/
 
 # The full gate CI runs.
 check: build test race faultinj vet fmt-check lint bench-smoke obs-smoke

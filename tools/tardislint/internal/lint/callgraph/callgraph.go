@@ -1,0 +1,785 @@
+// Package callgraph builds a whole-program call graph over the packages a
+// lint run loads and computes per-function summaries for interprocedural
+// passes (lockorder, ctxflow).
+//
+// The graph resolves three kinds of call edges:
+//
+//   - static calls to package-level functions, including cross-package calls
+//     (nodes are keyed by stable full names, not types.Object identity,
+//     because the source importer re-checks dependencies and produces
+//     distinct objects for the same function);
+//   - method calls through concrete receiver types (interface dispatch is
+//     left unresolved — a dynamic call has no body to summarize);
+//   - calls through function values: function literals, literals stored in
+//     local or package variables, literals passed as call arguments (bound
+//     to the callee's parameter by position), and literals stored in struct
+//     fields (bound by declaring struct type + field name, so a callback
+//     registered in one function and invoked in another still produces an
+//     edge).
+//
+// Each function — declarations and literals alike — becomes one node.
+// Test files and external test packages are excluded: the gate reasons
+// about production call chains only.
+//
+// Summaries (see summary.go) are computed bottom-up over strongly connected
+// components with a fixpoint for recursion, and record the locks a function
+// may acquire (with a witness call chain per lock), the locks still held
+// when it returns, the blocking operations it may reach, and whether those
+// operations remain cancellable through the function's own context
+// parameter.
+package callgraph
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"github.com/tardisdb/tardis/tools/tardislint/internal/lint"
+)
+
+// Graph is the whole-program call graph plus the lock-order edges collected
+// while summarizing it.
+type Graph struct {
+	Fset *token.FileSet
+
+	nodes map[string]*Node
+	order []*Node // sorted by ID for deterministic iteration
+
+	litNode map[*ast.FuncLit]*Node
+
+	edges     map[[2]LockID]*Edge
+	edgeOrder []*Edge
+}
+
+// Node is one function in the graph: a declaration or a function literal.
+type Node struct {
+	// ID is the stable identity: types.Func.FullName() for declarations
+	// (e.g. "(*pkg/path.Pool).call"), parentID+"$n" for literals.
+	ID string
+	// Display is the short human-readable name used in call chains,
+	// e.g. "rpc.(*Pool).call" or "rpc.DistKNN$1".
+	Display string
+
+	Pkg    *lint.Package
+	Decl   *ast.FuncDecl
+	Lit    *ast.FuncLit
+	Parent *Node // enclosing function for literals
+
+	Sig       *types.Signature
+	paramVars []*types.Var
+	children  []*Node
+
+	Sites  []*Site
+	siteOf map[*ast.CallExpr]*Site
+
+	Summary Summary
+	root    *rootInfo
+}
+
+// Body returns the function body.
+func (n *Node) Body() *ast.BlockStmt {
+	if n.Lit != nil {
+		return n.Lit.Body
+	}
+	return n.Decl.Body
+}
+
+// HasCtx reports whether the function's own parameter list includes a
+// context.Context.
+func (n *Node) HasCtx() bool {
+	for _, v := range n.paramVars {
+		if v != nil && isCtxType(v.Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// Pos returns the function's declaration position.
+func (n *Node) Pos() token.Pos {
+	if n.Lit != nil {
+		return n.Lit.Pos()
+	}
+	return n.Decl.Pos()
+}
+
+// Site is one call expression inside a node, with its resolved targets.
+type Site struct {
+	Call  *ast.CallExpr
+	Go    bool // call is the operand of a go statement
+	Defer bool // call is the operand of a defer statement
+	// CtxFwd reports whether some context.Context-typed argument derives
+	// from the caller's own context parameter.
+	CtxFwd bool
+	// Callees are the resolved in-graph targets, sorted by ID.
+	Callees []*Node
+	// Ext holds full names of resolved targets with no body in the graph
+	// (stdlib and unanalyzed functions), for blocking-primitive matching.
+	Ext []string
+}
+
+// rootInfo is shared between a top-level declaration and every literal
+// nested inside it: the context-taint set and the known-buffered channels.
+type rootInfo struct {
+	tainted  map[types.Object]bool
+	buffered map[types.Object]bool
+}
+
+// Nodes returns all nodes sorted by ID.
+func (g *Graph) Nodes() []*Node { return g.order }
+
+// Lookup returns the node with the given ID, or nil.
+func (g *Graph) Lookup(id string) *Node { return g.nodes[id] }
+
+// Edges returns the global lock-order edges in deterministic order.
+func (g *Graph) Edges() []*Edge { return g.edgeOrder }
+
+// memo caches the last-built graph: lockorder and ctxflow run over the same
+// package set in one lint invocation, and the graph is identical for both.
+var memo struct {
+	sync.Mutex
+	pkgs  []*lint.Package
+	graph *Graph
+}
+
+// Build returns the call graph for pkgs, reusing the previous result when
+// called twice with the same slice (as consecutive passes in one run are).
+func Build(pkgs []*lint.Package) *Graph {
+	memo.Lock()
+	defer memo.Unlock()
+	if memo.graph != nil && len(memo.pkgs) == len(pkgs) {
+		same := true
+		for i := range pkgs {
+			if memo.pkgs[i] != pkgs[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return memo.graph
+		}
+	}
+	g := New(pkgs)
+	memo.pkgs = pkgs
+	memo.graph = g
+	return g
+}
+
+// New builds the call graph and its summaries from scratch.
+func New(pkgs []*lint.Package) *Graph {
+	b := &builder{
+		g:          &Graph{nodes: map[string]*Node{}, litNode: map[*ast.FuncLit]*Node{}, edges: map[[2]LockID]*Edge{}},
+		objBind:    map[types.Object]map[string]bool{},
+		fieldBind:  map[string]map[string]bool{},
+		paramBind:  map[string]map[string]bool{},
+		paramKeyOf: map[types.Object]string{},
+	}
+	for _, pkg := range pkgs {
+		if pkg == nil || strings.HasSuffix(pkg.PkgPath, "_test") {
+			continue
+		}
+		if b.g.Fset == nil {
+			b.g.Fset = pkg.Fset
+		}
+		b.collectNodes(pkg)
+	}
+	sort.Slice(b.g.order, func(i, j int) bool { return b.g.order[i].ID < b.g.order[j].ID })
+	for _, pkg := range pkgs {
+		if pkg == nil || strings.HasSuffix(pkg.PkgPath, "_test") {
+			continue
+		}
+		b.collectBindings(pkg)
+	}
+	for _, n := range b.g.order {
+		b.resolveSites(n)
+	}
+	for _, n := range b.g.order {
+		if n.Parent == nil {
+			computeRoot(n)
+		}
+	}
+	for _, n := range b.g.order {
+		markCtxForwarding(n)
+	}
+	summarize(b.g)
+	return b.g
+}
+
+type builder struct {
+	g *Graph
+
+	// objBind maps a function-typed variable (local or package-level, by
+	// object identity — valid within the directly loaded packages) to the
+	// IDs of function values stored into it.
+	objBind map[types.Object]map[string]bool
+	// fieldBind maps "pkg/path.Type.field" to stored function-value IDs.
+	fieldBind map[string]map[string]bool
+	// paramBind maps "calleeID#i" to function-value IDs passed as the i-th
+	// argument at some call site. Keyed by the callee's stable ID so the
+	// binding survives crossing package boundaries.
+	paramBind map[string]map[string]bool
+	// paramKeyOf maps a parameter variable to its "nodeID#i" key.
+	paramKeyOf map[types.Object]string
+}
+
+func (b *builder) addNode(n *Node) *Node {
+	id := n.ID
+	for i := 2; b.g.nodes[id] != nil; i++ {
+		id = n.ID + "#" + strconv.Itoa(i)
+	}
+	n.ID = id
+	b.g.nodes[id] = n
+	b.g.order = append(b.g.order, n)
+	return n
+}
+
+// isTestFile reports whether the file a node would come from is a test file.
+func isTestFile(fset *token.FileSet, f *ast.File) bool {
+	return strings.HasSuffix(fset.Position(f.Pos()).Filename, "_test.go")
+}
+
+func (b *builder) collectNodes(pkg *lint.Package) {
+	for _, file := range pkg.Files {
+		if isTestFile(pkg.Fset, file) {
+			continue
+		}
+		initLits := 0
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Body == nil {
+					continue
+				}
+				fn, _ := pkg.Info.Defs[d.Name].(*types.Func)
+				if fn == nil {
+					continue
+				}
+				n := b.addNode(&Node{
+					ID:      fn.FullName(),
+					Display: displayName(pkg, fn),
+					Pkg:     pkg,
+					Decl:    d,
+					Sig:     fn.Type().(*types.Signature),
+				})
+				n.paramVars = paramVarsOf(pkg, d.Type)
+				b.registerParams(n)
+				b.scanLits(pkg, n, d.Body)
+			case *ast.GenDecl:
+				// Function literals in package-level var initializers.
+				parent := &Node{
+					ID:      pkg.PkgPath + ".init$" + strconv.Itoa(initLits),
+					Display: shortPkg(pkg.PkgPath) + ".init",
+					Pkg:     pkg,
+				}
+				before := len(b.g.order)
+				b.scanLitsUnder(pkg, parent, d)
+				if len(b.g.order) > before {
+					initLits++
+				}
+			}
+		}
+	}
+}
+
+// scanLits creates nodes for the function literals directly or transitively
+// inside body, nesting parents correctly.
+func (b *builder) scanLits(pkg *lint.Package, parent *Node, body ast.Node) {
+	count := 0
+	ast.Inspect(body, func(x ast.Node) bool {
+		lit, ok := x.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		child := b.newLitNode(pkg, parent, lit, count)
+		count++
+		b.scanLits(pkg, child, lit.Body)
+		return false
+	})
+}
+
+// scanLitsUnder handles literals outside any function declaration: they hang
+// off a synthetic parent that is not itself added to the graph.
+func (b *builder) scanLitsUnder(pkg *lint.Package, parent *Node, under ast.Node) {
+	count := 0
+	ast.Inspect(under, func(x ast.Node) bool {
+		lit, ok := x.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		child := b.newLitNode(pkg, nil, lit, count)
+		child.ID = parent.ID + "$" + strconv.Itoa(count)
+		child.Display = parent.Display + "$" + strconv.Itoa(count)
+		count++
+		b.scanLits(pkg, child, lit.Body)
+		return false
+	})
+}
+
+func (b *builder) newLitNode(pkg *lint.Package, parent *Node, lit *ast.FuncLit, idx int) *Node {
+	n := &Node{
+		Pkg:    pkg,
+		Lit:    lit,
+		Parent: parent,
+	}
+	if parent != nil {
+		n.ID = parent.ID + "$" + strconv.Itoa(idx)
+		n.Display = parent.Display + "$" + strconv.Itoa(idx)
+		parent.children = append(parent.children, n)
+	}
+	if sig, ok := pkg.TypeOf(lit).(*types.Signature); ok {
+		n.Sig = sig
+	}
+	n.paramVars = paramVarsOf(pkg, lit.Type)
+	b.addNode(n)
+	b.g.litNode[lit] = n
+	b.registerParams(n)
+	return n
+}
+
+// paramVarsOf collects the declared parameter objects of a function type in
+// positional order; unnamed parameters contribute a nil placeholder so the
+// positions stay aligned.
+func paramVarsOf(pkg *lint.Package, ft *ast.FuncType) []*types.Var {
+	var out []*types.Var
+	if ft == nil || ft.Params == nil {
+		return nil
+	}
+	for _, field := range ft.Params.List {
+		if len(field.Names) == 0 {
+			out = append(out, nil)
+			continue
+		}
+		for _, name := range field.Names {
+			v, _ := pkg.Info.Defs[name].(*types.Var)
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func (b *builder) registerParams(n *Node) {
+	for i, v := range n.paramVars {
+		if v != nil {
+			b.paramKeyOf[v] = n.ID + "#" + strconv.Itoa(i)
+		}
+	}
+}
+
+func displayName(pkg *lint.Package, fn *types.Func) string {
+	name := fn.Name()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := lint.Deref(sig.Recv().Type())
+		if named, ok := types.Unalias(t).(*types.Named); ok {
+			name = "(*" + named.Obj().Name() + ")." + name
+		}
+	}
+	return shortPkg(pkg.PkgPath) + "." + name
+}
+
+func shortPkg(path string) string {
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// --- bindings ---------------------------------------------------------------
+
+func (b *builder) collectBindings(pkg *lint.Package) {
+	for _, file := range pkg.Files {
+		if isTestFile(pkg.Fset, file) {
+			continue
+		}
+		ast.Inspect(file, func(x ast.Node) bool {
+			switch s := x.(type) {
+			case *ast.AssignStmt:
+				if len(s.Lhs) != len(s.Rhs) {
+					return true
+				}
+				for i := range s.Lhs {
+					if ids := b.funcValueIDs(pkg, s.Rhs[i]); len(ids) > 0 {
+						b.bindTarget(pkg, s.Lhs[i], ids)
+					}
+				}
+			case *ast.ValueSpec:
+				if len(s.Names) != len(s.Values) {
+					return true
+				}
+				for i := range s.Names {
+					if ids := b.funcValueIDs(pkg, s.Values[i]); len(ids) > 0 {
+						b.bindObj(pkg.Info.Defs[s.Names[i]], ids)
+					}
+				}
+			case *ast.CompositeLit:
+				b.bindCompositeLit(pkg, s)
+			case *ast.CallExpr:
+				b.bindCallArgs(pkg, s)
+			}
+			return true
+		})
+	}
+}
+
+func (b *builder) bindTarget(pkg *lint.Package, lhs ast.Expr, ids []string) {
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		obj := pkg.Info.Defs[l]
+		if obj == nil {
+			obj = pkg.Info.Uses[l]
+		}
+		b.bindObj(obj, ids)
+	case *ast.SelectorExpr:
+		if sel := pkg.Info.Selections[l]; sel != nil && sel.Kind() == types.FieldVal {
+			if key := fieldKeyOfSelection(sel); key != "" {
+				b.bindField(key, ids)
+			}
+		}
+	}
+}
+
+func (b *builder) bindObj(obj types.Object, ids []string) {
+	if obj == nil {
+		return
+	}
+	set := b.objBind[obj]
+	if set == nil {
+		set = map[string]bool{}
+		b.objBind[obj] = set
+	}
+	for _, id := range ids {
+		set[id] = true
+	}
+}
+
+func (b *builder) bindField(key string, ids []string) {
+	set := b.fieldBind[key]
+	if set == nil {
+		set = map[string]bool{}
+		b.fieldBind[key] = set
+	}
+	for _, id := range ids {
+		set[id] = true
+	}
+}
+
+func (b *builder) bindCompositeLit(pkg *lint.Package, cl *ast.CompositeLit) {
+	t := pkg.TypeOf(cl)
+	if t == nil {
+		return
+	}
+	named, ok := types.Unalias(lint.Deref(t)).(*types.Named)
+	if !ok {
+		return
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	tid := typeID(named)
+	for i, elt := range cl.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			key, ok := kv.Key.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if ids := b.funcValueIDs(pkg, kv.Value); len(ids) > 0 {
+				b.bindField(tid+"."+key.Name, ids)
+			}
+			continue
+		}
+		if i < st.NumFields() {
+			if ids := b.funcValueIDs(pkg, elt); len(ids) > 0 {
+				b.bindField(tid+"."+st.Field(i).Name(), ids)
+			}
+		}
+	}
+}
+
+// bindCallArgs binds function-valued arguments to the callee's parameters by
+// position, keyed by the callee's stable ID so cross-package callbacks (a
+// closure handed to another package's function) resolve.
+func (b *builder) bindCallArgs(pkg *lint.Package, call *ast.CallExpr) {
+	callees := b.directCallees(pkg, call)
+	if len(callees) == 0 {
+		return
+	}
+	for _, callee := range callees {
+		nparams := len(callee.paramVars)
+		if nparams == 0 {
+			continue
+		}
+		for i, arg := range call.Args {
+			ids := b.funcValueIDs(pkg, arg)
+			if len(ids) == 0 {
+				continue
+			}
+			pi := i
+			if pi >= nparams {
+				pi = nparams - 1 // variadic tail
+			}
+			key := callee.ID + "#" + strconv.Itoa(pi)
+			set := b.paramBind[key]
+			if set == nil {
+				set = map[string]bool{}
+				b.paramBind[key] = set
+			}
+			for _, id := range ids {
+				set[id] = true
+			}
+		}
+	}
+}
+
+// directCallees resolves the statically named targets of a call (package
+// function or concrete-receiver method) to in-graph nodes, ignoring
+// function-valued variables — this runs during binding collection, before
+// variable bindings are complete.
+func (b *builder) directCallees(pkg *lint.Package, call *ast.CallExpr) []*Node {
+	if tv, ok := pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+		return nil
+	}
+	fun := unwrapFun(ast.Unparen(call.Fun))
+	switch f := fun.(type) {
+	case *ast.FuncLit:
+		if n := b.g.litNode[f]; n != nil {
+			return []*Node{n}
+		}
+	case *ast.Ident, *ast.SelectorExpr:
+		if fn := funcObjOf(pkg, f.(ast.Expr)); fn != nil {
+			if n := b.g.nodes[fn.FullName()]; n != nil {
+				return []*Node{n}
+			}
+		}
+	}
+	return nil
+}
+
+// funcValueIDs resolves an expression used as a function value to node IDs.
+func (b *builder) funcValueIDs(pkg *lint.Package, expr ast.Expr) []string {
+	e := unwrapFun(ast.Unparen(expr))
+	switch e := e.(type) {
+	case *ast.FuncLit:
+		if n := b.g.litNode[e]; n != nil {
+			return []string{n.ID}
+		}
+	case *ast.Ident, *ast.SelectorExpr:
+		if fn := funcObjOf(pkg, e); fn != nil {
+			if n := b.g.nodes[fn.FullName()]; n != nil {
+				return []string{n.ID}
+			}
+		}
+	}
+	return nil
+}
+
+// unwrapFun strips generic instantiation syntax from a function expression.
+func unwrapFun(e ast.Expr) ast.Expr {
+	switch x := e.(type) {
+	case *ast.IndexExpr:
+		return x.X
+	case *ast.IndexListExpr:
+		return x.X
+	}
+	return e
+}
+
+// funcObjOf returns the *types.Func an identifier or selector denotes, or nil.
+func funcObjOf(pkg *lint.Package, e ast.Expr) *types.Func {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if fn, ok := pkg.Info.Uses[e].(*types.Func); ok {
+			return fn.Origin()
+		}
+	case *ast.SelectorExpr:
+		if sel := pkg.Info.Selections[e]; sel != nil {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return fn.Origin()
+			}
+			return nil
+		}
+		if fn, ok := pkg.Info.Uses[e.Sel].(*types.Func); ok {
+			return fn.Origin()
+		}
+	}
+	return nil
+}
+
+// --- site resolution --------------------------------------------------------
+
+// resolveSites finds every call expression in n's own body (literals are
+// their own nodes) and resolves its targets.
+func (b *builder) resolveSites(n *Node) {
+	body := n.Body()
+	if body == nil {
+		return
+	}
+	n.siteOf = map[*ast.CallExpr]*Site{}
+	goCalls := map[*ast.CallExpr]bool{}
+	deferCalls := map[*ast.CallExpr]bool{}
+	var walk func(x ast.Node) bool
+	walk = func(x ast.Node) bool {
+		switch s := x.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.GoStmt:
+			goCalls[s.Call] = true
+		case *ast.DeferStmt:
+			deferCalls[s.Call] = true
+		case *ast.CallExpr:
+			if site := b.resolveCall(n, s); site != nil {
+				site.Go = goCalls[s]
+				site.Defer = deferCalls[s]
+				n.Sites = append(n.Sites, site)
+				n.siteOf[s] = site
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+}
+
+func (b *builder) resolveCall(n *Node, call *ast.CallExpr) *Site {
+	pkg := n.Pkg
+	if tv, ok := pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+		return nil // conversion, not a call
+	}
+	site := &Site{Call: call}
+	addIDs := func(ids map[string]bool) {
+		for id := range ids {
+			if t := b.g.nodes[id]; t != nil {
+				site.Callees = append(site.Callees, t)
+			}
+		}
+	}
+	addFunc := func(fn *types.Func) {
+		if fn == nil {
+			return
+		}
+		fn = fn.Origin()
+		if t := b.g.nodes[fn.FullName()]; t != nil {
+			site.Callees = append(site.Callees, t)
+		} else {
+			site.Ext = append(site.Ext, fn.FullName())
+		}
+	}
+	fun := unwrapFun(ast.Unparen(call.Fun))
+	switch f := fun.(type) {
+	case *ast.FuncLit:
+		if t := b.g.litNode[f]; t != nil {
+			site.Callees = append(site.Callees, t)
+		}
+	case *ast.Ident:
+		switch o := pkg.Info.Uses[f].(type) {
+		case *types.Func:
+			addFunc(o)
+		case *types.Var:
+			addIDs(b.objBind[o])
+			if key, ok := b.paramKeyOf[o]; ok {
+				addIDs(b.paramBind[key])
+			}
+		default:
+			return nil // builtin, type, or unresolved
+		}
+	case *ast.SelectorExpr:
+		if sel := pkg.Info.Selections[f]; sel != nil {
+			switch sel.Kind() {
+			case types.MethodVal, types.MethodExpr:
+				fn, _ := sel.Obj().(*types.Func)
+				if fn != nil && types.IsInterface(lint.Deref(sel.Recv())) {
+					site.Ext = append(site.Ext, fn.Origin().FullName())
+				} else {
+					addFunc(fn)
+				}
+			case types.FieldVal:
+				if key := fieldKeyOfSelection(sel); key != "" {
+					addIDs(b.fieldBind[key])
+				}
+			}
+		} else {
+			switch o := pkg.Info.Uses[f.Sel].(type) {
+			case *types.Func:
+				addFunc(o)
+			case *types.Var:
+				addIDs(b.objBind[o])
+			}
+		}
+	default:
+		// Call of an arbitrary expression (map of funcs, call result):
+		// unresolved; keep the site so arguments are still walked.
+	}
+	sort.Slice(site.Callees, func(i, j int) bool { return site.Callees[i].ID < site.Callees[j].ID })
+	site.Callees = dedupNodes(site.Callees)
+	sort.Strings(site.Ext)
+	return site
+}
+
+func dedupNodes(ns []*Node) []*Node {
+	out := ns[:0]
+	for i, n := range ns {
+		if i == 0 || ns[i-1] != n {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// fieldKeyOfSelection returns "pkg/path.Type.field" for a field selection on
+// a named struct type, or "".
+func fieldKeyOfSelection(sel *types.Selection) string {
+	obj := sel.Obj()
+	named, ok := types.Unalias(lint.Deref(sel.Recv())).(*types.Named)
+	if !ok {
+		return ""
+	}
+	return typeID(named) + "." + obj.Name()
+}
+
+// typeID returns the stable "pkg/path.Name" identity of a named type.
+func typeID(named *types.Named) string {
+	obj := named.Origin().Obj()
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}
+
+func isCtxType(t types.Type) bool {
+	return t != nil && lint.IsNamed(t, "context", "Context")
+}
+
+// Dump renders the graph and summaries deterministically, for tests and the
+// fuzz determinism check.
+func (g *Graph) Dump() string {
+	var sb strings.Builder
+	for _, n := range g.order {
+		fmt.Fprintf(&sb, "func %s (ctx=%v)\n", n.ID, n.HasCtx())
+		for _, site := range n.Sites {
+			for _, c := range site.Callees {
+				tag := ""
+				if site.Go {
+					tag = " [go]"
+				}
+				if site.Defer {
+					tag = " [defer]"
+				}
+				if site.CtxFwd {
+					tag += " [ctx]"
+				}
+				fmt.Fprintf(&sb, "  call %s%s\n", c.ID, tag)
+			}
+			for _, e := range site.Ext {
+				fmt.Fprintf(&sb, "  ext %s\n", e)
+			}
+		}
+		sb.WriteString(n.Summary.dump())
+	}
+	for _, e := range g.edgeOrder {
+		fmt.Fprintf(&sb, "edge %s -> %s\n", e.From, e.To)
+	}
+	return sb.String()
+}

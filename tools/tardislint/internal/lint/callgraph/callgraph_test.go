@@ -1,0 +1,115 @@
+package callgraph_test
+
+import (
+	"testing"
+
+	"github.com/tardisdb/tardis/tools/tardislint/internal/lint"
+	"github.com/tardisdb/tardis/tools/tardislint/internal/lint/callgraph"
+)
+
+func load(t *testing.T, pkgPath string, files ...string) *callgraph.Graph {
+	t.Helper()
+	pkg, err := lint.NewLoader().LoadFiles(pkgPath, files...)
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	return callgraph.New([]*lint.Package{pkg})
+}
+
+func calleeIDs(t *testing.T, g *callgraph.Graph, id string) map[string]bool {
+	t.Helper()
+	n := g.Lookup(id)
+	if n == nil {
+		t.Fatalf("no node %q in graph", id)
+	}
+	out := map[string]bool{}
+	for _, site := range n.Sites {
+		for _, c := range site.Callees {
+			out[c.ID] = true
+		}
+	}
+	return out
+}
+
+// TestResolution covers each call-resolution mode: static, concrete-receiver
+// method, closure via local variable, field-stored callback, parameter-bound
+// callback, and immediately invoked literal.
+func TestResolution(t *testing.T) {
+	g := load(t, "resolve", "testdata/resolve.go")
+	cases := []struct {
+		caller, callee string
+	}{
+		{"resolve.caller", "resolve.target"},
+		{"resolve.methodCall", "(*resolve.T).m"},
+		{"resolve.closureCall", "resolve.closureCall$0"},
+		{"resolve.callField", "resolve.target"},
+		{"resolve.takesCb", "resolve.target"},
+		{"resolve.immediate", "resolve.immediate$0"},
+		{"resolve.immediate$0", "resolve.target"},
+	}
+	for _, c := range cases {
+		if !calleeIDs(t, g, c.caller)[c.callee] {
+			t.Errorf("%s does not call %s; graph:\n%s", c.caller, c.callee, g.Dump())
+		}
+	}
+}
+
+// TestSCCFixpoint proves summaries converge over mutual recursion: each
+// function of the ping/pong pair must report both locks.
+func TestSCCFixpoint(t *testing.T) {
+	g := load(t, "recurse", "testdata/recurse.go")
+	for _, id := range []string{"recurse.ping", "recurse.pong"} {
+		n := g.Lookup(id)
+		if n == nil {
+			t.Fatalf("no node %q", id)
+		}
+		for _, lock := range []callgraph.LockID{"recurse.left.mu", "recurse.right.mu"} {
+			chain, ok := n.Summary.Acquires[lock]
+			if !ok {
+				t.Errorf("%s summary missing %s; got %v", id, lock, n.Summary.Acquires)
+				continue
+			}
+			if len(chain) == 0 {
+				t.Errorf("%s acquire of %s has empty witness chain", id, lock)
+			}
+		}
+	}
+}
+
+// TestExitHeld proves lock-helper propagation: acquireHeld returns holding
+// left.mu, so holdsAcross observes the left.mu -> right.mu ordering.
+func TestExitHeld(t *testing.T) {
+	g := load(t, "recurse", "testdata/recurse.go")
+	helper := g.Lookup("(*recurse.left).acquireHeld")
+	if helper == nil {
+		t.Fatal("no node for acquireHeld")
+	}
+	if len(helper.Summary.ExitHeld) != 1 || helper.Summary.ExitHeld[0] != "recurse.left.mu" {
+		t.Fatalf("acquireHeld ExitHeld = %v, want [recurse.left.mu]", helper.Summary.ExitHeld)
+	}
+	found := false
+	for _, e := range g.Edges() {
+		if e.From == "recurse.left.mu" && e.To == "recurse.right.mu" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("missing left.mu -> right.mu edge from holdsAcross; edges: %v", g.Edges())
+	}
+}
+
+// TestDeterministicAcrossOrderings builds the graph from the same fixtures
+// with the file order reversed and from a fresh loader: the dumps must be
+// byte-identical (node IDs, summaries, and edges are all sorted, and
+// first-witness selection follows source order, not map order).
+func TestDeterministicAcrossOrderings(t *testing.T) {
+	a := load(t, "resolve", "testdata/resolve.go", "testdata/resolve2.go")
+	b := load(t, "resolve", "testdata/resolve2.go", "testdata/resolve.go")
+	if a.Dump() != b.Dump() {
+		t.Errorf("graph dump differs across file orderings:\n--- a ---\n%s\n--- b ---\n%s", a.Dump(), b.Dump())
+	}
+	c := load(t, "resolve", "testdata/resolve.go", "testdata/resolve2.go")
+	if a.Dump() != c.Dump() {
+		t.Errorf("graph dump differs across fresh loads:\n--- a ---\n%s\n--- c ---\n%s", a.Dump(), c.Dump())
+	}
+}

@@ -1,0 +1,74 @@
+package callgraph_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+
+	"github.com/tardisdb/tardis/tools/tardislint/internal/lint"
+	"github.com/tardisdb/tardis/tools/tardislint/internal/lint/callgraph"
+)
+
+// FuzzSummaries asserts two invariants of the callgraph engine over
+// arbitrary (possibly ill-typed) Go source: building the graph and its
+// summaries never panics, and building twice from independent parses of the
+// same source produces byte-identical dumps. Type checking runs without an
+// importer and with errors tolerated, so the engine must cope with partial
+// type information — the same resilience the driver needs when the source
+// importer falls over mid-package.
+func FuzzSummaries(f *testing.F) {
+	f.Add(`package p
+import "sync"
+type s struct{ mu sync.Mutex }
+func a(x *s) { x.mu.Lock(); b(x); x.mu.Unlock() }
+func b(x *s) { x.mu.Lock(); x.mu.Unlock() }
+`)
+	f.Add(`package p
+func rec(n int) { if n > 0 { rec(n - 1) } }
+func chans(ch chan int) { ch <- 1; <-ch }
+`)
+	f.Add(`package p
+type h struct{ fn func() }
+func set(x *h) { x.fn = func() { set(x) } }
+func call(x *h) { x.fn() }
+func spawn() { go call(nil); defer call(nil) }
+`)
+	f.Fuzz(func(t *testing.T, src string) {
+		g1 := buildFromSource(src)
+		g2 := buildFromSource(src)
+		if g1 == nil || g2 == nil {
+			t.Skip("unparseable input")
+		}
+		if g1.Dump() != g2.Dump() {
+			t.Errorf("nondeterministic summaries for source:\n%s\n--- first ---\n%s\n--- second ---\n%s",
+				src, g1.Dump(), g2.Dump())
+		}
+	})
+}
+
+// buildFromSource parses and loosely type-checks src (errors tolerated, no
+// importer) and builds a graph, or returns nil when parsing fails outright.
+func buildFromSource(src string) *callgraph.Graph {
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "fuzz.go", src, parser.ParseComments)
+	if err != nil || file == nil {
+		return nil
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{
+		Error:                    func(error) {}, // keep going on type errors
+		DisableUnusedImportCheck: true,
+	}
+	tpkg, _ := conf.Check("fuzz", fset, []*ast.File{file}, info)
+	pkg := &lint.Package{PkgPath: "fuzz", Fset: fset, Files: []*ast.File{file}, Types: tpkg, Info: info}
+	return callgraph.New([]*lint.Package{pkg})
+}

@@ -1,0 +1,918 @@
+package callgraph
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"github.com/tardisdb/tardis/tools/tardislint/internal/lint"
+)
+
+// LockID identifies a mutex with per-type granularity: "pkg/path.Type.field"
+// for struct-field mutexes (every instance of the type shares the identity,
+// which is what lock-order analysis wants), "pkg/path.name" for package-level
+// mutexes, and "funcID$name" for function-local ones.
+type LockID string
+
+// Edge is one observed lock-acquisition ordering: some goroutine acquires To
+// while already holding From. Chain is the witnessing call chain, starting in
+// the function that held From and ending at the statement that locks To.
+type Edge struct {
+	From, To LockID
+	// FromDisplay/ToDisplay are the short names used in diagnostics.
+	FromDisplay, ToDisplay string
+	Chain                  []lint.Step
+}
+
+// Block is one blocking operation reachable from a function.
+type Block struct {
+	// Op describes the operation ("channel receive", "sync.WaitGroup.Wait",
+	// "net/rpc synchronous Call", ...).
+	Op string
+	// Chain leads from the summarized function to the operation; the first
+	// step is in the function itself.
+	Chain []lint.Step
+	// Governed reports that the operation is cancellable through the
+	// summarized function's own context (a select with a <-ctx.Done() case,
+	// or a context-taking primitive that received a derived context).
+	// Governed operations become ungoverned in callers that fail to forward
+	// their context.
+	Governed bool
+}
+
+// Summary is the interprocedural abstract of one function.
+type Summary struct {
+	// Acquires maps every lock the function may take — directly or through
+	// any callee chain, excluding goroutines it spawns — to one witnessing
+	// call chain ending at the Lock call.
+	Acquires map[LockID][]lint.Step
+	// AcquireDisplay maps the same locks to their display names.
+	AcquireDisplay map[LockID]string
+	// ExitHeld lists locks still held when the function returns (a lock
+	// helper pattern), sorted.
+	ExitHeld []LockID
+	// Blocks lists blocking operations reached without spawning a goroutine,
+	// deduplicated by (operation, final position).
+	Blocks []Block
+}
+
+func (s *Summary) dump() string {
+	var sb strings.Builder
+	for _, id := range sortedLockIDs(s.Acquires) {
+		fmt.Fprintf(&sb, "  acquires %s via %s\n", id, RenderChain(s.Acquires[id]))
+	}
+	for _, id := range s.ExitHeld {
+		fmt.Fprintf(&sb, "  exit-held %s\n", id)
+	}
+	for _, blk := range s.Blocks {
+		fmt.Fprintf(&sb, "  blocks %s governed=%v via %s\n", blk.Op, blk.Governed, RenderChain(blk.Chain))
+	}
+	return sb.String()
+}
+
+func sortedLockIDs(m map[LockID][]lint.Step) []LockID {
+	ids := make([]LockID, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// RenderChain renders a call chain as "fn (file:line) -> ...".
+func RenderChain(chain []lint.Step) string {
+	parts := make([]string, len(chain))
+	for i, st := range chain {
+		parts[i] = fmt.Sprintf("%s (%s:%d)", st.Func, st.Pos.Filename, st.Pos.Line)
+	}
+	return strings.Join(parts, " -> ")
+}
+
+// maxChain bounds witness chains so recursive cycles cannot grow them
+// without bound.
+const maxChain = 16
+
+// --- root info: context taint and buffered channels -------------------------
+
+// computeRoot computes the shared taint/buffered sets for a top-level
+// function and all literals nested in it. Taint seeds from context.Context
+// parameters anywhere in the tree and propagates through assignments: any
+// value produced from an expression that mentions a tainted object is itself
+// tainted. Over-tainting is safe — it only makes the analysis less likely to
+// report.
+func computeRoot(root *Node) {
+	ri := &rootInfo{tainted: map[types.Object]bool{}, buffered: map[types.Object]bool{}}
+	var assign func(n *Node)
+	assign = func(n *Node) {
+		n.root = ri
+		for _, v := range n.paramVars {
+			if v != nil && isCtxType(v.Type()) {
+				ri.tainted[v] = true
+			}
+		}
+		for _, c := range n.children {
+			assign(c)
+		}
+	}
+	assign(root)
+	body := root.Body()
+	if body == nil {
+		return
+	}
+	pkg := root.Pkg
+	taintLhs := func(e ast.Expr) {
+		if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+			if obj := pkg.Info.Defs[id]; obj != nil {
+				ri.tainted[obj] = true
+			} else if obj := pkg.Info.Uses[id]; obj != nil {
+				ri.tainted[obj] = true
+			}
+		}
+	}
+	for iter := 0; iter < 8; iter++ {
+		before := len(ri.tainted)
+		ast.Inspect(body, func(x ast.Node) bool {
+			switch s := x.(type) {
+			case *ast.AssignStmt:
+				if len(s.Lhs) == len(s.Rhs) {
+					for i := range s.Lhs {
+						markBuffered(pkg, ri, s.Lhs[i], s.Rhs[i])
+						if mentionsTainted(pkg, ri, s.Rhs[i]) {
+							taintLhs(s.Lhs[i])
+						}
+					}
+				} else if len(s.Rhs) == 1 && mentionsTainted(pkg, ri, s.Rhs[0]) {
+					for _, l := range s.Lhs {
+						taintLhs(l)
+					}
+				}
+			case *ast.ValueSpec:
+				for i, name := range s.Names {
+					if i < len(s.Values) {
+						markBuffered(pkg, ri, name, s.Values[i])
+						if mentionsTainted(pkg, ri, s.Values[i]) {
+							taintLhs(name)
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				if mentionsTainted(pkg, ri, s.X) {
+					if s.Key != nil {
+						taintLhs(s.Key)
+					}
+					if s.Value != nil {
+						taintLhs(s.Value)
+					}
+				}
+			}
+			return true
+		})
+		if len(ri.tainted) == before {
+			break
+		}
+	}
+}
+
+// markBuffered records channels created with a two-argument make (capacity
+// expressions are assumed non-zero: the repo never writes make(chan T, 0)),
+// so sends on them are not treated as blocking.
+func markBuffered(pkg *lint.Package, ri *rootInfo, lhs, rhs ast.Expr) {
+	call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return
+	}
+	fn, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || fn.Name != "make" {
+		return
+	}
+	if _, ok := pkg.Info.Uses[fn].(*types.Builtin); !ok {
+		return
+	}
+	if t := pkg.TypeOf(call.Args[0]); t == nil || !isChan(t) {
+		return
+	}
+	if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+		if obj := pkg.Info.Defs[id]; obj != nil {
+			ri.buffered[obj] = true
+		}
+	}
+}
+
+func isChan(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+func mentionsTainted(pkg *lint.Package, ri *rootInfo, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(x ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := x.(*ast.Ident); ok {
+			obj := pkg.Info.Uses[id]
+			if obj == nil {
+				obj = pkg.Info.Defs[id]
+			}
+			if obj != nil && ri.tainted[obj] {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// markCtxForwarding sets Site.CtxFwd: a context.Context-typed argument whose
+// value derives from the caller's own context parameter.
+func markCtxForwarding(n *Node) {
+	if n.root == nil {
+		return
+	}
+	for _, site := range n.Sites {
+		for _, arg := range site.Call.Args {
+			if isCtxType(n.Pkg.TypeOf(arg)) && mentionsTainted(n.Pkg, n.root, arg) {
+				site.CtxFwd = true
+				break
+			}
+		}
+	}
+}
+
+// isBuffered reports whether ch is a channel known to have capacity.
+func isBuffered(pkg *lint.Package, ri *rootInfo, ch ast.Expr) bool {
+	if ri == nil {
+		return false
+	}
+	id, ok := ast.Unparen(ch).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := pkg.Info.Uses[id]
+	if obj == nil {
+		obj = pkg.Info.Defs[id]
+	}
+	return obj != nil && ri.buffered[obj]
+}
+
+// isDoneOfTainted reports whether e is <receive-operand> ctx.Done() for a
+// derived context — the canonical cancellation wait.
+func isDoneOfTainted(pkg *lint.Package, ri *rootInfo, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Done" {
+		return false
+	}
+	if !isCtxType(pkg.TypeOf(sel.X)) {
+		return false
+	}
+	return ri != nil && mentionsTainted(pkg, ri, sel.X)
+}
+
+// blockingExt maps full names of well-known blocking primitives outside the
+// graph to diagnostic descriptions. Context-taking primitives (DialContext
+// and friends) are governed when the site forwards a derived context, so they
+// are handled by the CtxFwd check, not listed here. Plain file I/O is
+// deliberately absent: disk reads are treated as bounded; the cancellable
+// surface is channels, waits, sleeps, dials, and synchronous RPC.
+var blockingExt = map[string]string{
+	"(*sync.WaitGroup).Wait":    "sync.WaitGroup.Wait",
+	"(*sync.Cond).Wait":         "sync.Cond.Wait",
+	"time.Sleep":                "time.Sleep",
+	"(*net/rpc.Client).Call":    "net/rpc synchronous Call",
+	"net.Dial":                  "net.Dial",
+	"net.DialTimeout":           "net.DialTimeout",
+	"(*net.Dialer).Dial":        "net.Dialer.Dial",
+	"(*os.Process).Wait":        "os.Process.Wait",
+	"(*net.TCPListener).Accept": "net.Listener.Accept",
+}
+
+// ctxAwareExt lists external primitives that honor a forwarded context; a
+// call that forwards a derived context to one of these is governed (recorded
+// so callers that later drop the context inherit the blocking op).
+var ctxAwareExt = map[string]string{
+	"(*net.Dialer).DialContext": "net.Dialer.DialContext",
+}
+
+// --- summarization ----------------------------------------------------------
+
+// summarize computes all node summaries bottom-up over SCCs of the call
+// graph, iterating each SCC to a fixpoint (recursion), then leaves the
+// collected lock-order edges on the graph.
+func summarize(g *Graph) {
+	for _, scc := range sccs(g) {
+		for iter := 0; iter < 10; iter++ {
+			changed := false
+			for _, n := range scc {
+				before := fingerprint(&n.Summary)
+				walkNode(g, n)
+				if fingerprint(&n.Summary) != before {
+					changed = true
+				}
+			}
+			if !changed {
+				break
+			}
+		}
+	}
+}
+
+// fingerprint captures the monotone part of a summary for fixpoint
+// detection; witness chains are first-wins and never change once set.
+func fingerprint(s *Summary) string {
+	var sb strings.Builder
+	for _, id := range sortedLockIDs(s.Acquires) {
+		sb.WriteString(string(id))
+		sb.WriteByte('\n')
+	}
+	sb.WriteByte('|')
+	for _, id := range s.ExitHeld {
+		sb.WriteString(string(id))
+		sb.WriteByte('\n')
+	}
+	sb.WriteByte('|')
+	for _, b := range s.Blocks {
+		fmt.Fprintf(&sb, "%s@%s:%d:%v\n", b.Op, b.Chain[len(b.Chain)-1].Pos.Filename, b.Chain[len(b.Chain)-1].Pos.Line, b.Governed)
+	}
+	return sb.String()
+}
+
+// sccs returns the strongly connected components of the call graph in
+// reverse topological order (callees before callers), via iterative Tarjan.
+func sccs(g *Graph) [][]*Node {
+	index := map[*Node]int{}
+	low := map[*Node]int{}
+	onStack := map[*Node]bool{}
+	var stack []*Node
+	var out [][]*Node
+	next := 0
+
+	type frame struct {
+		n  *Node
+		ci int // next callee index into succ
+	}
+	succOf := func(n *Node) []*Node {
+		var out []*Node
+		for _, site := range n.Sites {
+			if site.Go {
+				continue // goroutine bodies are separate roots for ordering
+			}
+			out = append(out, site.Callees...)
+		}
+		return out
+	}
+	for _, start := range g.order {
+		if _, seen := index[start]; seen {
+			continue
+		}
+		var frames []frame
+		push := func(n *Node) {
+			index[n] = next
+			low[n] = next
+			next++
+			stack = append(stack, n)
+			onStack[n] = true
+			frames = append(frames, frame{n: n})
+		}
+		push(start)
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			succ := succOf(f.n)
+			if f.ci < len(succ) {
+				w := succ[f.ci]
+				f.ci++
+				if _, seen := index[w]; !seen {
+					push(w)
+				} else if onStack[w] {
+					if index[w] < low[f.n] {
+						low[f.n] = index[w]
+					}
+				}
+				continue
+			}
+			n := f.n
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := frames[len(frames)-1].n
+				if low[n] < low[p] {
+					low[p] = low[n]
+				}
+			}
+			if low[n] == index[n] {
+				var comp []*Node
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == n {
+						break
+					}
+				}
+				sort.Slice(comp, func(i, j int) bool { return comp[i].ID < comp[j].ID })
+				out = append(out, comp)
+			}
+		}
+	}
+	return out
+}
+
+// walker computes one node's summary with a linear source-order walk,
+// branch-sensitive for the held-lock set (branches walk on a copy; the sets
+// are intersected at the join, so a lock taken on only one path does not
+// leak into the fallthrough state — edges observed inside the branch are
+// still recorded).
+type walker struct {
+	g    *Graph
+	n    *Node
+	held []LockID
+	// display names for held locks, parallel to held.
+	heldDisp  map[LockID]string
+	deferred  map[LockID]bool
+	sum       *Summary
+	blockSeen map[string]bool
+}
+
+func walkNode(g *Graph, n *Node) {
+	w := &walker{
+		g:         g,
+		n:         n,
+		heldDisp:  map[LockID]string{},
+		deferred:  map[LockID]bool{},
+		sum:       &Summary{Acquires: map[LockID][]lint.Step{}, AcquireDisplay: map[LockID]string{}},
+		blockSeen: map[string]bool{},
+	}
+	if body := n.Body(); body != nil {
+		w.stmts(body.List)
+	}
+	var exit []LockID
+	for _, id := range w.held {
+		if !w.deferred[id] {
+			exit = append(exit, id)
+		}
+	}
+	sort.Slice(exit, func(i, j int) bool { return exit[i] < exit[j] })
+	w.sum.ExitHeld = exit
+	n.Summary = *w.sum
+}
+
+func (w *walker) step(pos token.Pos) lint.Step {
+	return lint.Step{Func: w.n.Display, Pos: w.n.Pkg.Fset.Position(pos)}
+}
+
+func (w *walker) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		w.stmt(s)
+	}
+}
+
+// withHeldCopy runs fn against a copy of the held set and returns the
+// resulting set, restoring the original.
+func (w *walker) withHeldCopy(fn func()) []LockID {
+	saved := append([]LockID(nil), w.held...)
+	fn()
+	result := w.held
+	w.held = saved
+	return result
+}
+
+func intersect(a, b []LockID) []LockID {
+	inB := map[LockID]bool{}
+	for _, id := range b {
+		inB[id] = true
+	}
+	var out []LockID
+	for _, id := range a {
+		if inB[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func (w *walker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.ExprStmt:
+		w.expr(s.X)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.expr(e)
+		}
+		for _, e := range s.Lhs {
+			w.expr(e)
+		}
+	case *ast.SendStmt:
+		w.expr(s.Value)
+		w.send(s)
+	case *ast.IncDecStmt:
+		w.expr(s.X)
+	case *ast.GoStmt:
+		// Arguments are evaluated on the caller's goroutine; the call
+		// itself runs elsewhere and is excluded from ordering and blocking.
+		for _, a := range s.Call.Args {
+			w.expr(a)
+		}
+	case *ast.DeferStmt:
+		if op, id, _ := w.lockOpOf(s.Call); op == "Unlock" || op == "RUnlock" {
+			w.deferred[id] = true
+			return
+		}
+		w.call(s.Call)
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.expr(e)
+		}
+	case *ast.BlockStmt:
+		w.stmts(s.List)
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt)
+	case *ast.IfStmt:
+		w.stmt(s.Init)
+		w.expr(s.Cond)
+		thenHeld := w.withHeldCopy(func() { w.stmts(s.Body.List) })
+		elseHeld := w.withHeldCopy(func() { w.stmt(s.Else) })
+		w.held = intersect(thenHeld, elseHeld)
+	case *ast.ForStmt:
+		w.stmt(s.Init)
+		w.expr(s.Cond)
+		entry := append([]LockID(nil), w.held...)
+		bodyHeld := w.withHeldCopy(func() {
+			w.stmts(s.Body.List)
+			w.stmt(s.Post)
+		})
+		w.held = intersect(entry, bodyHeld)
+	case *ast.RangeStmt:
+		w.expr(s.X)
+		entry := append([]LockID(nil), w.held...)
+		bodyHeld := w.withHeldCopy(func() { w.stmts(s.Body.List) })
+		w.held = intersect(entry, bodyHeld)
+	case *ast.SwitchStmt:
+		w.stmt(s.Init)
+		w.expr(s.Tag)
+		w.caseBodies(s.Body)
+	case *ast.TypeSwitchStmt:
+		w.stmt(s.Init)
+		w.stmt(s.Assign)
+		w.caseBodies(s.Body)
+	case *ast.SelectStmt:
+		w.selectStmt(s)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.expr(v)
+					}
+				}
+			}
+		}
+	case *ast.BranchStmt, *ast.EmptyStmt:
+	}
+}
+
+// caseBodies walks each clause on a copy of the held set and intersects the
+// results (with the entry state, since no clause may match).
+func (w *walker) caseBodies(body *ast.BlockStmt) {
+	merged := append([]LockID(nil), w.held...)
+	for _, c := range body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			w.expr(e)
+		}
+		after := w.withHeldCopy(func() { w.stmts(cc.Body) })
+		merged = intersect(merged, after)
+	}
+	w.held = merged
+}
+
+// expr walks an expression, handling calls and raw channel receives; nested
+// function literals are separate nodes and are not entered.
+func (w *walker) expr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			w.call(x)
+			return false
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				w.recv(x)
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// --- channel operations -----------------------------------------------------
+
+func (w *walker) send(s *ast.SendStmt) {
+	w.expr(s.Chan)
+	if isBuffered(w.n.Pkg, w.n.root, s.Chan) {
+		return
+	}
+	w.addBlock(Block{Op: "channel send", Chain: []lint.Step{w.step(s.Arrow)}})
+}
+
+func (w *walker) recv(u *ast.UnaryExpr) {
+	if isDoneOfTainted(w.n.Pkg, w.n.root, u.X) {
+		// Waiting for cancellation is itself governed.
+		w.addBlock(Block{Op: "wait for ctx.Done", Chain: []lint.Step{w.step(u.OpPos)}, Governed: true})
+		return
+	}
+	w.expr(u.X)
+	w.addBlock(Block{Op: "channel receive", Chain: []lint.Step{w.step(u.OpPos)}})
+}
+
+// selectStmt classifies a select: a default case makes it non-blocking; a
+// <-ctx.Done() case for a derived context makes it governed; otherwise it is
+// an ungoverned blocking point. Communication operands inside the clauses
+// are not reported individually.
+func (w *walker) selectStmt(s *ast.SelectStmt) {
+	hasDefault := false
+	hasCancel := false
+	for _, c := range s.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		if cc.Comm == nil {
+			hasDefault = true
+			continue
+		}
+		if recvExpr := commRecvOperand(cc.Comm); recvExpr != nil && isDoneOfTainted(w.n.Pkg, w.n.root, recvExpr) {
+			hasCancel = true
+		}
+	}
+	switch {
+	case hasDefault:
+	case hasCancel:
+		w.addBlock(Block{Op: "select with cancellation case", Chain: []lint.Step{w.step(s.Select)}, Governed: true})
+	default:
+		w.addBlock(Block{Op: "select with no cancellation case", Chain: []lint.Step{w.step(s.Select)}})
+	}
+	merged := append([]LockID(nil), w.held...)
+	for _, c := range s.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		after := w.withHeldCopy(func() { w.stmts(cc.Body) })
+		merged = intersect(merged, after)
+	}
+	w.held = merged
+}
+
+// commRecvOperand extracts the channel-producing expression of a receive
+// comm clause statement, or nil.
+func commRecvOperand(s ast.Stmt) ast.Expr {
+	var e ast.Expr
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		e = s.X
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			e = s.Rhs[0]
+		}
+	}
+	u, ok := ast.Unparen(e).(*ast.UnaryExpr)
+	if !ok || u.Op != token.ARROW {
+		return nil
+	}
+	return u.X
+}
+
+// --- calls and locks --------------------------------------------------------
+
+// lockOpOf recognizes <expr>.Lock / RLock / Unlock / RUnlock on sync.Mutex
+// or sync.RWMutex (directly or through an embedded field) and returns the
+// operation name, the per-type lock identity, and its display name.
+func (w *walker) lockOpOf(call *ast.CallExpr) (op string, id LockID, display string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", "", ""
+	}
+	op = sel.Sel.Name
+	switch op {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", ""
+	}
+	pkg := w.n.Pkg
+	selection := pkg.Info.Selections[sel]
+	if selection == nil || selection.Kind() != types.MethodVal {
+		return "", "", ""
+	}
+	fn, _ := selection.Obj().(*types.Func)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", ""
+	}
+	id, display = w.lockIdentity(sel.X)
+	return op, id, display
+}
+
+// lockIdentity derives the per-type identity of a mutex expression.
+func (w *walker) lockIdentity(mu ast.Expr) (LockID, string) {
+	pkg := w.n.Pkg
+	switch m := ast.Unparen(mu).(type) {
+	case *ast.SelectorExpr:
+		if sel := pkg.Info.Selections[m]; sel != nil && sel.Kind() == types.FieldVal {
+			if key := fieldKeyOfSelection(sel); key != "" {
+				if named, ok := types.Unalias(lint.Deref(sel.Recv())).(*types.Named); ok {
+					return LockID(key), named.Obj().Name() + "." + sel.Obj().Name()
+				}
+				return LockID(key), key
+			}
+		}
+		// Qualified package-level mutex (pkg.mu).
+		if obj := pkg.Info.Uses[m.Sel]; obj != nil && obj.Pkg() != nil {
+			return LockID(obj.Pkg().Path() + "." + obj.Name()), shortPkg(obj.Pkg().Path()) + "." + obj.Name()
+		}
+	case *ast.Ident:
+		obj := pkg.Info.Uses[m]
+		if obj == nil {
+			obj = pkg.Info.Defs[m]
+		}
+		if obj != nil {
+			if obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+				return LockID(obj.Pkg().Path() + "." + obj.Name()), shortPkg(obj.Pkg().Path()) + "." + obj.Name()
+			}
+			// Function-local mutex: scope the identity to the root function
+			// so closures sharing the variable agree on it.
+			root := w.n
+			for root.Parent != nil {
+				root = root.Parent
+			}
+			return LockID(root.ID + "$" + obj.Name()), root.Display + "/" + obj.Name()
+		}
+	}
+	// Embedded mutex (x.Lock() with x not itself a mutex) or an exotic
+	// expression: fall back to the receiver's type identity.
+	if t := pkg.TypeOf(mu); t != nil {
+		if named, ok := types.Unalias(lint.Deref(t)).(*types.Named); ok && named.Obj().Pkg() != nil && named.Obj().Pkg().Path() != "sync" {
+			return LockID(typeID(named) + ".Mutex"), named.Obj().Name() + ".Mutex"
+		}
+	}
+	return LockID("mutex@" + w.n.ID), w.n.Display + "/mutex"
+}
+
+func (w *walker) acquire(id LockID, display string, pos token.Pos) {
+	st := w.step(pos)
+	for _, h := range w.held {
+		w.addEdge(h, id, display, []lint.Step{st})
+	}
+	if _, ok := w.sum.Acquires[id]; !ok {
+		w.sum.Acquires[id] = []lint.Step{st}
+		w.sum.AcquireDisplay[id] = display
+	}
+	for _, h := range w.held {
+		if h == id {
+			return
+		}
+	}
+	w.held = append(w.held, id)
+	w.heldDisp[id] = display
+}
+
+func (w *walker) release(id LockID) {
+	for i := len(w.held) - 1; i >= 0; i-- {
+		if w.held[i] == id {
+			w.held = append(w.held[:i], w.held[i+1:]...)
+			return
+		}
+	}
+}
+
+func (w *walker) addEdge(from, to LockID, toDisplay string, chain []lint.Step) {
+	if from == to {
+		// Same per-type identity re-acquired while held: intraprocedural
+		// self-deadlock is lockflow's domain, and across instances of one
+		// type this is usually two distinct mutexes; skip.
+		return
+	}
+	key := [2]LockID{from, to}
+	if _, ok := w.g.edges[key]; ok {
+		return
+	}
+	e := &Edge{From: from, To: to, FromDisplay: w.heldDisp[from], ToDisplay: toDisplay, Chain: chain}
+	if e.FromDisplay == "" {
+		e.FromDisplay = string(from)
+	}
+	w.g.edges[key] = e
+	w.g.edgeOrder = append(w.g.edgeOrder, e)
+}
+
+func (w *walker) addBlock(b Block) {
+	last := b.Chain[len(b.Chain)-1]
+	key := fmt.Sprintf("%s@%s:%d", b.Op, last.Pos.Filename, last.Pos.Line)
+	if w.blockSeen[key] {
+		return
+	}
+	w.blockSeen[key] = true
+	w.sum.Blocks = append(w.sum.Blocks, b)
+}
+
+func (w *walker) call(call *ast.CallExpr) {
+	if op, id, display := w.lockOpOf(call); op != "" {
+		w.expr(funReceiver(call))
+		switch op {
+		case "Lock", "RLock":
+			w.acquire(id, display, call.Lparen)
+		case "Unlock", "RUnlock":
+			w.release(id)
+		}
+		return
+	}
+	// Arguments and the function expression may contain nested calls.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		w.expr(sel.X)
+	}
+	for _, a := range call.Args {
+		w.expr(a)
+	}
+	site := w.n.siteOf[call]
+	if site == nil || site.Go {
+		return
+	}
+	st := w.step(call.Lparen)
+	for _, callee := range site.Callees {
+		cs := &callee.Summary
+		// Lock-order edges and transitive acquires.
+		for _, id := range sortedLockIDs(cs.Acquires) {
+			chain := prefixChain(st, cs.Acquires[id])
+			for _, h := range w.held {
+				w.addEdge(h, id, cs.AcquireDisplay[id], chain)
+			}
+			if _, ok := w.sum.Acquires[id]; !ok {
+				w.sum.Acquires[id] = chain
+				w.sum.AcquireDisplay[id] = cs.AcquireDisplay[id]
+			}
+		}
+		// Lock helpers: locks the callee leaves held are held here now.
+		for _, id := range cs.ExitHeld {
+			already := false
+			for _, h := range w.held {
+				if h == id {
+					already = true
+					break
+				}
+			}
+			if !already {
+				w.held = append(w.held, id)
+				w.heldDisp[id] = cs.AcquireDisplay[id]
+			}
+		}
+		// Blocking operations. Forwarding a derived context to a
+		// context-aware callee delegates responsibility to it (it reports
+		// its own ungoverned operations); any other call inherits them,
+		// and the callee's governed operations lose their governance when
+		// the context is dropped.
+		if callee.HasCtx() && site.CtxFwd {
+			continue
+		}
+		for _, blk := range cs.Blocks {
+			w.addBlock(Block{Op: blk.Op, Chain: prefixChain(st, blk.Chain)})
+		}
+	}
+	for _, ext := range site.Ext {
+		if desc, ok := blockingExt[ext]; ok {
+			w.addBlock(Block{Op: desc, Chain: []lint.Step{st}})
+		} else if desc, ok := ctxAwareExt[ext]; ok {
+			w.addBlock(Block{Op: desc, Chain: []lint.Step{st}, Governed: site.CtxFwd})
+		}
+	}
+}
+
+// funReceiver returns the receiver expression of a method call, or nil.
+func funReceiver(call *ast.CallExpr) ast.Expr {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr); ok {
+			return inner.X
+		}
+	}
+	return nil
+}
+
+func prefixChain(st lint.Step, chain []lint.Step) []lint.Step {
+	out := make([]lint.Step, 0, len(chain)+1)
+	out = append(out, st)
+	out = append(out, chain...)
+	if len(out) > maxChain {
+		out = out[:maxChain]
+	}
+	return out
+}

@@ -1,0 +1,45 @@
+// Package recurse seeds mutual recursion with lock acquisitions on both
+// sides, so the SCC fixpoint must propagate each function's locks into the
+// other's summary.
+package recurse
+
+import "sync"
+
+type left struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+type right struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+func ping(l *left, r *right, n int) {
+	if n == 0 {
+		return
+	}
+	l.mu.Lock()
+	l.n++
+	l.mu.Unlock()
+	pong(l, r, n-1)
+}
+
+func pong(l *left, r *right, n int) {
+	r.mu.Lock()
+	r.n++
+	r.mu.Unlock()
+	ping(l, r, n-1)
+}
+
+// helper returns with the lock held; callers inherit it.
+func (l *left) acquireHeld() {
+	l.mu.Lock()
+}
+
+func holdsAcross(l *left, r *right) {
+	l.acquireHeld()
+	defer l.mu.Unlock()
+	r.mu.Lock()
+	r.mu.Unlock()
+}

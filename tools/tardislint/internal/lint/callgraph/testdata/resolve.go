@@ -1,0 +1,36 @@
+// Package resolve exercises every call-resolution mode of the callgraph
+// builder: static calls, concrete-receiver methods, closures through local
+// variables, callbacks stored in struct fields, and callbacks passed as
+// arguments.
+package resolve
+
+type handler struct {
+	fn func()
+}
+
+func target() {}
+
+func caller() { target() }
+
+type T struct{ n int }
+
+func (t *T) m() { t.n++ }
+
+func methodCall(t *T) { t.m() }
+
+func closureCall() {
+	f := func() {}
+	f()
+}
+
+func storeField(h *handler) { h.fn = target }
+
+func callField(h *handler) { h.fn() }
+
+func takesCb(cb func()) { cb() }
+
+func passesCb() { takesCb(target) }
+
+func immediate() {
+	func() { target() }()
+}

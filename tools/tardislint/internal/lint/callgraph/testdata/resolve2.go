@@ -1,0 +1,8 @@
+package resolve
+
+// chainTop adds a second file to the package so the determinism test can
+// permute file order.
+func chainTop(h *handler) {
+	caller()
+	callField(h)
+}

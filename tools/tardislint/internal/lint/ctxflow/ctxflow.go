@@ -1,0 +1,64 @@
+// Package ctxflow flags functions that receive a context.Context but can
+// reach a blocking operation — a raw channel send or receive, a select with
+// no cancellation case, sync.WaitGroup.Wait, time.Sleep, a synchronous
+// net/rpc call, a context-less dial — through some call path that never
+// forwards the context. That is the bug shape that silently turns a
+// deadline-bounded query into an unbounded hang: the deadline is plumbed to
+// the entry point and then dropped two frames down.
+//
+// The analysis is built on the callgraph summaries:
+//
+//   - only functions whose own parameter list includes a context.Context are
+//     reported — a context-less helper is the responsibility of whichever
+//     context-holding caller reaches it, and the finding appears at that
+//     caller's call site with the full chain;
+//   - an operation is governed (not reported) when it is a select with a
+//     <-ctx.Done() case on a context derived from the parameter, or a
+//     context-aware primitive that received a derived context;
+//   - forwarding a derived context to a callee that itself takes a context
+//     delegates responsibility to the callee; calling it with
+//     context.Background() (or any underived context) severs cancellation,
+//     so the callee's governed operations are reported at the dropping call
+//     site;
+//   - `go f()` does not propagate: the spawner does not block in f.
+//
+// Disk reads are deliberately out of scope: the cancellable surface is
+// channels, waits, sleeps, dials, and RPC.
+package ctxflow
+
+import (
+	"fmt"
+
+	"github.com/tardisdb/tardis/tools/tardislint/internal/lint"
+	"github.com/tardisdb/tardis/tools/tardislint/internal/lint/callgraph"
+)
+
+// Pass is the ctxflow analyzer.
+var Pass = lint.Pass{
+	Name:       "ctxflow",
+	Doc:        "blocking operations reached from ctx-taking functions without forwarding cancellation",
+	RunProgram: run,
+}
+
+func run(pkgs []*lint.Package) []lint.Finding {
+	g := callgraph.Build(pkgs)
+	var out []lint.Finding
+	for _, n := range g.Nodes() {
+		if !n.HasCtx() {
+			continue
+		}
+		for _, blk := range n.Summary.Blocks {
+			if blk.Governed {
+				continue
+			}
+			f := lint.Finding{Pos: blk.Chain[0].Pos, Chain: blk.Chain}
+			if len(blk.Chain) == 1 {
+				f.Message = fmt.Sprintf("ctx is in scope but %s blocks without a cancellation path (select on <-ctx.Done() or use a ctx-aware variant)", blk.Op)
+			} else {
+				f.Message = fmt.Sprintf("ctx is dropped on the path to %s: %s", blk.Op, callgraph.RenderChain(blk.Chain))
+			}
+			out = append(out, f)
+		}
+	}
+	return out
+}

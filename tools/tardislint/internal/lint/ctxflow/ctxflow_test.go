@@ -1,0 +1,41 @@
+package ctxflow_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/tardisdb/tardis/tools/tardislint/internal/lint"
+	"github.com/tardisdb/tardis/tools/tardislint/internal/lint/ctxflow"
+	"github.com/tardisdb/tardis/tools/tardislint/internal/lint/linttest"
+)
+
+func TestFixture(t *testing.T) {
+	linttest.Check(t, ctxflow.Pass, "fixture", "testdata/fixture.go")
+}
+
+// TestTwoFramesDeep locks the chain rendering for the ctx-dropped-two-
+// frames-deep shape: the finding names every hop down to the receive.
+func TestTwoFramesDeep(t *testing.T) {
+	pkg, err := lint.NewLoader().LoadFiles("fixture", "testdata/fixture.go")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	findings := lint.Run([]lint.Pass{ctxflow.Pass}, []*lint.Package{pkg})
+	var outer *lint.Finding
+	for i, f := range findings {
+		if strings.Contains(f.Message, "fixture.Outer") {
+			outer = &findings[i]
+		}
+	}
+	if outer == nil {
+		t.Fatalf("no finding with the Outer chain among:\n%v", findings)
+	}
+	for _, want := range []string{"fixture.Outer", "fixture.middle", "fixture.inner", "channel receive"} {
+		if !strings.Contains(outer.Message, want) {
+			t.Errorf("Outer finding missing %q:\n%s", want, outer.Message)
+		}
+	}
+	if len(outer.Chain) != 3 {
+		t.Errorf("Outer chain has %d steps, want 3: %v", len(outer.Chain), outer.Chain)
+	}
+}

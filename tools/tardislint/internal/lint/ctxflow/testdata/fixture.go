@@ -1,0 +1,86 @@
+// Package fixture seeds the context-propagation violations the ctxflow pass
+// must flag, next to the governed forms that must stay clean. WANT markers
+// sit where the finding anchors: the blocking operation itself when it is in
+// the ctx-taking function, or the call site where the context is dropped.
+package fixture
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// WaitRaw blocks on a bare receive with ctx in scope.
+func WaitRaw(ctx context.Context, ch chan int) int {
+	return <-ch // WANT
+}
+
+// WaitGuarded is the governed form: the select carries a cancellation case.
+func WaitGuarded(ctx context.Context, ch chan int) (int, error) {
+	select {
+	case v := <-ch:
+		return v, nil
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+}
+
+// Outer drops ctx two frames above the blocking receive: the finding lands
+// on the call that enters the context-less chain.
+func Outer(ctx context.Context, ch chan int) {
+	middle(ch) // WANT
+}
+
+func middle(ch chan int) { inner(ch) }
+
+func inner(ch chan int) { <-ch }
+
+// Drop severs cancellation by handing a fresh Background context to a
+// callee whose blocking select is only governed by the context it receives.
+func Drop(ctx context.Context, ch chan int) {
+	WaitGuarded(context.Background(), ch) // WANT
+}
+
+// Forward delegates correctly: the callee takes over responsibility.
+func Forward(ctx context.Context, ch chan int) {
+	if _, err := WaitGuarded(ctx, ch); err != nil {
+		return
+	}
+}
+
+// Join blocks on a WaitGroup, which no context can interrupt.
+func Join(ctx context.Context, wg *sync.WaitGroup) {
+	wg.Wait() // WANT
+}
+
+// Spawn does not block: the receive happens on the spawned goroutine.
+func Spawn(ctx context.Context, ch chan int) {
+	go inner(ch)
+}
+
+// Send blocks on an unbuffered send.
+func Send(ctx context.Context, ch chan int) {
+	ch <- 1 // WANT
+}
+
+// Buffered sends on a channel with known capacity: never blocks.
+func Buffered(ctx context.Context, n int) chan int {
+	out := make(chan int, 1)
+	out <- n
+	return out
+}
+
+// Nap sleeps with ctx in scope.
+func Nap(ctx context.Context) {
+	time.Sleep(time.Millisecond) // WANT
+}
+
+// NapGuarded is the cancellable sleep.
+func NapGuarded(ctx context.Context) error {
+	select {
+	case <-time.After(time.Millisecond):
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

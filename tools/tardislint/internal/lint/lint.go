@@ -21,13 +21,25 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+	"time"
 )
+
+// Step is one hop of an interprocedural call chain attached to a finding:
+// the function the hop is in and the position of the call (or, for the last
+// hop, the operation itself).
+type Step struct {
+	Func string
+	Pos  token.Position
+}
 
 // Finding is one diagnostic produced by a pass.
 type Finding struct {
 	Pos     token.Position
 	Pass    string
 	Message string
+	// Chain is the witnessing call chain for interprocedural findings
+	// (lockorder, ctxflow); empty for intraprocedural passes.
+	Chain []Step
 }
 
 func (f Finding) String() string {
@@ -35,11 +47,15 @@ func (f Finding) String() string {
 }
 
 // Pass is one analyzer: a name for reporting and suppression, a one-line
-// doc string, and the analysis function itself.
+// doc string, and the analysis function itself. Exactly one of Run and
+// RunProgram is set: Run analyzes one package at a time; RunProgram runs
+// once over every loaded package (interprocedural passes that need the
+// whole-program call graph).
 type Pass struct {
-	Name string
-	Doc  string
-	Run  func(p *Package) []Finding
+	Name       string
+	Doc        string
+	Run        func(p *Package) []Finding
+	RunProgram func(pkgs []*Package) []Finding
 }
 
 // Package is a parsed, type-checked package ready for analysis.
@@ -114,61 +130,151 @@ func HasMethod(t types.Type, name string) bool {
 
 var ignoreRe = regexp.MustCompile(`^//tardislint:ignore\s+([\w,]+)`)
 
-// ignoreIndex maps filename -> line -> set of suppressed pass names. A
+// directive is one //tardislint:ignore comment, tracked so the suppresscheck
+// audit can report directives that no longer suppress anything.
+type directive struct {
+	pos    token.Position
+	passes []string
+	used   map[string]bool
+}
+
+// ignoreIndex maps filename -> line -> the directives covering that line. A
 // directive applies to its own line and the line below it, covering both
 // trailing comments and comments on the preceding line.
-type ignoreIndex map[string]map[int]map[string]bool
+type ignoreIndex struct {
+	at  map[string]map[int][]*directive
+	all []*directive
+}
 
-func (p *Package) buildIgnoreIndex() ignoreIndex {
-	idx := ignoreIndex{}
-	add := func(file string, line int, passes []string) {
-		if idx[file] == nil {
-			idx[file] = map[int]map[string]bool{}
-		}
-		for _, l := range []int{line, line + 1} {
-			if idx[file][l] == nil {
-				idx[file][l] = map[string]bool{}
-			}
-			for _, name := range passes {
-				idx[file][l][name] = true
-			}
-		}
-	}
-	for _, f := range p.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				m := ignoreRe.FindStringSubmatch(c.Text)
-				if m == nil {
-					continue
+func buildIgnoreIndex(pkgs []*Package) *ignoreIndex {
+	idx := &ignoreIndex{at: map[string]map[int][]*directive{}}
+	seen := map[string]bool{}
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := ignoreRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := p.Fset.Position(c.Pos())
+					key := fmt.Sprintf("%s:%d:%d", pos.Filename, pos.Line, pos.Column)
+					if seen[key] {
+						continue // files shared between package loads
+					}
+					seen[key] = true
+					d := &directive{pos: pos, passes: strings.Split(m[1], ","), used: map[string]bool{}}
+					idx.all = append(idx.all, d)
+					if idx.at[pos.Filename] == nil {
+						idx.at[pos.Filename] = map[int][]*directive{}
+					}
+					for _, l := range []int{pos.Line, pos.Line + 1} {
+						idx.at[pos.Filename][l] = append(idx.at[pos.Filename][l], d)
+					}
 				}
-				pos := p.Fset.Position(c.Pos())
-				add(pos.Filename, pos.Line, strings.Split(m[1], ","))
 			}
 		}
 	}
 	return idx
 }
 
-func (idx ignoreIndex) suppressed(pass string, pos token.Position) bool {
-	return idx[pos.Filename][pos.Line][pass]
-}
-
-// Run executes the passes over the packages, applies //tardislint:ignore
-// suppressions, and returns the surviving findings sorted by position.
-func Run(passes []Pass, pkgs []*Package) []Finding {
-	var out []Finding
-	for _, pkg := range pkgs {
-		idx := pkg.buildIgnoreIndex()
-		for _, pass := range passes {
-			for _, f := range pass.Run(pkg) {
-				f.Pass = pass.Name
-				if idx.suppressed(pass.Name, f.Pos) {
-					continue
-				}
-				out = append(out, f)
+// suppressed reports whether a finding at pos from pass is covered by a
+// directive, and marks the directive used.
+func (idx *ignoreIndex) suppressed(pass string, pos token.Position) bool {
+	hit := false
+	for _, d := range idx.at[pos.Filename][pos.Line] {
+		for _, name := range d.passes {
+			if name == pass {
+				d.used[pass] = true
+				hit = true
 			}
 		}
 	}
+	return hit
+}
+
+// PassTiming records how long one pass took across the whole run.
+type PassTiming struct {
+	Pass     string
+	Duration time.Duration
+}
+
+// Result is the outcome of one Analyze invocation.
+type Result struct {
+	// Findings are the surviving findings, sorted by position.
+	Findings []Finding
+	// Stale are suppresscheck audit findings: //tardislint:ignore
+	// directives naming a pass that ran but suppressed nothing.
+	Stale []Finding
+	// Timings report per-pass wall time, in pass order.
+	Timings []PassTiming
+}
+
+// Analyze executes the passes over the packages, applies //tardislint:ignore
+// suppressions, audits the suppressions that matched nothing, and records
+// per-pass timing. Package passes run per package; program passes run once
+// over the full package list.
+func Analyze(passes []Pass, pkgs []*Package) Result {
+	idx := buildIgnoreIndex(pkgs)
+	var out []Finding
+	elapsed := make([]time.Duration, len(passes))
+	collect := func(i int, pass Pass, fs []Finding) {
+		for _, f := range fs {
+			f.Pass = pass.Name
+			if idx.suppressed(pass.Name, f.Pos) {
+				continue
+			}
+			out = append(out, f)
+		}
+	}
+	for i, pass := range passes {
+		start := time.Now()
+		if pass.RunProgram != nil {
+			collect(i, pass, pass.RunProgram(pkgs))
+		} else {
+			for _, pkg := range pkgs {
+				collect(i, pass, pass.Run(pkg))
+			}
+		}
+		elapsed[i] += time.Since(start)
+	}
+	sortFindings(out)
+
+	res := Result{Findings: out}
+	for i, pass := range passes {
+		res.Timings = append(res.Timings, PassTiming{Pass: pass.Name, Duration: elapsed[i]})
+	}
+	ran := map[string]bool{}
+	for _, pass := range passes {
+		ran[pass.Name] = true
+	}
+	for _, d := range idx.all {
+		var stale []string
+		for _, name := range d.passes {
+			if ran[name] && !d.used[name] {
+				stale = append(stale, name)
+			}
+		}
+		if len(stale) > 0 {
+			res.Stale = append(res.Stale, Finding{
+				Pos:     d.pos,
+				Pass:    "suppresscheck",
+				Message: fmt.Sprintf("//tardislint:ignore %s no longer suppresses any finding; remove the stale directive", strings.Join(stale, ",")),
+			})
+		}
+	}
+	sortFindings(res.Stale)
+	return res
+}
+
+// Run executes the passes and returns the surviving findings sorted by
+// position. It is the simple entry point used by fixture tests; the driver
+// uses Analyze for timings and the suppression audit.
+func Run(passes []Pass, pkgs []*Package) []Finding {
+	return Analyze(passes, pkgs).Findings
+}
+
+func sortFindings(out []Finding) {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -182,5 +288,4 @@ func Run(passes []Pass, pkgs []*Package) []Finding {
 		}
 		return a.Pass < b.Pass
 	})
-	return out
 }

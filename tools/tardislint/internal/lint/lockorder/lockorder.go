@@ -1,0 +1,211 @@
+// Package lockorder detects potential deadlocks from inconsistent lock
+// acquisition order across call chains.
+//
+// It builds the global lock-acquisition-order graph from the callgraph
+// summaries: an edge A → B means some function acquires B (directly or
+// through any chain of calls, including stored callbacks) while already
+// holding A. Mutexes are identified per type — every instance of
+// "pkg.Type.field" shares one identity, matching the `guarded by`
+// annotation convention — so an AB/BA inversion between two instances of
+// the same pair of types is caught even though no single execution touches
+// both orders. Any cycle in the graph is reported once, with the witnessing
+// call chain for every hop spelled out, so the report shows both orders of
+// the classic AB/BA deadlock.
+//
+// Goroutine spawns (`go f()`) do not extend the holding context: locks held
+// at the spawn are not ordered before locks the goroutine takes. The spawned
+// function is still analyzed on its own.
+package lockorder
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/tardisdb/tardis/tools/tardislint/internal/lint"
+	"github.com/tardisdb/tardis/tools/tardislint/internal/lint/callgraph"
+)
+
+// Pass is the lockorder analyzer.
+var Pass = lint.Pass{
+	Name:       "lockorder",
+	Doc:        "lock-acquisition-order cycles across call chains (potential deadlock)",
+	RunProgram: run,
+}
+
+func run(pkgs []*lint.Package) []lint.Finding {
+	g := callgraph.Build(pkgs)
+	edges := g.Edges()
+	if len(edges) == 0 {
+		return nil
+	}
+	adj := map[callgraph.LockID][]*callgraph.Edge{}
+	var locks []callgraph.LockID
+	seen := map[callgraph.LockID]bool{}
+	addLock := func(id callgraph.LockID) {
+		if !seen[id] {
+			seen[id] = true
+			locks = append(locks, id)
+		}
+	}
+	for _, e := range edges {
+		adj[e.From] = append(adj[e.From], e)
+		addLock(e.From)
+		addLock(e.To)
+	}
+	sort.Slice(locks, func(i, j int) bool { return locks[i] < locks[j] })
+	for _, es := range adj {
+		sort.Slice(es, func(i, j int) bool { return es[i].To < es[j].To })
+	}
+
+	var out []lint.Finding
+	for _, comp := range lockSCCs(locks, adj) {
+		if len(comp) < 2 {
+			continue
+		}
+		inComp := map[callgraph.LockID]bool{}
+		for _, id := range comp {
+			inComp[id] = true
+		}
+		cycle := shortestCycle(comp[0], adj, inComp)
+		if len(cycle) == 0 {
+			continue
+		}
+		out = append(out, report(cycle))
+	}
+	return out
+}
+
+// lockSCCs returns the strongly connected components of the lock graph,
+// each sorted, in deterministic order.
+func lockSCCs(locks []callgraph.LockID, adj map[callgraph.LockID][]*callgraph.Edge) [][]callgraph.LockID {
+	index := map[callgraph.LockID]int{}
+	low := map[callgraph.LockID]int{}
+	onStack := map[callgraph.LockID]bool{}
+	var stack []callgraph.LockID
+	var comps [][]callgraph.LockID
+	next := 0
+
+	type frame struct {
+		id callgraph.LockID
+		ci int
+	}
+	for _, start := range locks {
+		if _, ok := index[start]; ok {
+			continue
+		}
+		var frames []frame
+		push := func(id callgraph.LockID) {
+			index[id] = next
+			low[id] = next
+			next++
+			stack = append(stack, id)
+			onStack[id] = true
+			frames = append(frames, frame{id: id})
+		}
+		push(start)
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			succ := adj[f.id]
+			if f.ci < len(succ) {
+				w := succ[f.ci].To
+				f.ci++
+				if _, ok := index[w]; !ok {
+					push(w)
+				} else if onStack[w] && index[w] < low[f.id] {
+					low[f.id] = index[w]
+				}
+				continue
+			}
+			id := f.id
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := frames[len(frames)-1].id
+				if low[id] < low[p] {
+					low[p] = low[id]
+				}
+			}
+			if low[id] == index[id] {
+				var comp []callgraph.LockID
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == id {
+						break
+					}
+				}
+				sort.Slice(comp, func(i, j int) bool { return comp[i] < comp[j] })
+				comps = append(comps, comp)
+			}
+		}
+	}
+	return comps
+}
+
+// shortestCycle finds a minimal cycle through start inside one SCC via BFS
+// over the (sorted) edges, returning the edge sequence start → … → start.
+func shortestCycle(start callgraph.LockID, adj map[callgraph.LockID][]*callgraph.Edge, inComp map[callgraph.LockID]bool) []*callgraph.Edge {
+	type pathTo struct {
+		edge *callgraph.Edge
+		prev callgraph.LockID
+	}
+	visited := map[callgraph.LockID]pathTo{}
+	queue := []callgraph.LockID{start}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, e := range adj[cur] {
+			if !inComp[e.To] {
+				continue
+			}
+			if e.To == start {
+				// Unwind cur back to start, then append the closing edge.
+				var rev []*callgraph.Edge
+				for at := cur; at != start; {
+					p := visited[at]
+					rev = append(rev, p.edge)
+					at = p.prev
+				}
+				var cycle []*callgraph.Edge
+				for i := len(rev) - 1; i >= 0; i-- {
+					cycle = append(cycle, rev[i])
+				}
+				return append(cycle, e)
+			}
+			if _, ok := visited[e.To]; ok {
+				continue
+			}
+			visited[e.To] = pathTo{edge: e, prev: cur}
+			queue = append(queue, e.To)
+		}
+	}
+	return nil
+}
+
+// report renders one cycle as a finding, anchored at the acquisition that
+// closes the first edge, with every hop's witnessing call chain.
+func report(cycle []*callgraph.Edge) lint.Finding {
+	var names []string
+	for _, e := range cycle {
+		names = append(names, e.FromDisplay)
+	}
+	names = append(names, cycle[0].FromDisplay)
+
+	var hops []string
+	var chain []lint.Step
+	for _, e := range cycle {
+		hops = append(hops, fmt.Sprintf("%s is acquired while holding %s via %s",
+			e.ToDisplay, e.FromDisplay, callgraph.RenderChain(e.Chain)))
+		chain = append(chain, e.Chain...)
+	}
+	first := cycle[0]
+	anchor := first.Chain[len(first.Chain)-1].Pos
+	return lint.Finding{
+		Pos:   anchor,
+		Chain: chain,
+		Message: fmt.Sprintf("potential deadlock: lock order cycle %s: %s",
+			strings.Join(names, " -> "), strings.Join(hops, "; ")),
+	}
+}

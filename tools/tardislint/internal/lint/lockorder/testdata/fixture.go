@@ -1,0 +1,120 @@
+// Package fixture seeds the lock-order cycles the lockorder pass must
+// report — the classic AB/BA inversion and one mediated by a stored
+// callback — next to a consistently ordered pair that must stay clean. The
+// markers sit on the acquisition that closes each reported cycle's first
+// edge (the canonical anchor lockorder picks).
+package fixture
+
+import "sync"
+
+// --- seeded AB/BA deadlock ---------------------------------------------------
+
+type accounts struct {
+	mu      sync.Mutex
+	balance int // guarded by mu
+}
+
+type audit struct {
+	mu  sync.Mutex
+	log []string // guarded by mu
+}
+
+// Transfer establishes accounts.mu -> audit.mu.
+func Transfer(a *accounts, l *audit) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.balance--
+	l.record("transfer")
+}
+
+func (l *audit) record(s string) {
+	l.mu.Lock() // WANT
+	defer l.mu.Unlock()
+	l.log = append(l.log, s)
+}
+
+// Report establishes the inverse order audit.mu -> accounts.mu two frames
+// down, closing the cycle.
+func Report(a *accounts, l *audit) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return readBalance(a)
+}
+
+func readBalance(a *accounts) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.balance
+}
+
+// --- cycle mediated by a stored callback ------------------------------------
+
+type source struct {
+	mu   sync.Mutex
+	emit func() // invoked with mu held
+}
+
+type sink struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+// wire stores the callback: invoking it locks sink.mu.
+func wire(s *source, k *sink) {
+	s.emit = func() { k.push() }
+}
+
+// run holds source.mu across the stored callback: source.mu -> sink.mu.
+func run(s *source) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.emit()
+}
+
+func (k *sink) push() {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.n++
+}
+
+// drain establishes the inverse order sink.mu -> source.mu.
+func (k *sink) drain(s *source) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	s.pause()
+}
+
+func (s *source) pause() {
+	s.mu.Lock() // WANT
+	defer s.mu.Unlock()
+}
+
+// --- consistent order stays clean -------------------------------------------
+
+type registry struct {
+	mu sync.Mutex
+}
+
+type journal struct {
+	mu sync.Mutex
+}
+
+// SaveBoth and SaveAgain acquire registry.mu before journal.mu on every
+// path: one global order, no cycle, no finding.
+func SaveBoth(r *registry, j *journal) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	j.append()
+}
+
+func (j *journal) append() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+}
+
+func SaveAgain(r *registry, j *journal) {
+	r.mu.Lock()
+	j.mu.Lock()
+	j.mu.Unlock()
+	r.mu.Unlock()
+}

@@ -1,6 +1,6 @@
 // Command tardislint is the project's static-analysis gate. It loads
 // packages with the standard library's source importer (no external
-// dependencies) and runs eight project-specific passes:
+// dependencies) and runs ten project-specific passes:
 //
 //	sigslice   raw slicing/indexing/concatenation of isaxt.Signature
 //	lockflow   path-sensitive misuse of mutexes guarding annotated fields
@@ -10,36 +10,51 @@
 //	goroleak   loop-variable capture and unsupervised goroutine fan-out
 //	ctxfirst   cluster RPC entry points missing a leading context.Context
 //	metricname telemetry metric naming and label-cardinality discipline
+//	lockorder  lock-acquisition-order cycles across call chains
+//	ctxflow    blocking operations reached without forwarding a ctx
 //
 // lockflow, errflow, and hotalloc run on a control-flow graph with a
-// forward dataflow solver (internal/lint/cfg), so they reason per path:
-// an access under the branch that holds the lock is clean, an error that
-// is only checked after a retry loop is clean, and the diagnostics name
-// the path that breaks.
+// forward dataflow solver (internal/lint/cfg), so they reason per path.
+// lockorder and ctxflow are interprocedural: they run once over the whole
+// program on a call graph with per-function summaries (internal/lint/
+// callgraph) that resolves static calls, concrete-receiver methods, and
+// stored callbacks, and their diagnostics spell out the witnessing call
+// chain.
+//
+// Every run also audits suppressions: a //tardislint:ignore directive that
+// names a pass that ran but suppressed nothing is reported by suppresscheck
+// and fails the run — stale suppressions rot the gate.
 //
 // Run it from inside the module (the source importer resolves imports
 // relative to the working directory):
 //
 //	go run ./tools/tardislint ./...
 //
-// It prints findings as file:line:col: pass: message and exits non-zero if
-// any survive //tardislint:ignore suppression.
+// It prints findings as file:line:col: pass: message (or as a JSON array
+// with -format json: objects with file, line, col, pass, message, and the
+// witnessing call chain) and exits non-zero if any survive
+// //tardislint:ignore suppression. -timing reports per-pass wall time on
+// stderr so analyzer-cost regressions are visible.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"github.com/tardisdb/tardis/tools/tardislint/internal/lint"
 	"github.com/tardisdb/tardis/tools/tardislint/internal/lint/closecheck"
 	"github.com/tardisdb/tardis/tools/tardislint/internal/lint/ctxfirst"
+	"github.com/tardisdb/tardis/tools/tardislint/internal/lint/ctxflow"
 	"github.com/tardisdb/tardis/tools/tardislint/internal/lint/errflow"
 	"github.com/tardisdb/tardis/tools/tardislint/internal/lint/goroleak"
 	"github.com/tardisdb/tardis/tools/tardislint/internal/lint/hotalloc"
 	"github.com/tardisdb/tardis/tools/tardislint/internal/lint/lockflow"
+	"github.com/tardisdb/tardis/tools/tardislint/internal/lint/lockorder"
 	"github.com/tardisdb/tardis/tools/tardislint/internal/lint/metricname"
 	"github.com/tardisdb/tardis/tools/tardislint/internal/lint/sigslice"
 )
@@ -53,10 +68,47 @@ var allPasses = []lint.Pass{
 	goroleak.Pass,
 	ctxfirst.Pass,
 	metricname.Pass,
+	lockorder.Pass,
+	ctxflow.Pass,
 }
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// jsonFinding is the stable -format json schema. Field set and names are a
+// contract: CI annotations and downstream tooling parse this.
+type jsonFinding struct {
+	File    string     `json:"file"`
+	Line    int        `json:"line"`
+	Col     int        `json:"col"`
+	Pass    string     `json:"pass"`
+	Message string     `json:"message"`
+	Chain   []jsonStep `json:"chain,omitempty"`
+}
+
+type jsonStep struct {
+	Func string `json:"func"`
+	File string `json:"file"`
+	Line int    `json:"line"`
+}
+
+func toJSON(fs []lint.Finding) []jsonFinding {
+	out := make([]jsonFinding, 0, len(fs))
+	for _, f := range fs {
+		jf := jsonFinding{
+			File:    f.Pos.Filename,
+			Line:    f.Pos.Line,
+			Col:     f.Pos.Column,
+			Pass:    f.Pass,
+			Message: f.Message,
+		}
+		for _, st := range f.Chain {
+			jf.Chain = append(jf.Chain, jsonStep{Func: st.Func, File: st.Pos.Filename, Line: st.Pos.Line})
+		}
+		out = append(out, jf)
+	}
+	return out
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
@@ -64,8 +116,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list available passes and exit")
 	passNames := fs.String("passes", "", "comma-separated subset of passes to run (default: all)")
+	format := fs.String("format", "text", `output format: "text" or "json"`)
+	timing := fs.Bool("timing", false, "report per-pass wall time on stderr")
 	fs.Usage = func() {
-		fmt.Fprintln(fs.Output(), "usage: tardislint [-list] [-passes p1,p2] [packages]")
+		fmt.Fprintln(fs.Output(), "usage: tardislint [-list] [-passes p1,p2] [-format text|json] [-timing] [packages]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -77,6 +131,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "%-10s %s\n", p.Name, p.Doc)
 		}
 		return 0
+	}
+	if *format != "text" && *format != "json" {
+		fmt.Fprintf(stderr, "tardislint: unknown format %q (want text or json)\n", *format)
+		return 2
 	}
 
 	passes := allPasses
@@ -106,9 +164,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "tardislint:", err)
 		return 2
 	}
-	findings := lint.Run(passes, pkgs)
-	for _, f := range findings {
-		fmt.Fprintln(stdout, f)
+	res := lint.Analyze(passes, pkgs)
+	// Stale-suppression findings print after the regular ones: they are an
+	// audit of the gate itself, not of the code under it.
+	findings := append(res.Findings, res.Stale...)
+
+	if *timing {
+		for _, pt := range res.Timings {
+			fmt.Fprintf(stderr, "tardislint: pass %-10s %s\n", pt.Pass, pt.Duration.Round(time.Millisecond))
+		}
+	}
+
+	switch *format {
+	case "json":
+		enc, err := json.MarshalIndent(toJSON(findings), "", "  ")
+		if err != nil {
+			fmt.Fprintln(stderr, "tardislint:", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "%s\n", enc)
+	default:
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(stderr, "tardislint: %d finding(s)\n", len(findings))

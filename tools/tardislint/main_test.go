@@ -25,8 +25,50 @@ func TestGoldenFindings(t *testing.T) {
 	if stdout.String() != string(golden) {
 		t.Errorf("stdout does not match testdata/demo.golden\ngot:\n%s\nwant:\n%s", &stdout, golden)
 	}
-	if got, want := stderr.String(), "tardislint: 3 finding(s)\n"; got != want {
+	if got, want := stderr.String(), "tardislint: 4 finding(s)\n"; got != want {
 		t.Errorf("stderr = %q, want %q", got, want)
+	}
+}
+
+// TestGoldenJSON locks the -format json schema: file, line, col, pass,
+// message, and the witnessing call chain where a pass produces one.
+func TestGoldenJSON(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-format", "json", "./testdata/src/demo"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, &stdout, &stderr)
+	}
+	golden, err := os.ReadFile(filepath.Join("testdata", "demo.json.golden"))
+	if err != nil {
+		t.Fatalf("reading golden file: %v", err)
+	}
+	if stdout.String() != string(golden) {
+		t.Errorf("stdout does not match testdata/demo.json.golden\ngot:\n%s\nwant:\n%s", &stdout, golden)
+	}
+}
+
+func TestUnknownFormat(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-format", "yaml", "./testdata/src/demo"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit code = %d, want 2\nstderr:\n%s", code, &stderr)
+	}
+	if !strings.Contains(stderr.String(), `unknown format "yaml"`) {
+		t.Errorf("stderr = %q, want mention of the unknown format", stderr.String())
+	}
+}
+
+// TestTiming checks the -timing flag reports one stderr line per pass that
+// ran, without disturbing stdout findings.
+func TestTiming(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-timing", "-passes", "sigslice,errflow", "./testdata/src/demo"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstderr:\n%s", code, &stderr)
+	}
+	for _, pass := range []string{"sigslice", "errflow"} {
+		if !strings.Contains(stderr.String(), "pass "+pass) {
+			t.Errorf("-timing stderr missing entry for %s:\n%s", pass, &stderr)
+		}
 	}
 }
 
@@ -47,7 +89,7 @@ func TestListPasses(t *testing.T) {
 		t.Fatalf("exit code = %d, want 0", code)
 	}
 	lines := strings.Split(strings.TrimRight(stdout.String(), "\n"), "\n")
-	want := []string{"sigslice", "lockflow", "errflow", "hotalloc", "closecheck", "goroleak", "ctxfirst", "metricname"}
+	want := []string{"sigslice", "lockflow", "errflow", "hotalloc", "closecheck", "goroleak", "ctxfirst", "metricname", "lockorder", "ctxflow"}
 	if len(lines) != len(want) {
 		t.Fatalf("-list printed %d lines, want %d:\n%s", len(lines), len(want), &stdout)
 	}

@@ -4,6 +4,7 @@
 package demo
 
 import (
+	"context"
 	"fmt"
 	"sync"
 )
@@ -35,4 +36,14 @@ func Hot(n int) string {
 // Quiet is the same access as Read, silenced the sanctioned way.
 func Quiet(c *counter) int {
 	return c.hits //tardislint:ignore lockflow demo of suppression handling
+}
+
+// Stall takes a ctx but drops it on the way to a blocking receive two
+// frames down: ctxflow, with the witnessing call chain in the finding.
+func Stall(ctx context.Context, ch chan int) int {
+	return waitFor(ch)
+}
+
+func waitFor(ch chan int) int {
+	return <-ch
 }
