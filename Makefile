@@ -33,9 +33,10 @@ vet:
 # path-sensitive mutex guards (lockflow), unchecked errors (errflow),
 # hot-path allocations (hotalloc), write-path close errors, goroutine
 # lifecycle, context-first RPC signatures (ctxfirst), telemetry naming /
-# label-cardinality discipline (metricname), and the interprocedural pair —
-# lock-order deadlock cycles (lockorder) and dropped-context blocking
-# (ctxflow) — plus the stale-suppression audit (suppresscheck). The patterns
+# label-cardinality discipline (metricname), and the interprocedural trio —
+# lock-order deadlock cycles (lockorder), dropped-context blocking
+# (ctxflow), and data races via lock-set inference over concurrency roots
+# (racecheck) — plus the stale-suppression audit (suppresscheck). The patterns
 # are explicit so the gate provably covers the library root, the CLIs, the
 # examples, and the linter itself (self-lint). -timing surfaces per-pass
 # wall time so analyzer-cost regressions show up in CI logs. Runs after vet
@@ -61,6 +62,7 @@ fuzz-short:
 	$(GO) test -run='^$$' -fuzz=FuzzUnmarshal -fuzztime=10s ./internal/bloom/
 	$(GO) test -run='^$$' -fuzz=FuzzBuild -fuzztime=10s ./tools/tardislint/internal/lint/cfg/
 	$(GO) test -run='^$$' -fuzz=FuzzSummaries -fuzztime=10s ./tools/tardislint/internal/lint/callgraph/
+	$(GO) test -run='^$$' -fuzz=FuzzAccessSummaries -fuzztime=10s ./tools/tardislint/internal/lint/callgraph/
 
 # The full gate CI runs.
 check: build test race faultinj vet fmt-check lint bench-smoke obs-smoke

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"hash/fnv"
+	"sync"
 	"time"
 
 	"github.com/tardisdb/tardis/internal/bloom"
@@ -35,6 +36,9 @@ type Index struct {
 	// Locals holds one Tardis-L per partition, indexed by pid.
 	Locals []*Local
 
+	// routerMu guards routerCache: query paths running on concurrent RPC
+	// goroutines materialize the router lazily, and a rebuild replaces it.
+	routerMu    sync.Mutex
 	routerCache *Router
 	delta       *deltaStore
 	stats       BuildStats
@@ -217,7 +221,9 @@ func (ix *Index) buildGlobal(src *storage.Store) error {
 		return err
 	}
 	ix.Global = tree
+	ix.routerMu.Lock()
 	ix.routerCache = NewRouter(tree)
+	ix.routerMu.Unlock()
 	ix.stats.Partitions = partitions
 	ix.stats.NodeStatistics = bd.NodeStatistics
 	ix.stats.SkeletonBuild = bd.SkeletonBuild

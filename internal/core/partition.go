@@ -122,6 +122,8 @@ func (ix *Index) SiblingPIDs(sig isaxt.Signature) []int {
 }
 
 func (ix *Index) router() *Router {
+	ix.routerMu.Lock()
+	defer ix.routerMu.Unlock()
 	if ix.routerCache == nil {
 		ix.routerCache = NewRouter(ix.Global)
 	}

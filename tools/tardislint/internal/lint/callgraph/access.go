@@ -1,0 +1,965 @@
+package callgraph
+
+// Access summaries and concurrency roots: the raw material for racecheck's
+// interprocedural lock-set inference.
+//
+// Every function summary records the struct fields the function may read or
+// write — directly or through any callee chain, excluding goroutines it
+// spawns — keyed by per-type field identity ("pkg/path.Type.field", the same
+// scheme LockID uses, so a `guarded by` annotation maps onto both sides).
+// Each access carries the lock set held at the access, intersected over
+// every witnessed path, and one witnessing call chain.
+//
+// Accesses that cannot race are exempt at collection time (RacerD-style):
+//
+//   - fields whose type is itself a synchronization primitive (mutexes,
+//     sync.Once/WaitGroup/Cond/Map/Pool, sync/atomic types) or a channel;
+//   - operands of sync/atomic package functions (atomic.AddInt64(&x.n, 1));
+//   - accesses through a provably owned local base: a variable only ever
+//     assigned freshly allocated values (&T{}, T{}, new(T)) or values
+//     received from a channel (ownership hand-off) — the constructor idiom
+//     of building a struct before publishing it, and the pipeline idiom of
+//     transferring ownership through a channel;
+//   - the body of a function literal passed to (*sync.Once).Do, which runs
+//     exactly once under the Once's own serialization.
+//
+// Concurrency roots are the functions that can actually run in parallel:
+// targets of go statements (including pool dispatch callbacks, which reach
+// the spawned literal through the existing parameter bindings), exported
+// methods of values registered with net/rpc, and HTTP-handler-shaped
+// functions. A root spawned inside a loop or from several sites — or served
+// per-request — is marked Multi: two instances of it race with each other.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"github.com/tardisdb/tardis/tools/tardislint/internal/lint"
+)
+
+// FieldID identifies a struct field with per-type granularity:
+// "pkg/path.Type.field". Every instance of the type shares the identity,
+// matching both LockID and the `guarded by` annotation convention.
+type FieldID string
+
+// Access is one struct-field read or write reachable from a function.
+type Access struct {
+	Field FieldID
+	// Display is the short "Type.field" name used in diagnostics.
+	Display string
+	Write   bool
+	// Pos is the access site itself.
+	Pos token.Position
+	// Locks is the lock set held at the access, intersected over every
+	// witnessed path, sorted.
+	Locks []LockID
+	// Chain is one witnessing call chain from the summarized function to
+	// the access; when paths disagree on the lock set, the chain follows
+	// the least-locked path seen.
+	Chain []lint.Step
+	// Param is the index of the summarized function's parameter the access
+	// base is rooted at, or -1. Ownership transfers through calls: when a
+	// caller passes owned memory for that parameter, the lifted access is
+	// dropped, and when it passes one of its own parameters the access is
+	// re-rooted — so per-call structures (RPC replies, request objects,
+	// stats sinks) stay exempt however deep they are threaded.
+	Param int
+	// RecvRooted marks an access rooted at the method receiver instead of
+	// a parameter; receivers are the shared-service identity and never
+	// transfer ownership outward.
+	RecvRooted bool
+}
+
+// accessKey is the dedup identity of an access inside one summary: same
+// field, same source position, same kind.
+func accessKey(f FieldID, pos token.Position, write bool) string {
+	return fmt.Sprintf("%s|%s:%d:%d|%v", f, pos.Filename, pos.Line, pos.Column, write)
+}
+
+// sortedAccessKeys returns the keys of an access map in deterministic order.
+func sortedAccessKeys(m map[string]*Access) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// AccessList returns the summary's accesses in deterministic order.
+func (s *Summary) AccessList() []*Access {
+	out := make([]*Access, 0, len(s.Accesses))
+	for _, k := range sortedAccessKeys(s.Accesses) {
+		out = append(out, s.Accesses[k])
+	}
+	return out
+}
+
+// Root is one concurrency root: a function that can run on its own
+// goroutine concurrently with other roots (or other instances of itself).
+type Root struct {
+	Node *Node
+	// Kind is "go" (goroutine target), "rpc" (exported method of a value
+	// registered with net/rpc), or "http" (http.HandlerFunc-shaped).
+	Kind string
+	// Multi reports that several instances of the root can run at once:
+	// spawned inside a loop or from more than one site, or invoked
+	// per-request (rpc and http roots always are).
+	Multi bool
+	// Pos is the first spawn site (go roots) or the declaration (others).
+	Pos token.Position
+}
+
+// Roots returns the concurrency roots sorted by node ID.
+func (g *Graph) Roots() []*Root { return g.roots }
+
+// LockDisplay returns the short display name recorded for a lock, falling
+// back to the raw identity for locks never acquired in analyzed code.
+func (g *Graph) LockDisplay(id LockID) string {
+	if d, ok := g.lockDisp[id]; ok {
+		return d
+	}
+	return string(id)
+}
+
+func (g *Graph) noteLockDisplay(id LockID, display string) {
+	if g.lockDisp == nil {
+		g.lockDisp = map[LockID]string{}
+	}
+	if _, ok := g.lockDisp[id]; !ok && display != "" {
+		g.lockDisp[id] = display
+	}
+}
+
+// TypeID returns the stable "pkg/path.Name" identity of a named type — the
+// prefix both LockID and FieldID build on. Exported for consumers that must
+// construct matching identities from annotations.
+func TypeID(named *types.Named) string { return typeID(named) }
+
+// --- collection-time exemptions ---------------------------------------------
+
+// syncExemptTypes are field types that are themselves synchronization
+// primitives: accessing them is coordination, not shared-state access.
+var syncExemptTypes = []struct{ pkg, name string }{
+	{"sync", "Mutex"}, {"sync", "RWMutex"}, {"sync", "Once"},
+	{"sync", "WaitGroup"}, {"sync", "Cond"}, {"sync", "Map"}, {"sync", "Pool"},
+	{"sync/atomic", "Bool"}, {"sync/atomic", "Int32"}, {"sync/atomic", "Int64"},
+	{"sync/atomic", "Uint32"}, {"sync/atomic", "Uint64"}, {"sync/atomic", "Uintptr"},
+	{"sync/atomic", "Pointer"}, {"sync/atomic", "Value"},
+}
+
+// exemptFieldType reports whether a field of type t is exempt from race
+// candidacy: sync primitives, atomics, and channels (sends/receives order
+// themselves).
+func exemptFieldType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	t = lint.Deref(t)
+	for _, e := range syncExemptTypes {
+		if lint.IsNamed(t, e.pkg, e.name) {
+			return true
+		}
+	}
+	if _, ok := t.Underlying().(*types.Chan); ok {
+		return true
+	}
+	return false
+}
+
+// isAtomicCall reports whether call targets a function in sync/atomic
+// (AddInt64, LoadPointer, ...): its &field operands are accessed atomically.
+func isAtomicCall(pkg *lint.Package, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok && pkg.Info.Selections[sel] != nil {
+		fn, _ = pkg.Info.Selections[sel].Obj().(*types.Func)
+	}
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic"
+}
+
+// computeOwnership interleaves per-node owned-local inference with
+// transitive constructor detection, to a bounded fixpoint. A constructor —
+// a function whose every return hands back fresh or owned memory in its
+// first result — makes its call results owned at every caller, which can in
+// turn make the caller a constructor (the wrapper idiom: ReadTree calling
+// decode calling New). Each round recomputes owned sets with the current
+// constructor marks, then promotes newly qualifying nodes; marks only ever
+// accumulate, so the loop is monotone and the cap is a cost guard, not a
+// correctness device.
+//
+// Function literals additionally inherit their parent's owned locals for
+// the variables they capture: a callback handed to a synchronous
+// higher-order function (store.ScanPartition(pid, func(r){ heap.Offer(...) }))
+// operates on the enclosing frame's memory. Literals that escape that frame
+// — spawned by a go statement or stored into a struct field — run
+// concurrently with it and inherit nothing.
+func (b *builder) computeOwnership() {
+	g := b.g
+	escaped := map[*Node]bool{}
+	for _, n := range g.order {
+		for _, site := range n.Sites {
+			if !site.Go {
+				continue
+			}
+			for _, c := range site.Callees {
+				escaped[c] = true
+			}
+		}
+	}
+	for _, ids := range b.fieldBind {
+		for id := range ids {
+			if n := g.nodes[id]; n != nil {
+				escaped[n] = true
+			}
+		}
+	}
+	const maxRounds = 6
+	for round := 0; round < maxRounds; round++ {
+		for _, n := range g.order {
+			computeAbstract(n, !escaped[n])
+		}
+		changed := false
+		for _, n := range g.order {
+			if !n.constructor && returnsFresh(n) {
+				n.constructor = true
+				changed = true
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// returnsFresh reports whether n has the constructor shape: a non-empty
+// result list and every return statement in its own body (function literals
+// excluded — they return from someone else) handing back a fresh value, an
+// owned local, a constructor call, or nil in the first result position.
+// Naked returns and bodyless declarations disqualify.
+func returnsFresh(n *Node) bool {
+	body := n.Body()
+	if body == nil || n.Sig == nil || n.Sig.Results().Len() == 0 {
+		return false
+	}
+	returned := false
+	ok := true
+	ast.Inspect(body, func(x ast.Node) bool {
+		if !ok {
+			return false
+		}
+		switch s := x.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			if len(s.Results) == 0 {
+				ok = false
+				return false
+			}
+			returned = true
+			if !freshResult(n, s.Results[0]) {
+				ok = false
+			}
+			return false
+		}
+		return true
+	})
+	return ok && returned
+}
+
+// freshResult reports whether a returned expression hands ownership to the
+// caller: a fresh value (including constructor calls), an owned plain local,
+// or nil.
+func freshResult(n *Node, e ast.Expr) bool {
+	if freshValue(n, e) {
+		return true
+	}
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		if id.Name == "nil" {
+			return true
+		}
+		obj := n.Pkg.Info.Uses[id]
+		return obj != nil && n.owned[obj]
+	}
+	return false
+}
+
+// Abstract memory classes for locals, ordered as a join semilattice:
+// Bottom (no information) ⊑ Fresh (caller-owned allocation) ⊑ Recv/Param
+// (alias of the receiver's or a parameter's object graph) ⊑ Top (shared or
+// unknown). Join of Fresh with a rooted class keeps the rooted class: fresh
+// memory that is sometimes replaced by (or linked into) a rooted structure
+// is safe to attribute to that root — when a caller owns the root, both
+// components are private; at a shared root the access stays a candidate.
+type absKind int
+
+const (
+	absBottom absKind = iota
+	absFresh
+	absRecv
+	absParam
+	absTop
+)
+
+type absVal struct {
+	kind  absKind
+	param int
+}
+
+func joinAbs(a, b absVal) absVal {
+	switch {
+	case a.kind == absBottom || a == b:
+		return b
+	case b.kind == absBottom:
+		return a
+	case a.kind == absFresh:
+		return b
+	case b.kind == absFresh:
+		return a
+	default:
+		return absVal{kind: absTop}
+	}
+}
+
+// computeAbstract infers, per local variable, which memory it denotes —
+// Fresh (provably owned: every value flowing in is freshly allocated here,
+// received from a channel, or loaded from an owned container of owned
+// elements), Recv/Param (a stable alias into the receiver's or a
+// parameter's object graph, like the tree-cursor idiom cur := t.root;
+// cur = cur.Children[k]), or Top (shared). Containers get a second, element
+// class fed by composite-literal elements, appends, and indexed stores, so
+// the DFS-stack idiom (stack = append(stack, freshNode); parent :=
+// stack[len(stack)-1]) keeps ownership, and a stack of receiver-rooted
+// nodes keeps its rooting. The analysis is flow-insensitive with the same
+// deliberate deep-ownership optimism RacerD makes: reaching through fields
+// of Fresh or rooted memory stays in that class.
+//
+// Accesses through Fresh bases are exempt from race candidacy; Recv/Param
+// bases root the access for interprocedural ownership transfer (see
+// Access.Param). When inherit is set (non-escaping literals), the parent's
+// owned locals seed Fresh for captured variables; rooted classes never
+// inherit — they are meaningless outside the parent's signature frame.
+func computeAbstract(n *Node, inherit bool) {
+	body := n.Body()
+	if body == nil {
+		return
+	}
+	pkg := n.Pkg
+	var recvObj types.Object
+	paramIdx := map[types.Object]int{}
+	if n.Sig != nil {
+		if r := n.Sig.Recv(); r != nil {
+			recvObj = r
+		}
+		for i := 0; i < n.Sig.Params().Len(); i++ {
+			paramIdx[n.Sig.Params().At(i)] = i
+		}
+	}
+	vals := map[types.Object]absVal{}
+	elems := map[types.Object]absVal{}
+	if inherit && n.Parent != nil {
+		// The parent precedes its literals in graph order, so its current
+		// round's set is visible here. Element ownership carries too: the
+		// scatter/cleanup idiom stores owned values into a captured map from
+		// one literal and drains it from a sibling.
+		for obj := range n.Parent.owned {
+			vals[obj] = absVal{kind: absFresh}
+		}
+		for obj := range n.Parent.elemOwned {
+			elems[obj] = absVal{kind: absFresh}
+		}
+	}
+	objOf := func(e ast.Expr) types.Object {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		if obj := pkg.Info.Defs[id]; obj != nil {
+			return obj
+		}
+		return pkg.Info.Uses[id]
+	}
+	classify := func(obj types.Object) absVal {
+		switch {
+		case obj == nil:
+			return absVal{kind: absTop}
+		case obj == recvObj:
+			return absVal{kind: absRecv}
+		default:
+			if i, ok := paramIdx[obj]; ok {
+				return absVal{kind: absParam, param: i}
+			}
+			return vals[obj]
+		}
+	}
+	// strict switches Bottom from "optimistically unconstrained" to "unknown
+	// memory": the fixpoint first lets classes settle, then a second
+	// convergence run treats anything still Bottom as Top so a dependent
+	// never keeps a class its base cannot justify.
+	strict := false
+	bottomAs := func(v absVal) absVal {
+		if strict && v.kind == absBottom {
+			return absVal{kind: absTop}
+		}
+		return v
+	}
+	// loadElem is the class of an element loaded from a container
+	// expression: local Fresh containers yield their element class; rooted
+	// containers yield their root (the deep access-path convention); shared
+	// yield Top.
+	loadElem := func(container ast.Expr) absVal {
+		if obj := objOf(container); obj != nil && obj != recvObj {
+			if _, ok := paramIdx[obj]; !ok {
+				switch cv := bottomAs(vals[obj]); cv.kind {
+				case absFresh:
+					return bottomAs(elems[obj])
+				default:
+					return cv
+				}
+			}
+		}
+		return bottomAs(classify(baseObject(n, container)))
+	}
+	valOf := func(e ast.Expr, self types.Object) absVal {
+		if freshValue(n, e) {
+			return absVal{kind: absFresh}
+		}
+		if ix, ok := ast.Unparen(e).(*ast.IndexExpr); ok {
+			if obj := objOf(ix.X); obj != nil && obj != self {
+				return loadElem(ix.X)
+			}
+		}
+		base := baseObject(n, e)
+		if base == self && self != nil {
+			// cur = cur.Children[k], stack = stack[:n]: self-derived, no
+			// constraint (deep classes are closed under path extension).
+			return absVal{kind: absBottom}
+		}
+		return bottomAs(classify(base))
+	}
+	isAppend := func(call *ast.CallExpr) bool {
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || id.Name != "append" || len(call.Args) == 0 {
+			return false
+		}
+		_, isBuiltin := pkg.Info.Uses[id].(*types.Builtin)
+		return isBuiltin
+	}
+	changed := false
+	joinVal := func(obj types.Object, v absVal) {
+		if obj == nil || obj == recvObj || v.kind == absBottom {
+			return
+		}
+		if _, ok := paramIdx[obj]; ok {
+			return
+		}
+		if nv := joinAbs(vals[obj], v); nv != vals[obj] {
+			vals[obj] = nv
+			changed = true
+		}
+	}
+	joinElem := func(obj types.Object, v absVal) {
+		if obj == nil || v.kind == absBottom {
+			return
+		}
+		if nv := joinAbs(elems[obj], v); nv != elems[obj] {
+			elems[obj] = nv
+			changed = true
+		}
+	}
+	var assignPair func(lhs, rhs ast.Expr)
+	assignPair = func(lhs, rhs ast.Expr) {
+		if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+			// c[k] = v stores into a tracked container; stores through
+			// deeper paths don't change any local's class.
+			if obj := objOf(ix.X); obj != nil {
+				joinElem(obj, valOf(rhs, nil))
+			}
+			return
+		}
+		obj := objOf(lhs)
+		if obj == nil {
+			return
+		}
+		if rhs == nil {
+			joinVal(obj, absVal{kind: absTop})
+			return
+		}
+		switch r := ast.Unparen(rhs).(type) {
+		case *ast.CallExpr:
+			if isAppend(r) {
+				// append feeds the element class; appending to oneself
+				// does not change the container's own class.
+				if src := objOf(r.Args[0]); src != obj {
+					joinVal(obj, valOf(r.Args[0], obj))
+					if src != nil {
+						joinElem(obj, bottomAs(elems[src]))
+					}
+				}
+				for _, a := range r.Args[1:] {
+					if r.Ellipsis != token.NoPos {
+						joinElem(obj, loadElem(a))
+					} else {
+						joinElem(obj, valOf(a, nil))
+					}
+				}
+				return
+			}
+		case *ast.CompositeLit:
+			assignComposite(n, obj, r, joinElem, func(e ast.Expr) absVal { return valOf(e, nil) })
+			joinVal(obj, absVal{kind: absFresh})
+			return
+		case *ast.UnaryExpr:
+			if r.Op == token.AND {
+				if cl, ok := ast.Unparen(r.X).(*ast.CompositeLit); ok {
+					assignComposite(n, obj, cl, joinElem, func(e ast.Expr) absVal { return valOf(e, nil) })
+					joinVal(obj, absVal{kind: absFresh})
+					return
+				}
+			}
+		case *ast.SliceExpr:
+			if objOf(r.X) == obj {
+				return // x = x[a:b] keeps both classes
+			}
+		}
+		joinVal(obj, valOf(rhs, obj))
+	}
+	process := func() {
+		ast.Inspect(body, func(x ast.Node) bool {
+			switch s := x.(type) {
+			case *ast.AssignStmt:
+				if len(s.Lhs) == len(s.Rhs) {
+					for i := range s.Lhs {
+						assignPair(s.Lhs[i], s.Rhs[i])
+					}
+				} else if len(s.Rhs) == 1 {
+					// t, err := New(...) / v, ok := m[k] — the object
+					// travels in the first position by convention (matching
+					// returnsFresh); the rest (error, ok) never carry it.
+					assignPair(s.Lhs[0], s.Rhs[0])
+					for _, l := range s.Lhs[1:] {
+						assignPair(l, nil)
+					}
+				} else {
+					for _, l := range s.Lhs {
+						assignPair(l, nil)
+					}
+				}
+			case *ast.ValueSpec:
+				for i, name := range s.Names {
+					switch {
+					case len(s.Values) == 0:
+						// var x T declares a zero value nothing else can
+						// reference yet — owned like a fresh composite.
+						joinVal(objOf(name), absVal{kind: absFresh})
+					case len(s.Values) == 1 && len(s.Names) > 1:
+						if i == 0 {
+							assignPair(name, s.Values[0])
+						} else {
+							assignPair(name, nil)
+						}
+					case i < len(s.Values):
+						assignPair(name, s.Values[i])
+					}
+				}
+			case *ast.RangeStmt:
+				// Ranging over a channel hands off ownership of each
+				// received value (the receive operand is the Key slot);
+				// other ranges yield the container's element class.
+				if t := pkg.TypeOf(s.X); t != nil {
+					if _, isChan := t.Underlying().(*types.Chan); isChan {
+						joinVal(objOf(s.Key), absVal{kind: absFresh})
+						return true
+					}
+				}
+				if s.Key != nil {
+					joinVal(objOf(s.Key), absVal{kind: absTop})
+				}
+				if s.Value != nil {
+					joinVal(objOf(s.Value), loadElem(s.X))
+				}
+			}
+			return true
+		})
+	}
+	const maxRounds = 6
+	for _, strictRun := range []bool{false, true} {
+		strict = strictRun
+		for round := 0; round < maxRounds; round++ {
+			changed = false
+			process()
+			if !changed {
+				break
+			}
+		}
+	}
+	owned := map[types.Object]bool{}
+	var elemOwned map[types.Object]bool
+	var rootedRecv map[types.Object]bool
+	var rootedParam map[types.Object]int
+	for obj, v := range vals {
+		switch v.kind {
+		case absFresh:
+			owned[obj] = true
+			if elems[obj].kind == absFresh {
+				if elemOwned == nil {
+					elemOwned = map[types.Object]bool{}
+				}
+				elemOwned[obj] = true
+			}
+		case absRecv:
+			if rootedRecv == nil {
+				rootedRecv = map[types.Object]bool{}
+			}
+			rootedRecv[obj] = true
+		case absParam:
+			if rootedParam == nil {
+				rootedParam = map[types.Object]int{}
+			}
+			rootedParam[obj] = v.param
+		}
+	}
+	n.owned = owned
+	n.elemOwned = elemOwned
+	n.rootedRecv = rootedRecv
+	n.rootedParam = rootedParam
+}
+
+// assignComposite feeds a slice/array/map literal's elements into the
+// assignee's element class; struct literals have no indexable elements and
+// contribute nothing.
+func assignComposite(n *Node, obj types.Object, cl *ast.CompositeLit, joinElem func(types.Object, absVal), valOf func(ast.Expr) absVal) {
+	if t := n.Pkg.TypeOf(cl); t != nil {
+		if _, isStruct := t.Underlying().(*types.Struct); isStruct {
+			return
+		}
+	}
+	for _, elt := range cl.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			elt = kv.Value
+		}
+		joinElem(obj, valOf(elt))
+	}
+}
+
+// isFreshValue reports whether e evaluates to a value the assignee owns:
+// a fresh allocation or a channel receive.
+func isFreshValue(pkg *lint.Package, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			_, ok := ast.Unparen(e.X).(*ast.CompositeLit)
+			return ok
+		}
+		return e.Op == token.ARROW
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok && (id.Name == "new" || id.Name == "make") {
+			_, isBuiltin := pkg.Info.Uses[id].(*types.Builtin)
+			return isBuiltin
+		}
+	}
+	return false
+}
+
+// freshValue extends isFreshValue with constructor knowledge: a call whose
+// every resolved callee is a constructor yields caller-owned memory.
+// Requires at least one resolved callee — an unresolved call proves nothing.
+// The site lookup spans the node's literal family: computeAbstract inspects
+// nested literal bodies from the parent's frame, where the call belongs to a
+// child node's site table.
+func freshValue(n *Node, e ast.Expr) bool {
+	if isFreshValue(n.Pkg, e) {
+		return true
+	}
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	site := familySite(n, call)
+	if site == nil || len(site.Callees) == 0 {
+		return false
+	}
+	for _, c := range site.Callees {
+		if !c.constructor {
+			return false
+		}
+	}
+	return true
+}
+
+// familySite resolves a call site in n or any literal nested inside it.
+func familySite(n *Node, call *ast.CallExpr) *Site {
+	if s := n.siteOf[call]; s != nil {
+		return s
+	}
+	for _, c := range n.children {
+		if s := familySite(c, call); s != nil {
+			return s
+		}
+	}
+	return nil
+}
+
+// baseObject returns the object of the leftmost identifier an expression is
+// rooted at, peeling selectors, indexing, derefs, slices, and address-of.
+func baseObject(n *Node, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.TypeAssertExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			if x.Op != token.AND {
+				return nil
+			}
+			e = x.X
+		default:
+			id, ok := x.(*ast.Ident)
+			if !ok {
+				return nil
+			}
+			if obj := n.Pkg.Info.Uses[id]; obj != nil {
+				return obj
+			}
+			return n.Pkg.Info.Defs[id]
+		}
+	}
+}
+
+// ownedBase reports whether the leftmost base of a selector chain is an
+// owned local of n.
+func ownedBase(n *Node, e ast.Expr) bool {
+	if len(n.owned) == 0 {
+		return false
+	}
+	obj := baseObject(n, e)
+	return obj != nil && n.owned[obj]
+}
+
+// exprOwned reports whether an argument expression denotes memory the
+// caller owns: a fresh allocation or constructor call inline, or a chain
+// rooted at an owned local.
+func exprOwned(n *Node, e ast.Expr) bool {
+	return freshValue(n, e) || ownedBase(n, e)
+}
+
+// --- concurrency roots --------------------------------------------------------
+
+// rpcRegisterExt are the net/rpc registration entry points whose service
+// argument's exported methods become per-request concurrency roots.
+var rpcRegisterExt = map[string]bool{
+	"(*net/rpc.Server).Register":     true,
+	"(*net/rpc.Server).RegisterName": true,
+	"net/rpc.Register":               true,
+	"net/rpc.RegisterName":           true,
+}
+
+// onceDoExt marks (*sync.Once).Do call sites, whose literal arguments run
+// exactly once and are exempt from access collection.
+const onceDoExt = "(*sync.Once).Do"
+
+// markOnceBodies flags every function literal passed to (*sync.Once).Do.
+func (b *builder) markOnceBodies() {
+	for _, n := range b.g.order {
+		for _, site := range n.Sites {
+			isDo := false
+			for _, ext := range site.Ext {
+				if ext == onceDoExt {
+					isDo = true
+				}
+			}
+			if !isDo {
+				continue
+			}
+			for _, arg := range site.Call.Args {
+				for _, id := range b.funcValueIDs(n.Pkg, arg) {
+					if t := b.g.nodes[id]; t != nil {
+						t.onceBody = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// markJoinedSpawns flags go sites that follow the structured fork-join
+// idiom: the spawning function calls Wait on a sync.WaitGroup, and every
+// resolved target of the site is a literal nested in that same function
+// whose own body calls Done on one of those WaitGroups. Such goroutines run
+// entirely within the spawner's dynamic extent — any lock the spawner's
+// callers hold across the call is held for the goroutine's whole lifetime —
+// so their accesses fold into the spawner's summary (see the walker's
+// GoStmt case) rather than forming independent concurrency roots. Two
+// workers of one fork-join pool still overlap each other; the model
+// deliberately leaves intra-pool interleaving to the pool's own discipline
+// (disjoint slice elements, a results mutex), which is the idiom's
+// contract.
+func (b *builder) markJoinedSpawns() {
+	for _, n := range b.g.order {
+		body := n.Body()
+		if body == nil {
+			continue
+		}
+		waitObjs := waitGroupCalls(n, body, "Wait", true)
+		if len(waitObjs) == 0 {
+			continue
+		}
+		for _, site := range n.Sites {
+			if !site.Go || len(site.Callees) == 0 {
+				continue
+			}
+			joined := true
+			for _, c := range site.Callees {
+				if c.Lit == nil || c.Parent != n || !doneMatches(c, waitObjs) {
+					joined = false
+					break
+				}
+			}
+			site.Joined = joined
+		}
+	}
+}
+
+// waitGroupCalls collects the sync.WaitGroup objects that receive a method
+// call named method within body; ownBody excludes nested function literals
+// (a Wait inside a spawned literal is not the spawner waiting).
+func waitGroupCalls(n *Node, body *ast.BlockStmt, method string, ownBody bool) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	ast.Inspect(body, func(x ast.Node) bool {
+		if _, ok := x.(*ast.FuncLit); ok && ownBody {
+			return false
+		}
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != method {
+			return true
+		}
+		obj := baseObject(n, sel.X)
+		if obj == nil || !lint.IsNamed(lint.Deref(obj.Type()), "sync", "WaitGroup") {
+			return true
+		}
+		out[obj] = true
+		return true
+	})
+	return out
+}
+
+// doneMatches reports whether literal node c calls Done on one of the
+// spawner's waited-on WaitGroups (lexical capture makes the objects
+// identical between parent and child).
+func doneMatches(c *Node, waitObjs map[types.Object]bool) bool {
+	for obj := range waitGroupCalls(c, c.Lit.Body, "Done", false) {
+		if waitObjs[obj] {
+			return true
+		}
+	}
+	return false
+}
+
+// collectRoots gathers the concurrency roots after sites are resolved.
+func (b *builder) collectRoots() {
+	g := b.g
+	type mark struct {
+		kind  string
+		multi bool
+		count int
+		pos   token.Position
+	}
+	marks := map[*Node]*mark{}
+	note := func(n *Node, kind string, multi bool, pos token.Position) {
+		m := marks[n]
+		if m == nil {
+			m = &mark{kind: kind, pos: pos}
+			marks[n] = m
+		}
+		m.count++
+		if multi {
+			m.multi = true
+		}
+	}
+	methodsOf := map[string][]*Node{}
+	for _, n := range g.order {
+		if n.Decl == nil || n.Sig == nil || n.Sig.Recv() == nil {
+			continue
+		}
+		if named, ok := types.Unalias(lint.Deref(n.Sig.Recv().Type())).(*types.Named); ok {
+			tid := typeID(named)
+			methodsOf[tid] = append(methodsOf[tid], n)
+		}
+	}
+	for _, n := range g.order {
+		for _, site := range n.Sites {
+			if site.Go && !site.Joined {
+				for _, c := range site.Callees {
+					note(c, "go", site.InLoop, n.Pkg.Fset.Position(site.Call.Pos()))
+				}
+			}
+			for _, ext := range site.Ext {
+				if !rpcRegisterExt[ext] {
+					continue
+				}
+				for _, arg := range site.Call.Args {
+					t := n.Pkg.TypeOf(arg)
+					if t == nil {
+						continue
+					}
+					named, ok := types.Unalias(lint.Deref(t)).(*types.Named)
+					if !ok || named.Obj().Pkg() == nil {
+						continue
+					}
+					for _, m := range methodsOf[typeID(named)] {
+						if ast.IsExported(m.Decl.Name.Name) {
+							note(m, "rpc", true, m.Pkg.Fset.Position(m.Pos()))
+						}
+					}
+				}
+			}
+		}
+	}
+	for _, n := range g.order {
+		if isHandlerShaped(n) {
+			note(n, "http", true, n.Pkg.Fset.Position(n.Pos()))
+		}
+	}
+	for _, n := range g.order {
+		m := marks[n]
+		if m == nil {
+			continue
+		}
+		g.roots = append(g.roots, &Root{Node: n, Kind: m.kind, Multi: m.multi || m.count > 1, Pos: m.pos})
+	}
+}
+
+// isHandlerShaped reports whether n has the http.HandlerFunc signature
+// (func(http.ResponseWriter, *http.Request)) — declared handlers, ServeHTTP
+// methods, and middleware-wrapped closures alike, which is how handlers
+// registered through instrumenting helpers are still recognized.
+func isHandlerShaped(n *Node) bool {
+	if n.Sig == nil {
+		return false
+	}
+	params := n.Sig.Params()
+	if params.Len() != 2 {
+		return false
+	}
+	return lint.IsNamed(params.At(0).Type(), "net/http", "ResponseWriter") &&
+		lint.IsNamed(lint.Deref(params.At(1).Type()), "net/http", "Request")
+}

@@ -24,9 +24,11 @@
 // Summaries (see summary.go) are computed bottom-up over strongly connected
 // components with a fixpoint for recursion, and record the locks a function
 // may acquire (with a witness call chain per lock), the locks still held
-// when it returns, the blocking operations it may reach, and whether those
+// when it returns, the blocking operations it may reach, whether those
 // operations remain cancellable through the function's own context
-// parameter.
+// parameter, and the struct-field accesses it may perform with the lock set
+// held at each (see access.go, which also derives the concurrency roots
+// racecheck analyzes).
 package callgraph
 
 import (
@@ -54,6 +56,9 @@ type Graph struct {
 
 	edges     map[[2]LockID]*Edge
 	edgeOrder []*Edge
+
+	roots    []*Root // concurrency roots, sorted by node ID
+	lockDisp map[LockID]string
 }
 
 // Node is one function in the graph: a declaration or a function literal.
@@ -79,6 +84,24 @@ type Node struct {
 
 	Summary Summary
 	root    *rootInfo
+	// owned are the function's provably owned locals (see computeAbstract);
+	// field accesses through them are exempt from race candidacy.
+	owned map[types.Object]bool
+	// elemOwned are owned containers whose elements are also provably
+	// owned; loads from them stay exempt, including in inheriting literals.
+	elemOwned map[types.Object]bool
+	// rootedRecv and rootedParam are locals that stably alias the receiver
+	// or a parameter (see computeAbstract); accesses through them root there
+	// for ownership transfer.
+	rootedRecv  map[types.Object]bool
+	rootedParam map[types.Object]int
+	// onceBody marks literals passed to (*sync.Once).Do: they run exactly
+	// once and contribute no accesses.
+	onceBody bool
+	// constructor marks functions whose every return hands back freshly
+	// allocated (or owned) memory in the first result: their call results
+	// are owned by the caller (see computeOwnership).
+	constructor bool
 }
 
 // Body returns the function body.
@@ -113,6 +136,15 @@ type Site struct {
 	Call  *ast.CallExpr
 	Go    bool // call is the operand of a go statement
 	Defer bool // call is the operand of a defer statement
+	// InLoop marks sites lexically inside a for/range statement: a go site
+	// in a loop spawns multiple instances of its target.
+	InLoop bool
+	// Joined marks a go site whose goroutine the spawning function waits
+	// for before returning (the structured fork-join idiom: the spawned
+	// literal defers wg.Done on a WaitGroup the spawner Waits on). Joined
+	// goroutines run within the spawner's dynamic extent, so their accesses
+	// fold into the spawner's summary instead of forming concurrency roots.
+	Joined bool
 	// CtxFwd reports whether some context.Context-typed argument derives
 	// from the caller's own context parameter.
 	CtxFwd bool
@@ -198,11 +230,15 @@ func New(pkgs []*lint.Package) *Graph {
 	for _, n := range b.g.order {
 		b.resolveSites(n)
 	}
+	b.markOnceBodies()
+	b.markJoinedSpawns()
+	b.collectRoots()
 	for _, n := range b.g.order {
 		if n.Parent == nil {
 			computeRoot(n)
 		}
 	}
+	b.computeOwnership()
 	for _, n := range b.g.order {
 		markCtxForwarding(n)
 	}
@@ -621,8 +657,21 @@ func (b *builder) resolveSites(n *Node) {
 	n.siteOf = map[*ast.CallExpr]*Site{}
 	goCalls := map[*ast.CallExpr]bool{}
 	deferCalls := map[*ast.CallExpr]bool{}
-	var walk func(x ast.Node) bool
-	walk = func(x ast.Node) bool {
+	// The walk keeps an explicit ancestor stack so sites know whether they
+	// sit inside a loop (Inspect reports pops as nil only for nodes whose
+	// visit returned true, so skipped literals are never pushed).
+	loopDepth := 0
+	var stack []ast.Node
+	ast.Inspect(body, func(x ast.Node) bool {
+		if x == nil {
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			switch top.(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				loopDepth--
+			}
+			return false
+		}
 		switch s := x.(type) {
 		case *ast.FuncLit:
 			return false
@@ -630,17 +679,20 @@ func (b *builder) resolveSites(n *Node) {
 			goCalls[s.Call] = true
 		case *ast.DeferStmt:
 			deferCalls[s.Call] = true
+		case *ast.ForStmt, *ast.RangeStmt:
+			loopDepth++
 		case *ast.CallExpr:
 			if site := b.resolveCall(n, s); site != nil {
 				site.Go = goCalls[s]
 				site.Defer = deferCalls[s]
+				site.InLoop = loopDepth > 0
 				n.Sites = append(n.Sites, site)
 				n.siteOf[s] = site
 			}
 		}
+		stack = append(stack, x)
 		return true
-	}
-	ast.Inspect(body, walk)
+	})
 }
 
 func (b *builder) resolveCall(n *Node, call *ast.CallExpr) *Site {
@@ -763,6 +815,9 @@ func (g *Graph) Dump() string {
 				tag := ""
 				if site.Go {
 					tag = " [go]"
+					if site.Joined {
+						tag = " [go-joined]"
+					}
 				}
 				if site.Defer {
 					tag = " [defer]"
@@ -780,6 +835,9 @@ func (g *Graph) Dump() string {
 	}
 	for _, e := range g.edgeOrder {
 		fmt.Fprintf(&sb, "edge %s -> %s\n", e.From, e.To)
+	}
+	for _, r := range g.roots {
+		fmt.Fprintf(&sb, "root %s kind=%s multi=%v\n", r.Node.ID, r.Kind, r.Multi)
 	}
 	return sb.String()
 }

@@ -48,6 +48,65 @@ func spawn() { go call(nil); defer call(nil) }
 	})
 }
 
+// FuzzAccessSummaries stresses the racecheck-facing layer: field-access
+// summaries, lock sets, ownership, and concurrency roots over arbitrary
+// source. The invariants mirror FuzzSummaries — no panics, and access lists
+// and roots identical across independent parses (both are folded into
+// Dump's and the summaries' rendering) — plus sortedness of every access's
+// lock set, which downstream set operations rely on.
+func FuzzAccessSummaries(f *testing.F) {
+	f.Add(`package p
+import "sync"
+type s struct {
+	mu sync.Mutex
+	n  int
+}
+func writer(x *s) { x.mu.Lock(); x.n++; x.mu.Unlock() }
+func reader(x *s) int { return x.n }
+func spawn(x *s) { go writer(x); go reader(x) }
+`)
+	f.Add(`package p
+type g struct{ v int }
+func fan(gs []*g) {
+	for _, it := range gs {
+		go func() { it.v++ }()
+	}
+}
+`)
+	f.Add(`package p
+import "sync/atomic"
+type c struct{ n int64 }
+func bump(x *c) { atomic.AddInt64(&x.n, 1) }
+func own() { x := &c{}; x.n = 7; go bump(x) }
+`)
+	f.Add(`package p
+type j struct{ n int }
+func produce(ch chan *j) { v := &j{}; v.n = 1; ch <- v }
+func consume(ch chan *j) { for v := range ch { v.n++ } }
+func pipe(ch chan *j) { go produce(ch); go consume(ch) }
+`)
+	f.Fuzz(func(t *testing.T, src string) {
+		g1 := buildFromSource(src)
+		g2 := buildFromSource(src)
+		if g1 == nil || g2 == nil {
+			t.Skip("unparseable input")
+		}
+		if g1.Dump() != g2.Dump() {
+			t.Errorf("nondeterministic access summaries for source:\n%s\n--- first ---\n%s\n--- second ---\n%s",
+				src, g1.Dump(), g2.Dump())
+		}
+		for _, r := range g1.Roots() {
+			for _, a := range r.Node.Summary.AccessList() {
+				for i := 1; i < len(a.Locks); i++ {
+					if a.Locks[i-1] >= a.Locks[i] {
+						t.Errorf("access %s on %s has unsorted lock set %v", a.Display, a.Field, a.Locks)
+					}
+				}
+			}
+		}
+	})
+}
+
 // buildFromSource parses and loosely type-checks src (errors tolerated, no
 // importer) and builds a graph, or returns nil when parsing fails outright.
 func buildFromSource(src string) *callgraph.Graph {

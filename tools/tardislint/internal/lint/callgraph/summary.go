@@ -57,6 +57,11 @@ type Summary struct {
 	// Blocks lists blocking operations reached without spawning a goroutine,
 	// deduplicated by (operation, final position).
 	Blocks []Block
+	// Accesses maps accessKey (field identity + site + kind) to the
+	// struct-field accesses the function may perform, directly or through
+	// any callee chain, excluding goroutines it spawns. Iterate via
+	// AccessList for deterministic order.
+	Accesses map[string]*Access
 }
 
 func (s *Summary) dump() string {
@@ -69,6 +74,17 @@ func (s *Summary) dump() string {
 	}
 	for _, blk := range s.Blocks {
 		fmt.Fprintf(&sb, "  blocks %s governed=%v via %s\n", blk.Op, blk.Governed, RenderChain(blk.Chain))
+	}
+	for _, a := range s.AccessList() {
+		kind := "read"
+		if a.Write {
+			kind = "write"
+		}
+		locks := make([]string, len(a.Locks))
+		for i, l := range a.Locks {
+			locks[i] = string(l)
+		}
+		fmt.Fprintf(&sb, "  access %s %s locks=[%s] via %s\n", kind, a.Field, strings.Join(locks, " "), RenderChain(a.Chain))
 	}
 	return sb.String()
 }
@@ -325,6 +341,9 @@ func summarize(g *Graph) {
 
 // fingerprint captures the monotone part of a summary for fixpoint
 // detection; witness chains are first-wins and never change once set.
+// Access lock sets are included: per iteration they are recomputed from
+// scratch off the (growing) callee summaries, so they evolve monotonically
+// and the fixpoint terminates within the lock universe.
 func fingerprint(s *Summary) string {
 	var sb strings.Builder
 	for _, id := range sortedLockIDs(s.Acquires) {
@@ -339,6 +358,15 @@ func fingerprint(s *Summary) string {
 	sb.WriteByte('|')
 	for _, b := range s.Blocks {
 		fmt.Fprintf(&sb, "%s@%s:%d:%v\n", b.Op, b.Chain[len(b.Chain)-1].Pos.Filename, b.Chain[len(b.Chain)-1].Pos.Line, b.Governed)
+	}
+	sb.WriteByte('|')
+	for _, key := range sortedAccessKeys(s.Accesses) {
+		sb.WriteString(key)
+		for _, l := range s.Accesses[key].Locks {
+			sb.WriteByte(' ')
+			sb.WriteString(string(l))
+		}
+		sb.WriteByte('\n')
 	}
 	return sb.String()
 }
@@ -360,7 +388,7 @@ func sccs(g *Graph) [][]*Node {
 	succOf := func(n *Node) []*Node {
 		var out []*Node
 		for _, site := range n.Sites {
-			if site.Go {
+			if site.Go && !site.Joined {
 				continue // goroutine bodies are separate roots for ordering
 			}
 			out = append(out, site.Callees...)
@@ -437,16 +465,37 @@ type walker struct {
 	deferred  map[LockID]bool
 	sum       *Summary
 	blockSeen map[string]bool
+	// noAccess suppresses access collection ((*sync.Once).Do bodies).
+	noAccess bool
+	// paramIdx maps the node's parameter objects to their index, and
+	// recvObj is the method receiver; both root accesses for ownership
+	// transfer (see Access.Param).
+	paramIdx map[types.Object]int
+	recvObj  types.Object
 }
 
 func walkNode(g *Graph, n *Node) {
 	w := &walker{
-		g:         g,
-		n:         n,
-		heldDisp:  map[LockID]string{},
-		deferred:  map[LockID]bool{},
-		sum:       &Summary{Acquires: map[LockID][]lint.Step{}, AcquireDisplay: map[LockID]string{}},
+		g:        g,
+		n:        n,
+		heldDisp: map[LockID]string{},
+		deferred: map[LockID]bool{},
+		sum: &Summary{
+			Acquires:       map[LockID][]lint.Step{},
+			AcquireDisplay: map[LockID]string{},
+			Accesses:       map[string]*Access{},
+		},
 		blockSeen: map[string]bool{},
+		noAccess:  n.onceBody,
+		paramIdx:  map[types.Object]int{},
+	}
+	if n.Sig != nil {
+		if recv := n.Sig.Recv(); recv != nil {
+			w.recvObj = recv
+		}
+		for i := 0; i < n.Sig.Params().Len(); i++ {
+			w.paramIdx[n.Sig.Params().At(i)] = i
+		}
 	}
 	if body := n.Body(); body != nil {
 		w.stmts(body.List)
@@ -482,6 +531,35 @@ func (w *walker) withHeldCopy(fn func()) []LockID {
 	return result
 }
 
+// blockTerminates reports whether a block cannot fall through: its last
+// statement returns, panics, or jumps unconditionally.
+func blockTerminates(b *ast.BlockStmt) bool {
+	if b == nil || len(b.List) == 0 {
+		return false
+	}
+	return stmtTerminates(b.List[len(b.List)-1])
+}
+
+func stmtTerminates(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.BlockStmt:
+		return blockTerminates(s)
+	case *ast.LabeledStmt:
+		return stmtTerminates(s.Stmt)
+	case *ast.IfStmt:
+		return blockTerminates(s.Body) && s.Else != nil && stmtTerminates(s.Else)
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 func intersect(a, b []LockID) []LockID {
 	inB := map[LockID]bool{}
 	for _, id := range b {
@@ -506,19 +584,22 @@ func (w *walker) stmt(s ast.Stmt) {
 			w.expr(e)
 		}
 		for _, e := range s.Lhs {
-			w.expr(e)
+			w.lvalue(e)
 		}
 	case *ast.SendStmt:
 		w.expr(s.Value)
 		w.send(s)
 	case *ast.IncDecStmt:
-		w.expr(s.X)
+		w.lvalue(s.X)
 	case *ast.GoStmt:
 		// Arguments are evaluated on the caller's goroutine; the call
 		// itself runs elsewhere and is excluded from ordering and blocking.
+		// A joined spawn (structured fork-join) runs within this function's
+		// dynamic extent, so its field accesses fold into this summary.
 		for _, a := range s.Call.Args {
 			w.expr(a)
 		}
+		w.liftJoined(s.Call)
 	case *ast.DeferStmt:
 		if op, id, _ := w.lockOpOf(s.Call); op == "Unlock" || op == "RUnlock" {
 			w.deferred[id] = true
@@ -538,7 +619,20 @@ func (w *walker) stmt(s ast.Stmt) {
 		w.expr(s.Cond)
 		thenHeld := w.withHeldCopy(func() { w.stmts(s.Body.List) })
 		elseHeld := w.withHeldCopy(func() { w.stmt(s.Else) })
-		w.held = intersect(thenHeld, elseHeld)
+		// A branch that cannot fall through (ends in return, panic, or an
+		// unconditional jump) does not constrain the post-if state — the
+		// early-return-with-unlock idiom must not strip locks from the
+		// code after the if.
+		thenTerm := blockTerminates(s.Body)
+		elseTerm := s.Else != nil && stmtTerminates(s.Else)
+		switch {
+		case thenTerm && !elseTerm:
+			w.held = elseHeld
+		case elseTerm && !thenTerm:
+			w.held = thenHeld
+		default:
+			w.held = intersect(thenHeld, elseHeld)
+		}
 	case *ast.ForStmt:
 		w.stmt(s.Init)
 		w.expr(s.Cond)
@@ -595,8 +689,9 @@ func (w *walker) caseBodies(body *ast.BlockStmt) {
 	w.held = merged
 }
 
-// expr walks an expression, handling calls and raw channel receives; nested
-// function literals are separate nodes and are not entered.
+// expr walks an expression, handling calls, raw channel receives, and
+// struct-field reads; nested function literals are separate nodes and are
+// not entered.
 func (w *walker) expr(e ast.Expr) {
 	if e == nil {
 		return
@@ -613,9 +708,119 @@ func (w *walker) expr(e ast.Expr) {
 				w.recv(x)
 				return false
 			}
+		case *ast.SelectorExpr:
+			w.fieldAccess(x, false)
 		}
 		return true
 	})
+}
+
+// lvalue walks an assignment target: the topmost field selector (possibly
+// behind index, slice, star, or paren wrappers) is a write; index operands
+// and the base chain beneath it are reads.
+func (w *walker) lvalue(e ast.Expr) {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.StarExpr:
+			e = x.X
+			continue
+		case *ast.IndexExpr:
+			w.expr(x.Index)
+			e = x.X
+			continue
+		case *ast.SliceExpr:
+			w.expr(x.Low)
+			w.expr(x.High)
+			w.expr(x.Max)
+			e = x.X
+			continue
+		}
+		break
+	}
+	if sel, ok := ast.Unparen(e).(*ast.SelectorExpr); ok {
+		w.fieldAccess(sel, true)
+		w.expr(sel.X)
+		return
+	}
+	w.expr(e)
+}
+
+// fieldAccess records one direct struct-field access with the current held
+// set, applying the collection-time exemptions (see access.go).
+func (w *walker) fieldAccess(sel *ast.SelectorExpr, write bool) {
+	if w.noAccess {
+		return
+	}
+	pkg := w.n.Pkg
+	selection := pkg.Info.Selections[sel]
+	if selection == nil || selection.Kind() != types.FieldVal {
+		return
+	}
+	obj := selection.Obj()
+	if exemptFieldType(obj.Type()) {
+		return
+	}
+	named, ok := types.Unalias(lint.Deref(selection.Recv())).(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return
+	}
+	if ownedBase(w.n, sel.X) {
+		return
+	}
+	locks := append([]LockID(nil), w.held...)
+	sort.Slice(locks, func(i, j int) bool { return locks[i] < locks[j] })
+	param, recvRooted := w.rootOf(sel.X)
+	w.mergeAccess(&Access{
+		Field:      FieldID(typeID(named) + "." + obj.Name()),
+		Display:    named.Obj().Name() + "." + obj.Name(),
+		Write:      write,
+		Pos:        pkg.Fset.Position(sel.Sel.Pos()),
+		Locks:      locks,
+		Chain:      []lint.Step{w.step(sel.Sel.Pos())},
+		Param:      param,
+		RecvRooted: recvRooted,
+	})
+}
+
+// mergeAccess folds one access (direct or lifted from a callee) into the
+// summary: new sites are added; a re-witnessed site intersects its lock set
+// and, when that shrinks it, adopts the chain of the less-locked path so the
+// witness matches the lock set reported.
+func (w *walker) mergeAccess(a *Access) {
+	if w.noAccess {
+		return
+	}
+	key := accessKey(a.Field, a.Pos, a.Write)
+	prev, ok := w.sum.Accesses[key]
+	if !ok {
+		w.sum.Accesses[key] = a
+		return
+	}
+	merged := intersect(prev.Locks, a.Locks)
+	if len(merged) < len(prev.Locks) {
+		prev.Locks = merged
+		prev.Chain = a.Chain
+	}
+}
+
+// unionLocks returns the sorted union of two lock sets.
+func unionLocks(a, b []LockID) []LockID {
+	seen := map[LockID]bool{}
+	var out []LockID
+	for _, id := range a {
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	for _, id := range b {
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // --- channel operations -----------------------------------------------------
@@ -771,6 +976,7 @@ func (w *walker) lockIdentity(mu ast.Expr) (LockID, string) {
 }
 
 func (w *walker) acquire(id LockID, display string, pos token.Pos) {
+	w.g.noteLockDisplay(id, display)
 	st := w.step(pos)
 	for _, h := range w.held {
 		w.addEdge(h, id, display, []lint.Step{st})
@@ -837,8 +1043,32 @@ func (w *walker) call(call *ast.CallExpr) {
 		}
 		return
 	}
-	// Arguments and the function expression may contain nested calls.
+	if isAtomicCall(w.n.Pkg, call) {
+		// sync/atomic operands are accessed atomically: walk the base
+		// chains but do not record the &field operands themselves.
+		for _, a := range call.Args {
+			if u, ok := ast.Unparen(a).(*ast.UnaryExpr); ok && u.Op == token.AND {
+				if sel, ok := ast.Unparen(u.X).(*ast.SelectorExpr); ok {
+					w.expr(sel.X)
+					continue
+				}
+			}
+			w.expr(a)
+		}
+		return
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "delete" && len(call.Args) == 2 {
+		if _, isBuiltin := w.n.Pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+			// delete mutates the map: a write on the field holding it.
+			w.lvalue(call.Args[0])
+			w.expr(call.Args[1])
+			return
+		}
+	}
+	// Arguments and the function expression may contain nested calls; a
+	// call through a function-valued field also reads that field.
 	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		w.fieldAccess(sel, false)
 		w.expr(sel.X)
 	}
 	for _, a := range call.Args {
@@ -849,6 +1079,7 @@ func (w *walker) call(call *ast.CallExpr) {
 		return
 	}
 	st := w.step(call.Lparen)
+	w.liftSite(site, st)
 	for _, callee := range site.Callees {
 		cs := &callee.Summary
 		// Lock-order edges and transitive acquires.
@@ -895,6 +1126,107 @@ func (w *walker) call(call *ast.CallExpr) {
 			w.addBlock(Block{Op: desc, Chain: []lint.Step{st}, Governed: site.CtxFwd})
 		}
 	}
+}
+
+// liftSite folds the field accesses of a call site's callees into this
+// summary with the caller's held set added (the callee's exit-held locks
+// were not yet held when its accesses ran, so callers must invoke this
+// before merging ExitHeld). Ownership transfers through the call: an access
+// rooted at a callee parameter is dropped when the matching argument is
+// memory this caller owns, and re-rooted when the argument chains to one of
+// this caller's own parameters.
+func (w *walker) liftSite(site *Site, st lint.Step) {
+	for _, callee := range site.Callees {
+		cs := &callee.Summary
+		for _, key := range sortedAccessKeys(cs.Accesses) {
+			ca := cs.Accesses[key]
+			param, recvRooted, drop := w.transferRoot(site.Call, callee, ca)
+			if drop {
+				continue
+			}
+			w.mergeAccess(&Access{
+				Field:      ca.Field,
+				Display:    ca.Display,
+				Write:      ca.Write,
+				Pos:        ca.Pos,
+				Locks:      unionLocks(ca.Locks, w.held),
+				Chain:      prefixChain(st, ca.Chain),
+				Param:      param,
+				RecvRooted: recvRooted,
+			})
+		}
+	}
+}
+
+// liftJoined folds a joined spawn's accesses into the spawner (structured
+// fork-join, see markJoinedSpawns): the goroutine runs within the spawner's
+// dynamic extent, so for lock-set purposes its accesses behave like a call.
+// Only field accesses lift — the goroutine's lock acquisitions and blocking
+// operations happen on its own stack, not the spawner's statement flow.
+func (w *walker) liftJoined(call *ast.CallExpr) {
+	site := w.n.siteOf[call]
+	if site == nil || !site.Joined {
+		return
+	}
+	w.liftSite(site, w.step(call.Lparen))
+}
+
+// transferRoot maps a callee access's root into this caller's frame. It
+// returns the caller-relative rooting of the lifted access, or drop=true
+// when the argument bound to the access's root is memory the caller owns —
+// the ownership transfer that keeps per-call structures (reply objects,
+// stats sinks) exempt arbitrarily deep in the call tree.
+func (w *walker) transferRoot(call *ast.CallExpr, callee *Node, ca *Access) (param int, recvRooted bool, drop bool) {
+	var arg ast.Expr
+	switch {
+	case ca.RecvRooted:
+		// The receiver argument is the selector base of a direct method
+		// call; method values and rebound callbacks leave it unknown.
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if s := w.n.Pkg.Info.Selections[sel]; s != nil && s.Kind() == types.MethodVal {
+				arg = sel.X
+			}
+		}
+	case ca.Param >= 0:
+		// Positional mapping holds only when the call shape matches the
+		// callee signature exactly (no variadic spreading or arity
+		// mismatch from callback rebinding).
+		if callee.Sig != nil && call.Ellipsis == token.NoPos &&
+			!callee.Sig.Variadic() && len(call.Args) == callee.Sig.Params().Len() &&
+			ca.Param < len(call.Args) {
+			arg = call.Args[ca.Param]
+		}
+	default:
+		return -1, false, false
+	}
+	if arg == nil {
+		return -1, false, false
+	}
+	if exprOwned(w.n, arg) {
+		return 0, false, true
+	}
+	param, recvRooted = w.rootOf(arg)
+	return param, recvRooted, false
+}
+
+// rootOf classifies an expression's base in this function's frame: the
+// receiver, a parameter (by index), or — through computeRooting's alias
+// analysis — a local that stably aliases one of them.
+func (w *walker) rootOf(e ast.Expr) (param int, recvRooted bool) {
+	base := baseObject(w.n, e)
+	if base == nil {
+		return -1, false
+	}
+	if base == w.recvObj || w.n.rootedRecv[base] {
+		return -1, true
+	}
+	if i, ok := w.paramIdx[base]; ok {
+		return i, false
+	}
+	if i, ok := w.n.rootedParam[base]; ok {
+		return i, false
+	}
+	return -1, false
 }
 
 // funReceiver returns the receiver expression of a method call, or nil.

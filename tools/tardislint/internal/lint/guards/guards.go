@@ -1,0 +1,138 @@
+// Package guards is the single parser for the project's guarded-by field
+// annotations, shared by every pass that consumes them (lockflow's
+// path-sensitive intraprocedural check and racecheck's interprocedural
+// lock-set inference).
+//
+// The canonical syntax is a field comment — trailing or in the field's doc
+// comment — containing
+//
+//	guarded by <mu>
+//
+// where <mu> names a sync.Mutex or sync.RWMutex field of the same struct.
+// The sigslice-era shorthand "guardedby: <mu>" is accepted by the same
+// regular expression so historical annotations keep working, but new code
+// should write the spaced canonical form. An annotation that names no mutex
+// field of its struct is reported as a finding by whichever pass collects
+// it first (lockflow, in the default pass order).
+package guards
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+
+	"github.com/tardisdb/tardis/tools/tardislint/internal/lint"
+)
+
+// re accepts both dialects: "guarded by mu", "guarded-by mu", and the old
+// "guardedby: mu". The mutex name is the first capture group.
+var re = regexp.MustCompile(`guarded[ -]?by:?\s+([A-Za-z_]\w*)`)
+
+// Guard ties one annotated struct field to the mutex field that protects it.
+type Guard struct {
+	// Owner is the named struct type declaring the field, or nil when the
+	// annotation sits in an anonymous struct (object-granular consumers
+	// still work; type-granular ones skip it).
+	Owner *types.Named
+	// Field is the annotated field.
+	Field *types.Var
+	// Mutex is the sync.Mutex/RWMutex field of the same struct.
+	Mutex *types.Var
+	// Name is the mutex field name as written in the annotation.
+	Name string
+}
+
+// Collect scans every struct type in the package for guarded-by annotations.
+// It returns the resolved guards and, attributed to pass, a finding for each
+// annotation that names no mutex field of its struct.
+func Collect(p *lint.Package, pass string) ([]Guard, []lint.Finding) {
+	owner := map[*ast.StructType]*types.Named{}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			if tn, ok := p.Info.Defs[ts.Name].(*types.TypeName); ok {
+				if named, ok := tn.Type().(*types.Named); ok {
+					owner[st] = named
+				}
+			}
+			return true
+		})
+	}
+	var guards []Guard
+	var out []lint.Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			g, bad := collectStruct(p, st, owner[st], pass)
+			guards = append(guards, g...)
+			out = append(out, bad...)
+			return true
+		})
+	}
+	return guards, out
+}
+
+// collectStruct resolves the annotations of one struct literal.
+func collectStruct(p *lint.Package, st *ast.StructType, named *types.Named, pass string) ([]Guard, []lint.Finding) {
+	mutexByName := map[string]*types.Var{}
+	for _, field := range st.Fields.List {
+		for _, fname := range field.Names {
+			obj, ok := p.Info.Defs[fname].(*types.Var)
+			if !ok {
+				continue
+			}
+			if IsMutex(obj.Type()) {
+				mutexByName[fname.Name] = obj
+			}
+		}
+	}
+	var guards []Guard
+	var out []lint.Finding
+	for _, field := range st.Fields.List {
+		text := ""
+		if field.Doc != nil {
+			text += field.Doc.Text()
+		}
+		if field.Comment != nil {
+			text += field.Comment.Text()
+		}
+		m := re.FindStringSubmatch(text)
+		if m == nil {
+			continue
+		}
+		mu := mutexByName[m[1]]
+		if mu == nil {
+			out = append(out, p.Findingf(pass, field.Pos(),
+				"'guarded by %s' names no sync.Mutex/RWMutex field of this struct", m[1]))
+			continue
+		}
+		for _, fname := range field.Names {
+			if obj, ok := p.Info.Defs[fname].(*types.Var); ok {
+				guards = append(guards, Guard{Owner: named, Field: obj, Mutex: mu, Name: m[1]})
+			}
+		}
+	}
+	return guards, out
+}
+
+// IsMutex reports whether t is sync.Mutex or sync.RWMutex (possibly behind a
+// pointer).
+func IsMutex(t types.Type) bool {
+	t = lint.Deref(t)
+	return lint.IsNamed(t, "sync", "Mutex") || lint.IsNamed(t, "sync", "RWMutex")
+}
+
+// IsRWMutex reports whether t is sync.RWMutex (possibly behind a pointer).
+func IsRWMutex(t types.Type) bool {
+	return lint.IsNamed(lint.Deref(t), "sync", "RWMutex")
+}

@@ -1,0 +1,77 @@
+package guards_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/tardisdb/tardis/tools/tardislint/internal/lint"
+	"github.com/tardisdb/tardis/tools/tardislint/internal/lint/guards"
+)
+
+const fixture = `package fix
+
+import "sync"
+
+type Canonical struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+type Legacy struct {
+	mu sync.RWMutex
+	// guardedby: mu
+	m map[string]int
+}
+
+type Broken struct {
+	mu sync.Mutex
+	x  int // guarded by nosuch
+}
+`
+
+// TestBothDialects proves the one parser accepts the canonical "guarded by"
+// form and the legacy "guardedby:" shorthand, resolves the owning type, and
+// reports annotations naming a missing mutex.
+func TestBothDialects(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fix.go")
+	if err := os.WriteFile(path, []byte(fixture), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := lint.NewLoader().LoadFiles("fix", path)
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	gs, bad := guards.Collect(pkg, "testpass")
+
+	byField := map[string]guards.Guard{}
+	for _, g := range gs {
+		byField[g.Field.Name()] = g
+	}
+	for _, want := range []struct{ field, owner string }{
+		{"n", "Canonical"},
+		{"m", "Legacy"},
+	} {
+		g, ok := byField[want.field]
+		if !ok {
+			t.Errorf("field %s: no guard collected", want.field)
+			continue
+		}
+		if g.Owner == nil || g.Owner.Obj().Name() != want.owner {
+			t.Errorf("field %s: owner = %v, want %s", want.field, g.Owner, want.owner)
+		}
+		if g.Name != "mu" || g.Mutex == nil || g.Mutex.Name() != "mu" {
+			t.Errorf("field %s: mutex = %q/%v, want mu", want.field, g.Name, g.Mutex)
+		}
+	}
+	if _, ok := byField["x"]; ok {
+		t.Errorf("broken annotation on x produced a guard")
+	}
+	if len(bad) != 1 {
+		t.Fatalf("bad findings = %v, want exactly one for Broken.x", bad)
+	}
+	if bad[0].Pass != "testpass" {
+		t.Errorf("bad finding pass = %q, want testpass", bad[0].Pass)
+	}
+}

@@ -5,10 +5,11 @@
 // held at this access, on every path that reaches it".
 //
 // A struct field annotated with a comment containing "guarded by <mu>"
-// (trailing or in the field's doc comment), where <mu> is a sync.Mutex or
-// sync.RWMutex field of the same struct, may only be accessed while <mu>
-// is held. On top of the per-access check, lockflow reports lock-pairing
-// defects on any mutex it can resolve, guarded or not:
+// (trailing or in the field's doc comment; the annotation grammar, shared
+// with racecheck, lives in internal/lint/guards), where <mu> is a
+// sync.Mutex or sync.RWMutex field of the same struct, may only be accessed
+// while <mu> is held. On top of the per-access check, lockflow reports
+// lock-pairing defects on any mutex it can resolve, guarded or not:
 //
 //   - access on a path where the mutex is not (or may not be) held,
 //     including use-after-Unlock;
@@ -42,10 +43,10 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
-	"regexp"
 
 	"github.com/tardisdb/tardis/tools/tardislint/internal/lint"
 	"github.com/tardisdb/tardis/tools/tardislint/internal/lint/cfg"
+	"github.com/tardisdb/tardis/tools/tardislint/internal/lint/guards"
 )
 
 const name = "lockflow"
@@ -56,8 +57,6 @@ var Pass = lint.Pass{
 	Doc:  "path-sensitive mutex discipline: 'guarded by <mu>' fields, double-(un)lock, leaked locks",
 	Run:  run,
 }
-
-var guardedRe = regexp.MustCompile(`guarded by ([A-Za-z_]\w*)`)
 
 // state is the powerset lattice element for one mutex.
 type state uint8
@@ -78,15 +77,12 @@ type guard struct {
 }
 
 func run(p *lint.Package) []lint.Finding {
-	var out []lint.Finding
-	guards := map[*types.Var]guard{}
-	for _, f := range p.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			if st, ok := n.(*ast.StructType); ok {
-				out = append(out, collectGuards(p, st, guards)...)
-			}
-			return true
-		})
+	// The annotation grammar is shared with racecheck; lockflow is the pass
+	// that owns malformed-annotation findings (it runs first and per package).
+	gs, out := guards.Collect(p, name)
+	gm := map[*types.Var]guard{}
+	for _, g := range gs {
+		gm[g.Field] = guard{mutex: g.Mutex, name: g.Name}
 	}
 	for _, f := range p.Files {
 		for _, decl := range f.Decls {
@@ -94,64 +90,15 @@ func run(p *lint.Package) []lint.Finding {
 			if !ok || fd.Body == nil {
 				continue
 			}
-			fn := &funcAnalysis{pkg: p, guards: guards}
+			fn := &funcAnalysis{pkg: p, guards: gm}
 			out = append(out, fn.check(fd)...)
 		}
 	}
 	return out
 }
 
-// collectGuards records the annotated fields of one struct type, reporting
-// annotations that name a missing or non-mutex field.
-func collectGuards(p *lint.Package, st *ast.StructType, guards map[*types.Var]guard) []lint.Finding {
-	var out []lint.Finding
-	mutexByName := map[string]*types.Var{}
-	for _, field := range st.Fields.List {
-		for _, fname := range field.Names {
-			obj, ok := p.Info.Defs[fname].(*types.Var)
-			if !ok {
-				continue
-			}
-			if isMutex(obj.Type()) {
-				mutexByName[fname.Name] = obj
-			}
-		}
-	}
-	for _, field := range st.Fields.List {
-		text := ""
-		if field.Doc != nil {
-			text += field.Doc.Text()
-		}
-		if field.Comment != nil {
-			text += field.Comment.Text()
-		}
-		m := guardedRe.FindStringSubmatch(text)
-		if m == nil {
-			continue
-		}
-		mu := mutexByName[m[1]]
-		if mu == nil {
-			out = append(out, p.Findingf(name, field.Pos(),
-				"'guarded by %s' names no sync.Mutex/RWMutex field of this struct", m[1]))
-			continue
-		}
-		for _, fname := range field.Names {
-			if obj, ok := p.Info.Defs[fname].(*types.Var); ok {
-				guards[obj] = guard{mutex: mu, name: m[1]}
-			}
-		}
-	}
-	return out
-}
-
-func isMutex(t types.Type) bool {
-	t = lint.Deref(t)
-	return lint.IsNamed(t, "sync", "Mutex") || lint.IsNamed(t, "sync", "RWMutex")
-}
-
-func isRWMutex(t types.Type) bool {
-	return lint.IsNamed(lint.Deref(t), "sync", "RWMutex")
-}
+func isMutex(t types.Type) bool   { return guards.IsMutex(t) }
+func isRWMutex(t types.Type) bool { return guards.IsRWMutex(t) }
 
 // fact is the dataflow fact: the lattice state of every mutex seen so far,
 // plus the set of mutexes with a deferred unlock registered on this path.

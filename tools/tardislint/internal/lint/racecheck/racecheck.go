@@ -1,0 +1,364 @@
+// Package racecheck detects potential data races interprocedurally, via
+// lock-set inference over the callgraph's access summaries and concurrency
+// roots (RacerD-style, after Blackshear et al.).
+//
+// The callgraph layer supplies, per function, every struct-field access the
+// function may perform — keyed by per-type field identity, tagged with the
+// lock set held at the access, lifted bottom-up over the SCC fixpoint — and
+// the set of concurrency roots: goroutine targets, net/rpc handler methods,
+// and HTTP-handler-shaped functions (see callgraph/access.go, including the
+// ownership, atomic, channel-transfer, and sync.Once exemptions applied at
+// collection time).
+//
+// A field is a race candidate when it is reachable from at least two
+// distinct roots — or from one root that runs as multiple concurrent
+// instances (spawned in a loop or from several sites, or invoked
+// per-request) — and at least one of those accesses is a write. For each
+// candidate the pass determines the lock that is supposed to guard it:
+//
+//   - a `guarded by <mu>` annotation (parsed by internal/lint/guards, the
+//     same parser lockflow uses) is ground truth — every concurrent access
+//     that does not hold the annotated lock is reported, and an annotation
+//     that inference contradicts (no concurrent access holds it while
+//     another lock dominates) is itself a finding at the annotation;
+//   - otherwise the majority lock is inferred: the lock held at the most
+//     access sites (ties break lexicographically), and each site whose
+//     intersected lock set misses it is reported;
+//   - a candidate with no lock held anywhere is reported at each write.
+//
+// Every finding carries two witnessing call chains — root to the offending
+// access, and root to a conflicting access — concatenated in Finding.Chain,
+// the same format lockorder golden-tests in -format json.
+package racecheck
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+
+	"github.com/tardisdb/tardis/tools/tardislint/internal/lint"
+	"github.com/tardisdb/tardis/tools/tardislint/internal/lint/callgraph"
+	"github.com/tardisdb/tardis/tools/tardislint/internal/lint/guards"
+)
+
+const name = "racecheck"
+
+// Pass is the racecheck analyzer.
+var Pass = lint.Pass{
+	Name:       name,
+	Doc:        "interprocedural data races: lock-set inference over concurrency roots",
+	RunProgram: run,
+}
+
+// annotation is the ground truth a `guarded by` comment declares for a field.
+type annotation struct {
+	lock      callgraph.LockID
+	lockDisp  string
+	fieldDisp string
+	pos       token.Position
+}
+
+// occurrence is one access site as witnessed from one concurrency root.
+type occurrence struct {
+	root *callgraph.Root
+	acc  *callgraph.Access
+}
+
+// site collapses the occurrences of one source position: its lock set is the
+// intersection over every root reaching it (a lock held on only some of the
+// concurrent paths protects nothing).
+type site struct {
+	key   string
+	write bool
+	acc   *callgraph.Access
+	locks []callgraph.LockID
+	occs  []occurrence
+}
+
+func run(pkgs []*lint.Package) []lint.Finding {
+	g := callgraph.Build(pkgs)
+	roots := g.Roots()
+	if len(roots) == 0 {
+		return nil
+	}
+	ann := collectAnnotations(pkgs)
+
+	byField := map[callgraph.FieldID][]occurrence{}
+	var fields []callgraph.FieldID
+	for _, r := range roots {
+		for _, a := range r.Node.Summary.AccessList() {
+			if perCallRooted(r, a) {
+				continue
+			}
+			if _, ok := byField[a.Field]; !ok {
+				fields = append(fields, a.Field)
+			}
+			byField[a.Field] = append(byField[a.Field], occurrence{root: r, acc: a})
+		}
+	}
+	sort.Slice(fields, func(i, j int) bool { return fields[i] < fields[j] })
+
+	var out []lint.Finding
+	for _, fid := range fields {
+		occs := byField[fid]
+		distinctRoots := map[string]bool{}
+		multi := false
+		for _, o := range occs {
+			distinctRoots[o.root.Node.ID] = true
+			if o.root.Multi {
+				multi = true
+			}
+		}
+		if len(distinctRoots) < 2 && !multi {
+			continue
+		}
+		sites := collapse(occs)
+		hasWrite := false
+		for _, s := range sites {
+			if s.write {
+				hasWrite = true
+			}
+		}
+		if !hasWrite {
+			continue
+		}
+		out = append(out, checkField(g, fid, sites, ann)...)
+	}
+	return out
+}
+
+// perCallRooted reports accesses through memory the transport allocates per
+// call: net/rpc decodes a fresh args value and allocates a fresh reply for
+// every request, and net/http hands each handler invocation its own
+// ResponseWriter/Request pair. Receiver-rooted state is the shared service
+// and always participates.
+func perCallRooted(r *callgraph.Root, a *callgraph.Access) bool {
+	return (r.Kind == "rpc" || r.Kind == "http") && a.Param >= 0
+}
+
+// collapse groups occurrences into unique sites in deterministic order.
+func collapse(occs []occurrence) []*site {
+	byKey := map[string]*site{}
+	var sites []*site
+	for _, o := range occs {
+		k := fmt.Sprintf("%s:%d:%d|%v", o.acc.Pos.Filename, o.acc.Pos.Line, o.acc.Pos.Column, o.acc.Write)
+		s := byKey[k]
+		if s == nil {
+			s = &site{key: k, write: o.acc.Write, acc: o.acc, locks: o.acc.Locks}
+			byKey[k] = s
+			sites = append(sites, s)
+		} else {
+			s.locks = intersectLocks(s.locks, o.acc.Locks)
+		}
+		s.occs = append(s.occs, o)
+	}
+	sort.Slice(sites, func(i, j int) bool { return sites[i].key < sites[j].key })
+	return sites
+}
+
+// checkField judges one race-candidate field and renders its findings.
+func checkField(g *callgraph.Graph, fid callgraph.FieldID, sites []*site, ann map[callgraph.FieldID]annotation) []lint.Finding {
+	counts := map[callgraph.LockID]int{}
+	var lockOrder []callgraph.LockID
+	for _, s := range sites {
+		for _, l := range s.locks {
+			if counts[l] == 0 {
+				lockOrder = append(lockOrder, l)
+			}
+			counts[l]++
+		}
+	}
+	sort.Slice(lockOrder, func(i, j int) bool { return lockOrder[i] < lockOrder[j] })
+	var best callgraph.LockID
+	bestN := 0
+	for _, l := range lockOrder {
+		if counts[l] > bestN {
+			best, bestN = l, counts[l]
+		}
+	}
+	display := sites[0].acc.Display
+
+	if an, ok := ann[fid]; ok {
+		held := counts[an.lock]
+		if held == 0 && bestN > 0 && bestN*2 >= len(sites) {
+			// The annotation names a lock nobody holds while another lock
+			// dominates: the annotation itself is wrong (or the locking is).
+			// Reporting every access would drown the signal, so the finding
+			// lands on the annotation.
+			return []lint.Finding{{
+				Pos:  an.pos,
+				Pass: name,
+				Message: fmt.Sprintf(
+					"'guarded by' annotation on %s is contradicted by inference: no concurrent access holds %s, while %s is held at %d of %d site(s); fix the annotation or the locking",
+					an.fieldDisp, an.lockDisp, g.LockDisplay(best), bestN, len(sites)),
+			}}
+		}
+		var out []lint.Finding
+		for _, s := range sites {
+			if containsLock(s.locks, an.lock) {
+				continue
+			}
+			out = append(out, offenderFinding(g, s, sites, an.lock,
+				fmt.Sprintf("%s ('guarded by' annotation, held at %d of %d concurrent access site(s))", an.lockDisp, held, len(sites))))
+		}
+		return out
+	}
+
+	if bestN == 0 {
+		// No lock anywhere: every concurrent write is a finding.
+		var out []lint.Finding
+		for _, s := range sites {
+			if !s.write {
+				continue
+			}
+			off := s.occs[0]
+			conflict := pickConflict(s, sites)
+			out = append(out, renderFinding(off, conflict,
+				fmt.Sprintf("potential data race on %s: concurrent %s with no lock held (root %s)",
+					display, kindOf(s.write), off.root.Node.Display)))
+		}
+		return out
+	}
+
+	var out []lint.Finding
+	for _, s := range sites {
+		if containsLock(s.locks, best) {
+			continue
+		}
+		out = append(out, offenderFinding(g, s, sites, best,
+			fmt.Sprintf("%s (inferred majority lock, held at %d of %d concurrent access site(s))", g.LockDisplay(best), bestN, len(sites))))
+	}
+	return out
+}
+
+// offenderFinding renders one access that misses the guarding lock.
+func offenderFinding(g *callgraph.Graph, s *site, sites []*site, lock callgraph.LockID, lockDesc string) lint.Finding {
+	off := witnessOcc(s, lock)
+	conflict := pickConflict(s, sites)
+	return renderFinding(off, conflict,
+		fmt.Sprintf("potential data race on %s: %s does not hold %s",
+			s.acc.Display, kindOf(s.write), lockDesc))
+}
+
+// renderFinding assembles the diagnostic: the offending access with its
+// witnessing chain, the conflicting access with its chain, and both chains
+// concatenated in Finding.Chain for -format json consumers.
+func renderFinding(off, conflict occurrence, msg string) lint.Finding {
+	chain := make([]lint.Step, 0, len(off.acc.Chain)+len(conflict.acc.Chain))
+	chain = append(chain, off.acc.Chain...)
+	chain = append(chain, conflict.acc.Chain...)
+	var conflictDesc string
+	if conflict.acc == off.acc && conflict.root == off.root {
+		conflictDesc = fmt.Sprintf("a second instance of root %s races on the same access", off.root.Node.Display)
+	} else {
+		conflictDesc = fmt.Sprintf("conflicting %s from root %s via %s",
+			kindOf(conflict.acc.Write), conflict.root.Node.Display, callgraph.RenderChain(conflict.acc.Chain))
+	}
+	return lint.Finding{
+		Pos:   off.acc.Pos,
+		Pass:  name,
+		Chain: chain,
+		Message: fmt.Sprintf("%s; access via %s; %s",
+			msg, callgraph.RenderChain(off.acc.Chain), conflictDesc),
+	}
+}
+
+// witnessOcc picks the occurrence whose own lock set misses the lock — the
+// path the diagnostic should spell out.
+func witnessOcc(s *site, lock callgraph.LockID) occurrence {
+	for _, o := range s.occs {
+		if !containsLock(o.acc.Locks, lock) {
+			return o
+		}
+	}
+	return s.occs[0]
+}
+
+// pickConflict returns the racing counterpart to cite: prefer a write at a
+// different site, then any other site, then (multi-instance roots) another
+// occurrence of the same site.
+func pickConflict(s *site, sites []*site) occurrence {
+	var fallback *occurrence
+	for _, t := range sites {
+		if t == s {
+			continue
+		}
+		o := t.occs[0]
+		if t.write {
+			return o
+		}
+		if fallback == nil {
+			fallback = &o
+		}
+	}
+	if fallback != nil {
+		return *fallback
+	}
+	if len(s.occs) > 1 {
+		return s.occs[1]
+	}
+	return s.occs[0]
+}
+
+func kindOf(write bool) string {
+	if write {
+		return "write"
+	}
+	return "read"
+}
+
+func containsLock(locks []callgraph.LockID, l callgraph.LockID) bool {
+	for _, id := range locks {
+		if id == l {
+			return true
+		}
+	}
+	return false
+}
+
+func intersectLocks(a, b []callgraph.LockID) []callgraph.LockID {
+	inB := map[callgraph.LockID]bool{}
+	for _, id := range b {
+		inB[id] = true
+	}
+	var out []callgraph.LockID
+	for _, id := range a {
+		if inB[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// collectAnnotations resolves type-granular `guarded by` ground truth from
+// the shared parser. Malformed annotations are lockflow's findings, not
+// racecheck's; anonymous-struct annotations have no per-type identity and
+// fall back to inference.
+func collectAnnotations(pkgs []*lint.Package) map[callgraph.FieldID]annotation {
+	out := map[callgraph.FieldID]annotation{}
+	for _, p := range pkgs {
+		if p == nil || strings.HasSuffix(p.PkgPath, "_test") {
+			continue
+		}
+		gs, _ := guards.Collect(p, name)
+		for _, gd := range gs {
+			if gd.Owner == nil {
+				continue
+			}
+			pos := p.Fset.Position(gd.Field.Pos())
+			if strings.HasSuffix(pos.Filename, "_test.go") {
+				continue
+			}
+			tid := callgraph.TypeID(gd.Owner)
+			fid := callgraph.FieldID(tid + "." + gd.Field.Name())
+			out[fid] = annotation{
+				lock:      callgraph.LockID(tid + "." + gd.Mutex.Name()),
+				lockDisp:  gd.Owner.Obj().Name() + "." + gd.Mutex.Name(),
+				fieldDisp: gd.Owner.Obj().Name() + "." + gd.Field.Name(),
+				pos:       pos,
+			}
+		}
+	}
+	return out
+}

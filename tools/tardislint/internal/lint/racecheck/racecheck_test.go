@@ -1,0 +1,132 @@
+package racecheck_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"github.com/tardisdb/tardis/tools/tardislint/internal/lint"
+	"github.com/tardisdb/tardis/tools/tardislint/internal/lint/linttest"
+	"github.com/tardisdb/tardis/tools/tardislint/internal/lint/racecheck"
+)
+
+func TestRaceFixture(t *testing.T) {
+	linttest.Check(t, racecheck.Pass, "race", "testdata/race.go")
+}
+
+func TestLoopCaptureFixture(t *testing.T) {
+	linttest.Check(t, racecheck.Pass, "loopcap", "testdata/loopcap.go")
+}
+
+func TestExemptionsFixture(t *testing.T) {
+	linttest.Check(t, racecheck.Pass, "exempt", "testdata/exempt.go")
+}
+
+func TestAnnotatedFixture(t *testing.T) {
+	linttest.Check(t, racecheck.Pass, "annotated", "testdata/annotated.go")
+}
+
+func TestDetFixture(t *testing.T) {
+	linttest.Check(t, racecheck.Pass, "det", "testdata/det_a.go", "testdata/det_b.go")
+}
+
+func load(t *testing.T, pkgPath string, files ...string) []lint.Finding {
+	t.Helper()
+	pkg, err := lint.NewLoader().LoadFiles(pkgPath, files...)
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	return lint.Run([]lint.Pass{racecheck.Pass}, []*lint.Package{pkg})
+}
+
+// TestWitnessChains proves the acceptance contract: the majority-lock
+// finding on Stats.hits names the inferred lock, spells out the witnessing
+// chain to the offending read, and cites the conflicting locked write from
+// the other root — with both chains present in Finding.Chain.
+func TestWitnessChains(t *testing.T) {
+	findings := load(t, "race", "testdata/race.go")
+	var hit *lint.Finding
+	for i := range findings {
+		if strings.Contains(findings[i].Message, "Stats.hits") {
+			hit = &findings[i]
+		}
+	}
+	if hit == nil {
+		t.Fatalf("no finding on Stats.hits:\n%v", findings)
+	}
+	for _, want := range []string{
+		"potential data race on Stats.hits",
+		"read does not hold Stats.mu",
+		"inferred majority lock",
+		"access via race.(*Stats).readHit",
+		"conflicting write from root race.(*Stats).addHit",
+		"race.(*Stats).bump",
+	} {
+		if !strings.Contains(hit.Message, want) {
+			t.Errorf("Stats.hits finding missing %q:\n%s", want, hit.Message)
+		}
+	}
+	// Both chains are concatenated in Chain: the offender's path and the
+	// conflicting path, each starting at its root.
+	var funcs []string
+	for _, st := range hit.Chain {
+		funcs = append(funcs, st.Func)
+	}
+	joined := strings.Join(funcs, " ")
+	if !strings.Contains(joined, "readHit") || !strings.Contains(joined, "bump") {
+		t.Errorf("Chain must contain both witnessing paths, got %v", funcs)
+	}
+}
+
+// TestContradictedAnnotation pins the shape of the annotation-contradiction
+// finding: one finding at the annotation, naming both locks.
+func TestContradictedAnnotation(t *testing.T) {
+	findings := load(t, "annotated", "testdata/annotated.go")
+	var contra *lint.Finding
+	for i := range findings {
+		if strings.Contains(findings[i].Message, "contradicted") {
+			if contra != nil {
+				t.Fatalf("more than one contradiction finding:\n%v", findings)
+			}
+			contra = &findings[i]
+		}
+	}
+	if contra == nil {
+		t.Fatalf("no contradiction finding:\n%v", findings)
+	}
+	for _, want := range []string{
+		"'guarded by' annotation on Registry.count",
+		"no concurrent access holds Registry.idx",
+		"Registry.mu is held at 2 of 2 site(s)",
+	} {
+		if !strings.Contains(contra.Message, want) {
+			t.Errorf("contradiction finding missing %q:\n%s", want, contra.Message)
+		}
+	}
+}
+
+func render(t *testing.T, files ...string) string {
+	t.Helper()
+	findings := load(t, "det", files...)
+	var sb strings.Builder
+	for _, f := range findings {
+		fmt.Fprintf(&sb, "%s:%d:%d %s\n", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Message)
+		for _, st := range f.Chain {
+			fmt.Fprintf(&sb, "  %s %s:%d:%d\n", st.Func, st.Pos.Filename, st.Pos.Line, st.Pos.Column)
+		}
+	}
+	return sb.String()
+}
+
+// TestDeterministicAcrossOrderings loads the two-file fixture in both file
+// orders and requires byte-identical rendered findings, chains included.
+func TestDeterministicAcrossOrderings(t *testing.T) {
+	ab := render(t, "testdata/det_a.go", "testdata/det_b.go")
+	ba := render(t, "testdata/det_b.go", "testdata/det_a.go")
+	if ab == "" {
+		t.Fatal("determinism fixture produced no findings")
+	}
+	if ab != ba {
+		t.Errorf("findings differ across file orderings:\n--- a,b ---\n%s--- b,a ---\n%s", ab, ba)
+	}
+}

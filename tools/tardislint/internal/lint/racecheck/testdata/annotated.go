@@ -1,0 +1,53 @@
+// Fixture for racecheck's annotation handling: a `guarded by` comment is
+// ground truth when honored, and a finding of its own when inference
+// contradicts it.
+package annotated
+
+import "sync"
+
+// Registry's count annotation names the wrong lock: every concurrent access
+// actually holds mu, so the annotation is contradicted and the finding lands
+// on the annotation itself rather than on each access.
+type Registry struct {
+	mu    sync.Mutex
+	idx   sync.Mutex
+	count int // guarded by idx — wrong lock // WANT
+}
+
+func (r *Registry) add() {
+	r.mu.Lock()
+	r.count++
+	r.mu.Unlock()
+}
+
+func (r *Registry) snapshot() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.count
+}
+
+func Run(r *Registry) {
+	go r.add()
+	go r.snapshot()
+}
+
+// Ledger's annotation is honored; the unlocked increment is the bug.
+type Ledger struct {
+	mu    sync.Mutex
+	total int // guarded by mu
+}
+
+func (l *Ledger) credit() {
+	l.mu.Lock()
+	l.total++
+	l.mu.Unlock()
+}
+
+func (l *Ledger) drain() {
+	l.total++ // WANT
+}
+
+func Book(l *Ledger) {
+	go l.credit()
+	go l.drain()
+}

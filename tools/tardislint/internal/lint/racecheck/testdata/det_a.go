@@ -1,0 +1,18 @@
+// Fixture (file 1 of 2) for the shuffled-ordering determinism test: findings
+// span both files so the rendered report exercises cross-file ordering.
+package det
+
+import "sync"
+
+type shared struct {
+	mu sync.Mutex
+	a  int
+	b  int
+}
+
+func alphaWriter(s *shared) {
+	s.a++ // WANT
+	s.mu.Lock()
+	s.b++
+	s.mu.Unlock()
+}

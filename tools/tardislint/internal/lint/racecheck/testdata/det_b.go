@@ -1,0 +1,12 @@
+// Fixture (file 2 of 2) for the shuffled-ordering determinism test.
+package det
+
+func betaWriter(s *shared) {
+	s.a++ // WANT
+	s.b++ // WANT
+}
+
+func Spawn(s *shared) {
+	go alphaWriter(s)
+	go betaWriter(s)
+}

@@ -1,0 +1,92 @@
+// Fixture for racecheck's exemptions: constructor escape (writes to fresh
+// allocations are owned), sync/atomic operations and atomic-typed fields,
+// and channel hand-off (received values are transferred, not shared). None
+// of these may produce a finding.
+package exempt
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Box demonstrates constructor escape: NewBox writes to memory it just
+// allocated, so the unlocked store is owned, and the only shared access is
+// properly locked.
+type Box struct {
+	mu sync.Mutex
+	n  int
+}
+
+func NewBox() *Box {
+	b := &Box{}
+	b.n = 1
+	return b
+}
+
+func worker() {
+	b := NewBox()
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+}
+
+func Start() {
+	go worker()
+	go worker()
+}
+
+// Counter is only touched through sync/atomic calls.
+type Counter struct {
+	n int64
+}
+
+func (c *Counter) inc() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+func (c *Counter) get() int64 {
+	return atomic.LoadInt64(&c.n)
+}
+
+func Count(c *Counter) {
+	go c.inc()
+	go c.get()
+}
+
+// Hits uses the typed atomic — the field type itself is exempt.
+type Hits struct {
+	n atomic.Int64
+}
+
+func (h *Hits) bump() {
+	h.n.Add(1)
+}
+
+func Observe(h *Hits) {
+	go h.bump()
+	go h.bump()
+}
+
+// job crosses a channel by pointer: the producer writes before sending, the
+// consumer owns what it receives.
+type job struct {
+	n int
+}
+
+func produce(ch chan<- *job) {
+	j := &job{}
+	j.n = 1
+	ch <- j
+}
+
+func consume(ch <-chan *job) {
+	for j := range ch {
+		j.n++
+	}
+}
+
+func Pipeline() {
+	ch := make(chan *job)
+	go produce(ch)
+	go consume(ch)
+}

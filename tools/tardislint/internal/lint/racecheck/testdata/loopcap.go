@@ -1,0 +1,31 @@
+// Fixture for racecheck: a single goroutine literal spawned inside a loop is
+// a multi-instance root — its instances race with each other even though no
+// second root exists.
+package loopcap
+
+// Gauge is mutated by worker goroutines fanned out in a loop.
+type Gauge struct {
+	val int
+}
+
+// FanOut rebinds g per iteration; every instance still mutates a shared
+// Gauge with no lock.
+func FanOut(gs []*Gauge) {
+	for _, g := range gs {
+		g := g
+		go func() {
+			g.val++ // WANT
+		}()
+	}
+}
+
+// FanOutCaptured is the legacy capture pattern: the literal closes over the
+// range variable directly. The field write races across instances all the
+// same.
+func FanOutCaptured(gs []*Gauge) {
+	for _, g := range gs {
+		go func() {
+			g.val-- // WANT
+		}()
+	}
+}

@@ -1,0 +1,62 @@
+// Fixture for racecheck: genuine races between goroutine roots, plus the
+// interprocedural case where the guarding lock is only visible after the
+// callee's accesses are lifted into the caller that holds it.
+package race
+
+import "sync"
+
+// Tracker seeds the no-lock-anywhere variant: done is written by two
+// goroutine roots with no lock, while tags is consistently guarded.
+type Tracker struct {
+	mu   sync.Mutex
+	done int
+	tags []string
+}
+
+func (t *Tracker) produce() {
+	t.done++ // WANT
+	t.mu.Lock()
+	t.tags = append(t.tags, "p")
+	t.mu.Unlock()
+}
+
+func (t *Tracker) consume() {
+	t.done++ // WANT
+	t.mu.Lock()
+	t.tags = append(t.tags, "c")
+	t.mu.Unlock()
+}
+
+func SpawnPair(t *Tracker) {
+	go t.produce()
+	go t.consume()
+}
+
+// Stats seeds majority-lock inference: the write reaches hits through bump,
+// whose caller holds mu — the lifted summary carries the lock — while
+// readHit touches the field bare.
+type Stats struct {
+	mu   sync.Mutex
+	hits int
+}
+
+func (s *Stats) addHit() {
+	s.mu.Lock()
+	s.bump()
+	s.mu.Unlock()
+}
+
+// bump relies on its caller holding mu.
+func (s *Stats) bump() {
+	s.hits++
+}
+
+func (s *Stats) readHit() int {
+	return s.hits // WANT
+}
+
+func Monitor(s *Stats) {
+	go s.addHit()
+	go s.addHit()
+	go s.readHit()
+}

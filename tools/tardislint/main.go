@@ -1,6 +1,6 @@
 // Command tardislint is the project's static-analysis gate. It loads
 // packages with the standard library's source importer (no external
-// dependencies) and runs ten project-specific passes:
+// dependencies) and runs eleven project-specific passes:
 //
 //	sigslice   raw slicing/indexing/concatenation of isaxt.Signature
 //	lockflow   path-sensitive misuse of mutexes guarding annotated fields
@@ -12,14 +12,15 @@
 //	metricname telemetry metric naming and label-cardinality discipline
 //	lockorder  lock-acquisition-order cycles across call chains
 //	ctxflow    blocking operations reached without forwarding a ctx
+//	racecheck  data races via lock-set inference over concurrency roots
 //
 // lockflow, errflow, and hotalloc run on a control-flow graph with a
 // forward dataflow solver (internal/lint/cfg), so they reason per path.
-// lockorder and ctxflow are interprocedural: they run once over the whole
-// program on a call graph with per-function summaries (internal/lint/
-// callgraph) that resolves static calls, concrete-receiver methods, and
-// stored callbacks, and their diagnostics spell out the witnessing call
-// chain.
+// lockorder, ctxflow, and racecheck are interprocedural: they run once over
+// the whole program on a call graph with per-function summaries (internal/
+// lint/callgraph) that resolves static calls, concrete-receiver methods,
+// and stored callbacks, and their diagnostics spell out the witnessing call
+// chain (racecheck cites two — one per racing access).
 //
 // Every run also audits suppressions: a //tardislint:ignore directive that
 // names a pass that ran but suppressed nothing is reported by suppresscheck
@@ -56,6 +57,7 @@ import (
 	"github.com/tardisdb/tardis/tools/tardislint/internal/lint/lockflow"
 	"github.com/tardisdb/tardis/tools/tardislint/internal/lint/lockorder"
 	"github.com/tardisdb/tardis/tools/tardislint/internal/lint/metricname"
+	"github.com/tardisdb/tardis/tools/tardislint/internal/lint/racecheck"
 	"github.com/tardisdb/tardis/tools/tardislint/internal/lint/sigslice"
 )
 
@@ -70,6 +72,7 @@ var allPasses = []lint.Pass{
 	metricname.Pass,
 	lockorder.Pass,
 	ctxflow.Pass,
+	racecheck.Pass,
 }
 
 func main() {
@@ -115,7 +118,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("tardislint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list available passes and exit")
-	passNames := fs.String("passes", "", "comma-separated subset of passes to run (default: all)")
+	passNames := fs.String("passes", "", "comma-separated subset of passes to run (default: $TARDISLINT_PASSES, else all)")
 	format := fs.String("format", "text", `output format: "text" or "json"`)
 	timing := fs.Bool("timing", false, "report per-pass wall time on stderr")
 	fs.Usage = func() {
@@ -137,6 +140,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	// The flag wins over the environment so a one-off invocation can narrow
+	// a CI-wide TARDISLINT_PASSES default. Unknown names fail loudly in
+	// either spelling — a typo must not silently run zero passes.
+	if *passNames == "" {
+		*passNames = os.Getenv("TARDISLINT_PASSES")
+	}
 	passes := allPasses
 	if *passNames != "" {
 		byName := map[string]lint.Pass{}

@@ -89,7 +89,7 @@ func TestListPasses(t *testing.T) {
 		t.Fatalf("exit code = %d, want 0", code)
 	}
 	lines := strings.Split(strings.TrimRight(stdout.String(), "\n"), "\n")
-	want := []string{"sigslice", "lockflow", "errflow", "hotalloc", "closecheck", "goroleak", "ctxfirst", "metricname", "lockorder", "ctxflow"}
+	want := []string{"sigslice", "lockflow", "errflow", "hotalloc", "closecheck", "goroleak", "ctxfirst", "metricname", "lockorder", "ctxflow", "racecheck"}
 	if len(lines) != len(want) {
 		t.Fatalf("-list printed %d lines, want %d:\n%s", len(lines), len(want), &stdout)
 	}
@@ -104,6 +104,59 @@ func TestUnknownPass(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	if code := run([]string{"-passes", "nosuch"}, &stdout, &stderr); code != 2 {
 		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), `unknown pass "nosuch"`) {
+		t.Errorf("stderr = %q, want mention of the unknown pass", stderr.String())
+	}
+}
+
+// TestGoldenRaceJSON locks racecheck's CLI output: the racedemo package
+// seeds one deliberate race, and the JSON finding must carry both witnessing
+// chains — root to the offending write and root to the conflicting write.
+func TestGoldenRaceJSON(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-passes", "racecheck", "-format", "json", "./testdata/src/racedemo"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, &stdout, &stderr)
+	}
+	golden, err := os.ReadFile(filepath.Join("testdata", "racedemo.json.golden"))
+	if err != nil {
+		t.Fatalf("reading golden file: %v", err)
+	}
+	if stdout.String() != string(golden) {
+		t.Errorf("stdout does not match testdata/racedemo.json.golden\ngot:\n%s\nwant:\n%s", &stdout, golden)
+	}
+	for _, fn := range []string{"racedemo.(*queue).serve", "racedemo.(*queue).flush"} {
+		if !strings.Contains(stdout.String(), `"func": "`+fn+`"`) {
+			t.Errorf("JSON chain missing witnessing step %q:\n%s", fn, &stdout)
+		}
+	}
+}
+
+// TestEnvPasses covers the TARDISLINT_PASSES fallback: the environment
+// selects passes when -passes is absent, the flag wins when both are set,
+// and an unknown name in the environment fails as loudly as on the flag.
+func TestEnvPasses(t *testing.T) {
+	t.Setenv("TARDISLINT_PASSES", "errflow")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"./testdata/src/demo"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstderr:\n%s", code, &stderr)
+	}
+	if out := stdout.String(); !strings.Contains(out, "errflow:") || strings.Contains(out, "lockflow:") {
+		t.Errorf("TARDISLINT_PASSES=errflow ran the wrong passes:\n%s", out)
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-passes", "sigslice", "./testdata/src/demo"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("flag should override env: exit code = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, &stdout, &stderr)
+	}
+
+	t.Setenv("TARDISLINT_PASSES", "nosuch")
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"./testdata/src/demo"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("unknown env pass: exit code = %d, want 2\nstderr:\n%s", code, &stderr)
 	}
 	if !strings.Contains(stderr.String(), `unknown pass "nosuch"`) {
 		t.Errorf("stderr = %q, want mention of the unknown pass", stderr.String())

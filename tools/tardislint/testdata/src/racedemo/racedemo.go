@@ -1,0 +1,27 @@
+// Package racedemo seeds one deliberate data race for the golden JSON test:
+// flush and serve run as separate goroutines and both write pending, but
+// only flush holds mu — racecheck must report serve's bare write with both
+// witnessing chains.
+package racedemo
+
+import "sync"
+
+type queue struct {
+	mu      sync.Mutex
+	pending int
+}
+
+func (q *queue) flush() {
+	q.mu.Lock()
+	q.pending = 0
+	q.mu.Unlock()
+}
+
+func (q *queue) serve() {
+	q.pending++
+}
+
+func Run(q *queue) {
+	go q.flush()
+	go q.serve()
+}
