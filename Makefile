@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint fmt-check fuzz-short bench-smoke faultinj obs-smoke check
+.PHONY: build test race vet lint fmt-check fuzz-short bench-smoke bench-parallel faultinj obs-smoke check
 
 build:
 	$(GO) build ./...
@@ -10,14 +10,21 @@ test:
 
 # The concurrency-heavy packages under the race detector: the simulated
 # cluster, the net/rpc execution mode, the HTTP server, the partition cache,
-# and the query fan-out in core.
+# the query fan-out in core, and the intra-query work-stealing pool.
 race:
-	$(GO) test -race ./internal/cluster/... ./internal/server/... ./internal/pcache/ ./internal/core/
+	$(GO) test -race ./internal/cluster/... ./internal/server/... ./internal/pcache/ ./internal/core/ ./internal/qpar/
 
 # One iteration of every benchmark — catches bit-rot in the bench harness
 # without paying for real measurements.
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x .
+
+# Intra-query parallelism gate: FigParallel sweeps per-query worker counts
+# over warm exact and DTW streams and errors on any cross-count result
+# mismatch, so a pass proves the qpar layer is exact. Speedup is only
+# asserted on multi-core runners.
+bench-parallel:
+	$(GO) test -run TestParallelSmoke -v ./internal/eval/
 
 # Deterministic fault-injection suite under the race detector: worker killed
 # mid-Spill, hung worker during exact kNN, partition loss during approximate
@@ -54,10 +61,12 @@ fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-# Short fuzz of the deserializer targets, the lint CFG builder, and the
-# interprocedural call-graph engine — a smoke pass, not a soak.
+# Short fuzz of the deserializer targets, the batched distance kernels, the
+# lint CFG builder, and the interprocedural call-graph engine — a smoke
+# pass, not a soak.
 fuzz-short:
 	$(GO) test -run='^$$' -fuzz=FuzzDecode -fuzztime=10s ./internal/isaxt/
+	$(GO) test -run='^$$' -fuzz=FuzzBatchMinDistPAA -fuzztime=10s ./internal/ts/
 	$(GO) test -run='^$$' -fuzz=FuzzReadTree -fuzztime=10s ./internal/sigtree/
 	$(GO) test -run='^$$' -fuzz=FuzzUnmarshal -fuzztime=10s ./internal/bloom/
 	$(GO) test -run='^$$' -fuzz=FuzzBuild -fuzztime=10s ./tools/tardislint/internal/lint/cfg/
@@ -65,4 +74,4 @@ fuzz-short:
 	$(GO) test -run='^$$' -fuzz=FuzzAccessSummaries -fuzztime=10s ./tools/tardislint/internal/lint/callgraph/
 
 # The full gate CI runs.
-check: build test race faultinj vet fmt-check lint bench-smoke obs-smoke
+check: build test race faultinj vet fmt-check lint bench-smoke bench-parallel obs-smoke

@@ -29,6 +29,8 @@ func main() {
 		queries   = flag.Int("queries", 10, "queries per experiment")
 		k         = flag.Int("k", 100, "k for kNN experiments")
 		workers   = flag.Int("workers", 8, "cluster workers")
+		qpar      = flag.Int("query-parallelism", 0, "max per-query workers for -fig parallel (0 = GOMAXPROCS)")
+		band      = flag.Int("band", 4, "Sakoe-Chiba band for the DTW stream of -fig parallel")
 		workDir   = flag.String("work", "", "working directory for datasets and indexes (default: temp)")
 		traceOut  = flag.String("trace", "", "collect trace spans and write the trace trees as JSON to this file (\"-\" = stderr)")
 	)
@@ -63,9 +65,9 @@ func main() {
 
 	known := map[string]bool{"9": true, "10": true, "11": true, "12": true,
 		"13": true, "14": true, "15": true, "16": true, "17": true,
-		"warm": true, "all": true}
+		"warm": true, "parallel": true, "all": true}
 	if !known[*fig] {
-		obs.Fatal(logger, "unknown figure (want 9-17, warm, or all)", "fig", *fig)
+		obs.Fatal(logger, "unknown figure (want 9-17, warm, parallel, or all)", "fig", *fig)
 	}
 	want := func(id string) bool { return *fig == "all" || *fig == id }
 	out := os.Stdout
@@ -146,6 +148,21 @@ func main() {
 			obs.Fatal(logger, "experiment failed", "fig", *fig, "err", err)
 		}
 		eval.ReportWarm(out, rows)
+	}
+	if want("parallel") {
+		counts := eval.DefaultWorkerCounts()
+		if *qpar > 0 {
+			counts = counts[:0]
+			for w := 1; w < *qpar; w *= 2 {
+				counts = append(counts, w)
+			}
+			counts = append(counts, *qpar)
+		}
+		rows, err := eval.FigParallel(e, rwSpec, *queries, *k, *band, counts)
+		if err != nil {
+			obs.Fatal(logger, "experiment failed", "fig", *fig, "err", err)
+		}
+		eval.ReportParallel(out, rows)
 	}
 }
 

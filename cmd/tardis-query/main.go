@@ -42,6 +42,7 @@ func main() {
 		noBloom  = flag.Bool("no-bloom", false, "exact match without the Bloom filter")
 		truth    = flag.Bool("truth", false, "also compute exact ground truth and report recall/error ratio")
 		workers  = flag.Int("workers", 8, "cluster workers for ground truth scans")
+		qpar     = flag.Int("query-parallelism", 0, "per-query workers (0 = GOMAXPROCS, 1 = serial)")
 		traceOut = flag.String("trace", "", "collect trace spans and write the trace trees as JSON to this file (\"-\" = stderr)")
 	)
 	applyLog := obs.LogFlags(flag.CommandLine)
@@ -64,6 +65,9 @@ func main() {
 	ix, err := core.Load(cl, *indexDir)
 	if err != nil {
 		obs.Fatal(logger, "index load failed", "index", *indexDir, "err", err)
+	}
+	if err := ix.SetQueryParallelism(*qpar); err != nil {
+		obs.Fatal(logger, "invalid query parallelism", "value", *qpar, "err", err)
 	}
 	gen, err := dataset.New(dataset.Kind(*kind), ix.SeriesLen())
 	if err != nil {

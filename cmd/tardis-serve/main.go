@@ -40,6 +40,7 @@ func main() {
 		indexDir   = flag.String("index", "", "saved index directory (required)")
 		listen     = flag.String("listen", "127.0.0.1:8080", "listen address")
 		workers    = flag.Int("workers", 8, "cluster workers for parallel operations")
+		qpar       = flag.Int("query-parallelism", 0, "per-query workers (0 = GOMAXPROCS, 1 = serial)")
 		repair     = flag.Bool("repair", true, "verify and repair damaged index files on load")
 		rpcAddrs   = flag.String("rpc", "", "comma-separated tardis-worker addresses enabling the dist/dist-exact strategies")
 		rpcTimeout = flag.Duration("rpc-timeout", 0, "per-RPC deadline for worker calls (0 = policy default)")
@@ -72,6 +73,9 @@ func main() {
 	}
 	if err != nil {
 		obs.Fatal(logger, "index load failed", "index", *indexDir, "err", err)
+	}
+	if err := ix.SetQueryParallelism(*qpar); err != nil {
+		obs.Fatal(logger, "invalid query parallelism", "value", *qpar, "err", err)
 	}
 	total, err := ix.Store.TotalRecords()
 	if err != nil {

@@ -51,6 +51,11 @@ type Config struct {
 	// CacheShards is the partition-cache shard count (0 picks the pcache
 	// default).
 	CacheShards int
+	// QueryParallelism is the per-query worker count of the intra-query
+	// parallel execution layer (internal/qpar). 0 selects GOMAXPROCS; 1
+	// forces the serial path. Parallel and serial paths return identical
+	// results, so this is purely a latency/throughput knob.
+	QueryParallelism int
 }
 
 // DefaultConfig returns the paper's Table II configuration, scaled: the
@@ -97,6 +102,9 @@ func (c Config) Validate() error {
 	}
 	if c.CacheShards < 0 {
 		return fmt.Errorf("core: cache shard count must be non-negative, got %d", c.CacheShards)
+	}
+	if c.QueryParallelism < 0 {
+		return fmt.Errorf("core: query parallelism must be non-negative, got %d", c.QueryParallelism)
 	}
 	return nil
 }

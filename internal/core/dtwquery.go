@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
 	"github.com/tardisdb/tardis/internal/dtw"
@@ -55,6 +54,12 @@ func (b *dtwBounder) nodeBound(n *sigtree.Node) (float64, error) {
 // envelope-bound order and search stops when the next bound exceeds the kth
 // DTW distance; within partitions, nodes are pruned with the region bound
 // and candidates gated with LB_Keogh before the full dynamic program runs.
+//
+// With query parallelism above 1 the partition scans run as best-first qpar
+// tasks: the bounder's envelope state is immutable after construction and
+// dtw.Distance keeps its dynamic-program rows local, so one bounder serves
+// all workers. Every pruning bound used is ≥ the final kth distance, so the
+// parallel answer is identical to the serial one.
 func (ix *Index) KNNDTW(q ts.Series, k, band int) ([]Neighbor, QueryStats, error) {
 	start := time.Now()
 	var st QueryStats
@@ -74,28 +79,10 @@ func (ix *Index) KNNDTW(q ts.Series, k, band int) ([]Neighbor, QueryStats, error
 
 	// Order partitions by the tightest envelope bound over their global
 	// leaves.
-	best := map[int]float64{}
-	for _, leaf := range ix.Global.Leaves() {
-		d, err := b.nodeBound(leaf)
-		if err != nil {
-			return nil, st, err
-		}
-		for _, pid := range leaf.PIDs {
-			if cur, ok := best[pid]; !ok || d < cur {
-				best[pid] = d
-			}
-		}
+	order, err := globalBoundsFunc(ix.Global, b.nodeBound)
+	if err != nil {
+		return nil, st, err
 	}
-	order := make([]partitionBound, 0, len(best))
-	for pid, d := range best {
-		order = append(order, partitionBound{pid: pid, bound: d})
-	}
-	sort.Slice(order, func(i, j int) bool {
-		if order[i].bound != order[j].bound {
-			return order[i].bound < order[j].bound
-		}
-		return order[i].pid < order[j].pid
-	})
 
 	h := knn.NewHeap(k)
 	// Seed with the in-memory delta.
@@ -110,29 +97,27 @@ func (ix *Index) KNNDTW(q ts.Series, k, band int) ([]Neighbor, QueryStats, error
 			}
 		}
 	}
-	// Round-based parallel fan-out, mirroring KNNExact: the bounder's
-	// envelope state is immutable after construction and dtw.Distance keeps
-	// its dynamic-program rows local, so one bounder serves all concurrent
-	// partition scans.
-	fan := ix.cl.Workers()
-	for i := 0; i < len(order); {
-		th := h.Bound()
-		n := 0
-		for i+n < len(order) && n < fan && order[i+n].bound <= th {
-			n++
+	if ix.queryParallelism() > 1 && len(order) > 0 {
+		p := ix.newParJob("dtw", h, true, q, nil, h.Members())
+		for _, pb := range order {
+			p.spawnDTWScan(pb, b, band)
 		}
-		if n == 0 {
-			break
-		}
-		batch := order[i : i+n]
-		i += n
-		err := ix.scanRound("dtw-scan", batch, k, h, &st,
-			func(pid int, lh *knn.Heap, lst *QueryStats) error {
-				return ix.scanDTWPartitionInto(b, lh, q, pid, th, band, lst)
-			})
-		if err != nil {
+		if err := p.run(&st); err != nil {
 			return nil, st, err
 		}
+	} else {
+		sc := ix.getScratch()
+		skip := h.Members()
+		for _, pb := range order {
+			if pb.Bound > h.Bound() {
+				break // no remaining partition can hold a closer series
+			}
+			if err := ix.scanDTWPartitionInto(b, h, q, pb.PID, h.Bound(), band, skip, sc, &st); err != nil {
+				putScratch(sc)
+				return nil, st, err
+			}
+		}
+		putScratch(sc)
 	}
 	st.Duration = time.Since(start)
 	recordQueryMetrics("dtw", &st)
@@ -140,10 +125,11 @@ func (ix *Index) KNNDTW(q ts.Series, k, band int) ([]Neighbor, QueryStats, error
 }
 
 // scanDTWPartitionInto prune-scans one partition under the DTW bounds,
-// refining surviving candidates into h with threshold-capped pruning.
+// gating surviving candidates through the batched LB_Keogh kernel before
+// the full dynamic program.
 //
 //tardis:hotpath
-func (ix *Index) scanDTWPartitionInto(b *dtwBounder, h *knn.Heap, q ts.Series, pid int, threshold float64, band int, st *QueryStats) error {
+func (ix *Index) scanDTWPartitionInto(b *dtwBounder, h heapLike, q ts.Series, pid int, threshold float64, band int, skip map[int64]struct{}, sc *refineScratch, st *QueryStats) error {
 	local := ix.Locals[pid]
 	if local == nil {
 		return fmt.Errorf("core: partition %d has no local index", pid)
@@ -160,24 +146,12 @@ func (ix *Index) scanDTWPartitionInto(b *dtwBounder, h *knn.Heap, q ts.Series, p
 	if err != nil {
 		return err
 	}
-	for _, e := range entries {
-		if h.Contains(e.RID) || ix.delta.deleted(e.RID) {
-			continue
-		}
-		s, ok := data.Series(e.RID)
-		if !ok {
-			return fmt.Errorf("core: partition %d missing record %d", pid, e.RID)
-		}
-		st.Candidates++
-		if err := b.refineDTW(h, q, e.RID, s, band, st); err != nil {
-			return err
-		}
-	}
-	return nil
+	return ix.refineDTWBatch(h, q, b.env, band, entries, data, skip, sc, st)
 }
 
 // refineDTW gates a candidate with LB_Keogh and, when it survives, computes
-// the full banded DTW and offers it to the heap.
+// the full banded DTW and offers it to the heap. The scalar path, used for
+// the in-memory delta.
 func (b *dtwBounder) refineDTW(h *knn.Heap, q ts.Series, rid int64, s ts.Series, band int, st *QueryStats) error {
 	bound := h.Bound()
 	if _, ok := b.env.LBKeoghEarlyAbandon(s, bound); !ok {

@@ -3,11 +3,13 @@ package core
 import (
 	"fmt"
 	"math"
+	mbits "math/bits"
 	"sort"
+	"sync"
 	"time"
 
-	"github.com/tardisdb/tardis/internal/cluster"
 	"github.com/tardisdb/tardis/internal/knn"
+	"github.com/tardisdb/tardis/internal/qpar"
 	"github.com/tardisdb/tardis/internal/sigtree"
 	"github.com/tardisdb/tardis/internal/ts"
 )
@@ -17,31 +19,53 @@ import (
 // global/local lower-bound machinery supports exact answers with best-first
 // partition ordering, so this implementation provides them as an extension:
 // KNNExact and RangeQuery are guaranteed-correct, pruning as aggressively as
-// the SAX lower bound allows.
+// the SAX lower bound allows. When query parallelism is enabled the
+// best-first order becomes a priority queue drained by the qpar worker pool
+// (see parallel.go); the answers are identical either way.
 
-// partitionBound is one partition with the tightest lower bound over every
-// global leaf mapped to it.
-type partitionBound struct {
-	pid   int
-	bound float64
-}
-
-// PartitionBound is the exported shape of a partition's lower bound, used by
-// the distributed query layer (internal/cluster/rpc), whose coordinator
-// holds the global tree but no loaded Index.
+// PartitionBound is one partition with the tightest lower bound over every
+// global leaf mapped to it. Exported for the distributed query layer
+// (internal/cluster/rpc), whose coordinator holds the global tree but no
+// loaded Index.
 type PartitionBound struct {
 	PID   int
 	Bound float64
 }
+
+// pbScratch pools the per-query partition-bound map so repeated queries stop
+// allocating (and rehashing) it; the output slice still escapes to the
+// caller and is presized for a single allocation.
+type pbScratch struct {
+	best map[int]float64
+}
+
+var pbPool sync.Pool
 
 // GlobalPartitionBounds computes, for every partition of the global tree,
 // the minimum lower-bound distance between the query's PAA and any global
 // leaf assigned to it. Partitions are returned in ascending bound order
 // (ties by pid), the visit order for exact best-first search.
 func GlobalPartitionBounds(global *sigtree.Tree, paa ts.Series, seriesLen int) ([]PartitionBound, error) {
-	best := make(map[int]float64)
-	for _, leaf := range global.Leaves() {
-		d, err := global.MinDist(leaf, paa, seriesLen)
+	return globalBoundsFunc(global, func(leaf *sigtree.Node) (float64, error) {
+		return global.MinDist(leaf, paa, seriesLen)
+	})
+}
+
+// globalBoundsFunc is GlobalPartitionBounds over an arbitrary per-leaf lower
+// bound (the DTW path passes its envelope bound).
+func globalBoundsFunc(global *sigtree.Tree, boundOf func(*sigtree.Node) (float64, error)) ([]PartitionBound, error) {
+	leaves := global.Leaves()
+	sc, _ := pbPool.Get().(*pbScratch)
+	if sc == nil {
+		sc = &pbScratch{best: make(map[int]float64, len(leaves))}
+	}
+	best := sc.best
+	defer func() {
+		clear(best)
+		pbPool.Put(sc)
+	}()
+	for _, leaf := range leaves {
+		d, err := boundOf(leaf)
 		if err != nil {
 			return nil, err
 		}
@@ -65,16 +89,8 @@ func GlobalPartitionBounds(global *sigtree.Tree, paa ts.Series, seriesLen int) (
 }
 
 // partitionBounds is GlobalPartitionBounds against the loaded index.
-func (ix *Index) partitionBounds(paa ts.Series) ([]partitionBound, error) {
-	bs, err := GlobalPartitionBounds(ix.Global, paa, ix.seriesLen)
-	if err != nil {
-		return nil, err
-	}
-	out := make([]partitionBound, len(bs))
-	for i, b := range bs {
-		out[i] = partitionBound{pid: b.PID, bound: b.Bound}
-	}
-	return out, nil
+func (ix *Index) partitionBounds(paa ts.Series) ([]PartitionBound, error) {
+	return GlobalPartitionBounds(ix.Global, paa, ix.seriesLen)
 }
 
 // KNNExact answers the exact k-nearest-neighbor query: partitions are
@@ -83,6 +99,12 @@ func (ix *Index) partitionBounds(paa ts.Series) ([]partitionBound, error) {
 // point no unvisited series can improve the answer (the SAX lower-bound
 // property, paper §II-B). Within each partition the local sigTree is pruned
 // with the running threshold.
+//
+// With query parallelism above 1, every partition becomes a best-first task
+// in a qpar job: workers snapshot the shared kth distance when their task
+// pops, prune tasks whose bound exceeds it, and steal refine chunks from
+// each other. The bound used by any pruning decision is always ≥ the final
+// kth distance, so the parallel answer is identical to the serial one.
 func (ix *Index) KNNExact(q ts.Series, k int) ([]Neighbor, QueryStats, error) {
 	start := time.Now()
 	var st QueryStats
@@ -103,81 +125,30 @@ func (ix *Index) KNNExact(q ts.Series, k int) ([]Neighbor, QueryStats, error) {
 	if err := ix.deltaRefine(h, q, paa, math.Inf(1), &st); err != nil {
 		return nil, st, err
 	}
-	// Round-based parallel fan-out: each round takes the next batch of
-	// bound-ordered partitions admissible under the round-start threshold
-	// and scans them concurrently over the cluster pool. The answer matches
-	// the serial best-first scan exactly — partitions are disjoint and a
-	// threshold from earlier in the search is only looser, so a batch can
-	// never miss a candidate the serial order would have refined — and the
-	// batch size is capped at the worker count so the threshold re-tightens
-	// between rounds.
-	fan := ix.cl.Workers()
-	for i := 0; i < len(bounds); {
-		th := h.Bound()
-		n := 0
-		for i+n < len(bounds) && n < fan && bounds[i+n].bound <= th {
-			n++
+	if ix.queryParallelism() > 1 && len(bounds) > 0 {
+		p := ix.newParJob("exact", h, true, q, paa, nil)
+		for _, pb := range bounds {
+			p.spawnExactScan(pb)
 		}
-		if n == 0 {
-			break // no remaining partition can hold a closer series
-		}
-		batch := bounds[i : i+n]
-		i += n
-		err := ix.scanRound("exact-scan", batch, k, h, &st,
-			func(pid int, lh *knn.Heap, lst *QueryStats) error {
-				return ix.scanPartitionInto(lh, q, paa, pid, th, nil, lst)
-			})
-		if err != nil {
+		if err := p.run(&st); err != nil {
 			return nil, st, err
 		}
+	} else {
+		sc := ix.getScratch()
+		for _, pb := range bounds {
+			if pb.Bound > h.Bound() {
+				break // no remaining partition can hold a closer series
+			}
+			if err := ix.scanPartitionInto(h, q, paa, pb.PID, h.Bound(), nil, nil, sc, &st); err != nil {
+				putScratch(sc)
+				return nil, st, err
+			}
+		}
+		putScratch(sc)
 	}
 	st.Duration = time.Since(start)
 	recordQueryMetrics("exact", &st)
 	return h.Sorted(), st, nil
-}
-
-// scanRound executes one fan-out round: every partition in batch is scanned
-// concurrently into a private heap by scan, and the per-partition results
-// are merged into h in partition order. Merge order is a pure function of
-// the batch (never of worker scheduling), so rounds are deterministic. A
-// single-partition batch runs inline on the driver.
-func (ix *Index) scanRound(stage string, batch []partitionBound, k int, h *knn.Heap, st *QueryStats,
-	scan func(pid int, lh *knn.Heap, lst *QueryStats) error) error {
-	if len(batch) == 1 {
-		return scan(batch[0].pid, h, st)
-	}
-	type scanOut struct {
-		neighbors []Neighbor
-		stats     QueryStats
-	}
-	pids := make([]int, len(batch))
-	for i, pb := range batch {
-		pids[i] = pb.pid
-	}
-	ds := cluster.Parallelize(ix.cl, pids, len(pids))
-	results, err := cluster.MapPartitions(stage, ds,
-		func(_ int, ps []int) ([]scanOut, error) {
-			out := make([]scanOut, 0, len(ps))
-			for _, p := range ps {
-				lh := knn.NewHeap(k)
-				var lst QueryStats
-				if err := scan(p, lh, &lst); err != nil {
-					return nil, err
-				}
-				out = append(out, scanOut{neighbors: lh.Sorted(), stats: lst})
-			}
-			return out, nil
-		})
-	if err != nil {
-		return err
-	}
-	for _, r := range results.Collect() {
-		for _, n := range r.neighbors {
-			h.Offer(n)
-		}
-		st.merge(r.stats)
-	}
-	return nil
 }
 
 // RangeQuery returns every record whose Euclidean distance to q is at most
@@ -203,48 +174,38 @@ func (ix *Index) RangeQuery(q ts.Series, eps float64) ([]Neighbor, QueryStats, e
 	// is verified on the rooted distance, so the slack admits no extras.
 	epsSq := eps*eps + 1e-9
 	// The threshold eps is fixed, so every in-range partition is known up
-	// front and a single fan-out scans them all concurrently. Per-partition
-	// hit lists are concatenated in partition order, and the final sort makes
-	// the answer independent of scan order anyway.
-	inRange := make([]int, 0, len(bounds))
-	for _, pb := range bounds {
-		if pb.bound > eps {
-			break // bounds are sorted; everything beyond is out of range
+	// front; per-partition hit lists are concatenated and the final sort
+	// makes the answer independent of scan order.
+	inRange := bounds
+	for i, pb := range bounds {
+		if pb.Bound > eps {
+			inRange = bounds[:i] // bounds are sorted; the rest is out of range
+			break
 		}
-		inRange = append(inRange, pb.pid)
 	}
-	if len(inRange) == 1 {
-		hits, err := ix.rangeScanPartition(q, paa, inRange[0], eps, epsSq, &st)
-		if err != nil {
+	if ix.queryParallelism() > 1 && len(inRange) > 1 {
+		p := ix.newParJob("range", nil, false, q, paa, nil)
+		p.hits = make([][]Neighbor, p.job.Workers())
+		for _, pb := range inRange {
+			p.spawnRangeScan(pb, eps, epsSq)
+		}
+		if err := p.run(&st); err != nil {
 			return nil, st, err
 		}
-		out = append(out, hits...)
-	} else if len(inRange) > 1 {
-		type rangeOut struct {
-			hits  []Neighbor
-			stats QueryStats
+		for _, frag := range p.hits {
+			out = append(out, frag...)
 		}
-		ds := cluster.Parallelize(ix.cl, inRange, len(inRange))
-		results, err := cluster.MapPartitions("range-scan", ds,
-			func(_ int, pids []int) ([]rangeOut, error) {
-				ro := make([]rangeOut, 0, len(pids))
-				for _, pid := range pids {
-					var lst QueryStats
-					hits, err := ix.rangeScanPartition(q, paa, pid, eps, epsSq, &lst)
-					if err != nil {
-						return nil, err
-					}
-					ro = append(ro, rangeOut{hits: hits, stats: lst})
-				}
-				return ro, nil
-			})
-		if err != nil {
-			return nil, st, err
+	} else if len(inRange) > 0 {
+		sc := ix.getScratch()
+		for _, pb := range inRange {
+			hits, err := ix.rangeScanPartition(q, paa, pb.PID, eps, epsSq, sc, &st)
+			if err != nil {
+				putScratch(sc)
+				return nil, st, err
+			}
+			out = append(out, hits...)
 		}
-		for _, r := range results.Collect() {
-			out = append(out, r.hits...)
-			st.merge(r.stats)
-		}
+		putScratch(sc)
 	}
 	// Delta records within range.
 	if ix.delta != nil {
@@ -278,10 +239,11 @@ func (ix *Index) RangeQuery(q ts.Series, eps float64) ([]Neighbor, QueryStats, e
 }
 
 // rangeScanPartition verifies one partition's surviving candidates against
-// the raw series, returning every record within eps of q.
+// the raw series through the batched kernels, returning every record within
+// eps of q.
 //
 //tardis:hotpath
-func (ix *Index) rangeScanPartition(q, paa ts.Series, pid int, eps, epsSq float64, st *QueryStats) ([]Neighbor, error) {
+func (ix *Index) rangeScanPartition(q, paa ts.Series, pid int, eps, epsSq float64, sc *refineScratch, st *QueryStats) ([]Neighbor, error) {
 	local := ix.Locals[pid]
 	if local == nil {
 		return nil, fmt.Errorf("core: partition %d has no local index", pid)
@@ -299,18 +261,33 @@ func (ix *Index) rangeScanPartition(q, paa ts.Series, pid int, eps, epsSq float6
 		return nil, err
 	}
 	out := make([]Neighbor, 0, len(entries))
-	for _, e := range entries {
-		if ix.delta.deleted(e.RID) {
+	idx := 0
+	for idx < len(entries) {
+		lanes := 0
+		for idx < len(entries) && lanes < ts.BatchLanes {
+			e := entries[idx]
+			idx++
+			if ix.delta.deleted(e.RID) {
+				continue
+			}
+			s, ok := data.Series(e.RID)
+			if !ok {
+				return nil, fmt.Errorf("core: partition %d missing record %d", pid, e.RID)
+			}
+			sc.cands[lanes] = s
+			sc.rids[lanes] = e.RID
+			lanes++
+		}
+		if lanes == 0 {
 			continue
 		}
-		s, ok := data.Series(e.RID)
-		if !ok {
-			return nil, fmt.Errorf("core: partition %d missing record %d", pid, e.RID)
-		}
-		st.Candidates++
-		if d2, ok2 := ts.SquaredDistanceEarlyAbandon(q, s, epsSq); ok2 {
-			if d := sqrt(d2); d <= eps {
-				out = append(out, Neighbor{RID: e.RID, Dist: d})
+		qpar.ObserveBatch(lanes)
+		st.Candidates += lanes
+		mask := sc.bs.SquaredEuclidean(q, sc.cands[:lanes], epsSq, sc.dists[:])
+		for m := mask; m != 0; m &= m - 1 {
+			l := mbits.TrailingZeros32(m)
+			if d := sqrt(sc.dists[l]); d <= eps {
+				out = append(out, Neighbor{RID: sc.rids[l], Dist: d})
 			}
 		}
 	}

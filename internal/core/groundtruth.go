@@ -135,15 +135,18 @@ func (ix *Index) GroundTruthPruned(q ts.Series, k int, threshold float64) ([]Nei
 		if walkErr != nil {
 			return nil, st, walkErr
 		}
+		sc := ix.getScratch()
 		for pid := range alive {
 			preSt := QueryStats{}
-			if err := ix.scanPartitionInto(h, q, paa, pid, threshold, nil, &preSt); err != nil {
+			if err := ix.scanPartitionInto(h, q, paa, pid, threshold, nil, nil, sc, &preSt); err != nil {
+				putScratch(sc)
 				return nil, st, err
 			}
 			st.PartitionsLoaded += preSt.PartitionsLoaded
 			st.PrunedLeaves += preSt.PrunedLeaves
 			candidates += preSt.Candidates
 		}
+		putScratch(sc)
 		st.Candidates += candidates
 		if res := h.Sorted(); len(res) >= k || threshold > 1e6 {
 			st.Duration = time.Since(start)

@@ -1,0 +1,414 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	mbits "math/bits"
+	"runtime"
+	"sync"
+
+	"github.com/tardisdb/tardis/internal/dtw"
+	"github.com/tardisdb/tardis/internal/isaxt"
+	"github.com/tardisdb/tardis/internal/knn"
+	"github.com/tardisdb/tardis/internal/qpar"
+	"github.com/tardisdb/tardis/internal/sigtree"
+	"github.com/tardisdb/tardis/internal/ts"
+)
+
+// Intra-query parallelism: when the effective query parallelism is above 1,
+// each query becomes one qpar.Job — partition/node scans enter a best-first
+// priority queue keyed by lower bound, every worker shares the query's
+// result heap through the job (Offer under a short lock, bound snapshots
+// lock-free via knn.Heap.BoundAtomic), and scan tasks split their
+// refinement into chunks idle workers steal. Results are identical to the
+// serial path: the heap keeps the canonical k smallest (Dist, RID) pairs
+// whatever the offer order, and every pruning decision compares a lower
+// bound against a bound that is always ≥ the final kth distance.
+//
+// Both paths refine through the same batched SoA kernels (internal/ts), so
+// distances are computed bit-identically serial and parallel.
+
+// refineChunk is the stealable refinement granularity: candidate entries per
+// spawned chunk. Large enough to amortize task overhead, small enough to
+// spread one big leaf across workers.
+const refineChunk = 256
+
+// queryParallelism resolves the effective per-query worker count: the
+// configured value, or GOMAXPROCS when unset.
+func (ix *Index) queryParallelism() int {
+	if p := ix.cfg.QueryParallelism; p > 0 {
+		return p
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetQueryParallelism adjusts the per-query worker count at runtime: 0
+// selects GOMAXPROCS, 1 forces the serial path. Not safe to call
+// concurrently with queries.
+func (ix *Index) SetQueryParallelism(p int) error {
+	if p < 0 {
+		return fmt.Errorf("core: query parallelism must be non-negative, got %d", p)
+	}
+	ix.cfg.QueryParallelism = p
+	return nil
+}
+
+// refineScratch bundles the per-task scratch of the batched refine paths:
+// kernel state, the candidate gather arrays, and the word SoA for the
+// signature-level MINDIST pre-filter. Pooled so the hot loops allocate
+// nothing per batch.
+type refineScratch struct {
+	bs    *ts.BatchState
+	cands [ts.BatchLanes]ts.Series
+	rids  [ts.BatchLanes]int64
+	sigs  [ts.BatchLanes]isaxt.Signature
+	lbs   [ts.BatchLanes]float64
+	dists [ts.BatchLanes]float64
+	words []int // position-major SoA, capacity BatchLanes * WordLen
+	row   []int // one decoded word
+	qword []int // the query's own SAX word — the lower-bound-0 fallback
+}
+
+var refinePool sync.Pool
+
+// getScratch returns pooled refine scratch sized for this index's word
+// length.
+func (ix *Index) getScratch() *refineScratch {
+	w := ix.cfg.WordLen
+	if v := refinePool.Get(); v != nil {
+		sc := v.(*refineScratch)
+		if len(sc.row) == w {
+			return sc
+		}
+	}
+	return &refineScratch{
+		bs:    ts.NewBatchState(),
+		words: make([]int, ts.BatchLanes*w),
+		row:   make([]int, w),
+		qword: make([]int, w),
+	}
+}
+
+// putScratch returns scratch to the pool, dropping series references so a
+// pooled scratch does not pin partition arenas in memory.
+func putScratch(sc *refineScratch) {
+	for i := range sc.cands {
+		sc.cands[i] = nil
+	}
+	refinePool.Put(sc)
+}
+
+// refineEntriesBatch refines candidate entries against the query through
+// the batched SoA kernels: survivors of the cheap per-record filters gather
+// into lanes, a BatchMinDistPAA signature filter drops lanes whose lower
+// bound already exceeds the current kth distance, and one SquaredEuclidean
+// call computes the remaining true distances with whole-batch early
+// abandon. Stats accumulate into lst only — per-candidate bookkeeping stays
+// out of the loop, the caller merges once per task.
+//
+// Exactness: a lane is dropped only when a lower bound of its true distance
+// exceeds the current kth distance, which is always ≥ the final kth
+// distance — so no member of the canonical answer is ever dropped,
+// regardless of when the bound was snapshotted.
+//
+//tardis:hotpath
+func (ix *Index) refineEntriesBatch(h heapLike, q, paa ts.Series, entries []sigtree.Entry, data PartitionData, skip map[int64]struct{}, sc *refineScratch, lst *QueryStats) error {
+	w := ix.cfg.WordLen
+	cbits := ix.cfg.InitialBits
+	for i := 0; i < w; i++ {
+		sc.qword[i] = ts.SAXSymbol(paa[i], cbits)
+	}
+	idx := 0
+	for idx < len(entries) {
+		lanes := 0
+		for idx < len(entries) && lanes < ts.BatchLanes {
+			e := entries[idx]
+			idx++
+			if _, dup := skip[e.RID]; dup {
+				continue // already refined by an earlier step
+			}
+			if ix.delta.deleted(e.RID) {
+				continue
+			}
+			s, ok := data.Series(e.RID)
+			if !ok {
+				return fmt.Errorf("core: candidate record %d missing from loaded partition", e.RID)
+			}
+			sc.cands[lanes] = s
+			sc.rids[lanes] = e.RID
+			sc.sigs[lanes] = e.Sig
+			lanes++
+		}
+		if lanes == 0 {
+			continue
+		}
+		bound := h.Bound()
+		if !math.IsInf(bound, 1) {
+			// Signature-level MINDIST pre-filter: decode each lane's
+			// full-cardinality word into the SoA (entries reloaded from disk
+			// carry no signature — they fall back to the query's own word,
+			// whose MINDIST is 0, and always survive).
+			words := sc.words[:w*lanes]
+			for l := 0; l < lanes; l++ {
+				src := sc.qword
+				if sig := sc.sigs[l]; sig != "" {
+					if b, err := ix.codec.DecodeInto(sig, sc.row); err == nil && b == cbits {
+						src = sc.row
+					}
+				}
+				for seg := 0; seg < w; seg++ {
+					words[seg*lanes+l] = src[seg]
+				}
+			}
+			ts.BatchMinDistPAA(paa, words, lanes, cbits, ix.seriesLen, sc.lbs[:lanes])
+			kept := 0
+			for l := 0; l < lanes; l++ {
+				if sc.lbs[l] <= bound {
+					sc.cands[kept] = sc.cands[l]
+					sc.rids[kept] = sc.rids[l]
+					kept++
+				}
+			}
+			lanes = kept
+			if lanes == 0 {
+				continue
+			}
+		}
+		qpar.ObserveBatch(lanes)
+		lst.Candidates += lanes
+		mask := sc.bs.SquaredEuclidean(q, sc.cands[:lanes], bound*bound, sc.dists[:])
+		for m := mask; m != 0; m &= m - 1 {
+			l := mbits.TrailingZeros32(m)
+			h.Offer(Neighbor{RID: sc.rids[l], Dist: sqrt(sc.dists[l])})
+		}
+	}
+	return nil
+}
+
+// refineDTWBatch is the DTW analogue: lanes gate through one BatchLBKeogh
+// call against the query envelope, and only surviving lanes pay the full
+// banded dynamic program.
+//
+//tardis:hotpath
+func (ix *Index) refineDTWBatch(h heapLike, q ts.Series, env *dtw.Envelope, band int, entries []sigtree.Entry, data PartitionData, skip map[int64]struct{}, sc *refineScratch, lst *QueryStats) error {
+	idx := 0
+	for idx < len(entries) {
+		lanes := 0
+		for idx < len(entries) && lanes < ts.BatchLanes {
+			e := entries[idx]
+			idx++
+			if _, dup := skip[e.RID]; dup {
+				continue
+			}
+			if ix.delta.deleted(e.RID) {
+				continue
+			}
+			s, ok := data.Series(e.RID)
+			if !ok {
+				return fmt.Errorf("core: candidate record %d missing from loaded partition", e.RID)
+			}
+			sc.cands[lanes] = s
+			sc.rids[lanes] = e.RID
+			lanes++
+		}
+		if lanes == 0 {
+			continue
+		}
+		bound := h.Bound()
+		qpar.ObserveBatch(lanes)
+		lst.Candidates += lanes
+		mask := sc.bs.BatchLBKeogh(env.U, env.L, sc.cands[:lanes], bound*bound, sc.lbs[:])
+		for m := mask; m != 0; m &= m - 1 {
+			l := mbits.TrailingZeros32(m)
+			d, err := dtw.Distance(q, sc.cands[l], band)
+			if err != nil {
+				return err
+			}
+			h.Offer(Neighbor{RID: sc.rids[l], Dist: d})
+		}
+	}
+	return nil
+}
+
+// parJob couples one query's qpar.Job with per-worker QueryStats fragments
+// and the refinement inputs every task shares.
+type parJob struct {
+	ix    *Index
+	job   *qpar.Job
+	stats []QueryStats
+	q     ts.Series
+	paa   ts.Series
+	skip  map[int64]struct{}
+	// hits collects range-query results per worker (tasks on the same worker
+	// run serially, so fragments need no lock).
+	hits [][]Neighbor
+}
+
+// newParJob builds a job over the shared heap. prune enables best-first
+// task dropping against the live kth distance (exact search); leave it off
+// for fixed-threshold scans. skip pre-filters candidates already refined by
+// a serial seeding step.
+func (ix *Index) newParJob(name string, h *knn.Heap, prune bool, q, paa ts.Series, skip map[int64]struct{}) *parJob {
+	job := qpar.New(qpar.Config{Parallelism: ix.queryParallelism(), Prune: prune, Name: name}, h)
+	return &parJob{ix: ix, job: job, stats: make([]QueryStats, job.Workers()), q: q, paa: paa, skip: skip}
+}
+
+// run drains the job and merges the per-worker stats fragments into st.
+func (p *parJob) run(st *QueryStats) error {
+	if err := p.job.Run(); err != nil {
+		return err
+	}
+	for i := range p.stats {
+		st.merge(p.stats[i])
+	}
+	return nil
+}
+
+// splitChunks refines the first chunk of entries inline on w and spawns the
+// rest as stealable tasks: when this scan runs dry, idle workers pick the
+// chunks up. Spawned chunks carry bound 0 — their partition already passed
+// admission, their data is resident, and finishing them first tightens the
+// shared bound fastest.
+func (p *parJob) splitChunks(w *qpar.Worker, entries []sigtree.Entry, data PartitionData,
+	refine func(w *qpar.Worker, entries []sigtree.Entry, data PartitionData) error) error {
+	for start := refineChunk; start < len(entries); start += refineChunk {
+		end := start + refineChunk
+		if end > len(entries) {
+			end = len(entries)
+		}
+		chunk := entries[start:end]
+		w.Spawn(0, func(w2 *qpar.Worker) error {
+			return refine(w2, chunk, data)
+		})
+	}
+	if len(entries) > refineChunk {
+		entries = entries[:refineChunk]
+	}
+	return refine(w, entries, data)
+}
+
+// refineEntries is the Euclidean chunk refiner.
+func (p *parJob) refineEntries(w *qpar.Worker, entries []sigtree.Entry, data PartitionData) error {
+	sc := p.ix.getScratch()
+	err := p.ix.refineEntriesBatch(p.job, p.q, p.paa, entries, data, p.skip, sc, &p.stats[w.ID()])
+	putScratch(sc)
+	return err
+}
+
+// spawnExactScan enqueues one best-first partition scan: the local tree is
+// pruned with the shared bound snapshotted at execution time (always at
+// least as tight as any earlier snapshot), and survivors refine in
+// stealable chunks.
+func (p *parJob) spawnExactScan(pb PartitionBound) {
+	p.job.Spawn(pb.Bound, func(w *qpar.Worker) error {
+		lst := &p.stats[w.ID()]
+		local := p.ix.Locals[pb.PID]
+		if local == nil {
+			return fmt.Errorf("core: partition %d has no local index", pb.PID)
+		}
+		entries, pruned, err := local.Tree.PruneCollect(p.paa, p.ix.seriesLen, w.Bound())
+		if err != nil {
+			return err
+		}
+		lst.PrunedLeaves += pruned
+		if len(entries) == 0 {
+			return nil
+		}
+		data, err := p.ix.loadPartition(pb.PID, lst)
+		if err != nil {
+			return err
+		}
+		return p.splitChunks(w, entries, data, p.refineEntries)
+	})
+}
+
+// spawnThresholdScan enqueues a fixed-threshold partition scan (the
+// Multi-Partitions strategy): the local tree prunes with th exactly as the
+// serial path does, so the candidate set is identical; the shared bound
+// still tightens refinement. data passes an already-resident partition.
+func (p *parJob) spawnThresholdScan(order float64, pid int, th float64, data PartitionData) {
+	p.job.Spawn(order, func(w *qpar.Worker) error {
+		lst := &p.stats[w.ID()]
+		local := p.ix.Locals[pid]
+		if local == nil {
+			return fmt.Errorf("core: partition %d has no local index", pid)
+		}
+		entries, pruned, err := local.Tree.PruneCollect(p.paa, p.ix.seriesLen, th)
+		if err != nil {
+			return err
+		}
+		lst.PrunedLeaves += pruned
+		if len(entries) == 0 {
+			return nil
+		}
+		d := data
+		if d == nil {
+			if d, err = p.ix.loadPartition(pid, lst); err != nil {
+				return err
+			}
+		}
+		return p.splitChunks(w, entries, d, p.refineEntries)
+	})
+}
+
+// spawnRefineEntries chunks an already-collected entry list straight onto
+// the queue (target-node and one-partition refinement).
+func (p *parJob) spawnRefineEntries(entries []sigtree.Entry, data PartitionData) {
+	for start := 0; start < len(entries); start += refineChunk {
+		end := start + refineChunk
+		if end > len(entries) {
+			end = len(entries)
+		}
+		chunk := entries[start:end]
+		p.job.Spawn(0, func(w *qpar.Worker) error {
+			return p.refineEntries(w, chunk, data)
+		})
+	}
+}
+
+// spawnDTWScan enqueues one best-first DTW partition scan: nodes prune with
+// the region envelope bound, survivors gate through BatchLBKeogh chunks.
+func (p *parJob) spawnDTWScan(pb PartitionBound, b *dtwBounder, band int) {
+	p.job.Spawn(pb.Bound, func(w *qpar.Worker) error {
+		lst := &p.stats[w.ID()]
+		local := p.ix.Locals[pb.PID]
+		if local == nil {
+			return fmt.Errorf("core: partition %d has no local index", pb.PID)
+		}
+		entries, pruned, err := local.Tree.PruneCollectFunc(b.nodeBound, w.Bound())
+		if err != nil {
+			return err
+		}
+		lst.PrunedLeaves += pruned
+		if len(entries) == 0 {
+			return nil
+		}
+		data, err := p.ix.loadPartition(pb.PID, lst)
+		if err != nil {
+			return err
+		}
+		refine := func(w2 *qpar.Worker, chunk []sigtree.Entry, d PartitionData) error {
+			sc := p.ix.getScratch()
+			err := p.ix.refineDTWBatch(p.job, p.q, b.env, band, chunk, d, p.skip, sc, &p.stats[w2.ID()])
+			putScratch(sc)
+			return err
+		}
+		return p.splitChunks(w, entries, data, refine)
+	})
+}
+
+// spawnRangeScan enqueues one range-partition scan; hits collect per worker
+// and the caller concatenates + sorts, so the answer is order-independent.
+func (p *parJob) spawnRangeScan(pb PartitionBound, eps, epsSq float64) {
+	p.job.Spawn(pb.Bound, func(w *qpar.Worker) error {
+		lst := &p.stats[w.ID()]
+		sc := p.ix.getScratch()
+		hits, err := p.ix.rangeScanPartition(p.q, p.paa, pb.PID, eps, epsSq, sc, lst)
+		putScratch(sc)
+		if err != nil {
+			return err
+		}
+		p.hits[w.ID()] = append(p.hits[w.ID()], hits...)
+		return nil
+	})
+}

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"github.com/tardisdb/tardis/internal/dataset"
+	"github.com/tardisdb/tardis/internal/ts"
+)
+
+// testQueries derives reproducible z-normalized queries off the indexed
+// distribution.
+func testQueries(t *testing.T, count int, seed int64) []ts.Series {
+	t.Helper()
+	g, err := dataset.New(dataset.RandomWalk, testSeriesLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	qs := make([]ts.Series, count)
+	for i := range qs {
+		qs[i] = g.Generate(rng).ZNormalize()
+	}
+	return qs
+}
+
+func sameNeighbors(t *testing.T, label string, want, got []Neighbor) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: result length %d != %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if want[i].RID != got[i].RID || want[i].Dist != got[i].Dist {
+			t.Fatalf("%s: result[%d] = %+v, want %+v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// Every query type must return bit-identical results whatever the worker
+// count — the tentpole's exactness guarantee. Runs under -race in CI, so it
+// also proves the shared-heap and work-stealing paths are race-free.
+func TestParallelMatchesSerialAllQueryTypes(t *testing.T) {
+	ix, _, _ := buildTestIndex(t, dataset.RandomWalk, testConfig())
+	queries := testQueries(t, 4, 99)
+	const k, band = 10, 4
+	eps := 6.5
+
+	type result struct {
+		name string
+		run  func(q ts.Series) ([]Neighbor, error)
+	}
+	runs := []result{
+		{"exact", func(q ts.Series) ([]Neighbor, error) { r, _, err := ix.KNNExact(q, k); return r, err }},
+		{"range", func(q ts.Series) ([]Neighbor, error) { r, _, err := ix.RangeQuery(q, eps); return r, err }},
+		{"dtw", func(q ts.Series) ([]Neighbor, error) { r, _, err := ix.KNNDTW(q, k, band); return r, err }},
+		{"tna", func(q ts.Series) ([]Neighbor, error) { r, _, err := ix.KNNTargetNode(q, k); return r, err }},
+		{"opa", func(q ts.Series) ([]Neighbor, error) { r, _, err := ix.KNNOnePartition(q, k); return r, err }},
+		{"mpa", func(q ts.Series) ([]Neighbor, error) { r, _, err := ix.KNNMultiPartition(q, k); return r, err }},
+	}
+	workerCounts := []int{1, 2, 4}
+	if np := runtime.GOMAXPROCS(0); np > 4 {
+		workerCounts = append(workerCounts, np)
+	}
+	for qi, q := range queries {
+		for _, r := range runs {
+			var want []Neighbor
+			for wi, workers := range workerCounts {
+				if err := ix.SetQueryParallelism(workers); err != nil {
+					t.Fatal(err)
+				}
+				got, err := r.run(q)
+				if err != nil {
+					t.Fatalf("%s q%d workers=%d: %v", r.name, qi, workers, err)
+				}
+				if wi == 0 {
+					want = got
+					continue
+				}
+				sameNeighbors(t, fmt.Sprintf("%s q%d workers=%d", r.name, qi, workers), want, got)
+			}
+		}
+	}
+	if err := ix.SetQueryParallelism(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The parallel exact path must stay correct against brute-force ground
+// truth, including with delta inserts and deletes in play.
+func TestParallelExactWithDelta(t *testing.T) {
+	ix, _, cl := buildTestIndex(t, dataset.RandomWalk, testConfig())
+	if err := ix.SetQueryParallelism(4); err != nil {
+		t.Fatal(err)
+	}
+	// Mutate: insert fresh records, delete a few indexed ones.
+	g, err := dataset.New(dataset.RandomWalk, testSeriesLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 50; i++ {
+		rec := ts.Record{RID: int64(1_000_000 + i), Values: g.Generate(rng).ZNormalize()}
+		if err := ix.Insert(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for rid := int64(0); rid < 20; rid++ {
+		if err := ix.Delete(rid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const k = 8
+	for _, q := range testQueries(t, 3, 123) {
+		truth, err := ix.GroundTruthKNN(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := ix.KNNExact(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameNeighbors(t, "exact-vs-truth", truth, got)
+	}
+	_ = cl
+}
+
+// SetQueryParallelism rejects negatives; 0 resolves to GOMAXPROCS.
+func TestSetQueryParallelism(t *testing.T) {
+	ix, _, _ := buildTestIndex(t, dataset.RandomWalk, testConfig())
+	if err := ix.SetQueryParallelism(-1); err == nil {
+		t.Fatal("negative parallelism accepted")
+	}
+	if err := ix.SetQueryParallelism(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := ix.queryParallelism(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("resolved parallelism %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if err := ix.SetQueryParallelism(3); err != nil {
+		t.Fatal(err)
+	}
+	if got := ix.queryParallelism(); got != 3 {
+		t.Fatalf("resolved parallelism %d, want 3", got)
+	}
+}
+
+// The batched refine path must behave identically with and without the
+// signature pre-filter fallback: indexes reloaded from disk drop per-entry
+// signatures, so a reloaded index must return the same answers.
+func TestParallelAfterReload(t *testing.T) {
+	ix, _, cl := buildTestIndex(t, dataset.RandomWalk, testConfig())
+	queries := testQueries(t, 2, 7)
+	const k = 5
+	type ans struct{ exact, tna []Neighbor }
+	want := make([]ans, len(queries))
+	for i, q := range queries {
+		e, _, err := ix.KNNExact(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, _, err := ix.KNNTargetNode(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = ans{exact: e, tna: a}
+	}
+	if err := ix.Save(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Load(cl, ix.Store.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := re.SetQueryParallelism(4); err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range queries {
+		e, _, err := re.KNNExact(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameNeighbors(t, "reloaded exact", want[i].exact, e)
+		a, _, err := re.KNNTargetNode(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameNeighbors(t, "reloaded tna", want[i].tna, a)
+	}
+}

@@ -6,7 +6,6 @@ import (
 	"sort"
 	"time"
 
-	"github.com/tardisdb/tardis/internal/cluster"
 	"github.com/tardisdb/tardis/internal/isaxt"
 	"github.com/tardisdb/tardis/internal/knn"
 	"github.com/tardisdb/tardis/internal/sigtree"
@@ -148,33 +147,6 @@ func (ix *Index) primaryPID(sig isaxt.Signature) (int, error) {
 	return pids[0], nil
 }
 
-// refine computes true distances for candidate record ids against the
-// query, feeding the heap. data resolves rid to series. Tombstoned records
-// are skipped.
-//
-//tardis:hotpath
-func (ix *Index) refine(h *knn.Heap, q ts.Series, rids []int64, data PartitionData, st *QueryStats) error {
-	for _, rid := range rids {
-		if h.Contains(rid) {
-			continue // already refined by an earlier step
-		}
-		if ix.delta.deleted(rid) {
-			continue
-		}
-		s, ok := data.Series(rid)
-		if !ok {
-			return fmt.Errorf("core: candidate record %d missing from loaded partition", rid)
-		}
-		st.Candidates++
-		bound := h.Bound()
-		bsq := bound * bound
-		if d2, ok2 := ts.SquaredDistanceEarlyAbandon(q, s, bsq); ok2 {
-			h.Offer(Neighbor{RID: rid, Dist: sqrt(d2)})
-		}
-	}
-	return nil
-}
-
 // KNNTargetNode runs the Target Node Access strategy (§V-B): descend
 // Tardis-G to the partition, descend its Tardis-L to the target node (the
 // lowest node on the path holding at least k entries), and refine its
@@ -194,7 +166,7 @@ func (ix *Index) KNNTargetNode(q ts.Series, k int) ([]Neighbor, QueryStats, erro
 		return nil, st, err
 	}
 	h := knn.NewHeap(k)
-	if _, _, err := ix.targetNodeInto(h, q, sig, pid, k, &st); err != nil {
+	if _, _, err := ix.targetNodeInto(h, q, sig, paa, pid, k, &st); err != nil {
 		return nil, st, err
 	}
 	if err := ix.deltaRefine(h, q, paa, h.Bound(), &st); err != nil {
@@ -208,8 +180,10 @@ func (ix *Index) KNNTargetNode(q ts.Series, k int) ([]Neighbor, QueryStats, erro
 // targetNodeInto performs the target-node refinement inside one partition.
 // It returns the kth distance found (the threshold seed for the optimized
 // strategies) and the loaded partition data for reuse. The heap accumulates
-// results.
-func (ix *Index) targetNodeInto(h *knn.Heap, q ts.Series, sig isaxt.Signature, pid, k int, st *QueryStats) (float64, PartitionData, error) {
+// results. Large target nodes refine in parallel when query parallelism is
+// enabled — the candidate set is fixed up front, so the resulting kth
+// distance is the same whatever the refinement order.
+func (ix *Index) targetNodeInto(h *knn.Heap, q ts.Series, sig isaxt.Signature, paa ts.Series, pid, k int, st *QueryStats) (float64, PartitionData, error) {
 	local := ix.Locals[pid]
 	if local == nil {
 		return math.Inf(1), nil, fmt.Errorf("core: partition %d has no local index", pid)
@@ -220,12 +194,19 @@ func (ix *Index) targetNodeInto(h *knn.Heap, q ts.Series, sig isaxt.Signature, p
 	}
 	node, _ := local.Tree.TargetNode(sig, int64(k))
 	entries := sigtree.CollectEntries(node, nil)
-	rids := make([]int64, len(entries))
-	for i, e := range entries {
-		rids[i] = e.RID
-	}
-	if err := ix.refine(h, q, rids, data, st); err != nil {
-		return math.Inf(1), nil, err
+	if ix.queryParallelism() > 1 && len(entries) > refineChunk {
+		p := ix.newParJob("tna", h, false, q, paa, nil)
+		p.spawnRefineEntries(entries, data)
+		if err := p.run(st); err != nil {
+			return math.Inf(1), nil, err
+		}
+	} else {
+		sc := ix.getScratch()
+		err := ix.refineEntriesBatch(h, q, paa, entries, data, nil, sc, st)
+		putScratch(sc)
+		if err != nil {
+			return math.Inf(1), nil, err
+		}
 	}
 	return h.Bound(), data, nil
 }
@@ -249,14 +230,27 @@ func (ix *Index) KNNOnePartition(q ts.Series, k int) ([]Neighbor, QueryStats, er
 		return nil, st, err
 	}
 	h := knn.NewHeap(k)
-	th, data, err := ix.targetNodeInto(h, q, sig, pid, k, &st)
+	th, data, err := ix.targetNodeInto(h, q, sig, paa, pid, k, &st)
 	if err != nil {
 		return nil, st, err
 	}
 	// The partition is already resident from the target-node step; scanning
-	// it costs no further I/O (the paper's "only single disk access").
-	if err := ix.scanPartitionInto(h, q, paa, pid, th, data, &st); err != nil {
-		return nil, st, err
+	// it costs no further I/O (the paper's "only single disk access"). The
+	// member snapshot skips re-refining what the target node already fed in.
+	skip := h.Members()
+	if ix.queryParallelism() > 1 {
+		p := ix.newParJob("opa", h, false, q, paa, skip)
+		p.spawnThresholdScan(0, pid, th, data)
+		if err := p.run(&st); err != nil {
+			return nil, st, err
+		}
+	} else {
+		sc := ix.getScratch()
+		err := ix.scanPartitionInto(h, q, paa, pid, th, data, skip, sc, &st)
+		putScratch(sc)
+		if err != nil {
+			return nil, st, err
+		}
 	}
 	if err := ix.deltaRefine(h, q, paa, h.Bound(), &st); err != nil {
 		return nil, st, err
@@ -267,11 +261,13 @@ func (ix *Index) KNNOnePartition(q ts.Series, k int) ([]Neighbor, QueryStats, er
 }
 
 // scanPartitionInto prune-scans one partition's local tree with the given
-// threshold and refines the survivors. Pass the partition's records in data
-// when it is already resident; nil loads (and counts) the partition.
+// threshold and refines the survivors through the batched kernels. Pass the
+// partition's records in data when it is already resident; nil loads (and
+// counts) the partition. skip pre-filters candidates an earlier step
+// already refined.
 //
 //tardis:hotpath
-func (ix *Index) scanPartitionInto(h *knn.Heap, q, paa ts.Series, pid int, threshold float64, data PartitionData, st *QueryStats) error {
+func (ix *Index) scanPartitionInto(h heapLike, q, paa ts.Series, pid int, threshold float64, data PartitionData, skip map[int64]struct{}, sc *refineScratch, st *QueryStats) error {
 	local := ix.Locals[pid]
 	if local == nil {
 		return fmt.Errorf("core: partition %d has no local index", pid)
@@ -290,11 +286,7 @@ func (ix *Index) scanPartitionInto(h *knn.Heap, q, paa ts.Series, pid int, thres
 			return err
 		}
 	}
-	rids := make([]int64, len(entries))
-	for i, e := range entries {
-		rids[i] = e.RID
-	}
-	return ix.refine(h, q, rids, data, st)
+	return ix.refineEntriesBatch(h, q, paa, entries, data, skip, sc, st)
 }
 
 // KNNMultiPartition runs the Multi-Partitions Access strategy (Algorithm 1):
@@ -322,46 +314,44 @@ func (ix *Index) KNNMultiPartition(q ts.Series, k int) ([]Neighbor, QueryStats, 
 	}
 	// Threshold from the query's own partition (Algorithm 1 lines 10-14).
 	h := knn.NewHeap(k)
-	th, primaryData, err := ix.targetNodeInto(h, q, sig, pid, k, &st)
+	th, primaryData, err := ix.targetNodeInto(h, q, sig, paa, pid, k, &st)
 	if err != nil {
 		return nil, st, err
 	}
-	// Scan all selected partitions with the threshold (lines 15-16),
-	// concurrently across the worker pool: each task prune-scans one
-	// partition into its own candidate list with the fixed threshold, then
-	// the driver merges — the shape of Algorithm 1's parallel scan. The
-	// merged answer is identical to a sequential scan because partitions
-	// are disjoint and the threshold is fixed.
-	type scanOut struct {
-		neighbors []Neighbor
-		stats     QueryStats
-	}
-	pidDS := cluster.Parallelize(ix.cl, pidList, len(pidList))
-	results, err := cluster.MapPartitions("mpa-scan", pidDS,
-		func(_ int, pids []int) ([]scanOut, error) {
-			var out []scanOut
-			for _, p := range pids {
-				var data PartitionData
-				if p == pid {
-					data = primaryData
-				}
-				local := knn.NewHeap(k)
-				var lst QueryStats
-				if err := ix.scanPartitionInto(local, q, paa, p, th, data, &lst); err != nil {
-					return nil, err
-				}
-				out = append(out, scanOut{neighbors: local.Sorted(), stats: lst})
+	// Scan all selected partitions with the threshold (lines 15-16). With
+	// query parallelism, each partition becomes one qpar task that splits
+	// its refinement into stealable chunks — the shape of Algorithm 1's
+	// parallel scan. The answer is identical to a sequential scan because
+	// partitions are disjoint, the local trees prune with the same fixed
+	// threshold either way, and the shared heap keeps the canonical top k
+	// whatever the offer order. The member snapshot skips candidates the
+	// target-node step already refined.
+	skip := h.Members()
+	if ix.queryParallelism() > 1 && len(pidList) > 1 {
+		p := ix.newParJob("mpa", h, false, q, paa, skip)
+		for i, scanPID := range pidList {
+			var data PartitionData
+			if scanPID == pid {
+				data = primaryData
 			}
-			return out, nil
-		})
-	if err != nil {
-		return nil, st, err
-	}
-	for _, r := range results.Collect() {
-		for _, n := range r.neighbors {
-			h.Offer(n)
+			p.spawnThresholdScan(float64(i), scanPID, th, data)
 		}
-		st.merge(r.stats)
+		if err := p.run(&st); err != nil {
+			return nil, st, err
+		}
+	} else {
+		sc := ix.getScratch()
+		for _, scanPID := range pidList {
+			var data PartitionData
+			if scanPID == pid {
+				data = primaryData
+			}
+			if err := ix.scanPartitionInto(h, q, paa, scanPID, th, data, skip, sc, &st); err != nil {
+				putScratch(sc)
+				return nil, st, err
+			}
+		}
+		putScratch(sc)
 	}
 	if err := ix.deltaRefine(h, q, paa, h.Bound(), &st); err != nil {
 		return nil, st, err

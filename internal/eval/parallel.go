@@ -1,0 +1,155 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"github.com/tardisdb/tardis/internal/core"
+	"github.com/tardisdb/tardis/internal/ts"
+)
+
+// The intra-query scaling experiment (ROADMAP: MESSI/ParIS+-style
+// parallelism): the same warm-cache exact query stream is replayed at
+// increasing per-query worker counts, so the entire latency gap is
+// attributable to the qpar work-stealing layer — partition loads are cache
+// hits, the answers are bit-identical at every worker count, and only the
+// scan/refine work spreads across cores.
+
+// ParallelRow is one (query type, worker count) cell of the scaling curve.
+type ParallelRow struct {
+	Dataset    string
+	Query      string // "exact-knn" or "dtw-knn"
+	Workers    int
+	Queries    int
+	AvgLatency time.Duration
+	Speedup    float64 // vs the workers=1 row of the same query type
+}
+
+// DefaultWorkerCounts doubles from 1 up to GOMAXPROCS (always including it).
+func DefaultWorkerCounts() []int {
+	np := runtime.GOMAXPROCS(0)
+	counts := []int{1}
+	for w := 2; w < np; w *= 2 {
+		counts = append(counts, w)
+	}
+	if np > 1 {
+		counts = append(counts, np)
+	}
+	return counts
+}
+
+// FigParallel builds one index, primes its partition cache, and sweeps the
+// per-query worker count over warm exact-kNN and DTW-kNN streams. Results at
+// every worker count are verified identical to the workers=1 answers before
+// latencies are reported.
+func FigParallel(e *Env, spec DatasetSpec, queries, k, band int, workerCounts []int) ([]ParallelRow, error) {
+	if len(workerCounts) == 0 {
+		workerCounts = DefaultWorkerCounts()
+	}
+	ix, err := e.BuildTardis(spec, ScaledTardisConfig(spec), "parallel")
+	if err != nil {
+		return nil, err
+	}
+	qs, err := KNNQueries(spec, queries, spec.Seed)
+	if err != nil {
+		return nil, err
+	}
+	// Prime the cache so the sweep measures compute, not disk.
+	if err := ix.SetQueryParallelism(1); err != nil {
+		return nil, err
+	}
+	for _, q := range qs {
+		if _, _, err := ix.KNNExact(q, k); err != nil {
+			return nil, err
+		}
+		if _, _, err := ix.KNNDTW(q, k, band); err != nil {
+			return nil, err
+		}
+	}
+
+	type stream struct {
+		name string
+		run  func(q ts.Series) ([]core.Neighbor, time.Duration, error)
+	}
+	streams := []stream{
+		{"exact-knn", func(q ts.Series) ([]core.Neighbor, time.Duration, error) {
+			r, st, err := ix.KNNExact(q, k)
+			return r, st.Duration, err
+		}},
+		{"dtw-knn", func(q ts.Series) ([]core.Neighbor, time.Duration, error) {
+			r, st, err := ix.KNNDTW(q, k, band)
+			return r, st.Duration, err
+		}},
+	}
+
+	var rows []ParallelRow
+	for _, s := range streams {
+		var baseline []ParallelRow // keeps append order stable per stream
+		var reference [][]core.Neighbor
+		var baseLatency time.Duration
+		for _, workers := range workerCounts {
+			if err := ix.SetQueryParallelism(workers); err != nil {
+				return nil, err
+			}
+			var total time.Duration
+			for qi, q := range qs {
+				res, dur, err := s.run(q)
+				if err != nil {
+					return nil, err
+				}
+				total += dur
+				if workers == workerCounts[0] {
+					reference = append(reference, res)
+					continue
+				}
+				want := reference[qi]
+				if len(res) != len(want) {
+					return nil, fmt.Errorf("eval: %s workers=%d query %d: %d results, want %d",
+						s.name, workers, qi, len(res), len(want))
+				}
+				for i := range want {
+					if res[i] != want[i] {
+						return nil, fmt.Errorf("eval: %s workers=%d query %d: result %d = %+v, want %+v",
+							s.name, workers, qi, i, res[i], want[i])
+					}
+				}
+			}
+			row := ParallelRow{
+				Dataset:    string(spec.Kind),
+				Query:      s.name,
+				Workers:    workers,
+				Queries:    len(qs),
+				AvgLatency: total / time.Duration(len(qs)),
+			}
+			if workers == workerCounts[0] {
+				baseLatency = row.AvgLatency
+			}
+			if row.AvgLatency > 0 {
+				row.Speedup = float64(baseLatency) / float64(row.AvgLatency)
+			}
+			baseline = append(baseline, row)
+		}
+		rows = append(rows, baseline...)
+	}
+	if err := ix.SetQueryParallelism(0); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// ReportParallel prints the scaling table paper-style.
+func ReportParallel(w io.Writer, rows []ParallelRow) {
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Dataset, r.Query, fmt.Sprint(r.Workers), fmt.Sprint(r.Queries),
+			Dur(r.AvgLatency), fmt.Sprintf("%.2fx", r.Speedup),
+		})
+	}
+	PrintTable(w, "Intra-query parallelism: warm-cache scaling vs per-query workers",
+		[]string{"dataset", "query", "workers", "queries", "avg latency", "speedup"}, cells)
+	fmt.Fprintf(w, "GOMAXPROCS=%d; answers verified identical across all worker counts\n",
+		runtime.GOMAXPROCS(0))
+}

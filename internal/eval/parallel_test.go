@@ -1,0 +1,48 @@
+package eval
+
+import (
+	"bytes"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// TestParallelSmoke is the `make bench-parallel` gate: FigParallel itself
+// verifies result equality across every worker count (it errors out on any
+// mismatch), so a clean return proves exactness. The speedup assertion only
+// applies on multi-core machines — on one core the parallel path is pure
+// overhead and no scaling claim is meaningful.
+func TestParallelSmoke(t *testing.T) {
+	e := newEnv(t)
+	spec := smallSpecs()[0]
+	rows, err := FigParallel(e, spec, 4, 5, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := DefaultWorkerCounts()
+	if len(rows) != 2*len(counts) {
+		t.Fatalf("got %d rows, want %d", len(rows), 2*len(counts))
+	}
+	for _, r := range rows {
+		if r.Workers == counts[0] && r.Speedup != 1 {
+			t.Errorf("%s baseline speedup = %v, want 1", r.Query, r.Speedup)
+		}
+		if r.AvgLatency <= 0 {
+			t.Errorf("%s workers=%d: non-positive latency", r.Query, r.Workers)
+		}
+	}
+	if runtime.GOMAXPROCS(0) > 1 {
+		// Warm-cache scans must not get slower with all cores engaged.
+		for _, r := range rows {
+			if r.Workers == runtime.GOMAXPROCS(0) && r.Speedup < 1 {
+				t.Errorf("%s at %d workers: speedup %.2fx < 1", r.Query, r.Workers, r.Speedup)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	ReportParallel(&buf, rows)
+	out := buf.String()
+	if !strings.Contains(out, "exact-knn") || !strings.Contains(out, "dtw-knn") {
+		t.Fatalf("report missing streams:\n%s", out)
+	}
+}

@@ -118,6 +118,17 @@ func (c *Codec) Decode(sig Signature) ([]int, int, error) {
 	return word, bits, nil
 }
 
+// DecodeInto decodes sig into word, a caller-owned buffer of length c.w that
+// is fully overwritten, and returns the cardinality bit count. It is the
+// allocation-free Decode used by batch refinement, which scatters decoded
+// words into struct-of-arrays layouts.
+func (c *Codec) DecodeInto(sig Signature, word []int) (int, error) {
+	if len(word) != c.w {
+		return 0, fmt.Errorf("isaxt: decode buffer length %d != word length %d", len(word), c.w)
+	}
+	return c.decodeInto(sig, word)
+}
+
 // decodeInto decodes sig into word, a caller-owned buffer of length c.w that
 // is fully overwritten. It returns the cardinality bit count.
 //

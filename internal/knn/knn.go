@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 )
 
 // Neighbor is one kNN answer: a record id and its Euclidean distance to the
@@ -26,10 +27,20 @@ type Neighbor struct {
 // container/heap: heap.Interface takes values as any, which boxes a
 // Neighbor on every push — one allocation per candidate on the query hot
 // path.
+//
+// Ordering is by the (Dist, RID) tuple, not distance alone: when candidates
+// tie at the kth distance, the smaller record id wins. This makes the heap's
+// content a pure function of the offered multiset — the canonical k smallest
+// (Dist, RID) pairs — independent of offer order, which is what lets the
+// parallel query paths guarantee results identical to the serial ones.
 type Heap struct {
 	items  []Neighbor
 	member map[int64]struct{}
 	k      int
+	// boundBits mirrors Bound() as math.Float64bits for lock-free snapshot
+	// reads by concurrent qpar workers while another worker mutates the heap
+	// under the owner's lock.
+	boundBits atomic.Uint64
 }
 
 // NewHeap creates a heap bounded at k results. k must be positive.
@@ -37,7 +48,20 @@ func NewHeap(k int) *Heap {
 	if k < 1 {
 		panic(fmt.Sprintf("knn: heap size must be positive, got %d", k))
 	}
-	return &Heap{k: k, member: make(map[int64]struct{}, k+1)}
+	h := &Heap{k: k, member: make(map[int64]struct{}, k+1)}
+	h.boundBits.Store(math.Float64bits(math.Inf(1)))
+	return h
+}
+
+// farther reports whether a sorts after b in the canonical (Dist, RID)
+// order — the max-heap comparison.
+//
+//tardis:hotpath
+func farther(a, b Neighbor) bool {
+	if a.Dist != b.Dist {
+		return a.Dist > b.Dist
+	}
+	return a.RID > b.RID
 }
 
 // Len returns the number of neighbors currently held.
@@ -55,13 +79,17 @@ func (h *Heap) Offer(n Neighbor) {
 		h.items = append(h.items, n)
 		h.member[n.RID] = struct{}{}
 		h.siftUp(len(h.items) - 1)
+		if len(h.items) == h.k {
+			h.boundBits.Store(math.Float64bits(h.items[0].Dist))
+		}
 		return
 	}
-	if n.Dist < h.items[0].Dist {
+	if farther(h.items[0], n) {
 		delete(h.member, h.items[0].RID)
 		h.items[0] = n
 		h.member[n.RID] = struct{}{}
 		h.siftDown(0)
+		h.boundBits.Store(math.Float64bits(h.items[0].Dist))
 	}
 }
 
@@ -71,7 +99,7 @@ func (h *Heap) Offer(n Neighbor) {
 func (h *Heap) siftUp(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
-		if h.items[parent].Dist >= h.items[i].Dist {
+		if !farther(h.items[i], h.items[parent]) {
 			return
 		}
 		h.items[parent], h.items[i] = h.items[i], h.items[parent]
@@ -90,10 +118,10 @@ func (h *Heap) siftDown(i int) {
 			return
 		}
 		big := left
-		if right := left + 1; right < n && h.items[right].Dist > h.items[left].Dist {
+		if right := left + 1; right < n && farther(h.items[right], h.items[left]) {
 			big = right
 		}
-		if h.items[i].Dist >= h.items[big].Dist {
+		if !farther(h.items[big], h.items[i]) {
 			return
 		}
 		h.items[i], h.items[big] = h.items[big], h.items[i]
@@ -116,6 +144,28 @@ func (h *Heap) Bound() float64 {
 		return math.Inf(1)
 	}
 	return h.items[0].Dist
+}
+
+// BoundAtomic returns the same value as Bound via a lock-free atomic load.
+// Parallel query workers snapshot the shared pruning threshold through it
+// without taking the lock that serializes Offer; the snapshot may lag a
+// concurrent Offer by one update, which only loosens pruning and never
+// affects correctness (the published bound is monotonically non-increasing).
+//
+//tardis:hotpath
+func (h *Heap) BoundAtomic() float64 {
+	return math.Float64frombits(h.boundBits.Load())
+}
+
+// Members returns a snapshot copy of the record ids currently held. Parallel
+// refinement uses it to pre-filter candidates already refined by a serial
+// seeding step without touching the live map concurrently.
+func (h *Heap) Members() map[int64]struct{} {
+	out := make(map[int64]struct{}, len(h.member))
+	for rid := range h.member {
+		out[rid] = struct{}{}
+	}
+	return out
 }
 
 // Sorted returns the neighbors in ascending distance order (ties broken by

@@ -96,6 +96,86 @@ func TestHeapSelectsKSmallestProperty(t *testing.T) {
 	}
 }
 
+// BoundAtomic must track Bound exactly after every offer — it is the
+// lock-free snapshot the parallel query workers prune with.
+func TestBoundAtomicTracksBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	h := NewHeap(5)
+	if !math.IsInf(h.BoundAtomic(), 1) {
+		t.Fatal("fresh heap BoundAtomic should be +Inf")
+	}
+	for i := 0; i < 500; i++ {
+		h.Offer(Neighbor{RID: int64(i), Dist: rng.Float64() * 10})
+		if h.Bound() != h.BoundAtomic() {
+			t.Fatalf("after offer %d: Bound %v != BoundAtomic %v", i, h.Bound(), h.BoundAtomic())
+		}
+	}
+}
+
+// At equal distances the canonical ordering must evict the larger RID, so
+// the retained set is a pure function of the offered multiset — the
+// property the parallel == serial determinism rests on.
+func TestCanonicalTieBreakEviction(t *testing.T) {
+	offers := []Neighbor{
+		{RID: 30, Dist: 2}, {RID: 10, Dist: 2}, {RID: 20, Dist: 2}, {RID: 40, Dist: 2},
+	}
+	// Every permutation of the offers must retain {10, 20} for k=2.
+	perm := func(order []int) []int64 {
+		h := NewHeap(2)
+		for _, i := range order {
+			h.Offer(offers[i])
+		}
+		got := h.Sorted()
+		rids := make([]int64, len(got))
+		for i, n := range got {
+			rids[i] = n.RID
+		}
+		return rids
+	}
+	orders := [][]int{{0, 1, 2, 3}, {3, 2, 1, 0}, {1, 3, 0, 2}, {2, 0, 3, 1}}
+	for _, order := range orders {
+		rids := perm(order)
+		if len(rids) != 2 || rids[0] != 10 || rids[1] != 20 {
+			t.Errorf("order %v retained %v, want [10 20]", order, rids)
+		}
+	}
+}
+
+// Property: the retained set is order-independent — any two shuffles of the
+// same offer stream leave identical Sorted() output, including ties.
+func TestHeapOrderIndependenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(100)
+		k := 1 + rng.Intn(10)
+		offers := make([]Neighbor, n)
+		for i := range offers {
+			// Coarse distances force plenty of ties.
+			offers[i] = Neighbor{RID: int64(i), Dist: float64(rng.Intn(8))}
+		}
+		run := func() []Neighbor {
+			h := NewHeap(k)
+			for _, j := range rng.Perm(n) {
+				h.Offer(offers[j])
+			}
+			return h.Sorted()
+		}
+		a, b := run(), run()
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestRecall(t *testing.T) {
 	truth := []Neighbor{{RID: 1}, {RID: 2}, {RID: 3}, {RID: 4}}
 	result := []Neighbor{{RID: 2}, {RID: 4}, {RID: 9}, {RID: 10}}

@@ -1,0 +1,33 @@
+package qpar
+
+import "github.com/tardisdb/tardis/internal/obs"
+
+// Task kind label values (bounded cardinality for metricname).
+const (
+	kindScan   = "scan"
+	kindRefine = "refine"
+)
+
+var (
+	mJobs = obs.NewCounter("tardis_qpar_jobs_total",
+		"Parallel query jobs executed.")
+	mJobDuration = obs.NewHistogram("tardis_qpar_job_duration_seconds",
+		"Wall time of one parallel query job (spawn to drain).", nil)
+	mTasks = obs.NewCounterVec("tardis_qpar_tasks_total",
+		"Tasks spawned, by kind (scan = driver partition/node tasks, refine = stealable chunks).", "kind")
+	mStolen = obs.NewCounter("tardis_qpar_tasks_stolen_total",
+		"Refine chunks executed by a worker other than their spawner.")
+	mPruned = obs.NewCounter("tardis_qpar_tasks_pruned_total",
+		"Queued tasks dropped because their lower bound exceeded the shared kth distance.")
+	mBusyWorkers = obs.NewGauge("tardis_qpar_busy_workers_count",
+		"Workers currently executing a task.")
+	mBatchRecords = obs.NewHistogram("tardis_qpar_batch_records",
+		"Candidates per batched distance-kernel call.",
+		[]float64{1, 2, 4, 8, 16})
+)
+
+// ObserveBatch records the lane count of one batched distance-kernel call —
+// the batch-size distribution of the refine hot path.
+func ObserveBatch(lanes int) {
+	mBatchRecords.Observe(float64(lanes))
+}

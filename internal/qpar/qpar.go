@@ -1,0 +1,310 @@
+// Package qpar is the per-query intra-node parallel execution layer
+// (ROADMAP open item: MESSI/ParIS+-style intra-query parallelism). One Job
+// is one query: a bounded pool of workers drains a best-first priority queue
+// of partition-scan tasks ordered by lower bound, all workers share a single
+// kNN result heap whose pruning bound is published atomically (heap updates
+// take a short lock; bound snapshots are lock-free), and scan tasks split
+// their refinement into chunks that idle workers steal.
+//
+// Results stay exact and deterministic: the shared knn.Heap keeps the
+// canonical k smallest (Dist, RID) pairs regardless of offer order, and a
+// task is only pruned when its lower bound exceeds the current kth distance
+// — which is always ≥ the final kth distance, so a pruned task can never
+// hold a member of the canonical answer. The serial and parallel paths
+// therefore return identical IDs and distances.
+package qpar
+
+import (
+	"math"
+	"runtime"
+	"strconv"
+	"time"
+
+	"sync"
+
+	"github.com/tardisdb/tardis/internal/knn"
+	"github.com/tardisdb/tardis/internal/obs"
+)
+
+// Config parameterizes one query's execution.
+type Config struct {
+	// Parallelism is the worker goroutine count; values ≤ 0 select
+	// runtime.GOMAXPROCS(0).
+	Parallelism int
+	// Prune drops queued tasks whose lower bound exceeds the shared heap's
+	// current kth distance at pop time (best-first search). Leave false for
+	// fixed-threshold scans (range queries, the approximate strategies).
+	Prune bool
+	// Name labels the job's worker spans.
+	Name string
+}
+
+// Task is one unit of work. It runs on exactly one worker and may spawn
+// stealable follow-up tasks through it.
+type Task func(w *Worker) error
+
+// task is a queued Task with its best-first ordering key.
+type task struct {
+	bound  float64
+	seq    uint64
+	owner  int // spawning worker id, -1 for driver spawns
+	refine bool
+	run    Task
+}
+
+// Stats summarizes one finished job.
+type Stats struct {
+	ScanTasks   int // tasks spawned by the driver
+	RefineTasks int // stealable chunks spawned by running tasks
+	Executed    int
+	Stolen      int // refine chunks executed by a worker other than their spawner
+	Pruned      int // tasks dropped because their bound exceeded the kth distance
+}
+
+// Job is one query's work queue plus the shared result heap.
+type Job struct {
+	cfg     Config
+	workers int
+	heap    *knn.Heap
+
+	// heapMu serializes Offer on the shared heap; Bound reads bypass it via
+	// the heap's atomic snapshot.
+	heapMu sync.Mutex
+
+	// mu guards the queue, the running-task count, the first error, and the
+	// counters below.
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []task
+	seq     uint64
+	running int
+	err     error
+	st      Stats
+}
+
+// New creates a job over the shared result heap. h may be nil for queries
+// that accumulate results elsewhere (range scans); such jobs see an infinite
+// bound and must not Offer.
+func New(cfg Config, h *knn.Heap) *Job {
+	w := cfg.Parallelism
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	j := &Job{cfg: cfg, workers: w, heap: h}
+	j.cond = sync.NewCond(&j.mu)
+	return j
+}
+
+// Workers returns the resolved worker count.
+func (j *Job) Workers() int { return j.workers }
+
+// Bound returns the shared heap's current kth distance without locking
+// (+Inf while underfull or when the job has no heap). The snapshot may lag a
+// concurrent Offer by one update, which only loosens pruning.
+func (j *Job) Bound() float64 {
+	if j.heap == nil {
+		return math.Inf(1)
+	}
+	return j.heap.BoundAtomic()
+}
+
+// Offer feeds one refined neighbor into the shared heap under the short
+// heap lock.
+func (j *Job) Offer(n knn.Neighbor) {
+	j.heapMu.Lock()
+	j.heap.Offer(n)
+	j.heapMu.Unlock()
+}
+
+// Spawn enqueues a driver-level task (one partition or node scan) keyed by
+// its lower bound. Call before Run; tasks spawned mid-run belong to workers
+// (Worker.Spawn).
+func (j *Job) Spawn(bound float64, fn Task) {
+	j.spawn(bound, -1, false, fn)
+}
+
+func (j *Job) spawn(bound float64, owner int, refine bool, fn Task) {
+	j.mu.Lock()
+	j.seq++
+	j.push(task{bound: bound, seq: j.seq, owner: owner, refine: refine, run: fn})
+	if refine {
+		j.st.RefineTasks++
+	} else {
+		j.st.ScanTasks++
+	}
+	j.mu.Unlock()
+	j.cond.Signal()
+	if refine {
+		mTasks.With(kindRefine).Inc()
+	} else {
+		mTasks.With(kindScan).Inc()
+	}
+}
+
+// Run drains the queue with the configured worker pool and returns the first
+// task error (remaining work is dropped on error). Stats are final after it
+// returns.
+func (j *Job) Run() error {
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < j.workers; i++ {
+		wg.Add(1)
+		go j.work(i, &wg)
+	}
+	wg.Wait()
+	mJobs.Inc()
+	mJobDuration.Observe(time.Since(start).Seconds())
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Stats returns the job's counters; call after Run.
+func (j *Job) Stats() Stats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.st
+}
+
+// work is one worker goroutine: pop best-first, execute, repeat until the
+// queue is empty with no task still running (or a task failed).
+func (j *Job) work(id int, wg *sync.WaitGroup) {
+	defer wg.Done()
+	w := &Worker{j: j, id: id}
+	start := time.Now()
+	executed, stolen := 0, 0
+	for {
+		t, ok := j.next()
+		if !ok {
+			break
+		}
+		if t.refine && t.owner != id {
+			stolen++
+			mStolen.Inc()
+			j.mu.Lock()
+			j.st.Stolen++
+			j.mu.Unlock()
+		}
+		mBusyWorkers.Add(1)
+		err := t.run(w)
+		mBusyWorkers.Add(-1)
+		executed++
+		j.finish(err)
+	}
+	if executed > 0 && obs.TracingEnabled() {
+		obs.RecordSpan("qpar.worker", start, time.Now(),
+			obs.Attr{Key: "job", Value: j.cfg.Name},
+			obs.Attr{Key: "worker", Value: strconv.Itoa(id)},
+			obs.Attr{Key: "tasks", Value: strconv.Itoa(executed)},
+			obs.Attr{Key: "stolen", Value: strconv.Itoa(stolen)})
+	}
+}
+
+// next pops the best task, dropping prunable ones. It blocks while the queue
+// is empty but tasks are still running (they may spawn chunks), and returns
+// false when the job is drained or failed.
+func (j *Job) next() (task, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for {
+		if j.err != nil {
+			return task{}, false
+		}
+		for len(j.queue) > 0 {
+			t := j.pop()
+			if j.cfg.Prune && j.heap != nil && t.bound > j.heap.BoundAtomic() {
+				j.st.Pruned++
+				mPruned.Inc()
+				continue
+			}
+			j.running++
+			j.st.Executed++
+			return t, true
+		}
+		if j.running == 0 {
+			return task{}, false
+		}
+		j.cond.Wait()
+	}
+}
+
+// finish retires a running task, recording its error and waking waiters.
+func (j *Job) finish(err error) {
+	j.mu.Lock()
+	j.running--
+	if err != nil && j.err == nil {
+		j.err = err
+	}
+	j.mu.Unlock()
+	j.cond.Broadcast()
+}
+
+// push/pop maintain the min-heap over (bound, seq) — best-first with FIFO
+// tie-break, so equal-bound tasks run in spawn order.
+func (j *Job) push(t task) {
+	j.queue = append(j.queue, t)
+	i := len(j.queue) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !taskLess(j.queue[i], j.queue[parent]) {
+			break
+		}
+		j.queue[parent], j.queue[i] = j.queue[i], j.queue[parent]
+		i = parent
+	}
+}
+
+func (j *Job) pop() task {
+	t := j.queue[0]
+	last := len(j.queue) - 1
+	j.queue[0] = j.queue[last]
+	j.queue[last] = task{}
+	j.queue = j.queue[:last]
+	n := len(j.queue)
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		small := left
+		if right := left + 1; right < n && taskLess(j.queue[right], j.queue[left]) {
+			small = right
+		}
+		if !taskLess(j.queue[small], j.queue[i]) {
+			break
+		}
+		j.queue[i], j.queue[small] = j.queue[small], j.queue[i]
+		i = small
+	}
+	return t
+}
+
+func taskLess(a, b task) bool {
+	if a.bound != b.bound {
+		return a.bound < b.bound
+	}
+	return a.seq < b.seq
+}
+
+// Worker is a task's handle onto its executing goroutine.
+type Worker struct {
+	j  *Job
+	id int
+}
+
+// ID returns the worker index in [0, Workers()) — the key for per-worker
+// stats fragments.
+func (w *Worker) ID() int { return w.id }
+
+// Bound returns the shared pruning bound (lock-free snapshot).
+func (w *Worker) Bound() float64 { return w.j.Bound() }
+
+// Offer feeds one neighbor into the shared heap.
+func (w *Worker) Offer(n knn.Neighbor) { w.j.Offer(n) }
+
+// Spawn enqueues a stealable refine chunk: any idle worker may pick it up.
+// The chunk inherits best-first ordering by the given bound.
+func (w *Worker) Spawn(bound float64, fn Task) {
+	w.j.spawn(bound, w.id, true, fn)
+}

@@ -1,0 +1,229 @@
+package qpar
+
+import (
+	"errors"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/tardisdb/tardis/internal/knn"
+)
+
+func TestJobExecutesAllTasks(t *testing.T) {
+	for _, workers := range []int{1, 2, 4} {
+		j := New(Config{Parallelism: workers, Name: "test"}, nil)
+		var ran atomic.Int64
+		for i := 0; i < 50; i++ {
+			j.Spawn(float64(i), func(w *Worker) error {
+				ran.Add(1)
+				return nil
+			})
+		}
+		if err := j.Run(); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if ran.Load() != 50 {
+			t.Fatalf("workers=%d: ran %d tasks, want 50", workers, ran.Load())
+		}
+		st := j.Stats()
+		if st.ScanTasks != 50 || st.Executed != 50 {
+			t.Fatalf("workers=%d: stats %+v", workers, st)
+		}
+	}
+}
+
+func TestSingleWorkerDrainsBestFirst(t *testing.T) {
+	j := New(Config{Parallelism: 1}, nil)
+	var order []float64
+	for _, b := range []float64{5, 1, 3, 2, 4} {
+		bound := b
+		j.Spawn(bound, func(w *Worker) error {
+			order = append(order, bound)
+			return nil
+		})
+	}
+	if err := j.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(order); i++ {
+		if order[i-1] > order[i] {
+			t.Fatalf("not best-first: %v", order)
+		}
+	}
+}
+
+func TestSharedHeapBoundPublishes(t *testing.T) {
+	h := knn.NewHeap(2)
+	j := New(Config{Parallelism: 4}, h)
+	if !math.IsInf(j.Bound(), 1) {
+		t.Fatal("empty heap bound should be +Inf")
+	}
+	for i := 0; i < 100; i++ {
+		rid, d := int64(i), float64(i)
+		j.Spawn(0, func(w *Worker) error {
+			w.Offer(knn.Neighbor{RID: rid, Dist: d})
+			return nil
+		})
+	}
+	if err := j.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := j.Bound(); got != 1 {
+		t.Fatalf("final bound %v, want 1", got)
+	}
+	res := h.Sorted()
+	if len(res) != 2 || res[0].RID != 0 || res[1].RID != 1 {
+		t.Fatalf("heap kept %+v", res)
+	}
+}
+
+// Refine chunks spawned by one worker must be picked up (stolen) by others
+// when the spawner is busy.
+func TestWorkStealing(t *testing.T) {
+	j := New(Config{Parallelism: 4, Name: "steal"}, nil)
+	var mu sync.Mutex
+	byWorker := map[int]int{}
+	block := make(chan struct{})
+	j.Spawn(0, func(w *Worker) error {
+		for i := 0; i < 32; i++ {
+			w.Spawn(0, func(w2 *Worker) error {
+				mu.Lock()
+				byWorker[w2.ID()]++
+				mu.Unlock()
+				return nil
+			})
+		}
+		// Hold the spawning worker until every chunk is taken by someone.
+		<-block
+		return nil
+	})
+	go func() {
+		for {
+			j.mu.Lock()
+			drained := len(j.queue) == 0
+			j.mu.Unlock()
+			if drained {
+				close(block)
+				return
+			}
+			runtime.Gosched()
+		}
+	}()
+	if err := j.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := j.Stats()
+	if st.RefineTasks != 32 {
+		t.Fatalf("refine tasks %d, want 32", st.RefineTasks)
+	}
+	if st.Stolen == 0 {
+		t.Fatal("expected at least one stolen chunk with the spawner blocked")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	total := 0
+	for _, n := range byWorker {
+		total += n
+	}
+	if total != 32 {
+		t.Fatalf("chunks executed %d, want 32", total)
+	}
+}
+
+// Tasks whose bound exceeds the shared kth distance at pop time must be
+// dropped, never executed.
+func TestPruneAtPop(t *testing.T) {
+	h := knn.NewHeap(1)
+	h.Offer(knn.Neighbor{RID: 1, Dist: 5})
+	j := New(Config{Parallelism: 1, Prune: true}, h)
+	var ran atomic.Int64
+	j.Spawn(2, func(w *Worker) error { ran.Add(1); return nil })  // admissible
+	j.Spawn(10, func(w *Worker) error { ran.Add(1); return nil }) // prunable
+	if err := j.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 1 {
+		t.Fatalf("ran %d tasks, want 1", ran.Load())
+	}
+	if st := j.Stats(); st.Pruned != 1 || st.Executed != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestErrorPropagatesAndStops(t *testing.T) {
+	sentinel := errors.New("boom")
+	j := New(Config{Parallelism: 2}, nil)
+	var after atomic.Int64
+	j.Spawn(0, func(w *Worker) error { return sentinel })
+	for i := 0; i < 100; i++ {
+		j.Spawn(1, func(w *Worker) error {
+			after.Add(1)
+			return nil
+		})
+	}
+	if err := j.Run(); !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+	// Some tasks may race past the failure, but the queue must not fully
+	// drain: the error stops the workers.
+	if after.Load() == 100 {
+		t.Fatal("all tasks ran despite the error")
+	}
+}
+
+func TestNilHeapJobHasInfiniteBound(t *testing.T) {
+	j := New(Config{Parallelism: 1}, nil)
+	done := false
+	j.Spawn(123, func(w *Worker) error {
+		if !math.IsInf(w.Bound(), 1) {
+			t.Error("nil-heap bound should be +Inf")
+		}
+		done = true
+		return nil
+	})
+	if err := j.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("task did not run")
+	}
+}
+
+// Concurrent offers from many workers must keep the heap canonical: the k
+// smallest (Dist, RID) pairs of everything offered.
+func TestConcurrentOffersStayCanonical(t *testing.T) {
+	h := knn.NewHeap(8)
+	j := New(Config{Parallelism: 8}, h)
+	const n = 512
+	for i := 0; i < n; i++ {
+		rid := int64(i)
+		d := float64((i * 37) % 64) // plenty of distance ties
+		j.Spawn(0, func(w *Worker) error {
+			w.Offer(knn.Neighbor{RID: rid, Dist: d})
+			return nil
+		})
+	}
+	if err := j.Run(); err != nil {
+		t.Fatal(err)
+	}
+	got := h.Sorted()
+	if len(got) != 8 {
+		t.Fatalf("got %d results", len(got))
+	}
+	// The 8 canonically smallest pairs: Dist 0 first (rids where i*37%64==0),
+	// ties broken by RID ascending.
+	prev := got[0]
+	for _, nb := range got[1:] {
+		if nb.Dist < prev.Dist || (nb.Dist == prev.Dist && nb.RID < prev.RID) {
+			t.Fatalf("results not canonically ordered: %+v", got)
+		}
+		prev = nb
+	}
+	for _, nb := range got {
+		if nb.Dist != 0 && got[7].Dist == 0 {
+			t.Fatalf("non-minimal member %+v with zero-distance eighth", nb)
+		}
+	}
+}

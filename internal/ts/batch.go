@@ -1,0 +1,248 @@
+package ts
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Batched struct-of-arrays distance kernels (MESSI/ParIS+ style): instead of
+// walking one candidate series at a time, the refine phases gather a block
+// of up to BatchLanes candidates into a flat position-major layout and
+// accumulate all lanes per position. The inner loop is a contiguous
+// stride-one sweep the compiler can keep in registers, and early abandoning
+// happens per block of positions for the whole batch at once — one branch
+// per checkpoint instead of one per point per candidate.
+//
+// Every kernel accumulates each lane's partial sum in ascending position
+// order, exactly like its scalar counterpart, so the computed distances are
+// bit-identical to the serial path — the property the parallel == serial
+// equivalence tests rely on.
+
+// BatchLanes is the SoA width: the maximum number of candidate series one
+// kernel call processes.
+const BatchLanes = 16
+
+// batchPositions is the number of positions accumulated between
+// early-abandon checkpoints (and the SoA gather block height).
+const batchPositions = 64
+
+// BatchState is the reusable scratch for the gathering kernels; callers pool
+// it so the hot query paths allocate nothing per batch.
+type BatchState struct {
+	soa  []float64
+	sums []float64
+}
+
+// NewBatchState allocates kernel scratch.
+func NewBatchState() *BatchState {
+	return &BatchState{
+		soa:  make([]float64, batchPositions*BatchLanes),
+		sums: make([]float64, BatchLanes),
+	}
+}
+
+// SquaredEuclidean computes the squared Euclidean distance between q and up
+// to BatchLanes candidates. out[l] receives lane l's accumulated sum; the
+// returned bitmask has bit l set iff the lane's full squared distance is at
+// most boundSq. When every lane's partial sum exceeds boundSq at a
+// checkpoint the whole batch abandons (mask 0, partial sums in out).
+//
+//tardis:hotpath
+func (b *BatchState) SquaredEuclidean(q Series, cands []Series, boundSq float64, out []float64) uint32 {
+	lanes := len(cands)
+	if lanes == 0 {
+		return 0
+	}
+	if lanes > BatchLanes {
+		panic(fmt.Sprintf("ts: batch of %d exceeds %d lanes", lanes, BatchLanes))
+	}
+	n := len(q)
+	sums := b.sums
+	for l := 0; l < lanes; l++ {
+		if len(cands[l]) != n {
+			panic(fmt.Sprintf("ts: batch lane %d length %d != query length %d", l, len(cands[l]), n))
+		}
+		sums[l] = 0
+	}
+	soa := b.soa
+	for start := 0; start < n; start += batchPositions {
+		end := start + batchPositions
+		if end > n {
+			end = n
+		}
+		for l := 0; l < lanes; l++ {
+			c := cands[l][start:end]
+			for i := range c {
+				soa[i*BatchLanes+l] = c[i]
+			}
+		}
+		for p := start; p < end; p++ {
+			qv := q[p]
+			row := soa[(p-start)*BatchLanes : (p-start)*BatchLanes+lanes]
+			for l, cv := range row {
+				d := qv - cv
+				sums[l] += d * d
+			}
+		}
+		alive := false
+		for l := 0; l < lanes; l++ {
+			if sums[l] <= boundSq {
+				alive = true
+				break
+			}
+		}
+		if !alive {
+			copy(out[:lanes], sums[:lanes])
+			return 0
+		}
+	}
+	var mask uint32
+	for l := 0; l < lanes; l++ {
+		out[l] = sums[l]
+		if sums[l] <= boundSq {
+			mask |= 1 << uint(l)
+		}
+	}
+	return mask
+}
+
+// BatchEuclidean is SquaredEuclidean with rooted distances: out[l] holds the
+// Euclidean distance for every lane in the returned mask (lanes outside the
+// mask keep their partial squared sums, which are only meaningful as
+// "exceeds bound" evidence).
+//
+//tardis:hotpath
+func (b *BatchState) BatchEuclidean(q Series, cands []Series, bound float64, out []float64) uint32 {
+	mask := b.SquaredEuclidean(q, cands, bound*bound, out)
+	for m := mask; m != 0; m &= m - 1 {
+		l := bits.TrailingZeros32(m)
+		out[l] = math.Sqrt(out[l])
+	}
+	return mask
+}
+
+// BatchLBKeogh computes the squared LB_Keogh excursion of up to BatchLanes
+// candidates against the envelope [lo, up]. out[l] receives the accumulated
+// squared excursion; the mask has bit l set iff lane l's full excursion sum
+// is at most boundSq — i.e. the candidate survives the LB_Keogh gate for
+// bound sqrt(boundSq). Whole-batch early abandon as in SquaredEuclidean.
+//
+//tardis:hotpath
+func (b *BatchState) BatchLBKeogh(up, lo Series, cands []Series, boundSq float64, out []float64) uint32 {
+	lanes := len(cands)
+	if lanes == 0 {
+		return 0
+	}
+	if lanes > BatchLanes {
+		panic(fmt.Sprintf("ts: batch of %d exceeds %d lanes", lanes, BatchLanes))
+	}
+	n := len(up)
+	if len(lo) != n {
+		panic(fmt.Sprintf("ts: envelope lengths differ: %d vs %d", n, len(lo)))
+	}
+	sums := b.sums
+	for l := 0; l < lanes; l++ {
+		if len(cands[l]) != n {
+			panic(fmt.Sprintf("ts: batch lane %d length %d != envelope length %d", l, len(cands[l]), n))
+		}
+		sums[l] = 0
+	}
+	soa := b.soa
+	for start := 0; start < n; start += batchPositions {
+		end := start + batchPositions
+		if end > n {
+			end = n
+		}
+		for l := 0; l < lanes; l++ {
+			c := cands[l][start:end]
+			for i := range c {
+				soa[i*BatchLanes+l] = c[i]
+			}
+		}
+		for p := start; p < end; p++ {
+			u, lw := up[p], lo[p]
+			row := soa[(p-start)*BatchLanes : (p-start)*BatchLanes+lanes]
+			for l, v := range row {
+				var d float64
+				switch {
+				case v > u:
+					d = v - u
+				case v < lw:
+					d = lw - v
+				}
+				sums[l] += d * d
+			}
+		}
+		alive := false
+		for l := 0; l < lanes; l++ {
+			if sums[l] <= boundSq {
+				alive = true
+				break
+			}
+		}
+		if !alive {
+			copy(out[:lanes], sums[:lanes])
+			return 0
+		}
+	}
+	var mask uint32
+	for l := 0; l < lanes; l++ {
+		out[l] = sums[l]
+		if sums[l] <= boundSq {
+			mask |= 1 << uint(l)
+		}
+	}
+	return mask
+}
+
+// BatchMinDistPAA computes the SAX MINDIST lower bound between the query's
+// PAA and up to BatchLanes candidate SAX words at once. words is the
+// position-major SoA of the decoded words: words[seg*lanes+l] is lane l's
+// symbol for segment seg, len(words) == len(paa)*lanes. out[l] receives the
+// same value MinDistPAAToWord returns for lane l's word — the summation
+// order per lane is identical, so the results match bit for bit.
+//
+//tardis:hotpath
+func BatchMinDistPAA(paa Series, words []int, lanes, bits, n int, out []float64) {
+	w := len(paa)
+	if lanes <= 0 || lanes > BatchLanes {
+		panic(fmt.Sprintf("ts: batch of %d lanes outside [1, %d]", lanes, BatchLanes))
+	}
+	if len(words) != w*lanes {
+		panic(fmt.Sprintf("ts: words length %d != %d segments x %d lanes", len(words), w, lanes))
+	}
+	if bits < 1 || bits > MaxCardinalityBits {
+		panic(fmt.Sprintf("ts: cardinality bits %d out of range [1, %d]", bits, MaxCardinalityBits))
+	}
+	bps := breakpointsForBits(bits)
+	for l := 0; l < lanes; l++ {
+		out[l] = 0
+	}
+	for seg := 0; seg < w; seg++ {
+		v := paa[seg]
+		row := words[seg*lanes : (seg+1)*lanes]
+		for l, sym := range row {
+			lo := math.Inf(-1)
+			if sym > 0 {
+				lo = bps[sym-1]
+			}
+			hi := math.Inf(1)
+			if sym < len(bps) {
+				hi = bps[sym]
+			}
+			var d float64
+			switch {
+			case v < lo:
+				d = lo - v
+			case v > hi:
+				d = v - hi
+			}
+			out[l] += d * d
+		}
+	}
+	scale := math.Sqrt(float64(n) / float64(w))
+	for l := 0; l < lanes; l++ {
+		out[l] = scale * math.Sqrt(out[l])
+	}
+}

@@ -1,0 +1,226 @@
+package ts
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randSeries(rng *rand.Rand, n int) Series {
+	s := make(Series, n)
+	for i := range s {
+		s[i] = rng.NormFloat64()
+	}
+	return s
+}
+
+// The batched squared-Euclidean kernel must reproduce the scalar kernel bit
+// for bit: same mask decisions and identical sums for surviving lanes.
+func TestBatchSquaredEuclideanMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	bs := NewBatchState()
+	var out [BatchLanes]float64
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(300)
+		lanes := 1 + rng.Intn(BatchLanes)
+		q := randSeries(rng, n)
+		cands := make([]Series, lanes)
+		for l := range cands {
+			c := randSeries(rng, n)
+			if rng.Intn(3) == 0 {
+				// Near-duplicates of the query exercise the "survives" side.
+				copy(c, q)
+				c[rng.Intn(n)] += rng.NormFloat64() * 0.01
+			}
+			cands[l] = c
+		}
+		var boundSq float64
+		switch rng.Intn(3) {
+		case 0:
+			boundSq = math.Inf(1)
+		case 1:
+			boundSq = 0
+		default:
+			boundSq = rng.Float64() * float64(n)
+		}
+		mask := bs.SquaredEuclidean(q, cands, boundSq, out[:])
+		for l := 0; l < lanes; l++ {
+			want := SquaredDistance(q, cands[l])
+			survives := want <= boundSq
+			got := mask&(1<<uint(l)) != 0
+			if got != survives {
+				t.Fatalf("trial %d lane %d: mask bit %v, scalar survives %v (d2=%v bound=%v)",
+					trial, l, got, survives, want, boundSq)
+			}
+			if got && out[l] != want {
+				t.Fatalf("trial %d lane %d: batch d2 %v != scalar %v", trial, l, out[l], want)
+			}
+		}
+	}
+}
+
+// Whole-batch early abandon: when every lane is hopeless the kernel stops
+// early and reports an empty mask.
+func TestBatchSquaredEuclideanAbandonsBatch(t *testing.T) {
+	bs := NewBatchState()
+	n := 256
+	q := make(Series, n)
+	cands := make([]Series, 4)
+	for l := range cands {
+		c := make(Series, n)
+		for i := range c {
+			c[i] = 100 // every lane blows the bound within the first block
+		}
+		cands[l] = c
+	}
+	var out [BatchLanes]float64
+	if mask := bs.SquaredEuclidean(q, cands, 1.0, out[:]); mask != 0 {
+		t.Fatalf("mask = %b, want 0", mask)
+	}
+}
+
+// The batched LB_Keogh kernel must agree with a direct scalar excursion sum.
+func TestBatchLBKeoghMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	bs := NewBatchState()
+	var out [BatchLanes]float64
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(300)
+		lanes := 1 + rng.Intn(BatchLanes)
+		up := make(Series, n)
+		lo := make(Series, n)
+		for i := 0; i < n; i++ {
+			a, b := rng.NormFloat64(), rng.NormFloat64()
+			up[i], lo[i] = math.Max(a, b), math.Min(a, b)
+		}
+		cands := make([]Series, lanes)
+		for l := range cands {
+			cands[l] = randSeries(rng, n)
+		}
+		boundSq := rng.Float64() * float64(n) * 0.1
+		if trial%5 == 0 {
+			boundSq = math.Inf(1)
+		}
+		mask := bs.BatchLBKeogh(up, lo, cands, boundSq, out[:])
+		for l := 0; l < lanes; l++ {
+			var want float64
+			for i, v := range cands[l] {
+				var d float64
+				switch {
+				case v > up[i]:
+					d = v - up[i]
+				case v < lo[i]:
+					d = lo[i] - v
+				}
+				want += d * d
+			}
+			survives := want <= boundSq
+			got := mask&(1<<uint(l)) != 0
+			if got != survives {
+				t.Fatalf("trial %d lane %d: mask bit %v, scalar survives %v (sum=%v bound=%v)",
+					trial, l, got, survives, want, boundSq)
+			}
+			if got && out[l] != want {
+				t.Fatalf("trial %d lane %d: batch sum %v != scalar %v", trial, l, out[l], want)
+			}
+		}
+	}
+}
+
+// The batched MINDIST must return exactly what MinDistPAAToWord returns per
+// lane — same accumulation order, bit-identical result.
+func TestBatchMinDistPAAMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var out [BatchLanes]float64
+	for trial := 0; trial < 300; trial++ {
+		w := 4 * (1 + rng.Intn(4))
+		bits := 1 + rng.Intn(MaxCardinalityBits)
+		lanes := 1 + rng.Intn(BatchLanes)
+		n := w * (1 + rng.Intn(16))
+		paa := randSeries(rng, w)
+		words := make([]int, w*lanes)
+		lane := make([][]int, lanes)
+		for l := range lane {
+			lane[l] = make([]int, w)
+			for seg := 0; seg < w; seg++ {
+				sym := rng.Intn(1 << uint(bits))
+				lane[l][seg] = sym
+				words[seg*lanes+l] = sym
+			}
+		}
+		BatchMinDistPAA(paa, words, lanes, bits, n, out[:])
+		for l := 0; l < lanes; l++ {
+			want := MinDistPAAToWord(paa, lane[l], bits, n)
+			if out[l] != want {
+				t.Fatalf("trial %d lane %d: batch %v != scalar %v", trial, l, out[l], want)
+			}
+		}
+	}
+}
+
+func TestBatchKernelsPanicOnMisuse(t *testing.T) {
+	bs := NewBatchState()
+	var out [BatchLanes]float64
+	expectPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	expectPanic("lane length mismatch", func() {
+		bs.SquaredEuclidean(Series{1, 2}, []Series{{1}}, 1, out[:])
+	})
+	expectPanic("too many lanes", func() {
+		cands := make([]Series, BatchLanes+1)
+		for i := range cands {
+			cands[i] = Series{1}
+		}
+		bs.SquaredEuclidean(Series{1}, cands, 1, out[:])
+	})
+	expectPanic("mindist words length", func() {
+		BatchMinDistPAA(Series{0, 0, 0, 0}, make([]int, 3), 1, 3, 8, out[:])
+	})
+	expectPanic("mindist bits range", func() {
+		BatchMinDistPAA(Series{0, 0, 0, 0}, make([]int, 4), 1, 0, 8, out[:])
+	})
+	expectPanic("lbkeogh envelope mismatch", func() {
+		bs.BatchLBKeogh(Series{1, 2}, Series{0}, []Series{{1, 2}}, 1, out[:])
+	})
+}
+
+// FuzzBatchMinDistPAA cross-checks the batched MINDIST against the scalar
+// kernel on fuzzer-chosen inputs.
+func FuzzBatchMinDistPAA(f *testing.F) {
+	f.Add(int64(1), uint8(3), uint8(4))
+	f.Add(int64(42), uint8(6), uint8(9))
+	f.Add(int64(-7), uint8(1), uint8(16))
+	f.Fuzz(func(t *testing.T, seed int64, bitsRaw, lanesRaw uint8) {
+		bits := 1 + int(bitsRaw)%MaxCardinalityBits
+		lanes := 1 + int(lanesRaw)%BatchLanes
+		rng := rand.New(rand.NewSource(seed))
+		w := 8
+		n := 64
+		paa := randSeries(rng, w)
+		words := make([]int, w*lanes)
+		lane := make([][]int, lanes)
+		for l := range lane {
+			lane[l] = make([]int, w)
+			for seg := 0; seg < w; seg++ {
+				sym := rng.Intn(1 << uint(bits))
+				lane[l][seg] = sym
+				words[seg*lanes+l] = sym
+			}
+		}
+		var out [BatchLanes]float64
+		BatchMinDistPAA(paa, words, lanes, bits, n, out[:])
+		for l := 0; l < lanes; l++ {
+			want := MinDistPAAToWord(paa, lane[l], bits, n)
+			if math.Abs(out[l]-want) > 1e-9 {
+				t.Fatalf("lane %d: batch %v differs from scalar %v", l, out[l], want)
+			}
+		}
+	})
+}
