@@ -28,8 +28,12 @@ bench-parallel:
 
 # Deterministic fault-injection suite under the race detector: worker killed
 # mid-Spill, hung worker during exact kNN, partition loss during approximate
-# queries, and a seeded matrix of random transport faults (internal/faultinj
-# schedules are seeded, so every run sees the same fault sequence).
+# queries, a seeded matrix of random transport faults, and the replication
+# matrix — every single-worker kill under R=2 (bit-exact, non-degraded kNN),
+# worker death during a replicated build, canonical partition loss served
+# from replicas, corrupt-replica quarantine + repair, breaker flap, membership
+# churn, and a coordinator leader kill (internal/faultinj schedules are
+# seeded, so every run sees the same fault sequence).
 faultinj:
 	$(GO) test -race -run TestFaultInjection ./internal/...
 

@@ -43,6 +43,7 @@ func main() {
 		noBloom    = flag.Bool("no-bloom", false, "skip Bloom filter construction (TARDIS only)")
 		compress   = flag.Bool("compress", false, "flate-compress the clustered partitions (TARDIS only)")
 		rpcAddrs   = flag.String("rpc", "", "comma-separated tardis-worker addresses for the distributed build")
+		replicas   = flag.Int("replication", 0, "copies of each partition for -rpc builds (≥2 writes replica stores and a partition map; 0/1 = unreplicated)")
 		workDir    = flag.String("work", "", "spill directory for -rpc builds (default <dst>-spill)")
 		rpcTimeout = flag.Duration("rpc-timeout", 0, "per-RPC deadline for -rpc builds (0 = policy default)")
 		retries    = flag.Int("retries", 0, "attempts per RPC for -rpc builds (0 = policy default)")
@@ -84,8 +85,11 @@ func main() {
 			cfg.Compression = storage.Flate
 		}
 		if *rpcAddrs != "" {
-			buildRPC(*src, *dst, *workDir, *rpcAddrs, cfg, *rpcTimeout, *retries)
+			buildRPC(*src, *dst, *workDir, *rpcAddrs, cfg, *rpcTimeout, *retries, *replicas)
 			return
+		}
+		if *replicas > 1 {
+			obs.Fatal(logger, "-replication requires the distributed build", "hint", "add -rpc <worker addresses>")
 		}
 		cl, err := cluster.New(cluster.Config{Workers: *workers})
 		if err != nil {
@@ -137,7 +141,7 @@ func main() {
 	}
 }
 
-func buildRPC(src, dst, workDir, addrs string, cfg core.Config, rpcTimeout time.Duration, retries int) {
+func buildRPC(src, dst, workDir, addrs string, cfg core.Config, rpcTimeout time.Duration, retries, replicas int) {
 	if workDir == "" {
 		workDir = dst + "-spill"
 	}
@@ -165,7 +169,8 @@ func buildRPC(src, dst, workDir, addrs string, cfg core.Config, rpcTimeout time.
 		}
 		fmt.Printf("worker %s on %s (pid %d)\n", s.Reply.ID, s.Reply.Hostname, s.Reply.PID)
 	}
-	stats, err := clusterrpc.BuildDistributed(ctx, pool, src, dst, workDir, cfg)
+	stats, err := clusterrpc.BuildDistributedOpts(ctx, pool, src, dst, workDir, cfg,
+		clusterrpc.BuildOptions{Replication: replicas})
 	if err != nil {
 		obs.Fatal(logger, "distributed build failed", "err", err)
 	}
@@ -173,6 +178,9 @@ func buildRPC(src, dst, workDir, addrs string, cfg core.Config, rpcTimeout time.
 		stats.Records, stats.Partitions, rd(stats.Total))
 	fmt.Printf("  sample %s, shuffle %s, local build %s\n",
 		rd(stats.SampleConvert), rd(stats.Shuffle), rd(stats.LocalBuild))
+	if stats.MapVersion > 0 {
+		fmt.Printf("  replication ×%d in %s (partition map v%d)\n", replicas, rd(stats.Replicate), stats.MapVersion)
+	}
 	if stats.Reassigned > 0 {
 		fmt.Printf("  %d task chunks reassigned after worker failures\n", stats.Reassigned)
 	}

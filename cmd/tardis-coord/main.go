@@ -1,0 +1,106 @@
+// Command tardis-coord runs one node of the replication coordinator ensemble:
+// a replicated registry of worker membership and committed PartitionMap
+// versions (see internal/raftlite). Workers register and heartbeat against the
+// ensemble (tardis-worker -coord), and the repair loop commits PartitionMap
+// version bumps through it (tardis-serve -coord -repair-interval).
+//
+// Each node's ensemble identity is its advertised address, so leader
+// redirects are directly dialable. A single-node "ensemble" works for
+// development; three nodes survive one crash.
+//
+// Usage:
+//
+//	tardis-coord -listen 127.0.0.1:7801 -peers 127.0.0.1:7801,127.0.0.1:7802,127.0.0.1:7803 &
+//	tardis-coord -listen 127.0.0.1:7802 -peers 127.0.0.1:7801,127.0.0.1:7802,127.0.0.1:7803 &
+//	tardis-coord -listen 127.0.0.1:7803 -peers 127.0.0.1:7801,127.0.0.1:7802,127.0.0.1:7803 &
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/tardisdb/tardis/internal/obs"
+	"github.com/tardisdb/tardis/internal/raftlite"
+)
+
+func main() {
+	var (
+		listen    = flag.String("listen", "127.0.0.1:7801", "address to listen on")
+		advertise = flag.String("advertise", "", "address peers and clients dial (default the listen address); must appear in -peers")
+		peers     = flag.String("peers", "", "comma-separated ensemble member addresses, including this node (default just this node)")
+		election  = flag.Duration("election-timeout", 150*time.Millisecond, "base raft election timeout")
+		debugAddr = flag.String("debug-addr", "", "optional address for the debug server (/metrics, /debug/traces, /debug/pprof)")
+	)
+	applyLog := obs.LogFlags(flag.CommandLine)
+	flag.Parse()
+	applyLog()
+	logger := obs.Logger("tardis-coord")
+
+	if *debugAddr != "" {
+		addr, err := obs.StartDebugServer(*debugAddr)
+		if err != nil {
+			obs.Fatal(logger, "debug server failed", "addr", *debugAddr, "err", err)
+		}
+		logger.Info("debug server listening", "addr", addr)
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		obs.Fatal(logger, "listen failed", "addr", *listen, "err", err)
+	}
+	self := *advertise
+	if self == "" {
+		self = ln.Addr().String()
+	}
+	var members []string
+	if *peers == "" {
+		members = []string{self}
+	} else {
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				members = append(members, p)
+			}
+		}
+	}
+	found := false
+	for _, m := range members {
+		if m == self {
+			found = true
+		}
+	}
+	if !found {
+		obs.Fatal(logger, "this node's address is not in the peer list",
+			"advertise", self, "peers", members,
+			"hint", "pass -advertise matching one -peers entry")
+	}
+
+	// Peer ids ARE their addresses: raft leader hints double as dialable
+	// redirect targets for workers and frontends.
+	addrs := make(map[string]string, len(members))
+	for _, m := range members {
+		addrs[m] = m
+	}
+	tr := raftlite.NewRPCTransport(addrs, 0)
+	defer tr.Close()
+	reg, err := raftlite.NewRegistry(raftlite.Config{
+		ID:              self,
+		Peers:           members,
+		ElectionTimeout: *election,
+	}, tr)
+	if err != nil {
+		obs.Fatal(logger, "registry init failed", "err", err)
+	}
+	reg.Node().Start()
+	defer reg.Node().Stop()
+
+	fmt.Printf("coordinator %s listening on %s (ensemble of %d)\n", self, ln.Addr(), len(members))
+	logger.Info("coordinator listening", "id", self, "addr", ln.Addr().String(), "ensemble", len(members))
+	if err := raftlite.Serve(ln, reg); err != nil {
+		logger.Error("coordinator serve stopped", "err", err)
+		os.Exit(1)
+	}
+}

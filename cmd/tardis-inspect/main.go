@@ -7,6 +7,7 @@
 //	tardis-inspect -index data/idx
 //	tardis-inspect -index data/idx -tree        # dump the global tree
 //	tardis-inspect -index data/idx -partitions  # per-partition detail
+//	tardis-inspect -index data/idx -replicas    # replica placement + checksums
 package main
 
 import (
@@ -17,9 +18,11 @@ import (
 	"strings"
 
 	"github.com/tardisdb/tardis/internal/cluster"
+	clusterrpc "github.com/tardisdb/tardis/internal/cluster/rpc"
 	"github.com/tardisdb/tardis/internal/core"
 	"github.com/tardisdb/tardis/internal/obs"
 	"github.com/tardisdb/tardis/internal/sigtree"
+	"github.com/tardisdb/tardis/internal/storage"
 )
 
 func main() {
@@ -27,6 +30,7 @@ func main() {
 		indexDir   = flag.String("index", "", "saved index directory (required)")
 		dumpTree   = flag.Bool("tree", false, "dump the global sigTree")
 		partitions = flag.Bool("partitions", false, "per-partition detail")
+		replicas   = flag.Bool("replicas", false, "replica placement and checksums from the partition map")
 	)
 	applyLog := obs.LogFlags(flag.CommandLine)
 	flag.Parse()
@@ -120,6 +124,35 @@ func main() {
 			s := l.Tree.ComputeStats()
 			fmt.Printf("  p%04d  %7d records  %4d leaves  depth max %d avg %.1f\n",
 				pid, n, s.Leaves, s.MaxLeafDepth, s.AvgLeafDepth)
+		}
+	}
+
+	if *replicas {
+		pm, err := clusterrpc.LoadPartitionMap(*indexDir)
+		if err != nil {
+			obs.Fatal(logger, "partition map load failed", "err", err)
+		}
+		if pm == nil {
+			fmt.Printf("\nReplication: none (no partition map; build with -rpc ... -replication 2)\n")
+		} else {
+			fmt.Printf("\nReplication (partition map v%d, ×%d)\n", pm.Version, pm.Replication)
+			for _, e := range pm.Entries {
+				marks := make([]string, 0, len(e.Replicas))
+				for _, addr := range e.Replicas {
+					state := "?"
+					if rst, err := storage.Open(clusterrpc.ReplicaDir(*indexDir, addr)); err != nil {
+						state = "missing"
+					} else if sum, err := rst.PartitionChecksum(e.PID); err != nil {
+						state = "unreadable"
+					} else if sum != e.Checksum {
+						state = "MISMATCH"
+					} else {
+						state = "ok"
+					}
+					marks = append(marks, fmt.Sprintf("%s=%s", addr, state))
+				}
+				fmt.Printf("  p%04d  crc32c %08x  %s\n", e.PID, e.Checksum, strings.Join(marks, "  "))
+			}
 		}
 	}
 

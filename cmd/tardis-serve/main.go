@@ -32,6 +32,7 @@ import (
 	clusterrpc "github.com/tardisdb/tardis/internal/cluster/rpc"
 	"github.com/tardisdb/tardis/internal/core"
 	"github.com/tardisdb/tardis/internal/obs"
+	"github.com/tardisdb/tardis/internal/raftlite"
 	"github.com/tardisdb/tardis/internal/server"
 )
 
@@ -45,6 +46,8 @@ func main() {
 		rpcAddrs   = flag.String("rpc", "", "comma-separated tardis-worker addresses enabling the dist/dist-exact strategies")
 		rpcTimeout = flag.Duration("rpc-timeout", 0, "per-RPC deadline for worker calls (0 = policy default)")
 		retries    = flag.Int("retries", 0, "attempts per worker RPC before failover (0 = policy default)")
+		coordAddrs = flag.String("coord", "", "comma-separated tardis-coord ensemble addresses (reports the committed map version in /stats)")
+		repairEach = flag.Duration("repair-interval", 0, "anti-entropy replica repair period for -rpc indexes (0 = disabled)")
 		debugAddr  = flag.String("debug-addr", "", "optional address for the debug server (/metrics, /debug/traces, /debug/pprof)")
 		trace      = flag.Bool("trace", false, "collect query trace spans (exported at /debug/traces)")
 	)
@@ -82,6 +85,7 @@ func main() {
 		obs.Fatal(logger, "record count failed", "err", err)
 	}
 	srv := server.New(ix)
+	var pool *clusterrpc.Pool
 	if *rpcAddrs != "" {
 		pol := clusterrpc.DefaultPolicy()
 		if *rpcTimeout > 0 {
@@ -90,13 +94,42 @@ func main() {
 		if *retries > 0 {
 			pol.MaxAttempts = *retries
 		}
-		pool, err := clusterrpc.DialContext(context.Background(), strings.Split(*rpcAddrs, ","), pol)
+		pool, err = clusterrpc.DialContext(context.Background(), strings.Split(*rpcAddrs, ","), pol)
 		if err != nil {
 			obs.Fatal(logger, "worker pool dial failed", "err", err)
 		}
 		defer pool.Close()
 		srv.AttachPool(pool)
 		logger.Info("worker pool attached", "reachable", reachable(pool), "size", pool.Size())
+	}
+	var coordClient *raftlite.Client
+	if *coordAddrs != "" {
+		coordClient, err = raftlite.NewClient(strings.Split(*coordAddrs, ","), 0)
+		if err != nil {
+			obs.Fatal(logger, "coordinator client failed", "err", err)
+		}
+		srv.AttachCoordinator(func() (uint64, error) {
+			st, err := coordClient.State()
+			return st.MapVersion, err
+		})
+		logger.Info("coordinator attached", "addrs", *coordAddrs)
+	}
+	if *repairEach > 0 {
+		if pool == nil {
+			obs.Fatal(logger, "-repair-interval requires -rpc workers")
+		}
+		rep := &clusterrpc.Repairer{
+			Pool:     pool,
+			StoreDir: *indexDir,
+			Interval: *repairEach,
+			Logf:     func(format string, args ...any) { logger.Warn(fmt.Sprintf(format, args...)) },
+		}
+		if coordClient != nil {
+			rep.Coord = coordClient
+		}
+		rep.Start()
+		defer rep.Stop()
+		logger.Info("replica repair loop started", "interval", repairEach.String())
 	}
 	if *debugAddr != "" {
 		addr, err := obs.StartDebugServer(*debugAddr)

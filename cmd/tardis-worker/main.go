@@ -14,10 +14,12 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"strings"
 	"time"
 
 	clusterrpc "github.com/tardisdb/tardis/internal/cluster/rpc"
 	"github.com/tardisdb/tardis/internal/obs"
+	"github.com/tardisdb/tardis/internal/raftlite"
 )
 
 func main() {
@@ -25,6 +27,9 @@ func main() {
 		listen     = flag.String("listen", "127.0.0.1:7701", "address to listen on")
 		id         = flag.String("id", "", "worker id (default derived from pid)")
 		rpcTimeout = flag.Duration("rpc-timeout", 0, "idle deadline per coordinator connection; reads that stall longer drop the connection (0 = never)")
+		coord      = flag.String("coord", "", "comma-separated tardis-coord ensemble addresses to register with")
+		advertise  = flag.String("advertise", "", "worker address advertised to the coordinator (default the listen address)")
+		heartbeat  = flag.Duration("heartbeat", 2*time.Second, "coordinator heartbeat period (with -coord)")
 		debugAddr  = flag.String("debug-addr", "", "optional address for the debug server (/metrics, /debug/traces, /debug/pprof)")
 	)
 	applyLog := obs.LogFlags(flag.CommandLine)
@@ -52,8 +57,44 @@ func main() {
 	}
 	fmt.Printf("worker %s listening on %s\n", workerID, ln.Addr())
 	logger.Info("worker listening", "worker", workerID, "addr", ln.Addr().String())
+	if *coord != "" {
+		adv := *advertise
+		if adv == "" {
+			adv = ln.Addr().String()
+		}
+		client, err := raftlite.NewClient(strings.Split(*coord, ","), 0)
+		if err != nil {
+			obs.Fatal(logger, "coordinator client failed", "err", err)
+		}
+		if _, err := client.Register(adv, workerID); err != nil {
+			logger.Warn("coordinator registration failed; retrying via heartbeat", "err", err)
+		} else {
+			logger.Info("registered with coordinator", "advertise", adv)
+		}
+		go heartbeatLoop(client, adv, workerID, *heartbeat, logger)
+	}
 	if err := clusterrpc.Serve(ln, workerID); err != nil {
 		obs.Fatal(logger, "worker serve stopped", "err", err)
+	}
+}
+
+// heartbeatLoop refreshes the worker's membership entry forever; transient
+// coordinator outages (elections, restarts) only cost missed beats, and the
+// first beat after an outage re-registers the worker.
+func heartbeatLoop(client *raftlite.Client, adv, workerID string, period time.Duration, logger interface {
+	Warn(msg string, args ...any)
+}) {
+	failing := false
+	for {
+		time.Sleep(period)
+		if _, err := client.Heartbeat(adv, workerID); err != nil {
+			if !failing {
+				logger.Warn("coordinator heartbeat failing", "err", err)
+			}
+			failing = true
+			continue
+		}
+		failing = false
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"net"
 	"net/rpc"
 	"path/filepath"
+	"sort"
 	"sync"
 	"time"
 
@@ -60,6 +61,20 @@ type BuildStats struct {
 	// Reassigned counts task chunks rerouted to a surviving worker after a
 	// worker failure (all stages combined). Zero on a fault-free build.
 	Reassigned int
+	// Replicate is the wall time of the replication fan-out (zero when the
+	// build ran unreplicated); MapVersion is the PartitionMap version written
+	// (zero when none was).
+	Replicate  time.Duration
+	MapVersion uint64
+}
+
+// BuildOptions tunes BuildDistributedOpts beyond the core configuration.
+type BuildOptions struct {
+	// Replication is the number of copies of each partition (R). Values
+	// below 2 build the canonical store only — no replica stores, no
+	// PartitionMap — which is BuildDistributed's behavior. R is capped at
+	// the pool size.
+	Replication int
 }
 
 // BuildDistributed runs the full TARDIS build across the worker pool:
@@ -77,6 +92,16 @@ type BuildStats struct {
 // calls. The build never silently drops records: a chunk no live worker can
 // run fails the build.
 func BuildDistributed(ctx context.Context, pool *Pool, srcDir, dstDir, workDir string, cfg core.Config) (BuildStats, error) {
+	return BuildDistributedOpts(ctx, pool, srcDir, dstDir, workDir, cfg, BuildOptions{})
+}
+
+// BuildDistributedOpts is BuildDistributed with replication: when
+// opts.Replication ≥ 2 a final stage copies every partition (data + local
+// index) into R per-owner replica stores placed by rendezvous hashing, and a
+// version-1 PartitionMap recording the placement and per-partition content
+// checksums is written alongside the index. Queries then route each
+// partition to its replicas and survive any single worker's loss at R ≥ 2.
+func BuildDistributedOpts(ctx context.Context, pool *Pool, srcDir, dstDir, workDir string, cfg core.Config, opts BuildOptions) (BuildStats, error) {
 	var bs BuildStats
 	if err := cfg.Validate(); err != nil {
 		return bs, err
@@ -96,11 +121,11 @@ func BuildDistributed(ctx context.Context, pool *Pool, srcDir, dstDir, workDir s
 	sampleChunks := chunk(sampled, pool.Size())
 	sampleReplies := make([]SampleConvertReply, len(sampleChunks))
 	sctx, cancel := pool.stageCtx(ctx)
-	es, err := pool.each(sctx, len(sampleChunks), false, func(ctx context.Context, wi, task int) error {
+	es, err := pool.each(sctx, len(sampleChunks), false, func(ctx context.Context, w *workerState, task int) error {
 		if len(sampleChunks[task]) == 0 {
 			return nil
 		}
-		return pool.call(ctx, wi, "Worker.SampleConvert", SampleConvertArgs{
+		return pool.callWorker(ctx, w, "Worker.SampleConvert", SampleConvertArgs{
 			StoreDir: srcDir, PIDs: sampleChunks[task],
 			WordLen: cfg.WordLen, Bits: cfg.InitialBits,
 		}, &sampleReplies[task])
@@ -154,8 +179,8 @@ func BuildDistributed(ctx context.Context, pool *Pool, srcDir, dstDir, workDir s
 	}
 	spillReplies := make([]SpillReply, len(srcChunks))
 	sctx, cancel = pool.stageCtx(ctx)
-	es, err = pool.each(sctx, len(srcChunks), false, func(ctx context.Context, wi, task int) error {
-		return pool.call(ctx, wi, "Worker.Spill", SpillArgs{
+	es, err = pool.each(sctx, len(srcChunks), false, func(ctx context.Context, w *workerState, task int) error {
+		return pool.callWorker(ctx, w, "Worker.Spill", SpillArgs{
 			SrcDir: srcDir, SrcPIDs: srcChunks[task], GlobalTree: treeBytes.Bytes(),
 			WordLen: cfg.WordLen, Bits: cfg.InitialBits, SpillDir: spillDirs[task],
 		}, &spillReplies[task])
@@ -180,11 +205,11 @@ func BuildDistributed(ctx context.Context, pool *Pool, srcDir, dstDir, workDir s
 	targetChunks := chunk(targets, pool.Size())
 	buildReplies := make([]BuildLocalsReply, len(targetChunks))
 	sctx, cancel = pool.stageCtx(ctx)
-	es, err = pool.each(sctx, len(targetChunks), false, func(ctx context.Context, wi, task int) error {
+	es, err = pool.each(sctx, len(targetChunks), false, func(ctx context.Context, w *workerState, task int) error {
 		if len(targetChunks[task]) == 0 {
 			return nil
 		}
-		return pool.call(ctx, wi, "Worker.BuildLocals", BuildLocalsArgs{
+		return pool.callWorker(ctx, w, "Worker.BuildLocals", BuildLocalsArgs{
 			SpillDirs: spillDirs, DstDir: dstDir, PIDs: targetChunks[task],
 			WordLen: cfg.WordLen, Bits: cfg.InitialBits, LMaxSize: cfg.LMaxSize,
 			BuildBloom: cfg.BuildBloom, BloomFP: cfg.BloomFP,
@@ -195,18 +220,26 @@ func BuildDistributed(ctx context.Context, pool *Pool, srcDir, dstDir, workDir s
 	if err != nil {
 		return bs, fmt.Errorf("rpc: local build stage: %w", err)
 	}
+	checksums := map[int]uint32{}
 	for _, r := range buildReplies {
 		for _, n := range r.Counts {
 			bs.Records += n
+		}
+		for pid, sum := range r.Checksums {
+			checksums[pid] = sum
 		}
 	}
 	bs.LocalBuild = time.Since(stage)
 	mBuildStageDuration.With("local-build").Observe(bs.LocalBuild.Seconds())
 
-	// Finalize: manifest, global tree, descriptor.
+	// Finalize: manifest (with the content checksums the workers reported),
+	// global tree, descriptor.
 	dst, err := storage.Open(dstDir)
 	if err != nil {
 		return bs, err
+	}
+	for pid, sum := range checksums {
+		dst.SetChecksum(pid, sum)
 	}
 	if err := dst.Sync(); err != nil {
 		return bs, err
@@ -232,6 +265,56 @@ func BuildDistributed(ctx context.Context, pool *Pool, srcDir, dstDir, workDir s
 	}
 	if err := core.WriteDescriptor(dstDir, cfg, src.SeriesLen(), partitions, coreStats); err != nil {
 		return bs, err
+	}
+
+	// Stage 7: replication. Place every partition on R owners by rendezvous
+	// hashing, fan one Replicate task per owner out across the pool (replica
+	// stores live on the shared filesystem, so any surviving worker can
+	// produce a dead owner's copy), verify the copied checksums against the
+	// canonical ones, and persist the version-1 PartitionMap.
+	if opts.Replication >= 2 {
+		stage = time.Now()
+		pm := NewPartitionMap(pool.Addrs(), targets, opts.Replication, 1)
+		for i := range pm.Entries {
+			pm.Entries[i].Checksum = checksums[pm.Entries[i].PID]
+		}
+		perOwner := map[string][]int{}
+		for _, e := range pm.Entries {
+			for _, a := range e.Replicas {
+				perOwner[a] = append(perOwner[a], e.PID)
+			}
+		}
+		owners := make([]string, 0, len(perOwner))
+		for a := range perOwner {
+			owners = append(owners, a)
+		}
+		sort.Strings(owners)
+		replReplies := make([]ReplicateReply, len(owners))
+		sctx, cancel = pool.stageCtx(ctx)
+		es, err = pool.each(sctx, len(owners), false, func(ctx context.Context, w *workerState, task int) error {
+			return pool.callWorker(ctx, w, "Worker.Replicate", ReplicateArgs{
+				SrcDir: dstDir, DstDir: ReplicaDir(dstDir, owners[task]), PIDs: perOwner[owners[task]],
+			}, &replReplies[task])
+		})
+		cancel()
+		bs.Reassigned += es.reassigned
+		if err != nil {
+			return bs, fmt.Errorf("rpc: replication stage: %w", err)
+		}
+		for task, r := range replReplies {
+			for pid, sum := range r.Checksums {
+				if want := checksums[pid]; sum != want {
+					return bs, fmt.Errorf("rpc: replica of partition %d on %s has checksum %08x, canonical %08x",
+						pid, owners[task], sum, want)
+				}
+			}
+		}
+		if err := pm.Save(dstDir); err != nil {
+			return bs, err
+		}
+		bs.MapVersion = pm.Version
+		bs.Replicate = time.Since(stage)
+		mBuildStageDuration.With("replicate").Observe(bs.Replicate.Seconds())
 	}
 	return bs, nil
 }

@@ -1,0 +1,715 @@
+package rpc
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/tardisdb/tardis/internal/cluster"
+	"github.com/tardisdb/tardis/internal/core"
+	"github.com/tardisdb/tardis/internal/dataset"
+	"github.com/tardisdb/tardis/internal/faultinj"
+	"github.com/tardisdb/tardis/internal/knn"
+	"github.com/tardisdb/tardis/internal/raftlite"
+	"github.com/tardisdb/tardis/internal/storage"
+	"github.com/tardisdb/tardis/internal/ts"
+)
+
+// Replication fault matrix (ISSUE 9): killed workers, corrupted replicas, and
+// coordinator leader loss must never change an exact answer at R>=2, and the
+// anti-entropy loop must converge back to full replication without a rebuild.
+
+// killWorkerRules makes every connection byte to/from the labeled worker drop
+// the connection — the deterministic stand-in for "kill -9 the process".
+// Requires workers started with startFaultWorkers (wrapped listeners).
+func killWorkerRules(label string) []faultinj.Rule {
+	return []faultinj.Rule{
+		{Point: faultinj.PointConnRead, Label: label, Kind: faultinj.KindDrop},
+		{Point: faultinj.PointConnWrite, Label: label, Kind: faultinj.KindDrop},
+	}
+}
+
+// exactBaseline answers the query with the in-process exact search over the
+// canonical store — the ground truth every distributed run must match.
+func exactBaseline(t *testing.T, dstDir string, q ts.Series, k int) []knn.Neighbor {
+	t.Helper()
+	cl, err := cluster.New(cluster.Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := core.Load(cl, dstDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := ix.KNNExact(q, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return want
+}
+
+func assertSameNeighbors(t *testing.T, tag string, got, want []knn.Neighbor) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d results, want %d", tag, len(got), len(want))
+	}
+	for i := range want {
+		if got[i].RID != want[i].RID || got[i].Dist != want[i].Dist {
+			t.Fatalf("%s: result %d is %+v, want %+v", tag, i, got[i], want[i])
+		}
+	}
+}
+
+// verifyReplicaChecksums opens every replica store named by the map and
+// recomputes every owned partition's content checksum from the bytes on disk.
+func verifyReplicaChecksums(t *testing.T, dstDir string, m *PartitionMap) {
+	t.Helper()
+	for _, e := range m.Entries {
+		for _, addr := range e.Replicas {
+			st, err := storage.Open(ReplicaDir(dstDir, addr))
+			if err != nil {
+				t.Fatalf("replica store for %s missing: %v", addr, err)
+			}
+			sum, err := st.VerifyPartitionChecksum(e.PID)
+			if err != nil {
+				t.Fatalf("replica of p%d on %s unreadable: %v", e.PID, addr, err)
+			}
+			if sum != e.Checksum {
+				t.Fatalf("replica of p%d on %s has checksum %08x, map says %08x", e.PID, addr, sum, e.Checksum)
+			}
+		}
+	}
+}
+
+// The acceptance scenario: at R=2 over three workers, killing any single
+// worker mid-exact-kNN must yield the bit-exact answer with no degradation,
+// and one anti-entropy pass afterwards must restore full replication —
+// verified by on-disk checksum agreement — without rebuilding the index.
+func TestFaultInjectionReplicatedExactKNN(t *testing.T) {
+	const n = 2000
+	srcDir, g := writeTestStore(t, n)
+	cfg := testConfig()
+
+	addrs := startFaultWorkers(t, 3)
+	ctx := context.Background()
+	pool, err := DialContext(ctx, addrs, faultPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	dstDir := filepath.Join(t.TempDir(), "dst")
+	stats, err := BuildDistributedOpts(ctx, pool, srcDir, dstDir, t.TempDir(), cfg, BuildOptions{Replication: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.MapVersion != 1 {
+		t.Fatalf("replicated build wrote map v%d, want v1", stats.MapVersion)
+	}
+	m, err := LoadPartitionMap(dstDir)
+	if err != nil || m == nil {
+		t.Fatalf("partition map missing after replicated build: %v", err)
+	}
+	if m.Replication != 2 {
+		t.Fatalf("map replication %d, want 2", m.Replication)
+	}
+	for _, e := range m.Entries {
+		if len(e.Replicas) != 2 {
+			t.Fatalf("p%d has %d replicas, want 2", e.PID, len(e.Replicas))
+		}
+		if e.Checksum == 0 {
+			t.Fatalf("p%d has no canonical checksum in the map", e.PID)
+		}
+	}
+	verifyReplicaChecksums(t, dstDir, m)
+
+	const k = 5
+	q := dataset.Record(g, 5, 42).Values.ZNormalize()
+	want := exactBaseline(t, dstDir, q, k)
+
+	victim := addrs[1]
+	victimOwned := 0
+	for _, e := range m.Entries {
+		for _, a := range e.Replicas {
+			if a == victim {
+				victimOwned++
+			}
+		}
+	}
+
+	sched := faultinj.NewSchedule(killWorkerRules("w1")...)
+	faultinj.Enable(sched)
+	t.Cleanup(faultinj.Disable)
+
+	got, st, err := DistKNNExact(ctx, pool, dstDir, cfg, q, k)
+	if err != nil {
+		t.Fatalf("exact query failed with one dead worker at R=2: %v", err)
+	}
+	if st.Degraded || st.PartitionsSkipped != 0 {
+		t.Fatalf("exact query degraded at R=2: %+v", st)
+	}
+	assertSameNeighbors(t, "killed-worker exact", got, want)
+
+	// Least-loaded routing may have satisfied every task from the other owner
+	// without ever dialing the victim, so prove the kill is in effect directly:
+	// a ping to the victim must die on its dropped connection.
+	var pr PingReply
+	if err := pool.callWorker(ctx, pool.worker(victim), "Worker.Ping", PingArgs{}, &pr); err == nil {
+		t.Fatal("victim still answers pings; kill rules not in effect")
+	}
+	if len(sched.Events()) == 0 {
+		t.Fatal("kill schedule never fired; the victim was never dialed")
+	}
+
+	// Anti-entropy while the victim is still down: its partitions move to the
+	// survivors, the map version steps forward, and every replica named by the
+	// new map agrees with the canonical checksum. No rebuild involved.
+	rep := &Repairer{Pool: pool, StoreDir: dstDir, Logf: t.Logf}
+	rs, err := rep.RunOnce(ctx)
+	if err != nil {
+		t.Fatalf("repair pass failed: %v", err)
+	}
+	if rs.Unrepaired != 0 {
+		t.Fatalf("%d partitions still under-replicated after repair", rs.Unrepaired)
+	}
+	if victimOwned > 0 {
+		if !rs.Rebalanced || rs.MapVersion != 2 {
+			t.Fatalf("repair did not rebalance away from the dead worker: %+v", rs)
+		}
+		if rs.Repaired < victimOwned {
+			t.Fatalf("repaired %d replicas, dead worker owned %d", rs.Repaired, victimOwned)
+		}
+	}
+	m2, err := LoadPartitionMap(dstDir)
+	if err != nil || m2 == nil {
+		t.Fatalf("partition map unreadable after repair: %v", err)
+	}
+	if m2.Version < m.Version {
+		t.Fatalf("map version moved backwards: %d -> %d", m.Version, m2.Version)
+	}
+	for _, e := range m2.Entries {
+		if len(e.Replicas) != 2 {
+			t.Fatalf("p%d has %d replicas after repair, want 2", e.PID, len(e.Replicas))
+		}
+		for _, a := range e.Replicas {
+			if a == victim {
+				t.Fatalf("p%d still placed on the dead worker after repair", e.PID)
+			}
+		}
+	}
+	faultinj.Disable()
+	verifyReplicaChecksums(t, dstDir, m2)
+
+	// With the new placement the same query is exact again, dead worker or not.
+	got2, st2, err := DistKNNExact(ctx, pool, dstDir, cfg, q, k)
+	if err != nil || st2.Degraded {
+		t.Fatalf("post-repair exact query: %v (degraded=%v)", err, st2.Degraded)
+	}
+	assertSameNeighbors(t, "post-repair exact", got2, want)
+}
+
+// A worker killed before the build still yields a fully replicated index:
+// replica fan-out tasks are not pinned to their owner (shared filesystem), so
+// a survivor writes the dead owner's replica store and queries fail over.
+func TestFaultInjectionReplicatedBuildWorkerKill(t *testing.T) {
+	const n = 1500
+	srcDir, g := writeTestStore(t, n)
+	cfg := testConfig()
+
+	addrs := startFaultWorkers(t, 3)
+	ctx := context.Background()
+	pool, err := DialContext(ctx, addrs, faultPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	sched := faultinj.NewSchedule(killWorkerRules("w2")...)
+	faultinj.Enable(sched)
+	t.Cleanup(faultinj.Disable)
+
+	dstDir := filepath.Join(t.TempDir(), "dst")
+	stats, err := BuildDistributedOpts(ctx, pool, srcDir, dstDir, t.TempDir(), cfg, BuildOptions{Replication: 2})
+	if err != nil {
+		t.Fatalf("replicated build with a dead worker failed: %v", err)
+	}
+	if stats.Records != n {
+		t.Fatalf("build routed %d records, want %d", stats.Records, n)
+	}
+	if stats.MapVersion != 1 {
+		t.Fatalf("map v%d after build, want v1", stats.MapVersion)
+	}
+	m, err := LoadPartitionMap(dstDir)
+	if err != nil || m == nil {
+		t.Fatalf("partition map missing: %v", err)
+	}
+	verifyReplicaChecksums(t, dstDir, m)
+
+	const k = 5
+	q := dataset.Record(g, 5, 7).Values.ZNormalize()
+	got, st, err := DistKNNExact(ctx, pool, dstDir, cfg, q, k)
+	if err != nil || st.Degraded || st.PartitionsSkipped != 0 {
+		t.Fatalf("exact query after degraded build: %v (stats %+v)", err, st)
+	}
+	faultinj.Disable()
+	assertSameNeighbors(t, "build-kill exact", got, exactBaseline(t, dstDir, q, k))
+}
+
+// The replication matrix: exactness must survive killing each worker in turn
+// at R=2, and a replicated store must keep answering exactly even when every
+// canonical partition file is gone — the replica stores are self-contained.
+// The unreplicated control row shows worker loss is survivable there only
+// because workers share the canonical store.
+func TestFaultInjectionReplicationMatrix(t *testing.T) {
+	const n = 1500
+	srcDir, g := writeTestStore(t, n)
+	cfg := testConfig()
+
+	addrs := startFaultWorkers(t, 3)
+	ctx := context.Background()
+	buildPool, err := DialContext(ctx, addrs, faultPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	replDir := filepath.Join(t.TempDir(), "repl")
+	if _, err := BuildDistributedOpts(ctx, buildPool, srcDir, replDir, t.TempDir(), cfg, BuildOptions{Replication: 2}); err != nil {
+		t.Fatal(err)
+	}
+	plainDir := filepath.Join(t.TempDir(), "plain")
+	if _, err := BuildDistributed(ctx, buildPool, srcDir, plainDir, t.TempDir(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	buildPool.Close()
+
+	const k = 5
+	queries := make([]ts.Series, 3)
+	for i := range queries {
+		queries[i] = dataset.Record(g, 5, 300+int64(i)).Values.ZNormalize()
+	}
+	wantRepl := make([][]knn.Neighbor, len(queries))
+	wantPlain := make([][]knn.Neighbor, len(queries))
+	for i, q := range queries {
+		wantRepl[i] = exactBaseline(t, replDir, q, k)
+		wantPlain[i] = exactBaseline(t, plainDir, q, k)
+	}
+
+	runRow := func(t *testing.T, dstDir string, want [][]knn.Neighbor, rules ...faultinj.Rule) {
+		t.Helper()
+		pool, err := DialContext(ctx, addrs, faultPolicy())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer pool.Close()
+		if len(rules) > 0 {
+			faultinj.Enable(faultinj.NewSchedule(rules...))
+			defer faultinj.Disable()
+		}
+		for i, q := range queries {
+			got, st, err := DistKNNExact(ctx, pool, dstDir, cfg, q, k)
+			if err != nil {
+				t.Fatalf("query %d: %v", i, err)
+			}
+			if st.Degraded || st.PartitionsSkipped != 0 {
+				t.Fatalf("query %d degraded: %+v", i, st)
+			}
+			assertSameNeighbors(t, fmt.Sprintf("query %d", i), got, want[i])
+		}
+	}
+
+	for wi := 0; wi < 3; wi++ {
+		t.Run(fmt.Sprintf("r2-kill-w%d", wi), func(t *testing.T) {
+			runRow(t, replDir, wantRepl, killWorkerRules(fmt.Sprintf("w%d", wi))...)
+		})
+	}
+	t.Run("r1-kill-w0", func(t *testing.T) {
+		runRow(t, plainDir, wantPlain, killWorkerRules("w0")...)
+	})
+	// Destructive, so last: remove every canonical partition file. Owners
+	// read their replica stores, so the replicated index still answers
+	// exactly; this is the loss that degraded the unreplicated store in
+	// TestFaultInjectionDegradedApprox.
+	t.Run("r2-canonical-partitions-gone", func(t *testing.T) {
+		parts, err := filepath.Glob(filepath.Join(replDir, "part-*.bin"))
+		if err != nil || len(parts) == 0 {
+			t.Fatalf("no canonical partitions found: %v", err)
+		}
+		for _, p := range parts {
+			if err := os.Remove(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		runRow(t, replDir, wantRepl)
+	})
+}
+
+// A bit-flipped replica must be detected by the checksum on read, quarantined,
+// failed over, and then re-replicated from the surviving copy by one repair
+// pass — with the placement (and map version) unchanged.
+func TestFaultInjectionCorruptReplica(t *testing.T) {
+	const n = 1200
+	srcDir, g := writeTestStore(t, n)
+	cfg := testConfig()
+
+	addrs := startWorkers(t, 3)
+	ctx := context.Background()
+	pool, err := DialContext(ctx, addrs, faultPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	dstDir := filepath.Join(t.TempDir(), "dst")
+	if _, err := BuildDistributedOpts(ctx, pool, srcDir, dstDir, t.TempDir(), cfg, BuildOptions{Replication: 2}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := LoadPartitionMap(dstDir)
+	if err != nil || m == nil {
+		t.Fatalf("partition map missing: %v", err)
+	}
+	entry := m.Entries[0]
+	owner := entry.Replicas[0]
+	partFile := filepath.Join(ReplicaDir(dstDir, owner), fmt.Sprintf("part-%06d.bin", entry.PID))
+
+	sched := faultinj.NewSchedule(faultinj.Rule{
+		Point: "storage.corrupt", Label: partFile, Kind: faultinj.KindErr,
+	})
+	faultinj.Enable(sched)
+	t.Cleanup(faultinj.Disable)
+
+	// Drive the owner straight at its corrupt replica: the verifying read
+	// fails, the file is quarantined, and the error is retryable so the
+	// failover layer can go to the other replica.
+	q := dataset.Record(g, 5, 11).Values.ZNormalize()
+	w := pool.worker(owner)
+	if w == nil {
+		t.Fatalf("owner %s not in pool", owner)
+	}
+	var reply KNNPartitionReply
+	err = pool.callWorker(ctx, w, "Worker.KNNPartition", KNNPartitionArgs{
+		StoreDir: ReplicaDir(dstDir, owner), PID: entry.PID, Query: q, K: 3,
+		Threshold: inf(), WordLen: cfg.WordLen,
+	}, &reply)
+	var wd *WorkerDownError
+	if !errors.As(err, &wd) {
+		t.Fatalf("scan of corrupt replica returned %v, want a retryable worker error", err)
+	}
+	if len(sched.Events()) == 0 {
+		t.Fatal("corruption failpoint never fired")
+	}
+	if _, err := os.Stat(partFile + ".quarantined"); err != nil {
+		t.Fatalf("corrupt replica was not quarantined: %v", err)
+	}
+
+	// The full query path fails over to the healthy replica: exact answer.
+	const k = 5
+	got, st, err := DistKNNExact(ctx, pool, dstDir, cfg, q, k)
+	if err != nil || st.Degraded || st.PartitionsSkipped != 0 {
+		t.Fatalf("exact query over quarantined replica: %v (stats %+v)", err, st)
+	}
+	assertSameNeighbors(t, "quarantine failover", got, exactBaseline(t, dstDir, q, k))
+
+	// One repair pass restores the quarantined copy from the surviving
+	// replica. Same owners, so the placement version must not change.
+	faultinj.Disable()
+	rep := &Repairer{Pool: pool, StoreDir: dstDir, Logf: t.Logf}
+	rs, err := rep.RunOnce(ctx)
+	if err != nil {
+		t.Fatalf("repair pass failed: %v", err)
+	}
+	if rs.Repaired < 1 || rs.Unrepaired != 0 {
+		t.Fatalf("repair did not restore the quarantined replica: %+v", rs)
+	}
+	if rs.Rebalanced || rs.MapVersion != m.Version {
+		t.Fatalf("repair changed placement for an in-place fix: %+v", rs)
+	}
+	st2, err := storage.Open(ReplicaDir(dstDir, owner))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := st2.VerifyPartitionChecksum(entry.PID)
+	if err != nil {
+		t.Fatalf("repaired replica unreadable: %v", err)
+	}
+	if sum != entry.Checksum {
+		t.Fatalf("repaired replica checksum %08x, want %08x", sum, entry.Checksum)
+	}
+}
+
+// The half-open breaker admits exactly one trial call. While the probe is in
+// flight every other call is rejected without touching the worker; a failed
+// probe re-opens the breaker; a successful one closes it.
+func TestFaultInjectionBreakerFlap(t *testing.T) {
+	addrs := startWorkers(t, 1)
+	ctx := context.Background()
+	pol := faultPolicy()
+	pol.MaxAttempts = 1
+	pol.CallTimeout = 200 * time.Millisecond
+	pol.BreakerThreshold = 2
+	pol.BreakerCooldown = 60 * time.Millisecond
+	pool, err := DialContext(ctx, addrs, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	w := pool.worker(addrs[0])
+
+	// The breaker counts transport failures, so the flap is driven by hangs
+	// that exhaust the call timeout: hits 1-2 trip it, hit 3 is the first
+	// probe (also hung), and from hit 4 on the worker is healthy again.
+	sched := faultinj.NewSchedule(
+		faultinj.Rule{Point: PointWorkerKNN, Label: "w0", Hits: []int{1, 2, 3}, Kind: faultinj.KindHang},
+	)
+	faultinj.Enable(sched)
+	t.Cleanup(faultinj.Disable)
+
+	// The call's args are never validated: the failpoint fires first, and
+	// once the worker is healthy the K<1 application error proves a full
+	// round-trip (application errors are breaker successes).
+	call := func() error {
+		var reply KNNPartitionReply
+		return pool.callWorker(ctx, w, "Worker.KNNPartition", KNNPartitionArgs{StoreDir: t.TempDir()}, &reply)
+	}
+
+	var wd *WorkerDownError
+	for i := 0; i < 2; i++ {
+		if err := call(); !errors.As(err, &wd) {
+			t.Fatalf("hung call %d returned %v, want WorkerDownError", i, err)
+		}
+	}
+	if err := call(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("call inside cooldown returned %v, want breaker open", err)
+	}
+	if got := len(sched.Events()); got != 2 {
+		t.Fatalf("worker hit %d times, want 2 (breaker-open call must not reach it)", got)
+	}
+
+	// Past the cooldown (plus the max jitter of cooldown/2) the next call is
+	// the single probe; it hangs at the failpoint while a second call is
+	// rejected immediately with the probe marker.
+	time.Sleep(pol.BreakerCooldown + pol.BreakerCooldown/2 + 20*time.Millisecond)
+	probeDone := make(chan error, 1)
+	go func() { probeDone <- call() }()
+	time.Sleep(50 * time.Millisecond)
+	err = call()
+	if !errors.Is(err, ErrBreakerOpen) || !strings.Contains(err.Error(), "probe in flight") {
+		t.Fatalf("call during probe returned %v, want probe-in-flight rejection", err)
+	}
+	if got := len(sched.Events()); got != 3 {
+		t.Fatalf("worker hit %d times, want 3 (only the probe may pass)", got)
+	}
+
+	// The probe times out: the breaker re-opens for a fresh cooldown.
+	if err := <-probeDone; !errors.As(err, &wd) {
+		t.Fatalf("hung probe returned %v, want WorkerDownError", err)
+	}
+	if err := call(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("call after failed probe returned %v, want breaker open", err)
+	}
+
+	// Next cooldown's probe reaches the now-healthy worker and closes the
+	// breaker for good.
+	time.Sleep(pol.BreakerCooldown + pol.BreakerCooldown/2 + 20*time.Millisecond)
+	for i := 0; i < 2; i++ {
+		err := call()
+		if err == nil || errors.Is(err, ErrBreakerOpen) || errors.As(err, &wd) {
+			t.Fatalf("recovered call %d returned %v, want a plain application error", i, err)
+		}
+	}
+	if got := len(sched.Events()); got != 3 {
+		t.Fatalf("schedule fired %d times total, want 3", got)
+	}
+}
+
+// Membership churn during concurrent exact queries: one worker flaps out of
+// and back into the pool while DistKNNExact runs at R=2. Flapping a single
+// worker keeps the other replica of every partition live, so every answer
+// must stay exact — a query that catches the victim mid-removal has to fail
+// over, never error or degrade. (Flapping all workers in turn would be a
+// different test: a query slow enough to span a full cycle can see both
+// owners of a partition die, and the strict path is then required to fail.)
+// Repair passes afterwards never move the map version backwards.
+func TestFaultInjectionMembershipChurn(t *testing.T) {
+	const n = 1500
+	srcDir, g := writeTestStore(t, n)
+	cfg := testConfig()
+
+	addrs := startWorkers(t, 3)
+	ctx := context.Background()
+	pool, err := DialContext(ctx, addrs, faultPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	dstDir := filepath.Join(t.TempDir(), "dst")
+	if _, err := BuildDistributedOpts(ctx, pool, srcDir, dstDir, t.TempDir(), cfg, BuildOptions{Replication: 2}); err != nil {
+		t.Fatal(err)
+	}
+
+	const k = 5
+	queries := make([]ts.Series, 3)
+	want := make([][]knn.Neighbor, len(queries))
+	for i := range queries {
+		queries[i] = dataset.Record(g, 5, 600+int64(i)).Values.ZNormalize()
+		want[i] = exactBaseline(t, dstDir, queries[i], k)
+	}
+
+	stop := make(chan struct{})
+	var churn sync.WaitGroup
+	churn.Add(1)
+	go func() {
+		defer churn.Done()
+		victim := addrs[0]
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			pool.RemoveWorker(victim)
+			time.Sleep(15 * time.Millisecond)
+			pool.AddWorker(victim)
+			time.Sleep(15 * time.Millisecond)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for wi := 0; wi < 3; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			for iter := 0; iter < 6; iter++ {
+				qi := (wi + iter) % len(queries)
+				got, st, err := DistKNNExact(ctx, pool, dstDir, cfg, queries[qi], k)
+				if err != nil {
+					t.Errorf("worker %d iter %d: %v", wi, iter, err)
+					return
+				}
+				if st.Degraded || st.PartitionsSkipped != 0 {
+					t.Errorf("worker %d iter %d degraded: %+v", wi, iter, st)
+					return
+				}
+				if len(got) != len(want[qi]) {
+					t.Errorf("worker %d iter %d: %d results, want %d", wi, iter, len(got), len(want[qi]))
+					return
+				}
+				for j := range want[qi] {
+					if got[j].RID != want[qi][j].RID || got[j].Dist != want[qi][j].Dist {
+						t.Errorf("worker %d iter %d result %d: %+v, want %+v", wi, iter, j, got[j], want[qi][j])
+						return
+					}
+				}
+			}
+		}(wi)
+	}
+	wg.Wait()
+	close(stop)
+	churn.Wait()
+
+	// Back at full membership, repair passes are idempotent and the map
+	// version never regresses.
+	rep := &Repairer{Pool: pool, StoreDir: dstDir, Logf: t.Logf}
+	rs1, err := rep.RunOnce(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs2, err := rep.RunOnce(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs2.MapVersion < rs1.MapVersion {
+		t.Fatalf("map version regressed: %d -> %d", rs1.MapVersion, rs2.MapVersion)
+	}
+	if rs2.Repaired != 0 || rs2.Rebalanced {
+		t.Fatalf("second repair pass on a healthy cluster did work: %+v", rs2)
+	}
+}
+
+// Killing the coordinator leader must not lose committed state or let the map
+// version move backwards: the survivors elect a new leader, accept the next
+// version, and reject stale proposals.
+func TestFaultInjectionCoordinatorLeaderKill(t *testing.T) {
+	lnet := raftlite.NewLocalNet()
+	ids := []string{"c1", "c2", "c3"}
+	regs := map[string]*raftlite.Registry{}
+	for _, id := range ids {
+		reg, err := raftlite.NewRegistry(raftlite.Config{
+			ID: id, Peers: ids, ElectionTimeout: 30 * time.Millisecond,
+		}, lnet.Transport(id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lnet.Register(reg.Node())
+		regs[id] = reg
+	}
+	for _, reg := range regs {
+		reg.Node().Start()
+	}
+	t.Cleanup(func() {
+		for _, reg := range regs {
+			reg.Node().Stop()
+		}
+	})
+
+	leaderOf := func(exclude string) *raftlite.Registry {
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			for id, reg := range regs {
+				if id == exclude {
+					continue
+				}
+				if reg.State().IsLeader {
+					return reg
+				}
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		t.Fatal("no leader elected")
+		return nil
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	data, _ := json.Marshal(&PartitionMap{Version: 1})
+	leader := leaderOf("")
+	if err := leader.ProposeMap(ctx, 1, data); err != nil {
+		t.Fatalf("map v1 commit: %v", err)
+	}
+	leaderID := leader.Node().ID()
+
+	// Kill the leader. The survivors must elect a successor that already has
+	// v1 and accepts v2 — and still rejects a replay of v1.
+	lnet.Cut(leaderID)
+	next := leaderOf(leaderID)
+	data2, _ := json.Marshal(&PartitionMap{Version: 2})
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if err := next.ProposeMap(ctx, 2, data2); err == nil {
+			break
+		} else if time.Now().After(deadline) {
+			t.Fatalf("map v2 commit after leader kill: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+		next = leaderOf(leaderID)
+	}
+	if err := next.ProposeMap(ctx, 1, data); err == nil {
+		t.Fatal("stale map v1 accepted after v2 committed")
+	}
+	for id, reg := range regs {
+		if id == leaderID {
+			continue
+		}
+		converged := time.Now().Add(5 * time.Second)
+		for reg.State().MapVersion != 2 {
+			if time.Now().After(converged) {
+				t.Fatalf("survivor %s stuck at map v%d, want v2", id, reg.State().MapVersion)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/tardisdb/tardis/internal/obs"
@@ -20,10 +21,11 @@ import (
 // under a context with a per-call timeout, retries transport failures with
 // capped exponential backoff and seeded jitter, reconnects dropped net/rpc
 // clients, and trips a per-worker circuit breaker after consecutive
-// failures. Stage fan-outs route through each(), which reassigns a failed
-// worker's tasks to survivors (worker RPCs are idempotent) and — in
-// best-effort mode — skips tasks no surviving worker can run instead of
-// failing the whole stage.
+// failures. Stage fan-outs route through each()/eachReplica(), which reassign
+// a failed worker's tasks to survivors (worker RPCs are idempotent) and — in
+// best-effort mode — skip tasks no surviving worker can run instead of
+// failing the whole stage. Membership is dynamic: AddWorker/RemoveWorker
+// adjust the routable set between stages without disturbing in-flight ones.
 
 // Policy configures retries, timeouts, and the per-worker circuit breaker.
 // The zero value of any field falls back to the DefaultPolicy value.
@@ -43,12 +45,15 @@ type Policy struct {
 	// StageTimeout, when positive, bounds each build stage or query fan-out.
 	StageTimeout time.Duration
 	// BreakerThreshold opens a worker's breaker after that many consecutive
-	// transport failures; while open (for BreakerCooldown) calls to the
-	// worker fail fast, then a single probe is allowed through.
+	// transport failures. While open — for BreakerCooldown plus a seeded
+	// jitter in [0, BreakerCooldown/2) so a fleet of coordinators does not
+	// re-probe a recovering worker in lockstep — calls fail fast; after the
+	// window a single trial call (the half-open probe) is let through, and
+	// its outcome closes or re-opens the breaker.
 	BreakerThreshold int
 	BreakerCooldown  time.Duration
-	// Seed makes the retry jitter deterministic. Zero falls back to the
-	// default seed, keeping tests reproducible by default.
+	// Seed makes the retry and breaker jitter deterministic. Zero falls back
+	// to the default seed, keeping tests reproducible by default.
 	Seed int64
 }
 
@@ -157,15 +162,23 @@ const (
 type workerState struct {
 	addr string
 
+	// inflight counts RPC attempts currently outstanding against this
+	// worker, across every concurrent stage and query; replica-aware routing
+	// prefers the least-loaded live replica.
+	inflight atomic.Int64
+
 	mu        sync.Mutex
 	client    *rpc.Client // guarded by mu; nil when disconnected
 	fails     int         // guarded by mu; consecutive transport failures
 	openUntil time.Time   // guarded by mu; breaker open until this instant
 	state     int         // guarded by mu; stateClosed/Open/HalfOpen
+	probing   bool        // guarded by mu; the single half-open trial is in flight
 }
 
-// acquire returns a connected client, dialing if needed. It fails fast while
-// the breaker is open; after the cooldown it lets a probe through.
+// acquire returns a connected client, dialing if needed. While the breaker is
+// open it fails fast; once the jittered cooldown expires exactly one caller
+// is admitted as the half-open probe and everyone else keeps failing fast
+// until the probe's outcome closes or re-opens the breaker.
 func (w *workerState) acquire(ctx context.Context, pol Policy) (*rpc.Client, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -173,11 +186,16 @@ func (w *workerState) acquire(ctx context.Context, pol Policy) (*rpc.Client, err
 		if time.Now().Before(w.openUntil) {
 			return nil, fmt.Errorf("worker %s: %w", w.addr, ErrBreakerOpen)
 		}
-		if w.state == stateOpen {
-			// Cooldown expired: this caller is the probe.
+		if w.probing {
+			// A trial call is already in flight; only one probe at a time.
+			return nil, fmt.Errorf("worker %s (probe in flight): %w", w.addr, ErrBreakerOpen)
+		}
+		// Cooldown expired: this caller is the probe.
+		if w.state != stateHalfOpen {
 			w.state = stateHalfOpen
 			mBreakerTransitions.With(breakerHalfOpen).Inc()
 		}
+		w.probing = true
 	}
 	if w.client != nil {
 		return w.client, nil
@@ -205,12 +223,16 @@ func (w *workerState) dropConn(c *rpc.Client) {
 	}
 }
 
-func (w *workerState) recordFailure(pol Policy) {
+// recordFailure counts one transport failure; on reaching the threshold (or
+// failing the half-open probe) the breaker (re)opens for the cooldown plus
+// the given jitter.
+func (w *workerState) recordFailure(pol Policy, jitter time.Duration) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	w.fails++
+	w.probing = false
 	if w.fails >= pol.BreakerThreshold {
-		w.openUntil = time.Now().Add(pol.BreakerCooldown)
+		w.openUntil = time.Now().Add(pol.BreakerCooldown + jitter)
 		if w.state != stateOpen {
 			// First trip, or a half-open probe that failed: (re)open.
 			w.state = stateOpen
@@ -224,10 +246,20 @@ func (w *workerState) recordSuccess() {
 	defer w.mu.Unlock()
 	w.fails = 0
 	w.openUntil = time.Time{}
+	w.probing = false
 	if w.state != stateClosed {
 		w.state = stateClosed
 		mBreakerTransitions.With(breakerClosed).Inc()
 	}
+}
+
+// abandonProbe releases the half-open probe slot without deciding the
+// breaker's fate — used when the probe call is cancelled by the caller's
+// context rather than failing against the worker.
+func (w *workerState) abandonProbe() {
+	w.mu.Lock()
+	w.probing = false
+	w.mu.Unlock()
 }
 
 // tripped reports whether the worker has burned through its breaker
@@ -239,13 +271,17 @@ func (w *workerState) tripped(pol Policy) bool {
 	return w.fails >= pol.BreakerThreshold
 }
 
-// Pool is a set of workers driven by the coordinator.
+// Pool is a set of workers driven by the coordinator. The worker set is
+// dynamic: AddWorker and RemoveWorker adjust membership (e.g. from the
+// coordinator ensemble's committed view); stages snapshot the set at entry.
 type Pool struct {
-	policy  Policy
-	workers []*workerState
+	policy Policy
+
+	wmu     sync.RWMutex
+	workers []*workerState // guarded by wmu; copy-on-write, entries immutable
 
 	rngMu sync.Mutex
-	rng   *rand.Rand // guarded by rngMu; seeded retry jitter
+	rng   *rand.Rand // guarded by rngMu; seeded retry + breaker jitter
 }
 
 // Dial connects with the default policy and no deadline.
@@ -264,13 +300,14 @@ func DialContext(ctx context.Context, addrs []string, pol Policy) (*Pool, error)
 	pol = pol.withDefaults()
 	p := &Pool{policy: pol, rng: rand.New(rand.NewSource(pol.Seed))}
 	for _, addr := range addrs {
-		p.workers = append(p.workers, &workerState{addr: addr})
+		p.workers = append(p.workers, &workerState{addr: addr}) //tardislint:ignore lockflow construction: the pool is unshared until DialContext returns
 	}
+	ws := p.snapshot()
 	reachable := 0
-	errs := make([]error, len(p.workers))
+	errs := make([]error, len(ws))
 	var wg sync.WaitGroup
 	var mu sync.Mutex
-	for wi, w := range p.workers {
+	for wi, w := range ws {
 		wg.Add(1)
 		go func(wi int, w *workerState) {
 			defer wg.Done()
@@ -291,9 +328,66 @@ func DialContext(ctx context.Context, addrs []string, pol Policy) (*Pool, error)
 	return p, nil
 }
 
+// snapshot returns the current worker set; the slice is private to the
+// caller, the entries are shared live state.
+func (p *Pool) snapshot() []*workerState {
+	p.wmu.RLock()
+	defer p.wmu.RUnlock()
+	ws := make([]*workerState, len(p.workers))
+	copy(ws, p.workers)
+	return ws
+}
+
+// AddWorker adds a worker address to the routable set. It reports whether the
+// set changed (false when the address was already present). The connection is
+// dialed lazily on first use.
+func (p *Pool) AddWorker(addr string) bool { //tardislint:ignore ctxfirst lock-bound membership edit; the connection dials lazily so there is nothing to cancel
+	p.wmu.Lock()
+	defer p.wmu.Unlock()
+	for _, w := range p.workers {
+		if w.addr == addr {
+			return false
+		}
+	}
+	next := make([]*workerState, len(p.workers), len(p.workers)+1)
+	copy(next, p.workers)
+	p.workers = append(next, &workerState{addr: addr})
+	return true
+}
+
+// RemoveWorker removes a worker from the routable set and closes its
+// connection. Stages already running on a snapshot that includes it simply
+// fail over off it. It reports whether the worker was present.
+func (p *Pool) RemoveWorker(addr string) bool { //tardislint:ignore ctxfirst lock-bound membership edit; closing the removed conn does not block
+	p.wmu.Lock()
+	var removed *workerState
+	next := make([]*workerState, 0, len(p.workers))
+	for _, w := range p.workers {
+		if w.addr == addr && removed == nil {
+			removed = w
+			continue
+		}
+		next = append(next, w)
+	}
+	if removed != nil {
+		p.workers = next
+	}
+	p.wmu.Unlock()
+	if removed == nil {
+		return false
+	}
+	removed.mu.Lock()
+	if removed.client != nil {
+		_ = removed.client.Close()
+		removed.client = nil
+	}
+	removed.mu.Unlock()
+	return true
+}
+
 // Close closes all worker connections.
 func (p *Pool) Close() {
-	for _, w := range p.workers {
+	for _, w := range p.snapshot() {
 		w.mu.Lock()
 		if w.client != nil {
 			_ = w.client.Close()
@@ -303,13 +397,18 @@ func (p *Pool) Close() {
 	}
 }
 
-// Size returns the worker count.
-func (p *Pool) Size() int { return len(p.workers) }
+// Size returns the current worker count.
+func (p *Pool) Size() int {
+	p.wmu.RLock()
+	defer p.wmu.RUnlock()
+	return len(p.workers)
+}
 
 // Addrs returns the worker addresses in pool order.
 func (p *Pool) Addrs() []string {
-	out := make([]string, len(p.workers))
-	for i, w := range p.workers {
+	ws := p.snapshot()
+	out := make([]string, len(ws))
+	for i, w := range ws {
 		out[i] = w.addr
 	}
 	return out
@@ -318,25 +417,29 @@ func (p *Pool) Addrs() []string {
 // Policy returns the pool's effective (default-filled) policy.
 func (p *Pool) Policy() Policy { return p.policy }
 
-// WorkerHealth is a snapshot of one worker's breaker state.
+// WorkerHealth is a snapshot of one worker's breaker state and load.
 type WorkerHealth struct {
 	Addr      string `json:"addr"`
 	Connected bool   `json:"connected"`
 	// Fails counts consecutive transport failures since the last success.
 	Fails       int  `json:"fails"`
 	BreakerOpen bool `json:"breaker_open"`
+	// InFlight counts RPC attempts currently outstanding against the worker.
+	InFlight int `json:"in_flight"`
 }
 
 // Health snapshots every worker's breaker state without touching the wire.
 func (p *Pool) Health() []WorkerHealth {
-	out := make([]WorkerHealth, len(p.workers))
-	for i, w := range p.workers {
+	ws := p.snapshot()
+	out := make([]WorkerHealth, len(ws))
+	for i, w := range ws {
 		w.mu.Lock()
 		out[i] = WorkerHealth{
 			Addr:        w.addr,
 			Connected:   w.client != nil,
 			Fails:       w.fails,
 			BreakerOpen: w.fails >= p.policy.BreakerThreshold && time.Now().Before(w.openUntil),
+			InFlight:    int(w.inflight.Load()),
 		}
 		w.mu.Unlock()
 	}
@@ -353,6 +456,19 @@ func (p *Pool) backoff(retry int) time.Duration {
 	j := time.Duration(p.rng.Int63n(int64(d)))
 	p.rngMu.Unlock()
 	return d/2 + j
+}
+
+// breakerJitter draws the extra open-window delay in [0, cooldown/2) from the
+// pool's seeded generator.
+func (p *Pool) breakerJitter() time.Duration {
+	half := int64(p.policy.BreakerCooldown / 2)
+	if half <= 0 {
+		return 0
+	}
+	p.rngMu.Lock()
+	j := time.Duration(p.rng.Int63n(half))
+	p.rngMu.Unlock()
+	return j
 }
 
 func sleepCtx(ctx context.Context, d time.Duration) error {
@@ -423,17 +539,19 @@ func injectTrace(ctx context.Context, args any) any {
 	return cp.Interface()
 }
 
-// call runs method against worker wi with retries, reconnects, and the
-// breaker. It returns nil, a (possibly retryable-marked) application error,
-// the parent context's error, or *WorkerDownError once transport attempts
-// are exhausted.
-func (p *Pool) call(ctx context.Context, wi int, method string, args, reply any) error {
+// callWorker runs method against the given worker with retries, reconnects,
+// and the breaker. It returns nil, a (possibly retryable-marked) application
+// error, the parent context's error, or *WorkerDownError once transport
+// attempts are exhausted.
+func (p *Pool) callWorker(ctx context.Context, w *workerState, method string, args, reply any) error {
 	start := time.Now()
 	ctx, span := obs.StartSpan(ctx, "rpc.call")
 	span.Annotate("method", method)
-	span.Annotate("worker", p.workers[wi].addr)
+	span.Annotate("worker", w.addr)
 	args = injectTrace(ctx, args)
-	err := p.callAttempts(ctx, wi, method, args, reply)
+	w.inflight.Add(1)
+	err := p.callAttempts(ctx, w, method, args, reply)
+	w.inflight.Add(-1)
 	span.SetError(err)
 	span.Finish()
 	mRPCDuration.With(method).Observe(time.Since(start).Seconds())
@@ -451,8 +569,7 @@ func (p *Pool) call(ctx context.Context, wi int, method string, args, reply any)
 	return err
 }
 
-func (p *Pool) callAttempts(ctx context.Context, wi int, method string, args, reply any) error {
-	w := p.workers[wi]
+func (p *Pool) callAttempts(ctx context.Context, w *workerState, method string, args, reply any) error {
 	var errs []error
 	for attempt := 1; attempt <= p.policy.MaxAttempts; attempt++ {
 		if attempt > 1 {
@@ -472,7 +589,7 @@ func (p *Pool) callAttempts(ctx context.Context, wi int, method string, args, re
 				errs = append(errs, err)
 				return &WorkerDownError{Addr: w.addr, Err: errors.Join(errs...)}
 			}
-			w.recordFailure(p.policy)
+			w.recordFailure(p.policy, p.breakerJitter())
 			errs = append(errs, fmt.Errorf("attempt %d: %w", attempt, err))
 			continue
 		}
@@ -491,11 +608,14 @@ func (p *Pool) callAttempts(ctx context.Context, wi int, method string, args, re
 			}
 			return err
 		case ctx.Err() != nil:
-			// The caller's deadline or cancellation, not the worker's fault.
+			// The caller's deadline or cancellation, not the worker's fault:
+			// release the probe slot (if this call held it) without deciding
+			// the breaker's fate.
+			w.abandonProbe()
 			return ctx.Err()
 		default:
 			w.dropConn(c)
-			w.recordFailure(p.policy)
+			w.recordFailure(p.policy, p.breakerJitter())
 			errs = append(errs, fmt.Errorf("attempt %d: %w", attempt, err))
 		}
 	}
@@ -504,17 +624,18 @@ func (p *Pool) callAttempts(ctx context.Context, wi int, method string, args, re
 
 // scatter runs fn once per worker concurrently and returns every failure —
 // each wrapped with its worker address — joined with errors.Join.
-func (p *Pool) scatter(ctx context.Context, fn func(ctx context.Context, wi int) error) error {
+func (p *Pool) scatter(ctx context.Context, fn func(ctx context.Context, wi int, w *workerState) error) error {
+	ws := p.snapshot()
 	var wg sync.WaitGroup
-	errs := make([]error, len(p.workers))
-	for wi := range p.workers {
+	errs := make([]error, len(ws))
+	for wi, w := range ws {
 		wg.Add(1)
-		go func(wi int) {
+		go func(wi int, w *workerState) {
 			defer wg.Done()
-			if err := fn(ctx, wi); err != nil {
-				errs[wi] = fmt.Errorf("rpc: worker %s: %w", p.workers[wi].addr, err)
+			if err := fn(ctx, wi, w); err != nil {
+				errs[wi] = fmt.Errorf("rpc: worker %s: %w", w.addr, err)
 			}
-		}(wi)
+		}(wi, w)
 	}
 	wg.Wait() //tardislint:ignore ctxflow bounded wait: fn receives ctx and every goroutine returns once it is cancelled
 	return errors.Join(errs...)
@@ -532,14 +653,42 @@ type eachStats struct {
 	errs []error
 }
 
-// each runs tasks 0..n-1 across the pool with failover: each idle worker is
-// handed a task it has not yet tried; when a task fails with
+// each runs tasks 0..n-1 across the pool with failover; every worker is
+// eligible for every task. See eachOn.
+func (p *Pool) each(ctx context.Context, n int, bestEffort bool, fn func(ctx context.Context, w *workerState, task int) error) (eachStats, error) {
+	return p.eachOn(ctx, p.snapshot(), n, nil, bestEffort, fn)
+}
+
+// replicaTask scopes one fan-out task to the workers allowed to run it (the
+// partition's replica owners). A nil set means any worker.
+type replicaTask struct {
+	eligible map[string]bool
+}
+
+// eachReplica runs one task per entry of tasks, restricting each task to its
+// eligible workers and preferring the least-loaded live replica. A task
+// whose every eligible worker is down is skipped (best-effort) or fails the
+// stage (strict) — Degraded is reachable only when all replicas of a
+// partition are down.
+func (p *Pool) eachReplica(ctx context.Context, tasks []replicaTask, bestEffort bool, fn func(ctx context.Context, w *workerState, task int) error) (eachStats, error) {
+	eligible := func(task int, w *workerState) bool {
+		e := tasks[task].eligible
+		return e == nil || e[w.addr]
+	}
+	return p.eachOn(ctx, p.snapshot(), len(tasks), eligible, bestEffort, fn)
+}
+
+// eachOn is the failover executor: each idle worker eligible for a queued
+// task it has not yet tried is handed one; when a task fails with
 // *WorkerDownError it is re-queued for a different worker, and a worker
-// whose breaker trips is retired for the rest of the stage. In strict mode
-// any application error — or a task every live worker has failed — cancels
-// the sibling calls and fails the stage. In bestEffort mode such tasks are
-// skipped and reported in eachStats so the caller can degrade explicitly.
-func (p *Pool) each(ctx context.Context, n int, bestEffort bool, fn func(ctx context.Context, wi, task int) error) (eachStats, error) {
+// whose breaker trips is retired for the rest of the stage. Candidate
+// workers for a task are ranked healthy-before-tripped, then by in-flight
+// load, then by pool order, so routing prefers the least-loaded live
+// replica deterministically. In strict mode any application error — or a
+// task every eligible worker has failed — cancels the sibling calls and
+// fails the stage. In bestEffort mode such tasks are skipped and reported in
+// eachStats so the caller can degrade explicitly.
+func (p *Pool) eachOn(ctx context.Context, ws []*workerState, n int, eligible func(task int, w *workerState) bool, bestEffort bool, fn func(ctx context.Context, w *workerState, task int) error) (eachStats, error) {
 	var es eachStats
 	if n == 0 {
 		return es, nil
@@ -553,41 +702,58 @@ func (p *Pool) each(ctx context.Context, n int, bestEffort bool, fn func(ctx con
 	}
 	// Buffered so a finishing worker goroutine never blocks on a departed
 	// dispatcher: at most one result per worker is in flight.
-	results := make(chan result, len(p.workers))
+	results := make(chan result, len(ws))
 	tried := make([]map[int]bool, n)
 	queue := make([]int, n)
 	for i := range queue {
 		tried[i] = map[int]bool{}
 		queue[i] = i
 	}
-	idle := make([]int, 0, len(p.workers))
-	for wi := range p.workers {
+	idle := make([]int, 0, len(ws))
+	for wi := range ws {
 		idle = append(idle, wi)
 	}
 	inflight := 0
 	pending := n
 
-	// dispatch pairs queued tasks with idle workers that have not yet tried
-	// them, launching one goroutine per pairing.
+	// pick returns the position in idle of the best worker for task, or -1:
+	// untripped before tripped, lighter in-flight load first, pool order as
+	// the deterministic tiebreak.
+	pick := func(task int) int {
+		best, bestTripped, bestLoad := -1, false, int64(0)
+		for ii, wi := range idle {
+			w := ws[wi]
+			if tried[task][wi] || (eligible != nil && !eligible(task, w)) {
+				continue
+			}
+			trip := w.tripped(p.policy)
+			load := w.inflight.Load()
+			if best == -1 || (bestTripped && !trip) || (bestTripped == trip && load < bestLoad) {
+				best, bestTripped, bestLoad = ii, trip, load
+			}
+		}
+		return best
+	}
+
+	// dispatch pairs queued tasks with idle eligible workers, launching one
+	// goroutine per pairing.
 	dispatch := func() {
 		for {
 			launched := false
 			for qi := 0; qi < len(queue) && !launched; qi++ {
 				task := queue[qi]
-				for ii := 0; ii < len(idle); ii++ {
-					wi := idle[ii]
-					if tried[task][wi] {
-						continue
-					}
-					queue = append(queue[:qi], queue[qi+1:]...)
-					idle = append(idle[:ii], idle[ii+1:]...)
-					inflight++
-					go func(wi, task int) {
-						results <- result{wi: wi, task: task, err: fn(ctx, wi, task)}
-					}(wi, task)
-					launched = true
-					break
+				ii := pick(task)
+				if ii < 0 {
+					continue
 				}
+				wi := idle[ii]
+				queue = append(queue[:qi], queue[qi+1:]...)
+				idle = append(idle[:ii], idle[ii+1:]...)
+				inflight++
+				go func(wi, task int) {
+					results <- result{wi: wi, task: task, err: fn(ctx, ws[wi], task)}
+				}(wi, task)
+				launched = true
 			}
 			if !launched {
 				return
@@ -599,7 +765,8 @@ func (p *Pool) each(ctx context.Context, n int, bestEffort bool, fn func(ctx con
 	for pending > 0 && abortErr == nil {
 		dispatch()
 		if inflight == 0 {
-			// Every remaining task has been tried on every eligible worker.
+			// Every remaining task has been tried on (or has lost) every
+			// eligible worker.
 			if bestEffort {
 				es.skipped = append(es.skipped, queue...)
 				pending -= len(queue)
@@ -632,7 +799,7 @@ func (p *Pool) each(ctx context.Context, n int, bestEffort bool, fn func(ctx con
 			mTasksReassigned.Inc()
 			tried[r.task][r.wi] = true
 			queue = append(queue, r.task)
-			if !p.workers[r.wi].tripped(p.policy) {
+			if !ws[r.wi].tripped(p.policy) {
 				// A machine-local fault, not a dead worker: it stays
 				// eligible for other tasks.
 				idle = append(idle, r.wi)
@@ -643,7 +810,7 @@ func (p *Pool) each(ctx context.Context, n int, bestEffort bool, fn func(ctx con
 			pending--
 			idle = append(idle, r.wi)
 		default:
-			abortErr = fmt.Errorf("rpc: task %d on worker %s: %w", r.task, p.workers[r.wi].addr, r.err)
+			abortErr = fmt.Errorf("rpc: task %d on worker %s: %w", r.task, ws[r.wi].addr, r.err)
 		}
 	}
 	// Cancel siblings and drain before returning so no task goroutine
@@ -680,10 +847,13 @@ type PingStatus struct {
 // every failed worker's error; statuses are returned even when some workers
 // fail, so callers can render partial health.
 func (p *Pool) Ping(ctx context.Context) ([]PingStatus, error) {
-	statuses := make([]PingStatus, len(p.workers))
-	err := p.scatter(ctx, func(ctx context.Context, wi int) error {
-		statuses[wi].Addr = p.workers[wi].addr
-		statuses[wi].Err = p.call(ctx, wi, "Worker.Ping", PingArgs{}, &statuses[wi].Reply)
+	statuses := make([]PingStatus, p.Size())
+	err := p.scatter(ctx, func(ctx context.Context, wi int, w *workerState) error {
+		if wi >= len(statuses) {
+			return nil // membership grew between Size and scatter's snapshot
+		}
+		statuses[wi].Addr = w.addr
+		statuses[wi].Err = p.callWorker(ctx, w, "Worker.Ping", PingArgs{}, &statuses[wi].Reply)
 		return statuses[wi].Err
 	})
 	return statuses, err
@@ -699,10 +869,13 @@ type StatsStatus struct {
 // Stats gathers each worker's task counters, reporting per-worker status
 // like Ping.
 func (p *Pool) Stats(ctx context.Context) ([]StatsStatus, error) {
-	statuses := make([]StatsStatus, len(p.workers))
-	err := p.scatter(ctx, func(ctx context.Context, wi int) error {
-		statuses[wi].Addr = p.workers[wi].addr
-		statuses[wi].Err = p.call(ctx, wi, "Worker.Stats", StatsArgs{}, &statuses[wi].Reply)
+	statuses := make([]StatsStatus, p.Size())
+	err := p.scatter(ctx, func(ctx context.Context, wi int, w *workerState) error {
+		if wi >= len(statuses) {
+			return nil
+		}
+		statuses[wi].Addr = w.addr
+		statuses[wi].Err = p.callWorker(ctx, w, "Worker.Stats", StatsArgs{}, &statuses[wi].Reply)
 		return statuses[wi].Err
 	})
 	return statuses, err

@@ -3,6 +3,7 @@ package rpc
 import (
 	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"math"
@@ -200,7 +201,7 @@ func (w *Worker) KNNPartition(args KNNPartitionArgs, reply *KNNPartitionReply) (
 	}
 	data, hit, err := loadPartitionData(span, st, args.StoreDir, args.PID)
 	if err != nil {
-		return MarkRetryable(err)
+		return MarkRetryable(quarantineIfCorrupt(st, args.PID, err))
 	}
 	if hit {
 		reply.CacheHit = true
@@ -261,7 +262,7 @@ func (w *Worker) RangePartition(args RangePartitionArgs, reply *RangePartitionRe
 	}
 	data, hit, err := loadPartitionData(span, st, args.StoreDir, args.PID)
 	if err != nil {
-		return MarkRetryable(err)
+		return MarkRetryable(quarantineIfCorrupt(st, args.PID, err))
 	}
 	if hit {
 		reply.CacheHit = true
@@ -284,6 +285,17 @@ func (w *Worker) RangePartition(args RangePartitionArgs, reply *RangePartitionRe
 	}
 	w.track("RangePartition", int64(len(entries)))
 	return nil
+}
+
+// quarantineIfCorrupt pulls a checksum-failing partition out of service on
+// this worker's store so the next failover attempt lands on a different
+// replica instead of re-reading known-bad bytes. The error passes through
+// for the coordinator's retryable classification.
+func quarantineIfCorrupt(st *storage.Store, pid int, err error) error {
+	if errors.Is(err, storage.ErrChecksum) {
+		_ = st.QuarantinePartition(pid)
+	}
+	return err
 }
 
 // mergeKNNReply folds one worker scan into the coordinator's stats.
@@ -337,18 +349,23 @@ func DistKNN(ctx context.Context, pool *Pool, storeDir string, cfg core.Config, 
 		return nil, st, fmt.Errorf("rpc: no partition for query signature")
 	}
 	primary := pids[0]
+	rt, err := loadRouting(storeDir)
+	if err != nil {
+		return nil, st, err
+	}
 
 	sctx, cancel := pool.stageCtx(ctx)
 	defer cancel()
 
-	// Threshold from the primary partition (worker-side scan, with
-	// failover). Losing the primary only loosens the threshold to +Inf; the
-	// query proceeds degraded.
+	// Threshold from the primary partition (worker-side scan, restricted to
+	// the partition's replicas with failover between them). Losing every
+	// replica of the primary only loosens the threshold to +Inf; the query
+	// proceeds degraded.
 	h := knn.NewHeap(k)
 	var seed KNNPartitionReply
-	es, err := pool.each(sctx, 1, true, func(ctx context.Context, wi, _ int) error {
-		return pool.call(ctx, wi, "Worker.KNNPartition", KNNPartitionArgs{
-			StoreDir: storeDir, PID: primary, Query: q, K: k,
+	es, err := pool.eachReplica(sctx, rt.tasks([]int{primary}), true, func(ctx context.Context, w *workerState, _ int) error {
+		return pool.callWorker(ctx, w, "Worker.KNNPartition", KNNPartitionArgs{
+			StoreDir: rt.dirFor(storeDir, primary, w.addr), PID: primary, Query: q, K: k,
 			Threshold: inf(), WordLen: cfg.WordLen,
 		}, &seed)
 	})
@@ -379,9 +396,9 @@ func DistKNN(ctx context.Context, pool *Pool, storeDir string, cfg core.Config, 
 	}
 	sort.Ints(targets)
 	replies := make([]KNNPartitionReply, len(targets))
-	es, err = pool.each(sctx, len(targets), true, func(ctx context.Context, wi, task int) error {
-		return pool.call(ctx, wi, "Worker.KNNPartition", KNNPartitionArgs{
-			StoreDir: storeDir, PID: targets[task], Query: q, K: k,
+	es, err = pool.eachReplica(sctx, rt.tasks(targets), true, func(ctx context.Context, w *workerState, task int) error {
+		return pool.callWorker(ctx, w, "Worker.KNNPartition", KNNPartitionArgs{
+			StoreDir: rt.dirFor(storeDir, targets[task], w.addr), PID: targets[task], Query: q, K: k,
 			Threshold: threshold, WordLen: cfg.WordLen,
 		}, &replies[task])
 	})
@@ -434,6 +451,10 @@ func DistKNNExact(ctx context.Context, pool *Pool, storeDir string, cfg core.Con
 	if err != nil {
 		return nil, st, err
 	}
+	rt, err := loadRouting(storeDir)
+	if err != nil {
+		return nil, st, err
+	}
 	sctx, cancel := pool.stageCtx(ctx)
 	defer cancel()
 	h := knn.NewHeap(k)
@@ -449,10 +470,14 @@ func DistKNNExact(ctx context.Context, pool *Pool, storeDir string, cfg core.Con
 		}
 		batch := bounds[i : i+n]
 		i += n
+		batchPIDs := make([]int, len(batch))
+		for bi, pb := range batch {
+			batchPIDs[bi] = pb.PID
+		}
 		replies := make([]KNNPartitionReply, len(batch))
-		_, err := pool.each(sctx, len(batch), false, func(ctx context.Context, wi, task int) error {
-			return pool.call(ctx, wi, "Worker.KNNPartition", KNNPartitionArgs{
-				StoreDir: storeDir, PID: batch[task].PID, Query: q, K: k,
+		_, err := pool.eachReplica(sctx, rt.tasks(batchPIDs), false, func(ctx context.Context, w *workerState, task int) error {
+			return pool.callWorker(ctx, w, "Worker.KNNPartition", KNNPartitionArgs{
+				StoreDir: rt.dirFor(storeDir, batchPIDs[task], w.addr), PID: batchPIDs[task], Query: q, K: k,
 				Threshold: th, WordLen: cfg.WordLen,
 			}, &replies[task])
 		})
@@ -502,12 +527,16 @@ func DistRange(ctx context.Context, pool *Pool, storeDir string, cfg core.Config
 		}
 		inRange = append(inRange, pb.PID)
 	}
+	rt, err := loadRouting(storeDir)
+	if err != nil {
+		return nil, st, err
+	}
 	sctx, cancel := pool.stageCtx(ctx)
 	defer cancel()
 	replies := make([]RangePartitionReply, len(inRange))
-	_, err = pool.each(sctx, len(inRange), false, func(ctx context.Context, wi, task int) error {
-		return pool.call(ctx, wi, "Worker.RangePartition", RangePartitionArgs{
-			StoreDir: storeDir, PID: inRange[task], Query: q, Eps: eps, WordLen: cfg.WordLen,
+	_, err = pool.eachReplica(sctx, rt.tasks(inRange), false, func(ctx context.Context, w *workerState, task int) error {
+		return pool.callWorker(ctx, w, "Worker.RangePartition", RangePartitionArgs{
+			StoreDir: rt.dirFor(storeDir, inRange[task], w.addr), PID: inRange[task], Query: q, Eps: eps, WordLen: cfg.WordLen,
 		}, &replies[task])
 	})
 	if err != nil {

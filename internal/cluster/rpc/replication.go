@@ -1,0 +1,676 @@
+package rpc
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/tardisdb/tardis/internal/faultinj"
+	"github.com/tardisdb/tardis/internal/obs"
+	"github.com/tardisdb/tardis/internal/storage"
+)
+
+// k-way partition replication. The canonical clustered store stays at the
+// store directory; each replica of a partition lives in a per-owner store at
+// <store>/_replicas/<owner-addr>/ — a full storage.Store plus copies of the
+// partition's local index files, so a worker scans its replica with the
+// unchanged KNNPartition/RangePartition path. Placement uses rendezvous
+// (highest-random-weight) hashing: deterministic given the worker set, and
+// moving one worker in or out reassigns only the partitions that scored it
+// highest — no global reshuffle. The PartitionMap records the placement and
+// the expected content checksum of every partition, versioned so the repair
+// loop, the coordinator ensemble, and query routing agree on which placement
+// is current.
+
+// Replication telemetry.
+var (
+	mReplRepairs = obs.NewCounterVec("tardis_repl_repairs_total",
+		"Partition replicas re-replicated by the anti-entropy loop, by reason (missing, mismatch).",
+		"reason")
+	mReplUnderReplicated = obs.NewGauge("tardis_repl_underreplicated_count",
+		"Partitions below their replication factor at the last repair pass.")
+	mReplCopied = obs.NewCounter("tardis_repl_partitions_copied_total",
+		"Partition replica copies completed (build fan-out and repair).")
+	mReplRepairDuration = obs.NewHistogram("tardis_repl_repair_duration_seconds",
+		"Wall time of one anti-entropy repair pass.", nil)
+	mReplMapVersion = obs.NewGauge("tardis_repl_map_version_info",
+		"Version of the PartitionMap last written or loaded by this process.")
+)
+
+const (
+	replReasonMissing  = "missing"
+	replReasonMismatch = "mismatch"
+)
+
+// replicasSubdir holds the per-owner replica stores inside a clustered store.
+const replicasSubdir = "_replicas"
+
+// partitionMapName is the PartitionMap file inside the store's index dir.
+const partitionMapName = "partition_map.json"
+
+// ReplicaSet is one partition's placement: the owner addresses in rendezvous
+// preference order, plus the expected CRC32C content checksum every replica
+// must agree on.
+type ReplicaSet struct {
+	PID      int      `json:"pid"`
+	Replicas []string `json:"replicas"`
+	Checksum uint32   `json:"checksum"`
+}
+
+// PartitionMap is the versioned placement of every partition. Versions only
+// move forward: the build writes version 1, each repair pass that changes
+// placement bumps it, and the coordinator ensemble commits the version so
+// every consumer converges on the same placement.
+type PartitionMap struct {
+	Version     uint64       `json:"version"`
+	Replication int          `json:"replication"`
+	Entries     []ReplicaSet `json:"entries"`
+}
+
+// Owners returns pid's owner addresses in preference order, or nil when the
+// map does not cover pid.
+func (m *PartitionMap) Owners(pid int) []string {
+	for i := range m.Entries {
+		if m.Entries[i].PID == pid {
+			return m.Entries[i].Replicas
+		}
+	}
+	return nil
+}
+
+func partitionMapPath(storeDir string) string {
+	return filepath.Join(storeDir, "_index", partitionMapName)
+}
+
+// Save atomically writes the map into the store's index directory
+// (tmp + rename, so readers never see a torn map).
+func (m *PartitionMap) Save(storeDir string) error {
+	path := partitionMapPath(storeDir)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("rpc: saving partition map: %w", err)
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("rpc: saving partition map: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("rpc: saving partition map: %w", err)
+	}
+	mReplMapVersion.Set(int64(m.Version)) //tardislint:ignore racecheck cross-instance pairing: repair mutates a private map loaded from disk; Server.mu-guarded readers hold their own copy
+	return nil
+}
+
+// LoadPartitionMap reads the store's partition map. A store built without
+// replication has none: that returns (nil, nil) and callers fall back to
+// unreplicated routing.
+func LoadPartitionMap(storeDir string) (*PartitionMap, error) {
+	data, err := os.ReadFile(partitionMapPath(storeDir))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("rpc: reading partition map: %w", err)
+	}
+	var m PartitionMap
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("rpc: parsing partition map: %w", err)
+	}
+	mReplMapVersion.Set(int64(m.Version))
+	return &m, nil
+}
+
+// sanitizeAddr turns a worker address into a path segment (":" and "/" are
+// not portable inside file names).
+func sanitizeAddr(addr string) string {
+	r := strings.NewReplacer(":", "_", "/", "_", "\\", "_")
+	return r.Replace(addr)
+}
+
+// ReplicaDir returns the store directory holding addr's replicas of the
+// given clustered store.
+func ReplicaDir(storeDir, addr string) string {
+	return filepath.Join(storeDir, replicasSubdir, sanitizeAddr(addr))
+}
+
+// hrwScore is the rendezvous weight of (addr, pid): FNV-1a over the pair.
+func hrwScore(addr string, pid int) uint64 {
+	h := fnv.New64a()
+	io.WriteString(h, addr)
+	io.WriteString(h, "#")
+	io.WriteString(h, strconv.Itoa(pid))
+	return h.Sum64()
+}
+
+// PlaceReplicas returns pid's r owners under rendezvous hashing: the r
+// addresses with the highest hash score, in descending score order.
+// Deterministic in the set (not the order) of addrs; r is capped at
+// len(addrs).
+func PlaceReplicas(addrs []string, pid, r int) []string {
+	type scored struct {
+		addr  string
+		score uint64
+	}
+	ss := make([]scored, len(addrs))
+	for i, a := range addrs {
+		ss[i] = scored{addr: a, score: hrwScore(a, pid)}
+	}
+	sort.Slice(ss, func(i, j int) bool {
+		if ss[i].score != ss[j].score {
+			return ss[i].score > ss[j].score
+		}
+		return ss[i].addr < ss[j].addr
+	})
+	if r > len(ss) {
+		r = len(ss)
+	}
+	out := make([]string, r)
+	for i := range out {
+		out[i] = ss[i].addr
+	}
+	return out
+}
+
+// NewPartitionMap places every partition across addrs at replication factor
+// r (capped at len(addrs)). Checksums start zero; the build fills them from
+// worker replies before saving.
+func NewPartitionMap(addrs []string, pids []int, r int, version uint64) *PartitionMap {
+	if r > len(addrs) {
+		r = len(addrs)
+	}
+	m := &PartitionMap{Version: version, Replication: r}
+	for _, pid := range pids {
+		m.Entries = append(m.Entries, ReplicaSet{PID: pid, Replicas: PlaceReplicas(addrs, pid, r)})
+	}
+	return m
+}
+
+// --- routing table ---------------------------------------------------------
+
+// replicaRouting is the query-side view of a PartitionMap: which workers may
+// scan each partition, and which store directory each of them reads.
+type replicaRouting struct {
+	owners  map[int][]string
+	version uint64
+}
+
+// loadRouting reads the store's partition map into a routing table, or nil
+// when the store is unreplicated (every worker scans the canonical store).
+func loadRouting(storeDir string) (*replicaRouting, error) {
+	m, err := LoadPartitionMap(storeDir)
+	if err != nil || m == nil {
+		return nil, err
+	}
+	rt := &replicaRouting{owners: make(map[int][]string, len(m.Entries)), version: m.Version}
+	for _, e := range m.Entries {
+		rt.owners[e.PID] = e.Replicas
+	}
+	return rt, nil
+}
+
+// eligible returns the worker set allowed to scan pid (nil = any worker,
+// used when rt itself is nil or the map does not cover pid).
+func (rt *replicaRouting) eligible(pid int) map[string]bool {
+	if rt == nil {
+		return nil
+	}
+	owners := rt.owners[pid]
+	if len(owners) == 0 {
+		return nil
+	}
+	set := make(map[string]bool, len(owners))
+	for _, a := range owners {
+		set[a] = true
+	}
+	return set
+}
+
+// dirFor returns the store directory worker addr scans for pid: its replica
+// store when it owns one, the canonical store otherwise.
+func (rt *replicaRouting) dirFor(storeDir string, pid int, addr string) string {
+	if rt == nil {
+		return storeDir
+	}
+	for _, a := range rt.owners[pid] {
+		if a == addr {
+			return ReplicaDir(storeDir, addr)
+		}
+	}
+	return storeDir
+}
+
+// replicaTasks builds one eachReplica task per pid.
+func (rt *replicaRouting) tasks(pids []int) []replicaTask {
+	out := make([]replicaTask, len(pids))
+	for i, pid := range pids {
+		out[i] = replicaTask{eligible: rt.eligible(pid)}
+	}
+	return out
+}
+
+// --- worker-side replication RPCs ------------------------------------------
+
+// PointWorkerReplicate is the failpoint guarding Worker.Replicate.
+const PointWorkerReplicate = "worker.Replicate"
+
+// ReplicateArgs asks a worker to copy partitions from one store into a
+// replica store, index files included.
+type ReplicateArgs struct {
+	// SrcDir is the store to copy from: the canonical store, or a healthy
+	// replica during repair.
+	SrcDir string
+	// DstDir is the replica store to copy into, created if absent.
+	DstDir string
+	PIDs   []int
+	Trace  obs.SpanContext
+}
+
+// ReplicateReply reports the content checksum of every copied partition, as
+// computed from the bytes actually written — the coordinator cross-checks
+// them against the canonical checksums.
+type ReplicateReply struct {
+	Checksums map[int]uint32
+}
+
+// Replicate copies the given partitions of SrcDir into the replica store at
+// DstDir, rewriting each partition through a verifying read (a corrupt
+// source fails the copy rather than propagating) and copying its local index
+// files. Idempotent: existing destination partitions are rewritten.
+func (w *Worker) Replicate(args ReplicateArgs, reply *ReplicateReply) (err error) {
+	span := w.startSpan(args.Trace, "worker.replicate")
+	defer func() { span.SetError(err); span.Finish() }()
+	if err := faultinj.InjectAs(PointWorkerReplicate, w.ID); err != nil {
+		return MarkRetryable(err)
+	}
+	src, err := storage.Open(args.SrcDir)
+	if err != nil {
+		return MarkRetryable(err)
+	}
+	dst, err := storage.Open(args.DstDir)
+	if err != nil {
+		dst, err = storage.CreateCompressed(args.DstDir, src.SeriesLen(), src.Compression())
+		if err != nil {
+			return MarkRetryable(err)
+		}
+	}
+	reply.Checksums = make(map[int]uint32, len(args.PIDs))
+	var records int64
+	for _, pid := range args.PIDs {
+		recs, err := src.ReadPartition(pid)
+		if err != nil {
+			return MarkRetryable(err)
+		}
+		if err := dst.DeletePartition(pid); err != nil && !errors.Is(err, fs.ErrNotExist) {
+			return MarkRetryable(err)
+		}
+		wtr, err := dst.NewWriter(pid)
+		if err != nil {
+			return MarkRetryable(err)
+		}
+		for _, r := range recs {
+			if err := wtr.Write(r); err != nil {
+				return MarkRetryable(err)
+			}
+		}
+		if err := wtr.Close(); err != nil {
+			return MarkRetryable(err)
+		}
+		reply.Checksums[pid] = wtr.ContentChecksum()
+		if err := copyLocalIndex(args.SrcDir, args.DstDir, pid); err != nil {
+			return MarkRetryable(err)
+		}
+		records += int64(len(recs))
+		mReplCopied.Inc()
+	}
+	if err := dst.Sync(); err != nil {
+		return MarkRetryable(err)
+	}
+	w.track("Replicate", records)
+	return nil
+}
+
+// copyLocalIndex copies pid's local sigtree (and Bloom filter, when present)
+// from one store's index dir into another's.
+func copyLocalIndex(srcDir, dstDir string, pid int) error {
+	if err := os.MkdirAll(filepath.Join(dstDir, "_index"), 0o755); err != nil {
+		return err
+	}
+	names := []string{
+		fmt.Sprintf("local-%06d.sigtree", pid),
+		fmt.Sprintf("bloom-%06d.bin", pid),
+	}
+	for _, name := range names {
+		data, err := os.ReadFile(filepath.Join(srcDir, "_index", name))
+		if errors.Is(err, fs.ErrNotExist) {
+			continue // Bloom filters are optional
+		}
+		if err != nil {
+			return err
+		}
+		dst := filepath.Join(dstDir, "_index", name)
+		tmp := dst + ".tmp"
+		if err := os.WriteFile(tmp, data, 0o644); err != nil {
+			return err
+		}
+		if err := os.Rename(tmp, dst); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ChecksumArgs asks a worker for the content checksums of partitions in one
+// store (typically its own replica store).
+type ChecksumArgs struct {
+	StoreDir string
+	PIDs     []int
+	Trace    obs.SpanContext
+}
+
+// ChecksumReply maps pid to its CRC32C content checksum. A pid absent from
+// the map is missing or unreadable on this store — the repair loop treats
+// both as "this replica needs re-replication".
+type ChecksumReply struct {
+	Checksums map[int]uint32
+}
+
+// ChecksumPartitions computes content checksums for the anti-entropy loop.
+// An unopenable store or unreadable partition is reported by omission, not
+// error: the caller's question is "which replicas are healthy here", and a
+// broken one is a normal answer.
+func (w *Worker) ChecksumPartitions(args ChecksumArgs, reply *ChecksumReply) (err error) {
+	span := w.startSpan(args.Trace, "worker.checksum_partitions")
+	defer func() { span.SetError(err); span.Finish() }()
+	reply.Checksums = map[int]uint32{}
+	st, err := storage.Open(args.StoreDir)
+	if err != nil {
+		return nil // no store here: every pid is missing
+	}
+	for _, pid := range args.PIDs {
+		sum, err := st.VerifyPartitionChecksum(pid)
+		if err != nil {
+			continue
+		}
+		reply.Checksums[pid] = sum
+	}
+	w.track("ChecksumPartitions", int64(len(args.PIDs)))
+	return nil
+}
+
+// --- anti-entropy repair ---------------------------------------------------
+
+// MapCoordinator commits PartitionMap versions to the coordinator ensemble.
+// Implemented by raftlite's Registry (in-process) and Client (over RPC); nil
+// means "no ensemble, the on-disk map is authoritative".
+type MapCoordinator interface {
+	ProposeMap(version uint64, data []byte) error
+}
+
+// RepairStats summarizes one anti-entropy pass.
+type RepairStats struct {
+	// Partitions is the number of map entries examined.
+	Partitions int
+	// Missing counts replicas absent from their owner (or the owner dead);
+	// Mismatched counts replicas whose content checksum diverged.
+	Missing    int
+	Mismatched int
+	// Repaired counts replica copies completed this pass.
+	Repaired int
+	// Unrepaired counts partitions still under-replicated after the pass
+	// (not enough live workers, or every copy failed).
+	Unrepaired int
+	// MapVersion is the placement version after the pass; Rebalanced reports
+	// whether this pass changed placement (and hence bumped the version).
+	MapVersion uint64
+	Rebalanced bool
+	Duration   time.Duration
+}
+
+// Repairer is the anti-entropy loop: it compares per-partition content
+// checksums across replicas, re-replicates missing or diverged ones onto
+// live workers, and publishes any placement change as a new PartitionMap
+// version (to disk, and to the coordinator ensemble when one is attached).
+type Repairer struct {
+	Pool     *Pool
+	StoreDir string
+	// Coord, when non-nil, receives each new map version for majority commit.
+	Coord MapCoordinator
+	// Interval is the background loop period (default 30s).
+	Interval time.Duration
+	// Logf, when non-nil, receives one line per completed pass.
+	Logf func(format string, args ...any)
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// RunOnce executes one repair pass. A store without a partition map is a
+// no-op.
+func (r *Repairer) RunOnce(ctx context.Context) (RepairStats, error) {
+	start := time.Now()
+	var rs RepairStats
+	m, err := LoadPartitionMap(r.StoreDir)
+	if err != nil || m == nil {
+		return rs, err
+	}
+	rs.Partitions = len(m.Entries)
+	rs.MapVersion = m.Version //tardislint:ignore racecheck cross-instance pairing: repair mutates a private map loaded from disk; Server.mu-guarded readers hold their own copy
+
+	// Liveness: a worker that answers Ping is a valid placement target.
+	statuses, _ := r.Pool.Ping(ctx)
+	live := make([]string, 0, len(statuses))
+	for _, s := range statuses {
+		if s.Err == nil {
+			live = append(live, s.Addr)
+		}
+	}
+	if len(live) == 0 {
+		return rs, fmt.Errorf("rpc: repair: no live workers")
+	}
+	sort.Strings(live)
+
+	// Gather every live owner's view of its replicas in one RPC per worker.
+	perOwner := map[string][]int{}
+	for _, e := range m.Entries {
+		for _, a := range e.Replicas { //tardislint:ignore racecheck cross-instance pairing: repair mutates a private map loaded from disk; Server.mu-guarded readers hold their own copy
+			perOwner[a] = append(perOwner[a], e.PID)
+		}
+	}
+	sums := map[string]map[int]uint32{}
+	for _, addr := range live {
+		pids := perOwner[addr]
+		if len(pids) == 0 {
+			continue
+		}
+		w := r.Pool.worker(addr)
+		if w == nil {
+			continue
+		}
+		var reply ChecksumReply
+		if err := r.Pool.callWorker(ctx, w, "Worker.ChecksumPartitions", ChecksumArgs{
+			StoreDir: ReplicaDir(r.StoreDir, addr), PIDs: pids,
+		}, &reply); err != nil {
+			continue // treated as all-missing for this owner
+		}
+		sums[addr] = reply.Checksums
+	}
+	liveSet := map[string]bool{}
+	for _, a := range live {
+		liveSet[a] = true
+	}
+
+	rebalanced := false
+	for i := range m.Entries {
+		e := &m.Entries[i]
+		// Healthy replicas: live owner, partition present, checksum agrees.
+		healthy := make([]string, 0, len(e.Replicas)) //tardislint:ignore racecheck cross-instance pairing: repair mutates a private map loaded from disk; Server.mu-guarded readers hold their own copy
+		for _, a := range e.Replicas {                //tardislint:ignore racecheck cross-instance pairing: repair mutates a private map loaded from disk; Server.mu-guarded readers hold their own copy
+			sum, ok := sums[a][e.PID]
+			switch {
+			case !liveSet[a] || !ok:
+				rs.Missing++
+			case sum != e.Checksum:
+				rs.Mismatched++
+			default:
+				healthy = append(healthy, a)
+			}
+		}
+		// Desired placement over the live set; keep healthy copies that are
+		// no longer preferred rather than deleting data.
+		desired := PlaceReplicas(live, e.PID, m.Replication)
+		isHealthy := map[string]bool{}
+		for _, a := range healthy {
+			isHealthy[a] = true
+		}
+		newOwners := append([]string(nil), healthy...)
+		for _, target := range desired {
+			if len(newOwners) >= m.Replication {
+				break
+			}
+			if isHealthy[target] {
+				continue
+			}
+			reason := replReasonMissing
+			if sum, ok := sums[target][e.PID]; ok && sum != e.Checksum {
+				reason = replReasonMismatch
+			}
+			if r.repairOne(ctx, e, target, healthy, reason) {
+				newOwners = append(newOwners, target)
+				rs.Repaired++
+			}
+		}
+		if len(newOwners) < m.Replication {
+			rs.Unrepaired++
+		}
+		if !sameOwners(e.Replicas, newOwners) { //tardislint:ignore racecheck cross-instance pairing: repair mutates a private map loaded from disk; Server.mu-guarded readers hold their own copy
+			e.Replicas = newOwners //tardislint:ignore racecheck cross-instance pairing: repair mutates a private map loaded from disk; Server.mu-guarded readers hold their own copy
+			rebalanced = true
+		}
+	}
+	mReplUnderReplicated.Set(int64(rs.Unrepaired))
+
+	if rebalanced {
+		m.Version++ //tardislint:ignore racecheck cross-instance pairing: repair mutates a private map loaded from disk; Server.mu-guarded readers hold their own copy
+		if err := m.Save(r.StoreDir); err != nil {
+			return rs, err
+		}
+		rs.MapVersion = m.Version //tardislint:ignore racecheck cross-instance pairing: repair mutates a private map loaded from disk; Server.mu-guarded readers hold their own copy
+		rs.Rebalanced = true
+		if r.Coord != nil {
+			data, err := json.Marshal(m)
+			if err != nil {
+				return rs, err
+			}
+			if err := r.Coord.ProposeMap(m.Version, data); err != nil && r.Logf != nil { //tardislint:ignore racecheck cross-instance pairing: repair mutates a private map loaded from disk; Server.mu-guarded readers hold their own copy
+				r.Logf("repair: map v%d commit failed: %v", m.Version, err) //tardislint:ignore racecheck cross-instance pairing: repair mutates a private map loaded from disk; Server.mu-guarded readers hold their own copy
+			}
+		}
+	}
+	rs.Duration = time.Since(start)
+	mReplRepairDuration.Observe(rs.Duration.Seconds())
+	if r.Logf != nil {
+		r.Logf("repair: %d partitions, %d missing, %d mismatched, %d repaired, %d unrepaired, map v%d",
+			rs.Partitions, rs.Missing, rs.Mismatched, rs.Repaired, rs.Unrepaired, rs.MapVersion)
+	}
+	return rs, nil
+}
+
+// repairOne copies one partition onto target from the first healthy replica
+// (falling back to the canonical store) and reports success. The copy runs
+// on the target worker itself, pulling into its own replica store.
+func (r *Repairer) repairOne(ctx context.Context, e *ReplicaSet, target string, healthy []string, reason string) bool {
+	srcDir := r.StoreDir
+	if len(healthy) > 0 {
+		srcDir = ReplicaDir(r.StoreDir, healthy[0])
+	}
+	w := r.Pool.worker(target)
+	if w == nil {
+		return false
+	}
+	var reply ReplicateReply
+	err := r.Pool.callWorker(ctx, w, "Worker.Replicate", ReplicateArgs{
+		SrcDir: srcDir, DstDir: ReplicaDir(r.StoreDir, target), PIDs: []int{e.PID},
+	}, &reply)
+	if err != nil || reply.Checksums[e.PID] != e.Checksum {
+		return false
+	}
+	mReplRepairs.With(reason).Inc()
+	return true
+}
+
+// sameOwners compares two owner lists as sets (placement order is a
+// preference, not an identity).
+func sameOwners(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	in := map[string]bool{}
+	for _, x := range a {
+		in[x] = true
+	}
+	for _, x := range b {
+		if !in[x] {
+			return false
+		}
+	}
+	return true
+}
+
+// worker returns the state for addr, or nil when it is not in the pool.
+func (p *Pool) worker(addr string) *workerState {
+	for _, w := range p.snapshot() {
+		if w.addr == addr {
+			return w
+		}
+	}
+	return nil
+}
+
+// Start launches the background repair loop; Stop halts it and waits.
+func (r *Repairer) Start() {
+	if r.Interval <= 0 {
+		r.Interval = 30 * time.Second
+	}
+	r.stop = make(chan struct{})
+	r.done = make(chan struct{})
+	go func() {
+		defer close(r.done)
+		t := time.NewTicker(r.Interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-r.stop:
+				return
+			case <-t.C:
+				ctx, cancel := context.WithTimeout(context.Background(), r.Interval)
+				_, err := r.RunOnce(ctx)
+				cancel()
+				if err != nil && r.Logf != nil {
+					r.Logf("repair: pass failed: %v", err)
+				}
+			}
+		}
+	}()
+}
+
+// Stop halts the background loop started by Start.
+func (r *Repairer) Stop() {
+	if r.stop == nil {
+		return
+	}
+	close(r.stop)
+	<-r.done
+}

@@ -1,0 +1,186 @@
+package rpc
+
+import (
+	"context"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/tardisdb/tardis/internal/dataset"
+)
+
+// Rendezvous placement: deterministic in the worker set, independent of input
+// order, and minimally disruptive — adding a worker only pulls partitions
+// onto the newcomer, never shuffles placement among the incumbents.
+func TestPlaceReplicasProperties(t *testing.T) {
+	three := []string{"10.0.0.1:7701", "10.0.0.2:7701", "10.0.0.3:7701"}
+	shuffled := []string{three[2], three[0], three[1]}
+	four := append(append([]string(nil), three...), "10.0.0.4:7701")
+
+	counts := map[string]int{}
+	for pid := 0; pid < 200; pid++ {
+		owners := PlaceReplicas(three, pid, 2)
+		if len(owners) != 2 {
+			t.Fatalf("pid %d: %d owners, want 2", pid, len(owners))
+		}
+		if owners[0] == owners[1] {
+			t.Fatalf("pid %d: duplicate owner %s", pid, owners[0])
+		}
+		if again := PlaceReplicas(three, pid, 2); !reflect.DeepEqual(owners, again) {
+			t.Fatalf("pid %d: placement not deterministic: %v vs %v", pid, owners, again)
+		}
+		if other := PlaceReplicas(shuffled, pid, 2); !reflect.DeepEqual(owners, other) {
+			t.Fatalf("pid %d: placement depends on address order: %v vs %v", pid, owners, other)
+		}
+		for _, a := range owners {
+			counts[a]++
+		}
+
+		// Minimal movement: with a fourth worker, an incumbent loses a
+		// partition only to the newcomer.
+		grown := PlaceReplicas(four, pid, 2)
+		was := map[string]bool{owners[0]: true, owners[1]: true}
+		for _, a := range grown {
+			if a != four[3] && !was[a] {
+				t.Fatalf("pid %d: adding a worker reshuffled incumbents: %v -> %v", pid, owners, grown)
+			}
+		}
+	}
+	// Sanity on balance: no worker should own everything or nothing.
+	for _, a := range three {
+		if counts[a] == 0 || counts[a] == 400 {
+			t.Fatalf("degenerate placement balance: %v", counts)
+		}
+	}
+
+	// Replication factor is capped at the worker count.
+	if got := PlaceReplicas(three, 1, 9); len(got) != 3 {
+		t.Fatalf("r above worker count gave %d owners, want 3", len(got))
+	}
+}
+
+func TestPartitionMapRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	m, err := LoadPartitionMap(dir)
+	if err != nil || m != nil {
+		t.Fatalf("empty store: map=%v err=%v, want nil,nil", m, err)
+	}
+	in := NewPartitionMap([]string{"a:1", "b:1", "c:1"}, []int{0, 3, 7}, 2, 5)
+	for i := range in.Entries {
+		in.Entries[i].Checksum = uint32(100 + i)
+	}
+	if err := in.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	out, err := LoadPartitionMap(dir)
+	if err != nil || out == nil {
+		t.Fatalf("reload: %v", err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\n in %+v\nout %+v", in, out)
+	}
+	if got := out.Owners(3); len(got) != 2 {
+		t.Fatalf("Owners(3) = %v", got)
+	}
+	if got := out.Owners(99); got != nil {
+		t.Fatalf("Owners of unknown pid = %v, want nil", got)
+	}
+}
+
+func TestReplicaDirSanitizesAddr(t *testing.T) {
+	dir := ReplicaDir("/data/idx", "10.0.0.1:7701")
+	base := filepath.Base(dir)
+	if strings.ContainsAny(base, ":/\\") {
+		t.Fatalf("replica dir segment %q not sanitized", base)
+	}
+	if filepath.Dir(filepath.Dir(dir)) != "/data/idx" {
+		t.Fatalf("replica dir %q not under the store's _replicas", dir)
+	}
+}
+
+// A nil routing table (unreplicated store) lets any worker scan the canonical
+// store; a real one confines each partition to its owners and points each
+// owner at its replica store.
+func TestReplicaRoutingFallbacks(t *testing.T) {
+	var rt *replicaRouting
+	if rt.eligible(4) != nil {
+		t.Fatal("nil routing restricted eligibility")
+	}
+	if got := rt.dirFor("/idx", 4, "a:1"); got != "/idx" {
+		t.Fatalf("nil routing dirFor = %q", got)
+	}
+	tasks := rt.tasks([]int{1, 2})
+	if len(tasks) != 2 || tasks[0].eligible != nil {
+		t.Fatalf("nil routing tasks = %+v", tasks)
+	}
+
+	rt = &replicaRouting{owners: map[int][]string{4: {"a:1", "b:1"}}, version: 1}
+	el := rt.eligible(4)
+	if !el["a:1"] || !el["b:1"] || len(el) != 2 {
+		t.Fatalf("eligible(4) = %v", el)
+	}
+	if rt.eligible(9) != nil {
+		t.Fatal("uncovered pid restricted eligibility")
+	}
+	if got := rt.dirFor("/idx", 4, "a:1"); got != ReplicaDir("/idx", "a:1") {
+		t.Fatalf("owner dirFor = %q", got)
+	}
+	if got := rt.dirFor("/idx", 4, "c:1"); got != "/idx" {
+		t.Fatalf("non-owner dirFor = %q", got)
+	}
+}
+
+// A replicated build must change nothing about the canonical index or its
+// answers: same record routing, and the exact query over replicas matches the
+// in-process exact search.
+func TestReplicatedBuildMatchesUnreplicated(t *testing.T) {
+	const n = 1500
+	srcDir, g := writeTestStore(t, n)
+	cfg := testConfig()
+
+	addrs := startWorkers(t, 3)
+	ctx := context.Background()
+	pool, err := DialContext(ctx, addrs, faultPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	replDir := filepath.Join(t.TempDir(), "repl")
+	rstats, err := BuildDistributedOpts(ctx, pool, srcDir, replDir, t.TempDir(), cfg, BuildOptions{Replication: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainDir := filepath.Join(t.TempDir(), "plain")
+	pstats, err := BuildDistributed(ctx, pool, srcDir, plainDir, t.TempDir(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rstats.Records != pstats.Records || rstats.Partitions != pstats.Partitions {
+		t.Fatalf("replicated build differs: %d/%d records, %d/%d partitions",
+			rstats.Records, pstats.Records, rstats.Partitions, pstats.Partitions)
+	}
+	if pstats.MapVersion != 0 {
+		t.Fatalf("unreplicated build wrote a partition map (v%d)", pstats.MapVersion)
+	}
+	m, err := LoadPartitionMap(replDir)
+	if err != nil || m == nil {
+		t.Fatalf("partition map missing: %v", err)
+	}
+	if len(m.Entries) != rstats.Partitions {
+		t.Fatalf("map covers %d partitions, build made %d", len(m.Entries), rstats.Partitions)
+	}
+	verifyReplicaChecksums(t, replDir, m)
+
+	const k = 5
+	for i := int64(0); i < 3; i++ {
+		q := dataset.Record(g, 5, 800+i).Values.ZNormalize()
+		want := exactBaseline(t, replDir, q, k)
+		got, st, err := DistKNNExact(ctx, pool, replDir, cfg, q, k)
+		if err != nil || st.Degraded {
+			t.Fatalf("query %d: %v (degraded=%v)", i, err, st.Degraded)
+		}
+		assertSameNeighbors(t, "replicated exact", got, want)
+	}
+}

@@ -313,9 +313,12 @@ type BuildLocalsArgs struct {
 	Trace      obs.SpanContext
 }
 
-// BuildLocalsReply reports per-partition record counts.
+// BuildLocalsReply reports per-partition record counts and the CRC32C
+// content checksum of each written partition — the seed values for the
+// PartitionMap and the canonical store's manifest.
 type BuildLocalsReply struct {
-	Counts map[int]int64
+	Counts    map[int]int64
+	Checksums map[int]uint32
 }
 
 // BuildLocals merges the spills for each owned partition, writes the final
@@ -345,6 +348,7 @@ func (w *Worker) BuildLocals(args BuildLocalsArgs, reply *BuildLocalsReply) (err
 		spills = append(spills, st)
 	}
 	counts := map[int]int64{}
+	checksums := map[int]uint32{}
 	for _, pid := range args.PIDs {
 		var recs []ts.Record
 		for _, sp := range spills {
@@ -402,8 +406,10 @@ func (w *Worker) BuildLocals(args BuildLocalsArgs, reply *BuildLocalsReply) (err
 			return MarkRetryable(err)
 		}
 		counts[pid] = int64(len(recs))
+		checksums[pid] = wtr.ContentChecksum()
 	}
 	reply.Counts = counts
+	reply.Checksums = checksums
 	var total int64
 	for _, n := range counts {
 		total += n

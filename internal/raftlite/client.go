@@ -1,0 +1,184 @@
+package raftlite
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/rpc"
+	"sync"
+	"time"
+)
+
+// Client talks to the coordinator ensemble from the outside (workers, query
+// frontends, the repair loop). It tries the known coordinator addresses,
+// follows leader redirects, and caches the address that last answered as
+// leader. All methods are safe for concurrent use.
+type Client struct {
+	addrs   []string // immutable after New
+	timeout time.Duration
+
+	mu      sync.Mutex
+	leader  string                 // guarded by mu; address that last led
+	clients map[string]*rpc.Client // guarded by mu
+}
+
+// NewClient builds a coordinator client over the given ensemble addresses.
+// timeout bounds each dial and call; zero defaults to 3s.
+func NewClient(addrs []string, timeout time.Duration) (*Client, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("raftlite: no coordinator addresses")
+	}
+	if timeout <= 0 {
+		timeout = 3 * time.Second
+	}
+	return &Client{
+		addrs:   append([]string(nil), addrs...),
+		timeout: timeout,
+		clients: map[string]*rpc.Client{},
+	}, nil
+}
+
+// Close closes all cached connections.
+func (c *Client) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for addr, cl := range c.clients {
+		_ = cl.Close()
+		delete(c.clients, addr)
+	}
+}
+
+func (c *Client) conn(addr string) (*rpc.Client, error) {
+	c.mu.Lock()
+	if cl := c.clients[addr]; cl != nil {
+		c.mu.Unlock()
+		return cl, nil
+	}
+	c.mu.Unlock()
+	nc, err := net.DialTimeout("tcp", addr, c.timeout)
+	if err != nil {
+		return nil, err
+	}
+	cl := rpc.NewClient(nc)
+	c.mu.Lock()
+	if prev := c.clients[addr]; prev != nil {
+		c.mu.Unlock()
+		_ = cl.Close()
+		return prev, nil
+	}
+	c.clients[addr] = cl
+	c.mu.Unlock()
+	return cl, nil
+}
+
+func (c *Client) drop(addr string, cl *rpc.Client) {
+	c.mu.Lock()
+	if c.clients[addr] == cl {
+		delete(c.clients, addr)
+	}
+	c.mu.Unlock()
+	_ = cl.Close()
+}
+
+func (c *Client) callAddr(addr, method string, args *CoordArgs, reply *CoordReply) error {
+	cl, err := c.conn(addr)
+	if err != nil {
+		return err
+	}
+	call := cl.Go(method, args, reply, make(chan *rpc.Call, 1))
+	timer := time.NewTimer(c.timeout)
+	defer timer.Stop()
+	select {
+	case <-call.Done:
+		if call.Error != nil {
+			c.drop(addr, cl)
+			return call.Error
+		}
+		return nil
+	case <-timer.C:
+		c.drop(addr, cl)
+		return fmt.Errorf("raftlite: %s to %s timed out", method, addr)
+	}
+}
+
+// call tries the cached leader first, then every ensemble address, following
+// one redirect hop per answer, until a node accepts.
+func (c *Client) call(method string, args *CoordArgs) (*CoordReply, error) {
+	c.mu.Lock()
+	cached := c.leader
+	c.mu.Unlock()
+	order := make([]string, 0, len(c.addrs)+1)
+	if cached != "" {
+		order = append(order, cached)
+	}
+	for _, a := range c.addrs {
+		if a != cached {
+			order = append(order, a)
+		}
+	}
+	var errs []error
+	for _, addr := range order {
+		var reply CoordReply
+		err := c.callAddr(addr, method, args, &reply)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", addr, err))
+			continue
+		}
+		if reply.OK {
+			c.mu.Lock()
+			c.leader = addr
+			c.mu.Unlock()
+			return &reply, nil
+		}
+		if reply.Redirect != "" && reply.Redirect != addr {
+			var redirected CoordReply
+			if rerr := c.callAddr(reply.Redirect, method, args, &redirected); rerr == nil && redirected.OK {
+				c.mu.Lock()
+				c.leader = reply.Redirect
+				c.mu.Unlock()
+				return &redirected, nil
+			}
+		}
+		errs = append(errs, fmt.Errorf("%s: not leader", addr))
+	}
+	return nil, fmt.Errorf("raftlite: no coordinator accepted %s: %w", method, errors.Join(errs...))
+}
+
+// Register registers a worker with the committed membership.
+func (c *Client) Register(addr, id string) (RegistryState, error) {
+	reply, err := c.call("Coord.Register", &CoordArgs{Addr: addr, ID: id})
+	if err != nil {
+		return RegistryState{}, err
+	}
+	return reply.State, nil
+}
+
+// Heartbeat refreshes a worker's membership entry.
+func (c *Client) Heartbeat(addr, id string) (RegistryState, error) {
+	reply, err := c.call("Coord.Heartbeat", &CoordArgs{Addr: addr, ID: id})
+	if err != nil {
+		return RegistryState{}, err
+	}
+	return reply.State, nil
+}
+
+// ProposeMap commits a new PartitionMap version through the leader.
+func (c *Client) ProposeMap(version uint64, data []byte) error {
+	_, err := c.call("Coord.ProposeMap", &CoordArgs{MapVersion: version, MapData: data})
+	return err
+}
+
+// State reads the registry state from any reachable node (committed state;
+// a follower may lag the leader by in-flight entries).
+func (c *Client) State() (RegistryState, error) {
+	var errs []error
+	for _, addr := range c.addrs {
+		var reply CoordReply
+		if err := c.callAddr(addr, "Coord.State", &CoordArgs{}, &reply); err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", addr, err))
+			continue
+		}
+		return reply.State, nil
+	}
+	return RegistryState{}, fmt.Errorf("raftlite: no coordinator reachable: %w", errors.Join(errs...))
+}

@@ -1,0 +1,612 @@
+// Package raftlite is a compact, stdlib-only log-replication core for the
+// TARDIS coordinator: leader election with randomized timeouts, a replicated
+// log with majority commit, and a heartbeat-based leader lease. The cluster
+// uses it to agree on worker membership and on which PartitionMap version is
+// current, so replica-aware routing never splits brain.
+//
+// Scope (and non-goals, by design — see DESIGN.md §10): the ensemble is a
+// small fixed set of coordinator nodes named at startup; there is no raft
+// membership change, no persistence, no snapshots, and no log compaction. A
+// restarted coordinator node rejoins with an empty log and catches up from
+// the leader; losing a majority of coordinators loses the (reconstructible)
+// membership view, never the index data, which lives on the shared
+// filesystem.
+package raftlite
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Entry is one replicated log record.
+type Entry struct {
+	Term  uint64
+	Index uint64
+	Cmd   []byte
+}
+
+// VoteArgs is the RequestVote RPC payload.
+type VoteArgs struct {
+	Term         uint64
+	Candidate    string
+	LastLogIndex uint64
+	LastLogTerm  uint64
+}
+
+// VoteReply answers RequestVote.
+type VoteReply struct {
+	Term    uint64
+	Granted bool
+}
+
+// AppendArgs is the AppendEntries RPC payload (also the heartbeat).
+type AppendArgs struct {
+	Term         uint64
+	Leader       string
+	PrevLogIndex uint64
+	PrevLogTerm  uint64
+	Entries      []Entry
+	LeaderCommit uint64
+}
+
+// AppendReply answers AppendEntries. On consistency failure ConflictIndex
+// tells the leader where to back nextIndex up to.
+type AppendReply struct {
+	Term          uint64
+	Success       bool
+	ConflictIndex uint64
+}
+
+// Transport delivers RPCs to a peer node by id. Implementations must be safe
+// for concurrent use; errors are treated as "peer unreachable this round".
+type Transport interface {
+	RequestVote(peer string, args *VoteArgs, reply *VoteReply) error
+	AppendEntries(peer string, args *AppendArgs, reply *AppendReply) error
+}
+
+// ErrNotLeader reports a proposal sent to a non-leader node, with a redirect
+// hint when the node knows who leads.
+type ErrNotLeader struct {
+	Leader string
+}
+
+func (e *ErrNotLeader) Error() string {
+	if e.Leader == "" {
+		return "raftlite: not leader (no known leader)"
+	}
+	return fmt.Sprintf("raftlite: not leader (leader is %s)", e.Leader)
+}
+
+// ErrEntryLost reports that a proposed entry was overwritten by a new
+// leader's log before committing; the caller must re-propose.
+var ErrEntryLost = errors.New("raftlite: proposed entry lost to a newer leader")
+
+// ErrStopped reports an operation on a stopped node.
+var ErrStopped = errors.New("raftlite: node stopped")
+
+// Node states.
+const (
+	follower = iota
+	candidate
+	leader
+)
+
+// Config configures one ensemble node.
+type Config struct {
+	// ID names this node; it must appear in Peers.
+	ID string
+	// Peers lists every ensemble member id, including ID.
+	Peers []string
+	// ElectionTimeout is the base election timeout; each deadline is drawn
+	// uniformly from [ElectionTimeout, 2*ElectionTimeout). It is also the
+	// leader-lease window. Zero defaults to 150ms.
+	ElectionTimeout time.Duration
+	// Heartbeat is the leader's replication interval. Zero defaults to
+	// ElectionTimeout/5.
+	Heartbeat time.Duration
+	// Seed makes the election-timeout jitter deterministic per node (the
+	// node id is mixed in so peers sharing a seed still diverge).
+	Seed int64
+	// Apply is called with each committed entry, in log order, from a single
+	// goroutine. It must not call back into the Node.
+	Apply func(Entry)
+}
+
+func (c Config) withDefaults() Config {
+	if c.ElectionTimeout <= 0 {
+		c.ElectionTimeout = 150 * time.Millisecond
+	}
+	if c.Heartbeat <= 0 {
+		c.Heartbeat = c.ElectionTimeout / 5
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Node is one member of the coordination ensemble.
+type Node struct {
+	cfg Config
+	tr  Transport
+
+	mu               sync.Mutex
+	state            int                  // guarded by mu
+	term             uint64               // guarded by mu
+	votedFor         string               // guarded by mu
+	log              []Entry              // guarded by mu; log[0] is a sentinel
+	commitIndex      uint64               // guarded by mu
+	lastApplied      uint64               // guarded by mu
+	nextIndex        map[string]uint64    // guarded by mu; leader volatile state
+	matchIndex       map[string]uint64    // guarded by mu
+	ackTime          map[string]time.Time // guarded by mu; last successful append per peer
+	sending          map[string]bool      // guarded by mu; per-peer append in flight
+	leaderID         string               // guarded by mu; last observed leader
+	electionDeadline time.Time            // guarded by mu
+	votes            int                  // guarded by mu; granted votes this election
+	rng              *rand.Rand           // guarded by mu
+	stopped          bool                 // guarded by mu
+
+	poke chan struct{}
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewNode builds a node; call Start to begin participating.
+func NewNode(cfg Config, tr Transport) (*Node, error) {
+	cfg = cfg.withDefaults()
+	if cfg.ID == "" {
+		return nil, errors.New("raftlite: node id required")
+	}
+	found := false
+	for _, p := range cfg.Peers {
+		if p == cfg.ID {
+			found = true
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("raftlite: id %q not in peer list %v", cfg.ID, cfg.Peers)
+	}
+	h := fnv.New64a()
+	h.Write([]byte(cfg.ID))
+	n := &Node{
+		cfg:        cfg,
+		tr:         tr,
+		log:        []Entry{{}}, // sentinel at index 0
+		nextIndex:  map[string]uint64{},
+		matchIndex: map[string]uint64{},
+		ackTime:    map[string]time.Time{},
+		sending:    map[string]bool{},
+		rng:        rand.New(rand.NewSource(cfg.Seed ^ int64(h.Sum64()))),
+		poke:       make(chan struct{}, 1),
+		done:       make(chan struct{}),
+	}
+	n.resetElectionDeadlineLocked()
+	return n, nil
+}
+
+// Start launches the node's tick loop.
+func (n *Node) Start() {
+	n.wg.Add(1)
+	go n.run()
+}
+
+// Stop halts the node. It blocks until the tick loop exits; in-flight RPC
+// handlers may still mutate state afterwards, which is harmless (the node no
+// longer initiates anything).
+func (n *Node) Stop() {
+	n.mu.Lock()
+	if n.stopped {
+		n.mu.Unlock()
+		return
+	}
+	n.stopped = true
+	n.mu.Unlock()
+	close(n.done)
+	n.wg.Wait()
+}
+
+// ID returns the node's id.
+func (n *Node) ID() string { return n.cfg.ID }
+
+// run is the single driver goroutine: elections, heartbeats, replication
+// rounds, and applying committed entries all happen from here (RPC handlers
+// only mutate state).
+func (n *Node) run() {
+	defer n.wg.Done()
+	t := time.NewTicker(n.cfg.Heartbeat)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.done:
+			return
+		case <-t.C:
+		case <-n.poke:
+		}
+		n.step()
+	}
+}
+
+func (n *Node) step() {
+	n.mu.Lock()
+	now := time.Now()
+	switch n.state {
+	case leader:
+		n.advanceCommitLocked()
+		n.broadcastAppendLocked()
+	default:
+		if now.After(n.electionDeadline) {
+			n.startElectionLocked()
+		}
+	}
+	n.applyCommittedLocked()
+	n.mu.Unlock()
+}
+
+func (n *Node) resetElectionDeadlineLocked() {
+	d := n.cfg.ElectionTimeout + time.Duration(n.rng.Int63n(int64(n.cfg.ElectionTimeout))) //tardislint:ignore lockflow caller holds mu
+	n.electionDeadline = time.Now().Add(d)                                                 //tardislint:ignore lockflow caller holds mu
+}
+
+func (n *Node) lastLogLocked() (index, term uint64) {
+	last := n.log[len(n.log)-1] //tardislint:ignore lockflow caller holds mu
+	return last.Index, last.Term
+}
+
+// stepDownLocked moves to follower for a higher term.
+func (n *Node) stepDownLocked(term uint64) {
+	n.term = term      //tardislint:ignore lockflow caller holds mu
+	n.state = follower //tardislint:ignore lockflow caller holds mu
+	n.votedFor = ""    //tardislint:ignore lockflow caller holds mu
+	n.resetElectionDeadlineLocked()
+}
+
+func (n *Node) startElectionLocked() {
+	n.state = candidate   //tardislint:ignore lockflow caller holds mu
+	n.term++              //tardislint:ignore lockflow caller holds mu
+	n.votedFor = n.cfg.ID //tardislint:ignore lockflow caller holds mu
+	n.votes = 1           // self //tardislint:ignore lockflow caller holds mu
+	n.resetElectionDeadlineLocked()
+	term := n.term //tardislint:ignore lockflow caller holds mu
+	lastIdx, lastTerm := n.lastLogLocked()
+	if n.votes > len(n.cfg.Peers)/2 { //tardislint:ignore lockflow caller holds mu
+		// Single-node ensemble: self-vote is already a majority.
+		n.becomeLeaderLocked()
+		return
+	}
+	for _, p := range n.cfg.Peers {
+		if p == n.cfg.ID {
+			continue
+		}
+		peer := p
+		go func() { //tardislint:ignore goroleak one-shot vote RPC bounded by the transport timeout
+			args := VoteArgs{Term: term, Candidate: n.cfg.ID, LastLogIndex: lastIdx, LastLogTerm: lastTerm}
+			var reply VoteReply
+			if err := n.tr.RequestVote(peer, &args, &reply); err != nil {
+				return
+			}
+			n.mu.Lock()
+			defer n.mu.Unlock()
+			if reply.Term > n.term {
+				n.stepDownLocked(reply.Term)
+				return
+			}
+			if n.state != candidate || n.term != term || !reply.Granted {
+				return
+			}
+			n.votes++
+			if n.votes > len(n.cfg.Peers)/2 {
+				n.becomeLeaderLocked()
+			}
+		}()
+	}
+}
+
+func (n *Node) becomeLeaderLocked() {
+	n.state = leader      //tardislint:ignore lockflow caller holds mu
+	n.leaderID = n.cfg.ID //tardislint:ignore lockflow caller holds mu
+	lastIdx, _ := n.lastLogLocked()
+	now := time.Now()
+	for _, p := range n.cfg.Peers {
+		n.nextIndex[p] = lastIdx + 1 //tardislint:ignore lockflow caller holds mu
+		n.matchIndex[p] = 0          //tardislint:ignore lockflow caller holds mu
+		n.ackTime[p] = now           //tardislint:ignore lockflow caller holds mu
+	}
+	n.matchIndex[n.cfg.ID] = lastIdx //tardislint:ignore lockflow caller holds mu
+	n.broadcastAppendLocked()
+}
+
+// broadcastAppendLocked sends one replication round: for each peer without an
+// append already in flight, ship everything from its nextIndex (possibly
+// nothing — a heartbeat). RPCs run outside the lock.
+func (n *Node) broadcastAppendLocked() {
+	term := n.term //tardislint:ignore lockflow caller holds mu
+	for _, p := range n.cfg.Peers {
+		if p == n.cfg.ID || n.sending[p] { //tardislint:ignore lockflow caller holds mu
+			continue
+		}
+		next := n.nextIndex[p] //tardislint:ignore lockflow caller holds mu
+		if next < 1 {
+			next = 1
+		}
+		prev := n.log[next-1]                       //tardislint:ignore lockflow caller holds mu
+		entries := make([]Entry, len(n.log[next:])) //tardislint:ignore lockflow caller holds mu
+		copy(entries, n.log[next:])                 //tardislint:ignore lockflow caller holds mu
+		args := AppendArgs{
+			Term: term, Leader: n.cfg.ID,
+			PrevLogIndex: prev.Index, PrevLogTerm: prev.Term,
+			Entries: entries, LeaderCommit: n.commitIndex, //tardislint:ignore lockflow caller holds mu
+		}
+		n.sending[p] = true //tardislint:ignore lockflow caller holds mu
+		peer := p
+		go func() { //tardislint:ignore goroleak one-shot append RPC bounded by the transport timeout; sending[peer] serializes rounds
+			var reply AppendReply
+			err := n.tr.AppendEntries(peer, &args, &reply)
+			n.mu.Lock()
+			defer n.mu.Unlock()
+			n.sending[peer] = false
+			if err != nil {
+				return
+			}
+			if reply.Term > n.term {
+				n.stepDownLocked(reply.Term)
+				return
+			}
+			if n.state != leader || n.term != term {
+				return
+			}
+			if reply.Success {
+				m := args.PrevLogIndex + uint64(len(args.Entries))
+				if m > n.matchIndex[peer] {
+					n.matchIndex[peer] = m
+				}
+				n.nextIndex[peer] = m + 1
+				n.ackTime[peer] = time.Now()
+				n.advanceCommitLocked()
+			} else {
+				ci := reply.ConflictIndex
+				if ci < 1 {
+					ci = 1
+				}
+				if ci < n.nextIndex[peer] {
+					n.nextIndex[peer] = ci
+				} else if n.nextIndex[peer] > 1 {
+					n.nextIndex[peer]--
+				}
+			}
+		}()
+	}
+}
+
+// advanceCommitLocked commits the highest current-term index replicated on a
+// majority.
+func (n *Node) advanceCommitLocked() {
+	lastIdx, _ := n.lastLogLocked()
+	n.matchIndex[n.cfg.ID] = lastIdx                 //tardislint:ignore lockflow caller holds mu
+	for idx := lastIdx; idx > n.commitIndex; idx-- { //tardislint:ignore lockflow caller holds mu
+		if n.log[idx].Term != n.term { //tardislint:ignore lockflow caller holds mu
+			break // only current-term entries commit by counting (§5.4.2)
+		}
+		count := 0
+		for _, p := range n.cfg.Peers {
+			if n.matchIndex[p] >= idx { //tardislint:ignore lockflow caller holds mu
+				count++
+			}
+		}
+		if count > len(n.cfg.Peers)/2 {
+			n.commitIndex = idx //tardislint:ignore lockflow caller holds mu
+			break
+		}
+	}
+}
+
+// applyCommittedLocked feeds newly committed entries to cfg.Apply in order.
+// Called only from the run goroutine, so applications never interleave.
+func (n *Node) applyCommittedLocked() {
+	for n.lastApplied < n.commitIndex { //tardislint:ignore lockflow caller holds mu
+		n.lastApplied++           //tardislint:ignore lockflow caller holds mu
+		e := n.log[n.lastApplied] //tardislint:ignore lockflow caller holds mu
+		if n.cfg.Apply != nil {
+			n.mu.Unlock()
+			n.cfg.Apply(e)
+			n.mu.Lock()
+		}
+	}
+}
+
+// RequestVote is the RPC handler for a candidate's vote request.
+func (n *Node) RequestVote(args *VoteArgs, reply *VoteReply) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if args.Term > n.term {
+		n.stepDownLocked(args.Term)
+	}
+	reply.Term = n.term
+	if args.Term < n.term {
+		return nil
+	}
+	lastIdx, lastTerm := n.lastLogLocked()
+	upToDate := args.LastLogTerm > lastTerm ||
+		(args.LastLogTerm == lastTerm && args.LastLogIndex >= lastIdx)
+	if (n.votedFor == "" || n.votedFor == args.Candidate) && upToDate {
+		n.votedFor = args.Candidate
+		reply.Granted = true
+		n.resetElectionDeadlineLocked()
+	}
+	return nil
+}
+
+// AppendEntries is the RPC handler for the leader's replication/heartbeat.
+func (n *Node) AppendEntries(args *AppendArgs, reply *AppendReply) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	reply.Term = n.term
+	if args.Term < n.term {
+		return nil
+	}
+	if args.Term > n.term || n.state != follower {
+		n.stepDownLocked(args.Term)
+		reply.Term = n.term
+	}
+	n.leaderID = args.Leader
+	n.resetElectionDeadlineLocked()
+	lastIdx, _ := n.lastLogLocked()
+	if args.PrevLogIndex > lastIdx {
+		reply.ConflictIndex = lastIdx + 1
+		return nil
+	}
+	if n.log[args.PrevLogIndex].Term != args.PrevLogTerm {
+		// Back up to the start of the conflicting term.
+		ci := args.PrevLogIndex
+		for ci > 1 && n.log[ci-1].Term == n.log[args.PrevLogIndex].Term {
+			ci--
+		}
+		reply.ConflictIndex = ci
+		return nil
+	}
+	// Append, truncating at the first divergence.
+	for i, e := range args.Entries {
+		idx := args.PrevLogIndex + 1 + uint64(i)
+		if idx <= lastIdx && n.log[idx].Term != e.Term {
+			n.log = n.log[:idx]
+			lastIdx = idx - 1
+		}
+		if idx > lastIdx {
+			n.log = append(n.log, e)
+			lastIdx = idx
+		}
+	}
+	if args.LeaderCommit > n.commitIndex {
+		n.commitIndex = min(args.LeaderCommit, lastIdx)
+	}
+	reply.Success = true
+	return nil
+}
+
+// Propose appends a command to the leader's log and triggers replication. It
+// returns the entry's (index, term); commitment is asynchronous — use
+// WaitCommitted. Non-leaders return *ErrNotLeader with a redirect hint.
+func (n *Node) Propose(cmd []byte) (index, term uint64, err error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.stopped {
+		return 0, 0, ErrStopped
+	}
+	if n.state != leader {
+		hint := n.leaderID
+		if hint == n.cfg.ID {
+			hint = ""
+		}
+		return 0, 0, &ErrNotLeader{Leader: hint}
+	}
+	lastIdx, _ := n.lastLogLocked()
+	e := Entry{Term: n.term, Index: lastIdx + 1, Cmd: cmd}
+	n.log = append(n.log, e)
+	select {
+	case n.poke <- struct{}{}:
+	default:
+	}
+	return e.Index, e.Term, nil
+}
+
+// WaitCommitted blocks until the entry proposed at (index, term) is committed
+// and applied, the entry is overwritten by a newer leader (ErrEntryLost), or
+// ctx expires.
+func (n *Node) WaitCommitted(ctx context.Context, index, term uint64) error {
+	t := time.NewTicker(2 * time.Millisecond)
+	defer t.Stop()
+	for {
+		n.mu.Lock()
+		lastIdx, _ := n.lastLogLocked()
+		switch {
+		case index <= lastIdx && n.log[index].Term != term:
+			n.mu.Unlock()
+			return ErrEntryLost
+		case n.lastApplied >= index:
+			n.mu.Unlock()
+			return nil
+		case n.stopped:
+			n.mu.Unlock()
+			return ErrStopped
+		}
+		n.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// IsLeader reports whether this node currently leads with a live lease: a
+// majority of peers (self included) acked an append within the last election
+// timeout, so no other node can have been elected since.
+func (n *Node) IsLeader() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.hasLeaseLocked()
+}
+
+func (n *Node) hasLeaseLocked() bool {
+	if n.state != leader { //tardislint:ignore lockflow caller holds mu
+		return false
+	}
+	if len(n.cfg.Peers) == 1 {
+		return true
+	}
+	cutoff := time.Now().Add(-n.cfg.ElectionTimeout)
+	count := 1 // self
+	for _, p := range n.cfg.Peers {
+		if p == n.cfg.ID {
+			continue
+		}
+		if n.ackTime[p].After(cutoff) { //tardislint:ignore lockflow caller holds mu
+			count++
+		}
+	}
+	return count > len(n.cfg.Peers)/2
+}
+
+// LeaderHint returns the last observed leader id ("" when unknown).
+func (n *Node) LeaderHint() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.leaderID
+}
+
+// Status is a point-in-time snapshot of a node's raft state.
+type Status struct {
+	ID          string
+	Term        uint64
+	Leader      bool
+	LeaderID    string
+	CommitIndex uint64
+	LogLength   uint64
+}
+
+// Status snapshots the node's state for diagnostics.
+func (n *Node) Status() Status {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	lastIdx, _ := n.lastLogLocked()
+	return Status{
+		ID:          n.cfg.ID,
+		Term:        n.term,
+		Leader:      n.hasLeaseLocked(),
+		LeaderID:    n.leaderID,
+		CommitIndex: n.commitIndex,
+		LogLength:   lastIdx,
+	}
+}
+
+func min(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

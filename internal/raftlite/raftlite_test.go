@@ -1,0 +1,303 @@
+package raftlite
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+)
+
+// testEnsemble starts n registry nodes on a LocalNet and returns them with
+// their network. Nodes are stopped on cleanup.
+func testEnsemble(t *testing.T, n int) (*LocalNet, []*Registry) {
+	t.Helper()
+	ln := NewLocalNet()
+	peers := make([]string, n)
+	for i := range peers {
+		peers[i] = fmt.Sprintf("coord-%d", i)
+	}
+	regs := make([]*Registry, n)
+	for i := range regs {
+		cfg := Config{
+			ID: peers[i], Peers: peers,
+			ElectionTimeout: 50 * time.Millisecond,
+			Heartbeat:       10 * time.Millisecond,
+			Seed:            int64(1000 + i),
+		}
+		reg, err := NewRegistry(cfg, ln.Transport(peers[i]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ln.Register(reg.Node())
+		regs[i] = reg
+	}
+	for _, r := range regs {
+		r.Node().Start()
+	}
+	t.Cleanup(func() {
+		for _, r := range regs {
+			r.Node().Stop()
+		}
+	})
+	return ln, regs
+}
+
+// waitLeader polls until exactly one live node holds a lease, returning it.
+func waitLeader(t *testing.T, regs []*Registry, exclude map[string]bool) *Registry {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		var leaders []*Registry
+		for _, r := range regs {
+			if exclude[r.Node().ID()] {
+				continue
+			}
+			if r.Node().IsLeader() {
+				leaders = append(leaders, r)
+			}
+		}
+		if len(leaders) == 1 {
+			return leaders[0]
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("no single leader elected within 5s")
+	return nil
+}
+
+func TestElectionAndSingleLeader(t *testing.T) {
+	_, regs := testEnsemble(t, 3)
+	leader := waitLeader(t, regs, nil)
+	if leader.Node().Status().Term == 0 {
+		t.Fatal("leader term should be positive")
+	}
+}
+
+func TestSingleNodeEnsemble(t *testing.T) {
+	_, regs := testEnsemble(t, 1)
+	leader := waitLeader(t, regs, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := leader.Register(ctx, "127.0.0.1:7701", "w0"); err != nil {
+		t.Fatal(err)
+	}
+	st := leader.State()
+	if len(st.Members) != 1 || st.Members[0].Addr != "127.0.0.1:7701" {
+		t.Fatalf("members = %+v", st.Members)
+	}
+}
+
+func TestReplicationReachesFollowers(t *testing.T) {
+	_, regs := testEnsemble(t, 3)
+	leader := waitLeader(t, regs, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := leader.Register(ctx, "127.0.0.1:7701", "w0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := leader.ProposeMap(ctx, 1, []byte(`{"v":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	// Followers apply on their next heartbeat; poll briefly.
+	deadline := time.Now().Add(2 * time.Second)
+	for _, r := range regs {
+		for {
+			st := r.State()
+			if st.MapVersion == 1 && len(st.Members) == 1 {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("node %s never applied: %+v", r.Node().ID(), st)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+}
+
+func TestProposeOnFollowerRedirects(t *testing.T) {
+	_, regs := testEnsemble(t, 3)
+	leader := waitLeader(t, regs, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	for _, r := range regs {
+		if r == leader {
+			continue
+		}
+		err := r.Register(ctx, "127.0.0.1:7702", "w1")
+		var nl *ErrNotLeader
+		if !errors.As(err, &nl) {
+			t.Fatalf("follower propose error = %v; want ErrNotLeader", err)
+		}
+		if nl.Leader != leader.Node().ID() {
+			t.Fatalf("redirect hint = %q; want %q", nl.Leader, leader.Node().ID())
+		}
+		return
+	}
+}
+
+func TestLeaderKillReelectsAndStateSurvives(t *testing.T) {
+	lnet, regs := testEnsemble(t, 3)
+	leader := waitLeader(t, regs, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	if err := leader.ProposeMap(ctx, 1, []byte(`{"v":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	// Let the commit replicate to the followers before the kill, then sever
+	// and stop the old leader.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		applied := 0
+		for _, r := range regs {
+			if r.State().MapVersion == 1 {
+				applied++
+			}
+		}
+		if applied == len(regs) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("map v1 never replicated to all nodes")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	killed := leader.Node().ID()
+	lnet.Cut(killed)
+	leader.Node().Stop()
+
+	newLeader := waitLeader(t, regs, map[string]bool{killed: true})
+	if newLeader.Node().ID() == killed {
+		t.Fatal("killed leader still leading")
+	}
+	st := newLeader.State()
+	if st.MapVersion != 1 {
+		t.Fatalf("committed map version lost across failover: %d", st.MapVersion)
+	}
+	// The new leader keeps making progress.
+	if err := newLeader.ProposeMap(ctx, 2, []byte(`{"v":2}`)); err != nil {
+		t.Fatal(err)
+	}
+	if v := newLeader.State().MapVersion; v != 2 {
+		t.Fatalf("map version after failover propose = %d; want 2", v)
+	}
+}
+
+func TestMapVersionMonotonic(t *testing.T) {
+	_, regs := testEnsemble(t, 3)
+	leader := waitLeader(t, regs, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := leader.ProposeMap(ctx, 3, []byte(`{"v":3}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := leader.ProposeMap(ctx, 3, []byte(`{"v":3b}`)); err == nil {
+		t.Fatal("re-proposing the committed version should fail")
+	}
+	if err := leader.ProposeMap(ctx, 2, []byte(`{"v":2}`)); err == nil {
+		t.Fatal("proposing an older version should fail")
+	}
+	if v := leader.State().MapVersion; v != 3 {
+		t.Fatalf("map version = %d; want 3", v)
+	}
+}
+
+func TestMinorityPartitionCannotCommit(t *testing.T) {
+	lnet, regs := testEnsemble(t, 3)
+	leader := waitLeader(t, regs, nil)
+	// Isolate the leader: its lease expires and proposals cannot commit.
+	lnet.Cut(leader.Node().ID())
+	deadline := time.Now().Add(2 * time.Second)
+	for leader.Node().IsLeader() {
+		if time.Now().After(deadline) {
+			t.Fatal("isolated leader kept its lease past the election timeout")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	if err := leader.Register(ctx, "127.0.0.1:7709", "wX"); err == nil {
+		t.Fatal("isolated node committed a proposal without a majority")
+	}
+}
+
+// TestServeAndClient exercises the real net/rpc path end to end: a 3-node
+// ensemble served over TCP, a worker registering and heartbeating through
+// Client with leader redirect, and a map commit visible via State.
+func TestServeAndClient(t *testing.T) {
+	const n = 3
+	ids := make([]string, n)
+	addrs := map[string]string{}
+	listeners := make([]net.Listener, n)
+	for i := 0; i < n; i++ {
+		ids[i] = fmt.Sprintf("coord-%d", i)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = ln
+		addrs[ids[i]] = ln.Addr().String()
+	}
+	regs := make([]*Registry, n)
+	for i := 0; i < n; i++ {
+		tr := NewRPCTransport(addrs, time.Second)
+		t.Cleanup(tr.Close)
+		reg, err := NewRegistry(Config{
+			ID: ids[i], Peers: ids,
+			ElectionTimeout: 100 * time.Millisecond,
+			Heartbeat:       20 * time.Millisecond,
+			Seed:            int64(2000 + i),
+		}, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		regs[i] = reg
+		go Serve(listeners[i], reg) //nolint:errcheck // returns when the listener closes
+		reg.Node().Start()
+	}
+	t.Cleanup(func() {
+		for i := range regs {
+			listeners[i].Close()
+			regs[i].Node().Stop()
+		}
+	})
+	waitLeader(t, regs, nil)
+
+	all := make([]string, 0, n)
+	for _, id := range ids {
+		all = append(all, addrs[id])
+	}
+	client, err := NewClient(all, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(client.Close)
+	if _, err := client.Register("127.0.0.1:7701", "w0"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Heartbeat("127.0.0.1:7701", "w0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.ProposeMap(1, []byte(`{"v":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	st, err := client.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Members) != 1 || st.Members[0].Addr != "127.0.0.1:7701" {
+		t.Fatalf("members = %+v", st.Members)
+	}
+	// State may answer from a lagging follower; the commit must appear soon.
+	deadline := time.Now().Add(2 * time.Second)
+	for st.MapVersion != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("map version = %d; want 1", st.MapVersion)
+		}
+		time.Sleep(10 * time.Millisecond)
+		if st, err = client.State(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

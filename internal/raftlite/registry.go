@@ -1,0 +1,256 @@
+package raftlite
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/rpc"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Registry is the replicated state machine the ensemble agrees on: which
+// workers are members (registered and recently heartbeating) and which
+// PartitionMap version is current. Commands are proposed on the leader,
+// committed by majority, and applied deterministically on every node — the
+// leader stamps wall-clock times into the command itself so replicas never
+// consult their own clocks at apply time.
+type Registry struct {
+	node *Node
+
+	mu         sync.Mutex
+	members    map[string]Member // guarded by mu; keyed by worker address
+	mapVersion uint64            // guarded by mu
+	mapData    []byte            // guarded by mu; opaque committed PartitionMap bytes
+}
+
+// Member is one registered worker.
+type Member struct {
+	Addr string `json:"addr"`
+	ID   string `json:"id"`
+	// LastSeenUnixMilli is the leader-stamped time of the last heartbeat.
+	LastSeenUnixMilli int64 `json:"last_seen_unix_milli"`
+}
+
+// command is the wire form of one state-machine operation.
+type command struct {
+	Op         string `json:"op"` // register | heartbeat | unregister | setmap
+	Addr       string `json:"addr,omitempty"`
+	ID         string `json:"id,omitempty"`
+	UnixMilli  int64  `json:"unix_milli,omitempty"`
+	MapVersion uint64 `json:"map_version,omitempty"`
+	MapData    []byte `json:"map_data,omitempty"`
+}
+
+// NewRegistry builds the registry and its ensemble node. cfg.Apply is
+// overwritten; everything else is honored.
+func NewRegistry(cfg Config, tr Transport) (*Registry, error) {
+	r := &Registry{members: map[string]Member{}}
+	cfg.Apply = r.apply
+	n, err := NewNode(cfg, tr)
+	if err != nil {
+		return nil, err
+	}
+	r.node = n
+	return r, nil
+}
+
+// Node returns the underlying ensemble node (for Start/Stop and status).
+func (r *Registry) Node() *Node { return r.node }
+
+// apply is the deterministic state transition for one committed entry.
+func (r *Registry) apply(e Entry) {
+	var c command
+	if err := json.Unmarshal(e.Cmd, &c); err != nil {
+		return // a malformed entry is skipped identically on every replica
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch c.Op {
+	case "register", "heartbeat":
+		r.members[c.Addr] = Member{Addr: c.Addr, ID: c.ID, LastSeenUnixMilli: c.UnixMilli}
+	case "unregister":
+		delete(r.members, c.Addr)
+	case "setmap":
+		// Monotonic guard: a stale proposal (raced with a newer one) is a
+		// no-op, so the committed map version only ever moves forward.
+		if c.MapVersion > r.mapVersion {
+			r.mapVersion = c.MapVersion
+			r.mapData = c.MapData
+		}
+	}
+}
+
+// propose submits a command on this node and waits for it to commit.
+func (r *Registry) propose(ctx context.Context, c command) error {
+	data, err := json.Marshal(c)
+	if err != nil {
+		return err
+	}
+	idx, term, err := r.node.Propose(data)
+	if err != nil {
+		return err
+	}
+	return r.node.WaitCommitted(ctx, idx, term)
+}
+
+// Register records a worker as a member.
+func (r *Registry) Register(ctx context.Context, addr, id string) error {
+	return r.propose(ctx, command{Op: "register", Addr: addr, ID: id, UnixMilli: time.Now().UnixMilli()})
+}
+
+// Heartbeat refreshes a worker's liveness timestamp.
+func (r *Registry) Heartbeat(ctx context.Context, addr, id string) error {
+	return r.propose(ctx, command{Op: "heartbeat", Addr: addr, ID: id, UnixMilli: time.Now().UnixMilli()})
+}
+
+// Unregister removes a worker from the membership.
+func (r *Registry) Unregister(ctx context.Context, addr string) error {
+	return r.propose(ctx, command{Op: "unregister", Addr: addr})
+}
+
+// ProposeMap commits a new PartitionMap version. Versions must move forward;
+// proposing one at or below the committed version fails without a log entry.
+func (r *Registry) ProposeMap(ctx context.Context, version uint64, data []byte) error {
+	r.mu.Lock()
+	cur := r.mapVersion
+	r.mu.Unlock()
+	if version <= cur {
+		return fmt.Errorf("raftlite: map version %d not newer than committed %d", version, cur)
+	}
+	return r.propose(ctx, command{Op: "setmap", MapVersion: version, MapData: data})
+}
+
+// RegistryState is a snapshot of the committed coordinator state.
+type RegistryState struct {
+	Members    []Member `json:"members"`
+	MapVersion uint64   `json:"map_version"`
+	MapData    []byte   `json:"map_data,omitempty"`
+	LeaderID   string   `json:"leader_id"`
+	IsLeader   bool     `json:"is_leader"`
+	Term       uint64   `json:"term"`
+}
+
+// State snapshots the registry as applied on this node. Followers may lag the
+// leader by in-flight entries; the map version is still monotonic.
+func (r *Registry) State() RegistryState {
+	st := r.node.Status()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	members := make([]Member, 0, len(r.members))
+	for _, m := range r.members {
+		members = append(members, m)
+	}
+	sort.Slice(members, func(i, j int) bool { return members[i].Addr < members[j].Addr })
+	return RegistryState{
+		Members:    members,
+		MapVersion: r.mapVersion,
+		MapData:    append([]byte(nil), r.mapData...),
+		LeaderID:   st.LeaderID,
+		IsLeader:   st.Leader,
+		Term:       st.Term,
+	}
+}
+
+// --- net/rpc surface -------------------------------------------------------
+
+// CoordArgs carries one coordinator request.
+type CoordArgs struct {
+	Addr       string
+	ID         string
+	MapVersion uint64
+	MapData    []byte
+}
+
+// CoordReply answers a coordinator request. When the receiving node is not
+// the leader, OK is false and Redirect names the leader (may be empty during
+// an election).
+type CoordReply struct {
+	OK       bool
+	Redirect string
+	State    RegistryState
+}
+
+// proposeTimeout bounds a coordinator-side commit wait.
+const proposeTimeout = 5 * time.Second
+
+// coordService exposes the registry under the "Coord" net/rpc service name.
+type coordService struct {
+	reg *Registry
+}
+
+func (s *coordService) do(fn func(ctx context.Context) error, reply *CoordReply) error {
+	ctx, cancel := context.WithTimeout(context.Background(), proposeTimeout)
+	defer cancel()
+	err := fn(ctx)
+	var nl *ErrNotLeader
+	if errors.As(err, &nl) {
+		reply.OK = false
+		reply.Redirect = nl.Leader
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	reply.OK = true
+	reply.State = s.reg.State()
+	return nil
+}
+
+// Register handles a worker registration.
+func (s *coordService) Register(args *CoordArgs, reply *CoordReply) error {
+	return s.do(func(ctx context.Context) error {
+		return s.reg.Register(ctx, args.Addr, args.ID)
+	}, reply)
+}
+
+// Heartbeat handles a worker heartbeat.
+func (s *coordService) Heartbeat(args *CoordArgs, reply *CoordReply) error {
+	return s.do(func(ctx context.Context) error {
+		return s.reg.Heartbeat(ctx, args.Addr, args.ID)
+	}, reply)
+}
+
+// ProposeMap handles a PartitionMap version commit.
+func (s *coordService) ProposeMap(args *CoordArgs, reply *CoordReply) error {
+	return s.do(func(ctx context.Context) error {
+		return s.reg.ProposeMap(ctx, args.MapVersion, args.MapData)
+	}, reply)
+}
+
+// State returns this node's applied registry state without proposing.
+func (s *coordService) State(_ *CoordArgs, reply *CoordReply) error {
+	reply.OK = true
+	reply.State = s.reg.State()
+	return nil
+}
+
+// Serve runs a coordinator node's RPC server on the listener: the "Raft"
+// service for ensemble peers and the "Coord" service for workers and query
+// frontends. It returns when the listener closes, after draining in-flight
+// connections.
+func Serve(ln net.Listener, reg *Registry) error {
+	srv := rpc.NewServer()
+	if err := srv.RegisterName("Raft", &raftService{n: reg.node}); err != nil {
+		return err
+	}
+	if err := srv.RegisterName("Coord", &coordService{reg: reg}); err != nil {
+		return err
+	}
+	var wg sync.WaitGroup
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			wg.Wait()
+			return err
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			srv.ServeConn(conn)
+		}()
+	}
+}

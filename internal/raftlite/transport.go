@@ -1,0 +1,196 @@
+package raftlite
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/rpc"
+	"sync"
+	"time"
+)
+
+// LocalNet is an in-process transport for tests: nodes registered under their
+// ids call each other's handlers directly. Links can be cut per node to
+// simulate a killed or partitioned coordinator deterministically.
+type LocalNet struct {
+	mu    sync.Mutex
+	nodes map[string]*Node // guarded by mu
+	cut   map[string]bool  // guarded by mu; true = unreachable both ways
+}
+
+// NewLocalNet builds an empty in-process network.
+func NewLocalNet() *LocalNet {
+	return &LocalNet{nodes: map[string]*Node{}, cut: map[string]bool{}}
+}
+
+// Register adds a node under its id.
+func (l *LocalNet) Register(n *Node) {
+	l.mu.Lock()
+	l.nodes[n.ID()] = n
+	l.mu.Unlock()
+}
+
+// Cut makes a node unreachable (and unable to reach others), modeling a
+// crashed or partitioned coordinator. Restore reconnects it.
+func (l *LocalNet) Cut(id string) {
+	l.mu.Lock()
+	l.cut[id] = true
+	l.mu.Unlock()
+}
+
+// Restore reconnects a previously Cut node.
+func (l *LocalNet) Restore(id string) {
+	l.mu.Lock()
+	delete(l.cut, id)
+	l.mu.Unlock()
+}
+
+var errUnreachable = errors.New("raftlite: peer unreachable")
+
+func (l *LocalNet) lookup(from, to string) (*Node, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.cut[from] || l.cut[to] {
+		return nil, errUnreachable
+	}
+	n, ok := l.nodes[to]
+	if !ok {
+		return nil, fmt.Errorf("raftlite: unknown peer %q", to)
+	}
+	return n, nil
+}
+
+// Transport returns the transport handle for the node with the given id.
+func (l *LocalNet) Transport(id string) Transport {
+	return &localTransport{net: l, from: id}
+}
+
+type localTransport struct {
+	net  *LocalNet
+	from string
+}
+
+func (t *localTransport) RequestVote(peer string, args *VoteArgs, reply *VoteReply) error {
+	n, err := t.net.lookup(t.from, peer)
+	if err != nil {
+		return err
+	}
+	return n.RequestVote(args, reply)
+}
+
+func (t *localTransport) AppendEntries(peer string, args *AppendArgs, reply *AppendReply) error {
+	n, err := t.net.lookup(t.from, peer)
+	if err != nil {
+		return err
+	}
+	return n.AppendEntries(args, reply)
+}
+
+// RPCTransport delivers raft RPCs over net/rpc to peers at known addresses.
+// Connections are dialed lazily with a bounded timeout and dropped on error,
+// so a dead peer costs one dial timeout per round, not a wedged ensemble.
+type RPCTransport struct {
+	addrs   map[string]string // peer id -> host:port (immutable after New)
+	timeout time.Duration
+
+	mu      sync.Mutex
+	clients map[string]*rpc.Client // guarded by mu
+}
+
+// NewRPCTransport builds a transport from a peer-id -> address map. timeout
+// bounds each dial and call; zero defaults to 2s.
+func NewRPCTransport(addrs map[string]string, timeout time.Duration) *RPCTransport {
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	cp := make(map[string]string, len(addrs))
+	for id, a := range addrs {
+		cp[id] = a
+	}
+	return &RPCTransport{addrs: cp, timeout: timeout, clients: map[string]*rpc.Client{}}
+}
+
+func (t *RPCTransport) client(peer string) (*rpc.Client, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if c := t.clients[peer]; c != nil {
+		return c, nil
+	}
+	addr, ok := t.addrs[peer]
+	if !ok {
+		return nil, fmt.Errorf("raftlite: no address for peer %q", peer)
+	}
+	conn, err := net.DialTimeout("tcp", addr, t.timeout)
+	if err != nil {
+		return nil, err
+	}
+	c := rpc.NewClient(conn)
+	t.clients[peer] = c
+	return c, nil
+}
+
+func (t *RPCTransport) drop(peer string, c *rpc.Client) {
+	t.mu.Lock()
+	if t.clients[peer] == c {
+		delete(t.clients, peer)
+	}
+	t.mu.Unlock()
+	_ = c.Close()
+}
+
+func (t *RPCTransport) call(peer, method string, args, reply any) error {
+	c, err := t.client(peer)
+	if err != nil {
+		return err
+	}
+	call := c.Go(method, args, reply, make(chan *rpc.Call, 1))
+	timer := time.NewTimer(t.timeout)
+	defer timer.Stop()
+	select {
+	case <-call.Done:
+		if call.Error != nil {
+			t.drop(peer, c)
+			return call.Error
+		}
+		return nil
+	case <-timer.C:
+		t.drop(peer, c)
+		return fmt.Errorf("raftlite: %s to %s timed out", method, peer)
+	}
+}
+
+// RequestVote implements Transport over net/rpc.
+func (t *RPCTransport) RequestVote(peer string, args *VoteArgs, reply *VoteReply) error {
+	return t.call(peer, "Raft.RequestVote", args, reply)
+}
+
+// AppendEntries implements Transport over net/rpc.
+func (t *RPCTransport) AppendEntries(peer string, args *AppendArgs, reply *AppendReply) error {
+	return t.call(peer, "Raft.AppendEntries", args, reply)
+}
+
+// Close closes all cached peer connections.
+func (t *RPCTransport) Close() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for id, c := range t.clients {
+		_ = c.Close()
+		delete(t.clients, id)
+	}
+}
+
+// raftService is the server half of RPCTransport: it exposes a node's RPC
+// handlers under the "Raft" service name.
+type raftService struct {
+	n *Node
+}
+
+// RequestVote forwards to the node.
+func (s *raftService) RequestVote(args *VoteArgs, reply *VoteReply) error {
+	return s.n.RequestVote(args, reply)
+}
+
+// AppendEntries forwards to the node.
+func (s *raftService) AppendEntries(args *AppendArgs, reply *AppendReply) error {
+	return s.n.AppendEntries(args, reply)
+}

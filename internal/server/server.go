@@ -25,10 +25,19 @@ type Server struct {
 	mu   sync.RWMutex
 	ix   *core.Index // guarded by mu
 	pool *clusterrpc.Pool
+	// coordVersion, when set, reads the coordinator ensemble's committed
+	// PartitionMap version (a func keeps the server free of the coordinator
+	// client's wiring).
+	coordVersion func() (uint64, error)
 }
 
 // New creates a Server around a loaded index.
 func New(ix *core.Index) *Server { return &Server{ix: ix} }
+
+// AttachCoordinator wires a reader for the coordinator ensemble's committed
+// PartitionMap version into /stats, so operators can spot a server routing on
+// a stale placement. Call before Handler.
+func (s *Server) AttachCoordinator(version func() (uint64, error)) { s.coordVersion = version }
 
 // AttachPool wires a tardis-worker pool into the server, enabling the "dist"
 // and "dist-exact" kNN strategies (partition scans fanned out over RPC to
@@ -108,6 +117,34 @@ type StatsResponse struct {
 	// Workers reports per-worker circuit-breaker state when a pool is
 	// attached (tardis-serve -rpc); absent otherwise.
 	Workers []clusterrpc.WorkerHealth `json:"workers,omitempty"`
+	// Replication reports per-partition replica health when the served store
+	// carries a PartitionMap; absent otherwise.
+	Replication *ReplicationStatus `json:"replication,omitempty"`
+}
+
+// ReplicaHealth is one partition's replica placement and how many of its
+// replicas are currently reachable (in the pool with a closed breaker).
+type ReplicaHealth struct {
+	PID      int      `json:"pid"`
+	Replicas []string `json:"replicas"`
+	Live     int      `json:"live"`
+}
+
+// ReplicationStatus summarizes the served store's replica placement.
+type ReplicationStatus struct {
+	MapVersion  uint64 `json:"map_version"`
+	Replication int    `json:"replication"`
+	// CoordVersion is the coordinator ensemble's committed map version, when
+	// one is attached: a mismatch with MapVersion means this server routes on
+	// a stale placement until it reloads.
+	CoordVersion uint64 `json:"coord_version,omitempty"`
+	CoordErr     string `json:"coord_err,omitempty"`
+	// UnderReplicated counts partitions with fewer live replicas than the
+	// replication factor; Down counts partitions with no live replica at all
+	// (the only state in which exact queries can fail).
+	UnderReplicated int             `json:"under_replicated"`
+	Down            int             `json:"down"`
+	Partitions      []ReplicaHealth `json:"partitions"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -142,12 +179,53 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		CacheBudgetBytes:  cs.Budget,
 		StageTasksSkipped: skipped,
 	}
+	storeDir := s.ix.Store.Dir()
 	s.mu.RUnlock()
 	// Pool health has its own internal locking and is not index state.
 	if s.pool != nil {
 		resp.Workers = s.pool.Health()
+		resp.Replication = s.replicationStatus(storeDir, resp.Workers)
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// replicationStatus derives per-partition replica health from the store's
+// PartitionMap and the pool's breaker view. Returns nil for an unreplicated
+// store.
+func (s *Server) replicationStatus(storeDir string, workers []clusterrpc.WorkerHealth) *ReplicationStatus {
+	pm, err := clusterrpc.LoadPartitionMap(storeDir)
+	if err != nil || pm == nil {
+		return nil
+	}
+	alive := map[string]bool{}
+	for _, h := range workers {
+		alive[h.Addr] = !h.BreakerOpen
+	}
+	rs := &ReplicationStatus{MapVersion: pm.Version, Replication: pm.Replication} //tardislint:ignore racecheck cross-instance pairing: stats reads a private map loaded from disk per request
+	for _, e := range pm.Entries {
+		live := 0
+		for _, a := range e.Replicas { //tardislint:ignore racecheck cross-instance pairing: stats reads a private map loaded from disk per request
+			if alive[a] {
+				live++
+			}
+		}
+		if live < pm.Replication {
+			rs.UnderReplicated++
+		}
+		if live == 0 {
+			rs.Down++
+		}
+		rs.Partitions = append(rs.Partitions, ReplicaHealth{PID: e.PID, Replicas: e.Replicas, Live: live}) //tardislint:ignore racecheck cross-instance pairing: stats reads a private map loaded from disk per request
+	}
+	if s.coordVersion != nil {
+		v, err := s.coordVersion()
+		if err != nil {
+			rs.CoordErr = err.Error()
+		} else {
+			rs.CoordVersion = v
+		}
+	}
+	return rs
 }
 
 // KNNRequest asks for the k nearest neighbors of a series.

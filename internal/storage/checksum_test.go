@@ -1,0 +1,145 @@
+package storage
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"testing"
+
+	"github.com/tardisdb/tardis/internal/faultinj"
+)
+
+// TestContentChecksumRoundTrip verifies that the CRC32C content checksum is
+// recorded on write, persisted through Sync, reloaded by Open, and equal for
+// compressed and uncompressed copies of the same records.
+func TestContentChecksumRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	recs := randomRecords(rng, 50, 16, 0)
+
+	plain := newStore(t, 16)
+	if err := plain.WritePartition(3, recs); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := plain.PartitionChecksum(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum == 0 {
+		t.Fatal("content checksum should be non-zero for random data")
+	}
+	if err := plain.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := Open(plain.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := reopened.expectedChecksum(3)
+	if !ok || got != sum {
+		t.Fatalf("manifest checksum = %08x, %v; want %08x, true", got, ok, sum)
+	}
+
+	compressed, err := CreateCompressed(t.TempDir(), 16, Flate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := compressed.WritePartition(9, recs); err != nil {
+		t.Fatal(err)
+	}
+	csum, err := compressed.PartitionChecksum(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if csum != sum {
+		t.Fatalf("compressed checksum %08x != plain %08x; content checksum must ignore encoding", csum, sum)
+	}
+}
+
+// TestPartitionChecksumComputedLazily verifies the by-scan fallback for
+// stores whose manifest predates content checksums.
+func TestPartitionChecksumComputedLazily(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	s := newStore(t, 8)
+	if err := s.WritePartition(0, randomRecords(rng, 20, 8, 0)); err != nil {
+		t.Fatal(err)
+	}
+	want, _ := s.expectedChecksum(0)
+	s.dropChecksum(0) // simulate a legacy manifest with no checksum entry
+	got, err := s.PartitionChecksum(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("scanned checksum %08x != written %08x", got, want)
+	}
+	if _, ok := s.expectedChecksum(0); !ok {
+		t.Fatal("scanned checksum should be cached")
+	}
+}
+
+// TestVerifyOnReadDetectsContentMismatch plants a wrong manifest checksum and
+// asserts reads fail with ErrChecksum.
+func TestVerifyOnReadDetectsContentMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	s := newStore(t, 8)
+	if err := s.WritePartition(0, randomRecords(rng, 10, 8, 0)); err != nil {
+		t.Fatal(err)
+	}
+	s.noteChecksum(0, 0xdeadbeef)
+	if _, err := s.ReadPartition(0); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("ReadPartition error = %v; want ErrChecksum", err)
+	}
+	if _, _, err := s.ReadPartitionArena(0); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("ReadPartitionArena error = %v; want ErrChecksum", err)
+	}
+}
+
+// TestBitFlipFailpoint arms the storage.corrupt failpoint and asserts the
+// flipped frame is caught by checksum verification as ErrChecksum.
+func TestBitFlipFailpoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	s := newStore(t, 8)
+	if err := s.WritePartition(0, randomRecords(rng, 10, 8, 0)); err != nil {
+		t.Fatal(err)
+	}
+	faultinj.Enable(faultinj.NewSchedule(faultinj.Rule{
+		Point: "storage.corrupt", Label: s.partitionPath(0), Hits: []int{1}, Kind: faultinj.KindErr,
+	}))
+	t.Cleanup(faultinj.Disable)
+	if _, err := s.ReadPartition(0); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("corrupted read error = %v; want ErrChecksum", err)
+	}
+	// The fault fired once; the next read sees clean bytes again.
+	if _, err := s.ReadPartition(0); err != nil {
+		t.Fatalf("second read after one-shot corruption: %v", err)
+	}
+}
+
+// TestQuarantinePartition verifies the corrupt file is renamed out of the
+// serving set but kept on disk.
+func TestQuarantinePartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	s := newStore(t, 8)
+	if err := s.WritePartition(4, randomRecords(rng, 5, 8, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.QuarantinePartition(4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(s.partitionPath(4)); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("partition file should be gone, stat err = %v", err)
+	}
+	if _, err := os.Stat(s.partitionPath(4) + ".quarantined"); err != nil {
+		t.Fatalf("quarantined copy missing: %v", err)
+	}
+	pids, err := s.Partitions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pids) != 0 {
+		t.Fatalf("quarantined partition still listed: %v", pids)
+	}
+	if _, ok := s.expectedChecksum(4); ok {
+		t.Fatal("quarantine should drop the checksum entry")
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -45,6 +46,19 @@ const (
 	fileVersionV1 = 1
 	fileVersion   = 2
 )
+
+// ErrChecksum reports that a partition's bytes do not match their recorded
+// checksum: either the in-file CRC32 trailer (torn or bit-flipped frames) or
+// the manifest's CRC32C content checksum (a diverged replica). Callers that
+// replicate partitions test for it with errors.Is and fail over to another
+// copy.
+var ErrChecksum = errors.New("storage: checksum mismatch")
+
+// castagnoli is the CRC32C table used for content checksums. Unlike the
+// in-file IEEE trailer (which covers one file's frames), the content checksum
+// is a property of the decoded record stream, so it is comparable across
+// replicas regardless of each file's compression setting.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // Compression selects the partition payload encoding.
 type Compression uint8
@@ -94,6 +108,9 @@ type Store struct {
 	latency     LatencyModel
 	compression Compression
 	Stats       IOStats
+
+	cmu       sync.Mutex
+	checksums map[int]uint32 // guarded by cmu; CRC32C content checksum per partition
 }
 
 // Compression returns the store's payload encoding for new partitions.
@@ -130,6 +147,11 @@ type Manifest struct {
 	Partitions  []int  `json:"partitions"`
 	Records     int64  `json:"records"`
 	Compression uint8  `json:"compression,omitempty"`
+	// Checksums maps partition id (as a decimal string, JSON object keys) to
+	// the CRC32C of the partition's decoded record stream. Absent for stores
+	// written before content checksums existed; entries are filled in lazily
+	// by PartitionChecksum and on Sync.
+	Checksums map[string]uint32 `json:"checksums,omitempty"`
 }
 
 const manifestName = "manifest.json"
@@ -155,7 +177,7 @@ func CreateCompressed(dir string, seriesLen int, c Compression) (*Store, error) 
 	if _, err := os.Stat(filepath.Join(dir, manifestName)); err == nil {
 		return nil, fmt.Errorf("storage: %s already contains a store", dir)
 	}
-	s := &Store{dir: dir, seriesLen: seriesLen, compression: c}
+	s := &Store{dir: dir, seriesLen: seriesLen, compression: c, checksums: map[int]uint32{}}
 	if err := s.writeManifest(); err != nil {
 		return nil, err
 	}
@@ -175,7 +197,15 @@ func Open(dir string) (*Store, error) {
 	if m.SeriesLen < 1 {
 		return nil, fmt.Errorf("storage: manifest has invalid series length %d", m.SeriesLen)
 	}
-	return &Store{dir: dir, seriesLen: m.SeriesLen, compression: Compression(m.Compression)}, nil
+	sums := make(map[int]uint32, len(m.Checksums))
+	for key, sum := range m.Checksums {
+		pid, err := strconv.Atoi(key)
+		if err != nil {
+			return nil, fmt.Errorf("storage: manifest checksum key %q: %w", key, err)
+		}
+		sums[pid] = sum
+	}
+	return &Store{dir: dir, seriesLen: m.SeriesLen, compression: Compression(m.Compression), checksums: sums}, nil
 }
 
 // Dir returns the store's directory.
@@ -224,11 +254,51 @@ func (s *Store) writeManifest() error {
 		total += n
 	}
 	m := Manifest{SeriesLen: s.seriesLen, Partitions: pids, Records: total, Compression: uint8(s.compression)}
+	s.cmu.Lock()
+	for _, pid := range pids {
+		if sum, ok := s.checksums[pid]; ok {
+			if m.Checksums == nil {
+				m.Checksums = map[string]uint32{}
+			}
+			m.Checksums[strconv.Itoa(pid)] = sum
+		}
+	}
+	s.cmu.Unlock()
 	data, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
 		return err
 	}
 	return os.WriteFile(filepath.Join(s.dir, manifestName), data, 0o644)
+}
+
+// noteChecksum records a partition's freshly computed content checksum; it is
+// persisted into the manifest on the next Sync.
+func (s *Store) noteChecksum(pid int, sum uint32) {
+	s.cmu.Lock()
+	if s.checksums == nil {
+		s.checksums = map[int]uint32{}
+	}
+	s.checksums[pid] = sum
+	s.cmu.Unlock()
+}
+
+// SetChecksum seeds a partition's content checksum from an external source —
+// a distributed build's coordinator learns checksums from worker replies and
+// records them here before Sync persists the manifest.
+func (s *Store) SetChecksum(pid int, sum uint32) { s.noteChecksum(pid, sum) }
+
+// expectedChecksum returns the known content checksum for pid, if any.
+func (s *Store) expectedChecksum(pid int) (uint32, bool) {
+	s.cmu.Lock()
+	defer s.cmu.Unlock()
+	sum, ok := s.checksums[pid]
+	return sum, ok
+}
+
+func (s *Store) dropChecksum(pid int) {
+	s.cmu.Lock()
+	delete(s.checksums, pid)
+	s.cmu.Unlock()
 }
 
 // Sync rewrites the manifest from the current on-disk partitions. Call after
@@ -260,6 +330,7 @@ type Writer struct {
 	payload io.Writer     // bw or the flate compressor on top of it
 	fl      *flate.Writer // non-nil when compressing
 	crc     uint32
+	crcc    uint32 // CRC32C content checksum over the same frames
 	count   uint64
 	bytes   int64
 }
@@ -318,6 +389,7 @@ func (w *Writer) Write(r ts.Record) error {
 		binary.LittleEndian.PutUint64(buf[8+i*8:], mathFloat64bits(v))
 	}
 	w.crc = crc32.Update(w.crc, crc32.IEEETable, buf)
+	w.crcc = crc32.Update(w.crcc, castagnoli, buf)
 	if _, err := w.payload.Write(buf); err != nil {
 		return err
 	}
@@ -328,6 +400,10 @@ func (w *Writer) Write(r ts.Record) error {
 
 // Count returns the number of records written so far.
 func (w *Writer) Count() uint64 { return w.count }
+
+// ContentChecksum returns the CRC32C of the record frames written so far.
+// After Close it is the partition's content checksum.
+func (w *Writer) ContentChecksum() uint32 { return w.crcc }
 
 // Close writes the checksum, patches the header, and closes the file.
 func (w *Writer) Close() error {
@@ -353,6 +429,7 @@ func (w *Writer) Close() error {
 	if err := w.f.Close(); err != nil {
 		return err
 	}
+	w.store.noteChecksum(w.pid, w.crcc)
 	w.store.Stats.partitionsWrit.Add(1)
 	w.store.Stats.bytesWritten.Add(w.bytes)
 	return nil
@@ -377,6 +454,7 @@ type partitionReader struct {
 	count   uint64
 	buf     []byte // one record frame, reused across next() calls
 	crc     uint32
+	crcc    uint32 // CRC32C content checksum over the decoded frames
 	bytes   int64
 }
 
@@ -446,7 +524,13 @@ func (r *partitionReader) next(i uint64) (int64, error) {
 	if _, err := io.ReadFull(r.payload, r.buf); err != nil {
 		return 0, fmt.Errorf("storage: partition %d record %d: %w", r.pid, i, err)
 	}
+	// Bit-flip failpoint: models silent media corruption on this replica's
+	// disk. The flipped frame fails both checksum verifications in finish.
+	if faultinj.InjectAs("storage.corrupt", r.store.partitionPath(r.pid)) != nil {
+		r.buf[len(r.buf)/2] ^= 0x01
+	}
 	r.crc = crc32.Update(r.crc, crc32.IEEETable, r.buf)
+	r.crcc = crc32.Update(r.crcc, castagnoli, r.buf)
 	r.bytes += int64(len(r.buf))
 	return int64(binary.LittleEndian.Uint64(r.buf[0:])), nil
 }
@@ -456,15 +540,20 @@ func (r *partitionReader) valueAt(j int) float64 {
 	return mathFloat64frombits(binary.LittleEndian.Uint64(r.buf[8+j*8:]))
 }
 
-// finish verifies the trailing checksum and charges the completed load to
-// the store's latency model and Stats.
+// finish verifies the trailing checksum — and, when the manifest records a
+// content checksum for this partition, the CRC32C of the decoded frames —
+// then charges the completed load to the store's latency model and Stats.
 func (r *partitionReader) finish() error {
 	var tail [4]byte
 	if _, err := io.ReadFull(r.payload, tail[:]); err != nil {
 		return fmt.Errorf("storage: partition %d checksum: %w", r.pid, err)
 	}
 	if binary.LittleEndian.Uint32(tail[:]) != r.crc {
-		return fmt.Errorf("storage: partition %d checksum mismatch", r.pid)
+		return fmt.Errorf("storage: partition %d: %w", r.pid, ErrChecksum)
+	}
+	if want, ok := r.store.expectedChecksum(r.pid); ok && want != r.crcc {
+		return fmt.Errorf("storage: partition %d content crc32c %08x != manifest %08x: %w",
+			r.pid, r.crcc, want, ErrChecksum)
 	}
 	r.bytes += 4
 	r.store.chargeLatency(r.bytes)
@@ -645,7 +734,70 @@ func samplePIDs(pids []int, n int, seed int64) []int {
 
 // DeletePartition removes a partition file (used by tests and rebuilds).
 func (s *Store) DeletePartition(pid int) error {
+	s.dropChecksum(pid)
 	return os.Remove(s.partitionPath(pid))
+}
+
+// PartitionChecksum returns the CRC32C content checksum of a partition's
+// decoded record stream. The manifest value is served when present; otherwise
+// the partition is scanned once and the result cached (persisted on the next
+// Sync). Replicas of the same partition agree on this value regardless of
+// their compression settings.
+func (s *Store) PartitionChecksum(pid int) (uint32, error) {
+	if sum, ok := s.expectedChecksum(pid); ok {
+		return sum, nil
+	}
+	r, err := s.openPartition(pid)
+	if err != nil {
+		return 0, err
+	}
+	defer r.close()
+	for i := uint64(0); i < r.count; i++ {
+		if _, err := r.next(i); err != nil {
+			return 0, err
+		}
+	}
+	if err := r.finish(); err != nil {
+		return 0, err
+	}
+	s.noteChecksum(pid, r.crcc)
+	return r.crcc, nil
+}
+
+// VerifyPartitionChecksum recomputes pid's content checksum from the bytes on
+// disk, never trusting the manifest cache. The anti-entropy loop uses it so a
+// replica whose bytes rotted after a clean write is still caught: a torn or
+// bit-flipped file fails its own trailer or manifest check here, and an
+// internally consistent but stale replica returns a checksum that disagrees
+// with the partition map.
+func (s *Store) VerifyPartitionChecksum(pid int) (uint32, error) {
+	r, err := s.openPartition(pid)
+	if err != nil {
+		return 0, err
+	}
+	defer r.close()
+	for i := uint64(0); i < r.count; i++ {
+		if _, err := r.next(i); err != nil {
+			return 0, err
+		}
+	}
+	if err := r.finish(); err != nil {
+		return 0, err
+	}
+	return r.crcc, nil
+}
+
+// QuarantinePartition renames a partition file detected as corrupt to
+// part-NNNNNN.bin.quarantined so it stops serving reads, and drops its
+// checksum entry. The quarantined bytes are kept for postmortem inspection;
+// anti-entropy repair re-replicates a good copy in its place.
+func (s *Store) QuarantinePartition(pid int) error {
+	path := s.partitionPath(pid)
+	if err := os.Rename(path, path+".quarantined"); err != nil {
+		return fmt.Errorf("storage: quarantining partition %d: %w", pid, err)
+	}
+	s.dropChecksum(pid)
+	return nil
 }
 
 // TotalRecords sums the record counts of all partitions from their headers.
