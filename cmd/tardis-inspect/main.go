@@ -8,19 +8,25 @@
 //	tardis-inspect -index data/idx -tree        # dump the global tree
 //	tardis-inspect -index data/idx -partitions  # per-partition detail
 //	tardis-inspect -index data/idx -replicas    # replica placement + checksums
+//	tardis-inspect -queries 127.0.0.1:8080,127.0.0.1:9090  # cluster-wide slow queries
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
+	"net/http"
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"github.com/tardisdb/tardis/internal/cluster"
 	clusterrpc "github.com/tardisdb/tardis/internal/cluster/rpc"
 	"github.com/tardisdb/tardis/internal/core"
 	"github.com/tardisdb/tardis/internal/obs"
+	"github.com/tardisdb/tardis/internal/qprof"
 	"github.com/tardisdb/tardis/internal/sigtree"
 	"github.com/tardisdb/tardis/internal/storage"
 )
@@ -31,11 +37,16 @@ func main() {
 		dumpTree   = flag.Bool("tree", false, "dump the global sigTree")
 		partitions = flag.Bool("partitions", false, "per-partition detail")
 		replicas   = flag.Bool("replicas", false, "replica placement and checksums from the partition map")
+		queries    = flag.String("queries", "", "comma-separated daemon addresses (tardis-serve listen or any -debug-addr); aggregate their /debug/queries into a cluster-wide query report instead of inspecting an index")
 	)
 	applyLog := obs.LogFlags(flag.CommandLine)
 	flag.Parse()
 	applyLog()
 	logger := obs.Logger("tardis-inspect")
+	if *queries != "" {
+		inspectQueries(logger, strings.Split(*queries, ","))
+		return
+	}
 	if *indexDir == "" {
 		flag.Usage()
 		os.Exit(2)
@@ -170,5 +181,117 @@ func main() {
 			}
 			fmt.Printf("  %s%-16s %-8s count=%-8d pids=%v\n", indent, sig, kind, n.Count, n.PIDs)
 		})
+	}
+}
+
+// inspectQueries scrapes /debug/queries from every listed daemon (serve and
+// workers alike) and merges the flight-recorder state into one cluster-wide
+// report: per-node strategy digests plus the slowest queries across the
+// whole cluster, each stamped with the node it ran on.
+func inspectQueries(logger *slog.Logger, addrs []string) {
+	client := &http.Client{Timeout: 5 * time.Second}
+	type nodePayload struct {
+		addr string
+		p    *qprof.DebugPayload
+	}
+	var nodes []nodePayload
+	var merged []*qprof.Snapshot
+	for _, addr := range addrs {
+		addr = strings.TrimSpace(addr)
+		if addr == "" {
+			continue
+		}
+		url := addr
+		if !strings.Contains(url, "://") {
+			url = "http://" + url
+		}
+		resp, err := client.Get(url + "/debug/queries")
+		if err != nil {
+			logger.Error("scrape failed", "addr", addr, "err", err)
+			continue
+		}
+		var p qprof.DebugPayload
+		err = json.NewDecoder(resp.Body).Decode(&p)
+		resp.Body.Close()
+		if err != nil {
+			logger.Error("bad /debug/queries payload", "addr", addr, "err", err)
+			continue
+		}
+		nodes = append(nodes, nodePayload{addr: addr, p: &p})
+		for _, s := range append(append([]*qprof.Snapshot{}, p.Slowest...), p.Recent...) {
+			if s.Node == "" {
+				s.Node = addr
+			}
+			merged = append(merged, s)
+		}
+	}
+	if len(nodes) == 0 {
+		obs.Fatal(logger, "no node answered /debug/queries")
+	}
+
+	fmt.Printf("Cluster query report (%d of %d nodes)\n", len(nodes), len(addrs))
+	for _, n := range nodes {
+		fmt.Printf("\nnode %s  sample %.3g  slow ≥ %.0fms\n", n.addr, n.p.SampleRate, n.p.SlowMS)
+		strategies := make([]string, 0, len(n.p.Digests))
+		for name := range n.p.Digests {
+			strategies = append(strategies, name)
+		}
+		sort.Strings(strategies)
+		for _, name := range strategies {
+			d := n.p.Digests[name]
+			fmt.Printf("  %-14s %6d queries  mean %8.3fms  p50 %8.3fms  p95 %8.3fms  p99 %8.3fms\n",
+				name, d.Count, d.MeanMS, d.P50MS, d.P95MS, d.P99MS)
+		}
+	}
+
+	// Dedup by profile id (a query can sit in both the recent and slow
+	// rings), then rank slowest-first across the cluster.
+	seen := map[string]bool{}
+	top := merged[:0]
+	for _, s := range merged {
+		if s.ID != "" && seen[s.ID] {
+			continue
+		}
+		if s.ID != "" {
+			seen[s.ID] = true
+		}
+		top = append(top, s)
+	}
+	sort.SliceStable(top, func(i, j int) bool { return top[i].DurationMS > top[j].DurationMS })
+	if len(top) > 15 {
+		top = top[:15]
+	}
+	fmt.Printf("\nTop queries (slowest across cluster)\n")
+	if len(top) == 0 {
+		fmt.Printf("  none recorded\n")
+		return
+	}
+	for i, s := range top {
+		retried := 0
+		for _, sc := range s.Scans {
+			if sc.Retried {
+				retried++
+			}
+		}
+		line := fmt.Sprintf("  %2d. %9.3fms  %-14s node=%s", i+1, s.DurationMS, s.Strategy, s.Node)
+		if s.ID != "" {
+			line += "  id=" + s.ID
+		}
+		if len(s.Scans) > 0 {
+			line += fmt.Sprintf("  partitions=%d", len(s.Scans))
+		}
+		if len(s.RPCs) > 0 {
+			line += fmt.Sprintf("  rpcs=%d", len(s.RPCs))
+		}
+		if retried > 0 {
+			line += fmt.Sprintf("  retried=%d", retried)
+		}
+		if s.TraceID != "" {
+			line += "  trace=" + s.TraceID
+		}
+		if s.Error != "" {
+			line += "  err=" + s.Error
+		}
+		fmt.Println(line)
 	}
 }

@@ -9,22 +9,54 @@
 // Queries are drawn from the generator identified by -kind/-seed: -rid picks
 // a stored record (an "existing" query); -absent draws from a disjoint seed
 // instead. -count repeats with consecutive rids and reports averages.
+//
+// -explain (or -explain=json) flight-records the first query and prints its
+// execution profile: stage timings, per-partition pruned/refined counts,
+// qpar worker activity, and — with -rpc — per-worker RPC attempts and
+// grafted worker sub-scans. -rpc adds the dist and dist-exact strategies.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log/slog"
 	"os"
+	"strings"
 	"time"
 
 	"github.com/tardisdb/tardis/internal/cluster"
+	clusterrpc "github.com/tardisdb/tardis/internal/cluster/rpc"
 	"github.com/tardisdb/tardis/internal/core"
 	"github.com/tardisdb/tardis/internal/dataset"
 	"github.com/tardisdb/tardis/internal/knn"
 	"github.com/tardisdb/tardis/internal/obs"
+	"github.com/tardisdb/tardis/internal/qprof"
 	"github.com/tardisdb/tardis/internal/ts"
 )
+
+// explainFlag is -explain: bare selects the text tree, =json the raw
+// snapshot. A flag.Value with IsBoolFlag lets both spellings parse.
+type explainFlag struct{ mode string }
+
+func (e *explainFlag) String() string { return e.mode }
+
+func (e *explainFlag) Set(v string) error {
+	switch v {
+	case "", "true", "text":
+		e.mode = "text"
+	case "json":
+		e.mode = "json"
+	case "false":
+		e.mode = ""
+	default:
+		return fmt.Errorf("want text or json, got %q", v)
+	}
+	return nil
+}
+
+func (e *explainFlag) IsBoolFlag() bool { return true }
 
 func main() {
 	var (
@@ -44,7 +76,10 @@ func main() {
 		workers  = flag.Int("workers", 8, "cluster workers for ground truth scans")
 		qpar     = flag.Int("query-parallelism", 0, "per-query workers (0 = GOMAXPROCS, 1 = serial)")
 		traceOut = flag.String("trace", "", "collect trace spans and write the trace trees as JSON to this file (\"-\" = stderr)")
+		rpcAddrs = flag.String("rpc", "", "comma-separated tardis-worker addresses enabling the dist and dist-exact strategies")
 	)
+	var explain explainFlag
+	flag.Var(&explain, "explain", "print the first query's execution profile (bare = text tree, =json = raw snapshot)")
 	applyLog := obs.LogFlags(flag.CommandLine)
 	flag.Parse()
 	applyLog()
@@ -78,9 +113,28 @@ func main() {
 		genSeed += 1_000_003
 	}
 
+	var pool *clusterrpc.Pool
+	if *rpcAddrs != "" {
+		pool, err = clusterrpc.DialContext(context.Background(), strings.Split(*rpcAddrs, ","), clusterrpc.DefaultPolicy())
+		if err != nil {
+			obs.Fatal(logger, "worker pool dial failed", "err", err)
+		}
+		defer pool.Close()
+	}
+
 	makeQuery := func(i int) ts.Series {
 		rec := dataset.Record(gen, genSeed, *rid+int64(i))
 		return rec.Values.ZNormalize()
+	}
+	// profiled returns the context for query i of a strategy run: with
+	// -explain set, the first query carries a flight-recorder profile.
+	profiled := func(i int, name, detail string) (context.Context, *qprof.Profile) {
+		if explain.mode == "" || i != 0 {
+			return context.Background(), nil
+		}
+		p := qprof.New(name)
+		p.SetDetail(detail)
+		return qprof.NewContext(context.Background(), p), p
 	}
 
 	switch *mode {
@@ -89,10 +143,12 @@ func main() {
 		found := 0
 		for i := 0; i < *count; i++ {
 			q := makeQuery(i)
-			rids, st, err := ix.ExactMatch(q, !*noBloom)
+			ctx, prof := profiled(i, "exact-match", fmt.Sprintf("len=%d", len(q)))
+			rids, st, err := ix.ExactMatchCtx(ctx, q, !*noBloom)
 			if err != nil {
 				obs.Fatal(logger, "exact-match query failed", "err", err)
 			}
+			writeExplain(explain.mode, prof, st.Duration)
 			total += st.Duration
 			if len(rids) > 0 {
 				found++
@@ -107,21 +163,29 @@ func main() {
 				*count, found, (total / time.Duration(*count)).Round(time.Microsecond))
 		}
 	case "knn":
-		strategies := map[string]func(ts.Series, int) ([]core.Neighbor, core.QueryStats, error){
-			"tna":   ix.KNNTargetNode,
-			"opa":   ix.KNNOnePartition,
-			"mpa":   ix.KNNMultiPartition,
-			"exact": ix.KNNExact,
-			"dtw": func(q ts.Series, k int) ([]core.Neighbor, core.QueryStats, error) {
-				return ix.KNNDTW(q, k, *band)
+		strategies := map[string]func(context.Context, ts.Series, int) ([]core.Neighbor, core.QueryStats, error){
+			"tna":   ix.KNNTargetNodeCtx,
+			"opa":   ix.KNNOnePartitionCtx,
+			"mpa":   ix.KNNMultiPartitionCtx,
+			"exact": ix.KNNExactCtx,
+			"dtw": func(ctx context.Context, q ts.Series, k int) ([]core.Neighbor, core.QueryStats, error) {
+				return ix.KNNDTWCtx(ctx, q, k, *band)
 			},
-			"auto": func(q ts.Series, k int) ([]core.Neighbor, core.QueryStats, error) {
-				res, chosen, st, err := ix.KNNAuto(q, k)
+			"auto": func(ctx context.Context, q ts.Series, k int) ([]core.Neighbor, core.QueryStats, error) {
+				res, chosen, st, err := ix.KNNAutoCtx(ctx, q, k)
 				if err == nil {
 					fmt.Printf("auto chose %s\n", chosen)
 				}
 				return res, st, err
 			},
+		}
+		if pool != nil {
+			strategies["dist"] = func(ctx context.Context, q ts.Series, k int) ([]core.Neighbor, core.QueryStats, error) {
+				return clusterrpc.DistKNN(ctx, pool, ix.Store.Dir(), ix.Config(), q, k)
+			}
+			strategies["dist-exact"] = func(ctx context.Context, q ts.Series, k int) ([]core.Neighbor, core.QueryStats, error) {
+				return clusterrpc.DistKNNExact(ctx, pool, ix.Store.Dir(), ix.Config(), q, k)
+			}
 		}
 		names := []string{*strategy}
 		if *strategy == "all" {
@@ -130,17 +194,19 @@ func main() {
 		for _, name := range names {
 			run, ok := strategies[name]
 			if !ok {
-				obs.Fatal(logger, "unknown strategy", "strategy", name)
+				obs.Fatal(logger, "unknown strategy (dist and dist-exact need -rpc)", "strategy", name)
 			}
 			var total time.Duration
 			var recall, errRatio float64
 			evaluated := 0
 			for i := 0; i < *count; i++ {
 				q := makeQuery(i)
-				res, st, err := run(q, *k)
+				ctx, prof := profiled(i, name, fmt.Sprintf("k=%d len=%d", *k, len(q)))
+				res, st, err := run(ctx, q, *k)
 				if err != nil {
 					obs.Fatal(logger, "knn query failed", "strategy", name, "err", err)
 				}
+				writeExplain(explain.mode, prof, st.Duration)
 				total += st.Duration
 				if *truth {
 					gt, err := ix.GroundTruthKNN(q, *k)
@@ -176,10 +242,12 @@ func main() {
 		}
 	case "range":
 		q := makeQuery(0)
-		res, st, err := ix.RangeQuery(q, *eps)
+		ctx, prof := profiled(0, "range", fmt.Sprintf("eps=%.3f len=%d", *eps, len(q)))
+		res, st, err := ix.RangeQueryCtx(ctx, q, *eps)
 		if err != nil {
 			obs.Fatal(logger, "range query failed", "err", err)
 		}
+		writeExplain(explain.mode, prof, st.Duration)
 		fmt.Printf("range query eps=%.3f: %d records (partitions %d, candidates %d, %s)\n",
 			*eps, len(res), st.PartitionsLoaded, st.Candidates, st.Duration.Round(time.Microsecond))
 		show := len(res)
@@ -192,6 +260,24 @@ func main() {
 	default:
 		obs.Fatal(logger, "unknown mode (want exact, knn, or range)", "mode", *mode)
 	}
+}
+
+// writeExplain renders a finished query's flight record to stdout; a nil
+// profile (explain off, or not the profiled query) is a no-op.
+func writeExplain(mode string, p *qprof.Profile, dur time.Duration) {
+	if p == nil {
+		return
+	}
+	p.Finish(dur, nil)
+	snap := p.Snapshot()
+	p.Release()
+	if mode == "json" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(snap)
+		return
+	}
+	qprof.WriteText(os.Stdout, snap)
 }
 
 // dumpTraces writes the collected trace trees to path ("-" = stderr).

@@ -32,6 +32,7 @@ import (
 	clusterrpc "github.com/tardisdb/tardis/internal/cluster/rpc"
 	"github.com/tardisdb/tardis/internal/core"
 	"github.com/tardisdb/tardis/internal/obs"
+	"github.com/tardisdb/tardis/internal/qprof"
 	"github.com/tardisdb/tardis/internal/raftlite"
 	"github.com/tardisdb/tardis/internal/server"
 )
@@ -50,12 +51,16 @@ func main() {
 		repairEach = flag.Duration("repair-interval", 0, "anti-entropy replica repair period for -rpc indexes (0 = disabled)")
 		debugAddr  = flag.String("debug-addr", "", "optional address for the debug server (/metrics, /debug/traces, /debug/pprof)")
 		trace      = flag.Bool("trace", false, "collect query trace spans (exported at /debug/traces)")
+		sample     = flag.Float64("profile-sample", 0.01, "fraction of queries given full flight-recorder profiles (0 disables, 1 profiles everything; see /debug/queries)")
+		slowMS     = flag.Int("slow-query-ms", 250, "queries at or above this duration enter the slow-query ring at /debug/queries (0 records every profiled query, negative disables)")
 	)
 	applyLog := obs.LogFlags(flag.CommandLine)
 	flag.Parse()
 	applyLog()
 	logger := obs.Logger("tardis-serve")
 	obs.SetTracing(*trace)
+	qprof.Default().SetSampleRate(*sample)
+	qprof.Default().SetSlowThreshold(time.Duration(*slowMS) * time.Millisecond)
 	if *indexDir == "" {
 		flag.Usage()
 		os.Exit(2)

@@ -1,0 +1,130 @@
+package rpc
+
+import (
+	"context"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/tardisdb/tardis/internal/dataset"
+	"github.com/tardisdb/tardis/internal/faultinj"
+	"github.com/tardisdb/tardis/internal/qprof"
+)
+
+// TestProfileGraftUnderFailover proves the flight recorder's cross-worker
+// graft protocol is failover-correct: with the first KNNPartition call on w1
+// injected to fail, the coordinator's profile must show the failed transport
+// attempt AND exactly one grafted worker scan per partition — the retried
+// partition's scan appears once, marked retried, because only the successful
+// attempt carries a reply with a sub-profile.
+func TestProfileGraftUnderFailover(t *testing.T) {
+	const n = 2000
+	srcDir, g := writeTestStore(t, n)
+	cfg := testConfig()
+
+	addrs := startFaultWorkers(t, 3)
+	ctx := context.Background()
+	pool, err := DialContext(ctx, addrs, faultPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	dstDir := filepath.Join(t.TempDir(), "dst")
+	if _, err := BuildDistributed(ctx, pool, srcDir, dstDir, t.TempDir(), cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	sched := faultinj.NewSchedule(faultinj.Rule{
+		Point: PointWorkerKNN, Label: "w1", Kind: faultinj.KindErr, Hits: []int{1},
+	})
+	faultinj.Enable(sched)
+	t.Cleanup(faultinj.Disable)
+
+	prof := qprof.New("dist")
+	pctx := qprof.NewContext(ctx, prof)
+	q := dataset.Record(g, 5, 42).Values.ZNormalize()
+	res, st, err := DistKNN(pctx, pool, dstDir, cfg, q, 5)
+	faultinj.Disable()
+	if err != nil {
+		t.Fatalf("profiled query failed: %v", err)
+	}
+	if len(res) == 0 || st.Degraded {
+		t.Fatalf("query degraded or empty under a retryable fault: %d results, %+v", len(res), st)
+	}
+	if len(sched.Events()) == 0 {
+		t.Fatal("failpoint never fired; test exercised nothing")
+	}
+
+	prof.Finish(st.Duration, nil)
+	snap := prof.Snapshot()
+	prof.Release()
+
+	// Every partition's grafted scan appears exactly once, with the remote
+	// address and worker id stamped.
+	byPID := map[int]int{}
+	for _, sc := range snap.Scans {
+		byPID[sc.PID]++
+		if sc.Addr == "" || sc.WorkerID == "" {
+			t.Errorf("grafted scan for p%d missing location: addr=%q worker_id=%q", sc.PID, sc.Addr, sc.WorkerID)
+		}
+	}
+	for pid, c := range byPID {
+		if c != 1 {
+			t.Errorf("partition %d grafted %d times, want exactly 1", pid, c)
+		}
+	}
+	if len(byPID) != st.PartitionsLoaded {
+		t.Errorf("grafted %d partitions, stats loaded %d", len(byPID), st.PartitionsLoaded)
+	}
+
+	// The injected failure shows up as a transport attempt with its error,
+	// and the same partition has a later successful attempt plus a scan
+	// marked retried.
+	failedPID := -1
+	for _, rc := range snap.RPCs {
+		if rc.Err != "" {
+			if !strings.Contains(rc.Err, "injected") {
+				t.Errorf("rpc attempt failed with unexpected error %q", rc.Err)
+			}
+			failedPID = rc.PID
+		}
+	}
+	if failedPID < 0 {
+		t.Fatal("no failed rpc attempt recorded")
+	}
+	var sawRetrySuccess bool
+	for _, rc := range snap.RPCs {
+		if rc.PID == failedPID && rc.Err == "" {
+			if rc.Attempt < 2 {
+				t.Errorf("successful call for faulted p%d has attempt %d, want >= 2", failedPID, rc.Attempt)
+			}
+			sawRetrySuccess = true
+		}
+	}
+	if !sawRetrySuccess {
+		t.Errorf("no successful retry attempt recorded for faulted partition %d", failedPID)
+	}
+	var retriedScans int
+	for _, sc := range snap.Scans {
+		if sc.Retried {
+			retriedScans++
+			if sc.PID != failedPID {
+				t.Errorf("scan for p%d marked retried; fault hit p%d", sc.PID, failedPID)
+			}
+		}
+	}
+	if retriedScans != 1 {
+		t.Errorf("%d scans marked retried, want exactly 1", retriedScans)
+	}
+
+	// The stage skeleton survived the fan-out.
+	stages := map[string]bool{}
+	for _, stg := range snap.Stages {
+		stages[stg.Name] = true
+	}
+	for _, want := range []string{"plan", "seed-scan", "fanout"} {
+		if !stages[want] {
+			t.Errorf("missing stage %q; got %v", want, snap.Stages)
+		}
+	}
+}

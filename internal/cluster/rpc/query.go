@@ -12,6 +12,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/tardisdb/tardis/internal/core"
@@ -20,6 +21,7 @@ import (
 	"github.com/tardisdb/tardis/internal/knn"
 	"github.com/tardisdb/tardis/internal/obs"
 	"github.com/tardisdb/tardis/internal/pcache"
+	"github.com/tardisdb/tardis/internal/qprof"
 	"github.com/tardisdb/tardis/internal/sigtree"
 	"github.com/tardisdb/tardis/internal/storage"
 	"github.com/tardisdb/tardis/internal/ts"
@@ -50,6 +52,9 @@ type KNNPartitionArgs struct {
 	// Trace carries the coordinator's span identity across the wire; the
 	// zero value means "not traced".
 	Trace obs.SpanContext
+	// Profile asks the worker to return a sub-profile of its scan in the
+	// reply; set when the coordinator's query is flight-recorded.
+	Profile bool
 }
 
 // KNNPartitionReply returns the partition's local top-k.
@@ -61,6 +66,8 @@ type KNNPartitionReply struct {
 	// CacheHit reports whether the partition data was served from the
 	// worker's resident cache rather than decoded from disk.
 	CacheHit bool
+	// Prof is the worker-side sub-profile; nil unless args.Profile was set.
+	Prof *qprof.WireScan
 }
 
 // RangePartitionArgs asks a worker to verify one partition against a range
@@ -72,6 +79,7 @@ type RangePartitionArgs struct {
 	Eps      float64
 	WordLen  int
 	Trace    obs.SpanContext
+	Profile  bool
 }
 
 // RangePartitionReply returns every in-range record of the partition.
@@ -80,6 +88,7 @@ type RangePartitionReply struct {
 	Candidates   int
 	PrunedLeaves int
 	CacheHit     bool
+	Prof         *qprof.WireScan
 }
 
 // workerTreeCache caches deserialized local trees per (store, pid) so
@@ -166,12 +175,38 @@ func loadPartitionData(parent *obs.Span, st *storage.Store, storeDir string, pid
 	return p, hit, err
 }
 
+// workerWireScan opens a worker-side sub-profile for one partition RPC when
+// the coordinator asked for one (args.Profile). The returned finish func
+// stamps the total duration, attaches the scan to the reply slot, and feeds
+// the worker's own flight recorder so /debug/queries on the worker shows the
+// scan too (the coordinator already made the sampling decision). Both
+// returns are nil when profiling is off.
+func workerWireScan(on bool, strategy, workerID string, pid int, attach func(*qprof.WireScan)) (*qprof.WireScan, func(error)) {
+	if !on {
+		return nil, nil
+	}
+	t0 := time.Now()
+	ws := &qprof.WireScan{PID: pid, WorkerID: workerID}
+	return ws, func(err error) {
+		ws.DurUS = time.Since(t0).Microseconds()
+		attach(ws)
+		p := qprof.New(strategy)
+		p.Graft(ws, "", 1, 0, time.Duration(ws.DurUS)*time.Microsecond)
+		qprof.Default().Observe(p, strategy, time.Since(t0), err)
+	}
+}
+
 // KNNPartition prune-scans one partition against the query and returns the
 // local top-k within the threshold. Read-only, hence idempotent.
 func (w *Worker) KNNPartition(args KNNPartitionArgs, reply *KNNPartitionReply) (err error) {
 	span := w.startSpan(args.Trace, "worker.knn_partition")
 	span.Annotate("pid", strconv.Itoa(args.PID))
 	defer func() { span.SetError(err); span.Finish() }()
+	ws, wsDone := workerWireScan(args.Profile, "worker-knn", w.ID, args.PID,
+		func(s *qprof.WireScan) { s.Refined = reply.Candidates; reply.Prof = s })
+	if wsDone != nil {
+		defer func() { wsDone(err) }()
+	}
 	if err := faultinj.InjectAs(PointWorkerKNN, w.ID); err != nil {
 		return MarkRetryable(err)
 	}
@@ -195,11 +230,21 @@ func (w *Worker) KNNPartition(args KNNPartitionArgs, reply *KNNPartitionReply) (
 		return err
 	}
 	reply.PrunedLeaves = pruned
+	if ws != nil {
+		ws.PrunedLeaves = pruned
+		ws.Scanned = len(entries)
+	}
 	if len(entries) == 0 {
 		reply.Neighbors = []knn.Neighbor{}
 		return nil
 	}
+	load0 := time.Now()
 	data, hit, err := loadPartitionData(span, st, args.StoreDir, args.PID)
+	if ws != nil {
+		ws.LoadUS = time.Since(load0).Microseconds()
+		ws.CacheKnown = true
+		ws.CacheHit = hit
+	}
 	if err != nil {
 		return MarkRetryable(quarantineIfCorrupt(st, args.PID, err))
 	}
@@ -233,6 +278,11 @@ func (w *Worker) RangePartition(args RangePartitionArgs, reply *RangePartitionRe
 	span := w.startSpan(args.Trace, "worker.range_partition")
 	span.Annotate("pid", strconv.Itoa(args.PID))
 	defer func() { span.SetError(err); span.Finish() }()
+	ws, wsDone := workerWireScan(args.Profile, "worker-range", w.ID, args.PID,
+		func(s *qprof.WireScan) { s.Refined = reply.Candidates; reply.Prof = s })
+	if wsDone != nil {
+		defer func() { wsDone(err) }()
+	}
 	if err := faultinj.InjectAs(PointWorkerRange, w.ID); err != nil {
 		return MarkRetryable(err)
 	}
@@ -256,11 +306,21 @@ func (w *Worker) RangePartition(args RangePartitionArgs, reply *RangePartitionRe
 		return err
 	}
 	reply.PrunedLeaves = pruned
+	if ws != nil {
+		ws.PrunedLeaves = pruned
+		ws.Scanned = len(entries)
+	}
 	reply.Hits = []knn.Neighbor{}
 	if len(entries) == 0 {
 		return nil
 	}
+	load0 := time.Now()
 	data, hit, err := loadPartitionData(span, st, args.StoreDir, args.PID)
+	if ws != nil {
+		ws.LoadUS = time.Since(load0).Microseconds()
+		ws.CacheKnown = true
+		ws.CacheHit = hit
+	}
 	if err != nil {
 		return MarkRetryable(quarantineIfCorrupt(st, args.PID, err))
 	}
@@ -298,6 +358,33 @@ func quarantineIfCorrupt(st *storage.Store, pid int, err error) error {
 	return err
 }
 
+// profCall wraps one worker RPC attempt with flight-recorder bookkeeping:
+// every transport attempt is recorded (including the failed ones the
+// failover executor retries elsewhere), and on success the worker's
+// sub-profile is grafted into the coordinator's tree exactly once — a failed
+// attempt carries no reply, so a retried task's scan appears once, marked
+// retried. attempts holds one per-task counter; retries of a single task are
+// sequential (the executor moves a task between replicas one at a time), so
+// the atomic add only defends against distinct tasks sharing the slice.
+func profCall(prof *qprof.Profile, attempts []int32, task int, method, addr string, pid int, call func() error, wire func() *qprof.WireScan) error {
+	if prof == nil {
+		return call()
+	}
+	a := int(atomic.AddInt32(&attempts[task], 1))
+	t0 := prof.Now()
+	err := call()
+	dur := prof.Now() - t0
+	rc := qprof.RPCCall{Method: method, Addr: addr, PID: pid, Attempt: a, Start: t0, Dur: dur}
+	if err != nil {
+		rc.Err = err.Error()
+	}
+	prof.AddRPC(rc)
+	if err == nil {
+		prof.Graft(wire(), addr, a, t0, dur)
+	}
+	return err
+}
+
 // mergeKNNReply folds one worker scan into the coordinator's stats.
 func mergeKNNReply(st *core.QueryStats, candidates, pruned int, cacheHit bool) {
 	st.PartitionsLoaded++
@@ -331,6 +418,9 @@ func DistKNN(ctx context.Context, pool *Pool, storeDir string, cfg core.Config, 
 	if k < 1 {
 		return nil, st, fmt.Errorf("rpc: k must be positive, got %d", k)
 	}
+	prof := qprof.FromContext(ctx)
+	prof.SetTrace(span.Context().TraceID)
+	plan := prof.StageStart("plan")
 	global, err := core.ReadGlobalTree(storeDir)
 	if err != nil {
 		return nil, st, err
@@ -353,6 +443,7 @@ func DistKNN(ctx context.Context, pool *Pool, storeDir string, cfg core.Config, 
 	if err != nil {
 		return nil, st, err
 	}
+	prof.StageEnd(plan)
 
 	sctx, cancel := pool.stageCtx(ctx)
 	defer cancel()
@@ -361,14 +452,19 @@ func DistKNN(ctx context.Context, pool *Pool, storeDir string, cfg core.Config, 
 	// the partition's replicas with failover between them). Losing every
 	// replica of the primary only loosens the threshold to +Inf; the query
 	// proceeds degraded.
+	seedStage := prof.StageStart("seed-scan")
 	h := knn.NewHeap(k)
 	var seed KNNPartitionReply
+	seedAttempts := make([]int32, 1)
 	es, err := pool.eachReplica(sctx, rt.tasks([]int{primary}), true, func(ctx context.Context, w *workerState, _ int) error {
-		return pool.callWorker(ctx, w, "Worker.KNNPartition", KNNPartitionArgs{
-			StoreDir: rt.dirFor(storeDir, primary, w.addr), PID: primary, Query: q, K: k,
-			Threshold: inf(), WordLen: cfg.WordLen,
-		}, &seed)
+		return profCall(prof, seedAttempts, 0, "Worker.KNNPartition", w.addr, primary, func() error {
+			return pool.callWorker(ctx, w, "Worker.KNNPartition", KNNPartitionArgs{
+				StoreDir: rt.dirFor(storeDir, primary, w.addr), PID: primary, Query: q, K: k,
+				Threshold: inf(), WordLen: cfg.WordLen, Profile: prof != nil,
+			}, &seed)
+		}, func() *qprof.WireScan { return seed.Prof })
 	})
+	prof.StageEnd(seedStage)
 	if err != nil {
 		return nil, st, err
 	}
@@ -395,13 +491,18 @@ func DistKNN(ctx context.Context, pool *Pool, storeDir string, cfg core.Config, 
 		targets = targets[:cfg.PartitionThreshold]
 	}
 	sort.Ints(targets)
+	fanout := prof.StageStart("fanout")
 	replies := make([]KNNPartitionReply, len(targets))
+	attempts := make([]int32, len(targets))
 	es, err = pool.eachReplica(sctx, rt.tasks(targets), true, func(ctx context.Context, w *workerState, task int) error {
-		return pool.callWorker(ctx, w, "Worker.KNNPartition", KNNPartitionArgs{
-			StoreDir: rt.dirFor(storeDir, targets[task], w.addr), PID: targets[task], Query: q, K: k,
-			Threshold: threshold, WordLen: cfg.WordLen,
-		}, &replies[task])
+		return profCall(prof, attempts, task, "Worker.KNNPartition", w.addr, targets[task], func() error {
+			return pool.callWorker(ctx, w, "Worker.KNNPartition", KNNPartitionArgs{
+				StoreDir: rt.dirFor(storeDir, targets[task], w.addr), PID: targets[task], Query: q, K: k,
+				Threshold: threshold, WordLen: cfg.WordLen, Profile: prof != nil,
+			}, &replies[task])
+		}, func() *qprof.WireScan { return replies[task].Prof })
 	})
+	prof.StageEnd(fanout)
 	if err != nil {
 		return nil, st, err
 	}
@@ -439,6 +540,9 @@ func DistKNNExact(ctx context.Context, pool *Pool, storeDir string, cfg core.Con
 	if k < 1 {
 		return nil, st, fmt.Errorf("rpc: k must be positive, got %d", k)
 	}
+	prof := qprof.FromContext(ctx)
+	prof.SetTrace(span.Context().TraceID)
+	plan := prof.StageStart("plan")
 	global, err := core.ReadGlobalTree(storeDir)
 	if err != nil {
 		return nil, st, err
@@ -455,6 +559,9 @@ func DistKNNExact(ctx context.Context, pool *Pool, storeDir string, cfg core.Con
 	if err != nil {
 		return nil, st, err
 	}
+	prof.StageEnd(plan)
+	scan := prof.StageStart("scan")
+	defer prof.StageEnd(scan)
 	sctx, cancel := pool.stageCtx(ctx)
 	defer cancel()
 	h := knn.NewHeap(k)
@@ -475,11 +582,14 @@ func DistKNNExact(ctx context.Context, pool *Pool, storeDir string, cfg core.Con
 			batchPIDs[bi] = pb.PID
 		}
 		replies := make([]KNNPartitionReply, len(batch))
+		attempts := make([]int32, len(batch))
 		_, err := pool.eachReplica(sctx, rt.tasks(batchPIDs), false, func(ctx context.Context, w *workerState, task int) error {
-			return pool.callWorker(ctx, w, "Worker.KNNPartition", KNNPartitionArgs{
-				StoreDir: rt.dirFor(storeDir, batchPIDs[task], w.addr), PID: batchPIDs[task], Query: q, K: k,
-				Threshold: th, WordLen: cfg.WordLen,
-			}, &replies[task])
+			return profCall(prof, attempts, task, "Worker.KNNPartition", w.addr, batchPIDs[task], func() error {
+				return pool.callWorker(ctx, w, "Worker.KNNPartition", KNNPartitionArgs{
+					StoreDir: rt.dirFor(storeDir, batchPIDs[task], w.addr), PID: batchPIDs[task], Query: q, K: k,
+					Threshold: th, WordLen: cfg.WordLen, Profile: prof != nil,
+				}, &replies[task])
+			}, func() *qprof.WireScan { return replies[task].Prof })
 		})
 		if err != nil {
 			return nil, st, fmt.Errorf("rpc: exact knn round: %w", err)
@@ -508,6 +618,9 @@ func DistRange(ctx context.Context, pool *Pool, storeDir string, cfg core.Config
 	if eps < 0 || math.IsNaN(eps) {
 		return nil, st, fmt.Errorf("rpc: range radius must be non-negative, got %v", eps)
 	}
+	prof := qprof.FromContext(ctx)
+	prof.SetTrace(span.Context().TraceID)
+	plan := prof.StageStart("plan")
 	global, err := core.ReadGlobalTree(storeDir)
 	if err != nil {
 		return nil, st, err
@@ -531,14 +644,20 @@ func DistRange(ctx context.Context, pool *Pool, storeDir string, cfg core.Config
 	if err != nil {
 		return nil, st, err
 	}
+	prof.StageEnd(plan)
+	scan := prof.StageStart("scan")
 	sctx, cancel := pool.stageCtx(ctx)
 	defer cancel()
 	replies := make([]RangePartitionReply, len(inRange))
+	attempts := make([]int32, len(inRange))
 	_, err = pool.eachReplica(sctx, rt.tasks(inRange), false, func(ctx context.Context, w *workerState, task int) error {
-		return pool.callWorker(ctx, w, "Worker.RangePartition", RangePartitionArgs{
-			StoreDir: rt.dirFor(storeDir, inRange[task], w.addr), PID: inRange[task], Query: q, Eps: eps, WordLen: cfg.WordLen,
-		}, &replies[task])
+		return profCall(prof, attempts, task, "Worker.RangePartition", w.addr, inRange[task], func() error {
+			return pool.callWorker(ctx, w, "Worker.RangePartition", RangePartitionArgs{
+				StoreDir: rt.dirFor(storeDir, inRange[task], w.addr), PID: inRange[task], Query: q, Eps: eps, WordLen: cfg.WordLen, Profile: prof != nil,
+			}, &replies[task])
+		}, func() *qprof.WireScan { return replies[task].Prof })
 	})
+	prof.StageEnd(scan)
 	if err != nil {
 		return nil, st, fmt.Errorf("rpc: range query: %w", err)
 	}

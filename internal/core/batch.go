@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -154,6 +155,12 @@ func (ix *Index) ExactMatchBatch(queries []ts.Series, useBloom bool) ([][]int64,
 // so Multi-Partitions access is chosen; otherwise One-Partition access gives
 // the best accuracy per partition load. It returns the strategy used.
 func (ix *Index) KNNAuto(q ts.Series, k int) ([]Neighbor, Strategy, QueryStats, error) {
+	return ix.KNNAutoCtx(context.Background(), q, k)
+}
+
+// KNNAutoCtx is KNNAuto carrying a context; a qprof.Profile on the context
+// records the chosen strategy's execution tree.
+func (ix *Index) KNNAutoCtx(ctx context.Context, q ts.Series, k int) ([]Neighbor, Strategy, QueryStats, error) {
 	var st QueryStats
 	if k < 1 {
 		return nil, 0, st, fmt.Errorf("core: k must be positive, got %d", k)
@@ -177,10 +184,11 @@ func (ix *Index) KNNAuto(q ts.Series, k int) ([]Neighbor, Strategy, QueryStats, 
 	} else {
 		strategy = MultiPartitionsAccess
 	}
-	run, err := ix.strategyFunc(strategy)
-	if err != nil {
-		return nil, 0, st, err
+	var res []Neighbor
+	if strategy == OnePartitionAccess {
+		res, st, err = ix.KNNOnePartitionCtx(ctx, q, k)
+	} else {
+		res, st, err = ix.KNNMultiPartitionCtx(ctx, q, k)
 	}
-	res, st, err := run(q, k)
 	return res, strategy, st, err
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"sync"
@@ -23,7 +24,7 @@ func TestCacheSingleflightDedup(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			data, err := ix.loadPartition(0, nil)
+			data, err := ix.loadPartition(context.Background(), 0, nil)
 			if err != nil {
 				errs <- err
 				return

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -61,6 +62,12 @@ func (b *dtwBounder) nodeBound(n *sigtree.Node) (float64, error) {
 // all workers. Every pruning bound used is ≥ the final kth distance, so the
 // parallel answer is identical to the serial one.
 func (ix *Index) KNNDTW(q ts.Series, k, band int) ([]Neighbor, QueryStats, error) {
+	return ix.KNNDTWCtx(context.Background(), q, k, band)
+}
+
+// KNNDTWCtx is KNNDTW carrying a context; a qprof.Profile on the context
+// records the per-partition execution tree.
+func (ix *Index) KNNDTWCtx(ctx context.Context, q ts.Series, k, band int) ([]Neighbor, QueryStats, error) {
 	start := time.Now()
 	var st QueryStats
 	if k < 1 {
@@ -72,6 +79,8 @@ func (ix *Index) KNNDTW(q ts.Series, k, band int) ([]Neighbor, QueryStats, error
 	if len(q) != ix.seriesLen {
 		return nil, st, fmt.Errorf("core: query length %d != indexed length %d", len(q), ix.seriesLen)
 	}
+	prof := queryProf(ctx)
+	plan := prof.StageStart("plan")
 	b, err := ix.newDTWBounder(q, band)
 	if err != nil {
 		return nil, st, err
@@ -80,12 +89,14 @@ func (ix *Index) KNNDTW(q ts.Series, k, band int) ([]Neighbor, QueryStats, error
 	// Order partitions by the tightest envelope bound over their global
 	// leaves.
 	order, err := globalBoundsFunc(ix.Global, b.nodeBound)
+	prof.StageEnd(plan)
 	if err != nil {
 		return nil, st, err
 	}
 
 	h := knn.NewHeap(k)
 	// Seed with the in-memory delta.
+	seed := prof.StageStart("delta-seed")
 	if ix.delta != nil {
 		for rid, s := range ix.delta.data {
 			if ix.delta.deleted(rid) {
@@ -97,12 +108,14 @@ func (ix *Index) KNNDTW(q ts.Series, k, band int) ([]Neighbor, QueryStats, error
 			}
 		}
 	}
+	prof.StageEnd(seed)
+	scan := prof.StageStart("scan")
 	if ix.queryParallelism() > 1 && len(order) > 0 {
-		p := ix.newParJob("dtw", h, true, q, nil, h.Members())
+		p := ix.newParJob("dtw", h, true, q, nil, h.Members(), prof)
 		for _, pb := range order {
 			p.spawnDTWScan(pb, b, band)
 		}
-		if err := p.run(&st); err != nil {
+		if err := p.run(ctx, &st); err != nil {
 			return nil, st, err
 		}
 	} else {
@@ -112,13 +125,16 @@ func (ix *Index) KNNDTW(q ts.Series, k, band int) ([]Neighbor, QueryStats, error
 			if pb.Bound > h.Bound() {
 				break // no remaining partition can hold a closer series
 			}
-			if err := ix.scanDTWPartitionInto(b, h, q, pb.PID, h.Bound(), band, skip, sc, &st); err != nil {
+			t0, before := prof.Now(), profBefore(prof, &st)
+			if err := ix.scanDTWPartitionInto(ctx, b, h, q, pb.PID, h.Bound(), band, skip, sc, &st); err != nil {
 				putScratch(sc)
 				return nil, st, err
 			}
+			profScan(prof, &st, before, pb.PID, pb.Bound, t0)
 		}
 		putScratch(sc)
 	}
+	prof.StageEnd(scan)
 	st.Duration = time.Since(start)
 	recordQueryMetrics("dtw", &st)
 	return h.Sorted(), st, nil
@@ -129,7 +145,7 @@ func (ix *Index) KNNDTW(q ts.Series, k, band int) ([]Neighbor, QueryStats, error
 // the full dynamic program.
 //
 //tardis:hotpath
-func (ix *Index) scanDTWPartitionInto(b *dtwBounder, h heapLike, q ts.Series, pid int, threshold float64, band int, skip map[int64]struct{}, sc *refineScratch, st *QueryStats) error {
+func (ix *Index) scanDTWPartitionInto(ctx context.Context, b *dtwBounder, h heapLike, q ts.Series, pid int, threshold float64, band int, skip map[int64]struct{}, sc *refineScratch, st *QueryStats) error {
 	local := ix.Locals[pid]
 	if local == nil {
 		return fmt.Errorf("core: partition %d has no local index", pid)
@@ -142,7 +158,8 @@ func (ix *Index) scanDTWPartitionInto(b *dtwBounder, h heapLike, q ts.Series, pi
 	if len(entries) == 0 {
 		return nil
 	}
-	data, err := ix.loadPartition(pid, st)
+	st.Scanned += len(entries)
+	data, err := ix.loadPartition(ctx, pid, st)
 	if err != nil {
 		return err
 	}

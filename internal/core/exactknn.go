@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	mbits "math/bits"
@@ -106,31 +107,43 @@ func (ix *Index) partitionBounds(paa ts.Series) ([]PartitionBound, error) {
 // each other. The bound used by any pruning decision is always ≥ the final
 // kth distance, so the parallel answer is identical to the serial one.
 func (ix *Index) KNNExact(q ts.Series, k int) ([]Neighbor, QueryStats, error) {
+	return ix.KNNExactCtx(context.Background(), q, k)
+}
+
+// KNNExactCtx is KNNExact carrying a context; a qprof.Profile on the
+// context records the per-partition execution tree.
+func (ix *Index) KNNExactCtx(ctx context.Context, q ts.Series, k int) ([]Neighbor, QueryStats, error) {
 	start := time.Now()
 	var st QueryStats
 	if k < 1 {
 		return nil, st, fmt.Errorf("core: k must be positive, got %d", k)
 	}
+	prof := queryProf(ctx)
+	plan := prof.StageStart("plan")
 	_, paa, err := ix.querySig(q)
 	if err != nil {
 		return nil, st, err
 	}
 	bounds, err := ix.partitionBounds(paa)
+	prof.StageEnd(plan)
 	if err != nil {
 		return nil, st, err
 	}
 	h := knn.NewHeap(k)
 	// Seed with the in-memory delta (cheap) so disk partitions can be
 	// pruned against its distances.
+	seed := prof.StageStart("delta-seed")
 	if err := ix.deltaRefine(h, q, paa, math.Inf(1), &st); err != nil {
 		return nil, st, err
 	}
+	prof.StageEnd(seed)
+	scan := prof.StageStart("scan")
 	if ix.queryParallelism() > 1 && len(bounds) > 0 {
-		p := ix.newParJob("exact", h, true, q, paa, nil)
+		p := ix.newParJob("exact", h, true, q, paa, nil, prof)
 		for _, pb := range bounds {
 			p.spawnExactScan(pb)
 		}
-		if err := p.run(&st); err != nil {
+		if err := p.run(ctx, &st); err != nil {
 			return nil, st, err
 		}
 	} else {
@@ -139,13 +152,16 @@ func (ix *Index) KNNExact(q ts.Series, k int) ([]Neighbor, QueryStats, error) {
 			if pb.Bound > h.Bound() {
 				break // no remaining partition can hold a closer series
 			}
-			if err := ix.scanPartitionInto(h, q, paa, pb.PID, h.Bound(), nil, nil, sc, &st); err != nil {
+			t0, before := prof.Now(), profBefore(prof, &st)
+			if err := ix.scanPartitionInto(ctx, h, q, paa, pb.PID, h.Bound(), nil, nil, sc, &st); err != nil {
 				putScratch(sc)
 				return nil, st, err
 			}
+			profScan(prof, &st, before, pb.PID, pb.Bound, t0)
 		}
 		putScratch(sc)
 	}
+	prof.StageEnd(scan)
 	st.Duration = time.Since(start)
 	recordQueryMetrics("exact", &st)
 	return h.Sorted(), st, nil
@@ -155,16 +171,25 @@ func (ix *Index) KNNExact(q ts.Series, k int) ([]Neighbor, QueryStats, error) {
 // eps, exactly. Partitions and local subtrees whose lower bound exceeds eps
 // are pruned; every surviving candidate is verified against the raw series.
 func (ix *Index) RangeQuery(q ts.Series, eps float64) ([]Neighbor, QueryStats, error) {
+	return ix.RangeQueryCtx(context.Background(), q, eps)
+}
+
+// RangeQueryCtx is RangeQuery carrying a context; a qprof.Profile on the
+// context records the per-partition execution tree.
+func (ix *Index) RangeQueryCtx(ctx context.Context, q ts.Series, eps float64) ([]Neighbor, QueryStats, error) {
 	start := time.Now()
 	var st QueryStats
 	if eps < 0 || math.IsNaN(eps) {
 		return nil, st, fmt.Errorf("core: range radius must be non-negative, got %v", eps)
 	}
+	prof := queryProf(ctx)
+	plan := prof.StageStart("plan")
 	_, paa, err := ix.querySig(q)
 	if err != nil {
 		return nil, st, err
 	}
 	bounds, err := ix.partitionBounds(paa)
+	prof.StageEnd(plan)
 	if err != nil {
 		return nil, st, err
 	}
@@ -183,13 +208,14 @@ func (ix *Index) RangeQuery(q ts.Series, eps float64) ([]Neighbor, QueryStats, e
 			break
 		}
 	}
+	scan := prof.StageStart("scan")
 	if ix.queryParallelism() > 1 && len(inRange) > 1 {
-		p := ix.newParJob("range", nil, false, q, paa, nil)
+		p := ix.newParJob("range", nil, false, q, paa, nil, prof)
 		p.hits = make([][]Neighbor, p.job.Workers())
 		for _, pb := range inRange {
 			p.spawnRangeScan(pb, eps, epsSq)
 		}
-		if err := p.run(&st); err != nil {
+		if err := p.run(ctx, &st); err != nil {
 			return nil, st, err
 		}
 		for _, frag := range p.hits {
@@ -198,15 +224,18 @@ func (ix *Index) RangeQuery(q ts.Series, eps float64) ([]Neighbor, QueryStats, e
 	} else if len(inRange) > 0 {
 		sc := ix.getScratch()
 		for _, pb := range inRange {
-			hits, err := ix.rangeScanPartition(q, paa, pb.PID, eps, epsSq, sc, &st)
+			t0, before := prof.Now(), profBefore(prof, &st)
+			hits, err := ix.rangeScanPartition(ctx, q, paa, pb.PID, eps, epsSq, sc, &st)
 			if err != nil {
 				putScratch(sc)
 				return nil, st, err
 			}
+			profScan(prof, &st, before, pb.PID, pb.Bound, t0)
 			out = append(out, hits...)
 		}
 		putScratch(sc)
 	}
+	prof.StageEnd(scan)
 	// Delta records within range.
 	if ix.delta != nil {
 		entries, pruned, err := ix.delta.tree.PruneCollect(paa, ix.seriesLen, eps)
@@ -243,7 +272,7 @@ func (ix *Index) RangeQuery(q ts.Series, eps float64) ([]Neighbor, QueryStats, e
 // eps of q.
 //
 //tardis:hotpath
-func (ix *Index) rangeScanPartition(q, paa ts.Series, pid int, eps, epsSq float64, sc *refineScratch, st *QueryStats) ([]Neighbor, error) {
+func (ix *Index) rangeScanPartition(ctx context.Context, q, paa ts.Series, pid int, eps, epsSq float64, sc *refineScratch, st *QueryStats) ([]Neighbor, error) {
 	local := ix.Locals[pid]
 	if local == nil {
 		return nil, fmt.Errorf("core: partition %d has no local index", pid)
@@ -256,7 +285,8 @@ func (ix *Index) rangeScanPartition(q, paa ts.Series, pid int, eps, epsSq float6
 	if len(entries) == 0 {
 		return nil, nil
 	}
-	data, err := ix.loadPartition(pid, st)
+	st.Scanned += len(entries)
+	data, err := ix.loadPartition(ctx, pid, st)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -138,7 +139,7 @@ func (ix *Index) GroundTruthPruned(q ts.Series, k int, threshold float64) ([]Nei
 		sc := ix.getScratch()
 		for pid := range alive {
 			preSt := QueryStats{}
-			if err := ix.scanPartitionInto(h, q, paa, pid, threshold, nil, nil, sc, &preSt); err != nil {
+			if err := ix.scanPartitionInto(context.Background(), h, q, paa, pid, threshold, nil, nil, sc, &preSt); err != nil {
 				putScratch(sc)
 				return nil, st, err
 			}

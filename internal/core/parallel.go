@@ -1,16 +1,19 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	mbits "math/bits"
 	"runtime"
 	"sync"
+	"time"
 
 	"github.com/tardisdb/tardis/internal/dtw"
 	"github.com/tardisdb/tardis/internal/isaxt"
 	"github.com/tardisdb/tardis/internal/knn"
 	"github.com/tardisdb/tardis/internal/qpar"
+	"github.com/tardisdb/tardis/internal/qprof"
 	"github.com/tardisdb/tardis/internal/sigtree"
 	"github.com/tardisdb/tardis/internal/ts"
 )
@@ -239,6 +242,7 @@ type parJob struct {
 	q     ts.Series
 	paa   ts.Series
 	skip  map[int64]struct{}
+	prof  *qprof.Profile // nil when the query is unprofiled
 	// hits collects range-query results per worker (tasks on the same worker
 	// run serially, so fragments need no lock).
 	hits [][]Neighbor
@@ -247,30 +251,71 @@ type parJob struct {
 // newParJob builds a job over the shared heap. prune enables best-first
 // task dropping against the live kth distance (exact search); leave it off
 // for fixed-threshold scans. skip pre-filters candidates already refined by
-// a serial seeding step.
-func (ix *Index) newParJob(name string, h *knn.Heap, prune bool, q, paa ts.Series, skip map[int64]struct{}) *parJob {
+// a serial seeding step. prof, when non-nil, receives per-partition scan
+// observations from the task bodies.
+func (ix *Index) newParJob(name string, h *knn.Heap, prune bool, q, paa ts.Series, skip map[int64]struct{}, prof *qprof.Profile) *parJob {
 	job := qpar.New(qpar.Config{Parallelism: ix.queryParallelism(), Prune: prune, Name: name}, h)
-	return &parJob{ix: ix, job: job, stats: make([]QueryStats, job.Workers()), q: q, paa: paa, skip: skip}
+	return &parJob{ix: ix, job: job, stats: make([]QueryStats, job.Workers()), q: q, paa: paa, skip: skip, prof: prof}
 }
 
-// run drains the job and merges the per-worker stats fragments into st.
-func (p *parJob) run(st *QueryStats) error {
-	if err := p.job.Run(); err != nil {
+// run drains the job, merges the per-worker stats fragments into st, and
+// folds the pool's scheduling summary into st.QPar (and the profile).
+func (p *parJob) run(ctx context.Context, st *QueryStats) error {
+	if err := p.job.Run(); err != nil { //tardislint:ignore ctxflow qpar workers drain the queue to completion by design: the shared bound makes abandoning in-flight tasks unsound
 		return err
 	}
 	for i := range p.stats {
 		st.merge(p.stats[i])
 	}
+	qs := p.job.Stats()
+	if w := p.job.Workers(); w > st.QPar.Workers {
+		st.QPar.Workers = w
+	}
+	st.QPar.TasksStolen += qs.Stolen
+	st.QPar.BoundUpdates += qs.BoundUpdates
+	p.prof.SetQPar(qprof.QPar{Workers: p.job.Workers(), TasksStolen: qs.Stolen, BoundUpdates: qs.BoundUpdates})
 	return nil
+}
+
+// scanStart opens one profile scan observation from a task body; pruned and
+// scanned are known up front, refined accumulates chunk by chunk through
+// splitChunks. Returns -1 when the query is unprofiled.
+func (p *parJob) scanStart(w *qpar.Worker, pid int, bound float64, pruned, scanned, hits, misses int, t0 time.Duration) int {
+	if p.prof == nil {
+		return -1
+	}
+	return p.prof.AddScan(qprof.Scan{
+		PID:          pid,
+		Bound:        bound,
+		PrunedLeaves: pruned,
+		Scanned:      scanned,
+		Cache:        cacheOutcome(hits, misses),
+		Worker:       w.ID(),
+		Start:        t0,
+	})
 }
 
 // splitChunks refines the first chunk of entries inline on w and spawns the
 // rest as stealable tasks: when this scan runs dry, idle workers pick the
 // chunks up. Spawned chunks carry bound 0 — their partition already passed
 // admission, their data is resident, and finishing them first tightens the
-// shared bound fastest.
-func (p *parJob) splitChunks(w *qpar.Worker, entries []sigtree.Entry, data PartitionData,
+// shared bound fastest. si is the profile scan observation opened by the
+// owning task (-1 when unprofiled): each chunk folds its refined count into
+// it, marking chunks that ran on a worker other than the owner as steals.
+func (p *parJob) splitChunks(w *qpar.Worker, si int, entries []sigtree.Entry, data PartitionData,
 	refine func(w *qpar.Worker, entries []sigtree.Entry, data PartitionData) error) error {
+	run := refine
+	if p.prof != nil && si >= 0 {
+		owner := w.ID()
+		run = func(w2 *qpar.Worker, chunk []sigtree.Entry, d PartitionData) error {
+			// Tasks on one worker run serially, so the fragment delta below
+			// is mutated only by this chunk.
+			before := p.stats[w2.ID()].Candidates
+			err := refine(w2, chunk, d)
+			p.prof.ScanAdd(si, p.stats[w2.ID()].Candidates-before, w2.ID() != owner)
+			return err
+		}
+	}
 	for start := refineChunk; start < len(entries); start += refineChunk {
 		end := start + refineChunk
 		if end > len(entries) {
@@ -278,13 +323,13 @@ func (p *parJob) splitChunks(w *qpar.Worker, entries []sigtree.Entry, data Parti
 		}
 		chunk := entries[start:end]
 		w.Spawn(0, func(w2 *qpar.Worker) error {
-			return refine(w2, chunk, data)
+			return run(w2, chunk, data)
 		})
 	}
 	if len(entries) > refineChunk {
 		entries = entries[:refineChunk]
 	}
-	return refine(w, entries, data)
+	return run(w, entries, data)
 }
 
 // refineEntries is the Euclidean chunk refiner.
@@ -306,6 +351,7 @@ func (p *parJob) spawnExactScan(pb PartitionBound) {
 		if local == nil {
 			return fmt.Errorf("core: partition %d has no local index", pb.PID)
 		}
+		t0 := p.prof.Now()
 		entries, pruned, err := local.Tree.PruneCollect(p.paa, p.ix.seriesLen, w.Bound())
 		if err != nil {
 			return err
@@ -314,11 +360,16 @@ func (p *parJob) spawnExactScan(pb PartitionBound) {
 		if len(entries) == 0 {
 			return nil
 		}
-		data, err := p.ix.loadPartition(pb.PID, lst)
+		lst.Scanned += len(entries)
+		h0, m0 := lst.CacheHits, lst.CacheMisses
+		data, err := p.ix.loadPartition(context.Background(), pb.PID, lst)
 		if err != nil {
 			return err
 		}
-		return p.splitChunks(w, entries, data, p.refineEntries)
+		si := p.scanStart(w, pb.PID, pb.Bound, pruned, len(entries), lst.CacheHits-h0, lst.CacheMisses-m0, t0)
+		err = p.splitChunks(w, si, entries, data, p.refineEntries)
+		p.prof.ScanFinish(si)
+		return err
 	})
 }
 
@@ -333,6 +384,7 @@ func (p *parJob) spawnThresholdScan(order float64, pid int, th float64, data Par
 		if local == nil {
 			return fmt.Errorf("core: partition %d has no local index", pid)
 		}
+		t0 := p.prof.Now()
 		entries, pruned, err := local.Tree.PruneCollect(p.paa, p.ix.seriesLen, th)
 		if err != nil {
 			return err
@@ -341,13 +393,18 @@ func (p *parJob) spawnThresholdScan(order float64, pid int, th float64, data Par
 		if len(entries) == 0 {
 			return nil
 		}
+		lst.Scanned += len(entries)
+		h0, m0 := lst.CacheHits, lst.CacheMisses
 		d := data
 		if d == nil {
-			if d, err = p.ix.loadPartition(pid, lst); err != nil {
+			if d, err = p.ix.loadPartition(context.Background(), pid, lst); err != nil {
 				return err
 			}
 		}
-		return p.splitChunks(w, entries, d, p.refineEntries)
+		si := p.scanStart(w, pid, th, pruned, len(entries), lst.CacheHits-h0, lst.CacheMisses-m0, t0)
+		err = p.splitChunks(w, si, entries, d, p.refineEntries)
+		p.prof.ScanFinish(si)
+		return err
 	})
 }
 
@@ -375,6 +432,7 @@ func (p *parJob) spawnDTWScan(pb PartitionBound, b *dtwBounder, band int) {
 		if local == nil {
 			return fmt.Errorf("core: partition %d has no local index", pb.PID)
 		}
+		t0 := p.prof.Now()
 		entries, pruned, err := local.Tree.PruneCollectFunc(b.nodeBound, w.Bound())
 		if err != nil {
 			return err
@@ -383,7 +441,9 @@ func (p *parJob) spawnDTWScan(pb PartitionBound, b *dtwBounder, band int) {
 		if len(entries) == 0 {
 			return nil
 		}
-		data, err := p.ix.loadPartition(pb.PID, lst)
+		lst.Scanned += len(entries)
+		h0, m0 := lst.CacheHits, lst.CacheMisses
+		data, err := p.ix.loadPartition(context.Background(), pb.PID, lst)
 		if err != nil {
 			return err
 		}
@@ -393,7 +453,10 @@ func (p *parJob) spawnDTWScan(pb PartitionBound, b *dtwBounder, band int) {
 			putScratch(sc)
 			return err
 		}
-		return p.splitChunks(w, entries, data, refine)
+		si := p.scanStart(w, pb.PID, pb.Bound, pruned, len(entries), lst.CacheHits-h0, lst.CacheMisses-m0, t0)
+		err = p.splitChunks(w, si, entries, data, refine)
+		p.prof.ScanFinish(si)
+		return err
 	})
 }
 
@@ -402,11 +465,26 @@ func (p *parJob) spawnDTWScan(pb PartitionBound, b *dtwBounder, band int) {
 func (p *parJob) spawnRangeScan(pb PartitionBound, eps, epsSq float64) {
 	p.job.Spawn(pb.Bound, func(w *qpar.Worker) error {
 		lst := &p.stats[w.ID()]
+		t0, before := p.prof.Now(), profBefore(p.prof, lst)
 		sc := p.ix.getScratch()
-		hits, err := p.ix.rangeScanPartition(p.q, p.paa, pb.PID, eps, epsSq, sc, lst)
+		hits, err := p.ix.rangeScanPartition(context.Background(), p.q, p.paa, pb.PID, eps, epsSq, sc, lst)
 		putScratch(sc)
 		if err != nil {
 			return err
+		}
+		if p.prof != nil {
+			s := qprof.Scan{
+				PID:          pb.PID,
+				Bound:        pb.Bound,
+				PrunedLeaves: lst.PrunedLeaves - before.PrunedLeaves,
+				Scanned:      lst.Scanned - before.Scanned,
+				Refined:      lst.Candidates - before.Candidates,
+				Cache:        cacheOutcome(lst.CacheHits-before.CacheHits, lst.CacheMisses-before.CacheMisses),
+				Worker:       w.ID(),
+				Start:        t0,
+				Dur:          p.prof.Now() - t0,
+			}
+			p.prof.AddScan(s)
 		}
 		p.hits[w.ID()] = append(p.hits[w.ID()], hits...)
 		return nil

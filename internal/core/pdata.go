@@ -51,21 +51,21 @@ func newPartitionCache(cfg Config) (*pcache.Cache[int], error) {
 // loadPartition returns the decoded partition for pid: through the cache
 // (arena-backed, deduplicated loads) when caching is enabled, else via the
 // legacy per-record LoadPartition decode. All PartitionsLoaded /
-// CacheHits / CacheMisses accounting happens here; st may be nil.
-func (ix *Index) loadPartition(pid int, st *QueryStats) (PartitionData, error) {
+// CacheHits / CacheMisses accounting happens here; st may be nil. ctx bounds
+// the cache join-wait; qpar task bodies pass Background (the pool drains its
+// queue by design).
+func (ix *Index) loadPartition(ctx context.Context, pid int, st *QueryStats) (PartitionData, error) {
 	if st != nil {
 		st.PartitionsLoaded++
 	}
 	if ix.cache == nil {
-		data, err := ix.LoadPartition(pid)
+		data, err := ix.LoadPartition(pid) //tardislint:ignore ctxflow storage reads are synchronous by design; the simulated disk latency and failpoints deliberately ignore cancellation
 		if err != nil {
 			return nil, err
 		}
 		return mapPartition(data), nil
 	}
-	// Local queries are synchronous with no cancellation surface yet, so the
-	// join-wait is unbounded here.
-	p, hit, err := ix.cache.Get(context.Background(), pid, func() (*pcache.Partition, error) {
+	p, hit, err := ix.cache.Get(ctx, pid, func() (*pcache.Partition, error) {
 		rids, values, err := ix.Store.ReadPartitionArena(pid)
 		if err != nil {
 			return nil, err

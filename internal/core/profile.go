@@ -1,0 +1,67 @@
+package core
+
+import (
+	"context"
+	"time"
+
+	"github.com/tardisdb/tardis/internal/obs"
+	"github.com/tardisdb/tardis/internal/qprof"
+)
+
+// Flight-recorder glue: every query entry point has a Ctx variant that
+// pulls a qprof.Profile off the context (nil when the query is unsampled —
+// every helper here is a no-op on nil, so the unprofiled path records
+// nothing and allocates nothing). Per-partition observations are derived
+// from QueryStats deltas at the call sites of the hot scan kernels, never
+// inside them, so the //tardis:hotpath functions stay allocation-free.
+
+// queryProf fetches the profile riding ctx and stamps the active trace id
+// onto it so `-explain` output and /debug/traces can be cross-referenced.
+func queryProf(ctx context.Context) *qprof.Profile {
+	prof := qprof.FromContext(ctx)
+	if prof != nil {
+		prof.SetTrace(obs.SpanContextOf(ctx).TraceID)
+	}
+	return prof
+}
+
+// profBefore snapshots the stats a serial partition scan will mutate.
+// Returns the zero snapshot when profiling is off.
+func profBefore(prof *qprof.Profile, st *QueryStats) QueryStats {
+	if prof == nil {
+		return QueryStats{}
+	}
+	return *st
+}
+
+// profScan records one serial partition scan as the delta st accumulated
+// since before; t0 is the scan's start offset from prof.Now().
+func profScan(prof *qprof.Profile, st *QueryStats, before QueryStats, pid int, bound float64, t0 time.Duration) {
+	if prof == nil {
+		return
+	}
+	prof.AddScan(qprof.Scan{
+		PID:          pid,
+		Bound:        bound,
+		PrunedLeaves: st.PrunedLeaves - before.PrunedLeaves,
+		Scanned:      st.Scanned - before.Scanned,
+		Refined:      st.Candidates - before.Candidates,
+		Cache:        cacheOutcome(st.CacheHits-before.CacheHits, st.CacheMisses-before.CacheMisses),
+		Worker:       -1,
+		Start:        t0,
+		Dur:          prof.Now() - t0,
+	})
+}
+
+// cacheOutcome classifies a scan's partition-cache behaviour from the hit
+// and miss deltas it produced.
+func cacheOutcome(hits, misses int) qprof.CacheOutcome {
+	switch {
+	case misses > 0:
+		return qprof.CacheMiss
+	case hits > 0:
+		return qprof.CacheHit
+	default:
+		return qprof.CacheUnknown
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -8,6 +9,7 @@ import (
 
 	"github.com/tardisdb/tardis/internal/isaxt"
 	"github.com/tardisdb/tardis/internal/knn"
+	"github.com/tardisdb/tardis/internal/qprof"
 	"github.com/tardisdb/tardis/internal/sigtree"
 	"github.com/tardisdb/tardis/internal/ts"
 )
@@ -33,6 +35,10 @@ type QueryStats struct {
 	BloomRejected bool
 	// Candidates counts series whose true distance was computed.
 	Candidates int
+	// Scanned counts candidate entries collected from surviving leaves
+	// before batch refinement (Candidates ≤ Scanned; the gap is what the
+	// signature-level filters discarded).
+	Scanned int
 	// PrunedLeaves counts local-index leaves skipped via the lower bound.
 	PrunedLeaves int
 	// Degraded reports that an approximate query lost partitions to worker
@@ -44,6 +50,18 @@ type QueryStats struct {
 	PartitionsSkipped int
 	// Duration is the wall time of the query.
 	Duration time.Duration
+	// QPar summarizes the intra-query work-stealing pool when the query ran
+	// on it (zero value for serial queries).
+	QPar QParStats
+}
+
+// QParStats is the work-stealing pool's per-query summary: how wide the
+// pool ran, how many tasks executed on a worker other than the one that
+// spawned them, and how often the shared kNN bound tightened.
+type QParStats struct {
+	Workers      int
+	TasksStolen  int
+	BoundUpdates int
 }
 
 // merge folds a per-task stats fragment into the query's totals (Duration
@@ -53,9 +71,15 @@ func (st *QueryStats) merge(o QueryStats) {
 	st.CacheHits += o.CacheHits
 	st.CacheMisses += o.CacheMisses
 	st.Candidates += o.Candidates
+	st.Scanned += o.Scanned
 	st.PrunedLeaves += o.PrunedLeaves
 	st.Degraded = st.Degraded || o.Degraded
 	st.PartitionsSkipped += o.PartitionsSkipped
+	if o.QPar.Workers > st.QPar.Workers {
+		st.QPar.Workers = o.QPar.Workers
+	}
+	st.QPar.TasksStolen += o.QPar.TasksStolen
+	st.QPar.BoundUpdates += o.QPar.BoundUpdates
 }
 
 // querySig converts a query series to its full-cardinality signature and
@@ -83,9 +107,18 @@ func (ix *Index) querySig(q ts.Series) (isaxt.Signature, ts.Series, error) {
 // loads the identified partition. It returns the record ids whose series
 // are exactly equal to q.
 func (ix *Index) ExactMatch(q ts.Series, useBloom bool) ([]int64, QueryStats, error) {
+	return ix.ExactMatchCtx(context.Background(), q, useBloom)
+}
+
+// ExactMatchCtx is ExactMatch carrying a context; a qprof.Profile on the
+// context records the per-partition execution tree.
+func (ix *Index) ExactMatchCtx(ctx context.Context, q ts.Series, useBloom bool) ([]int64, QueryStats, error) {
 	start := time.Now()
 	var st QueryStats
+	prof := queryProf(ctx)
+	plan := prof.StageStart("plan")
 	sig, _, err := ix.querySig(q)
+	prof.StageEnd(plan)
 	if err != nil {
 		return nil, st, err
 	}
@@ -107,10 +140,12 @@ func (ix *Index) ExactMatch(q ts.Series, useBloom bool) ([]int64, QueryStats, er
 			// Local traversal failure proves non-existence (§V-A).
 			continue
 		}
-		data, err := ix.loadPartition(pid, &st)
+		t0, before := prof.Now(), profBefore(prof, &st)
+		data, err := ix.loadPartition(ctx, pid, &st)
 		if err != nil {
 			return nil, st, err
 		}
+		st.Scanned += len(leaf.Entries)
 		for _, e := range leaf.Entries {
 			// Entries reloaded from disk carry no per-entry signature (only
 			// the leaf prefix); they fall through to the raw comparison.
@@ -129,6 +164,7 @@ func (ix *Index) ExactMatch(q ts.Series, useBloom bool) ([]int64, QueryStats, er
 				matches = append(matches, e.RID)
 			}
 		}
+		profScan(prof, &st, before, pid, 0, t0)
 	}
 	matches = append(matches, ix.deltaExactMatch(q, sig)...)
 	sort.Slice(matches, func(i, j int) bool { return matches[i] < matches[j] })
@@ -152,26 +188,37 @@ func (ix *Index) primaryPID(sig isaxt.Signature) (int, error) {
 // lowest node on the path holding at least k entries), and refine its
 // candidates.
 func (ix *Index) KNNTargetNode(q ts.Series, k int) ([]Neighbor, QueryStats, error) {
+	return ix.KNNTargetNodeCtx(context.Background(), q, k)
+}
+
+// KNNTargetNodeCtx is KNNTargetNode carrying a context; a qprof.Profile on
+// the context records the execution tree.
+func (ix *Index) KNNTargetNodeCtx(ctx context.Context, q ts.Series, k int) ([]Neighbor, QueryStats, error) {
 	start := time.Now()
 	var st QueryStats
 	if k < 1 {
 		return nil, st, fmt.Errorf("core: k must be positive, got %d", k)
 	}
+	prof := queryProf(ctx)
+	plan := prof.StageStart("plan")
 	sig, paa, err := ix.querySig(q)
 	if err != nil {
 		return nil, st, err
 	}
 	pid, err := ix.primaryPID(sig)
+	prof.StageEnd(plan)
 	if err != nil {
 		return nil, st, err
 	}
 	h := knn.NewHeap(k)
-	if _, _, err := ix.targetNodeInto(h, q, sig, paa, pid, k, &st); err != nil {
+	if _, _, err := ix.targetNodeInto(ctx, h, q, sig, paa, pid, k, &st, prof); err != nil {
 		return nil, st, err
 	}
+	delta := prof.StageStart("delta")
 	if err := ix.deltaRefine(h, q, paa, h.Bound(), &st); err != nil {
 		return nil, st, err
 	}
+	prof.StageEnd(delta)
 	st.Duration = time.Since(start)
 	recordQueryMetrics("tna", &st)
 	return h.Sorted(), st, nil
@@ -183,21 +230,23 @@ func (ix *Index) KNNTargetNode(q ts.Series, k int) ([]Neighbor, QueryStats, erro
 // results. Large target nodes refine in parallel when query parallelism is
 // enabled — the candidate set is fixed up front, so the resulting kth
 // distance is the same whatever the refinement order.
-func (ix *Index) targetNodeInto(h *knn.Heap, q ts.Series, sig isaxt.Signature, paa ts.Series, pid, k int, st *QueryStats) (float64, PartitionData, error) {
+func (ix *Index) targetNodeInto(ctx context.Context, h *knn.Heap, q ts.Series, sig isaxt.Signature, paa ts.Series, pid, k int, st *QueryStats, prof *qprof.Profile) (float64, PartitionData, error) {
 	local := ix.Locals[pid]
 	if local == nil {
 		return math.Inf(1), nil, fmt.Errorf("core: partition %d has no local index", pid)
 	}
-	data, err := ix.loadPartition(pid, st)
+	t0, before := prof.Now(), profBefore(prof, st)
+	data, err := ix.loadPartition(ctx, pid, st)
 	if err != nil {
 		return math.Inf(1), nil, err
 	}
 	node, _ := local.Tree.TargetNode(sig, int64(k))
 	entries := sigtree.CollectEntries(node, nil)
+	st.Scanned += len(entries)
 	if ix.queryParallelism() > 1 && len(entries) > refineChunk {
-		p := ix.newParJob("tna", h, false, q, paa, nil)
+		p := ix.newParJob("tna", h, false, q, paa, nil, prof)
 		p.spawnRefineEntries(entries, data)
-		if err := p.run(st); err != nil {
+		if err := p.run(ctx, st); err != nil {
 			return math.Inf(1), nil, err
 		}
 	} else {
@@ -208,6 +257,9 @@ func (ix *Index) targetNodeInto(h *knn.Heap, q ts.Series, sig isaxt.Signature, p
 			return math.Inf(1), nil, err
 		}
 	}
+	// One scan observation for the whole target-node step: both inner paths
+	// fold their stats into st before returning, so the delta is complete.
+	profScan(prof, st, before, pid, 0, t0)
 	return h.Bound(), data, nil
 }
 
@@ -216,21 +268,30 @@ func (ix *Index) targetNodeInto(h *knn.Heap, q ts.Series, sig isaxt.Signature, p
 // whole Tardis-L of the loaded partition top-down with the lower bound,
 // refining every surviving leaf.
 func (ix *Index) KNNOnePartition(q ts.Series, k int) ([]Neighbor, QueryStats, error) {
+	return ix.KNNOnePartitionCtx(context.Background(), q, k)
+}
+
+// KNNOnePartitionCtx is KNNOnePartition carrying a context; a
+// qprof.Profile on the context records the execution tree.
+func (ix *Index) KNNOnePartitionCtx(ctx context.Context, q ts.Series, k int) ([]Neighbor, QueryStats, error) {
 	start := time.Now()
 	var st QueryStats
 	if k < 1 {
 		return nil, st, fmt.Errorf("core: k must be positive, got %d", k)
 	}
+	prof := queryProf(ctx)
+	plan := prof.StageStart("plan")
 	sig, paa, err := ix.querySig(q)
 	if err != nil {
 		return nil, st, err
 	}
 	pid, err := ix.primaryPID(sig)
+	prof.StageEnd(plan)
 	if err != nil {
 		return nil, st, err
 	}
 	h := knn.NewHeap(k)
-	th, data, err := ix.targetNodeInto(h, q, sig, paa, pid, k, &st)
+	th, data, err := ix.targetNodeInto(ctx, h, q, sig, paa, pid, k, &st, prof)
 	if err != nil {
 		return nil, st, err
 	}
@@ -238,23 +299,29 @@ func (ix *Index) KNNOnePartition(q ts.Series, k int) ([]Neighbor, QueryStats, er
 	// it costs no further I/O (the paper's "only single disk access"). The
 	// member snapshot skips re-refining what the target node already fed in.
 	skip := h.Members()
+	scan := prof.StageStart("scan")
 	if ix.queryParallelism() > 1 {
-		p := ix.newParJob("opa", h, false, q, paa, skip)
+		p := ix.newParJob("opa", h, false, q, paa, skip, prof)
 		p.spawnThresholdScan(0, pid, th, data)
-		if err := p.run(&st); err != nil {
+		if err := p.run(ctx, &st); err != nil {
 			return nil, st, err
 		}
 	} else {
+		t0, before := prof.Now(), profBefore(prof, &st)
 		sc := ix.getScratch()
-		err := ix.scanPartitionInto(h, q, paa, pid, th, data, skip, sc, &st)
+		err := ix.scanPartitionInto(ctx, h, q, paa, pid, th, data, skip, sc, &st)
 		putScratch(sc)
 		if err != nil {
 			return nil, st, err
 		}
+		profScan(prof, &st, before, pid, th, t0)
 	}
+	prof.StageEnd(scan)
+	delta := prof.StageStart("delta")
 	if err := ix.deltaRefine(h, q, paa, h.Bound(), &st); err != nil {
 		return nil, st, err
 	}
+	prof.StageEnd(delta)
 	st.Duration = time.Since(start)
 	recordQueryMetrics("opa", &st)
 	return h.Sorted(), st, nil
@@ -267,7 +334,7 @@ func (ix *Index) KNNOnePartition(q ts.Series, k int) ([]Neighbor, QueryStats, er
 // already refined.
 //
 //tardis:hotpath
-func (ix *Index) scanPartitionInto(h heapLike, q, paa ts.Series, pid int, threshold float64, data PartitionData, skip map[int64]struct{}, sc *refineScratch, st *QueryStats) error {
+func (ix *Index) scanPartitionInto(ctx context.Context, h heapLike, q, paa ts.Series, pid int, threshold float64, data PartitionData, skip map[int64]struct{}, sc *refineScratch, st *QueryStats) error {
 	local := ix.Locals[pid]
 	if local == nil {
 		return fmt.Errorf("core: partition %d has no local index", pid)
@@ -280,8 +347,9 @@ func (ix *Index) scanPartitionInto(h heapLike, q, paa ts.Series, pid int, thresh
 	if len(entries) == 0 {
 		return nil
 	}
+	st.Scanned += len(entries)
 	if data == nil {
-		data, err = ix.loadPartition(pid, st)
+		data, err = ix.loadPartition(ctx, pid, st)
 		if err != nil {
 			return err
 		}
@@ -294,11 +362,19 @@ func (ix *Index) scanPartitionInto(h heapLike, q, paa ts.Series, pid int, thresh
 // at pth partitions, chosen deterministically), obtain the threshold from
 // the query's own partition, then prune-scan all selected partitions.
 func (ix *Index) KNNMultiPartition(q ts.Series, k int) ([]Neighbor, QueryStats, error) {
+	return ix.KNNMultiPartitionCtx(context.Background(), q, k)
+}
+
+// KNNMultiPartitionCtx is KNNMultiPartition carrying a context; a
+// qprof.Profile on the context records the execution tree.
+func (ix *Index) KNNMultiPartitionCtx(ctx context.Context, q ts.Series, k int) ([]Neighbor, QueryStats, error) {
 	start := time.Now()
 	var st QueryStats
 	if k < 1 {
 		return nil, st, fmt.Errorf("core: k must be positive, got %d", k)
 	}
+	prof := queryProf(ctx)
+	plan := prof.StageStart("plan")
 	sig, paa, err := ix.querySig(q)
 	if err != nil {
 		return nil, st, err
@@ -312,9 +388,10 @@ func (ix *Index) KNNMultiPartition(q ts.Series, k int) ([]Neighbor, QueryStats, 
 	if len(pidList) > pth {
 		pidList = selectPIDs(pidList, pth, pid, hashString(string(sig)))
 	}
+	prof.StageEnd(plan)
 	// Threshold from the query's own partition (Algorithm 1 lines 10-14).
 	h := knn.NewHeap(k)
-	th, primaryData, err := ix.targetNodeInto(h, q, sig, paa, pid, k, &st)
+	th, primaryData, err := ix.targetNodeInto(ctx, h, q, sig, paa, pid, k, &st, prof)
 	if err != nil {
 		return nil, st, err
 	}
@@ -327,8 +404,9 @@ func (ix *Index) KNNMultiPartition(q ts.Series, k int) ([]Neighbor, QueryStats, 
 	// whatever the offer order. The member snapshot skips candidates the
 	// target-node step already refined.
 	skip := h.Members()
+	scan := prof.StageStart("scan")
 	if ix.queryParallelism() > 1 && len(pidList) > 1 {
-		p := ix.newParJob("mpa", h, false, q, paa, skip)
+		p := ix.newParJob("mpa", h, false, q, paa, skip, prof)
 		for i, scanPID := range pidList {
 			var data PartitionData
 			if scanPID == pid {
@@ -336,7 +414,7 @@ func (ix *Index) KNNMultiPartition(q ts.Series, k int) ([]Neighbor, QueryStats, 
 			}
 			p.spawnThresholdScan(float64(i), scanPID, th, data)
 		}
-		if err := p.run(&st); err != nil {
+		if err := p.run(ctx, &st); err != nil {
 			return nil, st, err
 		}
 	} else {
@@ -346,16 +424,21 @@ func (ix *Index) KNNMultiPartition(q ts.Series, k int) ([]Neighbor, QueryStats, 
 			if scanPID == pid {
 				data = primaryData
 			}
-			if err := ix.scanPartitionInto(h, q, paa, scanPID, th, data, skip, sc, &st); err != nil {
+			t0, before := prof.Now(), profBefore(prof, &st)
+			if err := ix.scanPartitionInto(ctx, h, q, paa, scanPID, th, data, skip, sc, &st); err != nil {
 				putScratch(sc)
 				return nil, st, err
 			}
+			profScan(prof, &st, before, scanPID, th, t0)
 		}
 		putScratch(sc)
 	}
+	prof.StageEnd(scan)
+	delta := prof.StageStart("delta")
 	if err := ix.deltaRefine(h, q, paa, h.Bound(), &st); err != nil {
 		return nil, st, err
 	}
+	prof.StageEnd(delta)
 	st.Duration = time.Since(start)
 	recordQueryMetrics("mpa", &st)
 	return h.Sorted(), st, nil

@@ -4,7 +4,28 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sync"
 )
+
+// debugExtras holds handlers registered by other packages (e.g. qprof's
+// /debug/queries) so DebugHandler can mount them without obs importing the
+// packages that provide them.
+var (
+	debugExtrasMu sync.Mutex
+	debugExtras   map[string]http.Handler // guarded by debugExtrasMu
+)
+
+// RegisterDebugHandler mounts h at pattern on every DebugHandler built
+// after the call. Typically invoked from package init; later registrations
+// for the same pattern win.
+func RegisterDebugHandler(pattern string, h http.Handler) {
+	debugExtrasMu.Lock()
+	if debugExtras == nil {
+		debugExtras = make(map[string]http.Handler)
+	}
+	debugExtras[pattern] = h
+	debugExtrasMu.Unlock()
+}
 
 // MetricsHandler serves the default registry in Prometheus text format.
 func MetricsHandler() http.Handler {
@@ -35,6 +56,7 @@ func TracesHandler() http.Handler {
 // cmd; never exposed on the public service listener except /metrics and
 // /debug/traces, which tardis-serve also mounts on its API mux.
 func DebugHandler() http.Handler {
+	RegisterRuntimeMetrics()
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", MetricsHandler())
 	mux.Handle("/debug/traces", TracesHandler())
@@ -43,6 +65,11 @@ func DebugHandler() http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	debugExtrasMu.Lock()
+	for pattern, h := range debugExtras {
+		mux.Handle(pattern, h)
+	}
+	debugExtrasMu.Unlock()
 	return mux
 }
 

@@ -58,7 +58,7 @@ func ParseExposition(r io.Reader) (*Exposition, error) {
 			if _, dup := exp.Families[name]; dup {
 				return nil, fmt.Errorf("line %d: duplicate family %s", lineNo, name)
 			}
-			cur = &Family{Name: name, Help: help}
+			cur = &Family{Name: name, Help: unescapeHelp(help)}
 			exp.Families[name] = cur
 			exp.Order = append(exp.Order, name)
 			continue
@@ -182,6 +182,35 @@ func parseValue(s string) (float64, error) {
 		return math.NaN(), nil
 	}
 	return strconv.ParseFloat(s, 64)
+}
+
+// unescapeHelp reverses the text-format 0.0.4 HELP escaping (escapeHelp on
+// the write side): `\\` → `\` and `\n` → newline. Unknown escapes are kept
+// literally — HELP is free text, so the parser is lenient where label
+// values are strict.
+func unescapeHelp(s string) string {
+	if !strings.Contains(s, `\`) {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == '\\' && i+1 < len(s) {
+			switch s[i+1] {
+			case '\\':
+				b.WriteByte('\\')
+				i++
+				continue
+			case 'n':
+				b.WriteByte('\n')
+				i++
+				continue
+			}
+		}
+		b.WriteByte(c)
+	}
+	return b.String()
 }
 
 func parseLabels(s string, out map[string]string) error {

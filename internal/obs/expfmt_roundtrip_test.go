@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestExpositionEscapeRoundTrip proves the writer's text-format 0.0.4
+// escaping of backslashes, quotes, and newlines in HELP text and label
+// values survives a round trip through the in-repo parser unchanged.
+func TestExpositionEscapeRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	const help = `tricky help: backslash \ quote " and a
+newline`
+	c := r.NewCounterVec("tardis_rt_escape_total", help, "path")
+	const labelVal = `C:\tmp\"quoted"
+line2`
+	c.With(labelVal).Add(3)
+	r.NewGauge("tardis_rt_plain_entries", "plain help").Set(7)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	exp, err := ParseExposition(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("parse: %v\nexposition:\n%s", err, buf.String())
+	}
+
+	fam := exp.Families["tardis_rt_escape_total"]
+	if fam == nil {
+		t.Fatalf("family missing; got %v", exp.Order)
+	}
+	if fam.Help != help {
+		t.Errorf("HELP did not round-trip:\n got %q\nwant %q", fam.Help, help)
+	}
+	if len(fam.Samples) != 1 {
+		t.Fatalf("want 1 sample, got %d", len(fam.Samples))
+	}
+	s := fam.Samples[0]
+	if got := s.Labels["path"]; got != labelVal {
+		t.Errorf("label value did not round-trip:\n got %q\nwant %q", got, labelVal)
+	}
+	if s.Value != 3 {
+		t.Errorf("value = %v, want 3", s.Value)
+	}
+	if plain := exp.Families["tardis_rt_plain_entries"]; plain == nil || plain.Help != "plain help" {
+		t.Errorf("plain family mangled: %+v", plain)
+	}
+}

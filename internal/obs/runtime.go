@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Process-pressure metrics, registered once per process by every daemon's
+// debug surface (DebugHandler / -debug-addr) so query profiles and traces
+// can be correlated with GC and goroutine load at the time they ran.
+//
+// runtime.ReadMemStats stops the world briefly, so reads are cached: at
+// most one refresh per second regardless of scrape rate, shared by both
+// gauges and the GC-pause histogram feed.
+
+var gcPauseBuckets = []float64{
+	1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 1e-1,
+}
+
+var runtimeState struct {
+	once    sync.Once
+	mu      sync.Mutex
+	last    time.Time        // guarded by mu
+	mem     runtime.MemStats // guarded by mu
+	numGC   uint32           // GC cycles already fed to the histogram; guarded by mu
+	gcPause *Histogram
+}
+
+// refreshRuntimeStats re-reads MemStats if the cache is stale, feeds any
+// new GC pauses into the pause histogram, and returns the heap-alloc bytes
+// from the cached stats (copied out under the lock).
+func refreshRuntimeStats() float64 {
+	s := &runtimeState
+	s.mu.Lock()
+	if time.Since(s.last) >= time.Second {
+		runtime.ReadMemStats(&s.mem)
+		s.last = time.Now()
+		// PauseNs is a circular buffer of the last 256 pauses; feed only
+		// the cycles that completed since the previous refresh.
+		newGC := s.mem.NumGC
+		from := s.numGC
+		if newGC > from+256 {
+			from = newGC - 256
+		}
+		for i := from; i < newGC; i++ {
+			s.gcPause.Observe(float64(s.mem.PauseNs[i%256]) / 1e9)
+		}
+		s.numGC = newGC
+	}
+	heap := float64(s.mem.HeapAlloc)
+	s.mu.Unlock()
+	return heap
+}
+
+// RegisterRuntimeMetrics registers the process runtime gauges and GC pause
+// histogram on the default registry. Idempotent; called by DebugHandler so
+// every daemon with a -debug-addr (and tardis-serve's API mux) exposes them.
+func RegisterRuntimeMetrics() {
+	runtimeState.once.Do(func() {
+		runtimeState.gcPause = NewHistogram("tardis_runtime_gc_pause_seconds",
+			"Stop-the-world GC pause durations.", gcPauseBuckets)
+		NewGaugeFunc("tardis_runtime_goroutines_count",
+			"Live goroutines in the process.",
+			func() float64 { return float64(runtime.NumGoroutine()) })
+		NewGaugeFunc("tardis_runtime_heap_alloc_bytes",
+			"Bytes of allocated heap objects (cached up to 1s).",
+			refreshRuntimeStats)
+	})
+}

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"sync"
+	"sync/atomic"
 
 	"github.com/tardisdb/tardis/internal/knn"
 	"github.com/tardisdb/tardis/internal/obs"
@@ -54,11 +55,12 @@ type task struct {
 
 // Stats summarizes one finished job.
 type Stats struct {
-	ScanTasks   int // tasks spawned by the driver
-	RefineTasks int // stealable chunks spawned by running tasks
-	Executed    int
-	Stolen      int // refine chunks executed by a worker other than their spawner
-	Pruned      int // tasks dropped because their bound exceeded the kth distance
+	ScanTasks    int // tasks spawned by the driver
+	RefineTasks  int // stealable chunks spawned by running tasks
+	Executed     int
+	Stolen       int // refine chunks executed by a worker other than their spawner
+	Pruned       int // tasks dropped because their bound exceeded the kth distance
+	BoundUpdates int // offers that tightened the shared kth-distance bound
 }
 
 // Job is one query's work queue plus the shared result heap.
@@ -71,6 +73,10 @@ type Job struct {
 	// the heap's atomic snapshot.
 	heapMu sync.Mutex
 
+	// boundUpdates counts offers that tightened the shared bound; atomic so
+	// the hot Offer path never touches mu.
+	boundUpdates atomic.Int64
+
 	// mu guards the queue, the running-task count, the first error, and the
 	// counters below.
 	mu      sync.Mutex
@@ -79,7 +85,7 @@ type Job struct {
 	seq     uint64
 	running int
 	err     error
-	st      Stats
+	st      Stats // guarded by mu; read via Stats() only after Run returns
 }
 
 // New creates a job over the shared result heap. h may be nil for queries
@@ -109,11 +115,16 @@ func (j *Job) Bound() float64 {
 }
 
 // Offer feeds one refined neighbor into the shared heap under the short
-// heap lock.
+// heap lock, counting offers that tightened the shared kth-distance bound.
 func (j *Job) Offer(n knn.Neighbor) {
 	j.heapMu.Lock()
+	before := j.heap.Bound()
 	j.heap.Offer(n)
+	changed := j.heap.Bound() != before
 	j.heapMu.Unlock()
+	if changed {
+		j.boundUpdates.Add(1)
+	}
 }
 
 // Spawn enqueues a driver-level task (one partition or node scan) keyed by
@@ -162,8 +173,10 @@ func (j *Job) Run() error {
 // Stats returns the job's counters; call after Run.
 func (j *Job) Stats() Stats {
 	j.mu.Lock()
-	defer j.mu.Unlock()
-	return j.st
+	st := j.st
+	j.mu.Unlock()
+	st.BoundUpdates = int(j.boundUpdates.Load())
+	return st
 }
 
 // work is one worker goroutine: pop best-first, execute, repeat until the
@@ -182,7 +195,7 @@ func (j *Job) work(id int, wg *sync.WaitGroup) {
 			stolen++
 			mStolen.Inc()
 			j.mu.Lock()
-			j.st.Stolen++
+			j.st.Stolen++ //tardislint:ignore racecheck cross-instance pairing: the conflicting read is a value copy Stats() takes under mu after Run's fork-join completes; this write holds j.mu
 			j.mu.Unlock()
 		}
 		mBusyWorkers.Add(1)

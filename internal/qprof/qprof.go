@@ -1,0 +1,366 @@
+// Package qprof is the per-query flight recorder: a structured execution
+// profile that rides the query's context through planning, partition scans,
+// the qpar work-stealing pool, and cross-worker RPC fan-out, then surfaces
+// as `tardis-query -explain`, the `/debug/queries` slow-query log, and the
+// cluster-wide `tardis-inspect -queries` report.
+//
+// The design mirrors internal/obs tracing: every recording entry point is
+// nil-safe, the disabled path allocates nothing (enforced by an alloc-count
+// test), and profiles captured on remote workers are serialized back inside
+// RPC replies and grafted into the coordinator's tree, so one profile spans
+// the whole cluster the way one trace does.
+package qprof
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// CacheOutcome records whether a partition scan was served from the
+// partition cache. Unknown means caching was disabled or not observed.
+type CacheOutcome int8
+
+const (
+	CacheUnknown CacheOutcome = iota
+	CacheMiss
+	CacheHit
+)
+
+func (c CacheOutcome) String() string {
+	switch c {
+	case CacheHit:
+		return "hit"
+	case CacheMiss:
+		return "miss"
+	default:
+		return "-"
+	}
+}
+
+// Stage is one named phase of query execution (plan, seed, scan, delta...).
+// Offsets are relative to the profile's start so stages serialize compactly.
+type Stage struct {
+	Name  string
+	Start time.Duration
+	Dur   time.Duration
+}
+
+// Scan is one partition-scan observation: which partition, the admissible
+// lower bound that admitted it, how much the index pruned versus how many
+// candidate series were actually refined, cache behaviour, and which qpar
+// worker (or remote node) ran it.
+type Scan struct {
+	PID          int
+	Bound        float64 // admissible lower bound when the scan was scheduled
+	PrunedLeaves int
+	Scanned      int // candidate entries collected from surviving leaves
+	Refined      int // series whose true distance was computed
+	Cache        CacheOutcome
+	Worker       int    // qpar worker id; -1 when run serially
+	Addr         string // remote worker address; "" when local
+	WorkerID     string // remote worker process id; "" when local
+	Steals       int    // refine chunks executed by a non-owner qpar worker
+	Retried      bool   // a failed RPC attempt for this task preceded the scan
+	Start        time.Duration
+	Dur          time.Duration
+	Err          string
+}
+
+// RPCCall is one transport-level attempt against a worker, including the
+// failed attempts that the failover executor retried elsewhere.
+type RPCCall struct {
+	Method  string
+	Addr    string
+	PID     int
+	Attempt int // 1-based attempt number for this task
+	Start   time.Duration
+	Dur     time.Duration
+	Err     string
+}
+
+// QPar summarizes the intra-query work-stealing pool's behaviour for one
+// query: pool width, how many tasks ran on a worker other than the one that
+// spawned them, and how often the shared kNN bound tightened.
+type QPar struct {
+	Workers      int `json:"workers"`
+	TasksStolen  int `json:"tasks_stolen"`
+	BoundUpdates int `json:"bound_updates"`
+}
+
+// WireScan is the gob-friendly form of a worker-side Scan, carried back to
+// the coordinator inside RPC replies and grafted into its profile.
+type WireScan struct {
+	PID          int
+	WorkerID     string
+	PrunedLeaves int
+	Scanned      int
+	Refined      int
+	CacheHit     bool
+	CacheKnown   bool
+	LoadUS       int64 // partition load (cache fill) portion, microseconds
+	DurUS        int64 // total scan duration, microseconds
+}
+
+// Profile is one query's flight record. All methods are safe on a nil
+// receiver so call sites never branch on whether profiling is enabled.
+// Profiles are pooled; after Observe/Release the caller must drop its
+// reference.
+type Profile struct {
+	id       uint64
+	traceID  uint64
+	strategy string
+	detail   string
+	begin    time.Time
+	dur      time.Duration
+	err      string
+
+	mu     sync.Mutex
+	stages []Stage
+	scans  []Scan
+	rpcs   []RPCCall
+	qpar   QPar
+	hasQP  bool
+}
+
+var profilePool = sync.Pool{New: func() any { return new(Profile) }}
+
+// idState seeds a process-unique splitmix64 stream for profile ids, the
+// same construction obs uses for span ids.
+var idState atomic.Uint64
+
+func init() { idState.Store(uint64(time.Now().UnixNano()) | 1) }
+
+func nextID() uint64 {
+	z := idState.Add(0x9e3779b97f4a7c15)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a pooled profile for one query. Callers that do not hand the
+// profile to a Recorder must call Release when done.
+func New(strategy string) *Profile {
+	p := profilePool.Get().(*Profile)
+	p.id = nextID()
+	p.strategy = strategy
+	p.begin = time.Now()
+	return p
+}
+
+// Release zeroes the profile and returns it to the pool.
+func (p *Profile) Release() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	stages, scans, rpcs := p.stages[:0], p.scans[:0], p.rpcs[:0]
+	p.mu.Unlock()
+	*p = Profile{stages: stages, scans: scans, rpcs: rpcs}
+	profilePool.Put(p)
+}
+
+// ID returns the profile's process-unique id (0 on nil).
+func (p *Profile) ID() uint64 {
+	if p == nil {
+		return 0
+	}
+	return p.id
+}
+
+// TraceID returns the linked trace id, if tracing stamped one.
+func (p *Profile) TraceID() uint64 {
+	if p == nil {
+		return 0
+	}
+	return atomic.LoadUint64(&p.traceID)
+}
+
+// SetTrace links the profile to a trace tree. Zero ids (tracing disabled)
+// are ignored so call sites can stamp unconditionally.
+func (p *Profile) SetTrace(traceID uint64) {
+	if p == nil || traceID == 0 {
+		return
+	}
+	atomic.StoreUint64(&p.traceID, traceID)
+}
+
+// SetDetail attaches a short free-form description (query shape, k, eps).
+func (p *Profile) SetDetail(d string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.detail = d
+	p.mu.Unlock()
+}
+
+// Strategy returns the strategy label the profile was started with.
+func (p *Profile) Strategy() string {
+	if p == nil {
+		return ""
+	}
+	return p.strategy
+}
+
+// Now returns the elapsed offset since the profile began; 0 on nil, so
+// callers may compute offsets unconditionally.
+func (p *Profile) Now() time.Duration {
+	if p == nil {
+		return 0
+	}
+	return time.Since(p.begin)
+}
+
+// StageStart opens a named stage and returns its index (-1 on nil).
+func (p *Profile) StageStart(name string) int {
+	if p == nil {
+		return -1
+	}
+	p.mu.Lock()
+	p.stages = append(p.stages, Stage{Name: name, Start: time.Since(p.begin)})
+	i := len(p.stages) - 1
+	p.mu.Unlock()
+	return i
+}
+
+// StageEnd closes the stage opened by StageStart.
+func (p *Profile) StageEnd(i int) {
+	if p == nil || i < 0 {
+		return
+	}
+	p.mu.Lock()
+	if i < len(p.stages) {
+		p.stages[i].Dur = time.Since(p.begin) - p.stages[i].Start
+	}
+	p.mu.Unlock()
+}
+
+// AddScan records one partition scan and returns its index so asynchronous
+// refine chunks can accumulate into it later (-1 on nil).
+func (p *Profile) AddScan(s Scan) int {
+	if p == nil {
+		return -1
+	}
+	p.mu.Lock()
+	p.scans = append(p.scans, s)
+	i := len(p.scans) - 1
+	p.mu.Unlock()
+	return i
+}
+
+// ScanAdd folds an asynchronously-refined chunk into scan i: refined series
+// count, and whether the chunk ran on a worker other than the scan's owner.
+func (p *Profile) ScanAdd(i, refined int, stolen bool) {
+	if p == nil || i < 0 {
+		return
+	}
+	p.mu.Lock()
+	if i < len(p.scans) {
+		p.scans[i].Refined += refined
+		if stolen {
+			p.scans[i].Steals++
+		}
+	}
+	p.mu.Unlock()
+}
+
+// ScanFinish stamps scan i's duration as now-minus-start.
+func (p *Profile) ScanFinish(i int) {
+	if p == nil || i < 0 {
+		return
+	}
+	now := time.Since(p.begin)
+	p.mu.Lock()
+	if i < len(p.scans) {
+		p.scans[i].Dur = now - p.scans[i].Start
+	}
+	p.mu.Unlock()
+}
+
+// AddRPC records one transport attempt.
+func (p *Profile) AddRPC(r RPCCall) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.rpcs = append(p.rpcs, r)
+	p.mu.Unlock()
+}
+
+// Graft appends a worker-side sub-profile received in an RPC reply,
+// stamping the transport address and whether a prior attempt failed.
+func (p *Profile) Graft(ws *WireScan, addr string, attempt int, start, dur time.Duration) {
+	if p == nil || ws == nil {
+		return
+	}
+	cache := CacheUnknown
+	if ws.CacheKnown {
+		cache = CacheMiss
+		if ws.CacheHit {
+			cache = CacheHit
+		}
+	}
+	p.AddScan(Scan{
+		PID:          ws.PID,
+		PrunedLeaves: ws.PrunedLeaves,
+		Scanned:      ws.Scanned,
+		Refined:      ws.Refined,
+		Cache:        cache,
+		Worker:       -1,
+		Addr:         addr,
+		WorkerID:     ws.WorkerID,
+		Retried:      attempt > 1,
+		Start:        start,
+		Dur:          dur,
+	})
+}
+
+// SetQPar records the work-stealing pool summary. Multiple calls accumulate
+// (a query may run several pooled phases); Workers keeps the maximum.
+func (p *Profile) SetQPar(q QPar) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	if q.Workers > p.qpar.Workers {
+		p.qpar.Workers = q.Workers
+	}
+	p.qpar.TasksStolen += q.TasksStolen
+	p.qpar.BoundUpdates += q.BoundUpdates
+	p.hasQP = true
+	p.mu.Unlock()
+}
+
+// Finish stamps the query's total duration and terminal error.
+func (p *Profile) Finish(dur time.Duration, err error) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.dur = dur
+	if err != nil {
+		p.err = err.Error()
+	}
+	p.mu.Unlock()
+}
+
+type ctxKey struct{}
+
+// NewContext returns ctx carrying p. A nil profile returns ctx unchanged,
+// so the disabled path allocates nothing.
+func NewContext(ctx context.Context, p *Profile) context.Context {
+	if p == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, p)
+}
+
+// FromContext returns the profile carried by ctx, or nil. The nil return
+// composes with the nil-safe Profile methods: unprofiled queries thread a
+// nil pointer through every recording site at zero cost.
+func FromContext(ctx context.Context) *Profile {
+	p, _ := ctx.Value(ctxKey{}).(*Profile)
+	return p
+}

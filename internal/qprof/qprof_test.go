@@ -1,0 +1,215 @@
+package qprof
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestSamplerDeterministic(t *testing.T) {
+	a := NewSampler(0.5, 42)
+	b := NewSampler(0.5, 42)
+	for i := 0; i < 4096; i++ {
+		if a.Sample() != b.Sample() {
+			t.Fatalf("samplers with the same seed diverged at decision %d", i)
+		}
+	}
+
+	// Re-seeding replays the identical decision stream.
+	s := NewSampler(0.25, 7)
+	first := make([]bool, 64)
+	for i := range first {
+		first[i] = s.Sample()
+	}
+	s.Seed(7)
+	for i := range first {
+		if got := s.Sample(); got != first[i] {
+			t.Fatalf("re-seeded sampler diverged at decision %d: %v != %v", i, got, first[i])
+		}
+	}
+}
+
+func TestSamplerRateBounds(t *testing.T) {
+	never := NewSampler(0, 1)
+	always := NewSampler(1, 1)
+	for i := 0; i < 1000; i++ {
+		if never.Sample() {
+			t.Fatal("rate-0 sampler elected a query")
+		}
+		if !always.Sample() {
+			t.Fatal("rate-1 sampler skipped a query")
+		}
+	}
+	half := NewSampler(0.5, 99)
+	hits := 0
+	for i := 0; i < 10000; i++ {
+		if half.Sample() {
+			hits++
+		}
+	}
+	if hits < 4000 || hits > 6000 {
+		t.Fatalf("rate-0.5 sampler elected %d of 10000", hits)
+	}
+}
+
+func TestProfileLifecycle(t *testing.T) {
+	p := New("exact")
+	p.SetDetail("k=5")
+	p.SetTrace(0xabc)
+	plan := p.StageStart("plan")
+	p.StageEnd(plan)
+	si := p.AddScan(Scan{PID: 3, Bound: 1.5, PrunedLeaves: 7, Scanned: 100, Worker: 2})
+	p.ScanAdd(si, 40, true)
+	p.ScanAdd(si, 10, false)
+	p.ScanFinish(si)
+	p.AddRPC(RPCCall{Method: "Worker.KNNPartition", Addr: "a:1", PID: 3, Attempt: 1})
+	p.Graft(&WireScan{PID: 9, WorkerID: "w2", Scanned: 5, Refined: 2, CacheKnown: true, CacheHit: true}, "a:2", 2, 0, time.Millisecond)
+	p.SetQPar(QPar{Workers: 4, TasksStolen: 1, BoundUpdates: 6})
+	p.SetQPar(QPar{Workers: 2, TasksStolen: 2, BoundUpdates: 1})
+	p.Finish(5*time.Millisecond, errors.New("boom"))
+
+	s := p.Snapshot()
+	if s.Strategy != "exact" || s.Detail != "k=5" || s.TraceID != "abc" || s.Error != "boom" {
+		t.Fatalf("snapshot header mismatch: %+v", s)
+	}
+	if s.DurationMS != 5 {
+		t.Fatalf("duration = %v, want 5ms", s.DurationMS)
+	}
+	if len(s.Stages) != 1 || s.Stages[0].Name != "plan" {
+		t.Fatalf("stages = %+v", s.Stages)
+	}
+	if len(s.Scans) != 2 {
+		t.Fatalf("scans = %+v", s.Scans)
+	}
+	if sc := s.Scans[0]; sc.Refined != 50 || sc.Steals != 1 || sc.Worker != 2 {
+		t.Fatalf("chunk accumulation wrong: %+v", sc)
+	}
+	if g := s.Scans[1]; g.PID != 9 || g.Addr != "a:2" || g.WorkerID != "w2" || !g.Retried || g.Cache != "hit" {
+		t.Fatalf("grafted scan wrong: %+v", g)
+	}
+	if s.QPar == nil || s.QPar.Workers != 4 || s.QPar.TasksStolen != 3 || s.QPar.BoundUpdates != 7 {
+		t.Fatalf("qpar accumulation wrong: %+v", s.QPar)
+	}
+	p.Release()
+}
+
+func TestRecorderRingsAndDigests(t *testing.T) {
+	r := NewRecorder()
+	r.SetSampleRate(1)
+	r.SeedSampler(1)
+	r.SetSlowThreshold(0) // every profiled query is "slow"
+
+	p := r.Start("mpa")
+	if p == nil {
+		t.Fatal("rate-1 recorder did not elect the query")
+	}
+	p.AddScan(Scan{PID: 1, Scanned: 10, Refined: 4, Worker: -1})
+	r.Observe(p, "mpa", 3*time.Millisecond, nil)
+
+	pay := r.Payload()
+	if len(pay.Recent) != 1 || len(pay.Slowest) != 1 {
+		t.Fatalf("rings: recent=%d slowest=%d, want 1/1", len(pay.Recent), len(pay.Slowest))
+	}
+	if pay.Recent[0].ID == "" || len(pay.Recent[0].Scans) != 1 {
+		t.Fatalf("recent snapshot lost its tree: %+v", pay.Recent[0])
+	}
+	d, ok := pay.Digests["mpa"]
+	if !ok || d.Count != 1 {
+		t.Fatalf("digest missing or wrong count: %+v", pay.Digests)
+	}
+	var exemplar string
+	for _, b := range d.Buckets {
+		if b.Exemplar != "" {
+			exemplar = b.Exemplar
+		}
+	}
+	if exemplar != pay.Recent[0].ID {
+		t.Fatalf("exemplar %q does not link back to profile %q", exemplar, pay.Recent[0].ID)
+	}
+
+	// A slow query that was not sampled still earns a skeleton slow entry.
+	r2 := NewRecorder()
+	r2.SetSlowThreshold(time.Millisecond)
+	r2.Observe(nil, "range", 2*time.Millisecond, nil)
+	r2.Observe(nil, "range", time.Microsecond, nil) // fast: digest only
+	pay2 := r2.Payload()
+	if len(pay2.Slowest) != 1 || pay2.Slowest[0].Strategy != "range" || pay2.Slowest[0].ID != "" {
+		t.Fatalf("skeleton slow entry wrong: %+v", pay2.Slowest)
+	}
+	if pay2.Digests["range"].Count != 2 {
+		t.Fatalf("digest count = %d, want 2", pay2.Digests["range"].Count)
+	}
+
+	// Rings stay bounded and the slowest view is capped and sorted.
+	r3 := NewRecorder()
+	r3.SetSampleRate(1)
+	r3.SetSlowThreshold(0)
+	for i := 0; i < 200; i++ {
+		p := r3.Start("exact")
+		r3.Observe(p, "exact", time.Duration(i)*time.Millisecond, nil)
+	}
+	pay3 := r3.Payload()
+	if len(pay3.Recent) > recentRingSize {
+		t.Fatalf("recent ring grew to %d", len(pay3.Recent))
+	}
+	if len(pay3.Slowest) > topSlowest {
+		t.Fatalf("slowest view has %d entries, cap is %d", len(pay3.Slowest), topSlowest)
+	}
+	for i := 1; i < len(pay3.Slowest); i++ {
+		if pay3.Slowest[i].DurationMS > pay3.Slowest[i-1].DurationMS {
+			t.Fatal("slowest view not sorted descending")
+		}
+	}
+	if pay3.Slowest[0].DurationMS != 199 {
+		t.Fatalf("slowest query is %vms, want 199ms", pay3.Slowest[0].DurationMS)
+	}
+}
+
+// TestDisabledPathZeroAlloc enforces the flight recorder's core contract:
+// with sampling off, threading a nil profile through every recording entry
+// point allocates nothing.
+func TestDisabledPathZeroAlloc(t *testing.T) {
+	r := NewRecorder()
+	r.Observe(nil, "exact", time.Millisecond, nil) // warm the digest map
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(1000, func() {
+		p := FromContext(ctx)
+		_ = NewContext(ctx, p)
+		p.SetTrace(1)
+		p.SetDetail("x")
+		i := p.StageStart("plan")
+		p.StageEnd(i)
+		si := p.AddScan(Scan{PID: 1})
+		p.ScanAdd(si, 3, true)
+		p.ScanFinish(si)
+		p.AddRPC(RPCCall{})
+		p.Graft(nil, "", 1, 0, 0)
+		p.SetQPar(QPar{Workers: 2})
+		p.Finish(0, nil)
+		_ = p.Now()
+		if q := r.Start("exact"); q != nil {
+			t.Error("disabled recorder elected a query")
+		}
+		r.Observe(nil, "exact", time.Millisecond, nil)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled profiling path allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// BenchmarkDisabledProfile is the perf guard for the sampling-off fast path.
+func BenchmarkDisabledProfile(b *testing.B) {
+	r := NewRecorder()
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := r.Start("exact")
+		pctx := NewContext(ctx, p)
+		p2 := FromContext(pctx)
+		si := p2.AddScan(Scan{PID: 1})
+		p2.ScanAdd(si, 1, false)
+		p2.ScanFinish(si)
+		r.Observe(p2, "exact", 0, nil)
+	}
+}

@@ -1,0 +1,313 @@
+package qprof
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/tardisdb/tardis/internal/obs"
+)
+
+const (
+	recentRingSize = 64
+	slowRingSize   = 64
+	topSlowest     = 16
+)
+
+var (
+	mProfiles = obs.NewCounter("tardis_qprof_profiles_total",
+		"Query flight-recorder profiles captured (sampled or forced).")
+	mSlowQueries = obs.NewCounter("tardis_qprof_slow_queries_total",
+		"Queries whose duration crossed the slow-query threshold.")
+)
+
+// digestBuckets are the latency bucket bounds (seconds) for the streaming
+// per-strategy digests served at /debug/queries.
+var digestBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// digest is a streaming latency histogram for one strategy, with the last
+// profiled query id per bucket as an exemplar linking the aggregate back to
+// a concrete flight record.
+type digest struct {
+	counts    []int64
+	exemplars []string // hex profile id of the last sampled query per bucket
+	count     int64
+	sum       float64
+}
+
+func newDigest() *digest {
+	return &digest{
+		counts:    make([]int64, len(digestBuckets)+1),
+		exemplars: make([]string, len(digestBuckets)+1),
+	}
+}
+
+func bucketIdx(sec float64) int {
+	for i, b := range digestBuckets {
+		if sec <= b {
+			return i
+		}
+	}
+	return len(digestBuckets)
+}
+
+func (d *digest) observe(sec float64, exemplar string) {
+	i := bucketIdx(sec)
+	d.counts[i]++
+	if exemplar != "" {
+		d.exemplars[i] = exemplar
+	}
+	d.count++
+	d.sum += sec
+}
+
+// quantile interpolates within the owning bucket, like obs.Histogram.
+func (d *digest) quantile(q float64) float64 {
+	if d.count == 0 {
+		return math.NaN()
+	}
+	rank := q * float64(d.count)
+	var cum int64
+	for i, c := range d.counts {
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		if i == len(digestBuckets) {
+			return digestBuckets[len(digestBuckets)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = digestBuckets[i-1]
+		}
+		hi := digestBuckets[i]
+		if c == 0 {
+			return hi
+		}
+		frac := (rank - float64(cum-c)) / float64(c)
+		return lo + (hi-lo)*frac
+	}
+	return digestBuckets[len(digestBuckets)-1]
+}
+
+// Recorder owns the always-on sampled profiler for one process: the
+// sampling gate, the recent-query and slow-query rings, and the
+// per-strategy latency digests. One default recorder per process backs
+// /debug/queries on daemons; tests build their own.
+type Recorder struct {
+	sampler *Sampler
+	on      atomic.Bool // fast gate: true iff sample rate > 0
+	slowNS  atomic.Int64
+
+	mu         sync.Mutex
+	recent     []*Snapshot        // ring, newest at recentNext-1; guarded by mu
+	recentNext int                // guarded by mu
+	slow       []*Snapshot        // slow-query ring; guarded by mu
+	slowNext   int                // guarded by mu
+	digests    map[string]*digest // guarded by mu
+}
+
+// NewRecorder returns a recorder with sampling disabled and the slow-query
+// ring off.
+func NewRecorder() *Recorder {
+	r := &Recorder{
+		sampler: NewSampler(0, 0x7a2d15),
+		digests: make(map[string]*digest),
+	}
+	r.slowNS.Store(-1)
+	return r
+}
+
+var defaultRecorder = NewRecorder()
+
+// Default returns the process-wide recorder that daemons expose at
+// /debug/queries.
+func Default() *Recorder { return defaultRecorder }
+
+// SetSampleRate sets the fraction of queries that get full profiles.
+func (r *Recorder) SetSampleRate(rate float64) {
+	r.sampler.SetRate(rate)
+	r.on.Store(rate > 0)
+}
+
+// SampleRate returns the current sampling rate.
+func (r *Recorder) SampleRate() float64 { return r.sampler.Rate() }
+
+// SeedSampler makes the sampling decision stream deterministic.
+func (r *Recorder) SeedSampler(seed uint64) { r.sampler.Seed(seed) }
+
+// SetSlowThreshold enables the slow-query ring for queries at or above d;
+// zero records every profiled query as slow, negative disables the ring.
+func (r *Recorder) SetSlowThreshold(d time.Duration) { r.slowNS.Store(int64(d)) }
+
+// SlowThreshold returns the slow-query threshold.
+func (r *Recorder) SlowThreshold() time.Duration { return time.Duration(r.slowNS.Load()) }
+
+// Start returns a profile for the next query if the sampler elects it, nil
+// otherwise. The nil path is a single atomic load and allocates nothing.
+func (r *Recorder) Start(strategy string) *Profile {
+	if !r.on.Load() {
+		return nil
+	}
+	if !r.sampler.Sample() {
+		return nil
+	}
+	return New(strategy)
+}
+
+// Observe records one finished query. It must be called for every query —
+// with the profile from Start (which it finishes, snapshots, and releases)
+// or with nil, in which case only the strategy digest is updated.
+func (r *Recorder) Observe(p *Profile, strategy string, dur time.Duration, err error) {
+	slowNS := r.slowNS.Load()
+	slow := slowNS >= 0 && int64(dur) >= slowNS
+	if slow {
+		mSlowQueries.Inc()
+	}
+	var snap *Snapshot
+	var exemplar string
+	if p != nil {
+		p.Finish(dur, err)
+		snap = p.Snapshot()
+		exemplar = snap.ID
+		p.Release()
+		mProfiles.Inc()
+	} else if slow {
+		// A slow query that wasn't sampled still earns a skeleton entry in
+		// the slow ring: no execution tree, but strategy and duration.
+		snap = &Snapshot{Strategy: strategy, DurationMS: durMS(dur)}
+		if err != nil {
+			snap.Error = err.Error()
+		}
+	}
+	r.mu.Lock()
+	d := r.digests[strategy]
+	if d == nil {
+		d = newDigest()
+		r.digests[strategy] = d
+	}
+	d.observe(dur.Seconds(), exemplar)
+	if snap != nil {
+		if r.recent == nil {
+			r.recent = make([]*Snapshot, recentRingSize)
+		}
+		r.recent[r.recentNext%recentRingSize] = snap
+		r.recentNext++
+		if slow {
+			if r.slow == nil {
+				r.slow = make([]*Snapshot, slowRingSize)
+			}
+			r.slow[r.slowNext%slowRingSize] = snap
+			r.slowNext++
+		}
+	}
+	r.mu.Unlock()
+}
+
+// DigestJSON is one strategy's latency digest in the /debug/queries payload.
+type DigestJSON struct {
+	Count   int64        `json:"count"`
+	MeanMS  float64      `json:"mean_ms"`
+	P50MS   float64      `json:"p50_ms"`
+	P95MS   float64      `json:"p95_ms"`
+	P99MS   float64      `json:"p99_ms"`
+	Buckets []BucketJSON `json:"buckets"`
+}
+
+// BucketJSON is one digest bucket with its exemplar profile id. LeMS is -1
+// for the overflow (+Inf) bucket: JSON cannot carry infinities.
+type BucketJSON struct {
+	LeMS     float64 `json:"le_ms"`
+	Count    int64   `json:"count"`
+	Exemplar string  `json:"exemplar,omitempty"`
+}
+
+// DebugPayload is the JSON document served at /debug/queries.
+type DebugPayload struct {
+	Node       string                `json:"node,omitempty"`
+	SampleRate float64               `json:"sample_rate"`
+	SlowMS     float64               `json:"slow_ms"`
+	Recent     []*Snapshot           `json:"recent"`
+	Slowest    []*Snapshot           `json:"slowest"`
+	Digests    map[string]DigestJSON `json:"digests"`
+}
+
+func ringSlice(ring []*Snapshot, next int) []*Snapshot {
+	if ring == nil {
+		return nil
+	}
+	out := make([]*Snapshot, 0, len(ring))
+	for i := 0; i < len(ring); i++ {
+		// Oldest-first: walk forward from the slot after the newest.
+		s := ring[(next+i)%len(ring)]
+		if s != nil {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Payload snapshots the recorder state: recent queries oldest-first, the
+// slow ring sorted slowest-first (capped), and per-strategy digests.
+func (r *Recorder) Payload() *DebugPayload {
+	p := &DebugPayload{
+		SampleRate: r.SampleRate(),
+		SlowMS:     float64(r.SlowThreshold()) / float64(time.Millisecond),
+		Digests:    make(map[string]DigestJSON),
+	}
+	r.mu.Lock()
+	p.Recent = ringSlice(r.recent, r.recentNext)
+	p.Slowest = ringSlice(r.slow, r.slowNext)
+	for name, d := range r.digests {
+		dj := DigestJSON{
+			Count: d.count,
+			P50MS: d.quantile(0.50) * 1e3,
+			P95MS: d.quantile(0.95) * 1e3,
+			P99MS: d.quantile(0.99) * 1e3,
+		}
+		if d.count > 0 {
+			dj.MeanMS = d.sum / float64(d.count) * 1e3
+		}
+		for i, c := range d.counts {
+			le := -1.0 // overflow bucket: no finite upper bound
+			if i < len(digestBuckets) {
+				le = digestBuckets[i] * 1e3
+			}
+			dj.Buckets = append(dj.Buckets, BucketJSON{LeMS: le, Count: c, Exemplar: d.exemplars[i]})
+		}
+		p.Digests[name] = dj
+	}
+	r.mu.Unlock()
+	sort.SliceStable(p.Slowest, func(i, j int) bool { return p.Slowest[i].DurationMS > p.Slowest[j].DurationMS })
+	if len(p.Slowest) > topSlowest {
+		p.Slowest = p.Slowest[:topSlowest]
+	}
+	return p
+}
+
+// Handler serves the recorder state as JSON at /debug/queries.
+func (r *Recorder) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(r.Payload())
+	})
+}
+
+// Every daemon that mounts obs.DebugHandler (via -debug-addr) gets the
+// default recorder's /debug/queries for free — workers included, which is
+// what tardis-inspect -queries aggregates across the cluster.
+func init() {
+	obs.RegisterDebugHandler("/debug/queries", Default().Handler())
+}

@@ -1,0 +1,232 @@
+package qprof
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// StageJSON is one execution stage in a profile snapshot.
+type StageJSON struct {
+	Name    string  `json:"name"`
+	StartMS float64 `json:"start_ms"`
+	DurMS   float64 `json:"dur_ms"`
+}
+
+// ScanJSON is one partition scan in a profile snapshot.
+type ScanJSON struct {
+	PID          int     `json:"pid"`
+	Bound        float64 `json:"bound,omitempty"`
+	PrunedLeaves int     `json:"pruned_leaves"`
+	Scanned      int     `json:"scanned"`
+	Refined      int     `json:"refined"`
+	Cache        string  `json:"cache,omitempty"`
+	Worker       int     `json:"worker"` // qpar worker id; -1 = serial
+	Addr         string  `json:"addr,omitempty"`
+	WorkerID     string  `json:"worker_id,omitempty"`
+	Steals       int     `json:"steals,omitempty"`
+	Retried      bool    `json:"retried,omitempty"`
+	StartMS      float64 `json:"start_ms"`
+	DurMS        float64 `json:"dur_ms"`
+	Err          string  `json:"err,omitempty"`
+}
+
+// RPCJSON is one transport attempt in a profile snapshot.
+type RPCJSON struct {
+	Method  string  `json:"method"`
+	Addr    string  `json:"addr"`
+	PID     int     `json:"pid"`
+	Attempt int     `json:"attempt"`
+	StartMS float64 `json:"start_ms"`
+	DurMS   float64 `json:"dur_ms"`
+	Err     string  `json:"err,omitempty"`
+}
+
+// Snapshot is the immutable, JSON-ready form of a finished profile. It is
+// what the rings retain, /debug/queries serves, and -explain renders.
+type Snapshot struct {
+	ID         string      `json:"id,omitempty"`
+	TraceID    string      `json:"trace_id,omitempty"`
+	Strategy   string      `json:"strategy"`
+	Detail     string      `json:"detail,omitempty"`
+	Node       string      `json:"node,omitempty"` // filled by cluster aggregation
+	Start      string      `json:"start"`
+	DurationMS float64     `json:"duration_ms"`
+	Error      string      `json:"error,omitempty"`
+	QPar       *QPar       `json:"qpar,omitempty"`
+	Stages     []StageJSON `json:"stages,omitempty"`
+	Scans      []ScanJSON  `json:"scans,omitempty"`
+	RPCs       []RPCJSON   `json:"rpcs,omitempty"`
+}
+
+func durMS(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+func hexID(id uint64) string { return strconv.FormatUint(id, 16) }
+
+// Snapshot freezes the profile into its JSON-ready form. The profile
+// remains usable (and poolable) afterwards; the snapshot shares nothing
+// with it.
+func (p *Profile) Snapshot() *Snapshot {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := &Snapshot{
+		ID:         hexID(p.id),
+		Strategy:   p.strategy,
+		Detail:     p.detail,
+		Start:      p.begin.Format(time.RFC3339Nano),
+		DurationMS: durMS(p.dur),
+		Error:      p.err,
+	}
+	if tid := atomic.LoadUint64(&p.traceID); tid != 0 {
+		s.TraceID = hexID(tid)
+	}
+	if p.hasQP {
+		q := p.qpar
+		s.QPar = &q
+	}
+	for _, st := range p.stages {
+		s.Stages = append(s.Stages, StageJSON{Name: st.Name, StartMS: durMS(st.Start), DurMS: durMS(st.Dur)})
+	}
+	for _, sc := range p.scans {
+		s.Scans = append(s.Scans, ScanJSON{
+			PID: sc.PID, Bound: sc.Bound, PrunedLeaves: sc.PrunedLeaves,
+			Scanned: sc.Scanned, Refined: sc.Refined, Cache: sc.Cache.String(),
+			Worker: sc.Worker, Addr: sc.Addr, WorkerID: sc.WorkerID,
+			Steals: sc.Steals, Retried: sc.Retried,
+			StartMS: durMS(sc.Start), DurMS: durMS(sc.Dur), Err: sc.Err,
+		})
+	}
+	for _, rc := range p.rpcs {
+		s.RPCs = append(s.RPCs, RPCJSON{
+			Method: rc.Method, Addr: rc.Addr, PID: rc.PID, Attempt: rc.Attempt,
+			StartMS: durMS(rc.Start), DurMS: durMS(rc.Dur), Err: rc.Err,
+		})
+	}
+	return s
+}
+
+// pruneRatio is the fraction of collected candidates the lower bounds
+// discarded before true-distance refinement.
+func pruneRatio(sc ScanJSON) float64 {
+	if sc.Scanned <= 0 || sc.Refined >= sc.Scanned {
+		return 0
+	}
+	return float64(sc.Scanned-sc.Refined) / float64(sc.Scanned)
+}
+
+func scanLoc(sc ScanJSON) string {
+	if sc.Addr != "" {
+		if sc.WorkerID != "" {
+			return sc.Addr + "/" + sc.WorkerID
+		}
+		return sc.Addr
+	}
+	if sc.Worker >= 0 {
+		return fmt.Sprintf("w%d", sc.Worker)
+	}
+	return "serial"
+}
+
+// WriteText renders the snapshot as the annotated plan tree printed by
+// `tardis-query -explain`.
+func WriteText(w io.Writer, s *Snapshot) {
+	if s == nil {
+		fmt.Fprintln(w, "no profile")
+		return
+	}
+	fmt.Fprintf(w, "query %s  strategy=%s", s.ID, s.Strategy)
+	if s.Detail != "" {
+		fmt.Fprintf(w, "  %s", s.Detail)
+	}
+	if s.TraceID != "" {
+		fmt.Fprintf(w, "  trace=%s", s.TraceID)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "├─ total %.3fms", s.DurationMS)
+	if s.Error != "" {
+		fmt.Fprintf(w, "  ERROR: %s", s.Error)
+	}
+	if s.QPar != nil {
+		fmt.Fprintf(w, "  qpar: %d workers, %d tasks stolen, %d bound updates",
+			s.QPar.Workers, s.QPar.TasksStolen, s.QPar.BoundUpdates)
+	}
+	fmt.Fprintln(w)
+	if len(s.Stages) > 0 {
+		fmt.Fprintln(w, "├─ stages")
+		for _, st := range s.Stages {
+			fmt.Fprintf(w, "│    %-12s %8.3fms  @%.3fms\n", st.Name, st.DurMS, st.StartMS)
+		}
+	}
+	if len(s.Scans) > 0 {
+		retried := 0
+		for _, sc := range s.Scans {
+			if sc.Retried {
+				retried++
+			}
+		}
+		fmt.Fprintf(w, "├─ partitions (%d scanned", len(s.Scans))
+		if retried > 0 {
+			fmt.Fprintf(w, ", %d retried", retried)
+		}
+		fmt.Fprintln(w, ")")
+		for _, sc := range s.Scans {
+			fmt.Fprintf(w, "│    p%04d", sc.PID)
+			if sc.Bound > 0 {
+				fmt.Fprintf(w, "  bound=%.4f", sc.Bound)
+			}
+			fmt.Fprintf(w, "  pruned=%d scanned=%d refined=%d", sc.PrunedLeaves, sc.Scanned, sc.Refined)
+			if r := pruneRatio(sc); r > 0 {
+				fmt.Fprintf(w, " (%.1f%% pruned)", r*100)
+			}
+			if sc.Cache != "" && sc.Cache != "-" {
+				fmt.Fprintf(w, "  cache=%s", sc.Cache)
+			}
+			fmt.Fprintf(w, "  %s", scanLoc(sc))
+			if sc.Steals > 0 {
+				fmt.Fprintf(w, "  steals=%d", sc.Steals)
+			}
+			fmt.Fprintf(w, "  %.3fms @%.3fms", sc.DurMS, sc.StartMS)
+			if sc.Retried {
+				fmt.Fprint(w, "  RETRIED")
+			}
+			if sc.Err != "" {
+				fmt.Fprintf(w, "  ERR: %s", sc.Err)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	if len(s.RPCs) > 0 {
+		fmt.Fprintf(w, "├─ rpc attempts (%d)\n", len(s.RPCs))
+		for _, rc := range s.RPCs {
+			fmt.Fprintf(w, "│    %-22s %s  p%04d  attempt %d  %.3fms @%.3fms",
+				rc.Method, rc.Addr, rc.PID, rc.Attempt, rc.DurMS, rc.StartMS)
+			if rc.Err != "" {
+				fmt.Fprintf(w, "  ERR: %s", rc.Err)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	if len(s.Scans) > 1 {
+		top := append([]ScanJSON(nil), s.Scans...)
+		sort.SliceStable(top, func(i, j int) bool { return top[i].DurMS > top[j].DurMS })
+		if len(top) > 5 {
+			top = top[:5]
+		}
+		fmt.Fprint(w, "└─ slowest partitions: ")
+		for i, sc := range top {
+			if i > 0 {
+				fmt.Fprint(w, ", ")
+			}
+			fmt.Fprintf(w, "p%04d %.3fms (%s)", sc.PID, sc.DurMS, scanLoc(sc))
+		}
+		fmt.Fprintln(w)
+	} else {
+		fmt.Fprintln(w, "└─ end")
+	}
+}

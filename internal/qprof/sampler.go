@@ -1,0 +1,60 @@
+package qprof
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Sampler decides which queries get a full flight record. The decision is a
+// single atomic load plus a splitmix64 step — no locks, no allocation — so
+// an always-on sampled profiler costs nothing on the queries it skips.
+//
+// The stream is deterministic for a given seed: two samplers seeded alike
+// make identical decisions in sequence, which is what the determinism test
+// (and reproducible profiling in benchmarks) relies on.
+type Sampler struct {
+	rateBits atomic.Uint64 // math.Float64bits of the sample rate
+	state    atomic.Uint64 // splitmix64 state
+}
+
+// NewSampler returns a sampler with the given rate in [0,1] and seed.
+func NewSampler(rate float64, seed uint64) *Sampler {
+	s := &Sampler{}
+	s.SetRate(rate)
+	s.Seed(seed)
+	return s
+}
+
+// SetRate updates the sample rate; ≤0 disables, ≥1 samples everything.
+func (s *Sampler) SetRate(rate float64) {
+	if rate < 0 {
+		rate = 0
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	s.rateBits.Store(math.Float64bits(rate))
+}
+
+// Rate returns the current sample rate.
+func (s *Sampler) Rate() float64 { return math.Float64frombits(s.rateBits.Load()) }
+
+// Seed resets the decision stream; useful for deterministic tests.
+func (s *Sampler) Seed(seed uint64) { s.state.Store(seed | 1) }
+
+// Sample reports whether the next query should be profiled.
+func (s *Sampler) Sample() bool {
+	rate := math.Float64frombits(s.rateBits.Load())
+	if rate <= 0 {
+		return false
+	}
+	if rate >= 1 {
+		return true
+	}
+	z := s.state.Add(0x9e3779b97f4a7c15)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	// Top 53 bits → uniform float in [0,1).
+	return float64(z>>11)/(1<<53) < rate
+}

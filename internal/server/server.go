@@ -11,12 +11,14 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	clusterrpc "github.com/tardisdb/tardis/internal/cluster/rpc"
 	"github.com/tardisdb/tardis/internal/core"
 	"github.com/tardisdb/tardis/internal/knn"
 	"github.com/tardisdb/tardis/internal/obs"
+	"github.com/tardisdb/tardis/internal/qprof"
 	"github.com/tardisdb/tardis/internal/ts"
 )
 
@@ -25,14 +27,28 @@ type Server struct {
 	mu   sync.RWMutex
 	ix   *core.Index // guarded by mu
 	pool *clusterrpc.Pool
+	rec  *qprof.Recorder
 	// coordVersion, when set, reads the coordinator ensemble's committed
 	// PartitionMap version (a func keeps the server free of the coordinator
 	// client's wiring).
 	coordVersion func() (uint64, error)
+
+	// Cumulative intra-query parallelism totals across every served query,
+	// reported in /stats.
+	qparQueries atomic.Int64
+	qparWorkers atomic.Int64 // high-water pool width
+	qparStolen  atomic.Int64
+	qparBound   atomic.Int64
 }
 
-// New creates a Server around a loaded index.
-func New(ix *core.Index) *Server { return &Server{ix: ix} }
+// New creates a Server around a loaded index. Queries feed the process-wide
+// flight recorder (qprof.Default), whose state the handler serves at
+// /debug/queries; AttachRecorder swaps in a private one for tests.
+func New(ix *core.Index) *Server { return &Server{ix: ix, rec: qprof.Default()} }
+
+// AttachRecorder replaces the server's query flight recorder. Call before
+// Handler.
+func (s *Server) AttachRecorder(r *qprof.Recorder) { s.rec = r }
 
 // AttachCoordinator wires a reader for the coordinator ensemble's committed
 // PartitionMap version into /stats, so operators can spot a server routing on
@@ -66,7 +82,25 @@ func (s *Server) Handler() http.Handler {
 	handle("POST /compact", "compact", s.handleCompact)
 	mux.Handle("GET /metrics", obs.MetricsHandler())
 	mux.Handle("GET /debug/traces", obs.TracesHandler())
+	mux.Handle("GET /debug/queries", s.rec.Handler())
 	return mux
+}
+
+// recordQPar folds one query's work-stealing pool summary into the
+// cumulative /stats totals.
+func (s *Server) recordQPar(st core.QueryStats) {
+	if st.QPar.Workers == 0 {
+		return
+	}
+	s.qparQueries.Add(1)
+	s.qparStolen.Add(int64(st.QPar.TasksStolen))
+	s.qparBound.Add(int64(st.QPar.BoundUpdates))
+	for {
+		cur := s.qparWorkers.Load()
+		if int64(st.QPar.Workers) <= cur || s.qparWorkers.CompareAndSwap(cur, int64(st.QPar.Workers)) {
+			return
+		}
+	}
 }
 
 type errorResponse struct {
@@ -120,6 +154,18 @@ type StatsResponse struct {
 	// Replication reports per-partition replica health when the served store
 	// carries a PartitionMap; absent otherwise.
 	Replication *ReplicationStatus `json:"replication,omitempty"`
+	// QPar reports cumulative intra-query parallelism totals; absent until a
+	// query has run with a parallel pool.
+	QPar *QParTotals `json:"qpar,omitempty"`
+}
+
+// QParTotals is the cumulative work-stealing pool activity across every
+// query served by this process.
+type QParTotals struct {
+	ParallelQueries int64 `json:"parallel_queries"`
+	MaxWorkers      int64 `json:"max_workers"`
+	TasksStolen     int64 `json:"tasks_stolen"`
+	BoundUpdates    int64 `json:"bound_updates"`
 }
 
 // ReplicaHealth is one partition's replica placement and how many of its
@@ -186,6 +232,14 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		resp.Workers = s.pool.Health()
 		resp.Replication = s.replicationStatus(storeDir, resp.Workers)
 	}
+	if n := s.qparQueries.Load(); n > 0 {
+		resp.QPar = &QParTotals{
+			ParallelQueries: n,
+			MaxWorkers:      s.qparWorkers.Load(),
+			TasksStolen:     s.qparStolen.Load(),
+			BoundUpdates:    s.qparBound.Load(),
+		}
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -250,6 +304,10 @@ type KNNResponse struct {
 	Degraded          bool           `json:"degraded,omitempty"`
 	PartitionsSkipped int            `json:"partitions_skipped,omitempty"`
 	DurationMS        float64        `json:"duration_ms"`
+	// Intra-query parallelism profile; zero when the query ran serially.
+	QParWorkers  int `json:"qpar_workers,omitempty"`
+	TasksStolen  int `json:"tasks_stolen,omitempty"`
+	BoundUpdates int `json:"bound_updates,omitempty"`
 }
 
 func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
@@ -260,42 +318,52 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	var (
-		res  []knn.Neighbor
-		st   core.QueryStats
-		err  error
-		name = req.Strategy
-	)
-	switch req.Strategy {
-	case "tna":
-		res, st, err = s.ix.KNNTargetNode(req.Series, req.K)
-	case "opa":
-		res, st, err = s.ix.KNNOnePartition(req.Series, req.K)
-	case "", "mpa":
+	name := req.Strategy
+	if name == "" {
 		name = "mpa"
-		res, st, err = s.ix.KNNMultiPartition(req.Series, req.K)
+	}
+	// The flight recorder's sampling decision rides the request context into
+	// the query; Observe must see every query, profiled or not.
+	p := s.rec.Start(name)
+	ctx := qprof.NewContext(r.Context(), p)
+	var (
+		res []knn.Neighbor
+		st  core.QueryStats
+		err error
+	)
+	switch name {
+	case "tna":
+		res, st, err = s.ix.KNNTargetNodeCtx(ctx, req.Series, req.K)
+	case "opa":
+		res, st, err = s.ix.KNNOnePartitionCtx(ctx, req.Series, req.K)
+	case "mpa":
+		res, st, err = s.ix.KNNMultiPartitionCtx(ctx, req.Series, req.K)
 	case "exact":
-		res, st, err = s.ix.KNNExact(req.Series, req.K)
+		res, st, err = s.ix.KNNExactCtx(ctx, req.Series, req.K)
 	case "dtw":
-		res, st, err = s.ix.KNNDTW(req.Series, req.K, req.Band)
+		res, st, err = s.ix.KNNDTWCtx(ctx, req.Series, req.K, req.Band)
 	case "auto":
 		var chosen core.Strategy
-		res, chosen, st, err = s.ix.KNNAuto(req.Series, req.K)
+		res, chosen, st, err = s.ix.KNNAutoCtx(ctx, req.Series, req.K)
 		name = chosen.String()
 	case "dist", "dist-exact":
 		if s.pool == nil {
+			p.Release()
 			writeErr(w, http.StatusBadRequest, errors.New("no worker pool attached (start tardis-serve with -rpc)"))
 			return
 		}
-		if req.Strategy == "dist" {
-			res, st, err = clusterrpc.DistKNN(r.Context(), s.pool, s.ix.Store.Dir(), s.ix.Config(), req.Series, req.K)
+		if name == "dist" {
+			res, st, err = clusterrpc.DistKNN(ctx, s.pool, s.ix.Store.Dir(), s.ix.Config(), req.Series, req.K)
 		} else {
-			res, st, err = clusterrpc.DistKNNExact(r.Context(), s.pool, s.ix.Store.Dir(), s.ix.Config(), req.Series, req.K)
+			res, st, err = clusterrpc.DistKNNExact(ctx, s.pool, s.ix.Store.Dir(), s.ix.Config(), req.Series, req.K)
 		}
 	default:
+		p.Release()
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown strategy %q", req.Strategy))
 		return
 	}
+	s.rec.Observe(p, name, st.Duration, err)
+	s.recordQPar(st)
 	if err != nil {
 		writeErr(w, http.StatusUnprocessableEntity, err)
 		return
@@ -305,7 +373,9 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 		Partitions: st.PartitionsLoaded, Candidates: st.Candidates,
 		CacheHits: st.CacheHits, CacheMisses: st.CacheMisses,
 		Degraded: st.Degraded, PartitionsSkipped: st.PartitionsSkipped,
-		DurationMS: float64(st.Duration) / float64(time.Millisecond),
+		DurationMS:  float64(st.Duration) / float64(time.Millisecond),
+		QParWorkers: st.QPar.Workers, TasksStolen: st.QPar.TasksStolen,
+		BoundUpdates: st.QPar.BoundUpdates,
 	})
 }
 
@@ -330,7 +400,9 @@ func (s *Server) handleExact(w http.ResponseWriter, r *http.Request) {
 	}
 	useBloom := req.Bloom == nil || *req.Bloom
 	s.mu.RLock()
-	rids, st, err := s.ix.ExactMatch(req.Series, useBloom)
+	p := s.rec.Start("exact-match")
+	rids, st, err := s.ix.ExactMatchCtx(qprof.NewContext(r.Context(), p), req.Series, useBloom)
+	s.rec.Observe(p, "exact-match", st.Duration, err)
 	s.mu.RUnlock()
 	if err != nil {
 		writeErr(w, http.StatusUnprocessableEntity, err)
@@ -358,7 +430,10 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.RLock()
-	res, st, err := s.ix.RangeQuery(req.Series, req.Eps)
+	p := s.rec.Start("range")
+	res, st, err := s.ix.RangeQueryCtx(qprof.NewContext(r.Context(), p), req.Series, req.Eps)
+	s.rec.Observe(p, "range", st.Duration, err)
+	s.recordQPar(st)
 	s.mu.RUnlock()
 	if err != nil {
 		writeErr(w, http.StatusUnprocessableEntity, err)
@@ -372,7 +447,9 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 		Partitions: st.PartitionsLoaded, Candidates: st.Candidates,
 		CacheHits: st.CacheHits, CacheMisses: st.CacheMisses,
 		Degraded: st.Degraded, PartitionsSkipped: st.PartitionsSkipped,
-		DurationMS: float64(st.Duration) / float64(time.Millisecond),
+		DurationMS:  float64(st.Duration) / float64(time.Millisecond),
+		QParWorkers: st.QPar.Workers, TasksStolen: st.QPar.TasksStolen,
+		BoundUpdates: st.QPar.BoundUpdates,
 	})
 }
 

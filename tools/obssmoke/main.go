@@ -1,10 +1,13 @@
 // Command obssmoke is the observability end-to-end gate: it builds the real
-// tardis-serve binary, boots it over a freshly built miniature index, runs a
-// query through the HTTP API, then scrapes /metrics and fails unless the
-// exposition parses cleanly (internal/obs/expfmt's strict parser, histogram
-// invariants included) and every subsystem the telemetry layer instruments —
-// server, core, pcache, cluster, rpc — is present with the query actually
-// counted. /debug/traces must serve valid JSON too.
+// tardis-serve and tardis-worker binaries, boots two workers plus a serve
+// over a freshly distributed-built miniature index, runs local and
+// distributed queries through the HTTP API, then scrapes /metrics and fails
+// unless the exposition parses cleanly (internal/obs/expfmt's strict parser,
+// histogram invariants included) and every subsystem the telemetry layer
+// instruments — server, core, pcache, cluster, rpc, qprof, runtime — is
+// present with the queries actually counted. /debug/traces must serve valid
+// JSON, and /debug/queries must hold the distributed query's flight record
+// with grafted worker sub-scans.
 //
 // Run it from the module root (CI and `make obs-smoke` do):
 //
@@ -16,6 +19,7 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -27,11 +31,11 @@ import (
 	"strings"
 	"time"
 
-	"github.com/tardisdb/tardis/internal/cluster"
+	clusterrpc "github.com/tardisdb/tardis/internal/cluster/rpc"
 	"github.com/tardisdb/tardis/internal/core"
 	"github.com/tardisdb/tardis/internal/dataset"
 	"github.com/tardisdb/tardis/internal/obs"
-	"github.com/tardisdb/tardis/internal/storage"
+	"github.com/tardisdb/tardis/internal/qprof"
 )
 
 // requiredFamilies is the cross-subsystem coverage contract: one family per
@@ -46,6 +50,9 @@ var requiredFamilies = []string{
 	"tardis_cluster_stage_duration_seconds",
 	"tardis_rpc_calls_total",
 	"tardis_obs_spans_dropped_total",
+	"tardis_qprof_profiles_total",
+	"tardis_runtime_goroutines_count",
+	"tardis_runtime_heap_alloc_bytes",
 }
 
 func main() {
@@ -77,35 +84,66 @@ func run() error {
 	if _, err := dataset.WriteStore(g, seed, n, srcDir, 500, true); err != nil {
 		return fmt.Errorf("dataset: %w", err)
 	}
-	cl, err := cluster.New(cluster.Config{Workers: 4})
-	if err != nil {
-		return err
+
+	// Build the real binaries once.
+	serveBin := filepath.Join(work, "tardis-serve")
+	workerBin := filepath.Join(work, "tardis-worker")
+	for bin, pkg := range map[string]string{serveBin: "./cmd/tardis-serve", workerBin: "./cmd/tardis-worker"} {
+		build := exec.Command("go", "build", "-o", bin, pkg)
+		build.Stderr = os.Stderr
+		if err := build.Run(); err != nil {
+			return fmt.Errorf("building %s: %w", pkg, err)
+		}
 	}
-	src, err := storage.Open(srcDir)
-	if err != nil {
-		return err
+
+	// Two real worker processes on ephemeral ports; they share the temp dir
+	// filesystem with the coordinator, as in a real deployment.
+	workerRe := regexp.MustCompile(`listening on ([^\s]+)`)
+	var workerAddrs []string
+	for i := 1; i <= 2; i++ {
+		w := exec.Command(workerBin, "-listen", "127.0.0.1:0", "-id", fmt.Sprintf("w%d", i))
+		w.Stderr = os.Stderr
+		wout, err := w.StdoutPipe()
+		if err != nil {
+			return err
+		}
+		if err := w.Start(); err != nil {
+			return fmt.Errorf("starting tardis-worker: %w", err)
+		}
+		defer func() {
+			w.Process.Kill()
+			w.Wait()
+		}()
+		addr, err := awaitAddr(wout, workerRe, "tardis-worker", 30*time.Second)
+		if err != nil {
+			return err
+		}
+		workerAddrs = append(workerAddrs, addr)
 	}
+
+	// Distributed index build over the worker pool, so the dist strategies
+	// have routing metadata to follow.
 	cfg := core.DefaultConfig()
 	cfg.GMaxSize = 500
 	cfg.LMaxSize = 50
 	cfg.SamplePct = 0.25
 	idxDir := filepath.Join(work, "idx")
-	ix, err := core.Build(cl, src, idxDir, cfg)
+	pool, err := clusterrpc.DialContext(context.Background(), workerAddrs, clusterrpc.DefaultPolicy())
 	if err != nil {
-		return fmt.Errorf("index build: %w", err)
+		return fmt.Errorf("worker pool dial: %w", err)
 	}
-	if err := ix.Save(); err != nil {
-		return fmt.Errorf("index save: %w", err)
+	if _, err := clusterrpc.BuildDistributed(context.Background(), pool, srcDir, idxDir, filepath.Join(work, "staging"), cfg); err != nil {
+		pool.Close()
+		return fmt.Errorf("distributed build: %w", err)
 	}
+	pool.Close()
 
-	// Build and boot the real binary on an ephemeral port.
-	bin := filepath.Join(work, "tardis-serve")
-	build := exec.Command("go", "build", "-o", bin, "./cmd/tardis-serve")
-	build.Stderr = os.Stderr
-	if err := build.Run(); err != nil {
-		return fmt.Errorf("building tardis-serve: %w", err)
-	}
-	serve := exec.Command(bin, "-index", idxDir, "-listen", "127.0.0.1:0")
+	// Boot the server with the worker pool attached and the flight recorder
+	// profiling every query (sample 1) with an always-on slow ring.
+	serve := exec.Command(serveBin, "-index", idxDir, "-listen", "127.0.0.1:0",
+		"-rpc", strings.Join(workerAddrs, ","),
+		"-profile-sample", "1", "-slow-query-ms", "0",
+		"-debug-addr", "127.0.0.1:0")
 	serve.Stderr = os.Stderr
 	stdout, err := serve.StdoutPipe()
 	if err != nil {
@@ -119,7 +157,7 @@ func run() error {
 		serve.Wait()
 	}()
 
-	addr, err := awaitListenAddr(stdout, 30*time.Second)
+	addr, err := awaitAddr(stdout, regexp.MustCompile(`on http://([^\s]+)`), "tardis-serve", 30*time.Second)
 	if err != nil {
 		return err
 	}
@@ -128,17 +166,61 @@ func run() error {
 		return err
 	}
 
-	// Drive one query so the per-query counters move.
+	// Drive one local query so the per-query counters move, then a real
+	// distributed query so the flight recorder has a cross-worker tree.
 	q := dataset.Record(g, seed, 42).Values.ZNormalize()
-	body, _ := json.Marshal(map[string]any{"series": q, "k": 5, "strategy": "mpa"})
-	resp, err := http.Post(base+"/query/knn", "application/json", bytes.NewReader(body))
-	if err != nil {
-		return fmt.Errorf("query: %w", err)
+	for _, strategy := range []string{"mpa", "dist-exact"} {
+		body, _ := json.Marshal(map[string]any{"series": q, "k": 5, "strategy": strategy})
+		resp, err := http.Post(base+"/query/knn", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return fmt.Errorf("query %s: %w", strategy, err)
+		}
+		qb, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("query %s: status %d: %s", strategy, resp.StatusCode, qb)
+		}
 	}
-	qb, _ := io.ReadAll(resp.Body)
+
+	// The distributed query's flight record must be in /debug/queries with
+	// worker sub-trees grafted in.
+	resp, err := http.Get(base + "/debug/queries")
+	if err != nil {
+		return fmt.Errorf("debug/queries: %w", err)
+	}
+	var payload qprof.DebugPayload
+	err = json.NewDecoder(resp.Body).Decode(&payload)
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("query: status %d: %s", resp.StatusCode, qb)
+	if err != nil {
+		return fmt.Errorf("debug/queries: invalid JSON: %w", err)
+	}
+	if len(payload.Recent) == 0 || len(payload.Slowest) == 0 {
+		return fmt.Errorf("debug/queries: empty rings after profiled queries (recent=%d slowest=%d)",
+			len(payload.Recent), len(payload.Slowest))
+	}
+	var dist *qprof.Snapshot
+	for _, s := range payload.Slowest {
+		if s.Strategy == "dist-exact" && s.ID != "" {
+			dist = s
+		}
+	}
+	if dist == nil {
+		return fmt.Errorf("debug/queries: no dist-exact flight record in the slow ring")
+	}
+	workerScans := 0
+	for _, sc := range dist.Scans {
+		if sc.Addr != "" && sc.WorkerID != "" {
+			workerScans++
+		}
+	}
+	if workerScans == 0 {
+		return fmt.Errorf("debug/queries: dist-exact profile has no grafted worker sub-scans: %+v", dist.Scans)
+	}
+	if len(dist.RPCs) == 0 {
+		return fmt.Errorf("debug/queries: dist-exact profile recorded no transport attempts")
+	}
+	if _, ok := payload.Digests["dist-exact"]; !ok {
+		return fmt.Errorf("debug/queries: no dist-exact latency digest: %v", payload.Digests)
 	}
 
 	// Scrape and strictly validate the exposition.
@@ -187,10 +269,9 @@ func run() error {
 	return nil
 }
 
-// awaitListenAddr scans the child's stdout for the announcement line and
-// returns the host:port it resolved (the child listens on :0).
-func awaitListenAddr(r io.Reader, timeout time.Duration) (string, error) {
-	re := regexp.MustCompile(`on http://([^\s]+)`)
+// awaitAddr scans a child's stdout for its announcement line and returns the
+// host:port the given regexp captures (the children listen on :0).
+func awaitAddr(r io.Reader, re *regexp.Regexp, what string, timeout time.Duration) (string, error) {
 	type result struct {
 		addr string
 		err  error
@@ -207,13 +288,13 @@ func awaitListenAddr(r io.Reader, timeout time.Duration) (string, error) {
 				return
 			}
 		}
-		ch <- result{err: fmt.Errorf("tardis-serve exited before announcing its address")}
+		ch <- result{err: fmt.Errorf("%s exited before announcing its address", what)}
 	}()
 	select {
 	case res := <-ch:
 		return res.addr, res.err
 	case <-time.After(timeout):
-		return "", fmt.Errorf("timed out waiting for tardis-serve to announce its address")
+		return "", fmt.Errorf("timed out waiting for %s to announce its address", what)
 	}
 }
 
